@@ -1,0 +1,17 @@
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def quick():
+    """Benches run at reduced sizes unless REPRO_FULL=1 is set."""
+    return os.environ.get("REPRO_FULL", "0") != "1"
+
+
+def save(name, text):
+    from repro.harness import report
+
+    path = report.save_text(name, text)
+    print("\n" + text)
+    print("[saved to %s]" % path)

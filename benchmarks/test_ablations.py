@@ -1,0 +1,67 @@
+"""Ablation benches: optimizer passes, thresholds, predictors.
+
+These go beyond the paper's measurements: they test its *attributions*
+(escape analysis reduces allocation work, warmup thresholds trade
+tracing overhead against interpretation, branch predictors matter less
+than folklore says) by switching each mechanism off.
+"""
+
+from conftest import save
+
+from repro.harness import ablations
+
+
+def test_optimizer_ablation(benchmark, quick):
+    rows, text = benchmark.pedantic(
+        lambda: ablations.optimizer_ablation(quick=quick),
+        rounds=1, iterations=1)
+    save("ablation_optimizer.txt", text)
+
+    # Virtuals (escape analysis) are the JIT's most valuable pass on
+    # allocation-heavy benchmarks.
+    assert any(r["opt_virtuals"] > 1.1 for r in rows)
+    # Turning everything off always costs something.
+    assert all(r["all_off"] >= 1.0 for r in rows)
+    assert any(r["all_off"] > 1.3 for r in rows)
+
+
+def test_threshold_sweep(benchmark, quick):
+    rows, text = benchmark.pedantic(
+        lambda: ablations.threshold_sweep(quick=quick),
+        rounds=1, iterations=1)
+    save("ablation_threshold.txt", text)
+
+    # An absurdly high threshold leaves less time in JIT code.
+    jit_fractions = {t: j for t, _s, j, _tr in rows}
+    lowest = min(jit_fractions)
+    highest = max(jit_fractions)
+    assert jit_fractions[lowest] >= jit_fractions[highest]
+
+
+def test_bridge_threshold_sweep(benchmark, quick):
+    rows, text = benchmark.pedantic(
+        lambda: ablations.bridge_threshold_sweep(quick=quick),
+        rounds=1, iterations=1)
+    save("ablation_bridge_threshold.txt", text)
+
+    bridges = {t: b for t, _s, b, _bh in rows}
+    # Eager bridging compiles at least as many bridges as lazy bridging.
+    assert bridges[min(bridges)] >= bridges[max(bridges)]
+
+
+def test_predictor_ablation(benchmark, quick):
+    rows, text = benchmark.pedantic(
+        lambda: ablations.predictor_ablation(quick=quick),
+        rounds=1, iterations=1)
+    save("ablation_predictor.txt", text)
+
+    # A real predictor beats always-taken for the interpreter, but the
+    # gap is bounded (Rohou et al.: mispredictions are no longer the
+    # dominant interpreter cost on modern predictors).
+    by_key = {(b, vm, p): s for b, vm, p, s, _m in rows}
+    for (bench, vm, predictor), seconds in list(by_key.items()):
+        if predictor != "gshare":
+            continue
+        degraded = by_key[(bench, vm, "always_taken")]
+        assert degraded >= seconds * 0.98
+        assert degraded < seconds * 2.0

@@ -1,0 +1,26 @@
+"""Figure 2: time-per-phase breakdown across the PyPy suite."""
+
+from conftest import save
+
+from repro.harness import experiments
+
+
+def test_fig2(benchmark, quick):
+    rows, text = benchmark.pedantic(
+        lambda: experiments.fig2(quick=quick), rounds=1, iterations=1)
+    save("fig2_phases.txt", text)
+
+    breakdowns = dict(rows)
+    # Every benchmark's fractions sum to ~1.
+    for name, breakdown in breakdowns.items():
+        assert abs(sum(breakdown.values()) - 1.0) < 1e-6, name
+    # Paper shape: phases differ wildly across benchmarks; at least the
+    # interp and jit phases each dominate somewhere.
+    assert any(b["jit"] > 0.4 for b in breakdowns.values())
+    assert any(b["interp"] > 0.4 for b in breakdowns.values())
+    # Paper shape: deoptimization (blackhole) exceeds 1% somewhere but
+    # never dominates a benchmark.
+    assert any(b["blackhole"] > 0.01 for b in breakdowns.values())
+    assert all(b["blackhole"] < 0.5 for b in breakdowns.values())
+    # JIT-call phase exists (residual AOT calls from compiled code).
+    assert any(b["jit_call"] > 0.05 for b in breakdowns.values())

@@ -1,0 +1,23 @@
+"""Figure 3: phase timelines of a fast-warming and slow-warming benchmark."""
+
+from conftest import save
+
+from repro.harness import experiments
+
+
+def test_fig3(benchmark, quick):
+    data, text = benchmark.pedantic(
+        lambda: experiments.fig3(quick=quick), rounds=1, iterations=1)
+    save("fig3_timeline.txt", text)
+
+    for name, segments in data.items():
+        assert segments, name
+        # Early execution is interpreter/tracing dominated...
+        early = segments[0]
+        assert early["interp"] + early["tracing"] > 0.4, name
+    # ...and the fast-warming benchmark becomes JIT-dominated late in
+    # the run (the very last buckets may be interpreter teardown/prints,
+    # so look at the best bucket in the final third).
+    tail = data["richards"][-max(1, len(data["richards"]) // 3):]
+    best = max(seg["jit"] + seg["jit_call"] for seg in tail)
+    assert best > 0.35

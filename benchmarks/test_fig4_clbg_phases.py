@@ -1,0 +1,31 @@
+"""Figure 4: phase breakdowns, PyPy vs Pycket, on shared CLBG programs."""
+
+from conftest import save
+
+from repro.harness import experiments
+
+
+def test_fig4(benchmark, quick):
+    rows, text = benchmark.pedantic(
+        lambda: experiments.fig4(quick=quick), rounds=1, iterations=1)
+    save("fig4_clbg_phases.txt", text)
+
+    assert len(rows) >= 8  # at least 4 shared benchmarks, 2 VMs each
+    by_label = dict(rows)
+    # Paper shape: the two meta-tracing VMs show similar phase trends on
+    # the same program (both JIT-heavy on numeric kernels).
+    for kernel in ("spectralnorm", "nbody", "mandelbrot"):
+        pypy = by_label.get(kernel + "/pypy")
+        pycket = by_label.get(kernel + "/pycket")
+        if pypy is None or pycket is None:
+            continue
+        pypy_compiled = pypy["jit"] + pypy["jit_call"]
+        pycket_compiled = pycket["jit"] + pycket["jit_call"]
+        floor = 0.15 if quick else 0.25
+        assert pypy_compiled > floor
+        assert pycket_compiled > floor
+    # binarytrees stresses the GC on both VMs (paper: "large usage of GC
+    # in binarytrees").
+    bt_pypy = by_label.get("binarytrees/pypy")
+    if bt_pypy is not None:
+        assert bt_pypy["gc"] > (0.01 if quick else 0.02)

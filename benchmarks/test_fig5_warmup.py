@@ -1,0 +1,30 @@
+"""Figure 5: JIT warmup curves and break-even points."""
+
+from conftest import save
+
+from repro.harness import experiments
+
+
+def test_fig5(benchmark, quick):
+    rows, text = benchmark.pedantic(
+        lambda: experiments.fig5(quick=quick), rounds=1, iterations=1)
+    save("fig5_warmup.txt", text)
+
+    by_name = {r["benchmark"]: r for r in rows}
+    with_nojit_be = [r for r in rows
+                     if r["break_even_vs_nojit"] is not None]
+    with_cpy_be = [r for r in rows
+                   if r["break_even_vs_cpython"] is not None]
+    # Paper shape: the break-even point vs PyPy-without-JIT is reached
+    # early for most benchmarks...
+    assert len(with_nojit_be) >= len(rows) * 0.6
+    # ...and comes no later than the CPython break-even when both exist.
+    for r in rows:
+        if (r["break_even_vs_nojit"] is not None
+                and r["break_even_vs_cpython"] is not None):
+            assert (r["break_even_vs_nojit"]
+                    <= r["break_even_vs_cpython"] * 1.25), r["benchmark"]
+    # Benchmarks with big final speedups reach CPython break-even.
+    best = max(rows, key=lambda r: r["rate_ratio_vs_cpython"])
+    assert best["break_even_vs_cpython"] is not None
+    assert len(with_cpy_be) >= 3

@@ -1,0 +1,24 @@
+"""Figure 6: JIT IR compilation burden and trace hotness."""
+
+from conftest import save
+
+from repro.harness import experiments
+
+
+def test_fig6(benchmark, quick):
+    rows, text = benchmark.pedantic(
+        lambda: experiments.fig6(quick=quick), rounds=1, iterations=1)
+    save("fig6_irstats.txt", text)
+
+    compiled = [r["nodes_compiled"] for r in rows if r["nodes_compiled"]]
+    assert compiled
+    # Paper shape: compiled IR node counts vary by orders of magnitude
+    # across benchmarks (figure is drawn in log scale).
+    assert max(compiled) / max(1, min(compiled)) > 8
+    # Paper shape: some benchmarks have exceptionally hot regions —
+    # a small fraction of nodes covers 95% of JIT time.
+    fractions = [r["hot_fraction"] for r in rows if r["nodes_compiled"]]
+    assert min(fractions) < 0.5
+    assert max(fractions) > min(fractions)
+    # Dynamic node rate is nonzero wherever a JIT compiled anything hot.
+    assert any(r["nodes_per_minsn"] > 1000 for r in rows)

@@ -1,0 +1,22 @@
+"""Figure 7: composition of meta-traces by IR category."""
+
+from conftest import save
+
+from repro.harness import experiments
+
+
+def test_fig7(benchmark, quick):
+    rows, text = benchmark.pedantic(
+        lambda: experiments.fig7(quick=quick), rounds=1, iterations=1)
+    save("fig7_categories.txt", text)
+
+    mean = dict(rows)["MEAN"]
+    # Paper shape: memory operations and guards are the two biggest
+    # categories on average; both are substantial.
+    assert mean.get("memop", 0) > 0.10
+    assert mean.get("guard", 0) > 0.10
+    # Call overhead is a major component (residual AOT calls).
+    assert mean.get("call", 0) > 0.05
+    # Even numeric suites: int+float never dominate the traces (paper:
+    # "arithmetic does not constitute a significant portion").
+    assert mean.get("int", 0) + mean.get("float", 0) < 0.5

@@ -1,0 +1,24 @@
+"""Figure 8: dynamic frequency histogram of IR node types."""
+
+from conftest import save
+
+from repro.harness import experiments
+
+
+def test_fig8(benchmark, quick):
+    histogram, text = benchmark.pedantic(
+        lambda: experiments.fig8(quick=quick), rounds=1, iterations=1)
+    save("fig8_histogram.txt", text)
+
+    ranked = sorted(histogram.items(), key=lambda kv: -kv[1])
+    top_names = [name for name, _ in ranked[:6]]
+    # Paper shape: getfield_gc and setfield_gc are among the most
+    # frequent node types.
+    assert any("getfield" in name for name in top_names)
+    # Paper shape: the histogram has a long tail — most node types are
+    # individually rare (<1% each).
+    rare = [name for name, value in histogram.items() if value < 0.01]
+    assert len(rare) >= len(histogram) * 0.5
+    # Marker pseudo-ops are excluded, as in the paper's histogram.
+    assert "debug_merge_point" not in histogram
+    assert "label" not in histogram

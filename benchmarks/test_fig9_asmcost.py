@@ -1,0 +1,22 @@
+"""Figure 9: mean assembly instructions per IR node type."""
+
+from conftest import save
+
+from repro.harness import experiments
+
+
+def test_fig9(benchmark, quick):
+    means, text = benchmark.pedantic(
+        lambda: experiments.fig9(quick=quick), rounds=1, iterations=1)
+    save("fig9_asmcost.txt", text)
+
+    # Paper shape: call_assembler is the most expensive node (>30
+    # instructions); other calls are >15; most nodes are 1-2.
+    if "call_assembler" in means:
+        assert means["call_assembler"] > 30
+    assert means.get("call", 0) > 15 or means.get("call_pure", 0) > 15
+    cheap = [name for name, value in means.items() if value <= 2]
+    assert len(cheap) >= len(means) * 0.4
+    for name in ("getfield_gc", "setfield_gc"):
+        if name in means:
+            assert means[name] <= 2

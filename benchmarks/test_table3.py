@@ -1,0 +1,29 @@
+"""Table III: significant AOT-compiled functions called from traces."""
+
+from conftest import save
+
+from repro.harness import experiments
+
+
+def test_table3(benchmark, quick):
+    rows, text = benchmark.pedantic(
+        lambda: experiments.table3(quick=quick), rounds=1, iterations=1)
+    save("table3.txt", text)
+
+    assert rows, "no AOT function exceeded the 10% threshold anywhere"
+    functions = {name for _b, _pct, _src, name in rows}
+    sources = {src for _b, _pct, src, _name in rows}
+    # Paper shape: pidigits is dominated by rbigint entry points.
+    pidigits = [r for r in rows if r[0] == "pidigits"]
+    assert pidigits
+    assert any("rbigint" in r[3] for r in pidigits)
+    # Paper shape: the dict lookup function is prominent somewhere
+    # (needs full-size runs for the dict-heavy benchmarks to warm up).
+    if not quick:
+        assert any("ll_call_lookup_function" in f or "ll_dict" in f
+                   for f in functions)
+    # Multiple source layers appear (R/L/C/I/M tags) at full size.
+    if not quick:
+        assert len(sources) >= 2
+    else:
+        assert sources

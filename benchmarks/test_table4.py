@@ -1,0 +1,26 @@
+"""Table IV: per-phase microarchitectural behaviour."""
+
+from conftest import save
+
+from repro.harness import experiments
+
+
+def test_table4(benchmark, quick):
+    rows, text = benchmark.pedantic(
+        lambda: experiments.table4(quick=quick), rounds=1, iterations=1)
+    save("table4.txt", text)
+
+    by_phase = {r["phase"]: r for r in rows}
+    # Paper shape: the JIT phase has the best branch behaviour...
+    assert (by_phase["jit"]["miss_rate"]
+            < by_phase["interp"]["miss_rate"])
+    # ...the blackhole interpreter has the worst IPC of any phase...
+    active = [r for r in rows if r["n"] >= 2]
+    worst = min(active, key=lambda r: r["ipc"])
+    assert worst["phase"] == "blackhole"
+    # ...and the GC phase has comparatively high IPC (regular sweeps).
+    assert by_phase["gc"]["ipc"] > by_phase["blackhole"]["ipc"]
+    # Branch density is in the same ballpark across phases (paper: the
+    # branch rate "is almost identical" across interpreters/phases).
+    densities = [r["branches_per_insn"] for r in active]
+    assert max(densities) < 4 * max(min(densities), 0.02)

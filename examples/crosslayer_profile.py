@@ -1,0 +1,63 @@
+"""Cross-layer profiling of a real benchmark (the paper's methodology).
+
+Runs the `richards` benchmark on the TinyPy VM with the meta-tracing
+JIT, collecting:
+
+* the framework-level phase breakdown (Figure 2 style),
+* the AOT-compiled functions called from JIT traces (Table III style),
+* the warmup break-even point against CPython (Figure 5 style),
+* per-phase microarchitectural counters (Table IV style).
+
+Run:  python examples/crosslayer_profile.py [benchmark-name]
+"""
+
+import sys
+
+from repro.benchprogs import registry
+from repro.harness.runner import run_program
+from repro.pintool.bcrate import break_even_instructions
+from repro.pintool.phases import PHASE_NAMES
+
+
+def main():
+    name = sys.argv[1] if len(sys.argv) > 1 else "richards"
+    program = registry.py_program(name)
+    n = program.small_n * 2
+
+    print("running %s on pypy (meta-tracing JIT) ..." % name)
+    jit = run_program(program, "pypy", n=n, timeline=True)
+    print("running %s on cpython baseline ..." % name)
+    cpy = run_program(program, "cpython", n=n)
+
+    print("\n== application level ==")
+    print("cpython: %.4f simulated seconds" % cpy.seconds)
+    print("pypy:    %.4f simulated seconds (%.2fx)"
+          % (jit.seconds, cpy.seconds / jit.seconds))
+
+    print("\n== framework level: phases ==")
+    for phase, fraction in jit.phase_breakdown.items():
+        if fraction > 0.001:
+            print("  %-10s %5.1f%%" % (phase, 100 * fraction))
+
+    print("\n== framework level: AOT calls from traces ==")
+    for fraction, src, fn_name, calls in jit.aot_rows[:8]:
+        print("  %5.1f%%  [%s] %-40s (%d calls)"
+              % (100 * fraction, src, fn_name, calls))
+
+    print("\n== interpreter level: warmup ==")
+    reference_rate = cpy.bytecodes_per_insn
+    break_even = break_even_instructions(jit.bc_timeline or [],
+                                         reference_rate)
+    print("  bytecodes executed: %d" % jit.bytecodes)
+    print("  break-even vs cpython after %s instructions" % break_even)
+
+    print("\n== microarchitecture level ==")
+    for i, phase in enumerate(PHASE_NAMES):
+        window = jit.phase_windows[i]
+        if window.instructions > 1000:
+            print("  %-10s ipc=%.2f  branch-miss=%.1f%%"
+                  % (phase, window.ipc, 100 * window.branch_miss_rate))
+
+
+if __name__ == "__main__":
+    main()

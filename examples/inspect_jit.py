@@ -1,0 +1,65 @@
+"""Inspect what the meta-tracing JIT actually compiles.
+
+Runs a small TinyPy hot loop, then dumps: the recorded/optimized IR of
+the compiled loop, its resume-snapshot guards, the generated executable
+form (our stand-in for machine code), and the jitlog events.
+
+Run:  python examples/inspect_jit.py
+"""
+
+from repro.core.config import SystemConfig
+from repro.interp.context import VMContext
+from repro.jit.executor import get_compiled
+from repro.pylang.interp import PyVM
+
+SOURCE = '''
+class Point:
+    def __init__(self, x, y):
+        self.x = x
+        self.y = y
+
+total = 0
+p = Point(0, 1)
+for i in range(2000):
+    p.x = p.x + p.y
+    total = total + p.x % 7
+print(total)
+'''
+
+
+def main():
+    config = SystemConfig()
+    config.jit.hot_loop_threshold = 13
+    ctx = VMContext(config)
+    vm = PyVM(ctx)
+    vm.run_source(SOURCE)
+    print("guest output:", vm.stdout().strip())
+
+    loop = next(t for t in ctx.registry.traces if t.kind == "loop")
+    print("\noptimized loop %r: %d IR ops, %d asm instructions"
+          % (loop.greenkey, loop.n_ops, loop.asm_size))
+    print("\nIR (peeled loop body):")
+    for op in loop.ops[loop.label_index:]:
+        if op.name == "debug_merge_point":
+            continue
+        note = ""
+        if op.is_guard() and op.snapshot is not None:
+            frame = op.snapshot.innermost
+            note = "   ; resume at pc=%d" % frame.pc
+        print("    %-60s%s" % (op, note))
+
+    get_compiled(ctx, loop)
+    print("\ngenerated executable form (first 30 lines):")
+    for line in loop._source.splitlines()[:30]:
+        print("   ", line)
+
+    print("\njitlog events:")
+    for kind, details in ctx.jitlog.events:
+        line = {k: v for k, v in details.items()
+                if k in ("trace_kind", "n_ops_compiled", "asm_size",
+                         "reason")}
+        print("   ", kind, line)
+
+
+if __name__ == "__main__":
+    main()

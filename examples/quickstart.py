@@ -1,0 +1,78 @@
+"""Quickstart: run a guest program on the meta-tracing framework.
+
+Builds a tiny program for MiniLang (the framework's tutorial VM), runs
+it with the meta-tracing JIT off and on, and prints what the cross-layer
+tooling observed: simulated time, phase breakdown, and the compiled
+trace.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core.config import SystemConfig
+from repro.interp.context import VMContext
+from repro.interp.minilang import Code, MiniInterp
+from repro.pintool.tool import PinTool
+
+# sum the integers 1..N with a countdown loop:
+#   local0 = n; local1 = 0
+#   while local0 != 0: local1 += local0; local0 -= 1
+PROGRAM = Code("sum_to_n", [
+    ("load_const", 0),      # 0
+    ("store_local", 1),     # 1
+    ("load_local", 0),      # 2: loop header
+    ("load_const", 0),      # 3
+    ("eq", None),           # 4
+    ("jump_if_false", 7),   # 5
+    ("jump", 16),           # 6 -> exit
+    ("load_local", 1),      # 7
+    ("load_local", 0),      # 8
+    ("add", None),          # 9
+    ("store_local", 1),     # 10
+    ("load_local", 0),      # 11
+    ("load_const", 1),      # 12
+    ("sub", None),          # 13
+    ("store_local", 0),     # 14
+    ("jump", 2),            # 15: backward jump -> can_enter_jit
+    ("load_local", 1),      # 16
+    ("return", None),       # 17
+], n_locals=2)
+
+
+def run(jit_enabled):
+    config = SystemConfig()
+    config.jit.enabled = jit_enabled
+    ctx = VMContext(config)
+    tool = PinTool(ctx.machine)
+    interp = MiniInterp(ctx)
+    result = interp.run(PROGRAM, args=(10_000,))
+    tool.finish()
+    return result, ctx, tool
+
+
+def main():
+    result, ctx, tool = run(jit_enabled=False)
+    print("interpreter only: result=%d  cycles=%.0f"
+          % (result.intval, ctx.machine.cycles))
+    interp_cycles = ctx.machine.cycles
+
+    result, ctx, tool = run(jit_enabled=True)
+    print("with meta-JIT:    result=%d  cycles=%.0f  (%.1fx faster)"
+          % (result.intval, ctx.machine.cycles,
+             interp_cycles / ctx.machine.cycles))
+
+    print("\nphase breakdown (fraction of cycles):")
+    for phase, fraction in tool.phases.breakdown().items():
+        if fraction > 0.001:
+            print("  %-10s %.3f" % (phase, fraction))
+
+    loop = ctx.registry.traces[0]
+    print("\ncompiled loop: %d IR ops -> %d virtual-ISA instructions"
+          % (loop.n_ops, loop.asm_size))
+    print("optimized trace (loop body after the LABEL):")
+    for op in loop.ops[loop.label_index:]:
+        if op.name != "debug_merge_point":
+            print("   ", op)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""One framework, two languages (the paper's central premise).
+
+Runs the same algorithm (spectral norm) written in TinyPy and TinyRkt on
+their meta-tracing VMs plus their reference VMs, and compares times and
+phase behaviour — a miniature of the paper's PyPy/Pycket comparison.
+
+Run:  python examples/two_languages.py
+"""
+
+from repro.benchprogs import registry
+from repro.harness.runner import run_program
+
+
+def main():
+    python_program = registry.py_program("spectralnorm")
+    racket_program = registry.rkt_program("spectralnorm")
+    n = 24
+
+    cpython = run_program(python_program, "cpython", n=n)
+    pypy = run_program(python_program, "pypy", n=n)
+    racket = run_program(racket_program, "racket", n=n)
+    pycket = run_program(racket_program, "pycket", n=n)
+
+    print("spectralnorm, simulated seconds:")
+    print("  Python:  cpython %.5f   pypy  %.5f  (%.2fx)"
+          % (cpython.seconds, pypy.seconds,
+             cpython.seconds / pypy.seconds))
+    print("  Racket:  racket  %.5f   pycket %.5f  (%.2fx)"
+          % (racket.seconds, pycket.seconds,
+             racket.seconds / pycket.seconds))
+
+    print("\nphase breakdown of the two meta-tracing VMs:")
+    for label, result in (("pypy", pypy), ("pycket", pycket)):
+        parts = ["%s=%.2f" % (k, v)
+                 for k, v in result.phase_breakdown.items() if v > 0.01]
+        print("  %-7s %s" % (label, "  ".join(parts)))
+
+    print("\nboth outputs agree with their reference VMs:")
+    print("  python:", pypy.output.strip())
+    print("  racket:", pycket.output.strip())
+
+
+if __name__ == "__main__":
+    main()

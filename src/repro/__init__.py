@@ -1,0 +1,24 @@
+"""repro: a from-scratch reproduction of "Cross-Layer Workload
+Characterization of Meta-Tracing JIT VMs" (Ilbeyi, Bolz-Tereick, Batten;
+IISWC 2017).
+
+Public entry points:
+
+* :func:`repro.harness.runner.run_program` — run any benchmark on any of
+  the seven VM configurations and get a full RunResult.
+* :mod:`repro.harness.experiments` — one function per paper table/figure.
+* :class:`repro.pylang.interp.PyVM` / :class:`repro.rktlang.vm.RktVM` —
+  the meta-tracing guest VMs.
+* :class:`repro.interp.context.VMContext` — machine + GC + JIT state for
+  embedding a guest VM.
+
+See README.md for the architecture overview and DESIGN.md for the
+per-experiment index.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "core", "isa", "uarch", "pintool", "gc", "rlib", "interp", "jit",
+    "pylang", "rktlang", "nativeref", "benchprogs", "harness",
+]

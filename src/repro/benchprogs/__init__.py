@@ -1,0 +1,1 @@
+"""Benchmark program registry and guest-language sources."""

@@ -1,0 +1,135 @@
+"""Benchmark program registry.
+
+Programs live as TinyPy source files (which are also valid host-Python,
+so tests can cross-check guest output against CPython itself) and
+TinyRkt source files.  Each program has a single ``N = <int>`` scaling
+line that the harness rewrites to control workload size.
+
+``suite`` tags mirror the paper's two suites: ``pypy`` (Table I,
+Figures 2/3/5-9) and ``clbg`` (Table II, Figure 4).
+"""
+
+import os
+import re
+
+_HERE = os.path.dirname(__file__)
+
+_N_LINE = {
+    "tinypy": re.compile(r"^N = \d+$", re.MULTILINE),
+    "tinyrkt": re.compile(r"^\(define N \d+\)$", re.MULTILINE),
+}
+_N_SUB = {
+    "tinypy": "N = %d",
+    "tinyrkt": "(define N %d)",
+}
+
+
+class BenchProgram(object):
+    def __init__(self, name, language, filename, suites, default_n,
+                 small_n):
+        self.name = name
+        self.language = language  # "tinypy" | "tinyrkt"
+        self.filename = filename
+        self.suites = suites
+        self.default_n = default_n
+        self.small_n = small_n  # quick-test size
+
+    def source(self, n=None):
+        path = os.path.join(_HERE, self.language, self.filename)
+        with open(path) as handle:
+            text = handle.read()
+        if n is not None:
+            pattern = _N_LINE[self.language]
+            text, count = pattern.subn(_N_SUB[self.language] % n, text,
+                                       count=1)
+            if not count:
+                raise ValueError("no N line in %s" % self.filename)
+        return text
+
+    def __repr__(self):
+        return "<BenchProgram %s/%s>" % (self.language, self.name)
+
+
+def _p(name, filename, suites, default_n, small_n, language="tinypy"):
+    return BenchProgram(name, language, filename, suites, default_n,
+                        small_n)
+
+
+PY_PROGRAMS = [
+    _p("richards", "richards.py", ("pypy",), 4, 1),
+    _p("crypto_pyaes", "crypto_pyaes.py", ("pypy",), 10, 2),
+    _p("chaos", "chaos.py", ("pypy",), 2500, 300),
+    _p("telco", "telco.py", ("pypy",), 1500, 200),
+    _p("spectralnorm", "spectralnorm.py", ("pypy", "clbg"), 40, 12),
+    _p("django", "django_tpl.py", ("pypy",), 70, 8),
+    _p("float", "float_bench.py", ("pypy",), 15, 2),
+    _p("ai", "ai_nqueens.py", ("pypy",), 8, 5),
+    _p("raytrace", "raytrace.py", ("pypy",), 20, 6),
+    _p("json_bench", "json_bench.py", ("pypy",), 40, 4),
+    _p("pidigits", "pidigits.py", ("pypy", "clbg"), 120, 20),
+    _p("fannkuch", "fannkuch.py", ("pypy", "clbg"), 7, 5),
+    _p("nbody", "nbody.py", ("pypy", "clbg"), 2500, 150),
+    _p("deltablue", "deltablue.py", ("pypy",), 20, 4),
+    _p("pyflate", "pyflate.py", ("pypy",), 40, 4),
+    _p("spitfire", "spitfire.py", ("pypy",), 30, 3),
+    _p("meteor", "meteor.py", ("pypy", "clbg"), 60, 6),
+    _p("eparse", "eparse.py", ("pypy",), 60, 5),
+    _p("bm_mdp", "bm_mdp.py", ("pypy",), 25, 3),
+    _p("hexiom", "hexiom.py", ("pypy",), 4, 3),
+    _p("sympy_str", "sympy_str.py", ("pypy",), 40, 4),
+    _p("twisted_iteration", "twisted_iter.py", ("pypy",), 300, 20),
+    _p("spambayes", "spambayes.py", ("pypy",), 60, 6),
+    _p("binarytrees", "binarytrees.py", ("clbg",), 8, 6),
+    _p("fasta", "fasta.py", ("clbg",), 1200, 150),
+    _p("knucleotide", "knucleotide.py", ("clbg",), 4000, 500),
+    _p("mandelbrot", "mandelbrot.py", ("clbg",), 64, 20),
+    _p("revcomp", "revcomp.py", ("clbg",), 8000, 800),
+]
+
+RKT_PROGRAMS = []  # populated below once TinyRkt programs exist
+
+
+def _register_rkt():
+    global RKT_PROGRAMS
+    rkt_dir = os.path.join(_HERE, "tinyrkt")
+    if not os.path.isdir(rkt_dir):
+        return
+    sizes = {
+        "binarytrees": (7, 5), "fannkuch": (7, 5), "fasta": (800, 150),
+        "mandelbrot": (56, 20), "nbody": (2000, 150),
+        "pidigits": (100, 20), "spectralnorm": (36, 12),
+    }
+    programs = []
+    for filename in sorted(os.listdir(rkt_dir)):
+        if not filename.endswith(".rkt"):
+            continue
+        name = filename[:-4]
+        default_n, small_n = sizes.get(name, (10, 2))
+        programs.append(BenchProgram(
+            name, "tinyrkt", filename, ("clbg",), default_n, small_n))
+    RKT_PROGRAMS = programs
+
+
+_register_rkt()
+
+
+def py_program(name):
+    for program in PY_PROGRAMS:
+        if program.name == name:
+            return program
+    raise KeyError(name)
+
+
+def rkt_program(name):
+    for program in RKT_PROGRAMS:
+        if program.name == name:
+            return program
+    raise KeyError(name)
+
+
+def pypy_suite():
+    return [p for p in PY_PROGRAMS if "pypy" in p.suites]
+
+
+def clbg_python():
+    return [p for p in PY_PROGRAMS if "clbg" in p.suites]

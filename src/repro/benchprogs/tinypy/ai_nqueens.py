@@ -1,0 +1,53 @@
+# ai: the PyPy-suite "ai" benchmark core — n-queens solving with
+# constraint propagation over candidate lists. Recursion + list heavy.
+N = 8
+
+
+def solve(n, row, cols, diag1, diag2):
+    if row == n:
+        return 1
+    found = 0
+    for col in range(n):
+        d1 = row + col
+        d2 = row - col + n
+        if cols[col] == 0 and diag1[d1] == 0 and diag2[d2] == 0:
+            cols[col] = 1
+            diag1[d1] = 1
+            diag2[d2] = 1
+            found += solve(n, row + 1, cols, diag1, diag2)
+            cols[col] = 0
+            diag1[d1] = 0
+            diag2[d2] = 0
+    return found
+
+
+def permutations_count(items):
+    # Count permutations whose adjacent difference is never 1
+    # (a second, branchy search phase).
+    return perm_rec(items, [])
+
+
+def perm_rec(remaining, chosen):
+    if len(remaining) == 0:
+        return 1
+    total = 0
+    for i in range(len(remaining)):
+        item = remaining[i]
+        if len(chosen) > 0:
+            d = chosen[len(chosen) - 1] - item
+            if d == 1 or d == -1:
+                continue
+        rest = remaining[0:i] + remaining[i + 1:len(remaining)]
+        chosen.append(item)
+        total += perm_rec(rest, chosen)
+        chosen.pop()
+    return total
+
+
+def run_ai(n):
+    queens = solve(n, 0, [0] * n, [0] * (2 * n), [0] * (2 * n))
+    perms = permutations_count([0, 1, 2, 3, 4, 5, 6])
+    print("ai", queens, perms)
+
+
+run_ai(N)

@@ -1,0 +1,44 @@
+# binarytrees (CLBG): allocate and walk perfect binary trees.
+# GC-dominated in the paper's Figure 4.
+N = 8
+
+
+class Node:
+    def __init__(self, left, right):
+        self.left = left
+        self.right = right
+
+
+def make_tree(depth):
+    if depth == 0:
+        return Node(None, None)
+    return Node(make_tree(depth - 1), make_tree(depth - 1))
+
+
+def check_tree(node):
+    if node.left is None:
+        return 1
+    return 1 + check_tree(node.left) + check_tree(node.right)
+
+
+def run_binarytrees(max_depth):
+    min_depth = 4
+    if max_depth < min_depth + 2:
+        max_depth = min_depth + 2
+    stretch_depth = max_depth + 1
+    print("stretch tree of depth %d check: %d"
+          % (stretch_depth, check_tree(make_tree(stretch_depth))))
+    long_lived = make_tree(max_depth)
+    depth = min_depth
+    while depth <= max_depth:
+        iterations = 1 << (max_depth - depth + min_depth)
+        check = 0
+        for i in range(iterations):
+            check += check_tree(make_tree(depth))
+        print("%d trees of depth %d check: %d" % (iterations, depth, check))
+        depth += 2
+    print("long lived tree of depth %d check: %d"
+          % (max_depth, check_tree(long_lived)))
+
+
+run_binarytrees(N)

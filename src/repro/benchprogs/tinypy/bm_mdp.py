@@ -1,0 +1,56 @@
+# bm_mdp: Markov-decision-process value iteration over a grid world —
+# dict lookups (Table III: ll_call_lookup_function) and float math.
+N = 50
+
+SIZE = 12
+ACTIONS = [(0, 1), (0, -1), (1, 0), (-1, 0)]
+
+
+def build_rewards():
+    rewards = {}
+    seed = 5
+    for x in range(SIZE):
+        for y in range(SIZE):
+            seed = (seed * 1103515245 + 12345) % 2147483648
+            if seed % 7 == 0:
+                rewards[(x, y)] = (seed % 100) / 10.0 - 5.0
+    return rewards
+
+
+def value_iteration(rewards, sweeps):
+    values = {}
+    for x in range(SIZE):
+        for y in range(SIZE):
+            values[(x, y)] = 0.0
+    gamma = 0.9
+    for sweep in range(sweeps):
+        new_values = {}
+        for x in range(SIZE):
+            for y in range(SIZE):
+                best = -1000000.0
+                for a in ACTIONS:
+                    nx = x + a[0]
+                    ny = y + a[1]
+                    if nx < 0 or nx >= SIZE or ny < 0 or ny >= SIZE:
+                        nx = x
+                        ny = y
+                    r = rewards.get((nx, ny), -0.1)
+                    q = r + gamma * values[(nx, ny)]
+                    if q > best:
+                        best = q
+                new_values[(x, y)] = best
+        values = new_values
+    return values
+
+
+def run_mdp(sweeps):
+    rewards = build_rewards()
+    values = value_iteration(rewards, sweeps)
+    total = 0.0
+    for x in range(SIZE):
+        for y in range(SIZE):
+            total += values[(x, y)]
+    print("bm_mdp %.6f" % total)
+
+
+run_mdp(N)

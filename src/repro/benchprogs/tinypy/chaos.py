@@ -1,0 +1,109 @@
+# chaos: the chaosgame benchmark — iterated function system generating
+# fractal points onto a discretized canvas. Float + object heavy.
+N = 6000
+
+
+class GVector:
+    def __init__(self, x, y):
+        self.x = x
+        self.y = y
+
+    def dist(self, other):
+        dx = self.x - other.x
+        dy = self.y - other.y
+        return (dx * dx + dy * dy) ** 0.5
+
+    def linear_combination(self, other, l1, l2):
+        return GVector(self.x * l1 + other.x * l2,
+                       self.y * l1 + other.y * l2)
+
+
+class Spline:
+    def __init__(self, points):
+        self.points = points
+
+    def at(self, t):
+        n = len(self.points)
+        seg = int(t * (n - 1))
+        if seg >= n - 1:
+            seg = n - 2
+        local = t * (n - 1) - seg
+        return self.points[seg].linear_combination(
+            self.points[seg + 1], 1.0 - local, local)
+
+
+class Chaosgame:
+    def __init__(self, splines):
+        self.splines = splines
+        self.minx = 1000.0
+        self.miny = 1000.0
+        self.maxx = -1000.0
+        self.maxy = -1000.0
+        for spline in splines:
+            for p in spline.points:
+                if p.x < self.minx:
+                    self.minx = p.x
+                if p.x > self.maxx:
+                    self.maxx = p.x
+                if p.y < self.miny:
+                    self.miny = p.y
+                if p.y > self.maxy:
+                    self.maxy = p.y
+        self.width = self.maxx - self.minx
+        self.height = self.maxy - self.miny
+        self.rand_state = 1234567
+
+    def rand(self):
+        self.rand_state = (self.rand_state * 1103515245 + 12345) % 2147483648
+        return self.rand_state / 2147483648.0
+
+    def transform_point(self, point, spline):
+        t = self.rand()
+        target = spline.at(t)
+        return GVector((point.x + target.x) * 0.5,
+                       (point.y + target.y) * 0.5)
+
+    def create_image_chaos(self, w, h, iterations):
+        image = []
+        for i in range(w):
+            image.append([0] * h)
+        point = GVector((self.maxx + self.minx) * 0.5,
+                        (self.maxy + self.miny) * 0.5)
+        n_splines = len(self.splines)
+        for i in range(iterations):
+            choice = int(self.rand() * n_splines)
+            if choice >= n_splines:
+                choice = n_splines - 1
+            point = self.transform_point(point, self.splines[choice])
+            x = (point.x - self.minx) / self.width * (w - 1)
+            y = (point.y - self.miny) / self.height * (h - 1)
+            xi = int(x)
+            yi = int(y)
+            if xi < 0:
+                xi = 0
+            if yi < 0:
+                yi = 0
+            if xi >= w:
+                xi = w - 1
+            if yi >= h:
+                yi = h - 1
+            image[xi][yi] = image[xi][yi] + 1
+        checksum = 0
+        for i in range(w):
+            for j in range(h):
+                checksum = (checksum + image[i][j] * (i + 3 * j)) % 1000000007
+        return checksum
+
+
+def run_chaos(iterations):
+    splines = [
+        Spline([GVector(1.6, 0.4), GVector(1.0, 1.9), GVector(0.3, 0.4)]),
+        Spline([GVector(2.0, 1.1), GVector(2.5, 2.0), GVector(2.1, 2.3)]),
+        Spline([GVector(0.5, 1.2), GVector(0.2, 2.0), GVector(0.9, 2.2)]),
+    ]
+    game = Chaosgame(splines)
+    checksum = game.create_image_chaos(40, 40, iterations)
+    print("chaos", checksum)
+
+
+run_chaos(N)

@@ -1,0 +1,426 @@
+# deltablue: the classic one-way constraint solver benchmark.
+# Pointer-chasing, polymorphic method dispatch, linked structures.
+N = 40
+
+REQUIRED = 0
+STRONG_PREFERRED = 1
+PREFERRED = 2
+STRONG_DEFAULT = 3
+NORMAL = 4
+WEAK_DEFAULT = 5
+WEAKEST = 6
+
+
+def weaker(s1, s2):
+    return s1 > s2
+
+
+def stronger(s1, s2):
+    return s1 < s2
+
+
+class Planner:
+    def __init__(self):
+        self.current_mark = 0
+
+    def new_mark(self):
+        self.current_mark += 1
+        return self.current_mark
+
+    def incremental_add(self, constraint):
+        mark = self.new_mark()
+        overridden = constraint.satisfy(mark, self)
+        while overridden is not None:
+            overridden = overridden.satisfy(self.new_mark(), self)
+
+    def incremental_remove(self, constraint):
+        out_var = constraint.output()
+        constraint.mark_unsatisfied()
+        constraint.remove_from_graph()
+        unsatisfied = self.remove_propagate_from(out_var)
+        i = 0
+        strength = REQUIRED
+        while strength <= WEAKEST:
+            for u in unsatisfied:
+                if u.strength == strength:
+                    self.incremental_add(u)
+            strength += 1
+
+    def remove_propagate_from(self, out_var):
+        unsatisfied = []
+        out_var.determined_by = None
+        out_var.walk_strength = WEAKEST
+        out_var.stay = True
+        todo = [out_var]
+        while len(todo) > 0:
+            v = todo.pop()
+            for c in v.constraints:
+                if not c.is_satisfied():
+                    unsatisfied.append(c)
+            determining = v.determined_by
+            for next_c in v.constraints:
+                if next_c is not determining and next_c.is_satisfied():
+                    next_c.recalculate()
+                    todo.append(next_c.output())
+        return unsatisfied
+
+    def add_propagate(self, c, mark):
+        todo = [c]
+        while len(todo) > 0:
+            d = todo.pop()
+            if d.output().mark == mark:
+                self.incremental_remove(c)
+                return False
+            d.recalculate()
+            for e in self.consuming_constraints(d.output()):
+                todo.append(e)
+        return True
+
+    def consuming_constraints(self, v):
+        result = []
+        determining = v.determined_by
+        for c in v.constraints:
+            if c is not determining and c.is_satisfied():
+                result.append(c)
+        return result
+
+    def make_plan(self, sources):
+        mark = self.new_mark()
+        plan = []
+        todo = sources
+        while len(todo) > 0:
+            c = todo.pop()
+            if c.output().mark != mark and c.inputs_known(mark):
+                plan.append(c)
+                c.output().mark = mark
+                for next_c in self.consuming_constraints(c.output()):
+                    todo.append(next_c)
+        return plan
+
+    def extract_plan_from_constraints(self, constraints):
+        sources = []
+        for c in constraints:
+            if c.is_input() and c.is_satisfied():
+                sources.append(c)
+        return self.make_plan(sources)
+
+
+class Variable:
+    def __init__(self, name, value):
+        self.name = name
+        self.value = value
+        self.constraints = []
+        self.determined_by = None
+        self.mark = 0
+        self.walk_strength = WEAKEST
+        self.stay = True
+
+    def add_constraint(self, c):
+        self.constraints.append(c)
+
+    def remove_constraint(self, c):
+        new_list = []
+        for x in self.constraints:
+            if x is not c:
+                new_list.append(x)
+        self.constraints = new_list
+        if self.determined_by is c:
+            self.determined_by = None
+
+
+class Constraint:
+    def __init__(self, strength, planner):
+        self.strength = strength
+        self.planner = planner
+
+    def add_constraint(self):
+        self.add_to_graph()
+        self.planner.incremental_add(self)
+
+    def satisfy(self, mark, planner):
+        self.choose_method(mark)
+        if not self.is_satisfied():
+            if self.strength == REQUIRED:
+                print("deltablue: required constraint unsatisfiable")
+            return None
+        self.mark_inputs(mark)
+        out = self.output()
+        overridden = out.determined_by
+        if overridden is not None:
+            overridden.mark_unsatisfied()
+        out.determined_by = self
+        if not planner.add_propagate(self, mark):
+            print("deltablue: cycle")
+        out.mark = mark
+        return overridden
+
+    def destroy_constraint(self):
+        if self.is_satisfied():
+            self.planner.incremental_remove(self)
+        self.remove_from_graph()
+
+
+class UnaryConstraint(Constraint):
+    def __init__(self, v, strength, planner):
+        Constraint.__init__(self, strength, planner)
+        self.my_output = v
+        self.satisfied = False
+        self.add_constraint()
+
+    def add_to_graph(self):
+        self.my_output.add_constraint(self)
+        self.satisfied = False
+
+    def choose_method(self, mark):
+        if self.my_output.mark != mark and \
+                stronger(self.strength, self.my_output.walk_strength):
+            self.satisfied = True
+        else:
+            self.satisfied = False
+
+    def is_satisfied(self):
+        return self.satisfied
+
+    def mark_inputs(self, mark):
+        pass
+
+    def output(self):
+        return self.my_output
+
+    def recalculate(self):
+        self.my_output.walk_strength = self.strength
+        self.my_output.stay = not self.is_input()
+        if self.my_output.stay:
+            self.execute()
+
+    def mark_unsatisfied(self):
+        self.satisfied = False
+
+    def inputs_known(self, mark):
+        return True
+
+    def remove_from_graph(self):
+        if self.my_output is not None:
+            self.my_output.remove_constraint(self)
+        self.satisfied = False
+
+
+class StayConstraint(UnaryConstraint):
+    def execute(self):
+        pass
+
+    def is_input(self):
+        return False
+
+
+class EditConstraint(UnaryConstraint):
+    def execute(self):
+        pass
+
+    def is_input(self):
+        return True
+
+
+FORWARD = 1
+BACKWARD = 2
+NONE_DIR = 0
+
+
+class BinaryConstraint(Constraint):
+    def __init__(self, v1, v2, strength, planner):
+        Constraint.__init__(self, strength, planner)
+        self.v1 = v1
+        self.v2 = v2
+        self.direction = NONE_DIR
+        self.add_constraint()
+
+    def choose_method(self, mark):
+        if self.v1.mark == mark:
+            if self.v2.mark != mark and \
+                    stronger(self.strength, self.v2.walk_strength):
+                self.direction = FORWARD
+            else:
+                self.direction = NONE_DIR
+        elif self.v2.mark == mark:
+            if self.v1.mark != mark and \
+                    stronger(self.strength, self.v1.walk_strength):
+                self.direction = BACKWARD
+            else:
+                self.direction = NONE_DIR
+        elif weaker(self.v1.walk_strength, self.v2.walk_strength):
+            if stronger(self.strength, self.v1.walk_strength):
+                self.direction = BACKWARD
+            else:
+                self.direction = NONE_DIR
+        else:
+            if stronger(self.strength, self.v2.walk_strength):
+                self.direction = FORWARD
+            else:
+                self.direction = NONE_DIR
+
+    def add_to_graph(self):
+        self.v1.add_constraint(self)
+        self.v2.add_constraint(self)
+        self.direction = NONE_DIR
+
+    def is_satisfied(self):
+        return self.direction != NONE_DIR
+
+    def mark_inputs(self, mark):
+        self.input().mark = mark
+
+    def input(self):
+        if self.direction == FORWARD:
+            return self.v1
+        return self.v2
+
+    def output(self):
+        if self.direction == FORWARD:
+            return self.v2
+        return self.v1
+
+    def recalculate(self):
+        ihn = self.input()
+        out = self.output()
+        out.walk_strength = max2(self.strength, ihn.walk_strength)
+        out.stay = ihn.stay
+        if out.stay:
+            self.execute()
+
+    def mark_unsatisfied(self):
+        self.direction = NONE_DIR
+
+    def inputs_known(self, mark):
+        i = self.input()
+        return i.mark == mark or i.stay or i.determined_by is None
+
+    def remove_from_graph(self):
+        if self.v1 is not None:
+            self.v1.remove_constraint(self)
+        if self.v2 is not None:
+            self.v2.remove_constraint(self)
+        self.direction = NONE_DIR
+
+    def is_input(self):
+        return False
+
+
+def max2(a, b):
+    if a > b:
+        return a
+    return b
+
+
+class ScaleConstraint(BinaryConstraint):
+    def __init__(self, src, scale, offset, dest, strength, planner):
+        self.scale = scale
+        self.offset = offset
+        BinaryConstraint.__init__(self, src, dest, strength, planner)
+
+    def add_to_graph(self):
+        BinaryConstraint.add_to_graph(self)
+        self.scale.add_constraint(self)
+        self.offset.add_constraint(self)
+
+    def remove_from_graph(self):
+        BinaryConstraint.remove_from_graph(self)
+        if self.scale is not None:
+            self.scale.remove_constraint(self)
+        if self.offset is not None:
+            self.offset.remove_constraint(self)
+
+    def mark_inputs(self, mark):
+        BinaryConstraint.mark_inputs(self, mark)
+        self.scale.mark = mark
+        self.offset.mark = mark
+
+    def execute(self):
+        if self.direction == FORWARD:
+            self.v2.value = self.v1.value * self.scale.value \
+                + self.offset.value
+        else:
+            self.v1.value = (self.v2.value - self.offset.value) \
+                // self.scale.value
+
+    def recalculate(self):
+        ihn = self.input()
+        out = self.output()
+        out.walk_strength = max2(self.strength, ihn.walk_strength)
+        out.stay = ihn.stay and self.scale.stay and self.offset.stay
+        if out.stay:
+            self.execute()
+
+
+class EqualityConstraint(BinaryConstraint):
+    def execute(self):
+        self.output().value = self.input().value
+
+
+def change(planner, v, new_value):
+    edit = EditConstraint(v, PREFERRED, planner)
+    plan = planner.extract_plan_from_constraints([edit])
+    for i in range(10):
+        v.value = new_value
+        for c in plan:
+            c.execute()
+    edit.destroy_constraint()
+
+
+def chain_test(n):
+    planner = Planner()
+    prev = None
+    first = None
+    last = None
+    for i in range(n + 1):
+        v = Variable("v" + str(i), 0)
+        if prev is not None:
+            EqualityConstraint(prev, v, REQUIRED, planner)
+        if i == 0:
+            first = v
+        if i == n:
+            last = v
+        prev = v
+    StayConstraint(last, STRONG_DEFAULT, planner)
+    edit = EditConstraint(first, PREFERRED, planner)
+    plan = planner.extract_plan_from_constraints([edit])
+    total = 0
+    for i in range(20):
+        first.value = i
+        for c in plan:
+            c.execute()
+        total += last.value
+    edit.destroy_constraint()
+    return total
+
+
+def projection_test(n):
+    planner = Planner()
+    scale = Variable("scale", 10)
+    offset = Variable("offset", 1000)
+    src = None
+    dst = None
+    dests = []
+    for i in range(n):
+        src = Variable("src" + str(i), i)
+        dst = Variable("dst" + str(i), i)
+        dests.append(dst)
+        StayConstraint(src, NORMAL, planner)
+        ScaleConstraint(src, scale, offset, dst, REQUIRED, planner)
+    change(planner, src, 17)
+    total = dst.value
+    change(planner, scale, 5)
+    for d in dests:
+        total += d.value
+    change(planner, offset, 2000)
+    for d in dests:
+        total += d.value
+    return total
+
+
+def run_deltablue(n):
+    a = chain_test(n)
+    b = projection_test(n)
+    print("deltablue", a, b)
+
+
+run_deltablue(N)

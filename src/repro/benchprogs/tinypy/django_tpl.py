@@ -1,0 +1,83 @@
+# django: template-rendering benchmark — a miniature template engine
+# with variable substitution, filters and loops over a context. String
+# building + dict lookups (Table III: rstring.replace, dict lookup).
+N = 150
+
+
+class Template:
+    def __init__(self, source):
+        self.nodes = self.parse(source)
+
+    def parse(self, source):
+        nodes = []
+        i = 0
+        n = len(source)
+        while i < n:
+            start = source.find("{{", i)
+            if start < 0:
+                nodes.append(("text", source[i:n]))
+                break
+            if start > i:
+                nodes.append(("text", source[i:start]))
+            end = source.find("}}", start)
+            expr = source[start + 2:end].strip()
+            if "|" in expr:
+                parts = expr.split("|")
+                nodes.append(("var", parts[0].strip(), parts[1].strip()))
+            else:
+                nodes.append(("var", expr, ""))
+            i = end + 2
+        return nodes
+
+    def render(self, context):
+        out = []
+        for node in self.nodes:
+            if node[0] == "text":
+                out.append(node[1])
+            else:
+                value = context.get(node[1], "")
+                text = str(value)
+                filter_name = node[2]
+                if filter_name == "upper":
+                    text = text.upper()
+                elif filter_name == "lower":
+                    text = text.lower()
+                elif filter_name == "escape":
+                    text = text.replace("&", "&amp;")
+                    text = text.replace("<", "&lt;")
+                    text = text.replace(">", "&gt;")
+                out.append(text)
+        return "".join(out)
+
+
+ROW_TEMPLATE = ("<tr><td>{{ name|escape }}</td><td>{{ score }}</td>"
+                "<td>{{ grade|upper }}</td><td>{{ note|lower }}</td></tr>")
+
+PAGE_HEADER = "<html><body><h1>{{ title|escape }}</h1><table>"
+PAGE_FOOTER = "</table></body></html>"
+
+
+def run_django(iterations):
+    row_tpl = Template(ROW_TEMPLATE)
+    header_tpl = Template(PAGE_HEADER)
+    grades = ["a", "b", "c", "d", "f"]
+    checksum = 0
+    for it in range(iterations):
+        parts = [header_tpl.render({"title": "Results <" + str(it) + ">"})]
+        for i in range(20):
+            context = {
+                "name": "student&" + str(i),
+                "score": i * 7 % 100,
+                "grade": grades[i % 5],
+                "note": "OK" if i % 3 else "RETRY",
+            }
+            parts.append(row_tpl.render(context))
+        parts.append(PAGE_FOOTER)
+        page = "".join(parts)
+        for ch in page[0:40]:
+            checksum = (checksum * 31 + ord(ch)) % 1000000007
+        checksum = (checksum + len(page)) % 1000000007
+    print("django", checksum)
+
+
+run_django(N)

@@ -1,0 +1,124 @@
+# eparse: recursive-descent expression parsing and evaluation — string
+# scanning plus AST-building (Table III: rstr.ll_join shape; the
+# sympy_str-like "very branchy, many traces" profile).
+N = 120
+
+
+class Parser:
+    def __init__(self, text):
+        self.text = text
+        self.pos = 0
+
+    def peek(self):
+        if self.pos < len(self.text):
+            return self.text[self.pos]
+        return ""
+
+    def advance(self):
+        self.pos += 1
+
+    def skip_spaces(self):
+        while self.peek() == " ":
+            self.advance()
+
+    def parse_expression(self):
+        left = self.parse_term()
+        self.skip_spaces()
+        while self.peek() == "+" or self.peek() == "-":
+            op = self.peek()
+            self.advance()
+            right = self.parse_term()
+            left = ["binop", op, left, right]
+            self.skip_spaces()
+        return left
+
+    def parse_term(self):
+        left = self.parse_factor()
+        self.skip_spaces()
+        while self.peek() == "*" or self.peek() == "/":
+            op = self.peek()
+            self.advance()
+            right = self.parse_factor()
+            left = ["binop", op, left, right]
+            self.skip_spaces()
+        return left
+
+    def parse_factor(self):
+        self.skip_spaces()
+        ch = self.peek()
+        if ch == "(":
+            self.advance()
+            inner = self.parse_expression()
+            self.advance()  # ")"
+            return inner
+        if ch == "-":
+            self.advance()
+            return ["neg", self.parse_factor()]
+        start = self.pos
+        while self.peek() >= "0" and self.peek() <= "9":
+            self.advance()
+        if self.pos > start:
+            return ["num", int(self.text[start:self.pos])]
+        name_start = self.pos
+        while self.peek() >= "a" and self.peek() <= "z":
+            self.advance()
+        return ["var", self.text[name_start:self.pos]]
+
+
+def evaluate(node, env):
+    kind = node[0]
+    if kind == "num":
+        return node[1]
+    if kind == "var":
+        return env.get(node[1], 0)
+    if kind == "neg":
+        return -evaluate(node[1], env)
+    op = node[1]
+    a = evaluate(node[2], env)
+    b = evaluate(node[3], env)
+    if op == "+":
+        return a + b
+    if op == "-":
+        return a - b
+    if op == "*":
+        return a * b
+    if b == 0:
+        return 0
+    return a // b
+
+
+def to_string(node):
+    kind = node[0]
+    if kind == "num":
+        return str(node[1])
+    if kind == "var":
+        return node[1]
+    if kind == "neg":
+        return "-" + to_string(node[1])
+    return "(" + to_string(node[2]) + " " + node[1] + " " \
+        + to_string(node[3]) + ")"
+
+
+EXPRESSIONS = [
+    "1 + 2 * 3 - x",
+    "(a + b) * (c - 4) / 2",
+    "-x * (y + 3) + 12 / (z + 1)",
+    "10 * 10 + 20 * 20 - foo",
+    "((1 + 2) * (3 + 4)) - ((5 + 6) * (7 - 8))",
+    "a * a + b * b - 2 * a * b",
+]
+
+
+def run_eparse(iterations):
+    env = {"x": 7, "y": 3, "z": 2, "a": 5, "b": 4, "c": 9, "foo": 100}
+    checksum = 0
+    text_len = 0
+    for i in range(iterations):
+        for src in EXPRESSIONS:
+            tree = Parser(src).parse_expression()
+            checksum = (checksum + evaluate(tree, env)) % 1000000007
+            text_len += len(to_string(tree))
+    print("eparse", checksum, text_len)
+
+
+run_eparse(N)

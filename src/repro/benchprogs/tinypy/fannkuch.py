@@ -1,0 +1,57 @@
+# fannkuchredux (CLBG): pancake-flipping over permutations; heavy
+# int-list slicing and reversal (Table III: IntegerListStrategy setslice).
+N = 7
+
+
+def fannkuch(n):
+    perm1 = []
+    for i in range(n):
+        perm1.append(i)
+    count = [0] * n
+    max_flips = 0
+    checksum = 0
+    r = n
+    sign = 1
+    while True:
+        if r != 1:
+            for i in range(1, r):
+                count[i] = i
+            r = 1
+        if perm1[0] != 0:
+            perm = perm1[0:n]
+            flips = 0
+            k = perm[0]
+            while k != 0:
+                # reverse perm[0..k]
+                lo = 0
+                hi = k
+                while lo < hi:
+                    t = perm[lo]
+                    perm[lo] = perm[hi]
+                    perm[hi] = t
+                    lo += 1
+                    hi -= 1
+                flips += 1
+                k = perm[0]
+            if flips > max_flips:
+                max_flips = flips
+            checksum += sign * flips
+        sign = 0 - sign
+        # next permutation in the count system
+        while True:
+            if r == n:
+                print("fannkuch", checksum, max_flips)
+                return
+            first = perm1[0]
+            i = 0
+            while i < r:
+                perm1[i] = perm1[i + 1]
+                i += 1
+            perm1[r] = first
+            count[r] -= 1
+            if count[r] > 0:
+                break
+            r += 1
+
+
+fannkuch(N)

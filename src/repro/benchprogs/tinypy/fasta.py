@@ -1,0 +1,80 @@
+# fasta (CLBG): generate DNA sequences — repeated sequence copying and
+# weighted random selection; string building dominates.
+N = 3000
+
+ALU = ("GGCCGGGCGCGGTGGCTCACGCCTGTAATCCCAGCACTTTGG"
+       "GAGGCCGAGGCGGGCGGATCACCTGAGGTCAGGAGTTCGAGA"
+       "CCAGCCTGGCCAACATGGTGAAACCCCGTCTCTACTAAAAAT")
+
+IUB_CODES = "acgtBDHKMNRSVWY"
+IUB_WEIGHTS = [0.27, 0.12, 0.12, 0.27,
+               0.02, 0.02, 0.02, 0.02, 0.02, 0.02, 0.02, 0.02,
+               0.02, 0.02, 0.02]
+
+LINE = 60
+
+
+class Random:
+    def __init__(self):
+        self.seed = 42
+
+    def next(self):
+        self.seed = (self.seed * 3877 + 29573) % 139968
+        return self.seed / 139968.0
+
+
+def repeat_fasta(src, n, out):
+    width = len(src)
+    buffer = src + src
+    pos = 0
+    written = 0
+    while written < n:
+        line_len = LINE
+        if n - written < LINE:
+            line_len = n - written
+        out.append(buffer[pos:pos + line_len])
+        pos += line_len
+        if pos >= width:
+            pos -= width
+        written += line_len
+
+
+def random_fasta(codes, weights, n, rng, out):
+    # Cumulative distribution.
+    cumulative = []
+    total = 0.0
+    for w in weights:
+        total += w
+        cumulative.append(total)
+    ncodes = len(codes)
+    written = 0
+    line = []
+    while written < n:
+        r = rng.next()
+        i = 0
+        while i < ncodes - 1 and r >= cumulative[i]:
+            i += 1
+        line.append(codes[i])
+        written += 1
+        if len(line) == LINE:
+            out.append("".join(line))
+            line = []
+    if len(line) > 0:
+        out.append("".join(line))
+
+
+def run_fasta(n):
+    out = []
+    rng = Random()
+    out.append(">ONE Homo sapiens alu")
+    repeat_fasta(ALU, n * 2, out)
+    out.append(">TWO IUB ambiguity codes")
+    random_fasta(IUB_CODES, IUB_WEIGHTS, n * 3, rng, out)
+    checksum = 0
+    for chunk in out:
+        for ch in chunk:
+            checksum = (checksum * 31 + ord(ch)) % 1000000007
+    print("fasta", len(out), checksum)
+
+
+run_fasta(N)

@@ -1,0 +1,66 @@
+# float: the PyPy-suite "float" benchmark — allocates Point objects and
+# does trig-flavoured float arithmetic over them. Stresses allocation
+# removal (escape analysis) and float ops.
+N = 30
+
+
+def my_sin(x):
+    # 7-term Taylor series (keeps everything in guest float ops).
+    x2 = x * x
+    return x * (1.0 - x2 / 6.0 * (1.0 - x2 / 20.0 * (1.0 - x2 / 42.0)))
+
+
+def my_cos(x):
+    x2 = x * x
+    return 1.0 - x2 / 2.0 * (1.0 - x2 / 12.0 * (1.0 - x2 / 30.0))
+
+
+class Point:
+    def __init__(self, i):
+        self.x = my_sin(i * 0.1)
+        self.y = my_cos(i * 0.1) * 3.0
+        self.z = (self.x * self.x) / 2.0
+
+    def normalize(self):
+        x = self.x
+        y = self.y
+        z = self.z
+        norm = (x * x + y * y + z * z) ** 0.5
+        self.x = x / norm
+        self.y = y / norm
+        self.z = z / norm
+
+    def maximize(self, other):
+        if other.x > self.x:
+            self.x = other.x
+        if other.y > self.y:
+            self.y = other.y
+        if other.z > self.z:
+            self.z = other.z
+        return self
+
+
+def maximize(points):
+    next_point = points[0]
+    for i in range(1, len(points)):
+        next_point = next_point.maximize(points[i])
+    return next_point
+
+
+def benchmark(n):
+    points = []
+    for i in range(n):
+        points.append(Point(i))
+    for p in points:
+        p.normalize()
+    return maximize(points)
+
+
+def run_float(iterations):
+    result = None
+    for i in range(iterations):
+        result = benchmark(500)
+    print("float %.9f %.9f %.9f" % (result.x, result.y, result.z))
+
+
+run_float(N)

@@ -1,0 +1,88 @@
+# hexiom2: constraint-puzzle solver (simplified): place numbered tiles
+# on a small hex-ish board so each tile's number equals its occupied
+# neighbour count. Branchy depth-first search with undo — the paper
+# notes it as slow-warming with many traces.
+N = 4
+
+
+def build_neighbours(size):
+    # A size x size grid with hex-like 6-neighbourhood.
+    neighbours = []
+    for y in range(size):
+        for x in range(size):
+            cell = []
+            offsets = [(-1, 0), (1, 0), (0, -1), (0, 1), (1, -1), (-1, 1)]
+            for d in offsets:
+                nx = x + d[0]
+                ny = y + d[1]
+                if nx >= 0 and nx < size and ny >= 0 and ny < size:
+                    cell.append(ny * size + nx)
+            neighbours.append(cell)
+    return neighbours
+
+
+def occupied_neighbours(board, neighbours, pos):
+    count = 0
+    for n in neighbours[pos]:
+        if board[n] >= 0:
+            count += 1
+    return count
+
+
+def consistent(board, neighbours, pos):
+    # A placed tile is violated only when all its neighbours are
+    # decided and the count mismatches.
+    value = board[pos]
+    if value < 0:
+        return True
+    undecided = 0
+    count = 0
+    for n in neighbours[pos]:
+        if board[n] == -2:
+            undecided += 1
+        elif board[n] >= 0:
+            count += 1
+    if undecided == 0:
+        return count == value
+    return count <= value and value <= count + undecided
+
+
+def solve(board, neighbours, tiles, index, stats):
+    stats[0] += 1
+    if index == len(tiles):
+        stats[1] += 1
+        return
+    value = tiles[index]
+    for pos in range(len(board)):
+        if board[pos] != -2:
+            continue
+        board[pos] = value
+        ok = consistent(board, neighbours, pos)
+        if ok:
+            for n in neighbours[pos]:
+                if not consistent(board, neighbours, n):
+                    ok = False
+                    break
+        if ok:
+            solve(board, neighbours, tiles, index + 1, stats)
+        board[pos] = -2
+        if stats[1] >= 20:
+            return
+
+
+def run_hexiom(size):
+    neighbours = build_neighbours(size)
+    board = [-2] * (size * size)
+    # Deterministic tile multiset.
+    tiles = []
+    seed = 11
+    for i in range(6):
+        seed = (seed * 1103515245 + 12345) % 2147483648
+        tiles.append(seed % 4)
+    tiles.sort()
+    stats = [0, 0]
+    solve(board, neighbours, tiles, 0, stats)
+    print("hexiom", stats[0], stats[1])
+
+
+run_hexiom(N)

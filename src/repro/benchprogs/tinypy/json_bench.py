@@ -1,0 +1,118 @@
+# json_bench: serialize nested data to JSON with a pure-TinyPy encoder
+# over a typed value tree (JNum/JStr/JList/JObj nodes). String building
+# dominated (Table III: raw_encode_basestring_ascii, rbuilder.ll_append).
+N = 80
+
+
+class JValue:
+    pass
+
+
+class JNull(JValue):
+    def write(self, out):
+        out.append("null")
+
+
+class JBool(JValue):
+    def __init__(self, value):
+        self.value = value
+
+    def write(self, out):
+        if self.value:
+            out.append("true")
+        else:
+            out.append("false")
+
+
+class JNum(JValue):
+    def __init__(self, value):
+        self.value = value
+
+    def write(self, out):
+        out.append(str(self.value))
+
+
+class JStr(JValue):
+    def __init__(self, value):
+        self.value = value
+
+    def write(self, out):
+        out.append('"')
+        for ch in self.value:
+            if ch == '"':
+                out.append('\\"')
+            elif ch == "\\":
+                out.append("\\\\")
+            elif ch == "\n":
+                out.append("\\n")
+            else:
+                out.append(ch)
+        out.append('"')
+
+
+class JList(JValue):
+    def __init__(self, items):
+        self.items = items
+
+    def write(self, out):
+        out.append("[")
+        first = True
+        for item in self.items:
+            if not first:
+                out.append(",")
+            first = False
+            item.write(out)
+        out.append("]")
+
+
+class JObj(JValue):
+    def __init__(self, pairs):
+        self.pairs = pairs  # list of (key, JValue)
+
+    def write(self, out):
+        out.append("{")
+        first = True
+        for pair in self.pairs:
+            if not first:
+                out.append(",")
+            first = False
+            out.append('"' + pair[0] + '":')
+            pair[1].write(out)
+        out.append("}")
+
+
+def make_document(i):
+    users = []
+    for k in range(8):
+        tags = []
+        for t in range(k % 4):
+            tags.append(JStr(["alpha", "beta", 'g"amma'][t % 3]))
+        users.append(JObj([
+            ("id", JNum(i * 100 + k)),
+            ("name", JStr("user" + str(k))),
+            ("email", JStr("user" + str(k) + "@example.com")),
+            ("active", JBool(k % 2 == 0)),
+            ("score", JNum(k * 3.5)),
+            ("bio", JNull()),
+            ("tags", JList(tags)),
+        ]))
+    return JObj([
+        ("page", JNum(i)),
+        ("total", JNum(8)),
+        ("users", JList(users)),
+    ])
+
+
+def run_json(iterations):
+    checksum = 0
+    for i in range(iterations):
+        out = []
+        make_document(i).write(out)
+        text = "".join(out)
+        checksum = (checksum + len(text)) % 1000000007
+        for ch in text[0:24]:
+            checksum = (checksum * 31 + ord(ch)) % 1000000007
+    print("json_bench", checksum)
+
+
+run_json(N)

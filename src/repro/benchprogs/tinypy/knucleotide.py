@@ -1,0 +1,68 @@
+# knucleotide (CLBG): count k-mer frequencies in a DNA sequence using a
+# hash table — dict-lookup dominated (Table III: ll_call_lookup_function).
+N = 12000
+
+
+def make_sequence(n):
+    seed = 42
+    bases = "acgt"
+    parts = []
+    for i in range(n):
+        seed = (seed * 3877 + 29573) % 139968
+        parts.append(bases[seed % 4])
+    return "".join(parts)
+
+
+def count_frequencies(seq, frame):
+    counts = {}
+    n = len(seq) - frame + 1
+    for i in range(n):
+        kmer = seq[i:i + frame]
+        old = counts.get(kmer, 0)
+        counts[kmer] = old + 1
+    return counts
+
+
+def report_frequencies(seq, frame, out):
+    counts = count_frequencies(seq, frame)
+    items = counts.items()
+    # Sort by count descending then key, via simple selection for
+    # determinism (the table is small for frame 1 and 2).
+    pairs = []
+    for pair in items:
+        pairs.append(pair)
+    n = len(pairs)
+    for i in range(n):
+        best = i
+        for j in range(i + 1, n):
+            if pairs[j][1] > pairs[best][1] or (
+                    pairs[j][1] == pairs[best][1]
+                    and pairs[j][0] < pairs[best][0]):
+                best = j
+        tmp = pairs[i]
+        pairs[i] = pairs[best]
+        pairs[best] = tmp
+    total = len(seq) - frame + 1
+    for pair in pairs:
+        out.append("%s %.3f" % (pair[0].upper(),
+                                100.0 * pair[1] / total))
+
+
+def count_one(seq, fragment, out):
+    counts = count_frequencies(seq, len(fragment))
+    out.append("%d\t%s" % (counts.get(fragment, 0), fragment.upper()))
+
+
+def run_knucleotide(n):
+    seq = make_sequence(n)
+    out = []
+    report_frequencies(seq, 1, out)
+    report_frequencies(seq, 2, out)
+    count_one(seq, "ggt", out)
+    count_one(seq, "ggta", out)
+    count_one(seq, "ggtatt", out)
+    for line in out:
+        print(line)
+
+
+run_knucleotide(N)

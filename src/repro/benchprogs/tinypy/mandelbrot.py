@@ -1,0 +1,37 @@
+# mandelbrot (CLBG): escape-time iteration over the complex plane.
+# Pure float arithmetic in a tight nested loop.
+N = 120
+
+
+def run_mandelbrot(size):
+    limit = 4.0
+    checksum = 0
+    bit = 0
+    byte = 0
+    for y in range(size):
+        ci = 2.0 * y / size - 1.0
+        for x in range(size):
+            cr = 2.0 * x / size - 1.5
+            zr = 0.0
+            zi = 0.0
+            inside = 1
+            for i in range(50):
+                zr2 = zr * zr
+                zi2 = zi * zi
+                if zr2 + zi2 > limit:
+                    inside = 0
+                    break
+                zi = 2.0 * zr * zi + ci
+                zr = zr2 - zi2 + cr
+            byte = byte * 2 + inside
+            bit += 1
+            if bit == 8:
+                checksum = (checksum * 31 + byte) % 1000000007
+                bit = 0
+                byte = 0
+    if bit > 0:
+        checksum = (checksum * 31 + byte) % 1000000007
+    print("mandelbrot", checksum)
+
+
+run_mandelbrot(N)

@@ -1,0 +1,55 @@
+# meteor_contest: exact-cover puzzle search over bitmask placements.
+# Set operations dominate (Table III: BytesSetStrategy difference /
+# issubset helpers).
+N = 60
+
+
+def make_pieces():
+    # Synthetic "pieces": each a set of cell offsets on a 5x4 board.
+    base = [
+        [0, 1, 2, 5],
+        [0, 1, 5, 6],
+        [0, 5, 6, 7],
+        [0, 1, 2, 3],
+        [0, 1, 6, 7],
+    ]
+    pieces = []
+    for shape in base:
+        variants = []
+        for shift in range(12):
+            cells = []
+            ok = True
+            for cell in shape:
+                pos = cell + shift
+                if pos >= 20:
+                    ok = False
+                    break
+                if (cell % 5) + (shift % 5) >= 5:
+                    ok = False
+                    break
+                cells.append(pos)
+            if ok:
+                variants.append(set(cells))
+        pieces.append(variants)
+    return pieces
+
+
+def search(pieces, index, used, solutions, limit):
+    if len(solutions) >= limit:
+        return
+    if index == len(pieces):
+        solutions.append(len(used))
+        return
+    for variant in pieces[index]:
+        if len(variant & used) == 0:
+            search(pieces, index + 1, used | variant, solutions, limit)
+
+
+def run_meteor(limit):
+    pieces = make_pieces()
+    solutions = []
+    search(pieces, 0, set([]), solutions, limit)
+    print("meteor", len(solutions))
+
+
+run_meteor(N)

@@ -1,0 +1,104 @@
+# nbody (CLBG): Jovian planet orbital simulation; float arithmetic with
+# pow calls (the paper's Table III shows C `pow` at 44.6% of nbody).
+N = 8000
+
+PI = 3.14159265358979323
+SOLAR_MASS = 4.0 * PI * PI
+DAYS_PER_YEAR = 365.24
+
+
+def make_bodies():
+    sun = [0.0, 0.0, 0.0, 0.0, 0.0, 0.0, SOLAR_MASS]
+    jupiter = [4.84143144246472090, -1.16032004402742839,
+               -0.103622044471123109,
+               0.00166007664274403694 * DAYS_PER_YEAR,
+               0.00769901118419740425 * DAYS_PER_YEAR,
+               -0.0000690460016972063023 * DAYS_PER_YEAR,
+               0.000954791938424326609 * SOLAR_MASS]
+    saturn = [8.34336671824457987, 4.12479856412430479,
+              -0.403523417114321381,
+              -0.00276742510726862411 * DAYS_PER_YEAR,
+              0.00499852801234917238 * DAYS_PER_YEAR,
+              0.0000230417297573763929 * DAYS_PER_YEAR,
+              0.000285885980666130812 * SOLAR_MASS]
+    uranus = [12.8943695621391310, -15.1111514016986312,
+              -0.223307578892655734,
+              0.00296460137564761618 * DAYS_PER_YEAR,
+              0.00237847173959480950 * DAYS_PER_YEAR,
+              -0.0000296589568540237556 * DAYS_PER_YEAR,
+              0.0000436624404335156298 * SOLAR_MASS]
+    neptune = [15.3796971148509165, -25.9193146099879641,
+               0.179258772950371181,
+               0.00268067772490389322 * DAYS_PER_YEAR,
+               0.00162824170038242295 * DAYS_PER_YEAR,
+               -0.0000951592254519715870 * DAYS_PER_YEAR,
+               0.0000515138902046611451 * SOLAR_MASS]
+    return [sun, jupiter, saturn, uranus, neptune]
+
+
+def offset_momentum(bodies):
+    px = 0.0
+    py = 0.0
+    pz = 0.0
+    for b in bodies:
+        px += b[3] * b[6]
+        py += b[4] * b[6]
+        pz += b[5] * b[6]
+    sun = bodies[0]
+    sun[3] = 0.0 - px / SOLAR_MASS
+    sun[4] = 0.0 - py / SOLAR_MASS
+    sun[5] = 0.0 - pz / SOLAR_MASS
+
+
+def advance(bodies, dt):
+    n = len(bodies)
+    for i in range(n):
+        bi = bodies[i]
+        for j in range(i + 1, n):
+            bj = bodies[j]
+            dx = bi[0] - bj[0]
+            dy = bi[1] - bj[1]
+            dz = bi[2] - bj[2]
+            d2 = dx * dx + dy * dy + dz * dz
+            mag = dt / (d2 ** 1.5)
+            bim = bi[6] * mag
+            bjm = bj[6] * mag
+            bi[3] -= dx * bjm
+            bi[4] -= dy * bjm
+            bi[5] -= dz * bjm
+            bj[3] += dx * bim
+            bj[4] += dy * bim
+            bj[5] += dz * bim
+    for i in range(n):
+        b = bodies[i]
+        b[0] += dt * b[3]
+        b[1] += dt * b[4]
+        b[2] += dt * b[5]
+
+
+def energy(bodies):
+    e = 0.0
+    n = len(bodies)
+    for i in range(n):
+        bi = bodies[i]
+        e += 0.5 * bi[6] * (bi[3] * bi[3] + bi[4] * bi[4] + bi[5] * bi[5])
+        for j in range(i + 1, n):
+            bj = bodies[j]
+            dx = bi[0] - bj[0]
+            dy = bi[1] - bj[1]
+            dz = bi[2] - bj[2]
+            distance = (dx * dx + dy * dy + dz * dz) ** 0.5
+            e -= (bi[6] * bj[6]) / distance
+    return e
+
+
+def run_nbody(steps):
+    bodies = make_bodies()
+    offset_momentum(bodies)
+    print("nbody start %.9f" % energy(bodies))
+    for i in range(steps):
+        advance(bodies, 0.01)
+    print("nbody end %.9f" % energy(bodies))
+
+
+run_nbody(N)

@@ -1,0 +1,41 @@
+# pidigits (CLBG): unbounded spigot for digits of pi. Entirely bignum
+# arithmetic — the paper's flagship JIT-call-dominated benchmark
+# (Table III: rbigint.add/divmod/lshift/mul).
+N = 120
+
+
+def run_pidigits(ndigits):
+    digits = []
+    k = 1
+    n1 = 4
+    n2 = 3
+    d = 1
+    produced = 0
+    while produced < ndigits:
+        u = n1 // d
+        v = n2 // d
+        if u == v:
+            digits.append(str(u))
+            produced += 1
+            to_minus = u * 10 * d
+            n1 = n1 * 10 - to_minus
+            n2 = n2 * 10 - to_minus
+        else:
+            k2 = k * 2
+            u2 = n1 * (k2 - 1)
+            v2 = n2 * 2
+            w = n1 * (k - 1)
+            y = n2 * (k + 2)
+            n1 = u2 + v2
+            n2 = w + y
+            d = d * (k2 + 1)
+            k += 1
+    out = "".join(digits)
+    i = 0
+    while i < len(out):
+        chunk = out[i:i + 10]
+        print("%s :%d" % (chunk, i + len(chunk)))
+        i += 10
+
+
+run_pidigits(N)

@@ -1,0 +1,96 @@
+# pyflate-fast: bit-stream reading and Huffman-style decoding in pure
+# TinyPy (Table III: rstr.ll_find_char, BytesListStrategy.setslice).
+N = 90
+
+
+class BitReader:
+    def __init__(self, data):
+        self.data = data
+        self.pos = 0
+        self.bit = 0
+
+    def read_bit(self):
+        byte = self.data[self.pos]
+        value = (byte >> self.bit) & 1
+        self.bit += 1
+        if self.bit == 8:
+            self.bit = 0
+            self.pos += 1
+        return value
+
+    def read_bits(self, n):
+        value = 0
+        for i in range(n):
+            value |= self.read_bit() << i
+        return value
+
+
+def make_data(n):
+    seed = 99
+    data = []
+    for i in range(n):
+        seed = (seed * 1103515245 + 12345) % 2147483648
+        data.append(seed % 256)
+    return data
+
+
+class HuffmanTable:
+    def __init__(self, lengths):
+        # Canonical Huffman codes from code lengths.
+        self.lengths = lengths
+        max_len = 0
+        for length in lengths:
+            if length > max_len:
+                max_len = length
+        counts = [0] * (max_len + 1)
+        for length in lengths:
+            counts[length] += 1
+        counts[0] = 0
+        code = 0
+        first_codes = [0] * (max_len + 1)
+        for length in range(1, max_len + 1):
+            code = (code + counts[length - 1]) << 1
+            first_codes[length] = code
+        self.max_len = max_len
+        codes = [0] * len(lengths)
+        next_code = first_codes[0:max_len + 1]
+        for symbol in range(len(lengths)):
+            length = lengths[symbol]
+            if length != 0:
+                codes[symbol] = next_code[length]
+                next_code[length] = next_code[length] + 1
+        self.codes = codes
+
+    def decode(self, reader):
+        code = 0
+        length = 0
+        while True:
+            code = (code << 1) | reader.read_bit()
+            length += 1
+            for symbol in range(len(self.lengths)):
+                if self.lengths[symbol] == length and \
+                        self.codes[symbol] == code:
+                    return symbol
+            if length >= self.max_len:
+                return -1
+
+
+def run_pyflate(blocks):
+    table = HuffmanTable([3, 3, 3, 3, 3, 2, 4, 4])
+    data = make_data(blocks * 64)
+    reader = BitReader(data)
+    output = []
+    checksum = 0
+    for b in range(blocks * 40):
+        symbol = table.decode(reader)
+        if symbol < 0:
+            symbol = 7
+        output.append(symbol)
+        checksum = (checksum * 31 + symbol) % 1000000007
+        if reader.pos >= len(data) - 4:
+            reader.pos = 0
+            reader.bit = 0
+    print("pyflate", len(output), checksum)
+
+
+run_pyflate(N)

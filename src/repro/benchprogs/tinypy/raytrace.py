@@ -1,0 +1,94 @@
+# raytrace-simple: a minimal sphere raytracer with vector objects —
+# float math + heavy temporary-object allocation (escape analysis).
+N = 28
+
+
+class Vector:
+    def __init__(self, x, y, z):
+        self.x = x
+        self.y = y
+        self.z = z
+
+    def add(self, other):
+        return Vector(self.x + other.x, self.y + other.y, self.z + other.z)
+
+    def sub(self, other):
+        return Vector(self.x - other.x, self.y - other.y, self.z - other.z)
+
+    def scale(self, factor):
+        return Vector(self.x * factor, self.y * factor, self.z * factor)
+
+    def dot(self, other):
+        return self.x * other.x + self.y * other.y + self.z * other.z
+
+    def magnitude(self):
+        return self.dot(self) ** 0.5
+
+    def normalize(self):
+        return self.scale(1.0 / self.magnitude())
+
+
+class Sphere:
+    def __init__(self, center, radius, brightness):
+        self.center = center
+        self.radius = radius
+        self.brightness = brightness
+
+    def intersect(self, origin, direction):
+        # Returns distance or -1.0.
+        oc = origin.sub(self.center)
+        b = 2.0 * oc.dot(direction)
+        c = oc.dot(oc) - self.radius * self.radius
+        disc = b * b - 4.0 * c
+        if disc < 0.0:
+            return -1.0
+        sq = disc ** 0.5
+        t = (0.0 - b - sq) / 2.0
+        if t > 0.001:
+            return t
+        t = (0.0 - b + sq) / 2.0
+        if t > 0.001:
+            return t
+        return -1.0
+
+
+def trace(origin, direction, spheres, light):
+    best_t = 1000000.0
+    best = None
+    for s in spheres:
+        t = s.intersect(origin, direction)
+        if t > 0.0 and t < best_t:
+            best_t = t
+            best = s
+    if best is None:
+        return 0.0
+    hit = origin.add(direction.scale(best_t))
+    normal = hit.sub(best.center).normalize()
+    to_light = light.sub(hit).normalize()
+    diffuse = normal.dot(to_light)
+    if diffuse < 0.0:
+        diffuse = 0.0
+    return best.brightness * (0.1 + 0.9 * diffuse)
+
+
+def run_raytrace(size):
+    spheres = [
+        Sphere(Vector(0.0, 0.0, 5.0), 1.0, 1.0),
+        Sphere(Vector(1.5, 0.5, 4.0), 0.5, 0.8),
+        Sphere(Vector(-1.5, -0.5, 6.0), 1.2, 0.6),
+        Sphere(Vector(0.5, -1.2, 3.5), 0.4, 0.9),
+    ]
+    light = Vector(5.0, 5.0, 0.0)
+    origin = Vector(0.0, 0.0, 0.0)
+    checksum = 0
+    for py in range(size):
+        for px in range(size):
+            x = (px * 2.0 / size) - 1.0
+            y = (py * 2.0 / size) - 1.0
+            direction = Vector(x, y, 1.0).normalize()
+            value = trace(origin, direction, spheres, light)
+            checksum = (checksum + int(value * 255.0)) % 1000000007
+    print("raytrace", checksum)
+
+
+run_raytrace(N)

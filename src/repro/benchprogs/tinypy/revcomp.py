@@ -1,0 +1,42 @@
+# revcomp (CLBG): reverse-complement of DNA sequences — per-character
+# table translation (Table III: W_UnicodeObject.descr_translate shape).
+N = 20000
+
+COMPLEMENT = {
+    "A": "T", "C": "G", "G": "C", "T": "A",
+    "a": "T", "c": "G", "g": "C", "t": "A",
+    "N": "N", "n": "N",
+}
+
+
+def make_sequence(n):
+    seed = 7
+    bases = "ACGTacgtNn"
+    parts = []
+    for i in range(n):
+        seed = (seed * 1103515245 + 12345) % 2147483648
+        parts.append(bases[seed % 10])
+    return "".join(parts)
+
+
+def reverse_complement(seq):
+    out = []
+    i = len(seq) - 1
+    while i >= 0:
+        out.append(COMPLEMENT[seq[i]])
+        i -= 1
+    return "".join(out)
+
+
+def run_revcomp(n):
+    seq = make_sequence(n)
+    result = reverse_complement(seq)
+    checksum = 0
+    i = 0
+    while i < len(result):
+        checksum = (checksum * 31 + ord(result[i])) % 1000000007
+        i += 97
+    print("revcomp", len(result), checksum)
+
+
+run_revcomp(N)

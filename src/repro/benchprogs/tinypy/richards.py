@@ -1,0 +1,307 @@
+# richards: the classic OS task-scheduler benchmark (Martin Richards),
+# condensed TinyPy port. Object-dispatch and branch heavy; the paper's
+# biggest PyPy-vs-CPython win (51x).
+N = 8
+
+I_IDLE = 1
+I_WORK = 2
+I_HANDLERA = 3
+I_HANDLERB = 4
+I_DEVA = 5
+I_DEVB = 6
+
+K_DEV = 1000
+K_WORK = 1001
+
+
+class Packet:
+    def __init__(self, link, ident, kind):
+        self.link = link
+        self.ident = ident
+        self.kind = kind
+        self.datum = 0
+        self.data = [0, 0, 0, 0]
+
+    def append_to(self, lst):
+        self.link = None
+        if lst is None:
+            return self
+        p = lst
+        while p.link is not None:
+            p = p.link
+        p.link = self
+        return lst
+
+
+class TaskRec:
+    pass
+
+
+class DeviceTaskRec(TaskRec):
+    def __init__(self):
+        self.pending = None
+
+
+class IdleTaskRec(TaskRec):
+    def __init__(self):
+        self.control = 1
+        self.count = 300
+
+
+class HandlerTaskRec(TaskRec):
+    def __init__(self):
+        self.work_in = None
+        self.device_in = None
+
+    def work_in_add(self, packet):
+        self.work_in = packet.append_to(self.work_in)
+        return self.work_in
+
+    def device_in_add(self, packet):
+        self.device_in = packet.append_to(self.device_in)
+        return self.device_in
+
+
+class WorkerTaskRec(TaskRec):
+    def __init__(self):
+        self.destination = I_HANDLERA
+        self.count = 0
+
+
+class TaskState:
+    def __init__(self):
+        self.packet_pending = True
+        self.task_waiting = False
+        self.task_holding = False
+
+    def packet_pending_flag(self):
+        self.packet_pending = True
+        self.task_waiting = False
+        self.task_holding = False
+        return self
+
+    def waiting(self):
+        self.packet_pending = False
+        self.task_waiting = True
+        self.task_holding = False
+        return self
+
+    def running(self):
+        self.packet_pending = False
+        self.task_waiting = False
+        self.task_holding = False
+        return self
+
+    def waiting_with_packet(self):
+        self.packet_pending = True
+        self.task_waiting = True
+        self.task_holding = False
+        return self
+
+    def is_task_holding_or_waiting(self):
+        return self.task_holding or (
+            not self.packet_pending and self.task_waiting)
+
+
+TASKTABSIZE = 10
+
+
+class Scheduler:
+    def __init__(self):
+        self.task_list = None
+        self.current_task = None
+        self.current_ident = 0
+        self.hold_count = 0
+        self.queue_count = 0
+        self.tasktab = [None] * TASKTABSIZE
+
+    def find_task(self, ident):
+        t = self.tasktab[ident]
+        if t is None:
+            print("bad task id")
+        return t
+
+    def hold_current(self):
+        self.hold_count += 1
+        self.current_task.task_holding = True
+        return self.current_task.link
+
+    def release(self, ident):
+        t = self.find_task(ident)
+        t.task_holding = False
+        if t.priority > self.current_task.priority:
+            return t
+        return self.current_task
+
+    def wait_current(self):
+        self.current_task.task_waiting = True
+        return self.current_task
+
+    def queue(self, packet):
+        t = self.find_task(packet.ident)
+        if t is None:
+            return t
+        self.queue_count += 1
+        packet.link = None
+        packet.ident = self.current_ident
+        return t.add_packet(packet, self.current_task)
+
+    def schedule(self):
+        self.current_task = self.task_list
+        while self.current_task is not None:
+            t = self.current_task
+            if t.is_task_holding_or_waiting():
+                self.current_task = t.link
+            else:
+                self.current_ident = t.ident
+                self.current_task = t.run_task()
+
+    def add_task(self, task):
+        self.task_list = task
+        self.tasktab[task.ident] = task
+
+
+class Task(TaskState):
+    def __init__(self, sched, ident, priority, work, rec):
+        TaskState.__init__(self)
+        self.sched = sched
+        self.link = sched.task_list
+        self.ident = ident
+        self.priority = priority
+        self.input = work
+        self.handle = rec
+        sched.add_task(self)
+
+    def add_packet(self, packet, old_task):
+        if self.input is None:
+            self.input = packet
+            self.packet_pending = True
+            if self.priority > old_task.priority:
+                return self
+        else:
+            self.input = packet.append_to(self.input)
+        return old_task
+
+    def run_task(self):
+        if self.is_waiting_with_packet():
+            msg = self.input
+            self.input = msg.link
+            if self.input is None:
+                self.running()
+            else:
+                self.packet_pending_flag()
+        else:
+            msg = None
+        return self.fn(msg, self.handle)
+
+    def is_waiting_with_packet(self):
+        return self.packet_pending and (
+            self.task_waiting and not self.task_holding)
+
+
+class DeviceTask(Task):
+    def fn(self, packet, rec):
+        if packet is None:
+            packet = rec.pending
+            if packet is None:
+                return self.sched.wait_current()
+            rec.pending = None
+            return self.sched.queue(packet)
+        rec.pending = packet
+        return self.sched.hold_current()
+
+
+class HandlerTask(Task):
+    def fn(self, packet, rec):
+        if packet is not None:
+            if packet.kind == K_WORK:
+                rec.work_in_add(packet)
+            else:
+                rec.device_in_add(packet)
+        work = rec.work_in
+        if work is None:
+            return self.sched.wait_current()
+        count = work.datum
+        if count >= 4:
+            rec.work_in = work.link
+            return self.sched.queue(work)
+        dev = rec.device_in
+        if dev is None:
+            return self.sched.wait_current()
+        rec.device_in = dev.link
+        dev.datum = work.data[count]
+        work.datum = count + 1
+        return self.sched.queue(dev)
+
+
+class IdleTask(Task):
+    def fn(self, packet, rec):
+        rec.count -= 1
+        if rec.count == 0:
+            return self.sched.hold_current()
+        if rec.control & 1 == 0:
+            rec.control = rec.control // 2
+            return self.sched.release(I_DEVA)
+        rec.control = (rec.control // 2) ^ 0xD008
+        return self.sched.release(I_DEVB)
+
+
+class WorkTask(Task):
+    def fn(self, packet, rec):
+        if packet is None:
+            return self.sched.wait_current()
+        if rec.destination == I_HANDLERA:
+            dest = I_HANDLERB
+        else:
+            dest = I_HANDLERA
+        rec.destination = dest
+        packet.ident = dest
+        packet.datum = 0
+        i = 0
+        while i < 4:
+            rec.count += 1
+            if rec.count > 26:
+                rec.count = 1
+            packet.data[i] = 65 + rec.count - 1
+            i += 1
+        return self.sched.queue(packet)
+
+
+def run_richards(iterations):
+    for it in range(iterations):
+        sched = Scheduler()
+        idle_task = IdleTask(sched, I_IDLE, 1, None, IdleTaskRec())
+        idle_task.running()
+
+        wkq = Packet(None, 0, K_WORK)
+        wkq = Packet(wkq, 0, K_WORK)
+        work_task = WorkTask(sched, I_WORK, 1000, wkq, WorkerTaskRec())
+        work_task.waiting_with_packet()
+
+        wkq = Packet(None, I_DEVA, K_DEV)
+        wkq = Packet(wkq, I_DEVA, K_DEV)
+        wkq = Packet(wkq, I_DEVA, K_DEV)
+        handler_a = HandlerTask(sched, I_HANDLERA, 2000, wkq,
+                                HandlerTaskRec())
+        handler_a.waiting_with_packet()
+
+        wkq = Packet(None, I_DEVB, K_DEV)
+        wkq = Packet(wkq, I_DEVB, K_DEV)
+        wkq = Packet(wkq, I_DEVB, K_DEV)
+        handler_b = HandlerTask(sched, I_HANDLERB, 3000, wkq,
+                                HandlerTaskRec())
+        handler_b.waiting_with_packet()
+
+        dev_a = DeviceTask(sched, I_DEVA, 4000, None, DeviceTaskRec())
+        dev_a.waiting()
+        dev_b = DeviceTask(sched, I_DEVB, 5000, None, DeviceTaskRec())
+        dev_b.waiting()
+
+        sched.schedule()
+
+        if it == 0:
+            print("richards", sched.hold_count, sched.queue_count)
+    print("richards done", iterations)
+
+
+run_richards(N)

@@ -1,0 +1,93 @@
+# spambayes: naive-Bayes spam scoring — tokenization, dict-counted
+# training, and float probability combination. Dict + string + float mix.
+N = 60
+
+SPAM_WORDS = ["buy", "free", "offer", "winner", "cash", "click",
+              "now", "deal", "prize", "urgent"]
+HAM_WORDS = ["meeting", "report", "project", "review", "data",
+             "schedule", "notes", "team", "draft", "plan"]
+
+
+def make_message(seed, spammy):
+    words = []
+    state = seed
+    for i in range(30):
+        state = (state * 1103515245 + 12345) % 2147483648
+        roll = state % 10
+        if spammy:
+            if roll < 7:
+                words.append(SPAM_WORDS[state % 10])
+            else:
+                words.append(HAM_WORDS[state % 10])
+        else:
+            if roll < 7:
+                words.append(HAM_WORDS[state % 10])
+            else:
+                words.append(SPAM_WORDS[state % 10])
+    return " ".join(words)
+
+
+def tokenize(text):
+    return text.split(" ")
+
+
+class Classifier:
+    def __init__(self):
+        self.spam_counts = {}
+        self.ham_counts = {}
+        self.n_spam = 0
+        self.n_ham = 0
+
+    def train(self, text, is_spam):
+        for token in tokenize(text):
+            if is_spam:
+                self.spam_counts[token] = \
+                    self.spam_counts.get(token, 0) + 1
+            else:
+                self.ham_counts[token] = \
+                    self.ham_counts.get(token, 0) + 1
+        if is_spam:
+            self.n_spam += 1
+        else:
+            self.n_ham += 1
+
+    def spamprob(self, text):
+        # Combine per-token spam probabilities (Robinson-style).
+        product = 1.0
+        inverse = 1.0
+        count = 0
+        for token in tokenize(text):
+            spam_count = self.spam_counts.get(token, 0)
+            ham_count = self.ham_counts.get(token, 0)
+            total = spam_count + ham_count
+            if total == 0:
+                p = 0.5
+            else:
+                p = (spam_count + 0.45) / (total + 0.9)
+            product *= p
+            inverse *= 1.0 - p
+            count += 1
+        if count == 0:
+            return 0.5
+        return product / (product + inverse)
+
+
+def run_spambayes(rounds):
+    classifier = Classifier()
+    for i in range(rounds):
+        classifier.train(make_message(i * 3 + 1, True), True)
+        classifier.train(make_message(i * 5 + 2, False), False)
+    correct = 0
+    tests = 0
+    score_sum = 0.0
+    for i in range(rounds * 2):
+        spammy = i % 2 == 0
+        prob = classifier.spamprob(make_message(i * 7 + 3, spammy))
+        score_sum += prob
+        tests += 1
+        if (prob > 0.5) == spammy:
+            correct += 1
+    print("spambayes %d/%d %.6f" % (correct, tests, score_sum))
+
+
+run_spambayes(N)

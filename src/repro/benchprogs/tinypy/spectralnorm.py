@@ -1,0 +1,49 @@
+# spectralnorm (CLBG): power iteration approximating the spectral norm
+# of an infinite matrix. Pure float arithmetic with nested loops.
+N = 60
+
+
+def eval_a(i, j):
+    return 1.0 / ((i + j) * (i + j + 1) / 2.0 + i + 1.0)
+
+
+def eval_a_times_u(u, out):
+    n = len(u)
+    for i in range(n):
+        total = 0.0
+        for j in range(n):
+            total += eval_a(i, j) * u[j]
+        out[i] = total
+
+
+def eval_at_times_u(u, out):
+    n = len(u)
+    for i in range(n):
+        total = 0.0
+        for j in range(n):
+            total += eval_a(j, i) * u[j]
+        out[i] = total
+
+
+def eval_ata_times_u(u, out, tmp):
+    eval_a_times_u(u, tmp)
+    eval_at_times_u(tmp, out)
+
+
+def run_spectralnorm(n):
+    u = [1.0] * n
+    v = [0.0] * n
+    tmp = [0.0] * n
+    for i in range(10):
+        eval_ata_times_u(u, v, tmp)
+        eval_ata_times_u(v, u, tmp)
+    vbv = 0.0
+    vv = 0.0
+    for i in range(n):
+        vbv += u[i] * v[i]
+        vv += v[i] * v[i]
+    result = (vbv / vv) ** 0.5
+    print("spectralnorm %.9f" % result)
+
+
+run_spectralnorm(N)

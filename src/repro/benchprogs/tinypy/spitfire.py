@@ -1,0 +1,32 @@
+# spitfire_cstringio: template rendering into a string buffer — the big
+# table-generation benchmark. Dominated by string building and joins
+# (Table III: rstr.ll_join, rbuilder.ll_append, ll_int2dec).
+N = 50
+
+
+def render_table(rows, cols):
+    out = []
+    out.append("<table>")
+    for i in range(rows):
+        row = []
+        row.append("<tr>")
+        for j in range(cols):
+            row.append("<td>")
+            row.append(str(i * cols + j))
+            row.append("</td>")
+        row.append("</tr>")
+        out.append("".join(row))
+    out.append("</table>")
+    return "\n".join(out)
+
+
+def run_spitfire(iterations):
+    checksum = 0
+    for i in range(iterations):
+        text = render_table(50, 10)
+        checksum = (checksum + len(text)) % 1000000007
+        checksum = (checksum * 31 + ord(text[i % len(text)])) % 1000000007
+    print("spitfire", checksum)
+
+
+run_spitfire(N)

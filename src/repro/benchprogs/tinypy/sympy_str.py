@@ -1,0 +1,146 @@
+# sympy_str: symbolic expression manipulation — build polynomial
+# expression trees, expand products, and render to strings. The paper's
+# "very branchy application, many equally-used traces" profile.
+N = 40
+
+
+class Expr:
+    pass
+
+
+class Num(Expr):
+    def __init__(self, value):
+        self.value = value
+
+    def kind(self):
+        return "num"
+
+    def to_str(self):
+        return str(self.value)
+
+
+class Sym(Expr):
+    def __init__(self, name):
+        self.name = name
+
+    def kind(self):
+        return "sym"
+
+    def to_str(self):
+        return self.name
+
+
+class Add(Expr):
+    def __init__(self, terms):
+        self.terms = terms
+
+    def kind(self):
+        return "add"
+
+    def to_str(self):
+        parts = []
+        for t in self.terms:
+            parts.append(t.to_str())
+        return "(" + " + ".join(parts) + ")"
+
+
+class Mul(Expr):
+    def __init__(self, factors):
+        self.factors = factors
+
+    def kind(self):
+        return "mul"
+
+    def to_str(self):
+        parts = []
+        for f in self.factors:
+            parts.append(f.to_str())
+        return "(" + "*".join(parts) + ")"
+
+
+def expand(expr):
+    """Distribute products over sums (one level at a time, recursively)."""
+    k = expr.kind()
+    if k == "num" or k == "sym":
+        return expr
+    if k == "add":
+        new_terms = []
+        for t in expr.terms:
+            e = expand(t)
+            if e.kind() == "add":
+                for inner in e.terms:
+                    new_terms.append(inner)
+            else:
+                new_terms.append(e)
+        return Add(new_terms)
+    # mul: expand factors, then distribute the first Add found.
+    factors = []
+    for f in expr.factors:
+        factors.append(expand(f))
+    for i in range(len(factors)):
+        if factors[i].kind() == "add":
+            others = factors[0:i] + factors[i + 1:len(factors)]
+            terms = []
+            for t in factors[i].terms:
+                terms.append(expand(Mul([t] + others)))
+            return Add(terms)
+    return Mul(factors)
+
+
+def simplify_nums(expr):
+    """Fold numeric factors/terms."""
+    k = expr.kind()
+    if k == "add":
+        total = 0
+        rest = []
+        for t in expr.terms:
+            s = simplify_nums(t)
+            if s.kind() == "num":
+                total += s.value
+            else:
+                rest.append(s)
+        if total != 0:
+            rest.append(Num(total))
+        if len(rest) == 1:
+            return rest[0]
+        return Add(rest)
+    if k == "mul":
+        product = 1
+        rest = []
+        for f in expr.factors:
+            s = simplify_nums(f)
+            if s.kind() == "num":
+                product *= s.value
+            else:
+                rest.append(s)
+        if product == 0:
+            return Num(0)
+        if product != 1:
+            rest = [Num(product)] + rest
+        if len(rest) == 1:
+            return rest[0]
+        return Mul(rest)
+    return expr
+
+
+def build_poly(degree, var):
+    # (x + 1)(x + 2)...(x + degree)
+    factors = []
+    for i in range(1, degree + 1):
+        factors.append(Add([Sym(var), Num(i)]))
+    return Mul(factors)
+
+
+def run_sympy_str(iterations):
+    checksum = 0
+    for it in range(iterations):
+        poly = build_poly(2 + it % 3, "x")
+        expanded = simplify_nums(expand(poly))
+        text = expanded.to_str()
+        checksum = (checksum + len(text)) % 1000000007
+        for ch in text[0:16]:
+            checksum = (checksum * 31 + ord(ch)) % 1000000007
+    print("sympy_str", checksum)
+
+
+run_sympy_str(N)

@@ -1,0 +1,52 @@
+# telco: the telco billing benchmark — fixed-point (hundredths of a
+# cent) decimal arithmetic with rounding and tax, plus output
+# formatting. Arithmetic + string formatting mix.
+N = 3000
+
+RATE_BASIC = 640        # 0.0064 per second, scaled by 1e5
+RATE_DISTANCE = 1300    # 0.0130
+BTAX = 651              # 6.51% scaled by 1e4
+DTAX = 341              # 3.41%
+
+
+def round_half_even(value, unit):
+    q = value // unit
+    r = value - q * unit
+    half = unit // 2
+    if r > half:
+        q += 1
+    elif r == half:
+        if q % 2 == 1:
+            q += 1
+    return q
+
+
+def run_telco(calls):
+    state = 42
+    sumt = 0
+    sumb = 0
+    sumd = 0
+    for i in range(calls):
+        state = (state * 1103515245 + 12345) % 2147483648
+        duration = state % 2400
+        is_distance = (state >> 12) & 1
+        if is_distance:
+            rate = RATE_DISTANCE
+        else:
+            rate = RATE_BASIC
+        price = round_half_even(duration * rate, 100)  # to 0.01 cents
+        btax = round_half_even(price * BTAX, 10000)
+        sumb += btax
+        total = price + btax
+        if is_distance:
+            dtax = round_half_even(price * DTAX, 10000)
+            sumd += dtax
+            total += dtax
+        sumt += total
+    print("telco %d.%02d %d.%02d %d.%02d" % (
+        sumt // 10000, (sumt % 10000) // 100,
+        sumb // 10000, (sumb % 10000) // 100,
+        sumd // 10000, (sumd % 10000) // 100))
+
+
+run_telco(N)

@@ -1,0 +1,88 @@
+# twisted_iteration: a cooperative event-reactor microbenchmark —
+# callback chains scheduled through a reactor queue (deferred-style).
+# Object dispatch + list-queue heavy, like the paper's twisted rows.
+N = 300
+
+
+class Deferred:
+    def __init__(self):
+        self.callbacks = []
+        self.result = None
+        self.fired = False
+
+    def add_callback(self, fn_name, owner):
+        self.callbacks.append((fn_name, owner))
+        if self.fired:
+            self._run()
+        return self
+
+    def callback(self, result):
+        self.result = result
+        self.fired = True
+        self._run()
+
+    def _run(self):
+        while len(self.callbacks) > 0:
+            pair = self.callbacks.pop(0)
+            owner = pair[1]
+            self.result = owner.dispatch(pair[0], self.result)
+
+
+class Reactor:
+    def __init__(self):
+        self.queue = []
+        self.processed = 0
+
+    def call_later(self, task):
+        self.queue.append(task)
+
+    def run(self):
+        while len(self.queue) > 0:
+            task = self.queue.pop(0)
+            task.fire(self)
+            self.processed += 1
+
+
+class Worker:
+    def __init__(self, ident):
+        self.ident = ident
+        self.total = 0
+
+    def dispatch(self, name, value):
+        if name == "double":
+            return value * 2
+        if name == "inc":
+            return value + 1
+        if name == "mod":
+            return value % 99991
+        return value
+
+    def fire(self, reactor):
+        d = Deferred()
+        d.add_callback("double", self)
+        d.add_callback("inc", self)
+        d.add_callback("mod", self)
+        d.callback(self.ident + self.total)
+        self.total = (self.total + d.result) % 1000003
+        if self.total % 7 != 0:
+            pass
+        else:
+            reactor.call_later(self)
+
+
+def run_twisted(rounds):
+    reactor = Reactor()
+    workers = []
+    for i in range(24):
+        workers.append(Worker(i))
+    checksum = 0
+    for r in range(rounds):
+        for w in workers:
+            reactor.call_later(w)
+        reactor.run()
+        for w in workers:
+            checksum = (checksum + w.total) % 1000000007
+    print("twisted_iteration", checksum, reactor.processed)
+
+
+run_twisted(N)

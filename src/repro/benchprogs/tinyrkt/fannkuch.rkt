@@ -1,0 +1,59 @@
+; fannkuchredux (CLBG, Racket): pancake flips over permutations.
+(define N 7)
+
+(define (vector-reverse! v k)
+  (let loop ((lo 0) (hi k))
+    (when (< lo hi)
+      (let ((tmp (vector-ref v lo)))
+        (vector-set! v lo (vector-ref v hi))
+        (vector-set! v hi tmp))
+      (loop (+ lo 1) (- hi 1)))))
+
+(define (count-flips perm)
+  (let loop ((flips 0))
+    (let ((k (vector-ref perm 0)))
+      (if (= k 0)
+          flips
+          (begin
+            (vector-reverse! perm k)
+            (loop (+ flips 1)))))))
+
+(define (copy-vector! dst src n)
+  (do ((i 0 (+ i 1))) ((= i n) #t)
+    (vector-set! dst i (vector-ref src i))))
+
+(define (fannkuch n)
+  (define perm1 (make-vector n 0))
+  (define perm (make-vector n 0))
+  (define count (make-vector n 0))
+  (do ((i 0 (+ i 1))) ((= i n) #t)
+    (vector-set! perm1 i i))
+  (let outer ((r n) (max-flips 0) (checksum 0) (sign 1) (done #f))
+    (if done
+        (begin
+          (display "fannkuch ") (display checksum)
+          (display " ") (display max-flips) (newline))
+        (let ((r2 (let fix ((r r))
+                    (if (= r 1)
+                        1
+                        (begin (vector-set! count (- r 1) (- r 1))
+                               (fix (- r 1)))))))
+          (copy-vector! perm perm1 n)
+          (let ((flips (if (= (vector-ref perm1 0) 0)
+                           0
+                           (count-flips perm))))
+            (let ((new-max (max max-flips flips))
+                  (new-checksum (+ checksum (* sign flips))))
+              (let rotate ((r r2))
+                (if (= r n)
+                    (outer r new-max new-checksum (- 0 sign) #t)
+                    (let ((first (vector-ref perm1 0)))
+                      (do ((i 0 (+ i 1))) ((= i r) #t)
+                        (vector-set! perm1 i (vector-ref perm1 (+ i 1))))
+                      (vector-set! perm1 r first)
+                      (vector-set! count r (- (vector-ref count r) 1))
+                      (if (> (vector-ref count r) 0)
+                          (outer r new-max new-checksum (- 0 sign) #f)
+                          (rotate (+ r 1))))))))))))
+
+(fannkuch N)

@@ -1,0 +1,58 @@
+; fasta (CLBG, Racket): DNA sequence generation; string building.
+(define N 2000)
+
+(define ALU (string-append
+             "GGCCGGGCGCGGTGGCTCACGCCTGTAATCCCAGCACTTTGG"
+             "GAGGCCGAGGCGGGCGGATCACCTGAGGTCAGGAGTTCGAGA"
+             "CCAGCCTGGCCAACATGGTGAAACCCCGTCTCTACTAAAAAT"))
+
+(define CODES "acgtBDHKMNRSVWY")
+
+(define seed 42)
+(define (next-random)
+  (set! seed (modulo (+ (* seed 3877) 29573) 139968))
+  (/ (exact->inexact seed) 139968.0))
+
+(define (repeat-fasta src n)
+  (define width (string-length src))
+  (define buffer (string-append src src))
+  (let loop ((written 0) (pos 0) (checksum 0))
+    (if (>= written n)
+        checksum
+        (let* ((line-len (min 60 (- n written)))
+               (chunk (substring buffer pos (+ pos line-len)))
+               (pos2 (let ((p (+ pos line-len)))
+                       (if (>= p width) (- p width) p))))
+          (loop (+ written line-len) pos2
+                (checksum-chunk chunk checksum))))))
+
+(define (checksum-chunk chunk checksum)
+  (let loop ((i 0) (cs checksum))
+    (if (= i (string-length chunk))
+        cs
+        (loop (+ i 1)
+              (modulo (+ (* cs 31) (char->integer (string-ref chunk i)))
+                      1000000007)))))
+
+(define (random-fasta n)
+  (let loop ((written 0) (checksum 0))
+    (if (>= written n)
+        checksum
+        (let ((r (next-random)))
+          (let pick ((i 0) (acc 0.27))
+            (if (or (>= i 14) (< r acc))
+                (loop (+ written 1)
+                      (modulo (+ (* checksum 31)
+                                 (char->integer (string-ref CODES i)))
+                              1000000007))
+                (pick (+ i 1)
+                      (+ acc (if (< i 3) 0.12 0.02)))))))))
+
+(define (main n)
+  (display "fasta ")
+  (display (repeat-fasta ALU (* n 2)))
+  (display " ")
+  (display (random-fasta (* n 3)))
+  (newline))
+
+(main N)

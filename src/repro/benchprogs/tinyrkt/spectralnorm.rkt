@@ -1,0 +1,42 @@
+; spectralnorm (CLBG, Racket): power iteration, pure float arithmetic.
+(define N 50)
+
+(define (eval-a i j)
+  (/ 1.0 (+ (/ (* (+ i j) (+ i j 1)) 2.0) i 1.0)))
+
+(define (eval-a-times-u u out n)
+  (do ((i 0 (+ i 1))) ((= i n) #t)
+    (let loop ((j 0) (total 0.0))
+      (if (= j n)
+          (vector-set! out i total)
+          (loop (+ j 1) (+ total (* (eval-a i j) (vector-ref u j))))))))
+
+(define (eval-at-times-u u out n)
+  (do ((i 0 (+ i 1))) ((= i n) #t)
+    (let loop ((j 0) (total 0.0))
+      (if (= j n)
+          (vector-set! out i total)
+          (loop (+ j 1) (+ total (* (eval-a j i) (vector-ref u j))))))))
+
+(define (eval-ata-times-u u out tmp n)
+  (eval-a-times-u u tmp n)
+  (eval-at-times-u tmp out n))
+
+(define (main n)
+  (define u (make-vector n 1.0))
+  (define v (make-vector n 0.0))
+  (define tmp (make-vector n 0.0))
+  (do ((i 0 (+ i 1))) ((= i 10) #t)
+    (eval-ata-times-u u v tmp n)
+    (eval-ata-times-u v u tmp n))
+  (let loop ((i 0) (vbv 0.0) (vv 0.0))
+    (if (= i n)
+        (begin
+          (display "spectralnorm ")
+          (display (sqrt (/ vbv vv)))
+          (newline))
+        (loop (+ i 1)
+              (+ vbv (* (vector-ref u i) (vector-ref v i)))
+              (+ vv (* (vector-ref v i) (vector-ref v i)))))))
+
+(main N)

@@ -1,0 +1,1 @@
+"""Shared primitives: errors, annotation tags, configuration."""

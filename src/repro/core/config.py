@@ -1,0 +1,139 @@
+"""Configuration objects for the simulated VMs and the machine model.
+
+All tunables live here so experiments can sweep them.  Defaults are the
+paper's PyPy settings scaled down: the paper runs benchmarks for 10 billion
+instructions with a hot-loop threshold of 1039; we run benchmarks in the
+1-40M instruction range, so thresholds scale by roughly the same factor to
+keep warmup a comparable *fraction* of execution.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import ConfigError
+
+
+@dataclass
+class JitConfig:
+    """Parameters of the meta-tracing JIT (mirrors RPython's jitparams)."""
+
+    enabled: bool = True
+    # A loop header must be seen this many times before tracing starts
+    # (PyPy default: 1039; scaled down with our workloads).
+    hot_loop_threshold: int = 39
+    # A guard must fail this many times before a bridge is traced
+    # (PyPy default: function_threshold-ish / trace_eagerness 200).
+    bridge_threshold: int = 11
+    # Maximum number of recorded IR operations before a trace is aborted
+    # (PyPy default: 6000).
+    trace_limit: int = 6000
+    # After this many aborted attempts a loop header is blacklisted.
+    max_aborts: int = 4
+    # Maximum virtual-frame depth the tracer will inline through.
+    max_inline_depth: int = 12
+    # Optimizer passes (ablations flip these).
+    opt_constfold: bool = True
+    opt_guard_dedup: bool = True
+    opt_heap_cache: bool = True
+    opt_cse: bool = True
+    opt_virtuals: bool = True
+    opt_loop_peeling: bool = True
+    # Emit the jitlog (the PyPy Log facility; <10% overhead in the paper,
+    # zero overhead here because time is simulated).
+    jitlog: bool = True
+
+    def validate(self):
+        if self.hot_loop_threshold < 1:
+            raise ConfigError("hot_loop_threshold must be >= 1")
+        if self.bridge_threshold < 1:
+            raise ConfigError("bridge_threshold must be >= 1")
+        if self.trace_limit < 10:
+            raise ConfigError("trace_limit must be >= 10")
+
+
+@dataclass
+class GcConfig:
+    """Parameters of the generational GC model (incminimark-like)."""
+
+    nursery_bytes: int = 1 << 18          # 256 KiB nursery (scaled down)
+    major_growth_factor: float = 1.82     # incminimark default
+    min_major_threshold: int = 1 << 21    # first major collection trigger
+    # Fraction of nursery bytes assumed to survive a minor collection when
+    # no liveness sample is available.
+    default_survival_rate: float = 0.08
+    # Instruction costs of the collector (per byte scanned / copied).
+    minor_fixed_cost: int = 420
+    minor_cost_per_surviving_byte: float = 0.9
+    major_fixed_cost: int = 9000
+    major_cost_per_live_byte: float = 0.35
+
+    def validate(self):
+        if self.nursery_bytes < 1024:
+            raise ConfigError("nursery_bytes must be >= 1024")
+        if not 0.0 <= self.default_survival_rate <= 1.0:
+            raise ConfigError("default_survival_rate must be in [0, 1]")
+
+
+@dataclass
+class UarchConfig:
+    """Parameters of the superscalar timing model and predictors."""
+
+    issue_width: int = 4
+    mispredict_penalty: int = 14
+    gshare_bits: int = 12            # 4K-entry gshare PHT
+    btb_entries: int = 512
+    ras_entries: int = 16
+    l1d_kib: int = 32
+    l1d_assoc: int = 8
+    l1d_line: int = 64
+    l1d_miss_penalty: int = 12       # L2 hit latency
+    l2_kib: int = 512
+    l2_assoc: int = 8
+    l2_miss_penalty: int = 90        # memory latency
+    # Average extra stall cycles charged per instruction class (models
+    # dependency chains; the mix differences across phases produce the
+    # paper's per-phase IPC differences).
+    stall_load: float = 1.0
+    stall_store: float = 0.12
+    stall_mul: float = 1.6
+    stall_div: float = 11.0
+    stall_fpu: float = 1.9
+
+    def validate(self):
+        if self.issue_width < 1:
+            raise ConfigError("issue_width must be >= 1")
+        if self.gshare_bits < 4 or self.gshare_bits > 24:
+            raise ConfigError("gshare_bits out of range")
+
+
+@dataclass
+class SystemConfig:
+    """Top-level configuration bundle for one simulated VM run."""
+
+    jit: JitConfig = field(default_factory=JitConfig)
+    gc: GcConfig = field(default_factory=GcConfig)
+    uarch: UarchConfig = field(default_factory=UarchConfig)
+    # Collect annotations with the PinTool (per-phase stats etc.).
+    pintool: bool = True
+    # Lower every JIT IR node with a tagged IR_NODE annotation (heavy;
+    # used to cross-validate the jitlog's aggregated execution counts
+    # against Pin-style per-node interception).
+    annotate_ir_nodes: bool = False
+    # Record a bytecode-rate timeline (needed for the warmup figure).
+    record_timeline: bool = False
+    timeline_bucket_insns: int = 50_000
+    # Stop the simulation after this many retired instructions (0 = off);
+    # mirrors the paper's "first 10B instructions" methodology.
+    max_instructions: int = 0
+    seed: int = 0xC0FFEE
+
+    def validate(self):
+        self.jit.validate()
+        self.gc.validate()
+        self.uarch.validate()
+
+    @classmethod
+    def interpreter_only(cls, **kwargs):
+        """A config with the meta-tracing JIT disabled (PyPy-no-JIT mode)."""
+        cfg = cls(**kwargs)
+        cfg.jit.enabled = False
+        return cfg

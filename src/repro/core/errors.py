@@ -1,0 +1,41 @@
+"""Exception hierarchy shared across the repro packages."""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class IsaError(ReproError):
+    """Malformed virtual-ISA instruction or stream event."""
+
+
+class TraceError(ReproError):
+    """The meta-tracer encountered an unrecoverable condition."""
+
+
+class TraceAbort(ReproError):
+    """Internal signal: the current trace recording must be abandoned.
+
+    Carries a ``reason`` string used by the JIT log (mirrors the
+    ``trace-abort`` events of the RPython jitlog).
+    """
+
+    def __init__(self, reason):
+        super().__init__(reason)
+        self.reason = reason
+
+
+class CompilationError(ReproError):
+    """Raised when a guest program cannot be compiled to bytecode/AST."""
+
+
+class GuestError(ReproError):
+    """A guest-language runtime error (uncaught at the guest level)."""
+
+    def __init__(self, message, w_value=None):
+        super().__init__(message)
+        self.w_value = w_value

@@ -1,0 +1,63 @@
+"""Cross-layer annotation tags.
+
+The paper's cross-layer methodology encodes each annotation as an x86
+``nop`` whose (ignored) address operand carries a tag.  Our virtual ISA
+does the same: a ``NOP_ANNOT`` instruction carries an integer tag plus an
+optional payload.  This module is the single registry of tag values so
+that every layer (application, interpreter, framework, JIT backend) and
+every collector (PinTool, PAPI windows, perf sampler) agrees on them.
+
+Tags are grouped in blocks of 0x100 by the layer that emits them.
+"""
+
+# --- framework layer (RPython-equivalent) -------------------------------
+TRACE_START = 0x100        # meta-interpreter starts recording a loop trace
+TRACE_STOP = 0x101         # recording finished (compiled or aborted)
+BRIDGE_START = 0x102       # meta-interpreter starts recording a bridge
+BRIDGE_STOP = 0x103
+OPT_START = 0x104          # trace optimizer entered
+OPT_STOP = 0x105
+BACKEND_START = 0x106      # IR -> assembly lowering
+BACKEND_STOP = 0x107
+JIT_ENTER = 0x110          # execution transferred to JIT-compiled code
+JIT_LEAVE = 0x111          # execution left JIT-compiled code
+JIT_CALL_START = 0x112     # residual call to AOT-compiled function begins
+JIT_CALL_STOP = 0x113
+BLACKHOLE_START = 0x114    # deoptimization via the blackhole interpreter
+BLACKHOLE_STOP = 0x115
+GC_MINOR_START = 0x120
+GC_MINOR_STOP = 0x121
+GC_MAJOR_START = 0x122
+GC_MAJOR_STOP = 0x123
+
+# --- interpreter layer ---------------------------------------------------
+DISPATCH = 0x200           # one iteration of the dispatch loop (one bytecode)
+FRAME_ENTER = 0x201        # a guest frame was pushed
+FRAME_LEAVE = 0x202
+
+# --- JIT-IR layer --------------------------------------------------------
+IR_NODE = 0x300            # payload: (opnum, trace_id) for the node being run
+TRACE_ITER = 0x301         # payload: trace_id; one pass over a compiled loop
+
+# --- application layer ---------------------------------------------------
+APP_EVENT = 0x400          # payload: guest-supplied small integer / string
+
+# --- VM lifecycle --------------------------------------------------------
+VM_START = 0x500
+VM_STOP = 0x501
+
+_NAMES = {
+    value: name
+    for name, value in list(globals().items())
+    if name.isupper() and isinstance(value, int)
+}
+
+
+def tag_name(tag):
+    """Return the symbolic name for ``tag`` (for logs and reports)."""
+    return _NAMES.get(tag, "UNKNOWN_0x%x" % tag)
+
+
+def is_phase_tag(tag):
+    """True if the tag participates in phase accounting (Section V-B)."""
+    return tag < 0x200 or tag in (BLACKHOLE_START, BLACKHOLE_STOP)

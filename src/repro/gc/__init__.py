@@ -1,0 +1,1 @@
+"""Generational garbage-collector model (incminimark-style)."""

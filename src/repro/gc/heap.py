@@ -1,0 +1,169 @@
+"""A generational GC model in the style of RPython's incminimark.
+
+Guest objects are real Python objects (kept alive by Python itself); what
+this module models is the *cost and address behaviour* of RPython's GC:
+
+* a bump-pointer nursery — allocations are a pointer increment until the
+  nursery fills,
+* minor collections that copy survivors to the old generation, with cost
+  proportional to surviving bytes (survivor fraction estimated from a
+  weak-reference sample of real allocations, so workloads whose objects
+  die young genuinely pay less),
+* major collections triggered when the old generation outgrows a
+  threshold that grows geometrically (incminimark's ``major_growth``),
+* cross-layer GC_MINOR/GC_MAJOR annotations bracketing each collection,
+  so the PinTool attributes collector work to the GC phase.
+
+Addresses handed out are real simulated-heap addresses fed to the cache
+model, so the nursery's sequential locality and the old generation's
+spread show up in the memory system.
+"""
+
+import weakref
+
+from repro.core import tags
+from repro.isa import insns
+
+NURSERY_BASE = 0x1000_0000
+OLD_BASE = 0x4000_0000
+
+# Instruction mix shape of copying-collector work, per ~8 instructions:
+# pointer loads, copies (load+store), bookkeeping ALU.
+_GC_WORK_MIX = insns.mix(load=3, store=2, alu=3)
+_GC_WORK_SIZE = insns.mix_size(_GC_WORK_MIX)
+_GC_BRANCH_RATE = 0.18        # branches per instruction inside the collector
+_GC_BRANCH_MISS_RATE = 0.012  # regular loop branches predict well (Table IV)
+
+_SAMPLE_EVERY = 16            # one allocation in 16 is liveness-sampled
+
+
+class SimGC:
+    """Simulated generational collector attached to one Machine."""
+
+    def __init__(self, machine, config):
+        self._machine = machine
+        self._cfg = config
+        self.nursery_size = config.nursery_bytes
+        self.nursery_used = 0
+        self._nursery_top = NURSERY_BASE
+        self.old_bytes = 0
+        self._old_top = OLD_BASE
+        self.major_threshold = config.min_major_threshold
+        self.minor_collections = 0
+        self.major_collections = 0
+        self.total_allocated_bytes = 0
+        self.total_allocations = 0
+        self.bytes_surviving_minor = 0
+        self._samples = []           # (weakref, nbytes) pairs
+        self._sample_countdown = _SAMPLE_EVERY
+
+    # -- allocation ----------------------------------------------------------
+
+    def allocate(self, nbytes, obj=None):
+        """Bump-allocate ``nbytes`` in the nursery; returns the address.
+
+        ``obj`` (if weak-referenceable) may be liveness-sampled to
+        estimate the survivor fraction at the next minor collection.
+        """
+        if self.nursery_used + nbytes > self.nursery_size:
+            self.minor_collect()
+        addr = self._nursery_top + self.nursery_used
+        self.nursery_used += nbytes
+        self.total_allocated_bytes += nbytes
+        self.total_allocations += 1
+        if obj is not None:
+            self._sample_countdown -= 1
+            if self._sample_countdown <= 0:
+                self._sample_countdown = _SAMPLE_EVERY
+                try:
+                    self._samples.append((weakref.ref(obj), nbytes))
+                except TypeError:
+                    pass
+        return addr
+
+    def allocate_static(self, nbytes):
+        """Address for a prebuilt constant: lives in the old generation,
+        never collected, never charged (translation-time data)."""
+        addr = self._old_top
+        self._old_top += nbytes
+        return addr
+
+    # -- collections -----------------------------------------------------------
+
+    def _survival_rate(self):
+        if not self._samples:
+            return self._cfg.default_survival_rate
+        alive = 0
+        total = 0
+        for ref, nbytes in self._samples:
+            total += nbytes
+            if ref() is not None:
+                alive += nbytes
+        if not total:
+            return self._cfg.default_survival_rate
+        return alive / total
+
+    def minor_collect(self):
+        """Copy nursery survivors to the old generation; charge the cost."""
+        machine = self._machine
+        machine.annot(tags.GC_MINOR_START, self.minor_collections)
+        survival = self._survival_rate()
+        surviving = int(self.nursery_used * survival)
+        cost = int(
+            self._cfg.minor_fixed_cost
+            + self._cfg.minor_cost_per_surviving_byte * surviving
+        )
+        self._charge(cost)
+        self.bytes_surviving_minor += surviving
+        self.old_bytes += surviving
+        self._old_top += surviving
+        self.nursery_used = 0
+        self.minor_collections += 1
+        self._samples = []
+        machine.annot(tags.GC_MINOR_STOP, self.minor_collections)
+        if self.old_bytes > self.major_threshold:
+            self.major_collect()
+
+    def major_collect(self):
+        """Mark-and-sweep the old generation; grow the trigger threshold."""
+        machine = self._machine
+        machine.annot(tags.GC_MAJOR_START, self.major_collections)
+        # Assume a fraction of the old generation is still live; the rest
+        # is swept.  Cost covers marking live data and sweeping all of it.
+        live = int(self.old_bytes * 0.6)
+        cost = int(
+            self._cfg.major_fixed_cost
+            + self._cfg.major_cost_per_live_byte * self.old_bytes
+        )
+        self._charge(cost)
+        self.old_bytes = live
+        self.major_threshold = max(
+            self._cfg.min_major_threshold,
+            int(live * self._cfg.major_growth_factor),
+        )
+        self.major_collections += 1
+        machine.annot(tags.GC_MAJOR_STOP, self.major_collections)
+
+    def _charge(self, cost_insns):
+        """Emit ``cost_insns`` worth of collector work into the stream."""
+        branches = int(cost_insns * _GC_BRANCH_RATE)
+        body = cost_insns - branches
+        chunks, remainder = divmod(body, _GC_WORK_SIZE)
+        machine = self._machine
+        if chunks:
+            machine.exec_mix(insns.scale_mix(_GC_WORK_MIX, chunks))
+        if remainder:
+            machine.exec_mix(insns.mix(alu=remainder))
+        machine.exec_bulk_branches(branches, _GC_BRANCH_MISS_RATE)
+
+    # -- statistics --------------------------------------------------------------
+
+    def stats(self):
+        return {
+            "minor_collections": self.minor_collections,
+            "major_collections": self.major_collections,
+            "total_allocated_bytes": self.total_allocated_bytes,
+            "total_allocations": self.total_allocations,
+            "bytes_surviving_minor": self.bytes_surviving_minor,
+            "old_bytes": self.old_bytes,
+        }

@@ -1,0 +1,1 @@
+"""Experiment runner, per-table/figure functions, reporting."""

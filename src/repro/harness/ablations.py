@@ -1,0 +1,117 @@
+"""Ablation experiments beyond the paper's measurements.
+
+The paper's discussion attributes performance to specific JIT design
+elements (escape analysis, guards, warmup thresholds, branch
+prediction); these ablations measure each attribution directly by
+switching the mechanism off.
+"""
+
+from repro.benchprogs import registry
+from repro.harness import report
+from repro.harness.runner import run_program
+
+DEFAULT_PROGRAMS = ("richards", "float", "chaos", "spitfire")
+
+OPT_PASSES = ("opt_virtuals", "opt_loop_peeling", "opt_heap_cache",
+              "opt_cse", "opt_guard_dedup", "opt_constfold")
+
+
+def optimizer_ablation(quick=True, programs=DEFAULT_PROGRAMS):
+    """Slowdown from disabling each optimizer pass (and all of them)."""
+    rows = []
+    for name in programs:
+        program = registry.py_program(name)
+        n = program.small_n if quick else program.default_n
+        base = run_program(program, "pypy", n=n)
+        row = {"benchmark": name, "base_s": base.seconds}
+        for pass_name in OPT_PASSES:
+            ablated = run_program(program, "pypy", n=n,
+                                  jit_overrides={pass_name: False})
+            assert ablated.output == base.output, (name, pass_name)
+            row[pass_name] = ablated.seconds / base.seconds
+        ablated = run_program(
+            program, "pypy", n=n,
+            jit_overrides={p: False for p in OPT_PASSES})
+        assert ablated.output == base.output
+        row["all_off"] = ablated.seconds / base.seconds
+        rows.append(row)
+    table_rows = [
+        tuple([r["benchmark"]] + ["%.2fx" % r[p] for p in OPT_PASSES]
+              + ["%.2fx" % r["all_off"]])
+        for r in rows
+    ]
+    text = report.render_table(
+        ["benchmark"] + [p.replace("opt_", "") for p in OPT_PASSES]
+        + ["all off"],
+        table_rows,
+        title="Ablation: slowdown with optimizer passes disabled")
+    return rows, text
+
+
+def threshold_sweep(quick=True, program_name="richards",
+                    thresholds=(3, 13, 39, 121, 363)):
+    """Hot-loop threshold sweep (the paper's warmup discussion)."""
+    program = registry.py_program(program_name)
+    n = program.small_n if quick else program.default_n
+    rows = []
+    for threshold in thresholds:
+        result = run_program(
+            program, "pypy", n=n,
+            jit_overrides={"hot_loop_threshold": threshold})
+        rows.append((threshold, result.seconds,
+                     result.phase_breakdown.get("jit", 0.0),
+                     result.phase_breakdown.get("tracing", 0.0)))
+    table_rows = [
+        (t, "%.4f" % s, "%.2f" % j, "%.3f" % tr)
+        for t, s, j, tr in rows
+    ]
+    text = report.render_table(
+        ["threshold", "t(s)", "jit frac", "tracing frac"], table_rows,
+        title="Ablation: hot-loop threshold sweep (%s)" % program_name)
+    return rows, text
+
+
+def bridge_threshold_sweep(quick=True, program_name="richards",
+                           thresholds=(2, 5, 11, 31, 101)):
+    """Guard-failure threshold before bridge compilation."""
+    program = registry.py_program(program_name)
+    n = program.small_n if quick else program.default_n
+    rows = []
+    for threshold in thresholds:
+        result = run_program(
+            program, "pypy", n=n,
+            jit_overrides={"bridge_threshold": threshold})
+        bridges = sum(1 for t in result.registry.traces
+                      if t.kind == "bridge")
+        rows.append((threshold, result.seconds, bridges,
+                     result.phase_breakdown.get("blackhole", 0.0)))
+    table_rows = [
+        (t, "%.4f" % s, b, "%.3f" % bh) for t, s, b, bh in rows
+    ]
+    text = report.render_table(
+        ["bridge threshold", "t(s)", "bridges", "blackhole frac"],
+        table_rows,
+        title="Ablation: bridge threshold sweep (%s)" % program_name)
+    return rows, text
+
+
+def predictor_ablation(quick=True, programs=("richards", "crypto_pyaes")):
+    """Branch-predictor sensitivity (Rohou et al. discussion)."""
+    rows = []
+    for name in programs:
+        program = registry.py_program(name)
+        n = program.small_n if quick else program.default_n
+        for vm in ("cpython", "pypy"):
+            for predictor in ("gshare", "bimodal", "always_taken"):
+                result = run_program(program, vm, n=n,
+                                     predictor=predictor)
+                rows.append((name, vm, predictor, result.seconds,
+                             result.mpki))
+    table_rows = [
+        (b, vm, p, "%.4f" % s, "%.1f" % mpki)
+        for b, vm, p, s, mpki in rows
+    ]
+    text = report.render_table(
+        ["benchmark", "vm", "predictor", "t(s)", "mpki"], table_rows,
+        title="Ablation: conditional branch predictor")
+    return rows, text

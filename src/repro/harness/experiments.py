@@ -1,0 +1,373 @@
+"""One function per paper table/figure (the per-experiment index of
+DESIGN.md).  Each returns structured data plus a rendered text block.
+
+Every experiment takes ``quick=True`` to run at test sizes; the bench
+harness uses the full sizes.
+"""
+
+import math
+
+from repro.benchprogs import registry
+from repro.harness import report
+from repro.harness.runner import (
+    asm_per_node,
+    category_breakdown,
+    ir_stats,
+    node_histogram,
+    run_program,
+)
+from repro.jit import ir as irdefs
+from repro.pintool.bcrate import break_even_instructions
+from repro.pintool.phases import PHASE_NAMES
+
+# Benchmarks with a native (C/C++) reference kernel.
+from repro.nativeref.kernels import KERNELS as NATIVE_KERNELS
+
+
+def _n(program, quick):
+    return program.small_n if quick else program.default_n
+
+
+def _sorted_by_speedup(rows, index):
+    return sorted(rows, key=lambda r: -r[index])
+
+
+# -- Table I: PyPy Benchmark Suite performance ---------------------------------
+
+
+def table1(quick=False, programs=None):
+    """CPython vs PyPy-nojit vs PyPy-jit: time, speedup, IPC, MPKI."""
+    programs = programs or registry.pypy_suite()
+    rows = []
+    for program in programs:
+        n = _n(program, quick)
+        cpy = run_program(program, "cpython", n=n)
+        nojit = run_program(program, "pypy_nojit", n=n)
+        jit = run_program(program, "pypy", n=n)
+        assert cpy.output == nojit.output == jit.output, program.name
+        rows.append({
+            "benchmark": program.name,
+            "cpython_s": cpy.seconds, "cpython_ipc": cpy.ipc,
+            "cpython_mpki": cpy.mpki,
+            "nojit_s": nojit.seconds,
+            "nojit_vc": cpy.seconds / nojit.seconds,
+            "nojit_ipc": nojit.ipc, "nojit_mpki": nojit.mpki,
+            "jit_s": jit.seconds,
+            "jit_vc": cpy.seconds / jit.seconds,
+            "jit_ipc": jit.ipc, "jit_mpki": jit.mpki,
+        })
+    rows.sort(key=lambda r: -r["jit_vc"])
+    table_rows = [
+        (r["benchmark"],
+         "%.4f" % r["cpython_s"], "%.2f" % r["cpython_ipc"],
+         "%.1f" % r["cpython_mpki"],
+         "%.4f" % r["nojit_s"], "%.2f" % r["nojit_vc"],
+         "%.2f" % r["nojit_ipc"], "%.1f" % r["nojit_mpki"],
+         "%.4f" % r["jit_s"], "%.2f" % r["jit_vc"],
+         "%.2f" % r["jit_ipc"], "%.1f" % r["jit_mpki"])
+        for r in rows
+    ]
+    text = report.render_table(
+        ["benchmark", "cpy t(s)", "ipc", "mpki",
+         "nojit t(s)", "vC", "ipc", "mpki",
+         "jit t(s)", "vC", "ipc", "mpki"],
+        table_rows,
+        title="Table I: PyPy Benchmark Suite (vC = speedup vs CPython)",
+    )
+    return rows, text
+
+
+# -- Table II: CLBG cross-language --------------------------------------------------
+
+
+def table2(quick=False):
+    """CPython / PyPy / Racket / Pycket / native on the CLBG programs."""
+    rows = []
+    rkt_names = {p.name: p for p in registry.RKT_PROGRAMS}
+    for program in registry.clbg_python():
+        n = _n(program, quick)
+        cpy = run_program(program, "cpython", n=n)
+        pypy = run_program(program, "pypy", n=n)
+        assert cpy.output == pypy.output, program.name
+        row = {
+            "benchmark": program.name,
+            "cpython_s": cpy.seconds,
+            "pypy_s": pypy.seconds,
+            "racket_s": None, "pycket_s": None, "native_s": None,
+        }
+        rkt = rkt_names.get(program.name)
+        if rkt is not None:
+            rn = _n(rkt, quick)
+            racket = run_program(rkt, "racket", n=rn)
+            pycket = run_program(rkt, "pycket", n=rn)
+            assert racket.output == pycket.output, rkt.name
+            row["racket_s"] = racket.seconds
+            row["pycket_s"] = pycket.seconds
+        if program.name in NATIVE_KERNELS:
+            native = run_program(program, "native", n=n)
+            row["native_s"] = native.seconds
+        rows.append(row)
+
+    def fmt(value):
+        return "%.4f" % value if value is not None else "-"
+
+    table_rows = [
+        (r["benchmark"], fmt(r["cpython_s"]), fmt(r["pypy_s"]),
+         fmt(r["racket_s"]), fmt(r["pycket_s"]), fmt(r["native_s"]))
+        for r in rows
+    ]
+    text = report.render_table(
+        ["benchmark", "cpython", "pypy", "racket", "pycket", "C/C++"],
+        table_rows, title="Table II: CLBG performance (seconds)")
+    return rows, text
+
+
+# -- Figure 2: phase breakdown per PyPy benchmark ------------------------------------
+
+
+def fig2(quick=False, programs=None):
+    programs = programs or registry.pypy_suite()
+    rows = []
+    for program in programs:
+        result = run_program(program, "pypy", n=_n(program, quick))
+        rows.append((program.name, result.phase_breakdown))
+    rows.sort(key=lambda r: -r[1].get("jit", 0.0))
+    text = report.render_stacked(
+        rows, PHASE_NAMES,
+        title="Figure 2: time-per-phase breakdown (PyPy suite)")
+    return rows, text
+
+
+# -- Figure 3: phase timelines for best/worst benchmarks ------------------------------
+
+
+def fig3(quick=False, best="richards", worst="eparse"):
+    blocks = []
+    data = {}
+    for name in (best, worst):
+        program = registry.py_program(name)
+        # Timelines need a few warm iterations even in quick mode.
+        n = program.small_n * 3 if quick else program.default_n
+        result = run_program(program, "pypy", n=n, timeline=True)
+        segments = result.timeline_segments or []
+        data[name] = segments
+        rows = [("%4.0f%%" % (100.0 * i / max(1, len(segments))), seg)
+                for i, seg in enumerate(segments)]
+        blocks.append(report.render_stacked(
+            rows, PHASE_NAMES,
+            title="Figure 3 (%s): phases over time" % name))
+    return data, "\n\n".join(blocks)
+
+
+# -- Figure 4: PyPy vs Pycket phase breakdown on CLBG ----------------------------------
+
+
+def fig4(quick=False):
+    rkt_names = {p.name: p for p in registry.RKT_PROGRAMS}
+    rows = []
+    for program in registry.clbg_python():
+        rkt = rkt_names.get(program.name)
+        if rkt is None:
+            continue
+        pypy = run_program(program, "pypy", n=_n(program, quick))
+        pycket = run_program(rkt, "pycket", n=_n(rkt, quick))
+        rows.append((program.name + "/pypy", pypy.phase_breakdown))
+        rows.append((program.name + "/pycket", pycket.phase_breakdown))
+    text = report.render_stacked(
+        rows, PHASE_NAMES,
+        title="Figure 4: phase breakdown, PyPy vs Pycket (CLBG)")
+    return rows, text
+
+
+# -- Table III: significant AOT-compiled functions --------------------------------------
+
+
+def table3(quick=False, threshold=0.10, programs=None):
+    programs = programs or registry.pypy_suite()
+    rows = []
+    for program in programs:
+        result = run_program(program, "pypy", n=_n(program, quick))
+        for fraction, src, name, _calls in result.aot_rows:
+            if fraction >= threshold:
+                rows.append((program.name, 100.0 * fraction, src, name))
+    rows.sort(key=lambda r: (r[0], -r[1]))
+    table_rows = [(b, "%.1f" % pct, src, fn) for b, pct, src, fn in rows]
+    text = report.render_table(
+        ["benchmark", "%", "src", "function"], table_rows,
+        title="Table III: significant AOT functions called from traces "
+              "(>%d%% of execution)" % int(threshold * 100))
+    return rows, text
+
+
+# -- Figure 5: JIT warmup curves and break-even points ------------------------------------
+
+
+def fig5(quick=False, programs=None, max_instructions=4_000_000):
+    """Bytecode-rate warmup curves vs CPython (first K instructions)."""
+    programs = programs or registry.pypy_suite()
+    rows = []
+    blocks = []
+    for program in programs:
+        n = _n(program, quick)
+        jit = run_program(program, "pypy", n=n, timeline=True,
+                          max_instructions=max_instructions)
+        cpy = run_program(program, "cpython", n=n,
+                          max_instructions=max_instructions)
+        nojit = run_program(program, "pypy_nojit", n=n,
+                            max_instructions=max_instructions)
+        cpy_rate = cpy.bytecodes_per_insn
+        nojit_rate = nojit.bytecodes_per_insn
+        timeline = jit.bc_timeline or []
+        break_even_cpy = break_even_instructions(timeline, cpy_rate)
+        break_even_nojit = break_even_instructions(timeline, nojit_rate)
+        final_speedup = (jit.bytecodes_per_insn / cpy_rate
+                         if cpy_rate else 0.0)
+        rows.append({
+            "benchmark": program.name,
+            "break_even_vs_cpython": break_even_cpy,
+            "break_even_vs_nojit": break_even_nojit,
+            "rate_ratio_vs_cpython": final_speedup,
+            "timeline": timeline,
+        })
+        if timeline:
+            curve = [(i, 1000.0 * b / i) for i, b in timeline if i]
+            blocks.append(report.render_series(
+                curve, title="Figure 5 (%s): bytecodes/kinsn over time; "
+                "break-even vs cpython at %s, vs nojit at %s"
+                % (program.name, break_even_cpy, break_even_nojit)))
+    return rows, "\n\n".join(blocks)
+
+
+# -- Figure 6: JIT IR compilation/usage statistics -------------------------------------------
+
+
+def fig6(quick=False, programs=None):
+    programs = programs or registry.pypy_suite()
+    rows = []
+    for program in programs:
+        result = run_program(program, "pypy", n=_n(program, quick))
+        stats = ir_stats(result)
+        stats["benchmark"] = program.name
+        rows.append(stats)
+    part_a = report.render_bars(
+        [(r["benchmark"], math.log10(max(1, r["nodes_compiled"])))
+         for r in rows],
+        title="Figure 6a: log10(IR nodes compiled)")
+    part_b = report.render_bars(
+        [(r["benchmark"], 100.0 * r["hot_fraction"]) for r in rows],
+        title="Figure 6b: %% of compiled nodes covering 95%% of JIT time",
+        fmt="%.1f")
+    part_c = report.render_bars(
+        [(r["benchmark"], r["nodes_per_minsn"]) for r in rows],
+        title="Figure 6c: dynamic IR nodes per million instructions",
+        fmt="%.0f")
+    return rows, "\n\n".join([part_a, part_b, part_c])
+
+
+# -- Figure 7: trace composition by category ----------------------------------------------------
+
+
+def fig7(quick=False, programs=None):
+    programs = programs or registry.pypy_suite()
+    rows = []
+    totals = {}
+    for program in programs:
+        result = run_program(program, "pypy", n=_n(program, quick))
+        breakdown = category_breakdown(result)
+        rows.append((program.name, breakdown))
+        for category, fraction in breakdown.items():
+            totals[category] = totals.get(category, 0.0) + fraction
+    if rows:
+        mean = {c: v / len(rows) for c, v in totals.items()}
+        rows.append(("MEAN", mean))
+    text = report.render_stacked(
+        rows, list(irdefs.CATEGORIES),
+        title="Figure 7: dynamic trace composition by IR category")
+    return rows, text
+
+
+# -- Figure 8: dynamic IR node type histogram ------------------------------------------------------
+
+
+def fig8(quick=False, programs=None, top=18):
+    programs = programs or registry.pypy_suite()
+    totals = {}
+    for program in programs:
+        result = run_program(program, "pypy", n=_n(program, quick))
+        for opname, fraction in node_histogram(result).items():
+            totals[opname] = totals.get(opname, 0.0) + fraction
+    n_programs = max(1, len(programs))
+    histogram = {name: value / n_programs for name, value in totals.items()}
+    items = sorted(histogram.items(), key=lambda kv: -kv[1])[:top]
+    text = report.render_bars(
+        [(name, 100.0 * value) for name, value in items],
+        title="Figure 8: dynamic IR node type frequency (%)", fmt="%.2f")
+    return histogram, text
+
+
+# -- Figure 9: assembly instructions per IR node type -----------------------------------------------
+
+
+def fig9(quick=False, programs=None, top=18):
+    programs = programs or registry.pypy_suite()
+    sums = {}
+    counts = {}
+    for program in programs:
+        result = run_program(program, "pypy", n=_n(program, quick))
+        for opname, mean in asm_per_node(result).items():
+            sums[opname] = sums.get(opname, 0.0) + mean
+            counts[opname] = counts.get(opname, 0) + 1
+    means = {name: sums[name] / counts[name] for name in sums}
+    items = sorted(means.items(), key=lambda kv: -kv[1])[:top]
+    text = report.render_bars(
+        items, title="Figure 9: mean assembly instructions per IR node",
+        fmt="%.1f")
+    return means, text
+
+
+# -- Table IV: per-phase microarchitectural behaviour -------------------------------------------------
+
+
+def table4(quick=False, programs=None):
+    programs = programs or registry.pypy_suite()
+    samples = {name: {"ipc": [], "bpi": [], "miss": []}
+               for name in PHASE_NAMES}
+    for program in programs:
+        result = run_program(program, "pypy", n=_n(program, quick))
+        for i, name in enumerate(PHASE_NAMES):
+            window = result.phase_windows[i]
+            if window.instructions < 2000:
+                continue  # too small a sample for stable ratios
+            samples[name]["ipc"].append(window.ipc)
+            samples[name]["bpi"].append(window.branches_per_insn)
+            samples[name]["miss"].append(window.branch_miss_rate)
+
+    def mean_std(values):
+        if not values:
+            return 0.0, 0.0
+        mean = sum(values) / len(values)
+        variance = sum((v - mean) ** 2 for v in values) / len(values)
+        return mean, variance ** 0.5
+
+    rows = []
+    for name in PHASE_NAMES:
+        ipc_m, ipc_s = mean_std(samples[name]["ipc"])
+        bpi_m, bpi_s = mean_std(samples[name]["bpi"])
+        miss_m, miss_s = mean_std(samples[name]["miss"])
+        rows.append({
+            "phase": name, "ipc": ipc_m, "ipc_std": ipc_s,
+            "branches_per_insn": bpi_m, "bpi_std": bpi_s,
+            "miss_rate": miss_m, "miss_std": miss_s,
+            "n": len(samples[name]["ipc"]),
+        })
+    table_rows = [
+        (r["phase"], r["n"],
+         "%.2f +- %.2f" % (r["ipc"], r["ipc_std"]),
+         "%.3f +- %.3f" % (r["branches_per_insn"], r["bpi_std"]),
+         "%.3f +- %.3f" % (r["miss_rate"], r["miss_std"]))
+        for r in rows
+    ]
+    text = report.render_table(
+        ["phase", "n", "IPC", "branches/insn", "miss rate"], table_rows,
+        title="Table IV: microarchitectural behaviour by phase")
+    return rows, text

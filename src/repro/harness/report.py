@@ -1,0 +1,116 @@
+"""Text rendering of tables and figures (plus CSV export).
+
+The paper's tables become aligned text tables; its bar/line figures
+become ASCII charts — enough to eyeball the reproduced *shapes*.
+"""
+
+import os
+
+
+def render_table(headers, rows, title=None):
+    """Align columns; cells are stringified."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i])
+                           for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_bars(items, width=46, title=None, fmt="%.3f"):
+    """Horizontal bar chart from (label, value) pairs."""
+    lines = []
+    if title:
+        lines.append(title)
+    if not items:
+        return title or ""
+    peak = max(value for _, value in items) or 1.0
+    label_width = max(len(str(label)) for label, _ in items)
+    for label, value in items:
+        bar = "#" * max(0, int(round(width * value / peak)))
+        lines.append("%s  %s %s" % (
+            str(label).ljust(label_width), (fmt % value).rjust(9), bar))
+    return "\n".join(lines)
+
+
+def render_stacked(rows, columns, width=50, title=None):
+    """Stacked horizontal bars: rows = (label, {column: fraction})."""
+    symbols = {}
+    palette = "#=+:*%@o."
+    for i, column in enumerate(columns):
+        symbols[column] = palette[i % len(palette)]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("legend: " + "  ".join(
+        "%s=%s" % (symbols[c], c) for c in columns))
+    label_width = max((len(str(label)) for label, _ in rows), default=4)
+    for label, fractions in rows:
+        bar = []
+        for column in columns:
+            n = int(round(width * fractions.get(column, 0.0)))
+            bar.append(symbols[column] * n)
+        lines.append("%s  |%s" % (str(label).ljust(label_width),
+                                  "".join(bar)))
+    return "\n".join(lines)
+
+
+def render_series(points, width=64, height=12, title=None):
+    """A crude line plot of (x, y) points (the warmup curves)."""
+    lines = []
+    if title:
+        lines.append(title)
+    if not points:
+        return title or ""
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    if x_max == x_min:
+        x_max += 1
+    if y_max == y_min:
+        y_max += 1
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in points:
+        col = int((x - x_min) / (x_max - x_min) * (width - 1))
+        row = int((y - y_min) / (y_max - y_min) * (height - 1))
+        grid[height - 1 - row][col] = "*"
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append("y: %.3g..%.3g   x: %.3g..%.3g"
+                 % (y_min, y_max, x_min, x_max))
+    return "\n".join(lines)
+
+
+def results_dir():
+    path = os.environ.get("REPRO_RESULTS_DIR")
+    if not path:
+        path = os.path.join(os.getcwd(), "results")
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def save_text(name, text):
+    path = os.path.join(results_dir(), name)
+    with open(path, "w") as handle:
+        handle.write(text if text.endswith("\n") else text + "\n")
+    return path
+
+
+def save_csv(name, headers, rows):
+    path = os.path.join(results_dir(), name)
+    with open(path, "w") as handle:
+        handle.write(",".join(str(h) for h in headers) + "\n")
+        for row in rows:
+            handle.write(",".join(str(c) for c in row) + "\n")
+    return path

@@ -1,0 +1,207 @@
+"""The experiment runner: one entry point for every VM configuration.
+
+Runs a benchmark program on one of the seven VM configurations the paper
+compares and returns a :class:`RunResult` with every measurement the
+tables/figures need (times, counters, phase windows, warmup timelines,
+AOT-call profiles, JIT-IR statistics).  Results are cached in-process so
+one simulation feeds all the tables and figures that share it, like the
+paper's single instrumented runs.
+"""
+
+from repro.benchprogs import registry
+from repro.core.config import SystemConfig
+from repro.interp.context import VMContext
+from repro.jit import executor, jitlog
+from repro.nativeref.kernels import run_native
+from repro.pintool.tool import PinTool
+from repro.pylang.cpref import CpRef
+from repro.pylang.interp import PyVM
+from repro.rktlang.vm import RacketRef, RktVM
+from repro.uarch.machine import SimulationLimitReached
+
+# Simulated clock frequency used to report "seconds" (a 3.2 GHz part).
+CLOCK_HZ = 3.2e9
+
+VM_KINDS = ("cpython", "pypy_nojit", "pypy", "racket", "pycket_nojit",
+            "pycket", "native")
+
+_JIT_VMS = {"pypy": PyVM, "pypy_nojit": PyVM,
+            "pycket": RktVM, "pycket_nojit": RktVM}
+_REF_VMS = {"cpython": CpRef, "racket": RacketRef}
+
+
+class RunResult(object):
+    """Everything measured from one simulated benchmark run."""
+
+    def __init__(self, program, vm_kind, n):
+        self.program = program
+        self.vm_kind = vm_kind
+        self.n = n
+        self.output = ""
+        self.cycles = 0.0
+        self.instructions = 0
+        self.ipc = 0.0
+        self.mpki = 0.0
+        self.truncated = False
+        self.phase_windows = None
+        self.phase_breakdown = None
+        self.timeline_segments = None
+        self.bytecodes = 0
+        self.bc_timeline = None
+        self.aot_rows = []
+        self.registry = None
+        self.jitlog_obj = None
+        self.gc_stats = None
+
+    @property
+    def seconds(self):
+        return self.cycles / CLOCK_HZ
+
+    @property
+    def bytecodes_per_insn(self):
+        if not self.instructions:
+            return 0.0
+        return self.bytecodes / self.instructions
+
+    def __repr__(self):
+        return "<RunResult %s/%s t=%.4fs>" % (
+            self.program, self.vm_kind, self.seconds)
+
+
+_CACHE = {}
+
+
+def clear_cache():
+    _CACHE.clear()
+
+
+def _base_config(max_instructions, jit_enabled, overrides):
+    config = SystemConfig()
+    config.max_instructions = max_instructions
+    config.jit.enabled = jit_enabled
+    if overrides:
+        for key, value in overrides.items():
+            if hasattr(config.jit, key):
+                setattr(config.jit, key, value)
+            elif hasattr(config.uarch, key):
+                setattr(config.uarch, key, value)
+            elif hasattr(config.gc, key):
+                setattr(config.gc, key, value)
+            else:
+                raise KeyError(key)
+    return config
+
+
+def run_program(program, vm_kind, n=None, timeline=False,
+                max_instructions=0, jit_overrides=None,
+                predictor="gshare", use_cache=True):
+    """Run ``program`` (a BenchProgram or name) on one VM configuration."""
+    if isinstance(program, str):
+        try:
+            program = registry.py_program(program)
+        except KeyError:
+            program = registry.rkt_program(program)
+    if n is None:
+        n = program.default_n
+    overrides_key = tuple(sorted((jit_overrides or {}).items()))
+    key = (program.language, program.name, vm_kind, n, timeline,
+           max_instructions, overrides_key, predictor)
+    if use_cache and key in _CACHE:
+        return _CACHE[key]
+
+    source = program.source(n=n)
+    result = RunResult(program.name, vm_kind, n)
+
+    if vm_kind == "native":
+        config = _base_config(max_instructions, False, jit_overrides)
+        try:
+            native = run_native(program.name, n, config,
+                                predictor=predictor)
+        except SimulationLimitReached:
+            result.truncated = True
+            raise
+        result.output = native.stdout()
+        _fill_machine(result, native.machine)
+    elif vm_kind in _REF_VMS:
+        config = _base_config(max_instructions, False, jit_overrides)
+        vm = _REF_VMS[vm_kind](config, predictor=predictor)
+        tool = PinTool(vm.machine, record_timeline=timeline,
+                       bucket_insns=config.timeline_bucket_insns
+                       if timeline else 0)
+        try:
+            vm.run_source(source)
+        except SimulationLimitReached:
+            result.truncated = True
+        tool.finish()
+        result.output = vm.stdout()
+        _fill_machine(result, vm.machine)
+        _fill_pintool(result, tool)
+    else:
+        jit_enabled = not vm_kind.endswith("_nojit")
+        config = _base_config(max_instructions, jit_enabled, jit_overrides)
+        ctx = VMContext(config, predictor=predictor)
+        tool = PinTool(ctx.machine, record_timeline=timeline,
+                       bucket_insns=config.timeline_bucket_insns
+                       if timeline else 0)
+        vm = _JIT_VMS[vm_kind](ctx)
+        try:
+            vm.run_source(source)
+        except SimulationLimitReached:
+            result.truncated = True
+        tool.finish()
+        for trace in ctx.registry.traces:
+            executor.sync_exec_counts(trace)
+        result.output = vm.stdout()
+        _fill_machine(result, ctx.machine)
+        _fill_pintool(result, tool)
+        result.registry = ctx.registry
+        result.jitlog_obj = ctx.jitlog
+        result.gc_stats = ctx.gc.stats()
+        result.aot_rows = tool.aotcalls.all_rows(ctx.machine.cycles)
+
+    if use_cache:
+        _CACHE[key] = result
+    return result
+
+
+def _fill_machine(result, machine):
+    result.cycles = machine.cycles
+    result.instructions = machine.instructions
+    result.ipc = machine.ipc
+    result.mpki = machine.branch_mpki
+
+
+def _fill_pintool(result, tool):
+    result.phase_windows = tool.phases.windows
+    result.phase_breakdown = tool.phases.breakdown()
+    if tool.phases.record_timeline:
+        result.timeline_segments = tool.phases.timeline_segments()
+    result.bytecodes = tool.bcrate.bytecodes
+    if tool.bcrate.bucket_insns:
+        result.bc_timeline = list(tool.bcrate.timeline)
+
+
+# -- JIT-IR statistics helpers (jitlog-backed) ---------------------------------
+
+
+def ir_stats(result):
+    """Figure 6 statistics for a JIT run."""
+    reg = result.registry
+    return {
+        "nodes_compiled": jitlog.total_ir_nodes_compiled(reg),
+        "hot_fraction": jitlog.hot_node_fraction(reg),
+        "nodes_per_minsn": jitlog.ir_nodes_per_minsn(
+            reg, result.instructions),
+    }
+
+
+def category_breakdown(result):
+    return jitlog.dynamic_category_breakdown(result.registry)
+
+
+def node_histogram(result):
+    return jitlog.dynamic_node_type_histogram(result.registry)
+
+
+def asm_per_node(result):
+    return jitlog.asm_insns_per_node_type(result.registry)

@@ -1,0 +1,1 @@
+"""Framework-facing interpreter API: LLOps, JitDriver, AOT registry."""

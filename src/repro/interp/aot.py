@@ -1,0 +1,73 @@
+"""AOT-compiled runtime functions.
+
+In RPython, interpreter/runtime functions that cannot be inlined into a
+trace (typically because they contain loops with data-dependent bounds)
+are compiled ahead of time and *called* from JIT code — the paper's
+"JIT call" phase and Table III.  Here, an :class:`AotFunction` wraps a
+Python implementation that charges a work-proportional instruction cost
+through the context.
+
+``src`` uses the paper's Table III source tags:
+
+* ``R`` — RPython type-system intrinsics (dicts, lists, ...)
+* ``L`` — the RPython standard library (rbigint, rstring, ...)
+* ``C`` — external C library calls (pow, memcpy, ...)
+* ``I`` — interpreter-defined helpers (list strategies, ...)
+* ``M`` — VM module helpers (json encoding, ...)
+
+``effects`` describes two independent properties the tracer needs:
+
+* ``pure``      — no heap effects; CSE/fold candidates (call_pure).
+* ``readonly``  — reads the heap, writes nothing; safe to re-execute.
+* ``idempotent``— writes the heap, but re-executing with the same
+                  arguments is harmless (e.g. dict setitem).
+* ``any``       — arbitrary effects; re-execution is unsafe, so a guard
+                  recorded after such a call in the same merge region
+                  forces a trace abort (deopt soundness).
+"""
+
+from repro.core.errors import ReproError
+
+EFFECTS = ("pure", "readonly", "idempotent", "any")
+
+
+class AotFunction(object):
+    """One AOT-compiled entry point callable from traces."""
+
+    __slots__ = ("name", "src", "effects", "fn")
+
+    def __init__(self, name, src, effects, fn):
+        if src not in ("R", "L", "C", "I", "M"):
+            raise ReproError("bad src tag %r" % src)
+        if effects not in EFFECTS:
+            raise ReproError("bad effects %r" % effects)
+        self.name = name
+        self.src = src
+        self.effects = effects
+        self.fn = fn
+
+    @property
+    def reexec_safe(self):
+        return self.effects != "any"
+
+    @property
+    def invalidates_heap(self):
+        return self.effects in ("idempotent", "any")
+
+    def call(self, ctx, args):
+        """Invoke the implementation (charges its own costs via ctx)."""
+        return self.fn(ctx, *args)
+
+    def __repr__(self):
+        return "<AotFunction %s (%s)>" % (self.name, self.src)
+
+
+def aot(name, src, effects):
+    """Decorator: wrap a function as an AotFunction.
+
+    >>> @aot("rstr.ll_join", "R", "pure")
+    ... def ll_join(ctx, sep, items): ...
+    """
+    def wrap(fn):
+        return AotFunction(name, src, effects, fn)
+    return wrap

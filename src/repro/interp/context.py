@@ -1,0 +1,45 @@
+"""The VM context: one simulated process.
+
+Bundles the machine (timing + annotation target), the GC, the trace
+registry, the jitlog, and the LLOps operation layer.  Each benchmark run
+constructs one fresh context.
+"""
+
+from repro.core import tags
+from repro.gc.heap import SimGC
+from repro.jit.jitlog import JitLog
+from repro.jit.trace import TraceRegistry
+from repro.uarch.machine import Machine
+
+
+class VMContext(object):
+    """Everything one simulated RPython-style VM process shares."""
+
+    def __init__(self, config, predictor="gshare"):
+        self.config = config
+        self.machine = Machine(config, predictor=predictor)
+        self.gc = SimGC(self.machine, config.gc)
+        self.registry = TraceRegistry()
+        self.jitlog = JitLog() if config.jit.jitlog else None
+        self.tracer = None  # active MetaTracer while recording
+        # Imported here to avoid a cycle (llops needs the context type).
+        from repro.interp.llops import LLOps
+
+        self.llops = LLOps(self)
+
+    # -- convenience charging helpers -----------------------------------------
+
+    def charge(self, mix):
+        self.machine.exec_mix(mix)
+
+    def charge_branches(self, count, miss_rate):
+        self.machine.exec_bulk_branches(count, miss_rate)
+
+    def annot(self, tag, payload=None):
+        self.machine.annot(tag, payload)
+
+    def vm_start(self):
+        self.machine.annot(tags.VM_START)
+
+    def vm_stop(self):
+        self.machine.annot(tags.VM_STOP)

@@ -1,0 +1,256 @@
+"""The JitDriver: hot-loop detection and tracing orchestration.
+
+Guest interpreters call two hooks (mirroring RPython's ``jit_merge_point``
+and ``can_enter_jit``):
+
+* :meth:`loop_header` at every backward jump, *after* updating
+  ``frame.pc`` to the loop-header pc.  This is where hot counters are
+  bumped, compiled loops are entered, and tracing is started.
+
+* :meth:`trace_dispatch` at the top of the dispatch loop whenever
+  ``ctx.tracer`` is active.  This records a ``debug_merge_point`` with a
+  resume snapshot, detects loop closure and cross-trace jumps, and
+  cleanly aborts dead traces at a bytecode boundary.
+
+The interpreter must keep an explicit frame stack in ``interp.frames``
+(each frame exposing ``code``, ``pc``, ``locals``, ``stack``) so that
+resume snapshots and deoptimization can be expressed as plain data.
+"""
+
+from repro.interp.objects import TBox
+from repro.jit import ir
+from repro.jit.executor import execute
+from repro.jit.trace import BRIDGE, LOOP
+from repro.jit.tracer import MetaTracer
+
+# loop_header outcomes.
+CONTINUE = 0
+DEOPTED = 1
+
+
+class JitDriver(object):
+    """Per-VM JIT orchestration state."""
+
+    def __init__(self, ctx):
+        self.ctx = ctx
+        self.cfg = ctx.config.jit
+        self.registry = ctx.registry
+        self.hot_counters = {}
+        self.abort_counts = {}
+        # True while a tracer is suspended for a call_assembler body:
+        # no new trace/bridge recording may start (it would unwrap the
+        # suspended tracer's boxed frames).
+        self.paused_tracing = False
+
+    # -- interpreter hooks --------------------------------------------------------
+
+    def loop_header(self, interp, frame):
+        """Called at each guest backward jump (``can_enter_jit``)."""
+        if not self.cfg.enabled or self.ctx.tracer is not None:
+            return CONTINUE
+        if self.paused_tracing:
+            # Inside a call_assembler body: existing traces may run, but
+            # no new recording may begin.
+            key = (frame.code, frame.pc)
+            trace = self.registry.by_greenkey.get(key)
+            if trace is not None:
+                return self._run(interp, trace, frame)
+            return CONTINUE
+        key = (frame.code, frame.pc)
+        trace = self.registry.by_greenkey.get(key)
+        if trace is not None:
+            return self._run(interp, trace, frame)
+        if key in self.registry.blacklist:
+            return CONTINUE
+        count = self.hot_counters.get(key, 0) + 1
+        if count >= self.cfg.hot_loop_threshold:
+            self.hot_counters[key] = 0
+            self._start_tracing(interp, key)
+        else:
+            self.hot_counters[key] = count
+        return CONTINUE
+
+    def trace_dispatch(self, interp, frame):
+        """Called at every dispatch iteration while tracing."""
+        tracer = self.ctx.tracer
+        if tracer.dead is not None:
+            self._abort(tracer, tracer.dead)
+            return CONTINUE
+        depth = len(interp.frames)
+        root_depth = tracer.root_depth
+        if depth <= root_depth:
+            self._abort(tracer, "root frame returned")
+            return CONTINUE
+        key = (frame.code, frame.pc)
+        if depth == root_depth + 1:
+            if key == tracer.greenkey and tracer.merge_points_seen > 0 \
+                    and tracer.kind == LOOP:
+                trace = tracer.close_loop()
+                return self._run(interp, trace, frame)
+            other = self.registry.by_greenkey.get(key)
+            if other is not None and tracer.merge_points_seen > 0:
+                # The current frame state is exactly ``other``'s entry
+                # state, so enter the target loop directly.
+                tracer.close_to_trace(other)
+                return self._run(interp, other, frame)
+            if (tracer.kind == BRIDGE and key == tracer.greenkey
+                    and tracer.merge_points_seen > 0):
+                # A bridge that loops back to a not-yet-compiled header:
+                # give up (the header's own loop will be traced later).
+                self._abort(tracer, "bridge looped")
+                return CONTINUE
+        else:
+            if len(interp.frames) - root_depth > self.cfg.max_inline_depth:
+                self._abort(tracer, "inlining too deep")
+                return CONTINUE
+            other = self.registry.by_greenkey.get(key)
+            if other is not None:
+                # An already-compiled inner loop inside an inlined frame:
+                # emit call_assembler — run the callee frame to
+                # completion (using its compiled loop) and record the
+                # call as one residual operation, exactly as RPython
+                # stitches nested/recursive compiled loops together.
+                if hasattr(interp, "run_frame_to_completion"):
+                    self._record_call_assembler(interp, tracer, frame)
+                    return DEOPTED  # frame state changed: re-dispatch
+                self._abort(tracer, "inner compiled loop")
+                return CONTINUE
+        tracer.record_merge_point(key)
+        return CONTINUE
+
+    @property
+    def tracing(self):
+        return self.ctx.tracer is not None
+
+    # -- internals -------------------------------------------------------------------
+
+    def _start_tracing(self, interp, key):
+        tracer = MetaTracer(
+            self.ctx, LOOP, key, root_depth=len(interp.frames) - 1,
+        )
+        tracer.begin(interp)
+
+    def _start_bridge(self, interp, guard):
+        # Root the bridge at the *outermost* frame of the guard's resume
+        # snapshot: the bridge's virtual frame stack then matches the
+        # guard's exactly (its entry values are the flattened snapshot),
+        # returns from inlined frames stay above the root, and the
+        # bridge can close by jumping to the enclosing loop.
+        n_frames = len(guard.snapshot.frames)
+        key = (interp.frames[-1].code, interp.frames[-1].pc)
+        tracer = MetaTracer(
+            self.ctx, BRIDGE, key,
+            root_depth=len(interp.frames) - n_frames,
+            parent_guard=guard,
+        )
+        tracer.begin(interp)
+
+    def _abort(self, tracer, reason):
+        tracer.abort(reason)
+        key = tracer.greenkey
+        if tracer.kind == LOOP:
+            count = self.abort_counts.get(key, 0) + 1
+            self.abort_counts[key] = count
+            if count >= self.cfg.max_aborts:
+                self.registry.blacklist.add(key)
+        else:
+            guard = tracer.parent_guard
+            if guard is not None and guard.bridge is None:
+                guard.bridge = "blacklisted"
+
+    def _record_call_assembler(self, interp, tracer, frame):
+        """Record a call_assembler op for the current (inlined) frame.
+
+        The tracer is suspended, the callee frame runs to completion in
+        direct mode (entering its compiled loop), and the recorded op
+        replays that via :class:`CallAssemblerToken` at trace-execution
+        time.
+        """
+        ctx = self.ctx
+
+        def ir_of(value):
+            if type(value) is TBox:
+                if value.owner is not tracer:
+                    tracer.dead = "stale trace box"
+                    return ir.Const(value.value)
+                return value.ir
+            return ir.Const(value)
+
+        args = [ir_of(v) for v in frame.locals]
+        args.extend(ir_of(v) for v in frame.stack)
+        token = CallAssemblerToken(
+            interp, frame.code, frame.pc, len(frame.locals),
+            len(frame.stack), getattr(frame, "snapshot_extra", None))
+        op = tracer.record(ir.CALL_ASSEMBLER, args, token)
+        tracer.mark_hazard()
+        tracer.invalidate_caches()
+        # Suspend recording; run the callee concretely (unboxed).
+        from repro.interp.objects import unwrap_frame
+
+        unwrap_frame(frame)
+        caller = interp.frames[-2] if len(interp.frames) >= 2 else None
+        caller_depth = len(caller.stack) if caller is not None else 0
+        ctx.tracer = None
+        was_paused = self.paused_tracing
+        self.paused_tracing = True
+        try:
+            interp.run_to_depth(len(interp.frames) - 1)
+        finally:
+            self.paused_tracing = was_paused
+            ctx.tracer = tracer
+        # The callee's return value (if any) landed on the caller's
+        # stack as a raw value: link it to the call_assembler op.
+        if caller is not None and len(caller.stack) == caller_depth + 1:
+            caller.stack[-1] = TBox(caller.stack[-1], op, tracer)
+
+    def _run(self, interp, trace, frame):
+        """Execute a compiled trace from the current frame state."""
+        entry = list(frame.locals)
+        entry.extend(frame.stack)
+        result = execute(self.ctx, trace, entry)
+        self._apply_deopt(interp, result.deopt)
+        if result.bridge_request is not None and self.ctx.tracer is None \
+                and not self.paused_tracing:
+            self._start_bridge(interp, result.bridge_request)
+        return DEOPTED
+
+    def _apply_deopt(self, interp, deopt):
+        root_depth = len(interp.frames) - 1
+        new_frames = [
+            interp.make_frame(code, pc, locals_values, stack_values, extra)
+            for code, pc, locals_values, stack_values, extra in deopt.frames
+        ]
+        interp.frames[root_depth:] = new_frames
+
+
+class CallAssemblerToken(object):
+    """Runtime payload of a call_assembler op: rebuild the callee frame
+    and run it to completion (entering its compiled loop)."""
+
+    def __init__(self, interp, code, pc, n_locals, n_stack, extra):
+        self.interp = interp
+        self.code = code
+        self.pc = pc
+        self.n_locals = n_locals
+        self.n_stack = n_stack
+        self.extra = extra
+
+    def __call__(self, args):
+        locals_values = list(args[:self.n_locals])
+        stack_values = list(args[self.n_locals:])
+        # No new trace/bridge recording may begin inside this frame
+        # scope: a recording crossing the scope boundary would capture
+        # state of frames that die when the call returns.
+        driver = self.interp.driver
+        was_paused = driver.paused_tracing
+        driver.paused_tracing = True
+        try:
+            return self.interp.run_frame_to_completion(
+                self.code, self.pc, locals_values, stack_values,
+                self.extra)
+        finally:
+            driver.paused_tracing = was_paused
+
+    def __repr__(self):
+        return "<call_assembler %s:%d>" % (
+            getattr(self.code, "name", self.code), self.pc)

@@ -1,0 +1,603 @@
+"""LLOps: the low-level operation layer guest interpreters are written
+against.
+
+This is the reproduction's equivalent of RPython's translation boundary.
+Guest interpreters perform *all* work on runtime-varying ("red") values
+through these methods.  The layer has two modes:
+
+* **direct mode** (``ctx.tracer is None``): operations execute
+  immediately on raw values and charge interpreter-level instruction
+  costs to the machine.
+
+* **tracing mode**: the meta-interpreter is recording.  Red values are
+  :class:`TBox` handles carrying both the concrete value and the IR
+  value; each operation executes concretely *and* records an IR op
+  (with promotion guards capturing observed constants/classes), while
+  charging meta-interpretation costs — which is precisely how RPython
+  traces the interpreter rather than the application.
+
+Raw (non-TBox) values in tracing mode are trace *constants* — this is
+what makes the interpreter's green state (bytecode, pc, code objects)
+melt away from traces.
+"""
+
+from repro.interp.objects import (
+    LLArray,
+    TBox,
+    concrete,
+    sizeof_array,
+    sizeof_instance,
+)
+from repro.isa import insns
+from repro.jit import costs, ir
+from repro.jit.semantics import EVAL, LLOverflow
+
+# -- direct-mode interpreter cost mixes ---------------------------------------
+# These model the AOT-compiled RPython interpreter's handler bodies:
+# heavier than hand-written C (CPython) by design — the paper measures
+# CPython about 2x faster than PyPy-without-JIT.
+
+_D_FRAME = insns.mix(load=5, store=2, alu=4, br_bulk=2)
+_D_ARITH = insns.mix(alu=8, load=8, store=3, br_bulk=3)
+_D_CMP = insns.mix(alu=8, load=8, br_bulk=3)
+_D_DIV = insns.mix(div=1, alu=8, load=8, store=3, br_bulk=3)
+_D_MUL = insns.mix(mul=1, alu=7, load=8, store=3, br_bulk=3)
+_D_FARITH = insns.mix(fpu=1, alu=7, load=8, store=3, br_bulk=3)
+_D_FIELD = insns.mix(alu=4, load=3, br_bulk=1)
+_D_NEW = insns.mix(alu=9, store=5, load=6, br_bulk=3)
+_D_ARRAY = insns.mix(alu=5, load=3, br_bulk=2)
+_D_STR = insns.mix(alu=5, load=6, br_bulk=2)
+_D_CALL = insns.mix(alu=8, store=5, load=7, br_bulk=3)
+_D_MISC = insns.mix(alu=4, load=2, br_bulk=1)
+
+_OVERFLOWED = object()  # sentinel stored by failed ovf ops (executor use)
+
+
+class LLOps(object):
+    """The operation layer; one instance per VM context."""
+
+    def __init__(self, ctx):
+        self.ctx = ctx
+        self.machine = ctx.machine
+        self.gc = ctx.gc
+
+    # -- tracing helpers ------------------------------------------------------
+
+    def _ir(self, value):
+        if type(value) is TBox:
+            tracer = self.ctx.tracer
+            if value.owner is not tracer:
+                # Stale box from an abandoned recording: its dataflow
+                # link is meaningless here.  Kill this trace cleanly and
+                # keep executing on the concrete value.
+                tracer.dead = "stale trace box"
+                return ir.Const(value.value)
+            return value.ir
+        return ir.Const(value)
+
+    def _charge_trace(self, n_ops=1):
+        machine = self.machine
+        machine.exec_mix(costs.TRACE_RECORD_MIX)
+        machine.exec_bulk_branches(
+            costs.TRACE_RECORD_BRANCHES, costs.TRACE_RECORD_BRANCH_MISS_RATE
+        )
+
+    def _pure2(self, opnum, a, b, direct_mix):
+        """Binary pure op: execute, record when tracing."""
+        tracer = self.ctx.tracer
+        av = concrete(a)
+        bv = concrete(b)
+        result = EVAL[opnum](av, bv)
+        if tracer is None:
+            self.machine.exec_mix(direct_mix)
+            return result
+        self._charge_trace()
+        if type(a) is not TBox and type(b) is not TBox:
+            return result  # constant-folded at record time
+        op = tracer.record(opnum, [self._ir(a), self._ir(b)], None)
+        return TBox(result, op, tracer)
+
+    def _pure1(self, opnum, a, direct_mix):
+        tracer = self.ctx.tracer
+        result = EVAL[opnum](concrete(a))
+        if tracer is None:
+            self.machine.exec_mix(direct_mix)
+            return result
+        self._charge_trace()
+        if type(a) is not TBox:
+            return result
+        op = tracer.record(opnum, [self._ir(a)], None)
+        return TBox(result, op, tracer)
+
+    # -- frame operations (virtualized: no IR is ever recorded) -----------------
+
+    def stack_push(self, frame, value):
+        frame.stack.append(value)
+        self.machine.exec_mix(_D_FRAME)
+
+    def stack_pop(self, frame):
+        self.machine.exec_mix(_D_FRAME)
+        return frame.stack.pop()
+
+    def stack_peek(self, frame, depth=0):
+        self.machine.exec_mix(_D_FRAME)
+        return frame.stack[-1 - depth]
+
+    def getlocal(self, frame, index):
+        self.machine.exec_mix(_D_FRAME)
+        return frame.locals[index]
+
+    def setlocal(self, frame, index, value):
+        self.machine.exec_mix(_D_FRAME)
+        frame.locals[index] = value
+
+    # -- promotion and type dispatch ----------------------------------------------
+
+    def promote(self, value):
+        """Make a red value green: guard_value and return it raw."""
+        tracer = self.ctx.tracer
+        if tracer is None:
+            self.machine.exec_mix(_D_MISC)
+            return concrete(value)
+        self._charge_trace()
+        if type(value) is not TBox:
+            return value
+        if value.owner is not tracer:
+            tracer.dead = "stale trace box"
+            return value.value
+        if value.ir.is_constant():
+            return value.value
+        tracer.record_guard(
+            ir.GUARD_VALUE, [value.ir, ir.Const(value.value)], None
+        )
+        value.ir = ir.Const(value.value)
+        return value.value
+
+    def cls_of(self, value):
+        """The class of a boxed value; records guard_class when tracing."""
+        tracer = self.ctx.tracer
+        if tracer is None:
+            self.machine.exec_mix(insns.mix(load=1, alu=1))
+            # concrete(): a stale trace box (from an abandoned
+            # recording) is just its value in direct mode.
+            return concrete(value).__class__
+        self._charge_trace()
+        if type(value) is not TBox:
+            return value.__class__
+        cls = value.value.__class__
+        tracer.guard_class(self._ir(value), cls)
+        return cls
+
+    def is_true(self, value):
+        """Branch on a red boolean; records guard_true/guard_false."""
+        tracer = self.ctx.tracer
+        if tracer is None:
+            self.machine.exec_mix(_D_MISC)
+            return bool(concrete(value))
+        self._charge_trace()
+        if type(value) is not TBox:
+            return bool(value)
+        result = bool(value.value)
+        ir_value = self._ir(value)
+        if not ir_value.is_constant():
+            guard = ir.GUARD_TRUE if result else ir.GUARD_FALSE
+            tracer.record_guard(guard, [ir_value], None)
+        return result
+
+    def is_null(self, value):
+        """Branch on pointer nullness; records guard_isnull/nonnull."""
+        tracer = self.ctx.tracer
+        if tracer is None:
+            self.machine.exec_mix(_D_MISC)
+            return concrete(value) is None
+        self._charge_trace()
+        if type(value) is not TBox:
+            return value is None
+        result = value.value is None
+        ir_value = self._ir(value)
+        if not ir_value.is_constant():
+            guard = ir.GUARD_ISNULL if result else ir.GUARD_NONNULL
+            tracer.record_guard(guard, [ir_value], None)
+        return result
+
+    # -- integer arithmetic ----------------------------------------------------------
+
+    def int_add(self, a, b):
+        return self._pure2(ir.INT_ADD, a, b, _D_ARITH)
+
+    def int_sub(self, a, b):
+        return self._pure2(ir.INT_SUB, a, b, _D_ARITH)
+
+    def int_mul(self, a, b):
+        return self._pure2(ir.INT_MUL, a, b, _D_MUL)
+
+    def int_floordiv(self, a, b):
+        return self._pure2(ir.INT_FLOORDIV, a, b, _D_DIV)
+
+    def int_mod(self, a, b):
+        return self._pure2(ir.INT_MOD, a, b, _D_DIV)
+
+    def int_and(self, a, b):
+        return self._pure2(ir.INT_AND, a, b, _D_ARITH)
+
+    def int_or(self, a, b):
+        return self._pure2(ir.INT_OR, a, b, _D_ARITH)
+
+    def int_xor(self, a, b):
+        return self._pure2(ir.INT_XOR, a, b, _D_ARITH)
+
+    def int_lshift(self, a, b):
+        return self._pure2(ir.INT_LSHIFT, a, b, _D_ARITH)
+
+    def int_rshift(self, a, b):
+        return self._pure2(ir.INT_RSHIFT, a, b, _D_ARITH)
+
+    def int_neg(self, a):
+        return self._pure1(ir.INT_NEG, a, _D_ARITH)
+
+    def int_invert(self, a):
+        return self._pure1(ir.INT_INVERT, a, _D_ARITH)
+
+    def int_is_true(self, a):
+        return self._pure1(ir.INT_IS_TRUE, a, _D_ARITH)
+
+    def int_lt(self, a, b):
+        return self._pure2(ir.INT_LT, a, b, _D_CMP)
+
+    def int_le(self, a, b):
+        return self._pure2(ir.INT_LE, a, b, _D_CMP)
+
+    def int_eq(self, a, b):
+        return self._pure2(ir.INT_EQ, a, b, _D_CMP)
+
+    def int_ne(self, a, b):
+        return self._pure2(ir.INT_NE, a, b, _D_CMP)
+
+    def int_gt(self, a, b):
+        return self._pure2(ir.INT_GT, a, b, _D_CMP)
+
+    def int_ge(self, a, b):
+        return self._pure2(ir.INT_GE, a, b, _D_CMP)
+
+    def _ovf(self, opnum, guardnum_ok, a, b):
+        tracer = self.ctx.tracer
+        av = concrete(a)
+        bv = concrete(b)
+        try:
+            result = EVAL[opnum](av, bv)
+            overflowed = False
+        except LLOverflow:
+            result = _OVERFLOWED
+            overflowed = True
+        if tracer is None:
+            self.machine.exec_mix(_D_ARITH)
+            if overflowed:
+                raise LLOverflow
+            return result
+        self._charge_trace()
+        if type(a) is not TBox and type(b) is not TBox:
+            if overflowed:
+                raise LLOverflow
+            return result
+        op = tracer.record(opnum, [self._ir(a), self._ir(b)], None)
+        if overflowed:
+            tracer.record_guard(ir.GUARD_OVERFLOW, [op], None)
+            raise LLOverflow
+        tracer.record_guard(guardnum_ok, [op], None)
+        return TBox(result, op, tracer)
+
+    def int_add_ovf(self, a, b):
+        return self._ovf(ir.INT_ADD_OVF, ir.GUARD_NO_OVERFLOW, a, b)
+
+    def int_sub_ovf(self, a, b):
+        return self._ovf(ir.INT_SUB_OVF, ir.GUARD_NO_OVERFLOW, a, b)
+
+    def int_mul_ovf(self, a, b):
+        return self._ovf(ir.INT_MUL_OVF, ir.GUARD_NO_OVERFLOW, a, b)
+
+    # -- float arithmetic ---------------------------------------------------------------
+
+    def float_add(self, a, b):
+        return self._pure2(ir.FLOAT_ADD, a, b, _D_FARITH)
+
+    def float_sub(self, a, b):
+        return self._pure2(ir.FLOAT_SUB, a, b, _D_FARITH)
+
+    def float_mul(self, a, b):
+        return self._pure2(ir.FLOAT_MUL, a, b, _D_FARITH)
+
+    def float_truediv(self, a, b):
+        return self._pure2(ir.FLOAT_TRUEDIV, a, b, _D_FARITH)
+
+    def float_neg(self, a):
+        return self._pure1(ir.FLOAT_NEG, a, _D_FARITH)
+
+    def float_abs(self, a):
+        return self._pure1(ir.FLOAT_ABS, a, _D_FARITH)
+
+    def float_sqrt(self, a):
+        return self._pure1(ir.FLOAT_SQRT, a, _D_FARITH)
+
+    def float_lt(self, a, b):
+        return self._pure2(ir.FLOAT_LT, a, b, _D_FARITH)
+
+    def float_le(self, a, b):
+        return self._pure2(ir.FLOAT_LE, a, b, _D_FARITH)
+
+    def float_eq(self, a, b):
+        return self._pure2(ir.FLOAT_EQ, a, b, _D_FARITH)
+
+    def float_ne(self, a, b):
+        return self._pure2(ir.FLOAT_NE, a, b, _D_FARITH)
+
+    def float_gt(self, a, b):
+        return self._pure2(ir.FLOAT_GT, a, b, _D_FARITH)
+
+    def float_ge(self, a, b):
+        return self._pure2(ir.FLOAT_GE, a, b, _D_FARITH)
+
+    def cast_int_to_float(self, a):
+        return self._pure1(ir.CAST_INT_TO_FLOAT, a, _D_FARITH)
+
+    def cast_float_to_int(self, a):
+        return self._pure1(ir.CAST_FLOAT_TO_INT, a, _D_FARITH)
+
+    # -- pointer ops -------------------------------------------------------------------------
+
+    def ptr_eq(self, a, b):
+        tracer = self.ctx.tracer
+        result = concrete(a) is concrete(b)
+        if tracer is None:
+            self.machine.exec_mix(_D_MISC)
+            return result
+        self._charge_trace()
+        if type(a) is not TBox and type(b) is not TBox:
+            return result
+        op = tracer.record(ir.PTR_EQ, [self._ir(a), self._ir(b)], None)
+        return TBox(result, op, tracer)
+
+    def ptr_ne(self, a, b):
+        tracer = self.ctx.tracer
+        result = concrete(a) is not concrete(b)
+        if tracer is None:
+            self.machine.exec_mix(_D_MISC)
+            return result
+        self._charge_trace()
+        if type(a) is not TBox and type(b) is not TBox:
+            return result
+        op = tracer.record(ir.PTR_NE, [self._ir(a), self._ir(b)], None)
+        return TBox(result, op, tracer)
+
+    # -- string ops (interpreter-internal byte strings) --------------------------------
+
+    def strlen(self, s):
+        return self._pure1(ir.STRLEN, s, _D_STR)
+
+    def strgetitem(self, s, i):
+        return self._pure2(ir.STRGETITEM, s, i, _D_STR)
+
+    def str_eq(self, a, b):
+        return self._pure2(ir.STR_EQ, a, b, _D_STR)
+
+    def str_concat(self, a, b):
+        return self._pure2(ir.STR_CONCAT, a, b, _D_STR)
+
+    # -- unicode ops (guest-level strings) ------------------------------------------------
+
+    def unicodelen(self, s):
+        return self._pure1(ir.UNICODELEN, s, _D_STR)
+
+    def unicodegetitem(self, s, i):
+        return self._pure2(ir.UNICODEGETITEM, s, i, _D_STR)
+
+    def unicode_eq(self, a, b):
+        return self._pure2(ir.UNICODE_EQ, a, b, _D_STR)
+
+    def unicode_concat(self, a, b):
+        return self._pure2(ir.UNICODE_CONCAT, a, b, _D_STR)
+
+    # -- heap operations ---------------------------------------------------------------------
+
+    def new(self, cls, **fields):
+        """Allocate a boxed guest object with the given fields."""
+        obj = cls.__new__(cls)
+        size = sizeof_instance(cls)
+        addr = self.gc.allocate(size, obj=obj)
+        obj._addr = addr
+        tracer = self.ctx.tracer
+        if tracer is None:
+            self.machine.exec_mix(_D_NEW)
+            for name, value in fields.items():
+                setattr(obj, name, concrete(value))
+                self.machine.store(addr)
+            return obj
+        self._charge_trace()
+        op = tracer.record(ir.NEW_WITH_VTABLE, [ir.Const(cls)], cls)
+        for name, value in fields.items():
+            setattr(obj, name, concrete(value))
+            descr = ir.FieldDescr.get(cls, name)
+            tracer.record(ir.SETFIELD_GC, [op, self._ir(value)], descr)
+        tracer.set_known_class(op, cls)
+        return TBox(obj, op, tracer)
+
+    def getfield(self, obj, name):
+        tracer = self.ctx.tracer
+        if tracer is None:
+            obj = concrete(obj)
+            value = getattr(obj, name)
+            descr = ir.FieldDescr.get(obj.__class__, name)
+            self.machine.exec_mix(_D_FIELD)
+            self.machine.load(obj._addr + descr.offset)
+            return value
+        self._charge_trace()
+        raw = concrete(obj)
+        value = getattr(raw, name)
+        descr = ir.FieldDescr.get(raw.__class__, name)
+        if type(obj) is not TBox or obj.ir.is_constant():
+            if descr.immutable:
+                return value  # pure load from a constant object: folded
+            opnum = ir.GETFIELD_GC
+        else:
+            opnum = ir.GETFIELD_GC_PURE if descr.immutable else ir.GETFIELD_GC
+        op = tracer.record(opnum, [self._ir(obj)], descr)
+        return TBox(value, op, tracer)
+
+    def setfield(self, obj, name, value):
+        tracer = self.ctx.tracer
+        if tracer is None:
+            obj = concrete(obj)
+            descr = ir.FieldDescr.get(obj.__class__, name)
+            setattr(obj, name, concrete(value))
+            self.machine.exec_mix(_D_FIELD)
+            self.machine.store(obj._addr + descr.offset)
+            return
+        self._charge_trace()
+        raw = concrete(obj)
+        descr = ir.FieldDescr.get(raw.__class__, name)
+        setattr(raw, name, concrete(value))
+        tracer.record(
+            ir.SETFIELD_GC, [self._ir(obj), self._ir(value)], descr
+        )
+
+    # -- arrays ---------------------------------------------------------------------------------
+
+    def newarray(self, length, fill=None):
+        items = [fill] * length
+        arr = LLArray(items)
+        arr._addr = self.gc.allocate(sizeof_array(length), obj=arr)
+        tracer = self.ctx.tracer
+        if tracer is None:
+            self.machine.exec_mix(_D_NEW)
+            return arr
+        self._charge_trace()
+        op = tracer.record(
+            ir.NEW_ARRAY, [self._ir(length)], LLArray
+        )
+        return TBox(arr, op, tracer)
+
+    def newarray_from(self, values):
+        """Allocate an LLArray initialized from concrete values."""
+        items = [concrete(v) for v in values]
+        arr = LLArray(items)
+        arr._addr = self.gc.allocate(sizeof_array(len(items)), obj=arr)
+        tracer = self.ctx.tracer
+        if tracer is None:
+            self.machine.exec_mix(_D_NEW)
+            self.machine.exec_mix(insns.mix(store=len(items)))
+            return arr
+        self._charge_trace()
+        op = tracer.record(
+            ir.NEW_ARRAY, [ir.Const(len(items))], LLArray
+        )
+        result = TBox(arr, op, tracer)
+        for i, value in enumerate(values):
+            tracer.record(
+                ir.SETARRAYITEM_GC,
+                [op, ir.Const(i), self._ir(value)],
+                LLArray,
+            )
+        return result
+
+    def getarrayitem(self, arr, index):
+        tracer = self.ctx.tracer
+        if tracer is None:
+            arr = concrete(arr)
+            index = concrete(index)
+            self.machine.exec_mix(_D_ARRAY)
+            self.machine.load(arr._addr + 16 + 8 * index)
+            return arr.items[index]
+        self._charge_trace()
+        raw = concrete(arr)
+        value = raw.items[concrete(index)]
+        if type(arr) is not TBox and type(index) is not TBox:
+            # Even a constant array's contents are mutable: record a load
+            # from a constant array.
+            pass
+        op = tracer.record(
+            ir.GETARRAYITEM_GC, [self._ir(arr), self._ir(index)], LLArray
+        )
+        return TBox(value, op, tracer)
+
+    def setarrayitem(self, arr, index, value):
+        tracer = self.ctx.tracer
+        if tracer is None:
+            arr = concrete(arr)
+            index = concrete(index)
+            self.machine.exec_mix(_D_ARRAY)
+            self.machine.store(arr._addr + 16 + 8 * index)
+            arr.items[index] = concrete(value)
+            return
+        self._charge_trace()
+        raw = concrete(arr)
+        raw.items[concrete(index)] = concrete(value)
+        tracer.record(
+            ir.SETARRAYITEM_GC,
+            [self._ir(arr), self._ir(index), self._ir(value)],
+            LLArray,
+        )
+
+    def arraylen(self, arr):
+        tracer = self.ctx.tracer
+        if tracer is None:
+            self.machine.exec_mix(_D_ARRAY)
+            return len(concrete(arr).items)
+        self._charge_trace()
+        raw = concrete(arr)
+        if type(arr) is not TBox:
+            return len(raw.items)
+        op = tracer.record(ir.ARRAYLEN_GC, [self._ir(arr)], LLArray)
+        return TBox(len(raw.items), op, tracer)
+
+    # -- residual calls -----------------------------------------------------------------------------
+
+    def residual_call(self, func, *args):
+        """Call an AOT-compiled runtime function.
+
+        In direct mode this is a plain interpreter-level call.  In
+        tracing mode a ``call``/``call_pure`` IR op is recorded; at JIT
+        execution time the op re-invokes the same implementation under
+        JIT_CALL annotations (the paper's JIT-call phase).
+        """
+        tracer = self.ctx.tracer
+        if tracer is None:
+            self.machine.exec_mix(_D_CALL)
+            self.machine.call(id(func) & 0xFFFF)
+            result = func.call(self.ctx, args)
+            self.machine.ret(id(func) & 0xFFFF)
+            return result
+        self._charge_trace()
+        raw_args = [concrete(a) for a in args]
+        all_const = all(type(a) is not TBox for a in args)
+        # Run the AOT body with tracing suspended: its internals are
+        # opaque to the JIT (that is the point of a residual call), and
+        # callbacks into guest code (sort comparators) must execute in
+        # direct mode.
+        self.ctx.tracer = None
+        try:
+            result = func.call(self.ctx, raw_args)
+        finally:
+            self.ctx.tracer = tracer
+        if func.effects == "pure" and all_const:
+            return result
+        opnum = ir.CALL_PURE if func.effects == "pure" else ir.CALL
+        op = tracer.record(
+            opnum,
+            [self._ir(a) for a in args],
+            ir.CallDescr(func),
+        )
+        if not func.reexec_safe:
+            tracer.mark_hazard()
+        if func.invalidates_heap:
+            tracer.invalidate_caches()
+        # None results are boxed too: for functions like dict lookup,
+        # None is *data* (present/absent), and folding it to a trace
+        # constant would compile the miss path without a guard.
+        return TBox(result, op, tracer)
+
+    # -- application-level annotations ------------------------------------------------------------------
+
+    def app_annotation(self, payload):
+        """Emit an application-layer cross-layer annotation."""
+        from repro.core import tags
+
+        self.machine.annot(tags.APP_EVENT, payload)

@@ -1,0 +1,231 @@
+"""MiniLang: a tiny stack-based guest VM built on the framework.
+
+This is the framework's tutorial interpreter (and the template the real
+TinyPy/TinyRkt VMs follow).  It demonstrates every integration point:
+
+* boxed guest values (``W_Int``) allocated through LLOps,
+* a dispatch loop with DISPATCH annotations and an explicit frame stack,
+* ``JitDriver`` hooks at backward jumps and during tracing,
+* overflow-checked arithmetic with a residual-call fallback,
+* type dispatch via ``cls_of`` promotion guards.
+
+Programs are lists of ``(opname, arg)`` pairs operating on locals and an
+operand stack; see the tests and ``examples/quickstart.py``.
+"""
+
+from repro.core import tags
+from repro.core.errors import GuestError
+from repro.interp.aot import aot
+from repro.interp.jitdriver import DEOPTED, JitDriver
+from repro.interp.objects import W_Root
+from repro.isa import insns
+from repro.jit.semantics import LLOverflow
+
+
+class W_Int(W_Root):
+    """A boxed machine integer."""
+
+    _size_ = 16
+
+    def __init__(self, intval):
+        self.intval = intval
+
+
+class W_Big(W_Root):
+    """Stand-in for an overflowed (bignum) integer."""
+
+    _size_ = 48
+
+    def __init__(self, bigval):
+        self.bigval = bigval
+
+
+@aot("minilang.big_add", "L", "pure")
+def big_add(ctx, a, b):
+    ctx.charge(insns.mix(alu=40, load=20, store=10))
+    return a + b
+
+
+class Code(object):
+    """A MiniLang code object: (opname, arg) pairs."""
+
+    def __init__(self, name, ops, n_locals):
+        self.name = name
+        self.ops = ops
+        self.n_locals = n_locals
+        self.codes = {}  # callee name -> Code
+
+    def __repr__(self):
+        return "<minicode %s>" % self.name
+
+
+class Frame(object):
+    __slots__ = ("code", "pc", "locals", "stack")
+
+    def __init__(self, code, pc, locals_values, stack_values):
+        self.code = code
+        self.pc = pc
+        self.locals = locals_values
+        self.stack = stack_values
+
+
+_DISPATCH_MIX = insns.mix(load=2, alu=2)
+
+
+class MiniInterp(object):
+    """The MiniLang VM: one per VMContext."""
+
+    def __init__(self, ctx):
+        self.ctx = ctx
+        self.llops = ctx.llops
+        self.driver = JitDriver(ctx)
+        self.frames = []
+
+    def make_frame(self, code, pc, locals_values, stack_values, extra=None):
+        return Frame(code, pc, list(locals_values), list(stack_values))
+
+    def run(self, code, args=()):
+        """Run a code object to completion; returns the guest result."""
+        llops = self.llops
+        locals_values = [None] * code.n_locals
+        for i, arg in enumerate(args):
+            locals_values[i] = llops.new(W_Int, intval=arg)
+        frame = self.make_frame(code, 0, locals_values, [])
+        self.frames.append(frame)
+        return self.run_to_depth(len(self.frames) - 1)
+
+    def run_to_depth(self, barrier):
+        """The dispatch loop; returns when the frame stack pops to
+        ``barrier`` depth."""
+        ctx = self.ctx
+        machine = ctx.machine
+        llops = self.llops
+        frames = self.frames
+        retval = None
+        while len(frames) > barrier:
+            frame = frames[-1]
+            machine.annot(tags.DISPATCH)
+            machine.exec_mix(_DISPATCH_MIX)
+            opname, arg = frame.code.ops[frame.pc]
+            machine.indirect(0x100, hash(opname) & 0xFFFF)
+            if ctx.tracer is not None:
+                if self.driver.trace_dispatch(self, frame) == DEOPTED:
+                    continue
+                if frame is not frames[-1] or ctx.tracer is None:
+                    # Deopt or abort changed the frame state; re-dispatch.
+                    continue
+                opname, arg = frame.code.ops[frame.pc]
+            retval = self.execute_op(frame, opname, arg)
+        return retval
+
+    # -- handlers ----------------------------------------------------------------
+
+    def execute_op(self, frame, opname, arg):
+        llops = self.llops
+        if opname == "load_const":
+            llops.stack_push(frame, llops.new(W_Int, intval=arg))
+        elif opname == "load_local":
+            llops.stack_push(frame, llops.getlocal(frame, arg))
+        elif opname == "store_local":
+            llops.setlocal(frame, arg, llops.stack_pop(frame))
+        elif opname == "pop":
+            llops.stack_pop(frame)
+        elif opname == "add":
+            self.op_add(frame)
+        elif opname == "sub":
+            self.op_arith(frame, llops.int_sub_ovf)
+        elif opname == "mul":
+            self.op_arith(frame, llops.int_mul_ovf)
+        elif opname == "lt":
+            self.op_cmp(frame, llops.int_lt)
+        elif opname == "eq":
+            self.op_cmp(frame, llops.int_eq)
+        elif opname == "jump_if_false":
+            w_cond = llops.stack_pop(frame)
+            cond = self.int_value(w_cond)
+            if llops.is_true(llops.int_is_true(cond)):
+                frame.pc += 1
+            else:
+                backward = arg <= frame.pc
+                frame.pc = arg
+                if backward:
+                    self.driver.loop_header(self, frame)
+            return
+        elif opname == "jump":
+            backward = arg <= frame.pc
+            frame.pc = arg
+            if backward:
+                self.driver.loop_header(self, frame)
+            return
+        elif opname == "call":
+            self.op_call(frame, arg)
+            return
+        elif opname == "return":
+            return self.op_return(frame)
+        else:
+            raise GuestError("unknown minilang op %r" % opname)
+        frame.pc += 1
+
+    def int_value(self, w_value):
+        llops = self.llops
+        cls = llops.cls_of(w_value)
+        if cls is not W_Int:
+            raise GuestError("expected int")
+        return llops.getfield(w_value, "intval")
+
+    def op_add(self, frame):
+        llops = self.llops
+        w_b = llops.stack_pop(frame)
+        w_a = llops.stack_pop(frame)
+        a = self.int_value(w_a)
+        b = self.int_value(w_b)
+        try:
+            result = llops.int_add_ovf(a, b)
+        except LLOverflow:
+            w_big = llops.residual_call(big_add, a, b)
+            llops.stack_push(frame, llops.new(W_Big, bigval=w_big))
+            return
+        llops.stack_push(frame, llops.new(W_Int, intval=result))
+
+    def op_arith(self, frame, ll_op):
+        llops = self.llops
+        w_b = llops.stack_pop(frame)
+        w_a = llops.stack_pop(frame)
+        a = self.int_value(w_a)
+        b = self.int_value(w_b)
+        result = ll_op(a, b)
+        llops.stack_push(frame, llops.new(W_Int, intval=result))
+
+    def op_cmp(self, frame, ll_cmp):
+        llops = self.llops
+        w_b = llops.stack_pop(frame)
+        w_a = llops.stack_pop(frame)
+        flag = ll_cmp(self.int_value(w_a), self.int_value(w_b))
+        boxed = llops.new(
+            W_Int, intval=self.flag_to_int(flag)
+        )
+        llops.stack_push(frame, boxed)
+
+    def flag_to_int(self, flag):
+        # Convert a red bool into a red 0/1 without leaving LLOps land.
+        llops = self.llops
+        if llops.is_true(flag):
+            return 1
+        return 0
+
+    def op_call(self, frame, name):
+        llops = self.llops
+        code = frame.code.codes[name]
+        args = [llops.stack_pop(frame) for _ in range(1)]
+        locals_values = [None] * code.n_locals
+        locals_values[0] = args[0]
+        frame.pc += 1
+        self.frames.append(self.make_frame(code, 0, locals_values, []))
+
+    def op_return(self, frame):
+        llops = self.llops
+        w_result = llops.stack_pop(frame)
+        self.frames.pop()
+        if self.frames:
+            llops.stack_push(self.frames[-1], w_result)
+        return w_result

@@ -1,0 +1,84 @@
+"""Framework-level object model primitives.
+
+Guest VMs define their boxed objects as subclasses of :class:`W_Root`.
+Instances are real Python objects; the framework adds a simulated heap
+address (for the cache model) and RPython-style class annotations:
+
+* ``_immutable_fields_`` — fields the JIT may treat as pure loads,
+* ``_size_`` — simulated allocation size in bytes.
+
+:class:`LLArray` is the framework's fixed-size array (RPython's GcArray):
+guest list strategies build on it.
+"""
+
+
+class W_Root(object):
+    """Base class of all boxed guest values."""
+
+    _immutable_fields_ = ()
+    _size_ = 32
+    _addr = 0  # overwritten per instance at allocation time
+
+    def __repr__(self):
+        return "<%s>" % type(self).__name__
+
+
+class LLArray(object):
+    """A fixed-length array of values with a simulated heap address."""
+
+    __slots__ = ("items", "_addr")
+    _immutable_fields_ = ()
+
+    def __init__(self, items, addr=0):
+        self.items = items
+        self._addr = addr
+
+    def __len__(self):
+        return len(self.items)
+
+    def __repr__(self):
+        return "<LLArray n=%d>" % len(self.items)
+
+
+def sizeof_instance(cls):
+    return getattr(cls, "_size_", 32)
+
+
+def sizeof_array(n_items):
+    return 16 + 8 * n_items
+
+
+class TBox(object):
+    """Tracing-mode handle: a concrete value plus its IR value.
+
+    During trace recording every *red* (runtime-varying) value the
+    interpreter holds is a TBox; raw Python values are trace constants.
+    Interpreter code must treat handles as opaque and route every
+    operation through LLOps.  ``owner`` is the tracer that created the
+    box: a box from another (finished/abandoned) recording is *stale* —
+    direct mode just unwraps it, and an active tracer refuses it
+    (aborting the trace) rather than mislinking data flow.
+    """
+
+    __slots__ = ("value", "ir", "owner")
+
+    def __init__(self, value, ir_value, owner=None):
+        self.value = value
+        self.ir = ir_value
+        self.owner = owner
+
+    def __repr__(self):
+        return "TBox(%r)" % (self.value,)
+
+
+def concrete(handle):
+    """The concrete value behind a handle (TBox or raw)."""
+    if type(handle) is TBox:
+        return handle.value
+    return handle
+
+
+def unwrap_frame(frame):
+    """Strip TBoxes from a frame's locals and stack (end of tracing)."""
+    frame.locals = [concrete(v) for v in frame.locals]
+    frame.stack = [concrete(v) for v in frame.stack]

@@ -1,0 +1,1 @@
+"""The virtual ISA: instruction classes and mixes."""

@@ -1,0 +1,92 @@
+"""The virtual ISA: instruction classes and mixes.
+
+We do not model instruction *encodings*; the unit the machine consumes is
+an instruction-class event.  This is the same abstraction level a PinTool
+sees after decoding: what matters for the paper's characterization is the
+dynamic class mix (loads, stores, branches, ALU, ...) plus the special
+``NOP_ANNOT`` carrying a cross-layer annotation tag.
+
+An *instruction mix* is a tuple of ``(klass, count)`` pairs; mixes are the
+bulk currency between code emitters (interpreter handlers, JIT backend,
+GC, runtime functions) and the machine.  Build them once at import time
+with :func:`mix` and reuse them — they are immutable.
+"""
+
+from repro.core.errors import IsaError
+
+# Instruction classes (small ints; order is load-bearing for tables).
+ALU = 0        # integer add/sub/logic/cmp/lea/mov reg-reg
+MUL = 1
+DIV = 2
+FPU = 3        # floating-point arithmetic
+LOAD = 4
+STORE = 5
+BR_COND = 6    # conditional branch
+BR_IND = 7    # indirect jump (e.g. interpreter dispatch)
+CALL = 8
+RET = 9
+NOP_ANNOT = 10  # tagged nop: the cross-layer annotation carrier
+BR_BULK = 11    # bulk conditional branch: predicted at a calibrated rate
+                # (used inside interpreter handlers / runtime code whose
+                # individual branches are not simulated one by one)
+
+N_CLASSES = 12
+
+CLASS_NAMES = (
+    "alu", "mul", "div", "fpu", "load", "store",
+    "br_cond", "br_ind", "call", "ret", "nop_annot", "br_bulk",
+)
+
+_BRANCH_CLASSES = frozenset((BR_COND, BR_IND, CALL, RET))
+
+
+def is_branch_class(klass):
+    return klass in _BRANCH_CLASSES
+
+
+def mix(**kwargs):
+    """Build an instruction mix from class names.
+
+    >>> mix(alu=3, load=2)
+    ((0, 3), (4, 2))
+    """
+    pairs = []
+    for name, count in kwargs.items():
+        try:
+            klass = CLASS_NAMES.index(name)
+        except ValueError:
+            raise IsaError("unknown instruction class %r" % name)
+        if count < 0:
+            raise IsaError("negative count for class %r" % name)
+        if is_branch_class(klass):
+            raise IsaError(
+                "branch class %r must be emitted via Machine.branch()" % name
+            )
+        if count:
+            pairs.append((klass, count))
+    return tuple(pairs)
+
+
+def mix_size(pairs):
+    """Total number of instructions in a mix."""
+    return sum(count for _, count in pairs)
+
+
+def scale_mix(pairs, factor):
+    """Multiply every count in a mix by an integer factor."""
+    if factor < 0:
+        raise IsaError("negative mix scale factor")
+    return tuple((klass, count * factor) for klass, count in pairs)
+
+
+def add_mixes(*mixes):
+    """Sum several mixes into one."""
+    totals = {}
+    for pairs in mixes:
+        for klass, count in pairs:
+            totals[klass] = totals.get(klass, 0) + count
+    return tuple(sorted(totals.items()))
+
+
+# Frequently used canonical mixes.
+EMPTY_MIX = ()

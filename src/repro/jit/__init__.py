@@ -1,0 +1,1 @@
+"""The meta-tracing JIT: IR, tracer, optimizer, backend, executor."""

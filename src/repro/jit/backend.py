@@ -1,0 +1,30 @@
+"""The JIT backend: numbering and assembly-cost attachment.
+
+Lowers each optimized IR operation to its virtual-ISA footprint
+(:mod:`repro.jit.costs`) and assigns environment slots.  The executable
+form of the trace is produced lazily by :mod:`repro.jit.executor`.
+"""
+
+from repro.jit import costs, ir
+from repro.jit.trace import InputArg
+
+
+def attach_costs(trace):
+    """Assign op indices/env slots and static assembly sizes."""
+    index = 0
+    for arg in trace.inputargs:
+        arg.index = index
+        index += 1
+    asm = []
+    for op in trace.ops:
+        if op.opnum == ir.LABEL:
+            for arg in op.args:
+                if isinstance(arg, InputArg) and arg.index < 0:
+                    arg.index = index
+                    index += 1
+        op.index = index
+        index += 1
+        asm.append(costs.asm_size(op))
+    trace.n_env_slots = index
+    trace.op_asm_insns = asm
+    trace.op_exec_counts = [0] * len(trace.ops)

@@ -1,0 +1,128 @@
+"""Assembly lowering costs: how many virtual-ISA instructions each IR
+node expands to (the data behind the paper's Figure 9).
+
+The shape mirrors the paper's measurements on x86: ``call_assembler``
+lowers to >30 instructions (register save/restore, frame switch),
+residual ``call``s to 15+ (saving volatile registers, argument shuffling),
+guards to 1-2 (compare + conditional jump, with side-exit metadata kept
+off the hot path), and most other nodes — including the dominant
+``getfield_gc``/``setfield_gc`` — to 1-2 instructions.
+"""
+
+from repro.isa import insns
+from repro.jit import ir
+
+# Static (mix, extra-branch-count) per opnum.  Branches are charged via
+# the predictor at execution time, not through the mix.
+_M = insns.mix
+
+PLAIN_MIX = {
+    ir.INT_ADD: _M(alu=1), ir.INT_SUB: _M(alu=1), ir.INT_MUL: _M(mul=1),
+    ir.INT_FLOORDIV: _M(div=1), ir.INT_MOD: _M(div=1, alu=1),
+    ir.INT_AND: _M(alu=1), ir.INT_OR: _M(alu=1), ir.INT_XOR: _M(alu=1),
+    ir.INT_LSHIFT: _M(alu=1), ir.INT_RSHIFT: _M(alu=1),
+    ir.INT_NEG: _M(alu=1), ir.INT_INVERT: _M(alu=1),
+    ir.INT_ADD_OVF: _M(alu=1), ir.INT_SUB_OVF: _M(alu=1),
+    ir.INT_MUL_OVF: _M(mul=1),
+    ir.INT_LT: _M(alu=1), ir.INT_LE: _M(alu=1), ir.INT_EQ: _M(alu=1),
+    ir.INT_NE: _M(alu=1), ir.INT_GT: _M(alu=1), ir.INT_GE: _M(alu=1),
+    ir.INT_IS_TRUE: _M(alu=1), ir.INT_IS_ZERO: _M(alu=1),
+    ir.FLOAT_ADD: _M(fpu=1), ir.FLOAT_SUB: _M(fpu=1),
+    ir.FLOAT_MUL: _M(fpu=1), ir.FLOAT_TRUEDIV: _M(fpu=2),
+    ir.FLOAT_NEG: _M(fpu=1), ir.FLOAT_ABS: _M(fpu=1),
+    ir.FLOAT_SQRT: _M(fpu=3),
+    ir.FLOAT_LT: _M(fpu=1, alu=1), ir.FLOAT_LE: _M(fpu=1, alu=1),
+    ir.FLOAT_EQ: _M(fpu=1, alu=1), ir.FLOAT_NE: _M(fpu=1, alu=1),
+    ir.FLOAT_GT: _M(fpu=1, alu=1), ir.FLOAT_GE: _M(fpu=1, alu=1),
+    ir.CAST_INT_TO_FLOAT: _M(fpu=1), ir.CAST_FLOAT_TO_INT: _M(fpu=1),
+    ir.STRLEN: _M(load=1), ir.STRGETITEM: _M(load=1, alu=1),
+    ir.STR_EQ: _M(alu=2, load=2), ir.STR_CONCAT: _M(alu=3, load=2, store=2),
+    ir.UNICODELEN: _M(load=1), ir.UNICODEGETITEM: _M(load=1, alu=1),
+    ir.UNICODE_EQ: _M(alu=2, load=2),
+    ir.UNICODE_CONCAT: _M(alu=3, load=2, store=2),
+    ir.PTR_EQ: _M(alu=1), ir.PTR_NE: _M(alu=1), ir.SAME_AS: _M(alu=1),
+    ir.ARRAYLEN_GC: _M(load=1),
+}
+
+# Guards: compare + conditional jump (the branch itself is charged via
+# the predictor; the mix carries the compare).
+GUARD_MIX = _M(alu=1)
+
+# getfield/setfield: address computation folded into the access; the
+# addressed load/store is charged separately through the cache model.
+FIELD_EXTRA_MIX = insns.EMPTY_MIX
+ARRAYITEM_EXTRA_MIX = _M(alu=1)  # index scaling
+
+# Allocation: nursery bump + limit check + header store.
+NEW_MIX = _M(load=1, alu=2)  # plus header store and a branch at runtime
+NEW_ASM_SIZE = 6
+
+# Residual call overhead (excluding the callee body): spill volatiles,
+# shuffle args, call, restore.  Per the paper's Figure 9: >15 insns.
+CALL_BASE_MIX = _M(alu=4, store=5, load=5)
+CALL_PER_ARG = 1  # one arg-shuffle alu per argument
+
+# call_assembler: full frame switch into another JIT-compiled loop
+# (>30 insns in Figure 9).
+CALL_ASM_BASE_MIX = _M(alu=8, store=11, load=11)
+
+JUMP_PER_ARG = 1
+FINISH_MIX = _M(alu=2, store=2)
+
+
+def asm_size(op):
+    """Static number of assembly instructions ``op`` lowers to."""
+    opnum = op.opnum
+    if opnum in PLAIN_MIX:
+        return insns.mix_size(PLAIN_MIX[opnum])
+    if opnum in ir.GUARDS:
+        return insns.mix_size(GUARD_MIX) + 1  # + conditional jump
+    if opnum in (ir.GETFIELD_GC, ir.GETFIELD_GC_PURE, ir.SETFIELD_GC):
+        return 1
+    if opnum in (ir.GETARRAYITEM_GC, ir.SETARRAYITEM_GC):
+        return 1 + insns.mix_size(ARRAYITEM_EXTRA_MIX)
+    if opnum in (ir.NEW_WITH_VTABLE, ir.NEW_ARRAY):
+        return NEW_ASM_SIZE
+    if opnum == ir.CALL or opnum == ir.CALL_PURE:
+        return (insns.mix_size(CALL_BASE_MIX)
+                + CALL_PER_ARG * len(op.args) + 2)  # + call/ret
+    if opnum == ir.CALL_ASSEMBLER:
+        return (insns.mix_size(CALL_ASM_BASE_MIX)
+                + CALL_PER_ARG * len(op.args) + 2)
+    if opnum == ir.JUMP:
+        return JUMP_PER_ARG * len(op.args) + 1
+    if opnum == ir.LABEL:
+        return 0
+    if opnum == ir.FINISH:
+        return insns.mix_size(FINISH_MIX)
+    if opnum == ir.DEBUG_MERGE_POINT:
+        return 1  # the DISPATCH annotation nop
+    raise AssertionError("no asm cost for op %s" % op.name)
+
+
+# -- compilation-time cost model (charged to the tracing phase) ---------------
+
+# Meta-interpreter work per recorded operation: the meta-interpreter
+# decodes jitcodes, boxes values and appends to the trace — dominated by
+# dependent loads and poorly-predicted dispatch.
+TRACE_RECORD_MIX = _M(load=16, alu=14, store=7)
+TRACE_RECORD_BRANCHES = 5
+TRACE_RECORD_BRANCH_MISS_RATE = 0.06
+
+# Optimizer cost per input operation.
+OPT_MIX = _M(load=6, alu=8, store=2)
+OPT_BRANCHES = 2
+OPT_BRANCH_MISS_RATE = 0.03
+
+# Backend (register allocation + encoding) cost per emitted operation.
+BACKEND_MIX = _M(load=5, alu=9, store=3)
+BACKEND_BRANCHES = 2
+BACKEND_BRANCH_MISS_RATE = 0.03
+
+# Blackhole deoptimization: fixed frame-reconstruction cost plus work
+# proportional to the resume-data size; dependent loads dominate and the
+# branches predict poorly (the paper's Table IV: worst IPC of any phase).
+BLACKHOLE_BASE_MIX = _M(load=60, alu=40, store=25)
+BLACKHOLE_PER_VALUE_MIX = _M(load=3, alu=2, store=2)
+BLACKHOLE_BRANCHES = 28
+BLACKHOLE_BRANCH_MISS_RATE = 0.16

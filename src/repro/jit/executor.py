@@ -1,0 +1,579 @@
+"""The trace executor: runs compiled traces over real guest values.
+
+The backend's executable form of a trace is a generated Python function
+(our stand-in for emitted machine code).  The generated code:
+
+* computes real results (guards genuinely pass or fail, residual calls
+  invoke the real runtime functions),
+* charges the machine per basic block with the block's assembly mix,
+* drives the branch predictor with one conditional-branch event per
+  guard execution and the cache model with real heap addresses on every
+  getfield/setfield/array access,
+* emits DISPATCH annotations at each ``debug_merge_point`` (so bytecode
+  counting keeps working inside JIT code — the paper's warmup
+  methodology) and JIT_CALL annotations around residual calls.
+
+Guard failure returns an exit record; :func:`execute` then either jumps
+into an attached bridge (evaluating the guard's resume snapshot to build
+the bridge's entry state) or deoptimizes: the blackhole path charges the
+deopt cost, materializes :class:`VirtualSpec` objects and hands a
+:class:`DeoptState` back to the interpreter driver.
+"""
+
+import math
+
+from repro.core import tags
+from repro.interp.objects import LLArray
+from repro.isa import insns
+from repro.jit import costs, ir
+from repro.jit.resume import DeoptState, VirtualSpec
+from repro.jit.semantics import LLOverflow, _int_floordiv, _int_mod, check_ovf
+from repro.jit.trace import Trace
+
+_OVFD = object()  # overflow sentinel flowing into guard_(no_)overflow
+
+EXIT_GUARD = 1
+EXIT_JUMP = 2
+EXIT_FINISH = 3
+
+# Inline expression templates for pure operations.
+_EXPR = {
+    ir.INT_ADD: "({a} + {b})", ir.INT_SUB: "({a} - {b})",
+    ir.INT_MUL: "({a} * {b})",
+    ir.INT_FLOORDIV: "_idiv({a}, {b})", ir.INT_MOD: "_imod({a}, {b})",
+    ir.INT_AND: "({a} & {b})", ir.INT_OR: "({a} | {b})",
+    ir.INT_XOR: "({a} ^ {b})",
+    ir.INT_LSHIFT: "({a} << {b})", ir.INT_RSHIFT: "({a} >> {b})",
+    ir.INT_NEG: "(-{a})", ir.INT_INVERT: "(~{a})",
+    ir.INT_LT: "({a} < {b})", ir.INT_LE: "({a} <= {b})",
+    ir.INT_EQ: "({a} == {b})", ir.INT_NE: "({a} != {b})",
+    ir.INT_GT: "({a} > {b})", ir.INT_GE: "({a} >= {b})",
+    ir.INT_IS_TRUE: "({a} != 0)", ir.INT_IS_ZERO: "({a} == 0)",
+    ir.FLOAT_ADD: "({a} + {b})", ir.FLOAT_SUB: "({a} - {b})",
+    ir.FLOAT_MUL: "({a} * {b})", ir.FLOAT_TRUEDIV: "({a} / {b})",
+    ir.FLOAT_NEG: "(-{a})", ir.FLOAT_ABS: "abs({a})",
+    ir.FLOAT_SQRT: "_sqrt({a})",
+    ir.FLOAT_LT: "({a} < {b})", ir.FLOAT_LE: "({a} <= {b})",
+    ir.FLOAT_EQ: "({a} == {b})", ir.FLOAT_NE: "({a} != {b})",
+    ir.FLOAT_GT: "({a} > {b})", ir.FLOAT_GE: "({a} >= {b})",
+    ir.CAST_INT_TO_FLOAT: "float({a})", ir.CAST_FLOAT_TO_INT: "int({a})",
+    ir.STRLEN: "len({a})", ir.STRGETITEM: "{a}[{b}]",
+    ir.STR_EQ: "({a} == {b})", ir.STR_CONCAT: "({a} + {b})",
+    ir.UNICODELEN: "len({a})", ir.UNICODEGETITEM: "{a}[{b}]",
+    ir.UNICODE_EQ: "({a} == {b})", ir.UNICODE_CONCAT: "({a} + {b})",
+    ir.PTR_EQ: "({a} is {b})", ir.PTR_NE: "({a} is not {b})",
+    ir.SAME_AS: "{a}",
+    ir.ARRAYLEN_GC: "len({a}.items)",
+}
+
+_OVF_EXPR = {
+    ir.INT_ADD_OVF: "_ckovf({a} + {b})",
+    ir.INT_SUB_OVF: "_ckovf({a} - {b})",
+    ir.INT_MUL_OVF: "_ckovf({a} * {b})",
+}
+
+
+class _CodeGen(object):
+    """Generates the Python source for one trace."""
+
+    def __init__(self, ctx, trace):
+        self.ctx = ctx
+        self.trace = trace
+        self.lines = []
+        self.consts = {}
+        self.names = {}
+        self.guards = []
+        self.exit_plans = []
+        self.block_id = -1
+        self.block_mix = {}
+        self.block_mixes = []
+        self._block_open = False
+
+    # -- naming -----------------------------------------------------------------
+
+    def name_of(self, value):
+        name = self.names.get(value)
+        if name is None:
+            name = "v%d" % value.index
+            self.names[value] = name
+        return name
+
+    def expr(self, value):
+        if isinstance(value, ir.Const):
+            raw = value.value
+            if raw is None or raw is True or raw is False:
+                return repr(raw)
+            if isinstance(raw, int) and -2**40 < raw < 2**40:
+                return repr(raw)
+            if isinstance(raw, float):
+                return repr(raw)
+            if isinstance(raw, str) and len(raw) < 40 and raw.isascii():
+                return repr(raw)
+            return self.pool(raw)
+        return self.name_of(value)
+
+    def pool(self, obj):
+        key = "K%d" % len(self.consts)
+        self.consts[key] = obj
+        return key
+
+    # -- block bookkeeping --------------------------------------------------------
+
+    def start_block(self, indent):
+        self.block_id += 1
+        self.block_mix = {}
+        self.block_mixes.append(self.block_mix)
+        self._block_open = True
+        self.lines.append("%s_bc[%d] += 1" % (indent, self.block_id))
+        self.lines.append("%s_xm(_BM[%d])" % (indent, self.block_id))
+
+    def add_mix(self, mix):
+        for klass, count in mix:
+            self.block_mix[klass] = self.block_mix.get(klass, 0) + count
+
+    # -- emission -------------------------------------------------------------------
+
+    def line(self, indent, text):
+        self.lines.append(indent + text)
+
+    def emit_op(self, op, i, indent):
+        opnum = op.opnum
+        name = "v%d" % op.index
+        if self.ctx.config.annotate_ir_nodes and opnum != ir.LABEL:
+            key = self.pool((self.trace.trace_id, i))
+            self.line(indent, "_annot(%d, %s)" % (tags.IR_NODE, key))
+        if opnum == ir.DEBUG_MERGE_POINT:
+            self.line(indent, "_annot(%d)" % tags.DISPATCH)
+            return
+        if opnum in _EXPR:
+            args = {
+                "a": self.expr(op.args[0]),
+                "b": self.expr(op.args[1]) if len(op.args) > 1 else "",
+            }
+            self.line(indent, "%s = %s" % (name, _EXPR[opnum].format(**args)))
+            self.add_mix(costs.PLAIN_MIX.get(opnum, insns.mix(alu=1)))
+            return
+        if opnum in _OVF_EXPR:
+            args = {"a": self.expr(op.args[0]), "b": self.expr(op.args[1])}
+            self.line(indent, "try:")
+            self.line(indent, "    %s = %s"
+                      % (name, _OVF_EXPR[opnum].format(**args)))
+            self.line(indent, "except _OVF:")
+            self.line(indent, "    %s = _OVFD" % name)
+            self.add_mix(costs.PLAIN_MIX[opnum])
+            return
+        if opnum in ir.GUARDS:
+            self.emit_guard(op, indent)
+            return
+        if opnum in (ir.GETFIELD_GC, ir.GETFIELD_GC_PURE):
+            obj = self.expr(op.args[0])
+            self.line(indent, "%s = %s.%s" % (name, obj, op.descr.field))
+            self.line(indent, "_ld(%s._addr + %d)" % (obj, op.descr.offset))
+            return
+        if opnum == ir.SETFIELD_GC:
+            obj = self.expr(op.args[0])
+            value = self.expr(op.args[1])
+            self.line(indent, "%s.%s = %s" % (obj, op.descr.field, value))
+            self.line(indent, "_st(%s._addr + %d)" % (obj, op.descr.offset))
+            return
+        if opnum == ir.GETARRAYITEM_GC:
+            arr = self.expr(op.args[0])
+            idx = self.expr(op.args[1])
+            self.line(indent, "%s = %s.items[%s]" % (name, arr, idx))
+            self.line(indent, "_ld(%s._addr + 16 + (%s << 3))" % (arr, idx))
+            self.add_mix(costs.ARRAYITEM_EXTRA_MIX)
+            return
+        if opnum == ir.SETARRAYITEM_GC:
+            arr = self.expr(op.args[0])
+            idx = self.expr(op.args[1])
+            value = self.expr(op.args[2])
+            self.line(indent, "%s.items[%s] = %s" % (arr, idx, value))
+            self.line(indent, "_st(%s._addr + 16 + (%s << 3))" % (arr, idx))
+            self.add_mix(costs.ARRAYITEM_EXTRA_MIX)
+            return
+        if opnum == ir.NEW_WITH_VTABLE:
+            helper = self.pool(_make_new_helper(self.ctx, op.descr))
+            self.line(indent, "%s = %s()" % (name, helper))
+            self.add_mix(costs.NEW_MIX)
+            self.add_mix(insns.mix(store=1))
+            return
+        if opnum == ir.NEW_ARRAY:
+            helper = self.pool(_make_newarray_helper(self.ctx))
+            self.line(indent, "%s = %s(%s)" % (name, helper,
+                                               self.expr(op.args[0])))
+            self.add_mix(costs.NEW_MIX)
+            return
+        if opnum in (ir.CALL, ir.CALL_PURE):
+            func = op.descr.func
+            fref = self.pool(func)
+            key = self.pool((func.name, func.src))
+            args = ", ".join(self.expr(a) for a in op.args)
+            pc = (self.trace.trace_id << 10 | op.index) & 0xFFFFF
+            self.line(indent, "_annot(%d, %s)" % (tags.JIT_CALL_START, key))
+            self.line(indent, "_mcall(%d)" % pc)
+            self.line(indent, "%s = %s.call(_ctx, (%s,))"
+                      % (name, fref, args) if args
+                      else "%s = %s.call(_ctx, ())" % (name, fref))
+            self.line(indent, "_mret(%d)" % pc)
+            self.line(indent, "_annot(%d)" % tags.JIT_CALL_STOP)
+            self.add_mix(costs.CALL_BASE_MIX)
+            self.add_mix(insns.mix(alu=len(op.args) * costs.CALL_PER_ARG))
+            return
+        if opnum == ir.CALL_ASSEMBLER:
+            helper = self.pool(op.descr)  # a callable set by the driver
+            args = ", ".join(self.expr(a) for a in op.args)
+            self.line(indent, "%s = %s((%s,))" % (name, helper, args)
+                      if args else "%s = %s(())" % (name, helper))
+            self.add_mix(costs.CALL_ASM_BASE_MIX)
+            self.add_mix(insns.mix(alu=len(op.args) * costs.CALL_PER_ARG))
+            return
+        raise AssertionError("cannot codegen %s" % op.name)
+
+    def emit_guard(self, op, indent):
+        opnum = op.opnum
+        a = self.expr(op.args[0])
+        if opnum == ir.GUARD_TRUE:
+            fail = "not %s" % a
+        elif opnum == ir.GUARD_FALSE:
+            fail = a
+        elif opnum == ir.GUARD_VALUE:
+            expected = op.args[1]
+            raw = expected.value if isinstance(expected, ir.Const) else None
+            if isinstance(raw, (int, float, str)) and not isinstance(raw, bool):
+                fail = "%s != %s" % (a, self.expr(expected))
+            else:
+                fail = "%s is not %s" % (a, self.expr(expected))
+        elif opnum == ir.GUARD_CLASS:
+            fail = "%s.__class__ is not %s" % (a, self.expr(op.args[1]))
+            self.add_mix(insns.mix(load=1))
+        elif opnum == ir.GUARD_NONNULL:
+            fail = "%s is None" % a
+        elif opnum == ir.GUARD_ISNULL:
+            fail = "%s is not None" % a
+        elif opnum == ir.GUARD_NO_OVERFLOW:
+            fail = "%s is _OVFD" % a
+        elif opnum == ir.GUARD_OVERFLOW:
+            fail = "%s is not _OVFD" % a
+        else:
+            raise AssertionError(op.name)
+        guard_index = len(self.guards)
+        self.guards.append(op)
+        plan = _exit_plan(op.snapshot)
+        self.exit_plans.append(plan)
+        values = ", ".join(self.expr(v) for v in plan)
+        pc = (self.trace.trace_id << 10 | op.index) & 0xFFFFF
+        self.line(indent, "if %s:" % fail)
+        self.line(indent, "    _br(%d, True)" % pc)
+        self.line(indent, "    return (1, %d, (%s))"
+                  % (guard_index, values + ("," if plan else "")))
+        self.line(indent, "_br(%d, False)" % pc)
+        self.add_mix(costs.GUARD_MIX)
+        # A new basic block begins after every guard.
+        self.start_block(indent)
+
+    # -- whole-trace generation ---------------------------------------------------------
+
+    def generate(self):
+        trace = self.trace
+        ops = trace.ops
+        header = [self.name_of(arg) for arg in trace.inputargs]
+        self.line("", "def _trace_fn(_entry):")
+        if len(header) == 1:
+            self.line("    ", "%s, = _entry" % header[0])
+        elif header:
+            self.line("    ", "%s = _entry" % ", ".join(header))
+        label_index = trace.label_index
+        indent = "    "
+        self.start_block(indent)
+        for i, op in enumerate(ops):
+            if op.opnum == ir.LABEL:
+                # Loop head: open the while and a fresh block.
+                self.line(indent, "while True:")
+                indent = "        "
+                self.start_block(indent)
+                continue
+            if op.opnum == ir.JUMP:
+                if self.ctx.config.annotate_ir_nodes:
+                    key = self.pool((self.trace.trace_id, i))
+                    self.line(indent, "_annot(%d, %s)"
+                              % (tags.IR_NODE, key))
+                self.emit_jump(op, i, indent, label_index)
+                continue
+            if op.opnum == ir.FINISH:
+                values = ", ".join(self.expr(a) for a in op.args)
+                self.line(indent, "return (3, (%s))"
+                          % (values + ("," if op.args else "")))
+                continue
+            self.emit_op(op, i, indent)
+        return self.build()
+
+    def emit_jump(self, op, i, indent, label_index):
+        target = op.descr
+        if isinstance(target, Trace):
+            args = ", ".join(self.expr(a) for a in op.args)
+            tref = self.pool(target)
+            self.line(indent, "return (2, %s, (%s))"
+                      % (tref, args + ("," if op.args else "")))
+            return
+        #
+
+        # Intra-trace jump to the label: rebind label arg names.
+        label = self.trace.ops[label_index]
+        targets = [self.name_of(a) for a in label.args]
+        sources = [self.expr(a) for a in op.args]
+        if targets:
+            self.line(indent, "%s = %s"
+                      % (", ".join(targets), ", ".join(sources)))
+        self.add_mix(insns.mix(alu=max(1, len(op.args))))
+        if i < len(self.trace.ops) - 1:
+            # Entry jump (preamble -> label): fall through into the loop.
+            return
+        self.line(indent, "continue")
+
+    def build(self):
+        machine = self.ctx.machine
+        namespace = {
+            "_xm": machine.exec_mix,
+            "_br": machine.branch,
+            "_ld": machine.load,
+            "_st": machine.store,
+            "_mcall": machine.call,
+            "_mret": machine.ret,
+            "_annot": machine.annot,
+            "_ctx": self.ctx,
+            "_bc": self.trace._block_counts,
+            "_BM": [_freeze_mix(m) for m in self.block_mixes],
+            "_OVF": LLOverflow,
+            "_OVFD": _OVFD,
+            "_ckovf": check_ovf,
+            "_idiv": _int_floordiv,
+            "_imod": _int_mod,
+            "_sqrt": math.sqrt,
+            "abs": abs,
+            "len": len,
+            "float": float,
+            "int": int,
+        }
+        namespace.update(self.consts)
+        source = "\n".join(self.lines)
+        code = compile(source, "<trace-%d>" % self.trace.trace_id, "exec")
+        exec(code, namespace)
+        return namespace["_trace_fn"], source
+
+
+def _freeze_mix(mix_dict):
+    return tuple(sorted(mix_dict.items()))
+
+
+def _exit_plan(snapshot):
+    """Ordered unique non-const IR values a guard exit must hand back."""
+    plan = []
+    seen = set()
+
+    def visit(value):
+        if isinstance(value, ir.Const):
+            return
+        if isinstance(value, VirtualSpec):
+            if id(value) in seen:
+                return
+            seen.add(id(value))
+            for field_value in value.fields.values():
+                visit(field_value)
+            return
+        if id(value) in seen:
+            return
+        seen.add(id(value))
+        plan.append(value)
+
+    if snapshot is not None:
+        for value in snapshot.iter_values():
+            visit(value)
+    return plan
+
+
+def _make_new_helper(ctx, cls):
+    gc = ctx.gc
+    size = getattr(cls, "_size_", 32)
+    new = cls.__new__
+
+    def _new():
+        obj = new(cls)
+        obj._addr = gc.allocate(size, obj=obj)
+        return obj
+
+    return _new
+
+
+def _make_newarray_helper(ctx):
+    gc = ctx.gc
+
+    def _newarray(length):
+        arr = LLArray([None] * length)
+        arr._addr = gc.allocate(16 + 8 * length, obj=arr)
+        return arr
+
+    return _newarray
+
+
+def get_compiled(ctx, trace):
+    fn = getattr(trace, "_fn", None)
+    if fn is None:
+        trace._block_counts = []
+        gen = _CodeGen(ctx, trace)
+        # Pre-size the block counter list: generate() fills block ids.
+        trace._block_counts.extend([0] * (len(trace.ops) + 2))
+        fn, source = gen.generate()
+        trace._fn = fn
+        trace._source = source
+        trace._guards = gen.guards
+        trace._exit_plans = gen.exit_plans
+        trace._op_block = _op_block_assignment(trace)
+        trace._n_blocks = gen.block_id + 1
+    return trace._fn
+
+
+def _op_block_assignment(trace):
+    """Which generated block each op belongs to (for exec counts)."""
+    assignment = []
+    block = 0
+    for op in trace.ops:
+        if op.opnum == ir.LABEL:
+            block += 1
+            assignment.append(block)
+            continue
+        assignment.append(block)
+        if op.opnum in ir.GUARDS:
+            block += 1
+    return assignment
+
+
+def sync_exec_counts(trace):
+    """Fold generated-code block counters into per-op execution counts."""
+    counts = getattr(trace, "_block_counts", None)
+    if counts is None:
+        return
+    assignment = trace._op_block
+    trace.op_exec_counts = [
+        counts[assignment[i]] if assignment[i] < len(counts) else 0
+        for i in range(len(trace.ops))
+    ]
+    if trace.label_index >= 0:
+        label_block = assignment[trace.label_index]
+        trace.iterations = counts[label_block]
+
+
+# -- running ---------------------------------------------------------------------------
+
+
+def _materialize(ctx, spec, mapping, memo):
+    obj = memo.get(id(spec))
+    if obj is not None:
+        return obj
+    cls = spec.cls
+    obj = cls.__new__(cls)
+    obj._addr = ctx.gc.allocate(spec.size or getattr(cls, "_size_", 32),
+                                obj=obj)
+    memo[id(spec)] = obj
+    for descr, value in spec.fields.items():
+        setattr(obj, descr.field, _resume_value(ctx, value, mapping, memo))
+    return obj
+
+
+def _resume_value(ctx, value, mapping, memo):
+    if isinstance(value, ir.Const):
+        return value.value
+    if isinstance(value, VirtualSpec):
+        return _materialize(ctx, value, mapping, memo)
+    return mapping[value]
+
+
+def _snapshot_to_frames(ctx, snapshot, mapping):
+    memo = {}
+    frames = []
+    n_values = 0
+    for frame_state in snapshot.frames:
+        locals_values = [
+            _resume_value(ctx, v, mapping, memo) for v in frame_state.locals
+        ]
+        stack_values = [
+            _resume_value(ctx, v, mapping, memo) for v in frame_state.stack
+        ]
+        n_values += len(locals_values) + len(stack_values)
+        frames.append(
+            (frame_state.code, frame_state.pc, locals_values, stack_values,
+             frame_state.extra)
+        )
+    return frames, n_values
+
+
+def _charge_blackhole(machine, n_values):
+    machine.exec_mix(costs.BLACKHOLE_BASE_MIX)
+    if n_values:
+        machine.exec_mix(
+            insns.scale_mix(costs.BLACKHOLE_PER_VALUE_MIX, n_values)
+        )
+    machine.exec_bulk_branches(
+        costs.BLACKHOLE_BRANCHES, costs.BLACKHOLE_BRANCH_MISS_RATE
+    )
+
+
+class ExecResult(object):
+    """Outcome of one JIT execution: deopt state + optional bridge request."""
+
+    __slots__ = ("deopt", "bridge_request")
+
+    def __init__(self, deopt, bridge_request):
+        self.deopt = deopt
+        self.bridge_request = bridge_request
+
+
+def execute(ctx, trace, entry_values):
+    """Run a compiled trace (following bridges) until deoptimization."""
+    machine = ctx.machine
+    cfg = ctx.config.jit
+    machine.annot(tags.JIT_ENTER, trace.trace_id)
+    current = trace
+    entry = tuple(entry_values)
+    while True:
+        fn = get_compiled(ctx, current)
+        current.executions += 1
+        result = fn(entry)
+        kind = result[0]
+        if kind == EXIT_JUMP:
+            current = result[1]
+            entry = result[2]
+            continue
+        if kind == EXIT_FINISH:
+            raise AssertionError("finish exits are not used by loops")
+        guard_index = result[1]
+        values = result[2]
+        guard = current._guards[guard_index]
+        guard.fail_count += 1
+        mapping = dict(zip(current._exit_plans[guard_index], values))
+        if isinstance(guard.bridge, Trace):
+            bridge = guard.bridge
+            entry = tuple(_flatten_snapshot(ctx, guard.snapshot, mapping))
+            current = bridge
+            continue
+        # No bridge: deoptimize through the blackhole interpreter.
+        bridge_request = None
+        if (cfg.enabled and guard.bridge is None
+                and guard.fail_count >= cfg.bridge_threshold):
+            bridge_request = guard
+        machine.annot(tags.BLACKHOLE_START)
+        frames, n_values = _snapshot_to_frames(ctx, guard.snapshot, mapping)
+        _charge_blackhole(machine, n_values)
+        machine.annot(tags.BLACKHOLE_STOP)
+        machine.annot(tags.JIT_LEAVE, trace.trace_id)
+        return ExecResult(DeoptState(frames), bridge_request)
+
+
+def _flatten_snapshot(ctx, snapshot, mapping):
+    memo = {}
+    flat = []
+    for frame_state in snapshot.frames:
+        for value in frame_state.locals:
+            flat.append(_resume_value(ctx, value, mapping, memo))
+        for value in frame_state.stack:
+            flat.append(_resume_value(ctx, value, mapping, memo))
+    return flat

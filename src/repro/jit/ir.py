@@ -1,0 +1,262 @@
+"""The JIT trace intermediate representation.
+
+Operation numbers, names, categories (the paper's Figure 7 grouping:
+memop / guard / call / ctrl / int / new / float / str / ptr / unicode),
+and the operation object recorded by the meta-tracer.
+
+Like RPython's ResOperation, an :class:`IROp` *is* its own result
+variable: arguments of later operations reference earlier operation
+objects (or :class:`Const`).
+"""
+
+_OPS = []
+
+
+def _op(name, category, effects="none"):
+    """Register an operation; returns its opnum."""
+    opnum = len(_OPS)
+    _OPS.append((name, category, effects))
+    return opnum
+
+
+# -- categories ------------------------------------------------------------
+CAT_MEMOP = "memop"
+CAT_GUARD = "guard"
+CAT_CALL = "call"
+CAT_CTRL = "ctrl"
+CAT_INT = "int"
+CAT_NEW = "new"
+CAT_FLOAT = "float"
+CAT_STR = "str"
+CAT_PTR = "ptr"
+CAT_UNICODE = "unicode"
+
+CATEGORIES = (
+    CAT_MEMOP, CAT_GUARD, CAT_CALL, CAT_CTRL, CAT_INT,
+    CAT_NEW, CAT_FLOAT, CAT_STR, CAT_PTR, CAT_UNICODE,
+)
+
+# -- memory operations -------------------------------------------------------
+GETFIELD_GC = _op("getfield_gc", CAT_MEMOP)
+GETFIELD_GC_PURE = _op("getfield_gc_pure", CAT_MEMOP)
+SETFIELD_GC = _op("setfield_gc", CAT_MEMOP, effects="heap")
+GETARRAYITEM_GC = _op("getarrayitem_gc", CAT_MEMOP)
+SETARRAYITEM_GC = _op("setarrayitem_gc", CAT_MEMOP, effects="heap")
+ARRAYLEN_GC = _op("arraylen_gc", CAT_MEMOP)
+
+# -- guards ------------------------------------------------------------------
+GUARD_TRUE = _op("guard_true", CAT_GUARD)
+GUARD_FALSE = _op("guard_false", CAT_GUARD)
+GUARD_VALUE = _op("guard_value", CAT_GUARD)
+GUARD_CLASS = _op("guard_class", CAT_GUARD)
+GUARD_NONNULL = _op("guard_nonnull", CAT_GUARD)
+GUARD_ISNULL = _op("guard_isnull", CAT_GUARD)
+GUARD_NO_OVERFLOW = _op("guard_no_overflow", CAT_GUARD)
+GUARD_OVERFLOW = _op("guard_overflow", CAT_GUARD)
+
+# -- calls ---------------------------------------------------------------------
+CALL = _op("call", CAT_CALL, effects="any")
+CALL_PURE = _op("call_pure", CAT_CALL)
+CALL_ASSEMBLER = _op("call_assembler", CAT_CALL, effects="any")
+
+# -- control -----------------------------------------------------------------
+LABEL = _op("label", CAT_CTRL)
+JUMP = _op("jump", CAT_CTRL)
+FINISH = _op("finish", CAT_CTRL)
+DEBUG_MERGE_POINT = _op("debug_merge_point", CAT_CTRL)
+
+# -- integer ops ---------------------------------------------------------------
+INT_ADD = _op("int_add", CAT_INT)
+INT_SUB = _op("int_sub", CAT_INT)
+INT_MUL = _op("int_mul", CAT_INT)
+INT_FLOORDIV = _op("int_floordiv", CAT_INT)
+INT_MOD = _op("int_mod", CAT_INT)
+INT_AND = _op("int_and", CAT_INT)
+INT_OR = _op("int_or", CAT_INT)
+INT_XOR = _op("int_xor", CAT_INT)
+INT_LSHIFT = _op("int_lshift", CAT_INT)
+INT_RSHIFT = _op("int_rshift", CAT_INT)
+INT_NEG = _op("int_neg", CAT_INT)
+INT_INVERT = _op("int_invert", CAT_INT)
+INT_ADD_OVF = _op("int_add_ovf", CAT_INT)
+INT_SUB_OVF = _op("int_sub_ovf", CAT_INT)
+INT_MUL_OVF = _op("int_mul_ovf", CAT_INT)
+INT_LT = _op("int_lt", CAT_INT)
+INT_LE = _op("int_le", CAT_INT)
+INT_EQ = _op("int_eq", CAT_INT)
+INT_NE = _op("int_ne", CAT_INT)
+INT_GT = _op("int_gt", CAT_INT)
+INT_GE = _op("int_ge", CAT_INT)
+INT_IS_TRUE = _op("int_is_true", CAT_INT)
+INT_IS_ZERO = _op("int_is_zero", CAT_INT)
+
+# -- allocation ------------------------------------------------------------------
+NEW_WITH_VTABLE = _op("new_with_vtable", CAT_NEW)
+NEW_ARRAY = _op("new_array", CAT_NEW)
+
+# -- float ops ---------------------------------------------------------------------
+FLOAT_ADD = _op("float_add", CAT_FLOAT)
+FLOAT_SUB = _op("float_sub", CAT_FLOAT)
+FLOAT_MUL = _op("float_mul", CAT_FLOAT)
+FLOAT_TRUEDIV = _op("float_truediv", CAT_FLOAT)
+FLOAT_NEG = _op("float_neg", CAT_FLOAT)
+FLOAT_ABS = _op("float_abs", CAT_FLOAT)
+FLOAT_SQRT = _op("float_sqrt", CAT_FLOAT)
+FLOAT_LT = _op("float_lt", CAT_FLOAT)
+FLOAT_LE = _op("float_le", CAT_FLOAT)
+FLOAT_EQ = _op("float_eq", CAT_FLOAT)
+FLOAT_NE = _op("float_ne", CAT_FLOAT)
+FLOAT_GT = _op("float_gt", CAT_FLOAT)
+FLOAT_GE = _op("float_ge", CAT_FLOAT)
+CAST_INT_TO_FLOAT = _op("cast_int_to_float", CAT_FLOAT)
+CAST_FLOAT_TO_INT = _op("cast_float_to_int", CAT_FLOAT)
+
+# -- string ops (interpreter-internal byte strings) ---------------------------------
+STRLEN = _op("strlen", CAT_STR)
+STRGETITEM = _op("strgetitem", CAT_STR)
+STR_EQ = _op("str_eq", CAT_STR)
+STR_CONCAT = _op("str_concat", CAT_STR)
+
+# -- pointer ops ----------------------------------------------------------------------
+PTR_EQ = _op("ptr_eq", CAT_PTR)
+PTR_NE = _op("ptr_ne", CAT_PTR)
+SAME_AS = _op("same_as", CAT_PTR)
+
+# -- unicode ops (guest-level strings) ---------------------------------------------------
+UNICODELEN = _op("unicodelen", CAT_UNICODE)
+UNICODEGETITEM = _op("unicodegetitem", CAT_UNICODE)
+UNICODE_EQ = _op("unicode_eq", CAT_UNICODE)
+UNICODE_CONCAT = _op("unicode_concat", CAT_UNICODE)
+
+N_OPS = len(_OPS)
+
+OP_NAMES = tuple(entry[0] for entry in _OPS)
+OP_CATEGORIES = tuple(entry[1] for entry in _OPS)
+OP_EFFECTS = tuple(entry[2] for entry in _OPS)
+
+_NAME_TO_OPNUM = {entry[0]: i for i, entry in enumerate(_OPS)}
+
+
+def opnum_by_name(name):
+    return _NAME_TO_OPNUM[name]
+
+
+GUARDS = frozenset(
+    i for i in range(N_OPS) if OP_CATEGORIES[i] == CAT_GUARD
+)
+
+# Pure operations are candidates for constant folding and CSE.
+PURE_OPS = frozenset(
+    i for i in range(N_OPS)
+    if OP_CATEGORIES[i] in (CAT_INT, CAT_FLOAT, CAT_STR, CAT_PTR,
+                            CAT_UNICODE)
+    and i not in (SAME_AS,)
+) | {GETFIELD_GC_PURE, CALL_PURE, ARRAYLEN_GC, STRLEN, UNICODELEN}
+
+# Operations with observable heap effects (heapcache invalidation points).
+EFFECT_OPS = frozenset(
+    i for i in range(N_OPS) if OP_EFFECTS[i] != "none"
+)
+
+# Overflow-checked arithmetic (followed by guard_no_overflow/guard_overflow).
+OVF_OPS = frozenset((INT_ADD_OVF, INT_SUB_OVF, INT_MUL_OVF))
+
+
+class Const(object):
+    """A compile-time constant in a trace."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+    def is_constant(self):
+        return True
+
+    def __repr__(self):
+        return "Const(%r)" % (self.value,)
+
+
+class IROp(object):
+    """One recorded trace operation; doubles as its own result variable."""
+
+    __slots__ = ("opnum", "args", "descr", "snapshot", "index",
+                 "fail_count", "bridge")
+
+    def __init__(self, opnum, args, descr=None):
+        self.opnum = opnum
+        self.args = args
+        self.descr = descr
+        self.snapshot = None   # guards: resume snapshot
+        self.index = -1        # position assigned at compile time
+        self.fail_count = 0    # guards: runtime failure counter
+        self.bridge = None     # guards: attached bridge trace
+
+    def is_constant(self):
+        return False
+
+    @property
+    def name(self):
+        return OP_NAMES[self.opnum]
+
+    @property
+    def category(self):
+        return OP_CATEGORIES[self.opnum]
+
+    def is_guard(self):
+        return self.opnum in GUARDS
+
+    def __repr__(self):
+        parts = []
+        for arg in self.args:
+            if isinstance(arg, Const):
+                parts.append(repr(arg.value))
+            elif isinstance(arg, IROp):
+                parts.append("v%d" % arg.index)
+            else:
+                parts.append(repr(arg))
+        descr = " [%s]" % (self.descr,) if self.descr is not None else ""
+        return "%s(%s)%s" % (self.name, ", ".join(parts), descr)
+
+
+class FieldDescr(object):
+    """Descriptor for a (class, field) pair used by get/setfield ops."""
+
+    __slots__ = ("cls", "field", "immutable", "offset")
+    _registry = {}
+
+    def __init__(self, cls, field, immutable, offset):
+        self.cls = cls
+        self.field = field
+        self.immutable = immutable
+        self.offset = offset
+
+    @classmethod
+    def get(cls, owner_class, field):
+        key = (owner_class, field)
+        descr = cls._registry.get(key)
+        if descr is None:
+            immutable_fields = getattr(owner_class, "_immutable_fields_", ())
+            # Field offsets: order of first use, 8 bytes apart, after the
+            # 8-byte object header.
+            offset = 8 + 8 * sum(
+                1 for (k_cls, _) in cls._registry if k_cls is owner_class
+            )
+            descr = cls(owner_class, field, field in immutable_fields, offset)
+            cls._registry[key] = descr
+        return descr
+
+    def __repr__(self):
+        return "%s.%s" % (self.cls.__name__, self.field)
+
+
+class CallDescr(object):
+    """Descriptor for residual calls: which AOT function is the target."""
+
+    __slots__ = ("func",)
+
+    def __init__(self, func):
+        self.func = func
+
+    def __repr__(self):
+        return self.func.name

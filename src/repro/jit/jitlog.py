@@ -1,0 +1,148 @@
+"""The jitlog: RPython's PyPy Log facility.
+
+The paper's JIT-IR-level characterization (Figures 6, 8, 9) comes from
+the PyPy Log, which records every compiled trace with its IR nodes,
+assembly, and execution counts.  Our JitLog mirrors that: compile/abort
+events plus aggregate statistics computed over the trace registry.
+"""
+
+from repro.jit import ir
+
+
+class JitLog(object):
+    """Event log of JIT compiler activity."""
+
+    def __init__(self):
+        self.events = []
+
+    def log(self, kind, **details):
+        self.events.append((kind, details))
+
+    def count(self, kind):
+        return sum(1 for k, _ in self.events if k == kind)
+
+
+# -- Figure 6(a): total IR nodes compiled --------------------------------------
+
+def total_ir_nodes_compiled(registry):
+    return registry.total_ops_compiled()
+
+
+# -- Figure 6(b): % of compiled nodes covering 95% of JIT execution time -------
+
+def hot_node_fraction(registry, coverage=0.95):
+    """Fraction of compiled IR nodes that account for ``coverage`` of the
+    dynamic assembly instructions executed in JIT code."""
+    weights = []
+    total_nodes = 0
+    for _trace, _i, _op, exec_count, asm_insns in registry.iter_op_records():
+        total_nodes += 1
+        weights.append(exec_count * asm_insns)
+    if not total_nodes:
+        return 0.0
+    total_weight = sum(weights)
+    if not total_weight:
+        return 0.0
+    weights.sort(reverse=True)
+    acc = 0.0
+    for used, weight in enumerate(weights, start=1):
+        acc += weight
+        if acc >= coverage * total_weight:
+            return used / total_nodes
+    return 1.0
+
+
+# -- Figure 6(c): dynamic IR nodes executed per million instructions ------------
+
+def ir_nodes_per_minsn(registry, total_instructions):
+    if not total_instructions:
+        return 0.0
+    executed = sum(
+        exec_count
+        for _t, _i, _op, exec_count, _a in registry.iter_op_records()
+    )
+    return 1e6 * executed / total_instructions
+
+
+# -- Figure 8: dynamic frequency per IR node type --------------------------------
+
+def dynamic_node_type_histogram(registry, include_markers=False):
+    """Dict opname -> fraction of all dynamically executed IR nodes.
+
+    ``debug_merge_point`` markers (zero-cost bytecode-position notes)
+    are excluded by default, as in the paper's Figure 8.
+    """
+    counts = {}
+    total = 0
+    for _t, _i, op, exec_count, _a in registry.iter_op_records():
+        if not exec_count:
+            continue
+        if not include_markers and op.opnum in (ir.DEBUG_MERGE_POINT,
+                                                 ir.LABEL):
+            continue
+        counts[op.name] = counts.get(op.name, 0) + exec_count
+        total += exec_count
+    if not total:
+        return {}
+    return {name: c / total for name, c in counts.items()}
+
+
+# -- Figure 7: dynamic composition by category ------------------------------------
+
+def dynamic_category_breakdown(registry, weight_by_asm=True):
+    """Dict category -> fraction of dynamic JIT work.
+
+    ``weight_by_asm`` weights each executed node by its assembly size
+    (the paper's time-based view); otherwise by node count.
+    """
+    totals = {}
+    grand = 0
+    for _t, _i, op, exec_count, asm_insns in registry.iter_op_records():
+        weight = exec_count * (asm_insns if weight_by_asm else 1)
+        if not weight:
+            continue
+        category = op.category
+        totals[category] = totals.get(category, 0) + weight
+        grand += weight
+    if not grand:
+        return {}
+    return {cat: w / grand for cat, w in totals.items()}
+
+
+# -- Figure 9: mean assembly instructions per IR node type -------------------------
+
+def asm_insns_per_node_type(registry):
+    """Dict opname -> mean static assembly instructions per compiled node."""
+    sums = {}
+    counts = {}
+    for _t, _i, op, _e, asm_insns in registry.iter_op_records():
+        sums[op.name] = sums.get(op.name, 0) + asm_insns
+        counts[op.name] = counts.get(op.name, 0) + 1
+    return {name: sums[name] / counts[name] for name in sums}
+
+
+# -- supporting detail: static category mix of compiled code ------------------------
+
+def static_category_breakdown(registry):
+    totals = {}
+    grand = 0
+    for _t, _i, op, _e, _a in registry.iter_op_records():
+        totals[op.category] = totals.get(op.category, 0) + 1
+        grand += 1
+    if not grand:
+        return {}
+    return {cat: n / grand for cat, n in totals.items()}
+
+
+def guard_failure_stats(registry):
+    """Total guards compiled, failures observed, bridges attached."""
+    n_guards = 0
+    failures = 0
+    bridges = 0
+    for _t, _i, op, _e, _a in registry.iter_op_records():
+        if op.opnum in ir.GUARDS:
+            n_guards += 1
+            failures += op.fail_count
+            if op.bridge is not None and op.bridge != "blacklisted":
+                bridges += 1
+    return {"guards": n_guards, "failures": failures, "bridges": bridges}

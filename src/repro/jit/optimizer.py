@@ -1,0 +1,564 @@
+"""The trace optimizer.
+
+Implements (each independently switchable for the ablation benches):
+
+* constant folding of pure ops (promotion guards constify downstream),
+* guard strengthening/deduplication (known-class and known-value facts),
+* heap caching (getfield/setfield and array item forwarding),
+* CSE over pure operations,
+* virtuals / partial escape analysis: allocations whose objects do not
+  escape are removed; their fields are forwarded; guards' resume
+  snapshots reference :class:`VirtualSpec` so deoptimization can
+  rematerialize the objects — this is what makes boxing disappear from
+  hot loops (and what the paper credits for reduced GC pressure in the
+  JIT phase),
+* loop peeling (RPython's unroll): the first iteration becomes a
+  preamble and the loop body is re-optimized with virtual loop-carried
+  state, so accumulator boxes stay unboxed across iterations.
+
+The optimizer is a forward pass over the recorded operations with a
+value map (recorded value -> optimized value); loops run the pass twice
+(preamble + peeled body) when virtual state crosses the back edge.
+"""
+
+from repro.jit import ir
+from repro.jit.resume import VirtualSpec
+from repro.jit.semantics import EVAL, FOLDABLE
+from repro.jit.trace import InputArg
+
+
+class VInfo(object):
+    """Optimization facts about one optimized value."""
+
+    __slots__ = ("const", "known_class", "virtual_cls", "virtual_fields",
+                 "virtual_size")
+
+    def __init__(self):
+        self.const = None
+        self.known_class = None
+        self.virtual_cls = None
+        self.virtual_fields = None  # dict descr -> optimized value
+        self.virtual_size = 0
+
+    @property
+    def is_virtual(self):
+        return self.virtual_cls is not None
+
+
+class _Bail(Exception):
+    """Internal: peeling failed; fall back to the non-peeled form."""
+
+
+class OptPass(object):
+    """One forward optimization pass over recorded operations."""
+
+    def __init__(self, cfg):
+        self.cfg = cfg
+        self.out = []
+        self.map = {}
+        self.infos = {}
+        self.cse = {}
+        self.heap = {}       # (obj_value, descr) -> value
+        self.array = {}      # (arr_value, index_key) -> value
+
+    # -- infrastructure -----------------------------------------------------------
+
+    def info(self, value):
+        info = self.infos.get(value)
+        if info is None:
+            info = VInfo()
+            self.infos[value] = info
+        return info
+
+    def resolve(self, value):
+        if isinstance(value, ir.Const):
+            return value
+        mapped = self.map[value]
+        if not isinstance(mapped, ir.Const):
+            info = self.infos.get(mapped)
+            if info is not None and info.const is not None:
+                return info.const
+        return mapped
+
+    def emit(self, op):
+        self.out.append(op)
+        return op
+
+    def _emit_new(self, opnum, args, descr):
+        return self.emit(ir.IROp(opnum, args, descr))
+
+    def _argkey(self, values):
+        return tuple(
+            ("c", v.value) if isinstance(v, ir.Const) else ("v", id(v))
+            for v in values
+        )
+
+    # -- virtuals --------------------------------------------------------------------
+
+    def make_virtual(self, recorded_op, cls):
+        placeholder = ir.IROp(ir.NEW_WITH_VTABLE, [ir.Const(cls)], cls)
+        info = self.info(placeholder)
+        info.virtual_cls = cls
+        info.virtual_fields = {}
+        info.known_class = cls
+        self.map[recorded_op] = placeholder
+        return placeholder
+
+    def force(self, value):
+        """Materialize a virtual at its escape point."""
+        if isinstance(value, ir.Const):
+            return value
+        info = self.infos.get(value)
+        if info is None or not info.is_virtual:
+            return value
+        fields = info.virtual_fields
+        info.virtual_cls = None
+        info.virtual_fields = None
+        self.emit(value)  # the deferred new_with_vtable
+        for descr in sorted(fields, key=lambda d: d.offset):
+            field_value = self.force(fields[descr])
+            self._emit_new(ir.SETFIELD_GC, [value, field_value], descr)
+            self.heap[(value, descr)] = field_value
+        return value
+
+    # -- resume snapshots ----------------------------------------------------------------
+
+    def map_snapshot(self, snapshot):
+        memo = {}
+
+        def resume_value(value):
+            resolved = self.resolve(value)
+            return self._spec_of(resolved, memo)
+
+        return snapshot.map_values(resume_value)
+
+    def _spec_of(self, resolved, memo):
+        if isinstance(resolved, ir.Const):
+            return resolved
+        info = self.infos.get(resolved)
+        if info is None or not info.is_virtual:
+            return resolved
+        spec = memo.get(resolved)
+        if spec is not None:
+            return spec
+        spec = VirtualSpec(info.virtual_cls, {}, info.virtual_size)
+        memo[resolved] = spec
+        for descr, field_value in info.virtual_fields.items():
+            field_resolved = field_value
+            if not isinstance(field_resolved, ir.Const):
+                field_info = self.infos.get(field_resolved)
+                if field_info is not None and field_info.const is not None:
+                    field_resolved = field_info.const
+            spec.fields[descr] = self._spec_of(field_resolved, memo)
+        return spec
+
+    # -- the pass ---------------------------------------------------------------------------
+
+    def run(self, recorded_ops):
+        for op in recorded_ops:
+            self._handle(op)
+
+    def _handle(self, op):
+        opnum = op.opnum
+        if opnum == ir.DEBUG_MERGE_POINT:
+            new_op = self._emit_new(ir.DEBUG_MERGE_POINT, [], op.descr)
+            new_op.snapshot = self.map_snapshot(op.snapshot)
+            self._last_snapshot = new_op.snapshot
+            return
+        if opnum in ir.GUARDS:
+            self._handle_guard(op)
+            return
+        if opnum == ir.NEW_WITH_VTABLE:
+            cls = op.args[0].value
+            if self.cfg.opt_virtuals:
+                self.make_virtual(op, cls)
+            else:
+                new_op = self._emit_new(
+                    ir.NEW_WITH_VTABLE, [ir.Const(cls)], cls
+                )
+                self.info(new_op).known_class = cls
+                self.map[op] = new_op
+            return
+        if opnum == ir.SETFIELD_GC:
+            self._handle_setfield(op)
+            return
+        if opnum in (ir.GETFIELD_GC, ir.GETFIELD_GC_PURE):
+            self._handle_getfield(op)
+            return
+        if opnum == ir.NEW_ARRAY:
+            args = [self.resolve(a) for a in op.args]
+            self.map[op] = self._emit_new(ir.NEW_ARRAY, args, op.descr)
+            return
+        if opnum == ir.SETARRAYITEM_GC:
+            self._handle_setarrayitem(op)
+            return
+        if opnum == ir.GETARRAYITEM_GC:
+            self._handle_getarrayitem(op)
+            return
+        if opnum == ir.ARRAYLEN_GC:
+            self._handle_pure(op)
+            return
+        if opnum in (ir.CALL, ir.CALL_PURE):
+            self._handle_call(op)
+            return
+        if opnum == ir.CALL_ASSEMBLER:
+            args = [self.force(self.resolve(a)) for a in op.args]
+            self.map[op] = self._emit_new(ir.CALL_ASSEMBLER, args, op.descr)
+            self._invalidate_heap()
+            return
+        if opnum in (ir.PTR_EQ, ir.PTR_NE):
+            self._handle_ptr_cmp(op)
+            return
+        # Everything else: pure arithmetic/str/float ops.
+        self._handle_pure(op)
+
+    # -- op families ----------------------------------------------------------------------------
+
+    def _handle_pure(self, op):
+        args = [self.resolve(a) for a in op.args]
+        opnum = op.opnum
+        if (self.cfg.opt_constfold and opnum in FOLDABLE
+                and all(isinstance(a, ir.Const) for a in args)):
+            result = EVAL[opnum]( *[a.value for a in args])
+            self.map[op] = ir.Const(result)
+            return
+        if self.cfg.opt_cse and opnum in ir.PURE_OPS:
+            key = (opnum, self._argkey(args), op.descr)
+            existing = self.cse.get(key)
+            if existing is not None:
+                self.map[op] = existing
+                return
+            new_op = self._emit_new(opnum, args, op.descr)
+            self.cse[key] = new_op
+            self.map[op] = new_op
+            return
+        self.map[op] = self._emit_new(opnum, args, op.descr)
+
+    def _handle_ptr_cmp(self, op):
+        a = self.resolve(op.args[0])
+        b = self.resolve(op.args[1])
+        a_virtual = self._is_virtual(a)
+        b_virtual = self._is_virtual(b)
+        if a_virtual or b_virtual:
+            # A virtual is a fresh allocation: identity is decidable.
+            same = a is b
+            result = same if op.opnum == ir.PTR_EQ else not same
+            self.map[op] = ir.Const(result)
+            return
+        self._handle_pure(op)
+
+    def _is_virtual(self, value):
+        info = self.infos.get(value)
+        return info is not None and info.is_virtual
+
+    def _handle_guard(self, op):
+        opnum = op.opnum
+        args = [self.resolve(a) for a in op.args]
+        value = args[0]
+        info = None if isinstance(value, ir.Const) else self.info(value)
+        if opnum == ir.GUARD_CLASS:
+            cls = args[1].value
+            if isinstance(value, ir.Const):
+                return  # class of a constant is statically known
+            if info.is_virtual:
+                # The class of a removed allocation is statically known
+                # (this is semantics, not deduplication: emitting the
+                # guard would reference the removed op).
+                assert info.virtual_cls is cls
+                return
+            if self.cfg.opt_guard_dedup and info.known_class is cls:
+                return
+            self._emit_guard(op, [value, ir.Const(cls)])
+            info.known_class = cls
+            return
+        if opnum == ir.GUARD_VALUE:
+            expected = args[1]
+            if isinstance(value, ir.Const):
+                return
+            value = self.force(value)
+            self._emit_guard(op, [value, expected])
+            info.const = expected
+            return
+        if opnum in (ir.GUARD_TRUE, ir.GUARD_FALSE):
+            if isinstance(value, ir.Const):
+                return
+            if self.cfg.opt_guard_dedup:
+                key = (opnum, id(value))
+                if key in self.cse:
+                    return
+                self.cse[key] = True
+            self._emit_guard(op, [value])
+            expected = op.opnum == ir.GUARD_TRUE
+            info.const = ir.Const(expected)
+            return
+        if opnum in (ir.GUARD_NONNULL, ir.GUARD_ISNULL):
+            if isinstance(value, ir.Const):
+                return
+            if self._is_virtual(value):
+                return  # virtuals are never null
+            if self.cfg.opt_guard_dedup:
+                key = (opnum, id(value))
+                if key in self.cse:
+                    return
+                self.cse[key] = True
+            self._emit_guard(op, [value])
+            return
+        if opnum in (ir.GUARD_NO_OVERFLOW, ir.GUARD_OVERFLOW):
+            if isinstance(value, ir.Const):
+                return  # the checked op was folded: no overflow possible
+            self._emit_guard(op, [value])
+            return
+        raise AssertionError("unhandled guard %s" % op.name)
+
+    def _emit_guard(self, recorded, args):
+        new_op = self._emit_new(recorded.opnum, args, recorded.descr)
+        snapshot = recorded.snapshot
+        if snapshot is not None:
+            new_op.snapshot = self.map_snapshot(snapshot)
+        return new_op
+
+    def _handle_setfield(self, op):
+        obj = self.resolve(op.args[0])
+        value = self.resolve(op.args[1])
+        descr = op.descr
+        info = self.infos.get(obj)
+        if info is not None and info.is_virtual:
+            info.virtual_fields[descr] = value
+            self.map[op] = value
+            return
+        value = self.force(value)
+        self._emit_new(ir.SETFIELD_GC, [obj, value], descr)
+        if self.cfg.opt_heap_cache:
+            # Invalidate possibly-aliasing cached reads of this field.
+            stale = [k for k in self.heap if k[1] is descr]
+            for key in stale:
+                del self.heap[key]
+            self.heap[(obj, descr)] = value
+
+    def _handle_getfield(self, op):
+        obj = self.resolve(op.args[0])
+        descr = op.descr
+        info = self.infos.get(obj)
+        if info is not None and info.is_virtual:
+            self.map[op] = info.virtual_fields[descr]
+            return
+        if descr.immutable and isinstance(obj, ir.Const):
+            self.map[op] = ir.Const(getattr(obj.value, descr.field))
+            return
+        if self.cfg.opt_heap_cache:
+            cached = self.heap.get((obj, descr))
+            if cached is not None:
+                self.map[op] = cached
+                return
+        if descr.immutable and self.cfg.opt_cse:
+            key = (ir.GETFIELD_GC_PURE, self._argkey([obj]), descr)
+            existing = self.cse.get(key)
+            if existing is not None:
+                self.map[op] = existing
+                return
+            new_op = self._emit_new(ir.GETFIELD_GC_PURE, [obj], descr)
+            self.cse[key] = new_op
+            self.map[op] = new_op
+            return
+        new_op = self._emit_new(op.opnum, [obj], descr)
+        self.map[op] = new_op
+        if self.cfg.opt_heap_cache:
+            self.heap[(obj, descr)] = new_op
+
+    def _index_key(self, value):
+        if isinstance(value, ir.Const):
+            return ("c", value.value)
+        return ("v", id(value))
+
+    def _handle_setarrayitem(self, op):
+        arr = self.resolve(op.args[0])
+        index = self.resolve(op.args[1])
+        value = self.force(self.resolve(op.args[2]))
+        self._emit_new(ir.SETARRAYITEM_GC, [arr, index, value], op.descr)
+        if self.cfg.opt_heap_cache:
+            self.array.clear()  # conservative aliasing
+            self.array[(arr, self._index_key(index))] = value
+
+    def _handle_getarrayitem(self, op):
+        arr = self.resolve(op.args[0])
+        index = self.resolve(op.args[1])
+        if self.cfg.opt_heap_cache:
+            cached = self.array.get((arr, self._index_key(index)))
+            if cached is not None:
+                self.map[op] = cached
+                return
+        new_op = self._emit_new(
+            ir.GETARRAYITEM_GC, [arr, index], op.descr
+        )
+        self.map[op] = new_op
+        if self.cfg.opt_heap_cache:
+            self.array[(arr, self._index_key(index))] = new_op
+
+    def _handle_call(self, op):
+        args = [self.force(self.resolve(a)) for a in op.args]
+        func = op.descr.func
+        if op.opnum == ir.CALL_PURE and self.cfg.opt_cse:
+            key = (ir.CALL_PURE, self._argkey(args), func)
+            existing = self.cse.get(key)
+            if existing is not None:
+                self.map[op] = existing
+                return
+            new_op = self._emit_new(ir.CALL_PURE, args, op.descr)
+            self.cse[key] = new_op
+            self.map[op] = new_op
+            return
+        new_op = self._emit_new(op.opnum, args, op.descr)
+        self.map[op] = new_op
+        if func.invalidates_heap:
+            self._invalidate_heap()
+
+    def _invalidate_heap(self):
+        self.heap.clear()
+        self.array.clear()
+
+
+# -- loop construction -------------------------------------------------------------
+
+
+def _virtual_state(pass_, values):
+    """Describe each jump value: ('v', cls, descrs) or ('p', known_class)."""
+    state = []
+    for value in values:
+        info = None if isinstance(value, ir.Const) else pass_.infos.get(value)
+        if info is not None and info.is_virtual:
+            descrs = tuple(
+                sorted(info.virtual_fields, key=lambda d: d.offset)
+            )
+            state.append(("v", info.virtual_cls, descrs))
+        else:
+            known = info.known_class if info is not None else None
+            state.append(("p", known))
+    return state
+
+
+def _flatten(pass_, values, state):
+    """Expand jump values according to a virtual-state spec."""
+    flat = []
+    for value, slot in zip(values, state):
+        if slot[0] == "v":
+            info = pass_.infos[value]
+            for descr in slot[2]:
+                field = info.virtual_fields[descr]
+                if not isinstance(field, ir.Const):
+                    field_info = pass_.infos.get(field)
+                    if field_info is not None and field_info.const is not None:
+                        field = field_info.const
+                flat.append(pass_.force(field))
+        else:
+            flat.append(pass_.force(value))
+    return flat
+
+
+def optimize_trace(cfg, trace, recorded_ops, jump, target):
+    """Optimize recorded ops into ``trace.ops`` (with label/jump wiring)."""
+    if target is not None:
+        _optimize_straight(cfg, trace, recorded_ops, jump, target)
+        return
+    if cfg.opt_loop_peeling and cfg.opt_virtuals:
+        try:
+            _optimize_peeled(cfg, trace, recorded_ops, jump)
+            return
+        except _Bail:
+            pass
+    _optimize_simple_loop(cfg, trace, recorded_ops, jump)
+
+
+def _seed_pass(cfg, inputargs):
+    pass_ = OptPass(cfg)
+    for arg in inputargs:
+        pass_.map[arg] = arg
+    return pass_
+
+
+def _optimize_straight(cfg, trace, recorded_ops, jump, target):
+    """A bridge (or loop-to-loop) trace: no back edge of its own."""
+    pass_ = _seed_pass(cfg, trace.inputargs)
+    pass_.run(recorded_ops)
+    args = [pass_.force(pass_.resolve(a)) for a in jump.args]
+    out_jump = ir.IROp(ir.JUMP, args, target)
+    trace.ops = pass_.out + [out_jump]
+    trace.label_index = -1
+
+
+def _optimize_simple_loop(cfg, trace, recorded_ops, jump):
+    """Self-loop without peeling: all loop-carried state is forced."""
+    pass_ = _seed_pass(cfg, trace.inputargs)
+    label = ir.IROp(ir.LABEL, list(trace.inputargs), None)
+    pass_.run(recorded_ops)
+    args = [pass_.force(pass_.resolve(a)) for a in jump.args]
+    out_jump = ir.IROp(ir.JUMP, args, label)
+    trace.ops = [label] + pass_.out + [out_jump]
+    trace.label_index = 0
+
+
+def _optimize_peeled(cfg, trace, recorded_ops, jump):
+    """RPython-style loop peeling: preamble + re-optimized loop body."""
+    preamble = _seed_pass(cfg, trace.inputargs)
+    preamble.run(recorded_ops)
+    jump_values = [preamble.resolve(a) for a in jump.args]
+    state = _virtual_state(preamble, jump_values)
+    if not any(slot[0] == "v" for slot in state):
+        raise _Bail  # nothing virtual crosses the back edge
+    # Build the peeled label: one InputArg per flattened slot.
+    label_args = []
+    body = OptPass(cfg)
+    for recorded_arg, slot in zip(
+            _recorded_inputargs(trace), state):
+        if slot[0] == "v":
+            _, cls, descrs = slot
+            placeholder = body.make_virtual(_FreshKey(), cls)
+            # make_virtual mapped a fresh key; rebind to the recorded arg.
+            body.map[recorded_arg] = placeholder
+            info = body.infos[placeholder]
+            for descr in descrs:
+                field_arg = InputArg()
+                label_args.append(field_arg)
+                info.virtual_fields[descr] = field_arg
+        else:
+            arg = InputArg()
+            label_args.append(arg)
+            body.map[recorded_arg] = arg
+            if slot[1] is not None:
+                body.info(arg).known_class = slot[1]
+    label = ir.IROp(ir.LABEL, label_args, None)
+    body.run(recorded_ops)
+    body_jump_values = [body.resolve(a) for a in jump.args]
+    body_state = _virtual_state(body, body_jump_values)
+    if not _states_compatible(state, body_state):
+        raise _Bail
+    preamble_args = _flatten(preamble, jump_values, state)
+    body_args = _flatten(body, body_jump_values, state)
+    entry_jump = ir.IROp(ir.JUMP, preamble_args, label)
+    back_jump = ir.IROp(ir.JUMP, body_args, label)
+    trace.ops = preamble.out + [entry_jump, label] + body.out + [back_jump]
+    trace.label_index = len(preamble.out) + 1
+
+
+class _FreshKey(object):
+    """Placeholder key for seeding virtuals in the peeled body."""
+
+
+def _recorded_inputargs(trace):
+    return trace.inputargs
+
+
+def _states_compatible(entry_state, body_state):
+    for entry, body in zip(entry_state, body_state):
+        if entry[0] == "v":
+            if body[0] != "v" or entry[1] is not body[1]:
+                return False
+            if entry[2] != body[2]:
+                return False
+        else:
+            if body[0] == "v":
+                # A plain entry slot receiving a virtual: it will simply
+                # be forced by _flatten; that is compatible.
+                continue
+            if entry[1] is not None and body[1] is not entry[1]:
+                return False
+    return True

@@ -1,0 +1,94 @@
+"""Resume data: snapshots that let guards deoptimize back to the interpreter.
+
+Every ``debug_merge_point`` captures the virtual frame stack — for each
+guest frame: the code object, the pc, and the IR values currently held in
+locals and on the operand stack.  Guards reference the most recent
+snapshot.  On guard failure the executor evaluates the snapshot's values
+(materializing :class:`VirtualSpec` objects for allocation-removed
+virtuals) and the interpreter is resumed at the snapshot's pc — the
+blackhole-deoptimization process of Section II.
+"""
+
+
+class FrameState(object):
+    """One guest frame inside a snapshot.
+
+    ``extra`` is opaque interpreter data restored verbatim at deopt
+    (e.g. TinyPy keeps (module, discard_return) there).
+    """
+
+    __slots__ = ("code", "pc", "locals", "stack", "extra")
+
+    def __init__(self, code, pc, locals_values, stack_values, extra=None):
+        self.code = code
+        self.pc = pc
+        self.locals = locals_values
+        self.stack = stack_values
+        self.extra = extra
+
+    def map_values(self, fn):
+        return FrameState(
+            self.code,
+            self.pc,
+            tuple(fn(v) for v in self.locals),
+            tuple(fn(v) for v in self.stack),
+            self.extra,
+        )
+
+    def __repr__(self):
+        return "<FrameState %s pc=%d>" % (self.code, self.pc)
+
+
+class Snapshot(object):
+    """The full virtual frame stack at one merge point."""
+
+    __slots__ = ("frames",)
+
+    def __init__(self, frames):
+        self.frames = frames
+
+    @property
+    def innermost(self):
+        return self.frames[-1]
+
+    def map_values(self, fn):
+        return Snapshot(tuple(f.map_values(fn) for f in self.frames))
+
+    def iter_values(self):
+        for frame in self.frames:
+            for value in frame.locals:
+                yield value
+            for value in frame.stack:
+                yield value
+
+
+class VirtualSpec(object):
+    """A removed allocation, reconstructable at deoptimization time.
+
+    ``fields`` maps :class:`FieldDescr` -> IR value (possibly another
+    VirtualSpec for nested virtuals).
+    """
+
+    __slots__ = ("cls", "fields", "size")
+
+    def __init__(self, cls, fields, size):
+        self.cls = cls
+        self.fields = fields
+        self.size = size
+
+    def __repr__(self):
+        return "<VirtualSpec %s>" % self.cls.__name__
+
+
+class DeoptState(object):
+    """Concrete interpreter state produced by a deoptimization.
+
+    ``frames`` is a list of (code, pc, locals_list, stack_list) with
+    concrete guest values; the interpreter driver rebuilds real frames
+    from it and resumes at the innermost frame's pc.
+    """
+
+    __slots__ = ("frames",)
+
+    def __init__(self, frames):
+        self.frames = frames

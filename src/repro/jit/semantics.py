@@ -1,0 +1,116 @@
+"""Concrete semantics of pure IR operations.
+
+Shared by the trace executor (to run optimized traces over real values)
+and by the optimizer (to constant-fold pure operations with constant
+arguments).  Machine integers are 64-bit signed: the ``_ovf`` variants
+raise :class:`LLOverflow` outside that range, which the interpreters use
+to fall back to rbigint arithmetic exactly as PyPy does.
+"""
+
+import math
+
+from repro.jit import ir
+
+INT_MIN = -(1 << 63)
+INT_MAX = (1 << 63) - 1
+
+
+class LLOverflow(Exception):
+    """64-bit signed overflow in checked arithmetic."""
+
+
+def check_ovf(value):
+    if value < INT_MIN or value > INT_MAX:
+        raise LLOverflow
+    return value
+
+
+def _int_add_ovf(a, b):
+    return check_ovf(a + b)
+
+
+def _int_sub_ovf(a, b):
+    return check_ovf(a - b)
+
+
+def _int_mul_ovf(a, b):
+    return check_ovf(a * b)
+
+
+def _int_floordiv(a, b):
+    # C-like division truncating toward zero (RPython ll semantics).
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def _int_mod(a, b):
+    return a - _int_floordiv(a, b) * b
+
+
+def _wrap64(value):
+    value &= (1 << 64) - 1
+    if value > INT_MAX:
+        value -= 1 << 64
+    return value
+
+
+EVAL = {
+    ir.INT_ADD: lambda a, b: _wrap64(a + b),
+    ir.INT_SUB: lambda a, b: _wrap64(a - b),
+    ir.INT_MUL: lambda a, b: _wrap64(a * b),
+    ir.INT_FLOORDIV: _int_floordiv,
+    ir.INT_MOD: _int_mod,
+    ir.INT_AND: lambda a, b: a & b,
+    ir.INT_OR: lambda a, b: a | b,
+    ir.INT_XOR: lambda a, b: a ^ b,
+    ir.INT_LSHIFT: lambda a, b: _wrap64(a << b),
+    ir.INT_RSHIFT: lambda a, b: a >> b,
+    ir.INT_NEG: lambda a: _wrap64(-a),
+    ir.INT_INVERT: lambda a: _wrap64(~a),
+    ir.INT_ADD_OVF: _int_add_ovf,
+    ir.INT_SUB_OVF: _int_sub_ovf,
+    ir.INT_MUL_OVF: _int_mul_ovf,
+    ir.INT_LT: lambda a, b: a < b,
+    ir.INT_LE: lambda a, b: a <= b,
+    ir.INT_EQ: lambda a, b: a == b,
+    ir.INT_NE: lambda a, b: a != b,
+    ir.INT_GT: lambda a, b: a > b,
+    ir.INT_GE: lambda a, b: a >= b,
+    ir.INT_IS_TRUE: lambda a: a != 0,
+    ir.INT_IS_ZERO: lambda a: a == 0,
+    ir.FLOAT_ADD: lambda a, b: a + b,
+    ir.FLOAT_SUB: lambda a, b: a - b,
+    ir.FLOAT_MUL: lambda a, b: a * b,
+    ir.FLOAT_TRUEDIV: lambda a, b: a / b,
+    ir.FLOAT_NEG: lambda a: -a,
+    ir.FLOAT_ABS: abs,
+    ir.FLOAT_SQRT: math.sqrt,
+    ir.FLOAT_LT: lambda a, b: a < b,
+    ir.FLOAT_LE: lambda a, b: a <= b,
+    ir.FLOAT_EQ: lambda a, b: a == b,
+    ir.FLOAT_NE: lambda a, b: a != b,
+    ir.FLOAT_GT: lambda a, b: a > b,
+    ir.FLOAT_GE: lambda a, b: a >= b,
+    ir.CAST_INT_TO_FLOAT: float,
+    ir.CAST_FLOAT_TO_INT: int,
+    ir.STRLEN: len,
+    ir.STRGETITEM: lambda s, i: s[i],
+    ir.STR_EQ: lambda a, b: a == b,
+    ir.STR_CONCAT: lambda a, b: a + b,
+    ir.UNICODELEN: len,
+    ir.UNICODEGETITEM: lambda s, i: s[i],
+    ir.UNICODE_EQ: lambda a, b: a == b,
+    ir.UNICODE_CONCAT: lambda a, b: a + b,
+    ir.PTR_EQ: lambda a, b: a is b,
+    ir.PTR_NE: lambda a, b: a is not b,
+    ir.SAME_AS: lambda a: a,
+}
+
+# Ops safe to fold at trace-record/optimization time when args are const.
+# Overflow-checked and division ops are excluded (fold could raise).
+FOLDABLE = frozenset(
+    opnum for opnum in EVAL
+    if opnum not in ir.OVF_OPS
+    and opnum not in (ir.INT_FLOORDIV, ir.INT_MOD, ir.FLOAT_TRUEDIV,
+                      ir.STRGETITEM, ir.UNICODEGETITEM)
+)

@@ -1,0 +1,103 @@
+"""Compiled traces and the trace registry (the JIT's code cache)."""
+
+
+class InputArg(object):
+    """A trace input variable (bound at trace entry)."""
+
+    __slots__ = ("index",)
+
+    def __init__(self):
+        self.index = -1
+
+    def is_constant(self):
+        return False
+
+    def __repr__(self):
+        return "i%d" % self.index
+
+
+LOOP = "loop"
+BRIDGE = "bridge"
+
+
+class Trace(object):
+    """One compiled unit: a loop or a bridge.
+
+    After compilation:
+
+    * ``inputargs`` — :class:`InputArg` list; the entry env slots.
+    * ``ops`` — optimized IR operations in order.
+    * ``entry_layout`` — (code, pc, n_locals, stack_depth): how the
+      interpreter's frame state maps onto ``inputargs`` at entry.
+    * ``label_index`` — position of the loop-closing LABEL op (loops).
+    * ``op_exec_counts`` — dynamic execution count per op (jitlog data).
+    * ``op_asm_insns`` — static assembly instructions per op (backend).
+    """
+
+    def __init__(self, trace_id, kind, greenkey, inputargs, ops,
+                 entry_layout):
+        self.trace_id = trace_id
+        self.kind = kind
+        self.greenkey = greenkey
+        self.inputargs = inputargs
+        self.ops = ops
+        self.entry_layout = entry_layout
+        self.label_index = 0
+        self.op_exec_counts = [0] * len(ops)
+        self.op_asm_insns = [0] * len(ops)
+        self.executions = 0
+        self.iterations = 0
+        self.n_env_slots = 0
+
+    @property
+    def n_ops(self):
+        return len(self.ops)
+
+    @property
+    def asm_size(self):
+        return sum(self.op_asm_insns)
+
+    def __repr__(self):
+        return "<Trace #%d %s %d ops>" % (
+            self.trace_id, self.kind, len(self.ops),
+        )
+
+
+class TraceRegistry(object):
+    """All traces compiled during one VM run."""
+
+    def __init__(self):
+        self.traces = []
+        self.by_greenkey = {}
+        self.aborts = []          # (greenkey, reason) log
+        self.blacklist = set()
+
+    def new_trace_id(self):
+        return len(self.traces)
+
+    def register(self, trace):
+        self.traces.append(trace)
+        if trace.kind == LOOP:
+            self.by_greenkey[trace.greenkey] = trace
+
+    def lookup_loop(self, greenkey):
+        return self.by_greenkey.get(greenkey)
+
+    def record_abort(self, greenkey, reason):
+        self.aborts.append((greenkey, reason))
+
+    # -- aggregate statistics (feeds the jitlog reports) -------------------------
+
+    def total_ops_compiled(self):
+        return sum(t.n_ops for t in self.traces)
+
+    def total_asm_size(self):
+        return sum(t.asm_size for t in self.traces)
+
+    def iter_op_records(self):
+        """Yield (trace, op_index, op, exec_count, asm_insns) for all ops."""
+        for trace in self.traces:
+            counts = trace.op_exec_counts
+            asm = trace.op_asm_insns
+            for i, op in enumerate(trace.ops):
+                yield trace, i, op, counts[i], asm[i]

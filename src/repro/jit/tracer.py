@@ -1,0 +1,236 @@
+"""The meta-tracer: records the interpreter's operations into a trace.
+
+When a guest loop header becomes hot, the JitDriver activates a
+MetaTracer.  The interpreter keeps executing normally, but every LLOps
+operation is recorded as IR (see :mod:`repro.interp.llops`).  The tracer
+owns the recording state:
+
+* the op list and the trace-limit/abort logic,
+* record-time known-class caching (avoids redundant guard_class),
+* resume snapshots at every merge point,
+* the guard-after-effect hazard check that keeps bytecode-granularity
+  deoptimization sound,
+* trace closing: loop back to the entry, or jump into another compiled
+  trace (how bridges attach to loops).
+"""
+
+from repro.core import tags
+from repro.interp.objects import TBox, concrete, unwrap_frame
+from repro.jit import costs, ir
+from repro.jit.optimizer import optimize_trace
+from repro.jit.resume import FrameState, Snapshot
+from repro.jit.trace import LOOP, InputArg, Trace
+
+
+class MetaTracer(object):
+    """Recording state for one loop or bridge trace."""
+
+    def __init__(self, ctx, kind, greenkey, root_depth,
+                 parent_guard=None):
+        self.ctx = ctx
+        self.kind = kind
+        self.greenkey = greenkey
+        self.root_depth = root_depth  # index of the root frame
+        self.parent_guard = parent_guard
+        self.ops = []
+        self.inputargs = []
+        self.entry_layout = None
+        self.last_snapshot = None
+        self.hazard = False
+        self.known_classes = {}
+        self.merge_points_seen = 0
+        self.trace_limit = ctx.config.jit.trace_limit
+        self.interp = None
+        # When recording must stop mid-bytecode (trace too long, unsafe
+        # guard), we cannot unwind the running interpreter handler, so we
+        # mark the trace dead and the driver aborts it cleanly at the
+        # next dispatch boundary.
+        self.dead = None
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def begin(self, interp):
+        """Start recording: wrap live frame state into input TBoxes."""
+        self.interp = interp
+        tag = tags.TRACE_START if self.kind == LOOP else tags.BRIDGE_START
+        self.ctx.annot(tag, self.greenkey)
+        frames = interp.frames[self.root_depth:]
+        layout = []
+        for frame in frames:
+            layout.append(
+                (frame.code, frame.pc, len(frame.locals), len(frame.stack))
+            )
+            for i, value in enumerate(frame.locals):
+                arg = InputArg()
+                self.inputargs.append(arg)
+                frame.locals[i] = TBox(concrete(value), arg, self)
+            for i, value in enumerate(frame.stack):
+                arg = InputArg()
+                self.inputargs.append(arg)
+                frame.stack[i] = TBox(concrete(value), arg, self)
+        self.entry_layout = layout
+        self.ctx.tracer = self
+
+    def _unwrap_frames(self):
+        # Unwrap the whole stack: if the root frame returned during
+        # tracing, its boxed return value sits on the caller's stack
+        # below the trace root.
+        for frame in self.interp.frames:
+            unwrap_frame(frame)
+
+    def abort(self, reason):
+        """Abandon this trace; restore raw frame state."""
+        self.ctx.tracer = None
+        self._unwrap_frames()
+        self.ctx.registry.record_abort(self.greenkey, reason)
+        if self.ctx.jitlog is not None:
+            self.ctx.jitlog.log(
+                "abort", trace_kind=self.kind, greenkey=self.greenkey,
+                reason=reason, n_ops=len(self.ops),
+            )
+        tag = tags.TRACE_STOP if self.kind == LOOP else tags.BRIDGE_STOP
+        self.ctx.annot(tag, self.greenkey)
+
+    # -- recording -----------------------------------------------------------------
+
+    def record(self, opnum, args, descr):
+        op = ir.IROp(opnum, args, descr)
+        if self.dead is not None:
+            return op  # recording already abandoned; keep values flowing
+        if len(self.ops) >= self.trace_limit:
+            self.dead = "trace too long"
+            return op
+        self.ops.append(op)
+        return op
+
+    def record_guard(self, guardnum, args, descr):
+        if self.hazard and self.dead is None:
+            # A non-re-executable call happened since the last merge
+            # point: deoptimizing at this guard would replay it.
+            self.dead = "guard after non-idempotent call"
+        op = self.record(guardnum, args, descr)
+        op.snapshot = self.last_snapshot
+        return op
+
+    def guard_class(self, ir_value, cls):
+        """Record guard_class unless the class is already known."""
+        if ir_value.is_constant():
+            return
+        if self.known_classes.get(ir_value) is cls:
+            return
+        self.record_guard(ir.GUARD_CLASS, [ir_value, ir.Const(cls)], None)
+        self.known_classes[ir_value] = cls
+
+    def set_known_class(self, ir_value, cls):
+        self.known_classes[ir_value] = cls
+
+    def mark_hazard(self):
+        self.hazard = True
+
+    def invalidate_caches(self):
+        # Class-of-object facts survive arbitrary calls (classes are
+        # immutable); record-time field caches would be dropped here.
+        pass
+
+    # -- merge points -----------------------------------------------------------------
+
+    def snapshot_now(self):
+        frames = []
+        for frame in self.interp.frames[self.root_depth:]:
+            frames.append(FrameState(
+                frame.code,
+                frame.pc,
+                tuple(self._ir_of(v) for v in frame.locals),
+                tuple(self._ir_of(v) for v in frame.stack),
+                getattr(frame, "snapshot_extra", None),
+            ))
+        return Snapshot(tuple(frames))
+
+    def _ir_of(self, value):
+        if type(value) is TBox:
+            if value.owner is not self:
+                self.dead = "stale trace box"
+                return ir.Const(value.value)
+            return value.ir
+        return ir.Const(value)
+
+    def record_merge_point(self, greenkey):
+        """One guest bytecode boundary during tracing."""
+        self.merge_points_seen += 1
+        snapshot = self.snapshot_now()
+        self.last_snapshot = snapshot
+        op = self.record(ir.DEBUG_MERGE_POINT, [], greenkey)
+        op.snapshot = snapshot
+        self.hazard = False
+        return op
+
+    def current_depth(self):
+        return len(self.interp.frames)
+
+    # -- closing ---------------------------------------------------------------------------
+
+    def _flatten_top_frame(self):
+        frame = self.interp.frames[-1]
+        values = [self._ir_of(v) for v in frame.locals]
+        values.extend(self._ir_of(v) for v in frame.stack)
+        return values
+
+    def close_loop(self):
+        """Close the trace as a loop back to its own entry."""
+        jump_args = self._flatten_top_frame()
+        jump = ir.IROp(ir.JUMP, jump_args, None)  # descr filled by optimizer
+        return self._compile(jump, target=None)
+
+    def close_to_trace(self, target):
+        """Close the trace with a jump into another compiled loop."""
+        jump_args = self._flatten_top_frame()
+        jump = ir.IROp(ir.JUMP, jump_args, target)
+        return self._compile(jump, target=target)
+
+    def _compile(self, jump, target):
+        ctx = self.ctx
+        ctx.tracer = None
+        self._unwrap_frames()
+        trace_id = ctx.registry.new_trace_id()
+        trace = Trace(
+            trace_id, self.kind, self.greenkey, self.inputargs,
+            [], self.entry_layout,
+        )
+        ctx.annot(tags.OPT_START, trace_id)
+        self._charge_per_op(len(self.ops), costs.OPT_MIX,
+                            costs.OPT_BRANCHES, costs.OPT_BRANCH_MISS_RATE)
+        optimize_trace(ctx.config.jit, trace, self.ops, jump, target)
+        ctx.annot(tags.OPT_STOP, trace_id)
+        ctx.annot(tags.BACKEND_START, trace_id)
+        from repro.jit.backend import attach_costs
+
+        attach_costs(trace)
+        self._charge_per_op(len(trace.ops), costs.BACKEND_MIX,
+                            costs.BACKEND_BRANCHES,
+                            costs.BACKEND_BRANCH_MISS_RATE)
+        ctx.annot(tags.BACKEND_STOP, trace_id)
+        ctx.registry.register(trace)
+        if self.parent_guard is not None:
+            self.parent_guard.bridge = trace
+        if ctx.jitlog is not None:
+            ctx.jitlog.log(
+                "compile", trace_kind=self.kind, greenkey=self.greenkey,
+                trace_id=trace_id, n_ops_recorded=len(self.ops),
+                n_ops_compiled=trace.n_ops, asm_size=trace.asm_size,
+                merge_points=self.merge_points_seen,
+            )
+        tag = tags.TRACE_STOP if self.kind == LOOP else tags.BRIDGE_STOP
+        ctx.annot(tag, self.greenkey)
+        return trace
+
+    def _charge_per_op(self, n_ops, mix, branches, miss_rate):
+        machine = self.ctx.machine
+        for _ in range(max(1, n_ops // 8)):
+            machine.exec_mix(_scale(mix, 8))
+            machine.exec_bulk_branches(branches * 8, miss_rate)
+
+
+def _scale(mix, factor):
+    from repro.isa import insns
+
+    return insns.scale_mix(mix, factor)

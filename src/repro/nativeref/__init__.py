@@ -1,0 +1,1 @@
+"""Statically-compiled (C/C++) reference kernels."""

@@ -1,0 +1,416 @@
+"""Statically-compiled (C/C++) reference kernels.
+
+The paper's Table II includes C/C++ CLBG implementations as the
+static-language reference line.  We model them as the same algorithms
+with *native* per-operation costs: no boxing, no dispatch, no guards —
+each loop charges the handful of machine instructions a compiler would
+emit.  Outputs are computed for real (so benches can sanity-check them);
+only the cost model is synthetic, as DESIGN.md documents.
+"""
+
+from repro.core import tags
+from repro.isa import insns
+from repro.uarch.machine import Machine
+
+_FLOP_MIX = insns.mix(fpu=4, alu=2, load=2, store=1)
+_INT_MIX = insns.mix(alu=4, load=1, store=1, br_bulk=1)
+_PTR_MIX = insns.mix(load=2, alu=2, store=1, br_bulk=1)
+
+
+class NativeRun(object):
+    """One native-reference execution with its machine."""
+
+    def __init__(self, config, predictor="gshare"):
+        self.machine = Machine(config, predictor=predictor)
+        self.output = []
+
+    def charge(self, mix, times=1):
+        if times > 1:
+            mix = insns.scale_mix(mix, times)
+        self.machine.exec_mix(mix)
+
+    def emit(self, text):
+        self.output.append(text)
+
+    def stdout(self):
+        return "\n".join(self.output) + ("\n" if self.output else "")
+
+
+def nbody(run, n):
+    # Positions/velocities as flat lists of floats (native arrays).
+    from repro.benchprogs.registry import py_program  # noqa: F401
+
+    bodies = _nbody_bodies()
+    _nbody_offset(bodies)
+    run.charge(_FLOP_MIX, 40)
+    run.emit("nbody start %.9f" % _nbody_energy(bodies, run))
+    for _ in range(n):
+        _nbody_advance(bodies, 0.01, run)
+    run.emit("nbody end %.9f" % _nbody_energy(bodies, run))
+
+
+def _nbody_bodies():
+    pi = 3.14159265358979323
+    solar_mass = 4.0 * pi * pi
+    dpy = 365.24
+    return [
+        [0.0, 0.0, 0.0, 0.0, 0.0, 0.0, solar_mass],
+        [4.84143144246472090, -1.16032004402742839, -0.103622044471123109,
+         0.00166007664274403694 * dpy, 0.00769901118419740425 * dpy,
+         -0.0000690460016972063023 * dpy,
+         0.000954791938424326609 * solar_mass],
+        [8.34336671824457987, 4.12479856412430479, -0.403523417114321381,
+         -0.00276742510726862411 * dpy, 0.00499852801234917238 * dpy,
+         0.0000230417297573763929 * dpy,
+         0.000285885980666130812 * solar_mass],
+        [12.8943695621391310, -15.1111514016986312, -0.223307578892655734,
+         0.00296460137564761618 * dpy, 0.00237847173959480950 * dpy,
+         -0.0000296589568540237556 * dpy,
+         0.0000436624404335156298 * solar_mass],
+        [15.3796971148509165, -25.9193146099879641, 0.179258772950371181,
+         0.00268067772490389322 * dpy, 0.00162824170038242295 * dpy,
+         -0.0000951592254519715870 * dpy,
+         0.0000515138902046611451 * solar_mass],
+    ]
+
+
+def _nbody_offset(bodies):
+    pi = 3.14159265358979323
+    solar_mass = 4.0 * pi * pi
+    px = sum(b[3] * b[6] for b in bodies)
+    py = sum(b[4] * b[6] for b in bodies)
+    pz = sum(b[5] * b[6] for b in bodies)
+    bodies[0][3] = -px / solar_mass
+    bodies[0][4] = -py / solar_mass
+    bodies[0][5] = -pz / solar_mass
+
+
+def _nbody_advance(bodies, dt, run):
+    n = len(bodies)
+    for i in range(n):
+        bi = bodies[i]
+        for j in range(i + 1, n):
+            bj = bodies[j]
+            dx = bi[0] - bj[0]
+            dy = bi[1] - bj[1]
+            dz = bi[2] - bj[2]
+            d2 = dx * dx + dy * dy + dz * dz
+            mag = dt / (d2 ** 1.5)
+            run.charge(_FLOP_MIX, 5)
+            bim = bi[6] * mag
+            bjm = bj[6] * mag
+            bi[3] -= dx * bjm
+            bi[4] -= dy * bjm
+            bi[5] -= dz * bjm
+            bj[3] += dx * bim
+            bj[4] += dy * bim
+            bj[5] += dz * bim
+        run.charge(_FLOP_MIX, 2)
+        bi[0] += dt * bi[3]
+        bi[1] += dt * bi[4]
+        bi[2] += dt * bi[5]
+
+
+def _nbody_energy(bodies, run):
+    e = 0.0
+    n = len(bodies)
+    for i in range(n):
+        bi = bodies[i]
+        e += 0.5 * bi[6] * (bi[3] ** 2 + bi[4] ** 2 + bi[5] ** 2)
+        for j in range(i + 1, n):
+            bj = bodies[j]
+            dx = bi[0] - bj[0]
+            dy = bi[1] - bj[1]
+            dz = bi[2] - bj[2]
+            e -= bi[6] * bj[6] / ((dx * dx + dy * dy + dz * dz) ** 0.5)
+            run.charge(_FLOP_MIX, 3)
+    return e
+
+
+def spectralnorm(run, n):
+    u = [1.0] * n
+    v = [0.0] * n
+    tmp = [0.0] * n
+
+    def eval_a(i, j):
+        return 1.0 / ((i + j) * (i + j + 1) / 2.0 + i + 1.0)
+
+    def times(src, dst, transpose):
+        for i in range(n):
+            total = 0.0
+            for j in range(n):
+                if transpose:
+                    total += eval_a(j, i) * src[j]
+                else:
+                    total += eval_a(i, j) * src[j]
+            dst[i] = total
+            run.charge(_FLOP_MIX, n // 2 + 1)
+
+    for _ in range(10):
+        times(u, tmp, False)
+        times(tmp, v, True)
+        times(v, tmp, False)
+        times(tmp, u, True)
+    vbv = sum(u[i] * v[i] for i in range(n))
+    vv = sum(v[i] * v[i] for i in range(n))
+    run.charge(_FLOP_MIX, n)
+    run.emit("spectralnorm %.9f" % ((vbv / vv) ** 0.5))
+
+
+def mandelbrot(run, size):
+    checksum = 0
+    bit = 0
+    byte = 0
+    for y in range(size):
+        ci = 2.0 * y / size - 1.0
+        for x in range(size):
+            cr = 2.0 * x / size - 1.5
+            zr = zi = 0.0
+            inside = 1
+            iterations = 0
+            for _ in range(50):
+                iterations += 1
+                zr2 = zr * zr
+                zi2 = zi * zi
+                if zr2 + zi2 > 4.0:
+                    inside = 0
+                    break
+                zi = 2.0 * zr * zi + ci
+                zr = zr2 - zi2 + cr
+            run.charge(_FLOP_MIX, iterations)
+            byte = byte * 2 + inside
+            bit += 1
+            if bit == 8:
+                checksum = (checksum * 31 + byte) % 1000000007
+                bit = byte = 0
+    if bit:
+        checksum = (checksum * 31 + byte) % 1000000007
+    run.emit("mandelbrot %d" % checksum)
+
+
+def fannkuch(run, n):
+    perm1 = list(range(n))
+    count = [0] * n
+    max_flips = 0
+    checksum = 0
+    r = n
+    sign = 1
+    while True:
+        if r != 1:
+            for i in range(1, r):
+                count[i] = i
+            r = 1
+        if perm1[0]:
+            perm = perm1[:]
+            flips = 0
+            k = perm[0]
+            while k:
+                perm[:k + 1] = perm[k::-1]
+                run.charge(_INT_MIX, k + 1)
+                flips += 1
+                k = perm[0]
+            max_flips = max(max_flips, flips)
+            checksum += sign * flips
+        sign = -sign
+        while True:
+            if r == n:
+                run.emit("fannkuch %d %d" % (checksum, max_flips))
+                return
+            first = perm1[0]
+            perm1[:r] = perm1[1:r + 1]
+            perm1[r] = first
+            run.charge(_INT_MIX, r + 2)
+            count[r] -= 1
+            if count[r] > 0:
+                break
+            r += 1
+
+
+def binarytrees(run, max_depth):
+    min_depth = 4
+    if max_depth < min_depth + 2:
+        max_depth = min_depth + 2
+
+    def make(depth):
+        run.charge(_PTR_MIX, 2)
+        if depth == 0:
+            return (None, None)
+        return (make(depth - 1), make(depth - 1))
+
+    def check(node):
+        run.charge(_PTR_MIX, 1)
+        if node[0] is None:
+            return 1
+        return 1 + check(node[0]) + check(node[1])
+
+    stretch = max_depth + 1
+    run.emit("stretch tree of depth %d check: %d"
+             % (stretch, check(make(stretch))))
+    long_lived = make(max_depth)
+    depth = min_depth
+    while depth <= max_depth:
+        iterations = 1 << (max_depth - depth + min_depth)
+        total = 0
+        for _ in range(iterations):
+            total += check(make(depth))
+        run.emit("%d trees of depth %d check: %d"
+                 % (iterations, depth, total))
+        depth += 2
+    run.emit("long lived tree of depth %d check: %d"
+             % (max_depth, check(long_lived)))
+
+
+def pidigits(run, ndigits):
+    digits = []
+    k = 1
+    n1, n2, d = 4, 3, 1
+    while len(digits) < ndigits:
+        # GMP-backed bignum arithmetic: cost per limb.
+        limbs = max(1, n1.bit_length() // 64)
+        run.charge(_INT_MIX, 4 * limbs)
+        u = n1 // d
+        v = n2 // d
+        if u == v:
+            digits.append(str(u))
+            to_minus = u * 10 * d
+            n1 = n1 * 10 - to_minus
+            n2 = n2 * 10 - to_minus
+        else:
+            k2 = k * 2
+            n1, n2 = n1 * (k2 - 1) + n2 * 2, n1 * (k - 1) + n2 * (k + 2)
+            d *= k2 + 1
+            k += 1
+    text = "".join(digits)
+    i = 0
+    while i < len(text):
+        chunk = text[i:i + 10]
+        run.emit("%s :%d" % (chunk, i + len(chunk)))
+        i += 10
+
+
+def fasta(run, n):
+    # Matches the TinyPy port's checksum protocol.
+    alu = ("GGCCGGGCGCGGTGGCTCACGCCTGTAATCCCAGCACTTTGG"
+           "GAGGCCGAGGCGGGCGGATCACCTGAGGTCAGGAGTTCGAGA"
+           "CCAGCCTGGCCAACATGGTGAAACCCCGTCTCTACTAAAAAT")
+    codes = "acgtBDHKMNRSVWY"
+    weights = [0.27, 0.12, 0.12, 0.27] + [0.02] * 11
+    out = [">ONE Homo sapiens alu"]
+    width = len(alu)
+    buffer = alu + alu
+    pos = written = 0
+    target = n * 2
+    while written < target:
+        line_len = min(60, target - written)
+        out.append(buffer[pos:pos + line_len])
+        run.charge(_PTR_MIX, line_len // 8 + 1)
+        pos += line_len
+        if pos >= width:
+            pos -= width
+        written += line_len
+    out.append(">TWO IUB ambiguity codes")
+    cumulative = []
+    total = 0.0
+    for w in weights:
+        total += w
+        cumulative.append(total)
+    seed = 42
+    written = 0
+    line = []
+    target = n * 3
+    while written < target:
+        seed = (seed * 3877 + 29573) % 139968
+        r = seed / 139968.0
+        i = 0
+        while i < len(codes) - 1 and r >= cumulative[i]:
+            i += 1
+        run.charge(_INT_MIX, i + 2)
+        line.append(codes[i])
+        written += 1
+        if len(line) == 60:
+            out.append("".join(line))
+            line = []
+    if line:
+        out.append("".join(line))
+    checksum = 0
+    for chunk in out:
+        for ch in chunk:
+            checksum = (checksum * 31 + ord(ch)) % 1000000007
+    run.charge(_INT_MIX, sum(len(c) for c in out) // 4)
+    run.emit("fasta %d %d" % (len(out), checksum))
+
+
+def revcomp(run, n):
+    complement = {"A": "T", "C": "G", "G": "C", "T": "A",
+                  "a": "T", "c": "G", "g": "C", "t": "A",
+                  "N": "N", "n": "N"}
+    seed = 7
+    bases = "ACGTacgtNn"
+    parts = []
+    for _ in range(n):
+        seed = (seed * 1103515245 + 12345) % 2147483648
+        parts.append(bases[seed % 10])
+    seq = "".join(parts)
+    run.charge(_INT_MIX, n // 2)
+    result = "".join(complement[c] for c in reversed(seq))
+    run.charge(_PTR_MIX, n)
+    checksum = 0
+    i = 0
+    while i < len(result):
+        checksum = (checksum * 31 + ord(result[i])) % 1000000007
+        i += 97
+    run.emit("revcomp %d %d" % (len(result), checksum))
+
+
+def knucleotide(run, n):
+    seed = 42
+    bases = "acgt"
+    parts = []
+    for _ in range(n):
+        seed = (seed * 3877 + 29573) % 139968
+        parts.append(bases[seed % 4])
+    seq = "".join(parts)
+    run.charge(_INT_MIX, n)
+    out = []
+
+    def freq(frame):
+        counts = {}
+        for i in range(len(seq) - frame + 1):
+            kmer = seq[i:i + frame]
+            counts[kmer] = counts.get(kmer, 0) + 1
+        run.charge(_PTR_MIX, (len(seq) - frame + 1) * 2)
+        return counts
+
+    for frame in (1, 2):
+        counts = freq(frame)
+        pairs = sorted(counts.items(), key=lambda p: (-p[1], p[0]))
+        total = len(seq) - frame + 1
+        for kmer, count in pairs:
+            out.append("%s %.3f" % (kmer.upper(), 100.0 * count / total))
+    for fragment in ("ggt", "ggta", "ggtatt"):
+        counts = freq(len(fragment))
+        out.append("%d\t%s" % (counts.get(fragment, 0), fragment.upper()))
+    for line in out:
+        run.emit(line)
+
+
+KERNELS = {
+    "nbody": nbody,
+    "spectralnorm": spectralnorm,
+    "mandelbrot": mandelbrot,
+    "fannkuch": fannkuch,
+    "binarytrees": binarytrees,
+    "pidigits": pidigits,
+    "fasta": fasta,
+    "revcomp": revcomp,
+    "knucleotide": knucleotide,
+}
+
+
+def run_native(name, n, config, predictor="gshare"):
+    """Run a native-reference kernel; returns the NativeRun."""
+    run = NativeRun(config, predictor=predictor)
+    run.machine.annot(tags.VM_START)
+    KERNELS[name](run, n)
+    run.machine.annot(tags.VM_STOP)
+    return run

@@ -1,0 +1,1 @@
+"""Pin-style interceptor for cross-layer annotations."""

@@ -1,0 +1,70 @@
+"""Profiling of residual AOT-compiled calls from JIT traces (Table III).
+
+When JIT-compiled code performs a residual call, the runtime emits
+JIT_CALL_START with payload ``(function_name, source_tag)`` and a paired
+JIT_CALL_STOP.  This profiler attributes the windowed instruction counts
+to the *entry-point* function, matching the paper's methodology ("if
+these functions call other functions, the time spent in the called
+functions is also counted as part of these entry points").
+"""
+
+from repro.core import tags
+
+
+class AotCallProfiler:
+    """Tracks time spent per AOT-compiled entry point."""
+
+    def __init__(self, machine):
+        self._machine = machine
+        # name -> [calls, instructions, cycles]; src kept separately.
+        self.by_function = {}
+        self.sources = {}
+        self._stack = []  # (name, start_insns, start_cycles, nested_insns)
+
+    def on_annot(self, tag, payload):
+        if tag == tags.JIT_CALL_START:
+            name, src = payload
+            self.sources[name] = src
+            self._stack.append(
+                [name, self._machine.instructions, self._machine.cycles]
+            )
+        elif tag == tags.JIT_CALL_STOP:
+            if not self._stack:
+                return
+            name, start_insns, start_cycles = self._stack.pop()
+            # Entry-point accounting: only attribute at the outermost call.
+            if self._stack:
+                return
+            record = self.by_function.get(name)
+            if record is None:
+                record = [0, 0, 0.0]
+                self.by_function[name] = record
+            record[0] += 1
+            record[1] += self._machine.instructions - start_insns
+            record[2] += self._machine.cycles - start_cycles
+
+    def significant(self, total_cycles, threshold=0.10):
+        """Functions above ``threshold`` of total time (Table III rows).
+
+        Returns a list of (fraction, source_tag, name, calls), sorted by
+        descending fraction.
+        """
+        if not total_cycles:
+            return []
+        rows = []
+        for name, (calls, _insns, cycles) in self.by_function.items():
+            fraction = cycles / total_cycles
+            if fraction >= threshold:
+                rows.append((fraction, self.sources.get(name, "?"), name, calls))
+        rows.sort(reverse=True)
+        return rows
+
+    def all_rows(self, total_cycles):
+        """Every profiled function as (fraction, src, name, calls)."""
+        rows = [
+            (cycles / total_cycles if total_cycles else 0.0,
+             self.sources.get(name, "?"), name, calls)
+            for name, (calls, _insns, cycles) in self.by_function.items()
+        ]
+        rows.sort(reverse=True)
+        return rows

@@ -1,0 +1,71 @@
+"""Bytecode-rate tracking from dispatch-loop annotations (Figure 5).
+
+The interpreter emits a DISPATCH annotation at the top of its dispatch
+loop; compiled traces contain one zero-cost ``debug_merge_point`` per
+inlined bytecode, and the trace executor emits DISPATCH for each.  That
+gives an *independent* measure of completed guest work (number of guest
+bytecodes) regardless of whether the interpreter, the tracing
+meta-interpreter, or JIT-compiled code is running — which is exactly how
+the paper finds JIT warmup break-even points.
+"""
+
+from repro.core import tags
+
+
+class BytecodeRateTracker:
+    """Counts dispatched bytecodes; optionally records a timeline."""
+
+    def __init__(self, machine, bucket_insns=0):
+        self._machine = machine
+        self.bytecodes = 0
+        self.bucket_insns = bucket_insns
+        # Timeline points: (retired_instructions, cumulative_bytecodes).
+        self.timeline = [(0, 0)] if bucket_insns else []
+        self._next_mark = bucket_insns
+
+    def on_annot(self, tag, payload):
+        if tag != tags.DISPATCH:
+            return
+        self.bytecodes += 1
+        if self.bucket_insns:
+            insns_now = self._machine.instructions
+            if insns_now >= self._next_mark:
+                self.timeline.append((insns_now, self.bytecodes))
+                self._next_mark = insns_now + self.bucket_insns
+
+    def finish(self):
+        if self.bucket_insns:
+            self.timeline.append((self._machine.instructions, self.bytecodes))
+
+
+def break_even_instructions(timeline, reference_rate):
+    """First instruction count where cumulative work matches a reference.
+
+    ``reference_rate`` is the reference VM's bytecodes-per-instruction
+    (e.g. CPython's).  Returns the earliest retired-instruction count at
+    which this VM has executed at least as many bytecodes as the reference
+    would have by the same point, and never falls behind afterwards —
+    the paper's break-even definition — or None if never reached.
+    """
+    if not timeline:
+        return None
+    candidate = None
+    for insns_done, bytecodes_done in timeline:
+        if bytecodes_done >= reference_rate * insns_done:
+            if candidate is None:
+                candidate = insns_done
+        else:
+            candidate = None
+    return candidate
+
+
+def rate_curve(timeline):
+    """Differentiate a cumulative timeline into per-bucket rates.
+
+    Returns a list of (instructions, bytecodes_per_kiloinstruction).
+    """
+    curve = []
+    for (i0, b0), (i1, b1) in zip(timeline, timeline[1:]):
+        if i1 > i0:
+            curve.append((i1, 1000.0 * (b1 - b0) / (i1 - i0)))
+    return curve

@@ -1,0 +1,30 @@
+"""Per-IR-node execution counting from annotations.
+
+The backend can lower every IR node with a tagged NOP_ANNOT carrying
+``(trace_id, op_index)``.  This profiler counts node executions from
+those annotations.  The production path for IR statistics is the jitlog
+(as in the paper, which uses the PyPy Log facility at the JIT-IR level);
+this annotation-driven profiler exists to cross-validate the jitlog's
+aggregated counters in tests, and as the PinTool-style alternative.
+"""
+
+from repro.core import tags
+
+
+class IrNodeProfiler:
+    """Counts executions of individual JIT IR nodes."""
+
+    def __init__(self):
+        self.counts = {}
+        self.trace_iterations = {}
+
+    def on_annot(self, tag, payload):
+        if tag == tags.IR_NODE:
+            self.counts[payload] = self.counts.get(payload, 0) + 1
+        elif tag == tags.TRACE_ITER:
+            self.trace_iterations[payload] = (
+                self.trace_iterations.get(payload, 0) + 1
+            )
+
+    def count_for(self, trace_id, op_index):
+        return self.counts.get((trace_id, op_index), 0)

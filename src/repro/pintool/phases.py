@@ -1,0 +1,185 @@
+"""Phase tracking from cross-layer annotations (paper Section V-B).
+
+The RPython framework emits paired start/stop annotations around tracing,
+JIT execution, residual AOT calls, GC, and blackhole deoptimization.  The
+PinTool derives the current phase from those events with a phase stack
+(GC can interrupt any phase; residual calls nest inside JIT execution)
+and attributes windowed counter deltas to phases — this regenerates the
+paper's Figures 2/3/4 and Table IV.
+"""
+
+from repro.core import tags
+
+# Phase identifiers (order used in reports).
+INTERP = 0
+TRACING = 1
+JIT = 2
+JIT_CALL = 3
+GC = 4
+BLACKHOLE = 5
+
+N_PHASES = 6
+
+PHASE_NAMES = ("interp", "tracing", "jit", "jit_call", "gc", "blackhole")
+
+_PUSH = {
+    tags.TRACE_START: TRACING,
+    tags.BRIDGE_START: TRACING,
+    tags.JIT_ENTER: JIT,
+    tags.JIT_CALL_START: JIT_CALL,
+    tags.BLACKHOLE_START: BLACKHOLE,
+    tags.GC_MINOR_START: GC,
+    tags.GC_MAJOR_START: GC,
+}
+
+_POP = {
+    tags.TRACE_STOP: TRACING,
+    tags.BRIDGE_STOP: TRACING,
+    tags.JIT_LEAVE: JIT,
+    tags.JIT_CALL_STOP: JIT_CALL,
+    tags.BLACKHOLE_STOP: BLACKHOLE,
+    tags.GC_MINOR_STOP: GC,
+    tags.GC_MAJOR_STOP: GC,
+}
+
+
+class PhaseWindow:
+    """Accumulated counters for one phase."""
+
+    __slots__ = ("instructions", "cycles", "branches", "branch_misses")
+
+    def __init__(self):
+        self.instructions = 0
+        self.cycles = 0.0
+        self.branches = 0
+        self.branch_misses = 0
+
+    @property
+    def ipc(self):
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def branches_per_insn(self):
+        if not self.instructions:
+            return 0.0
+        return self.branches / self.instructions
+
+    @property
+    def branch_miss_rate(self):
+        return self.branch_misses / self.branches if self.branches else 0.0
+
+
+class PhaseTracker:
+    """Attributes machine-counter windows to framework phases."""
+
+    def __init__(self, machine, record_timeline=False):
+        self._machine = machine
+        self._stack = [INTERP]
+        self.windows = [PhaseWindow() for _ in range(N_PHASES)]
+        self.record_timeline = record_timeline
+        # Timeline of (start_cycles, end_cycles, phase) segments (Figure 3).
+        self.timeline = []
+        self._mark_insns = machine.instructions
+        self._mark_cycles = machine.cycles
+        self._mark_branches = machine.branches
+        self._mark_misses = machine.branch_misses
+        self._finished = False
+
+    @property
+    def current_phase(self):
+        return self._stack[-1]
+
+    def on_annot(self, tag, payload):
+        push_phase = _PUSH.get(tag)
+        if push_phase is not None:
+            self._attribute()
+            self._stack.append(push_phase)
+            return
+        pop_phase = _POP.get(tag)
+        if pop_phase is not None:
+            self._attribute()
+            if len(self._stack) > 1 and self._stack[-1] == pop_phase:
+                self._stack.pop()
+            # Unbalanced stop (e.g. simulation aborted mid-phase) is
+            # tolerated: stay at the current phase.
+
+    def _attribute(self):
+        machine = self._machine
+        window = self.windows[self._stack[-1]]
+        insns_now = machine.instructions
+        cycles_now = machine.cycles
+        window.instructions += insns_now - self._mark_insns
+        window.cycles += cycles_now - self._mark_cycles
+        window.branches += machine.branches - self._mark_branches
+        window.branch_misses += machine.branch_misses - self._mark_misses
+        if self.record_timeline and insns_now > self._mark_insns:
+            self.timeline.append(
+                (self._mark_insns, insns_now, self._stack[-1])
+            )
+        self._mark_insns = insns_now
+        self._mark_cycles = cycles_now
+        self._mark_branches = machine.branches
+        self._mark_misses = machine.branch_misses
+
+    def finish(self):
+        """Attribute the final open window (call once at end of run)."""
+        if not self._finished:
+            self._attribute()
+            self._finished = True
+
+    # -- reporting -----------------------------------------------------------
+
+    def breakdown(self):
+        """Fraction of total cycles per phase, as a dict name -> fraction."""
+        total = sum(w.cycles for w in self.windows)
+        if not total:
+            return {name: 0.0 for name in PHASE_NAMES}
+        return {
+            PHASE_NAMES[i]: self.windows[i].cycles / total
+            for i in range(N_PHASES)
+        }
+
+    def insn_breakdown(self):
+        """Fraction of retired instructions per phase."""
+        total = sum(w.instructions for w in self.windows)
+        if not total:
+            return {name: 0.0 for name in PHASE_NAMES}
+        return {
+            PHASE_NAMES[i]: self.windows[i].instructions / total
+            for i in range(N_PHASES)
+        }
+
+    def timeline_segments(self, n_buckets=60):
+        """Downsample the timeline into per-bucket phase fractions.
+
+        Returns a list of dicts (one per bucket) mapping phase name to the
+        fraction of the bucket's instructions spent in that phase — the
+        data behind the paper's Figure 3 stacked timelines.
+        """
+        if not self.timeline:
+            return []
+        end = self.timeline[-1][1]
+        if not end:
+            return []
+        bucket_size = max(1, end // n_buckets)
+        buckets = [[0] * N_PHASES for _ in range(n_buckets + 1)]
+        for start, stop, phase in self.timeline:
+            position = start
+            while position < stop:
+                index = min(position // bucket_size, n_buckets)
+                bucket_end = (index + 1) * bucket_size
+                chunk = min(stop, bucket_end) - position
+                buckets[index][phase] += chunk
+                position += chunk
+        result = []
+        for counts in buckets:
+            total = sum(counts)
+            if not total:
+                continue
+            result.append(
+                {
+                    PHASE_NAMES[i]: counts[i] / total
+                    for i in range(N_PHASES)
+                }
+            )
+        return result

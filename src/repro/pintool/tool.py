@@ -1,0 +1,40 @@
+"""The PinTool facade: one annotation listener feeding all profilers.
+
+This plays the role of the paper's custom PinTool: it attaches to the
+machine's annotation stream (tagged nops) and drives the phase tracker,
+the bytecode-rate tracker, the AOT-call profiler, and (optionally) the
+per-IR-node profiler.
+"""
+
+from repro.pintool.aotcalls import AotCallProfiler
+from repro.pintool.bcrate import BytecodeRateTracker
+from repro.pintool.irprofile import IrNodeProfiler
+from repro.pintool.phases import PhaseTracker
+
+
+class PinTool:
+    """Intercepts cross-layer annotations from a :class:`Machine`."""
+
+    def __init__(self, machine, record_timeline=False, bucket_insns=0,
+                 profile_ir_nodes=False):
+        self.machine = machine
+        self.phases = PhaseTracker(machine, record_timeline=record_timeline)
+        self.bcrate = BytecodeRateTracker(machine, bucket_insns=bucket_insns)
+        self.aotcalls = AotCallProfiler(machine)
+        self.irprofile = IrNodeProfiler() if profile_ir_nodes else None
+        machine.add_annot_listener(self.on_annot)
+
+    def on_annot(self, tag, payload):
+        self.phases.on_annot(tag, payload)
+        self.bcrate.on_annot(tag, payload)
+        self.aotcalls.on_annot(tag, payload)
+        if self.irprofile is not None:
+            self.irprofile.on_annot(tag, payload)
+
+    def finish(self):
+        """Close all open measurement windows; call once at end of run."""
+        self.phases.finish()
+        self.bcrate.finish()
+
+    def detach(self):
+        self.machine.remove_annot_listener(self.on_annot)

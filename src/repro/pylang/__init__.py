@@ -1,0 +1,1 @@
+"""TinyPy: the PyPy-analogue guest VM plus the CPython reference."""

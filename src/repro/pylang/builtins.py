@@ -1,0 +1,661 @@
+"""TinyPy builtins: global functions and built-in type methods."""
+
+from repro.core.errors import GuestError
+from repro.interp.aot import aot
+from repro.isa import insns
+from repro.pylang.objects import (
+    W_BigInt,
+    W_Dict,
+    W_Float,
+    W_Instance,
+    W_Int,
+    W_List,
+    W_Range,
+    W_Set,
+    W_Str,
+    W_Tuple,
+    w_False,
+    w_None,
+    w_True,
+    wrap_bool,
+)
+from repro.pylang.ops import is_intish
+from repro.rlib import rbigint, rstr
+from repro.rlib.costutil import charge_loop
+from repro.rlib.rordereddict import ll_dict_values
+
+
+@aot("pypy.write_stdout", "M", "any")
+def _write_stdout(ctx, output_list, text):
+    charge_loop(ctx, max(1, len(text) // 8 + 1),
+                insns.mix(load=1, store=1, alu=1))
+    output_list.append(text)
+    return None
+
+
+@aot("IntegerListStrategy.sum", "I", "readonly")
+def _sum_ints(ctx, storage):
+    items = storage.items
+    charge_loop(ctx, max(1, len(items)), insns.mix(load=1, alu=2))
+    total = 0
+    for value in items:
+        total += value
+    return total
+
+
+@aot("FloatListStrategy.minmax", "I", "readonly")
+def _minmax_raw(ctx, storage, want_max):
+    items = storage.items
+    charge_loop(ctx, max(1, len(items)), insns.mix(load=1, alu=2))
+    return max(items) if want_max else min(items)
+
+
+# -- builtin global functions ------------------------------------------------------
+# Each takes (vm, args_w) and returns a W_ value.
+
+
+def bi_print(vm, args_w):
+    llops = vm.llops
+    text = ""
+    for i, w_arg in enumerate(args_w):
+        part = vm.str_of(w_arg)  # may be a traced (boxed) string
+        if i:
+            text = llops.unicode_concat(text, " ")
+        text = llops.unicode_concat(text, part)
+    vm.llops.residual_call(_write_stdout, vm.output, text)
+    return w_None
+
+
+def bi_range(vm, args_w):
+    llops = vm.llops
+    if len(args_w) == 1:
+        start, stop, step = 0, vm.int_val(args_w[0]), 1
+    elif len(args_w) == 2:
+        start = vm.int_val(args_w[0])
+        stop = vm.int_val(args_w[1])
+        step = 1
+    elif len(args_w) == 3:
+        start = vm.int_val(args_w[0])
+        stop = vm.int_val(args_w[1])
+        step = vm.int_val(args_w[2])
+    else:
+        raise GuestError("range() takes 1-3 arguments")
+    return llops.new(W_Range, start=start, stop=stop, step=step)
+
+
+def bi_len(vm, args_w):
+    llops = vm.llops
+    w_obj = args_w[0]
+    cls = llops.cls_of(w_obj)
+    if cls is W_List:
+        return vm.wrap_int(vm.list_len_raw(w_obj))
+    if cls is W_Str:
+        return vm.wrap_int(llops.unicodelen(vm.str_val(w_obj)))
+    if cls is W_Dict or cls is W_Set:
+        return vm.wrap_int(vm.dict_len(w_obj))
+    if cls is W_Tuple:
+        return vm.wrap_int(vm.tuple_len_raw(w_obj))
+    if cls is W_Range:
+        start = llops.getfield(w_obj, "start")
+        stop = llops.getfield(w_obj, "stop")
+        step = llops.getfield(w_obj, "step")
+        span = llops.int_sub(stop, start)
+        if llops.is_true(llops.int_gt(step, 0)):
+            adjusted = llops.int_add(span, llops.int_sub(step, 1))
+        else:
+            adjusted = llops.int_add(span, llops.int_add(step, 1))
+        length = llops.int_floordiv(adjusted, step)
+        if llops.is_true(llops.int_lt(length, 0)):
+            return vm.wrap_int(0)
+        return vm.wrap_int(length)
+    raise GuestError("object has no len()")
+
+
+def bi_abs(vm, args_w):
+    llops = vm.llops
+    w_obj = args_w[0]
+    cls = llops.cls_of(w_obj)
+    if is_intish(cls):
+        value = vm.int_val(w_obj)
+        if llops.is_true(llops.int_lt(value, 0)):
+            return vm.unary_neg(w_obj)
+        return vm.wrap_int(value)
+    if cls is W_Float:
+        return vm.wrap_float(llops.float_abs(vm.float_val(w_obj)))
+    if cls is W_BigInt:
+        return vm.wrap_big(llops.residual_call(
+            rbigint.big_abs, vm.big_val(w_obj)))
+    raise GuestError("bad operand for abs()")
+
+
+def _minmax(vm, args_w, opname, want_max):
+    llops = vm.llops
+    if len(args_w) == 1:
+        w_seq = args_w[0]
+        cls = llops.cls_of(w_seq)
+        if cls is W_List:
+            strategy = vm.list_strategy(w_seq)
+            storage = vm.list_storage(w_seq)
+            if strategy == "int":
+                raw = llops.residual_call(_minmax_raw, storage, want_max)
+                return vm.wrap_int(raw)
+            length = llops.promote(vm.list_len_raw(w_seq))
+            if length == 0:
+                raise GuestError("min()/max() of empty sequence")
+            w_best = vm.list_getitem(w_seq, 0)
+            for i in range(1, length):
+                w_item = vm.list_getitem(w_seq, i)
+                if vm.is_true_w(vm.compare(opname, w_item, w_best)):
+                    w_best = w_item
+            return w_best
+        raise GuestError("min()/max() expects a list or 2+ args")
+    w_best = args_w[0]
+    for w_item in args_w[1:]:
+        if vm.is_true_w(vm.compare(opname, w_item, w_best)):
+            w_best = w_item
+    return w_best
+
+
+def bi_min(vm, args_w):
+    return _minmax(vm, args_w, "lt", want_max=False)
+
+
+def bi_max(vm, args_w):
+    return _minmax(vm, args_w, "gt", want_max=True)
+
+
+def bi_sum(vm, args_w):
+    llops = vm.llops
+    w_seq = args_w[0]
+    cls = llops.cls_of(w_seq)
+    if cls is not W_List:
+        raise GuestError("sum() expects a list")
+    strategy = vm.list_strategy(w_seq)
+    if strategy == "int" and len(args_w) == 1:
+        storage = vm.list_storage(w_seq)
+        return vm.wrap_int(llops.residual_call(_sum_ints, storage))
+    # General path: guest-level loop (bounded by a promoted length).
+    length = llops.promote(vm.list_len_raw(w_seq))
+    w_total = args_w[1] if len(args_w) > 1 else vm.wrap_int(0)
+    for i in range(length):
+        w_total = vm.binary_add(w_total, vm.list_getitem(w_seq, i))
+    return w_total
+
+
+def bi_int(vm, args_w):
+    llops = vm.llops
+    w_obj = args_w[0]
+    cls = llops.cls_of(w_obj)
+    if is_intish(cls):
+        return vm.wrap_int(vm.int_val(w_obj))
+    if cls is W_Float:
+        return vm.wrap_int(llops.cast_float_to_int(vm.float_val(w_obj)))
+    if cls is W_Str:
+        return vm.wrap_int(llops.residual_call(
+            rstr.string_to_int, vm.str_val(w_obj)))
+    if cls is W_BigInt:
+        return w_obj
+    raise GuestError("int() argument invalid")
+
+
+def bi_float(vm, args_w):
+    llops = vm.llops
+    w_obj = args_w[0]
+    cls = llops.cls_of(w_obj)
+    if cls is W_Float:
+        return w_obj
+    if is_intish(cls):
+        return vm.wrap_float(llops.cast_int_to_float(vm.int_val(w_obj)))
+    if cls is W_Str:
+        return vm.wrap_float(llops.residual_call(
+            rstr.string_to_float, vm.str_val(w_obj)))
+    raise GuestError("float() argument invalid")
+
+
+def bi_str(vm, args_w):
+    return vm.wrap_str(vm.str_of(args_w[0]))
+
+
+def bi_repr(vm, args_w):
+    return vm.wrap_str(vm.repr_of(args_w[0]))
+
+
+def bi_bool(vm, args_w):
+    return wrap_bool(vm.is_true_w(args_w[0]))
+
+
+def bi_chr(vm, args_w):
+    value = vm.int_val(args_w[0])
+    value = vm.llops.promote(value) if False else value
+    # chr on a red int: residual-free, 1-char table semantics.
+    return vm.wrap_str(vm.llops.residual_call(_chr_fn, value))
+
+
+@aot("rstr.ll_chr", "R", "pure")
+def _chr_fn(ctx, value):
+    ctx.charge(insns.mix(alu=2))
+    return chr(value)
+
+
+@aot("rstr.ll_ord", "R", "pure")
+def _ord_fn(ctx, text):
+    ctx.charge(insns.mix(alu=2, load=1))
+    if len(text) != 1:
+        raise GuestError("ord() expects a single character")
+    return ord(text)
+
+
+def bi_ord(vm, args_w):
+    return vm.wrap_int(vm.llops.residual_call(
+        _ord_fn, vm.str_val(args_w[0])))
+
+
+def bi_list(vm, args_w):
+    if not args_w:
+        return vm.new_list([])
+    w_iter = vm.get_iter(args_w[0])
+    w_result = vm.new_list([])
+    while True:
+        w_item = vm.iter_next(w_iter)
+        if w_item is None:
+            break
+        vm.list_append(w_result, w_item)
+    return w_result
+
+
+def bi_tuple(vm, args_w):
+    if not args_w:
+        return vm.new_tuple([])
+    values = []
+    w_iter = vm.get_iter(args_w[0])
+    while True:
+        w_item = vm.iter_next(w_iter)
+        if w_item is None:
+            break
+        values.append(w_item)
+    return vm.new_tuple(values)
+
+
+def bi_dict(vm, args_w):
+    return vm.new_dict([])
+
+
+def bi_set(vm, args_w):
+    if not args_w:
+        return vm.new_set([])
+    w_result = vm.new_set([])
+    w_iter = vm.get_iter(args_w[0])
+    while True:
+        w_item = vm.iter_next(w_iter)
+        if w_item is None:
+            break
+        vm.set_add(w_result, w_item)
+    return w_result
+
+
+def bi_isinstance(vm, args_w):
+    llops = vm.llops
+    w_obj, w_class = args_w
+    cls = llops.cls_of(w_obj)
+    if cls is not W_Instance:
+        return w_False
+    shape = llops.promote(llops.getfield(w_obj, "shape"))
+    w_target = llops.promote(w_class)
+    current = shape.w_class
+    while current is not None:
+        if current is w_target:
+            return w_True
+        current = current.w_base
+    return w_False
+
+
+def bi_annotate(vm, args_w):
+    """Application-level cross-layer annotation (the paper's app layer)."""
+    payload = vm.int_val(args_w[0]) if args_w else 0
+    vm.llops.app_annotation(vm.llops.promote(payload))
+    return w_None
+
+
+BUILTIN_FUNCTIONS = {
+    "print": bi_print,
+    "range": bi_range,
+    "len": bi_len,
+    "abs": bi_abs,
+    "min": bi_min,
+    "max": bi_max,
+    "sum": bi_sum,
+    "int": bi_int,
+    "float": bi_float,
+    "str": bi_str,
+    "repr": bi_repr,
+    "bool": bi_bool,
+    "chr": bi_chr,
+    "ord": bi_ord,
+    "list": bi_list,
+    "tuple": bi_tuple,
+    "dict": bi_dict,
+    "set": bi_set,
+    "isinstance": bi_isinstance,
+    "__annot__": bi_annotate,
+}
+
+
+# -- built-in type methods -------------------------------------------------------------
+
+
+def m_list_append(vm, args_w):
+    vm.list_append(args_w[0], args_w[1])
+    return w_None
+
+
+def m_list_pop(vm, args_w):
+    from repro.pylang.collections import _storage_pop
+
+    w_list = args_w[0]
+    llops = vm.llops
+    length = vm.list_len_raw(w_list)
+    if len(args_w) > 1:
+        index = vm.normalize_index(vm.int_val(args_w[1]), length,
+                                   "pop index")
+    else:
+        index = llops.int_sub(length, 1)
+        bad = llops.int_lt(index, 0)
+        if llops.is_true(bad):
+            raise GuestError("pop from empty list")
+    storage = vm.list_storage(w_list)
+    raw = llops.residual_call(_storage_pop, storage, index)
+    if vm.list_strategy(w_list) == "int":
+        return vm.wrap_int(raw)
+    return raw
+
+
+def m_list_insert(vm, args_w):
+    from repro.pylang.objects import STRATEGY_INT
+
+    w_list, w_index, w_value = args_w
+    llops = vm.llops
+    strategy = vm.list_strategy(w_list)
+    if strategy == STRATEGY_INT and llops.cls_of(w_value) is not W_Int:
+        vm.list_generalize(w_list)
+        strategy = "object"
+    storage = vm.list_storage(w_list)
+    raw = vm.int_val(w_value) if strategy == "int" else w_value
+    llops.residual_call(_storage_insert, storage,
+                        vm.int_val(w_index), raw)
+    return w_None
+
+
+@aot("rlist.ll_storage_insert", "R", "any")
+def _storage_insert(ctx, storage, index, value):
+    items = storage.items
+    charge_loop(ctx, max(1, len(items) - index),
+                insns.mix(load=1, store=1, alu=1))
+    items.insert(index, value)
+    return None
+
+
+def m_list_extend(vm, args_w):
+    w_list, w_other = args_w
+    w_iter = vm.get_iter(w_other)
+    while True:
+        w_item = vm.iter_next(w_iter)
+        if w_item is None:
+            break
+        vm.list_append(w_list, w_item)
+    return w_None
+
+
+def m_list_reverse(vm, args_w):
+    storage = vm.list_storage(args_w[0])
+    vm.llops.residual_call(_storage_reverse, storage)
+    return w_None
+
+
+@aot("rlist.ll_storage_reverse", "R", "any")
+def _storage_reverse(ctx, storage):
+    charge_loop(ctx, max(1, len(storage.items) // 2),
+                insns.mix(load=2, store=2))
+    storage.items.reverse()
+    return None
+
+
+def m_list_sort(vm, args_w):
+    w_list = args_w[0]
+    strategy = vm.list_strategy(w_list)
+    storage = vm.list_storage(w_list)
+    if strategy == "int":
+        vm.llops.residual_call(_sort_ints, storage)
+        return w_None
+    # Object sort: guest comparisons through a host callback.
+    def lt(w_a, w_b):
+        return vm.is_true_w(vm.compare("lt", w_a, w_b))
+
+    vm.llops.residual_call(_sort_objects, storage, lt)
+    return w_None
+
+
+@aot("listsort.sort_ints", "L", "any")
+def _sort_ints(ctx, storage):
+    items = storage.items
+    n = len(items)
+    if n > 1:
+        charge_loop(ctx, n * max(1, n.bit_length() - 1),
+                    insns.mix(load=2, alu=3, store=1))
+    items.sort()
+    return None
+
+
+@aot("listsort.sort", "L", "any")
+def _sort_objects(ctx, storage, lt_fn):
+    from repro.rlib.rlist import _merge_sort
+
+    items = storage.items
+    n = len(items)
+    if n > 1:
+        charge_loop(ctx, n * max(1, n.bit_length() - 1),
+                    insns.mix(load=2, alu=3, store=1))
+    _merge_sort(items, 0, n, lt_fn, [None] * n)
+    return None
+
+
+def m_list_index(vm, args_w):
+    w_list, w_value = args_w[0], args_w[1]
+    length = vm.llops.promote(vm.list_len_raw(w_list))
+    for i in range(length):
+        if vm.eq_w(vm.list_getitem(w_list, i), w_value):
+            return vm.wrap_int(i)
+    raise GuestError("ValueError: value not in list")
+
+
+def m_list_remove(vm, args_w):
+    from repro.pylang.collections import _storage_pop
+
+    w_list, w_value = args_w
+    length = vm.llops.promote(vm.list_len_raw(w_list))
+    for i in range(length):
+        if vm.eq_w(vm.list_getitem(w_list, i), w_value):
+            storage = vm.list_storage(w_list)
+            vm.llops.residual_call(_storage_pop, storage, i)
+            return w_None
+    raise GuestError("ValueError: value not in list")
+
+
+def m_list_count(vm, args_w):
+    w_list, w_value = args_w
+    length = vm.llops.promote(vm.list_len_raw(w_list))
+    count = 0
+    for i in range(length):
+        if vm.eq_w(vm.list_getitem(w_list, i), w_value):
+            count += 1
+    return vm.wrap_int(count)
+
+
+def m_dict_get(vm, args_w):
+    w_default = args_w[2] if len(args_w) > 2 else w_None
+    return vm.dict_get(args_w[0], args_w[1], w_default)
+
+
+def m_dict_keys(vm, args_w):
+    llops = vm.llops
+    rdict = llops.getfield(args_w[0], "rdict")
+    pairs = llops.residual_call(ll_dict_values, rdict)
+    return _pairs_to_list(vm, pairs, "keys")
+
+
+def m_dict_values(vm, args_w):
+    llops = vm.llops
+    rdict = llops.getfield(args_w[0], "rdict")
+    pairs = llops.residual_call(ll_dict_values, rdict)
+    return _pairs_to_list(vm, pairs, "values")
+
+
+def m_dict_items(vm, args_w):
+    llops = vm.llops
+    rdict = llops.getfield(args_w[0], "rdict")
+    pairs = llops.residual_call(ll_dict_values, rdict)
+    return _pairs_to_list(vm, pairs, "items")
+
+
+def _pairs_to_list(vm, pairs, mode):
+    from repro.pylang.instances import _raw_get_i, _raw_len_i
+
+    llops = vm.llops
+    length = llops.promote(llops.residual_call(_raw_len_i, pairs))
+    w_result = vm.new_list([])
+    for i in range(length):
+        pair = llops.residual_call(_raw_get_i, pairs, i)
+        if mode == "keys":
+            vm.list_append(w_result, vm.pair_key(pair))
+        elif mode == "values":
+            vm.list_append(w_result, vm.pair_value(pair))
+        else:
+            vm.list_append(w_result, vm.new_tuple(
+                [vm.pair_key(pair), vm.pair_value(pair)]))
+    return w_result
+
+
+def m_dict_pop(vm, args_w):
+    w_dict, w_key = args_w[0], args_w[1]
+    w_value = vm.dict_get(w_dict, w_key,
+                          args_w[2] if len(args_w) > 2 else None)
+    if w_value is None:
+        raise GuestError("KeyError in dict.pop()")
+    from repro.rlib.rordereddict import ll_dict_delitem
+
+    rdict = vm.llops.getfield(w_dict, "rdict")
+    vm.llops.residual_call(ll_dict_delitem, rdict, vm.dict_key(w_key))
+    return w_value
+
+
+def m_dict_setdefault(vm, args_w):
+    w_dict, w_key, w_default = args_w
+    w_value = vm.dict_get(w_dict, w_key, None)
+    if w_value is None:
+        vm.dict_setitem(w_dict, w_key, w_default)
+        return w_default
+    return w_value
+
+
+def m_set_add(vm, args_w):
+    vm.set_add(args_w[0], args_w[1])
+    return w_None
+
+
+@aot("rstr.ll_join", "R", "readonly")
+def _join_str_storage(ctx, separator, storage):
+    items = storage.items
+    total = sum(len(w.strval) for w in items) + max(0, len(items) - 1)
+    charge_loop(ctx, max(1, total), insns.mix(load=1, store=1, alu=1))
+    return separator.join(w.strval for w in items)
+
+
+def m_str_join(vm, args_w):
+    w_sep, w_list = args_w
+    llops = vm.llops
+    if vm.list_strategy(w_list) != "object":
+        if llops.is_true(llops.int_is_true(vm.list_len_raw(w_list))):
+            raise GuestError("join() expects strings")
+        return vm.wrap_str("")
+    storage = vm.list_storage(w_list)
+    return vm.wrap_str(llops.residual_call(
+        _join_str_storage, vm.str_val(w_sep), storage))
+
+
+def m_str_split(vm, args_w):
+    llops = vm.llops
+    text = vm.str_val(args_w[0])
+    separator = vm.str_val(args_w[1]) if len(args_w) > 1 else None
+    parts = llops.residual_call(rstr.ll_split, text, separator)
+    w_result = vm.new_list([])
+    from repro.pylang.instances import _raw_get_i, _raw_len_i
+
+    n = llops.promote(llops.residual_call(_raw_len_i, parts))
+    for i in range(n):
+        raw = llops.residual_call(_raw_get_i, parts, i)
+        vm.list_append(w_result, vm.wrap_str(raw))
+    return w_result
+
+
+def _str_method(rstr_fn, wrap="str"):
+    def method(vm, args_w):
+        llops = vm.llops
+        raw_args = [vm.str_val(args_w[0])]
+        for w_arg in args_w[1:]:
+            cls = llops.cls_of(w_arg)
+            if cls is W_Str:
+                raw_args.append(vm.str_val(w_arg))
+            else:
+                raw_args.append(vm.int_val(w_arg))
+        result = llops.residual_call(rstr_fn, *raw_args)
+        if wrap == "str":
+            return vm.wrap_str(result)
+        if wrap == "int":
+            return vm.wrap_int(result)
+        return wrap_bool(llops.is_true(result))
+    return method
+
+
+def m_str_find(vm, args_w):
+    llops = vm.llops
+    text = vm.str_val(args_w[0])
+    needle = vm.str_val(args_w[1])
+    start = vm.int_val(args_w[2]) if len(args_w) > 2 else 0
+    return vm.wrap_int(llops.residual_call(
+        rstr.ll_find, text, needle, start))
+
+
+TYPE_METHODS = {
+    W_List: {
+        "append": m_list_append,
+        "pop": m_list_pop,
+        "insert": m_list_insert,
+        "extend": m_list_extend,
+        "reverse": m_list_reverse,
+        "sort": m_list_sort,
+        "index": m_list_index,
+        "remove": m_list_remove,
+        "count": m_list_count,
+    },
+    W_Dict: {
+        "get": m_dict_get,
+        "keys": m_dict_keys,
+        "values": m_dict_values,
+        "items": m_dict_items,
+        "pop": m_dict_pop,
+        "setdefault": m_dict_setdefault,
+    },
+    W_Set: {
+        "add": m_set_add,
+    },
+    W_Str: {
+        "join": m_str_join,
+        "split": m_str_split,
+        "strip": _str_method(rstr.ll_strip),
+        "lower": _str_method(rstr.ll_lower),
+        "upper": _str_method(rstr.ll_upper),
+        "replace": _str_method(rstr.ll_replace),
+        "find": m_str_find,
+        "startswith": _str_method(rstr.ll_startswith, wrap="bool"),
+        "endswith": _str_method(rstr.ll_endswith, wrap="bool"),
+    },
+}

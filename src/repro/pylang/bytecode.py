@@ -1,0 +1,127 @@
+"""TinyPy bytecode: opcodes and code objects."""
+
+_OPS = []
+
+
+def _op(name):
+    opnum = len(_OPS)
+    _OPS.append(name)
+    return opnum
+
+
+LOAD_CONST = _op("LOAD_CONST")
+LOAD_FAST = _op("LOAD_FAST")
+STORE_FAST = _op("STORE_FAST")
+LOAD_GLOBAL = _op("LOAD_GLOBAL")
+STORE_GLOBAL = _op("STORE_GLOBAL")
+LOAD_ATTR = _op("LOAD_ATTR")
+STORE_ATTR = _op("STORE_ATTR")
+BINARY_SUBSCR = _op("BINARY_SUBSCR")
+STORE_SUBSCR = _op("STORE_SUBSCR")
+DELETE_SUBSCR = _op("DELETE_SUBSCR")
+
+BINARY_ADD = _op("BINARY_ADD")
+BINARY_SUB = _op("BINARY_SUB")
+BINARY_MUL = _op("BINARY_MUL")
+BINARY_FLOORDIV = _op("BINARY_FLOORDIV")
+BINARY_TRUEDIV = _op("BINARY_TRUEDIV")
+BINARY_MOD = _op("BINARY_MOD")
+BINARY_POW = _op("BINARY_POW")
+BINARY_AND = _op("BINARY_AND")
+BINARY_OR = _op("BINARY_OR")
+BINARY_XOR = _op("BINARY_XOR")
+BINARY_LSHIFT = _op("BINARY_LSHIFT")
+BINARY_RSHIFT = _op("BINARY_RSHIFT")
+
+UNARY_NEG = _op("UNARY_NEG")
+UNARY_NOT = _op("UNARY_NOT")
+UNARY_INVERT = _op("UNARY_INVERT")
+
+COMPARE_LT = _op("COMPARE_LT")
+COMPARE_LE = _op("COMPARE_LE")
+COMPARE_EQ = _op("COMPARE_EQ")
+COMPARE_NE = _op("COMPARE_NE")
+COMPARE_GT = _op("COMPARE_GT")
+COMPARE_GE = _op("COMPARE_GE")
+COMPARE_IS = _op("COMPARE_IS")
+COMPARE_IS_NOT = _op("COMPARE_IS_NOT")
+COMPARE_IN = _op("COMPARE_IN")
+COMPARE_NOT_IN = _op("COMPARE_NOT_IN")
+
+JUMP = _op("JUMP")
+POP_JUMP_IF_FALSE = _op("POP_JUMP_IF_FALSE")
+POP_JUMP_IF_TRUE = _op("POP_JUMP_IF_TRUE")
+JUMP_IF_FALSE_OR_POP = _op("JUMP_IF_FALSE_OR_POP")
+JUMP_IF_TRUE_OR_POP = _op("JUMP_IF_TRUE_OR_POP")
+
+CALL_FUNCTION = _op("CALL_FUNCTION")
+RETURN_VALUE = _op("RETURN_VALUE")
+MAKE_FUNCTION = _op("MAKE_FUNCTION")
+MAKE_CLASS = _op("MAKE_CLASS")
+
+BUILD_LIST = _op("BUILD_LIST")
+BUILD_TUPLE = _op("BUILD_TUPLE")
+BUILD_MAP = _op("BUILD_MAP")
+BUILD_SET = _op("BUILD_SET")
+BUILD_SLICE = _op("BUILD_SLICE")
+LIST_APPEND = _op("LIST_APPEND")
+
+GET_ITER = _op("GET_ITER")
+FOR_ITER = _op("FOR_ITER")
+
+POP_TOP = _op("POP_TOP")
+DUP_TOP = _op("DUP_TOP")
+DUP_TOP_TWO = _op("DUP_TOP_TWO")
+ROT_TWO = _op("ROT_TWO")
+ROT_THREE = _op("ROT_THREE")
+UNPACK_SEQUENCE = _op("UNPACK_SEQUENCE")
+
+N_OPS = len(_OPS)
+OP_NAMES = tuple(_OPS)
+
+
+class PyCode(object):
+    """A compiled TinyPy code object."""
+
+    _immutable_fields_ = ("name", "ops", "args", "consts", "names",
+                          "varnames", "argcount", "n_locals")
+
+    def __init__(self, name, ops, args, consts, names, varnames, argcount):
+        self.name = name
+        self.ops = ops          # list of opcode ints
+        self.args = args        # parallel list of int args (or 0)
+        self.consts = consts    # raw constant descriptors
+        self.names = names      # attribute/global name strings
+        self.varnames = varnames
+        self.argcount = argcount
+        self.n_locals = len(varnames)
+
+    def dis(self):
+        """Human-readable disassembly (for tests and debugging)."""
+        lines = []
+        for pc, (op, arg) in enumerate(zip(self.ops, self.args)):
+            lines.append("%4d %-22s %s" % (pc, OP_NAMES[op], arg))
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return "<PyCode %s>" % self.name
+
+
+class ClassSpec(object):
+    """Compile-time description of a ``class`` statement."""
+
+    def __init__(self, name, base_name, methods):
+        self.name = name
+        self.base_name = base_name  # global name of the base or None
+        self.methods = methods      # list of (name, PyCode, default_consts)
+
+    def __repr__(self):
+        return "<ClassSpec %s>" % self.name
+
+
+class FunctionSpec(object):
+    """Compile-time description of a ``def`` statement (const payload)."""
+
+    def __init__(self, code, n_defaults):
+        self.code = code
+        self.n_defaults = n_defaults

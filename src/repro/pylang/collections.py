@@ -1,0 +1,794 @@
+"""TinyPy collections: lists (strategies), tuples, dicts, sets, strings,
+instances (mapdict), subscripts and iteration — as a VM mixin."""
+
+from repro.core.errors import GuestError
+from repro.interp.aot import aot
+from repro.isa import insns
+from repro.pylang.objects import (
+    STRATEGY_INT,
+    STRATEGY_OBJECT,
+    W_BigInt,
+    W_Dict,
+    W_DictIter,
+    W_Float,
+    W_Int,
+    W_List,
+    W_ListIter,
+    W_None,
+    W_Range,
+    W_RangeIter,
+    W_Set,
+    W_Slice,
+    W_Str,
+    W_StrIter,
+    W_Tuple,
+    W_TupleIter,
+    w_None,
+)
+from repro.pylang.ops import is_intish
+from repro.rlib import rlist, rstr
+from repro.rlib.costutil import charge_loop
+from repro.rlib.rordereddict import (
+    RDict,
+    ll_dict_contains,
+    ll_dict_delitem,
+    ll_dict_len,
+    ll_dict_lookup,
+    ll_dict_setitem,
+    ll_dict_values,
+)
+
+
+@aot("ObjectListStrategy.generalize", "I", "any")
+def _generalize_to_object(ctx, storage, wrap_fn):
+    items = storage.items
+    charge_loop(ctx, max(1, len(items)), insns.mix(load=1, store=2, alu=2))
+    for i in range(len(items)):
+        items[i] = wrap_fn(items[i])
+    return None
+
+
+@aot("rlist.ll_storage_pop", "R", "any")
+def _storage_pop(ctx, storage, index):
+    items = storage.items
+    charge_loop(ctx, max(1, len(items) - index), insns.mix(load=1, store=1))
+    return items.pop(index)
+
+
+@aot("mapdict.add_slot", "I", "any")
+def _mapdict_add_slot(ctx, slots_items, w_value):
+    charge_loop(ctx, max(1, len(slots_items)),
+                insns.mix(load=1, store=1, alu=1))
+    slots_items.append(w_value)
+    return None
+
+
+class CollectionsMixin(object):
+    """Collection behaviour for the TinyPy VM."""
+
+    # -- construction ---------------------------------------------------------
+
+    def new_list(self, values_w):
+        """Build a W_List choosing the storage strategy (PyPy-style)."""
+        llops = self.llops
+        all_ints = True
+        for w_value in values_w:
+            if llops.cls_of(w_value) is not W_Int:
+                all_ints = False
+                break
+        if all_ints:
+            raw = [self.int_val(w) for w in values_w]
+            storage = llops.newarray_from(raw)
+            return llops.new(W_List, strategy=STRATEGY_INT, storage=storage)
+        storage = llops.newarray_from(values_w)
+        return llops.new(W_List, strategy=STRATEGY_OBJECT, storage=storage)
+
+    def new_tuple(self, values_w):
+        items = self.llops.newarray_from(values_w)
+        return self.llops.new(W_Tuple, items=items)
+
+    def new_dict(self, pairs_w):
+        llops = self.llops
+        # The RDict payload is a fresh runtime object: it must be
+        # created by a residual call (a raw object built at interpreter
+        # level would be captured as a trace constant and shared by
+        # every JIT execution of the allocation site).
+        rdict = llops.residual_call(_new_rdict)
+        w_dict = llops.new(W_Dict, rdict=rdict)
+        for w_key, w_value in pairs_w:
+            self.dict_setitem(w_dict, w_key, w_value)
+        return w_dict
+
+    def new_set(self, values_w):
+        llops = self.llops
+        rdict = llops.residual_call(_new_rdict)
+        w_set = llops.new(W_Set, rdict=rdict)
+        for w_value in values_w:
+            self.set_add(w_set, w_value)
+        return w_set
+
+    # -- dict keys --------------------------------------------------------------
+
+    def dict_key(self, w_key):
+        """Raw hashable key for the RDict (with class guards)."""
+        llops = self.llops
+        cls = llops.cls_of(w_key)
+        if cls is W_Str:
+            return self.str_val(w_key)
+        if is_intish(cls):
+            return self.int_val(w_key)
+        if cls is W_Float:
+            return self.float_val(w_key)
+        if cls is W_None:
+            return None
+        if cls is W_Tuple:
+            # The composite key is built inside the AOT call (passing a
+            # host tuple of red parts would constant-capture them).
+            return llops.residual_call(_tuple_dict_key, w_key)
+        if cls is W_BigInt:
+            from repro.rlib import rbigint
+
+            return llops.residual_call(rbigint.big_str, self.big_val(w_key))
+        # Instances / classes / functions: identity keys.
+        return w_key
+
+    # -- dict operations -----------------------------------------------------------
+
+    def dict_setitem(self, w_dict, w_key, w_value):
+        llops = self.llops
+        rdict = llops.getfield(w_dict, "rdict")
+        key = self.dict_key(w_key)
+        # The (w_key, w_value) pair is built inside the AOT call: red
+        # values must flow into residual calls as individual arguments.
+        llops.residual_call(_dict_setitem_pair, rdict, key, w_key, w_value)
+
+    def dict_getitem(self, w_dict, w_key):
+        llops = self.llops
+        rdict = llops.getfield(w_dict, "rdict")
+        key = self.dict_key(w_key)
+        w_value = llops.residual_call(_dict_getvalue, rdict, key)
+        if llops.is_null(w_value):
+            raise GuestError("KeyError: %s" % self.repr_of(w_key))
+        return w_value
+
+    def pair_value(self, pair):
+        """Second element of a raw (w_key, w_value) pair."""
+        return self.llops.residual_call(_pair_second, pair)
+
+    def pair_key(self, pair):
+        return self.llops.residual_call(_pair_first, pair)
+
+    def dict_get(self, w_dict, w_key, w_default):
+        llops = self.llops
+        rdict = llops.getfield(w_dict, "rdict")
+        key = self.dict_key(w_key)
+        w_value = llops.residual_call(_dict_getvalue, rdict, key)
+        if llops.is_null(w_value):
+            return w_default
+        return w_value
+
+    def dict_contains(self, w_dict, w_key):
+        llops = self.llops
+        rdict = llops.getfield(w_dict, "rdict")
+        key = self.dict_key(w_key)
+        return llops.is_true(llops.residual_call(ll_dict_contains,
+                                                 rdict, key))
+
+    def dict_delitem(self, w_dict, w_key):
+        llops = self.llops
+        rdict = llops.getfield(w_dict, "rdict")
+        key = self.dict_key(w_key)
+        found = llops.residual_call(ll_dict_delitem, rdict, key)
+        if not llops.is_true(found):
+            raise GuestError("KeyError: %s" % self.repr_of(w_key))
+
+    def dict_len(self, w_dict):
+        llops = self.llops
+        rdict = llops.getfield(w_dict, "rdict")
+        return llops.residual_call(ll_dict_len, rdict)
+
+    # -- set operations ----------------------------------------------------------------
+
+    def set_add(self, w_set, w_value):
+        llops = self.llops
+        rdict = llops.getfield(w_set, "rdict")
+        key = self.dict_key(w_value)
+        llops.residual_call(_dict_setitem_pair, rdict, key, w_value, w_None)
+
+    def set_contains(self, w_set, w_value):
+        llops = self.llops
+        rdict = llops.getfield(w_set, "rdict")
+        key = self.dict_key(w_value)
+        return llops.is_true(llops.residual_call(ll_dict_contains,
+                                                 rdict, key))
+
+    def set_binop(self, symbol, w_a, w_b):
+        """Set &, |, ^ and - (via the BytesSetStrategy-style helpers)."""
+        llops = self.llops
+        rdict_a = llops.getfield(w_a, "rdict")
+        rdict_b = llops.getfield(w_b, "rdict")
+        fn = {"&": _set_intersect, "|": _set_union,
+              "-": _set_difference, "^": _set_symdiff}[symbol]
+        pairs = llops.residual_call(fn, rdict_a, rdict_b)
+        w_result = self.new_set([])
+        rdict = llops.getfield(w_result, "rdict")
+        llops.residual_call(_set_fill, rdict, pairs)
+        return w_result
+
+    # -- list operations ------------------------------------------------------------------
+
+    def list_storage(self, w_list):
+        return self.llops.getfield(w_list, "storage")
+
+    def list_strategy(self, w_list):
+        return self.llops.promote(self.llops.getfield(w_list, "strategy"))
+
+    def list_len_raw(self, w_list):
+        return self.llops.arraylen(self.list_storage(w_list))
+
+    def list_getitem(self, w_list, index):
+        """index: raw machine int (possibly negative)."""
+        llops = self.llops
+        storage = self.list_storage(w_list)
+        length = llops.arraylen(storage)
+        index = self.normalize_index(index, length, "list index")
+        strategy = self.list_strategy(w_list)
+        raw = llops.getarrayitem(storage, index)
+        if strategy == STRATEGY_INT:
+            return self.wrap_int(raw)
+        return raw
+
+    def list_setitem(self, w_list, index, w_value):
+        llops = self.llops
+        storage = self.list_storage(w_list)
+        length = llops.arraylen(storage)
+        index = self.normalize_index(index, length, "list index")
+        strategy = self.list_strategy(w_list)
+        if strategy == STRATEGY_INT:
+            if llops.cls_of(w_value) is W_Int:
+                llops.setarrayitem(storage, index,
+                                   self.int_val(w_value))
+                return
+            self.list_generalize(w_list)
+            storage = self.list_storage(w_list)
+        llops.setarrayitem(storage, index, w_value)
+
+    def list_generalize(self, w_list):
+        """Switch an int-strategy list to object storage."""
+        llops = self.llops
+        storage = self.list_storage(w_list)
+        llops.residual_call(_generalize_to_object, storage,
+                            self._rewrap_int)
+        llops.setfield(w_list, "strategy", STRATEGY_OBJECT)
+
+    def _rewrap_int(self, raw):
+        # Called from inside the generalize residual: plain wrapping.
+        w_value = W_Int(raw)
+        w_value._addr = self.ctx.gc.allocate(W_Int._size_, obj=w_value)
+        return w_value
+
+    def list_append(self, w_list, w_value):
+        llops = self.llops
+        strategy = self.list_strategy(w_list)
+        if strategy == STRATEGY_INT:
+            if llops.cls_of(w_value) is W_Int:
+                storage = self.list_storage(w_list)
+                llops.residual_call(_storage_append, storage,
+                                    self.int_val(w_value))
+                return
+            self.list_generalize(w_list)
+        storage = self.list_storage(w_list)
+        llops.residual_call(_storage_append, storage, w_value)
+
+    def list_concat(self, w_a, w_b):
+        llops = self.llops
+        strat_a = self.list_strategy(w_a)
+        strat_b = self.list_strategy(w_b)
+        items_a = llops.residual_call(_storage_items, self.list_storage(w_a))
+        items_b = llops.residual_call(_storage_items, self.list_storage(w_b))
+        if strat_a == strat_b:
+            combined = llops.residual_call(_list_concat_raw, items_a, items_b)
+            storage = llops.residual_call(_storage_from, combined)
+            return llops.new(W_List, strategy=strat_a, storage=storage)
+        # Mixed strategies: generalize both to objects.
+        w_result = self.new_list([])
+        for w_src in (w_a, w_b):
+            length = llops.promote(self.list_len_raw(w_src))
+            for i in range(length):
+                self.list_append(w_result, self.list_getitem(w_src, i))
+        return w_result
+
+    def list_repeat(self, w_list, w_count):
+        llops = self.llops
+        count = self.int_val(w_count)
+        strategy = self.list_strategy(w_list)
+        items = llops.residual_call(_storage_items, self.list_storage(w_list))
+        repeated = llops.residual_call(rlist.ll_mul, items, count)
+        storage = llops.residual_call(_storage_from, repeated)
+        return llops.new(W_List, strategy=strategy, storage=storage)
+
+    def list_slice(self, w_list, start, stop):
+        llops = self.llops
+        strategy = self.list_strategy(w_list)
+        items = llops.residual_call(_storage_items, self.list_storage(w_list))
+        part = llops.residual_call(rlist.ll_getslice, items, start, stop)
+        storage = llops.residual_call(_storage_from, part)
+        return llops.new(W_List, strategy=strategy, storage=storage)
+
+    def list_eq(self, w_a, w_b):
+        llops = self.llops
+        len_a = self.list_len_raw(w_a)
+        len_b = self.list_len_raw(w_b)
+        if not llops.is_true(llops.int_eq(len_a, len_b)):
+            return False
+        length = llops.promote(len_a)
+        for i in range(length):
+            if not self.eq_w(self.list_getitem(w_a, i),
+                             self.list_getitem(w_b, i)):
+                return False
+        return True
+
+    def list_compare(self, opname, w_a, w_b):
+        sign = self._seq_cmp_sign(
+            w_a, w_b, self.list_len_raw, self.list_getitem)
+        return self._cmp_from_sign(opname, sign)
+
+    def tuple_compare(self, opname, w_a, w_b):
+        sign = self._seq_cmp_sign(
+            w_a, w_b, self.tuple_len_raw, self.tuple_getitem_raw)
+        return self._cmp_from_sign(opname, sign)
+
+    def _seq_cmp_sign(self, w_a, w_b, len_fn, get_fn):
+        llops = self.llops
+        len_a = llops.promote(len_fn(w_a))
+        len_b = llops.promote(len_fn(w_b))
+        for i in range(min(len_a, len_b)):
+            w_x = get_fn(w_a, i)
+            w_y = get_fn(w_b, i)
+            if not self.eq_w(w_x, w_y):
+                less = self.compare("lt", w_x, w_y)
+                return -1 if self.is_true_w(less) else 1
+        if len_a < len_b:
+            return -1
+        if len_a > len_b:
+            return 1
+        return 0
+
+    # -- tuples ----------------------------------------------------------------------------
+
+    def tuple_len_raw(self, w_tuple):
+        return self.llops.arraylen(self.llops.getfield(w_tuple, "items"))
+
+    def tuple_getitem_raw(self, w_tuple, index):
+        items = self.llops.getfield(w_tuple, "items")
+        return self.llops.getarrayitem(items, index)
+
+    def tuple_getitem(self, w_tuple, index):
+        llops = self.llops
+        items = llops.getfield(w_tuple, "items")
+        length = llops.arraylen(items)
+        index = self.normalize_index(index, length, "tuple index")
+        return llops.getarrayitem(items, index)
+
+    def tuple_eq(self, w_a, w_b):
+        llops = self.llops
+        len_a = self.tuple_len_raw(w_a)
+        len_b = self.tuple_len_raw(w_b)
+        if not llops.is_true(llops.int_eq(len_a, len_b)):
+            return False
+        length = llops.promote(len_a)
+        for i in range(length):
+            if not self.eq_w(self.tuple_getitem_raw(w_a, i),
+                             self.tuple_getitem_raw(w_b, i)):
+                return False
+        return True
+
+    def tuple_concat(self, w_a, w_b):
+        llops = self.llops
+        items_a = llops.getfield(w_a, "items")
+        items_b = llops.getfield(w_b, "items")
+        raw_a = llops.residual_call(_storage_items, items_a)
+        raw_b = llops.residual_call(_storage_items, items_b)
+        combined = llops.residual_call(_list_concat_raw, raw_a, raw_b)
+        items = llops.residual_call(_storage_from, combined)
+        return llops.new(W_Tuple, items=items)
+
+    # -- shared index handling -----------------------------------------------------------------
+
+    def normalize_index(self, index, length, what):
+        llops = self.llops
+        negative = llops.int_lt(index, 0)
+        if llops.is_true(negative):
+            index = llops.int_add(index, length)
+        bad_low = llops.int_lt(index, 0)
+        bad_high = llops.int_ge(index, length)
+        if llops.is_true(bad_low) or llops.is_true(bad_high):
+            raise GuestError("%s out of range" % what)
+        return index
+
+    # -- subscripts ------------------------------------------------------------------------------
+
+    def getitem(self, w_obj, w_index):
+        llops = self.llops
+        cls = llops.cls_of(w_obj)
+        cls_index = llops.cls_of(w_index)
+        if cls_index is W_Slice:
+            return self.getslice(w_obj, cls, w_index)
+        if cls is W_List:
+            return self.list_getitem(w_obj, self._index_val(w_index,
+                                                            cls_index))
+        if cls is W_Dict:
+            return self.dict_getitem(w_obj, w_index)
+        if cls is W_Str:
+            text = self.str_val(w_obj)
+            length = llops.unicodelen(text)
+            index = self.normalize_index(
+                self._index_val(w_index, cls_index), length, "string index")
+            return self.wrap_str(llops.unicodegetitem(text, index))
+        if cls is W_Tuple:
+            return self.tuple_getitem(w_obj, self._index_val(w_index,
+                                                             cls_index))
+        raise GuestError("object is not subscriptable")
+
+    def _index_val(self, w_index, cls_index):
+        if not is_intish(cls_index):
+            raise GuestError("indices must be integers")
+        return self.int_val(w_index)
+
+    def getslice(self, w_obj, cls, w_slice):
+        llops = self.llops
+        w_start = llops.getfield(w_slice, "w_start")
+        w_stop = llops.getfield(w_slice, "w_stop")
+        if cls is W_List:
+            length = self.list_len_raw(w_list=w_obj)
+        elif cls is W_Str:
+            length = llops.unicodelen(self.str_val(w_obj))
+        elif cls is W_Tuple:
+            length = self.tuple_len_raw(w_obj)
+        else:
+            raise GuestError("object is not sliceable")
+        start = self._slice_bound(w_start, 0, length)
+        stop = self._slice_bound(w_stop, length, length)
+        if cls is W_List:
+            return self.list_slice(w_obj, start, stop)
+        if cls is W_Str:
+            return self.wrap_str(llops.residual_call(
+                rstr.ll_slice, self.str_val(w_obj), start, stop))
+        items = llops.getfield(w_obj, "items")
+        raw = llops.residual_call(_storage_items, items)
+        part = llops.residual_call(rlist.ll_getslice, raw, start, stop)
+        new_items = llops.residual_call(_storage_from, part)
+        return llops.new(W_Tuple, items=new_items)
+
+    def _slice_bound(self, w_bound, default, length):
+        llops = self.llops
+        if llops.is_null(w_bound) or \
+                llops.cls_of(w_bound) is W_None:
+            return default
+        value = self.int_val(w_bound)
+        negative = llops.int_lt(value, 0)
+        if llops.is_true(negative):
+            value = llops.int_add(value, length)
+            clipped_low = llops.int_lt(value, 0)
+            if llops.is_true(clipped_low):
+                value = 0
+        high = llops.int_gt(value, length)
+        if llops.is_true(high):
+            value = length
+        return value
+
+    def setitem(self, w_obj, w_index, w_value):
+        llops = self.llops
+        cls = llops.cls_of(w_obj)
+        if cls is W_List:
+            cls_index = llops.cls_of(w_index)
+            self.list_setitem(w_obj, self._index_val(w_index, cls_index),
+                              w_value)
+            return
+        if cls is W_Dict:
+            self.dict_setitem(w_obj, w_index, w_value)
+            return
+        raise GuestError("object does not support item assignment")
+
+    def delitem(self, w_obj, w_index):
+        llops = self.llops
+        cls = llops.cls_of(w_obj)
+        if cls is W_Dict:
+            self.dict_delitem(w_obj, w_index)
+            return
+        if cls is W_List:
+            cls_index = llops.cls_of(w_index)
+            index = self.normalize_index(
+                self._index_val(w_index, cls_index),
+                self.list_len_raw(w_obj), "list index")
+            storage = self.list_storage(w_obj)
+            llops.residual_call(_storage_pop, storage, index)
+            return
+        raise GuestError("object does not support item deletion")
+
+    # -- membership ---------------------------------------------------------------------------------
+
+    def contains(self, w_item, w_container):
+        llops = self.llops
+        cls = llops.cls_of(w_container)
+        if cls is W_Dict:
+            return self.dict_contains(w_container, w_item)
+        if cls is W_Set:
+            return self.set_contains(w_container, w_item)
+        if cls is W_Str:
+            return llops.is_true(llops.residual_call(
+                rstr.ll_contains, self.str_val(w_container),
+                self.str_val(w_item)))
+        if cls is W_List:
+            length = llops.promote(self.list_len_raw(w_container))
+            for i in range(length):
+                if self.eq_w(w_item, self.list_getitem(w_container, i)):
+                    return True
+            return False
+        if cls is W_Tuple:
+            length = llops.promote(self.tuple_len_raw(w_container))
+            for i in range(length):
+                if self.eq_w(w_item, self.tuple_getitem_raw(w_container, i)):
+                    return True
+            return False
+        if cls is W_Range:
+            value = self.int_val(w_item)
+            start = llops.getfield(w_container, "start")
+            stop = llops.getfield(w_container, "stop")
+            inside = llops.is_true(llops.int_ge(value, start)) and \
+                llops.is_true(llops.int_lt(value, stop))
+            return inside
+        raise GuestError("argument of type %r is not iterable"
+                         % cls.__name__)
+
+    # -- iteration --------------------------------------------------------------------------------------
+
+    def get_iter(self, w_obj):
+        llops = self.llops
+        cls = llops.cls_of(w_obj)
+        if cls is W_List:
+            return llops.new(W_ListIter, w_list=w_obj, index=0)
+        if cls is W_Range:
+            return llops.new(
+                W_RangeIter,
+                current=llops.getfield(w_obj, "start"),
+                stop=llops.getfield(w_obj, "stop"),
+                step=llops.getfield(w_obj, "step"),
+            )
+        if cls is W_Tuple:
+            return llops.new(W_TupleIter, w_tuple=w_obj, index=0)
+        if cls is W_Str:
+            return llops.new(W_StrIter, w_str=w_obj, index=0)
+        if cls is W_Dict:
+            rdict = llops.getfield(w_obj, "rdict")
+            pairs = llops.residual_call(ll_dict_values, rdict)
+            return llops.new(W_DictIter, items=pairs, index=0, mode="keys")
+        if cls is W_Set:
+            rdict = llops.getfield(w_obj, "rdict")
+            pairs = llops.residual_call(ll_dict_values, rdict)
+            return llops.new(W_DictIter, items=pairs, index=0, mode="keys")
+        if cls in (W_ListIter, W_RangeIter, W_TupleIter, W_StrIter,
+                   W_DictIter):
+            return w_obj
+        raise GuestError("object is not iterable")
+
+    def iter_next(self, w_iter):
+        """Next value or None (exhausted). Guards record the exit path."""
+        llops = self.llops
+        cls = llops.cls_of(w_iter)
+        if cls is W_RangeIter:
+            current = llops.getfield(w_iter, "current")
+            stop = llops.getfield(w_iter, "stop")
+            step = llops.getfield(w_iter, "step")
+            step_positive = llops.is_true(llops.int_gt(step, 0))
+            if step_positive:
+                in_range = llops.is_true(llops.int_lt(current, stop))
+            else:
+                in_range = llops.is_true(llops.int_gt(current, stop))
+            if not in_range:
+                return None
+            llops.setfield(w_iter, "current", llops.int_add(current, step))
+            return self.wrap_int(current)
+        if cls is W_ListIter:
+            w_list = llops.getfield(w_iter, "w_list")
+            index = llops.getfield(w_iter, "index")
+            length = self.list_len_raw(w_list)
+            has_more = llops.is_true(llops.int_lt(index, length))
+            if not has_more:
+                return None
+            llops.setfield(w_iter, "index", llops.int_add(index, 1))
+            return self.list_getitem(w_list, index)
+        if cls is W_TupleIter:
+            w_tuple = llops.getfield(w_iter, "w_tuple")
+            index = llops.getfield(w_iter, "index")
+            length = self.tuple_len_raw(w_tuple)
+            if not llops.is_true(llops.int_lt(index, length)):
+                return None
+            llops.setfield(w_iter, "index", llops.int_add(index, 1))
+            return self.tuple_getitem_raw(w_tuple, index)
+        if cls is W_StrIter:
+            w_str = llops.getfield(w_iter, "w_str")
+            index = llops.getfield(w_iter, "index")
+            text = self.str_val(w_str)
+            length = llops.unicodelen(text)
+            if not llops.is_true(llops.int_lt(index, length)):
+                return None
+            llops.setfield(w_iter, "index", llops.int_add(index, 1))
+            return self.wrap_str(llops.unicodegetitem(text, index))
+        if cls is W_DictIter:
+            items = llops.getfield(w_iter, "items")
+            index = llops.getfield(w_iter, "index")
+            length = llops.residual_call(_raw_len, items)
+            if not llops.is_true(llops.int_lt(index, length)):
+                return None
+            llops.setfield(w_iter, "index", llops.int_add(index, 1))
+            pair = llops.residual_call(_raw_getitem, items, index)
+            mode = llops.promote(llops.getfield(w_iter, "mode"))
+            if mode == "keys":
+                return self.pair_key(pair)
+            if mode == "values":
+                return self.pair_value(pair)
+            return self.new_tuple([self.pair_key(pair),
+                                   self.pair_value(pair)])
+        raise GuestError("not an iterator")
+
+
+# -- raw-structure residual helpers ---------------------------------------------------
+
+
+@aot("rlist.ll_len", "R", "readonly")
+def _raw_len(ctx, items):
+    ctx.charge(insns.mix(load=1))
+    return len(items)
+
+
+@aot("rlist.ll_getitem_raw", "R", "readonly")
+def _raw_getitem(ctx, items, index):
+    ctx.charge(insns.mix(load=2, alu=1))
+    return items[index]
+
+
+@aot("rlist.ll_newlist", "R", "pure")
+def _list_concat_raw(ctx, a, b):
+    charge_loop(ctx, max(1, len(a) + len(b)), insns.mix(load=1, store=1))
+    return a + b
+
+
+@aot("rlist.ll_items", "R", "readonly")
+def _storage_items(ctx, storage):
+    ctx.charge(insns.mix(load=1))
+    return storage.items
+
+
+@aot("rlist.ll_storage_from", "R", "pure")
+def _storage_from(ctx, items):
+    from repro.interp.objects import LLArray
+
+    ctx.charge(insns.mix(alu=3, store=2))
+    arr = LLArray(items)
+    arr._addr = ctx.gc.allocate(16 + 8 * len(items), obj=arr)
+    return arr
+
+
+@aot("rlist.ll_storage_append", "R", "any")
+def _storage_append(ctx, storage, value):
+    n = len(storage.items)
+    if n and (n & (n - 1)) == 0:
+        charge_loop(ctx, n, insns.mix(load=1, store=1, alu=1))
+    ctx.charge(insns.mix(store=1, alu=2, load=1))
+    storage.items.append(value)
+    return None
+
+
+@aot("rordereddict.ll_newdict", "R", "any")
+def _new_rdict(ctx):
+    ctx.charge(insns.mix(alu=6, store=4, load=2))
+    rdict = RDict()
+    rdict._addr = ctx.gc.allocate(RDict._size_, obj=rdict)
+    return rdict
+
+
+@aot("rordereddict.ll_dict_setitem", "R", "idempotent")
+def _dict_setitem_pair(ctx, rdict, key, w_key, w_value):
+    from repro.rlib.rordereddict import ll_dict_setitem
+
+    return ll_dict_setitem.fn(ctx, rdict, key, (w_key, w_value))
+
+
+@aot("W_TupleObject.dict_key", "I", "pure")
+def _tuple_dict_key(ctx, w_tuple):
+    """Raw hashable key for a tuple of primitives (recursive)."""
+    from repro.pylang.objects import (
+        W_Float as _F, W_Int as _I, W_None as _N, W_Str as _S,
+        W_Tuple as _T,
+    )
+
+    items = w_tuple.items.items
+    charge_loop(ctx, max(1, len(items)), insns.mix(load=2, alu=3))
+    parts = []
+    for w_item in items:
+        if isinstance(w_item, _I):
+            parts.append(w_item.intval)
+        elif isinstance(w_item, _S):
+            parts.append(w_item.strval)
+        elif isinstance(w_item, _F):
+            parts.append(w_item.floatval)
+        elif isinstance(w_item, _N):
+            parts.append(None)
+        elif isinstance(w_item, _T):
+            parts.append(_tuple_dict_key.fn(ctx, w_item))
+        else:
+            parts.append(w_item)
+    return tuple(parts)
+
+
+@aot("rlist.ll_pair_first", "R", "readonly")
+def _pair_first(ctx, pair):
+    ctx.charge(insns.mix(load=1))
+    return pair[0]
+
+
+@aot("rlist.ll_pair_second", "R", "readonly")
+def _pair_second(ctx, pair):
+    ctx.charge(insns.mix(load=1))
+    return pair[1]
+
+
+@aot("rordereddict.ll_dict_getvalue", "R", "readonly")
+def _dict_getvalue(ctx, rdict, key):
+    """Lookup returning the stored w_value directly (or None)."""
+    from repro.rlib.rordereddict import ll_dict_lookup
+
+    pair = ll_dict_lookup.fn(ctx, rdict, key)
+    if pair is None:
+        return None
+    return pair[1]
+
+
+# Set operations work on raw entry triples (hash, rawkey, (w_key, w_val)).
+
+
+@aot("BytesSetStrategy.intersect", "I", "pure")
+def _set_intersect(ctx, a, b):
+    charge_loop(ctx, max(1, len(a.entries)), insns.mix(load=3, alu=4))
+    keys_b = {e[1] for e in b.entries if e}
+    return [(e[1], e[2]) for e in a.entries if e and e[1] in keys_b]
+
+
+@aot("BytesSetStrategy.union", "I", "pure")
+def _set_union(ctx, a, b):
+    charge_loop(ctx, max(1, len(a.entries) + len(b.entries)),
+                insns.mix(load=3, alu=4, store=1))
+    result = [(e[1], e[2]) for e in a.entries if e]
+    keys_a = {e[1] for e in a.entries if e}
+    result.extend((e[1], e[2]) for e in b.entries
+                  if e and e[1] not in keys_a)
+    return result
+
+
+@aot("BytesSetStrategy.difference_unwrapped", "I", "pure")
+def _set_difference(ctx, a, b):
+    charge_loop(ctx, max(1, len(a.entries)), insns.mix(load=3, alu=4))
+    keys_b = {e[1] for e in b.entries if e}
+    return [(e[1], e[2]) for e in a.entries if e and e[1] not in keys_b]
+
+
+@aot("BytesSetStrategy.symmetric_difference", "I", "pure")
+def _set_symdiff(ctx, a, b):
+    charge_loop(ctx, max(1, len(a.entries) + len(b.entries)),
+                insns.mix(load=3, alu=4))
+    keys_a = {e[1] for e in a.entries if e}
+    keys_b = {e[1] for e in b.entries if e}
+    result = [(e[1], e[2]) for e in a.entries if e and e[1] not in keys_b]
+    result.extend((e[1], e[2]) for e in b.entries
+                  if e and e[1] not in keys_a)
+    return result
+
+
+@aot("BytesSetStrategy.fill", "I", "any")
+def _set_fill(ctx, rdict, entries):
+    from repro.rlib.rordereddict import ll_dict_setitem
+
+    for raw_key, pair in entries:
+        ll_dict_setitem.fn(ctx, rdict, raw_key, pair)
+    return None

@@ -1,0 +1,558 @@
+"""TinyPy compiler: a subset of Python source -> TinyPy bytecode.
+
+Uses the host ``ast`` module for parsing only; code generation, name
+resolution, and the supported-subset checks are ours.  The subset covers
+what the benchmark programs need: functions (positional args + constant
+defaults), single-inheritance classes with methods, loops (with
+break/continue and list comprehensions), the full operator set, lists /
+tuples / dicts / sets / slices, and attribute/subscript assignment.
+Unsupported constructs raise :class:`CompilationError` with a message
+naming the construct.
+"""
+
+import ast
+
+from repro.core.errors import CompilationError
+from repro.pylang import bytecode as bc
+
+_BINOPS = {
+    ast.Add: bc.BINARY_ADD,
+    ast.Sub: bc.BINARY_SUB,
+    ast.Mult: bc.BINARY_MUL,
+    ast.FloorDiv: bc.BINARY_FLOORDIV,
+    ast.Div: bc.BINARY_TRUEDIV,
+    ast.Mod: bc.BINARY_MOD,
+    ast.Pow: bc.BINARY_POW,
+    ast.BitAnd: bc.BINARY_AND,
+    ast.BitOr: bc.BINARY_OR,
+    ast.BitXor: bc.BINARY_XOR,
+    ast.LShift: bc.BINARY_LSHIFT,
+    ast.RShift: bc.BINARY_RSHIFT,
+}
+
+_CMPOPS = {
+    ast.Lt: bc.COMPARE_LT,
+    ast.LtE: bc.COMPARE_LE,
+    ast.Eq: bc.COMPARE_EQ,
+    ast.NotEq: bc.COMPARE_NE,
+    ast.Gt: bc.COMPARE_GT,
+    ast.GtE: bc.COMPARE_GE,
+    ast.Is: bc.COMPARE_IS,
+    ast.IsNot: bc.COMPARE_IS_NOT,
+    ast.In: bc.COMPARE_IN,
+    ast.NotIn: bc.COMPARE_NOT_IN,
+}
+
+
+def compile_source(source, name="<module>"):
+    """Compile TinyPy source text to a module PyCode."""
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        raise CompilationError("syntax error: %s" % exc)
+    compiler = _UnitCompiler(name, args=[], is_module=True)
+    for statement in tree.body:
+        compiler.stmt(statement)
+    return compiler.finish()
+
+
+class _LoopFrame(object):
+    def __init__(self, is_for=False):
+        self.break_jumps = []
+        self.continue_target = None
+        self.is_for = is_for
+
+
+class _UnitCompiler(object):
+    """Compiles one function / module body."""
+
+    def __init__(self, name, args, is_module):
+        self.unit_name = name
+        self.is_module = is_module
+        self.ops = []
+        self.arg_values = []
+        self.consts = []
+        self.const_index = {}
+        self.names = []
+        self.name_index = {}
+        self.varnames = list(args)
+        self.var_index = {n: i for i, n in enumerate(args)}
+        self.argcount = len(args)
+        self.globals_declared = set()
+        self.loops = []
+        self.temp_counter = 0
+
+    # -- infrastructure ------------------------------------------------------
+
+    def emit(self, op, arg=0):
+        self.ops.append(op)
+        self.arg_values.append(arg)
+        return len(self.ops) - 1
+
+    def here(self):
+        return len(self.ops)
+
+    def patch(self, position, target=None):
+        self.arg_values[position] = self.here() if target is None else target
+
+    def const(self, value):
+        key = (type(value).__name__, value) \
+            if isinstance(value, (int, float, str, bool, bytes)) else None
+        if key is not None and key in self.const_index:
+            return self.const_index[key]
+        index = len(self.consts)
+        self.consts.append(value)
+        if key is not None:
+            self.const_index[key] = index
+        return index
+
+    def name(self, text):
+        index = self.name_index.get(text)
+        if index is None:
+            index = len(self.names)
+            self.names.append(text)
+            self.name_index[text] = index
+        return index
+
+    def local(self, text):
+        index = self.var_index.get(text)
+        if index is None:
+            index = len(self.varnames)
+            self.varnames.append(text)
+            self.var_index[text] = index
+        return index
+
+    def is_local(self, text):
+        if self.is_module:
+            return False
+        if text in self.globals_declared:
+            return False
+        return text in self.var_index
+
+    def temp(self):
+        self.temp_counter += 1
+        return self.local("@tmp%d" % self.temp_counter)
+
+    def fail(self, node, what):
+        line = getattr(node, "lineno", "?")
+        raise CompilationError(
+            "unsupported in TinyPy (line %s): %s" % (line, what)
+        )
+
+    def finish(self):
+        self.emit(bc.LOAD_CONST, self.const(None))
+        self.emit(bc.RETURN_VALUE)
+        return bc.PyCode(
+            self.unit_name, self.ops, self.arg_values, self.consts,
+            self.names, self.varnames, self.argcount,
+        )
+
+    # -- pre-scan: find assigned names so they become locals ---------------------
+
+    def _collect_locals(self, body):
+        # First pass: global declarations win over assignments.
+        def find_globals(nodes):
+            for node in nodes:
+                if isinstance(node, ast.Global):
+                    self.globals_declared.update(node.names)
+                elif not isinstance(node, (ast.FunctionDef, ast.ClassDef)):
+                    find_globals(ast.iter_child_nodes(node))
+
+        def find_stores(nodes):
+            for node in nodes:
+                if isinstance(node, (ast.FunctionDef, ast.ClassDef)):
+                    # The defined name is local; don't descend further.
+                    if node.name not in self.globals_declared:
+                        self.local(node.name)
+                    continue
+                if isinstance(node, ast.Name) and isinstance(
+                        node.ctx, ast.Store):
+                    if node.id not in self.globals_declared:
+                        self.local(node.id)
+                find_stores(ast.iter_child_nodes(node))
+
+        find_globals(body)
+        find_stores(body)
+
+    # -- statements ------------------------------------------------------------------
+
+    def stmt(self, node):
+        method = getattr(self, "stmt_%s" % type(node).__name__, None)
+        if method is None:
+            self.fail(node, "statement %s" % type(node).__name__)
+        method(node)
+
+    def stmt_Expr(self, node):
+        if isinstance(node.value, ast.Constant) and isinstance(
+                node.value.value, str):
+            return  # docstring
+        self.expr(node.value)
+        self.emit(bc.POP_TOP)
+
+    def stmt_Pass(self, node):
+        pass
+
+    def stmt_Assign(self, node):
+        self.expr(node.value)
+        for i, target in enumerate(node.targets):
+            if i < len(node.targets) - 1:
+                self.emit(bc.DUP_TOP)
+            self.store_target(target)
+
+    def stmt_AugAssign(self, node):
+        op = _BINOPS.get(type(node.op))
+        if op is None:
+            self.fail(node, "augmented op %s" % type(node.op).__name__)
+        target = node.target
+        if isinstance(target, ast.Name):
+            self.load_name(target.id)
+            self.expr(node.value)
+            self.emit(op)
+            self.store_name(target.id)
+        elif isinstance(target, ast.Attribute):
+            self.expr(target.value)
+            self.emit(bc.DUP_TOP)
+            self.emit(bc.LOAD_ATTR, self.name(target.attr))
+            self.expr(node.value)
+            self.emit(op)
+            self.emit(bc.ROT_TWO)
+            self.emit(bc.STORE_ATTR, self.name(target.attr))
+        elif isinstance(target, ast.Subscript):
+            self.expr(target.value)
+            self._subscript_index(target)
+            self.emit(bc.DUP_TOP_TWO)
+            self.emit(bc.BINARY_SUBSCR)
+            self.expr(node.value)
+            self.emit(op)
+            self.emit(bc.ROT_THREE)
+            self.emit(bc.STORE_SUBSCR)
+        else:
+            self.fail(node, "augmented-assign target")
+
+    def store_target(self, target):
+        if isinstance(target, ast.Name):
+            self.store_name(target.id)
+        elif isinstance(target, ast.Attribute):
+            self.expr(target.value)
+            self.emit(bc.STORE_ATTR, self.name(target.attr))
+        elif isinstance(target, ast.Subscript):
+            self.expr(target.value)
+            self._subscript_index(target)
+            self.emit(bc.STORE_SUBSCR)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            self.emit(bc.UNPACK_SEQUENCE, len(target.elts))
+            for element in target.elts:
+                self.store_target(element)
+        else:
+            self.fail(target, "assignment target")
+
+    def store_name(self, text):
+        if self.is_local(text):
+            self.emit(bc.STORE_FAST, self.local(text))
+        else:
+            self.emit(bc.STORE_GLOBAL, self.name(text))
+
+    def load_name(self, text):
+        if self.is_local(text):
+            self.emit(bc.LOAD_FAST, self.local(text))
+        else:
+            self.emit(bc.LOAD_GLOBAL, self.name(text))
+
+    def stmt_If(self, node):
+        self.expr(node.test)
+        jump_false = self.emit(bc.POP_JUMP_IF_FALSE)
+        for statement in node.body:
+            self.stmt(statement)
+        if node.orelse:
+            jump_end = self.emit(bc.JUMP)
+            self.patch(jump_false)
+            for statement in node.orelse:
+                self.stmt(statement)
+            self.patch(jump_end)
+        else:
+            self.patch(jump_false)
+
+    def stmt_While(self, node):
+        if node.orelse:
+            self.fail(node, "while-else")
+        loop = _LoopFrame(is_for=False)
+        self.loops.append(loop)
+        header = self.here()
+        loop.continue_target = header
+        if not (isinstance(node.test, ast.Constant) and node.test.value):
+            self.expr(node.test)
+            exit_jump = self.emit(bc.POP_JUMP_IF_FALSE)
+        else:
+            exit_jump = None
+        for statement in node.body:
+            self.stmt(statement)
+        self.emit(bc.JUMP, header)
+        if exit_jump is not None:
+            self.patch(exit_jump)
+        for position in loop.break_jumps:
+            self.patch(position)
+        self.loops.pop()
+
+    def stmt_For(self, node):
+        if node.orelse:
+            self.fail(node, "for-else")
+        loop = _LoopFrame(is_for=True)
+        self.loops.append(loop)
+        self.expr(node.iter)
+        self.emit(bc.GET_ITER)
+        header = self.here()
+        loop.continue_target = header
+        for_iter = self.emit(bc.FOR_ITER)
+        self.store_target(node.target)
+        for statement in node.body:
+            self.stmt(statement)
+        self.emit(bc.JUMP, header)
+        self.patch(for_iter)
+        for position in loop.break_jumps:
+            self.patch(position)
+        self.loops.pop()
+
+    def stmt_Break(self, node):
+        if not self.loops:
+            self.fail(node, "break outside loop")
+        loop = self.loops[-1]
+        if loop.is_for:
+            # for-loops keep the iterator on the stack: pop it on break.
+            self.emit(bc.POP_TOP)
+        loop.break_jumps.append(self.emit(bc.JUMP))
+
+    def stmt_Continue(self, node):
+        if not self.loops:
+            self.fail(node, "continue outside loop")
+        self.emit(bc.JUMP, self.loops[-1].continue_target)
+
+    def stmt_Return(self, node):
+        if self.is_module:
+            self.fail(node, "return at module level")
+        if node.value is None:
+            self.emit(bc.LOAD_CONST, self.const(None))
+        else:
+            self.expr(node.value)
+        self.emit(bc.RETURN_VALUE)
+
+    def stmt_Delete(self, node):
+        for target in node.targets:
+            if isinstance(target, ast.Subscript):
+                self.expr(target.value)
+                self._subscript_index(target)
+                self.emit(bc.DELETE_SUBSCR)
+            else:
+                self.fail(node, "del of non-subscript")
+
+    def stmt_Global(self, node):
+        self.globals_declared.update(node.names)
+
+    def stmt_FunctionDef(self, node):
+        if node.decorator_list:
+            self.fail(node, "decorators")
+        code, n_defaults = self._compile_function(node)
+        for default in node.args.defaults:
+            self.expr(default)
+        self.emit(bc.LOAD_CONST, self.const(bc.FunctionSpec(code, n_defaults)))
+        self.emit(bc.MAKE_FUNCTION, n_defaults)
+        self.store_name(node.name)
+
+    def _compile_function(self, node):
+        args = node.args
+        if args.vararg or args.kwarg or args.kwonlyargs or args.posonlyargs:
+            self.fail(node, "*args/**kwargs/keyword-only parameters")
+        names = [a.arg for a in args.args]
+        sub = _UnitCompiler(node.name, names, is_module=False)
+        sub._collect_locals(node.body)
+        for statement in node.body:
+            sub.stmt(statement)
+        return sub.finish(), len(args.defaults)
+
+    def stmt_ClassDef(self, node):
+        if node.decorator_list or node.keywords:
+            self.fail(node, "class decorators/keywords")
+        if len(node.bases) > 1:
+            self.fail(node, "multiple inheritance")
+        base_name = None
+        if node.bases:
+            if not isinstance(node.bases[0], ast.Name):
+                self.fail(node, "computed base class")
+            base_name = node.bases[0].id
+        methods = []
+        for item in node.body:
+            if isinstance(item, ast.FunctionDef):
+                code, n_defaults = self._compile_function(item)
+                defaults = []
+                for default in item.args.defaults:
+                    if not isinstance(default, ast.Constant):
+                        self.fail(item, "non-constant method default")
+                    defaults.append(default.value)
+                methods.append((item.name, code, defaults))
+            elif isinstance(item, ast.Expr) and isinstance(
+                    item.value, ast.Constant):
+                continue  # docstring
+            elif isinstance(item, ast.Pass):
+                continue
+            else:
+                self.fail(item, "non-method class body statement")
+        spec = bc.ClassSpec(node.name, base_name, methods)
+        self.emit(bc.MAKE_CLASS, self.const(spec))
+        self.store_name(node.name)
+
+    # -- expressions --------------------------------------------------------------------
+
+    def expr(self, node):
+        method = getattr(self, "expr_%s" % type(node).__name__, None)
+        if method is None:
+            self.fail(node, "expression %s" % type(node).__name__)
+        method(node)
+
+    def expr_Constant(self, node):
+        value = node.value
+        if value is Ellipsis or isinstance(value, (bytes, complex)):
+            self.fail(node, "constant %r" % (value,))
+        self.emit(bc.LOAD_CONST, self.const(value))
+
+    def expr_Name(self, node):
+        self.load_name(node.id)
+
+    def expr_BinOp(self, node):
+        op = _BINOPS.get(type(node.op))
+        if op is None:
+            self.fail(node, "operator %s" % type(node.op).__name__)
+        self.expr(node.left)
+        self.expr(node.right)
+        self.emit(op)
+
+    def expr_UnaryOp(self, node):
+        if isinstance(node.op, ast.USub):
+            if isinstance(node.operand, ast.Constant) and isinstance(
+                    node.operand.value, (int, float)):
+                self.emit(bc.LOAD_CONST, self.const(-node.operand.value))
+                return
+            self.expr(node.operand)
+            self.emit(bc.UNARY_NEG)
+        elif isinstance(node.op, ast.Not):
+            self.expr(node.operand)
+            self.emit(bc.UNARY_NOT)
+        elif isinstance(node.op, ast.Invert):
+            self.expr(node.operand)
+            self.emit(bc.UNARY_INVERT)
+        else:
+            self.expr(node.operand)  # unary +
+
+    def expr_BoolOp(self, node):
+        jump_op = (bc.JUMP_IF_FALSE_OR_POP if isinstance(node.op, ast.And)
+                   else bc.JUMP_IF_TRUE_OR_POP)
+        jumps = []
+        for i, value in enumerate(node.values):
+            self.expr(value)
+            if i < len(node.values) - 1:
+                jumps.append(self.emit(jump_op))
+        for position in jumps:
+            self.patch(position)
+
+    def expr_Compare(self, node):
+        if len(node.ops) != 1:
+            self.fail(node, "chained comparisons")
+        op = _CMPOPS.get(type(node.ops[0]))
+        if op is None:
+            self.fail(node, "comparison %s" % type(node.ops[0]).__name__)
+        self.expr(node.left)
+        self.expr(node.comparators[0])
+        self.emit(op)
+
+    def expr_IfExp(self, node):
+        self.expr(node.test)
+        jump_false = self.emit(bc.POP_JUMP_IF_FALSE)
+        self.expr(node.body)
+        jump_end = self.emit(bc.JUMP)
+        self.patch(jump_false)
+        self.expr(node.orelse)
+        self.patch(jump_end)
+
+    def expr_Call(self, node):
+        if node.keywords:
+            self.fail(node, "keyword arguments")
+        self.expr(node.func)
+        for arg in node.args:
+            if isinstance(arg, ast.Starred):
+                self.fail(node, "*args at call site")
+            self.expr(arg)
+        self.emit(bc.CALL_FUNCTION, len(node.args))
+
+    def expr_Attribute(self, node):
+        self.expr(node.value)
+        self.emit(bc.LOAD_ATTR, self.name(node.attr))
+
+    def _subscript_index(self, node):
+        index = node.slice
+        if isinstance(index, ast.Slice):
+            if index.step is not None:
+                self.fail(node, "slice step")
+            for bound in (index.lower, index.upper):
+                if bound is None:
+                    self.emit(bc.LOAD_CONST, self.const(None))
+                else:
+                    self.expr(bound)
+            self.emit(bc.BUILD_SLICE, 2)
+        else:
+            self.expr(index)
+
+    def expr_Subscript(self, node):
+        self.expr(node.value)
+        self._subscript_index(node)
+        self.emit(bc.BINARY_SUBSCR)
+
+    def expr_List(self, node):
+        for element in node.elts:
+            self.expr(element)
+        self.emit(bc.BUILD_LIST, len(node.elts))
+
+    def expr_Tuple(self, node):
+        for element in node.elts:
+            self.expr(element)
+        self.emit(bc.BUILD_TUPLE, len(node.elts))
+
+    def expr_Dict(self, node):
+        for key, value in zip(node.keys, node.values):
+            if key is None:
+                self.fail(node, "dict unpacking")
+            self.expr(key)
+            self.expr(value)
+        self.emit(bc.BUILD_MAP, len(node.keys))
+
+    def expr_Set(self, node):
+        for element in node.elts:
+            self.expr(element)
+        self.emit(bc.BUILD_SET, len(node.elts))
+
+    def expr_ListComp(self, node):
+        if len(node.generators) != 1:
+            self.fail(node, "nested comprehensions")
+        generator = node.generators[0]
+        if generator.is_async:
+            self.fail(node, "async comprehension")
+        accumulator = self.temp()
+        self.emit(bc.BUILD_LIST, 0)
+        self.emit(bc.STORE_FAST, accumulator)
+        loop = _LoopFrame()
+        self.loops.append(loop)
+        self.expr(generator.iter)
+        self.emit(bc.GET_ITER)
+        header = self.here()
+        for_iter = self.emit(bc.FOR_ITER)
+        self.store_target(generator.target)
+        condition_jumps = []
+        for condition in generator.ifs:
+            self.expr(condition)
+            condition_jumps.append(self.emit(bc.POP_JUMP_IF_FALSE))
+        self.emit(bc.LOAD_FAST, accumulator)
+        self.expr(node.elt)
+        self.emit(bc.LIST_APPEND)
+        for position in condition_jumps:
+            self.patch(position, header)
+        self.emit(bc.JUMP, header)
+        self.patch(for_iter)
+        self.loops.pop()
+        self.emit(bc.LOAD_FAST, accumulator)

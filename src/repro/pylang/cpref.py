@@ -1,0 +1,753 @@
+"""cpref: the CPython-reference interpreter.
+
+Executes the same TinyPy bytecode with plain host values and a leaner,
+hand-written-C cost model (the paper's CPython baseline: roughly 2x
+faster than the RPython interpreter without its JIT, with classic
+interpreter branch behaviour — one indirect dispatch jump per bytecode).
+
+Results must match the RPython-style VM bit-for-bit: the test suite
+cross-checks program output between the two.
+"""
+
+from repro.core import tags
+from repro.core.errors import GuestError
+from repro.isa import insns
+from repro.pylang import bytecode as bc
+from repro.pylang.compiler import compile_source
+from repro.pylang.ops import str_format_mod
+from repro.uarch.machine import Machine
+
+# CPython does substantial work per bytecode (refcount traffic, type
+# checks, boxing): Castanos et al. report hundreds of instructions per
+# Python bytecode.  These mixes model that (scaled to our workloads).
+_DISPATCH_MIX = insns.mix(load=7, alu=6, store=2, br_bulk=3)
+_CHEAP = insns.mix(alu=4, load=4, store=2, br_bulk=1)
+_ARITH = insns.mix(alu=9, load=7, store=4, br_bulk=3)
+_FARITH = insns.mix(fpu=1, alu=6, load=7, store=4, br_bulk=3)
+_DIV = insns.mix(div=1, alu=7, load=7, store=4, br_bulk=3)
+_ATTR = insns.mix(load=14, alu=9, store=2, br_bulk=4)
+_SUBSCR = insns.mix(load=12, alu=9, store=2, br_bulk=3)
+_CALL = insns.mix(load=18, store=18, alu=16, br_bulk=6)
+_BUILD = insns.mix(alu=7, store=7, load=4, br_bulk=2)
+_GLOBAL = insns.mix(load=11, alu=5, br_bulk=3)
+
+
+class CFunction(object):
+    __slots__ = ("code", "module", "defaults")
+
+    def __init__(self, code, module, defaults):
+        self.code = code
+        self.module = module
+        self.defaults = defaults
+
+
+class CClass(object):
+    def __init__(self, name, base):
+        self.name = name
+        self.base = base
+        self.methods = {}
+
+    def lookup(self, name):
+        cls = self
+        while cls is not None:
+            if name in cls.methods:
+                return cls.methods[name]
+            cls = cls.base
+        return None
+
+
+class CInstance(object):
+    __slots__ = ("cls", "attrs")
+
+    def __init__(self, cls):
+        self.cls = cls
+        self.attrs = {}
+
+
+class CBoundMethod(object):
+    __slots__ = ("receiver", "func")
+
+    def __init__(self, receiver, func):
+        self.receiver = receiver
+        self.func = func
+
+
+class _ChargeCtx(object):
+    """Minimal ctx shim so shared format helpers can charge costs."""
+
+    def __init__(self, machine):
+        self.machine = machine
+
+    def charge(self, mix):
+        self.machine.exec_mix(mix)
+
+    def charge_branches(self, count, rate):
+        self.machine.exec_bulk_branches(count, rate)
+
+
+class CpRef(object):
+    """The CPython-like reference VM."""
+
+    #: Relative per-operation cost of this VM (the Racket baseline
+    #: subclasses with a smaller factor: a mature custom JIT VM).
+    mix_scale = 1.0
+
+    def __init__(self, config, predictor="gshare"):
+        self.machine = Machine(config, predictor=predictor)
+        self._charge_ctx = _ChargeCtx(self.machine)
+        self.output = []
+        self._mix_carry = {}
+        self._build_handlers()
+        self._builtins = self._make_builtins()
+
+    def _xm(self, mix):
+        """Charge a mix, scaled by this VM's cost factor."""
+        if self.mix_scale == 1.0:
+            self.machine.exec_mix(mix)
+            return
+        carry = self._mix_carry
+        scaled = []
+        for klass, count in mix:
+            exact = count * self.mix_scale + carry.get(klass, 0.0)
+            whole = int(exact)
+            carry[klass] = exact - whole
+            if whole:
+                scaled.append((klass, whole))
+        if scaled:
+            self.machine.exec_mix(tuple(scaled))
+
+    # -- entry --------------------------------------------------------------------
+
+    def run_source(self, source, module_name="__main__"):
+        code = compile_source(source, module_name)
+        return self.run_module_code(code)
+
+    def run_module_code(self, code):
+        self.machine.annot(tags.VM_START)
+        module = {}
+        try:
+            result = self.run_frame(code, [None] * code.n_locals, module)
+        finally:
+            self.machine.annot(tags.VM_STOP)
+        return result
+
+    def stdout(self):
+        return "\n".join(self.output) + ("\n" if self.output else "")
+
+    # -- the evaluation loop -----------------------------------------------------------
+
+    def _build_handlers(self):
+        table = [None] * bc.N_OPS
+        for name in dir(self):
+            if name.startswith("op_"):
+                opnum = getattr(bc, name[3:].upper(), None)
+                if opnum is not None:
+                    table[opnum] = getattr(self, name)
+        missing = [bc.OP_NAMES[i] for i in range(bc.N_OPS)
+                   if table[i] is None]
+        assert not missing, missing
+        self._handlers = table
+
+    # -- handlers (return None = advance, int = new pc, _Return = done) ----------------
+
+    def op_load_const(self, stack, arg, code, module, pc):
+        self._xm(_CHEAP)
+        stack.append(code.consts[arg])
+
+    def op_load_fast(self, stack, arg, code, module, pc):
+        self._xm(_CHEAP)
+        stack.append(self._locals[-1][arg])
+
+    def op_store_fast(self, stack, arg, code, module, pc):
+        self._xm(_CHEAP)
+        self._locals[-1][arg] = stack.pop()
+
+    def op_load_global(self, stack, arg, code, module, pc):
+        self._xm(_GLOBAL)
+        name = code.names[arg]
+        if name in module:
+            stack.append(module[name])
+        elif name in self._builtins:
+            stack.append(self._builtins[name])
+        else:
+            raise GuestError("NameError: name %r is not defined" % name)
+
+    def op_store_global(self, stack, arg, code, module, pc):
+        self._xm(_GLOBAL)
+        module[code.names[arg]] = stack.pop()
+
+    def op_pop_top(self, stack, arg, code, module, pc):
+        self._xm(_CHEAP)
+        stack.pop()
+
+    def op_dup_top(self, stack, arg, code, module, pc):
+        self._xm(_CHEAP)
+        stack.append(stack[-1])
+
+    def op_dup_top_two(self, stack, arg, code, module, pc):
+        self._xm(_CHEAP)
+        stack.extend(stack[-2:])
+
+    def op_rot_two(self, stack, arg, code, module, pc):
+        self._xm(_CHEAP)
+        stack[-1], stack[-2] = stack[-2], stack[-1]
+
+    def op_rot_three(self, stack, arg, code, module, pc):
+        self._xm(_CHEAP)
+        top = stack.pop()
+        stack.insert(-2, top)
+
+    def op_unpack_sequence(self, stack, arg, code, module, pc):
+        self._xm(insns.scale_mix(_CHEAP, arg))
+        seq = stack.pop()
+        if len(seq) != arg:
+            raise GuestError("unpack length mismatch")
+        for item in reversed(seq):
+            stack.append(item)
+
+    # -- operators -------------------------------------------------------------------------
+
+    def _num_mix(self, a, b=0, quadratic=False):
+        if isinstance(a, float) or isinstance(b, float):
+            return _FARITH
+        big_a = isinstance(a, int) and (abs(a) >> 62)
+        big_b = isinstance(b, int) and (abs(b) >> 62)
+        if big_a or big_b:
+            # CPython's C bignums: linear-time add/sub, quadratic
+            # (schoolbook) multiply/divide — cost per 30-bit digit.
+            digits_a = max(1, a.bit_length() // 30) \
+                if isinstance(a, int) else 1
+            digits_b = max(1, b.bit_length() // 30) \
+                if isinstance(b, int) else 1
+            work = digits_a * digits_b if quadratic \
+                else max(digits_a, digits_b)
+            return insns.scale_mix(
+                insns.mix(alu=3, load=2, store=1, br_bulk=1), work)
+        return _ARITH
+
+    def _binop(fn, quadratic=False):  # noqa: N805
+        def handler(self, stack, arg, code, module, pc):
+            b = stack.pop()
+            a = stack.pop()
+            self._xm(self._num_mix(a, b, quadratic=quadratic))
+            try:
+                stack.append(fn(self, a, b))
+            except ZeroDivisionError:
+                raise GuestError("division by zero")
+            except TypeError as exc:
+                raise GuestError(str(exc))
+        return handler
+
+    op_binary_add = _binop(lambda self, a, b: a + b)
+    op_binary_sub = _binop(lambda self, a, b: a - b)
+    op_binary_mul = _binop(lambda self, a, b: a * b, quadratic=True)
+    op_binary_floordiv = _binop(lambda self, a, b: a // b, quadratic=True)
+    op_binary_truediv = _binop(lambda self, a, b: a / b)
+    op_binary_pow = _binop(lambda self, a, b: a ** b, quadratic=True)
+    op_binary_and = _binop(lambda self, a, b: a & b)
+    op_binary_or = _binop(lambda self, a, b: a | b)
+    op_binary_xor = _binop(lambda self, a, b: a ^ b)
+    op_binary_lshift = _binop(lambda self, a, b: a << b)
+    op_binary_rshift = _binop(lambda self, a, b: a >> b)
+
+    def op_binary_mod(self, stack, arg, code, module, pc):
+        b = stack.pop()
+        a = stack.pop()
+        if isinstance(a, str):
+            values = b if isinstance(b, tuple) else (b,)
+            values = tuple(self._fmt_value(v) for v in values)
+            stack.append(str_format_mod.fn(self._charge_ctx, a, values))
+            return
+        self._xm(self._num_mix(a, b))
+        if b == 0:
+            raise GuestError("integer modulo by zero")
+        stack.append(a % b)
+
+    def _fmt_value(self, value):
+        if isinstance(value, (int, float, str)):
+            return value
+        return self._str(value)
+
+    def op_unary_neg(self, stack, arg, code, module, pc):
+        self._xm(_ARITH)
+        stack.append(-stack.pop())
+
+    def op_unary_not(self, stack, arg, code, module, pc):
+        self._xm(_CHEAP)
+        stack.append(not self._truth(stack.pop()))
+
+    def op_unary_invert(self, stack, arg, code, module, pc):
+        self._xm(_ARITH)
+        stack.append(~stack.pop())
+
+    def _truth(self, value):
+        self._xm(_CHEAP)
+        return bool(value)
+
+    def _cmpop(fn):  # noqa: N805
+        def handler(self, stack, arg, code, module, pc):
+            b = stack.pop()
+            a = stack.pop()
+            self._xm(_ARITH)
+            stack.append(fn(a, b))
+        return handler
+
+    op_compare_lt = _cmpop(lambda a, b: a < b)
+    op_compare_le = _cmpop(lambda a, b: a <= b)
+    op_compare_eq = _cmpop(lambda a, b: a == b)
+    op_compare_ne = _cmpop(lambda a, b: a != b)
+    op_compare_gt = _cmpop(lambda a, b: a > b)
+    op_compare_ge = _cmpop(lambda a, b: a >= b)
+    op_compare_is = _cmpop(lambda a, b: a is b)
+    op_compare_is_not = _cmpop(lambda a, b: a is not b)
+
+    def op_compare_in(self, stack, arg, code, module, pc):
+        container = stack.pop()
+        item = stack.pop()
+        self._charge_contains(container)
+        stack.append(item in container)
+
+    def op_compare_not_in(self, stack, arg, code, module, pc):
+        container = stack.pop()
+        item = stack.pop()
+        self._charge_contains(container)
+        stack.append(item not in container)
+
+    def _charge_contains(self, container):
+        if isinstance(container, (list, tuple, str)):
+            self._xm(
+                insns.scale_mix(insns.mix(load=1, alu=1),
+                                max(1, len(container) // 2)))
+        else:
+            self._xm(_SUBSCR)
+
+    # -- attributes / subscripts ----------------------------------------------------------------
+
+    def op_load_attr(self, stack, arg, code, module, pc):
+        self._xm(_ATTR)
+        obj = stack.pop()
+        name = code.names[arg]
+        stack.append(self._getattr(obj, name))
+
+    def _getattr(self, obj, name):
+        if isinstance(obj, CInstance):
+            if name in obj.attrs:
+                return obj.attrs[name]
+            func = obj.cls.lookup(name)
+            if func is not None:
+                if isinstance(func, CFunction):
+                    return CBoundMethod(obj, func)
+                return func
+            raise GuestError("AttributeError: %s.%s" % (obj.cls.name, name))
+        if isinstance(obj, CClass):
+            value = obj.lookup(name)
+            if value is None:
+                raise GuestError("AttributeError: %s.%s" % (obj.name, name))
+            return value
+        method = _TYPE_METHODS.get((type(obj), name))
+        if method is not None:
+            return CBoundMethod(obj, method)
+        raise GuestError("AttributeError: %s object has no attribute %r"
+                         % (type(obj).__name__, name))
+
+    def op_store_attr(self, stack, arg, code, module, pc):
+        self._xm(_ATTR)
+        obj = stack.pop()
+        value = stack.pop()
+        if isinstance(obj, CInstance):
+            obj.attrs[code.names[arg]] = value
+        elif isinstance(obj, CClass):
+            obj.methods[code.names[arg]] = value
+        else:
+            raise GuestError("cannot set attribute")
+
+    def op_binary_subscr(self, stack, arg, code, module, pc):
+        self._xm(_SUBSCR)
+        index = stack.pop()
+        obj = stack.pop()
+        try:
+            if isinstance(index, slice):
+                self._xm(insns.scale_mix(
+                    _CHEAP, max(1, len(obj[index]) // 2)))
+            stack.append(obj[index])
+        except (KeyError, IndexError):
+            raise GuestError("key/index error")
+
+    def op_store_subscr(self, stack, arg, code, module, pc):
+        self._xm(_SUBSCR)
+        index = stack.pop()
+        obj = stack.pop()
+        value = stack.pop()
+        obj[index] = value
+
+    def op_delete_subscr(self, stack, arg, code, module, pc):
+        self._xm(_SUBSCR)
+        index = stack.pop()
+        obj = stack.pop()
+        del obj[index]
+
+    # -- control flow ----------------------------------------------------------------------------
+
+    def op_jump(self, stack, arg, code, module, pc):
+        return arg
+
+    def _cond_branch(self, code, pc, truthy):
+        pc_id = (id(code) >> 4 ^ pc * 31) & 0xFFFFF
+        self.machine.branch(pc_id, truthy)
+
+    def op_pop_jump_if_false(self, stack, arg, code, module, pc):
+        truthy = self._truth(stack.pop())
+        self._cond_branch(code, pc, truthy)
+        if truthy:
+            return pc + 1
+        return arg
+
+    def op_pop_jump_if_true(self, stack, arg, code, module, pc):
+        truthy = self._truth(stack.pop())
+        self._cond_branch(code, pc, truthy)
+        if truthy:
+            return arg
+        return pc + 1
+
+    def op_jump_if_false_or_pop(self, stack, arg, code, module, pc):
+        if self._truth(stack[-1]):
+            stack.pop()
+            return pc + 1
+        return arg
+
+    def op_jump_if_true_or_pop(self, stack, arg, code, module, pc):
+        if self._truth(stack[-1]):
+            return arg
+        stack.pop()
+        return pc + 1
+
+    def op_get_iter(self, stack, arg, code, module, pc):
+        self._xm(_BUILD)
+        stack.append(iter(stack.pop()))
+
+    def op_for_iter(self, stack, arg, code, module, pc):
+        self._xm(_SUBSCR)
+        try:
+            stack.append(next(stack[-1]))
+            self._cond_branch(code, pc, True)
+        except StopIteration:
+            self._cond_branch(code, pc, False)
+            stack.pop()
+            return arg
+
+    # -- construction -------------------------------------------------------------------------------
+
+    def op_build_list(self, stack, arg, code, module, pc):
+        self._xm(insns.scale_mix(_BUILD, max(1, arg)))
+        values = stack[len(stack) - arg:] if arg else []
+        del stack[len(stack) - arg:]
+        stack.append(list(values))
+
+    def op_build_tuple(self, stack, arg, code, module, pc):
+        self._xm(insns.scale_mix(_BUILD, max(1, arg)))
+        values = tuple(stack[len(stack) - arg:]) if arg else ()
+        del stack[len(stack) - arg:]
+        stack.append(values)
+
+    def op_build_map(self, stack, arg, code, module, pc):
+        self._xm(insns.scale_mix(_BUILD, max(1, arg)))
+        result = {}
+        pairs = stack[len(stack) - 2 * arg:]
+        del stack[len(stack) - 2 * arg:]
+        for i in range(0, len(pairs), 2):
+            result[pairs[i]] = pairs[i + 1]
+        stack.append(result)
+
+    def op_build_set(self, stack, arg, code, module, pc):
+        self._xm(insns.scale_mix(_BUILD, max(1, arg)))
+        values = stack[len(stack) - arg:] if arg else []
+        del stack[len(stack) - arg:]
+        stack.append(set(values))
+
+    def op_build_slice(self, stack, arg, code, module, pc):
+        self._xm(_BUILD)
+        stop = stack.pop()
+        start = stack.pop()
+        stack.append(slice(start, stop))
+
+    def op_list_append(self, stack, arg, code, module, pc):
+        self._xm(_CHEAP)
+        value = stack.pop()
+        target = stack.pop()
+        target.append(value)
+
+    # -- functions / classes / calls ---------------------------------------------------------------------
+
+    def op_make_function(self, stack, arg, code, module, pc):
+        self._xm(_BUILD)
+        spec = stack.pop()
+        defaults = [stack.pop() for _ in range(arg)]
+        defaults.reverse()
+        stack.append(CFunction(spec.code, module, defaults))
+
+    def op_make_class(self, stack, arg, code, module, pc):
+        self._xm(_BUILD)
+        spec = code.consts[arg]
+        base = None
+        if spec.base_name is not None:
+            base = module.get(spec.base_name)
+            if not isinstance(base, CClass):
+                raise GuestError("base is not a class")
+        cls = CClass(spec.name, base)
+        for method_name, method_code, defaults in spec.methods:
+            cls.methods[method_name] = CFunction(
+                method_code, module, list(defaults))
+        stack.append(cls)
+
+    def op_call_function(self, stack, arg, code, module, pc):
+        self._xm(_CALL)
+        call_args = stack[len(stack) - arg:] if arg else []
+        del stack[len(stack) - arg:]
+        callee = stack.pop()
+        stack.append(self.call(callee, call_args))
+
+    def call(self, callee, call_args):
+        if isinstance(callee, CBoundMethod):
+            return self.call(callee.func, [callee.receiver] + call_args)
+        if isinstance(callee, CFunction):
+            code = callee.code
+            n_missing = code.argcount - len(call_args)
+            if n_missing:
+                if n_missing < 0 or n_missing > len(callee.defaults):
+                    raise GuestError("argument count mismatch in %s"
+                                     % code.name)
+                call_args = call_args + callee.defaults[
+                    len(callee.defaults) - n_missing:]
+            locals_values = call_args + [None] * (
+                code.n_locals - code.argcount)
+            self._xm(_CALL)
+            return self.run_frame(code, locals_values, callee.module)
+        if callable(callee) and not isinstance(callee, CClass):
+            return callee(self, call_args)
+        if isinstance(callee, CClass):
+            instance = CInstance(callee)
+            init = callee.lookup("__init__")
+            if init is not None:
+                self.call(init, [instance] + call_args)
+            elif call_args:
+                raise GuestError("%s() takes no arguments" % callee.name)
+            return instance
+        raise GuestError("object is not callable")
+
+    def op_return_value(self, stack, arg, code, module, pc):
+        self._xm(_CHEAP)
+        return _Return(stack.pop())
+
+    # -- run_frame uses a locals stack for LOAD/STORE_FAST ------------------------------------------------
+
+    _locals = None
+
+    def run_frame(self, code, locals_values, module):  # noqa: F811
+        if self._locals is None:
+            self._locals = []
+        self._locals.append(locals_values)
+        try:
+            return self._run_frame_inner(code, module)
+        finally:
+            self._locals.pop()
+
+    def _run_frame_inner(self, code, module):
+        machine = self.machine
+        handlers = self._handlers
+        stack = []
+        pc = 0
+        ops = code.ops
+        args = code.args
+        prev_opcode = 0
+        while True:
+            machine.annot(tags.DISPATCH)
+            machine.exec_mix(_DISPATCH_MIX)
+            opcode = ops[pc]
+            # Threaded dispatch: one indirect jump per handler (computed
+            # gotos), so the BTB correlates on the previous opcode.
+            machine.indirect(0x300 + (prev_opcode << 3), opcode)
+            prev_opcode = opcode
+            result = handlers[opcode](stack, args[pc], code, module, pc)
+            if result is None:
+                pc += 1
+            elif type(result) is int:
+                pc = result
+            else:
+                return result.value
+
+    # -- conversions / builtins -------------------------------------------------------------------------------
+
+    def _str(self, value):
+        if isinstance(value, bool):
+            return "True" if value else "False"
+        if isinstance(value, str):
+            return value
+        if isinstance(value, (int,)):
+            text = str(value)
+            self._xm(insns.scale_mix(
+                insns.mix(div=1, alu=2, store=1), len(text)))
+            return text
+        if isinstance(value, float):
+            return repr(value)
+        if value is None:
+            return "None"
+        return self._repr(value)
+
+    def _repr(self, value):
+        if isinstance(value, str):
+            return "'" + value + "'"
+        if isinstance(value, list):
+            return "[" + ", ".join(self._repr(v) for v in value) + "]"
+        if isinstance(value, tuple):
+            if len(value) == 1:
+                return "(" + self._repr(value[0]) + ",)"
+            return "(" + ", ".join(self._repr(v) for v in value) + ")"
+        if isinstance(value, dict):
+            return "{" + ", ".join(
+                "%s: %s" % (self._repr(k), self._repr(v))
+                for k, v in value.items()) + "}"
+        if isinstance(value, set):
+            if not value:
+                return "set()"
+            return "{" + ", ".join(self._repr(v) for v in value) + "}"
+        if isinstance(value, CInstance):
+            return "<%s instance>" % value.cls.name
+        if isinstance(value, CClass):
+            return "<class %s>" % value.name
+        if isinstance(value, CFunction):
+            return "<function>"
+        if isinstance(value, range):
+            return "range(%d, %d)" % (value.start, value.stop)
+        return self._str(value)
+
+    def _make_builtins(self):
+        def bi_print(vm, call_args):
+            text = " ".join(vm._str(a) for a in call_args)
+            vm._xm(insns.scale_mix(
+                insns.mix(load=1, store=1), max(1, len(text) // 4)))
+            vm.output.append(text)
+            return None
+
+        def charge_scan(seq):
+            self._xm(insns.scale_mix(
+                insns.mix(load=1, alu=1), max(1, len(seq))))
+
+        def bi_sum(vm, call_args):
+            charge_scan(call_args[0])
+            return sum(call_args[0], *call_args[1:])
+
+        def bi_min(vm, call_args):
+            if len(call_args) == 1:
+                charge_scan(call_args[0])
+                return min(call_args[0])
+            return min(call_args)
+
+        def bi_max(vm, call_args):
+            if len(call_args) == 1:
+                charge_scan(call_args[0])
+                return max(call_args[0])
+            return max(call_args)
+
+        def bi_isinstance(vm, call_args):
+            obj, cls = call_args
+            if not isinstance(obj, CInstance):
+                return False
+            current = obj.cls
+            while current is not None:
+                if current is cls:
+                    return True
+                current = current.base
+            return False
+
+        def bi_annotate(vm, call_args):
+            vm.machine.annot(tags.APP_EVENT,
+                             call_args[0] if call_args else 0)
+            return None
+
+        def simple(fn, scale=False):
+            def wrapped(vm, call_args):
+                if scale and call_args and hasattr(call_args[0], "__len__"):
+                    charge_scan(call_args[0])
+                try:
+                    return fn(*call_args)
+                except ValueError as exc:
+                    raise GuestError(str(exc))
+            return wrapped
+
+        return {
+            "print": bi_print,
+            "range": simple(range),
+            "len": simple(len),
+            "abs": simple(abs),
+            "min": bi_min,
+            "max": bi_max,
+            "sum": bi_sum,
+            "int": simple(int),
+            "float": simple(float),
+            "str": lambda vm, a: vm._str(a[0]),
+            "repr": lambda vm, a: vm._repr(a[0]),
+            "bool": simple(bool),
+            "chr": simple(chr),
+            "ord": simple(ord),
+            "list": simple(list, scale=True),
+            "tuple": simple(tuple, scale=True),
+            "dict": simple(dict),
+            "set": simple(set, scale=True),
+            "isinstance": bi_isinstance,
+            "__annot__": bi_annotate,
+        }
+
+
+class _Return(object):
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+
+def _charge_list(vm, seq, per_item=1):
+    vm._xm(insns.scale_mix(
+        insns.mix(load=1, store=1), max(1, len(seq) * per_item)))
+
+
+def _m(fn, scan=False):
+    def method(vm, call_args):
+        if scan and hasattr(call_args[0], "__len__"):
+            _charge_list(vm, call_args[0])
+        else:
+            vm._xm(_CHEAP)
+        try:
+            return fn(*call_args)
+        except ValueError as exc:
+            raise GuestError(str(exc))
+    return method
+
+
+_TYPE_METHODS = {
+    (list, "append"): _m(lambda s, v: s.append(v)),
+    (list, "pop"): _m(lambda s, *a: s.pop(*a)),
+    (list, "insert"): _m(lambda s, i, v: s.insert(i, v), scan=True),
+    (list, "extend"): _m(lambda s, o: s.extend(o), scan=True),
+    (list, "reverse"): _m(lambda s: s.reverse(), scan=True),
+    (list, "sort"): _m(lambda s: s.sort(), scan=True),
+    (list, "index"): _m(lambda s, v: s.index(v), scan=True),
+    (list, "remove"): _m(lambda s, v: s.remove(v), scan=True),
+    (list, "count"): _m(lambda s, v: s.count(v), scan=True),
+    (dict, "get"): _m(lambda d, k, *a: d.get(k, *(a or (None,)))),
+    (dict, "keys"): _m(lambda d: list(d.keys()), scan=True),
+    (dict, "values"): _m(lambda d: list(d.values()), scan=True),
+    (dict, "items"): _m(lambda d: [(k, v) for k, v in d.items()],
+                        scan=True),
+    (dict, "pop"): _m(lambda d, k, *a: d.pop(k, *a)),
+    (dict, "setdefault"): _m(lambda d, k, v: d.setdefault(k, v)),
+    (set, "add"): _m(lambda s, v: s.add(v)),
+    (str, "join"): _m(lambda s, items: s.join(items), scan=True),
+    (str, "split"): _m(lambda s, *a: s.split(*a), scan=True),
+    (str, "strip"): _m(lambda s: s.strip()),
+    (str, "lower"): _m(lambda s: s.lower(), scan=True),
+    (str, "upper"): _m(lambda s: s.upper(), scan=True),
+    (str, "replace"): _m(lambda s, a, b: s.replace(a, b), scan=True),
+    (str, "find"): _m(lambda s, *a: s.find(*a), scan=True),
+    (str, "startswith"): _m(lambda s, p: s.startswith(p)),
+    (str, "endswith"): _m(lambda s, p: s.endswith(p)),
+}

@@ -1,0 +1,346 @@
+"""TinyPy instances and classes: mapdict attributes, version-tagged
+method lookup, and guest string conversion — as a VM mixin."""
+
+from repro.core.errors import GuestError
+from repro.interp.aot import aot
+from repro.isa import insns
+from repro.pylang.objects import (
+    W_BigInt,
+    W_Bool,
+    W_BoundMethod,
+    W_Class,
+    W_Dict,
+    W_Float,
+    W_Function,
+    W_Instance,
+    W_Int,
+    W_List,
+    W_Module,
+    W_None,
+    W_Range,
+    W_Set,
+    W_Str,
+    W_Tuple,
+    VersionTag,
+)
+from repro.pylang.ops import is_intish
+from repro.rlib import rbigint, rstr
+
+
+def _class_lookup_raw(w_class, name):
+    """Walk the MRO; elidable given (class, version, name)."""
+    current = w_class
+    while current is not None:
+        entry = current.methods.get(name)
+        if entry is not None:
+            return entry
+        current = current.w_base
+    return None
+
+
+class InstancesMixin(object):
+    """Attribute access, class machinery and conversions."""
+
+    # -- attribute reads ---------------------------------------------------------
+
+    def getattr_w(self, w_obj, name):
+        """LOAD_ATTR: name is a green string."""
+        llops = self.llops
+        cls = llops.cls_of(w_obj)
+        if cls is W_Instance:
+            shape = llops.promote(llops.getfield(w_obj, "shape"))
+            self.ctx.charge(insns.mix(load=2, alu=2))
+            slot = shape.lookup(name)
+            if slot >= 0:
+                slots = llops.getfield(w_obj, "slots")
+                return llops.getarrayitem(slots, slot)
+            w_value = self.class_lookup(shape.w_class, name)
+            if w_value is not None:
+                if isinstance(w_value, W_Function):
+                    return llops.new(W_BoundMethod, w_self=w_obj,
+                                     w_func=w_value)
+                return w_value
+            raise GuestError("AttributeError: %s.%s"
+                             % (shape.w_class.name, name))
+        if cls is W_Class:
+            w_class = llops.promote(w_obj)
+            w_value = self.class_lookup(w_class, name)
+            if w_value is None:
+                raise GuestError("AttributeError: %s.%s"
+                                 % (w_class.name, name))
+            return w_value
+        if cls is W_Module:
+            w_module = llops.promote(w_obj)
+            return self.global_get(w_module, name)
+        # Builtin-type methods (list.append, str.join, dict.get, ...).
+        w_method = self.builtin_method(cls, name)
+        if w_method is not None:
+            return llops.new(W_BoundMethod, w_self=w_obj, w_func=w_method)
+        raise GuestError("AttributeError: %s object has no attribute %r"
+                         % (cls.__name__, name))
+
+    def class_lookup(self, w_class, name):
+        """Version-tagged elidable class-attribute lookup.
+
+        ``w_class`` must already be promoted (a green).  The version tag
+        is promoted too, so inside traces this folds to a constant —
+        PyPy's method-cache technique.
+        """
+        llops = self.llops
+        version = llops.promote(llops.getfield(w_class, "version"))
+        self.ctx.charge(insns.mix(load=3, alu=3))
+        assert isinstance(version, VersionTag)
+        return _class_lookup_raw(w_class, name)
+
+    # -- attribute writes ----------------------------------------------------------
+
+    def setattr_w(self, w_obj, name, w_value):
+        llops = self.llops
+        cls = llops.cls_of(w_obj)
+        if cls is W_Instance:
+            shape = llops.promote(llops.getfield(w_obj, "shape"))
+            self.ctx.charge(insns.mix(load=2, alu=2))
+            slot = shape.lookup(name)
+            if slot >= 0:
+                slots = llops.getfield(w_obj, "slots")
+                llops.setarrayitem(slots, slot, w_value)
+                return
+            new_shape = shape.transition(name)
+            slots = llops.getfield(w_obj, "slots")
+            llops.residual_call(_mapdict_add_slot_arr, slots, w_value)
+            llops.setfield(w_obj, "shape", new_shape)
+            return
+        if cls is W_Class:
+            w_class = llops.promote(w_obj)
+            self.class_setattr(w_class, name, w_value)
+            return
+        if cls is W_Module:
+            self.global_set(llops.promote(w_obj), name, w_value)
+            return
+        raise GuestError("cannot set attribute on %s" % cls.__name__)
+
+    def class_setattr(self, w_class, name, w_value):
+        from repro.interp.objects import concrete
+
+        llops = self.llops
+        self.ctx.charge(insns.mix(load=3, alu=4, store=2))
+        w_class.methods[name] = concrete(w_value)
+        # Bump the version: invalidates promoted lookups.  The tag is a
+        # fresh runtime object, so it comes from a residual call.
+        llops.setfield(w_class, "version",
+                       llops.residual_call(_new_version_tag))
+
+    # -- module globals (celldict) ----------------------------------------------------
+
+    def global_get(self, w_module, name):
+        """Promoted-version global lookup; folds to a cell constant."""
+        llops = self.llops
+        version = llops.promote(llops.getfield(w_module, "version"))
+        assert isinstance(version, VersionTag)
+        self.ctx.charge(insns.mix(load=3, alu=3))
+        cell = w_module.cells.get(name)
+        if cell is None:
+            w_value = self.builtin_global(name)
+            if w_value is not None:
+                return w_value
+            raise GuestError("NameError: name %r is not defined" % name)
+        return llops.getfield(cell, "w_value")
+
+    def global_set(self, w_module, name, w_value):
+        llops = self.llops
+        cell = w_module.cells.get(name)
+        self.ctx.charge(insns.mix(load=3, alu=3, store=1))
+        if cell is not None:
+            llops.setfield(cell, "w_value", w_value)
+            return
+        new_cell = llops.new(_CELL_CLS, w_value=w_value)
+        from repro.interp.objects import concrete
+
+        w_module.cells[name] = concrete(new_cell)
+        llops.setfield(w_module, "version",
+                       llops.residual_call(_new_version_tag))
+
+    # -- class creation -----------------------------------------------------------------
+
+    def make_class(self, spec, w_module):
+        llops = self.llops
+        w_base = None
+        if spec.base_name is not None:
+            w_base = self.global_get(w_module, spec.base_name)
+            if not isinstance(w_base, W_Class):
+                raise GuestError("base %r is not a class" % spec.base_name)
+        w_class = W_Class(spec.name, w_base)
+        w_class._addr = self.ctx.gc.allocate(W_Class._size_, obj=w_class)
+        for method_name, code, defaults in spec.methods:
+            defaults_w = [self.wrap_const(value) for value in defaults]
+            w_func = W_Function(code, w_module, defaults_w)
+            w_func._addr = self.ctx.gc.allocate(W_Function._size_,
+                                                obj=w_func)
+            self.ctx.charge(insns.mix(load=3, alu=4, store=2))
+            w_class.methods[method_name] = w_func
+        return w_class
+
+    def instantiate(self, w_class):
+        llops = self.llops
+        slots = llops.newarray(0)
+        return llops.new(W_Instance, shape=w_class.shape, slots=slots)
+
+    # -- conversions -------------------------------------------------------------------------
+
+    def str_of(self, w_obj):
+        """Guest str() as a raw Python string."""
+        llops = self.llops
+        cls = llops.cls_of(w_obj)
+        if cls is W_Str:
+            return self.str_val(w_obj)
+        if cls is W_Bool:
+            return "True" if llops.is_true(
+                llops.int_is_true(self.int_val(w_obj))) else "False"
+        if cls is W_Int:
+            return llops.residual_call(rstr.ll_int2dec, self.int_val(w_obj))
+        if cls is W_Float:
+            return llops.residual_call(rstr.ll_float2str,
+                                       self.float_val(w_obj))
+        if cls is W_BigInt:
+            return llops.residual_call(rbigint.big_str, self.big_val(w_obj))
+        if cls is W_None:
+            return "None"
+        return self.repr_of(w_obj)
+
+    def repr_of(self, w_obj):
+        llops = self.llops
+        cls = llops.cls_of(w_obj)
+        if cls is W_Str:
+            return "'" + self.str_val(w_obj) + "'"
+        if cls is W_List:
+            length = llops.promote(self.list_len_raw(w_obj))
+            parts = [self.repr_of(self.list_getitem(w_obj, i))
+                     for i in range(length)]
+            return "[" + ", ".join(parts) + "]"
+        if cls is W_Tuple:
+            length = llops.promote(self.tuple_len_raw(w_obj))
+            parts = [self.repr_of(self.tuple_getitem_raw(w_obj, i))
+                     for i in range(length)]
+            if length == 1:
+                return "(" + parts[0] + ",)"
+            return "(" + ", ".join(parts) + ")"
+        if cls is W_Dict:
+            rdict = llops.getfield(w_obj, "rdict")
+            from repro.rlib.rordereddict import ll_dict_values
+
+            pairs = llops.residual_call(ll_dict_values, rdict)
+            length = llops.promote(llops.residual_call(_raw_len_i, pairs))
+            parts = []
+            for i in range(length):
+                pair = llops.residual_call(_raw_get_i, pairs, i)
+                parts.append("%s: %s" % (
+                    self.repr_of(self.pair_key(pair)),
+                    self.repr_of(self.pair_value(pair))))
+            return "{" + ", ".join(parts) + "}"
+        if cls is W_Set:
+            rdict = llops.getfield(w_obj, "rdict")
+            from repro.rlib.rordereddict import ll_dict_values
+
+            pairs = llops.residual_call(ll_dict_values, rdict)
+            length = llops.promote(llops.residual_call(_raw_len_i, pairs))
+            if not length:
+                return "set()"
+            parts = []
+            for i in range(length):
+                pair = llops.residual_call(_raw_get_i, pairs, i)
+                parts.append(self.repr_of(self.pair_key(pair)))
+            return "{" + ", ".join(parts) + "}"
+        if cls is W_Instance:
+            shape = llops.promote(llops.getfield(w_obj, "shape"))
+            return "<%s instance>" % shape.w_class.name
+        if cls is W_Class:
+            return "<class %s>" % llops.promote(w_obj).name
+        if cls is W_Function:
+            return "<function>"
+        if cls is W_Range:
+            return "range(%d, %d)" % (
+                llops.promote(llops.getfield(w_obj, "start")),
+                llops.promote(llops.getfield(w_obj, "stop")))
+        return self.str_of(w_obj)
+
+    def str_mod(self, w_template, w_values):
+        """The guest '%' string-formatting operator.
+
+        The whole operation is one residual call taking the boxed value
+        tuple; unboxing happens inside (passing a host tuple of red
+        parts would constant-capture them in traces).
+        """
+        template = self.str_val(w_template)
+        return self.wrap_str(self.llops.residual_call(
+            _str_mod_boxed, template, w_values))
+
+    def format_value(self, w_obj):
+        """Raw payload for %-formatting."""
+        llops = self.llops
+        cls = llops.cls_of(w_obj)
+        if is_intish(cls):
+            return self.int_val(w_obj)
+        if cls is W_Float:
+            return self.float_val(w_obj)
+        if cls is W_Str:
+            return self.str_val(w_obj)
+        return self.str_of(w_obj)
+
+
+from repro.pylang.objects import Cell as _CELL_CLS  # noqa: E402
+
+
+@aot("celldict.new_version", "R", "any")
+def _new_version_tag(ctx):
+    ctx.charge(insns.mix(alu=2, store=1))
+    return VersionTag()
+
+
+@aot("format.mod", "M", "pure")
+def _str_mod_boxed(ctx, template, w_values):
+    """%-format with a boxed argument (tuple or single value)."""
+    from repro.pylang.objects import (
+        W_Float as _F, W_Int as _I, W_Str as _S, W_Tuple as _T,
+    )
+    from repro.pylang.ops import str_format_mod
+
+    def unbox(w_item):
+        if isinstance(w_item, _I):
+            return w_item.intval
+        if isinstance(w_item, _F):
+            return w_item.floatval
+        if isinstance(w_item, _S):
+            return w_item.strval
+        if isinstance(w_item, rbigint.BigInt):
+            return int(rbigint._to_decimal(w_item))
+        from repro.pylang.objects import W_BigInt as _B
+
+        if isinstance(w_item, _B):
+            return int(rbigint._to_decimal(w_item.bigval))
+        return str(w_item)
+
+    if isinstance(w_values, _T):
+        raw = tuple(unbox(w) for w in w_values.items.items)
+    else:
+        raw = (unbox(w_values),)
+    return str_format_mod.fn(ctx, template, raw)
+
+
+@aot("mapdict.add_slot", "I", "any")
+def _mapdict_add_slot_arr(ctx, slots_array, w_value):
+    items = slots_array.items
+    ctx.charge(insns.mix(load=2, store=2, alu=2))
+    items.append(w_value)
+    return None
+
+
+@aot("rlist.ll_raw_len", "R", "readonly")
+def _raw_len_i(ctx, items):
+    ctx.charge(insns.mix(load=1))
+    return len(items)
+
+
+@aot("rlist.ll_raw_get", "R", "readonly")
+def _raw_get_i(ctx, items, index):
+    ctx.charge(insns.mix(load=2, alu=1))
+    return items[index]

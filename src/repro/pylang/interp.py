@@ -1,0 +1,648 @@
+"""The TinyPy VM: an RPython-style bytecode interpreter on the framework.
+
+This is the reproduction's "PyPy": a flat dispatch loop over an explicit
+frame stack, DISPATCH annotations per bytecode, JitDriver hooks at
+backward jumps, and all value operations routed through LLOps (see
+``ops.py`` / ``collections.py`` / ``instances.py`` mixins).
+"""
+
+from repro.core import tags
+from repro.core.errors import GuestError
+from repro.interp.jitdriver import DEOPTED, JitDriver
+from repro.isa import insns
+from repro.jit.semantics import INT_MAX, INT_MIN
+from repro.pylang import bytecode as bc
+from repro.pylang.builtins import BUILTIN_FUNCTIONS, TYPE_METHODS
+from repro.pylang.collections import CollectionsMixin
+from repro.pylang.compiler import compile_source
+from repro.pylang.instances import InstancesMixin
+from repro.pylang.objects import (
+    W_BigInt,
+    W_BoundMethod,
+    W_Builtin,
+    W_Class,
+    W_Float,
+    W_Function,
+    W_Int,
+    W_List,
+    W_Module,
+    W_Slice,
+    W_Str,
+    W_Tuple,
+    w_False,
+    w_None,
+    w_True,
+    wrap_bool,
+)
+from repro.pylang.ops import OpsMixin
+from repro.rlib.rbigint import BigInt
+
+_DISPATCH_MIX = insns.mix(load=8, alu=6, store=2, br_bulk=3)
+_FRAME_SIZE = 224
+
+
+class PyFrame(object):
+    __slots__ = ("code", "pc", "locals", "stack", "module",
+                 "discard_return")
+
+    def __init__(self, code, pc, locals_values, stack_values, module,
+                 discard_return=False):
+        self.code = code
+        self.pc = pc
+        self.locals = locals_values
+        self.stack = stack_values
+        self.module = module
+        self.discard_return = discard_return
+
+    @property
+    def snapshot_extra(self):
+        return (self.module, self.discard_return)
+
+    def __repr__(self):
+        return "<PyFrame %s pc=%d>" % (self.code.name, self.pc)
+
+
+class PyVM(OpsMixin, CollectionsMixin, InstancesMixin):
+    """One TinyPy virtual machine bound to a VM context."""
+
+    def __init__(self, ctx):
+        self.ctx = ctx
+        self.llops = ctx.llops
+        self.driver = JitDriver(ctx)
+        self.frames = []
+        self.output = []
+        self._const_cache = {}
+        self._builtin_cache = {}
+        self._method_cache = {}
+        self._build_handlers()
+
+    # -- program entry ---------------------------------------------------------
+
+    def run_source(self, source, module_name="__main__"):
+        code = compile_source(source, module_name)
+        return self.run_module_code(code, module_name)
+
+    def run_module_code(self, code, module_name="__main__"):
+        self.ctx.vm_start()
+        w_module = W_Module(module_name)
+        w_module._addr = self.ctx.gc.allocate(W_Module._size_, obj=w_module)
+        code.module = w_module
+        frame = PyFrame(code, 0, [w_None] * code.n_locals, [], w_module)
+        self.frames.append(frame)
+        try:
+            result = self.run_to_depth(len(self.frames) - 1)
+        finally:
+            self.ctx.vm_stop()
+        return result
+
+    def make_frame(self, code, pc, locals_values, stack_values, extra):
+        module, discard_return = extra
+        return PyFrame(code, pc, list(locals_values), list(stack_values),
+                       module, discard_return)
+
+    def run_frame_to_completion(self, code, pc, locals_values,
+                                stack_values, extra):
+        """call_assembler support: run one frame to completion and
+        return its value (never pushing onto the suspended caller)."""
+        frame = self.make_frame(code, pc, locals_values, stack_values,
+                                extra)
+        frame.discard_return = True
+        self.frames.append(frame)
+        try:
+            return self.run_to_depth(len(self.frames) - 1)
+        finally:
+            # A trace/bridge recording begun inside this frame scope
+            # must not outlive it: its root frame is gone, so further
+            # recording would capture garbage state.
+            tracer = self.ctx.tracer
+            if tracer is not None and tracer.interp is self and \
+                    tracer.root_depth >= len(self.frames):
+                tracer.abort("call_assembler scope ended")
+
+    def stdout(self):
+        return "\n".join(self.output) + ("\n" if self.output else "")
+
+    # -- the dispatch loop ----------------------------------------------------------
+
+    def run_to_depth(self, barrier):
+        ctx = self.ctx
+        machine = ctx.machine
+        frames = self.frames
+        handlers = self._handlers
+        retval = None
+        prev_opcode = 0
+        while len(frames) > barrier:
+            frame = frames[-1]
+            machine.annot(tags.DISPATCH)
+            machine.exec_mix(_DISPATCH_MIX)
+            opcode = frame.code.ops[frame.pc]
+            # Threaded dispatch (as the RPython translator generates).
+            machine.indirect(0x200 + (prev_opcode << 3), opcode)
+            prev_opcode = opcode
+            if ctx.tracer is not None:
+                if self.driver.trace_dispatch(self, frame) == DEOPTED:
+                    continue
+                if frame is not frames[-1]:
+                    continue
+                opcode = frame.code.ops[frame.pc]
+            retval = handlers[opcode](frame, frame.code.args[frame.pc])
+        return retval
+
+    def _build_handlers(self):
+        table = [None] * bc.N_OPS
+        for name in dir(self):
+            if name.startswith("op_"):
+                opname = name[3:].upper()
+                opnum = getattr(bc, opname, None)
+                if opnum is not None:
+                    table[opnum] = getattr(self, name)
+        missing = [bc.OP_NAMES[i] for i in range(bc.N_OPS)
+                   if table[i] is None]
+        assert not missing, "unimplemented opcodes: %s" % missing
+        self._handlers = table
+
+    # -- constants ---------------------------------------------------------------------
+
+    def wrap_const(self, value):
+        if isinstance(value, (bc.FunctionSpec, bc.ClassSpec)):
+            return value
+        if isinstance(value, bool):
+            return w_True if value else w_False
+        if value is None:
+            return w_None
+        if isinstance(value, int):
+            if INT_MIN <= value <= INT_MAX:
+                w_value = W_Int(value)
+            else:
+                w_value = W_BigInt(BigInt.fromint(value))
+        elif isinstance(value, float):
+            w_value = W_Float(value)
+        elif isinstance(value, str):
+            w_value = W_Str(value)
+        elif isinstance(value, tuple):
+            from repro.interp.objects import LLArray
+
+            items = LLArray([self.wrap_const(v) for v in value])
+            items._addr = self.ctx.gc.allocate_static(16 + 8 * len(value))
+            w_value = W_Tuple(items)
+        else:
+            raise GuestError("unsupported constant %r" % (value,))
+        w_value._addr = self.ctx.gc.allocate_static(w_value._size_)
+        return w_value
+
+    def consts_of(self, code):
+        consts = self._const_cache.get(code)
+        if consts is None:
+            consts = [self.wrap_const(value) for value in code.consts]
+            self._const_cache[code] = consts
+        return consts
+
+    # -- builtins ---------------------------------------------------------------------------
+
+    def builtin_global(self, name):
+        w_builtin = self._builtin_cache.get(name)
+        if w_builtin is None:
+            fn = BUILTIN_FUNCTIONS.get(name)
+            if fn is None:
+                return None
+            w_builtin = W_Builtin(name, fn)
+            w_builtin._addr = self.ctx.gc.allocate_static(W_Builtin._size_)
+            self._builtin_cache[name] = w_builtin
+        return w_builtin
+
+    def builtin_method(self, cls, name):
+        key = (cls, name)
+        w_method = self._method_cache.get(key)
+        if w_method is None:
+            table = TYPE_METHODS.get(cls)
+            if table is None:
+                return None
+            fn = table.get(name)
+            if fn is None:
+                return None
+            w_method = W_Builtin("%s.%s" % (cls.__name__, name), fn)
+            w_method._addr = self.ctx.gc.allocate_static(W_Builtin._size_)
+            self._method_cache[key] = w_method
+        return w_method
+
+    # -- simple stack ops ---------------------------------------------------------------------
+
+    def op_load_const(self, frame, arg):
+        self.llops.stack_push(frame, self.consts_of(frame.code)[arg])
+        frame.pc += 1
+
+    def op_load_fast(self, frame, arg):
+        llops = self.llops
+        w_value = llops.getlocal(frame, arg)
+        llops.stack_push(frame, w_value)
+        frame.pc += 1
+
+    def op_store_fast(self, frame, arg):
+        llops = self.llops
+        llops.setlocal(frame, arg, llops.stack_pop(frame))
+        frame.pc += 1
+
+    def op_load_global(self, frame, arg):
+        name = frame.code.names[arg]
+        w_value = self.global_get(frame.module, name)
+        self.llops.stack_push(frame, w_value)
+        frame.pc += 1
+
+    def op_store_global(self, frame, arg):
+        name = frame.code.names[arg]
+        self.global_set(frame.module, name, self.llops.stack_pop(frame))
+        frame.pc += 1
+
+    def op_pop_top(self, frame, arg):
+        self.llops.stack_pop(frame)
+        frame.pc += 1
+
+    def op_dup_top(self, frame, arg):
+        llops = self.llops
+        llops.stack_push(frame, llops.stack_peek(frame))
+        frame.pc += 1
+
+    def op_dup_top_two(self, frame, arg):
+        llops = self.llops
+        w_b = llops.stack_peek(frame, 0)
+        w_a = llops.stack_peek(frame, 1)
+        llops.stack_push(frame, w_a)
+        llops.stack_push(frame, w_b)
+        frame.pc += 1
+
+    def op_rot_two(self, frame, arg):
+        llops = self.llops
+        w_b = llops.stack_pop(frame)
+        w_a = llops.stack_pop(frame)
+        llops.stack_push(frame, w_b)
+        llops.stack_push(frame, w_a)
+        frame.pc += 1
+
+    def op_rot_three(self, frame, arg):
+        llops = self.llops
+        w_c = llops.stack_pop(frame)
+        w_b = llops.stack_pop(frame)
+        w_a = llops.stack_pop(frame)
+        llops.stack_push(frame, w_c)
+        llops.stack_push(frame, w_a)
+        llops.stack_push(frame, w_b)
+        frame.pc += 1
+
+    def op_unpack_sequence(self, frame, arg):
+        llops = self.llops
+        w_seq = llops.stack_pop(frame)
+        cls = llops.cls_of(w_seq)
+        if cls is W_Tuple:
+            length = self.tuple_len_raw(w_seq)
+            get = self.tuple_getitem_raw
+        elif cls is W_List:
+            length = self.list_len_raw(w_seq)
+            get = self.list_getitem
+        else:
+            raise GuestError("cannot unpack %s" % cls.__name__)
+        if not llops.is_true(llops.int_eq(length, arg)):
+            raise GuestError("unpack length mismatch")
+        for i in range(arg - 1, -1, -1):
+            llops.stack_push(frame, get(w_seq, i))
+        frame.pc += 1
+
+    # -- binary / unary operators --------------------------------------------------------------
+
+    def _binop(method_name):  # noqa: N805 - descriptor factory
+        def handler(self, frame, arg):
+            llops = self.llops
+            w_b = llops.stack_pop(frame)
+            w_a = llops.stack_pop(frame)
+            llops.stack_push(frame, getattr(self, method_name)(w_a, w_b))
+            frame.pc += 1
+        return handler
+
+    op_binary_add = _binop("binary_add")
+    op_binary_sub = _binop("binary_sub")
+    op_binary_mul = _binop("binary_mul")
+    op_binary_floordiv = _binop("binary_floordiv")
+    op_binary_truediv = _binop("binary_truediv")
+    op_binary_mod = _binop("binary_mod")
+    op_binary_pow = _binop("binary_pow")
+    op_binary_and = _binop("binary_and")
+    op_binary_or = _binop("binary_or")
+    op_binary_xor = _binop("binary_xor")
+    op_binary_lshift = _binop("binary_lshift")
+    op_binary_rshift = _binop("binary_rshift")
+
+    def _cmpop(opname):  # noqa: N805
+        def handler(self, frame, arg):
+            llops = self.llops
+            w_b = llops.stack_pop(frame)
+            w_a = llops.stack_pop(frame)
+            llops.stack_push(frame, self.compare(opname, w_a, w_b))
+            frame.pc += 1
+        return handler
+
+    op_compare_lt = _cmpop("lt")
+    op_compare_le = _cmpop("le")
+    op_compare_eq = _cmpop("eq")
+    op_compare_ne = _cmpop("ne")
+    op_compare_gt = _cmpop("gt")
+    op_compare_ge = _cmpop("ge")
+
+    def op_compare_is(self, frame, arg):
+        llops = self.llops
+        w_b = llops.stack_pop(frame)
+        w_a = llops.stack_pop(frame)
+        llops.stack_push(frame, wrap_bool(
+            llops.is_true(llops.ptr_eq(w_a, w_b))))
+        frame.pc += 1
+
+    def op_compare_is_not(self, frame, arg):
+        llops = self.llops
+        w_b = llops.stack_pop(frame)
+        w_a = llops.stack_pop(frame)
+        llops.stack_push(frame, wrap_bool(
+            llops.is_true(llops.ptr_ne(w_a, w_b))))
+        frame.pc += 1
+
+    def op_compare_in(self, frame, arg):
+        llops = self.llops
+        w_container = llops.stack_pop(frame)
+        w_item = llops.stack_pop(frame)
+        llops.stack_push(frame, wrap_bool(
+            self.contains(w_item, w_container)))
+        frame.pc += 1
+
+    def op_compare_not_in(self, frame, arg):
+        llops = self.llops
+        w_container = llops.stack_pop(frame)
+        w_item = llops.stack_pop(frame)
+        llops.stack_push(frame, wrap_bool(
+            not self.contains(w_item, w_container)))
+        frame.pc += 1
+
+    def op_unary_neg(self, frame, arg):
+        llops = self.llops
+        llops.stack_push(frame, self.unary_neg(llops.stack_pop(frame)))
+        frame.pc += 1
+
+    def op_unary_not(self, frame, arg):
+        llops = self.llops
+        llops.stack_push(frame, wrap_bool(
+            not self.is_true_w(llops.stack_pop(frame))))
+        frame.pc += 1
+
+    def op_unary_invert(self, frame, arg):
+        llops = self.llops
+        llops.stack_push(frame, self.unary_invert(llops.stack_pop(frame)))
+        frame.pc += 1
+
+    # -- attributes and subscripts -----------------------------------------------------------------
+
+    def op_load_attr(self, frame, arg):
+        llops = self.llops
+        w_obj = llops.stack_pop(frame)
+        name = frame.code.names[arg]
+        llops.stack_push(frame, self.getattr_w(w_obj, name))
+        frame.pc += 1
+
+    def op_store_attr(self, frame, arg):
+        llops = self.llops
+        w_obj = llops.stack_pop(frame)
+        w_value = llops.stack_pop(frame)
+        self.setattr_w(w_obj, frame.code.names[arg], w_value)
+        frame.pc += 1
+
+    def op_binary_subscr(self, frame, arg):
+        llops = self.llops
+        w_index = llops.stack_pop(frame)
+        w_obj = llops.stack_pop(frame)
+        llops.stack_push(frame, self.getitem(w_obj, w_index))
+        frame.pc += 1
+
+    def op_store_subscr(self, frame, arg):
+        llops = self.llops
+        w_index = llops.stack_pop(frame)
+        w_obj = llops.stack_pop(frame)
+        w_value = llops.stack_pop(frame)
+        self.setitem(w_obj, w_index, w_value)
+        frame.pc += 1
+
+    def op_delete_subscr(self, frame, arg):
+        llops = self.llops
+        w_index = llops.stack_pop(frame)
+        w_obj = llops.stack_pop(frame)
+        self.delitem(w_obj, w_index)
+        frame.pc += 1
+
+    # -- control flow --------------------------------------------------------------------------------
+
+    def op_jump(self, frame, arg):
+        backward = arg <= frame.pc
+        frame.pc = arg
+        if backward:
+            self.driver.loop_header(self, frame)
+
+    def _cond_branch(self, frame, truthy):
+        pc_id = (id(frame.code) >> 4 ^ frame.pc * 31) & 0xFFFFF
+        self.ctx.machine.branch(pc_id, truthy)
+
+    def op_pop_jump_if_false(self, frame, arg):
+        truthy = self.is_true_w(self.llops.stack_pop(frame))
+        self._cond_branch(frame, truthy)
+        if truthy:
+            frame.pc += 1
+        else:
+            backward = arg <= frame.pc
+            frame.pc = arg
+            if backward:
+                self.driver.loop_header(self, frame)
+
+    def op_pop_jump_if_true(self, frame, arg):
+        truthy = self.is_true_w(self.llops.stack_pop(frame))
+        self._cond_branch(frame, truthy)
+        if truthy:
+            backward = arg <= frame.pc
+            frame.pc = arg
+            if backward:
+                self.driver.loop_header(self, frame)
+        else:
+            frame.pc += 1
+
+    def op_jump_if_false_or_pop(self, frame, arg):
+        llops = self.llops
+        w_value = llops.stack_peek(frame)
+        if self.is_true_w(w_value):
+            llops.stack_pop(frame)
+            frame.pc += 1
+        else:
+            frame.pc = arg
+
+    def op_jump_if_true_or_pop(self, frame, arg):
+        llops = self.llops
+        w_value = llops.stack_peek(frame)
+        if self.is_true_w(w_value):
+            frame.pc = arg
+        else:
+            llops.stack_pop(frame)
+            frame.pc += 1
+
+    def op_get_iter(self, frame, arg):
+        llops = self.llops
+        llops.stack_push(frame, self.get_iter(llops.stack_pop(frame)))
+        frame.pc += 1
+
+    def op_for_iter(self, frame, arg):
+        llops = self.llops
+        w_iter = llops.stack_peek(frame)
+        w_item = self.iter_next(w_iter)
+        self._cond_branch(frame, w_item is not None)
+        if w_item is None:
+            llops.stack_pop(frame)
+            frame.pc = arg
+        else:
+            llops.stack_push(frame, w_item)
+            frame.pc += 1
+
+    # -- construction ----------------------------------------------------------------------------------
+
+    def op_build_list(self, frame, arg):
+        llops = self.llops
+        values_w = [llops.stack_pop(frame) for _ in range(arg)]
+        values_w.reverse()
+        llops.stack_push(frame, self.new_list(values_w))
+        frame.pc += 1
+
+    def op_build_tuple(self, frame, arg):
+        llops = self.llops
+        values_w = [llops.stack_pop(frame) for _ in range(arg)]
+        values_w.reverse()
+        llops.stack_push(frame, self.new_tuple(values_w))
+        frame.pc += 1
+
+    def op_build_map(self, frame, arg):
+        llops = self.llops
+        pairs = []
+        for _ in range(arg):
+            w_value = llops.stack_pop(frame)
+            w_key = llops.stack_pop(frame)
+            pairs.append((w_key, w_value))
+        pairs.reverse()
+        llops.stack_push(frame, self.new_dict(pairs))
+        frame.pc += 1
+
+    def op_build_set(self, frame, arg):
+        llops = self.llops
+        values_w = [llops.stack_pop(frame) for _ in range(arg)]
+        values_w.reverse()
+        llops.stack_push(frame, self.new_set(values_w))
+        frame.pc += 1
+
+    def op_build_slice(self, frame, arg):
+        llops = self.llops
+        w_stop = llops.stack_pop(frame)
+        w_start = llops.stack_pop(frame)
+        llops.stack_push(frame, llops.new(
+            W_Slice, w_start=w_start, w_stop=w_stop, w_step=w_None))
+        frame.pc += 1
+
+    def op_list_append(self, frame, arg):
+        llops = self.llops
+        w_value = llops.stack_pop(frame)
+        w_list = llops.stack_pop(frame)
+        self.list_append(w_list, w_value)
+        frame.pc += 1
+
+    # -- functions, classes, calls ------------------------------------------------------------------------
+
+    def op_make_function(self, frame, arg):
+        llops = self.llops
+        spec = llops.stack_pop(frame)
+        from repro.interp.objects import concrete
+
+        spec = concrete(spec)
+        defaults_w = [llops.stack_pop(frame) for _ in range(arg)]
+        defaults_w.reverse()
+        w_func = W_Function(spec.code, frame.module, defaults_w)
+        w_func._addr = self.ctx.gc.allocate(W_Function._size_, obj=w_func)
+        spec.code.module = frame.module
+        self.ctx.charge(insns.mix(alu=4, store=3))
+        llops.stack_push(frame, w_func)
+        frame.pc += 1
+
+    def op_make_class(self, frame, arg):
+        spec = frame.code.consts[arg]
+        w_class = self.make_class(spec, frame.module)
+        for _name, code, _defaults in spec.methods:
+            code.module = frame.module
+        self.llops.stack_push(frame, w_class)
+        frame.pc += 1
+
+    def op_call_function(self, frame, arg):
+        llops = self.llops
+        args_w = [llops.stack_pop(frame) for _ in range(arg)]
+        args_w.reverse()
+        w_callee = llops.stack_pop(frame)
+        frame.pc += 1
+        self.call_function(frame, w_callee, args_w)
+
+    def call_function(self, frame, w_callee, args_w):
+        """Dispatch a call; may push a new guest frame."""
+        llops = self.llops
+        cls = llops.cls_of(w_callee)
+        if cls is W_BoundMethod:
+            w_func = llops.getfield(w_callee, "w_func")
+            w_self = llops.getfield(w_callee, "w_self")
+            self.call_function(frame, w_func, [w_self] + args_w)
+            return
+        if cls is W_Function:
+            w_callee = llops.promote(w_callee)
+            self.push_call_frame(w_callee, args_w, frame.module)
+            return
+        if cls is W_Builtin:
+            w_callee = llops.promote(w_callee)
+            self.ctx.charge(insns.mix(alu=4, store=2, load=2))
+            w_result = w_callee.fn(self, args_w)
+            llops.stack_push(frame, w_result)
+            return
+        if cls is W_Class:
+            w_class = llops.promote(w_callee)
+            w_instance = self.instantiate(w_class)
+            w_init = self.class_lookup(w_class, "__init__")
+            if w_init is None:
+                if args_w:
+                    raise GuestError("%s() takes no arguments"
+                                     % w_class.name)
+                llops.stack_push(frame, w_instance)
+                return
+            llops.stack_push(frame, w_instance)
+            self.push_call_frame(w_init, [w_instance] + args_w,
+                                 frame.module, discard_return=True)
+            return
+        raise GuestError("object is not callable")
+
+    def push_call_frame(self, w_func, args_w, caller_module,
+                        discard_return=False):
+        code = w_func.code
+        n_args = len(args_w)
+        if n_args != code.argcount:
+            n_missing = code.argcount - n_args
+            defaults = w_func.defaults
+            if n_missing < 0 or n_missing > len(defaults):
+                raise GuestError(
+                    "%s() takes %d arguments (%d given)"
+                    % (code.name, code.argcount, n_args))
+            args_w = args_w + defaults[len(defaults) - n_missing:]
+        locals_values = args_w + [w_None] * (code.n_locals - code.argcount)
+        self.ctx.charge(insns.mix(alu=6, store=4, load=3))
+        self.ctx.gc.allocate(_FRAME_SIZE)
+        new_frame = PyFrame(code, 0, locals_values, [], w_func.module,
+                            discard_return)
+        self.frames.append(new_frame)
+
+    def op_return_value(self, frame, arg):
+        llops = self.llops
+        w_result = llops.stack_pop(frame)
+        discard = frame.discard_return
+        self.frames.pop()
+        self.ctx.charge(insns.mix(alu=3, load=2))
+        if self.frames and not discard:
+            llops.stack_push(self.frames[-1], w_result)
+        return w_result

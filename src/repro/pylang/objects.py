@@ -1,0 +1,315 @@
+"""TinyPy object model (the RPython-interpreter side).
+
+Mirrors PyPy's object-space design in miniature:
+
+* immutable boxed primitives (``W_Int``, ``W_Float``, ``W_Str``) with
+  ``_immutable_fields_`` so trace loads fold/CSE,
+* automatic overflow to ``W_BigInt`` (rbigint-backed),
+* lists with *strategies* (int-specialized vs. generic object storage),
+* map-based instances (PyPy's mapdict): attribute names live in shared
+  :class:`Shape` objects; instances carry a flat slots array, so traced
+  attribute access is promote(shape) + constant-index array load,
+* version-tagged classes and module dicts (PyPy's celldict), making
+  method/global lookup an elidable call that constant-folds in traces.
+"""
+
+from repro.interp.objects import W_Root
+
+
+class W_None(W_Root):
+    _size_ = 16
+
+    def __repr__(self):
+        return "w_None"
+
+
+w_None = W_None()
+
+
+class W_Int(W_Root):
+    _immutable_fields_ = ("intval",)
+    _size_ = 16
+
+    def __init__(self, intval):
+        self.intval = intval
+
+    def __repr__(self):
+        return "W_Int(%d)" % self.intval
+
+
+class W_Bool(W_Int):
+    _size_ = 16
+
+
+w_True = W_Bool(1)
+w_False = W_Bool(0)
+
+
+def wrap_bool(flag):
+    return w_True if flag else w_False
+
+
+class W_BigInt(W_Root):
+    """Arbitrary-precision integer backed by rlib.rbigint."""
+
+    _immutable_fields_ = ("bigval",)
+    _size_ = 32
+
+    def __init__(self, bigval):
+        self.bigval = bigval  # a rlib.rbigint.BigInt
+
+    def __repr__(self):
+        return "W_BigInt(%r)" % self.bigval
+
+
+class W_Float(W_Root):
+    _immutable_fields_ = ("floatval",)
+    _size_ = 16
+
+    def __init__(self, floatval):
+        self.floatval = floatval
+
+    def __repr__(self):
+        return "W_Float(%r)" % self.floatval
+
+
+class W_Str(W_Root):
+    _immutable_fields_ = ("strval",)
+    _size_ = 24
+
+    def __init__(self, strval):
+        self.strval = strval
+
+    def __repr__(self):
+        return "W_Str(%r)" % self.strval
+
+
+# -- lists with strategies ---------------------------------------------------------
+
+STRATEGY_EMPTY = "empty"
+STRATEGY_INT = "int"       # storage holds raw machine ints
+STRATEGY_OBJECT = "object"  # storage holds W_ references
+
+
+class W_List(W_Root):
+    _size_ = 32
+
+    def __init__(self, strategy, storage):
+        self.strategy = strategy
+        self.storage = storage  # LLArray; .items is the resizable payload
+
+    def __repr__(self):
+        return "W_List(%s, n=%d)" % (self.strategy, len(self.storage.items))
+
+
+class W_Tuple(W_Root):
+    _immutable_fields_ = ("items",)
+    _size_ = 32
+
+    def __init__(self, items):
+        self.items = items  # LLArray of W_ values (fixed)
+
+
+class W_Dict(W_Root):
+    _size_ = 32
+
+    def __init__(self, rdict):
+        self.rdict = rdict  # RDict keyed by raw str/int or W_ identity
+
+
+class W_Set(W_Root):
+    _size_ = 32
+
+    def __init__(self, rdict):
+        self.rdict = rdict  # keys only; values are w_None
+
+
+class W_Slice(W_Root):
+    _immutable_fields_ = ("w_start", "w_stop", "w_step")
+    _size_ = 32
+
+    def __init__(self, w_start, w_stop, w_step):
+        self.w_start = w_start
+        self.w_stop = w_stop
+        self.w_step = w_step
+
+
+# -- functions, classes, instances ----------------------------------------------------
+
+
+class W_Function(W_Root):
+    _immutable_fields_ = ("code", "module", "defaults")
+    _size_ = 48
+
+    def __init__(self, code, module, defaults):
+        self.code = code
+        self.module = module
+        self.defaults = defaults  # list of W_ values (tail-aligned)
+
+    def __repr__(self):
+        return "W_Function(%s)" % self.code.name
+
+
+class W_Builtin(W_Root):
+    _immutable_fields_ = ("name", "fn")
+    _size_ = 32
+
+    def __init__(self, name, fn):
+        self.name = name
+        self.fn = fn  # fn(interp, args_w) -> w_result
+
+    def __repr__(self):
+        return "W_Builtin(%s)" % self.name
+
+
+class W_BoundMethod(W_Root):
+    """A method bound to its receiver (virtualized away in traces)."""
+
+    _immutable_fields_ = ("w_self", "w_func")
+    _size_ = 24
+
+    def __init__(self, w_self, w_func):
+        self.w_self = w_self
+        self.w_func = w_func
+
+
+class VersionTag(object):
+    """Identity token; replaced whenever a versioned dict mutates."""
+
+    __slots__ = ()
+
+
+class W_Class(W_Root):
+    _size_ = 96
+
+    def __init__(self, name, w_base):
+        self.name = name
+        self.w_base = w_base
+        # VM-internal method table (PyPy: a specialized version-tagged
+        # dict); lookups are elidable under a promoted version tag, so a
+        # plain host dict carries the mechanics while costs are charged
+        # explicitly at the call sites.
+        self.methods = {}  # raw str -> W_ value
+        self.version = VersionTag()
+        self.shape = Shape(self)  # root shape for instances
+
+    def __repr__(self):
+        return "W_Class(%s)" % self.name
+
+
+class Shape(object):
+    """A mapdict shape: attribute name -> slot index, with transitions."""
+
+    __slots__ = ("w_class", "slots", "transitions")
+
+    def __init__(self, w_class, slots=()):
+        self.w_class = w_class
+        self.slots = slots  # tuple of attribute names in slot order
+        self.transitions = {}
+
+    def lookup(self, name):
+        """Slot index for name, or -1 (elidable: shapes are immutable)."""
+        try:
+            return self.slots.index(name)
+        except ValueError:
+            return -1
+
+    def transition(self, name):
+        new_shape = self.transitions.get(name)
+        if new_shape is None:
+            new_shape = Shape(self.w_class, self.slots + (name,))
+            self.transitions[name] = new_shape
+        return new_shape
+
+    def __repr__(self):
+        return "<Shape %s %r>" % (self.w_class.name, self.slots)
+
+
+class W_Instance(W_Root):
+    _size_ = 40
+
+    def __init__(self, shape, slots):
+        self.shape = shape
+        self.slots = slots  # LLArray of W_ values, parallel to shape.slots
+
+    def __repr__(self):
+        return "W_Instance(%s)" % self.shape.w_class.name
+
+
+class Cell(W_Root):
+    """A module-dict cell (PyPy's celldict): holds one global's value."""
+
+    _size_ = 16
+
+    def __init__(self, w_value):
+        self.w_value = w_value
+
+
+class W_Module(W_Root):
+    _size_ = 64
+
+    def __init__(self, name):
+        self.name = name
+        # Celldict: name -> Cell (a VM-internal versioned table).
+        self.cells = {}
+        self.version = VersionTag()
+
+    def __repr__(self):
+        return "W_Module(%s)" % self.name
+
+
+# -- iterators --------------------------------------------------------------------------
+
+
+class W_ListIter(W_Root):
+    _size_ = 24
+
+    def __init__(self, w_list):
+        self.w_list = w_list
+        self.index = 0
+
+
+class W_TupleIter(W_Root):
+    _size_ = 24
+
+    def __init__(self, w_tuple):
+        self.w_tuple = w_tuple
+        self.index = 0
+
+
+class W_StrIter(W_Root):
+    _size_ = 24
+
+    def __init__(self, w_str):
+        self.w_str = w_str
+        self.index = 0
+
+
+class W_Range(W_Root):
+    _immutable_fields_ = ("start", "stop", "step")
+    _size_ = 32
+
+    def __init__(self, start, stop, step):
+        self.start = start
+        self.stop = stop
+        self.step = step
+
+
+class W_RangeIter(W_Root):
+    _size_ = 32
+
+    def __init__(self, current, stop, step):
+        self.current = current
+        self.stop = stop
+        self.step = step
+
+
+class W_DictIter(W_Root):
+    """Iterates a snapshot of keys (or items) of a dict."""
+
+    _size_ = 32
+
+    def __init__(self, items, mode):
+        self.items = items  # raw list of (key, w_value)
+        self.index = 0
+        self.mode = mode  # "keys" | "values" | "items"

@@ -1,0 +1,602 @@
+"""TinyPy operator semantics, written against LLOps.
+
+Every function takes the VM (for llops access) and boxed operands, and
+performs class dispatch through ``cls_of`` promotion guards — so in
+traces these become guard_class + unboxed arithmetic, with residual
+calls into rlib for bignum/string/list/dict heavy lifting, exactly
+mirroring PyPy's object space.
+"""
+
+from repro.core.errors import GuestError
+from repro.interp.aot import aot
+from repro.isa import insns
+from repro.jit.semantics import LLOverflow
+from repro.pylang.objects import (
+    W_BigInt,
+    W_Bool,
+    W_Dict,
+    W_Float,
+    W_Int,
+    W_List,
+    W_None,
+    W_Set,
+    W_Str,
+    W_Tuple,
+    wrap_bool,
+)
+from repro.rlib import cmath, rbigint, rstr
+from repro.rlib.costutil import charge_loop
+from repro.rlib.rbigint import BigInt
+
+_INTISH = (W_Int, W_Bool)
+
+
+def is_intish(cls):
+    return cls is W_Int or cls is W_Bool
+
+
+@aot("W_IntObject.pow", "I", "pure")
+def int_pow(ctx, base, exponent):
+    """Integer power; returns a machine int or a BigInt on overflow."""
+    if exponent < 0:
+        raise GuestError("negative int power unsupported")
+    charge_loop(ctx, max(1, exponent.bit_length() * 2),
+                insns.mix(mul=1, alu=3))
+    result = BigInt.fromint(1)
+    big_base = BigInt.fromint(base)
+    e = exponent
+    while e:
+        if e & 1:
+            result = rbigint._make(
+                result.sign * big_base.sign,
+                rbigint._mul_abs(result.digits, big_base.digits))
+        e >>= 1
+        if e:
+            big_base = rbigint._make(
+                1, rbigint._mul_abs(big_base.digits, big_base.digits))
+    return result
+
+
+@aot("format.mod", "M", "pure")
+def str_format_mod(ctx, template, values):
+    """A C-style %-formatting engine ('%d', '%s', '%f', '%x', '%%')."""
+    charge_loop(ctx, max(1, len(template)), insns.mix(alu=3, load=2, store=1))
+    out = []
+    i = 0
+    value_index = 0
+    n = len(template)
+    while i < n:
+        char = template[i]
+        if char != "%":
+            out.append(char)
+            i += 1
+            continue
+        i += 1
+        if i >= n:
+            raise GuestError("bad format string")
+        spec = template[i]
+        # Minimal width/precision support: %5d, %.2f etc.
+        width = ""
+        while spec in "0123456789.-":
+            width += spec
+            i += 1
+            spec = template[i]
+        i += 1
+        if spec == "%":
+            out.append("%")
+            continue
+        value = values[value_index]
+        value_index += 1
+        out.append(("%" + width + spec) % value)
+    return "".join(out)
+
+
+@aot("rbigint.fromint", "L", "pure")
+def _big_fromint(ctx, value):
+    ctx.charge(insns.mix(alu=6, store=2))
+    return BigInt.fromint(value)
+
+
+@aot("rbigint.fits_int", "L", "pure")
+def _big_fits(ctx, big):
+    ctx.charge(insns.mix(alu=4, load=2))
+    return big.fits_int()
+
+
+@aot("rbigint.toint", "L", "pure")
+def _big_toint(ctx, big):
+    ctx.charge(insns.mix(alu=4, load=2))
+    return big.toint()
+
+
+@aot("rbigint.is_zero", "L", "pure")
+def _big_is_zero(ctx, big):
+    ctx.charge(insns.mix(alu=1, load=1))
+    return big.sign == 0
+
+
+@aot("floor", "C", "pure")
+def _c_floor(ctx, value):
+    import math
+
+    ctx.charge(insns.mix(fpu=3, alu=2))
+    return math.floor(value) * 1.0
+
+
+@aot("fmod", "C", "pure")
+def _c_fmod(ctx, a, b):
+    import math
+
+    ctx.charge(insns.mix(fpu=8, alu=3))
+    if b == 0.0:
+        raise GuestError("float modulo by zero")
+    return math.fmod(a, b)
+
+
+@aot("rstr.ll_strcmp", "R", "pure")
+def _str_cmp(ctx, a, b):
+    charge_loop(ctx, max(1, min(len(a), len(b))), insns.mix(alu=2, load=2))
+    if a < b:
+        return -1
+    if a > b:
+        return 1
+    return 0
+
+
+class GuestTypeError(GuestError):
+    pass
+
+
+class OpsMixin(object):
+    """Operator implementations, mixed into the TinyPy VM.
+
+    Requires ``self.llops``, ``self.ctx`` and the VM-level helpers
+    (``str_of``, ``call_function``) to be available.
+    """
+
+    # -- unwrapping helpers ----------------------------------------------------
+
+    def int_val(self, w_obj):
+        return self.llops.getfield(w_obj, "intval")
+
+    def float_val(self, w_obj):
+        return self.llops.getfield(w_obj, "floatval")
+
+    def str_val(self, w_obj):
+        return self.llops.getfield(w_obj, "strval")
+
+    def big_val(self, w_obj):
+        return self.llops.getfield(w_obj, "bigval")
+
+    def wrap_int(self, value):
+        return self.llops.new(W_Int, intval=value)
+
+    def wrap_float(self, value):
+        return self.llops.new(W_Float, floatval=value)
+
+    def wrap_str(self, value):
+        return self.llops.new(W_Str, strval=value)
+
+    def wrap_big(self, bigval):
+        """Box a BigInt, normalizing back to W_Int when it fits."""
+        llops = self.llops
+        fits = llops.residual_call(_big_fits, bigval)
+        if llops.is_true(fits):
+            return self.wrap_int(llops.residual_call(_big_toint, bigval))
+        return llops.new(W_BigInt, bigval=bigval)
+
+    def to_big(self, w_obj, cls):
+        """BigInt payload of an int-like box."""
+        llops = self.llops
+        if is_intish(cls):
+            return llops.residual_call(_big_fromint, self.int_val(w_obj))
+        return self.big_val(w_obj)
+
+    def type_error(self, operation, cls_a, cls_b=None):
+        names = cls_a.__name__ if cls_b is None else "%s, %s" % (
+            cls_a.__name__, cls_b.__name__)
+        raise GuestTypeError("unsupported operand type(s) for %s: %s"
+                             % (operation, names))
+
+    # -- arithmetic --------------------------------------------------------------
+
+    def binary_add(self, w_a, w_b):
+        llops = self.llops
+        cls_a = llops.cls_of(w_a)
+        cls_b = llops.cls_of(w_b)
+        if is_intish(cls_a):
+            if is_intish(cls_b):
+                a = self.int_val(w_a)
+                b = self.int_val(w_b)
+                try:
+                    return self.wrap_int(llops.int_add_ovf(a, b))
+                except LLOverflow:
+                    return self._big_arith(rbigint.big_add, w_a, w_b,
+                                           cls_a, cls_b)
+            if cls_b is W_Float:
+                return self.wrap_float(llops.float_add(
+                    llops.cast_int_to_float(self.int_val(w_a)),
+                    self.float_val(w_b)))
+            if cls_b is W_BigInt:
+                return self._big_arith(rbigint.big_add, w_a, w_b,
+                                       cls_a, cls_b)
+        elif cls_a is W_Float:
+            if cls_b is W_Float:
+                return self.wrap_float(llops.float_add(
+                    self.float_val(w_a), self.float_val(w_b)))
+            if is_intish(cls_b):
+                return self.wrap_float(llops.float_add(
+                    self.float_val(w_a),
+                    llops.cast_int_to_float(self.int_val(w_b))))
+        elif cls_a is W_Str:
+            if cls_b is W_Str:
+                return self.wrap_str(llops.unicode_concat(
+                    self.str_val(w_a), self.str_val(w_b)))
+        elif cls_a is W_BigInt:
+            if is_intish(cls_b) or cls_b is W_BigInt:
+                return self._big_arith(rbigint.big_add, w_a, w_b,
+                                       cls_a, cls_b)
+        elif cls_a is W_List and cls_b is W_List:
+            return self.list_concat(w_a, w_b)
+        elif cls_a is W_Tuple and cls_b is W_Tuple:
+            return self.tuple_concat(w_a, w_b)
+        self.type_error("+", cls_a, cls_b)
+
+    def _big_arith(self, big_fn, w_a, w_b, cls_a, cls_b):
+        llops = self.llops
+        big_a = self.to_big(w_a, cls_a)
+        big_b = self.to_big(w_b, cls_b)
+        return self.wrap_big(llops.residual_call(big_fn, big_a, big_b))
+
+    def binary_sub(self, w_a, w_b):
+        llops = self.llops
+        cls_a = llops.cls_of(w_a)
+        cls_b = llops.cls_of(w_b)
+        if cls_a is W_Set and cls_b is W_Set:
+            return self.set_binop("-", w_a, w_b)
+        if is_intish(cls_a) and is_intish(cls_b):
+            try:
+                return self.wrap_int(llops.int_sub_ovf(
+                    self.int_val(w_a), self.int_val(w_b)))
+            except LLOverflow:
+                return self._big_arith(rbigint.big_sub, w_a, w_b,
+                                       cls_a, cls_b)
+        return self._float_or_big(
+            "-", llops.float_sub, rbigint.big_sub, w_a, w_b, cls_a, cls_b)
+
+    def binary_mul(self, w_a, w_b):
+        llops = self.llops
+        cls_a = llops.cls_of(w_a)
+        cls_b = llops.cls_of(w_b)
+        if is_intish(cls_a) and is_intish(cls_b):
+            try:
+                return self.wrap_int(llops.int_mul_ovf(
+                    self.int_val(w_a), self.int_val(w_b)))
+            except LLOverflow:
+                return self._big_arith(rbigint.big_mul, w_a, w_b,
+                                       cls_a, cls_b)
+        if cls_a is W_Str and is_intish(cls_b):
+            return self.wrap_str(llops.residual_call(
+                rstr.ll_mul, self.str_val(w_a), self.int_val(w_b)))
+        if cls_a is W_List and is_intish(cls_b):
+            return self.list_repeat(w_a, w_b)
+        return self._float_or_big(
+            "*", llops.float_mul, rbigint.big_mul, w_a, w_b, cls_a, cls_b)
+
+    def _float_or_big(self, symbol, float_op, big_fn, w_a, w_b,
+                      cls_a, cls_b):
+        llops = self.llops
+        if cls_a is W_Float or cls_b is W_Float:
+            return self.wrap_float(float_op(
+                self.as_float(w_a, cls_a), self.as_float(w_b, cls_b)))
+        if (cls_a is W_BigInt or cls_b is W_BigInt) and \
+                (is_intish(cls_a) or cls_a is W_BigInt) and \
+                (is_intish(cls_b) or cls_b is W_BigInt):
+            return self._big_arith(big_fn, w_a, w_b, cls_a, cls_b)
+        self.type_error(symbol, cls_a, cls_b)
+
+    def as_float(self, w_obj, cls):
+        llops = self.llops
+        if cls is W_Float:
+            return self.float_val(w_obj)
+        if is_intish(cls):
+            return llops.cast_int_to_float(self.int_val(w_obj))
+        self.type_error("float", cls)
+
+    def binary_floordiv(self, w_a, w_b):
+        llops = self.llops
+        cls_a = llops.cls_of(w_a)
+        cls_b = llops.cls_of(w_b)
+        if is_intish(cls_a) and is_intish(cls_b):
+            b = self.int_val(w_b)
+            if llops.is_true(llops.int_is_true(b)):
+                a = self.int_val(w_a)
+                # Python floor semantics from C-style division.
+                q = llops.int_floordiv(a, b)
+                r = llops.int_sub(a, llops.int_mul(q, b))
+                neg = llops.int_ne(r, 0)
+                if llops.is_true(neg):
+                    sign_differs = llops.int_lt(llops.int_xor(a, b), 0)
+                    if llops.is_true(sign_differs):
+                        q = llops.int_sub(q, 1)
+                return self.wrap_int(q)
+            raise GuestError("integer division by zero")
+        if cls_a is W_Float or cls_b is W_Float:
+            a = self.as_float(w_a, cls_a)
+            b = self.as_float(w_b, cls_b)
+            quotient = llops.float_truediv(a, b)
+            return self.wrap_float(llops.residual_call(_c_floor, quotient))
+        if cls_a is W_BigInt or cls_b is W_BigInt:
+            return self._big_arith(rbigint.big_floordiv, w_a, w_b,
+                                   cls_a, cls_b)
+        self.type_error("//", cls_a, cls_b)
+
+    def binary_mod(self, w_a, w_b):
+        llops = self.llops
+        cls_a = llops.cls_of(w_a)
+        cls_b = llops.cls_of(w_b)
+        if is_intish(cls_a) and is_intish(cls_b):
+            b = self.int_val(w_b)
+            if llops.is_true(llops.int_is_true(b)):
+                a = self.int_val(w_a)
+                r = llops.int_mod(a, b)
+                nonzero = llops.int_ne(r, 0)
+                if llops.is_true(nonzero):
+                    sign_differs = llops.int_lt(llops.int_xor(a, b), 0)
+                    if llops.is_true(sign_differs):
+                        r = llops.int_add(r, b)
+                return self.wrap_int(r)
+            raise GuestError("integer modulo by zero")
+        if cls_a is W_Str:
+            return self.str_mod(w_a, w_b)
+        if cls_a is W_Float or cls_b is W_Float:
+            a = self.as_float(w_a, cls_a)
+            b = self.as_float(w_b, cls_b)
+            return self.wrap_float(llops.residual_call(_c_fmod, a, b))
+        if cls_a is W_BigInt or cls_b is W_BigInt:
+            return self._big_arith(rbigint.big_mod, w_a, w_b, cls_a, cls_b)
+        self.type_error("%", cls_a, cls_b)
+
+    def binary_truediv(self, w_a, w_b):
+        llops = self.llops
+        cls_a = llops.cls_of(w_a)
+        cls_b = llops.cls_of(w_b)
+        a = self.as_float(w_a, cls_a)
+        b = self.as_float(w_b, cls_b)
+        zero = llops.float_eq(b, 0.0)
+        if llops.is_true(zero):
+            raise GuestError("division by zero")
+        return self.wrap_float(llops.float_truediv(a, b))
+
+    def binary_pow(self, w_a, w_b):
+        llops = self.llops
+        cls_a = llops.cls_of(w_a)
+        cls_b = llops.cls_of(w_b)
+        if is_intish(cls_a) and is_intish(cls_b):
+            result = llops.residual_call(
+                int_pow, self.int_val(w_a), self.int_val(w_b))
+            return self.wrap_big(result)
+        a = self.as_float(w_a, cls_a)
+        b = self.as_float(w_b, cls_b)
+        return self.wrap_float(llops.residual_call(cmath.c_pow, a, b))
+
+    def _int_bitop(self, symbol, ll_op, w_a, w_b):
+        llops = self.llops
+        cls_a = llops.cls_of(w_a)
+        cls_b = llops.cls_of(w_b)
+        if is_intish(cls_a) and is_intish(cls_b):
+            return self.wrap_int(ll_op(self.int_val(w_a), self.int_val(w_b)))
+        if cls_a is W_Set and cls_b is W_Set:
+            return self.set_binop(symbol, w_a, w_b)
+        if cls_a is W_BigInt or cls_b is W_BigInt:
+            if symbol == "<<" and is_intish(cls_b):
+                big_a = self.to_big(w_a, cls_a)
+                return self.wrap_big(llops.residual_call(
+                    rbigint.big_lshift, big_a, self.int_val(w_b)))
+            if symbol == ">>" and is_intish(cls_b):
+                big_a = self.to_big(w_a, cls_a)
+                return self.wrap_big(llops.residual_call(
+                    rbigint.big_rshift, big_a, self.int_val(w_b)))
+        self.type_error(symbol, cls_a, cls_b)
+
+    def binary_and(self, w_a, w_b):
+        return self._int_bitop("&", self.llops.int_and, w_a, w_b)
+
+    def binary_or(self, w_a, w_b):
+        return self._int_bitop("|", self.llops.int_or, w_a, w_b)
+
+    def binary_xor(self, w_a, w_b):
+        return self._int_bitop("^", self.llops.int_xor, w_a, w_b)
+
+    def binary_lshift(self, w_a, w_b):
+        llops = self.llops
+        cls_a = llops.cls_of(w_a)
+        cls_b = llops.cls_of(w_b)
+        if is_intish(cls_a) and is_intish(cls_b):
+            a = self.int_val(w_a)
+            b = self.int_val(w_b)
+            # Overflow-checked shift: a << b == a * 2^b.
+            small = llops.int_lt(b, 40)
+            if llops.is_true(small):
+                try:
+                    return self.wrap_int(llops.int_mul_ovf(
+                        a, llops.int_lshift(1, b)))
+                except LLOverflow:
+                    pass
+            big_a = llops.residual_call(_big_fromint, a)
+            return self.wrap_big(llops.residual_call(
+                rbigint.big_lshift, big_a, b))
+        return self._int_bitop("<<", None, w_a, w_b)
+
+    def binary_rshift(self, w_a, w_b):
+        llops = self.llops
+        cls_a = llops.cls_of(w_a)
+        cls_b = llops.cls_of(w_b)
+        if is_intish(cls_a) and is_intish(cls_b):
+            return self.wrap_int(llops.int_rshift(
+                self.int_val(w_a), self.int_val(w_b)))
+        return self._int_bitop(">>", None, w_a, w_b)
+
+    def unary_neg(self, w_a):
+        llops = self.llops
+        cls_a = llops.cls_of(w_a)
+        if is_intish(cls_a):
+            try:
+                return self.wrap_int(llops.int_sub_ovf(0, self.int_val(w_a)))
+            except LLOverflow:
+                big = llops.residual_call(_big_fromint, self.int_val(w_a))
+                return self.wrap_big(llops.residual_call(rbigint.big_neg, big))
+        if cls_a is W_Float:
+            return self.wrap_float(llops.float_neg(self.float_val(w_a)))
+        if cls_a is W_BigInt:
+            return self.wrap_big(llops.residual_call(
+                rbigint.big_neg, self.big_val(w_a)))
+        self.type_error("-", cls_a)
+
+    def unary_invert(self, w_a):
+        llops = self.llops
+        cls_a = llops.cls_of(w_a)
+        if is_intish(cls_a):
+            return self.wrap_int(llops.int_invert(self.int_val(w_a)))
+        self.type_error("~", cls_a)
+
+    # -- truth and comparison -------------------------------------------------------
+
+    def is_true_w(self, w_obj):
+        """Guest truthiness as a raw bool (guards recorded)."""
+        llops = self.llops
+        cls = llops.cls_of(w_obj)
+        if is_intish(cls):
+            return llops.is_true(llops.int_is_true(self.int_val(w_obj)))
+        if cls is W_None:
+            return False
+        if cls is W_Float:
+            return llops.is_true(llops.float_ne(self.float_val(w_obj), 0.0))
+        if cls is W_Str:
+            return llops.is_true(llops.int_is_true(
+                llops.unicodelen(self.str_val(w_obj))))
+        if cls is W_List:
+            storage = llops.getfield(w_obj, "storage")
+            return llops.is_true(llops.int_is_true(llops.arraylen(storage)))
+        if cls is W_Tuple:
+            items = llops.getfield(w_obj, "items")
+            return llops.is_true(llops.int_is_true(llops.arraylen(items)))
+        if cls is W_Dict or cls is W_Set:
+            rdict = llops.getfield(w_obj, "rdict")
+            from repro.rlib.rordereddict import ll_dict_len
+
+            length = llops.residual_call(ll_dict_len, rdict)
+            return llops.is_true(llops.int_is_true(length))
+        if cls is W_BigInt:
+            big = self.big_val(w_obj)
+            zero = llops.residual_call(_big_is_zero, big)
+            return not llops.is_true(zero)
+        return True  # instances, functions, classes are truthy
+
+    def compare(self, opname, w_a, w_b):
+        """opname in {lt, le, eq, ne, gt, ge}; returns w_True/w_False."""
+        llops = self.llops
+        cls_a = llops.cls_of(w_a)
+        cls_b = llops.cls_of(w_b)
+        if is_intish(cls_a) and is_intish(cls_b):
+            flag = getattr(llops, "int_" + opname)(
+                self.int_val(w_a), self.int_val(w_b))
+            return wrap_bool(llops.is_true(flag))
+        if (cls_a is W_Float or cls_b is W_Float) and \
+                (cls_a is W_Float or is_intish(cls_a)) and \
+                (cls_b is W_Float or is_intish(cls_b)):
+            flag = getattr(llops, "float_" + opname)(
+                self.as_float(w_a, cls_a), self.as_float(w_b, cls_b))
+            return wrap_bool(llops.is_true(flag))
+        if cls_a is W_Str and cls_b is W_Str:
+            return self.str_compare(opname, w_a, w_b)
+        if (cls_a is W_BigInt or cls_b is W_BigInt) and \
+                (is_intish(cls_a) or cls_a is W_BigInt) and \
+                (is_intish(cls_b) or cls_b is W_BigInt):
+            return self.big_compare(opname, w_a, w_b, cls_a, cls_b)
+        if opname == "eq" or opname == "ne":
+            return self.generic_eq(opname, w_a, w_b, cls_a, cls_b)
+        if cls_a is W_List and cls_b is W_List:
+            return self.list_compare(opname, w_a, w_b)
+        if cls_a is W_Tuple and cls_b is W_Tuple:
+            return self.tuple_compare(opname, w_a, w_b)
+        self.type_error(opname, cls_a, cls_b)
+
+    def str_compare(self, opname, w_a, w_b):
+        llops = self.llops
+        a = self.str_val(w_a)
+        b = self.str_val(w_b)
+        if opname == "eq":
+            return wrap_bool(llops.is_true(llops.unicode_eq(a, b)))
+        if opname == "ne":
+            return wrap_bool(not llops.is_true(llops.unicode_eq(a, b)))
+        flag = llops.residual_call(_str_cmp, a, b)
+        return self._cmp_from_sign(opname, flag)
+
+    def _cmp_from_sign(self, opname, sign):
+        llops = self.llops
+        if opname == "lt":
+            return wrap_bool(llops.is_true(llops.int_lt(sign, 0)))
+        if opname == "le":
+            return wrap_bool(llops.is_true(llops.int_le(sign, 0)))
+        if opname == "gt":
+            return wrap_bool(llops.is_true(llops.int_gt(sign, 0)))
+        if opname == "ge":
+            return wrap_bool(llops.is_true(llops.int_ge(sign, 0)))
+        raise AssertionError(opname)
+
+    def big_compare(self, opname, w_a, w_b, cls_a, cls_b):
+        llops = self.llops
+        big_a = self.to_big(w_a, cls_a)
+        big_b = self.to_big(w_b, cls_b)
+        if opname in ("eq", "ne"):
+            flag = llops.is_true(llops.residual_call(
+                rbigint.big_eq, big_a, big_b))
+            return wrap_bool(flag if opname == "eq" else not flag)
+        less = llops.is_true(llops.residual_call(
+            rbigint.big_lt, big_a, big_b))
+        equal = llops.is_true(llops.residual_call(
+            rbigint.big_eq, big_a, big_b))
+        if opname == "lt":
+            return wrap_bool(less)
+        if opname == "le":
+            return wrap_bool(less or equal)
+        if opname == "gt":
+            return wrap_bool(not less and not equal)
+        return wrap_bool(not less)
+
+    def generic_eq(self, opname, w_a, w_b, cls_a, cls_b):
+        flag = self.eq_w(w_a, w_b)
+        return wrap_bool(flag if opname == "eq" else not flag)
+
+    def eq_w(self, w_a, w_b):
+        """Guest equality as a raw bool."""
+        llops = self.llops
+        cls_a = llops.cls_of(w_a)
+        cls_b = llops.cls_of(w_b)
+        if is_intish(cls_a) and is_intish(cls_b):
+            return llops.is_true(llops.int_eq(
+                self.int_val(w_a), self.int_val(w_b)))
+        if cls_a is W_Str and cls_b is W_Str:
+            return llops.is_true(llops.unicode_eq(
+                self.str_val(w_a), self.str_val(w_b)))
+        if cls_a is W_Float or cls_b is W_Float:
+            if (cls_a is W_Float or is_intish(cls_a)) and \
+                    (cls_b is W_Float or is_intish(cls_b)):
+                return llops.is_true(llops.float_eq(
+                    self.as_float(w_a, cls_a), self.as_float(w_b, cls_b)))
+            return False
+        if cls_a is W_None or cls_b is W_None:
+            return llops.is_true(llops.ptr_eq(w_a, w_b))
+        if cls_a is W_Tuple and cls_b is W_Tuple:
+            return self.tuple_eq(w_a, w_b)
+        if cls_a is W_BigInt or cls_b is W_BigInt:
+            if (is_intish(cls_a) or cls_a is W_BigInt) and \
+                    (is_intish(cls_b) or cls_b is W_BigInt):
+                return llops.is_true(llops.residual_call(
+                    rbigint.big_eq,
+                    self.to_big(w_a, cls_a), self.to_big(w_b, cls_b)))
+            return False
+        if cls_a is W_List and cls_b is W_List:
+            return self.list_eq(w_a, w_b)
+        return llops.is_true(llops.ptr_eq(w_a, w_b))

@@ -1,0 +1,1 @@
+"""TinyRkt: the Pycket-analogue guest VM plus the Racket reference."""

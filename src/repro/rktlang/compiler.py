@@ -1,0 +1,406 @@
+"""TinyRkt compiler: a Scheme/Racket subset -> framework bytecode.
+
+TinyRkt compiles to the same stack bytecode the TinyPy VM executes, so
+the meta-tracing JIT, the interpreter machinery and the reference cost
+models are shared — this mirrors how Pycket and PyPy share the RPython
+framework while implementing different languages.
+
+Supported forms: ``define`` (functions and values), ``let``/``let*``,
+*named let* in self-tail-recursive (loop) form, ``do`` loops, ``if`` /
+``cond`` / ``when`` / ``unless``, ``begin``, ``set!``, ``and`` / ``or``
+/ ``not``, quotation of atoms and flat lists, and the builtin operators
+inlined below (fixnum/flonum arithmetic, comparisons, pairs as 2-cell
+vectors, vectors, strings, display/newline).
+"""
+
+from repro.core.errors import CompilationError
+from repro.pylang import bytecode as bc
+from repro.rktlang.reader import Symbol, parse_all
+
+_INLINE_BINOPS = {
+    "+": bc.BINARY_ADD, "-": bc.BINARY_SUB, "*": bc.BINARY_MUL,
+    "/": bc.BINARY_TRUEDIV,
+    "modulo": bc.BINARY_MOD,
+    "=": bc.COMPARE_EQ, "<": bc.COMPARE_LT, ">": bc.COMPARE_GT,
+    "<=": bc.COMPARE_LE, ">=": bc.COMPARE_GE,
+    "expt": bc.BINARY_POW,
+    "eq?": bc.COMPARE_IS,
+    "equal?": bc.COMPARE_EQ,
+    "string=?": bc.COMPARE_EQ,
+    "char=?": bc.COMPARE_EQ,
+    "string<?": bc.COMPARE_LT,
+    "string-append2": bc.BINARY_ADD,
+    "bitwise-and": bc.BINARY_AND,
+    "bitwise-ior": bc.BINARY_OR,
+    "bitwise-xor": bc.BINARY_XOR,
+    "arithmetic-shift-left": bc.BINARY_LSHIFT,
+}
+
+
+class _Loop(object):
+    """An active named-let target: locals + header pc."""
+
+    def __init__(self, name, slots, header):
+        self.name = name
+        self.slots = slots
+        self.header = header
+
+
+class _RktUnit(object):
+    def __init__(self, name, params, is_module):
+        self.unit_name = name
+        self.is_module = is_module
+        self.ops = []
+        self.arg_values = []
+        self.consts = []
+        self.names = []
+        self.name_index = {}
+        self.varnames = list(params)
+        self.var_index = {p: i for i, p in enumerate(params)}
+        self.argcount = len(params)
+        self.loops = []  # active named-let frames
+        self.temp_counter = 0
+
+    # -- infrastructure (mirrors the TinyPy compiler) --------------------------
+
+    def emit(self, op, arg=0):
+        self.ops.append(op)
+        self.arg_values.append(arg)
+        return len(self.ops) - 1
+
+    def here(self):
+        return len(self.ops)
+
+    def patch(self, position, target=None):
+        self.arg_values[position] = self.here() if target is None else target
+
+    def const(self, value):
+        self.consts.append(value)
+        return len(self.consts) - 1
+
+    def name(self, text):
+        index = self.name_index.get(text)
+        if index is None:
+            index = len(self.names)
+            self.names.append(text)
+            self.name_index[text] = index
+        return index
+
+    def local(self, text):
+        index = self.var_index.get(text)
+        if index is None:
+            index = len(self.varnames)
+            self.varnames.append(text)
+            self.var_index[text] = index
+        return index
+
+    def temp(self):
+        self.temp_counter += 1
+        return self.local("%loop-tmp-" + str(self.temp_counter))
+
+    def fail(self, what):
+        raise CompilationError("unsupported in TinyRkt: %s" % (what,))
+
+    def finish(self):
+        self.emit(bc.RETURN_VALUE)
+        return bc.PyCode(self.unit_name, self.ops, self.arg_values,
+                         self.consts, self.names, self.varnames,
+                         self.argcount)
+
+    # -- names --------------------------------------------------------------------
+
+    def load_name(self, symbol):
+        if not self.is_module and symbol in self.var_index:
+            self.emit(bc.LOAD_FAST, self.var_index[symbol])
+        else:
+            self.emit(bc.LOAD_GLOBAL, self.name(str(symbol)))
+
+    def store_name(self, symbol):
+        if not self.is_module and symbol in self.var_index:
+            self.emit(bc.STORE_FAST, self.var_index[symbol])
+        else:
+            self.emit(bc.STORE_GLOBAL, self.name(str(symbol)))
+
+    # -- expressions ----------------------------------------------------------------
+
+    def expr(self, form, tail=False):
+        if isinstance(form, Symbol):
+            self.load_name(form)
+            return
+        if isinstance(form, (int, float, bool)):
+            self.emit(bc.LOAD_CONST, self.const(form))
+            return
+        if isinstance(form, tuple):
+            kind, payload = form
+            # string literal or character (both 1-char strings).
+            self.emit(bc.LOAD_CONST, self.const(payload))
+            return
+        if not isinstance(form, list) or not form:
+            self.fail("form %r" % (form,))
+        head = form[0]
+        if isinstance(head, Symbol):
+            method = getattr(self, "form_" + _mangle(str(head)), None)
+            if method is not None:
+                method(form, tail)
+                return
+            if str(head) in _INLINE_BINOPS:
+                self.inline_op(form)
+                return
+            if self.loops and not self.is_module:
+                for loop in self.loops:
+                    if loop.name == head:
+                        if not tail:
+                            self.fail("non-tail call to named let %r"
+                                      % str(head))
+                        self.named_let_jump(loop, form)
+                        return
+        # Generic call.
+        self.expr(head)
+        for argument in form[1:]:
+            self.expr(argument)
+        self.emit(bc.CALL_FUNCTION, len(form) - 1)
+
+    def inline_op(self, form):
+        op = _INLINE_BINOPS[str(form[0])]
+        args = form[1:]
+        if len(args) == 1:
+            if str(form[0]) == "-":
+                self.expr(args[0])
+                self.emit(bc.UNARY_NEG)
+                return
+            if str(form[0]) == "/":
+                self.emit(bc.LOAD_CONST, self.const(1.0))
+                self.expr(args[0])
+                self.emit(op)
+                return
+            self.fail("unary %s" % str(form[0]))
+        self.expr(args[0])
+        for argument in args[1:]:
+            self.expr(argument)
+            self.emit(op)
+
+    # -- special forms ---------------------------------------------------------------
+
+    def form_quote(self, form, tail):
+        value = form[1]
+        if isinstance(value, list):
+            if value:
+                self.fail("non-empty quoted list")
+            self.emit(bc.LOAD_CONST, self.const(None))  # '() is nil
+            return
+        if isinstance(value, Symbol):
+            self.emit(bc.LOAD_CONST, self.const(str(value)))
+            return
+        if isinstance(value, tuple):
+            self.emit(bc.LOAD_CONST, self.const(value[1]))
+            return
+        self.emit(bc.LOAD_CONST, self.const(value))
+
+    def form_if(self, form, tail):
+        self.expr(form[1])
+        jump_false = self.emit(bc.POP_JUMP_IF_FALSE)
+        self.expr(form[2], tail)
+        jump_end = self.emit(bc.JUMP)
+        self.patch(jump_false)
+        if len(form) > 3:
+            self.expr(form[3], tail)
+        else:
+            self.emit(bc.LOAD_CONST, self.const(None))
+        self.patch(jump_end)
+
+    def form_cond(self, form, tail):
+        end_jumps = []
+        for clause in form[1:]:
+            if isinstance(clause[0], Symbol) and str(clause[0]) == "else":
+                self.body(clause[1:], tail)
+                break
+            self.expr(clause[0])
+            jump_false = self.emit(bc.POP_JUMP_IF_FALSE)
+            self.body(clause[1:], tail)
+            end_jumps.append(self.emit(bc.JUMP))
+            self.patch(jump_false)
+        else:
+            self.emit(bc.LOAD_CONST, self.const(None))
+        for position in end_jumps:
+            self.patch(position)
+
+    def form_when(self, form, tail):
+        self.expr(form[1])
+        jump_false = self.emit(bc.POP_JUMP_IF_FALSE)
+        self.body(form[2:], tail)
+        jump_end = self.emit(bc.JUMP)
+        self.patch(jump_false)
+        self.emit(bc.LOAD_CONST, self.const(None))
+        self.patch(jump_end)
+
+    def form_unless(self, form, tail):
+        self.expr(form[1])
+        jump_true = self.emit(bc.POP_JUMP_IF_TRUE)
+        self.body(form[2:], tail)
+        jump_end = self.emit(bc.JUMP)
+        self.patch(jump_true)
+        self.emit(bc.LOAD_CONST, self.const(None))
+        self.patch(jump_end)
+
+    def form_begin(self, form, tail):
+        self.body(form[1:], tail)
+
+    def body(self, forms, tail):
+        if not forms:
+            self.emit(bc.LOAD_CONST, self.const(None))
+            return
+        for statement in forms[:-1]:
+            self.expr(statement)
+            self.emit(bc.POP_TOP)
+        self.expr(forms[-1], tail)
+
+    def form_and(self, form, tail):
+        if len(form) == 1:
+            self.emit(bc.LOAD_CONST, self.const(True))
+            return
+        jumps = []
+        for i, value in enumerate(form[1:]):
+            self.expr(value)
+            if i < len(form) - 2:
+                jumps.append(self.emit(bc.JUMP_IF_FALSE_OR_POP))
+        for position in jumps:
+            self.patch(position)
+
+    def form_or(self, form, tail):
+        if len(form) == 1:
+            self.emit(bc.LOAD_CONST, self.const(False))
+            return
+        jumps = []
+        for i, value in enumerate(form[1:]):
+            self.expr(value)
+            if i < len(form) - 2:
+                jumps.append(self.emit(bc.JUMP_IF_TRUE_OR_POP))
+        for position in jumps:
+            self.patch(position)
+
+    def form_not(self, form, tail):
+        self.expr(form[1])
+        self.emit(bc.UNARY_NOT)
+
+    def form_set_bang(self, form, tail):
+        self.expr(form[2])
+        self.store_name(form[1])
+        self.emit(bc.LOAD_CONST, self.const(None))
+
+    def form_let(self, form, tail):
+        if isinstance(form[1], Symbol):
+            self.named_let(form, tail)
+            return
+        if self.is_module:
+            self.fail("let at module level (wrap it in a define)")
+        bindings = form[1]
+        values = []
+        for binding in bindings:
+            self.expr(binding[1])
+            values.append(binding[0])
+        for symbol in reversed(values):
+            self.emit(bc.STORE_FAST, self.local(symbol))
+        # NOTE: plain let should bind simultaneously; evaluation happens
+        # before any store, so the semantics hold.
+        self.body(form[2:], tail)
+
+    def form_let_star(self, form, tail):
+        if self.is_module:
+            self.fail("let* at module level (wrap it in a define)")
+        for binding in form[1]:
+            self.expr(binding[1])
+            self.emit(bc.STORE_FAST, self.local(binding[0]))
+        self.body(form[2:], tail)
+
+    def named_let(self, form, tail):
+        """(let loop ((v init) ...) body...): a self-tail-recursive loop."""
+        if self.is_module:
+            self.fail("named let at module level (wrap it in a define)")
+        name = form[1]
+        bindings = form[2]
+        slots = []
+        for binding in bindings:
+            self.expr(binding[1])
+        for binding in reversed(bindings):
+            slot = self.local(binding[0])
+            self.emit(bc.STORE_FAST, slot)
+        for binding in bindings:
+            slots.append(self.var_index[binding[0]])
+        header = self.here()
+        self.loops.append(_Loop(name, slots, header))
+        self.body(form[3:], tail=True)
+        self.loops.pop()
+
+    def named_let_jump(self, loop, form):
+        arguments = form[1:]
+        if len(arguments) != len(loop.slots):
+            self.fail("named-let arity mismatch for %r" % str(loop.name))
+        for argument in arguments:
+            self.expr(argument)
+        for slot in reversed(loop.slots):
+            self.emit(bc.STORE_FAST, slot)
+        self.emit(bc.JUMP, loop.header)
+        # The loop jump "produces" the body's eventual value; emit an
+        # unreachable placeholder to keep stack depth bookkeeping simple.
+
+    def form_do(self, form, tail):
+        """(do ((v init step) ...) (test result...) body...)"""
+        if self.is_module:
+            self.fail("do at module level (wrap it in a define)")
+        bindings = form[1]
+        for binding in bindings:
+            self.expr(binding[1])
+        slots = []
+        for binding in reversed(bindings):
+            slot = self.local(binding[0])
+            self.emit(bc.STORE_FAST, slot)
+        for binding in bindings:
+            slots.append(self.var_index[binding[0]])
+        header = self.here()
+        test_clause = form[2]
+        self.expr(test_clause[0])
+        exit_jump = self.emit(bc.POP_JUMP_IF_TRUE)
+        for statement in form[3:]:
+            self.expr(statement)
+            self.emit(bc.POP_TOP)
+        for i, binding in enumerate(bindings):
+            if len(binding) > 2:
+                self.expr(binding[2])
+            else:
+                self.emit(bc.LOAD_FAST, slots[i])
+        for i in range(len(bindings) - 1, -1, -1):
+            self.emit(bc.STORE_FAST, slots[i])
+        self.emit(bc.JUMP, header)
+        self.patch(exit_jump)
+        self.body(test_clause[1:], tail)
+
+    def form_define(self, form, tail):
+        target = form[1]
+        if isinstance(target, list):
+            name = target[0]
+            params = [str(p) for p in target[1:]]
+            sub = _RktUnit(str(name), params, is_module=False)
+            sub.body(form[2:], tail=True)
+            code = sub.finish()
+            self.emit(bc.LOAD_CONST, self.const(bc.FunctionSpec(code, 0)))
+            self.emit(bc.MAKE_FUNCTION, 0)
+            self.store_name(name)
+        else:
+            self.expr(form[2])
+            self.store_name(target)
+        self.emit(bc.LOAD_CONST, self.const(None))
+
+
+def _mangle(text):
+    return (text.replace("!", "_bang").replace("*", "_star")
+            .replace("-", "_").replace("?", "_p"))
+
+
+def compile_rkt(source, name="<rkt-module>"):
+    """Compile TinyRkt source to a module PyCode."""
+    unit = _RktUnit(name, [], is_module=True)
+    for form in parse_all(source):
+        unit.expr(form)
+        unit.emit(bc.POP_TOP)
+    unit.emit(bc.LOAD_CONST, unit.const(None))
+    return unit.finish()

@@ -1,0 +1,115 @@
+"""TinyRkt s-expression reader."""
+
+from repro.core.errors import CompilationError
+
+
+class Symbol(str):
+    """A Scheme symbol (distinct from string literals)."""
+
+    __slots__ = ()
+
+    def __repr__(self):
+        return str(self)
+
+
+def tokenize(text):
+    tokens = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch in " \t\n\r":
+            i += 1
+        elif ch == ";":
+            while i < n and text[i] != "\n":
+                i += 1
+        elif ch in "()[]":
+            tokens.append("(" if ch in "([" else ")")
+            i += 1
+        elif ch == '"':
+            j = i + 1
+            parts = []
+            while j < n and text[j] != '"':
+                if text[j] == "\\" and j + 1 < n:
+                    escape = text[j + 1]
+                    parts.append({"n": "\n", "t": "\t",
+                                  '"': '"', "\\": "\\"}.get(escape, escape))
+                    j += 2
+                else:
+                    parts.append(text[j])
+                    j += 1
+            if j >= n:
+                raise CompilationError("unterminated string literal")
+            tokens.append(('str', "".join(parts)))
+            i = j + 1
+        elif ch == "'":
+            tokens.append("'")
+            i += 1
+        else:
+            j = i
+            while j < n and text[j] not in " \t\n\r()[];\"":
+                j += 1
+            tokens.append(('atom', text[i:j]))
+            i = j
+    return tokens
+
+
+def _parse_atom(text):
+    if text == "#t":
+        return True
+    if text == "#f":
+        return False
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    if text.startswith("#\\"):
+        name = text[2:]
+        if name == "space":
+            return ('char', " ")
+        if name == "newline":
+            return ('char', "\n")
+        return ('char', name[0])
+    return Symbol(text)
+
+
+def parse_all(text):
+    """Parse a program into a list of s-expression trees.
+
+    Trees are: lists, Symbols, ints, floats, bools, ('char', c) pairs
+    and plain strings for string literals.
+    """
+    tokens = tokenize(text)
+    position = [0]
+
+    def parse_one():
+        if position[0] >= len(tokens):
+            raise CompilationError("unexpected end of input")
+        token = tokens[position[0]]
+        position[0] += 1
+        if token == "(":
+            items = []
+            while True:
+                if position[0] >= len(tokens):
+                    raise CompilationError("missing close paren")
+                if tokens[position[0]] == ")":
+                    position[0] += 1
+                    return items
+                items.append(parse_one())
+        if token == ")":
+            raise CompilationError("unexpected close paren")
+        if token == "'":
+            return [Symbol("quote"), parse_one()]
+        kind, payload = token
+        if kind == "str":
+            return ('strlit', payload)
+        return _parse_atom(payload)
+
+    forms = []
+    while position[0] < len(tokens):
+        forms.append(parse_one())
+    return forms

@@ -1,0 +1,512 @@
+"""The TinyRkt VMs.
+
+* :class:`RktVM` — TinyRkt on the meta-tracing framework (the Pycket
+  analogue): same interpreter machinery as TinyPy, Scheme builtins.
+* :class:`RacketRef` — the "Racket" baseline: same bytecode on the
+  reference evaluator with a mature-custom-JIT cost factor.
+
+Scheme data mapping: fixnums/flonums/strings/bools use the shared boxed
+types; pairs are 2-cell lists; '() is None; vectors are lists;
+characters are 1-character strings.  Only ``#f``-vs-truthy distinctions
+that the benchmark ports rely on are preserved (Python truthiness is
+used for 0/""; ports use explicit predicates).
+"""
+
+from repro.core.errors import GuestError
+from repro.interp.context import VMContext
+from repro.pylang.cpref import CpRef
+from repro.pylang.interp import PyVM
+from repro.pylang.objects import (
+    W_Builtin,
+    W_List,
+    W_None,
+    w_None,
+    wrap_bool,
+)
+from repro.pylang.ops import is_intish
+from repro.rktlang.compiler import compile_rkt
+
+
+def _nary_arith(method_name):
+    def builtin(vm, args_w):
+        result = args_w[0]
+        for w_arg in args_w[1:]:
+            result = getattr(vm, method_name)(result, w_arg)
+        return result
+    return builtin
+
+
+def bi_display(vm, args_w):
+    text = vm.rkt_str_of(args_w[0])
+    from repro.pylang.builtins import _write_stdout
+
+    vm.llops.residual_call(_write_stdout, vm.output, text)
+    return w_None
+
+
+def bi_newline(vm, args_w):
+    from repro.pylang.builtins import _write_stdout
+
+    vm.llops.residual_call(_write_stdout, vm.output, "\n")
+    return w_None
+
+
+def bi_cons(vm, args_w):
+    return vm.new_list([args_w[0], args_w[1]])
+
+
+def bi_car(vm, args_w):
+    return vm.list_getitem(args_w[0], 0)
+
+
+def bi_cdr(vm, args_w):
+    return vm.list_getitem(args_w[0], 1)
+
+
+def bi_set_car(vm, args_w):
+    vm.list_setitem(args_w[0], 0, args_w[1])
+    return w_None
+
+
+def bi_set_cdr(vm, args_w):
+    vm.list_setitem(args_w[0], 1, args_w[1])
+    return w_None
+
+
+def bi_null_p(vm, args_w):
+    return wrap_bool(vm.llops.is_true(vm.llops.ptr_eq(args_w[0], w_None)))
+
+
+def bi_pair_p(vm, args_w):
+    return wrap_bool(vm.llops.cls_of(args_w[0]) is W_List)
+
+
+def bi_list(vm, args_w):
+    result = w_None
+    for w_item in reversed(args_w):
+        result = vm.new_list([w_item, result])
+    return result
+
+
+def bi_length(vm, args_w):
+    llops = vm.llops
+    count = 0
+    w_node = args_w[0]
+    while not llops.is_true(llops.ptr_eq(w_node, w_None)):
+        count += 1
+        w_node = vm.list_getitem(w_node, 1)
+    return vm.wrap_int(count)
+
+
+def bi_reverse(vm, args_w):
+    llops = vm.llops
+    result = w_None
+    w_node = args_w[0]
+    while not llops.is_true(llops.ptr_eq(w_node, w_None)):
+        result = vm.new_list([vm.list_getitem(w_node, 0), result])
+        w_node = vm.list_getitem(w_node, 1)
+    return result
+
+
+def bi_make_vector(vm, args_w):
+    length = vm.llops.promote(vm.int_val(args_w[0]))
+    w_fill = args_w[1] if len(args_w) > 1 else vm.wrap_int(0)
+    return vm.new_list([w_fill] * length)
+
+
+def bi_vector(vm, args_w):
+    return vm.new_list(list(args_w))
+
+
+def bi_vector_ref(vm, args_w):
+    return vm.list_getitem(args_w[0], vm.int_val(args_w[1]))
+
+
+def bi_vector_set(vm, args_w):
+    vm.list_setitem(args_w[0], vm.int_val(args_w[1]), args_w[2])
+    return w_None
+
+
+def bi_vector_length(vm, args_w):
+    return vm.wrap_int(vm.list_len_raw(args_w[0]))
+
+
+def bi_quotient(vm, args_w):
+    llops = vm.llops
+    cls_a = llops.cls_of(args_w[0])
+    cls_b = llops.cls_of(args_w[1])
+    if is_intish(cls_a) and is_intish(cls_b):
+        a = vm.int_val(args_w[0])
+        b = vm.int_val(args_w[1])
+        if not llops.is_true(llops.int_is_true(b)):
+            raise GuestError("quotient by zero")
+        return vm.wrap_int(llops.int_floordiv(a, b))  # C-style truncation
+    # Bignum path (floor division; benchmark operands are non-negative,
+    # where floor and truncation agree).
+    return vm.binary_floordiv(args_w[0], args_w[1])
+
+
+def bi_remainder(vm, args_w):
+    llops = vm.llops
+    cls_a = llops.cls_of(args_w[0])
+    cls_b = llops.cls_of(args_w[1])
+    if is_intish(cls_a) and is_intish(cls_b):
+        a = vm.int_val(args_w[0])
+        b = vm.int_val(args_w[1])
+        if not llops.is_true(llops.int_is_true(b)):
+            raise GuestError("remainder by zero")
+        return vm.wrap_int(llops.int_mod(a, b))  # sign follows dividend
+    return vm.binary_mod(args_w[0], args_w[1])
+
+
+def bi_sqrt(vm, args_w):
+    llops = vm.llops
+    cls = llops.cls_of(args_w[0])
+    value = vm.as_float(args_w[0], cls)
+    return vm.wrap_float(llops.float_sqrt(value))
+
+
+def bi_number_to_string(vm, args_w):
+    return vm.wrap_str(vm.str_of(args_w[0]))
+
+
+def bi_string_length(vm, args_w):
+    return vm.wrap_int(vm.llops.unicodelen(vm.str_val(args_w[0])))
+
+
+def bi_string_ref(vm, args_w):
+    llops = vm.llops
+    text = vm.str_val(args_w[0])
+    index = vm.int_val(args_w[1])
+    return vm.wrap_str(llops.unicodegetitem(text, index))
+
+
+def bi_substring(vm, args_w):
+    from repro.rlib import rstr
+
+    llops = vm.llops
+    text = vm.str_val(args_w[0])
+    start = vm.int_val(args_w[1])
+    stop = vm.int_val(args_w[2])
+    return vm.wrap_str(llops.residual_call(rstr.ll_slice, text, start, stop))
+
+
+def bi_string_append(vm, args_w):
+    llops = vm.llops
+    text = ""
+    for w_arg in args_w:
+        text = llops.unicode_concat(text, vm.str_val(w_arg))
+    return vm.wrap_str(text)
+
+
+def bi_exact_to_inexact(vm, args_w):
+    llops = vm.llops
+    cls = llops.cls_of(args_w[0])
+    return vm.wrap_float(vm.as_float(args_w[0], cls))
+
+
+def bi_inexact_to_exact(vm, args_w):
+    return vm.wrap_int(vm.llops.cast_float_to_int(
+        vm.float_val(args_w[0])))
+
+
+def bi_floor(vm, args_w):
+    llops = vm.llops
+    cls = llops.cls_of(args_w[0])
+    if is_intish(cls):
+        return args_w[0]
+    from repro.pylang.ops import _c_floor
+
+    return vm.wrap_float(llops.residual_call(
+        _c_floor, vm.float_val(args_w[0])))
+
+
+def bi_truncate(vm, args_w):
+    return vm.wrap_int(vm.llops.cast_float_to_int(
+        vm.float_val(args_w[0])))
+
+
+def bi_zero_p(vm, args_w):
+    return vm.compare("eq", args_w[0], vm.wrap_int(0))
+
+
+def bi_even_p(vm, args_w):
+    llops = vm.llops
+    return wrap_bool(not llops.is_true(llops.int_and(
+        vm.int_val(args_w[0]), 1)))
+
+
+def bi_odd_p(vm, args_w):
+    llops = vm.llops
+    return wrap_bool(llops.is_true(llops.int_and(
+        vm.int_val(args_w[0]), 1)))
+
+
+def bi_abs(vm, args_w):
+    from repro.pylang.builtins import bi_abs as py_abs
+
+    return py_abs(vm, args_w)
+
+
+def bi_min(vm, args_w):
+    w_best = args_w[0]
+    for w_arg in args_w[1:]:
+        if vm.is_true_w(vm.compare("lt", w_arg, w_best)):
+            w_best = w_arg
+    return w_best
+
+
+def bi_max(vm, args_w):
+    w_best = args_w[0]
+    for w_arg in args_w[1:]:
+        if vm.is_true_w(vm.compare("gt", w_arg, w_best)):
+            w_best = w_arg
+    return w_best
+
+
+def bi_char_to_integer(vm, args_w):
+    from repro.pylang.builtins import bi_ord
+
+    return bi_ord(vm, args_w)
+
+
+def bi_integer_to_char(vm, args_w):
+    from repro.pylang.builtins import bi_chr
+
+    return bi_chr(vm, args_w)
+
+
+def bi_arithmetic_shift(vm, args_w):
+    llops = vm.llops
+    value = args_w[0]
+    amount = vm.int_val(args_w[1])
+    if llops.is_true(llops.int_ge(amount, 0)):
+        return vm.binary_lshift(value, args_w[1])
+    return vm.wrap_int(llops.int_rshift(
+        vm.int_val(value), llops.int_neg(amount)))
+
+
+RKT_BUILTINS = {
+    "display": bi_display,
+    "newline": bi_newline,
+    "cons": bi_cons, "car": bi_car, "cdr": bi_cdr,
+    "set-car!": bi_set_car, "set-cdr!": bi_set_cdr,
+    "null?": bi_null_p, "pair?": bi_pair_p,
+    "list": bi_list, "length": bi_length, "reverse": bi_reverse,
+    "make-vector": bi_make_vector, "vector": bi_vector,
+    "vector-ref": bi_vector_ref, "vector-set!": bi_vector_set,
+    "vector-length": bi_vector_length,
+    "quotient": bi_quotient, "remainder": bi_remainder,
+    "sqrt": bi_sqrt, "abs": bi_abs, "min": bi_min, "max": bi_max,
+    "floor": bi_floor, "truncate": bi_truncate,
+    "zero?": bi_zero_p, "even?": bi_even_p, "odd?": bi_odd_p,
+    "number->string": bi_number_to_string,
+    "string-length": bi_string_length, "string-ref": bi_string_ref,
+    "substring": bi_substring, "string-append": bi_string_append,
+    "exact->inexact": bi_exact_to_inexact,
+    "inexact->exact": bi_inexact_to_exact,
+    "char->integer": bi_char_to_integer,
+    "integer->char": bi_integer_to_char,
+    "arithmetic-shift": bi_arithmetic_shift,
+}
+
+
+class RktVM(PyVM):
+    """TinyRkt on the meta-tracing framework (the Pycket analogue)."""
+
+    def run_source(self, source, module_name="<rkt>"):
+        code = compile_rkt(source, module_name)
+        return self.run_module_code(code, module_name)
+
+    def builtin_global(self, name):
+        w_builtin = self._builtin_cache.get(name)
+        if w_builtin is None:
+            fn = RKT_BUILTINS.get(name)
+            if fn is None:
+                return None
+            w_builtin = W_Builtin(name, fn)
+            w_builtin._addr = self.ctx.gc.allocate_static(W_Builtin._size_)
+            self._builtin_cache[name] = w_builtin
+        return w_builtin
+
+    def rkt_str_of(self, w_obj):
+        """Scheme `display` conventions (floats keep repr; ints plain)."""
+        llops = self.llops
+        cls = llops.cls_of(w_obj)
+        if cls is W_None:
+            return "()"
+        from repro.pylang.objects import W_Bool
+
+        if cls is W_Bool:
+            return "#t" if self.is_true_w(w_obj) else "#f"
+        return self.str_of(w_obj)
+
+    def stdout(self):
+        return "".join(self.output)
+
+
+def run_rkt(source, config, predictor="gshare"):
+    """Convenience: run TinyRkt source on a fresh framework VM."""
+    ctx = VMContext(config, predictor=predictor)
+    vm = RktVM(ctx)
+    vm.run_source(source)
+    return vm, ctx
+
+
+class RacketRef(CpRef):
+    """The 'Racket' baseline: a mature custom-JIT VM cost model.
+
+    Runs the same bytecode with host values; per-operation costs are a
+    fraction of CPython's (Racket's JIT compiles to native code, so its
+    per-operation work is far lower than a pure interpreter's, though
+    above our meta-tracing JIT's specialized traces for dynamic code).
+    """
+
+    mix_scale = 0.34
+    #: Extra discount on float-arithmetic mixes: Racket's JIT compiles
+    #: flonum loops to near-native code.
+    fpu_scale = 0.45
+
+    def _xm(self, mix):
+        from repro.isa import insns as _insns
+
+        if any(klass == _insns.FPU for klass, _ in mix):
+            carry = self._mix_carry
+            scaled = []
+            factor = self.mix_scale * self.fpu_scale
+            for klass, count in mix:
+                exact = count * factor + carry.get(klass, 0.0)
+                whole = int(exact)
+                carry[klass] = exact - whole
+                if whole:
+                    scaled.append((klass, whole))
+            if scaled:
+                self.machine.exec_mix(tuple(scaled))
+            return
+        CpRef._xm(self, mix)
+
+    def run_source(self, source, module_name="<rkt>"):
+        code = compile_rkt(source, module_name)
+        return self.run_module_code(code)
+
+    def stdout(self):
+        return "".join(self.output)
+
+    def _rkt_str(self, value):
+        if value is None:
+            return "()"
+        if value is True:
+            return "#t"
+        if value is False:
+            return "#f"
+        return self._str(value)
+
+    def _make_builtins(self):
+        base = CpRef._make_builtins(self)
+
+        def simple(fn):
+            def wrapped(vm, call_args):
+                vm._xm(_REF_CALL_MIX)
+                return fn(*call_args)
+            return wrapped
+
+        def display(vm, call_args):
+            vm.output.append(vm._rkt_str(call_args[0]))
+            return None
+
+        def newline(vm, call_args):
+            vm.output.append("\n")
+            return None
+
+        def scheme_list(vm, call_args):
+            result = None
+            for item in reversed(call_args):
+                result = [item, result]
+            return result
+
+        def length(vm, call_args):
+            node = call_args[0]
+            count = 0
+            while node is not None:
+                vm._xm(_REF_CALL_MIX)
+                count += 1
+                node = node[1]
+            return count
+
+        def reverse(vm, call_args):
+            node = call_args[0]
+            result = None
+            while node is not None:
+                vm._xm(_REF_CALL_MIX)
+                result = [node[0], result]
+                node = node[1]
+            return result
+
+        def quotient(vm, call_args):
+            a, b = call_args
+            vm._xm(vm._num_mix(a, b, quadratic=True))
+            q = abs(a) // abs(b)
+            return q if (a >= 0) == (b >= 0) else -q
+
+        def remainder(vm, call_args):
+            a, b = call_args
+            vm._xm(vm._num_mix(a, b, quadratic=True))
+            return a - quotient(vm, call_args) * b
+
+        def arithmetic_shift(vm, call_args):
+            value, amount = call_args
+            return value << amount if amount >= 0 else value >> -amount
+
+        base.update({
+            "display": display,
+            "newline": newline,
+            "cons": simple(lambda a, b: [a, b]),
+            "car": simple(lambda p: p[0]),
+            "cdr": simple(lambda p: p[1]),
+            "set-car!": simple(lambda p, v: p.__setitem__(0, v)),
+            "set-cdr!": simple(lambda p, v: p.__setitem__(1, v)),
+            "null?": simple(lambda v: v is None),
+            "pair?": simple(lambda v: isinstance(v, list)),
+            "list": scheme_list,
+            "length": length,
+            "reverse": reverse,
+            "make-vector": simple(
+                lambda n, *fill: [fill[0] if fill else 0] * n),
+            "vector": simple(lambda *items: list(items)),
+            "vector-ref": simple(lambda v, i: v[i]),
+            "vector-set!": simple(
+                lambda v, i, x: v.__setitem__(i, x)),
+            "vector-length": simple(len),
+            "quotient": quotient,
+            "remainder": remainder,
+            "sqrt": simple(lambda v: float(v) ** 0.5),
+            "floor": simple(_ref_floor),
+            "truncate": simple(int),
+            "zero?": simple(lambda v: v == 0),
+            "even?": simple(lambda v: v % 2 == 0),
+            "odd?": simple(lambda v: v % 2 == 1),
+            "number->string": lambda vm, a: vm._str(a[0]),
+            "string-length": simple(len),
+            "string-ref": simple(lambda s, i: s[i]),
+            "substring": simple(lambda s, a, b: s[a:b]),
+            "string-append": simple(lambda *parts: "".join(parts)),
+            "exact->inexact": simple(float),
+            "inexact->exact": simple(int),
+            "char->integer": simple(ord),
+            "integer->char": simple(chr),
+            "arithmetic-shift": arithmetic_shift,
+        })
+        return base
+
+
+def _ref_floor(value):
+    if isinstance(value, int):
+        return value
+    import math
+
+    return math.floor(value) * 1.0
+
+
+from repro.isa import insns  # noqa: E402
+
+_REF_CALL_MIX = insns.mix(alu=3, load=3, store=1)

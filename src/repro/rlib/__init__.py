@@ -1,0 +1,1 @@
+"""The RPython-style runtime library (AOT-compiled functions)."""

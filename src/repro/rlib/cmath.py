@@ -1,0 +1,63 @@
+"""External C math-library calls (source tag ``C``).
+
+``pow`` is the paper's biggest single AOT cost (44.6% of nbody);
+``memcpy`` appears in twisted_tcp.  These model calls out of the
+RPython world entirely.
+"""
+
+import math
+
+from repro.interp.aot import aot
+from repro.isa import insns
+from repro.rlib.costutil import charge_loop
+
+
+@aot("pow", "C", "pure")
+def c_pow(ctx, base, exponent):
+    ctx.charge(insns.mix(fpu=22, alu=10, load=4))
+    ctx.charge_branches(6, 0.02)
+    return math.pow(base, exponent)
+
+
+@aot("sqrt", "C", "pure")
+def c_sqrt(ctx, value):
+    ctx.charge(insns.mix(fpu=4, alu=2))
+    return math.sqrt(value)
+
+
+@aot("sin", "C", "pure")
+def c_sin(ctx, value):
+    ctx.charge(insns.mix(fpu=14, alu=6, load=2))
+    return math.sin(value)
+
+
+@aot("cos", "C", "pure")
+def c_cos(ctx, value):
+    ctx.charge(insns.mix(fpu=14, alu=6, load=2))
+    return math.cos(value)
+
+
+@aot("atan2", "C", "pure")
+def c_atan2(ctx, y, x):
+    ctx.charge(insns.mix(fpu=18, alu=8, load=2))
+    return math.atan2(y, x)
+
+
+@aot("exp", "C", "pure")
+def c_exp(ctx, value):
+    ctx.charge(insns.mix(fpu=16, alu=6, load=2))
+    return math.exp(value)
+
+
+@aot("log", "C", "pure")
+def c_log(ctx, value):
+    ctx.charge(insns.mix(fpu=16, alu=6, load=2))
+    return math.log(value)
+
+
+@aot("memcpy", "C", "any")
+def c_memcpy(ctx, destination, source, length):
+    """Copy ``length`` items between list-like buffers."""
+    charge_loop(ctx, max(1, length // 4 + 1), insns.mix(load=1, store=1))
+    destination[:length] = source[:length]
+    return None

@@ -1,0 +1,23 @@
+"""Cost-charging helpers for AOT-compiled runtime functions.
+
+AOT functions run real algorithms over real data; these helpers charge
+the machine an instruction stream proportional to the work performed,
+with loop-shaped branch behaviour.
+"""
+
+from repro.isa import insns
+
+LOOP_BRANCH_MISS_RATE = 0.02
+
+
+def charge_loop(ctx, iterations, per_iter_mix, branch_per_iter=1,
+                miss_rate=LOOP_BRANCH_MISS_RATE):
+    """Charge ``iterations`` passes of a loop with the given body mix."""
+    if iterations <= 0:
+        return
+    ctx.charge(insns.scale_mix(per_iter_mix, iterations))
+    ctx.charge_branches(iterations * branch_per_iter, miss_rate)
+
+
+def charge_fixed(ctx, mix):
+    ctx.charge(mix)

@@ -1,0 +1,442 @@
+"""rbigint: arbitrary-precision integers, from scratch.
+
+A faithful miniature of RPython's ``rlib.rbigint``: sign/magnitude
+representation with base-2^30 digits, schoolbook multiplication, and
+Knuth Algorithm D division.  The Python implementation deliberately does
+*not* lean on Python's own big integers for the arithmetic — digits are
+machine-word-sized and every operation walks them, so the charged
+instruction costs are proportional to real work (this is what makes
+``pidigits`` JIT-call-bound, as in the paper's Table III and Figure 4).
+
+All entry points are AOT functions (source tag ``L`` — RPython std lib),
+called residually from JIT code exactly like PyPy's bigint arithmetic.
+"""
+
+from repro.core.errors import ReproError
+from repro.interp.aot import aot
+from repro.isa import insns
+from repro.jit.semantics import INT_MAX, INT_MIN
+from repro.rlib.costutil import charge_loop
+
+SHIFT = 30
+BASE = 1 << SHIFT
+MASK = BASE - 1
+
+_DIGIT_MIX = insns.mix(alu=4, load=2, store=1, br_bulk=1)
+_MUL_DIGIT_MIX = insns.mix(mul=1, alu=5, load=3, store=1, br_bulk=1)
+_DIV_DIGIT_MIX = insns.mix(mul=1, alu=5, load=3, store=1, br_bulk=1)
+
+
+class BigInt(object):
+    """Sign/magnitude big integer: ``sign`` in {-1, 0, 1}, LSB-first digits."""
+
+    __slots__ = ("sign", "digits", "_addr")
+    _size_ = 48
+    _immutable_fields_ = ("sign", "digits")
+
+    def __init__(self, sign, digits):
+        self.sign = sign
+        self.digits = digits
+
+    # -- construction helpers (cost-free; used by the VM layer) ---------------
+
+    @staticmethod
+    def fromint(value):
+        if value == 0:
+            return BigInt(0, [])
+        sign = 1
+        if value < 0:
+            sign = -1
+            value = -value
+        digits = []
+        while value:
+            digits.append(value & MASK)
+            value >>= SHIFT
+        return BigInt(sign, digits)
+
+    def toint(self):
+        """Back to a machine int; raises if out of the 64-bit range."""
+        value = self._abs_value()
+        if self.sign < 0:
+            value = -value
+        if value < INT_MIN or value > INT_MAX:
+            raise ReproError("bigint too large for machine int")
+        return value
+
+    def _abs_value(self):
+        value = 0
+        for digit in reversed(self.digits):
+            value = (value << SHIFT) | digit
+        return value
+
+    def fits_int(self):
+        n = len(self.digits)
+        if n <= 2:
+            return True   # at most 60 bits
+        if n > 3:
+            return False  # more than 90 bits
+        try:
+            self.toint()
+            return True
+        except ReproError:
+            return False
+
+    def __repr__(self):
+        return "<BigInt %s>" % _to_decimal(self)
+
+    # NOTE: no __eq__/__lt__ — comparisons go through the AOT functions.
+
+
+def _normalize(digits):
+    while digits and digits[-1] == 0:
+        digits.pop()
+    return digits
+
+
+def _cmp_abs(a_digits, b_digits):
+    if len(a_digits) != len(b_digits):
+        return 1 if len(a_digits) > len(b_digits) else -1
+    for i in range(len(a_digits) - 1, -1, -1):
+        if a_digits[i] != b_digits[i]:
+            return 1 if a_digits[i] > b_digits[i] else -1
+    return 0
+
+
+def _add_abs(a_digits, b_digits):
+    if len(a_digits) < len(b_digits):
+        a_digits, b_digits = b_digits, a_digits
+    result = []
+    carry = 0
+    for i in range(len(a_digits)):
+        total = a_digits[i] + carry
+        if i < len(b_digits):
+            total += b_digits[i]
+        result.append(total & MASK)
+        carry = total >> SHIFT
+    if carry:
+        result.append(carry)
+    return result
+
+
+def _sub_abs(a_digits, b_digits):
+    """|a| - |b|, requires |a| >= |b|."""
+    result = []
+    borrow = 0
+    for i in range(len(a_digits)):
+        total = a_digits[i] - borrow
+        if i < len(b_digits):
+            total -= b_digits[i]
+        if total < 0:
+            total += BASE
+            borrow = 1
+        else:
+            borrow = 0
+        result.append(total)
+    return _normalize(result)
+
+
+def _mul_abs(a_digits, b_digits):
+    result = [0] * (len(a_digits) + len(b_digits))
+    for i, a_digit in enumerate(a_digits):
+        if not a_digit:
+            continue
+        carry = 0
+        for j, b_digit in enumerate(b_digits):
+            total = result[i + j] + a_digit * b_digit + carry
+            result[i + j] = total & MASK
+            carry = total >> SHIFT
+        k = i + len(b_digits)
+        while carry:
+            total = result[k] + carry
+            result[k] = total & MASK
+            carry = total >> SHIFT
+            k += 1
+    return _normalize(result)
+
+
+def _shift_left_abs(digits, count):
+    word_shift, bit_shift = divmod(count, SHIFT)
+    result = [0] * word_shift
+    carry = 0
+    for digit in digits:
+        total = (digit << bit_shift) | carry
+        result.append(total & MASK)
+        carry = total >> SHIFT
+    if carry:
+        result.append(carry)
+    return _normalize(result)
+
+
+def _shift_right_abs(digits, count):
+    word_shift, bit_shift = divmod(count, SHIFT)
+    if word_shift >= len(digits):
+        return []
+    result = []
+    digits = digits[word_shift:]
+    for i in range(len(digits)):
+        value = digits[i] >> bit_shift
+        if bit_shift and i + 1 < len(digits):
+            value |= (digits[i + 1] << (SHIFT - bit_shift)) & MASK
+        result.append(value)
+    return _normalize(result)
+
+
+def _divrem_abs(a_digits, b_digits):
+    """Knuth Algorithm D: (quotient, remainder) of |a| / |b|."""
+    if _cmp_abs(a_digits, b_digits) < 0:
+        return [], list(a_digits)
+    if len(b_digits) == 1:
+        return _divrem_abs_single(a_digits, b_digits[0])
+    # D1: normalize so the top divisor digit >= BASE/2.
+    shift = 0
+    top = b_digits[-1]
+    while top < BASE // 2:
+        top <<= 1
+        shift += 1
+    u = _shift_left_abs(a_digits, shift)
+    v = _shift_left_abs(b_digits, shift)
+    n = len(v)
+    u = u + [0]
+    m = len(u) - n - 1
+    quotient = [0] * (m + 1)
+    v_top = v[-1]
+    v_second = v[-2]
+    for j in range(m, -1, -1):
+        # D3: estimate the quotient digit.
+        numerator = (u[j + n] << SHIFT) | u[j + n - 1]
+        q_hat = numerator // v_top
+        r_hat = numerator - q_hat * v_top
+        while q_hat >= BASE or q_hat * v_second > ((r_hat << SHIFT) | u[j + n - 2]):
+            q_hat -= 1
+            r_hat += v_top
+            if r_hat >= BASE:
+                break
+        # D4: multiply and subtract.
+        borrow = 0
+        carry = 0
+        for i in range(n):
+            product = q_hat * v[i] + carry
+            carry = product >> SHIFT
+            sub = u[j + i] - (product & MASK) - borrow
+            if sub < 0:
+                sub += BASE
+                borrow = 1
+            else:
+                borrow = 0
+            u[j + i] = sub
+        sub = u[j + n] - carry - borrow
+        if sub < 0:
+            # D6: add back.
+            sub += BASE
+            q_hat -= 1
+            carry2 = 0
+            for i in range(n):
+                total = u[j + i] + v[i] + carry2
+                u[j + i] = total & MASK
+                carry2 = total >> SHIFT
+            sub = (sub + carry2) & MASK
+        u[j + n] = sub
+        quotient[j] = q_hat
+    remainder = _shift_right_abs(_normalize(u[:n]), shift)
+    return _normalize(quotient), remainder
+
+
+def _divrem_abs_single(a_digits, divisor):
+    quotient = [0] * len(a_digits)
+    remainder = 0
+    for i in range(len(a_digits) - 1, -1, -1):
+        value = (remainder << SHIFT) | a_digits[i]
+        quotient[i] = value // divisor
+        remainder = value - quotient[i] * divisor
+    return _normalize(quotient), ([remainder] if remainder else [])
+
+
+def _make(sign, digits):
+    if not digits:
+        return BigInt(0, [])
+    return BigInt(sign, digits)
+
+
+def _signed_add(a, b, negate_b=False):
+    b_sign = -b.sign if negate_b else b.sign
+    if a.sign == 0:
+        return _make(b_sign, list(b.digits))
+    if b_sign == 0:
+        return _make(a.sign, list(a.digits))
+    if a.sign == b_sign:
+        return _make(a.sign, _add_abs(a.digits, b.digits))
+    comparison = _cmp_abs(a.digits, b.digits)
+    if comparison == 0:
+        return BigInt(0, [])
+    if comparison > 0:
+        return _make(a.sign, _sub_abs(a.digits, b.digits))
+    return _make(b_sign, _sub_abs(b.digits, a.digits))
+
+
+def _to_decimal(value):
+    if value.sign == 0:
+        return "0"
+    chunks = []
+    digits = list(value.digits)
+    while digits:
+        digits, remainder = _divrem_abs_single(digits, 10 ** 9)
+        chunks.append(remainder[0] if remainder else 0)
+    text = str(chunks[-1])
+    for chunk in reversed(chunks[:-1]):
+        text += str(chunk).rjust(9, "0")
+    return ("-" if value.sign < 0 else "") + text
+
+
+# -- AOT entry points --------------------------------------------------------------
+
+
+def _ndigits(*values):
+    return max(1, max(len(v.digits) for v in values))
+
+
+@aot("rbigint.add", "L", "pure")
+def big_add(ctx, a, b):
+    charge_loop(ctx, _ndigits(a, b), _DIGIT_MIX)
+    return _signed_add(a, b)
+
+
+@aot("rbigint.sub", "L", "pure")
+def big_sub(ctx, a, b):
+    charge_loop(ctx, _ndigits(a, b), _DIGIT_MIX)
+    return _signed_add(a, b, negate_b=True)
+
+
+@aot("rbigint.mul", "L", "pure")
+def big_mul(ctx, a, b):
+    charge_loop(ctx, max(1, len(a.digits) * len(b.digits)), _MUL_DIGIT_MIX)
+    if a.sign == 0 or b.sign == 0:
+        return BigInt(0, [])
+    return _make(a.sign * b.sign, _mul_abs(a.digits, b.digits))
+
+
+@aot("rbigint.divmod", "L", "pure")
+def big_divmod(ctx, a, b):
+    """Floored divmod, Python semantics. Returns (q, r)."""
+    if b.sign == 0:
+        raise ZeroDivisionError
+    charge_loop(
+        ctx,
+        max(1, len(a.digits) * max(1, len(b.digits))),
+        _DIV_DIGIT_MIX,
+    )
+    q_digits, r_digits = _divrem_abs(a.digits, b.digits)
+    q_sign = a.sign * b.sign
+    quotient = _make(q_sign, q_digits)
+    remainder = _make(a.sign, r_digits)
+    if remainder.sign != 0 and remainder.sign != b.sign:
+        # Floor adjustment: q -= 1; r += b.
+        quotient = _signed_add(quotient, BigInt.fromint(1), negate_b=True)
+        remainder = _signed_add(remainder, b)
+    return quotient, remainder
+
+
+@aot("rbigint.floordiv", "L", "pure")
+def big_floordiv(ctx, a, b):
+    return big_divmod.fn(ctx, a, b)[0]
+
+
+@aot("rbigint.mod", "L", "pure")
+def big_mod(ctx, a, b):
+    return big_divmod.fn(ctx, a, b)[1]
+
+
+@aot("rbigint.lshift", "L", "pure")
+def big_lshift(ctx, a, count):
+    charge_loop(ctx, _ndigits(a) + count // SHIFT, _DIGIT_MIX)
+    if a.sign == 0:
+        return BigInt(0, [])
+    return _make(a.sign, _shift_left_abs(a.digits, count))
+
+
+@aot("rbigint.rshift", "L", "pure")
+def big_rshift(ctx, a, count):
+    charge_loop(ctx, _ndigits(a), _DIGIT_MIX)
+    if a.sign == 0:
+        return BigInt(0, [])
+    digits = _shift_right_abs(a.digits, count)
+    result = _make(a.sign, digits)
+    if a.sign < 0:
+        # Arithmetic shift (floor): if any bits were shifted out, -1 more.
+        lost = _sub_abs(
+            a.digits, _shift_left_abs(digits, count)
+        )
+        if lost:
+            result = _signed_add(result, BigInt.fromint(1), negate_b=True)
+    return result
+
+
+@aot("rbigint.eq", "L", "pure")
+def big_eq(ctx, a, b):
+    charge_loop(ctx, _ndigits(a, b), insns.mix(alu=3, load=2))
+    return a.sign == b.sign and _cmp_abs(a.digits, b.digits) == 0
+
+
+@aot("rbigint.lt", "L", "pure")
+def big_lt(ctx, a, b):
+    charge_loop(ctx, _ndigits(a, b), insns.mix(alu=3, load=2))
+    if a.sign != b.sign:
+        return a.sign < b.sign
+    comparison = _cmp_abs(a.digits, b.digits)
+    if a.sign >= 0:
+        return comparison < 0
+    return comparison > 0
+
+
+@aot("rbigint.str", "L", "pure")
+def big_str(ctx, a):
+    charge_loop(ctx, max(1, len(a.digits) ** 2), _DIV_DIGIT_MIX)
+    return _to_decimal(a)
+
+
+@aot("rbigint.fromstr", "L", "pure")
+def big_fromstr(ctx, text):
+    charge_loop(ctx, max(1, len(text)), _MUL_DIGIT_MIX)
+    sign = 1
+    if text.startswith("-"):
+        sign = -1
+        text = text[1:]
+    value = BigInt(0, [])
+    ten = BigInt.fromint(10)
+    for char in text:
+        value = _make(
+            1, _add_abs(
+                _mul_abs(value.digits, ten.digits),
+                BigInt.fromint(ord(char) - 48).digits,
+            )
+        )
+    if not value.digits:
+        return BigInt(0, [])
+    value.sign = sign
+    return value
+
+
+@aot("rbigint.neg", "L", "pure")
+def big_neg(ctx, a):
+    ctx.charge(insns.mix(alu=2, load=1))
+    return _make(-a.sign, list(a.digits))
+
+
+@aot("rbigint.abs", "L", "pure")
+def big_abs(ctx, a):
+    ctx.charge(insns.mix(alu=2, load=1))
+    return _make(abs(a.sign), list(a.digits))
+
+
+@aot("rbigint.pow", "L", "pure")
+def big_pow(ctx, a, exponent):
+    """a ** exponent for a machine-int exponent >= 0."""
+    result = BigInt.fromint(1)
+    base = a
+    e = exponent
+    while e:
+        if e & 1:
+            result = big_mul.fn(ctx, result, base)
+        e >>= 1
+        if e:
+            base = big_mul.fn(ctx, base, base)
+    return result

@@ -1,0 +1,139 @@
+"""rlist: resizable-list runtime functions (the list-strategy helpers).
+
+Guest lists store their payload in a plain Python list; growth,
+slicing, searching and sorting are AOT entry points (the paper's
+Table III shows ``IntegerListStrategy_setslice``,
+``BytesListStrategy_setslice``, ``IntegerListStrategy_safe_find`` and
+friends as major costs).
+"""
+
+from repro.interp.aot import aot
+from repro.isa import insns
+from repro.rlib.costutil import charge_loop
+
+_COPY_MIX = insns.mix(load=1, store=1, alu=1)
+_SCAN_MIX = insns.mix(load=1, alu=2)
+_SORT_MIX = insns.mix(load=2, alu=3, store=1)
+
+
+@aot("rlist.ll_append", "R", "any")
+def ll_append(ctx, items, value):
+    # Amortized growth: charge a copy when the capacity doubles.
+    n = len(items)
+    if n and (n & (n - 1)) == 0:
+        charge_loop(ctx, n, _COPY_MIX)
+    ctx.charge(insns.mix(store=1, alu=2, load=1))
+    items.append(value)
+    return None
+
+
+@aot("rlist.ll_pop", "R", "any")
+def ll_pop(ctx, items, index):
+    moved = len(items) - index - 1
+    charge_loop(ctx, max(1, moved), _COPY_MIX)
+    return items.pop(index)
+
+
+@aot("rlist.ll_insert", "R", "any")
+def ll_insert(ctx, items, index, value):
+    charge_loop(ctx, max(1, len(items) - index), _COPY_MIX)
+    items.insert(index, value)
+    return None
+
+
+@aot("rlist.ll_extend", "R", "any")
+def ll_extend(ctx, items, other):
+    charge_loop(ctx, max(1, len(other)), _COPY_MIX)
+    items.extend(other)
+    return None
+
+
+@aot("IntegerListStrategy.setslice", "I", "any")
+def ll_setslice(ctx, items, start, stop, source):
+    charge_loop(ctx, max(1, (stop - start) + len(source)), _COPY_MIX)
+    items[start:stop] = source
+    return None
+
+
+@aot("IntegerListStrategy.fill_in_with_slice", "I", "pure")
+def ll_getslice(ctx, items, start, stop):
+    start = max(0, min(start, len(items)))
+    stop = max(start, min(stop, len(items)))
+    charge_loop(ctx, max(1, stop - start), _COPY_MIX)
+    return items[start:stop]
+
+
+@aot("IntegerListStrategy.safe_find", "I", "readonly")
+def ll_find(ctx, items, value, eq_fn):
+    """Index of value (via eq_fn) or -1."""
+    for i, item in enumerate(items):
+        if eq_fn(item, value):
+            charge_loop(ctx, i + 1, _SCAN_MIX)
+            return i
+    charge_loop(ctx, max(1, len(items)), _SCAN_MIX)
+    return -1
+
+
+@aot("rlist.ll_contains", "R", "readonly")
+def ll_contains(ctx, items, value, eq_fn):
+    return ll_find.fn(ctx, items, value, eq_fn) >= 0
+
+
+@aot("rlist.ll_count", "R", "readonly")
+def ll_count(ctx, items, value, eq_fn):
+    charge_loop(ctx, max(1, len(items)), _SCAN_MIX)
+    return sum(1 for item in items if eq_fn(item, value))
+
+
+@aot("rlist.ll_reverse", "R", "any")
+def ll_reverse(ctx, items):
+    charge_loop(ctx, max(1, len(items) // 2), _COPY_MIX)
+    items.reverse()
+    return None
+
+
+@aot("rlist.ll_mul", "R", "pure")
+def ll_mul(ctx, items, count):
+    charge_loop(ctx, max(1, len(items) * max(0, count)), _COPY_MIX)
+    return items * count
+
+
+@aot("listsort.sort", "L", "any")
+def ll_sort(ctx, items, lt_fn):
+    """In-place merge sort using a guest-supplied less-than callback.
+
+    The callback may recursively run guest code (rich comparisons); the
+    sort itself charges n log n costs like RPython's listsort.
+    """
+    n = len(items)
+    if n > 1:
+        log_n = max(1, n.bit_length() - 1)
+        charge_loop(ctx, n * log_n, _SORT_MIX)
+    _merge_sort(items, 0, n, lt_fn, [None] * n)
+    return None
+
+
+def _merge_sort(items, low, high, lt_fn, scratch):
+    if high - low <= 1:
+        return
+    mid = (low + high) // 2
+    _merge_sort(items, low, mid, lt_fn, scratch)
+    _merge_sort(items, mid, high, lt_fn, scratch)
+    i, j, k = low, mid, low
+    while i < mid and j < high:
+        if lt_fn(items[j], items[i]):
+            scratch[k] = items[j]
+            j += 1
+        else:
+            scratch[k] = items[i]
+            i += 1
+        k += 1
+    while i < mid:
+        scratch[k] = items[i]
+        i += 1
+        k += 1
+    while j < high:
+        scratch[k] = items[j]
+        j += 1
+        k += 1
+    items[low:high] = scratch[low:high]

@@ -1,0 +1,181 @@
+"""rordereddict: RPython's ordered dictionary, from scratch.
+
+A real open-addressing hash table in the style of RPython's (and
+CPython 3.6+'s) compact ordered dict: a sparse ``indexes`` probe table
+pointing into a dense ``entries`` list.  The lookup routine is the
+paper's single most prominent Table III entry point
+(``rordereddict.ll_call_lookup_function``), so lookups here are genuine
+probe loops with per-probe costs.
+
+Keys are raw VM-level values (strings, ints, or boxed objects compared
+by a key-strategy pair of hash/eq functions supplied by the guest VM).
+"""
+
+from repro.interp.aot import aot
+from repro.isa import insns
+from repro.rlib.costutil import charge_loop
+
+_FREE = -1
+_DELETED = -2
+
+_PROBE_MIX = insns.mix(alu=5, load=3, br_bulk=2)
+_PERTURB_SHIFT = 5
+
+
+class RDict(object):
+    """The dictionary payload object stored inside guest dict boxes."""
+
+    __slots__ = ("indexes", "entries", "used", "filled", "hash_fn", "eq_fn",
+                 "_addr")
+    _size_ = 96
+
+    def __init__(self, hash_fn=None, eq_fn=None, size=8):
+        self.indexes = [_FREE] * size
+        self.entries = []  # (hash, key, value) triples; None = deleted
+        self.used = 0
+        self.filled = 0
+        self.hash_fn = hash_fn
+        self.eq_fn = eq_fn
+
+    def _hash(self, key):
+        if self.hash_fn is not None:
+            return self.hash_fn(key)
+        return hash(key)
+
+    def _eq(self, a, b):
+        if self.eq_fn is not None:
+            return self.eq_fn(a, b)
+        return a == b
+
+    def __len__(self):
+        return self.used
+
+
+def _lookup(ctx, d, key, key_hash):
+    """Core probe loop; returns (slot, entry_index). entry_index is -1
+    when absent; slot is where an insert should go."""
+    mask = len(d.indexes) - 1
+    slot = key_hash & mask
+    perturb = key_hash
+    probes = 0
+    first_deleted = -1
+    while True:
+        probes += 1
+        index = d.indexes[slot]
+        if index == _FREE:
+            charge_loop(ctx, probes, _PROBE_MIX)
+            if first_deleted >= 0:
+                slot = first_deleted
+            return slot, -1
+        if index == _DELETED:
+            if first_deleted < 0:
+                first_deleted = slot
+        else:
+            entry = d.entries[index]
+            if entry[0] == key_hash and d._eq(entry[1], key):
+                charge_loop(ctx, probes, _PROBE_MIX)
+                return slot, index
+        perturb >>= _PERTURB_SHIFT
+        slot = (slot * 5 + perturb + 1) & mask
+
+
+def _resize(ctx, d):
+    old_entries = [e for e in d.entries if e is not None]
+    new_size = max(8, d.used * 4)
+    size = 8
+    while size < new_size:
+        size *= 2
+    d.indexes = [_FREE] * size
+    d.entries = []
+    d.used = 0
+    d.filled = 0
+    charge_loop(ctx, size, insns.mix(store=1, alu=1))
+    for key_hash, key, value in old_entries:
+        slot, index = _lookup(ctx, d, key, key_hash)
+        d.indexes[slot] = len(d.entries)
+        d.entries.append((key_hash, key, value))
+        d.used += 1
+        d.filled += 1
+
+
+@aot("rordereddict.ll_call_lookup_function", "R", "readonly")
+def ll_dict_lookup(ctx, d, key):
+    """Return the stored value or None if absent."""
+    key_hash = d._hash(key)
+    _slot, index = _lookup(ctx, d, key, key_hash)
+    if index < 0:
+        return None
+    return d.entries[index][2]
+
+
+@aot("rordereddict.ll_dict_contains", "R", "readonly")
+def ll_dict_contains(ctx, d, key):
+    key_hash = d._hash(key)
+    _slot, index = _lookup(ctx, d, key, key_hash)
+    return index >= 0
+
+
+@aot("rordereddict.ll_dict_setitem", "R", "idempotent")
+def ll_dict_setitem(ctx, d, key, value):
+    key_hash = d._hash(key)
+    slot, index = _lookup(ctx, d, key, key_hash)
+    if index >= 0:
+        d.entries[index] = (key_hash, key, value)
+        ctx.charge(insns.mix(store=2, alu=1))
+        return None
+    d.indexes[slot] = len(d.entries)
+    d.entries.append((key_hash, key, value))
+    d.used += 1
+    d.filled += 1
+    ctx.charge(insns.mix(store=3, alu=2))
+    if d.filled * 3 >= len(d.indexes) * 2:
+        _resize(ctx, d)
+    return None
+
+
+@aot("rordereddict.ll_dict_delitem", "R", "any")
+def ll_dict_delitem(ctx, d, key):
+    """Delete key; returns True if it was present."""
+    key_hash = d._hash(key)
+    slot, index = _lookup(ctx, d, key, key_hash)
+    if index < 0:
+        return False
+    d.indexes[slot] = _DELETED
+    d.entries[index] = None
+    d.used -= 1
+    ctx.charge(insns.mix(store=2, alu=2))
+    return True
+
+
+@aot("rordereddict.ll_dict_keys", "R", "readonly")
+def ll_dict_keys(ctx, d):
+    charge_loop(ctx, max(1, len(d.entries)), insns.mix(load=2, store=1))
+    return [e[1] for e in d.entries if e is not None]
+
+
+@aot("rordereddict.ll_dict_values", "R", "readonly")
+def ll_dict_values(ctx, d):
+    charge_loop(ctx, max(1, len(d.entries)), insns.mix(load=2, store=1))
+    return [e[2] for e in d.entries if e is not None]
+
+
+@aot("rordereddict.ll_dict_items", "R", "readonly")
+def ll_dict_items(ctx, d):
+    charge_loop(ctx, max(1, len(d.entries)), insns.mix(load=3, store=2))
+    return [(e[1], e[2]) for e in d.entries if e is not None]
+
+
+@aot("rordereddict.ll_dict_len", "R", "readonly")
+def ll_dict_len(ctx, d):
+    ctx.charge(insns.mix(load=1))
+    return d.used
+
+
+@aot("rordereddict.ll_dict_clear", "R", "any")
+def ll_dict_clear(ctx, d):
+    charge_loop(ctx, max(1, len(d.indexes)), insns.mix(store=1))
+    d.indexes = [_FREE] * 8
+    d.entries = []
+    d.used = 0
+    d.filled = 0
+    return None

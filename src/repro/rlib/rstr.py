@@ -1,0 +1,170 @@
+"""rstr / runicode: string runtime functions.
+
+These are the AOT-compiled entry points that dominate string-heavy
+benchmarks in the paper's Table III: ``rstr.ll_join``,
+``rstr.ll_find_char``, ``rstr.ll_strhash``, ``rstring.replace``,
+``ll_str.ll_int2dec``, ``arithmetic.string_to_int``, and the runicode
+encoding helper.  All operate on raw Python strings (the VM-level string
+payload) and charge per-character costs.
+"""
+
+from repro.core.errors import GuestError
+from repro.interp.aot import aot
+from repro.isa import insns
+from repro.rlib.costutil import charge_loop
+
+_CHAR_MIX = insns.mix(alu=2, load=1, br_bulk=1)
+_COPY_MIX = insns.mix(alu=1, load=1, store=1, br_bulk=1)
+
+
+@aot("rstr.ll_join", "R", "pure")
+def ll_join(ctx, separator, items):
+    total = sum(len(item) for item in items) + max(0, len(items) - 1)
+    charge_loop(ctx, max(1, total), _COPY_MIX)
+    return separator.join(items)
+
+
+@aot("rstr.ll_find_char", "R", "pure")
+def ll_find_char(ctx, text, char, start):
+    index = text.find(char, start)
+    scanned = (index - start + 1) if index >= 0 else (len(text) - start)
+    charge_loop(ctx, max(1, scanned), _CHAR_MIX)
+    return index
+
+@aot("rstr.ll_find", "R", "pure")
+def ll_find(ctx, text, needle, start):
+    index = text.find(needle, start)
+    scanned = (index - start + 1) if index >= 0 else (len(text) - start)
+    charge_loop(ctx, max(1, scanned * max(1, len(needle) // 2)), _CHAR_MIX)
+    return index
+
+
+@aot("rstr.ll_strhash", "R", "pure")
+def ll_strhash(ctx, text):
+    charge_loop(ctx, max(1, len(text)), _CHAR_MIX)
+    # djb2-style, deterministic across runs (unlike Python's str hash).
+    value = 5381
+    for char in text:
+        value = ((value * 33) ^ ord(char)) & 0xFFFFFFFFFFFFFFF
+    return value
+
+
+@aot("rstring.replace", "L", "pure")
+def ll_replace(ctx, text, old, new):
+    charge_loop(ctx, max(1, len(text)), _COPY_MIX)
+    return text.replace(old, new)
+
+
+@aot("rstr.ll_split", "R", "pure")
+def ll_split(ctx, text, separator):
+    charge_loop(ctx, max(1, len(text)), _CHAR_MIX)
+    if separator is None:
+        return text.split()
+    return text.split(separator)
+
+
+@aot("rstr.ll_contains", "R", "pure")
+def ll_contains(ctx, text, needle):
+    charge_loop(ctx, max(1, len(text)), _CHAR_MIX)
+    return needle in text
+
+
+@aot("rstr.ll_startswith", "R", "pure")
+def ll_startswith(ctx, text, prefix):
+    charge_loop(ctx, max(1, len(prefix)), _CHAR_MIX)
+    return text.startswith(prefix)
+
+
+@aot("rstr.ll_endswith", "R", "pure")
+def ll_endswith(ctx, text, suffix):
+    charge_loop(ctx, max(1, len(suffix)), _CHAR_MIX)
+    return text.endswith(suffix)
+
+
+@aot("rstr.ll_lower", "R", "pure")
+def ll_lower(ctx, text):
+    charge_loop(ctx, max(1, len(text)), _COPY_MIX)
+    return text.lower()
+
+
+@aot("rstr.ll_upper", "R", "pure")
+def ll_upper(ctx, text):
+    charge_loop(ctx, max(1, len(text)), _COPY_MIX)
+    return text.upper()
+
+
+@aot("rstr.ll_strip", "R", "pure")
+def ll_strip(ctx, text):
+    charge_loop(ctx, max(1, len(text)), _CHAR_MIX)
+    return text.strip()
+
+
+@aot("rstr.ll_slice", "R", "pure")
+def ll_slice(ctx, text, start, stop):
+    start = max(0, min(start, len(text)))
+    stop = max(start, min(stop, len(text)))
+    charge_loop(ctx, max(1, stop - start), _COPY_MIX)
+    return text[start:stop]
+
+
+@aot("rstr.ll_mul", "R", "pure")
+def ll_mul(ctx, text, count):
+    charge_loop(ctx, max(1, len(text) * max(0, count)), _COPY_MIX)
+    return text * count
+
+
+@aot("ll_str.ll_int2dec", "L", "pure")
+def ll_int2dec(ctx, value):
+    text = str(value)
+    charge_loop(ctx, len(text) * 2, insns.mix(div=1, alu=3, store=1))
+    return text
+
+
+@aot("rfloat.float_to_str", "L", "pure")
+def ll_float2str(ctx, value):
+    charge_loop(ctx, 24, insns.mix(fpu=1, alu=4, store=1))
+    return repr(value)
+
+
+@aot("arithmetic.string_to_int", "L", "pure")
+def string_to_int(ctx, text):
+    charge_loop(ctx, max(1, len(text)), insns.mix(mul=1, alu=4, load=1))
+    stripped = text.strip()
+    sign = 1
+    if stripped.startswith(("-", "+")):
+        sign = -1 if stripped[0] == "-" else 1
+        stripped = stripped[1:]
+    if not stripped or not all("0" <= c <= "9" for c in stripped):
+        raise GuestError("invalid literal for int(): %r" % text)
+    value = 0
+    for char in stripped:
+        value = value * 10 + (ord(char) - 48)
+    return sign * value
+
+
+@aot("arithmetic.string_to_float", "L", "pure")
+def string_to_float(ctx, text):
+    charge_loop(ctx, max(1, len(text)), insns.mix(fpu=1, alu=4, load=1))
+    try:
+        return float(text)
+    except ValueError:
+        raise GuestError("invalid literal for float(): %r" % text)
+
+
+@aot("runicode.unicode_encode_ucs1_helper", "L", "pure")
+def unicode_encode_ascii(ctx, text):
+    charge_loop(ctx, max(1, len(text)), _COPY_MIX)
+    return text.encode("ascii", "replace")
+
+
+@aot("rstr.ll_char_in_set", "R", "pure")
+def ll_char_in_set(ctx, char, charset):
+    charge_loop(ctx, 2, _CHAR_MIX)
+    return char in charset
+
+
+@aot("W_UnicodeObject.descr_translate", "I", "pure")
+def descr_translate(ctx, text, table):
+    """Per-char table translation (html5lib/revcomp-style workloads)."""
+    charge_loop(ctx, max(1, len(text)), insns.mix(alu=2, load=2, store=1))
+    return "".join(table.get(c, c) for c in text)

@@ -1,0 +1,50 @@
+"""rstringbuilder: incremental string building (rbuilder.ll_append).
+
+Template-engine benchmarks (spitfire, django, json_bench) are dominated
+by these entry points in the paper's Table III.
+"""
+
+from repro.interp.aot import aot
+from repro.isa import insns
+from repro.rlib.costutil import charge_loop
+
+_COPY_MIX = insns.mix(load=1, store=1, alu=1)
+
+
+class StringBuilder(object):
+    __slots__ = ("chunks", "length", "_addr")
+    _size_ = 64
+
+    def __init__(self):
+        self.chunks = []
+        self.length = 0
+
+
+@aot("rbuilder.ll_append", "R", "any")
+def ll_append(ctx, builder, text):
+    charge_loop(ctx, max(1, len(text) // 4 + 1), _COPY_MIX)
+    builder.chunks.append(text)
+    builder.length += len(text)
+    return None
+
+
+@aot("rbuilder.ll_append_char", "R", "any")
+def ll_append_char(ctx, builder, char):
+    ctx.charge(insns.mix(store=1, alu=2, load=1))
+    builder.chunks.append(char)
+    builder.length += 1
+    return None
+
+
+@aot("rbuilder.ll_build", "R", "any")
+def ll_build(ctx, builder):
+    charge_loop(ctx, max(1, builder.length // 4 + 1), _COPY_MIX)
+    result = "".join(builder.chunks)
+    builder.chunks = [result]
+    return result
+
+
+@aot("rbuilder.ll_getlength", "R", "readonly")
+def ll_getlength(ctx, builder):
+    ctx.charge(insns.mix(load=1))
+    return builder.length

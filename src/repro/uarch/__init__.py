@@ -1,0 +1,1 @@
+"""Microarchitecture model: predictors, caches, timing machine."""

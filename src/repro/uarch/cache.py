@@ -1,0 +1,59 @@
+"""A two-level set-associative data-cache model with LRU replacement.
+
+Fed real simulated heap addresses (the GC assigns object addresses), so
+locality differences between, say, pointer-chasing interpreter code and
+the GC's sequential nursery sweeps show up in the miss rates.
+"""
+
+
+class SetAssocCache:
+    """One cache level. Addresses are byte addresses."""
+
+    def __init__(self, size_kib, assoc, line_bytes):
+        self.line_shift = line_bytes.bit_length() - 1
+        if (1 << self.line_shift) != line_bytes:
+            raise ValueError("line size must be a power of two")
+        n_lines = (size_kib * 1024) // line_bytes
+        self.n_sets = max(1, n_lines // assoc)
+        if self.n_sets & (self.n_sets - 1):
+            raise ValueError("set count must be a power of two")
+        self.set_mask = self.n_sets - 1
+        self.assoc = assoc
+        # Each set is a list of tags in LRU order (front = MRU).
+        self.sets = [[] for _ in range(self.n_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, addr):
+        """Return True on hit; update LRU state either way."""
+        line = addr >> self.line_shift
+        ways = self.sets[line & self.set_mask]
+        tag = line >> 0  # full line id as tag (set bits redundant but fine)
+        try:
+            ways.remove(tag)
+            ways.insert(0, tag)
+            self.hits += 1
+            return True
+        except ValueError:
+            ways.insert(0, tag)
+            if len(ways) > self.assoc:
+                ways.pop()
+            self.misses += 1
+            return False
+
+
+class CacheHierarchy:
+    """L1D + unified L2; returns the cycle penalty of an access."""
+
+    def __init__(self, cfg):
+        self.l1 = SetAssocCache(cfg.l1d_kib, cfg.l1d_assoc, cfg.l1d_line)
+        self.l2 = SetAssocCache(cfg.l2_kib, cfg.l2_assoc, cfg.l1d_line)
+        self.l1_penalty = cfg.l1d_miss_penalty
+        self.l2_penalty = cfg.l2_miss_penalty
+
+    def access(self, addr):
+        if self.l1.access(addr):
+            return 0
+        if self.l2.access(addr):
+            return self.l1_penalty
+        return self.l1_penalty + self.l2_penalty

@@ -1,0 +1,278 @@
+"""The Machine: execution target for the virtual instruction stream.
+
+Every layer of the simulated system (interpreter handlers, the JIT
+backend's lowered traces, the GC, AOT runtime functions) ultimately emits
+instruction-stream events into one :class:`Machine`.  The machine:
+
+* retires instructions and accumulates cycles with a deterministic
+  superscalar timing model (issue width + per-class stalls + branch
+  mispredict penalties from real predictors + cache miss penalties),
+* maintains PAPI-style counters that can be snapshotted at any point
+  (the paper reads performance counters on cross-layer annotations),
+* dispatches ``NOP_ANNOT`` annotations to registered listeners (the
+  PinTool attaches here, exactly as Pin intercepts tagged nops).
+
+This mirrors the paper's measurement stack: the "hardware" is the timing
+model, "PAPI" is :meth:`counters`, and "Pin" is the listener interface.
+"""
+
+from collections import namedtuple
+
+from repro.core.errors import ReproError
+from repro.isa import insns
+from repro.uarch.branch import (
+    AlwaysTakenPredictor,
+    BimodalPredictor,
+    Btb,
+    GsharePredictor,
+    ReturnAddressStack,
+)
+from repro.uarch.cache import CacheHierarchy
+
+
+class SimulationLimitReached(ReproError):
+    """Raised when ``max_instructions`` is exceeded (the paper's 10B cap)."""
+
+
+CounterSnapshot = namedtuple(
+    "CounterSnapshot",
+    [
+        "instructions",
+        "cycles",
+        "branches",
+        "branch_misses",
+        "loads",
+        "stores",
+        "l1d_misses",
+        "annotations",
+    ],
+)
+
+
+def _make_cond_predictor(kind, bits):
+    if kind == "gshare":
+        return GsharePredictor(bits)
+    if kind == "bimodal":
+        return BimodalPredictor(bits)
+    if kind == "always_taken":
+        return AlwaysTakenPredictor()
+    raise ReproError("unknown predictor kind %r" % kind)
+
+
+class Machine:
+    """Retires instruction-stream events and keeps the clock."""
+
+    def __init__(self, config, predictor="gshare"):
+        config.validate()
+        self.config = config
+        ucfg = config.uarch
+        self.issue_width = ucfg.issue_width
+        self.mispredict_penalty = ucfg.mispredict_penalty
+        self.cond_predictor = _make_cond_predictor(predictor, ucfg.gshare_bits)
+        self.btb = Btb(ucfg.btb_entries)
+        self.ras = ReturnAddressStack(ucfg.ras_entries)
+        self.dcache = CacheHierarchy(ucfg)
+        # Per-class stall weights, indexed by instruction class.
+        stalls = [0.0] * insns.N_CLASSES
+        stalls[insns.MUL] = ucfg.stall_mul
+        stalls[insns.DIV] = ucfg.stall_div
+        stalls[insns.FPU] = ucfg.stall_fpu
+        stalls[insns.LOAD] = ucfg.stall_load
+        stalls[insns.STORE] = ucfg.stall_store
+        self._stalls = stalls
+        self._inv_width = 1.0 / self.issue_width
+        # Counters.
+        self.instructions = 0
+        self.cycles = 0.0
+        self.branches = 0
+        self.branch_misses = 0
+        self.loads = 0
+        self.stores = 0
+        self.annotations = 0
+        self.class_counts = [0] * insns.N_CLASSES
+        self.max_instructions = config.max_instructions
+        self._annot_listeners = []
+        self._bulk_miss_carry = 0.0
+        # Miss rate for br_bulk mix entries (interpreter/runtime code).
+        self.bulk_miss_rate = 0.045
+
+    # -- listener management ------------------------------------------------
+
+    def add_annot_listener(self, listener):
+        """Register a callable ``listener(tag, payload)``."""
+        self._annot_listeners.append(listener)
+
+    def remove_annot_listener(self, listener):
+        self._annot_listeners.remove(listener)
+
+    # -- instruction-stream events -------------------------------------------
+
+    def annot(self, tag, payload=None):
+        """Execute one tagged NOP_ANNOT and notify listeners."""
+        self.instructions += 1
+        self.annotations += 1
+        self.class_counts[insns.NOP_ANNOT] += 1
+        self.cycles += self._inv_width
+        for listener in self._annot_listeners:
+            listener(tag, payload)
+        if self.max_instructions and self.instructions >= self.max_instructions:
+            raise SimulationLimitReached(self.instructions)
+
+    def exec_mix(self, mix):
+        """Retire a bulk mix of instructions.
+
+        ``br_bulk`` entries are conditional branches charged at the
+        machine's calibrated bulk miss rate (see exec_bulk_branches).
+        """
+        total = 0
+        extra = 0.0
+        stalls = self._stalls
+        counts = self.class_counts
+        for klass, count in mix:
+            total += count
+            counts[klass] += count
+            if klass == 11:  # insns.BR_BULK
+                self.branches += count
+                misses_exact = count * self.bulk_miss_rate \
+                    + self._bulk_miss_carry
+                misses = int(misses_exact)
+                self._bulk_miss_carry = misses_exact - misses
+                self.branch_misses += misses
+                extra += misses * self.mispredict_penalty
+                continue
+            stall = stalls[klass]
+            if stall:
+                extra += stall * count
+        self.instructions += total
+        self.cycles += total * self._inv_width + extra
+        if self.max_instructions and self.instructions >= self.max_instructions:
+            raise SimulationLimitReached(self.instructions)
+
+    def branch(self, pc, taken):
+        """Retire one conditional branch with a real outcome."""
+        self.instructions += 1
+        self.branches += 1
+        self.class_counts[insns.BR_COND] += 1
+        self.cycles += self._inv_width
+        if self.cond_predictor.predict_and_update(pc, taken):
+            self.branch_misses += 1
+            self.cycles += self.mispredict_penalty
+
+    def indirect(self, pc, target):
+        """Retire one indirect jump (e.g. interpreter dispatch)."""
+        self.instructions += 1
+        self.branches += 1
+        self.class_counts[insns.BR_IND] += 1
+        self.cycles += self._inv_width
+        if self.btb.predict_and_update(pc, target):
+            self.branch_misses += 1
+            self.cycles += self.mispredict_penalty
+
+    def call(self, pc):
+        """Retire one direct call; pushes the return address on the RAS."""
+        self.instructions += 1
+        self.branches += 1
+        self.class_counts[insns.CALL] += 1
+        self.cycles += self._inv_width
+        self.ras.push(pc + 1)
+
+    def ret(self, pc):
+        """Retire one return; mispredicts when the RAS has been clobbered."""
+        self.instructions += 1
+        self.branches += 1
+        self.class_counts[insns.RET] += 1
+        self.cycles += self._inv_width
+        if self.ras.predict_and_pop(pc + 1):
+            self.branch_misses += 1
+            self.cycles += self.mispredict_penalty
+
+    def exec_bulk_branches(self, count, miss_rate):
+        """Retire ``count`` loop-style branches with a calibrated miss rate.
+
+        Bulk code (GC sweeps, AOT-compiled runtime functions) would cost
+        one predictor call per branch; since its branches are regular
+        loop branches, we charge an aggregate miss rate instead.  The
+        fractional remainder is carried so long runs are exact.
+        """
+        if count <= 0:
+            return
+        self.instructions += count
+        self.branches += count
+        self.class_counts[insns.BR_COND] += count
+        misses_exact = count * miss_rate + self._bulk_miss_carry
+        misses = int(misses_exact)
+        self._bulk_miss_carry = misses_exact - misses
+        self.branch_misses += misses
+        self.cycles += (
+            count * self._inv_width + misses * self.mispredict_penalty
+        )
+        if self.max_instructions and self.instructions >= self.max_instructions:
+            raise SimulationLimitReached(self.instructions)
+
+    def load(self, addr):
+        """Retire one load with a concrete (simulated-heap) address."""
+        self.instructions += 1
+        self.loads += 1
+        self.class_counts[insns.LOAD] += 1
+        self.cycles += self._inv_width + self._stalls[insns.LOAD]
+        self.cycles += self.dcache.access(addr)
+
+    def store(self, addr):
+        """Retire one store with a concrete (simulated-heap) address.
+
+        Write-allocate misses are largely hidden by the store buffer, so
+        only a fraction of the miss penalty reaches the critical path.
+        """
+        self.instructions += 1
+        self.stores += 1
+        self.class_counts[insns.STORE] += 1
+        self.cycles += self._inv_width + self._stalls[insns.STORE]
+        self.cycles += 0.3 * self.dcache.access(addr)
+
+    # -- PAPI-style counter access --------------------------------------------
+
+    def counters(self):
+        """Snapshot the counters (the paper's PAPI-on-annotation reads)."""
+        return CounterSnapshot(
+            instructions=self.instructions,
+            cycles=self.cycles,
+            branches=self.branches,
+            branch_misses=self.branch_misses,
+            loads=self.loads,
+            stores=self.stores,
+            l1d_misses=self.dcache.l1.misses,
+            annotations=self.annotations,
+        )
+
+    @property
+    def ipc(self):
+        """Overall instructions per cycle so far."""
+        if self.cycles == 0:
+            return 0.0
+        return self.instructions / self.cycles
+
+    @property
+    def branch_mpki(self):
+        """Branch misses per 1000 instructions (the paper's M column)."""
+        if self.instructions == 0:
+            return 0.0
+        return 1000.0 * self.branch_misses / self.instructions
+
+
+def delta(after, before):
+    """Counter delta between two snapshots (windowed PAPI read)."""
+    return CounterSnapshot(*(a - b for a, b in zip(after, before)))
+
+
+def window_ipc(window):
+    return window.instructions / window.cycles if window.cycles else 0.0
+
+
+def window_branch_miss_rate(window):
+    return window.branch_misses / window.branches if window.branches else 0.0
+
+
+def window_branches_per_insn(window):
+    if not window.instructions:
+        return 0.0
+    return window.branches / window.instructions

@@ -1,0 +1,47 @@
+import pytest
+
+from repro.core.config import GcConfig, JitConfig, SystemConfig, UarchConfig
+from repro.core.errors import ConfigError
+
+
+def test_default_config_valid():
+    SystemConfig().validate()
+
+
+def test_interpreter_only_factory():
+    cfg = SystemConfig.interpreter_only()
+    assert not cfg.jit.enabled
+    assert SystemConfig().jit.enabled
+
+
+def test_jit_config_rejects_bad_threshold():
+    cfg = JitConfig(hot_loop_threshold=0)
+    with pytest.raises(ConfigError):
+        cfg.validate()
+
+
+def test_jit_config_rejects_bad_trace_limit():
+    with pytest.raises(ConfigError):
+        JitConfig(trace_limit=5).validate()
+
+
+def test_gc_config_rejects_tiny_nursery():
+    with pytest.raises(ConfigError):
+        GcConfig(nursery_bytes=16).validate()
+
+
+def test_gc_config_rejects_bad_survival():
+    with pytest.raises(ConfigError):
+        GcConfig(default_survival_rate=1.5).validate()
+
+
+def test_uarch_config_rejects_zero_width():
+    with pytest.raises(ConfigError):
+        UarchConfig(issue_width=0).validate()
+
+
+def test_configs_are_independent():
+    a = SystemConfig()
+    b = SystemConfig()
+    a.jit.hot_loop_threshold = 7
+    assert b.jit.hot_loop_threshold != 7

@@ -1,0 +1,32 @@
+from repro.core import tags
+
+
+def test_tag_values_unique():
+    values = [v for k, v in vars(tags).items()
+              if k.isupper() and isinstance(v, int)]
+    assert len(values) == len(set(values))
+
+
+def test_tag_name_roundtrip():
+    assert tags.tag_name(tags.TRACE_START) == "TRACE_START"
+    assert tags.tag_name(tags.DISPATCH) == "DISPATCH"
+    assert tags.tag_name(tags.GC_MINOR_STOP) == "GC_MINOR_STOP"
+
+
+def test_tag_name_unknown():
+    assert tags.tag_name(0x9999).startswith("UNKNOWN_")
+
+
+def test_phase_tags():
+    assert tags.is_phase_tag(tags.TRACE_START)
+    assert tags.is_phase_tag(tags.GC_MAJOR_START)
+    assert not tags.is_phase_tag(tags.DISPATCH)
+    assert not tags.is_phase_tag(tags.APP_EVENT)
+
+
+def test_layer_blocks():
+    # Framework tags in 0x100 block, interpreter in 0x200, etc.
+    assert 0x100 <= tags.TRACE_START < 0x200
+    assert 0x200 <= tags.DISPATCH < 0x300
+    assert 0x300 <= tags.IR_NODE < 0x400
+    assert 0x400 <= tags.APP_EVENT < 0x500

@@ -1,0 +1,141 @@
+import pytest
+
+from repro.core import tags
+from repro.core.config import SystemConfig
+from repro.gc.heap import NURSERY_BASE, SimGC
+from repro.uarch.machine import Machine
+
+
+class Dummy:
+    """A weak-referenceable allocation stand-in."""
+
+
+@pytest.fixture
+def setup():
+    cfg = SystemConfig()
+    cfg.gc.nursery_bytes = 4096
+    machine = Machine(cfg)
+    return machine, SimGC(machine, cfg.gc)
+
+
+def test_bump_allocation_addresses(setup):
+    _machine, gc = setup
+    a = gc.allocate(32)
+    b = gc.allocate(16)
+    assert a == NURSERY_BASE
+    assert b == a + 32
+
+
+def test_minor_collection_on_full_nursery(setup):
+    machine, gc = setup
+    seen = []
+    machine.add_annot_listener(lambda t, p: seen.append(t))
+    for _ in range(200):
+        gc.allocate(64)
+    assert gc.minor_collections >= 2
+    assert tags.GC_MINOR_START in seen
+    assert tags.GC_MINOR_STOP in seen
+    assert machine.instructions > 0
+
+
+def test_nursery_resets_after_minor(setup):
+    _machine, gc = setup
+    for _ in range(64):
+        gc.allocate(64)
+    gc.minor_collect()
+    assert gc.nursery_used == 0
+
+
+def test_survival_sampling_dead_objects(setup):
+    _machine, gc = setup
+    # Allocate objects that die immediately: survival should be ~0.
+    for _ in range(500):
+        gc.allocate(64, obj=Dummy())
+    rate = gc._survival_rate()
+    assert rate < 0.2
+
+
+def test_survival_sampling_live_objects(setup):
+    _machine, gc = setup
+    keep = []
+    for _ in range(500):
+        obj = Dummy()
+        keep.append(obj)
+        if gc.nursery_used + 64 > gc.nursery_size:
+            break
+        gc.allocate(64, obj=obj)
+    assert gc._survival_rate() > 0.8
+
+
+def test_live_allocations_cost_more(setup):
+    cfg = SystemConfig()
+    cfg.gc.nursery_bytes = 4096
+
+    def run(keep_alive):
+        machine = Machine(cfg)
+        gc = SimGC(machine, cfg.gc)
+        keep = []
+        for _ in range(2000):
+            obj = Dummy()
+            if keep_alive:
+                keep.append(obj)
+            gc.allocate(64, obj=obj)
+        return machine.cycles
+
+    assert run(keep_alive=True) > run(keep_alive=False)
+
+
+def test_major_collection_triggers(setup):
+    cfg = SystemConfig()
+    cfg.gc.nursery_bytes = 4096
+    cfg.gc.min_major_threshold = 8192
+    machine = Machine(cfg)
+    gc = SimGC(machine, cfg.gc)
+    keep = []
+    seen = []
+    machine.add_annot_listener(lambda t, p: seen.append(t))
+    for _ in range(4000):
+        obj = Dummy()
+        keep.append(obj)
+        gc.allocate(64, obj=obj)
+    assert gc.major_collections >= 1
+    assert tags.GC_MAJOR_START in seen
+    assert gc.major_threshold >= cfg.gc.min_major_threshold
+
+
+def test_major_threshold_grows():
+    cfg = SystemConfig()
+    cfg.gc.min_major_threshold = 1024
+    machine = Machine(cfg)
+    gc = SimGC(machine, cfg.gc)
+    gc.old_bytes = 10_000
+    gc.major_collect()
+    assert gc.major_threshold == int(10_000 * 0.6 * cfg.gc.major_growth_factor)
+
+
+def test_stats_keys(setup):
+    _machine, gc = setup
+    gc.allocate(10)
+    stats = gc.stats()
+    assert stats["total_allocations"] == 1
+    assert stats["total_allocated_bytes"] == 10
+    assert set(stats) == {
+        "minor_collections", "major_collections", "total_allocated_bytes",
+        "total_allocations", "bytes_surviving_minor", "old_bytes",
+    }
+
+
+def test_non_weakrefable_objects_tolerated(setup):
+    _machine, gc = setup
+    for _ in range(100):
+        gc.allocate(16, obj=42)  # ints are not weak-referenceable
+    assert gc.total_allocations == 100
+
+
+def test_bulk_branches_miss_carry():
+    machine = Machine(SystemConfig())
+    machine.exec_bulk_branches(10, 0.05)
+    machine.exec_bulk_branches(10, 0.05)
+    # 20 branches * 0.05 = 1 miss accumulated via the carry.
+    assert machine.branch_misses == 1
+    assert machine.branches == 20

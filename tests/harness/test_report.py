@@ -1,0 +1,52 @@
+import os
+
+from repro.harness import report
+
+
+def test_render_table_alignment():
+    text = report.render_table(
+        ["name", "value"], [("a", 1), ("long-name", 22)], title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "long-name" in text
+    assert all(len(line) >= 4 for line in lines[1:])
+
+
+def test_render_bars():
+    text = report.render_bars([("x", 1.0), ("y", 0.5)], width=10)
+    lines = text.splitlines()
+    assert lines[0].count("#") == 10
+    assert lines[1].count("#") == 5
+
+
+def test_render_bars_empty():
+    assert report.render_bars([], title="nothing") == "nothing"
+
+
+def test_render_stacked():
+    text = report.render_stacked(
+        [("row", {"a": 0.5, "b": 0.5})], ["a", "b"], width=10)
+    assert "legend" in text
+    assert "#####" in text
+
+
+def test_render_series():
+    points = [(0, 0.0), (50, 5.0), (100, 10.0)]
+    text = report.render_series(points, width=20, height=5, title="S")
+    assert text.startswith("S")
+    assert "*" in text
+
+
+def test_render_series_empty():
+    assert report.render_series([], title="S") == "S"
+
+
+def test_save_text_and_csv(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+    path = report.save_text("out.txt", "hello")
+    assert os.path.exists(path)
+    with open(path) as handle:
+        assert handle.read() == "hello\n"
+    csv_path = report.save_csv("out.csv", ["a", "b"], [(1, 2), (3, 4)])
+    with open(csv_path) as handle:
+        assert handle.read() == "a,b\n1,2\n3,4\n"

@@ -1,0 +1,59 @@
+"""Every TinyPy benchmark must produce identical output on host Python,
+CpRef, PyVM-interp, and PyVM-JIT (at a reduced problem size)."""
+
+import contextlib
+import io
+
+import pytest
+
+from repro.benchprogs import registry
+from repro.core.config import SystemConfig
+from repro.interp.context import VMContext
+from repro.pylang.cpref import CpRef
+from repro.pylang.interp import PyVM
+
+
+def host_python_output(source):
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        exec(compile(source, "<bench>", "exec"), {})
+    return buffer.getvalue()
+
+
+@pytest.mark.parametrize(
+    "program", registry.PY_PROGRAMS, ids=lambda p: p.name)
+def test_benchmark_output_matches_everywhere(program):
+    source = program.source(n=program.small_n)
+    expected = host_python_output(source)
+    assert expected.strip(), "benchmark printed nothing"
+
+    reference = CpRef(SystemConfig())
+    reference.run_source(source)
+    assert reference.stdout() == expected, "cpref diverges from host"
+
+    cfg = SystemConfig.interpreter_only()
+    nojit = PyVM(VMContext(cfg))
+    nojit.run_source(source)
+    assert nojit.stdout() == expected, "pyvm-nojit diverges"
+
+    cfg = SystemConfig()
+    cfg.jit.hot_loop_threshold = 5
+    cfg.jit.bridge_threshold = 3
+    ctx = VMContext(cfg)
+    jit = PyVM(ctx)
+    jit.run_source(source)
+    assert jit.stdout() == expected, "pyvm-jit diverges"
+
+
+def test_registry_lookup():
+    assert registry.py_program("richards").name == "richards"
+    with pytest.raises(KeyError):
+        registry.py_program("nonexistent")
+    assert len(registry.pypy_suite()) >= 15
+    assert len(registry.clbg_python()) >= 8
+
+
+def test_source_scaling():
+    program = registry.py_program("telco")
+    assert "N = 3000" in program.source()
+    assert "N = 7" in program.source(n=7)

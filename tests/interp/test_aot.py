@@ -1,0 +1,36 @@
+import pytest
+
+from repro.core.errors import ReproError
+from repro.interp.aot import AotFunction, aot
+
+
+def test_decorator_builds_function():
+    @aot("lib.fn", "L", "pure")
+    def fn(ctx, a, b):
+        return a + b
+
+    assert isinstance(fn, AotFunction)
+    assert fn.name == "lib.fn"
+    assert fn.src == "L"
+    assert fn.call(None, (1, 2)) == 3
+
+
+def test_effect_properties():
+    pure = AotFunction("p", "R", "pure", lambda ctx: None)
+    readonly = AotFunction("r", "R", "readonly", lambda ctx: None)
+    idempotent = AotFunction("i", "R", "idempotent", lambda ctx: None)
+    arbitrary = AotFunction("a", "R", "any", lambda ctx: None)
+    assert pure.reexec_safe and not pure.invalidates_heap
+    assert readonly.reexec_safe and not readonly.invalidates_heap
+    assert idempotent.reexec_safe and idempotent.invalidates_heap
+    assert not arbitrary.reexec_safe and arbitrary.invalidates_heap
+
+
+def test_rejects_bad_src():
+    with pytest.raises(ReproError):
+        AotFunction("x", "Z", "pure", lambda ctx: None)
+
+
+def test_rejects_bad_effects():
+    with pytest.raises(ReproError):
+        AotFunction("x", "R", "sometimes", lambda ctx: None)

@@ -1,0 +1,61 @@
+import pytest
+
+from repro.core.errors import IsaError
+from repro.isa import insns
+
+
+def test_mix_builds_pairs():
+    m = insns.mix(alu=3, load=2)
+    assert dict(m) == {insns.ALU: 3, insns.LOAD: 2}
+
+
+def test_mix_drops_zero_counts():
+    assert insns.mix(alu=0, store=1) == ((insns.STORE, 1),)
+
+
+def test_mix_rejects_unknown_class():
+    with pytest.raises(IsaError):
+        insns.mix(bogus=1)
+
+
+def test_mix_rejects_negative():
+    with pytest.raises(IsaError):
+        insns.mix(alu=-1)
+
+
+def test_mix_rejects_branch_classes():
+    with pytest.raises(IsaError):
+        insns.mix(br_cond=1)
+    with pytest.raises(IsaError):
+        insns.mix(call=1)
+
+
+def test_mix_size():
+    assert insns.mix_size(insns.mix(alu=3, fpu=4)) == 7
+    assert insns.mix_size(insns.EMPTY_MIX) == 0
+
+
+def test_scale_mix():
+    m = insns.scale_mix(insns.mix(alu=2), 3)
+    assert insns.mix_size(m) == 6
+
+
+def test_scale_mix_rejects_negative():
+    with pytest.raises(IsaError):
+        insns.scale_mix(insns.mix(alu=1), -1)
+
+
+def test_add_mixes():
+    total = insns.add_mixes(insns.mix(alu=1, load=2), insns.mix(alu=4))
+    assert dict(total) == {insns.ALU: 5, insns.LOAD: 2}
+
+
+def test_class_names_cover_all_classes():
+    assert len(insns.CLASS_NAMES) == insns.N_CLASSES
+
+
+def test_is_branch_class():
+    assert insns.is_branch_class(insns.BR_COND)
+    assert insns.is_branch_class(insns.RET)
+    assert not insns.is_branch_class(insns.ALU)
+    assert not insns.is_branch_class(insns.NOP_ANNOT)

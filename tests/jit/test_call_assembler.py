@@ -1,0 +1,103 @@
+"""call_assembler: traces calling other compiled loops (nested loops)."""
+
+from repro.core.config import SystemConfig
+from repro.interp.context import VMContext
+from repro.jit import ir, jitlog
+from repro.pylang.cpref import CpRef
+from repro.pylang.interp import PyVM
+
+NESTED = '''
+def inner(k):
+    total = 0
+    i = 0
+    while i < 60:
+        total = total + i * k
+        i = i + 1
+    return total
+
+acc = 0
+j = 0
+while j < 400:
+    acc = acc + inner(j % 5)
+    j = j + 1
+print(acc)
+'''
+
+
+def run_jit(source, **overrides):
+    cfg = SystemConfig()
+    cfg.jit.hot_loop_threshold = 7
+    cfg.jit.bridge_threshold = 3
+    for key, value in overrides.items():
+        setattr(cfg.jit, key, value)
+    ctx = VMContext(cfg)
+    vm = PyVM(ctx)
+    vm.run_source(source)
+    return vm, ctx
+
+
+def test_nested_loops_emit_call_assembler():
+    reference = CpRef(SystemConfig())
+    reference.run_source(NESTED)
+    vm, ctx = run_jit(NESTED)
+    assert vm.stdout() == reference.stdout()
+    ops = [op for t in ctx.registry.traces for op in t.ops]
+    call_asm = [op for op in ops if op.opnum == ir.CALL_ASSEMBLER]
+    assert call_asm, "outer loop did not stitch to the inner loop"
+    # The outer loop compiled despite containing a compiled inner loop.
+    outer_keys = {t.greenkey[0].name for t in ctx.registry.traces
+                  if t.kind == "loop"}
+    assert "__main__" in outer_keys
+    assert "inner" in outer_keys
+
+
+def test_call_assembler_is_expensive_in_figure9():
+    _vm, ctx = run_jit(NESTED)
+    means = jitlog.asm_insns_per_node_type(ctx.registry)
+    assert means["call_assembler"] > 30
+
+
+def test_recursive_function_with_inner_loop():
+    source = '''
+def work(depth):
+    total = 0
+    i = 0
+    while i < 40:
+        total += i
+        i += 1
+    if depth > 0:
+        total += work(depth - 1)
+    return total
+
+acc = 0
+for j in range(200):
+    acc += work(2)
+print(acc)
+'''
+    reference = CpRef(SystemConfig())
+    reference.run_source(source)
+    vm, ctx = run_jit(source)
+    assert vm.stdout() == reference.stdout()
+
+
+def test_call_assembler_result_flows_into_trace():
+    # The call's result participates in later arithmetic: linkage must
+    # be live, not constant-captured.
+    source = '''
+def inner(k):
+    s = 0
+    i = 0
+    while i < 30:
+        s += k
+        i += 1
+    return s
+
+values = []
+for j in range(300):
+    values.append(inner(j % 7) * 2)
+print(values[0], values[8], values[299], sum(values))
+'''
+    reference = CpRef(SystemConfig())
+    reference.run_source(source)
+    vm, ctx = run_jit(source)
+    assert vm.stdout() == reference.stdout()

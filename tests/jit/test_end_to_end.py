@@ -1,0 +1,262 @@
+"""End-to-end JIT tests through the MiniLang tutorial VM.
+
+These exercise the full stack: dispatch -> hot detection -> tracing ->
+optimization (virtuals, peeling) -> codegen execution -> guard failure ->
+blackhole deoptimization -> bridges.
+"""
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.interp.context import VMContext
+from repro.interp.minilang import Code, MiniInterp, W_Int
+from repro.pintool.tool import PinTool
+
+
+def countdown_code(n_iterations):
+    # local0 = n; while local0 > 0: local0 = local0 - 1; return local0
+    ops = [
+        ("load_local", 0),     # 0: loop header
+        ("load_const", 0),     # 1
+        ("eq", None),          # 2
+        ("jump_if_false", 5),  # 3
+        ("jump", 10),          # 4: exit
+        ("load_local", 0),     # 5
+        ("load_const", 1),     # 6
+        ("sub", None),         # 7
+        ("store_local", 0),    # 8
+        ("jump", 0),           # 9: backward jump (loop header target 0)
+        ("load_local", 0),     # 10
+        ("return", None),      # 11
+    ]
+    return Code("countdown", ops, n_locals=1), (n_iterations,)
+
+
+def accumulate_code():
+    # local0 = n; local1 = 0
+    # while local0 != 0: local1 += local0; local0 -= 1
+    # return local1  (sum 1..n)
+    ops = [
+        ("load_const", 0),      # 0
+        ("store_local", 1),     # 1
+        ("load_local", 0),      # 2: loop header
+        ("load_const", 0),      # 3
+        ("eq", None),           # 4
+        ("jump_if_false", 7),   # 5
+        ("jump", 16),           # 6 -> exit
+        ("load_local", 1),      # 7
+        ("load_local", 0),      # 8
+        ("add", None),          # 9
+        ("store_local", 1),     # 10
+        ("load_local", 0),      # 11
+        ("load_const", 1),      # 12
+        ("sub", None),          # 13
+        ("store_local", 0),     # 14
+        ("jump", 2),            # 15: backward jump
+        ("load_local", 1),      # 16
+        ("return", None),       # 17
+    ]
+    return Code("accumulate", ops, n_locals=2)
+
+
+def run_program(code, args, jit=True, threshold=10, pin=False):
+    cfg = SystemConfig()
+    cfg.jit.enabled = jit
+    cfg.jit.hot_loop_threshold = threshold
+    ctx = VMContext(cfg)
+    tool = PinTool(ctx.machine) if pin else None
+    interp = MiniInterp(ctx)
+    result = interp.run(code, args)
+    if tool is not None:
+        tool.finish()
+    return result, ctx, tool
+
+
+def int_of(w_value):
+    assert isinstance(w_value, W_Int)
+    return w_value.intval
+
+
+def test_countdown_no_jit():
+    code, args = countdown_code(50)
+    result, ctx, _ = run_program(code, args, jit=False)
+    assert int_of(result) == 0
+    assert ctx.registry.traces == []
+
+
+def test_countdown_jit_compiles_and_matches():
+    code, args = countdown_code(300)
+    result, ctx, _ = run_program(code, args)
+    assert int_of(result) == 0
+    assert len(ctx.registry.traces) >= 1
+    loop = ctx.registry.traces[0]
+    assert loop.kind == "loop"
+    assert loop.executions >= 1
+
+
+def test_accumulate_result_matches_interpreter():
+    code = accumulate_code()
+    jit_result, jit_ctx, _ = run_program(code, (400,))
+    plain_result, _, _ = run_program(code, (400,), jit=False)
+    assert int_of(jit_result) == int_of(plain_result) == 400 * 401 // 2
+    assert len(jit_ctx.registry.traces) >= 1
+
+
+def test_jit_is_faster_in_cycles():
+    code = accumulate_code()
+    _, ctx_jit, _ = run_program(code, (3000,))
+    _, ctx_nojit, _ = run_program(code, (3000,), jit=False)
+    assert ctx_jit.machine.cycles < ctx_nojit.machine.cycles * 0.5
+
+
+def test_loop_exit_deoptimizes_correctly():
+    # The loop-exit guard fails at the end; the interpreter must resume
+    # and produce the right value.
+    code = accumulate_code()
+    result, ctx, _ = run_program(code, (100,), threshold=5)
+    assert int_of(result) == 5050
+
+
+def test_escape_analysis_removes_boxes():
+    # In the peeled loop body, the W_Int temporaries must be virtualized:
+    # far fewer allocations in JIT execution than interpretation.
+    code = accumulate_code()
+    _, ctx_jit, _ = run_program(code, (5000,))
+    _, ctx_nojit, _ = run_program(code, (5000,), jit=False)
+    assert ctx_jit.gc.total_allocations < ctx_nojit.gc.total_allocations * 0.3
+
+
+def test_phases_observed():
+    code = accumulate_code()
+    _, ctx, tool = run_program(code, (2000,), pin=True)
+    breakdown = tool.phases.breakdown()
+    assert breakdown["tracing"] > 0
+    assert breakdown["jit"] > 0
+    assert breakdown["interp"] > 0
+    assert sum(breakdown.values()) == pytest.approx(1.0)
+
+
+def test_bytecode_count_consistent_across_modes():
+    # Same guest program => same number of DISPATCH events with and
+    # without JIT (trace debug_merge_points stand in for dispatches).
+    code = accumulate_code()
+    n = 150
+
+    def count(jit):
+        cfg = SystemConfig()
+        cfg.jit.enabled = jit
+        cfg.jit.hot_loop_threshold = 10
+        ctx = VMContext(cfg)
+        tool = PinTool(ctx.machine)
+        interp = MiniInterp(ctx)
+        interp.run(code, (n,))
+        tool.finish()
+        return tool.bcrate.bytecodes
+
+    with_jit = count(True)
+    without_jit = count(False)
+    assert abs(with_jit - without_jit) <= without_jit * 0.02 + 20
+
+
+def test_function_call_inlined_into_trace():
+    # main: while local0 != 0: local0 = f(local0); return local0
+    # f(x) = x - 1
+    f_ops = [
+        ("load_local", 0),
+        ("load_const", 1),
+        ("sub", None),
+        ("return", None),
+    ]
+    f_code = Code("f", f_ops, n_locals=1)
+    main_ops = [
+        ("load_local", 0),      # 0: loop header
+        ("load_const", 0),      # 1
+        ("eq", None),           # 2
+        ("jump_if_false", 5),   # 3
+        ("jump", 9),            # 4
+        ("load_local", 0),      # 5
+        ("call", "f"),          # 6
+        ("store_local", 0),     # 7
+        ("jump", 0),            # 8
+        ("load_local", 0),      # 9
+        ("return", None),       # 10
+    ]
+    main = Code("main", main_ops, n_locals=1)
+    main.codes["f"] = f_code
+    result, ctx, _ = run_program(main, (500,))
+    assert int_of(result) == 0
+    assert len(ctx.registry.traces) >= 1
+
+
+def test_type_switch_creates_bridge_or_deopts():
+    # Loop whose body alternates between two paths via a data-dependent
+    # branch: guard failures should accumulate and attach a bridge.
+    ops = [
+        ("load_local", 0),      # 0: header
+        ("load_const", 0),
+        ("eq", None),
+        ("jump_if_false", 5),
+        ("jump", 18),           # exit
+        ("load_local", 1),      # 5: parity check
+        ("load_const", 0),
+        ("eq", None),
+        ("jump_if_false", 11),
+        ("load_const", 1),      # 9: then-branch: local1 = 1
+        ("jump", 12),
+        ("load_const", 0),      # 11: else-branch: local1 = 0
+        ("store_local", 1),     # 12
+        ("load_local", 0),
+        ("load_const", 1),
+        ("sub", None),
+        ("store_local", 0),
+        ("jump", 0),
+        ("load_local", 0),      # 18
+        ("return", None),
+    ]
+    code = Code("alternating", ops, n_locals=2)
+    cfg = SystemConfig()
+    cfg.jit.hot_loop_threshold = 8
+    cfg.jit.bridge_threshold = 5
+    ctx = VMContext(cfg)
+    interp = MiniInterp(ctx)
+    result = interp.run(code, (400, 0))
+    assert int_of(result) == 0
+    kinds = {t.kind for t in ctx.registry.traces}
+    assert "loop" in kinds
+    assert "bridge" in kinds
+
+
+def test_overflow_falls_back_to_bignum_call():
+    # Repeated doubling overflows 64-bit and must take the residual-call
+    # path; just check it does not crash pre-overflow with JIT on.
+    ops = [
+        ("load_local", 0),      # 0: header
+        ("load_const", 0),      # 1
+        ("eq", None),           # 2
+        ("jump_if_false", 5),   # 3
+        ("jump", 14),           # 4
+        ("load_local", 1),      # 5
+        ("load_local", 1),      # 6
+        ("add", None),          # 7
+        ("store_local", 1),     # 8
+        ("load_local", 0),      # 9
+        ("load_const", 1),      # 10
+        ("sub", None),          # 11
+        ("store_local", 0),     # 12
+        ("jump", 0),            # 13
+        ("load_local", 1),      # 14
+        ("return", None),       # 15
+    ]
+    code = Code("doubling", ops, n_locals=2)
+    cfg = SystemConfig()
+    cfg.jit.hot_loop_threshold = 6
+    ctx = VMContext(cfg)
+    interp = MiniInterp(ctx)
+    result = interp.run(code, (62, 1))
+    assert int_of(result) == 2 ** 62
+
+
+def test_jitlog_records_compilation():
+    code = accumulate_code()
+    _, ctx, _ = run_program(code, (500,))
+    assert ctx.jitlog.count("compile") >= 1

@@ -1,0 +1,99 @@
+"""Unit tests for executor helpers: exit plans, virtual materialization."""
+
+from repro.core.config import SystemConfig
+from repro.interp.context import VMContext
+from repro.interp.objects import W_Root
+from repro.jit import ir
+from repro.jit.executor import (
+    _exit_plan,
+    _materialize,
+    _resume_value,
+    _snapshot_to_frames,
+)
+from repro.jit.resume import FrameState, Snapshot, VirtualSpec
+from repro.jit.trace import InputArg
+
+
+class W_Thing(W_Root):
+    _size_ = 24
+
+
+def make_ctx():
+    return VMContext(SystemConfig())
+
+
+def test_exit_plan_unique_non_const():
+    a = InputArg()
+    b = InputArg()
+    snapshot = Snapshot((FrameState(
+        "code", 3, (a, ir.Const(5), b, a), ()),))
+    plan = _exit_plan(snapshot)
+    assert plan == [a, b]
+
+
+def test_exit_plan_includes_virtual_fields():
+    a = InputArg()
+    descr = ir.FieldDescr.get(W_Thing, "payload")
+    spec = VirtualSpec(W_Thing, {descr: a}, 24)
+    snapshot = Snapshot((FrameState("code", 0, (spec,), ()),))
+    plan = _exit_plan(snapshot)
+    assert plan == [a]
+
+
+def test_exit_plan_handles_shared_and_cyclic_specs():
+    descr_self = ir.FieldDescr.get(W_Thing, "self_ref")
+    spec = VirtualSpec(W_Thing, {}, 24)
+    spec.fields[descr_self] = spec  # cycle
+    snapshot = Snapshot((FrameState("code", 0, (spec, spec), ()),))
+    assert _exit_plan(snapshot) == []
+
+
+def test_materialize_builds_object():
+    ctx = make_ctx()
+    a = InputArg()
+    descr = ir.FieldDescr.get(W_Thing, "value_field")
+    spec = VirtualSpec(W_Thing, {descr: a}, 24)
+    obj = _materialize(ctx, spec, {a: 42}, {})
+    assert isinstance(obj, W_Thing)
+    assert obj.value_field == 42
+    assert obj._addr != 0
+
+
+def test_materialize_cyclic():
+    ctx = make_ctx()
+    descr = ir.FieldDescr.get(W_Thing, "next_ref")
+    spec = VirtualSpec(W_Thing, {}, 24)
+    spec.fields[descr] = spec
+    obj = _materialize(ctx, spec, {}, {})
+    assert obj.next_ref is obj
+
+
+def test_materialize_shared_identity():
+    ctx = make_ctx()
+    descr_left = ir.FieldDescr.get(W_Thing, "left")
+    descr_right = ir.FieldDescr.get(W_Thing, "right")
+    inner = VirtualSpec(W_Thing, {}, 24)
+    outer = VirtualSpec(W_Thing, {descr_left: inner,
+                                  descr_right: inner}, 24)
+    obj = _materialize(ctx, outer, {}, {})
+    assert obj.left is obj.right
+
+
+def test_resume_value_kinds():
+    ctx = make_ctx()
+    a = InputArg()
+    assert _resume_value(ctx, ir.Const("k"), {}, {}) == "k"
+    assert _resume_value(ctx, a, {a: 7}, {}) == 7
+
+
+def test_snapshot_to_frames():
+    ctx = make_ctx()
+    a = InputArg()
+    snapshot = Snapshot((
+        FrameState("outer", 4, (a,), (ir.Const(None),), extra="X"),
+        FrameState("inner", 9, (ir.Const(1),), (), extra="Y"),
+    ))
+    frames, n_values = _snapshot_to_frames(ctx, snapshot, {a: "val"})
+    assert n_values == 3
+    assert frames[0] == ("outer", 4, ["val"], [None], "X")
+    assert frames[1] == ("inner", 9, [1], [], "Y")

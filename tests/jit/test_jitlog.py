@@ -1,0 +1,95 @@
+"""Unit tests for the jitlog statistics over hand-built registries."""
+
+from repro.jit import ir, jitlog
+from repro.jit.trace import LOOP, InputArg, Trace, TraceRegistry
+
+
+def make_registry():
+    registry = TraceRegistry()
+    i0 = InputArg()
+    ops = [
+        ir.IROp(ir.GETFIELD_GC, [i0], None),
+        ir.IROp(ir.GUARD_TRUE, [i0], None),
+        ir.IROp(ir.INT_ADD, [i0, ir.Const(1)], None),
+        ir.IROp(ir.JUMP, [i0], None),
+    ]
+    trace = Trace(0, LOOP, ("k", 0), [i0], ops, [("k", 0, 1, 0)])
+    trace.op_exec_counts = [1000, 1000, 1000, 1000]
+    trace.op_asm_insns = [1, 2, 1, 2]
+    registry.register(trace)
+    cold_ops = [ir.IROp(ir.INT_MUL, [i0, i0], None)]
+    cold = Trace(1, "bridge", None, [i0], cold_ops, [("k", 0, 1, 0)])
+    cold.op_exec_counts = [1]
+    cold.op_asm_insns = [1]
+    registry.register(cold)
+    return registry
+
+
+def test_total_nodes():
+    registry = make_registry()
+    assert jitlog.total_ir_nodes_compiled(registry) == 5
+
+
+def test_hot_fraction():
+    registry = make_registry()
+    fraction = jitlog.hot_node_fraction(registry, coverage=0.95)
+    # 4 hot nodes dominate; the cold bridge node is in the tail.
+    assert 0 < fraction <= 4 / 5
+
+
+def test_nodes_per_minsn():
+    registry = make_registry()
+    assert jitlog.ir_nodes_per_minsn(registry, 1_000_000) == 4001
+    assert jitlog.ir_nodes_per_minsn(registry, 0) == 0.0
+
+
+def test_histogram():
+    registry = make_registry()
+    histogram = jitlog.dynamic_node_type_histogram(registry)
+    assert abs(sum(histogram.values()) - 1.0) < 1e-9
+    assert histogram["getfield_gc"] > histogram["int_mul"]
+
+
+def test_category_breakdown():
+    registry = make_registry()
+    breakdown = jitlog.dynamic_category_breakdown(registry)
+    assert abs(sum(breakdown.values()) - 1.0) < 1e-9
+    assert breakdown[ir.CAT_GUARD] > 0
+    assert breakdown[ir.CAT_MEMOP] > 0
+
+
+def test_static_breakdown():
+    registry = make_registry()
+    breakdown = jitlog.static_category_breakdown(registry)
+    assert abs(sum(breakdown.values()) - 1.0) < 1e-9
+
+
+def test_asm_per_node_type():
+    registry = make_registry()
+    means = jitlog.asm_insns_per_node_type(registry)
+    assert means["guard_true"] == 2.0
+    assert means["int_add"] == 1.0
+
+
+def test_guard_failure_stats():
+    registry = make_registry()
+    registry.traces[0].ops[1].fail_count = 7
+    stats = jitlog.guard_failure_stats(registry)
+    assert stats == {"guards": 1, "failures": 7, "bridges": 0}
+
+
+def test_empty_registry():
+    registry = TraceRegistry()
+    assert jitlog.total_ir_nodes_compiled(registry) == 0
+    assert jitlog.hot_node_fraction(registry) == 0.0
+    assert jitlog.dynamic_node_type_histogram(registry) == {}
+    assert jitlog.dynamic_category_breakdown(registry) == {}
+
+
+def test_jitlog_events():
+    log = jitlog.JitLog()
+    log.log("compile", trace_kind="loop")
+    log.log("abort", reason="x")
+    log.log("compile", trace_kind="bridge")
+    assert log.count("compile") == 2
+    assert log.count("abort") == 1

@@ -1,0 +1,252 @@
+"""Unit tests for the trace optimizer, on hand-built IR."""
+
+import pytest
+
+from repro.core.config import JitConfig
+from repro.interp.objects import W_Root
+from repro.jit import ir
+from repro.jit.optimizer import optimize_trace
+from repro.jit.resume import FrameState, Snapshot, VirtualSpec
+from repro.jit.trace import LOOP, InputArg, Trace
+
+
+class W_Box(W_Root):
+    _immutable_fields_ = ("pure_field",)
+    _size_ = 16
+
+
+def make_trace(inputargs):
+    return Trace(0, LOOP, ("code", 0), inputargs, [], [("code", 0, 1, 0)])
+
+
+def snap(values):
+    return Snapshot((FrameState("code", 0, tuple(values), ()),))
+
+
+def opt(ops, inputargs, jump_args=None, cfg=None, target=None):
+    cfg = cfg or JitConfig()
+    trace = make_trace(inputargs)
+    jump = ir.IROp(ir.JUMP, jump_args if jump_args is not None
+                   else list(inputargs), None)
+    optimize_trace(cfg, trace, ops, jump, target)
+    return trace
+
+
+def names(trace):
+    return [op.name for op in trace.ops]
+
+
+def test_constant_folding():
+    add = ir.IROp(ir.INT_ADD, [ir.Const(2), ir.Const(3)], None)
+    i0 = InputArg()
+    use = ir.IROp(ir.INT_MUL, [add, i0], None)
+    trace = opt([add, use], [i0], jump_args=[i0])
+    assert "int_add" not in names(trace)
+    mul = next(op for op in trace.ops if op.name == "int_mul")
+    assert isinstance(mul.args[0], ir.Const)
+    assert mul.args[0].value == 5
+
+
+def test_cse_merges_pure_ops():
+    i0 = InputArg()
+    a = ir.IROp(ir.INT_ADD, [i0, ir.Const(1)], None)
+    b = ir.IROp(ir.INT_ADD, [i0, ir.Const(1)], None)
+    use = ir.IROp(ir.INT_MUL, [a, b], None)
+    trace = opt([a, b, use], [i0], jump_args=[i0])
+    assert names(trace).count("int_add") == 1
+    mul = next(op for op in trace.ops if op.name == "int_mul")
+    assert mul.args[0] is mul.args[1]
+
+
+def test_cse_disabled():
+    cfg = JitConfig(opt_cse=False, opt_loop_peeling=False)
+    i0 = InputArg()
+    a = ir.IROp(ir.INT_ADD, [i0, ir.Const(1)], None)
+    b = ir.IROp(ir.INT_ADD, [i0, ir.Const(1)], None)
+    use = ir.IROp(ir.INT_MUL, [a, b], None)
+    trace = opt([a, b, use], [i0], jump_args=[i0], cfg=cfg)
+    assert names(trace).count("int_add") == 2
+
+
+def test_guard_class_dedup():
+    i0 = InputArg()
+    g1 = ir.IROp(ir.GUARD_CLASS, [i0, ir.Const(W_Box)], None)
+    g1.snapshot = snap([i0])
+    g2 = ir.IROp(ir.GUARD_CLASS, [i0, ir.Const(W_Box)], None)
+    g2.snapshot = snap([i0])
+    trace = opt([g1, g2], [i0], jump_args=[i0])
+    assert names(trace).count("guard_class") == 1
+
+
+def test_guard_value_constifies_downstream():
+    i0 = InputArg()
+    guard = ir.IROp(ir.GUARD_VALUE, [i0, ir.Const(7)], None)
+    guard.snapshot = snap([i0])
+    add = ir.IROp(ir.INT_ADD, [i0, ir.Const(1)], None)
+    store_target = InputArg()
+    effect = ir.IROp(ir.SETFIELD_GC, [store_target, add],
+                     ir.FieldDescr.get(W_Box, "field_a"))
+    trace = opt([guard, add, effect], [i0, store_target],
+                jump_args=[i0, store_target])
+    setfield = next(op for op in trace.ops if op.name == "setfield_gc")
+    assert isinstance(setfield.args[1], ir.Const)
+    assert setfield.args[1].value == 8
+
+
+def test_heapcache_forwards_getfield():
+    i0 = InputArg()
+    descr = ir.FieldDescr.get(W_Box, "field_b")
+    get1 = ir.IROp(ir.GETFIELD_GC, [i0], descr)
+    get2 = ir.IROp(ir.GETFIELD_GC, [i0], descr)
+    use = ir.IROp(ir.INT_ADD, [get1, get2], None)
+    trace = opt([get1, get2, use], [i0], jump_args=[i0])
+    assert names(trace).count("getfield_gc") == 1
+
+
+def test_setfield_then_getfield_forwards():
+    i0 = InputArg()
+    i1 = InputArg()
+    descr = ir.FieldDescr.get(W_Box, "field_c")
+    setfield = ir.IROp(ir.SETFIELD_GC, [i0, i1], descr)
+    getfield = ir.IROp(ir.GETFIELD_GC, [i0], descr)
+    use = ir.IROp(ir.INT_ADD, [getfield, ir.Const(1)], None)
+    target = InputArg()
+    effect = ir.IROp(ir.SETFIELD_GC, [target, use],
+                     ir.FieldDescr.get(W_Box, "field_d"))
+    trace = opt([setfield, getfield, use, effect], [i0, i1, target],
+                jump_args=[i0, i1, target])
+    assert "getfield_gc" not in names(trace)
+
+
+def test_call_invalidates_heap_cache():
+    from repro.interp.aot import AotFunction
+
+    func = AotFunction("f", "R", "any", lambda ctx: None)
+    i0 = InputArg()
+    descr = ir.FieldDescr.get(W_Box, "field_e")
+    get1 = ir.IROp(ir.GETFIELD_GC, [i0], descr)
+    call = ir.IROp(ir.CALL, [], ir.CallDescr(func))
+    get2 = ir.IROp(ir.GETFIELD_GC, [i0], descr)
+    use = ir.IROp(ir.INT_ADD, [get1, get2], None)
+    target = InputArg()
+    effect = ir.IROp(ir.SETFIELD_GC, [target, use],
+                     ir.FieldDescr.get(W_Box, "field_f"))
+    trace = opt([get1, call, get2, use, effect], [i0, target],
+                jump_args=[i0, target])
+    assert names(trace).count("getfield_gc") == 2
+
+
+def test_virtual_allocation_removed():
+    i0 = InputArg()
+    new = ir.IROp(ir.NEW_WITH_VTABLE, [ir.Const(W_Box)], W_Box)
+    descr = ir.FieldDescr.get(W_Box, "field_g")
+    setfield = ir.IROp(ir.SETFIELD_GC, [new, i0], descr)
+    getfield = ir.IROp(ir.GETFIELD_GC, [new], descr)
+    add = ir.IROp(ir.INT_ADD, [getfield, ir.Const(1)], None)
+    target = InputArg()
+    effect = ir.IROp(ir.SETFIELD_GC, [target, add],
+                     ir.FieldDescr.get(W_Box, "field_h"))
+    trace = opt([new, setfield, getfield, add, effect], [i0, target],
+                jump_args=[i0, target])
+    assert "new_with_vtable" not in names(trace)
+
+
+def test_escaping_virtual_is_forced():
+    i0 = InputArg()
+    target = InputArg()
+    new = ir.IROp(ir.NEW_WITH_VTABLE, [ir.Const(W_Box)], W_Box)
+    descr = ir.FieldDescr.get(W_Box, "field_i")
+    setfield = ir.IROp(ir.SETFIELD_GC, [new, i0], descr)
+    escape = ir.IROp(ir.SETFIELD_GC, [target, new],
+                     ir.FieldDescr.get(W_Box, "field_j"))
+    trace = opt([new, setfield, escape], [i0, target],
+                jump_args=[i0, target])
+    ops = names(trace)
+    assert "new_with_vtable" in ops
+    # The forced allocation writes its fields before escaping.
+    assert ops.index("new_with_vtable") < ops.index("setfield_gc")
+
+
+def test_virtual_in_snapshot_becomes_spec():
+    i0 = InputArg()
+    new = ir.IROp(ir.NEW_WITH_VTABLE, [ir.Const(W_Box)], W_Box)
+    descr = ir.FieldDescr.get(W_Box, "field_k")
+    setfield = ir.IROp(ir.SETFIELD_GC, [new, i0], descr)
+    guard = ir.IROp(ir.GUARD_TRUE, [i0], None)
+    guard.snapshot = snap([new])
+    trace = opt([new, setfield, guard], [i0], jump_args=[i0])
+    out_guard = next(op for op in trace.ops if op.is_guard())
+    leaf = out_guard.snapshot.frames[0].locals[0]
+    assert isinstance(leaf, VirtualSpec)
+    assert leaf.cls is W_Box
+    assert "new_with_vtable" not in names(trace)
+
+
+def test_loop_peeling_unboxes_loop_args():
+    # i0 is a box: each iteration loads its field, adds 1, reboxes.
+    i0 = InputArg()
+    descr = ir.FieldDescr.get(W_Box, "field_l")
+    getfield = ir.IROp(ir.GETFIELD_GC, [i0], descr)
+    add = ir.IROp(ir.INT_ADD, [getfield, ir.Const(1)], None)
+    new = ir.IROp(ir.NEW_WITH_VTABLE, [ir.Const(W_Box)], W_Box)
+    setfield = ir.IROp(ir.SETFIELD_GC, [new, add], descr)
+    trace = opt([getfield, add, new, setfield], [i0], jump_args=[new])
+    assert trace.label_index > 0  # peeled: preamble + label + body
+    body = trace.ops[trace.label_index:]
+    body_names = [op.name for op in body]
+    assert "new_with_vtable" not in body_names
+    assert "getfield_gc" not in body_names
+    assert "int_add" in body_names
+
+
+def test_no_peeling_when_disabled():
+    cfg = JitConfig(opt_loop_peeling=False)
+    i0 = InputArg()
+    descr = ir.FieldDescr.get(W_Box, "field_m")
+    getfield = ir.IROp(ir.GETFIELD_GC, [i0], descr)
+    add = ir.IROp(ir.INT_ADD, [getfield, ir.Const(1)], None)
+    new = ir.IROp(ir.NEW_WITH_VTABLE, [ir.Const(W_Box)], W_Box)
+    setfield = ir.IROp(ir.SETFIELD_GC, [new, add], descr)
+    trace = opt([getfield, add, new, setfield], [i0], jump_args=[new],
+                cfg=cfg)
+    assert trace.label_index == 0
+    assert "new_with_vtable" in names(trace)
+
+
+def test_ptr_eq_on_virtual_folds():
+    i0 = InputArg()
+    new = ir.IROp(ir.NEW_WITH_VTABLE, [ir.Const(W_Box)], W_Box)
+    same = ir.IROp(ir.PTR_EQ, [new, new], None)
+    different = ir.IROp(ir.PTR_EQ, [new, i0], None)
+    guard = ir.IROp(ir.GUARD_TRUE, [same], None)
+    guard.snapshot = snap([i0])
+    guard2 = ir.IROp(ir.GUARD_FALSE, [different], None)
+    guard2.snapshot = snap([i0])
+    trace = opt([new, same, different, guard, guard2], [i0],
+                jump_args=[i0])
+    assert "ptr_eq" not in names(trace)
+    assert "guard_true" not in names(trace)  # folded to const True
+    assert "guard_false" not in names(trace)
+
+
+def test_bridge_target_forces_everything():
+    # A straight (bridge) trace jumping to another trace must pass real
+    # values, not virtuals.
+    i0 = InputArg()
+    target_trace = make_trace([InputArg()])
+    new = ir.IROp(ir.NEW_WITH_VTABLE, [ir.Const(W_Box)], W_Box)
+    descr = ir.FieldDescr.get(W_Box, "field_n")
+    setfield = ir.IROp(ir.SETFIELD_GC, [new, i0], descr)
+    trace = opt([new, setfield], [i0], jump_args=[new],
+                target=target_trace)
+    assert trace.label_index == -1
+    assert "new_with_vtable" in names(trace)
+    assert trace.ops[-1].name == "jump"
+    assert trace.ops[-1].descr is target_trace
+
+
+def test_guard_on_constant_dropped():
+    guard = ir.IROp(ir.GUARD_TRUE, [ir.Const(True)], None)
+    i0 = InputArg()
+    trace = opt([guard], [i0], jump_args=[i0])
+    assert "guard_true" not in names(trace)

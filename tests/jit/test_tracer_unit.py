@@ -1,0 +1,137 @@
+"""Unit tests for tracer internals through the MiniLang VM."""
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.interp.context import VMContext
+from repro.interp.minilang import Code, MiniInterp, W_Int
+from repro.jit import ir
+
+
+def make_setup(**jit_kwargs):
+    cfg = SystemConfig()
+    cfg.jit.hot_loop_threshold = 5
+    for key, value in jit_kwargs.items():
+        setattr(cfg.jit, key, value)
+    ctx = VMContext(cfg)
+    return ctx, MiniInterp(ctx)
+
+
+LOOP = Code("loop", [
+    ("load_local", 0),      # 0: header
+    ("load_const", 0),      # 1
+    ("eq", None),           # 2
+    ("jump_if_false", 5),   # 3
+    ("jump", 10),           # 4
+    ("load_local", 0),      # 5
+    ("load_const", 1),      # 6
+    ("sub", None),          # 7
+    ("store_local", 0),     # 8
+    ("jump", 0),            # 9
+    ("load_local", 0),      # 10
+    ("return", None),       # 11
+], n_locals=1)
+
+
+def test_trace_has_merge_points_and_snapshot():
+    ctx, interp = make_setup()
+    interp.run(LOOP, (100,))
+    loop = ctx.registry.traces[0]
+    merge_points = [op for op in loop.ops
+                    if op.name == "debug_merge_point"]
+    assert merge_points
+    guards = [op for op in loop.ops if op.is_guard()]
+    assert guards
+    for guard in guards:
+        assert guard.snapshot is not None
+        frame = guard.snapshot.innermost
+        assert frame.code is LOOP
+        assert 0 <= frame.pc < len(LOOP.ops)
+
+
+def test_trace_limit_aborts():
+    ctx, interp = make_setup(trace_limit=10, max_aborts=1)
+    interp.run(LOOP, (200,))
+    reasons = {reason for _key, reason in ctx.registry.aborts}
+    assert "trace too long" in reasons
+    assert ctx.registry.blacklist  # blacklisted after max_aborts
+
+
+def test_blacklisted_loop_never_compiles():
+    ctx, interp = make_setup(trace_limit=10, max_aborts=1)
+    interp.run(LOOP, (500,))
+    assert not any(t.kind == "loop" for t in ctx.registry.traces)
+
+
+def test_entry_layout_matches_frame():
+    ctx, interp = make_setup()
+    interp.run(LOOP, (100,))
+    loop = ctx.registry.traces[0]
+    code, pc, n_locals, stack_depth = loop.entry_layout[0]
+    assert code is LOOP
+    assert pc == 0
+    assert n_locals == 1
+    assert stack_depth == 0
+    assert len(loop.inputargs) == n_locals + stack_depth
+
+
+def test_executions_counted():
+    ctx, interp = make_setup()
+    interp.run(LOOP, (300,))
+    loop = next(t for t in ctx.registry.traces if t.kind == "loop")
+    assert loop.executions >= 1
+    from repro.jit.executor import sync_exec_counts
+
+    sync_exec_counts(loop)
+    assert loop.iterations > 100
+
+
+def test_jit_disabled_records_nothing():
+    cfg = SystemConfig.interpreter_only()
+    ctx = VMContext(cfg)
+    interp = MiniInterp(ctx)
+    interp.run(LOOP, (100,))
+    assert ctx.registry.traces == []
+    assert ctx.tracer is None
+
+
+def test_guard_pcs_unique_in_codegen():
+    ctx, interp = make_setup()
+    interp.run(LOOP, (300,))
+    loop = ctx.registry.traces[0]
+    source = loop._source
+    assert "def _trace_fn" in source
+    assert "while True:" in source
+
+
+def test_overflow_guard_variants_recorded():
+    # Force an overflow during tracing: records guard_overflow.
+    code = Code("ovf", [
+        ("load_local", 0),      # 0: header
+        ("load_const", 0),
+        ("eq", None),
+        ("jump_if_false", 5),
+        ("jump", 14),
+        ("load_local", 1),      # 5
+        ("load_local", 1),
+        ("add", None),          # doubles: overflows eventually
+        ("store_local", 1),
+        ("load_local", 0),
+        ("load_const", 1),
+        ("sub", None),
+        ("store_local", 0),
+        ("jump", 0),            # 13
+        ("load_local", 0),
+        ("return", None),
+    ], n_locals=2)
+    cfg = SystemConfig()
+    cfg.jit.hot_loop_threshold = 5
+    cfg.jit.bridge_threshold = 2
+    ctx = VMContext(cfg)
+    interp = MiniInterp(ctx)
+    # 62 doublings stay inside the 64-bit range (MiniLang's W_Big cannot
+    # flow back into arithmetic; TinyPy covers the full overflow cycle).
+    result = interp.run(code, (62, 1))
+    assert isinstance(result, W_Int)
+    all_ops = [op for t in ctx.registry.traces for op in t.ops]
+    assert any(op.opnum == ir.GUARD_NO_OVERFLOW for op in all_ops)

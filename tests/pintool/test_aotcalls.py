@@ -1,0 +1,77 @@
+from repro.core import tags
+from repro.core.config import SystemConfig
+from repro.isa import insns
+from repro.pintool.aotcalls import AotCallProfiler
+from repro.uarch.machine import Machine
+
+
+def make():
+    machine = Machine(SystemConfig())
+    profiler = AotCallProfiler(machine)
+    machine.add_annot_listener(profiler.on_annot)
+    return machine, profiler
+
+
+def simulate_call(machine, name, src, work):
+    machine.annot(tags.JIT_CALL_START, (name, src))
+    machine.exec_mix(insns.mix(alu=work))
+    machine.annot(tags.JIT_CALL_STOP)
+
+
+def test_attributes_time_to_function():
+    machine, profiler = make()
+    simulate_call(machine, "rbigint.add", "L", 500)
+    simulate_call(machine, "rbigint.add", "L", 500)
+    simulate_call(machine, "ll_join", "R", 100)
+    calls, insns_count, cycles = profiler.by_function["rbigint.add"]
+    assert calls == 2
+    assert insns_count >= 1000
+    assert cycles > 0
+    assert profiler.sources["ll_join"] == "R"
+
+
+def test_nested_calls_count_at_entry_point():
+    machine, profiler = make()
+    machine.annot(tags.JIT_CALL_START, ("outer", "I"))
+    machine.exec_mix(insns.mix(alu=100))
+    machine.annot(tags.JIT_CALL_START, ("inner", "R"))
+    machine.exec_mix(insns.mix(alu=900))
+    machine.annot(tags.JIT_CALL_STOP)
+    machine.annot(tags.JIT_CALL_STOP)
+    outer = profiler.by_function["outer"]
+    assert outer[1] >= 1000  # inner time included in the entry point
+    assert "inner" not in profiler.by_function
+
+
+def test_significant_threshold():
+    machine, profiler = make()
+    simulate_call(machine, "big", "C", 9000)
+    simulate_call(machine, "small", "C", 50)
+    total = machine.cycles
+    rows = profiler.significant(total, threshold=0.10)
+    names = [row[2] for row in rows]
+    assert names == ["big"]
+    fraction, src, name, calls = rows[0]
+    assert fraction > 0.9
+    assert src == "C"
+    assert calls == 1
+
+
+def test_all_rows_sorted():
+    machine, profiler = make()
+    simulate_call(machine, "a", "R", 100)
+    simulate_call(machine, "b", "R", 900)
+    rows = profiler.all_rows(machine.cycles)
+    assert [r[2] for r in rows] == ["b", "a"]
+
+
+def test_unbalanced_stop_ignored():
+    machine, profiler = make()
+    machine.annot(tags.JIT_CALL_STOP)
+    assert profiler.by_function == {}
+
+
+def test_zero_total_cycles():
+    _machine, profiler = make()
+    assert profiler.significant(0) == []
+    assert profiler.all_rows(0) == []

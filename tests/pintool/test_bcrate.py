@@ -1,0 +1,80 @@
+import pytest
+
+from repro.core import tags
+from repro.core.config import SystemConfig
+from repro.isa import insns
+from repro.pintool.bcrate import (
+    BytecodeRateTracker,
+    break_even_instructions,
+    rate_curve,
+)
+from repro.uarch.machine import Machine
+
+
+def make():
+    machine = Machine(SystemConfig())
+    tracker = BytecodeRateTracker(machine, bucket_insns=100)
+    machine.add_annot_listener(tracker.on_annot)
+    return machine, tracker
+
+
+def test_counts_dispatches():
+    machine, tracker = make()
+    for _ in range(10):
+        machine.annot(tags.DISPATCH)
+    machine.annot(tags.JIT_ENTER)  # ignored
+    assert tracker.bytecodes == 10
+
+
+def test_timeline_monotone():
+    machine, tracker = make()
+    for _ in range(50):
+        machine.exec_mix(insns.mix(alu=20))
+        machine.annot(tags.DISPATCH)
+    tracker.finish()
+    timeline = tracker.timeline
+    assert len(timeline) > 2
+    insn_points = [p[0] for p in timeline]
+    bc_points = [p[1] for p in timeline]
+    assert insn_points == sorted(insn_points)
+    assert bc_points == sorted(bc_points)
+    assert bc_points[-1] == 50
+
+
+def test_no_timeline_when_bucket_zero():
+    machine = Machine(SystemConfig())
+    tracker = BytecodeRateTracker(machine, bucket_insns=0)
+    machine.add_annot_listener(tracker.on_annot)
+    machine.annot(tags.DISPATCH)
+    tracker.finish()
+    assert tracker.timeline == []
+    assert tracker.bytecodes == 1
+
+
+def test_break_even_simple():
+    # VM executes 1 bc / 10 insns after a slow start; reference does 1/20.
+    timeline = [(0, 0), (100, 1), (200, 20), (300, 40)]
+    point = break_even_instructions(timeline, reference_rate=1 / 20)
+    assert point == 200
+
+
+def test_break_even_requires_staying_ahead():
+    # Crosses briefly, falls behind, crosses again for good.
+    timeline = [(0, 0), (100, 10), (200, 10), (300, 40)]
+    point = break_even_instructions(timeline, reference_rate=1 / 10)
+    assert point == 300
+
+
+def test_break_even_never():
+    timeline = [(0, 0), (100, 1), (200, 2)]
+    assert break_even_instructions(timeline, reference_rate=1.0) is None
+
+
+def test_break_even_empty():
+    assert break_even_instructions([], reference_rate=1.0) is None
+
+
+def test_rate_curve():
+    timeline = [(0, 0), (1000, 10), (2000, 40)]
+    curve = rate_curve(timeline)
+    assert curve == [(1000, pytest.approx(10.0)), (2000, pytest.approx(30.0))]

@@ -1,0 +1,132 @@
+import pytest
+
+from repro.core import tags
+from repro.core.config import SystemConfig
+from repro.isa import insns
+from repro.pintool.phases import (
+    BLACKHOLE,
+    GC,
+    INTERP,
+    JIT,
+    JIT_CALL,
+    PHASE_NAMES,
+    TRACING,
+    PhaseTracker,
+)
+from repro.uarch.machine import Machine
+
+
+@pytest.fixture
+def setup():
+    machine = Machine(SystemConfig())
+    tracker = PhaseTracker(machine, record_timeline=True)
+    machine.add_annot_listener(tracker.on_annot)
+    return machine, tracker
+
+
+def test_starts_in_interp(setup):
+    _machine, tracker = setup
+    assert tracker.current_phase == INTERP
+
+
+def test_phase_transitions(setup):
+    machine, tracker = setup
+    machine.annot(tags.TRACE_START)
+    assert tracker.current_phase == TRACING
+    machine.annot(tags.TRACE_STOP)
+    assert tracker.current_phase == INTERP
+    machine.annot(tags.JIT_ENTER)
+    assert tracker.current_phase == JIT
+    machine.annot(tags.JIT_CALL_START, ("f", "R"))
+    assert tracker.current_phase == JIT_CALL
+    machine.annot(tags.JIT_CALL_STOP)
+    assert tracker.current_phase == JIT
+    machine.annot(tags.BLACKHOLE_START)
+    assert tracker.current_phase == BLACKHOLE
+    machine.annot(tags.BLACKHOLE_STOP)
+    machine.annot(tags.JIT_LEAVE)
+    assert tracker.current_phase == INTERP
+
+
+def test_gc_nests_anywhere(setup):
+    machine, tracker = setup
+    machine.annot(tags.JIT_ENTER)
+    machine.annot(tags.GC_MINOR_START)
+    assert tracker.current_phase == GC
+    machine.annot(tags.GC_MINOR_STOP)
+    assert tracker.current_phase == JIT
+
+
+def test_attribution(setup):
+    machine, tracker = setup
+    machine.exec_mix(insns.mix(alu=100))
+    machine.annot(tags.JIT_ENTER)
+    machine.exec_mix(insns.mix(alu=400))
+    machine.annot(tags.JIT_LEAVE)
+    tracker.finish()
+    interp_window = tracker.windows[INTERP]
+    jit_window = tracker.windows[JIT]
+    assert interp_window.instructions >= 100
+    assert jit_window.instructions >= 400
+    assert jit_window.instructions < 410
+
+
+def test_breakdown_sums_to_one(setup):
+    machine, tracker = setup
+    machine.exec_mix(insns.mix(alu=10))
+    machine.annot(tags.TRACE_START)
+    machine.exec_mix(insns.mix(alu=30))
+    machine.annot(tags.TRACE_STOP)
+    tracker.finish()
+    breakdown = tracker.breakdown()
+    assert sum(breakdown.values()) == pytest.approx(1.0)
+    assert breakdown["tracing"] > breakdown["interp"]
+    insn_breakdown = tracker.insn_breakdown()
+    assert sum(insn_breakdown.values()) == pytest.approx(1.0)
+
+
+def test_empty_breakdown():
+    machine = Machine(SystemConfig())
+    tracker = PhaseTracker(machine)
+    tracker.finish()
+    assert set(tracker.breakdown()) == set(PHASE_NAMES)
+    assert sum(tracker.breakdown().values()) == 0.0
+    assert sum(tracker.insn_breakdown().values()) == 0.0
+
+
+def test_unbalanced_stop_tolerated(setup):
+    machine, tracker = setup
+    machine.annot(tags.JIT_LEAVE)  # never entered
+    assert tracker.current_phase == INTERP
+
+
+def test_timeline_segments(setup):
+    machine, tracker = setup
+    machine.exec_mix(insns.mix(alu=1000))
+    machine.annot(tags.JIT_ENTER)
+    machine.exec_mix(insns.mix(alu=1000))
+    machine.annot(tags.JIT_LEAVE)
+    tracker.finish()
+    segments = tracker.timeline_segments(n_buckets=10)
+    assert segments
+    for bucket in segments:
+        assert sum(bucket.values()) == pytest.approx(1.0)
+    # Early buckets are interpreter-dominated, late ones JIT-dominated.
+    assert segments[0]["interp"] > 0.9
+    assert segments[-1]["jit"] > 0.9
+
+
+def test_phase_window_properties():
+    from repro.pintool.phases import PhaseWindow
+
+    window = PhaseWindow()
+    assert window.ipc == 0.0
+    assert window.branches_per_insn == 0.0
+    assert window.branch_miss_rate == 0.0
+    window.instructions = 100
+    window.cycles = 50.0
+    window.branches = 20
+    window.branch_misses = 2
+    assert window.ipc == 2.0
+    assert window.branches_per_insn == 0.2
+    assert window.branch_miss_rate == 0.1

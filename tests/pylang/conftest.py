@@ -1,0 +1,44 @@
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.interp.context import VMContext
+from repro.pylang.cpref import CpRef
+from repro.pylang.interp import PyVM
+
+
+def run_pyvm(source, jit=True, threshold=10, **cfg_kwargs):
+    cfg = SystemConfig(**cfg_kwargs)
+    cfg.jit.enabled = jit
+    cfg.jit.hot_loop_threshold = threshold
+    ctx = VMContext(cfg)
+    vm = PyVM(ctx)
+    vm.run_source(source)
+    return vm, ctx
+
+
+def run_cpref(source):
+    vm = CpRef(SystemConfig())
+    vm.run_source(source)
+    return vm
+
+
+def check_all_vms(source):
+    """Run on CpRef, PyVM-nojit and PyVM-jit; outputs must agree.
+
+    Returns (stdout, jit_ctx) for further assertions.
+    """
+    reference = run_cpref(source)
+    nojit, _ = run_pyvm(source, jit=False)
+    jit, ctx = run_pyvm(source, jit=True)
+    assert reference.stdout() == nojit.stdout(), (
+        "cpref vs nojit mismatch:\n%s\n-----\n%s"
+        % (reference.stdout(), nojit.stdout()))
+    assert nojit.stdout() == jit.stdout(), (
+        "nojit vs jit mismatch:\n%s\n-----\n%s"
+        % (nojit.stdout(), jit.stdout()))
+    return jit.stdout(), ctx
+
+
+@pytest.fixture
+def vms():
+    return check_all_vms

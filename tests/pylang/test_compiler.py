@@ -1,0 +1,148 @@
+"""TinyPy compiler unit tests: code shape, name resolution, errors."""
+
+import pytest
+
+from repro.core.errors import CompilationError
+from repro.pylang import bytecode as bc
+from repro.pylang.compiler import compile_source
+
+
+def ops_of(code):
+    return [bc.OP_NAMES[op] for op in code.ops]
+
+
+def test_simple_expression():
+    code = compile_source("x = 1 + 2")
+    names = ops_of(code)
+    assert "BINARY_ADD" in names
+    assert "STORE_GLOBAL" in names  # module level: all names global
+    assert names[-1] == "RETURN_VALUE"
+
+
+def test_function_locals_vs_globals():
+    code = compile_source('''
+g = 5
+def f(a):
+    b = a + g
+    return b
+''')
+    spec = next(c for c in code.consts
+                if isinstance(c, bc.FunctionSpec))
+    inner = spec.code
+    assert inner.argcount == 1
+    assert "a" in inner.varnames and "b" in inner.varnames
+    inner_ops = ops_of(inner)
+    assert "LOAD_FAST" in inner_ops
+    assert "LOAD_GLOBAL" in inner_ops  # g
+
+
+def test_global_statement():
+    code = compile_source('''
+def f():
+    global counter
+    counter = 1
+''')
+    spec = next(c for c in code.consts
+                if isinstance(c, bc.FunctionSpec))
+    assert "STORE_GLOBAL" in ops_of(spec.code)
+    assert "counter" not in spec.code.varnames
+
+
+def test_const_dedup():
+    code = compile_source("a = 7\nb = 7\nc = 7.0")
+    sevens = [c for c in code.consts if c == 7 and isinstance(c, int)]
+    assert len(sevens) == 1
+    assert 7.0 in code.consts  # float 7.0 distinct from int 7
+
+
+def test_jump_targets_patched():
+    code = compile_source('''
+x = 0
+while x < 10:
+    x = x + 1
+''')
+    for op, arg in zip(code.ops, code.args):
+        if bc.OP_NAMES[op] in ("JUMP", "POP_JUMP_IF_FALSE"):
+            assert 0 <= arg <= len(code.ops)
+
+
+def test_for_loop_shape():
+    code = compile_source("for i in range(3):\n    pass")
+    names = ops_of(code)
+    assert "GET_ITER" in names
+    assert "FOR_ITER" in names
+
+
+def test_class_spec():
+    code = compile_source('''
+class A:
+    def m(self, x=3):
+        return x
+''')
+    spec = next(c for c in code.consts if isinstance(c, bc.ClassSpec))
+    assert spec.name == "A"
+    assert spec.base_name is None
+    method_name, method_code, defaults = spec.methods[0]
+    assert method_name == "m"
+    assert defaults == [3]
+
+
+def test_class_with_base():
+    code = compile_source("class A:\n    pass\nclass B(A):\n    pass")
+    specs = [c for c in code.consts if isinstance(c, bc.ClassSpec)]
+    assert specs[1].base_name == "A"
+
+
+def test_dis_output():
+    code = compile_source("x = 1")
+    text = code.dis()
+    assert "LOAD_CONST" in text
+    assert "STORE_GLOBAL" in text
+
+
+@pytest.mark.parametrize("source,fragment", [
+    ("x = yield 1", "expression"),
+    ("def f(*args):\n    pass", "*args"),
+    ("f(x=1)", "keyword"),
+    ("class A(B, C):\n    pass", "multiple inheritance"),
+    ("a < b < c", "chained"),
+    ("x = lambda: 1", "Lambda"),
+    ("import os", "Import"),
+    ("while True:\n    pass\nelse:\n    pass", "while-else"),
+    ("return 1", "return at module level"),
+    ("break", "break outside loop"),
+])
+def test_unsupported_constructs(source, fragment):
+    with pytest.raises(CompilationError) as excinfo:
+        compile_source(source)
+    assert fragment.lower() in str(excinfo.value).lower()
+
+
+def test_syntax_error():
+    with pytest.raises(CompilationError):
+        compile_source("def (:")
+
+
+def test_listcomp_desugars_to_loop():
+    code = compile_source("def f(xs):\n    return [x * 2 for x in xs]")
+    spec = next(c for c in code.consts
+                if isinstance(c, bc.FunctionSpec))
+    names = ops_of(spec.code)
+    assert "LIST_APPEND" in names
+    assert "FOR_ITER" in names
+
+
+def test_aug_assign_forms():
+    code = compile_source('''
+class A:
+    pass
+a = A()
+a.x = 1
+a.x += 2
+xs = [1]
+xs[0] += 5
+''')
+    names = ops_of(code)
+    assert "DUP_TOP" in names
+    assert "DUP_TOP_TWO" in names
+    assert "ROT_THREE" in names

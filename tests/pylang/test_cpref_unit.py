@@ -1,0 +1,78 @@
+"""CpRef-specific unit tests (cost model mechanics, errors)."""
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.errors import GuestError
+from repro.pylang.cpref import CpRef
+
+
+def run(source, vm_cls=CpRef):
+    vm = vm_cls(SystemConfig())
+    vm.run_source(source)
+    return vm
+
+
+def test_mix_scale_carries_fractions():
+    class Scaled(CpRef):
+        mix_scale = 0.5
+
+    full = run("x = 0\nfor i in range(1000):\n    x += i\nprint(x)")
+    half = run("x = 0\nfor i in range(1000):\n    x += i\nprint(x)",
+               vm_cls=Scaled)
+    assert half.stdout() == full.stdout()
+    ratio = half.machine.instructions / full.machine.instructions
+    assert 0.4 < ratio < 0.85  # dispatch/annots are unscaled
+
+
+def test_bignum_mul_charges_quadratically():
+    linear = run("a = 2 ** 900\nb = a + a\nprint(b > 0)")
+    quadratic = run("a = 2 ** 900\nb = a * a\nprint(b > 0)")
+    assert (quadratic.machine.instructions
+            > linear.machine.instructions + 500)
+
+
+def test_guest_errors():
+    with pytest.raises(GuestError):
+        run("x = 1 // 0")
+    with pytest.raises(GuestError):
+        run("print(undefined_name)")
+    with pytest.raises(GuestError):
+        run("d = {}\nprint(d['missing'])")
+    with pytest.raises(GuestError):
+        run("x = 'a' + 1")
+
+
+def test_attribute_errors():
+    with pytest.raises(GuestError):
+        run("class A:\n    pass\na = A()\nprint(a.missing)")
+    with pytest.raises(GuestError):
+        run("x = 5\nx.y = 1")
+
+
+def test_builtin_methods_dispatch():
+    vm = run('''
+xs = [3, 1]
+xs.sort()
+d = {"k": [1]}
+d["k"].append(2)
+print(xs, d["k"], "A".lower(), max(2, 9))
+''')
+    assert vm.stdout() == "[1, 3] [1, 2] a 9\n"
+
+
+def test_isinstance_classes():
+    vm = run('''
+class A:
+    pass
+class B(A):
+    pass
+b = B()
+print(isinstance(b, A), isinstance(b, B), isinstance(5, A))
+''')
+    assert vm.stdout() == "True True False\n"
+
+
+def test_stdout_empty():
+    vm = run("x = 1")
+    assert vm.stdout() == ""

@@ -1,0 +1,330 @@
+"""TinyPy language feature tests, differential across all three VMs."""
+
+
+def test_arithmetic(vms):
+    out, _ = vms('''
+print(1 + 2, 7 - 10, 6 * 7, 7 // 2, -7 // 2, 7 % 3, -7 % 3)
+print(2 ** 10, 7 / 2, 1 << 5, 1024 >> 3, 5 & 3, 5 | 3, 5 ^ 3, ~5, -(3))
+print(1.5 + 2.25, 3.0 * 2.0, 7.0 / 2.0, 2.0 ** 0.5 > 1.41)
+print(10 % 4, 10.5 % 3.0)
+''')
+    assert "3 -3 42 3 -4 1 2" in out
+    assert "1024" in out
+
+
+def test_comparisons_and_bools(vms):
+    out, _ = vms('''
+print(1 < 2, 2 <= 2, 3 == 3, 3 != 4, 5 > 4, 5 >= 6)
+print(1 < 2 and 3 < 4, 1 > 2 or 3 < 4, not (1 == 1))
+print("abc" < "abd", "a" + "b" == "ab", "x" * 3)
+print(True + True, True == 1, False == 0)
+print(None is None, [] is not None)
+''')
+    assert "True True True True True False" in out
+
+
+def test_big_integers(vms):
+    out, _ = vms('''
+x = 2 ** 70
+y = x + 1
+print(x, y, y - x, x * 3, x // 7, x % 7)
+print(x > 2 ** 69, x == 2 ** 70, -x)
+n = 1
+i = 0
+while i < 30:
+    n = n * 10
+    i = i + 1
+print(n)
+''')
+    assert "1180591620717411303424" in out
+    assert "1" + "0" * 30 in out
+
+
+def test_string_operations(vms):
+    out, _ = vms('''
+s = "hello world"
+print(len(s), s[0], s[-1], s[2:5], s[:5], s[6:])
+print(s.upper(), "ABC".lower(), "  x  ".strip())
+print(s.replace("world", "there"), s.find("world"), s.find("zz"))
+print(s.split(" "), "a,b,c".split(","))
+print("-".join(["x", "y", "z"]), s.startswith("hell"), s.endswith("ld"))
+print("lo" in s, "zz" in s)
+print(ord("A"), chr(66))
+''')
+    assert "11 h d llo hello world" in out
+
+
+def test_string_formatting(vms):
+    out, _ = vms('''
+print("%d items" % 3)
+print("%s=%d, %.2f" % ("x", 42, 3.14159))
+print("100%% sure" % ())
+''')
+    assert "x=42, 3.14" in out
+    assert "100% sure" in out
+
+
+def test_lists(vms):
+    out, _ = vms('''
+xs = [3, 1, 2]
+xs.append(4)
+print(xs, len(xs), xs[0], xs[-1], xs[1:3])
+xs.sort()
+print(xs)
+xs.reverse()
+print(xs, xs.index(2), xs.count(3))
+xs.insert(0, 9)
+print(xs.pop(), xs.pop(0), xs)
+ys = [0] * 3 + [1, 2]
+print(ys, sum(ys), min(ys), max(ys))
+zs = [x * x for x in range(6) if x % 2 == 0]
+print(zs)
+mixed = [1, "a", 2.5]
+print(mixed, mixed[1])
+xs.remove(2)
+print(xs)
+xs.extend([7, 8])
+print(xs)
+''')
+    assert "[3, 1, 2, 4] 4 3 4 [1, 2]" in out
+    assert "[0, 4, 16]" in out
+
+
+def test_dicts(vms):
+    out, _ = vms('''
+d = {"a": 1, "b": 2}
+d["c"] = 3
+print(d["a"], d.get("b"), d.get("z", -1), len(d))
+print("a" in d, "z" in d, "z" not in d)
+print(d.keys(), d.values(), d.items())
+d["a"] = 10
+print(d)
+del d["b"]
+print(d, len(d))
+e = {}
+e[1] = "one"
+e[(1, 2)] = "pair"
+print(e[1], e[(1, 2)])
+print(d.setdefault("x", 99), d.setdefault("x", 5))
+''')
+    assert "1 2 -1 3" in out
+    assert "one pair" in out
+
+
+def test_sets(vms):
+    out, _ = vms('''
+s = {1, 2, 3}
+s.add(4)
+print(len(s), 2 in s, 9 in s)
+t = set([3, 4, 5])
+print(len(s & t), len(s | t), len(s - t), len(s ^ t))
+''')
+    assert "4 True False" in out
+    assert "2 5 2 3" in out
+
+
+def test_tuples(vms):
+    out, _ = vms('''
+t = (1, 2, 3)
+print(t, t[0], t[-1], len(t), t[1:])
+a, b = (10, 20)
+print(a, b)
+x, y, z = [7, 8, 9]
+print(x + y + z)
+print((1, 2) + (3,), (1, 2) == (1, 2), (1, 2) < (1, 3))
+print((5,))
+''')
+    assert "(1, 2, 3) 1 3 3 (2, 3)" in out
+    assert "(5,)" in out
+
+
+def test_control_flow(vms):
+    out, _ = vms('''
+total = 0
+for i in range(10):
+    if i == 3:
+        continue
+    if i == 7:
+        break
+    total += i
+print(total)
+n = 0
+while True:
+    n += 1
+    if n >= 5:
+        break
+print(n)
+x = 10 if total > 5 else -10
+print(x)
+for c in "abc":
+    print(c)
+''')
+    assert out.splitlines()[0] == "18"
+
+
+def test_functions(vms):
+    out, _ = vms('''
+def add(a, b=10, c=100):
+    return a + b + c
+
+print(add(1), add(1, 2), add(1, 2, 3))
+
+def fact(n):
+    if n <= 1:
+        return 1
+    return n * fact(n - 1)
+
+print(fact(10))
+
+def apply_twice(f, x):
+    return f(f(x))
+
+def inc(v):
+    return v + 1
+
+print(apply_twice(inc, 5))
+
+def nothing():
+    pass
+
+print(nothing())
+''')
+    assert "111 103 6" in out
+    assert "3628800" in out
+    assert "None" in out
+
+
+def test_classes(vms):
+    out, _ = vms('''
+class Animal:
+    def __init__(self, name):
+        self.name = name
+    def speak(self):
+        return self.name + " makes a sound"
+    def kind(self):
+        return "animal"
+
+class Dog(Animal):
+    def speak(self):
+        return self.name + " barks"
+
+a = Animal("cat")
+d = Dog("rex")
+print(a.speak(), d.speak(), d.kind())
+print(isinstance(d, Dog), isinstance(d, Animal), isinstance(a, Dog))
+d.age = 5
+d.age += 1
+print(d.age, d.name)
+print(a, repr(d))
+''')
+    assert "cat makes a sound rex barks animal" in out
+    assert "True True False" in out
+    assert "6 rex" in out
+
+
+def test_global_statement(vms):
+    out, _ = vms('''
+counter = 0
+
+def bump():
+    global counter
+    counter = counter + 1
+
+for i in range(5):
+    bump()
+print(counter)
+''')
+    assert "5" in out
+
+
+def test_iteration_protocols(vms):
+    out, _ = vms('''
+d = {"x": 1, "y": 2}
+keys = []
+for k in d:
+    keys.append(k)
+print(keys)
+for pair in d.items():
+    print(pair[0], pair[1])
+total = 0
+for v in d.values():
+    total += v
+print(total)
+for i in range(10, 0, -2):
+    print(i)
+''')
+    assert "['x', 'y']" in out
+
+
+def test_nested_data(vms):
+    out, _ = vms('''
+grid = [[i * 3 + j for j in range(3)] for i in range(3)] if False else []
+for i in range(3):
+    row = []
+    for j in range(3):
+        row.append(i * 3 + j)
+    grid.append(row)
+print(grid)
+print(grid[1][2])
+grid[2][0] = 99
+print(grid[2])
+table = {"a": [1, 2], "b": [3]}
+table["a"].append(5)
+print(table)
+''')
+    assert "[[0, 1, 2], [3, 4, 5], [6, 7, 8]]" in out
+    assert "[99, 7, 8]" in out
+
+
+def test_conversions(vms):
+    out, _ = vms('''
+print(int("42"), int(-3.7), int(3.7), float("2.5"), float(7))
+print(str(42), str(3.5), str(True), str(None), str([1, 2]))
+print(bool(0), bool(3), bool(""), bool("x"), bool([]))
+print(abs(-5), abs(5.5), abs(-2 ** 70) == 2 ** 70)
+''')
+    assert "42 -3 3 2.5 7.0" in out
+
+
+def test_hot_loop_with_jit_compiles(vms):
+    out, ctx = vms('''
+total = 0
+for i in range(500):
+    total += i * i
+print(total)
+''')
+    assert "41541750" in out
+    assert len(ctx.registry.traces) >= 1
+
+
+def test_polymorphic_loop_bridges(vms):
+    out, ctx = vms('''
+values = []
+for i in range(300):
+    if i % 2 == 0:
+        values.append(i)
+    else:
+        values.append(i * 2)
+total = 0
+for v in values:
+    total += v
+print(total)
+''')
+    assert out.strip().isdigit()
+
+
+def test_method_calls_in_hot_loop(vms):
+    out, ctx = vms('''
+class Acc:
+    def __init__(self):
+        self.total = 0
+    def add(self, v):
+        self.total = self.total + v
+
+acc = Acc()
+for i in range(400):
+    acc.add(i)
+print(acc.total)
+''')
+    assert "79800" in out
+    assert len(ctx.registry.traces) >= 1

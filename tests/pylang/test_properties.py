@@ -1,0 +1,107 @@
+"""Property-based differential tests: random guest programs must match
+host Python exactly (with and without the JIT)."""
+
+import contextlib
+import io
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import SystemConfig
+from repro.interp.context import VMContext
+from repro.pylang.interp import PyVM
+
+
+def host_output(source):
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        exec(compile(source, "<prop>", "exec"), {})
+    return buffer.getvalue()
+
+
+def jit_output(source, threshold=4):
+    cfg = SystemConfig()
+    cfg.jit.hot_loop_threshold = threshold
+    cfg.jit.bridge_threshold = 2
+    vm = PyVM(VMContext(cfg))
+    vm.run_source(source)
+    return vm.stdout()
+
+
+@given(st.lists(st.integers(-10**9, 10**9), min_size=1, max_size=8),
+       st.integers(20, 60))
+@settings(max_examples=25, deadline=None)
+def test_arith_loop_matches_host(seeds, iterations):
+    source = "vals = %r\n" % (seeds,)
+    source += """
+acc = 0
+for it in range(%d):
+    for v in vals:
+        acc = acc + v * 3 - (acc >> 2) + (v ^ it)
+        if acc > 2 ** 40:
+            acc = acc %% 12345577
+print(acc)
+""" % iterations
+    assert jit_output(source) == host_output(source)
+
+
+@given(st.lists(st.sampled_from("abcdef"), min_size=1, max_size=6),
+       st.integers(10, 40))
+@settings(max_examples=20, deadline=None)
+def test_dict_counter_matches_host(keys, iterations):
+    source = "keys = %r\n" % (keys,)
+    source += """
+counts = {}
+for it in range(%d):
+    for k in keys:
+        counts[k] = counts.get(k, 0) + it
+total = 0
+for k in counts:
+    total += counts[k]
+print(total, len(counts))
+""" % iterations
+    assert jit_output(source) == host_output(source)
+
+
+@given(st.lists(st.integers(-100, 100), min_size=1, max_size=10))
+@settings(max_examples=20, deadline=None)
+def test_list_pipeline_matches_host(values):
+    source = "xs = %r\n" % (values,)
+    source += """
+ys = []
+for it in range(30):
+    for x in xs:
+        ys.append(x * it)
+ys.sort()
+ys.reverse()
+print(ys[0], ys[-1], len(ys), sum(ys))
+"""
+    assert jit_output(source) == host_output(source)
+
+
+@given(st.integers(2, 40), st.integers(2, 9))
+@settings(max_examples=15, deadline=None)
+def test_bignum_growth_matches_host(iterations, base):
+    source = """
+n = 1
+for i in range(%d):
+    n = n * %d + i
+print(n)
+print(n %% 1000003, n // 7)
+""" % (iterations, base)
+    assert jit_output(source) == host_output(source)
+
+
+@given(st.floats(min_value=-100, max_value=100,
+                 allow_nan=False, allow_infinity=False),
+       st.integers(10, 50))
+@settings(max_examples=15, deadline=None)
+def test_float_loop_matches_host(start, iterations):
+    source = """
+x = %r
+acc = 0.0
+for i in range(%d):
+    acc = acc + x * 0.5 - i * 0.25
+    x = x * 0.99
+print("%%.9f %%.9f" %% (acc, x))
+""" % (start, iterations)
+    assert jit_output(source) == host_output(source)

@@ -1,0 +1,212 @@
+"""TinyRkt language and benchmark tests.
+
+Differential across the Pycket-style framework VM (JIT on and off) and
+the Racket-baseline reference evaluator.
+"""
+
+import pytest
+
+from repro.benchprogs import registry
+from repro.core.config import SystemConfig
+from repro.interp.context import VMContext
+from repro.rktlang.compiler import compile_rkt
+from repro.rktlang.reader import Symbol, parse_all
+from repro.rktlang.vm import RacketRef, RktVM
+
+
+def run_all(source, threshold=5):
+    reference = RacketRef(SystemConfig())
+    reference.run_source(source)
+    cfg = SystemConfig.interpreter_only()
+    nojit = RktVM(VMContext(cfg))
+    nojit.run_source(source)
+    cfg = SystemConfig()
+    cfg.jit.hot_loop_threshold = threshold
+    cfg.jit.bridge_threshold = 3
+    ctx = VMContext(cfg)
+    jit = RktVM(ctx)
+    jit.run_source(source)
+    assert reference.stdout() == nojit.stdout(), (
+        "racket-ref vs pycket-nojit:\n%s\n----\n%s"
+        % (reference.stdout(), nojit.stdout()))
+    assert nojit.stdout() == jit.stdout(), (
+        "pycket nojit vs jit:\n%s\n----\n%s"
+        % (nojit.stdout(), jit.stdout()))
+    return reference.stdout(), ctx
+
+
+# -- reader ---------------------------------------------------------------------
+
+
+def test_reader_atoms():
+    forms = parse_all('(1 2.5 #t #f x "hi" #\\a)')
+    atom_list = forms[0]
+    assert atom_list[0] == 1
+    assert atom_list[1] == 2.5
+    assert atom_list[2] is True
+    assert atom_list[3] is False
+    assert isinstance(atom_list[4], Symbol)
+    assert atom_list[5] == ('strlit', "hi")
+    assert atom_list[6] == ('char', "a")
+
+
+def test_reader_nesting_and_comments():
+    forms = parse_all("; comment\n(a (b c) [d e])")
+    assert len(forms) == 1
+    assert len(forms[0]) == 3
+
+
+def test_reader_quote():
+    forms = parse_all("'()")
+    assert forms[0][0] == "quote"
+
+
+def test_reader_errors():
+    from repro.core.errors import CompilationError
+
+    with pytest.raises(CompilationError):
+        parse_all("(a (b)")
+    with pytest.raises(CompilationError):
+        parse_all('"unterminated')
+
+
+def test_compile_smoke():
+    code = compile_rkt("(display (+ 1 2))")
+    assert code.ops
+
+
+# -- language -----------------------------------------------------------------------
+
+
+def test_arith_and_comparisons():
+    out, _ = run_all('''
+(display (+ 1 2 3)) (newline)
+(display (- 10 3 2)) (newline)
+(display (* 2 3 4)) (newline)
+(display (quotient 17 5)) (display " ") (display (remainder 17 5)) (newline)
+(display (modulo -7 3)) (newline)
+(display (< 1 2)) (display (> 1 2)) (display (= 3 3)) (newline)
+(display (/ 1.0 4.0)) (newline)
+(display (expt 2 10)) (newline)
+(display (- 5)) (newline)
+''')
+    assert "6\n5\n24\n3 2\n2\n" in out
+
+
+def test_let_forms():
+    out, _ = run_all('''
+(define (f)
+  (let ((a 1) (b 2))
+    (let* ((c (+ a b)) (d (* c 10)))
+      (+ a b c d))))
+(display (f)) (newline)
+''')
+    assert "36" in out
+
+
+def test_named_let_loop():
+    out, ctx = run_all('''
+(define (sum-squares n)
+  (let loop ((i 0) (acc 0))
+    (if (= i n) acc (loop (+ i 1) (+ acc (* i i))))))
+(display (sum-squares 500)) (newline)
+''')
+    assert "41541750" in out
+    assert len(ctx.registry.traces) >= 1  # the loop got JIT-compiled
+
+
+def test_recursion():
+    out, _ = run_all('''
+(define (fact n) (if (<= n 1) 1 (* n (fact (- n 1)))))
+(display (fact 20)) (newline)
+(display (fact 30)) (newline)
+''')
+    assert "2432902008176640000" in out
+    assert "265252859812191058636308480000000" in out  # bignum
+
+
+def test_pairs_and_lists():
+    out, _ = run_all('''
+(define p (cons 1 (cons 2 '())))
+(display (car p)) (display (car (cdr p))) (newline)
+(display (null? (cdr (cdr p)))) (newline)
+(display (length (list 1 2 3 4))) (newline)
+(define r (reverse (list 1 2 3)))
+(display (car r)) (newline)
+(display (pair? p)) (display (pair? 5)) (newline)
+''')
+    assert "12\n#t\n4\n3\n#t#f\n" in out
+
+
+def test_vectors():
+    out, _ = run_all('''
+(define (fill v n)
+  (do ((i 0 (+ i 1))) ((= i n) v)
+    (vector-set! v i (* i 2))))
+(define v (fill (make-vector 5 0) 5))
+(display (vector-ref v 3)) (display " ")
+(display (vector-length v)) (newline)
+''')
+    assert "6 5" in out
+
+
+def test_strings_and_chars():
+    out, _ = run_all('''
+(display (string-append "foo" "-" "bar")) (newline)
+(display (string-length "hello")) (newline)
+(display (string-ref "abc" 1)) (newline)
+(display (substring "hello" 1 4)) (newline)
+(display (char->integer #\\a)) (display " ")
+(display (integer->char 98)) (newline)
+(display (number->string 42)) (newline)
+(display (string=? "ab" "ab")) (newline)
+''')
+    assert "foo-bar\n5\nb\nell\n97 b\n42\n#t\n" in out
+
+
+def test_cond_when_unless_and_or():
+    out, _ = run_all('''
+(define (classify n)
+  (cond ((< n 0) "neg") ((= n 0) "zero") (else "pos")))
+(display (classify -4)) (display (classify 0)) (display (classify 9))
+(newline)
+(define (f x) (when (> x 2) (display "big")) (unless (> x 2)
+  (display "small")) (newline))
+(f 1)
+(f 5)
+(display (and 1 2 3)) (display (or #f 7)) (newline)
+(display (not #f)) (newline)
+''')
+    assert "negzeropos" in out
+    assert "small" in out and "big" in out
+
+
+def test_set_bang():
+    out, _ = run_all('''
+(define counter 0)
+(define (bump!) (set! counter (+ counter 1)))
+(bump!) (bump!) (bump!)
+(display counter) (newline)
+''')
+    assert "3" in out
+
+
+def test_floats():
+    out, _ = run_all('''
+(display (sqrt 2.0)) (newline)
+(display (exact->inexact 3)) (newline)
+(display (floor 2.7)) (display " ") (display (truncate 2.7)) (newline)
+(display (min 3 1 2)) (display (max 3.5 1.0)) (newline)
+''')
+    assert "1.414" in out
+
+
+# -- benchmark programs -----------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "program", registry.RKT_PROGRAMS, ids=lambda p: p.name)
+def test_rkt_benchmark_matches(program):
+    source = program.source(n=program.small_n)
+    out, _ = run_all(source)
+    assert out.strip(), "benchmark printed nothing"

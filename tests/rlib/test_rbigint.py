@@ -1,0 +1,141 @@
+"""rbigint correctness, cross-checked against Python's own integers."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import SystemConfig
+from repro.interp.context import VMContext
+from repro.rlib import rbigint
+from repro.rlib.rbigint import BigInt
+
+
+@pytest.fixture
+def ctx():
+    return VMContext(SystemConfig())
+
+
+ints = st.integers(min_value=-(10 ** 40), max_value=10 ** 40)
+small_ints = st.integers(min_value=-(2 ** 62), max_value=2 ** 62)
+
+
+def to_py(value):
+    if isinstance(value, tuple):
+        return tuple(to_py(v) for v in value)
+    text = rbigint._to_decimal(value)
+    return int(text)
+
+
+def test_fromint_roundtrip():
+    for value in (0, 1, -1, 12345, -99999, 2 ** 70, -(2 ** 70)):
+        assert to_py(BigInt.fromint(value)) == value
+
+
+def test_toint_range():
+    assert BigInt.fromint(2 ** 62).toint() == 2 ** 62
+    with pytest.raises(Exception):
+        BigInt.fromint(2 ** 70).toint()
+    assert not BigInt.fromint(2 ** 70).fits_int()
+    assert BigInt.fromint(-5).toint() == -5
+
+
+@given(ints, ints)
+@settings(max_examples=200, deadline=None)
+def test_add_matches_python(a, b):
+    ctx = VMContext(SystemConfig())
+    result = rbigint.big_add.fn(ctx, BigInt.fromint(a), BigInt.fromint(b))
+    assert to_py(result) == a + b
+
+
+@given(ints, ints)
+@settings(max_examples=200, deadline=None)
+def test_sub_matches_python(a, b):
+    ctx = VMContext(SystemConfig())
+    result = rbigint.big_sub.fn(ctx, BigInt.fromint(a), BigInt.fromint(b))
+    assert to_py(result) == a - b
+
+
+@given(ints, ints)
+@settings(max_examples=200, deadline=None)
+def test_mul_matches_python(a, b):
+    ctx = VMContext(SystemConfig())
+    result = rbigint.big_mul.fn(ctx, BigInt.fromint(a), BigInt.fromint(b))
+    assert to_py(result) == a * b
+
+
+@given(ints, ints.filter(lambda v: v != 0))
+@settings(max_examples=300, deadline=None)
+def test_divmod_matches_python(a, b):
+    ctx = VMContext(SystemConfig())
+    q, r = rbigint.big_divmod.fn(ctx, BigInt.fromint(a), BigInt.fromint(b))
+    expected_q, expected_r = divmod(a, b)
+    assert to_py(q) == expected_q
+    assert to_py(r) == expected_r
+
+
+def test_divmod_by_zero(ctx):
+    with pytest.raises(ZeroDivisionError):
+        rbigint.big_divmod.fn(ctx, BigInt.fromint(5), BigInt.fromint(0))
+
+
+@given(ints, st.integers(min_value=0, max_value=200))
+@settings(max_examples=150, deadline=None)
+def test_lshift_matches_python(a, count):
+    ctx = VMContext(SystemConfig())
+    result = rbigint.big_lshift.fn(ctx, BigInt.fromint(a), count)
+    assert to_py(result) == a << count
+
+
+@given(ints, st.integers(min_value=0, max_value=200))
+@settings(max_examples=150, deadline=None)
+def test_rshift_matches_python(a, count):
+    ctx = VMContext(SystemConfig())
+    result = rbigint.big_rshift.fn(ctx, BigInt.fromint(a), count)
+    assert to_py(result) == a >> count
+
+
+@given(ints, ints)
+@settings(max_examples=150, deadline=None)
+def test_cmp_matches_python(a, b):
+    ctx = VMContext(SystemConfig())
+    big_a, big_b = BigInt.fromint(a), BigInt.fromint(b)
+    assert rbigint.big_eq.fn(ctx, big_a, big_b) == (a == b)
+    assert rbigint.big_lt.fn(ctx, big_a, big_b) == (a < b)
+
+
+@given(ints)
+@settings(max_examples=100, deadline=None)
+def test_str_matches_python(a):
+    ctx = VMContext(SystemConfig())
+    assert rbigint.big_str.fn(ctx, BigInt.fromint(a)) == str(a)
+
+
+@given(ints)
+@settings(max_examples=100, deadline=None)
+def test_fromstr_roundtrip(a):
+    ctx = VMContext(SystemConfig())
+    assert to_py(rbigint.big_fromstr.fn(ctx, str(a))) == a
+
+
+@given(small_ints, st.integers(min_value=0, max_value=12))
+@settings(max_examples=60, deadline=None)
+def test_pow_matches_python(a, e):
+    ctx = VMContext(SystemConfig())
+    result = rbigint.big_pow.fn(ctx, BigInt.fromint(a), e)
+    assert to_py(result) == a ** e
+
+
+def test_neg_abs(ctx):
+    assert to_py(rbigint.big_neg.fn(ctx, BigInt.fromint(5))) == -5
+    assert to_py(rbigint.big_abs.fn(ctx, BigInt.fromint(-5))) == 5
+    assert to_py(rbigint.big_neg.fn(ctx, BigInt.fromint(0))) == 0
+
+
+def test_costs_scale_with_size(ctx):
+    small_cost_start = ctx.machine.cycles
+    rbigint.big_mul.fn(ctx, BigInt.fromint(10), BigInt.fromint(10))
+    small_cost = ctx.machine.cycles - small_cost_start
+    big_value = BigInt.fromint(10 ** 300)
+    big_cost_start = ctx.machine.cycles
+    rbigint.big_mul.fn(ctx, big_value, big_value)
+    big_cost = ctx.machine.cycles - big_cost_start
+    assert big_cost > small_cost * 50

@@ -1,0 +1,124 @@
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import SystemConfig
+from repro.interp.context import VMContext
+from repro.rlib import rordereddict as rd
+
+
+@pytest.fixture
+def ctx():
+    return VMContext(SystemConfig())
+
+
+def test_set_get(ctx):
+    d = rd.RDict()
+    rd.ll_dict_setitem.fn(ctx, d, "a", 1)
+    rd.ll_dict_setitem.fn(ctx, d, "b", 2)
+    assert rd.ll_dict_lookup.fn(ctx, d, "a") == 1
+    assert rd.ll_dict_lookup.fn(ctx, d, "b") == 2
+    assert rd.ll_dict_lookup.fn(ctx, d, "c") is None
+    assert rd.ll_dict_len.fn(ctx, d) == 2
+
+
+def test_overwrite(ctx):
+    d = rd.RDict()
+    rd.ll_dict_setitem.fn(ctx, d, "k", 1)
+    rd.ll_dict_setitem.fn(ctx, d, "k", 2)
+    assert rd.ll_dict_lookup.fn(ctx, d, "k") == 2
+    assert rd.ll_dict_len.fn(ctx, d) == 1
+
+
+def test_delete(ctx):
+    d = rd.RDict()
+    rd.ll_dict_setitem.fn(ctx, d, "k", 1)
+    assert rd.ll_dict_delitem.fn(ctx, d, "k") is True
+    assert rd.ll_dict_delitem.fn(ctx, d, "k") is False
+    assert rd.ll_dict_lookup.fn(ctx, d, "k") is None
+    assert rd.ll_dict_len.fn(ctx, d) == 0
+
+
+def test_insertion_order_preserved(ctx):
+    d = rd.RDict()
+    keys = ["z", "a", "m", "b"]
+    for i, key in enumerate(keys):
+        rd.ll_dict_setitem.fn(ctx, d, key, i)
+    assert rd.ll_dict_keys.fn(ctx, d) == keys
+    assert rd.ll_dict_values.fn(ctx, d) == [0, 1, 2, 3]
+    assert rd.ll_dict_items.fn(ctx, d)[0] == ("z", 0)
+
+
+def test_resize_keeps_contents(ctx):
+    d = rd.RDict()
+    for i in range(500):
+        rd.ll_dict_setitem.fn(ctx, d, "key%d" % i, i)
+    assert len(d.indexes) > 8
+    for i in range(500):
+        assert rd.ll_dict_lookup.fn(ctx, d, "key%d" % i) == i
+
+
+def test_contains(ctx):
+    d = rd.RDict()
+    rd.ll_dict_setitem.fn(ctx, d, 7, "x")
+    assert rd.ll_dict_contains.fn(ctx, d, 7)
+    assert not rd.ll_dict_contains.fn(ctx, d, 8)
+
+
+def test_clear(ctx):
+    d = rd.RDict()
+    rd.ll_dict_setitem.fn(ctx, d, "a", 1)
+    rd.ll_dict_clear.fn(ctx, d)
+    assert rd.ll_dict_len.fn(ctx, d) == 0
+    assert rd.ll_dict_lookup.fn(ctx, d, "a") is None
+
+
+def test_custom_hash_eq(ctx):
+    # Case-insensitive string keys.
+    d = rd.RDict(hash_fn=lambda k: hash(k.lower()),
+                 eq_fn=lambda a, b: a.lower() == b.lower())
+    rd.ll_dict_setitem.fn(ctx, d, "Key", 1)
+    assert rd.ll_dict_lookup.fn(ctx, d, "KEY") == 1
+
+
+def test_collisions_still_work(ctx):
+    d = rd.RDict(hash_fn=lambda k: 42, eq_fn=lambda a, b: a == b)
+    for i in range(40):
+        rd.ll_dict_setitem.fn(ctx, d, i, i * 10)
+    for i in range(40):
+        assert rd.ll_dict_lookup.fn(ctx, d, i) == i * 10
+
+
+def test_lookup_cost_scales_with_probes(ctx):
+    collider = rd.RDict(hash_fn=lambda k: 0, eq_fn=lambda a, b: a == b)
+    for i in range(64):
+        rd.ll_dict_setitem.fn(ctx, collider, i, i)
+    before = ctx.machine.cycles
+    rd.ll_dict_lookup.fn(ctx, collider, 63)
+    collision_cost = ctx.machine.cycles - before
+    fast = rd.RDict()
+    rd.ll_dict_setitem.fn(ctx, fast, 63, 63)
+    before = ctx.machine.cycles
+    rd.ll_dict_lookup.fn(ctx, fast, 63)
+    fast_cost = ctx.machine.cycles - before
+    assert collision_cost > fast_cost * 3
+
+
+@given(st.lists(st.tuples(st.sampled_from("abcdefgh"),
+                          st.integers(0, 100), st.booleans()), max_size=200))
+@settings(max_examples=100, deadline=None)
+def test_matches_python_dict(operations):
+    ctx = VMContext(SystemConfig())
+    d = rd.RDict()
+    model = {}
+    for key, value, is_delete in operations:
+        if is_delete:
+            present = rd.ll_dict_delitem.fn(ctx, d, key)
+            assert present == (key in model)
+            model.pop(key, None)
+        else:
+            rd.ll_dict_setitem.fn(ctx, d, key, value)
+            model[key] = value
+        assert rd.ll_dict_len.fn(ctx, d) == len(model)
+    for key, value in model.items():
+        assert rd.ll_dict_lookup.fn(ctx, d, key) == value
+    assert set(rd.ll_dict_keys.fn(ctx, d)) == set(model)

@@ -1,0 +1,195 @@
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import SystemConfig
+from repro.core.errors import GuestError
+from repro.interp.context import VMContext
+from repro.rlib import cmath, rlist, rstr
+from repro.rlib.rstringbuilder import (
+    StringBuilder,
+    ll_append,
+    ll_append_char,
+    ll_build,
+    ll_getlength,
+)
+
+
+@pytest.fixture
+def ctx():
+    return VMContext(SystemConfig())
+
+
+# -- rstr -----------------------------------------------------------------------
+
+
+def test_join(ctx):
+    assert rstr.ll_join.fn(ctx, ", ", ["a", "b", "c"]) == "a, b, c"
+    assert rstr.ll_join.fn(ctx, "", []) == ""
+
+
+def test_find_char(ctx):
+    assert rstr.ll_find_char.fn(ctx, "hello", "l", 0) == 2
+    assert rstr.ll_find_char.fn(ctx, "hello", "l", 3) == 3
+    assert rstr.ll_find_char.fn(ctx, "hello", "z", 0) == -1
+
+
+def test_find(ctx):
+    assert rstr.ll_find.fn(ctx, "hello world", "world", 0) == 6
+    assert rstr.ll_find.fn(ctx, "hello", "xyz", 0) == -1
+
+
+def test_strhash_deterministic(ctx):
+    h1 = rstr.ll_strhash.fn(ctx, "spam")
+    h2 = rstr.ll_strhash.fn(ctx, "spam")
+    h3 = rstr.ll_strhash.fn(ctx, "spam!")
+    assert h1 == h2
+    assert h1 != h3
+
+
+def test_replace_split_strip(ctx):
+    assert rstr.ll_replace.fn(ctx, "a-b-c", "-", "+") == "a+b+c"
+    assert rstr.ll_split.fn(ctx, "a b  c", None) == ["a", "b", "c"]
+    assert rstr.ll_split.fn(ctx, "a,b", ",") == ["a", "b"]
+    assert rstr.ll_strip.fn(ctx, "  hi  ") == "hi"
+
+
+def test_case_and_predicates(ctx):
+    assert rstr.ll_lower.fn(ctx, "AbC") == "abc"
+    assert rstr.ll_upper.fn(ctx, "AbC") == "ABC"
+    assert rstr.ll_startswith.fn(ctx, "hello", "he")
+    assert rstr.ll_endswith.fn(ctx, "hello", "lo")
+    assert rstr.ll_contains.fn(ctx, "hello", "ell")
+
+
+def test_slice_and_mul(ctx):
+    assert rstr.ll_slice.fn(ctx, "hello", 1, 3) == "el"
+    assert rstr.ll_slice.fn(ctx, "hello", 3, 99) == "lo"
+    assert rstr.ll_mul.fn(ctx, "ab", 3) == "ababab"
+
+
+def test_int2dec_and_float2str(ctx):
+    assert rstr.ll_int2dec.fn(ctx, -123) == "-123"
+    assert rstr.ll_float2str.fn(ctx, 0.5) == "0.5"
+
+
+@given(st.integers(-10**15, 10**15))
+@settings(max_examples=80, deadline=None)
+def test_string_to_int_roundtrip(value):
+    ctx = VMContext(SystemConfig())
+    assert rstr.string_to_int.fn(ctx, str(value)) == value
+
+
+def test_string_to_int_rejects_garbage(ctx):
+    with pytest.raises(GuestError):
+        rstr.string_to_int.fn(ctx, "12x")
+    with pytest.raises(GuestError):
+        rstr.string_to_int.fn(ctx, "")
+
+
+def test_string_to_float(ctx):
+    assert rstr.string_to_float.fn(ctx, "2.5") == 2.5
+    with pytest.raises(GuestError):
+        rstr.string_to_float.fn(ctx, "nope")
+
+
+def test_translate(ctx):
+    table = {"a": "t", "t": "a"}
+    assert rstr.descr_translate.fn(ctx, "atg", table) == "tag"
+
+
+def test_encode_ascii(ctx):
+    assert rstr.unicode_encode_ascii.fn(ctx, "hi") == b"hi"
+
+
+# -- rlist -----------------------------------------------------------------------
+
+
+def test_append_and_pop(ctx):
+    items = []
+    for i in range(10):
+        rlist.ll_append.fn(ctx, items, i)
+    assert items == list(range(10))
+    assert rlist.ll_pop.fn(ctx, items, 0) == 0
+    assert rlist.ll_pop.fn(ctx, items, len(items) - 1) == 9
+
+
+def test_insert_extend_reverse(ctx):
+    items = [1, 3]
+    rlist.ll_insert.fn(ctx, items, 1, 2)
+    rlist.ll_extend.fn(ctx, items, [4, 5])
+    rlist.ll_reverse.fn(ctx, items)
+    assert items == [5, 4, 3, 2, 1]
+
+
+def test_slices(ctx):
+    items = list(range(10))
+    rlist.ll_setslice.fn(ctx, items, 2, 5, [99])
+    assert items == [0, 1, 99, 5, 6, 7, 8, 9]
+    assert rlist.ll_getslice.fn(ctx, items, 1, 3) == [1, 99]
+
+
+def test_find_contains_count(ctx):
+    eq = lambda a, b: a == b  # noqa: E731
+    items = [5, 7, 5]
+    assert rlist.ll_find.fn(ctx, items, 7, eq) == 1
+    assert rlist.ll_find.fn(ctx, items, 8, eq) == -1
+    assert rlist.ll_contains.fn(ctx, items, 5, eq)
+    assert rlist.ll_count.fn(ctx, items, 5, eq) == 2
+
+
+def test_list_mul(ctx):
+    assert rlist.ll_mul.fn(ctx, [0], 3) == [0, 0, 0]
+
+
+@given(st.lists(st.integers(-100, 100), max_size=60))
+@settings(max_examples=100, deadline=None)
+def test_sort_matches_sorted(values):
+    ctx = VMContext(SystemConfig())
+    items = list(values)
+    rlist.ll_sort.fn(ctx, items, lambda a, b: a < b)
+    assert items == sorted(values)
+
+
+def test_sort_is_stable(ctx):
+    items = [(1, "a"), (0, "b"), (1, "c"), (0, "d")]
+    rlist.ll_sort.fn(ctx, items, lambda a, b: a[0] < b[0])
+    assert items == [(0, "b"), (0, "d"), (1, "a"), (1, "c")]
+
+
+# -- string builder ---------------------------------------------------------------
+
+
+def test_builder(ctx):
+    builder = StringBuilder()
+    ll_append.fn(ctx, builder, "hello")
+    ll_append_char.fn(ctx, builder, " ")
+    ll_append.fn(ctx, builder, "world")
+    assert ll_getlength.fn(ctx, builder) == 11
+    assert ll_build.fn(ctx, builder) == "hello world"
+    # Building twice is fine.
+    assert ll_build.fn(ctx, builder) == "hello world"
+
+
+# -- C math ------------------------------------------------------------------------
+
+
+def test_cmath(ctx):
+    assert cmath.c_pow.fn(ctx, 2.0, 10.0) == 1024.0
+    assert cmath.c_sqrt.fn(ctx, 9.0) == 3.0
+    assert abs(cmath.c_sin.fn(ctx, 0.0)) == 0.0
+    assert cmath.c_cos.fn(ctx, 0.0) == 1.0
+    assert cmath.c_exp.fn(ctx, 0.0) == 1.0
+    assert cmath.c_log.fn(ctx, 1.0) == 0.0
+    buffer_out = [0] * 4
+    cmath.c_memcpy.fn(ctx, buffer_out, [1, 2, 3, 4], 3)
+    assert buffer_out == [1, 2, 3, 0]
+
+
+def test_pow_is_expensive(ctx):
+    before = ctx.machine.cycles
+    cmath.c_pow.fn(ctx, 2.0, 0.5)
+    pow_cost = ctx.machine.cycles - before
+    before = ctx.machine.cycles
+    cmath.c_sqrt.fn(ctx, 2.0)
+    sqrt_cost = ctx.machine.cycles - before
+    assert pow_cost > sqrt_cost * 3

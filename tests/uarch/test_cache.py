@@ -1,0 +1,66 @@
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.config import UarchConfig
+from repro.uarch.cache import CacheHierarchy, SetAssocCache
+
+
+def test_cold_miss_then_hit():
+    cache = SetAssocCache(32, 8, 64)
+    assert not cache.access(0x1000)
+    assert cache.access(0x1000)
+    assert cache.access(0x103F)  # same line
+    assert not cache.access(0x1040)  # next line
+
+
+def test_lru_eviction():
+    cache = SetAssocCache(1, 2, 64)  # 1 KiB, 2-way: 8 sets
+    set_stride = 8 * 64  # addresses mapping to the same set
+    a, b, c = 0, set_stride, 2 * set_stride
+    cache.access(a)
+    cache.access(b)
+    cache.access(c)  # evicts a (LRU)
+    assert cache.access(b)
+    assert cache.access(c)
+    assert not cache.access(a)
+
+
+def test_rejects_non_power_of_two_line():
+    with pytest.raises(ValueError):
+        SetAssocCache(32, 8, 60)
+
+
+def test_hierarchy_penalties():
+    cfg = UarchConfig()
+    hierarchy = CacheHierarchy(cfg)
+    # Cold access misses both levels.
+    assert hierarchy.access(0x5000) == cfg.l1d_miss_penalty + cfg.l2_miss_penalty
+    # Now it hits L1.
+    assert hierarchy.access(0x5000) == 0
+
+
+def test_hierarchy_l2_hit():
+    cfg = UarchConfig()
+    hierarchy = CacheHierarchy(cfg)
+    hierarchy.access(0x5000)
+    # Evict from L1 by streaming through > 32 KiB mapping widely.
+    for i in range(4096):
+        hierarchy.access(0x100000 + i * 64)
+    penalty = hierarchy.access(0x5000)
+    assert penalty in (cfg.l1d_miss_penalty,
+                       cfg.l1d_miss_penalty + cfg.l2_miss_penalty)
+
+
+@given(st.lists(st.integers(0, 1 << 24), max_size=500))
+def test_hits_plus_misses_equals_accesses(addresses):
+    cache = SetAssocCache(4, 4, 64)
+    for addr in addresses:
+        cache.access(addr)
+    assert cache.hits + cache.misses == len(addresses)
+
+
+def test_streaming_has_no_reuse_hits():
+    cache = SetAssocCache(32, 8, 64)
+    for i in range(1000):
+        cache.access(i * 64)
+    assert cache.hits == 0

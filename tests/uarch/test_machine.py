@@ -1,0 +1,168 @@
+import pytest
+
+from repro.core import tags
+from repro.core.config import SystemConfig
+from repro.isa import insns
+from repro.uarch import machine as machine_mod
+from repro.uarch.machine import (
+    Machine,
+    SimulationLimitReached,
+    delta,
+    window_branch_miss_rate,
+    window_branches_per_insn,
+    window_ipc,
+)
+
+
+def make_machine(**kwargs):
+    return Machine(SystemConfig(**kwargs))
+
+
+def test_exec_mix_counts():
+    m = make_machine()
+    m.exec_mix(insns.mix(alu=10, load=5, store=2))
+    assert m.instructions == 17
+    assert m.loads == 0  # bulk loads are not addressed loads
+    assert m.class_counts[insns.LOAD] == 5
+    assert m.cycles > 17 / m.issue_width  # stalls charged
+
+
+def test_ipc_bounded_by_issue_width():
+    m = make_machine()
+    m.exec_mix(insns.mix(alu=1000))
+    assert m.ipc <= m.issue_width + 1e-9
+    assert m.ipc > 0
+
+
+def test_div_slower_than_alu():
+    m1 = make_machine()
+    m1.exec_mix(insns.mix(alu=100))
+    m2 = make_machine()
+    m2.exec_mix(insns.mix(div=100))
+    assert m2.cycles > m1.cycles * 5
+
+
+def test_branch_counters():
+    m = make_machine()
+    for _ in range(100):
+        m.branch(0x10, True)
+    assert m.branches == 100
+    assert m.instructions == 100
+    # Gshare warms one PHT entry per history state (~history-length misses).
+    assert m.branch_misses <= 15
+
+
+def test_mispredict_penalty_charged():
+    biased = make_machine()
+    for _ in range(200):
+        biased.branch(0x10, True)
+    import random
+
+    rng = random.Random(1234)
+    noisy = make_machine()
+    for _ in range(200):
+        noisy.branch(0x10, rng.random() < 0.5)
+    assert noisy.cycles > biased.cycles
+
+
+def test_indirect_uses_btb():
+    import random
+
+    rng = random.Random(7)
+    m = make_machine()
+    for _ in range(100):
+        m.indirect(0x20, rng.randrange(1, 1 << 16))
+    assert m.branch_misses >= 80
+
+
+def test_call_ret_pairing():
+    m = make_machine()
+    for _ in range(50):
+        m.call(0x100)
+        m.ret(0x100)
+    assert m.branch_misses == 0
+
+
+def test_addressed_load_hits_cache_second_time():
+    m = make_machine()
+    m.load(0x4000)
+    cycles_cold = m.cycles
+    m.load(0x4000)
+    cycles_warm = m.cycles - cycles_cold
+    assert cycles_warm < cycles_cold
+
+
+def test_store_counts():
+    m = make_machine()
+    m.store(0x4000)
+    assert m.stores == 1
+    assert m.class_counts[insns.STORE] == 1
+
+
+def test_annotation_listener():
+    m = make_machine()
+    seen = []
+    m.add_annot_listener(lambda tag, payload: seen.append((tag, payload)))
+    m.annot(tags.DISPATCH, 7)
+    assert seen == [(tags.DISPATCH, 7)]
+    assert m.annotations == 1
+    assert m.class_counts[insns.NOP_ANNOT] == 1
+
+
+def test_remove_listener():
+    m = make_machine()
+    seen = []
+    listener = lambda tag, payload: seen.append(tag)  # noqa: E731
+    m.add_annot_listener(listener)
+    m.annot(tags.DISPATCH)
+    m.remove_annot_listener(listener)
+    m.annot(tags.DISPATCH)
+    assert len(seen) == 1
+
+
+def test_max_instructions_limit():
+    m = make_machine(max_instructions=50)
+    with pytest.raises(SimulationLimitReached):
+        for _ in range(100):
+            m.exec_mix(insns.mix(alu=10))
+    assert m.instructions >= 50
+
+
+def test_counter_snapshot_and_delta():
+    m = make_machine()
+    before = m.counters()
+    m.exec_mix(insns.mix(alu=10))
+    m.branch(0, True)
+    after = m.counters()
+    window = delta(after, before)
+    assert window.instructions == 11
+    assert window.branches == 1
+    assert window_ipc(window) > 0
+    assert 0.0 <= window_branch_miss_rate(window) <= 1.0
+    assert window_branches_per_insn(window) == pytest.approx(1 / 11)
+
+
+def test_branch_mpki():
+    m = make_machine()
+    for i in range(1000):
+        m.branch(i * 17, bool(i % 2))  # many PCs, noisy outcomes
+    assert m.branch_mpki > 0
+
+
+def test_unknown_predictor_rejected():
+    with pytest.raises(Exception):
+        Machine(SystemConfig(), predictor="oracle")
+
+
+def test_predictor_kinds():
+    for kind in ("gshare", "bimodal", "always_taken"):
+        m = Machine(SystemConfig(), predictor=kind)
+        m.branch(0, True)
+        assert m.branches == 1
+
+
+def test_window_helpers_zero_safe():
+    empty = machine_mod.CounterSnapshot(0, 0.0, 0, 0, 0, 0, 0, 0)
+    assert window_ipc(empty) == 0.0
+    assert window_branch_miss_rate(empty) == 0.0
+    assert window_branches_per_insn(empty) == 0.0
