@@ -8,7 +8,7 @@ switching the mechanism off.
 
 from repro.benchprogs import registry
 from repro.harness import report
-from repro.harness.runner import run_program
+from repro.harness.runner import bridge_count, job, run_many, run_program
 
 DEFAULT_PROGRAMS = ("richards", "float", "chaos", "spitfire")
 
@@ -18,6 +18,17 @@ OPT_PASSES = ("opt_virtuals", "opt_loop_peeling", "opt_heap_cache",
 
 def optimizer_ablation(quick=True, programs=DEFAULT_PROGRAMS):
     """Slowdown from disabling each optimizer pass (and all of them)."""
+    jobs = []
+    for name in programs:
+        program = registry.py_program(name)
+        n = program.small_n if quick else program.default_n
+        jobs.append(job(program, "pypy", n=n))
+        for pass_name in OPT_PASSES:
+            jobs.append(job(program, "pypy", n=n,
+                            jit_overrides={pass_name: False}))
+        jobs.append(job(program, "pypy", n=n,
+                        jit_overrides={p: False for p in OPT_PASSES}))
+    run_many(jobs)
     rows = []
     for name in programs:
         program = registry.py_program(name)
@@ -53,6 +64,9 @@ def threshold_sweep(quick=True, program_name="richards",
     """Hot-loop threshold sweep (the paper's warmup discussion)."""
     program = registry.py_program(program_name)
     n = program.small_n if quick else program.default_n
+    run_many([job(program, "pypy", n=n,
+                  jit_overrides={"hot_loop_threshold": t})
+              for t in thresholds])
     rows = []
     for threshold in thresholds:
         result = run_program(
@@ -76,13 +90,15 @@ def bridge_threshold_sweep(quick=True, program_name="richards",
     """Guard-failure threshold before bridge compilation."""
     program = registry.py_program(program_name)
     n = program.small_n if quick else program.default_n
+    run_many([job(program, "pypy", n=n,
+                  jit_overrides={"bridge_threshold": t})
+              for t in thresholds])
     rows = []
     for threshold in thresholds:
         result = run_program(
             program, "pypy", n=n,
             jit_overrides={"bridge_threshold": threshold})
-        bridges = sum(1 for t in result.registry.traces
-                      if t.kind == "bridge")
+        bridges = bridge_count(result)
         rows.append((threshold, result.seconds, bridges,
                      result.phase_breakdown.get("blackhole", 0.0)))
     table_rows = [
@@ -97,6 +113,14 @@ def bridge_threshold_sweep(quick=True, program_name="richards",
 
 def predictor_ablation(quick=True, programs=("richards", "crypto_pyaes")):
     """Branch-predictor sensitivity (Rohou et al. discussion)."""
+    jobs = []
+    for name in programs:
+        program = registry.py_program(name)
+        n = program.small_n if quick else program.default_n
+        for vm in ("cpython", "pypy"):
+            for predictor in ("gshare", "bimodal", "always_taken"):
+                jobs.append(job(program, vm, n=n, predictor=predictor))
+    run_many(jobs)
     rows = []
     for name in programs:
         program = registry.py_program(name)

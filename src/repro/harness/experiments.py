@@ -13,7 +13,9 @@ from repro.harness.runner import (
     asm_per_node,
     category_breakdown,
     ir_stats,
+    job,
     node_histogram,
+    run_many,
     run_program,
 )
 from repro.jit import ir as irdefs
@@ -28,6 +30,11 @@ def _n(program, quick):
     return program.small_n if quick else program.default_n
 
 
+def _jit_suite_jobs(programs, quick):
+    """The one-run-per-benchmark job list shared by fig2/6/7/8/9 etc."""
+    return [job(p, "pypy", n=_n(p, quick)) for p in programs]
+
+
 def _sorted_by_speedup(rows, index):
     return sorted(rows, key=lambda r: -r[index])
 
@@ -38,6 +45,9 @@ def _sorted_by_speedup(rows, index):
 def table1(quick=False, programs=None):
     """CPython vs PyPy-nojit vs PyPy-jit: time, speedup, IPC, MPKI."""
     programs = programs or registry.pypy_suite()
+    run_many([job(p, vm, n=_n(p, quick))
+              for p in programs
+              for vm in ("cpython", "pypy_nojit", "pypy")])
     rows = []
     for program in programs:
         n = _n(program, quick)
@@ -84,6 +94,19 @@ def table2(quick=False):
     """CPython / PyPy / Racket / Pycket / native on the CLBG programs."""
     rows = []
     rkt_names = {p.name: p for p in registry.RKT_PROGRAMS}
+    jobs = []
+    for program in registry.clbg_python():
+        n = _n(program, quick)
+        jobs.append(job(program, "cpython", n=n))
+        jobs.append(job(program, "pypy", n=n))
+        rkt = rkt_names.get(program.name)
+        if rkt is not None:
+            rn = _n(rkt, quick)
+            jobs.append(job(rkt, "racket", n=rn))
+            jobs.append(job(rkt, "pycket", n=rn))
+        if program.name in NATIVE_KERNELS:
+            jobs.append(job(program, "native", n=n))
+    run_many(jobs)
     for program in registry.clbg_python():
         n = _n(program, quick)
         cpy = run_program(program, "cpython", n=n)
@@ -127,6 +150,7 @@ def table2(quick=False):
 
 def fig2(quick=False, programs=None):
     programs = programs or registry.pypy_suite()
+    run_many(_jit_suite_jobs(programs, quick))
     rows = []
     for program in programs:
         result = run_program(program, "pypy", n=_n(program, quick))
@@ -144,6 +168,12 @@ def fig2(quick=False, programs=None):
 def fig3(quick=False, best="richards", worst="eparse"):
     blocks = []
     data = {}
+    jobs = []
+    for name in (best, worst):
+        program = registry.py_program(name)
+        n = program.small_n * 3 if quick else program.default_n
+        jobs.append(job(program, "pypy", n=n, timeline=True))
+    run_many(jobs)
     for name in (best, worst):
         program = registry.py_program(name)
         # Timelines need a few warm iterations even in quick mode.
@@ -165,6 +195,14 @@ def fig3(quick=False, best="richards", worst="eparse"):
 def fig4(quick=False):
     rkt_names = {p.name: p for p in registry.RKT_PROGRAMS}
     rows = []
+    jobs = []
+    for program in registry.clbg_python():
+        rkt = rkt_names.get(program.name)
+        if rkt is None:
+            continue
+        jobs.append(job(program, "pypy", n=_n(program, quick)))
+        jobs.append(job(rkt, "pycket", n=_n(rkt, quick)))
+    run_many(jobs)
     for program in registry.clbg_python():
         rkt = rkt_names.get(program.name)
         if rkt is None:
@@ -184,6 +222,7 @@ def fig4(quick=False):
 
 def table3(quick=False, threshold=0.10, programs=None):
     programs = programs or registry.pypy_suite()
+    run_many(_jit_suite_jobs(programs, quick))
     rows = []
     for program in programs:
         result = run_program(program, "pypy", n=_n(program, quick))
@@ -205,6 +244,16 @@ def table3(quick=False, threshold=0.10, programs=None):
 def fig5(quick=False, programs=None, max_instructions=4_000_000):
     """Bytecode-rate warmup curves vs CPython (first K instructions)."""
     programs = programs or registry.pypy_suite()
+    jobs = []
+    for program in programs:
+        n = _n(program, quick)
+        jobs.append(job(program, "pypy", n=n, timeline=True,
+                        max_instructions=max_instructions))
+        jobs.append(job(program, "cpython", n=n,
+                        max_instructions=max_instructions))
+        jobs.append(job(program, "pypy_nojit", n=n,
+                        max_instructions=max_instructions))
+    run_many(jobs)
     rows = []
     blocks = []
     for program in programs:
@@ -243,6 +292,7 @@ def fig5(quick=False, programs=None, max_instructions=4_000_000):
 
 def fig6(quick=False, programs=None):
     programs = programs or registry.pypy_suite()
+    run_many(_jit_suite_jobs(programs, quick))
     rows = []
     for program in programs:
         result = run_program(program, "pypy", n=_n(program, quick))
@@ -269,6 +319,7 @@ def fig6(quick=False, programs=None):
 
 def fig7(quick=False, programs=None):
     programs = programs or registry.pypy_suite()
+    run_many(_jit_suite_jobs(programs, quick))
     rows = []
     totals = {}
     for program in programs:
@@ -291,6 +342,7 @@ def fig7(quick=False, programs=None):
 
 def fig8(quick=False, programs=None, top=18):
     programs = programs or registry.pypy_suite()
+    run_many(_jit_suite_jobs(programs, quick))
     totals = {}
     for program in programs:
         result = run_program(program, "pypy", n=_n(program, quick))
@@ -310,6 +362,7 @@ def fig8(quick=False, programs=None, top=18):
 
 def fig9(quick=False, programs=None, top=18):
     programs = programs or registry.pypy_suite()
+    run_many(_jit_suite_jobs(programs, quick))
     sums = {}
     counts = {}
     for program in programs:
@@ -330,6 +383,7 @@ def fig9(quick=False, programs=None, top=18):
 
 def table4(quick=False, programs=None):
     programs = programs or registry.pypy_suite()
+    run_many(_jit_suite_jobs(programs, quick))
     samples = {name: {"ipc": [], "bpi": [], "miss": []}
                for name in PHASE_NAMES}
     for program in programs:

@@ -3,13 +3,25 @@
 Runs a benchmark program on one of the seven VM configurations the paper
 compares and returns a :class:`RunResult` with every measurement the
 tables/figures need (times, counters, phase windows, warmup timelines,
-AOT-call profiles, JIT-IR statistics).  Results are cached in-process so
-one simulation feeds all the tables and figures that share it, like the
-paper's single instrumented runs.
+AOT-call profiles, JIT-IR statistics).  Results are cached at two
+levels, like the paper's single instrumented runs feeding every table:
+
+* in-process (``_CACHE``), holding the live RunResult;
+* on disk (:mod:`repro.harness.store`), holding the serialized
+  measurements plus compact registry/jitlog summaries, keyed by the run
+  parameters and a digest of the simulator source tree.
+
+Independent simulations can be fanned out over worker processes with
+:func:`run_many`; workers ship the same serialized payload back that
+the store persists.
 """
+
+import os
+from concurrent.futures import ProcessPoolExecutor
 
 from repro.benchprogs import registry
 from repro.core.config import SystemConfig
+from repro.harness import store
 from repro.interp.context import VMContext
 from repro.jit import executor, jitlog
 from repro.nativeref.kernels import run_native
@@ -52,6 +64,13 @@ class RunResult(object):
         self.registry = None
         self.jitlog_obj = None
         self.gc_stats = None
+        # Compact summaries standing in for the live registry when the
+        # result was restored from the store or a worker process.
+        self.ir_summary = None
+        self.category_summary = None
+        self.node_hist_summary = None
+        self.asm_per_node_summary = None
+        self.registry_summary = None
 
     @property
     def seconds(self):
@@ -70,9 +89,31 @@ class RunResult(object):
 
 _CACHE = {}
 
+# Number of real simulations executed in this process (store hits and
+# in-process cache hits do not count).
+_SIM_COUNT = 0
+
 
 def clear_cache():
     _CACHE.clear()
+
+
+def simulation_count():
+    """How many real simulations this process has executed."""
+    return _SIM_COUNT
+
+
+def _resolve_program(program, language=None):
+    if not isinstance(program, str):
+        return program
+    if language in ("python", "tinypy"):
+        return registry.py_program(program)
+    if language in ("racket", "tinyrkt"):
+        return registry.rkt_program(program)
+    try:
+        return registry.py_program(program)
+    except KeyError:
+        return registry.rkt_program(program)
 
 
 def _base_config(max_instructions, jit_enabled, overrides):
@@ -92,34 +133,97 @@ def _base_config(max_instructions, jit_enabled, overrides):
     return config
 
 
+def _result_key(program, vm_kind, n, timeline, max_instructions,
+                jit_overrides, predictor):
+    overrides_key = tuple(sorted((jit_overrides or {}).items()))
+    return (program.language, program.name, vm_kind, n, timeline,
+            max_instructions, overrides_key, predictor)
+
+
+# -- result serialization (store payloads and worker IPC) -----------------------
+
+_PLAIN_FIELDS = (
+    "program", "vm_kind", "n", "output", "cycles", "instructions", "ipc",
+    "mpki", "truncated", "phase_windows", "phase_breakdown",
+    "timeline_segments", "bytecodes", "bc_timeline", "aot_rows", "gc_stats",
+)
+
+_SUMMARY_FIELDS = (
+    "ir_summary", "category_summary", "node_hist_summary",
+    "asm_per_node_summary", "registry_summary",
+)
+
+
+def _result_to_payload(result):
+    """Serialize a RunResult to a plain picklable dict.
+
+    Live objects (trace registry, jitlog, GC) are replaced by the
+    compact summaries every downstream consumer reads.
+    """
+    payload = {field: getattr(result, field) for field in _PLAIN_FIELDS}
+    if result.registry is not None:
+        payload["ir_summary"] = ir_stats(result)
+        payload["category_summary"] = category_breakdown(result)
+        payload["node_hist_summary"] = node_histogram(result)
+        payload["asm_per_node_summary"] = asm_per_node(result)
+        kinds = {}
+        for trace in result.registry.traces:
+            kinds[trace.kind] = kinds.get(trace.kind, 0) + 1
+        payload["registry_summary"] = {
+            "n_traces": len(result.registry.traces),
+            "bridges": kinds.get("bridge", 0),
+            "kinds": kinds,
+        }
+    else:
+        for field in _SUMMARY_FIELDS:
+            payload[field] = getattr(result, field)
+    return payload
+
+
+def _result_from_payload(payload):
+    result = RunResult(payload["program"], payload["vm_kind"], payload["n"])
+    for field in _PLAIN_FIELDS + _SUMMARY_FIELDS:
+        if field in payload:
+            setattr(result, field, payload[field])
+    return result
+
+
+def _store_probe(key):
+    store_obj = store.default_store()
+    if store_obj is None:
+        return None
+    payload = store_obj.get(key)
+    if payload is None:
+        return None
+    return _result_from_payload(payload)
+
+
 def run_program(program, vm_kind, n=None, timeline=False,
                 max_instructions=0, jit_overrides=None,
-                predictor="gshare", use_cache=True):
+                predictor="gshare", use_cache=True, language=None):
     """Run ``program`` (a BenchProgram or name) on one VM configuration."""
-    if isinstance(program, str):
-        try:
-            program = registry.py_program(program)
-        except KeyError:
-            program = registry.rkt_program(program)
+    global _SIM_COUNT
+    program = _resolve_program(program, language)
     if n is None:
         n = program.default_n
-    overrides_key = tuple(sorted((jit_overrides or {}).items()))
-    key = (program.language, program.name, vm_kind, n, timeline,
-           max_instructions, overrides_key, predictor)
-    if use_cache and key in _CACHE:
-        return _CACHE[key]
+    key = _result_key(program, vm_kind, n, timeline, max_instructions,
+                      jit_overrides, predictor)
+    if use_cache:
+        if key in _CACHE:
+            return _CACHE[key]
+        restored = _store_probe(key)
+        if restored is not None:
+            _CACHE[key] = restored
+            return restored
 
     source = program.source(n=n)
     result = RunResult(program.name, vm_kind, n)
+    _SIM_COUNT += 1
 
     if vm_kind == "native":
         config = _base_config(max_instructions, False, jit_overrides)
-        try:
-            native = run_native(program.name, n, config,
-                                predictor=predictor)
-        except SimulationLimitReached:
-            result.truncated = True
-            raise
+        native = run_native(program.name, n, config, predictor=predictor)
+        result.truncated = native.truncated
         result.output = native.stdout()
         _fill_machine(result, native.machine)
     elif vm_kind in _REF_VMS:
@@ -161,7 +265,100 @@ def run_program(program, vm_kind, n=None, timeline=False,
 
     if use_cache:
         _CACHE[key] = result
+        store_obj = store.default_store()
+        if store_obj is not None:
+            store_obj.put(key, _result_to_payload(result))
     return result
+
+
+# -- parallel fan-out -----------------------------------------------------------
+
+
+def job(program, vm_kind, n=None, timeline=False, max_instructions=0,
+        jit_overrides=None, predictor="gshare", language=None):
+    """Build a picklable job spec for :func:`run_many`."""
+    program = _resolve_program(program, language)
+    return {
+        "language": program.language,
+        "program": program.name,
+        "vm_kind": vm_kind,
+        "n": n if n is not None else program.default_n,
+        "timeline": timeline,
+        "max_instructions": max_instructions,
+        "jit_overrides": dict(jit_overrides or {}),
+        "predictor": predictor,
+    }
+
+
+def _job_key(spec):
+    program = _resolve_program(spec["program"], spec["language"])
+    return _result_key(program, spec["vm_kind"], spec["n"],
+                       spec["timeline"], spec["max_instructions"],
+                       spec["jit_overrides"], spec["predictor"])
+
+
+def _run_job(spec):
+    """Worker-process entry: simulate one job, return its payload."""
+    result = run_program(
+        spec["program"], spec["vm_kind"], n=spec["n"],
+        timeline=spec["timeline"],
+        max_instructions=spec["max_instructions"],
+        jit_overrides=spec["jit_overrides"],
+        predictor=spec["predictor"], language=spec["language"])
+    return _result_to_payload(result)
+
+
+def run_many(jobs, workers=None):
+    """Run many jobs (see :func:`job`), fanning misses out to workers.
+
+    Deduplicates jobs, serves what it can from the in-process cache and
+    the persistent store, and simulates only the rest — in this process
+    when ``workers <= 1``, otherwise on a process pool.  Results enter
+    ``_CACHE``, so later ``run_program`` calls are free.  Returns one
+    RunResult per input job, in order.
+    """
+    specs = [dict(spec) for spec in jobs]
+    keys = [_job_key(spec) for spec in specs]
+    results = {}
+    pending = {}
+    for spec, key in zip(specs, keys):
+        if key in results or key in pending:
+            continue
+        cached = _CACHE.get(key)
+        if cached is None:
+            cached = _store_probe(key)
+            if cached is not None:
+                _CACHE[key] = cached
+        if cached is not None:
+            results[key] = cached
+        else:
+            pending[key] = spec
+    if pending:
+        if workers is None:
+            workers = os.cpu_count() or 1
+        items = list(pending.items())
+        if workers <= 1 or len(items) == 1:
+            for key, spec in items:
+                results[key] = run_program(
+                    spec["program"], spec["vm_kind"], n=spec["n"],
+                    timeline=spec["timeline"],
+                    max_instructions=spec["max_instructions"],
+                    jit_overrides=spec["jit_overrides"],
+                    predictor=spec["predictor"],
+                    language=spec["language"])
+        else:
+            with ProcessPoolExecutor(
+                    max_workers=min(workers, len(items))) as pool:
+                payloads = list(pool.map(_run_job,
+                                         [spec for _, spec in items]))
+            store_obj = store.default_store()
+            for (key, _spec), payload in zip(items, payloads):
+                result = _result_from_payload(payload)
+                _CACHE[key] = result
+                if store_obj is not None:
+                    store_obj.put(key, payload)
+                results[key] = result
+    return [results[key] for key in keys]
 
 
 def _fill_machine(result, machine):
@@ -181,12 +378,16 @@ def _fill_pintool(result, tool):
         result.bc_timeline = list(tool.bcrate.timeline)
 
 
-# -- JIT-IR statistics helpers (jitlog-backed) ---------------------------------
+# -- JIT-IR statistics helpers (jitlog- or summary-backed) ----------------------
 
 
 def ir_stats(result):
     """Figure 6 statistics for a JIT run."""
     reg = result.registry
+    if reg is None:
+        return dict(result.ir_summary or {
+            "nodes_compiled": 0, "hot_fraction": 0.0,
+            "nodes_per_minsn": 0.0})
     return {
         "nodes_compiled": jitlog.total_ir_nodes_compiled(reg),
         "hot_fraction": jitlog.hot_node_fraction(reg),
@@ -196,12 +397,25 @@ def ir_stats(result):
 
 
 def category_breakdown(result):
+    if result.registry is None:
+        return dict(result.category_summary or {})
     return jitlog.dynamic_category_breakdown(result.registry)
 
 
 def node_histogram(result):
+    if result.registry is None:
+        return dict(result.node_hist_summary or {})
     return jitlog.dynamic_node_type_histogram(result.registry)
 
 
 def asm_per_node(result):
+    if result.registry is None:
+        return dict(result.asm_per_node_summary or {})
     return jitlog.asm_insns_per_node_type(result.registry)
+
+
+def bridge_count(result):
+    """Number of compiled bridges (live registry or stored summary)."""
+    if result.registry is None:
+        return (result.registry_summary or {}).get("bridges", 0)
+    return sum(1 for t in result.registry.traces if t.kind == "bridge")

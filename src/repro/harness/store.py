@@ -1,0 +1,133 @@
+"""Persistent result store for simulated benchmark runs.
+
+Simulations are deterministic: the same program, VM configuration, and
+simulator source always produce the same RunResult.  The store
+serializes each result's plain measurements (counters, phase windows,
+timelines, compact registry/jitlog summaries — never live VM objects)
+under ``results/.cache/`` keyed by the run parameters plus a digest of
+the simulator source tree, so editing any ``src/repro`` module
+invalidates every stored result automatically.
+
+Environment knobs:
+
+* ``REPRO_STORE=0`` disables the store entirely.
+* ``REPRO_STORE_DIR`` overrides the cache directory.
+"""
+
+import hashlib
+import os
+import pickle
+import tempfile
+
+#: Bump to invalidate every stored payload after a format change.
+FORMAT_VERSION = 1
+
+_SRC_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_REPO_ROOT = os.path.dirname(os.path.dirname(_SRC_ROOT))
+_DEFAULT_DIR = os.path.join(_REPO_ROOT, "results", ".cache")
+
+_code_digest_cache = None
+
+
+def code_digest():
+    """Digest of every simulator source file (``src/repro/**/*.py``).
+
+    Computed once per process; any source change yields a new digest,
+    which orphans (rather than corrupts) previously stored results.
+    """
+    global _code_digest_cache
+    if _code_digest_cache is None:
+        h = hashlib.sha1()
+        paths = []
+        for dirpath, dirnames, filenames in os.walk(_SRC_ROOT):
+            dirnames.sort()
+            for filename in sorted(filenames):
+                if filename.endswith(".py"):
+                    paths.append(os.path.join(dirpath, filename))
+        for path in paths:
+            h.update(os.path.relpath(path, _SRC_ROOT).encode("utf-8"))
+            h.update(b"\0")
+            with open(path, "rb") as f:
+                h.update(f.read())
+            h.update(b"\0")
+        _code_digest_cache = h.hexdigest()
+    return _code_digest_cache
+
+
+class ResultStore(object):
+    """Pickle-backed result cache with hit/miss accounting."""
+
+    def __init__(self, root=None):
+        self.root = root or _DEFAULT_DIR
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+
+    def _path(self, key):
+        digest = hashlib.sha1(
+            (repr(key) + "|" + code_digest()).encode("utf-8")).hexdigest()
+        # Key fields: (language, program, vm_kind, n, ...) — lead the
+        # filename with the human-relevant parts for debuggability.
+        stem = "%s-%s-%s" % (key[1], key[2], digest[:16])
+        return os.path.join(self.root, stem + ".pkl")
+
+    def get(self, key):
+        """Return the stored payload for ``key`` or None."""
+        path = self._path(key)
+        try:
+            with open(path, "rb") as f:
+                envelope = pickle.load(f)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            self.misses += 1
+            return None
+        if (envelope.get("version") != FORMAT_VERSION
+                or envelope.get("key") != key
+                or envelope.get("digest") != code_digest()):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return envelope["payload"]
+
+    def put(self, key, payload):
+        """Atomically persist ``payload`` for ``key``."""
+        path = self._path(key)
+        envelope = {
+            "version": FORMAT_VERSION,
+            "key": key,
+            "digest": code_digest(),
+            "payload": payload,
+        }
+        os.makedirs(self.root, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as f:
+                pickle.dump(envelope, f, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_path, path)
+        except OSError:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            return
+        self.puts += 1
+
+
+_UNSET = object()
+_default = _UNSET
+
+
+def default_store():
+    """The process-wide store, or None when disabled via REPRO_STORE=0."""
+    global _default
+    if _default is _UNSET:
+        if os.environ.get("REPRO_STORE", "1").lower() in ("0", "false", "no"):
+            _default = None
+        else:
+            _default = ResultStore(os.environ.get("REPRO_STORE_DIR"))
+    return _default
+
+
+def reset_default_store():
+    """Forget the cached default store (re-reads the environment)."""
+    global _default
+    _default = _UNSET

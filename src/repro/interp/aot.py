@@ -26,6 +26,8 @@ through the context.
                   forces a trace abort (deopt soundness).
 """
 
+import zlib
+
 from repro.core.errors import ReproError
 
 EFFECTS = ("pure", "readonly", "idempotent", "any")
@@ -34,7 +36,7 @@ EFFECTS = ("pure", "readonly", "idempotent", "any")
 class AotFunction(object):
     """One AOT-compiled entry point callable from traces."""
 
-    __slots__ = ("name", "src", "effects", "fn")
+    __slots__ = ("name", "src", "effects", "fn", "pc")
 
     def __init__(self, name, src, effects, fn):
         if src not in ("R", "L", "C", "I", "M"):
@@ -45,6 +47,9 @@ class AotFunction(object):
         self.src = src
         self.effects = effects
         self.fn = fn
+        # Deterministic simulated call-site pc (id() would vary between
+        # processes and break run reproducibility).
+        self.pc = zlib.crc32(name.encode()) & 0xFFFF
 
     @property
     def reexec_safe(self):

@@ -49,6 +49,7 @@ _D_ARRAY = insns.mix(alu=5, load=3, br_bulk=2)
 _D_STR = insns.mix(alu=5, load=6, br_bulk=2)
 _D_CALL = insns.mix(alu=8, store=5, load=7, br_bulk=3)
 _D_MISC = insns.mix(alu=4, load=2, br_bulk=1)
+_D_CLS = insns.mix(load=1, alu=1)
 
 _OVERFLOWED = object()  # sentinel stored by failed ovf ops (executor use)
 
@@ -60,6 +61,28 @@ class LLOps(object):
         self.ctx = ctx
         self.machine = ctx.machine
         self.gc = ctx.gc
+        # Pre-lowered block descriptors for every handler cost mix: the
+        # direct-mode hot path retires them in O(1) via exec_block.
+        machine = ctx.machine
+        self._xb = machine.exec_block
+        self._b_frame = machine.block(_D_FRAME)
+        self._b_arith = machine.block(_D_ARITH)
+        self._b_cmp = machine.block(_D_CMP)
+        self._b_div = machine.block(_D_DIV)
+        self._b_mul = machine.block(_D_MUL)
+        self._b_farith = machine.block(_D_FARITH)
+        self._b_field = machine.block(_D_FIELD)
+        self._b_new = machine.block(_D_NEW)
+        self._b_array = machine.block(_D_ARRAY)
+        self._b_str = machine.block(_D_STR)
+        self._b_call = machine.block(_D_CALL)
+        self._b_misc = machine.block(_D_MISC)
+        self._b_cls = machine.block(_D_CLS)
+        self._f_trace = machine.fused_block(
+            costs.TRACE_RECORD_MIX,
+            costs.TRACE_RECORD_BRANCHES,
+            costs.TRACE_RECORD_BRANCH_MISS_RATE,
+        )
 
     # -- tracing helpers ------------------------------------------------------
 
@@ -76,20 +99,16 @@ class LLOps(object):
         return ir.Const(value)
 
     def _charge_trace(self, n_ops=1):
-        machine = self.machine
-        machine.exec_mix(costs.TRACE_RECORD_MIX)
-        machine.exec_bulk_branches(
-            costs.TRACE_RECORD_BRANCHES, costs.TRACE_RECORD_BRANCH_MISS_RATE
-        )
+        self.machine.exec_fused(self._f_trace)
 
-    def _pure2(self, opnum, a, b, direct_mix):
+    def _pure2(self, opnum, a, b, direct_block):
         """Binary pure op: execute, record when tracing."""
         tracer = self.ctx.tracer
         av = concrete(a)
         bv = concrete(b)
         result = EVAL[opnum](av, bv)
         if tracer is None:
-            self.machine.exec_mix(direct_mix)
+            self._xb(direct_block)
             return result
         self._charge_trace()
         if type(a) is not TBox and type(b) is not TBox:
@@ -97,11 +116,11 @@ class LLOps(object):
         op = tracer.record(opnum, [self._ir(a), self._ir(b)], None)
         return TBox(result, op, tracer)
 
-    def _pure1(self, opnum, a, direct_mix):
+    def _pure1(self, opnum, a, direct_block):
         tracer = self.ctx.tracer
         result = EVAL[opnum](concrete(a))
         if tracer is None:
-            self.machine.exec_mix(direct_mix)
+            self._xb(direct_block)
             return result
         self._charge_trace()
         if type(a) is not TBox:
@@ -113,22 +132,22 @@ class LLOps(object):
 
     def stack_push(self, frame, value):
         frame.stack.append(value)
-        self.machine.exec_mix(_D_FRAME)
+        self._xb(self._b_frame)
 
     def stack_pop(self, frame):
-        self.machine.exec_mix(_D_FRAME)
+        self._xb(self._b_frame)
         return frame.stack.pop()
 
     def stack_peek(self, frame, depth=0):
-        self.machine.exec_mix(_D_FRAME)
+        self._xb(self._b_frame)
         return frame.stack[-1 - depth]
 
     def getlocal(self, frame, index):
-        self.machine.exec_mix(_D_FRAME)
+        self._xb(self._b_frame)
         return frame.locals[index]
 
     def setlocal(self, frame, index, value):
-        self.machine.exec_mix(_D_FRAME)
+        self._xb(self._b_frame)
         frame.locals[index] = value
 
     # -- promotion and type dispatch ----------------------------------------------
@@ -137,7 +156,7 @@ class LLOps(object):
         """Make a red value green: guard_value and return it raw."""
         tracer = self.ctx.tracer
         if tracer is None:
-            self.machine.exec_mix(_D_MISC)
+            self._xb(self._b_misc)
             return concrete(value)
         self._charge_trace()
         if type(value) is not TBox:
@@ -157,7 +176,7 @@ class LLOps(object):
         """The class of a boxed value; records guard_class when tracing."""
         tracer = self.ctx.tracer
         if tracer is None:
-            self.machine.exec_mix(insns.mix(load=1, alu=1))
+            self._xb(self._b_cls)
             # concrete(): a stale trace box (from an abandoned
             # recording) is just its value in direct mode.
             return concrete(value).__class__
@@ -172,7 +191,7 @@ class LLOps(object):
         """Branch on a red boolean; records guard_true/guard_false."""
         tracer = self.ctx.tracer
         if tracer is None:
-            self.machine.exec_mix(_D_MISC)
+            self._xb(self._b_misc)
             return bool(concrete(value))
         self._charge_trace()
         if type(value) is not TBox:
@@ -188,7 +207,7 @@ class LLOps(object):
         """Branch on pointer nullness; records guard_isnull/nonnull."""
         tracer = self.ctx.tracer
         if tracer is None:
-            self.machine.exec_mix(_D_MISC)
+            self._xb(self._b_misc)
             return concrete(value) is None
         self._charge_trace()
         if type(value) is not TBox:
@@ -203,61 +222,61 @@ class LLOps(object):
     # -- integer arithmetic ----------------------------------------------------------
 
     def int_add(self, a, b):
-        return self._pure2(ir.INT_ADD, a, b, _D_ARITH)
+        return self._pure2(ir.INT_ADD, a, b, self._b_arith)
 
     def int_sub(self, a, b):
-        return self._pure2(ir.INT_SUB, a, b, _D_ARITH)
+        return self._pure2(ir.INT_SUB, a, b, self._b_arith)
 
     def int_mul(self, a, b):
-        return self._pure2(ir.INT_MUL, a, b, _D_MUL)
+        return self._pure2(ir.INT_MUL, a, b, self._b_mul)
 
     def int_floordiv(self, a, b):
-        return self._pure2(ir.INT_FLOORDIV, a, b, _D_DIV)
+        return self._pure2(ir.INT_FLOORDIV, a, b, self._b_div)
 
     def int_mod(self, a, b):
-        return self._pure2(ir.INT_MOD, a, b, _D_DIV)
+        return self._pure2(ir.INT_MOD, a, b, self._b_div)
 
     def int_and(self, a, b):
-        return self._pure2(ir.INT_AND, a, b, _D_ARITH)
+        return self._pure2(ir.INT_AND, a, b, self._b_arith)
 
     def int_or(self, a, b):
-        return self._pure2(ir.INT_OR, a, b, _D_ARITH)
+        return self._pure2(ir.INT_OR, a, b, self._b_arith)
 
     def int_xor(self, a, b):
-        return self._pure2(ir.INT_XOR, a, b, _D_ARITH)
+        return self._pure2(ir.INT_XOR, a, b, self._b_arith)
 
     def int_lshift(self, a, b):
-        return self._pure2(ir.INT_LSHIFT, a, b, _D_ARITH)
+        return self._pure2(ir.INT_LSHIFT, a, b, self._b_arith)
 
     def int_rshift(self, a, b):
-        return self._pure2(ir.INT_RSHIFT, a, b, _D_ARITH)
+        return self._pure2(ir.INT_RSHIFT, a, b, self._b_arith)
 
     def int_neg(self, a):
-        return self._pure1(ir.INT_NEG, a, _D_ARITH)
+        return self._pure1(ir.INT_NEG, a, self._b_arith)
 
     def int_invert(self, a):
-        return self._pure1(ir.INT_INVERT, a, _D_ARITH)
+        return self._pure1(ir.INT_INVERT, a, self._b_arith)
 
     def int_is_true(self, a):
-        return self._pure1(ir.INT_IS_TRUE, a, _D_ARITH)
+        return self._pure1(ir.INT_IS_TRUE, a, self._b_arith)
 
     def int_lt(self, a, b):
-        return self._pure2(ir.INT_LT, a, b, _D_CMP)
+        return self._pure2(ir.INT_LT, a, b, self._b_cmp)
 
     def int_le(self, a, b):
-        return self._pure2(ir.INT_LE, a, b, _D_CMP)
+        return self._pure2(ir.INT_LE, a, b, self._b_cmp)
 
     def int_eq(self, a, b):
-        return self._pure2(ir.INT_EQ, a, b, _D_CMP)
+        return self._pure2(ir.INT_EQ, a, b, self._b_cmp)
 
     def int_ne(self, a, b):
-        return self._pure2(ir.INT_NE, a, b, _D_CMP)
+        return self._pure2(ir.INT_NE, a, b, self._b_cmp)
 
     def int_gt(self, a, b):
-        return self._pure2(ir.INT_GT, a, b, _D_CMP)
+        return self._pure2(ir.INT_GT, a, b, self._b_cmp)
 
     def int_ge(self, a, b):
-        return self._pure2(ir.INT_GE, a, b, _D_CMP)
+        return self._pure2(ir.INT_GE, a, b, self._b_cmp)
 
     def _ovf(self, opnum, guardnum_ok, a, b):
         tracer = self.ctx.tracer
@@ -270,7 +289,7 @@ class LLOps(object):
             result = _OVERFLOWED
             overflowed = True
         if tracer is None:
-            self.machine.exec_mix(_D_ARITH)
+            self._xb(self._b_arith)
             if overflowed:
                 raise LLOverflow
             return result
@@ -298,49 +317,49 @@ class LLOps(object):
     # -- float arithmetic ---------------------------------------------------------------
 
     def float_add(self, a, b):
-        return self._pure2(ir.FLOAT_ADD, a, b, _D_FARITH)
+        return self._pure2(ir.FLOAT_ADD, a, b, self._b_farith)
 
     def float_sub(self, a, b):
-        return self._pure2(ir.FLOAT_SUB, a, b, _D_FARITH)
+        return self._pure2(ir.FLOAT_SUB, a, b, self._b_farith)
 
     def float_mul(self, a, b):
-        return self._pure2(ir.FLOAT_MUL, a, b, _D_FARITH)
+        return self._pure2(ir.FLOAT_MUL, a, b, self._b_farith)
 
     def float_truediv(self, a, b):
-        return self._pure2(ir.FLOAT_TRUEDIV, a, b, _D_FARITH)
+        return self._pure2(ir.FLOAT_TRUEDIV, a, b, self._b_farith)
 
     def float_neg(self, a):
-        return self._pure1(ir.FLOAT_NEG, a, _D_FARITH)
+        return self._pure1(ir.FLOAT_NEG, a, self._b_farith)
 
     def float_abs(self, a):
-        return self._pure1(ir.FLOAT_ABS, a, _D_FARITH)
+        return self._pure1(ir.FLOAT_ABS, a, self._b_farith)
 
     def float_sqrt(self, a):
-        return self._pure1(ir.FLOAT_SQRT, a, _D_FARITH)
+        return self._pure1(ir.FLOAT_SQRT, a, self._b_farith)
 
     def float_lt(self, a, b):
-        return self._pure2(ir.FLOAT_LT, a, b, _D_FARITH)
+        return self._pure2(ir.FLOAT_LT, a, b, self._b_farith)
 
     def float_le(self, a, b):
-        return self._pure2(ir.FLOAT_LE, a, b, _D_FARITH)
+        return self._pure2(ir.FLOAT_LE, a, b, self._b_farith)
 
     def float_eq(self, a, b):
-        return self._pure2(ir.FLOAT_EQ, a, b, _D_FARITH)
+        return self._pure2(ir.FLOAT_EQ, a, b, self._b_farith)
 
     def float_ne(self, a, b):
-        return self._pure2(ir.FLOAT_NE, a, b, _D_FARITH)
+        return self._pure2(ir.FLOAT_NE, a, b, self._b_farith)
 
     def float_gt(self, a, b):
-        return self._pure2(ir.FLOAT_GT, a, b, _D_FARITH)
+        return self._pure2(ir.FLOAT_GT, a, b, self._b_farith)
 
     def float_ge(self, a, b):
-        return self._pure2(ir.FLOAT_GE, a, b, _D_FARITH)
+        return self._pure2(ir.FLOAT_GE, a, b, self._b_farith)
 
     def cast_int_to_float(self, a):
-        return self._pure1(ir.CAST_INT_TO_FLOAT, a, _D_FARITH)
+        return self._pure1(ir.CAST_INT_TO_FLOAT, a, self._b_farith)
 
     def cast_float_to_int(self, a):
-        return self._pure1(ir.CAST_FLOAT_TO_INT, a, _D_FARITH)
+        return self._pure1(ir.CAST_FLOAT_TO_INT, a, self._b_farith)
 
     # -- pointer ops -------------------------------------------------------------------------
 
@@ -348,7 +367,7 @@ class LLOps(object):
         tracer = self.ctx.tracer
         result = concrete(a) is concrete(b)
         if tracer is None:
-            self.machine.exec_mix(_D_MISC)
+            self._xb(self._b_misc)
             return result
         self._charge_trace()
         if type(a) is not TBox and type(b) is not TBox:
@@ -360,7 +379,7 @@ class LLOps(object):
         tracer = self.ctx.tracer
         result = concrete(a) is not concrete(b)
         if tracer is None:
-            self.machine.exec_mix(_D_MISC)
+            self._xb(self._b_misc)
             return result
         self._charge_trace()
         if type(a) is not TBox and type(b) is not TBox:
@@ -371,30 +390,30 @@ class LLOps(object):
     # -- string ops (interpreter-internal byte strings) --------------------------------
 
     def strlen(self, s):
-        return self._pure1(ir.STRLEN, s, _D_STR)
+        return self._pure1(ir.STRLEN, s, self._b_str)
 
     def strgetitem(self, s, i):
-        return self._pure2(ir.STRGETITEM, s, i, _D_STR)
+        return self._pure2(ir.STRGETITEM, s, i, self._b_str)
 
     def str_eq(self, a, b):
-        return self._pure2(ir.STR_EQ, a, b, _D_STR)
+        return self._pure2(ir.STR_EQ, a, b, self._b_str)
 
     def str_concat(self, a, b):
-        return self._pure2(ir.STR_CONCAT, a, b, _D_STR)
+        return self._pure2(ir.STR_CONCAT, a, b, self._b_str)
 
     # -- unicode ops (guest-level strings) ------------------------------------------------
 
     def unicodelen(self, s):
-        return self._pure1(ir.UNICODELEN, s, _D_STR)
+        return self._pure1(ir.UNICODELEN, s, self._b_str)
 
     def unicodegetitem(self, s, i):
-        return self._pure2(ir.UNICODEGETITEM, s, i, _D_STR)
+        return self._pure2(ir.UNICODEGETITEM, s, i, self._b_str)
 
     def unicode_eq(self, a, b):
-        return self._pure2(ir.UNICODE_EQ, a, b, _D_STR)
+        return self._pure2(ir.UNICODE_EQ, a, b, self._b_str)
 
     def unicode_concat(self, a, b):
-        return self._pure2(ir.UNICODE_CONCAT, a, b, _D_STR)
+        return self._pure2(ir.UNICODE_CONCAT, a, b, self._b_str)
 
     # -- heap operations ---------------------------------------------------------------------
 
@@ -406,7 +425,7 @@ class LLOps(object):
         obj._addr = addr
         tracer = self.ctx.tracer
         if tracer is None:
-            self.machine.exec_mix(_D_NEW)
+            self._xb(self._b_new)
             for name, value in fields.items():
                 setattr(obj, name, concrete(value))
                 self.machine.store(addr)
@@ -426,7 +445,7 @@ class LLOps(object):
             obj = concrete(obj)
             value = getattr(obj, name)
             descr = ir.FieldDescr.get(obj.__class__, name)
-            self.machine.exec_mix(_D_FIELD)
+            self._xb(self._b_field)
             self.machine.load(obj._addr + descr.offset)
             return value
         self._charge_trace()
@@ -448,7 +467,7 @@ class LLOps(object):
             obj = concrete(obj)
             descr = ir.FieldDescr.get(obj.__class__, name)
             setattr(obj, name, concrete(value))
-            self.machine.exec_mix(_D_FIELD)
+            self._xb(self._b_field)
             self.machine.store(obj._addr + descr.offset)
             return
         self._charge_trace()
@@ -467,7 +486,7 @@ class LLOps(object):
         arr._addr = self.gc.allocate(sizeof_array(length), obj=arr)
         tracer = self.ctx.tracer
         if tracer is None:
-            self.machine.exec_mix(_D_NEW)
+            self._xb(self._b_new)
             return arr
         self._charge_trace()
         op = tracer.record(
@@ -482,7 +501,7 @@ class LLOps(object):
         arr._addr = self.gc.allocate(sizeof_array(len(items)), obj=arr)
         tracer = self.ctx.tracer
         if tracer is None:
-            self.machine.exec_mix(_D_NEW)
+            self._xb(self._b_new)
             self.machine.exec_mix(insns.mix(store=len(items)))
             return arr
         self._charge_trace()
@@ -503,7 +522,7 @@ class LLOps(object):
         if tracer is None:
             arr = concrete(arr)
             index = concrete(index)
-            self.machine.exec_mix(_D_ARRAY)
+            self._xb(self._b_array)
             self.machine.load(arr._addr + 16 + 8 * index)
             return arr.items[index]
         self._charge_trace()
@@ -523,7 +542,7 @@ class LLOps(object):
         if tracer is None:
             arr = concrete(arr)
             index = concrete(index)
-            self.machine.exec_mix(_D_ARRAY)
+            self._xb(self._b_array)
             self.machine.store(arr._addr + 16 + 8 * index)
             arr.items[index] = concrete(value)
             return
@@ -539,7 +558,7 @@ class LLOps(object):
     def arraylen(self, arr):
         tracer = self.ctx.tracer
         if tracer is None:
-            self.machine.exec_mix(_D_ARRAY)
+            self._xb(self._b_array)
             return len(concrete(arr).items)
         self._charge_trace()
         raw = concrete(arr)
@@ -560,10 +579,11 @@ class LLOps(object):
         """
         tracer = self.ctx.tracer
         if tracer is None:
-            self.machine.exec_mix(_D_CALL)
-            self.machine.call(id(func) & 0xFFFF)
+            self._xb(self._b_call)
+            pc = func.pc
+            self.machine.call(pc)
             result = func.call(self.ctx, args)
-            self.machine.ret(id(func) & 0xFFFF)
+            self.machine.ret(pc)
             return result
         self._charge_trace()
         raw_args = [concrete(a) for a in args]

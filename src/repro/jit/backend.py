@@ -9,6 +9,24 @@ from repro.jit import costs, ir
 from repro.jit.trace import InputArg
 
 
+def freeze_mix(mix_dict):
+    """Canonical immutable form of an accumulated basic-block mix."""
+    return tuple(sorted(mix_dict.items()))
+
+
+def lower_blocks(machine, block_mixes):
+    """Lower a trace's accumulated basic-block mixes to block descriptors.
+
+    Each per-block ``{klass: count}`` dict (accumulated while the
+    executor generated the trace body) is frozen to its canonical tuple
+    and memoized on the machine: identical blocks across traces and
+    bridges share one :class:`repro.uarch.blocks.BlockDescr`, so
+    steady-state JIT execution retires each block in O(1) instead of
+    re-walking its per-class expansion.
+    """
+    return [machine.block(freeze_mix(m)) for m in block_mixes]
+
+
 def attach_costs(trace):
     """Assign op indices/env slots and static assembly sizes."""
     index = 0

@@ -119,13 +119,19 @@ class _CodeGen(object):
 
     # -- block bookkeeping --------------------------------------------------------
 
-    def start_block(self, indent):
+    def start_block(self, indent, branch_pc=None):
         self.block_id += 1
         self.block_mix = {}
         self.block_mixes.append(self.block_mix)
         self._block_open = True
         self.lines.append("%s_bc[%d] += 1" % (indent, self.block_id))
-        self.lines.append("%s_xm(_BM[%d])" % (indent, self.block_id))
+        if branch_pc is None:
+            self.lines.append("%s_xb(_B%d)" % (indent, self.block_id))
+        else:
+            # Guard fall-through: the not-taken branch event and the
+            # block it opens retire in one fused machine call.
+            self.lines.append("%s_brb(%d, _B%d)"
+                              % (indent, branch_pc, self.block_id))
 
     def add_mix(self, mix):
         for klass, count in mix:
@@ -266,10 +272,10 @@ class _CodeGen(object):
         self.line(indent, "    _br(%d, True)" % pc)
         self.line(indent, "    return (1, %d, (%s))"
                   % (guard_index, values + ("," if plan else "")))
-        self.line(indent, "_br(%d, False)" % pc)
         self.add_mix(costs.GUARD_MIX)
-        # A new basic block begins after every guard.
-        self.start_block(indent)
+        # A new basic block begins after every guard; the not-taken
+        # branch event fuses into its opening call.
+        self.start_block(indent, branch_pc=pc)
 
     # -- whole-trace generation ---------------------------------------------------------
 
@@ -331,18 +337,21 @@ class _CodeGen(object):
         self.line(indent, "continue")
 
     def build(self):
+        from repro.jit import backend
+
         machine = self.ctx.machine
         namespace = {
-            "_xm": machine.exec_mix,
+            "_xb": machine.exec_block,
+            "_brb": machine.branch_block,
             "_br": machine.branch,
             "_ld": machine.load,
             "_st": machine.store,
             "_mcall": machine.call,
             "_mret": machine.ret,
             "_annot": machine.annot,
+            "_annotn": machine.annot_run,
             "_ctx": self.ctx,
             "_bc": self.trace._block_counts,
-            "_BM": [_freeze_mix(m) for m in self.block_mixes],
             "_OVF": LLOverflow,
             "_OVFD": _OVFD,
             "_ckovf": check_ovf,
@@ -354,15 +363,46 @@ class _CodeGen(object):
             "float": float,
             "int": int,
         }
+        # Each lowered descriptor binds to its own global name: one dict
+        # load per block retire instead of a load plus a list subscript.
+        for i, descr in enumerate(
+                backend.lower_blocks(machine, self.block_mixes)):
+            namespace["_B%d" % i] = descr
         namespace.update(self.consts)
-        source = "\n".join(self.lines)
+        source = "\n".join(_collapse_annots(self.lines))
         code = compile(source, "<trace-%d>" % self.trace.trace_id, "exec")
         exec(code, namespace)
         return namespace["_trace_fn"], source
 
 
-def _freeze_mix(mix_dict):
-    return tuple(sorted(mix_dict.items()))
+def _collapse_annots(lines):
+    """Collapse runs of identical bare ``_annot(tag)`` lines.
+
+    Bytecodes whose ops all virtualized away leave adjacent
+    ``debug_merge_point`` annotations with no machine-visible code in
+    between; one ``_annotn(tag, k)`` call (:meth:`Machine.annot_run`)
+    retires them with identical counter and listener behavior.
+    """
+    out = []
+    i = 0
+    n = len(lines)
+    while i < n:
+        line = lines[i]
+        stripped = line.strip()
+        if stripped.startswith("_annot(") and "," not in stripped:
+            j = i + 1
+            while j < n and lines[j] == line:
+                j += 1
+            run = j - i
+            if run > 1:
+                indent = line[:len(line) - len(stripped)]
+                tag = stripped[len("_annot("):-1]
+                out.append("%s_annotn(%s, %d)" % (indent, tag, run))
+                i = j
+                continue
+        out.append(line)
+        i += 1
+    return out
 
 
 def _exit_plan(snapshot):

@@ -10,7 +10,7 @@ only the cost model is synthetic, as DESIGN.md documents.
 
 from repro.core import tags
 from repro.isa import insns
-from repro.uarch.machine import Machine
+from repro.uarch.machine import Machine, SimulationLimitReached
 
 _FLOP_MIX = insns.mix(fpu=4, alu=2, load=2, store=1)
 _INT_MIX = insns.mix(alu=4, load=1, store=1, br_bulk=1)
@@ -23,6 +23,7 @@ class NativeRun(object):
     def __init__(self, config, predictor="gshare"):
         self.machine = Machine(config, predictor=predictor)
         self.output = []
+        self.truncated = False
 
     def charge(self, mix, times=1):
         if times > 1:
@@ -408,9 +409,18 @@ KERNELS = {
 
 
 def run_native(name, n, config, predictor="gshare"):
-    """Run a native-reference kernel; returns the NativeRun."""
+    """Run a native-reference kernel; returns the NativeRun.
+
+    A run that exceeds ``max_instructions`` comes back with
+    ``truncated`` set and whatever output it produced, matching the
+    interpreter/JIT paths (which also return truncated results instead
+    of raising).
+    """
     run = NativeRun(config, predictor=predictor)
-    run.machine.annot(tags.VM_START)
-    KERNELS[name](run, n)
-    run.machine.annot(tags.VM_STOP)
+    try:
+        run.machine.annot(tags.VM_START)
+        KERNELS[name](run, n)
+        run.machine.annot(tags.VM_STOP)
+    except SimulationLimitReached:
+        run.truncated = True
     return run

@@ -26,12 +26,24 @@ class BytecodeRateTracker:
     def on_annot(self, tag, payload):
         if tag != tags.DISPATCH:
             return
+        self.on_dispatch(tag, payload)
+
+    def on_dispatch(self, tag, payload):
+        """Tag-filtered listener: only ever registered for DISPATCH."""
         self.bytecodes += 1
         if self.bucket_insns:
             insns_now = self._machine.instructions
             if insns_now >= self._next_mark:
                 self.timeline.append((insns_now, self.bytecodes))
                 self._next_mark = insns_now + self.bucket_insns
+
+    def on_dispatch_count(self, tag, payload):
+        """Count-only listener for runs with no timeline buckets."""
+        self.bytecodes += 1
+
+    def on_dispatch_run(self, tag, payload, n):
+        """Batched count-only listener: n dispatches at once."""
+        self.bytecodes += n
 
     def finish(self):
         if self.bucket_insns:

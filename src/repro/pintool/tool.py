@@ -6,14 +6,21 @@ the bytecode-rate tracker, the AOT-call profiler, and (optionally) the
 per-IR-node profiler.
 """
 
+from repro.core import tags
 from repro.pintool.aotcalls import AotCallProfiler
 from repro.pintool.bcrate import BytecodeRateTracker
 from repro.pintool.irprofile import IrNodeProfiler
-from repro.pintool.phases import PhaseTracker
+from repro.pintool.phases import _POP, _PUSH, PhaseTracker
 
 
 class PinTool:
-    """Intercepts cross-layer annotations from a :class:`Machine`."""
+    """Intercepts cross-layer annotations from a :class:`Machine`.
+
+    Each profiler reacts to a small, known tag set, so the tool
+    registers per-tag listeners: the machine dispatches an annotation
+    only to the components that care about its tag, instead of fanning
+    every event out to every profiler.
+    """
 
     def __init__(self, machine, record_timeline=False, bucket_insns=0,
                  profile_ir_nodes=False):
@@ -22,9 +29,27 @@ class PinTool:
         self.bcrate = BytecodeRateTracker(machine, bucket_insns=bucket_insns)
         self.aotcalls = AotCallProfiler(machine)
         self.irprofile = IrNodeProfiler() if profile_ir_nodes else None
-        machine.add_annot_listener(self.on_annot)
+        self._registrations = []
+        for tag in set(_PUSH) | set(_POP):
+            self._register(tag, self.phases.on_annot)
+        if bucket_insns:
+            # Timeline buckets may close mid-run, so no batched variant.
+            self._register(tags.DISPATCH, self.bcrate.on_dispatch)
+        else:
+            self._register(tags.DISPATCH, self.bcrate.on_dispatch_count,
+                           run=self.bcrate.on_dispatch_run)
+        self._register(tags.JIT_CALL_START, self.aotcalls.on_annot)
+        self._register(tags.JIT_CALL_STOP, self.aotcalls.on_annot)
+        if self.irprofile is not None:
+            self._register(tags.IR_NODE, self.irprofile.on_annot)
+            self._register(tags.TRACE_ITER, self.irprofile.on_annot)
+
+    def _register(self, tag, listener, run=None):
+        self.machine.add_tag_listener(tag, listener, run=run)
+        self._registrations.append((tag, listener))
 
     def on_annot(self, tag, payload):
+        """Catch-all fan-out (kept for direct/manual use)."""
         self.phases.on_annot(tag, payload)
         self.bcrate.on_annot(tag, payload)
         self.aotcalls.on_annot(tag, payload)
@@ -37,4 +62,6 @@ class PinTool:
         self.bcrate.finish()
 
     def detach(self):
-        self.machine.remove_annot_listener(self.on_annot)
+        for tag, listener in self._registrations:
+            self.machine.remove_tag_listener(tag, listener)
+        self._registrations = []

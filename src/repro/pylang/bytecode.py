@@ -1,5 +1,7 @@
 """TinyPy bytecode: opcodes and code objects."""
 
+import zlib
+
 _OPS = []
 
 
@@ -95,6 +97,13 @@ class PyCode(object):
         self.varnames = varnames
         self.argcount = argcount
         self.n_locals = len(varnames)
+        # Deterministic simulated-PC seed for branch events.  Derived
+        # from the code *content*, never from id(): memory addresses
+        # differ between processes, which would make branch-predictor
+        # streams (and so cycles/miss counts) non-reproducible across
+        # runs and parallel workers.
+        self.pc_seed = zlib.crc32(
+            ("%s|%r|%r" % (name, ops, args)).encode()) & 0xFFFFF
 
     def dis(self):
         """Human-readable disassembly (for tests and debugging)."""

@@ -85,6 +85,83 @@ class _ChargeCtx(object):
         self.machine.exec_bulk_branches(count, rate)
 
 
+def _precharged(xm, mix, handler):
+    """Restore a stripped leading charge for scaled-``_xm`` subclasses.
+
+    Handlers in :attr:`CpRef._STATIC_CHARGE` had their leading fixed
+    charge moved into the fused dispatch call; VMs that scale costs
+    (``mix_scale != 1.0`` or a custom ``_xm``) get it back via this
+    wrapper, preserving the original charge order.
+    """
+    def wrapped(stack, arg, code, module, pc):
+        xm(mix)
+        return handler(stack, arg, code, module, pc)
+    return wrapped
+
+
+#: Values outside this range take CPython's bignum path (see _num_mix).
+_SMALL = 1 << 62
+
+#: Opcodes eligible for straight-line run fusion: the handler is
+#: machine-silent (its entire cost is the fixed _STATIC_CHARGE mix, no
+#: dynamic charges), never jumps (always returns None), and ignores the
+#: ``pc`` argument.  Runs of these retire all their dispatch events in
+#: one :meth:`Machine.dispatch_run` call before the handlers execute.
+_RUN_OP_NAMES = (
+    "LOAD_CONST", "LOAD_FAST", "STORE_FAST", "LOAD_GLOBAL",
+    "STORE_GLOBAL", "POP_TOP", "DUP_TOP", "DUP_TOP_TWO",
+    "ROT_TWO", "ROT_THREE", "UNARY_NEG", "UNARY_INVERT",
+    "COMPARE_LT", "COMPARE_LE", "COMPARE_EQ", "COMPARE_NE",
+    "COMPARE_GT", "COMPARE_GE", "COMPARE_IS", "COMPARE_IS_NOT",
+)
+_RUN_OPS = frozenset(getattr(bc, name) for name in _RUN_OP_NAMES)
+
+#: Opcodes whose arg is a bytecode jump target (run boundaries).
+_JUMP_OPS = (bc.JUMP, bc.POP_JUMP_IF_FALSE, bc.POP_JUMP_IF_TRUE,
+             bc.JUMP_IF_FALSE_OR_POP, bc.JUMP_IF_TRUE_OR_POP, bc.FOR_ITER)
+
+
+def _build_run_table(code, op_blocks, handlers, b_dispatch):
+    """Per-code table of fusable straight-line runs, indexed by pc.
+
+    ``table[pc]`` is None or ``(items, pairs, next_pc, last_op, n_insns)``
+    where ``items`` feeds :meth:`Machine.dispatch_run` and ``pairs`` is
+    the ``(handler, arg)`` list to execute afterwards.  A run never
+    starts at pc 0 or at a jump target, so the previous opcode — which
+    the dispatch event's indirect-jump pc correlates on — is statically
+    known for every item, and fused execution reproduces the exact
+    per-bytecode event stream of the unfused loop.
+    """
+    ops = code.ops
+    args = code.args
+    n = len(ops)
+    jump_targets = set()
+    for op, arg in zip(ops, args):
+        if op in _JUMP_OPS:
+            jump_targets.add(arg)
+    table = [None] * n
+    pc = 1
+    while pc < n:
+        if ops[pc] not in _RUN_OPS or pc in jump_targets:
+            pc += 1
+            continue
+        end = pc + 1
+        while end < n and ops[end] in _RUN_OPS and end not in jump_targets:
+            end += 1
+        if end - pc >= 2:
+            items = tuple(
+                (0x300 + (ops[j - 1] << 3), ops[j], op_blocks[ops[j]])
+                for j in range(pc, end))
+            pairs = tuple(
+                (handlers[ops[j]], args[j]) for j in range(pc, end))
+            n_insns = sum(
+                2 + b_dispatch.n_insns + b2.n_insns
+                for _pc, _tgt, b2 in items)
+            table[pc] = (items, pairs, end, ops[end - 1], n_insns)
+        pc = end
+    return table
+
+
 class CpRef(object):
     """The CPython-like reference VM."""
 
@@ -92,18 +169,83 @@ class CpRef(object):
     #: subclasses with a smaller factor: a mature custom JIT VM).
     mix_scale = 1.0
 
+    #: Handlers whose first machine-visible action is charging a fixed
+    #: module-level mix.  On unscaled VMs the dispatch loop retires that
+    #: mix fused into the dispatch event (:meth:`Machine.dispatch_event2`)
+    #: and the handler body skips it; scaled VMs get the charge restored
+    #: by a wrapper so the subclass ``_xm`` override still sees it.
+    _STATIC_CHARGE = {
+        "load_const": _CHEAP, "load_fast": _CHEAP, "store_fast": _CHEAP,
+        "load_global": _GLOBAL, "store_global": _GLOBAL,
+        "pop_top": _CHEAP, "dup_top": _CHEAP, "dup_top_two": _CHEAP,
+        "rot_two": _CHEAP, "rot_three": _CHEAP,
+        "unary_neg": _ARITH, "unary_not": _CHEAP, "unary_invert": _ARITH,
+        "compare_lt": _ARITH, "compare_le": _ARITH, "compare_eq": _ARITH,
+        "compare_ne": _ARITH, "compare_gt": _ARITH, "compare_ge": _ARITH,
+        "compare_is": _ARITH, "compare_is_not": _ARITH,
+        "load_attr": _ATTR, "store_attr": _ATTR,
+        "binary_subscr": _SUBSCR, "store_subscr": _SUBSCR,
+        "delete_subscr": _SUBSCR,
+        "pop_jump_if_false": _CHEAP, "pop_jump_if_true": _CHEAP,
+        "jump_if_false_or_pop": _CHEAP, "jump_if_true_or_pop": _CHEAP,
+        "get_iter": _BUILD, "for_iter": _SUBSCR,
+        "build_slice": _BUILD, "list_append": _CHEAP,
+        "make_function": _BUILD, "make_class": _BUILD,
+        "call_function": _CALL, "return_value": _CHEAP,
+    }
+
+    #: Descriptor for _ARITH on unscaled VMs: lets binop handlers retire
+    #: the common small-int mix without going through ``_num_mix``.
+    _b_arith = None
+
     def __init__(self, config, predictor="gshare"):
         self.machine = Machine(config, predictor=predictor)
         self._charge_ctx = _ChargeCtx(self.machine)
         self.output = []
         self._mix_carry = {}
+        # Fused-run tables per code object: id(code) -> (code, table).
+        # The code object is pinned in the value so its id can't be
+        # recycled while the table is alive.
+        self._run_tables = {}
         self._build_handlers()
         self._builtins = self._make_builtins()
+        # Pre-lowered descriptors for the static handler mixes, keyed by
+        # id().  Only module-level mixes are registered: they are
+        # immortal, so their ids can never be reused by a dynamic mix.
+        machine = self.machine
+        self._b_dispatch = machine.block(_DISPATCH_MIX)
+        self._static_blocks = {
+            id(m): machine.block(m)
+            for m in (_CHEAP, _ARITH, _FARITH, _DIV, _ATTR, _SUBSCR,
+                      _CALL, _BUILD, _GLOBAL, _DISPATCH_MIX)
+        }
+        self._sb_get = self._static_blocks.get
+        self._mxb = machine.exec_block
+        # When no subclass customizes charging, shadow _xm with a
+        # closure that skips the scale check and self lookups.
+        if type(self)._xm is CpRef._xm and self.mix_scale == 1.0:
+            sb_get = self._static_blocks.get
+            exec_block = machine.exec_block
+            exec_mix = machine.exec_mix
+
+            def _xm_fast(mix):
+                b = sb_get(id(mix))
+                if b is not None:
+                    exec_block(b)
+                else:
+                    exec_mix(mix)
+
+            self._xm = _xm_fast
+            self._b_arith = machine.block(_ARITH)
 
     def _xm(self, mix):
         """Charge a mix, scaled by this VM's cost factor."""
         if self.mix_scale == 1.0:
-            self.machine.exec_mix(mix)
+            b = self._sb_get(id(mix))
+            if b is not None:
+                self._mxb(b)
+            else:
+                self.machine.exec_mix(mix)
             return
         carry = self._mix_carry
         scaled = []
@@ -137,33 +279,46 @@ class CpRef(object):
     # -- the evaluation loop -----------------------------------------------------------
 
     def _build_handlers(self):
+        fast = type(self)._xm is CpRef._xm and self.mix_scale == 1.0
+        machine = self.machine
         table = [None] * bc.N_OPS
+        blocks = [None] * bc.N_OPS
         for name in dir(self):
             if name.startswith("op_"):
                 opnum = getattr(bc, name[3:].upper(), None)
                 if opnum is not None:
-                    table[opnum] = getattr(self, name)
+                    handler = getattr(self, name)
+                    mix = self._STATIC_CHARGE.get(name[3:])
+                    if mix is not None:
+                        if fast:
+                            blocks[opnum] = machine.block(mix)
+                        else:
+                            handler = _precharged(self._xm, mix, handler)
+                    table[opnum] = handler
         missing = [bc.OP_NAMES[i] for i in range(bc.N_OPS)
                    if table[i] is None]
         assert not missing, missing
         self._handlers = table
+        self._op_blocks = blocks
+        self._fast = fast
 
     # -- handlers (return None = advance, int = new pc, _Return = done) ----------------
 
+    # NOTE: handlers listed in _STATIC_CHARGE do not charge their fixed
+    # mix themselves — the dispatch loop retires it fused into the
+    # dispatch event (fast VMs) or a _precharged wrapper restores it
+    # (scaled VMs).  Only dynamic/conditional charges remain in bodies.
+
     def op_load_const(self, stack, arg, code, module, pc):
-        self._xm(_CHEAP)
         stack.append(code.consts[arg])
 
     def op_load_fast(self, stack, arg, code, module, pc):
-        self._xm(_CHEAP)
         stack.append(self._locals[-1][arg])
 
     def op_store_fast(self, stack, arg, code, module, pc):
-        self._xm(_CHEAP)
         self._locals[-1][arg] = stack.pop()
 
     def op_load_global(self, stack, arg, code, module, pc):
-        self._xm(_GLOBAL)
         name = code.names[arg]
         if name in module:
             stack.append(module[name])
@@ -173,27 +328,21 @@ class CpRef(object):
             raise GuestError("NameError: name %r is not defined" % name)
 
     def op_store_global(self, stack, arg, code, module, pc):
-        self._xm(_GLOBAL)
         module[code.names[arg]] = stack.pop()
 
     def op_pop_top(self, stack, arg, code, module, pc):
-        self._xm(_CHEAP)
         stack.pop()
 
     def op_dup_top(self, stack, arg, code, module, pc):
-        self._xm(_CHEAP)
         stack.append(stack[-1])
 
     def op_dup_top_two(self, stack, arg, code, module, pc):
-        self._xm(_CHEAP)
         stack.extend(stack[-2:])
 
     def op_rot_two(self, stack, arg, code, module, pc):
-        self._xm(_CHEAP)
         stack[-1], stack[-2] = stack[-2], stack[-1]
 
     def op_rot_three(self, stack, arg, code, module, pc):
-        self._xm(_CHEAP)
         top = stack.pop()
         stack.insert(-2, top)
 
@@ -229,7 +378,14 @@ class CpRef(object):
         def handler(self, stack, arg, code, module, pc):
             b = stack.pop()
             a = stack.pop()
-            self._xm(self._num_mix(a, b, quadratic=quadratic))
+            b_arith = self._b_arith
+            if (b_arith is not None and type(a) is int and type(b) is int
+                    and -_SMALL < a < _SMALL and -_SMALL < b < _SMALL):
+                # Small-int common case: _num_mix would return _ARITH,
+                # whose descriptor is exactly b_arith.
+                self._mxb(b_arith)
+            else:
+                self._xm(self._num_mix(a, b, quadratic=quadratic))
             try:
                 stack.append(fn(self, a, b))
             except ZeroDivisionError:
@@ -269,15 +425,12 @@ class CpRef(object):
         return self._str(value)
 
     def op_unary_neg(self, stack, arg, code, module, pc):
-        self._xm(_ARITH)
         stack.append(-stack.pop())
 
     def op_unary_not(self, stack, arg, code, module, pc):
-        self._xm(_CHEAP)
         stack.append(not self._truth(stack.pop()))
 
     def op_unary_invert(self, stack, arg, code, module, pc):
-        self._xm(_ARITH)
         stack.append(~stack.pop())
 
     def _truth(self, value):
@@ -288,7 +441,6 @@ class CpRef(object):
         def handler(self, stack, arg, code, module, pc):
             b = stack.pop()
             a = stack.pop()
-            self._xm(_ARITH)
             stack.append(fn(a, b))
         return handler
 
@@ -324,7 +476,6 @@ class CpRef(object):
     # -- attributes / subscripts ----------------------------------------------------------------
 
     def op_load_attr(self, stack, arg, code, module, pc):
-        self._xm(_ATTR)
         obj = stack.pop()
         name = code.names[arg]
         stack.append(self._getattr(obj, name))
@@ -351,7 +502,6 @@ class CpRef(object):
                          % (type(obj).__name__, name))
 
     def op_store_attr(self, stack, arg, code, module, pc):
-        self._xm(_ATTR)
         obj = stack.pop()
         value = stack.pop()
         if isinstance(obj, CInstance):
@@ -362,7 +512,6 @@ class CpRef(object):
             raise GuestError("cannot set attribute")
 
     def op_binary_subscr(self, stack, arg, code, module, pc):
-        self._xm(_SUBSCR)
         index = stack.pop()
         obj = stack.pop()
         try:
@@ -374,14 +523,12 @@ class CpRef(object):
             raise GuestError("key/index error")
 
     def op_store_subscr(self, stack, arg, code, module, pc):
-        self._xm(_SUBSCR)
         index = stack.pop()
         obj = stack.pop()
         value = stack.pop()
         obj[index] = value
 
     def op_delete_subscr(self, stack, arg, code, module, pc):
-        self._xm(_SUBSCR)
         index = stack.pop()
         obj = stack.pop()
         del obj[index]
@@ -392,41 +539,39 @@ class CpRef(object):
         return arg
 
     def _cond_branch(self, code, pc, truthy):
-        pc_id = (id(code) >> 4 ^ pc * 31) & 0xFFFFF
+        pc_id = (code.pc_seed ^ pc * 31) & 0xFFFFF
         self.machine.branch(pc_id, truthy)
 
     def op_pop_jump_if_false(self, stack, arg, code, module, pc):
-        truthy = self._truth(stack.pop())
+        truthy = bool(stack.pop())
         self._cond_branch(code, pc, truthy)
         if truthy:
             return pc + 1
         return arg
 
     def op_pop_jump_if_true(self, stack, arg, code, module, pc):
-        truthy = self._truth(stack.pop())
+        truthy = bool(stack.pop())
         self._cond_branch(code, pc, truthy)
         if truthy:
             return arg
         return pc + 1
 
     def op_jump_if_false_or_pop(self, stack, arg, code, module, pc):
-        if self._truth(stack[-1]):
+        if stack[-1]:
             stack.pop()
             return pc + 1
         return arg
 
     def op_jump_if_true_or_pop(self, stack, arg, code, module, pc):
-        if self._truth(stack[-1]):
+        if stack[-1]:
             return arg
         stack.pop()
         return pc + 1
 
     def op_get_iter(self, stack, arg, code, module, pc):
-        self._xm(_BUILD)
         stack.append(iter(stack.pop()))
 
     def op_for_iter(self, stack, arg, code, module, pc):
-        self._xm(_SUBSCR)
         try:
             stack.append(next(stack[-1]))
             self._cond_branch(code, pc, True)
@@ -465,13 +610,11 @@ class CpRef(object):
         stack.append(set(values))
 
     def op_build_slice(self, stack, arg, code, module, pc):
-        self._xm(_BUILD)
         stop = stack.pop()
         start = stack.pop()
         stack.append(slice(start, stop))
 
     def op_list_append(self, stack, arg, code, module, pc):
-        self._xm(_CHEAP)
         value = stack.pop()
         target = stack.pop()
         target.append(value)
@@ -479,14 +622,12 @@ class CpRef(object):
     # -- functions / classes / calls ---------------------------------------------------------------------
 
     def op_make_function(self, stack, arg, code, module, pc):
-        self._xm(_BUILD)
         spec = stack.pop()
         defaults = [stack.pop() for _ in range(arg)]
         defaults.reverse()
         stack.append(CFunction(spec.code, module, defaults))
 
     def op_make_class(self, stack, arg, code, module, pc):
-        self._xm(_BUILD)
         spec = code.consts[arg]
         base = None
         if spec.base_name is not None:
@@ -500,7 +641,6 @@ class CpRef(object):
         stack.append(cls)
 
     def op_call_function(self, stack, arg, code, module, pc):
-        self._xm(_CALL)
         call_args = stack[len(stack) - arg:] if arg else []
         del stack[len(stack) - arg:]
         callee = stack.pop()
@@ -535,7 +675,6 @@ class CpRef(object):
         raise GuestError("object is not callable")
 
     def op_return_value(self, stack, arg, code, module, pc):
-        self._xm(_CHEAP)
         return _Return(stack.pop())
 
     # -- run_frame uses a locals stack for LOAD/STORE_FAST ------------------------------------------------
@@ -554,18 +693,51 @@ class CpRef(object):
     def _run_frame_inner(self, code, module):
         machine = self.machine
         handlers = self._handlers
+        op_blocks = self._op_blocks
         stack = []
         pc = 0
         ops = code.ops
         args = code.args
         prev_opcode = 0
+        dispatch_event = machine.dispatch_event
+        dispatch_event2 = machine.dispatch_event2
+        dispatch_run = machine.dispatch_run
+        b_dispatch = self._b_dispatch
+        DISPATCH = tags.DISPATCH
+        entry = self._run_tables.get(id(code))
+        if entry is None:
+            if self._fast:
+                table = _build_run_table(
+                    code, op_blocks, handlers, b_dispatch)
+            else:
+                table = (None,) * len(ops)
+            entry = (code, table)
+            self._run_tables[id(code)] = entry
+        runs = entry[1]
         while True:
-            machine.annot(tags.DISPATCH)
-            machine.exec_mix(_DISPATCH_MIX)
+            run = runs[pc]
+            if run is not None:
+                # Straight-line run of machine-silent ops: retire every
+                # dispatch event in one call, then execute the handlers.
+                items, pairs, next_pc, last_op, n_insns = run
+                dispatch_run(DISPATCH, b_dispatch, items, n_insns)
+                for handler, arg in pairs:
+                    handler(stack, arg, code, module, 0)
+                prev_opcode = last_op
+                pc = next_pc
+                continue
             opcode = ops[pc]
-            # Threaded dispatch: one indirect jump per handler (computed
-            # gotos), so the BTB correlates on the previous opcode.
-            machine.indirect(0x300 + (prev_opcode << 3), opcode)
+            # Fused per-bytecode event: DISPATCH annot + dispatch mix +
+            # one indirect jump per handler (computed gotos), so the BTB
+            # correlates on the previous opcode.  Handlers with a fixed
+            # cost mix get it retired fused into the same call.
+            b_op = op_blocks[opcode]
+            if b_op is not None:
+                dispatch_event2(DISPATCH, b_dispatch,
+                                0x300 + (prev_opcode << 3), opcode, b_op)
+            else:
+                dispatch_event(DISPATCH, b_dispatch,
+                               0x300 + (prev_opcode << 3), opcode)
             prev_opcode = opcode
             result = handlers[opcode](stack, args[pc], code, module, pc)
             if result is None:

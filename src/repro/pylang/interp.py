@@ -38,6 +38,10 @@ from repro.pylang.ops import OpsMixin
 from repro.rlib.rbigint import BigInt
 
 _DISPATCH_MIX = insns.mix(load=8, alu=6, store=2, br_bulk=3)
+_MAKE_FUNCTION_MIX = insns.mix(alu=4, store=3)
+_BUILTIN_CALL_MIX = insns.mix(alu=4, store=2, load=2)
+_PUSH_FRAME_MIX = insns.mix(alu=6, store=4, load=3)
+_RETURN_MIX = insns.mix(alu=3, load=2)
 _FRAME_SIZE = 224
 
 
@@ -74,6 +78,12 @@ class PyVM(OpsMixin, CollectionsMixin, InstancesMixin):
         self._const_cache = {}
         self._builtin_cache = {}
         self._method_cache = {}
+        machine = ctx.machine
+        self._b_dispatch = machine.block(_DISPATCH_MIX)
+        self._b_make_function = machine.block(_MAKE_FUNCTION_MIX)
+        self._b_builtin_call = machine.block(_BUILTIN_CALL_MIX)
+        self._b_push_frame = machine.block(_PUSH_FRAME_MIX)
+        self._b_return = machine.block(_RETURN_MIX)
         self._build_handlers()
 
     # -- program entry ---------------------------------------------------------
@@ -131,13 +141,16 @@ class PyVM(OpsMixin, CollectionsMixin, InstancesMixin):
         handlers = self._handlers
         retval = None
         prev_opcode = 0
+        dispatch_event = machine.dispatch_event
+        b_dispatch = self._b_dispatch
+        DISPATCH = tags.DISPATCH
         while len(frames) > barrier:
             frame = frames[-1]
-            machine.annot(tags.DISPATCH)
-            machine.exec_mix(_DISPATCH_MIX)
             opcode = frame.code.ops[frame.pc]
-            # Threaded dispatch (as the RPython translator generates).
-            machine.indirect(0x200 + (prev_opcode << 3), opcode)
+            # Fused DISPATCH annot + handler-prologue block + threaded
+            # dispatch jump (as the RPython translator generates).
+            dispatch_event(DISPATCH, b_dispatch,
+                           0x200 + (prev_opcode << 3), opcode)
             prev_opcode = opcode
             if ctx.tracer is not None:
                 if self.driver.trace_dispatch(self, frame) == DEOPTED:
@@ -441,7 +454,7 @@ class PyVM(OpsMixin, CollectionsMixin, InstancesMixin):
             self.driver.loop_header(self, frame)
 
     def _cond_branch(self, frame, truthy):
-        pc_id = (id(frame.code) >> 4 ^ frame.pc * 31) & 0xFFFFF
+        pc_id = (frame.code.pc_seed ^ frame.pc * 31) & 0xFFFFF
         self.ctx.machine.branch(pc_id, truthy)
 
     def op_pop_jump_if_false(self, frame, arg):
@@ -563,7 +576,7 @@ class PyVM(OpsMixin, CollectionsMixin, InstancesMixin):
         w_func = W_Function(spec.code, frame.module, defaults_w)
         w_func._addr = self.ctx.gc.allocate(W_Function._size_, obj=w_func)
         spec.code.module = frame.module
-        self.ctx.charge(insns.mix(alu=4, store=3))
+        self.ctx.machine.exec_block(self._b_make_function)
         llops.stack_push(frame, w_func)
         frame.pc += 1
 
@@ -598,7 +611,7 @@ class PyVM(OpsMixin, CollectionsMixin, InstancesMixin):
             return
         if cls is W_Builtin:
             w_callee = llops.promote(w_callee)
-            self.ctx.charge(insns.mix(alu=4, store=2, load=2))
+            self.ctx.machine.exec_block(self._b_builtin_call)
             w_result = w_callee.fn(self, args_w)
             llops.stack_push(frame, w_result)
             return
@@ -631,7 +644,7 @@ class PyVM(OpsMixin, CollectionsMixin, InstancesMixin):
                     % (code.name, code.argcount, n_args))
             args_w = args_w + defaults[len(defaults) - n_missing:]
         locals_values = args_w + [w_None] * (code.n_locals - code.argcount)
-        self.ctx.charge(insns.mix(alu=6, store=4, load=3))
+        self.ctx.machine.exec_block(self._b_push_frame)
         self.ctx.gc.allocate(_FRAME_SIZE)
         new_frame = PyFrame(code, 0, locals_values, [], w_func.module,
                             discard_return)
@@ -642,7 +655,7 @@ class PyVM(OpsMixin, CollectionsMixin, InstancesMixin):
         w_result = llops.stack_pop(frame)
         discard = frame.discard_return
         self.frames.pop()
-        self.ctx.charge(insns.mix(alu=3, load=2))
+        self.ctx.machine.exec_block(self._b_return)
         if self.frames and not discard:
             llops.stack_push(self.frames[-1], w_result)
         return w_result

@@ -1,0 +1,120 @@
+"""Pre-lowered block descriptors: the fused fast path of the machine.
+
+The seed retires every instruction mix by looping over its ``(klass,
+count)`` pairs inside :meth:`Machine.exec_mix` — O(classes) arithmetic on
+every single call, millions of times per run.  A :class:`BlockDescr`
+does that lowering exactly once: the total instruction count, the
+stall-cycle sum and the bulk-branch count are all precomputed, so
+:meth:`Machine.exec_block` retires the whole block with a handful of
+scalar updates and defers the per-class histogram to read time
+(per-descriptor execution counters are folded into ``class_counts``
+lazily).
+
+Bit-identity with the unbatched path is a hard requirement (the
+equivalence tests compare :class:`CounterSnapshot` fields field-for-field
+against ``exec_mix`` on full benchmark runs), which constrains the float
+arithmetic: ``exec_mix`` accumulates stall cycles left-to-right in mix
+order and adds the bulk mispredict penalty where the ``br_bulk`` entry
+sits.  The descriptor therefore precomputes ``stall_cycles`` with the
+same left-to-right accumulation and refuses mixes where a stalling class
+follows a ``br_bulk`` entry (none exist; :func:`repro.isa.insns.mix`
+callers list ``br_bulk`` last and sorted mixes end with it because
+``BR_BULK`` is the highest class id).
+
+Events that feed real predictor or cache state (``branch``/``indirect``/
+``call``/``ret``, addressed ``load``/``store``) are NEVER represented in
+a descriptor — they stay exact sequential calls; batching covers only
+stall/width accounting and calibrated bulk-miss-rate branches.
+"""
+
+from repro.core.errors import IsaError
+from repro.isa import insns
+
+
+class BlockDescr(object):
+    """Immutable pre-aggregated lowering of one instruction mix.
+
+    ``count`` is the only mutable field: the number of times the owning
+    machine retired this block (folded into ``class_counts`` on read).
+    Descriptors are per-machine because the stall weights and issue
+    width come from the machine's config.
+    """
+
+    __slots__ = ("mix", "pairs", "n_insns", "insn_cycles", "stall_cycles",
+                 "flat_cycles", "bulk_count", "count")
+
+    def __init__(self, mix, stalls, inv_width):
+        total = 0
+        extra = 0.0
+        bulk = 0
+        for klass, n in mix:
+            total += n
+            if klass == insns.BR_BULK:
+                bulk += n
+                continue
+            if bulk:
+                # A stalling class after br_bulk would change the float
+                # accumulation order vs. exec_mix; no real mix does this.
+                if stalls[klass]:
+                    raise IsaError(
+                        "mix not batchable: stall class after br_bulk")
+                continue
+            stall = stalls[klass]
+            if stall:
+                extra += stall * n
+        self.mix = mix
+        self.pairs = tuple(mix)
+        self.n_insns = total
+        self.insn_cycles = total * inv_width
+        self.stall_cycles = extra
+        self.flat_cycles = self.insn_cycles + extra
+        self.bulk_count = bulk
+        self.count = 0
+
+    def __repr__(self):
+        return "<BlockDescr %d insns %r>" % (self.n_insns, self.mix)
+
+
+class FusedDescr(object):
+    """A block plus a calibrated bulk-branch charge, retired as one call.
+
+    Models the seed's back-to-back ``exec_mix(mix)`` +
+    ``exec_bulk_branches(branches, miss_rate)`` pattern (meta-tracing
+    record costs, optimizer/backend costs) with the identical sequence
+    of float operations, so counters stay bit-identical.
+    """
+
+    __slots__ = ("block", "branches", "miss_rate", "branch_cycles", "count")
+
+    def __init__(self, block, branches, miss_rate, inv_width):
+        self.block = block
+        self.branches = branches
+        self.miss_rate = miss_rate
+        self.branch_cycles = branches * inv_width
+        self.count = 0
+
+    def __repr__(self):
+        return "<FusedDescr %r +%d br @%.3f>" % (
+            self.block.mix, self.branches, self.miss_rate)
+
+
+def fold_class_counts(counts, blocks, fused):
+    """Fold descriptor execution counters into a class-count list.
+
+    ``counts`` is the eager per-event histogram; descriptor executions
+    multiply out exactly (integer arithmetic), so lazy folding is
+    indistinguishable from the seed's per-call updates.  Fused
+    descriptors fold only their bulk branches (as ``BR_COND``, matching
+    ``exec_bulk_branches``); their inner block is folded via ``blocks``.
+    """
+    folded = list(counts)
+    for descr in blocks:
+        executions = descr.count
+        if not executions:
+            continue
+        for klass, n in descr.pairs:
+            folded[klass] += n * executions
+    for descr in fused:
+        if descr.count:
+            folded[insns.BR_COND] += descr.branches * descr.count
+    return folded

@@ -10,6 +10,8 @@ themselves rather than from per-phase constants.
 class BimodalPredictor:
     """Classic per-PC 2-bit saturating counter table."""
 
+    __slots__ = ("mask", "table")
+
     def __init__(self, bits=12):
         self.mask = (1 << bits) - 1
         self.table = bytearray(b"\x01" * (1 << bits))  # weakly not-taken
@@ -31,6 +33,8 @@ class BimodalPredictor:
 class GsharePredictor:
     """Gshare: global history XOR pc indexing a 2-bit counter table."""
 
+    __slots__ = ("bits", "mask", "table", "history")
+
     def __init__(self, bits=12):
         self.bits = bits
         self.mask = (1 << bits) - 1
@@ -38,21 +42,26 @@ class GsharePredictor:
         self.history = 0
 
     def predict_and_update(self, pc, taken):
-        index = (pc ^ self.history) & self.mask
-        counter = self.table[index]
-        predicted_taken = counter >= 2
+        mask = self.mask
+        history = self.history
+        table = self.table
+        index = (pc ^ history) & mask
+        counter = table[index]
         if taken:
             if counter < 3:
-                self.table[index] = counter + 1
+                table[index] = counter + 1
+            self.history = ((history << 1) | 1) & mask
         else:
             if counter > 0:
-                self.table[index] = counter - 1
-        self.history = ((self.history << 1) | (1 if taken else 0)) & self.mask
-        return predicted_taken != taken
+                table[index] = counter - 1
+            self.history = (history << 1) & mask
+        return (counter >= 2) != taken
 
 
 class AlwaysTakenPredictor:
     """Degenerate baseline used by ablation benches."""
+
+    __slots__ = ()
 
     def predict_and_update(self, pc, taken):
         return not taken
@@ -68,6 +77,8 @@ class Btb:
     data-dependent dispatch still mispredicts.
     """
 
+    __slots__ = ("mask", "targets", "history")
+
     def __init__(self, entries=512):
         self.mask = entries - 1
         if entries & self.mask:
@@ -76,15 +87,20 @@ class Btb:
         self.history = 0
 
     def predict_and_update(self, pc, target):
-        index = (pc ^ self.history) & self.mask
-        mispredicted = self.targets[index] != target
-        self.targets[index] = target
-        self.history = ((self.history << 3) ^ (target & 0x3FF)) & self.mask
+        history = self.history
+        mask = self.mask
+        targets = self.targets
+        index = (pc ^ history) & mask
+        mispredicted = targets[index] != target
+        targets[index] = target
+        self.history = ((history << 3) ^ (target & 0x3FF)) & mask
         return mispredicted
 
 
 class ReturnAddressStack:
     """Fixed-depth RAS; overflows wrap (as in real hardware)."""
+
+    __slots__ = ("entries", "stack", "top")
 
     def __init__(self, entries=16):
         self.entries = entries

@@ -9,6 +9,9 @@ the GC's sequential nursery sweeps show up in the miss rates.
 class SetAssocCache:
     """One cache level. Addresses are byte addresses."""
 
+    __slots__ = ("line_shift", "n_sets", "set_mask", "assoc", "sets",
+                 "hits", "misses")
+
     def __init__(self, size_kib, assoc, line_bytes):
         self.line_shift = line_bytes.bit_length() - 1
         if (1 << self.line_shift) != line_bytes:
@@ -29,6 +32,10 @@ class SetAssocCache:
         line = addr >> self.line_shift
         ways = self.sets[line & self.set_mask]
         tag = line >> 0  # full line id as tag (set bits redundant but fine)
+        # MRU hit: remove+reinsert at the front would be a no-op.
+        if ways and ways[0] == tag:
+            self.hits += 1
+            return True
         try:
             ways.remove(tag)
             ways.insert(0, tag)
@@ -44,6 +51,8 @@ class SetAssocCache:
 
 class CacheHierarchy:
     """L1D + unified L2; returns the cycle penalty of an access."""
+
+    __slots__ = ("l1", "l2", "l1_penalty", "l2_penalty")
 
     def __init__(self, cfg):
         self.l1 = SetAssocCache(cfg.l1d_kib, cfg.l1d_assoc, cfg.l1d_line)

@@ -20,6 +20,7 @@ from collections import namedtuple
 
 from repro.core.errors import ReproError
 from repro.isa import insns
+from repro.uarch.blocks import BlockDescr, FusedDescr, fold_class_counts
 from repro.uarch.branch import (
     AlwaysTakenPredictor,
     BimodalPredictor,
@@ -28,6 +29,15 @@ from repro.uarch.branch import (
     ReturnAddressStack,
 )
 from repro.uarch.cache import CacheHierarchy
+
+_BR_BULK = insns.BR_BULK
+_BR_IND = insns.BR_IND
+_BR_COND = insns.BR_COND
+_CALL = insns.CALL
+_RET = insns.RET
+_LOAD = insns.LOAD
+_STORE = insns.STORE
+_NOP_ANNOT = insns.NOP_ANNOT
 
 
 class SimulationLimitReached(ReproError):
@@ -62,6 +72,20 @@ def _make_cond_predictor(kind, bits):
 class Machine:
     """Retires instruction-stream events and keeps the clock."""
 
+    __slots__ = (
+        "config", "issue_width", "mispredict_penalty", "cond_predictor",
+        "btb", "ras", "dcache",
+        "_cond_predict", "_gshare", "_btb_predict", "_ras_push", "_ras_pop",
+        "_dc_access", "_l1", "_l1_shift", "_l1_mask", "_l1_sets",
+        "_stalls", "_inv_width", "_load_cost", "_store_cost",
+        "instructions", "cycles", "branches", "branch_misses",
+        "loads", "stores", "annotations", "_class_counts",
+        "max_instructions", "_annot_listeners", "_tag_listeners",
+        "_listener_runs", "_tag_runners", "_bulk_miss_carry",
+        "bulk_miss_rate", "_block_cache", "_fused_cache",
+        "_blocks", "_fused",
+    )
+
     def __init__(self, config, predictor="gshare"):
         config.validate()
         self.config = config
@@ -72,6 +96,24 @@ class Machine:
         self.btb = Btb(ucfg.btb_entries)
         self.ras = ReturnAddressStack(ucfg.ras_entries)
         self.dcache = CacheHierarchy(ucfg)
+        # Bound-method shortcuts for the per-event hot paths.
+        self._cond_predict = self.cond_predictor.predict_and_update
+        # branch_block inlines the gshare update (the JIT guard hot
+        # path); other predictor kinds go through the generic call.
+        self._gshare = (self.cond_predictor
+                        if type(self.cond_predictor) is GsharePredictor
+                        else None)
+        self._btb_predict = self.btb.predict_and_update
+        self._ras_push = self.ras.push
+        self._ras_pop = self.ras.predict_and_pop
+        self._dc_access = self.dcache.access
+        # L1 internals for the inlined MRU-hit fast path in load/store
+        # (an MRU hit leaves LRU state untouched and costs no penalty).
+        l1 = self.dcache.l1
+        self._l1 = l1
+        self._l1_shift = l1.line_shift
+        self._l1_mask = l1.set_mask
+        self._l1_sets = l1.sets
         # Per-class stall weights, indexed by instruction class.
         stalls = [0.0] * insns.N_CLASSES
         stalls[insns.MUL] = ucfg.stall_mul
@@ -81,6 +123,10 @@ class Machine:
         stalls[insns.STORE] = ucfg.stall_store
         self._stalls = stalls
         self._inv_width = 1.0 / self.issue_width
+        # Precomputed per-event cycle costs (same float values as the
+        # seed's inv_width + stall additions, computed once).
+        self._load_cost = self._inv_width + stalls[insns.LOAD]
+        self._store_cost = self._inv_width + stalls[insns.STORE]
         # Counters.
         self.instructions = 0
         self.cycles = 0.0
@@ -89,21 +135,90 @@ class Machine:
         self.loads = 0
         self.stores = 0
         self.annotations = 0
-        self.class_counts = [0] * insns.N_CLASSES
+        self._class_counts = [0] * insns.N_CLASSES
         self.max_instructions = config.max_instructions
         self._annot_listeners = []
+        self._tag_listeners = {}
+        self._listener_runs = {}
+        self._tag_runners = {}
         self._bulk_miss_carry = 0.0
         # Miss rate for br_bulk mix entries (interpreter/runtime code).
         self.bulk_miss_rate = 0.045
+        # Block-descriptor fast path (see repro.uarch.blocks).
+        self._block_cache = {}
+        self._fused_cache = {}
+        self._blocks = []
+        self._fused = []
 
     # -- listener management ------------------------------------------------
 
     def add_annot_listener(self, listener):
-        """Register a callable ``listener(tag, payload)``."""
+        """Register a catch-all callable ``listener(tag, payload)``."""
         self._annot_listeners.append(listener)
 
     def remove_annot_listener(self, listener):
         self._annot_listeners.remove(listener)
+
+    def add_tag_listener(self, tag, listener, run=None):
+        """Register ``listener(tag, payload)`` for one annotation tag.
+
+        Per-tag listeners skip the fan-out cost of catch-all listeners
+        that ignore most tags (each PinTool component reacts to a small
+        tag set); they run before catch-all listeners.
+
+        ``run`` is an optional batched variant ``run(tag, payload, n)``
+        equivalent to ``n`` successive ``listener`` calls.  When every
+        listener for a tag has one (and no catch-all listener exists),
+        :meth:`annot_run` notifies each once instead of ``n`` times.
+        """
+        self._tag_listeners.setdefault(tag, []).append(listener)
+        if run is not None:
+            self._listener_runs[(tag, listener)] = run
+        self._recompute_runners(tag)
+
+    def remove_tag_listener(self, tag, listener):
+        listeners = self._tag_listeners.get(tag)
+        if listeners is not None:
+            listeners.remove(listener)
+            if not listeners:
+                del self._tag_listeners[tag]
+        self._listener_runs.pop((tag, listener), None)
+        self._recompute_runners(tag)
+
+    def _recompute_runners(self, tag):
+        listeners = self._tag_listeners.get(tag)
+        runs = [self._listener_runs.get((tag, l)) for l in listeners or ()]
+        if listeners and all(r is not None for r in runs):
+            self._tag_runners[tag] = runs
+        else:
+            self._tag_runners.pop(tag, None)
+
+    # -- block descriptors ---------------------------------------------------
+
+    def block(self, mix):
+        """Return this machine's memoized :class:`BlockDescr` for ``mix``."""
+        descr = self._block_cache.get(mix)
+        if descr is None:
+            descr = BlockDescr(mix, self._stalls, self._inv_width)
+            self._block_cache[mix] = descr
+            self._blocks.append(descr)
+        return descr
+
+    def fused_block(self, mix, branches, miss_rate):
+        """Memoized mix + bulk-branch pair descriptor (see exec_fused)."""
+        key = (mix, branches, miss_rate)
+        descr = self._fused_cache.get(key)
+        if descr is None:
+            descr = FusedDescr(
+                self.block(mix), branches, miss_rate, self._inv_width)
+            self._fused_cache[key] = descr
+            self._fused.append(descr)
+        return descr
+
+    @property
+    def class_counts(self):
+        """Per-class retired-instruction histogram (descriptor counts folded)."""
+        return fold_class_counts(self._class_counts, self._blocks, self._fused)
 
     # -- instruction-stream events -------------------------------------------
 
@@ -111,12 +226,67 @@ class Machine:
         """Execute one tagged NOP_ANNOT and notify listeners."""
         self.instructions += 1
         self.annotations += 1
-        self.class_counts[insns.NOP_ANNOT] += 1
+        self._class_counts[_NOP_ANNOT] += 1
         self.cycles += self._inv_width
-        for listener in self._annot_listeners:
-            listener(tag, payload)
+        listeners = self._tag_listeners.get(tag)
+        if listeners is not None:
+            for listener in listeners:
+                listener(tag, payload)
+        if self._annot_listeners:
+            for listener in self._annot_listeners:
+                listener(tag, payload)
         if self.max_instructions and self.instructions >= self.max_instructions:
             raise SimulationLimitReached(self.instructions)
+
+    def annot_run(self, tag, n, payload=None):
+        """Execute ``n`` consecutive identical annotations in one call.
+
+        The generated JIT code collapses adjacent ``debug_merge_point``
+        annotations (bytecodes whose trace ops all virtualized away)
+        into one call; the loop body repeats the exact per-annotation
+        sequence, so counters and listener behavior stay bit-identical.
+        """
+        inv_width = self._inv_width
+        counts = self._class_counts
+        tag_listeners = self._tag_listeners.get(tag)
+        catch_all = self._annot_listeners
+        max_instructions = self.max_instructions
+        runners = None
+        if tag_listeners is not None:
+            runners = self._tag_runners.get(tag)
+        if (not catch_all
+                and (tag_listeners is None or runners is not None)
+                and not (max_instructions
+                         and self.instructions + n >= max_instructions)):
+            # Batched fast path: integer counters update in bulk (exact);
+            # the cycle accumulation keeps the per-annotation float-add
+            # order, so the result is bit-identical to the loop below.
+            # The limit precheck guarantees no per-annotation check
+            # could have raised.
+            self.instructions += n
+            self.annotations += n
+            counts[_NOP_ANNOT] += n
+            cycles = self.cycles
+            for _ in range(n):
+                cycles += inv_width
+            self.cycles = cycles
+            if runners:
+                for run in runners:
+                    run(tag, payload, n)
+            return
+        for _ in range(n):
+            self.instructions += 1
+            self.annotations += 1
+            counts[_NOP_ANNOT] += 1
+            self.cycles += inv_width
+            if tag_listeners is not None:
+                for listener in tag_listeners:
+                    listener(tag, payload)
+            if catch_all:
+                for listener in catch_all:
+                    listener(tag, payload)
+            if max_instructions and self.instructions >= max_instructions:
+                raise SimulationLimitReached(self.instructions)
 
     def exec_mix(self, mix):
         """Retire a bulk mix of instructions.
@@ -127,11 +297,11 @@ class Machine:
         total = 0
         extra = 0.0
         stalls = self._stalls
-        counts = self.class_counts
+        counts = self._class_counts
         for klass, count in mix:
             total += count
             counts[klass] += count
-            if klass == 11:  # insns.BR_BULK
+            if klass == _BR_BULK:
                 self.branches += count
                 misses_exact = count * self.bulk_miss_rate \
                     + self._bulk_miss_carry
@@ -148,23 +318,388 @@ class Machine:
         if self.max_instructions and self.instructions >= self.max_instructions:
             raise SimulationLimitReached(self.instructions)
 
+    def exec_block(self, b):
+        """Retire a pre-lowered :class:`BlockDescr` in O(1).
+
+        Bit-identical to ``exec_mix(b.mix)``: the descriptor precomputed
+        the same ``total * inv_width`` product and the same left-to-right
+        stall accumulation; only the bulk-miss carry (machine-global
+        fractional state) is resolved at retire time.
+        """
+        b.count += 1
+        self.instructions += b.n_insns
+        bulk = b.bulk_count
+        if bulk:
+            self.branches += bulk
+            misses_exact = bulk * self.bulk_miss_rate + self._bulk_miss_carry
+            misses = int(misses_exact)
+            self._bulk_miss_carry = misses_exact - misses
+            self.branch_misses += misses
+            self.cycles += b.insn_cycles + (
+                b.stall_cycles + misses * self.mispredict_penalty)
+        else:
+            self.cycles += b.flat_cycles
+        if self.max_instructions and self.instructions >= self.max_instructions:
+            raise SimulationLimitReached(self.instructions)
+
+    def exec_fused(self, f):
+        """Retire a :class:`FusedDescr`: block + calibrated bulk branches.
+
+        Bit-identical to ``exec_mix(f.block.mix)`` followed by
+        ``exec_bulk_branches(f.branches, f.miss_rate)`` — including the
+        two separate ``cycles +=`` operations and both limit checks.
+        """
+        self.exec_block(f.block)
+        count = f.branches
+        if count <= 0:
+            return
+        f.count += 1
+        self.instructions += count
+        self.branches += count
+        misses_exact = count * f.miss_rate + self._bulk_miss_carry
+        misses = int(misses_exact)
+        self._bulk_miss_carry = misses_exact - misses
+        self.branch_misses += misses
+        self.cycles += (
+            f.branch_cycles + misses * self.mispredict_penalty
+        )
+        if self.max_instructions and self.instructions >= self.max_instructions:
+            raise SimulationLimitReached(self.instructions)
+
+    def dispatch_event(self, tag, b, pc, target):
+        """Fused interpreter-dispatch event: annot + block + indirect jump.
+
+        One call replicating the seed's per-bytecode sequence
+        ``annot(tag); exec_mix(mix); indirect(pc, target)`` — same
+        counter updates, same float-operation order, same limit-check
+        points.  The indirect jump still drives the real BTB, preserving
+        the sequential-predictor-state invariant.
+        """
+        # annot(tag) — counters flush before listeners run (they may
+        # snapshot); afterwards accumulation moves to locals.
+        inv_width = self._inv_width
+        counts = self._class_counts
+        self.instructions += 1
+        self.annotations += 1
+        counts[_NOP_ANNOT] += 1
+        self.cycles += inv_width
+        listeners = self._tag_listeners.get(tag)
+        if listeners is not None:
+            for listener in listeners:
+                listener(tag, None)
+        if self._annot_listeners:
+            for listener in self._annot_listeners:
+                listener(tag, None)
+        insns_total = self.instructions
+        cycles = self.cycles
+        max_instructions = self.max_instructions
+        if max_instructions and insns_total >= max_instructions:
+            raise SimulationLimitReached(insns_total)
+        # exec_block(b) — the dispatch mix
+        b.count += 1
+        insns_total += b.n_insns
+        branches = self.branches
+        branch_misses = self.branch_misses
+        penalty = self.mispredict_penalty
+        bulk = b.bulk_count
+        if bulk:
+            branches += bulk
+            misses_exact = bulk * self.bulk_miss_rate + self._bulk_miss_carry
+            misses = int(misses_exact)
+            self._bulk_miss_carry = misses_exact - misses
+            branch_misses += misses
+            cycles += b.insn_cycles + (
+                b.stall_cycles + misses * penalty)
+        else:
+            cycles += b.flat_cycles
+        if max_instructions and insns_total >= max_instructions:
+            self.instructions = insns_total
+            self.cycles = cycles
+            self.branches = branches
+            self.branch_misses = branch_misses
+            raise SimulationLimitReached(insns_total)
+        # indirect(pc, target) — BTB inlined (always a Btb instance)
+        insns_total += 1
+        branches += 1
+        counts[_BR_IND] += 1
+        cycles += inv_width
+        btb = self.btb
+        history = btb.history
+        mask = btb.mask
+        targets = btb.targets
+        index = (pc ^ history) & mask
+        if targets[index] != target:
+            branch_misses += 1
+            cycles += penalty
+        targets[index] = target
+        btb.history = ((history << 3) ^ (target & 0x3FF)) & mask
+        self.instructions = insns_total
+        self.cycles = cycles
+        self.branches = branches
+        self.branch_misses = branch_misses
+
+    def dispatch_event2(self, tag, b, pc, target, b2):
+        """Dispatch event with the handler's static mix fused in.
+
+        Extends :meth:`dispatch_event` with the retire of ``b2`` — the
+        opcode handler's fixed cost block, which in the unfused VM the
+        handler charged as its first machine-visible action right after
+        the dispatch sequence.  Event order is unchanged: annot, dispatch
+        mix, indirect jump, handler mix.
+        """
+        # annot(tag) — counters flush before listeners run (they may
+        # snapshot); afterwards accumulation moves to locals and is
+        # written back once (or on a limit raise).
+        inv_width = self._inv_width
+        counts = self._class_counts
+        self.instructions += 1
+        self.annotations += 1
+        counts[_NOP_ANNOT] += 1
+        self.cycles += inv_width
+        listeners = self._tag_listeners.get(tag)
+        if listeners is not None:
+            for listener in listeners:
+                listener(tag, None)
+        if self._annot_listeners:
+            for listener in self._annot_listeners:
+                listener(tag, None)
+        insns_total = self.instructions
+        cycles = self.cycles
+        max_instructions = self.max_instructions
+        if max_instructions and insns_total >= max_instructions:
+            raise SimulationLimitReached(insns_total)
+        # exec_block(b) — the dispatch mix
+        b.count += 1
+        insns_total += b.n_insns
+        branches = self.branches
+        branch_misses = self.branch_misses
+        penalty = self.mispredict_penalty
+        carry = self._bulk_miss_carry
+        bulk = b.bulk_count
+        if bulk:
+            branches += bulk
+            misses_exact = bulk * self.bulk_miss_rate + carry
+            misses = int(misses_exact)
+            carry = misses_exact - misses
+            branch_misses += misses
+            cycles += b.insn_cycles + (
+                b.stall_cycles + misses * penalty)
+        else:
+            cycles += b.flat_cycles
+        if max_instructions and insns_total >= max_instructions:
+            self.instructions = insns_total
+            self.cycles = cycles
+            self.branches = branches
+            self.branch_misses = branch_misses
+            self._bulk_miss_carry = carry
+            raise SimulationLimitReached(insns_total)
+        # indirect(pc, target) — BTB inlined (always a Btb instance)
+        insns_total += 1
+        branches += 1
+        counts[_BR_IND] += 1
+        cycles += inv_width
+        btb = self.btb
+        history = btb.history
+        mask = btb.mask
+        targets = btb.targets
+        index = (pc ^ history) & mask
+        if targets[index] != target:
+            branch_misses += 1
+            cycles += penalty
+        targets[index] = target
+        btb.history = ((history << 3) ^ (target & 0x3FF)) & mask
+        # exec_block(b2) — the handler's static mix
+        b2.count += 1
+        insns_total += b2.n_insns
+        bulk = b2.bulk_count
+        if bulk:
+            branches += bulk
+            misses_exact = bulk * self.bulk_miss_rate + carry
+            misses = int(misses_exact)
+            carry = misses_exact - misses
+            branch_misses += misses
+            cycles += b2.insn_cycles + (
+                b2.stall_cycles + misses * penalty)
+        else:
+            cycles += b2.flat_cycles
+        self.instructions = insns_total
+        self.cycles = cycles
+        self.branches = branches
+        self.branch_misses = branch_misses
+        self._bulk_miss_carry = carry
+        if max_instructions and insns_total >= max_instructions:
+            raise SimulationLimitReached(insns_total)
+
+    def dispatch_run(self, tag, b, items, n_insns):
+        """Retire a straight-line run of fused dispatch events in one call.
+
+        ``items`` is a static tuple of ``(pc, target, b2)`` triples — one
+        per guest bytecode in a branch-free run whose handlers make no
+        machine calls of their own — and ``n_insns`` is the precomputed
+        total instruction count of the run (for the limit precheck).
+        The loop body repeats the exact :meth:`dispatch_event2` sequence
+        per item, so every counter and every predictor update retires in
+        the same order with the same float arithmetic; only the Python
+        call boundaries between items disappear.
+
+        Like :meth:`annot_run`, the batched path requires every listener
+        on ``tag`` to provide a batched ``run`` variant and no catch-all
+        annotation listeners; otherwise — or when the run could cross
+        ``max_instructions`` — it falls back to per-event calls, which
+        preserve exact listener and limit semantics.
+        """
+        tag_listeners = self._tag_listeners.get(tag)
+        runners = None
+        if tag_listeners is not None:
+            runners = self._tag_runners.get(tag)
+        max_instructions = self.max_instructions
+        if (self._annot_listeners
+                or (tag_listeners is not None and runners is None)
+                or (max_instructions
+                    and self.instructions + n_insns >= max_instructions)):
+            dispatch_event2 = self.dispatch_event2
+            for pc, target, b2 in items:
+                dispatch_event2(tag, b, pc, target, b2)
+            return
+        n = len(items)
+        counts = self._class_counts
+        inv_width = self._inv_width
+        penalty = self.mispredict_penalty
+        bulk_rate = self.bulk_miss_rate
+        carry = self._bulk_miss_carry
+        insns_total = self.instructions
+        cycles = self.cycles
+        branches = self.branches
+        branch_misses = self.branch_misses
+        btb = self.btb
+        history = btb.history
+        mask = btb.mask
+        targets = btb.targets
+        b_n = b.n_insns
+        b_bulk = b.bulk_count
+        b_flat = b.flat_cycles
+        b.count += n
+        counts[_NOP_ANNOT] += n
+        counts[_BR_IND] += n
+        self.annotations += n
+        for pc, target, b2 in items:
+            # annot(tag)
+            insns_total += 1
+            cycles += inv_width
+            # exec_block(b) — the dispatch mix
+            insns_total += b_n
+            if b_bulk:
+                branches += b_bulk
+                misses_exact = b_bulk * bulk_rate + carry
+                misses = int(misses_exact)
+                carry = misses_exact - misses
+                branch_misses += misses
+                cycles += b.insn_cycles + (
+                    b.stall_cycles + misses * penalty)
+            else:
+                cycles += b_flat
+            # indirect(pc, target) — inlined BTB
+            insns_total += 1
+            branches += 1
+            cycles += inv_width
+            index = (pc ^ history) & mask
+            if targets[index] != target:
+                branch_misses += 1
+                cycles += penalty
+            targets[index] = target
+            history = ((history << 3) ^ (target & 0x3FF)) & mask
+            # exec_block(b2) — the handler's static mix
+            b2.count += 1
+            insns_total += b2.n_insns
+            bulk = b2.bulk_count
+            if bulk:
+                branches += bulk
+                misses_exact = bulk * bulk_rate + carry
+                misses = int(misses_exact)
+                carry = misses_exact - misses
+                branch_misses += misses
+                cycles += b2.insn_cycles + (
+                    b2.stall_cycles + misses * penalty)
+            else:
+                cycles += b2.flat_cycles
+        btb.history = history
+        self.instructions = insns_total
+        self.cycles = cycles
+        self.branches = branches
+        self.branch_misses = branch_misses
+        self._bulk_miss_carry = carry
+        if runners:
+            for run in runners:
+                run(tag, None, n)
+
     def branch(self, pc, taken):
         """Retire one conditional branch with a real outcome."""
         self.instructions += 1
         self.branches += 1
-        self.class_counts[insns.BR_COND] += 1
+        self._class_counts[_BR_COND] += 1
         self.cycles += self._inv_width
-        if self.cond_predictor.predict_and_update(pc, taken):
+        if self._cond_predict(pc, taken):
             self.branch_misses += 1
             self.cycles += self.mispredict_penalty
+
+    def branch_block(self, pc, b):
+        """Fused guard fall-through: ``branch(pc, False)`` + ``exec_block(b)``.
+
+        The JIT backend emits one call for the not-taken guard branch and
+        the basic block it opens; the body is the exact concatenation of
+        the two event sequences, so counters stay bit-identical.
+        """
+        # branch(pc, False) — accumulates into locals, written back once
+        insns_total = self.instructions + 1
+        branches = self.branches + 1
+        branch_misses = self.branch_misses
+        self._class_counts[_BR_COND] += 1
+        cycles = self.cycles + self._inv_width
+        gshare = self._gshare
+        if gshare is not None:
+            # Inlined GsharePredictor.predict_and_update(pc, False).
+            gmask = gshare.mask
+            ghistory = gshare.history
+            gtable = gshare.table
+            gindex = (pc ^ ghistory) & gmask
+            counter = gtable[gindex]
+            if counter > 0:
+                gtable[gindex] = counter - 1
+            gshare.history = (ghistory << 1) & gmask
+            if counter >= 2:
+                branch_misses += 1
+                cycles += self.mispredict_penalty
+        elif self._cond_predict(pc, False):
+            branch_misses += 1
+            cycles += self.mispredict_penalty
+        # exec_block(b)
+        b.count += 1
+        insns_total += b.n_insns
+        bulk = b.bulk_count
+        if bulk:
+            branches += bulk
+            misses_exact = bulk * self.bulk_miss_rate + self._bulk_miss_carry
+            misses = int(misses_exact)
+            self._bulk_miss_carry = misses_exact - misses
+            branch_misses += misses
+            cycles += b.insn_cycles + (
+                b.stall_cycles + misses * self.mispredict_penalty)
+        else:
+            cycles += b.flat_cycles
+        self.instructions = insns_total
+        self.branches = branches
+        self.branch_misses = branch_misses
+        self.cycles = cycles
+        if self.max_instructions and insns_total >= self.max_instructions:
+            raise SimulationLimitReached(insns_total)
 
     def indirect(self, pc, target):
         """Retire one indirect jump (e.g. interpreter dispatch)."""
         self.instructions += 1
         self.branches += 1
-        self.class_counts[insns.BR_IND] += 1
+        self._class_counts[_BR_IND] += 1
         self.cycles += self._inv_width
-        if self.btb.predict_and_update(pc, target):
+        if self._btb_predict(pc, target):
             self.branch_misses += 1
             self.cycles += self.mispredict_penalty
 
@@ -172,17 +707,17 @@ class Machine:
         """Retire one direct call; pushes the return address on the RAS."""
         self.instructions += 1
         self.branches += 1
-        self.class_counts[insns.CALL] += 1
+        self._class_counts[_CALL] += 1
         self.cycles += self._inv_width
-        self.ras.push(pc + 1)
+        self._ras_push(pc + 1)
 
     def ret(self, pc):
         """Retire one return; mispredicts when the RAS has been clobbered."""
         self.instructions += 1
         self.branches += 1
-        self.class_counts[insns.RET] += 1
+        self._class_counts[_RET] += 1
         self.cycles += self._inv_width
-        if self.ras.predict_and_pop(pc + 1):
+        if self._ras_pop(pc + 1):
             self.branch_misses += 1
             self.cycles += self.mispredict_penalty
 
@@ -198,7 +733,7 @@ class Machine:
             return
         self.instructions += count
         self.branches += count
-        self.class_counts[insns.BR_COND] += count
+        self._class_counts[_BR_COND] += count
         misses_exact = count * miss_rate + self._bulk_miss_carry
         misses = int(misses_exact)
         self._bulk_miss_carry = misses_exact - misses
@@ -213,9 +748,14 @@ class Machine:
         """Retire one load with a concrete (simulated-heap) address."""
         self.instructions += 1
         self.loads += 1
-        self.class_counts[insns.LOAD] += 1
-        self.cycles += self._inv_width + self._stalls[insns.LOAD]
-        self.cycles += self.dcache.access(addr)
+        self._class_counts[_LOAD] += 1
+        self.cycles += self._load_cost
+        line = addr >> self._l1_shift
+        ways = self._l1_sets[line & self._l1_mask]
+        if ways and ways[0] == line:
+            self._l1.hits += 1  # MRU hit: zero penalty, LRU unchanged
+        else:
+            self.cycles += self._dc_access(addr)
 
     def store(self, addr):
         """Retire one store with a concrete (simulated-heap) address.
@@ -225,9 +765,14 @@ class Machine:
         """
         self.instructions += 1
         self.stores += 1
-        self.class_counts[insns.STORE] += 1
-        self.cycles += self._inv_width + self._stalls[insns.STORE]
-        self.cycles += 0.3 * self.dcache.access(addr)
+        self._class_counts[_STORE] += 1
+        self.cycles += self._store_cost
+        line = addr >> self._l1_shift
+        ways = self._l1_sets[line & self._l1_mask]
+        if ways and ways[0] == line:
+            self._l1.hits += 1  # MRU hit: zero penalty, LRU unchanged
+        else:
+            self.cycles += 0.3 * self._dc_access(addr)
 
     # -- PAPI-style counter access --------------------------------------------
 

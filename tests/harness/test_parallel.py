@@ -1,0 +1,65 @@
+"""Parallel runner: worker-process results must equal in-process results.
+
+Simulations are deterministic by construction (simulated PCs and heap
+addresses are content-derived, never ``id()``-based), so a result
+computed in a spawned worker must match an in-process run field for
+field — floats included.  This is what makes the persistent store and
+the process-pool fan-out sound.
+"""
+
+import os
+
+import pytest
+
+from repro.harness import runner, store
+
+
+@pytest.fixture
+def no_store():
+    old = os.environ.get("REPRO_STORE")
+    os.environ["REPRO_STORE"] = "0"
+    store.reset_default_store()
+    yield
+    if old is None:
+        os.environ.pop("REPRO_STORE", None)
+    else:
+        os.environ["REPRO_STORE"] = old
+    store.reset_default_store()
+
+
+_COMPARED_FIELDS = (
+    "program", "vm_kind", "n", "instructions", "cycles", "ipc", "mpki",
+    "bytecodes", "truncated", "output", "phase_breakdown",
+)
+
+
+def test_worker_results_match_inprocess(no_store):
+    # fannkuch exists in both languages; the racket job guards the
+    # job-spec language round-trip ("tinyrkt" must resolve back to the
+    # TinyRkt program, not fall through to the TinyPy one).
+    jobs = [runner.job("richards", "pypy", n=1),
+            runner.job("crypto_pyaes", "cpython", n=2),
+            runner.job("fannkuch", "pycket", n=5, language="racket")]
+
+    runner.clear_cache()
+    local = runner.run_many([dict(j) for j in jobs], workers=1)
+    runner.clear_cache()
+    spawned = runner.run_many([dict(j) for j in jobs], workers=2)
+
+    for in_proc, worker in zip(local, spawned):
+        for field in _COMPARED_FIELDS:
+            a = getattr(in_proc, field)
+            b = getattr(worker, field)
+            assert a == b, (field, a, b)
+        # cycles is a float: require bit-identity, not closeness.
+        assert repr(in_proc.cycles) == repr(worker.cycles)
+
+
+def test_run_many_deduplicates_and_orders(no_store):
+    runner.clear_cache()
+    spec = runner.job("crypto_pyaes", "cpython", n=2)
+    before = runner.simulation_count()
+    results = runner.run_many([dict(spec), dict(spec)], workers=1)
+    assert runner.simulation_count() == before + 1  # deduplicated
+    assert results[0] is results[1]
+    assert results[0].program == "crypto_pyaes"

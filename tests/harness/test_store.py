@@ -1,0 +1,70 @@
+"""Persistent result store: keying, invalidation, and warm-table reuse."""
+
+import os
+
+import pytest
+
+from repro.benchprogs import registry
+from repro.harness import experiments, runner, store
+
+
+@pytest.fixture
+def tmp_store(tmp_path):
+    old_dir = os.environ.get("REPRO_STORE_DIR")
+    old_enabled = os.environ.get("REPRO_STORE")
+    os.environ["REPRO_STORE_DIR"] = str(tmp_path)
+    os.environ.pop("REPRO_STORE", None)
+    store.reset_default_store()
+    runner.clear_cache()
+    yield store.default_store()
+    if old_dir is None:
+        os.environ.pop("REPRO_STORE_DIR", None)
+    else:
+        os.environ["REPRO_STORE_DIR"] = old_dir
+    if old_enabled is not None:
+        os.environ["REPRO_STORE"] = old_enabled
+    store.reset_default_store()
+    runner.clear_cache()
+
+
+def test_roundtrip_and_key_mismatch(tmp_store):
+    key = ("tinypy", "prog", "cpython", 2, False, 0, (), "gshare")
+    payload = {"instructions": 123, "cycles": 4.5}
+    assert tmp_store.get(key) is None
+    tmp_store.put(key, payload)
+    assert tmp_store.get(key) == payload
+    other = key[:3] + (3,) + key[4:]
+    assert tmp_store.get(other) is None
+    assert tmp_store.puts == 1
+    assert tmp_store.hits == 1
+
+
+def test_run_program_restores_from_store(tmp_store):
+    first = runner.run_program("crypto_pyaes", "cpython", n=2,
+                               language="python")
+    sims = runner.simulation_count()
+    runner.clear_cache()
+    store.reset_default_store()  # fresh store object, same directory
+    restored = runner.run_program("crypto_pyaes", "cpython", n=2,
+                                  language="python")
+    assert runner.simulation_count() == sims  # no new simulation
+    assert restored.instructions == first.instructions
+    assert repr(restored.cycles) == repr(first.cycles)
+    assert restored.output == first.output
+    assert store.default_store().hits == 1
+
+
+def test_table1_second_invocation_simulates_nothing(tmp_store):
+    programs = [registry.py_program("richards")]
+    experiments.table1(quick=True, programs=programs)
+    sims_cold = runner.simulation_count()
+    assert sims_cold >= 3  # cpython, pypy_nojit, pypy
+
+    runner.clear_cache()
+    store.reset_default_store()  # drop in-process state, keep the disk
+    warm_store = store.default_store()
+    rows, _text = experiments.table1(quick=True, programs=programs)
+
+    assert runner.simulation_count() == sims_cold  # zero new simulations
+    assert warm_store.hits >= 3
+    assert rows and rows[0]["benchmark"] == "richards"

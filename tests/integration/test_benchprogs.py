@@ -20,6 +20,7 @@ def host_python_output(source):
     return buffer.getvalue()
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize(
     "program", registry.PY_PROGRAMS, ids=lambda p: p.name)
 def test_benchmark_output_matches_everywhere(program):

@@ -204,6 +204,7 @@ def test_floats():
 # -- benchmark programs -----------------------------------------------------------------
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize(
     "program", registry.RKT_PROGRAMS, ids=lambda p: p.name)
 def test_rkt_benchmark_matches(program):

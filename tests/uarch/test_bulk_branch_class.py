@@ -1,0 +1,35 @@
+"""Regression: the bulk-branch class is the named constant, not magic 11."""
+
+from repro.core.config import SystemConfig
+from repro.isa import insns
+from repro.uarch import machine as machine_mod
+from repro.uarch.machine import Machine
+
+
+def test_machine_uses_named_bulk_class():
+    # exec_mix used to compare against a literal 11; it must track the
+    # ISA constant so a renumbering cannot silently break bulk charging.
+    assert machine_mod._BR_BULK == insns.BR_BULK
+
+
+def test_bulk_entries_charge_branches_at_calibrated_rate():
+    m = Machine(SystemConfig())
+    mix = insns.mix(alu=2, br_bulk=10)
+    before = m.counters()
+    m.exec_mix(mix)
+    after = m.counters()
+    assert after.instructions - before.instructions == 12
+    assert after.branches - before.branches == 10
+    expected_misses = int(10 * m.bulk_miss_rate)
+    assert after.branch_misses - before.branch_misses == expected_misses
+
+
+def test_block_descriptor_matches_exec_mix_for_bulk():
+    mix = insns.mix(alu=3, load=1, br_bulk=7)
+    m1 = Machine(SystemConfig())
+    m2 = Machine(SystemConfig())
+    m1.exec_mix(mix)
+    m2.exec_block(m2.block(mix))
+    assert m1.counters() == m2.counters()
+    assert repr(m1.cycles) == repr(m2.cycles)
+    assert tuple(m1.class_counts) == tuple(m2.class_counts)

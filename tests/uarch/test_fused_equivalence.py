@@ -1,0 +1,134 @@
+"""Fused-path equivalence: bit-identical counters vs the unbatched engine.
+
+The fast-path engine — block descriptors (`exec_block`/`exec_fused`),
+fused dispatch events (`dispatch_event`/`dispatch_event2`), straight-line
+run batching (`dispatch_run`), collapsed annotations (`annot_run`), the
+fused guard fall-through (`branch_block`), and the inlined BTB/gshare
+updates inside them — must not change simulation results AT ALL.  Every
+:class:`CounterSnapshot` field, including the float ``cycles``, has to be
+bit-identical to what the naive per-event reference engine produces,
+because float addition is not associative and the cycle accumulator is
+mantissa-full on real runs.
+
+These tests monkeypatch every fused Machine entry point back to its
+unbatched composition of primitive events and compare full benchmark
+runs (one interpreter-only VM, one tracing-JIT VM) field for field.
+"""
+
+import pytest
+
+from repro.benchprogs import registry
+from repro.harness import runner
+from repro.interp.context import VMContext
+from repro.pintool.tool import PinTool
+from repro.pylang.cpref import CpRef
+from repro.pylang.interp import PyVM
+from repro.uarch.machine import Machine
+
+
+# -- the unbatched reference engine -------------------------------------------
+#
+# Each function is the exact event sequence the fused method replaces,
+# expressed through the primitive Machine ops (annot / exec_mix /
+# branch / indirect / exec_bulk_branches), which use the generic
+# predictor/cache call paths rather than any inlined fast path.
+
+def _ref_exec_block(self, b):
+    self.exec_mix(b.mix)
+
+
+def _ref_exec_fused(self, f):
+    self.exec_mix(f.block.mix)
+    self.exec_bulk_branches(f.branches, f.miss_rate)
+
+
+def _ref_dispatch_event(self, tag, b, pc, target):
+    self.annot(tag)
+    self.exec_mix(b.mix)
+    self.indirect(pc, target)
+
+
+def _ref_dispatch_event2(self, tag, b, pc, target, b2):
+    self.annot(tag)
+    self.exec_mix(b.mix)
+    self.indirect(pc, target)
+    self.exec_mix(b2.mix)
+
+
+def _ref_dispatch_run(self, tag, b, items, n_insns):
+    for pc, target, b2 in items:
+        self.dispatch_event2(tag, b, pc, target, b2)
+
+
+def _ref_branch_block(self, pc, b):
+    self.branch(pc, False)
+    self.exec_mix(b.mix)
+
+
+def _ref_annot_run(self, tag, n, payload=None):
+    for _ in range(n):
+        self.annot(tag, payload)
+
+
+_REFERENCE = {
+    "exec_block": _ref_exec_block,
+    "exec_fused": _ref_exec_fused,
+    "dispatch_event": _ref_dispatch_event,
+    "dispatch_event2": _ref_dispatch_event2,
+    "dispatch_run": _ref_dispatch_run,
+    "branch_block": _ref_branch_block,
+    "annot_run": _ref_annot_run,
+}
+
+
+def _simulate(program_name, vm_kind, n):
+    """Run one benchmark at the VM level; return the full measurement set."""
+    program = registry.py_program(program_name)
+    source = program.source(n=n)
+    if vm_kind == "cpython":
+        config = runner._base_config(0, False, None)
+        vm = CpRef(config)
+        machine = vm.machine
+        tool = PinTool(machine)
+        vm.run_source(source)
+    else:
+        config = runner._base_config(0, True, None)
+        ctx = VMContext(config)
+        machine = ctx.machine
+        tool = PinTool(machine)
+        vm = PyVM(ctx)
+        vm.run_source(source)
+    tool.finish()
+    descr_retires = sum(b.count for b in machine._blocks)
+    descr_retires += sum(f.count for f in machine._fused)
+    return (machine.counters(), tuple(machine.class_counts),
+            tool.bcrate.bytecodes, descr_retires)
+
+
+@pytest.mark.parametrize("program,vm_kind,n", [
+    ("crypto_pyaes", "cpython", 2),
+    ("richards", "pypy", 1),
+])
+def test_counters_bit_identical_to_unbatched(monkeypatch, program,
+                                             vm_kind, n):
+    fused_counters, fused_classes, fused_bc, fused_retires = _simulate(
+        program, vm_kind, n)
+    for name, ref in _REFERENCE.items():
+        monkeypatch.setattr(Machine, name, ref)
+    ref_counters, ref_classes, ref_bc, ref_retires = _simulate(
+        program, vm_kind, n)
+
+    # The fused run actually exercised descriptors; the patched run
+    # cannot have (reference compositions never touch descr.count).
+    assert fused_retires > 0
+    assert ref_retires == 0
+
+    # Bit-identical: == on floats is exact, and repr() double-checks
+    # that no field differs even in the last mantissa bit.
+    for field, fused, ref in zip(fused_counters._fields,
+                                 fused_counters, ref_counters):
+        assert fused == ref, field
+        assert repr(fused) == repr(ref), field
+    assert fused_classes == ref_classes
+    assert fused_bc == ref_bc
+    assert fused_counters.instructions > 100_000  # a real run, not a toy
