@@ -1,0 +1,47 @@
+"""Differential fuzzing of the simulated VM stack.
+
+The paper's cross-layer numbers are only meaningful if every execution
+mode computes the same answers: the CPython-reference interpreter
+(cpref), the RPython-style interpreter with the JIT off, the meta-traced
+JIT at any hot-loop threshold, and the native-reference kernels must all
+agree on program output — and the cross-layer counters each run produces
+must be internally consistent (phase windows summing to machine totals,
+jitlog compile events matching the trace registry, store payloads
+round-tripping bit-identically, worker processes agreeing with
+in-process runs).
+
+This package is the automated adversary that keeps that agreement
+honest:
+
+* :mod:`repro.difftest.generator` — a seeded random TinyPy program
+  generator with tunable size/feature knobs;
+* :mod:`repro.difftest.oracle` — runs one program under every engine
+  configuration and checks output equality plus structural counter
+  invariants;
+* :mod:`repro.difftest.shrinker` — delta-debugs a failing program down
+  to a minimal reproducer;
+* :mod:`repro.difftest.corpus` — reads/writes the checked-in corpus of
+  shrunken reproducers under ``tests/difftest/corpus/``;
+* :mod:`repro.difftest.campaign` — drives N seeded iterations (serial
+  or fanned out over worker processes) and aggregates divergences.
+
+``tools/fuzz.py`` is the command-line front end.
+"""
+
+from repro.difftest.campaign import run_campaign, run_iteration
+from repro.difftest.generator import (GenConfig, ProgramGenerator,
+                                      generate_program)
+from repro.difftest.oracle import Divergence, OracleReport, check_program
+from repro.difftest.shrinker import shrink
+
+__all__ = [
+    "GenConfig",
+    "ProgramGenerator",
+    "generate_program",
+    "Divergence",
+    "OracleReport",
+    "check_program",
+    "shrink",
+    "run_campaign",
+    "run_iteration",
+]

@@ -1,0 +1,154 @@
+"""Fuzz campaign driver: N seeded iterations, serial or parallel.
+
+One *iteration* derives a program from ``base_seed + i``, runs the full
+oracle on it, and — if the oracle finds divergences — shrinks the
+program to a minimal reproducer that still shows the same divergence
+kinds.  Iterations are independent, so the campaign fans out across a
+process pool exactly like the PR 1 runner does, with the same
+"payloads over IPC" discipline (a Finding is a small picklable record,
+never a live VM context).
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.difftest.generator import GenConfig, generate_program
+from repro.difftest.oracle import check_program
+from repro.difftest.shrinker import shrink
+
+
+class Finding(object):
+    """One divergent iteration, shrunken and ready to check in."""
+
+    __slots__ = ("seed", "source", "shrunk", "kinds", "engines",
+                 "details")
+
+    def __init__(self, seed, source, shrunk, kinds, engines, details):
+        self.seed = seed
+        self.source = source
+        self.shrunk = shrunk
+        self.kinds = tuple(kinds)
+        self.engines = tuple(engines)
+        self.details = tuple(details)
+
+    def __repr__(self):
+        return "<Finding seed=%d kinds=%s>" % (
+            self.seed, ",".join(self.kinds))
+
+
+class CampaignResult(object):
+    def __init__(self):
+        self.iterations = 0
+        self.inconclusive = 0
+        self.findings = []
+
+    @property
+    def ok(self):
+        return not self.findings
+
+
+def _divergence_signature(report):
+    return (frozenset(d.kind for d in report.divergences),
+            frozenset(e for d in report.divergences for e in d.engines))
+
+
+def run_iteration(seed, gen_config=None, thresholds=None,
+                  shrink_failures=True, max_shrink_tests=600):
+    """Run one fuzz iteration; returns (status, finding_or_none).
+
+    status is one of ``"ok"``, ``"inconclusive"``, ``"divergent"``.
+    """
+    config = gen_config or GenConfig()
+    source = generate_program(seed, config)
+    kwargs = {}
+    if thresholds is not None:
+        kwargs["thresholds"] = thresholds
+    try:
+        report = check_program(source, **kwargs)
+    except Exception as exc:
+        # A host-level crash inside an engine is itself a finding (the
+        # guest program must never take a VM down), and it must not
+        # abort the rest of the campaign.
+        import traceback
+
+        details = [traceback.format_exc(limit=8), repr(exc)]
+        shrunk = source
+        if shrink_failures:
+            exc_repr = repr(exc)
+
+            def crashes_same(candidate):
+                try:
+                    check_program(candidate, **kwargs)
+                except Exception as cand_exc:
+                    return repr(cand_exc) == exc_repr
+                return False
+
+            try:
+                shrunk = shrink(source, crashes_same,
+                                max_tests=max_shrink_tests)
+            except ValueError:
+                pass
+        finding = Finding(seed, source, shrunk, ["crash"], [], details)
+        return "divergent", finding
+    if report.inconclusive:
+        return "inconclusive", None
+    if report.ok:
+        return "ok", None
+    kinds, engines = _divergence_signature(report)
+    shrunk = source
+    if shrink_failures:
+        def interesting(candidate):
+            cand_report = check_program(candidate, **kwargs)
+            if cand_report.inconclusive or cand_report.ok:
+                return False
+            cand_kinds, _ = _divergence_signature(cand_report)
+            return cand_kinds == kinds
+
+        shrunk = shrink(source, interesting,
+                        max_tests=max_shrink_tests)
+    finding = Finding(
+        seed, source, shrunk, sorted(kinds), sorted(engines),
+        [d.detail for d in report.divergences])
+    return "divergent", finding
+
+
+def _iteration_job(spec):
+    seed, config_kwargs, thresholds, do_shrink = spec
+    status, finding = run_iteration(
+        seed, gen_config=GenConfig(**config_kwargs),
+        thresholds=thresholds, shrink_failures=do_shrink)
+    return status, finding
+
+
+def run_campaign(iters, base_seed, gen_config=None, thresholds=None,
+                 workers=1, shrink_failures=True, progress=None):
+    """Run ``iters`` seeded iterations; returns a CampaignResult.
+
+    ``progress``, if given, is called after each iteration with
+    ``(seed, status)`` — the CLI uses it for live reporting.
+    """
+    config = gen_config or GenConfig()
+    result = CampaignResult()
+    seeds = [base_seed + i for i in range(iters)]
+    if workers <= 1 or iters <= 1:
+        outcomes = (
+            run_iteration(seed, gen_config=config,
+                          thresholds=thresholds,
+                          shrink_failures=shrink_failures)
+            for seed in seeds)
+        pairs = zip(seeds, outcomes)
+    else:
+        specs = [(seed, config.as_kwargs(), thresholds, shrink_failures)
+                 for seed in seeds]
+        pool = ProcessPoolExecutor(max_workers=min(workers, iters))
+        pairs = zip(seeds, pool.map(_iteration_job, specs))
+    for seed, (status, finding) in pairs:
+        result.iterations += 1
+        if status == "inconclusive":
+            result.inconclusive += 1
+        elif status == "divergent":
+            result.findings.append(finding)
+        if progress is not None:
+            progress(seed, status)
+    if workers > 1 and iters > 1:
+        pool.shutdown()
+    return result

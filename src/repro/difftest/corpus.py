@@ -1,0 +1,134 @@
+"""The checked-in corpus of shrunken reproducers.
+
+Every divergence the fuzzer ever finds becomes a permanent regression
+test: the shrunken program is written to ``tests/difftest/corpus/`` with
+a metadata header and replayed through the oracle by
+``tests/difftest/test_corpus.py`` on every tier-1 run.
+
+Corpus files are plain TinyPy sources with ``# difftest:`` header
+comments::
+
+    # difftest: seed=1234
+    # difftest: kinds=output
+    # difftest: engines=cpref/jit@2
+    # difftest: xfail=known divergence in X, see ISSUE-n
+    x = 1
+    print(x)
+
+``xfail`` marks reproducers whose fix is out of scope — the replay test
+then asserts the divergence is STILL there (so a silent behavior change
+is noticed) instead of asserting agreement.  Files use the ``.tinypy``
+extension so pytest never mistakes one for a test module.
+"""
+
+import os
+import re
+
+#: Repo-relative default corpus directory, resolved from this file.
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__)))))
+DEFAULT_CORPUS_DIR = os.path.join(_REPO_ROOT, "tests", "difftest", "corpus")
+
+_HEADER_RE = re.compile(r"^#\s*difftest:\s*(\w+)=(.*)$")
+
+
+class CorpusEntry(object):
+    """One reproducer: its program text plus header metadata."""
+
+    def __init__(self, name, source, meta):
+        self.name = name
+        self.source = source
+        self.meta = dict(meta)
+
+    @property
+    def seed(self):
+        value = self.meta.get("seed")
+        return int(value) if value is not None else None
+
+    @property
+    def kinds(self):
+        value = self.meta.get("kinds", "")
+        return tuple(k for k in value.split(",") if k)
+
+    @property
+    def engines(self):
+        value = self.meta.get("engines", "")
+        return tuple(e for e in value.split("/") if e)
+
+    @property
+    def xfail(self):
+        return "xfail" in self.meta
+
+    @property
+    def xfail_reason(self):
+        return self.meta.get("xfail", "")
+
+    def __repr__(self):
+        flag = " xfail" if self.xfail else ""
+        return "<CorpusEntry %s%s>" % (self.name, flag)
+
+
+def parse_entry(name, text):
+    """Split a corpus file into metadata header and program source."""
+    meta = {}
+    body = []
+    in_header = True
+    for line in text.splitlines():
+        match = _HEADER_RE.match(line) if in_header else None
+        if match:
+            meta[match.group(1)] = match.group(2).strip()
+        else:
+            if line.strip():
+                in_header = False
+            if not in_header and not body and not line.strip():
+                continue
+            body.append(line)
+    return CorpusEntry(name, "\n".join(body).rstrip("\n") + "\n", meta)
+
+
+def format_entry(entry):
+    lines = []
+    for key in sorted(entry.meta):
+        lines.append("# difftest: %s=%s" % (key, entry.meta[key]))
+    lines.append("")
+    lines.append(entry.source.rstrip("\n"))
+    return "\n".join(lines) + "\n"
+
+
+def load_corpus(directory=None):
+    """Read every reproducer in the corpus directory, sorted by name."""
+    directory = directory or DEFAULT_CORPUS_DIR
+    entries = []
+    if not os.path.isdir(directory):
+        return entries
+    for filename in sorted(os.listdir(directory)):
+        if not filename.endswith(".tinypy"):
+            continue
+        path = os.path.join(directory, filename)
+        with open(path, "r") as handle:
+            text = handle.read()
+        entries.append(parse_entry(filename[:-len(".tinypy")], text))
+    return entries
+
+
+def write_entry(entry, directory=None):
+    """Write one reproducer; returns the path written."""
+    directory = directory or DEFAULT_CORPUS_DIR
+    if not os.path.isdir(directory):
+        os.makedirs(directory)
+    path = os.path.join(directory, entry.name + ".tinypy")
+    with open(path, "w") as handle:
+        handle.write(format_entry(entry))
+    return path
+
+
+def entry_from_report(name, report, seed=None, xfail=None):
+    """Build a CorpusEntry out of an oracle report's divergences."""
+    kinds = sorted({d.kind for d in report.divergences})
+    engines = sorted({e for d in report.divergences for e in d.engines})
+    meta = {"kinds": ",".join(kinds), "engines": "/".join(engines)}
+    if seed is not None:
+        meta["seed"] = str(seed)
+    if xfail:
+        meta["xfail"] = xfail
+    return CorpusEntry(name, report.source, meta)

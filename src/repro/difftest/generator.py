@@ -1,0 +1,662 @@
+"""Seeded random TinyPy program generator.
+
+Emits well-formed TinyPy source (the subset ``pylang.compiler``
+accepts) from a :class:`random.Random` stream, so the same seed always
+yields the same program.  Generated programs are closed — every name is
+defined before use, every loop is bounded, every division/shift operand
+is guarded — so a well-behaved engine runs them to completion; with
+``allow_errors`` the generator may additionally plant one possibly
+erroring operation (division by a value that can be zero) to exercise
+the guest-error paths.
+
+The generator tracks a type environment (int/float/str/bool/list/dict
+variables, plus int-returning functions) and builds expressions bottom-up
+per type, so programs type-check by construction while still covering
+arithmetic (including bigint spills), string building, list/dict
+traffic, nested control flow, and function calls.  A configurable "hot
+loop" wraps part of the program body so the meta-tracing JIT compiles
+traces even at high hot-loop thresholds.
+"""
+
+import random
+
+#: Constant pool for dict keys / string literals (kept short so string
+#: costs stay bounded and repr output stays readable in reproducers).
+_STR_POOL = ("a", "bc", "def", "gh", "xyz", "q", "longer", "0k")
+_DICT_KEYS = ("k0", "k1", "k2", "k3")
+
+_INT_VARS = "int"
+_FLOAT_VARS = "float"
+_STR_VARS = "str"
+_BOOL_VARS = "bool"
+_LIST_VARS = "list"
+_DICT_VARS = "dict"
+
+_AUG_OPS = ("+=", "-=", "*=", "|=", "^=", "&=")
+_INT_BINOPS = ("+", "-", "*", "&", "|", "^")
+_CMP_OPS = ("<", "<=", "==", "!=", ">", ">=")
+
+
+class GenConfig(object):
+    """Size and feature knobs for :class:`ProgramGenerator`."""
+
+    def __init__(self,
+                 max_toplevel_stmts=12,
+                 max_block_stmts=5,
+                 max_depth=3,
+                 max_expr_depth=3,
+                 max_loop_iters=12,
+                 hot_loop_iters=60,
+                 n_functions=2,
+                 big_ints=True,
+                 floats=True,
+                 strings=True,
+                 lists=True,
+                 dicts=True,
+                 functions=True,
+                 classes=True,
+                 allow_errors=False):
+        self.max_toplevel_stmts = max_toplevel_stmts
+        self.max_block_stmts = max_block_stmts
+        self.max_depth = max_depth
+        self.max_expr_depth = max_expr_depth
+        self.max_loop_iters = max_loop_iters
+        self.hot_loop_iters = hot_loop_iters
+        self.n_functions = n_functions
+        self.big_ints = big_ints
+        self.floats = floats
+        self.strings = strings
+        self.lists = lists
+        self.dicts = dicts
+        self.functions = functions
+        self.classes = classes
+        self.allow_errors = allow_errors
+
+    def as_kwargs(self):
+        """Constructor kwargs for this config (picklable, for workers)."""
+        return {
+            "max_toplevel_stmts": self.max_toplevel_stmts,
+            "max_block_stmts": self.max_block_stmts,
+            "max_depth": self.max_depth,
+            "max_expr_depth": self.max_expr_depth,
+            "max_loop_iters": self.max_loop_iters,
+            "hot_loop_iters": self.hot_loop_iters,
+            "n_functions": self.n_functions,
+            "big_ints": self.big_ints,
+            "floats": self.floats,
+            "strings": self.strings,
+            "lists": self.lists,
+            "dicts": self.dicts,
+            "functions": self.functions,
+            "classes": self.classes,
+            "allow_errors": self.allow_errors,
+        }
+
+    @classmethod
+    def small(cls, **kwargs):
+        """A profile that keeps programs tiny (fast property tests)."""
+        defaults = dict(max_toplevel_stmts=6, max_block_stmts=3,
+                        max_depth=2, max_expr_depth=2, max_loop_iters=8,
+                        hot_loop_iters=24, n_functions=1, classes=False)
+        defaults.update(kwargs)
+        return cls(**defaults)
+
+
+class _Scope(object):
+    """Names visible at one nesting level, by type tag."""
+
+    def __init__(self):
+        self.vars = {
+            _INT_VARS: [], _FLOAT_VARS: [], _STR_VARS: [],
+            _BOOL_VARS: [], _LIST_VARS: [], _DICT_VARS: [],
+        }
+
+    def pick(self, rng, kind):
+        names = self.vars[kind]
+        return rng.choice(names) if names else None
+
+    def add(self, kind, name):
+        if name not in self.vars[kind]:
+            self.vars[kind].append(name)
+
+
+class ProgramGenerator(object):
+    """One deterministic program per (seed, config)."""
+
+    def __init__(self, seed, config=None):
+        self.seed = seed
+        self.config = config or GenConfig()
+        self.rng = random.Random(seed)
+        self.lines = []
+        self.indent = 0
+        self.scope = _Scope()
+        self.functions = []       # (name, n_params) int-valued functions
+        self.classes = []         # class names with .step(int) -> int
+        self.counter = 0
+        self.loop_depth = 0
+        # Names that statements must not rebind or grow while a loop
+        # depends on them: while-loop counters (rebinding one can make
+        # the loop unbounded) and lists currently being iterated
+        # (appending would grow the iteration itself).
+        self.protected = set()
+
+    # -- emission helpers ---------------------------------------------------
+
+    def emit(self, text):
+        self.lines.append("    " * self.indent + text)
+
+    def fresh(self, prefix="v"):
+        self.counter += 1
+        return "%s%d" % (prefix, self.counter)
+
+    # -- expressions --------------------------------------------------------
+
+    def int_expr(self, depth=0):
+        rng = self.rng
+        cfg = self.config
+        choices = ["lit", "lit"]
+        if self.scope.vars[_INT_VARS]:
+            choices += ["var", "var", "var"]
+        if depth < cfg.max_expr_depth:
+            choices += ["bin", "bin", "neg", "shift", "divmod"]
+            if cfg.big_ints:
+                choices.append("biglit")
+            if self.scope.vars[_LIST_VARS]:
+                choices += ["len", "sum", "index"]
+            if self.scope.vars[_STR_VARS]:
+                choices.append("strlen")
+            if self.scope.vars[_DICT_VARS]:
+                choices.append("dget")
+            if self.functions:
+                choices.append("call")
+            if self.scope.vars[_BOOL_VARS]:
+                choices.append("boolint")
+            if cfg.floats and self.scope.vars[_FLOAT_VARS]:
+                choices.append("trunc")
+        kind = rng.choice(choices)
+        if kind == "lit":
+            return str(rng.randint(-50, 50))
+        if kind == "biglit":
+            # Large constants overflow int64 once multiplied; some are
+            # born big (> 2**63) to hit the bigint constant path.
+            magnitude = rng.choice((32, 40, 64, 70))
+            value = rng.getrandbits(magnitude) + 3
+            return str(value if rng.random() < 0.8 else -value)
+        if kind == "var":
+            return self.scope.pick(rng, _INT_VARS)
+        if kind == "neg":
+            return "(-%s)" % self.int_expr(depth + 1)
+        if kind == "bin":
+            op = rng.choice(_INT_BINOPS)
+            return "(%s %s %s)" % (self.int_expr(depth + 1), op,
+                                   self.int_expr(depth + 1))
+        if kind == "shift":
+            op = rng.choice(("<<", ">>"))
+            return "(%s %s (%s %% 17))" % (
+                self.int_expr(depth + 1), op,
+                "abs(%s)" % self.int_expr(depth + 1))
+        if kind == "divmod":
+            op = rng.choice(("//", "%"))
+            # Denominator x % K + 1 is always in 1..K (Python mod with a
+            # positive rhs is non-negative), so never zero.
+            return "(%s %s (%s %% %d + 1))" % (
+                self.int_expr(depth + 1), op, self.int_expr(depth + 1),
+                rng.randint(2, 19))
+        if kind == "len":
+            return "len(%s)" % self.scope.pick(rng, _LIST_VARS)
+        if kind == "sum":
+            return "sum(%s)" % self.scope.pick(rng, _LIST_VARS)
+        if kind == "index":
+            name = self.scope.pick(rng, _LIST_VARS)
+            return "%s[%s %% len(%s)]" % (name, self.int_expr(depth + 1),
+                                          name)
+        if kind == "strlen":
+            return "len(%s)" % self.scope.pick(rng, _STR_VARS)
+        if kind == "dget":
+            name = self.scope.pick(rng, _DICT_VARS)
+            return "%s.get(%r, %d)" % (name, rng.choice(_DICT_KEYS),
+                                       rng.randint(-9, 9))
+        if kind == "call":
+            name, n_params = rng.choice(self.functions)
+            args = ", ".join(self.int_expr(depth + 1)
+                             for _ in range(n_params))
+            return "%s(%s)" % (name, args)
+        if kind == "boolint":
+            return "int(%s)" % self.scope.pick(rng, _BOOL_VARS)
+        if kind == "trunc":
+            return "int(%s)" % self.scope.pick(rng, _FLOAT_VARS)
+        raise AssertionError(kind)
+
+    def float_expr(self, depth=0):
+        rng = self.rng
+        choices = ["lit", "lit"]
+        if self.scope.vars[_FLOAT_VARS]:
+            choices += ["var", "var"]
+        if depth < self.config.max_expr_depth:
+            choices += ["bin", "div", "cast", "neg"]
+        kind = rng.choice(choices)
+        if kind == "lit":
+            return repr(round(rng.uniform(-40.0, 40.0), 3))
+        if kind == "var":
+            return self.scope.pick(rng, _FLOAT_VARS)
+        if kind == "neg":
+            return "(-%s)" % self.float_expr(depth + 1)
+        if kind == "bin":
+            op = rng.choice(("+", "-", "*"))
+            return "(%s %s %s)" % (self.float_expr(depth + 1), op,
+                                   self.float_expr(depth + 1))
+        if kind == "div":
+            return "(%s / (abs(%s) + 0.5))" % (self.float_expr(depth + 1),
+                                               self.float_expr(depth + 1))
+        if kind == "cast":
+            return "float(%s %% 1000)" % self.int_expr(depth + 1)
+        raise AssertionError(kind)
+
+    def str_expr(self, depth=0):
+        rng = self.rng
+        choices = ["lit", "lit"]
+        if self.scope.vars[_STR_VARS]:
+            choices += ["var", "var"]
+        if depth < self.config.max_expr_depth:
+            choices += ["concat", "repeat", "method", "ofint"]
+        kind = rng.choice(choices)
+        if kind == "lit":
+            return repr(rng.choice(_STR_POOL))
+        if kind == "var":
+            return self.scope.pick(rng, _STR_VARS)
+        if kind == "concat":
+            return "(%s + %s)" % (self.str_expr(depth + 1),
+                                  self.str_expr(depth + 1))
+        if kind == "repeat":
+            return "(%s * %d)" % (self.str_expr(depth + 1),
+                                  rng.randint(0, 3))
+        if kind == "method":
+            method = rng.choice(("upper()", "lower()", "strip()",
+                                 "replace('a', 'o')"))
+            return "%s.%s" % (self.str_expr(depth + 1), method)
+        if kind == "ofint":
+            return "str(%s)" % self.int_expr(depth + 1)
+        raise AssertionError(kind)
+
+    def bool_expr(self, depth=0):
+        rng = self.rng
+        choices = ["cmp", "cmp"]
+        if self.scope.vars[_BOOL_VARS]:
+            choices.append("var")
+        if depth < 2:
+            choices += ["and", "or", "not"]
+        if self.scope.vars[_LIST_VARS]:
+            choices.append("inlist")
+        if self.config.dicts and self.scope.vars[_DICT_VARS]:
+            choices.append("indict")
+        kind = rng.choice(choices)
+        if kind == "var":
+            return self.scope.pick(rng, _BOOL_VARS)
+        if kind == "cmp":
+            op = rng.choice(_CMP_OPS)
+            if self.config.strings and self.scope.vars[_STR_VARS] and \
+                    rng.random() < 0.25:
+                return "(%s %s %s)" % (self.str_expr(depth + 1), op,
+                                       self.str_expr(depth + 1))
+            return "(%s %s %s)" % (self.int_expr(depth + 1), op,
+                                   self.int_expr(depth + 1))
+        if kind == "and":
+            return "(%s and %s)" % (self.bool_expr(depth + 1),
+                                    self.bool_expr(depth + 1))
+        if kind == "or":
+            return "(%s or %s)" % (self.bool_expr(depth + 1),
+                                   self.bool_expr(depth + 1))
+        if kind == "not":
+            return "(not %s)" % self.bool_expr(depth + 1)
+        if kind == "inlist":
+            return "(%s in %s)" % (self.int_expr(depth + 1),
+                                   self.scope.pick(rng, _LIST_VARS))
+        if kind == "indict":
+            return "(%r in %s)" % (rng.choice(_DICT_KEYS),
+                                   self.scope.pick(rng, _DICT_VARS))
+        raise AssertionError(kind)
+
+    # -- statements ---------------------------------------------------------
+
+    def statement(self, depth):
+        rng = self.rng
+        cfg = self.config
+        choices = ["int_assign", "int_assign", "aug", "print"]
+        if cfg.floats:
+            choices.append("float_assign")
+        if cfg.strings:
+            choices.append("str_assign")
+        choices.append("bool_assign")
+        if cfg.lists:
+            choices += ["list_new", "list_op"]
+        if cfg.dicts:
+            choices += ["dict_new", "dict_op"]
+        if depth < cfg.max_depth:
+            choices += ["if", "for_range", "for_list", "while"]
+        getattr(self, "_stmt_" + rng.choice(choices))(depth)
+
+    def _stmt_int_assign(self, depth):
+        rng = self.rng
+        existing = self.scope.pick(rng, _INT_VARS)
+        if existing in self.protected:
+            existing = None
+        name = existing if existing and rng.random() < 0.5 \
+            else self.fresh("i")
+        self.emit("%s = %s" % (name, self.int_expr()))
+        self.scope.add(_INT_VARS, name)
+
+    def _stmt_float_assign(self, depth):
+        rng = self.rng
+        existing = self.scope.pick(rng, _FLOAT_VARS)
+        name = existing if existing and rng.random() < 0.5 \
+            else self.fresh("f")
+        self.emit("%s = %s" % (name, self.float_expr()))
+        self.scope.add(_FLOAT_VARS, name)
+
+    def _stmt_str_assign(self, depth):
+        rng = self.rng
+        existing = self.scope.pick(rng, _STR_VARS)
+        name = existing if existing and rng.random() < 0.5 \
+            else self.fresh("s")
+        self.emit("%s = %s" % (name, self.str_expr()))
+        self.scope.add(_STR_VARS, name)
+
+    def _stmt_bool_assign(self, depth):
+        name = self.fresh("b")
+        self.emit("%s = %s" % (name, self.bool_expr()))
+        self.scope.add(_BOOL_VARS, name)
+
+    def _stmt_aug(self, depth):
+        rng = self.rng
+        name = self.scope.pick(rng, _INT_VARS)
+        if name is None or name in self.protected:
+            return self._stmt_int_assign(depth)
+        self.emit("%s %s %s" % (name, rng.choice(_AUG_OPS),
+                                self.int_expr()))
+
+    def _stmt_list_new(self, depth):
+        rng = self.rng
+        name = self.fresh("L")
+        items = [self.int_expr() for _ in range(rng.randint(1, 5))]
+        if rng.random() < 0.3:
+            self.emit("%s = [%s for _c in range(%d)]"
+                      % (name, self.int_expr(), rng.randint(1, 6)))
+        else:
+            self.emit("%s = [%s]" % (name, ", ".join(items)))
+        self.scope.add(_LIST_VARS, name)
+
+    def _stmt_list_op(self, depth):
+        rng = self.rng
+        name = self.scope.pick(rng, _LIST_VARS)
+        if name is None:
+            return self._stmt_list_new(depth)
+        kinds = ("append", "setitem", "sort", "reverse")
+        if name in self.protected:
+            kinds = ("setitem", "sort", "reverse")
+        kind = rng.choice(kinds)
+        if kind == "append":
+            # Length-capped: appends sit inside nested loops, and an
+            # unbounded list makes every later sum()/iteration
+            # quadratic, blowing the oracle's instruction budget.
+            self.emit("if len(%s) < 24:" % name)
+            self.indent += 1
+            self.emit("%s.append(%s)" % (name, self.int_expr()))
+            self.indent -= 1
+        elif kind == "setitem":
+            self.emit("%s[%s %% len(%s)] = %s"
+                      % (name, self.int_expr(), name, self.int_expr()))
+        elif kind == "sort":
+            self.emit("%s.sort()" % name)
+        else:
+            self.emit("%s.reverse()" % name)
+
+    def _stmt_dict_new(self, depth):
+        rng = self.rng
+        name = self.fresh("D")
+        keys = list(_DICT_KEYS)
+        rng.shuffle(keys)
+        pairs = ", ".join("%r: %s" % (k, self.int_expr())
+                          for k in keys[:rng.randint(1, len(keys))])
+        self.emit("%s = {%s}" % (name, pairs))
+        self.scope.add(_DICT_VARS, name)
+
+    def _stmt_dict_op(self, depth):
+        rng = self.rng
+        name = self.scope.pick(rng, _DICT_VARS)
+        if name is None:
+            return self._stmt_dict_new(depth)
+        key = rng.choice(_DICT_KEYS)
+        if rng.random() < 0.7:
+            self.emit("%s[%r] = %s" % (name, key, self.int_expr()))
+        else:
+            self.emit("%s[%r] = %s.get(%r, 0) + %s"
+                      % (name, key, name, key, self.int_expr()))
+
+    def _stmt_print(self, depth):
+        rng = self.rng
+        kinds = [(_INT_VARS, "%s"), (_BOOL_VARS, "%s")]
+        if self.config.strings:
+            kinds.append((_STR_VARS, "%s"))
+        if self.config.floats:
+            kinds.append((_FLOAT_VARS, "%s"))
+        if self.config.lists:
+            kinds.append((_LIST_VARS, "len(%s)"))
+        rng.shuffle(kinds)
+        for kind, template in kinds:
+            name = self.scope.pick(rng, kind)
+            if name is not None:
+                self.emit("print(%s)" % (template % name))
+                return
+        self.emit("print(%s)" % self.int_expr())
+
+    def _block(self, depth, min_stmts=1):
+        self.indent += 1
+        for _ in range(self.rng.randint(min_stmts,
+                                        self.config.max_block_stmts)):
+            self.statement(depth)
+        self.indent -= 1
+
+    def _snapshot(self):
+        return {kind: list(names)
+                for kind, names in self.scope.vars.items()}
+
+    def _restore(self, snapshot):
+        # Names first defined inside a conditional body may be unbound
+        # at runtime if the branch wasn't taken; hide them again.
+        self.scope.vars = snapshot
+
+    def _stmt_if(self, depth):
+        saved = self._snapshot()
+        self.emit("if %s:" % self.bool_expr())
+        self._block(depth + 1)
+        self._restore({k: list(v) for k, v in saved.items()})
+        if self.rng.random() < 0.5:
+            self.emit("else:")
+            self._block(depth + 1)
+            self._restore(saved)
+
+    def _stmt_for_range(self, depth):
+        name = self.fresh("i")
+        self.emit("for %s in range(%d):"
+                  % (name, self.rng.randint(1, self.config.max_loop_iters)))
+        self.scope.add(_INT_VARS, name)
+        self.loop_depth += 1
+        self._block(depth + 1)
+        self.loop_depth -= 1
+
+    def _stmt_for_list(self, depth):
+        rng = self.rng
+        lst = self.scope.pick(rng, _LIST_VARS)
+        if lst is None:
+            return self._stmt_for_range(depth)
+        name = self.fresh("e")
+        self.emit("for %s in %s:" % (name, lst))
+        self.scope.add(_INT_VARS, name)
+        self.loop_depth += 1
+        was_protected = lst in self.protected
+        self.protected.add(lst)
+        self._block(depth + 1)
+        if not was_protected:
+            self.protected.discard(lst)
+        # `break` only from a loop over a list: the iterator is popped
+        # by the compiler's break handling, exercising that path.
+        if rng.random() < 0.3:
+            self.indent += 1
+            self.emit("if %s:" % self.bool_expr())
+            self.indent += 1
+            self.emit("break")
+            self.indent -= 2
+        self.loop_depth -= 1
+
+    def _stmt_while(self, depth):
+        name = self.fresh("w")
+        limit = self.rng.randint(2, self.config.max_loop_iters)
+        self.emit("%s = 0" % name)
+        self.scope.add(_INT_VARS, name)
+        self.emit("while %s < %d:" % (name, limit))
+        self.loop_depth += 1
+        self.indent += 1
+        self.emit("%s = %s + 1" % (name, name))
+        self.protected.add(name)
+        for _ in range(self.rng.randint(0, self.config.max_block_stmts - 1)):
+            self.statement(depth + 1)
+        self.protected.discard(name)
+        if self.rng.random() < 0.25:
+            self.emit("if %s > %d:" % (name, limit // 2))
+            self.indent += 1
+            self.emit("continue")
+            self.indent -= 1
+        self.indent -= 1
+        self.loop_depth -= 1
+
+    # -- functions and classes ----------------------------------------------
+
+    def _gen_function(self):
+        rng = self.rng
+        name = self.fresh("fn")
+        n_params = rng.randint(1, 3)
+        params = ["p%d" % i for i in range(n_params)]
+        # Optionally give the last parameter a constant default.
+        header = ", ".join(params)
+        if rng.random() < 0.4:
+            header = ", ".join(params[:-1] + ["%s=%d" % (
+                params[-1], rng.randint(-5, 5))])
+            n_params -= 1  # callers may omit the defaulted arg
+        self.emit("def %s(%s):" % (name, header))
+        outer = self.scope
+        self.scope = _Scope()
+        for p in params:
+            self.scope.add(_INT_VARS, p)
+        self.indent += 1
+        for _ in range(rng.randint(1, 3)):
+            self.statement(self.config.max_depth - 1)
+        self.emit("return %s" % self.int_expr())
+        self.indent -= 1
+        self.scope = outer
+        self.functions.append((name, n_params))
+
+    def _gen_class(self):
+        rng = self.rng
+        name = "C%d" % (self.counter + 1)
+        self.counter += 1
+        factor = rng.randint(2, 9)
+        offset = rng.randint(-20, 20)
+        self.emit("class %s:" % name)
+        self.indent += 1
+        self.emit("def __init__(self, x):")
+        self.indent += 1
+        self.emit("self.x = x")
+        self.emit("self.n = 0")
+        self.indent -= 1
+        self.emit("def step(self, d):")
+        self.indent += 1
+        self.emit("self.n = self.n + 1")
+        self.emit("self.x = self.x * %d + d + %d" % (factor, offset))
+        self.emit("return self.x")
+        self.indent -= 1
+        self.indent -= 1
+        self.classes.append(name)
+
+    def _use_class(self):
+        rng = self.rng
+        cls = rng.choice(self.classes)
+        obj = self.fresh("o")
+        acc = self.fresh("i")
+        self.emit("%s = %s(%s)" % (obj, cls, self.int_expr()))
+        self.emit("%s = 0" % acc)
+        self.scope.add(_INT_VARS, acc)
+        loop = self.fresh("i")
+        self.emit("for %s in range(%d):"
+                  % (loop, rng.randint(3, self.config.max_loop_iters)))
+        self.indent += 1
+        self.emit("%s = %s %% 9973 + %s.step(%s)"
+                  % (acc, acc, obj, loop))
+        self.indent -= 1
+        self.emit("print(%s.n, %s %% 100003)" % (obj, acc))
+
+    # -- program assembly ---------------------------------------------------
+
+    def generate(self):
+        """Return the program source text for this generator's seed."""
+        rng = self.rng
+        cfg = self.config
+        if cfg.functions:
+            for _ in range(rng.randint(0, cfg.n_functions)):
+                self._gen_function()
+        if cfg.classes and rng.random() < 0.6:
+            self._gen_class()
+        # Seed a couple of variables so early expressions have material.
+        self.emit("x0 = %d" % rng.randint(-40, 40))
+        self.scope.add(_INT_VARS, "x0")
+        for _ in range(rng.randint(2, cfg.max_toplevel_stmts)):
+            self.statement(0)
+        self._hot_loop()
+        if cfg.classes and self.classes and rng.random() < 0.7:
+            self._use_class()
+        if cfg.allow_errors and rng.random() < 0.5:
+            # One possibly-raising statement: the divisor can be zero.
+            self.emit("print(%s // (%s %% 3))"
+                      % (self.int_expr(), self.int_expr()))
+        self._epilogue()
+        return "\n".join(self.lines) + "\n"
+
+    def _hot_loop(self):
+        """A loop hot enough to trigger tracing at every threshold."""
+        rng = self.rng
+        acc = self.fresh("h")
+        self.emit("%s = 1" % acc)
+        self.scope.add(_INT_VARS, acc)
+        name = self.fresh("i")
+        self.emit("for %s in range(%d):"
+                  % (name, self.config.hot_loop_iters))
+        self.scope.add(_INT_VARS, name)
+        self.loop_depth += 1
+        self.indent += 1
+        self.emit("%s = (%s * 3 + %s) %% 1000003"
+                  % (acc, acc, name))
+        for _ in range(rng.randint(0, 2)):
+            self.statement(self.config.max_depth - 1)
+        # A data-dependent branch inside the hot loop forces guard
+        # failures and (often) bridge compilation.
+        self.emit("if %s & 1:" % name)
+        self.indent += 1
+        self.emit("%s = %s + %s" % (acc, acc, self.int_expr(1)))
+        self.indent -= 1
+        self.indent -= 1
+        self.loop_depth -= 1
+        self.emit("print(%s)" % acc)
+
+    def _epilogue(self):
+        """Print every live variable: the program's checksum."""
+        for kind in (_INT_VARS, _BOOL_VARS, _STR_VARS, _FLOAT_VARS):
+            for name in self.scope.vars[kind]:
+                self.emit("print(%s)" % name)
+        for name in self.scope.vars[_LIST_VARS]:
+            self.emit("print(len(%s), sum(%s))" % (name, name))
+        for name in self.scope.vars[_DICT_VARS]:
+            self.emit("print(len(%s))" % name)
+
+
+def generate_program(seed, config=None):
+    """Convenience: the program text for one seed."""
+    return ProgramGenerator(seed, config).generate()

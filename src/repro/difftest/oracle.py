@@ -1,0 +1,426 @@
+"""The multi-engine differential oracle.
+
+Runs one TinyPy program under every execution mode the repo models —
+the CPython-reference interpreter (``cpref``), the RPython-style
+interpreter with the JIT disabled (``interp``), and the meta-tracing
+JIT at several hot-loop thresholds (``jit@N``) — and checks:
+
+* **Agreement**: every engine prints the same stdout, and either all
+  engines finish cleanly or all raise a guest-level error at the same
+  point (engines word error messages differently, so only the
+  output-so-far and the erroredness are compared).
+* **Counter invariants** per engine run: the PinTool's per-phase
+  instruction/cycle/branch windows must sum to the machine totals, and
+  on JIT runs the jitlog's compile events must match the trace registry
+  (same trace count, same total IR nodes compiled).
+* **Store round-trip**: a serialized result payload restored and
+  re-serialized must be bit-identical (pickled bytes equal).
+
+Native-reference kernels have no general TinyPy source form, so cross
+checking against ``nativeref`` (and ``run_many`` worker agreement) is
+exposed separately via :func:`check_kernel_output` /
+:func:`check_run_many_agreement`, which operate on registry benchmark
+programs.
+"""
+
+import pickle
+
+from repro.core.config import SystemConfig
+from repro.core.errors import GuestError, ReproError
+from repro.interp.context import VMContext
+from repro.jit import executor
+from repro.pintool.tool import PinTool
+from repro.pylang.cpref import CpRef
+from repro.pylang.interp import PyVM
+from repro.uarch.machine import SimulationLimitReached
+
+#: Default safety net: no generated program should come near this many
+#: simulated instructions; hitting the cap marks the run inconclusive.
+DEFAULT_MAX_INSTRUCTIONS = 25_000_000
+
+#: Default hot-loop thresholds: 2 forces tracing almost immediately
+#: (maximum trace/bridge/blackhole traffic), 7 is an early-JIT middle
+#: ground, 39 is the paper-scaled production default.
+DEFAULT_THRESHOLDS = (2, 7, 39)
+
+_REL_TOL = 1e-6
+
+
+class Divergence(object):
+    """One oracle finding: either engine disagreement or a broken
+    structural invariant inside a single engine's counters."""
+
+    __slots__ = ("kind", "engines", "detail")
+
+    def __init__(self, kind, engines, detail):
+        self.kind = kind
+        self.engines = tuple(engines)
+        self.detail = detail
+
+    def __repr__(self):
+        return "<Divergence %s %s: %s>" % (
+            self.kind, "/".join(self.engines), self.detail)
+
+
+class EngineRun(object):
+    """Output and measurement state of one engine execution."""
+
+    __slots__ = ("name", "output", "error", "truncated", "machine",
+                 "tool", "ctx")
+
+    def __init__(self, name):
+        self.name = name
+        self.output = ""
+        self.error = None
+        self.truncated = False
+        self.machine = None
+        self.tool = None
+        self.ctx = None
+
+    @property
+    def outcome(self):
+        """What the oracle compares across engines."""
+        return (self.output, self.error is not None)
+
+
+class OracleReport(object):
+    """Everything the oracle learned about one program."""
+
+    def __init__(self, source):
+        self.source = source
+        self.runs = []
+        self.divergences = []
+        self.inconclusive = False
+
+    @property
+    def ok(self):
+        return not self.divergences
+
+    def add(self, kind, engines, detail):
+        self.divergences.append(Divergence(kind, engines, detail))
+
+    def run_named(self, name):
+        for run in self.runs:
+            if run.name == name:
+                return run
+        return None
+
+    def summary(self):
+        if self.inconclusive:
+            return "inconclusive (simulation cap hit)"
+        if self.ok:
+            return "ok (%d engines agree)" % len(self.runs)
+        return "; ".join(
+            "%s[%s]: %s" % (d.kind, "/".join(d.engines), d.detail)
+            for d in self.divergences)
+
+
+def _base_config(max_instructions):
+    config = SystemConfig()
+    config.max_instructions = max_instructions
+    return config
+
+
+def run_cpref(source, max_instructions=DEFAULT_MAX_INSTRUCTIONS):
+    """Run a program on the CPython-reference engine."""
+    run = EngineRun("cpref")
+    config = _base_config(max_instructions)
+    config.jit.enabled = False
+    vm = CpRef(config)
+    tool = PinTool(vm.machine)
+    try:
+        vm.run_source(source)
+    except GuestError as exc:
+        run.error = str(exc)
+    except SimulationLimitReached:
+        run.truncated = True
+    tool.finish()
+    run.output = vm.stdout()
+    run.machine = vm.machine
+    run.tool = tool
+    return run
+
+
+def run_interp(source, jit=False, threshold=39, bridge_threshold=3,
+               max_instructions=DEFAULT_MAX_INSTRUCTIONS):
+    """Run a program on the RPython-style VM (JIT on or off)."""
+    run = EngineRun("jit@%d" % threshold if jit else "interp")
+    config = _base_config(max_instructions)
+    config.jit.enabled = jit
+    config.jit.hot_loop_threshold = threshold
+    config.jit.bridge_threshold = bridge_threshold
+    ctx = VMContext(config)
+    tool = PinTool(ctx.machine)
+    vm = PyVM(ctx)
+    try:
+        vm.run_source(source)
+    except GuestError as exc:
+        run.error = str(exc)
+    except SimulationLimitReached:
+        run.truncated = True
+    tool.finish()
+    for trace in ctx.registry.traces:
+        executor.sync_exec_counts(trace)
+    run.output = vm.stdout()
+    run.machine = ctx.machine
+    run.tool = tool
+    run.ctx = ctx
+    return run
+
+
+# -- structural invariants on a single run --------------------------------------
+
+
+def check_counter_invariants(run, report):
+    """Phase windows must sum exactly to the machine's totals."""
+    machine = run.machine
+    windows = run.tool.phases.windows
+    insns_sum = sum(w.instructions for w in windows)
+    if insns_sum != machine.instructions:
+        report.add("phase_insns", [run.name],
+                   "phase windows sum to %d instructions, machine retired %d"
+                   % (insns_sum, machine.instructions))
+    branch_sum = sum(w.branches for w in windows)
+    if branch_sum != machine.branches:
+        report.add("phase_branches", [run.name],
+                   "phase windows sum to %d branches, machine saw %d"
+                   % (branch_sum, machine.branches))
+    miss_sum = sum(w.branch_misses for w in windows)
+    if miss_sum != machine.branch_misses:
+        report.add("phase_misses", [run.name],
+                   "phase windows sum to %d misses, machine saw %d"
+                   % (miss_sum, machine.branch_misses))
+    cycles_sum = sum(w.cycles for w in windows)
+    if abs(cycles_sum - machine.cycles) > \
+            _REL_TOL * max(1.0, abs(machine.cycles)):
+        report.add("phase_cycles", [run.name],
+                   "phase windows sum to %r cycles, machine has %r"
+                   % (cycles_sum, machine.cycles))
+
+
+def check_jitlog_invariants(run, report):
+    """The jitlog event stream must match the trace registry."""
+    ctx = run.ctx
+    if ctx is None or ctx.jitlog is None:
+        return
+    compiles = [details for kind, details in ctx.jitlog.events
+                if kind == "compile"]
+    aborts = [details for kind, details in ctx.jitlog.events
+              if kind == "abort"]
+    registry = ctx.registry
+    if len(compiles) != len(registry.traces):
+        report.add("jitlog_traces", [run.name],
+                   "jitlog has %d compile events, registry holds %d traces"
+                   % (len(compiles), len(registry.traces)))
+    logged_ops = sum(d["n_ops_compiled"] for d in compiles)
+    registry_ops = registry.total_ops_compiled()
+    if logged_ops != registry_ops:
+        report.add("jitlog_ops", [run.name],
+                   "jitlog compile events total %d IR nodes, registry "
+                   "compiled %d" % (logged_ops, registry_ops))
+    if len(aborts) != len(registry.aborts):
+        report.add("jitlog_aborts", [run.name],
+                   "jitlog has %d abort events, registry recorded %d"
+                   % (len(aborts), len(registry.aborts)))
+    for trace in registry.traces:
+        for i, count in enumerate(trace.op_exec_counts):
+            if count < 0:
+                report.add("exec_counts", [run.name],
+                           "trace #%d op %d has negative exec count %d"
+                           % (trace.trace_id, i, count))
+                return
+
+
+def check_store_roundtrip(run, report):
+    """Serializing, restoring, and re-serializing must be bit-identical."""
+    from repro.harness import runner
+
+    result = runner.RunResult("difftest", "pypy", 0)
+    result.output = run.output
+    runner._fill_machine(result, run.machine)
+    runner._fill_pintool(result, run.tool)
+    if run.ctx is not None:
+        result.registry = run.ctx.registry
+        result.jitlog_obj = run.ctx.jitlog
+        result.gc_stats = run.ctx.gc.stats()
+        result.aot_rows = run.tool.aotcalls.all_rows(run.machine.cycles)
+    payload = runner._result_to_payload(result)
+    restored = runner._result_from_payload(payload)
+    payload_again = runner._result_to_payload(restored)
+    blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    blob_again = pickle.dumps(payload_again,
+                              protocol=pickle.HIGHEST_PROTOCOL)
+    if blob != blob_again:
+        differing = [
+            field for field in payload
+            if pickle.dumps(payload[field]) !=
+            pickle.dumps(payload_again.get(field))
+        ]
+        report.add("store_roundtrip", [run.name],
+                   "result payload is not bit-identical after a "
+                   "serialize/restore cycle (fields: %s)"
+                   % ", ".join(differing))
+
+
+# -- the oracle entry point ------------------------------------------------------
+
+
+def check_program(source, thresholds=DEFAULT_THRESHOLDS,
+                  max_instructions=DEFAULT_MAX_INSTRUCTIONS,
+                  check_store=True):
+    """Run ``source`` under every engine; return an :class:`OracleReport`.
+
+    A :class:`repro.core.errors.CompilationError` propagates — the
+    generator must only emit compilable programs, and a reproducer that
+    stops compiling is a harness bug, not a divergence.
+    """
+    report = OracleReport(source)
+    runs = []
+
+    def _add(run):
+        runs.append(run)
+        report.runs = runs
+        if run.truncated:
+            report.inconclusive = True
+        return run.truncated
+
+    # Engines run in cost order; a truncated run makes the whole
+    # program inconclusive, so bail before paying for the rest.
+    if _add(run_cpref(source, max_instructions=max_instructions)):
+        return report
+    if _add(run_interp(source, jit=False,
+                       max_instructions=max_instructions)):
+        return report
+    for threshold in thresholds:
+        if _add(run_interp(
+                source, jit=True, threshold=threshold,
+                bridge_threshold=max(2, threshold // 3),
+                max_instructions=max_instructions)):
+            return report
+
+    reference = runs[0]
+    for run in runs[1:]:
+        if run.outcome != reference.outcome:
+            if run.output != reference.output:
+                detail = "stdout differs: %s" % _first_diff(
+                    reference.output, run.output)
+            else:
+                detail = ("%s errored (%s), %s finished cleanly"
+                          % ((run.name, run.error, reference.name)
+                             if run.error is not None else
+                             (reference.name, reference.error, run.name)))
+            report.add("output", [reference.name, run.name], detail)
+
+    for run in runs:
+        check_counter_invariants(run, report)
+        check_jitlog_invariants(run, report)
+    if check_store:
+        check_store_roundtrip(runs[-1], report)
+    return report
+
+
+def _first_diff(a, b):
+    a_lines = a.splitlines()
+    b_lines = b.splitlines()
+    for i in range(max(len(a_lines), len(b_lines))):
+        left = a_lines[i] if i < len(a_lines) else "<eof>"
+        right = b_lines[i] if i < len(b_lines) else "<eof>"
+        if left != right:
+            return "line %d: %r vs %r" % (i + 1, left, right)
+    return "lengths %d vs %d" % (len(a), len(b))
+
+
+# -- registry-program checks (nativeref and worker agreement) -------------------
+
+
+def check_kernel_output(name, n=None, report=None):
+    """Cross-check a CLBG kernel: nativeref vs cpref vs interp vs JIT.
+
+    Native kernels print the same text the TinyPy source does (they are
+    the same algorithms), so stdout must agree everywhere.  Returns an
+    OracleReport (optionally extending one passed in).
+    """
+    from repro.benchprogs import registry
+    from repro.harness.runner import run_program
+    from repro.nativeref.kernels import KERNELS
+
+    if name not in KERNELS:
+        raise ReproError("%r has no native-reference kernel" % name)
+    program = registry.py_program(name)
+    if n is None:
+        n = program.small_n
+    if report is None:
+        report = OracleReport("<kernel %s n=%d>" % (name, n))
+    outputs = {}
+    for vm_kind in ("native", "cpython", "pypy_nojit", "pypy"):
+        outputs[vm_kind] = run_program(program, vm_kind, n=n,
+                                       use_cache=False).output
+    reference = outputs["native"]
+    for vm_kind, output in outputs.items():
+        if output != reference:
+            report.add("kernel_output", ["native", vm_kind],
+                       "%s: %s" % (name, _first_diff(reference, output)))
+    return report
+
+
+def check_run_many_agreement(jobs=None, workers=2, report=None):
+    """Worker-process payloads must match in-process simulation exactly.
+
+    Runs each job twice — serially in this process and through the
+    ``run_many`` worker entry point (on a process pool when ``workers``
+    allows) — with the cache and store disabled so both paths really
+    simulate, and compares the serialized payloads field by field.
+    """
+    import os
+
+    from repro.benchprogs import registry
+    from repro.harness import runner, store
+
+    if report is None:
+        report = OracleReport("<run_many agreement>")
+    if jobs is None:
+        jobs = [runner.job("fannkuch", "pypy",
+                           n=registry.py_program("fannkuch").small_n),
+                runner.job("fannkuch", "cpython",
+                           n=registry.py_program("fannkuch").small_n)]
+    saved_store = os.environ.get("REPRO_STORE")
+    os.environ["REPRO_STORE"] = "0"
+    store.reset_default_store()
+    try:
+        direct_payloads = []
+        for spec in jobs:
+            result = runner.run_program(
+                spec["program"], spec["vm_kind"], n=spec["n"],
+                timeline=spec["timeline"],
+                max_instructions=spec["max_instructions"],
+                jit_overrides=spec["jit_overrides"],
+                predictor=spec["predictor"], language=spec["language"],
+                use_cache=False)
+            direct_payloads.append(runner._result_to_payload(result))
+        pooled = [runner._run_job(dict(spec)) for spec in jobs] \
+            if workers <= 1 else _pool_payloads(jobs, workers)
+    finally:
+        if saved_store is None:
+            os.environ.pop("REPRO_STORE", None)
+        else:
+            os.environ["REPRO_STORE"] = saved_store
+        store.reset_default_store()
+    for spec, direct, worker in zip(jobs, direct_payloads, pooled):
+        label = "%s/%s" % (spec["program"], spec["vm_kind"])
+        for field in direct:
+            if pickle.dumps(direct[field]) != \
+                    pickle.dumps(worker.get(field)):
+                report.add("run_many", ["in-process", "worker"],
+                           "%s field %r differs: %r vs %r"
+                           % (label, field, direct[field],
+                              worker.get(field)))
+    return report
+
+
+def _pool_payloads(jobs, workers):
+    from concurrent.futures import ProcessPoolExecutor
+
+    from repro.harness import runner
+
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(runner._run_job, [dict(s) for s in jobs]))

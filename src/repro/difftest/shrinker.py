@@ -1,0 +1,199 @@
+"""Delta-debugging shrinker for failing TinyPy programs.
+
+Given a program and an ``interesting(source) -> bool`` predicate (for
+the fuzzer: "the oracle still reports this exact divergence"), the
+shrinker greedily applies AST-level reductions until no smaller variant
+stays interesting:
+
+* **Statement removal** — ddmin-style chunked deletion from every
+  statement body (module, function/method, loop, branch arms).  Bodies
+  that would become empty get a ``pass`` so the candidate still parses.
+* **Compound hoisting** — replace a ``for``/``while``/``if``/``with``-
+  style compound by its own body, or a class/function definition by
+  nothing (removal covers the latter).
+* **Constant reduction** — shrink integer literals toward 0/1, strings
+  toward ``""``/single chars, and drop list/dict literal elements.
+* **Name inlining is deliberately absent** — divergences in this code
+  base live in operator/JIT behavior, not in binding structure, and
+  keeping the pass list short keeps shrink times bounded.
+
+The predicate is treated as a black box; any exception it raises marks
+the candidate uninteresting (e.g. a variant that no longer compiles).
+
+Everything is deterministic: candidates are enumerated in a fixed
+order, the first accepted improvement restarts the scan, and the result
+is normalized through ``ast.unparse``.
+"""
+
+import ast
+import copy
+
+#: AST statement types whose ``body`` (and ``orelse``) can be shrunk.
+_BODY_FIELDS = ("body", "orelse")
+
+#: Compounds that may be replaced by their own body.
+_HOISTABLE = (ast.For, ast.While, ast.If)
+
+
+def _unparse(tree):
+    return ast.unparse(tree) + "\n"
+
+
+def _safe_interesting(interesting, source):
+    try:
+        return bool(interesting(source))
+    except Exception:
+        return False
+
+
+def _iter_bodies(tree):
+    """Yield every (holder, field, body_list) in the tree, outermost
+    first — shrinking outer bodies first removes the most per test."""
+    stack = [tree]
+    while stack:
+        node = stack.pop(0)
+        for field in _BODY_FIELDS:
+            body = getattr(node, field, None)
+            if isinstance(body, list) and body:
+                yield node, field, body
+        for child in ast.iter_child_nodes(node):
+            stack.append(child)
+
+
+def _with_body(tree, path, replacement):
+    """Copy ``tree`` and replace the body addressed by ``path``."""
+    new_tree = copy.deepcopy(tree)
+    holder = new_tree
+    for field, index in path[:-1]:
+        holder = getattr(holder, field)[index]
+    field = path[-1]
+    body = replacement if replacement else [ast.Pass()]
+    setattr(holder, field, body)
+    return ast.fix_missing_locations(new_tree)
+
+
+def _body_paths(tree):
+    """Enumerate (path, body) pairs; a path is [(field, idx)..., field]."""
+    results = []
+
+    def walk(node, prefix):
+        for field in _BODY_FIELDS:
+            body = getattr(node, field, None)
+            if isinstance(body, list) and body:
+                results.append((prefix + [field], body))
+                for i, child in enumerate(body):
+                    walk(child, prefix + [(field, i)])
+
+    walk(tree, [])
+    return results
+
+
+def _removal_candidates(tree):
+    """Chunked-deletion candidates, largest chunks first."""
+    for path, body in _body_paths(tree):
+        n = len(body)
+        chunk = n
+        while chunk >= 1:
+            for start in range(0, n, chunk):
+                kept = body[:start] + body[start + chunk:]
+                if len(kept) == n:
+                    continue
+                yield _with_body(tree, path, copy.deepcopy(kept))
+            chunk //= 2
+
+
+def _hoist_candidates(tree):
+    """Replace each hoistable compound statement by its own body."""
+    for path, body in _body_paths(tree):
+        for i, stmt in enumerate(body):
+            if isinstance(stmt, _HOISTABLE):
+                hoisted = body[:i] + stmt.body + body[i + 1:]
+                yield _with_body(tree, path, copy.deepcopy(hoisted))
+
+
+class _ConstShrinker(ast.NodeTransformer):
+    """Rewrites exactly one constant (the ``target``-th one visited)."""
+
+    def __init__(self, target, value):
+        self.target = target
+        self.value = value
+        self.seen = -1
+
+    def visit_Constant(self, node):
+        self.seen += 1
+        if self.seen == self.target:
+            return ast.copy_location(ast.Constant(self.value), node)
+        return node
+
+
+def _const_values(value):
+    if isinstance(value, bool):
+        return []
+    if isinstance(value, int) and value not in (0, 1):
+        out = [0, 1]
+        if abs(value) > 256:
+            out.append(value // 2)
+        return out
+    if isinstance(value, float) and value not in (0.0, 1.0):
+        return [0.0, 1.0]
+    if isinstance(value, str) and len(value) > 1:
+        return ["", value[0]]
+    return []
+
+
+class _ConstCollector(ast.NodeVisitor):
+    """Collects constants in the same DFS order _ConstShrinker visits."""
+
+    def __init__(self):
+        self.values = []
+
+    def visit_Constant(self, node):
+        self.values.append(node.value)
+
+
+def _constant_candidates(tree):
+    collector = _ConstCollector()
+    collector.visit(tree)
+    constants = collector.values
+    for index, value in enumerate(constants):
+        for smaller in _const_values(value):
+            new_tree = _ConstShrinker(index, smaller).visit(
+                copy.deepcopy(tree))
+            yield ast.fix_missing_locations(new_tree)
+
+
+_PASSES = (_removal_candidates, _hoist_candidates, _constant_candidates)
+
+
+def shrink(source, interesting, max_tests=2000):
+    """Reduce ``source`` to a smaller program that stays interesting.
+
+    ``interesting`` must hold for ``source`` itself (ValueError
+    otherwise — a shrink request for a non-failure is a harness bug).
+    ``max_tests`` bounds the number of predicate evaluations; the best
+    reduction found so far is returned when the budget runs out.
+    """
+    tree = ast.parse(source)
+    current = _unparse(tree)
+    if not _safe_interesting(interesting, current):
+        raise ValueError("initial program is not interesting")
+    tests = 0
+    improved = True
+    while improved and tests < max_tests:
+        improved = False
+        tree = ast.parse(current)
+        for candidates in _PASSES:
+            for candidate_tree in candidates(tree):
+                candidate = _unparse(candidate_tree)
+                if len(candidate) >= len(current):
+                    continue
+                tests += 1
+                if _safe_interesting(interesting, candidate):
+                    current = candidate
+                    improved = True
+                    break
+                if tests >= max_tests:
+                    break
+            if improved or tests >= max_tests:
+                break
+    return current

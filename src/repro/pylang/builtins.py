@@ -189,7 +189,13 @@ def bi_int(vm, args_w):
     if is_intish(cls):
         return vm.wrap_int(vm.int_val(w_obj))
     if cls is W_Float:
-        return vm.wrap_int(llops.cast_float_to_int(vm.float_val(w_obj)))
+        f = vm.float_val(w_obj)
+        # f - f is 0.0 for every finite float and NaN for +-inf/NaN.
+        nonfinite = llops.float_ne(llops.float_sub(f, f), 0.0)
+        if llops.is_true(nonfinite):
+            raise GuestError(
+                "cannot convert float infinity or NaN to integer")
+        return vm.wrap_int(llops.cast_float_to_int(f))
     if cls is W_Str:
         return vm.wrap_int(llops.residual_call(
             rstr.string_to_int, vm.str_val(w_obj)))

@@ -15,6 +15,7 @@ from repro.isa import insns
 from repro.pylang import bytecode as bc
 from repro.pylang.compiler import compile_source
 from repro.pylang.ops import str_format_mod
+from repro.rlib import rbigint
 from repro.uarch.machine import Machine
 
 # CPython does substantial work per bytecode (refcount traffic, type
@@ -755,7 +756,7 @@ class CpRef(object):
         if isinstance(value, str):
             return value
         if isinstance(value, (int,)):
-            text = str(value)
+            text = rbigint.int_to_decimal(value)
             self._xm(insns.scale_mix(
                 insns.mix(div=1, alu=2, store=1), len(text)))
             return text
@@ -842,7 +843,7 @@ class CpRef(object):
                     charge_scan(call_args[0])
                 try:
                     return fn(*call_args)
-                except ValueError as exc:
+                except (ValueError, OverflowError) as exc:
                     raise GuestError(str(exc))
             return wrapped
 

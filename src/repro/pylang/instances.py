@@ -153,12 +153,14 @@ class InstancesMixin(object):
         if cell is not None:
             llops.setfield(cell, "w_value", w_value)
             return
-        new_cell = llops.new(_CELL_CLS, w_value=w_value)
-        from repro.interp.objects import concrete
-
-        w_module.cells[name] = concrete(new_cell)
-        llops.setfield(w_module, "version",
-                       llops.residual_call(_new_version_tag))
+        # First store of this global.  The cell creation, the celldict
+        # insert, and the version bump all happen inside ONE residual
+        # call: a trace recorded through this path must re-execute the
+        # dict insert, and a host-side ``cells[name] = ...`` performed
+        # inline at record time would silently vanish from the compiled
+        # trace — later executions would then write into an orphaned
+        # cell while reads keep hitting the record-time one.
+        llops.residual_call(_celldict_add_cell, w_module, name, w_value)
 
     # -- class creation -----------------------------------------------------------------
 
@@ -294,6 +296,28 @@ from repro.pylang.objects import Cell as _CELL_CLS  # noqa: E402
 def _new_version_tag(ctx):
     ctx.charge(insns.mix(alu=2, store=1))
     return VersionTag()
+
+
+@aot("celldict.add_cell", "R", "any")
+def _celldict_add_cell(ctx, w_module, name, w_value):
+    """First store of a global: insert a fresh cell, bump the version.
+
+    A compiled trace can replay this after the cell already exists (the
+    record-time execution created it), so the existing-cell case
+    degrades to a plain cell write with no version bump.
+    """
+    from repro.interp.objects import concrete
+
+    ctx.charge(insns.mix(load=3, alu=6, store=4))
+    cell = w_module.cells.get(name)
+    if cell is not None:
+        concrete(cell).w_value = w_value
+        return None
+    new_cell = _CELL_CLS(w_value)
+    new_cell._addr = ctx.gc.allocate(_CELL_CLS._size_, obj=new_cell)
+    w_module.cells[name] = concrete(new_cell)
+    w_module.version = VersionTag()
+    return None
 
 
 @aot("format.mod", "M", "pure")

@@ -87,7 +87,13 @@ def str_format_mod(ctx, template, values):
             continue
         value = values[value_index]
         value_index += 1
-        out.append(("%" + width + spec) % value)
+        try:
+            out.append(("%" + width + spec) % value)
+        except ValueError:
+            # Host int->str digit cap; the guest has no such limit.
+            if spec not in ("d", "s") or not isinstance(value, int):
+                raise
+            out.append(rbigint.int_to_decimal(value))
     return "".join(out)
 
 
@@ -397,6 +403,14 @@ class OpsMixin(object):
                 big_a = self.to_big(w_a, cls_a)
                 return self.wrap_big(llops.residual_call(
                     rbigint.big_rshift, big_a, self.int_val(w_b)))
+            if symbol in ("&", "|", "^") and (
+                    is_intish(cls_a) or cls_a is W_BigInt) and (
+                    is_intish(cls_b) or cls_b is W_BigInt):
+                big_fn = {"&": rbigint.big_and, "|": rbigint.big_or,
+                          "^": rbigint.big_xor}[symbol]
+                return self.wrap_big(llops.residual_call(
+                    big_fn, self.to_big(w_a, cls_a),
+                    self.to_big(w_b, cls_b)))
         self.type_error(symbol, cls_a, cls_b)
 
     def binary_and(self, w_a, w_b):

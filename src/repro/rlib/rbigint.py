@@ -181,6 +181,53 @@ def _shift_right_abs(digits, count):
     return _normalize(result)
 
 
+def _bitwise(a, b, op):
+    """Digit-wise bitwise op with CPython's two's-complement walk.
+
+    Negative operands are streamed as their two's complement (invert
+    each digit, propagate an initial +1 carry), the per-digit op is
+    applied, and a negative result is complemented back — all without
+    ever materializing a host big integer.
+    """
+    neg_a = a.sign < 0
+    neg_b = b.sign < 0
+    if op == "&":
+        neg_r = neg_a and neg_b
+    elif op == "|":
+        neg_r = neg_a or neg_b
+    else:
+        neg_r = neg_a != neg_b
+    n = max(len(a.digits), len(b.digits)) + 1
+    carry_a = carry_b = carry_r = 1
+    digits = []
+    for i in range(n):
+        da = a.digits[i] if i < len(a.digits) else 0
+        db = b.digits[i] if i < len(b.digits) else 0
+        if neg_a:
+            da = carry_a + (da ^ MASK)
+            carry_a = da >> SHIFT
+            da &= MASK
+        if neg_b:
+            db = carry_b + (db ^ MASK)
+            carry_b = db >> SHIFT
+            db &= MASK
+        if op == "&":
+            dr = da & db
+        elif op == "|":
+            dr = da | db
+        else:
+            dr = da ^ db
+        if neg_r:
+            dr = carry_r + (dr ^ MASK)
+            carry_r = dr >> SHIFT
+            dr &= MASK
+        digits.append(dr)
+    digits = _normalize(digits)
+    if not digits:
+        return BigInt(0, [])
+    return BigInt(-1 if neg_r else 1, digits)
+
+
 def _divrem_abs(a_digits, b_digits):
     """Knuth Algorithm D: (quotient, remainder) of |a| / |b|."""
     if _cmp_abs(a_digits, b_digits) < 0:
@@ -287,6 +334,30 @@ def _to_decimal(value):
     return ("-" if value.sign < 0 else "") + text
 
 
+def int_to_decimal(value):
+    """Decimal string of a host int, with no digit-count cap.
+
+    The guest language has no int->str size limit (``_to_decimal``
+    above never hits one), so engines that carry host ints (cpref,
+    format.mod) must not inherit CPython's ``sys.int_max_str_digits``
+    cap either.  Falls back to the same 9-digit chunking.
+    """
+    try:
+        return str(value)
+    except ValueError:
+        negative = value < 0
+        if negative:
+            value = -value
+        chunks = []
+        while value:
+            value, remainder = divmod(value, 10 ** 9)
+            chunks.append(remainder)
+        text = str(chunks[-1])
+        for chunk in reversed(chunks[:-1]):
+            text += str(chunk).rjust(9, "0")
+        return ("-" if negative else "") + text
+
+
 # -- AOT entry points --------------------------------------------------------------
 
 
@@ -368,6 +439,24 @@ def big_rshift(ctx, a, count):
         if lost:
             result = _signed_add(result, BigInt.fromint(1), negate_b=True)
     return result
+
+
+@aot("rbigint.and", "L", "pure")
+def big_and(ctx, a, b):
+    charge_loop(ctx, _ndigits(a, b), _DIGIT_MIX)
+    return _bitwise(a, b, "&")
+
+
+@aot("rbigint.or", "L", "pure")
+def big_or(ctx, a, b):
+    charge_loop(ctx, _ndigits(a, b), _DIGIT_MIX)
+    return _bitwise(a, b, "|")
+
+
+@aot("rbigint.xor", "L", "pure")
+def big_xor(ctx, a, b):
+    charge_loop(ctx, _ndigits(a, b), _DIGIT_MIX)
+    return _bitwise(a, b, "^")
 
 
 @aot("rbigint.eq", "L", "pure")

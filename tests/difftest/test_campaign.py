@@ -1,0 +1,52 @@
+"""Campaign driver: statuses, crash containment, progress reporting."""
+
+from repro.difftest import campaign
+from repro.difftest.campaign import run_campaign, run_iteration
+from repro.difftest.generator import GenConfig
+
+
+def test_clean_iteration_is_ok():
+    status, finding = run_iteration(3, gen_config=GenConfig.small(),
+                                    thresholds=(2,))
+    assert status == "ok"
+    assert finding is None
+
+
+def test_engine_crash_becomes_finding(monkeypatch):
+    def boom(source, **kwargs):
+        raise ValueError("engine fell over")
+
+    monkeypatch.setattr(campaign, "check_program", boom)
+    status, finding = run_iteration(3, gen_config=GenConfig.small())
+    assert status == "divergent"
+    assert finding.kinds == ("crash",)
+    assert any("engine fell over" in d for d in finding.details)
+
+
+def test_campaign_counts_and_progress():
+    seen = []
+    result = run_campaign(3, base_seed=100, gen_config=GenConfig.small(),
+                          thresholds=(2,),
+                          progress=lambda seed, status: seen.append(seed))
+    assert result.iterations == 3
+    assert seen == [100, 101, 102]
+    assert result.ok
+    assert result.inconclusive == 0
+
+
+def test_campaign_survives_crashing_iteration(monkeypatch):
+    real = campaign.check_program
+
+    def flaky(source, **kwargs):
+        flaky.calls += 1
+        if flaky.calls == 2:
+            raise RuntimeError("boom")
+        return real(source, **kwargs)
+
+    flaky.calls = 0
+    monkeypatch.setattr(campaign, "check_program", flaky)
+    result = run_campaign(3, base_seed=100, gen_config=GenConfig.small(),
+                          thresholds=(2,), shrink_failures=False)
+    assert result.iterations == 3
+    assert len(result.findings) == 1
+    assert result.findings[0].kinds == ("crash",)

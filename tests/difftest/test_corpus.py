@@ -1,0 +1,38 @@
+"""Replay every checked-in reproducer through the oracle.
+
+Fixed entries must agree everywhere; ``xfail`` entries must STILL
+diverge (a silent behavior change is itself worth noticing).  Each
+reproducer is shrunken, so replays stay well under a second.
+"""
+
+import pytest
+
+from repro.difftest.corpus import load_corpus
+from repro.difftest.oracle import DEFAULT_THRESHOLDS, check_program
+
+ENTRIES = load_corpus()
+
+
+def _thresholds_for(entry):
+    """Replay only the JIT thresholds the entry names (plus defaults if
+    it names none), to keep per-entry replay cost minimal."""
+    named = sorted(int(e.split("@", 1)[1]) for e in entry.engines
+                   if e.startswith("jit@"))
+    return tuple(named) or DEFAULT_THRESHOLDS
+
+
+def test_corpus_is_not_empty():
+    assert ENTRIES, "corpus directory missing or empty"
+
+
+@pytest.mark.parametrize("entry", ENTRIES, ids=lambda e: e.name)
+def test_replay(entry):
+    report = check_program(entry.source, thresholds=_thresholds_for(entry))
+    assert not report.inconclusive, report.summary()
+    if entry.xfail:
+        assert not report.ok, (
+            "xfail entry %s no longer diverges (%s) — the bug may have "
+            "been fixed; promote the entry" % (entry.name,
+                                               entry.xfail_reason))
+    else:
+        assert report.ok, report.summary()

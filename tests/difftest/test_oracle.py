@@ -1,0 +1,154 @@
+"""The oracle's contract: engines agree, invariants hold, and injected
+disagreements/inconsistencies are actually detected."""
+
+import pytest
+
+from repro.difftest.oracle import (OracleReport, check_counter_invariants,
+                                   check_jitlog_invariants, check_program,
+                                   check_store_roundtrip, run_cpref,
+                                   run_interp)
+
+AGREE_SRC = (
+    "total = 0\n"
+    "for i in range(100):\n"
+    "    total = total + i * i\n"
+    "print(total)\n"
+)
+
+ERROR_SRC = (
+    "x = 5\n"
+    "print(x)\n"
+    "print(x // 0)\n"
+)
+
+
+class TestAgreement:
+    def test_simple_program_all_engines_agree(self):
+        report = check_program(AGREE_SRC, thresholds=(2, 39))
+        assert report.ok, report.summary()
+        assert len(report.runs) == 4  # cpref, interp, jit@2, jit@39
+        outputs = {run.output for run in report.runs}
+        assert outputs == {"328350\n"}
+
+    def test_engine_names(self):
+        report = check_program(AGREE_SRC, thresholds=(2,))
+        assert [run.name for run in report.runs] == \
+            ["cpref", "interp", "jit@2"]
+
+    def test_guest_errors_compare_by_erroredness(self):
+        # Both engines error at the same point; message wording differs
+        # (that is fine), so the oracle must NOT flag output divergence.
+        report = check_program(ERROR_SRC, thresholds=(2,))
+        assert report.ok, report.summary()
+        for run in report.runs:
+            assert run.error is not None
+            assert run.output == "5\n"  # output up to the error agrees
+
+    def test_detects_real_divergence(self):
+        # Simulate an engine bug by lying about one run's output.
+        report = check_program(AGREE_SRC, thresholds=(2,))
+        report.runs[2].output = "wrong\n"
+        fresh = OracleReport(AGREE_SRC)
+        fresh.runs = report.runs
+        reference = fresh.runs[0]
+        for run in fresh.runs[1:]:
+            if run.outcome != reference.outcome:
+                fresh.add("output", [reference.name, run.name], "differs")
+        assert not fresh.ok
+        assert fresh.divergences[0].kind == "output"
+
+    def test_truncation_is_inconclusive_not_divergent(self):
+        infinite = "x = 0\nwhile x < 1000000000:\n    x = x + 1\n"
+        report = check_program(infinite, max_instructions=200_000)
+        assert report.inconclusive
+        assert report.ok  # no divergences claimed
+        assert "inconclusive" in report.summary()
+
+    def test_inconclusive_short_circuits_remaining_engines(self):
+        infinite = "x = 0\nwhile x < 1000000000:\n    x = x + 1\n"
+        report = check_program(infinite, max_instructions=200_000)
+        assert len(report.runs) == 1  # cpref truncated; nothing else ran
+
+
+class TestCounterInvariants:
+    def test_phase_windows_sum_to_machine_totals(self):
+        for run in (run_cpref(AGREE_SRC),
+                    run_interp(AGREE_SRC),
+                    run_interp(AGREE_SRC, jit=True, threshold=3)):
+            report = OracleReport(AGREE_SRC)
+            check_counter_invariants(run, report)
+            assert report.ok, (run.name, report.summary())
+
+    def test_detects_phase_undercount(self):
+        run = run_interp(AGREE_SRC)
+        run.tool.phases.windows[0].instructions -= 7
+        report = OracleReport(AGREE_SRC)
+        check_counter_invariants(run, report)
+        assert not report.ok
+        assert report.divergences[0].kind == "phase_insns"
+
+    def test_detects_cycle_drift(self):
+        run = run_interp(AGREE_SRC)
+        run.tool.phases.windows[0].cycles += 1e6
+        report = OracleReport(AGREE_SRC)
+        check_counter_invariants(run, report)
+        assert any(d.kind == "phase_cycles" for d in report.divergences)
+
+
+class TestJitlogInvariants:
+    def test_jitlog_matches_registry(self):
+        run = run_interp(AGREE_SRC, jit=True, threshold=3)
+        assert run.ctx.registry.traces  # the loop actually compiled
+        report = OracleReport(AGREE_SRC)
+        check_jitlog_invariants(run, report)
+        assert report.ok, report.summary()
+
+    def test_detects_missing_compile_event(self):
+        run = run_interp(AGREE_SRC, jit=True, threshold=3)
+        events = run.ctx.jitlog.events
+        removed = [e for e in events if e[0] == "compile"][0]
+        events.remove(removed)
+        report = OracleReport(AGREE_SRC)
+        check_jitlog_invariants(run, report)
+        kinds = {d.kind for d in report.divergences}
+        assert "jitlog_traces" in kinds
+        assert "jitlog_ops" in kinds
+
+    def test_detects_op_count_mismatch(self):
+        run = run_interp(AGREE_SRC, jit=True, threshold=3)
+        for kind, details in run.ctx.jitlog.events:
+            if kind == "compile":
+                details["n_ops_compiled"] += 1
+                break
+        report = OracleReport(AGREE_SRC)
+        check_jitlog_invariants(run, report)
+        assert any(d.kind == "jitlog_ops" for d in report.divergences)
+
+
+class TestStoreRoundtrip:
+    def test_roundtrip_bit_identical(self):
+        run = run_interp(AGREE_SRC, jit=True, threshold=3)
+        report = OracleReport(AGREE_SRC)
+        check_store_roundtrip(run, report)
+        assert report.ok, report.summary()
+
+    def test_cpref_run_roundtrips_too(self):
+        run = run_cpref(AGREE_SRC)
+        report = OracleReport(AGREE_SRC)
+        check_store_roundtrip(run, report)
+        assert report.ok, report.summary()
+
+
+@pytest.mark.slow
+class TestHarnessAgreement:
+    def test_run_many_workers_agree_with_in_process(self):
+        from repro.difftest.oracle import check_run_many_agreement
+
+        report = check_run_many_agreement(workers=2)
+        assert report.ok, report.summary()
+
+    def test_kernel_output_agrees_across_vms(self):
+        from repro.difftest.oracle import check_kernel_output
+
+        report = check_kernel_output("fannkuch")
+        assert report.ok, report.summary()

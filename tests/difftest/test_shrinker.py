@@ -1,0 +1,101 @@
+"""The shrinker's contract: minimal reproducers out of big programs."""
+
+import pytest
+
+from repro.difftest.generator import generate_program
+from repro.difftest.shrinker import shrink
+from repro.pylang.compiler import compile_source
+
+
+class TestBasics:
+    def test_rejects_uninteresting_input(self):
+        with pytest.raises(ValueError):
+            shrink("x = 1\n", lambda s: False)
+
+    def test_result_still_interesting(self):
+        source = "a = 1\nb = 2\nc = a + b\nprint(c)\n"
+        result = shrink(source, lambda s: "print" in s)
+        assert "print" in result
+
+    def test_removes_irrelevant_statements(self):
+        source = "a = 1\nb = 2\nc = 3\nprint(9)\n"
+        result = shrink(source, lambda s: "print(9)" in s)
+        assert result == "print(9)\n"
+
+    def test_hoists_compounds(self):
+        source = ("for i in range(5):\n"
+                  "    x = 1\n"
+                  "    marker = 7\n")
+        result = shrink(source, lambda s: "marker" in s)
+        assert result == "marker = 7\n"
+
+    def test_reduces_constants(self):
+        result = shrink("x = 99999\n", lambda s: s.startswith("x ="))
+        assert result in ("x = 0\n", "x = 1\n")
+
+    def test_predicate_exceptions_mean_uninteresting(self):
+        calls = []
+
+        def fussy(source):
+            calls.append(source)
+            if len(calls) == 1:
+                return True  # accept the initial program
+            raise RuntimeError("candidate crashed the harness")
+
+        source = "a = 1\nb = 2\n"
+        # Every candidate "crashes"; the shrinker must survive and
+        # return the original rather than propagate.
+        assert shrink(source, fussy) == source
+
+    def test_deterministic(self):
+        source = generate_program(77)
+        pred = lambda s: "print" in s
+        assert shrink(source, pred) == shrink(source, pred)
+
+
+class TestInjectedBugReduction:
+    """The acceptance-criteria scenario: a synthetic engine bug planted
+    in a large generated program must shrink to <= 10 lines."""
+
+    def _buggy_engine_output(self, source):
+        """A deliberately broken 'engine': it miscompiles integer `%`
+        by adding 1 to every modulo result at the host level."""
+        import ast
+
+        class BreakMod(ast.NodeTransformer):
+            def visit_BinOp(self, node):
+                self.generic_visit(node)
+                if isinstance(node.op, ast.Mod):
+                    return ast.BinOp(
+                        ast.BinOp(node.left, ast.Mod(), node.right),
+                        ast.Add(), ast.Constant(1))
+                return node
+
+        tree = BreakMod().visit(ast.parse(source))
+        ast.fix_missing_locations(tree)
+        return ast.unparse(tree)
+
+    def test_shrinks_injected_bug_to_small_reproducer(self):
+        from repro.difftest.oracle import run_cpref
+
+        # A large generated program that uses `%` somewhere (the hot
+        # loop always does: h = (h * 3 + i) % K).
+        source = generate_program(31)
+        assert "%" in source
+        assert len(source.splitlines()) > 20
+
+        def diverges(candidate):
+            healthy = run_cpref(candidate)
+            if healthy.error or healthy.truncated:
+                return False
+            buggy = run_cpref(self._buggy_engine_output(candidate))
+            if buggy.truncated:
+                return False
+            return buggy.output != healthy.output
+
+        assert diverges(source)
+        reduced = shrink(source, diverges)
+        assert diverges(reduced)
+        assert len(reduced.splitlines()) <= 10, reduced
+        # The reproducer is still a valid TinyPy program.
+        compile_source(reduced)

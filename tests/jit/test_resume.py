@@ -1,0 +1,124 @@
+"""Unit tests for jit.resume: snapshots, virtuals, and deopt state."""
+
+from repro.jit.resume import DeoptState, FrameState, Snapshot, VirtualSpec
+
+
+def make_frame(code="code0", pc=3, locals_values=(1, 2), stack=(9,),
+               extra=None):
+    return FrameState(code, pc, locals_values, stack, extra)
+
+
+class TestFrameState:
+    def test_holds_state_verbatim(self):
+        frame = make_frame(extra=("mod", True))
+        assert frame.code == "code0"
+        assert frame.pc == 3
+        assert frame.locals == (1, 2)
+        assert frame.stack == (9,)
+        assert frame.extra == ("mod", True)
+
+    def test_map_values_transforms_locals_and_stack(self):
+        frame = make_frame(locals_values=(1, 2), stack=(3,))
+        mapped = frame.map_values(lambda v: v * 10)
+        assert mapped.locals == (10, 20)
+        assert mapped.stack == (30,)
+
+    def test_map_values_preserves_code_pc_extra(self):
+        frame = make_frame(extra="opaque")
+        mapped = frame.map_values(lambda v: v)
+        assert mapped.code is frame.code
+        assert mapped.pc == frame.pc
+        assert mapped.extra == "opaque"
+
+    def test_map_values_returns_new_frame(self):
+        frame = make_frame()
+        mapped = frame.map_values(lambda v: v)
+        assert mapped is not frame
+
+    def test_repr_names_code_and_pc(self):
+        assert "pc=3" in repr(make_frame())
+
+
+class TestSnapshot:
+    def test_innermost_is_last_frame(self):
+        outer = make_frame(pc=1)
+        inner = make_frame(pc=2)
+        snap = Snapshot((outer, inner))
+        assert snap.innermost is inner
+
+    def test_map_values_maps_every_frame(self):
+        snap = Snapshot((make_frame(locals_values=(1,), stack=()),
+                         make_frame(locals_values=(2,), stack=(3,))))
+        mapped = snap.map_values(lambda v: v + 100)
+        assert mapped.frames[0].locals == (101,)
+        assert mapped.frames[1].locals == (102,)
+        assert mapped.frames[1].stack == (103,)
+
+    def test_iter_values_walks_outer_to_inner_locals_then_stack(self):
+        snap = Snapshot((make_frame(locals_values=(1, 2), stack=(3,)),
+                         make_frame(locals_values=(4,), stack=(5, 6))))
+        assert list(snap.iter_values()) == [1, 2, 3, 4, 5, 6]
+
+    def test_iter_values_empty_frames(self):
+        snap = Snapshot((make_frame(locals_values=(), stack=()),))
+        assert list(snap.iter_values()) == []
+
+
+class TestVirtualSpec:
+    def test_holds_class_fields_size(self):
+        class W_Point(object):
+            pass
+
+        spec = VirtualSpec(W_Point, {"x": 1}, 24)
+        assert spec.cls is W_Point
+        assert spec.fields == {"x": 1}
+        assert spec.size == 24
+        assert "W_Point" in repr(spec)
+
+    def test_nested_virtuals(self):
+        class W_Node(object):
+            pass
+
+        inner = VirtualSpec(W_Node, {}, 16)
+        outer = VirtualSpec(W_Node, {"next": inner}, 16)
+        assert outer.fields["next"] is inner
+
+
+class TestDeoptState:
+    def test_frames_round_trip(self):
+        frames = [("code0", 7, [1, 2], [3])]
+        state = DeoptState(frames)
+        assert state.frames is frames
+
+
+class TestSnapshotInTracer:
+    """Snapshots recorded by the real tracer deoptimize correctly:
+    a guard failing mid-loop resumes the interpreter with the right
+    values, so the program's output is unchanged."""
+
+    def test_guard_failure_resumes_interpreter(self):
+        from repro.core.config import SystemConfig
+        from repro.interp.context import VMContext
+        from repro.pylang.interp import PyVM
+
+        source = (
+            "total = 0\n"
+            "for i in range(80):\n"
+            "    if i < 60:\n"
+            "        total = total + i\n"
+            "    else:\n"
+            "        total = total + 2 * i\n"
+            "print(total)\n"
+        )
+        config = SystemConfig()
+        config.jit.enabled = True
+        config.jit.hot_loop_threshold = 5
+        ctx = VMContext(config)
+        vm = PyVM(ctx)
+        vm.run_source(source)
+        expected = sum(i if i < 60 else 2 * i for i in range(80))
+        assert vm.stdout() == "%d\n" % expected
+        # The i<60 guard fails after the loop got hot, so at least one
+        # trace was compiled and executed.
+        assert ctx.registry.traces
+        assert any(t.executions for t in ctx.registry.traces)

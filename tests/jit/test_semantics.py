@@ -1,0 +1,134 @@
+"""Unit tests for jit.semantics: IR op evaluation and fold safety."""
+
+import pytest
+
+from repro.jit import ir
+from repro.jit.semantics import (EVAL, FOLDABLE, INT_MAX, INT_MIN,
+                                 LLOverflow, _int_floordiv, _int_mod,
+                                 _wrap64, check_ovf)
+
+
+class TestCheckOvf:
+    def test_in_range_passes_through(self):
+        assert check_ovf(0) == 0
+        assert check_ovf(INT_MAX) == INT_MAX
+        assert check_ovf(INT_MIN) == INT_MIN
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(LLOverflow):
+            check_ovf(INT_MAX + 1)
+        with pytest.raises(LLOverflow):
+            check_ovf(INT_MIN - 1)
+
+
+class TestCDivision:
+    """_int_floordiv/_int_mod are C-style (truncate toward zero),
+    matching RPython ll semantics — NOT Python floor semantics."""
+
+    @pytest.mark.parametrize("a,b", [
+        (7, 2), (-7, 2), (7, -2), (-7, -2), (6, 3), (-6, 3), (0, 5),
+        (1, 10), (-1, 10),
+    ])
+    def test_truncates_toward_zero(self, a, b):
+        import math
+
+        expected = math.trunc(a / b)
+        assert _int_floordiv(a, b) == expected
+
+    @pytest.mark.parametrize("a,b", [
+        (7, 2), (-7, 2), (7, -2), (-7, -2), (1, 10), (-1, 10),
+    ])
+    def test_mod_identity(self, a, b):
+        # a == (a // b) * b + (a % b) must hold with truncating //.
+        assert _int_floordiv(a, b) * b + _int_mod(a, b) == a
+
+    def test_mod_sign_follows_dividend(self):
+        assert _int_mod(-7, 2) == -1   # Python's % would give 1
+        assert _int_mod(7, -2) == 1    # Python's % would give -1
+
+
+class TestWrap64:
+    def test_identity_in_range(self):
+        assert _wrap64(42) == 42
+        assert _wrap64(-42) == -42
+
+    def test_wraps_overflow(self):
+        assert _wrap64(INT_MAX + 1) == INT_MIN
+        assert _wrap64(INT_MIN - 1) == INT_MAX
+        assert _wrap64(1 << 64) == 0
+
+
+class TestEval:
+    def test_int_add_wraps(self):
+        assert EVAL[ir.INT_ADD](INT_MAX, 1) == INT_MIN
+
+    def test_int_add_ovf_raises(self):
+        with pytest.raises(LLOverflow):
+            EVAL[ir.INT_ADD_OVF](INT_MAX, 1)
+        assert EVAL[ir.INT_ADD_OVF](1, 2) == 3
+
+    def test_int_mul_ovf(self):
+        with pytest.raises(LLOverflow):
+            EVAL[ir.INT_MUL_OVF](1 << 40, 1 << 40)
+        assert EVAL[ir.INT_MUL_OVF](6, 7) == 42
+
+    def test_int_neg_invert(self):
+        assert EVAL[ir.INT_NEG](5) == -5
+        assert EVAL[ir.INT_NEG](INT_MIN) == INT_MIN  # wraps like C
+        assert EVAL[ir.INT_INVERT](0) == -1
+
+    def test_lshift_wraps(self):
+        assert EVAL[ir.INT_LSHIFT](1, 3) == 8
+        assert EVAL[ir.INT_LSHIFT](1, 63) == INT_MIN
+
+    def test_comparisons(self):
+        assert EVAL[ir.INT_LT](1, 2) is True
+        assert EVAL[ir.INT_GE](2, 2) is True
+        assert EVAL[ir.INT_IS_TRUE](0) is False
+        assert EVAL[ir.INT_IS_ZERO](0) is True
+
+    def test_float_ops(self):
+        assert EVAL[ir.FLOAT_ADD](1.5, 2.5) == 4.0
+        assert EVAL[ir.FLOAT_SQRT](9.0) == 3.0
+        assert EVAL[ir.FLOAT_ABS](-2.0) == 2.0
+
+    def test_casts(self):
+        assert EVAL[ir.CAST_INT_TO_FLOAT](3) == 3.0
+        assert EVAL[ir.CAST_FLOAT_TO_INT](3.9) == 3
+        assert EVAL[ir.CAST_FLOAT_TO_INT](-3.9) == -3
+
+    def test_str_ops(self):
+        assert EVAL[ir.STRLEN]("abc") == 3
+        assert EVAL[ir.STRGETITEM]("abc", 1) == "b"
+        assert EVAL[ir.STR_CONCAT]("ab", "cd") == "abcd"
+        assert EVAL[ir.STR_EQ]("x", "x") is True
+
+    def test_ptr_ops_are_identity_based(self):
+        a = object()
+        b = object()
+        assert EVAL[ir.PTR_EQ](a, a) is True
+        assert EVAL[ir.PTR_EQ](a, b) is False
+        assert EVAL[ir.PTR_NE](a, b) is True
+        assert EVAL[ir.SAME_AS](a) is a
+
+
+class TestFoldable:
+    def test_overflow_ops_never_fold(self):
+        for opnum in ir.OVF_OPS:
+            assert opnum not in FOLDABLE
+
+    def test_raising_ops_never_fold(self):
+        # Folding these at optimization time could raise (div by zero,
+        # index out of range) for a path the program never executes.
+        for opnum in (ir.INT_FLOORDIV, ir.INT_MOD, ir.FLOAT_TRUEDIV,
+                      ir.STRGETITEM, ir.UNICODEGETITEM):
+            assert opnum not in FOLDABLE
+
+    def test_plain_arith_folds(self):
+        for opnum in (ir.INT_ADD, ir.INT_MUL, ir.INT_XOR, ir.FLOAT_ADD,
+                      ir.STR_CONCAT, ir.INT_LT):
+            assert opnum in FOLDABLE
+
+    def test_every_foldable_op_has_semantics(self):
+        for opnum in FOLDABLE:
+            assert opnum in EVAL

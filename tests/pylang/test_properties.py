@@ -7,6 +7,7 @@ import io
 from hypothesis import given, settings, strategies as st
 
 from repro.core.config import SystemConfig
+from repro.difftest.generator import GenConfig, generate_program
 from repro.interp.context import VMContext
 from repro.pylang.interp import PyVM
 
@@ -89,6 +90,55 @@ print(n)
 print(n %% 1000003, n // 7)
 """ % (iterations, base)
     assert jit_output(source) == host_output(source)
+
+
+# --- Whole-program properties via the difftest generator ------------
+#
+# Instead of hand-written templates, let Hypothesis drive the seeded
+# difftest generator: it picks the seed and a few feature knobs, the
+# generator emits a closed, terminating TinyPy program, and we require
+# the PyVM (interpreter and JIT) to match host Python exactly.  A
+# bounded profile keeps each example fast enough for tier-1.
+
+_bounded_profiles = st.builds(
+    GenConfig,
+    max_toplevel_stmts=st.integers(4, 8),
+    max_block_stmts=st.integers(2, 3),
+    max_depth=st.integers(1, 2),
+    max_expr_depth=st.integers(1, 2),
+    max_loop_iters=st.integers(3, 8),
+    hot_loop_iters=st.integers(12, 30),
+    n_functions=st.integers(0, 2),
+    big_ints=st.booleans(),
+    floats=st.booleans(),
+    strings=st.booleans(),
+    lists=st.booleans(),
+    dicts=st.booleans(),
+    functions=st.booleans(),
+    classes=st.booleans(),
+)
+
+
+def interp_output(source):
+    cfg = SystemConfig()
+    cfg.jit.enabled = False
+    vm = PyVM(VMContext(cfg))
+    vm.run_source(source)
+    return vm.stdout()
+
+
+@given(st.integers(0, 2**32 - 1), _bounded_profiles)
+@settings(max_examples=20, deadline=None)
+def test_generated_program_interp_matches_host(seed, profile):
+    source = generate_program(seed, profile)
+    assert interp_output(source) == host_output(source)
+
+
+@given(st.integers(0, 2**32 - 1), st.integers(2, 12))
+@settings(max_examples=12, deadline=None)
+def test_generated_program_jit_matches_host(seed, threshold):
+    source = generate_program(seed, GenConfig.small())
+    assert jit_output(source, threshold=threshold) == host_output(source)
 
 
 @given(st.floats(min_value=-100, max_value=100,

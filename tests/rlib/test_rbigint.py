@@ -139,3 +139,28 @@ def test_costs_scale_with_size(ctx):
     rbigint.big_mul.fn(ctx, big_value, big_value)
     big_cost = ctx.machine.cycles - big_cost_start
     assert big_cost > small_cost * 50
+
+
+@given(ints, ints)
+@settings(max_examples=100, deadline=None)
+def test_bitwise_matches_python(a, b):
+    ctx = VMContext(SystemConfig())
+    big_a, big_b = BigInt.fromint(a), BigInt.fromint(b)
+    assert to_py(rbigint.big_and.fn(ctx, big_a, big_b)) == a & b
+    assert to_py(rbigint.big_or.fn(ctx, big_a, big_b)) == a | b
+    assert to_py(rbigint.big_xor.fn(ctx, big_a, big_b)) == a ^ b
+
+
+def test_int_to_decimal_ignores_host_digit_cap():
+    import sys
+
+    value = -(10 ** 6000 + 12345)
+    limit = sys.get_int_max_str_digits()
+    sys.set_int_max_str_digits(640)
+    try:
+        text = rbigint.int_to_decimal(value)
+    finally:
+        sys.set_int_max_str_digits(max(limit, 10000))
+    assert text == str(value)
+    sys.set_int_max_str_digits(limit)
+    assert rbigint.int_to_decimal(0) == "0"

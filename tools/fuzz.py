@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Differential fuzzing CLI.
+
+Runs N seeded iterations of the difftest campaign — generate a TinyPy
+program, run it under every engine configuration, check agreement and
+counter invariants, shrink any failure — and reports divergences.
+Exit status is 0 when every iteration agrees, 1 otherwise.
+
+    PYTHONPATH=src python tools/fuzz.py --iters 200 --seed 2017
+    PYTHONPATH=src python tools/fuzz.py --iters 60 --seed 2017 -j 4
+    PYTHONPATH=src python tools/fuzz.py --iters 20 --save-corpus
+
+``--save-corpus`` writes each shrunken reproducer to
+``tests/difftest/corpus/`` where tier-1 pytest replays it forever.
+"""
+
+import argparse
+import os
+import sys
+import time
+
+os.environ.setdefault("REPRO_STORE", "0")  # fuzzing wants real runs
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src"))
+
+from repro.difftest import GenConfig, run_campaign  # noqa: E402
+from repro.difftest import corpus as corpus_mod  # noqa: E402
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="differential fuzzing of the simulated VM stack")
+    parser.add_argument("--iters", type=int, default=100,
+                        help="number of seeded iterations (default 100)")
+    parser.add_argument("--seed", type=int, default=2017,
+                        help="base seed; iteration i uses seed+i")
+    parser.add_argument("-j", "--workers", type=int, default=1,
+                        help="worker processes (default 1: serial)")
+    parser.add_argument("--thresholds", type=str, default=None,
+                        help="comma-separated hot-loop thresholds "
+                             "(default 2,7,39)")
+    parser.add_argument("--small", action="store_true",
+                        help="use the small generator profile")
+    parser.add_argument("--allow-errors", action="store_true",
+                        help="let generated programs raise guest errors")
+    parser.add_argument("--no-shrink", action="store_true",
+                        help="report raw failures without shrinking")
+    parser.add_argument("--save-corpus", action="store_true",
+                        help="write shrunken reproducers to the corpus")
+    parser.add_argument("--quiet", action="store_true",
+                        help="only print the final summary")
+    args = parser.parse_args(argv)
+
+    thresholds = None
+    if args.thresholds:
+        thresholds = tuple(
+            int(t) for t in args.thresholds.split(",") if t)
+    profile = GenConfig.small if args.small else GenConfig
+    gen_config = profile(allow_errors=args.allow_errors)
+
+    start = time.time()
+    done = [0]
+
+    def progress(seed, status):
+        done[0] += 1
+        if args.quiet:
+            return
+        if status != "ok":
+            print("  seed %d: %s" % (seed, status.upper()))
+        if done[0] % 25 == 0:
+            print("  ... %d/%d iterations (%.1fs)"
+                  % (done[0], args.iters, time.time() - start))
+
+    result = run_campaign(
+        args.iters, args.seed, gen_config=gen_config,
+        thresholds=thresholds, workers=args.workers,
+        shrink_failures=not args.no_shrink, progress=progress)
+
+    elapsed = time.time() - start
+    print("%d iterations in %.1fs: %d ok, %d inconclusive, "
+          "%d divergent"
+          % (result.iterations,
+             elapsed,
+             result.iterations - result.inconclusive
+             - len(result.findings),
+             result.inconclusive, len(result.findings)))
+    for finding in result.findings:
+        print("=" * 60)
+        print("seed %d: %s between %s"
+              % (finding.seed, ",".join(finding.kinds),
+                 "/".join(finding.engines)))
+        for detail in finding.details:
+            print("  " + detail)
+        print("-" * 60)
+        print(finding.shrunk.rstrip("\n"))
+        if args.save_corpus:
+            entry = corpus_mod.CorpusEntry(
+                "seed%d" % finding.seed, finding.shrunk,
+                {"seed": str(finding.seed),
+                 "kinds": ",".join(finding.kinds),
+                 "engines": "/".join(finding.engines)})
+            path = corpus_mod.write_entry(entry)
+            print("-> wrote %s" % os.path.relpath(path))
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
