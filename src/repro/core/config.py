@@ -11,6 +11,11 @@ from dataclasses import dataclass, field
 
 from repro.core.errors import ConfigError
 
+# Simulated clock frequency used to report "seconds" (a 3.2 GHz part).
+# Shared by the harness (RunResult.seconds) and the telemetry layer
+# (cycle-domain timestamps scaled to trace microseconds).
+CLOCK_HZ = 3.2e9
+
 
 @dataclass
 class JitConfig:

@@ -40,6 +40,11 @@ _SAMPLE_EVERY = 16            # one allocation in 16 is liveness-sampled
 class SimGC:
     """Simulated generational collector attached to one Machine."""
 
+    # Telemetry session (repro.telemetry.vmhook.VMTelemetry) or None;
+    # attached by VMContext after construction.  The disabled path is a
+    # single attribute check per collection.
+    telemetry = None
+
     def __init__(self, machine, config):
         self._machine = machine
         self._cfg = config
@@ -117,9 +122,18 @@ class SimGC:
         self.bytes_surviving_minor += surviving
         self.old_bytes += surviving
         self._old_top += surviving
+        nursery_used = self.nursery_used
         self.nursery_used = 0
         self.minor_collections += 1
         self._samples = []
+        t = self.telemetry
+        if t is not None:
+            t.count("gc.minor_collections")
+            t.count("gc.bytes_surviving_minor", surviving)
+            t.histogram("gc.minor_surviving_bytes", surviving)
+            t.gauge("gc.old_bytes", self.old_bytes)
+            t.annotate(nursery_used=nursery_used, surviving=surviving,
+                       cost_insns=cost)
         machine.annot(tags.GC_MINOR_STOP, self.minor_collections)
         if self.old_bytes > self.major_threshold:
             self.major_collect()
@@ -136,12 +150,19 @@ class SimGC:
             + self._cfg.major_cost_per_live_byte * self.old_bytes
         )
         self._charge(cost)
+        swept = self.old_bytes - live
         self.old_bytes = live
         self.major_threshold = max(
             self._cfg.min_major_threshold,
             int(live * self._cfg.major_growth_factor),
         )
         self.major_collections += 1
+        t = self.telemetry
+        if t is not None:
+            t.count("gc.major_collections")
+            t.gauge("gc.old_bytes", self.old_bytes)
+            t.gauge("gc.major_threshold", self.major_threshold)
+            t.annotate(live=live, swept=swept, cost_insns=cost)
         machine.annot(tags.GC_MAJOR_STOP, self.major_collections)
 
     def _charge(self, cost_insns):

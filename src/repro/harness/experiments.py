@@ -5,8 +5,10 @@ Every experiment takes ``quick=True`` to run at test sizes; the bench
 harness uses the full sizes.
 """
 
+import functools
 import math
 
+from repro import telemetry
 from repro.benchprogs import registry
 from repro.harness import report
 from repro.harness.runner import (
@@ -26,6 +28,23 @@ from repro.pintool.phases import PHASE_NAMES
 from repro.nativeref.kernels import KERNELS as NATIVE_KERNELS
 
 
+def _traced(fn):
+    """Wrap an experiment in a ``harness.experiments`` telemetry span.
+
+    A no-op when telemetry is disabled (one module-attribute check per
+    experiment call, nowhere near any hot path).
+    """
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        bus = telemetry.BUS
+        if bus is None:
+            return fn(*args, **kwargs)
+        with bus.span(fn.__name__, "harness.experiments",
+                      {"quick": bool(kwargs.get("quick", False))}):
+            return fn(*args, **kwargs)
+    return wrapper
+
+
 def _n(program, quick):
     return program.small_n if quick else program.default_n
 
@@ -42,6 +61,7 @@ def _sorted_by_speedup(rows, index):
 # -- Table I: PyPy Benchmark Suite performance ---------------------------------
 
 
+@_traced
 def table1(quick=False, programs=None):
     """CPython vs PyPy-nojit vs PyPy-jit: time, speedup, IPC, MPKI."""
     programs = programs or registry.pypy_suite()
@@ -90,12 +110,14 @@ def table1(quick=False, programs=None):
 # -- Table II: CLBG cross-language --------------------------------------------------
 
 
-def table2(quick=False):
+@_traced
+def table2(quick=False, programs=None):
     """CPython / PyPy / Racket / Pycket / native on the CLBG programs."""
+    programs = programs or registry.clbg_python()
     rows = []
     rkt_names = {p.name: p for p in registry.RKT_PROGRAMS}
     jobs = []
-    for program in registry.clbg_python():
+    for program in programs:
         n = _n(program, quick)
         jobs.append(job(program, "cpython", n=n))
         jobs.append(job(program, "pypy", n=n))
@@ -107,7 +129,7 @@ def table2(quick=False):
         if program.name in NATIVE_KERNELS:
             jobs.append(job(program, "native", n=n))
     run_many(jobs)
-    for program in registry.clbg_python():
+    for program in programs:
         n = _n(program, quick)
         cpy = run_program(program, "cpython", n=n)
         pypy = run_program(program, "pypy", n=n)
@@ -148,6 +170,7 @@ def table2(quick=False):
 # -- Figure 2: phase breakdown per PyPy benchmark ------------------------------------
 
 
+@_traced
 def fig2(quick=False, programs=None):
     programs = programs or registry.pypy_suite()
     run_many(_jit_suite_jobs(programs, quick))
@@ -165,6 +188,7 @@ def fig2(quick=False, programs=None):
 # -- Figure 3: phase timelines for best/worst benchmarks ------------------------------
 
 
+@_traced
 def fig3(quick=False, best="richards", worst="eparse"):
     blocks = []
     data = {}
@@ -192,18 +216,20 @@ def fig3(quick=False, best="richards", worst="eparse"):
 # -- Figure 4: PyPy vs Pycket phase breakdown on CLBG ----------------------------------
 
 
-def fig4(quick=False):
+@_traced
+def fig4(quick=False, programs=None):
+    programs = programs or registry.clbg_python()
     rkt_names = {p.name: p for p in registry.RKT_PROGRAMS}
     rows = []
     jobs = []
-    for program in registry.clbg_python():
+    for program in programs:
         rkt = rkt_names.get(program.name)
         if rkt is None:
             continue
         jobs.append(job(program, "pypy", n=_n(program, quick)))
         jobs.append(job(rkt, "pycket", n=_n(rkt, quick)))
     run_many(jobs)
-    for program in registry.clbg_python():
+    for program in programs:
         rkt = rkt_names.get(program.name)
         if rkt is None:
             continue
@@ -220,6 +246,7 @@ def fig4(quick=False):
 # -- Table III: significant AOT-compiled functions --------------------------------------
 
 
+@_traced
 def table3(quick=False, threshold=0.10, programs=None):
     programs = programs or registry.pypy_suite()
     run_many(_jit_suite_jobs(programs, quick))
@@ -241,6 +268,7 @@ def table3(quick=False, threshold=0.10, programs=None):
 # -- Figure 5: JIT warmup curves and break-even points ------------------------------------
 
 
+@_traced
 def fig5(quick=False, programs=None, max_instructions=4_000_000):
     """Bytecode-rate warmup curves vs CPython (first K instructions)."""
     programs = programs or registry.pypy_suite()
@@ -290,6 +318,7 @@ def fig5(quick=False, programs=None, max_instructions=4_000_000):
 # -- Figure 6: JIT IR compilation/usage statistics -------------------------------------------
 
 
+@_traced
 def fig6(quick=False, programs=None):
     programs = programs or registry.pypy_suite()
     run_many(_jit_suite_jobs(programs, quick))
@@ -317,6 +346,7 @@ def fig6(quick=False, programs=None):
 # -- Figure 7: trace composition by category ----------------------------------------------------
 
 
+@_traced
 def fig7(quick=False, programs=None):
     programs = programs or registry.pypy_suite()
     run_many(_jit_suite_jobs(programs, quick))
@@ -340,6 +370,7 @@ def fig7(quick=False, programs=None):
 # -- Figure 8: dynamic IR node type histogram ------------------------------------------------------
 
 
+@_traced
 def fig8(quick=False, programs=None, top=18):
     programs = programs or registry.pypy_suite()
     run_many(_jit_suite_jobs(programs, quick))
@@ -360,6 +391,7 @@ def fig8(quick=False, programs=None, top=18):
 # -- Figure 9: assembly instructions per IR node type -----------------------------------------------
 
 
+@_traced
 def fig9(quick=False, programs=None, top=18):
     programs = programs or registry.pypy_suite()
     run_many(_jit_suite_jobs(programs, quick))
@@ -381,6 +413,7 @@ def fig9(quick=False, programs=None, top=18):
 # -- Table IV: per-phase microarchitectural behaviour -------------------------------------------------
 
 
+@_traced
 def table4(quick=False, programs=None):
     programs = programs or registry.pypy_suite()
     run_many(_jit_suite_jobs(programs, quick))

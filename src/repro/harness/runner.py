@@ -19,8 +19,9 @@ the store persists.
 import os
 from concurrent.futures import ProcessPoolExecutor
 
+from repro import telemetry
 from repro.benchprogs import registry
-from repro.core.config import SystemConfig
+from repro.core.config import CLOCK_HZ, SystemConfig
 from repro.harness import store
 from repro.interp.context import VMContext
 from repro.jit import executor, jitlog
@@ -30,9 +31,6 @@ from repro.pylang.cpref import CpRef
 from repro.pylang.interp import PyVM
 from repro.rktlang.vm import RacketRef, RktVM
 from repro.uarch.machine import SimulationLimitReached
-
-# Simulated clock frequency used to report "seconds" (a 3.2 GHz part).
-CLOCK_HZ = 3.2e9
 
 VM_KINDS = ("cpython", "pypy_nojit", "pypy", "racket", "pycket_nojit",
             "pycket", "native")
@@ -71,6 +69,9 @@ class RunResult(object):
         self.node_hist_summary = None
         self.asm_per_node_summary = None
         self.registry_summary = None
+        # Telemetry event stream of the run's VM session (only set when
+        # telemetry was enabled while the simulation actually executed).
+        self.telemetry_events = None
 
     @property
     def seconds(self):
@@ -146,6 +147,7 @@ _PLAIN_FIELDS = (
     "program", "vm_kind", "n", "output", "cycles", "instructions", "ipc",
     "mpki", "truncated", "phase_windows", "phase_breakdown",
     "timeline_segments", "bytecodes", "bc_timeline", "aot_rows", "gc_stats",
+    "telemetry_events",
 )
 
 _SUMMARY_FIELDS = (
@@ -206,6 +208,12 @@ def run_program(program, vm_kind, n=None, timeline=False,
     program = _resolve_program(program, language)
     if n is None:
         n = program.default_n
+    bus = telemetry.BUS
+    if bus is not None:
+        # A telemetry recording is a measurement run: never serve it
+        # from (or publish it to) the result caches — the cached
+        # payloads carry no event streams.
+        use_cache = False
     key = _result_key(program, vm_kind, n, timeline, max_instructions,
                       jit_overrides, predictor)
     if use_cache:
@@ -219,6 +227,11 @@ def run_program(program, vm_kind, n=None, timeline=False,
     source = program.source(n=n)
     result = RunResult(program.name, vm_kind, n)
     _SIM_COUNT += 1
+    label = "%s/%s" % (program.name, vm_kind)
+    session = None
+    if bus is not None:
+        bus.begin("run_program", "harness.runner",
+                  {"program": program.name, "vm": vm_kind, "n": n})
 
     if vm_kind == "native":
         config = _base_config(max_instructions, False, jit_overrides)
@@ -229,9 +242,13 @@ def run_program(program, vm_kind, n=None, timeline=False,
     elif vm_kind in _REF_VMS:
         config = _base_config(max_instructions, False, jit_overrides)
         vm = _REF_VMS[vm_kind](config, predictor=predictor)
+        if bus is not None:
+            from repro.telemetry.vmhook import VMTelemetry
+
+            session = VMTelemetry(vm.machine, label=label)
         tool = PinTool(vm.machine, record_timeline=timeline,
                        bucket_insns=config.timeline_bucket_insns
-                       if timeline else 0)
+                       if timeline else 0, telemetry=session)
         try:
             vm.run_source(source)
         except SimulationLimitReached:
@@ -243,10 +260,11 @@ def run_program(program, vm_kind, n=None, timeline=False,
     else:
         jit_enabled = not vm_kind.endswith("_nojit")
         config = _base_config(max_instructions, jit_enabled, jit_overrides)
-        ctx = VMContext(config, predictor=predictor)
+        ctx = VMContext(config, predictor=predictor, telemetry_label=label)
+        session = ctx.telemetry
         tool = PinTool(ctx.machine, record_timeline=timeline,
                        bucket_insns=config.timeline_bucket_insns
-                       if timeline else 0)
+                       if timeline else 0, telemetry=session)
         vm = _JIT_VMS[vm_kind](ctx)
         try:
             vm.run_source(source)
@@ -262,6 +280,17 @@ def run_program(program, vm_kind, n=None, timeline=False,
         result.jitlog_obj = ctx.jitlog
         result.gc_stats = ctx.gc.stats()
         result.aot_rows = tool.aotcalls.all_rows(ctx.machine.cycles)
+
+    if bus is not None:
+        if session is not None:
+            session.finish()
+            result.telemetry_events = session.events()
+        bus.count("harness.runner.simulations")
+        bus.end("run_program", args={
+            "cycles": result.cycles,
+            "instructions": result.instructions,
+            "truncated": result.truncated,
+        })
 
     if use_cache:
         _CACHE[key] = result
@@ -299,6 +328,10 @@ def _job_key(spec):
 
 def _run_job(spec):
     """Worker-process entry: simulate one job, return its payload."""
+    if spec.pop("telemetry", False):
+        # The parent is recording: re-enable telemetry in this worker so
+        # the payload ships an event stream back for merging.
+        telemetry.enable()
     result = run_program(
         spec["program"], spec["vm_kind"], n=spec["n"],
         timeline=spec["timeline"],
@@ -316,19 +349,29 @@ def run_many(jobs, workers=None):
     when ``workers <= 1``, otherwise on a process pool.  Results enter
     ``_CACHE``, so later ``run_program`` calls are free.  Returns one
     RunResult per input job, in order.
+
+    When telemetry is enabled every job is simulated fresh (no cache or
+    store probes) and workers record their own event streams, which come
+    back attached to each RunResult for :func:`merged_timeline`.
     """
+    recording = telemetry.BUS is not None
     specs = [dict(spec) for spec in jobs]
     keys = [_job_key(spec) for spec in specs]
+    if recording:
+        telemetry.BUS.begin("run_many", "harness.runner",
+                            {"jobs": len(specs)})
     results = {}
     pending = {}
     for spec, key in zip(specs, keys):
         if key in results or key in pending:
             continue
-        cached = _CACHE.get(key)
-        if cached is None:
-            cached = _store_probe(key)
-            if cached is not None:
-                _CACHE[key] = cached
+        cached = None
+        if not recording:
+            cached = _CACHE.get(key)
+            if cached is None:
+                cached = _store_probe(key)
+                if cached is not None:
+                    _CACHE[key] = cached
         if cached is not None:
             results[key] = cached
         else:
@@ -347,18 +390,42 @@ def run_many(jobs, workers=None):
                     predictor=spec["predictor"],
                     language=spec["language"])
         else:
+            job_specs = [dict(spec) for _, spec in items]
+            if recording:
+                for spec in job_specs:
+                    spec["telemetry"] = True
             with ProcessPoolExecutor(
                     max_workers=min(workers, len(items))) as pool:
-                payloads = list(pool.map(_run_job,
-                                         [spec for _, spec in items]))
-            store_obj = store.default_store()
+                payloads = list(pool.map(_run_job, job_specs))
+            store_obj = None if recording else store.default_store()
             for (key, _spec), payload in zip(items, payloads):
                 result = _result_from_payload(payload)
-                _CACHE[key] = result
+                if not recording:
+                    _CACHE[key] = result
                 if store_obj is not None:
                     store_obj.put(key, payload)
                 results[key] = result
+    if recording:
+        telemetry.BUS.end("run_many", args={"simulated": len(pending)})
     return [results[key] for key in keys]
+
+
+def merged_timeline(results, include_harness=True):
+    """Merge the per-run telemetry streams of ``results`` into one
+    event list (one Chrome-trace pid per run), optionally including the
+    harness process's own bus stream."""
+    from repro.telemetry.merge import merge_runs
+
+    event_lists = []
+    labels = []
+    for result in results:
+        if result.telemetry_events:
+            event_lists.append(result.telemetry_events)
+            labels.append("%s/%s" % (result.program, result.vm_kind))
+    merged = merge_runs(event_lists, labels=labels)
+    if include_harness and telemetry.BUS is not None:
+        merged = list(telemetry.BUS.events()) + merged
+    return merged
 
 
 def _fill_machine(result, machine):

@@ -5,6 +5,7 @@ registry, the jitlog, and the LLOps operation layer.  Each benchmark run
 constructs one fresh context.
 """
 
+from repro import telemetry
 from repro.core import tags
 from repro.gc.heap import SimGC
 from repro.jit.jitlog import JitLog
@@ -15,10 +16,20 @@ from repro.uarch.machine import Machine
 class VMContext(object):
     """Everything one simulated RPython-style VM process shares."""
 
-    def __init__(self, config, predictor="gshare"):
+    def __init__(self, config, predictor="gshare", telemetry_label=None):
         self.config = config
         self.machine = Machine(config, predictor=predictor)
+        # Live observability session (None while telemetry is disabled;
+        # every layer's emit site is then a no-op attribute check).
+        if telemetry.BUS is not None:
+            from repro.telemetry.vmhook import VMTelemetry
+
+            self.telemetry = VMTelemetry(
+                self.machine, label=telemetry_label)
+        else:
+            self.telemetry = None
         self.gc = SimGC(self.machine, config.gc)
+        self.gc.telemetry = self.telemetry
         self.registry = TraceRegistry()
         self.jitlog = JitLog() if config.jit.jitlog else None
         self.tracer = None  # active MetaTracer while recording

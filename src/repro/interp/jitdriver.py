@@ -35,6 +35,9 @@ class JitDriver(object):
         self.ctx = ctx
         self.cfg = ctx.config.jit
         self.registry = ctx.registry
+        # Telemetry session or None; kept as a direct attribute so the
+        # disabled path in hot hooks is one load + identity check.
+        self.telemetry = ctx.telemetry
         self.hot_counters = {}
         self.abort_counts = {}
         # True while a tracer is suspended for a call_assembler body:
@@ -125,6 +128,9 @@ class JitDriver(object):
     # -- internals -------------------------------------------------------------------
 
     def _start_tracing(self, interp, key):
+        t = self.telemetry
+        if t is not None:
+            t.count("interp.jitdriver.hot_loops")
         tracer = MetaTracer(
             self.ctx, LOOP, key, root_depth=len(interp.frames) - 1,
         )
@@ -136,6 +142,9 @@ class JitDriver(object):
         # guard's exactly (its entry values are the flattened snapshot),
         # returns from inlined frames stay above the root, and the
         # bridge can close by jumping to the enclosing loop.
+        t = self.telemetry
+        if t is not None:
+            t.count("interp.jitdriver.hot_guards")
         n_frames = len(guard.snapshot.frames)
         key = (interp.frames[-1].code, interp.frames[-1].pc)
         tracer = MetaTracer(
@@ -153,6 +162,9 @@ class JitDriver(object):
             self.abort_counts[key] = count
             if count >= self.cfg.max_aborts:
                 self.registry.blacklist.add(key)
+                t = self.telemetry
+                if t is not None:
+                    t.count("interp.jitdriver.blacklisted_loops")
         else:
             guard = tracer.parent_guard
             if guard is not None and guard.bridge is None:
@@ -205,9 +217,14 @@ class JitDriver(object):
 
     def _run(self, interp, trace, frame):
         """Execute a compiled trace from the current frame state."""
+        t = self.telemetry
+        if t is not None:
+            t.count("interp.jitdriver.trace_entries")
         entry = list(frame.locals)
         entry.extend(frame.stack)
         result = execute(self.ctx, trace, entry)
+        if t is not None:
+            t.count("interp.jitdriver.deopts")
         self._apply_deopt(interp, result.deopt)
         if result.bridge_request is not None and self.ctx.tracer is None \
                 and not self.paused_tracing:

@@ -27,7 +27,7 @@ def lower_blocks(machine, block_mixes):
     return [machine.block(freeze_mix(m)) for m in block_mixes]
 
 
-def attach_costs(trace):
+def attach_costs(trace, telemetry=None):
     """Assign op indices/env slots and static assembly sizes."""
     index = 0
     for arg in trace.inputargs:
@@ -46,3 +46,8 @@ def attach_costs(trace):
     trace.n_env_slots = index
     trace.op_asm_insns = asm
     trace.op_exec_counts = [0] * len(trace.ops)
+    if telemetry is not None:
+        asm_size = sum(asm)
+        telemetry.count("jit.backend.asm_insns", asm_size)
+        telemetry.count("jit.backend.traces_assembled")
+        telemetry.histogram("jit.backend.asm_per_trace", asm_size)

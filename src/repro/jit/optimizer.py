@@ -454,18 +454,27 @@ def _flatten(pass_, values, state):
     return flat
 
 
-def optimize_trace(cfg, trace, recorded_ops, jump, target):
+def optimize_trace(cfg, trace, recorded_ops, jump, target, telemetry=None):
     """Optimize recorded ops into ``trace.ops`` (with label/jump wiring)."""
+    strategy = "straight"
     if target is not None:
         _optimize_straight(cfg, trace, recorded_ops, jump, target)
-        return
-    if cfg.opt_loop_peeling and cfg.opt_virtuals:
-        try:
-            _optimize_peeled(cfg, trace, recorded_ops, jump)
-            return
-        except _Bail:
-            pass
-    _optimize_simple_loop(cfg, trace, recorded_ops, jump)
+    else:
+        strategy = "simple_loop"
+        if cfg.opt_loop_peeling and cfg.opt_virtuals:
+            try:
+                _optimize_peeled(cfg, trace, recorded_ops, jump)
+                strategy = "peeled"
+            except _Bail:
+                _optimize_simple_loop(cfg, trace, recorded_ops, jump)
+        else:
+            _optimize_simple_loop(cfg, trace, recorded_ops, jump)
+    if telemetry is not None:
+        telemetry.count("jit.optimizer.ops_in", len(recorded_ops))
+        telemetry.count("jit.optimizer.ops_out", len(trace.ops))
+        telemetry.count("jit.optimizer.%s" % strategy)
+        telemetry.annotate(strategy=strategy, ops_in=len(recorded_ops),
+                           ops_out=len(trace.ops))
 
 
 def _seed_pass(cfg, inputargs):

@@ -54,6 +54,9 @@ class MetaTracer(object):
         self.interp = interp
         tag = tags.TRACE_START if self.kind == LOOP else tags.BRIDGE_START
         self.ctx.annot(tag, self.greenkey)
+        t = self.ctx.telemetry
+        if t is not None:
+            t.count("jit.tracer.recordings_started")
         frames = interp.frames[self.root_depth:]
         layout = []
         for frame in frames:
@@ -88,6 +91,11 @@ class MetaTracer(object):
                 "abort", trace_kind=self.kind, greenkey=self.greenkey,
                 reason=reason, n_ops=len(self.ops),
             )
+        t = self.ctx.telemetry
+        if t is not None:
+            t.count("jit.tracer.aborts")
+            t.annotate(outcome="abort", reason=reason,
+                       n_ops_recorded=len(self.ops))
         tag = tags.TRACE_STOP if self.kind == LOOP else tags.BRIDGE_STOP
         self.ctx.annot(tag, self.greenkey)
 
@@ -199,12 +207,13 @@ class MetaTracer(object):
         ctx.annot(tags.OPT_START, trace_id)
         self._charge_per_op(len(self.ops), costs.OPT_MIX,
                             costs.OPT_BRANCHES, costs.OPT_BRANCH_MISS_RATE)
-        optimize_trace(ctx.config.jit, trace, self.ops, jump, target)
+        optimize_trace(ctx.config.jit, trace, self.ops, jump, target,
+                       telemetry=ctx.telemetry)
         ctx.annot(tags.OPT_STOP, trace_id)
         ctx.annot(tags.BACKEND_START, trace_id)
         from repro.jit.backend import attach_costs
 
-        attach_costs(trace)
+        attach_costs(trace, telemetry=ctx.telemetry)
         self._charge_per_op(len(trace.ops), costs.BACKEND_MIX,
                             costs.BACKEND_BRANCHES,
                             costs.BACKEND_BRANCH_MISS_RATE)
@@ -219,6 +228,17 @@ class MetaTracer(object):
                 n_ops_compiled=trace.n_ops, asm_size=trace.asm_size,
                 merge_points=self.merge_points_seen,
             )
+        t = ctx.telemetry
+        if t is not None:
+            t.count("jit.tracer.traces_compiled")
+            t.count("jit.tracer.ops_recorded", len(self.ops))
+            t.count("jit.tracer.ops_compiled", trace.n_ops)
+            t.histogram("jit.tracer.trace_length", trace.n_ops)
+            t.annotate(outcome="compiled", trace_id=trace_id,
+                       n_ops_recorded=len(self.ops),
+                       n_ops_compiled=trace.n_ops,
+                       asm_size=trace.asm_size,
+                       merge_points=self.merge_points_seen)
         tag = tags.TRACE_STOP if self.kind == LOOP else tags.BRIDGE_STOP
         ctx.annot(tag, self.greenkey)
         return trace

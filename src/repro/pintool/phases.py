@@ -72,10 +72,11 @@ class PhaseWindow:
 class PhaseTracker:
     """Attributes machine-counter windows to framework phases."""
 
-    def __init__(self, machine, record_timeline=False):
+    def __init__(self, machine, record_timeline=False, telemetry=None):
         self._machine = machine
         self._stack = [INTERP]
         self.windows = [PhaseWindow() for _ in range(N_PHASES)]
+        self.telemetry = telemetry
         self.record_timeline = record_timeline
         # Timeline of (start_cycles, end_cycles, phase) segments (Figure 3).
         self.timeline = []
@@ -126,6 +127,23 @@ class PhaseTracker:
         if not self._finished:
             self._attribute()
             self._finished = True
+            t = self.telemetry
+            if t is not None:
+                # Publish the windowed totals into the telemetry stream
+                # so trace consumers can cross-check span self-times
+                # against the offline phase attribution.
+                t.instant("phase_windows", "pintool.phases", {
+                    name: {
+                        "cycles": self.windows[i].cycles,
+                        "instructions": self.windows[i].instructions,
+                        "branches": self.windows[i].branches,
+                        "branch_misses": self.windows[i].branch_misses,
+                    }
+                    for i, name in enumerate(PHASE_NAMES)
+                })
+                for i, name in enumerate(PHASE_NAMES):
+                    t.gauge("phase.%s.cycles" % name,
+                            self.windows[i].cycles)
 
     # -- reporting -----------------------------------------------------------
 

@@ -23,9 +23,10 @@ class PinTool:
     """
 
     def __init__(self, machine, record_timeline=False, bucket_insns=0,
-                 profile_ir_nodes=False):
+                 profile_ir_nodes=False, telemetry=None):
         self.machine = machine
-        self.phases = PhaseTracker(machine, record_timeline=record_timeline)
+        self.phases = PhaseTracker(machine, record_timeline=record_timeline,
+                                   telemetry=telemetry)
         self.bcrate = BytecodeRateTracker(machine, bucket_insns=bucket_insns)
         self.aotcalls = AotCallProfiler(machine)
         self.irprofile = IrNodeProfiler() if profile_ir_nodes else None

@@ -1,0 +1,66 @@
+"""Cross-layer telemetry: a structured span/metrics event bus.
+
+The paper's methodology tags events at every layer (application,
+interpreter, framework, JIT-IR, assembly) and funnels them into one
+measurement substrate.  :mod:`repro.pintool` consumes those annotations
+*offline*; this package is the *live* observability counterpart: every
+layer emits nested spans and metrics into a :class:`TelemetryBus`, and
+exporters turn the event stream into Chrome trace-event JSON (loadable
+in ``chrome://tracing`` / Perfetto), per-phase self-time summaries, and
+a compact JSONL stream.
+
+Telemetry is **disabled by default** and the disabled path is a no-op
+attribute check:
+
+* the harness-level bus is the module attribute :data:`BUS`, ``None``
+  while disabled — call sites do ``if telemetry.BUS is not None``;
+* per-run VM sessions hang off ``ctx.telemetry`` (``None`` while
+  disabled), so interpreter/JIT/GC call sites do
+  ``if self.telemetry is not None`` on rare events only.
+
+No listener is registered on any :class:`Machine` while disabled, so
+the simulation fast paths (fused dispatch, batched annotations) are
+untouched and BENCH numbers do not regress.
+
+Enable programmatically with :func:`enable` / :func:`disable`, or via
+the environment knob ``REPRO_TELEMETRY=1`` (which worker processes
+inherit, so ``run_many`` fan-outs record too).
+"""
+
+import os
+
+from repro.telemetry.bus import TelemetryBus
+
+#: The harness-level bus (wall-clock timeline), or None while disabled.
+#: This module attribute *is* the enabled flag.
+BUS = None
+
+
+def enabled():
+    """True if telemetry is globally enabled."""
+    return BUS is not None
+
+
+def enable(bus=None):
+    """Enable telemetry; returns the harness-level bus.
+
+    Idempotent: if already enabled, the existing bus is returned (a
+    caller-provided ``bus`` is only installed when currently disabled).
+    """
+    global BUS
+    if BUS is None:
+        BUS = bus if bus is not None else TelemetryBus(
+            process_name="harness")
+    return BUS
+
+
+def disable():
+    """Disable telemetry; returns the bus that was active (or None)."""
+    global BUS
+    old = BUS
+    BUS = None
+    return old
+
+
+if os.environ.get("REPRO_TELEMETRY") == "1":
+    enable()

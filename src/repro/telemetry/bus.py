@@ -1,0 +1,179 @@
+"""The telemetry bus: nested spans with per-span counter deltas.
+
+A bus records a strictly-nested span tree per (pid, tid) track, driven
+by a monotonic clock.  Two clock domains are used in practice:
+
+* VM-run sessions tick in **simulated machine cycles** (deterministic,
+  reproducible across runs — see :mod:`repro.telemetry.vmhook`);
+* the harness-level bus ticks in wall-clock microseconds.
+
+``ticks_per_us`` records the domain so exporters can place both on a
+Chrome-trace timeline.  Spans store their *self time* online (duration
+minus the summed durations of direct children), which makes the
+per-phase self-time summary a pure aggregation over finished records.
+
+Events are plain dicts, ready for lossless JSONL round-tripping.
+"""
+
+import time
+
+from repro.telemetry.metrics import MetricsRegistry
+
+
+def _wall_clock_us():
+    return time.perf_counter() * 1e6
+
+
+class _OpenSpan(object):
+    __slots__ = ("name", "cat", "ts", "args", "child_ticks")
+
+    def __init__(self, name, cat, ts, args):
+        self.name = name
+        self.cat = cat
+        self.ts = ts
+        self.args = args
+        self.child_ticks = 0.0
+
+
+class _SpanContext(object):
+    """Context-manager handle returned by :meth:`TelemetryBus.span`."""
+
+    __slots__ = ("_bus", "_name", "_cat", "_args")
+
+    def __init__(self, bus, name, cat, args):
+        self._bus = bus
+        self._name = name
+        self._cat = cat
+        self._args = args
+
+    def __enter__(self):
+        self._bus.begin(self._name, self._cat, self._args)
+        return self._bus
+
+    def __exit__(self, exc_type, exc, tb):
+        self._bus.end(self._name)
+        return False
+
+
+class TelemetryBus(object):
+    """One event stream: spans, instants, and a metrics registry."""
+
+    def __init__(self, clock=None, ticks_per_us=1.0, pid=0, tid=0,
+                 process_name=None):
+        self.clock = clock if clock is not None else _wall_clock_us
+        self.ticks_per_us = ticks_per_us
+        self.pid = pid
+        self.tid = tid
+        self.process_name = process_name
+        self.metrics = MetricsRegistry()
+        self._stack = []
+        self._events = []
+        self._finished = False
+
+    # -- spans ---------------------------------------------------------------
+
+    @property
+    def depth(self):
+        return len(self._stack)
+
+    def begin(self, name, cat="", args=None):
+        """Open a nested span."""
+        self._stack.append(
+            _OpenSpan(name, cat, self.clock(), dict(args) if args else {}))
+
+    def end(self, name=None, args=None):
+        """Close the innermost span.
+
+        If ``name`` is given and does not match the open span, the call
+        is a tolerated no-op (mirrors the phase tracker's handling of
+        unbalanced stop annotations from aborted runs).
+        """
+        if not self._stack:
+            return None
+        if name is not None and self._stack[-1].name != name:
+            return None
+        span = self._stack.pop()
+        now = self.clock()
+        duration = now - span.ts
+        if self._stack:
+            self._stack[-1].child_ticks += duration
+        if args:
+            span.args.update(args)
+        record = {
+            "type": "span",
+            "name": span.name,
+            "cat": span.cat,
+            "ts": span.ts,
+            "dur": duration,
+            "self": duration - span.child_ticks,
+            "depth": len(self._stack),
+            "pid": self.pid,
+            "tid": self.tid,
+            "args": span.args,
+        }
+        self._events.append(record)
+        return record
+
+    def span(self, name, cat="", **args):
+        """``with bus.span("minor", "gc.heap", n=3): ...``"""
+        return _SpanContext(self, name, cat, args)
+
+    def annotate(self, **args):
+        """Merge key/value arguments into the innermost open span.
+
+        Lets the layer that owns a span's content (e.g. the GC knows
+        surviving bytes) enrich a span that was opened by the tag
+        bridge, without threading span handles across layers.
+        """
+        if self._stack:
+            self._stack[-1].args.update(args)
+
+    def instant(self, name, cat="", args=None):
+        self._events.append({
+            "type": "instant",
+            "name": name,
+            "cat": cat,
+            "ts": self.clock(),
+            "pid": self.pid,
+            "tid": self.tid,
+            "args": dict(args) if args else {},
+        })
+
+    # -- metrics (delegates, so call sites hold one handle) ------------------
+
+    def count(self, name, delta=1):
+        self.metrics.count(name, delta)
+
+    def gauge(self, name, value):
+        self.metrics.gauge(name, value)
+
+    def histogram(self, name, value):
+        self.metrics.histogram(name, value)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def finish(self):
+        """Close any open spans and flush metrics into the stream."""
+        if self._finished:
+            return
+        while self._stack:
+            self.end()
+        self._events.append({
+            "type": "metrics",
+            "ts": self.clock(),
+            "pid": self.pid,
+            "tid": self.tid,
+            "metrics": self.metrics.to_dict(),
+        })
+        self._finished = True
+
+    def events(self):
+        """The finished event records (plus a leading meta record)."""
+        meta = {
+            "type": "meta",
+            "pid": self.pid,
+            "tid": self.tid,
+            "process_name": self.process_name,
+            "ticks_per_us": self.ticks_per_us,
+        }
+        return [meta] + list(self._events)

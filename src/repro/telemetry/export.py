@@ -1,0 +1,211 @@
+"""Telemetry exporters: Chrome trace JSON, JSONL, self-time summaries.
+
+Three output shapes from one event stream (see :mod:`.bus`):
+
+* :func:`to_chrome` — the Chrome trace-event format (JSON object with a
+  ``traceEvents`` array), loadable in ``chrome://tracing`` and Perfetto.
+  Spans become complete (``"X"``) events, instants become ``"i"``, and
+  final metric values become counter (``"C"``) samples; per-process
+  metadata (``"M"``) names the tracks.
+* :func:`write_jsonl` / :func:`read_jsonl` — a compact, lossless
+  line-per-event stream for storage and diffing.
+* :func:`self_time_summary` — per-span-name (or per-phase) totals of
+  inclusive time, self time, and hit count, in native clock ticks; for
+  VM sessions ticks are simulated cycles, so the per-phase rows agree
+  with :mod:`repro.pintool.phases` windowed totals by construction.
+"""
+
+import json
+
+# Span name -> pintool phase (see repro.pintool.phases.PHASE_NAMES).
+# Optimizer/backend work happens while the tracer phase is open, which
+# is exactly how PhaseTracker attributes it (OPT/BACKEND tags are not
+# phase tags), so both map to "tracing" here.
+SPAN_PHASES = {
+    "run": "interp",
+    "trace": "tracing",
+    "bridge": "tracing",
+    "optimize": "tracing",
+    "assemble": "tracing",
+    "jit": "jit",
+    "jit_call": "jit_call",
+    "blackhole": "blackhole",
+    "gc_minor": "gc",
+    "gc_major": "gc",
+}
+
+
+# -- Chrome trace-event JSON ----------------------------------------------------
+
+
+def to_chrome(events):
+    """Convert event records to a Chrome trace-event JSON object."""
+    trace_events = []
+    scales = {}
+    for record in events:
+        if record["type"] == "meta":
+            pid = record["pid"]
+            scales[pid] = record.get("ticks_per_us") or 1.0
+            name = record.get("process_name")
+            if name:
+                trace_events.append({
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": record["tid"],
+                    "args": {"name": name},
+                })
+    for record in events:
+        kind = record["type"]
+        if kind == "meta":
+            continue
+        pid = record["pid"]
+        scale = scales.get(pid, 1.0)
+        if kind == "span":
+            trace_events.append({
+                "name": record["name"],
+                "cat": record["cat"] or "span",
+                "ph": "X",
+                "ts": record["ts"] / scale,
+                "dur": record["dur"] / scale,
+                "pid": pid,
+                "tid": record["tid"],
+                "args": record["args"],
+            })
+        elif kind == "instant":
+            trace_events.append({
+                "name": record["name"],
+                "cat": record["cat"] or "instant",
+                "ph": "i",
+                "ts": record["ts"] / scale,
+                "pid": pid,
+                "tid": record["tid"],
+                "s": "t",
+                "args": record["args"],
+            })
+        elif kind == "metrics":
+            ts = record["ts"] / scale
+            metrics = record["metrics"]
+            for name, value in sorted(metrics.get("counters", {}).items()):
+                trace_events.append({
+                    "name": name, "ph": "C", "ts": ts, "pid": pid,
+                    "tid": record["tid"], "args": {"value": value},
+                })
+            for name, value in sorted(metrics.get("gauges", {}).items()):
+                trace_events.append({
+                    "name": name, "ph": "C", "ts": ts, "pid": pid,
+                    "tid": record["tid"], "args": {"value": value},
+                })
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome(path, events):
+    with open(path, "w") as handle:
+        json.dump(to_chrome(events), handle, indent=1)
+        handle.write("\n")
+    return path
+
+
+# -- JSONL stream ---------------------------------------------------------------
+
+
+def write_jsonl(path_or_file, events):
+    """Write one JSON record per line (lossless round trip)."""
+    if hasattr(path_or_file, "write"):
+        for record in events:
+            path_or_file.write(json.dumps(record, sort_keys=True) + "\n")
+        return path_or_file
+    with open(path_or_file, "w") as handle:
+        write_jsonl(handle, events)
+    return path_or_file
+
+
+def read_jsonl(path_or_file):
+    if hasattr(path_or_file, "read"):
+        return [json.loads(line)
+                for line in path_or_file if line.strip()]
+    with open(path_or_file) as handle:
+        return read_jsonl(handle)
+
+
+# -- summaries ------------------------------------------------------------------
+
+
+def self_time_summary(events, by="name"):
+    """Aggregate spans into ``key -> {total, self, count}`` (clock ticks).
+
+    ``by="name"`` groups by span name; ``by="phase"`` folds names into
+    pintool phases via :data:`SPAN_PHASES` and drops spans with no phase
+    mapping (harness-bus spans tick in wall-clock microseconds, not
+    simulated cycles, so mixing them into the phase rows would compare
+    across clock domains).  Aggregation is insensitive to event order.
+    """
+    summary = {}
+    for record in events:
+        if record["type"] != "span":
+            continue
+        key = record["name"]
+        if by == "phase":
+            key = SPAN_PHASES.get(key)
+            if key is None:
+                continue
+        row = summary.get(key)
+        if row is None:
+            row = summary[key] = {"total": 0.0, "self": 0.0, "count": 0}
+        row["total"] += record["dur"]
+        row["self"] += record["self"]
+        row["count"] += 1
+    return summary
+
+
+def merged_metrics(events):
+    """Fold every metrics record in the stream into one registry dict."""
+    from repro.telemetry.metrics import MetricsRegistry
+
+    merged = MetricsRegistry()
+    for record in events:
+        if record["type"] == "metrics":
+            merged.merge(MetricsRegistry.from_dict(record["metrics"]))
+    return merged.to_dict()
+
+
+def render_summary(summary, title=None, unit="ticks"):
+    """Aligned text table of a self-time summary (largest self first)."""
+    from repro.harness import report
+
+    rows = sorted(summary.items(), key=lambda kv: -kv[1]["self"])
+    total_self = sum(row["self"] for _, row in rows) or 1.0
+    table_rows = [
+        (key,
+         row["count"],
+         "%.0f" % row["total"],
+         "%.0f" % row["self"],
+         "%.1f%%" % (100.0 * row["self"] / total_self))
+        for key, row in rows
+    ]
+    return report.render_table(
+        ["span", "count", "total %s" % unit, "self %s" % unit, "self %"],
+        table_rows, title=title)
+
+
+def diff_summaries(before, after, tolerance=0.05):
+    """Rows whose self time moved by more than ``tolerance`` (relative).
+
+    Returns dicts ``{"name", "before", "after", "ratio"}`` where ratio
+    is the relative change ``after/before - 1`` (``inf`` for keys that
+    only exist on the after side).
+    """
+    moved = []
+    for key in sorted(set(before) | set(after)):
+        a = before.get(key, {}).get("self", 0.0)
+        b = after.get(key, {}).get("self", 0.0)
+        if a == 0.0 and b == 0.0:
+            continue
+        if a == 0.0:
+            ratio = float("inf")
+        else:
+            ratio = b / a - 1.0
+        if abs(ratio) > tolerance:
+            moved.append({"name": key, "before": a, "after": b,
+                          "ratio": ratio})
+    return moved

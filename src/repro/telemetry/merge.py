@@ -1,0 +1,59 @@
+"""Merging telemetry streams from many processes into one timeline.
+
+``run_many`` fans simulations out over worker processes; each worker
+ships its VM session's event records back inside the result payload.
+:func:`merge_runs` reassigns process ids and produces one canonical
+event list, sorted so the merge is **order-independent**: feeding the
+same payloads in any order yields byte-identical output.
+"""
+
+
+def _canonical_order(record):
+    # Meta records lead their pid; then events by timestamp, with ties
+    # broken by longest span first (parents before children) and name.
+    kind_rank = {"meta": 0, "span": 1, "instant": 1, "metrics": 2}
+    return (
+        record["pid"],
+        kind_rank.get(record["type"], 3),
+        record.get("ts", 0.0),
+        -record.get("dur", 0.0),
+        record.get("depth", 0),
+        record.get("name", ""),
+    )
+
+
+def _label_of(events, default):
+    for record in events:
+        if record["type"] == "meta" and record.get("process_name"):
+            return record["process_name"]
+    return default
+
+
+def merge_runs(event_lists, labels=None, base_pid=1):
+    """Merge per-run event lists into one timeline.
+
+    Each input list becomes its own Chrome-trace process (``pid``),
+    labelled from ``labels`` or its own meta record.  Inputs are first
+    sorted by label so that the output does not depend on arrival
+    order (workers finish in nondeterministic order).
+    """
+    tagged = []
+    for index, events in enumerate(event_lists):
+        if labels is not None and index < len(labels):
+            label = labels[index]
+        else:
+            label = _label_of(events, "run-%d" % index)
+        tagged.append((label, events))
+    tagged.sort(key=lambda pair: pair[0])
+
+    merged = []
+    for offset, (label, events) in enumerate(tagged):
+        pid = base_pid + offset
+        for record in events:
+            copied = dict(record)
+            copied["pid"] = pid
+            if copied["type"] == "meta":
+                copied["process_name"] = label
+            merged.append(copied)
+    merged.sort(key=_canonical_order)
+    return merged

@@ -1,0 +1,144 @@
+"""Metrics registry: counters, gauges, and log-bucketed histograms.
+
+Each :class:`TelemetryBus` owns one :class:`MetricsRegistry`.  Metrics
+are cheap scalar aggregates next to the span timeline: counters count
+events (traces compiled, GC collections, deopts), gauges record
+last-written values (heap bytes), histograms summarize distributions
+(trace lengths, surviving bytes per collection) in power-of-two buckets
+so merging across processes stays exact.
+"""
+
+COUNTER = "counter"
+GAUGE = "gauge"
+HISTOGRAM = "histogram"
+
+
+def _bucket_index(value):
+    """Log2 bucket index for ``value`` (0 for values < 1)."""
+    index = 0
+    value = int(value)
+    while value > 1:
+        value >>= 1
+        index += 1
+    return index
+
+
+def bucket_bounds(index):
+    """Half-open value range ``[lo, hi)`` covered by bucket ``index``."""
+    if index == 0:
+        return (0, 2)
+    return (1 << index, 1 << (index + 1))
+
+
+class Histogram(object):
+    """A log-bucketed histogram (power-of-two buckets)."""
+
+    __slots__ = ("buckets", "count", "total", "min", "max")
+
+    def __init__(self):
+        self.buckets = {}
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+
+    def record(self, value):
+        index = _bucket_index(value)
+        self.buckets[index] = self.buckets.get(index, 0) + 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self):
+        return self.total / self.count if self.count else 0.0
+
+    def merge(self, other):
+        for index, n in other.buckets.items():
+            self.buckets[index] = self.buckets.get(index, 0) + n
+        self.count += other.count
+        self.total += other.total
+        for bound in (other.min,):
+            if bound is not None and (self.min is None or bound < self.min):
+                self.min = bound
+        for bound in (other.max,):
+            if bound is not None and (self.max is None or bound > self.max):
+                self.max = bound
+
+    def to_dict(self):
+        return {
+            "buckets": {str(k): v for k, v in sorted(self.buckets.items())},
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        histogram = cls()
+        histogram.buckets = {int(k): v for k, v in data["buckets"].items()}
+        histogram.count = data["count"]
+        histogram.total = data["total"]
+        histogram.min = data["min"]
+        histogram.max = data["max"]
+        return histogram
+
+
+class MetricsRegistry(object):
+    """Named counters/gauges/histograms behind one bus."""
+
+    __slots__ = ("counters", "gauges", "histograms")
+
+    def __init__(self):
+        self.counters = {}
+        self.gauges = {}
+        self.histograms = {}
+
+    def count(self, name, delta=1):
+        self.counters[name] = self.counters.get(name, 0) + delta
+
+    def gauge(self, name, value):
+        self.gauges[name] = value
+
+    def histogram(self, name, value):
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = Histogram()
+        histogram.record(value)
+
+    def merge(self, other):
+        """Fold another registry in (cross-process aggregation)."""
+        for name, value in other.counters.items():
+            self.counters[name] = self.counters.get(name, 0) + value
+        # Last write wins for gauges; merging processes have disjoint
+        # gauge namespaces in practice (they are per-run values).
+        self.gauges.update(other.gauges)
+        for name, histogram in other.histograms.items():
+            mine = self.histograms.get(name)
+            if mine is None:
+                mine = self.histograms[name] = Histogram()
+            mine.merge(histogram)
+
+    def to_dict(self):
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {
+                name: h.to_dict() for name, h in self.histograms.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        registry = cls()
+        registry.counters = dict(data.get("counters", {}))
+        registry.gauges = dict(data.get("gauges", {}))
+        registry.histograms = {
+            name: Histogram.from_dict(h)
+            for name, h in data.get("histograms", {}).items()
+        }
+        return registry

@@ -1,0 +1,138 @@
+"""Per-run VM telemetry session: cross-layer tags become spans.
+
+A :class:`VMTelemetry` attaches to one :class:`Machine` and converts
+the paired start/stop annotations every layer already emits (tracing,
+optimizer, backend, JIT enter/leave, residual AOT calls, blackhole
+deoptimization, GC collections) into a strictly-nested span tree on a
+**machine-cycle clock** — deterministic and exactly comparable with
+:class:`repro.pintool.phases.PhaseTracker` windows.
+
+The session registers per-tag listeners only (never a catch-all), so
+the machine's batched annotation fast paths for ``DISPATCH``/``IR_NODE``
+stay on their fused code paths while recording, and nothing at all is
+registered when telemetry is disabled.
+
+Layers additionally publish metrics and span arguments through the
+session (``ctx.telemetry``): the GC reports surviving bytes, the tracer
+reports recorded/compiled op counts, the driver reports hot-loop
+triggers and deopts.  The session object forwards the bus's metric and
+span API, so call sites hold a single handle.
+"""
+
+from repro.core import tags
+from repro.core.config import CLOCK_HZ
+from repro.telemetry.bus import TelemetryBus
+
+CYCLES_PER_US = CLOCK_HZ / 1e6
+
+# tag -> (span name, category) for span-opening annotations.
+_OPEN = {
+    tags.TRACE_START: ("trace", "jit.tracer"),
+    tags.BRIDGE_START: ("bridge", "jit.tracer"),
+    tags.OPT_START: ("optimize", "jit.optimizer"),
+    tags.BACKEND_START: ("assemble", "jit.backend"),
+    tags.JIT_ENTER: ("jit", "jit.exec"),
+    tags.JIT_CALL_START: ("jit_call", "interp.aot"),
+    tags.BLACKHOLE_START: ("blackhole", "jit.blackhole"),
+    tags.GC_MINOR_START: ("gc_minor", "gc.heap"),
+    tags.GC_MAJOR_START: ("gc_major", "gc.heap"),
+}
+
+_CLOSE = {
+    tags.TRACE_STOP: "trace",
+    tags.BRIDGE_STOP: "bridge",
+    tags.OPT_STOP: "optimize",
+    tags.BACKEND_STOP: "assemble",
+    tags.JIT_LEAVE: "jit",
+    tags.JIT_CALL_STOP: "jit_call",
+    tags.BLACKHOLE_STOP: "blackhole",
+    tags.GC_MINOR_STOP: "gc_minor",
+    tags.GC_MAJOR_STOP: "gc_major",
+}
+
+
+class VMTelemetry(object):
+    """Telemetry session bound to one simulated VM run."""
+
+    def __init__(self, machine, label=None, pid=0):
+        self.machine = machine
+        self.bus = TelemetryBus(
+            clock=lambda: machine.cycles,
+            ticks_per_us=CYCLES_PER_US,
+            pid=pid,
+            process_name=label or "vm",
+        )
+        self._registrations = []
+        for tag in _OPEN:
+            self._register(tag, self._on_open)
+        for tag in _CLOSE:
+            self._register(tag, self._on_close)
+        # The root span: everything outside a tagged phase is the
+        # interpreter, exactly like PhaseTracker's bottom-of-stack.
+        self.bus.begin("run", "interp.dispatch")
+        self._finished = False
+
+    def _register(self, tag, listener):
+        self.machine.add_tag_listener(tag, listener)
+        self._registrations.append((tag, listener))
+
+    # -- annotation listeners ------------------------------------------------
+
+    def _on_open(self, tag, payload):
+        name, cat = _OPEN[tag]
+        args = None
+        if payload is not None:
+            args = {"key": _payload_repr(payload)}
+        self.bus.begin(name, cat, args)
+
+    def _on_close(self, tag, payload):
+        # Tolerant matching (like PhaseTracker): an unbalanced stop —
+        # e.g. a simulation aborted mid-phase — is ignored.
+        self.bus.end(_CLOSE[tag])
+
+    # -- bus facade (one handle for instrumented layers) ---------------------
+
+    def count(self, name, delta=1):
+        self.bus.count(name, delta)
+
+    def gauge(self, name, value):
+        self.bus.gauge(name, value)
+
+    def histogram(self, name, value):
+        self.bus.histogram(name, value)
+
+    def instant(self, name, cat="", args=None):
+        self.bus.instant(name, cat, args)
+
+    def annotate(self, **args):
+        self.bus.annotate(**args)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def finish(self):
+        """Detach from the machine and close the event stream."""
+        if self._finished:
+            return
+        for tag, listener in self._registrations:
+            self.machine.remove_tag_listener(tag, listener)
+        self._registrations = []
+        self.bus.finish()
+        self._finished = True
+
+    def events(self):
+        self.finish()
+        return self.bus.events()
+
+
+def _payload_repr(payload):
+    """A JSON-safe, compact rendering of an annotation payload."""
+    if isinstance(payload, (int, float, str, bool)):
+        return payload
+    if isinstance(payload, tuple):
+        # Greenkeys are (code, pc) pairs; render the code's name.
+        parts = []
+        for item in payload:
+            name = getattr(item, "name", None)
+            parts.append(name if name is not None else _payload_repr(item))
+        return ":".join(str(p) for p in parts)
+    return repr(payload)

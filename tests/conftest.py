@@ -1,0 +1,9 @@
+"""Repo-wide pytest options (this is the initial conftest, so it is the
+only place ``pytest_addoption`` hooks may live)."""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens", action="store_true", default=False,
+        help="rewrite tests/golden/goldens/*.txt from this run's output "
+             "instead of diffing against them")

@@ -1,0 +1,76 @@
+"""Numeric-aware text diffing for golden artifacts.
+
+Rendered figures mix integer counters (exact by construction — the
+simulator is deterministic), derived ratios (stable but formatted from
+floats), and layout characters.  The comparison is token-wise:
+
+* both tokens parse as int  -> exact equality (counter columns);
+* both tokens parse as float -> relative tolerance (ratio columns);
+* otherwise                  -> exact string equality.
+
+A token may carry trailing punctuation (``%``, ``x``, ``:``) — the
+numeric prefix is compared numerically only when the suffixes match.
+"""
+
+_SUFFIXES = ("%", "x", "s", ":", ",")
+
+
+def _split_numeric(token):
+    """Return (numeric_value, kind, suffix) or (None, None, token)."""
+    body, suffix = token, ""
+    while body and body[-1] in "%x:,s":
+        suffix = body[-1] + suffix
+        body = body[:-1]
+    try:
+        return int(body), "int", suffix
+    except ValueError:
+        pass
+    try:
+        return float(body), "float", suffix
+    except ValueError:
+        return None, None, token
+
+
+def tokens_match(a, b, float_tol=1e-4):
+    if a == b:
+        return True
+    va, ka, sa = _split_numeric(a)
+    vb, kb, sb = _split_numeric(b)
+    if ka is None or kb is None or sa != sb:
+        return False
+    if ka == "int" and kb == "int":
+        return va == vb
+    # At least one side is a float-formatted ratio: compare with a
+    # relative tolerance (absolute near zero).
+    scale = max(abs(va), abs(vb))
+    if scale < 1e-9:
+        return True
+    return abs(va - vb) <= float_tol * scale
+
+
+def compare_text(golden, fresh, float_tol=1e-4, max_reports=12):
+    """Return a list of human-readable mismatch strings (empty = match)."""
+    mismatches = []
+    golden_lines = golden.rstrip("\n").split("\n")
+    fresh_lines = fresh.rstrip("\n").split("\n")
+    if len(golden_lines) != len(fresh_lines):
+        mismatches.append("line count: golden=%d fresh=%d"
+                          % (len(golden_lines), len(fresh_lines)))
+    for i, (gl, fl) in enumerate(zip(golden_lines, fresh_lines), start=1):
+        if gl == fl:
+            continue
+        gt, ft = gl.split(), fl.split()
+        if len(gt) != len(ft):
+            mismatches.append("line %d: token count %d != %d\n  golden: %s\n"
+                              "  fresh:  %s" % (i, len(gt), len(ft), gl, fl))
+        else:
+            bad = [j for j, (a, b) in enumerate(zip(gt, ft))
+                   if not tokens_match(a, b, float_tol)]
+            if bad:
+                mismatches.append(
+                    "line %d: tokens %s differ\n  golden: %s\n  fresh:  %s"
+                    % (i, bad, gl, fl))
+        if len(mismatches) >= max_reports:
+            mismatches.append("... (further mismatches suppressed)")
+            break
+    return mismatches

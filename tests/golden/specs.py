@@ -1,0 +1,98 @@
+"""Golden-figure specs: one deterministic generator per results/ artifact.
+
+Every artifact under ``results/`` (the paper's figures, tables, and the
+ablations) has a generator here that reproduces its *shape* from a
+small, pinned configuration: fixed program subsets at each program's
+quick size.  The simulator is deterministic, so the rendered text is
+bit-stable; the golden test diffs it against the pinned copies in
+``tests/golden/goldens/`` with exact matching for integer columns and a
+small relative tolerance for derived ratios.
+
+The ``*_full`` artifacts use a strictly larger program subset than
+their quick counterparts, mirroring the quick/full split of the real
+``benchmarks/`` runs while staying fast enough for CI.
+"""
+
+from repro.benchprogs import registry
+from repro.harness import ablations, experiments
+
+# Pinned program subsets.  Chosen to cover the interesting simulator
+# behaviors: loop-heavy JIT wins (richards, float), AOT-call-heavy
+# (crypto_pyaes, pidigits), object-churny (deltablue, chaos), and a
+# numeric kernel with a native reference (spectralnorm, fannkuch).
+PY_SHORT = ("richards", "crypto_pyaes", "float", "pidigits", "deltablue")
+PY_FULL = PY_SHORT + ("chaos", "spectralnorm", "fannkuch")
+
+# CLBG subsets must stay within the programs that have Racket ports.
+CLBG_SHORT = ("spectralnorm", "fannkuch", "nbody")
+CLBG_FULL = CLBG_SHORT + ("pidigits", "mandelbrot", "binarytrees")
+
+
+def _py(names):
+    return [registry.py_program(name) for name in names]
+
+
+def _clbg(names):
+    by_name = {p.name: p for p in registry.clbg_python()}
+    return [by_name[name] for name in names]
+
+
+def _text(pair):
+    return pair[1]
+
+
+# artifact name (matching results/<name>.txt) -> zero-arg generator.
+ARTIFACTS = {
+    "table1": lambda: _text(
+        experiments.table1(quick=True, programs=_py(PY_SHORT))),
+    "table1_full": lambda: _text(
+        experiments.table1(quick=True, programs=_py(PY_FULL))),
+    "table2": lambda: _text(
+        experiments.table2(quick=True, programs=_clbg(CLBG_SHORT))),
+    "table2_full": lambda: _text(
+        experiments.table2(quick=True, programs=_clbg(CLBG_FULL))),
+    "table3": lambda: _text(
+        experiments.table3(quick=True, programs=_py(PY_SHORT))),
+    "table3_full": lambda: _text(
+        experiments.table3(quick=True, programs=_py(PY_FULL))),
+    "table4": lambda: _text(
+        experiments.table4(quick=True, programs=_py(PY_SHORT))),
+    "table4_full": lambda: _text(
+        experiments.table4(quick=True, programs=_py(PY_FULL))),
+    "fig2_phases": lambda: _text(
+        experiments.fig2(quick=True, programs=_py(PY_SHORT))),
+    "fig2_full": lambda: _text(
+        experiments.fig2(quick=True, programs=_py(PY_FULL))),
+    "fig3_timeline": lambda: _text(
+        experiments.fig3(quick=True)),
+    "fig4_clbg_phases": lambda: _text(
+        experiments.fig4(quick=True, programs=_clbg(CLBG_SHORT))),
+    "fig5_warmup": lambda: _text(
+        experiments.fig5(quick=True,
+                         programs=_py(("richards", "crypto_pyaes",
+                                       "float")))),
+    "fig6_irstats": lambda: _text(
+        experiments.fig6(quick=True, programs=_py(PY_SHORT))),
+    "fig6_full": lambda: _text(
+        experiments.fig6(quick=True, programs=_py(PY_FULL))),
+    "fig7_categories": lambda: _text(
+        experiments.fig7(quick=True, programs=_py(PY_SHORT))),
+    "fig7_full": lambda: _text(
+        experiments.fig7(quick=True, programs=_py(PY_FULL))),
+    "fig8_histogram": lambda: _text(
+        experiments.fig8(quick=True, programs=_py(PY_SHORT))),
+    "fig8_full": lambda: _text(
+        experiments.fig8(quick=True, programs=_py(PY_FULL))),
+    "fig9_asmcost": lambda: _text(
+        experiments.fig9(quick=True, programs=_py(PY_SHORT))),
+    "fig9_full": lambda: _text(
+        experiments.fig9(quick=True, programs=_py(PY_FULL))),
+    "ablation_optimizer": lambda: _text(
+        ablations.optimizer_ablation(quick=True)),
+    "ablation_threshold": lambda: _text(
+        ablations.threshold_sweep(quick=True)),
+    "ablation_bridge_threshold": lambda: _text(
+        ablations.bridge_threshold_sweep(quick=True)),
+    "ablation_predictor": lambda: _text(
+        ablations.predictor_ablation(quick=True)),
+}

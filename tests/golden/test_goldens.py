@@ -1,0 +1,60 @@
+"""Golden-figure regression suite.
+
+Each test regenerates one ``results/`` artifact from a small pinned
+configuration (see :mod:`tests.golden.specs`) and diffs it against the
+copy committed under ``tests/golden/goldens/``.  Integer counters must
+match exactly; float-formatted ratios get a small relative tolerance.
+
+Any change to the simulator that moves a figure — a cost-table edit, an
+optimizer tweak, a GC parameter — fails here with a line-level diff.
+Refresh the pins after an intentional change with:
+
+    PYTHONPATH=src python -m pytest tests/golden -q --update-goldens
+"""
+
+import os
+
+import pytest
+
+from tests.golden import specs
+from tests.golden.golden_diff import compare_text
+
+pytestmark = pytest.mark.golden
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "goldens")
+
+
+@pytest.fixture(scope="session")
+def update_goldens(request):
+    return request.config.getoption("--update-goldens")
+
+
+@pytest.mark.parametrize("name", sorted(specs.ARTIFACTS))
+def test_golden(name, update_goldens):
+    fresh = specs.ARTIFACTS[name]()
+    if not fresh.endswith("\n"):
+        fresh += "\n"
+    path = os.path.join(GOLDEN_DIR, name + ".txt")
+    if update_goldens:
+        with open(path, "w") as handle:
+            handle.write(fresh)
+        return
+    assert os.path.exists(path), (
+        "no golden for %r — run with --update-goldens to create it" % name)
+    with open(path) as handle:
+        golden = handle.read()
+    mismatches = compare_text(golden, fresh)
+    assert not mismatches, (
+        "golden %r drifted (%d mismatch(es)); rerun with --update-goldens "
+        "if intentional:\n%s" % (name, len(mismatches),
+                                 "\n".join(mismatches)))
+
+
+def test_goldens_cover_every_results_artifact():
+    """Every committed results/*.txt artifact has a pinned golden."""
+    results_dir = os.path.join(os.path.dirname(__file__), os.pardir,
+                               os.pardir, "results")
+    artifacts = {os.path.splitext(entry)[0]
+                 for entry in os.listdir(results_dir)
+                 if entry.endswith(".txt")}
+    assert artifacts == set(specs.ARTIFACTS)

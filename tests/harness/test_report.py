@@ -41,6 +41,55 @@ def test_render_series_empty():
     assert report.render_series([], title="S") == "S"
 
 
+def test_render_table_no_title_and_ragged_cells():
+    text = report.render_table(["a", "bb"], [(1, 2)])
+    lines = text.splitlines()
+    assert len(lines) == 3  # header, rule, one row — no title line
+    assert lines[1].startswith("-")
+
+
+def test_render_bars_zero_values():
+    # An all-zero series must not divide by zero.
+    text = report.render_bars([("x", 0.0), ("y", 0.0)])
+    assert "#" not in text
+
+
+def test_render_bars_custom_format():
+    text = report.render_bars([("x", 2.0)], fmt="%.0f")
+    assert " 2 " in text or text.rstrip().endswith("2") or "2 #" in text
+
+
+def test_render_stacked_missing_columns_default_to_zero():
+    text = report.render_stacked([("r", {"a": 1.0})], ["a", "b"], width=10)
+    assert "=" not in text.splitlines()[-1].split("|", 1)[1]
+
+
+def test_render_stacked_empty_rows():
+    text = report.render_stacked([], ["a"], title="T")
+    assert text.splitlines()[0] == "T"
+    assert "legend" in text
+
+
+def test_render_series_flat_line():
+    # Degenerate ranges (all x equal, all y equal) must not crash.
+    text = report.render_series([(5, 1.0), (5, 1.0)], width=10, height=4)
+    assert "*" in text
+
+
+def test_results_dir_env_override(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "sub"))
+    path = report.results_dir()
+    assert path == str(tmp_path / "sub")
+    assert os.path.isdir(path)
+
+
+def test_save_text_preserves_existing_newline(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+    path = report.save_text("nl.txt", "line\n")
+    with open(path) as handle:
+        assert handle.read() == "line\n"
+
+
 def test_save_text_and_csv(tmp_path, monkeypatch):
     monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
     path = report.save_text("out.txt", "hello")

@@ -1,0 +1,45 @@
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.interp.context import VMContext
+from repro.rktlang.vm import RacketRef, RktVM
+
+
+def run_racket_ref(source):
+    vm = RacketRef(SystemConfig())
+    vm.run_source(source)
+    return vm
+
+
+def run_rktvm(source, jit=True, threshold=5):
+    cfg = SystemConfig() if jit else SystemConfig.interpreter_only()
+    if jit:
+        cfg.jit.hot_loop_threshold = threshold
+        cfg.jit.bridge_threshold = 3
+    ctx = VMContext(cfg)
+    vm = RktVM(ctx)
+    vm.run_source(source)
+    return vm, ctx
+
+
+def check_all_vms(source):
+    """Run on RacketRef, RktVM-nojit and RktVM-jit; outputs must agree.
+
+    Returns (stdout, jit_ctx) for further assertions — the TinyRkt
+    mirror of tests/pylang/conftest.check_all_vms.
+    """
+    reference = run_racket_ref(source)
+    nojit, _ = run_rktvm(source, jit=False)
+    jit, ctx = run_rktvm(source, jit=True)
+    assert reference.stdout() == nojit.stdout(), (
+        "racket-ref vs pycket-nojit mismatch:\n%s\n-----\n%s"
+        % (reference.stdout(), nojit.stdout()))
+    assert nojit.stdout() == jit.stdout(), (
+        "pycket nojit vs jit mismatch:\n%s\n-----\n%s"
+        % (nojit.stdout(), jit.stdout()))
+    return jit.stdout(), ctx
+
+
+@pytest.fixture
+def vms():
+    return check_all_vms

@@ -1,0 +1,175 @@
+"""TinyRkt compiler unit tests: bytecode shapes and rejection paths."""
+
+import pytest
+
+from repro.core.errors import CompilationError
+from repro.pylang import bytecode as bc
+from repro.rktlang.compiler import compile_rkt
+
+
+def compile_fn(body, params="()"):
+    """Compile a one-function module and return the function's PyCode."""
+    code = compile_rkt("(define (f %s) %s)" % (params.strip("()"), body))
+    for const in code.consts:
+        if isinstance(const, bc.FunctionSpec):
+            return const.code
+    raise AssertionError("no function compiled")
+
+
+def test_module_code_shape():
+    code = compile_rkt("(display 1)")
+    assert code.name == "<rkt-module>"
+    assert code.argcount == 0
+    assert code.ops[-1] == bc.RETURN_VALUE
+    # Module ends by returning None.
+    assert None in code.consts
+
+
+def test_inline_binop_chain():
+    code = compile_fn("(+ a b c)", params="(a b c)")
+    # n-ary + folds left: two BINARY_ADDs, no CALL_FUNCTION.
+    assert code.ops.count(bc.BINARY_ADD) == 2
+    assert bc.CALL_FUNCTION not in code.ops
+
+
+def test_unary_minus_and_reciprocal():
+    neg = compile_fn("(- a)", params="(a)")
+    assert bc.UNARY_NEG in neg.ops
+    inv = compile_fn("(/ a)", params="(a)")
+    assert bc.BINARY_TRUEDIV in inv.ops
+    assert 1.0 in inv.consts
+
+
+def test_unary_unsupported_inline_op_rejected():
+    with pytest.raises(CompilationError):
+        compile_fn("(modulo a)", params="(a)")
+
+
+def test_generic_call_uses_call_function():
+    code = compile_fn("(g a 1)", params="(a)")
+    assert bc.CALL_FUNCTION in code.ops
+    assert code.args[code.ops.index(bc.CALL_FUNCTION)] == 2
+
+
+def test_define_function_closes_over_params():
+    code = compile_fn("(+ x y)", params="(x y)")
+    assert code.argcount == 2
+    assert code.varnames[:2] == ["x", "y"]
+    assert bc.LOAD_FAST in code.ops
+
+
+def test_define_value_stores_global():
+    code = compile_rkt("(define x 42)")
+    assert bc.STORE_GLOBAL in code.ops
+    assert 42 in code.consts
+
+
+def test_let_binds_locals_inside_function():
+    code = compile_fn("(let ((x 1) (y 2)) (+ x y))")
+    assert bc.STORE_FAST in code.ops
+    assert "x" in code.varnames and "y" in code.varnames
+
+
+def test_let_at_module_level_rejected():
+    with pytest.raises(CompilationError):
+        compile_rkt("(let ((x 1)) x)")
+
+
+def test_let_star_sequential_bindings():
+    code = compile_fn("(let* ((x 1) (y (+ x 1))) y)")
+    assert "x" in code.varnames and "y" in code.varnames
+
+
+def test_named_let_compiles_to_backward_jump():
+    code = compile_fn(
+        "(let loop ((i 0) (acc 0))"
+        " (if (< i n) (loop (+ i 1) (+ acc i)) acc))",
+        params="(n)")
+    jumps = [(i, code.args[i]) for i, op in enumerate(code.ops)
+             if op == bc.JUMP]
+    # The loop call jumps backwards to the header.
+    assert any(target <= i for i, target in jumps), jumps
+
+
+def test_named_let_non_tail_call_rejected():
+    with pytest.raises(CompilationError):
+        compile_fn(
+            "(let loop ((i 0)) (+ 1 (loop (+ i 1))))")
+
+
+def test_named_let_arity_mismatch_rejected():
+    with pytest.raises(CompilationError):
+        compile_fn("(let loop ((i 0)) (loop 1 2))")
+
+
+def test_do_loop_shape():
+    code = compile_fn(
+        "(do ((i 0 (+ i 1)) (acc 0 (+ acc i))) ((= i n) acc))",
+        params="(n)")
+    assert bc.POP_JUMP_IF_TRUE in code.ops
+    assert bc.JUMP in code.ops
+
+
+def test_do_binding_without_step_keeps_value():
+    code = compile_fn("(do ((i 0 (+ i 1)) (k 7)) ((= i 3) k))")
+    assert bc.LOAD_FAST in code.ops
+
+
+def test_cond_with_else():
+    code = compile_fn(
+        "(cond ((< a 0) 0) ((= a 0) 1) (else 2))", params="(a)")
+    assert code.ops.count(bc.POP_JUMP_IF_FALSE) == 2
+
+
+def test_cond_without_else_yields_none():
+    code = compile_fn("(cond ((< a 0) 0))", params="(a)")
+    assert None in code.consts
+
+
+def test_when_unless():
+    when = compile_fn("(when (< a 0) 1)", params="(a)")
+    assert bc.POP_JUMP_IF_FALSE in when.ops
+    unless = compile_fn("(unless (< a 0) 1)", params="(a)")
+    assert bc.POP_JUMP_IF_TRUE in unless.ops
+
+
+def test_and_or_short_circuit_ops():
+    both = compile_fn("(and a b c)", params="(a b c)")
+    assert both.ops.count(bc.JUMP_IF_FALSE_OR_POP) == 2
+    either = compile_fn("(or a b)", params="(a b)")
+    assert either.ops.count(bc.JUMP_IF_TRUE_OR_POP) == 1
+    assert compile_fn("(and)").consts.count(True) == 1
+    assert compile_fn("(or)").consts.count(False) == 1
+
+
+def test_not_is_unary():
+    code = compile_fn("(not a)", params="(a)")
+    assert bc.UNARY_NOT in code.ops
+
+
+def test_set_bang_stores_and_yields_none():
+    code = compile_fn("(set! a 5)", params="(a)")
+    assert bc.STORE_FAST in code.ops
+    assert None in code.consts
+
+
+def test_quote_forms():
+    assert "sym" in compile_fn("'sym").consts  # symbols quote to strings
+    assert None in compile_fn("'()").consts    # '() is nil
+    assert 3 in compile_fn("'3").consts
+
+
+def test_quote_nonempty_list_rejected():
+    with pytest.raises(CompilationError):
+        compile_fn("'(1 2 3)")
+
+
+def test_empty_form_rejected():
+    with pytest.raises(CompilationError):
+        compile_rkt("()")
+
+
+def test_string_and_char_literals_are_consts():
+    code = compile_fn('(string-append2 "ab" #\\c)')
+    assert "ab" in code.consts
+    assert "c" in code.consts

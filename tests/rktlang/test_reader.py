@@ -1,0 +1,112 @@
+"""TinyRkt reader unit tests: tokenizer and s-expression parser."""
+
+import pytest
+
+from repro.core.errors import CompilationError
+from repro.rktlang.reader import Symbol, parse_all, tokenize
+
+
+# -- tokenizer ------------------------------------------------------------------
+
+
+def test_tokenize_skips_whitespace_and_comments():
+    tokens = tokenize("  1 ; a comment\n 2 ;; another\n")
+    assert tokens == [("atom", "1"), ("atom", "2")]
+
+
+def test_tokenize_comment_at_eof_without_newline():
+    assert tokenize("1 ; trailing") == [("atom", "1")]
+
+
+def test_tokenize_brackets_normalize_to_parens():
+    assert tokenize("[a]") == ["(", ("atom", "a"), ")"]
+
+
+def test_tokenize_string_escapes():
+    tokens = tokenize(r'"a\nb\t\"q\\z"')
+    assert tokens == [("str", 'a\nb\t"q\\z')]
+
+
+def test_tokenize_unknown_escape_passes_through():
+    assert tokenize(r'"a\qb"') == [("str", "aqb")]
+
+
+def test_tokenize_unterminated_string_raises():
+    with pytest.raises(CompilationError):
+        tokenize('"never closed')
+
+
+def test_tokenize_atom_stops_at_delimiters():
+    tokens = tokenize('(fn"s")')
+    assert tokens == ["(", ("atom", "fn"), ("str", "s"), ")"]
+
+
+# -- parser ---------------------------------------------------------------------
+
+
+def test_parse_atoms():
+    forms = parse_all("1 2.5 -3 #t #f hello")
+    assert forms[0] == 1 and isinstance(forms[0], int)
+    assert forms[1] == 2.5 and isinstance(forms[1], float)
+    assert forms[2] == -3
+    assert forms[3] is True
+    assert forms[4] is False
+    assert isinstance(forms[5], Symbol)
+    assert forms[5] == "hello"
+
+
+def test_parse_char_literals():
+    assert parse_all(r"#\a")[0] == ("char", "a")
+    assert parse_all(r"#\space")[0] == ("char", " ")
+    assert parse_all(r"#\newline")[0] == ("char", "\n")
+
+
+def test_parse_string_literal_is_tagged():
+    assert parse_all('"hi"')[0] == ("strlit", "hi")
+
+
+def test_parse_nested_lists():
+    (form,) = parse_all("(a (b (c)) d)")
+    assert isinstance(form, list)
+    assert form[0] == "a"
+    assert form[1] == ["b", ["c"]]
+    assert form[2] == "d"
+
+
+def test_parse_quote_sugar():
+    (form,) = parse_all("'(1 2)")
+    assert form[0] == "quote"
+    assert isinstance(form[0], Symbol)
+    assert form[1] == [1, 2]
+
+
+def test_parse_quote_of_atom():
+    (form,) = parse_all("'x")
+    assert form == [Symbol("quote"), Symbol("x")]
+
+
+def test_parse_multiple_toplevel_forms():
+    forms = parse_all("(define x 1) (display x)")
+    assert len(forms) == 2
+
+
+def test_parse_missing_close_paren_raises():
+    with pytest.raises(CompilationError):
+        parse_all("(a (b)")
+
+
+def test_parse_unexpected_close_paren_raises():
+    with pytest.raises(CompilationError):
+        parse_all(")")
+
+
+def test_parse_quote_at_eof_raises():
+    with pytest.raises(CompilationError):
+        parse_all("'")
+
+
+def test_symbol_distinct_from_string_literal():
+    sym, lit = parse_all('abc "abc"')
+    assert isinstance(sym, Symbol)
+    assert lit == ("strlit", "abc")
+    assert sym != lit

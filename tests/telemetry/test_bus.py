@@ -1,0 +1,122 @@
+"""TelemetryBus unit tests (deterministic fake clock)."""
+
+from repro.telemetry.bus import TelemetryBus
+
+
+class FakeClock(object):
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def tick(self, dt=1.0):
+        self.now += dt
+
+
+def make_bus():
+    clock = FakeClock()
+    return TelemetryBus(clock=clock, pid=3, tid=1,
+                        process_name="test"), clock
+
+
+def test_simple_span_duration_and_self():
+    bus, clock = make_bus()
+    bus.begin("a", "cat")
+    clock.tick(10)
+    record = bus.end("a")
+    assert record["dur"] == 10
+    assert record["self"] == 10
+    assert record["depth"] == 0
+    assert record["pid"] == 3 and record["tid"] == 1
+
+
+def test_nested_spans_accumulate_child_ticks():
+    bus, clock = make_bus()
+    bus.begin("parent")
+    clock.tick(2)
+    bus.begin("child")
+    clock.tick(5)
+    bus.end("child")
+    clock.tick(3)
+    parent = bus.end("parent")
+    assert parent["dur"] == 10
+    assert parent["self"] == 5  # 10 - 5 child ticks
+    child = [e for e in bus.events() if e.get("name") == "child"][0]
+    assert child["depth"] == 1
+    assert child["self"] == 5
+
+
+def test_end_with_mismatched_name_is_noop():
+    bus, clock = make_bus()
+    bus.begin("a")
+    assert bus.end("other") is None
+    assert bus.depth == 1
+    clock.tick(1)
+    assert bus.end("a")["name"] == "a"
+
+
+def test_end_on_empty_stack_is_noop():
+    bus, _ = make_bus()
+    assert bus.end() is None
+
+
+def test_span_context_manager():
+    bus, clock = make_bus()
+    with bus.span("s", "cat", key=7):
+        clock.tick(4)
+    (span,) = [e for e in bus.events() if e["type"] == "span"]
+    assert span["dur"] == 4
+    assert span["args"] == {"key": 7}
+
+
+def test_annotate_merges_into_open_span():
+    bus, clock = make_bus()
+    bus.begin("s", args={"a": 1})
+    bus.annotate(b=2)
+    clock.tick(1)
+    record = bus.end("s", args={"c": 3})
+    assert record["args"] == {"a": 1, "b": 2, "c": 3}
+
+
+def test_annotate_without_open_span_is_noop():
+    bus, _ = make_bus()
+    bus.annotate(x=1)  # must not raise
+    assert bus.events()[1:] == []
+
+
+def test_instant_record():
+    bus, clock = make_bus()
+    clock.tick(7)
+    bus.instant("marker", "cat", {"k": "v"})
+    (instant,) = [e for e in bus.events() if e["type"] == "instant"]
+    assert instant["ts"] == 7
+    assert instant["args"] == {"k": "v"}
+
+
+def test_finish_closes_open_spans_and_flushes_metrics():
+    bus, clock = make_bus()
+    bus.begin("outer")
+    bus.begin("inner")
+    bus.count("n", 2)
+    bus.gauge("g", 1.5)
+    bus.histogram("h", 8)
+    clock.tick(1)
+    bus.finish()
+    bus.finish()  # idempotent
+    events = bus.events()
+    spans = [e for e in events if e["type"] == "span"]
+    assert {s["name"] for s in spans} == {"outer", "inner"}
+    (metrics,) = [e for e in events if e["type"] == "metrics"]
+    assert metrics["metrics"]["counters"] == {"n": 2}
+    assert metrics["metrics"]["gauges"] == {"g": 1.5}
+    assert metrics["metrics"]["histograms"]["h"]["count"] == 1
+    assert events.count({e["type"]: 1 for e in events}.get("metrics")) <= 1
+
+
+def test_events_lead_with_meta():
+    bus, _ = make_bus()
+    meta = bus.events()[0]
+    assert meta["type"] == "meta"
+    assert meta["process_name"] == "test"
+    assert meta["ticks_per_us"] == 1.0

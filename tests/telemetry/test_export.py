@@ -1,0 +1,109 @@
+"""Exporter unit tests: Chrome trace JSON, summaries, diffs."""
+
+import json
+
+from repro.telemetry.bus import TelemetryBus
+from repro.telemetry import export
+
+
+def sample_events(ticks_per_us=1.0):
+    clock = [0.0]
+    bus = TelemetryBus(clock=lambda: clock[0], pid=5,
+                       ticks_per_us=ticks_per_us, process_name="samp")
+    bus.begin("run", "interp.dispatch")
+    clock[0] += 10
+    bus.begin("jit", "jit.exec")
+    clock[0] += 20
+    bus.begin("gc_minor", "gc.heap")
+    clock[0] += 5
+    bus.end("gc_minor")
+    bus.end("jit")
+    clock[0] += 15
+    bus.instant("mark", "cat")
+    bus.count("c", 3)
+    bus.gauge("g", 2.0)
+    bus.end("run")
+    bus.finish()
+    return bus.events()
+
+
+def test_to_chrome_shapes_and_scaling():
+    chrome = export.to_chrome(sample_events(ticks_per_us=2.0))
+    json.dumps(chrome)  # must be JSON-serializable
+    events = chrome["traceEvents"]
+    phases = {e["ph"] for e in events}
+    assert phases == {"M", "X", "i", "C"}
+    (process_meta,) = [e for e in events if e["ph"] == "M"]
+    assert process_meta["args"]["name"] == "samp"
+    run = [e for e in events if e.get("name") == "run"][0]
+    # 50 ticks at 2 ticks/us -> 25 us.
+    assert run["dur"] == 25.0
+    counters = [e for e in events if e["ph"] == "C"]
+    assert {c["name"] for c in counters} == {"c", "g"}
+
+
+def test_to_chrome_unknown_pid_defaults_to_unit_scale():
+    events = sample_events()
+    body = [dict(e) for e in events if e["type"] != "meta"]
+    chrome = export.to_chrome(body)
+    run = [e for e in chrome["traceEvents"] if e.get("name") == "run"][0]
+    assert run["dur"] == 50.0
+
+
+def test_self_time_summary_by_name():
+    summary = export.self_time_summary(sample_events(), by="name")
+    assert summary["run"]["total"] == 50
+    assert summary["run"]["self"] == 25  # 50 - 25 (jit incl. gc)
+    assert summary["jit"]["self"] == 20
+    assert summary["gc_minor"]["self"] == 5
+    assert summary["run"]["count"] == 1
+
+
+def test_self_time_summary_by_phase_drops_unmapped_spans():
+    clock = [0.0]
+    bus = TelemetryBus(clock=lambda: clock[0])
+    bus.begin("run_program", "harness.runner")  # no phase mapping
+    clock[0] += 4
+    bus.end()
+    bus.finish()
+    summary = export.self_time_summary(bus.events(), by="phase")
+    assert summary == {}
+    vm_summary = export.self_time_summary(sample_events(), by="phase")
+    assert set(vm_summary) == {"interp", "jit", "gc"}
+    assert vm_summary["interp"]["self"] == 25
+
+
+def test_merged_metrics_folds_all_records():
+    events = sample_events() + sample_events()
+    merged = export.merged_metrics(events)
+    assert merged["counters"] == {"c": 6}
+    assert merged["gauges"] == {"g": 2.0}
+
+
+def test_render_summary_orders_by_self_time():
+    text = export.render_summary(
+        export.self_time_summary(sample_events()), title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    body = [line.split()[0] for line in lines[3:]]
+    assert body == ["run", "jit", "gc_minor"]
+
+
+def test_diff_summaries_tolerance_and_new_keys():
+    before = {"a": {"self": 100.0}, "b": {"self": 50.0}}
+    after = {"a": {"self": 103.0}, "b": {"self": 80.0},
+             "c": {"self": 10.0}}
+    moved = export.diff_summaries(before, after, tolerance=0.05)
+    names = {m["name"] for m in moved}
+    assert names == {"b", "c"}
+    b_row = [m for m in moved if m["name"] == "b"][0]
+    assert abs(b_row["ratio"] - 0.6) < 1e-9
+    c_row = [m for m in moved if m["name"] == "c"][0]
+    assert c_row["ratio"] == float("inf")
+
+
+def test_write_read_jsonl_path(tmp_path):
+    events = sample_events()
+    path = tmp_path / "t.jsonl"
+    export.write_jsonl(str(path), events)
+    assert export.read_jsonl(str(path)) == events

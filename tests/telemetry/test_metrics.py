@@ -1,0 +1,97 @@
+"""Metrics registry unit + property tests."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.telemetry.metrics import (
+    Histogram,
+    MetricsRegistry,
+    _bucket_index,
+    bucket_bounds,
+)
+
+
+def test_bucket_index_powers_of_two():
+    assert _bucket_index(0) == 0
+    assert _bucket_index(1) == 0
+    assert _bucket_index(2) == 1
+    assert _bucket_index(3) == 1
+    assert _bucket_index(4) == 2
+    assert _bucket_index(1023) == 9
+    assert _bucket_index(1024) == 10
+
+
+@given(st.integers(0, 2**40))
+@settings(max_examples=200, deadline=None)
+def test_bucket_bounds_contain_value(value):
+    lo, hi = bucket_bounds(_bucket_index(value))
+    assert lo <= value < hi
+
+
+def test_histogram_stats():
+    histogram = Histogram()
+    for value in (1, 2, 3, 100):
+        histogram.record(value)
+    assert histogram.count == 4
+    assert histogram.total == 106
+    assert histogram.min == 1
+    assert histogram.max == 100
+    assert histogram.mean == 26.5
+    assert Histogram().mean == 0.0
+
+
+@given(st.lists(st.integers(0, 10**6)), st.lists(st.integers(0, 10**6)))
+@settings(max_examples=100, deadline=None)
+def test_histogram_merge_equals_combined_recording(xs, ys):
+    separate_a, separate_b, combined = Histogram(), Histogram(), Histogram()
+    for x in xs:
+        separate_a.record(x)
+        combined.record(x)
+    for y in ys:
+        separate_b.record(y)
+        combined.record(y)
+    separate_a.merge(separate_b)
+    assert separate_a.to_dict() == combined.to_dict()
+
+
+@given(st.lists(st.integers(0, 10**6), min_size=1))
+@settings(max_examples=100, deadline=None)
+def test_histogram_round_trip(values):
+    histogram = Histogram()
+    for value in values:
+        histogram.record(value)
+    assert Histogram.from_dict(histogram.to_dict()).to_dict() \
+        == histogram.to_dict()
+
+
+def test_registry_count_gauge():
+    registry = MetricsRegistry()
+    registry.count("c")
+    registry.count("c", 4)
+    registry.gauge("g", 1)
+    registry.gauge("g", 2)
+    assert registry.counters == {"c": 5}
+    assert registry.gauges == {"g": 2}
+
+
+def test_registry_merge():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.count("shared", 1)
+    b.count("shared", 2)
+    b.count("only_b", 3)
+    a.gauge("g", 1)
+    b.gauge("g", 9)
+    a.histogram("h", 4)
+    b.histogram("h", 5)
+    a.merge(b)
+    assert a.counters == {"shared": 3, "only_b": 3}
+    assert a.gauges == {"g": 9}  # last write wins
+    assert a.histograms["h"].count == 2
+
+
+def test_registry_round_trip():
+    registry = MetricsRegistry()
+    registry.count("c", 7)
+    registry.gauge("g", 2.5)
+    registry.histogram("h", 33)
+    restored = MetricsRegistry.from_dict(registry.to_dict())
+    assert restored.to_dict() == registry.to_dict()

@@ -1,0 +1,110 @@
+"""Hypothesis properties of the telemetry subsystem.
+
+* spans strictly nest (any two spans on a track are disjoint or
+  contained, never partially overlapping);
+* a span's children's durations sum to at most its own, and its self
+  time is exactly duration minus direct-children time;
+* the JSONL exporter round-trips event streams losslessly;
+* cross-process merging is independent of worker arrival order.
+"""
+
+import io
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.telemetry.bus import TelemetryBus
+from repro.telemetry.export import read_jsonl, write_jsonl
+from repro.telemetry.merge import merge_runs
+
+# A recording script: each step either opens a span, closes one, or
+# emits an instant, always advancing the fake clock by ``dt``.
+_steps = st.lists(
+    st.tuples(st.sampled_from(["begin", "end", "instant"]),
+              st.sampled_from(["a", "b", "c", "gc", "jit"]),
+              st.integers(1, 50)),
+    max_size=60)
+
+
+def record_script(steps, pid=0):
+    clock = [0.0]
+    bus = TelemetryBus(clock=lambda: clock[0], pid=pid,
+                       process_name="script-%d" % pid)
+    for action, name, dt in steps:
+        clock[0] += dt
+        if action == "begin":
+            bus.begin(name, "cat")
+        elif action == "end":
+            bus.end()
+        else:
+            bus.instant(name)
+        bus.count("steps")
+    clock[0] += 1
+    bus.finish()
+    return bus.events()
+
+
+def spans_of(events):
+    return [e for e in events if e["type"] == "span"]
+
+
+@given(_steps)
+@settings(max_examples=150, deadline=None)
+def test_spans_strictly_nest(steps):
+    spans = spans_of(record_script(steps))
+    for i, a in enumerate(spans):
+        for b in spans[i + 1:]:
+            a0, a1 = a["ts"], a["ts"] + a["dur"]
+            b0, b1 = b["ts"], b["ts"] + b["dur"]
+            disjoint = a1 <= b0 or b1 <= a0
+            a_in_b = b0 <= a0 and a1 <= b1
+            b_in_a = a0 <= b0 and b1 <= a1
+            assert disjoint or a_in_b or b_in_a, (a, b)
+
+
+@given(_steps)
+@settings(max_examples=150, deadline=None)
+def test_child_self_times_sum_within_parent(steps):
+    spans = spans_of(record_script(steps))
+    for parent in spans:
+        p0, p1 = parent["ts"], parent["ts"] + parent["dur"]
+        children = [s for s in spans
+                    if s["depth"] == parent["depth"] + 1
+                    and p0 <= s["ts"] and s["ts"] + s["dur"] <= p1]
+        child_time = sum(c["dur"] for c in children)
+        assert child_time <= parent["dur"] + 1e-9
+        assert abs(parent["self"] - (parent["dur"] - child_time)) < 1e-9
+        assert parent["self"] >= -1e-9
+
+
+@given(_steps)
+@settings(max_examples=100, deadline=None)
+def test_jsonl_round_trip_is_lossless(steps):
+    events = record_script(steps)
+    buffer = io.StringIO()
+    write_jsonl(buffer, events)
+    buffer.seek(0)
+    assert read_jsonl(buffer) == events
+
+
+@given(st.lists(_steps, min_size=1, max_size=4), st.randoms())
+@settings(max_examples=50, deadline=None)
+def test_merge_is_order_independent(scripts, rng):
+    event_lists = [record_script(steps, pid=i)
+                   for i, steps in enumerate(scripts)]
+    labels = ["run-%d" % i for i in range(len(event_lists))]
+    reference = merge_runs(event_lists, labels=labels)
+    shuffled = list(zip(labels, event_lists))
+    rng.shuffle(shuffled)
+    merged = merge_runs([events for _, events in shuffled],
+                        labels=[label for label, _ in shuffled])
+    assert merged == reference
+
+
+def test_merge_reassigns_pids_deterministically():
+    lists = [record_script([("begin", "a", 1), ("end", "a", 2)], pid=9),
+             record_script([("begin", "b", 1), ("end", "b", 2)], pid=9)]
+    merged = merge_runs(lists, labels=["zzz", "aaa"])
+    metas = [e for e in merged if e["type"] == "meta"]
+    assert [m["process_name"] for m in metas] == ["aaa", "zzz"]
+    assert [m["pid"] for m in metas] == [1, 2]

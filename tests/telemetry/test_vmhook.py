@@ -1,0 +1,120 @@
+"""VM-session telemetry integration: spans from annotation tags.
+
+Runs a small hot loop on the framework VM with a VMTelemetry session
+attached and checks the recorded stream: span names per JIT phase,
+metric counters consistent with the trace registry, phase self-times
+agreeing with the PinTool phase windows, and the disabled path staying
+listener-free.
+"""
+
+import pytest
+
+from repro import telemetry
+from repro.core.config import SystemConfig
+from repro.interp.context import VMContext
+from repro.pintool.tool import PinTool
+from repro.pylang.interp import PyVM
+from repro.telemetry.export import self_time_summary
+from repro.telemetry.vmhook import VMTelemetry
+
+SOURCE = """
+acc = 0
+data = []
+for i in range(600):
+    acc = acc + i * 3 - (acc >> 2)
+    if i % 3 == 0:
+        acc = acc ^ 5
+    data.append(i)
+    if len(data) > 64:
+        data = []
+print(acc)
+"""
+
+
+@pytest.fixture
+def recorded():
+    cfg = SystemConfig()
+    cfg.jit.hot_loop_threshold = 8
+    cfg.jit.bridge_threshold = 3
+    ctx = VMContext(cfg)
+    session = VMTelemetry(ctx.machine, label="unit/pypy")
+    ctx.telemetry = session
+    ctx.gc.telemetry = session
+    tool = PinTool(ctx.machine, telemetry=session)
+    vm = PyVM(ctx)
+    vm.driver.telemetry = session
+    vm.run_source(SOURCE)
+    tool.finish()
+    session.finish()
+    return ctx, session.events()
+
+
+def test_span_names_cover_jit_phases(recorded):
+    ctx, events = recorded
+    names = {e["name"] for e in events if e["type"] == "span"}
+    assert {"run", "trace", "optimize", "assemble", "jit"} <= names
+
+
+def test_counters_match_registry(recorded):
+    ctx, events = recorded
+    (metrics,) = [e for e in events if e["type"] == "metrics"]
+    counters = metrics["metrics"]["counters"]
+    assert counters["jit.tracer.traces_compiled"] == \
+        len(ctx.registry.traces)
+    assert counters["interp.jitdriver.trace_entries"] >= 1
+    assert counters["jit.optimizer.ops_out"] <= \
+        counters["jit.optimizer.ops_in"]
+
+
+def test_phase_self_times_agree_with_pintool_windows(recorded):
+    ctx, events = recorded
+    summary = self_time_summary(events, by="phase")
+    (windows,) = [e for e in events
+                  if e["type"] == "instant" and e["name"] == "phase_windows"]
+    for phase, row in summary.items():
+        expected = windows["args"][phase]["cycles"]
+        assert abs(row["self"] - expected) <= \
+            max(1.0, 1e-6 * abs(expected)), phase
+
+
+def test_spans_timestamped_in_machine_cycles(recorded):
+    ctx, events = recorded
+    spans = [e for e in events if e["type"] == "span"]
+    assert max(e["ts"] + e["dur"] for e in spans) <= ctx.machine.cycles
+    meta = events[0]
+    assert meta["ticks_per_us"] == pytest.approx(3200.0)
+    assert meta["process_name"] == "unit/pypy"
+
+
+def test_session_finish_detaches_listeners():
+    cfg = SystemConfig()
+    ctx = VMContext(cfg)
+    baseline = sum(len(v) for v in ctx.machine._tag_listeners.values())
+    session = VMTelemetry(ctx.machine, label="x")
+    attached = sum(len(v) for v in ctx.machine._tag_listeners.values())
+    assert attached > baseline
+    session.finish()
+    detached = sum(len(v) for v in ctx.machine._tag_listeners.values())
+    assert detached == baseline
+
+
+def test_disabled_telemetry_registers_nothing():
+    assert telemetry.BUS is None  # default state in the test process
+    cfg = SystemConfig()
+    ctx = VMContext(cfg)
+    assert ctx.telemetry is None
+    assert ctx.gc.telemetry is None
+
+
+def test_enable_disable_toggle():
+    try:
+        telemetry.enable()
+        assert telemetry.BUS is not None
+        assert telemetry.enabled()
+        ctx = VMContext(SystemConfig())
+        assert ctx.telemetry is not None
+        ctx.telemetry.finish()
+    finally:
+        telemetry.disable()
+    assert telemetry.BUS is None
+    assert not telemetry.enabled()

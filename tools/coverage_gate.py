@@ -1,0 +1,193 @@
+#!/usr/bin/env python
+"""Line-coverage gate with a recorded baseline.
+
+Measures line coverage of the focused unit suites over their subsystems
+and fails when coverage regresses below the recorded baseline (minus a
+small margin that absorbs backend differences).  Scope is deliberately
+the fast, deterministic suites — the simulator integration tests are
+exercised by the tier-1 job and would make tracing unaffordably slow.
+
+Backends:
+
+* ``coverage.py`` when importable (CI installs it; C tracer, fast);
+* otherwise a dependency-free ``sys.settrace`` tracer whose executable
+  -line universe is derived from compiled code objects (requires
+  Python 3.10+ for ``co_lines``), measuring the same definition.
+
+Usage (repo root):
+
+    PYTHONPATH=src python tools/coverage_gate.py           # check
+    PYTHONPATH=src python tools/coverage_gate.py --record  # new baseline
+"""
+
+import argparse
+import json
+import os
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(ROOT, "src"))
+
+# Subsystems measured, and the suites that exercise them.
+TARGETS = ("repro/telemetry", "repro/rktlang", "repro/harness",
+           "repro/pintool")
+TEST_DIRS = ("tests/telemetry", "tests/rktlang", "tests/harness",
+             "tests/pintool")
+
+BASELINE_PATH = os.path.join(ROOT, "tools", "coverage_baseline.json")
+
+#: Allowed drop below the recorded percentage before the gate fails.
+#: Covers the (small) definitional drift between backends.
+MARGIN = 2.0
+
+
+def target_files():
+    files = []
+    for target in TARGETS:
+        base = os.path.join(ROOT, "src", target)
+        for dirpath, _dirnames, filenames in os.walk(base):
+            for filename in sorted(filenames):
+                if filename.endswith(".py"):
+                    files.append(os.path.join(dirpath, filename))
+    return files
+
+
+def _run_pytest():
+    import pytest
+
+    args = ["-q", "-p", "no:cacheprovider"]
+    args += [os.path.join(ROOT, d) for d in TEST_DIRS]
+    code = pytest.main(args)
+    if code != 0:
+        raise SystemExit("coverage gate: test run failed (exit %s)" % code)
+
+
+# -- coverage.py backend --------------------------------------------------------
+
+
+def measure_with_coverage_py():
+    import coverage
+
+    cov = coverage.Coverage(source=[os.path.join(ROOT, "src", t)
+                                    for t in TARGETS])
+    cov.start()
+    try:
+        _run_pytest()
+    finally:
+        cov.stop()
+    covered = total = 0
+    for path in target_files():
+        try:
+            _fn, executable, _excl, missing, _fmt = cov.analysis2(path)
+        except coverage.CoverageException:
+            continue
+        total += len(executable)
+        covered += len(executable) - len(missing)
+    return covered, total
+
+
+# -- stdlib fallback backend ----------------------------------------------------
+
+
+def _executable_lines(path):
+    """Line numbers with code, from the compiled code-object tree."""
+    with open(path) as handle:
+        source = handle.read()
+    lines = set()
+    stack = [compile(source, path, "exec")]
+    while stack:
+        code = stack.pop()
+        lines.update(line for _start, _end, line in code.co_lines()
+                     if line is not None)
+        for const in code.co_consts:
+            if hasattr(const, "co_lines"):
+                stack.append(const)
+    return lines
+
+
+def measure_with_settrace():
+    if not hasattr(sys, "version_info") or sys.version_info < (3, 10):
+        raise SystemExit("coverage gate: install coverage.py on "
+                         "Python < 3.10 (no co_lines support)")
+    prefixes = tuple(os.path.join(ROOT, "src", t) + os.sep
+                     for t in TARGETS) + tuple(
+        os.path.join(ROOT, "src", t) + ".py" for t in TARGETS)
+    hits = {}
+
+    def local_trace(frame, event, _arg):
+        if event == "line":
+            hits[frame.f_code.co_filename].add(frame.f_lineno)
+        return local_trace
+
+    def global_trace(frame, event, _arg):
+        filename = frame.f_code.co_filename
+        if filename.startswith(prefixes):
+            if filename not in hits:
+                hits[filename] = set()
+            return local_trace
+        return None
+
+    sys.settrace(global_trace)
+    try:
+        _run_pytest()
+    finally:
+        sys.settrace(None)
+    covered = total = 0
+    for path in target_files():
+        executable = _executable_lines(path)
+        total += len(executable)
+        covered += len(executable & hits.get(path, set()))
+    return covered, total
+
+
+def measure():
+    try:
+        import coverage  # noqa: F401
+        backend = "coverage.py"
+        covered, total = measure_with_coverage_py()
+    except ImportError:
+        backend = "settrace"
+        covered, total = measure_with_settrace()
+    percent = 100.0 * covered / total if total else 0.0
+    return backend, covered, total, percent
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--record", action="store_true",
+                        help="record the measured percentage as the new "
+                             "baseline")
+    parser.add_argument("--margin", type=float, default=MARGIN,
+                        help="allowed drop below baseline (default %.1f "
+                             "points)" % MARGIN)
+    args = parser.parse_args(argv)
+
+    backend, covered, total, percent = measure()
+    print("coverage[%s]: %d/%d lines = %.2f%%"
+          % (backend, covered, total, percent))
+
+    if args.record:
+        with open(BASELINE_PATH, "w") as handle:
+            json.dump({"line_percent": round(percent, 2),
+                       "backend": backend,
+                       "targets": list(TARGETS)}, handle, indent=2)
+            handle.write("\n")
+        print("recorded baseline %.2f%% -> %s" % (percent, BASELINE_PATH))
+        return 0
+
+    if not os.path.exists(BASELINE_PATH):
+        raise SystemExit("no baseline recorded; run with --record first")
+    with open(BASELINE_PATH) as handle:
+        baseline = json.load(handle)
+    floor = baseline["line_percent"] - args.margin
+    print("baseline %.2f%% (recorded with %s), floor %.2f%%"
+          % (baseline["line_percent"], baseline.get("backend", "?"), floor))
+    if percent < floor:
+        print("COVERAGE REGRESSION: %.2f%% < %.2f%%" % (percent, floor))
+        return 1
+    print("coverage gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,183 @@
+#!/usr/bin/env python
+"""Record, summarize, and diff cross-layer telemetry traces.
+
+Subcommands:
+
+    record     run a benchmark with telemetry enabled; write a Chrome
+               trace-event JSON (load it in Perfetto / chrome://tracing)
+               and/or a compact JSONL event stream, then print the
+               per-phase self-time summary cross-checked against the
+               PinTool phase windows.
+    summarize  print self-time and metrics summaries for a saved JSONL
+               stream.
+    diff       compare two saved JSONL streams and report self-time
+               regressions beyond a tolerance.
+
+Examples (from the repo root):
+
+    PYTHONPATH=src python tools/trace_view.py record --prog richards \
+        -o richards.trace.json
+    PYTHONPATH=src python tools/trace_view.py record --prog richards \
+        --jsonl richards.jsonl
+    PYTHONPATH=src python tools/trace_view.py summarize richards.jsonl
+    PYTHONPATH=src python tools/trace_view.py diff before.jsonl after.jsonl
+"""
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src"))
+
+from repro import telemetry  # noqa: E402
+from repro.telemetry import export  # noqa: E402
+
+
+def _record_events(args):
+    # Recording is a measurement run: never serve or pollute the store.
+    os.environ["REPRO_STORE"] = "0"
+    telemetry.enable()
+    from repro.benchprogs import registry
+    from repro.harness.runner import merged_timeline, run_program
+
+    if args.language == "racket":
+        program = registry.rkt_program(args.prog)
+    else:
+        program = registry.py_program(args.prog)
+    n = args.n
+    if n is None:
+        n = program.small_n if args.quick else program.default_n
+    results = [run_program(program, vm, n=n, language=args.language)
+               for vm in args.vm]
+    telemetry.BUS.finish()
+    return merged_timeline(results)
+
+
+def _check_phase_agreement(events, out=sys.stdout):
+    """Cross-check span self-times against the PinTool phase windows.
+
+    Both are driven by the same annotation tags at the same machine
+    cycles, so the per-phase self-time sums must match the windowed
+    totals (up to float accumulation noise).  Returns True on agreement.
+    """
+    summary = export.self_time_summary(events, by="phase")
+    windows = [e for e in events
+               if e["type"] == "instant" and e["name"] == "phase_windows"]
+    if not windows:
+        out.write("no phase_windows instants (reference VM run?)\n")
+        return True
+    totals = {}
+    for record in windows:
+        for phase, counters in record["args"].items():
+            totals[phase] = totals.get(phase, 0.0) + counters["cycles"]
+    ok = True
+    for phase, data in sorted(summary.items()):
+        expected = totals.get(phase, 0.0)
+        limit = max(1.0, 1e-6 * max(abs(expected), abs(data["self"])))
+        agree = abs(data["self"] - expected) <= limit
+        ok = ok and agree
+        out.write("%-10s self=%16.1f  window=%16.1f  %s\n" % (
+            phase, data["self"], expected, "ok" if agree else "MISMATCH"))
+    return ok
+
+
+def cmd_record(args):
+    events = _record_events(args)
+    if args.jsonl:
+        export.write_jsonl(args.jsonl, events)
+        print("wrote %s (%d events)" % (args.jsonl, len(events)))
+    if args.output:
+        export.write_chrome(args.output, events)
+        print("wrote %s (load in https://ui.perfetto.dev or "
+              "chrome://tracing)" % args.output)
+    print()
+    print(export.render_summary(export.self_time_summary(events, by="name"),
+                                title="Self time by span"))
+    print()
+    print(export.render_summary(export.self_time_summary(events, by="phase"),
+                                title="Self time by phase"))
+    print()
+    print("Phase agreement (span self-time vs pintool windows):")
+    if not _check_phase_agreement(events):
+        print("PHASE MISMATCH", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_summarize(args):
+    events = export.read_jsonl(args.trace)
+    print(export.render_summary(export.self_time_summary(events, by="name"),
+                                title="Self time by span"))
+    print()
+    print(export.render_summary(export.self_time_summary(events, by="phase"),
+                                title="Self time by phase"))
+    metrics = export.merged_metrics(events)
+    counters = metrics.get("counters", {})
+    if counters:
+        print()
+        print("Counters:")
+        for name in sorted(counters):
+            print("  %-40s %s" % (name, counters[name]))
+    return 0
+
+
+def cmd_diff(args):
+    before = export.self_time_summary(export.read_jsonl(args.before))
+    after = export.self_time_summary(export.read_jsonl(args.after))
+    rows = export.diff_summaries(before, after, tolerance=args.tolerance)
+    if not rows:
+        print("no self-time changes beyond %.0f%% tolerance"
+              % (100.0 * args.tolerance))
+        return 0
+    print("%-24s %16s %16s %8s" % ("span", "before", "after", "delta"))
+    for row in rows:
+        print("%-24s %16.1f %16.1f %+7.1f%%" % (
+            row["name"], row["before"], row["after"], 100.0 * row["ratio"]))
+    return 1 if args.fail_on_change else 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(prog="trace_view.py",
+                                     description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    rec = sub.add_parser("record", help="run a benchmark with telemetry on")
+    rec.add_argument("--prog", required=True, help="benchmark name")
+    rec.add_argument("--vm", action="append", default=None,
+                     help="VM kind (repeatable; default: pypy)")
+    rec.add_argument("--language", default="python",
+                     choices=["python", "racket"])
+    rec.add_argument("--n", type=int, default=None, help="problem size")
+    rec.add_argument("--quick", action="store_true",
+                     help="use the benchmark's quick (test) size")
+    rec.add_argument("-o", "--output", default=None,
+                     help="Chrome trace-event JSON output path")
+    rec.add_argument("--jsonl", default=None,
+                     help="compact JSONL event-stream output path")
+    rec.set_defaults(func=cmd_record)
+
+    summ = sub.add_parser("summarize", help="summarize a saved JSONL trace")
+    summ.add_argument("trace", help="JSONL stream from record --jsonl")
+    summ.set_defaults(func=cmd_summarize)
+
+    dif = sub.add_parser("diff", help="compare two saved JSONL traces")
+    dif.add_argument("before")
+    dif.add_argument("after")
+    dif.add_argument("--tolerance", type=float, default=0.05,
+                     help="relative self-time change to report (default 5%%)")
+    dif.add_argument("--fail-on-change", action="store_true",
+                     help="exit non-zero when changes are reported")
+    dif.set_defaults(func=cmd_diff)
+
+    args = parser.parse_args(argv)
+    if args.command == "record":
+        if args.vm is None:
+            args.vm = ["pypy"]
+        if not args.output and not args.jsonl:
+            args.output = "%s.trace.json" % args.prog
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
