@@ -7,6 +7,8 @@ instructions with a hot-loop threshold of 1039; we run benchmarks in the
 keep warmup a comparable *fraction* of execution.
 """
 
+import os
+
 from dataclasses import dataclass, field
 
 from repro.core.errors import ConfigError
@@ -15,6 +17,22 @@ from repro.core.errors import ConfigError
 # Shared by the harness (RunResult.seconds) and the telemetry layer
 # (cycle-domain timestamps scaled to trace microseconds).
 CLOCK_HZ = 3.2e9
+
+
+def _default_quicken():
+    """Default for :attr:`SystemConfig.quicken` (``REPRO_QUICKEN`` override).
+
+    Quickening is a host-side fast path that is proven bit-identical by
+    tests/interp/test_quicken_equivalence.py, so it defaults to on; set
+    ``REPRO_QUICKEN=0`` to force the unquickened reference paths (the
+    difftest oracle also cross-checks both continuously).
+    """
+    value = os.environ.get("REPRO_QUICKEN", "").strip().lower()
+    if value in ("0", "off", "false", "no"):
+        return False
+    if value in ("1", "on", "true", "yes"):
+        return True
+    return True
 
 
 @dataclass
@@ -129,6 +147,11 @@ class SystemConfig:
     # Stop the simulation after this many retired instructions (0 = off);
     # mirrors the paper's "first 10B instructions" methodology.
     max_instructions: int = 0
+    # Host-side interpreter quickening (superinstruction runs + inline
+    # caches).  Changes only host wall-clock, never simulated results:
+    # the equivalence suite pins quickened-on == quickened-off counters
+    # bit for bit.  Env override: REPRO_QUICKEN=0/1.
+    quicken: bool = field(default_factory=_default_quicken)
     seed: int = 0xC0FFEE
 
     def validate(self):

@@ -2,13 +2,16 @@
 
 Runs one TinyPy program under every execution mode the repo models —
 the CPython-reference interpreter (``cpref``), the RPython-style
-interpreter with the JIT disabled (``interp``), and the meta-tracing
+interpreter with the JIT disabled (``interp``), the same interpreter
+with the quickening layer off (``quicken-off``), and the meta-tracing
 JIT at several hot-loop thresholds (``jit@N``) — and checks:
 
 * **Agreement**: every engine prints the same stdout, and either all
   engines finish cleanly or all raise a guest-level error at the same
   point (engines word error messages differently, so only the
-  output-so-far and the erroredness are compared).
+  output-so-far and the erroredness are compared).  The ``interp`` and
+  ``quicken-off`` runs are additionally held to *bit-identical* machine
+  counters — quickening must be invisible to the simulation.
 * **Counter invariants** per engine run: the PinTool's per-phase
   instruction/cycle/branch windows must sum to the machine totals, and
   on JIT runs the jitlog's compile events must match the trace registry
@@ -23,6 +26,7 @@ exposed separately via :func:`check_kernel_output` /
 programs.
 """
 
+import gc
 import pickle
 
 from repro.core.config import SystemConfig
@@ -121,6 +125,27 @@ def _base_config(max_instructions):
     return config
 
 
+class _pinned_host_gc(object):
+    """Pin the host cyclic collector for one simulation.
+
+    SimGC's survivor sampling watches weakrefs of live guest objects, so
+    mid-run host collections — triggered by process-wide allocation
+    counts — would make engine runs depend on what the process executed
+    before them.  Collecting up front and disabling the collector makes
+    object death refcount-driven, so every engine sees identical guest
+    lifetimes (same mechanism as harness.runner.run_program)."""
+
+    def __enter__(self):
+        gc.collect()
+        self._was_enabled = gc.isenabled()
+        gc.disable()
+
+    def __exit__(self, *exc):
+        if self._was_enabled:
+            gc.enable()
+        return False
+
+
 def run_cpref(source, max_instructions=DEFAULT_MAX_INSTRUCTIONS):
     """Run a program on the CPython-reference engine."""
     run = EngineRun("cpref")
@@ -129,7 +154,8 @@ def run_cpref(source, max_instructions=DEFAULT_MAX_INSTRUCTIONS):
     vm = CpRef(config)
     tool = PinTool(vm.machine)
     try:
-        vm.run_source(source)
+        with _pinned_host_gc():
+            vm.run_source(source)
     except GuestError as exc:
         run.error = str(exc)
     except SimulationLimitReached:
@@ -142,18 +168,22 @@ def run_cpref(source, max_instructions=DEFAULT_MAX_INSTRUCTIONS):
 
 
 def run_interp(source, jit=False, threshold=39, bridge_threshold=3,
-               max_instructions=DEFAULT_MAX_INSTRUCTIONS):
+               max_instructions=DEFAULT_MAX_INSTRUCTIONS, quicken=None,
+               name=None):
     """Run a program on the RPython-style VM (JIT on or off)."""
-    run = EngineRun("jit@%d" % threshold if jit else "interp")
+    run = EngineRun(name or ("jit@%d" % threshold if jit else "interp"))
     config = _base_config(max_instructions)
     config.jit.enabled = jit
     config.jit.hot_loop_threshold = threshold
     config.jit.bridge_threshold = bridge_threshold
+    if quicken is not None:
+        config.quicken = quicken
     ctx = VMContext(config)
     tool = PinTool(ctx.machine)
     vm = PyVM(ctx)
     try:
-        vm.run_source(source)
+        with _pinned_host_gc():
+            vm.run_source(source)
     except GuestError as exc:
         run.error = str(exc)
     except SimulationLimitReached:
@@ -231,6 +261,38 @@ def check_jitlog_invariants(run, report):
                 return
 
 
+def check_quicken_equivalence(report):
+    """Quickened and unquickened direct runs must match bit-for-bit.
+
+    The quickening layer (superinstruction runs, inline caches, fused
+    cost charging) is a pure host-side optimization: every machine
+    counter — including the float ``cycles`` accumulator — must be
+    exactly the value the unquickened dispatch loop produces.
+    """
+    quick = report.run_named("interp")
+    plain = report.run_named("quicken-off")
+    if quick is None or plain is None:
+        return
+    qm, pm = quick.machine, plain.machine
+    for field in ("instructions", "cycles", "branches", "branch_misses",
+                  "loads", "stores", "annotations"):
+        a = getattr(qm, field)
+        b = getattr(pm, field)
+        if a != b or repr(a) != repr(b):
+            report.add("quicken", ["interp", "quicken-off"],
+                       "%s differs with quickening on: %r vs %r"
+                       % (field, a, b))
+    if tuple(qm.class_counts) != tuple(pm.class_counts):
+        report.add("quicken", ["interp", "quicken-off"],
+                   "per-class instruction histogram differs with "
+                   "quickening on")
+    if quick.tool.bcrate.bytecodes != plain.tool.bcrate.bytecodes:
+        report.add("quicken", ["interp", "quicken-off"],
+                   "bytecode count differs with quickening on: %d vs %d"
+                   % (quick.tool.bcrate.bytecodes,
+                      plain.tool.bcrate.bytecodes))
+
+
 def check_store_roundtrip(run, report):
     """Serializing, restoring, and re-serializing must be bit-identical."""
     from repro.harness import runner
@@ -291,6 +353,10 @@ def check_program(source, thresholds=DEFAULT_THRESHOLDS,
     if _add(run_interp(source, jit=False,
                        max_instructions=max_instructions)):
         return report
+    if _add(run_interp(source, jit=False, quicken=False,
+                       name="quicken-off",
+                       max_instructions=max_instructions)):
+        return report
     for threshold in thresholds:
         if _add(run_interp(
                 source, jit=True, threshold=threshold,
@@ -314,6 +380,7 @@ def check_program(source, thresholds=DEFAULT_THRESHOLDS,
     for run in runs:
         check_counter_invariants(run, report)
         check_jitlog_invariants(run, report)
+    check_quicken_equivalence(report)
     if check_store:
         check_store_roundtrip(runs[-1], report)
     return report

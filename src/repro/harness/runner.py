@@ -16,12 +16,13 @@ Independent simulations can be fanned out over worker processes with
 the store persists.
 """
 
+import gc
 import os
 from concurrent.futures import ProcessPoolExecutor
 
 from repro import telemetry
 from repro.benchprogs import registry
-from repro.core.config import CLOCK_HZ, SystemConfig
+from repro.core.config import CLOCK_HZ, SystemConfig, _default_quicken
 from repro.harness import store
 from repro.interp.context import VMContext
 from repro.jit import executor, jitlog
@@ -117,10 +118,12 @@ def _resolve_program(program, language=None):
         return registry.rkt_program(program)
 
 
-def _base_config(max_instructions, jit_enabled, overrides):
+def _base_config(max_instructions, jit_enabled, overrides, quicken=None):
     config = SystemConfig()
     config.max_instructions = max_instructions
     config.jit.enabled = jit_enabled
+    if quicken is not None:
+        config.quicken = bool(quicken)
     if overrides:
         for key, value in overrides.items():
             if hasattr(config.jit, key):
@@ -135,10 +138,15 @@ def _base_config(max_instructions, jit_enabled, overrides):
 
 
 def _result_key(program, vm_kind, n, timeline, max_instructions,
-                jit_overrides, predictor):
+                jit_overrides, predictor, quicken=None):
     overrides_key = tuple(sorted((jit_overrides or {}).items()))
+    # Quickening is proven counter-neutral, but on/off runs must not
+    # share cache entries: the equivalence suite relies on both actually
+    # simulating.
+    if quicken is None:
+        quicken = _default_quicken()
     return (program.language, program.name, vm_kind, n, timeline,
-            max_instructions, overrides_key, predictor)
+            max_instructions, overrides_key, predictor, bool(quicken))
 
 
 # -- result serialization (store payloads and worker IPC) -----------------------
@@ -200,47 +208,22 @@ def _store_probe(key):
     return _result_from_payload(payload)
 
 
-def run_program(program, vm_kind, n=None, timeline=False,
-                max_instructions=0, jit_overrides=None,
-                predictor="gshare", use_cache=True, language=None):
-    """Run ``program`` (a BenchProgram or name) on one VM configuration."""
-    global _SIM_COUNT
-    program = _resolve_program(program, language)
-    if n is None:
-        n = program.default_n
-    bus = telemetry.BUS
-    if bus is not None:
-        # A telemetry recording is a measurement run: never serve it
-        # from (or publish it to) the result caches — the cached
-        # payloads carry no event streams.
-        use_cache = False
-    key = _result_key(program, vm_kind, n, timeline, max_instructions,
-                      jit_overrides, predictor)
-    if use_cache:
-        if key in _CACHE:
-            return _CACHE[key]
-        restored = _store_probe(key)
-        if restored is not None:
-            _CACHE[key] = restored
-            return restored
-
-    source = program.source(n=n)
-    result = RunResult(program.name, vm_kind, n)
-    _SIM_COUNT += 1
-    label = "%s/%s" % (program.name, vm_kind)
+def _simulate(result, program, vm_kind, n, source, timeline,
+              max_instructions, jit_overrides, predictor, quicken, label,
+              bus):
+    """Run one simulation, filling ``result``; returns the telemetry
+    session (or None).  Callers hold the host GC pinned."""
     session = None
-    if bus is not None:
-        bus.begin("run_program", "harness.runner",
-                  {"program": program.name, "vm": vm_kind, "n": n})
-
     if vm_kind == "native":
-        config = _base_config(max_instructions, False, jit_overrides)
+        config = _base_config(max_instructions, False, jit_overrides,
+                              quicken=quicken)
         native = run_native(program.name, n, config, predictor=predictor)
         result.truncated = native.truncated
         result.output = native.stdout()
         _fill_machine(result, native.machine)
     elif vm_kind in _REF_VMS:
-        config = _base_config(max_instructions, False, jit_overrides)
+        config = _base_config(max_instructions, False, jit_overrides,
+                              quicken=quicken)
         vm = _REF_VMS[vm_kind](config, predictor=predictor)
         if bus is not None:
             from repro.telemetry.vmhook import VMTelemetry
@@ -259,7 +242,8 @@ def run_program(program, vm_kind, n=None, timeline=False,
         _fill_pintool(result, tool)
     else:
         jit_enabled = not vm_kind.endswith("_nojit")
-        config = _base_config(max_instructions, jit_enabled, jit_overrides)
+        config = _base_config(max_instructions, jit_enabled, jit_overrides,
+                              quicken=quicken)
         ctx = VMContext(config, predictor=predictor, telemetry_label=label)
         session = ctx.telemetry
         tool = PinTool(ctx.machine, record_timeline=timeline,
@@ -280,6 +264,65 @@ def run_program(program, vm_kind, n=None, timeline=False,
         result.jitlog_obj = ctx.jitlog
         result.gc_stats = ctx.gc.stats()
         result.aot_rows = tool.aotcalls.all_rows(ctx.machine.cycles)
+    return session
+
+
+def run_program(program, vm_kind, n=None, timeline=False,
+                max_instructions=0, jit_overrides=None,
+                predictor="gshare", use_cache=True, language=None,
+                quicken=None):
+    """Run ``program`` (a BenchProgram or name) on one VM configuration.
+
+    ``quicken`` forces the host quickening fast path on/off for this run
+    (None: the config default, i.e. on unless REPRO_QUICKEN=0).
+    """
+    global _SIM_COUNT
+    program = _resolve_program(program, language)
+    if n is None:
+        n = program.default_n
+    bus = telemetry.BUS
+    if bus is not None:
+        # A telemetry recording is a measurement run: never serve it
+        # from (or publish it to) the result caches — the cached
+        # payloads carry no event streams.
+        use_cache = False
+    key = _result_key(program, vm_kind, n, timeline, max_instructions,
+                      jit_overrides, predictor, quicken)
+    if use_cache:
+        if key in _CACHE:
+            return _CACHE[key]
+        restored = _store_probe(key)
+        if restored is not None:
+            _CACHE[key] = restored
+            return restored
+
+    source = program.source(n=n)
+    result = RunResult(program.name, vm_kind, n)
+    _SIM_COUNT += 1
+    label = "%s/%s" % (program.name, vm_kind)
+    session = None
+    # SimGC estimates nursery survival by weakref-sampling live guest
+    # objects, so sampled-object death must be refcount-driven to be
+    # deterministic: if the *host* cyclic collector ran mid-simulation
+    # it would fire at process-allocation-count boundaries, making the
+    # survivor estimate — and thus cycles and instruction counts —
+    # depend on whatever else the process allocated before this run.
+    # Collect to a clean slate, then keep the host collector off for
+    # the duration of the simulation.
+    gc.collect()
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    if bus is not None:
+        bus.begin("run_program", "harness.runner",
+                  {"program": program.name, "vm": vm_kind, "n": n})
+
+    try:
+        session = _simulate(result, program, vm_kind, n, source, timeline,
+                            max_instructions, jit_overrides, predictor,
+                            quicken, label, bus)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
 
     if bus is not None:
         if session is not None:
@@ -304,7 +347,8 @@ def run_program(program, vm_kind, n=None, timeline=False,
 
 
 def job(program, vm_kind, n=None, timeline=False, max_instructions=0,
-        jit_overrides=None, predictor="gshare", language=None):
+        jit_overrides=None, predictor="gshare", language=None,
+        quicken=None):
     """Build a picklable job spec for :func:`run_many`."""
     program = _resolve_program(program, language)
     return {
@@ -316,6 +360,7 @@ def job(program, vm_kind, n=None, timeline=False, max_instructions=0,
         "max_instructions": max_instructions,
         "jit_overrides": dict(jit_overrides or {}),
         "predictor": predictor,
+        "quicken": quicken,
     }
 
 
@@ -323,7 +368,8 @@ def _job_key(spec):
     program = _resolve_program(spec["program"], spec["language"])
     return _result_key(program, spec["vm_kind"], spec["n"],
                        spec["timeline"], spec["max_instructions"],
-                       spec["jit_overrides"], spec["predictor"])
+                       spec["jit_overrides"], spec["predictor"],
+                       spec.get("quicken"))
 
 
 def _run_job(spec):
@@ -337,7 +383,8 @@ def _run_job(spec):
         timeline=spec["timeline"],
         max_instructions=spec["max_instructions"],
         jit_overrides=spec["jit_overrides"],
-        predictor=spec["predictor"], language=spec["language"])
+        predictor=spec["predictor"], language=spec["language"],
+        quicken=spec.get("quicken"))
     return _result_to_payload(result)
 
 
@@ -388,7 +435,8 @@ def run_many(jobs, workers=None):
                     max_instructions=spec["max_instructions"],
                     jit_overrides=spec["jit_overrides"],
                     predictor=spec["predictor"],
-                    language=spec["language"])
+                    language=spec["language"],
+                    quicken=spec.get("quicken"))
         else:
             job_specs = [dict(spec) for _, spec in items]
             if recording:

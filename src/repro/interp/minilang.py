@@ -75,11 +75,23 @@ _DISPATCH_MIX = insns.mix(load=2, alu=2)
 class MiniInterp(object):
     """The MiniLang VM: one per VMContext."""
 
+    # Ops whose handler only moves values between stack and locals,
+    # charging one _b_frame block per touch: fusable into quickened runs
+    # (load_const is excluded — llops.new can trigger a minor collect).
+    _FUSABLE_CHARGES = {
+        "load_local": ("frame", "frame"),
+        "store_local": ("frame", "frame"),
+        "pop": ("frame",),
+    }
+
     def __init__(self, ctx):
         self.ctx = ctx
         self.llops = ctx.llops
         self.driver = JitDriver(ctx)
         self.frames = []
+        self._b_dispatch = ctx.machine.block(_DISPATCH_MIX)
+        self._quicken = ctx.config.quicken
+        self._quicken_tables = {}
 
     def make_frame(self, code, pc, locals_values, stack_values, extra=None):
         return Frame(code, pc, list(locals_values), list(stack_values))
@@ -102,10 +114,36 @@ class MiniInterp(object):
         llops = self.llops
         frames = self.frames
         retval = None
+        quicken = self._quicken
+        tables = self._quicken_tables
+        b_dispatch = self._b_dispatch
         while len(frames) > barrier:
             frame = frames[-1]
+            if quicken and ctx.tracer is None:
+                code = frame.code
+                runs = tables.get(code)
+                if runs is None:
+                    runs = self._build_run_table(code)
+                    tables[code] = runs
+                entry = runs[frame.pc]
+                if entry is not None:
+                    # Superinstruction: one batched quick_run for every
+                    # dispatch + frame-op charge, then the raw moves.
+                    machine.quick_run(tags.DISPATCH, b_dispatch,
+                                      entry[0], entry[3])
+                    stack = frame.stack
+                    locals_values = frame.locals
+                    for opname, arg in entry[1]:
+                        if opname == "load_local":
+                            stack.append(locals_values[arg])
+                        elif opname == "store_local":
+                            locals_values[arg] = stack.pop()
+                        else:
+                            stack.pop()
+                    frame.pc = entry[2]
+                    continue
             machine.annot(tags.DISPATCH)
-            machine.exec_mix(_DISPATCH_MIX)
+            machine.exec_block(b_dispatch)
             opname, arg = frame.code.ops[frame.pc]
             machine.indirect(0x100, hash(opname) & 0xFFFF)
             if ctx.tracer is not None:
@@ -117,6 +155,48 @@ class MiniInterp(object):
                 opname, arg = frame.code.ops[frame.pc]
             retval = self.execute_op(frame, opname, arg)
         return retval
+
+    def _build_run_table(self, code):
+        """Quickened run table (see repro.interp.quicken).
+
+        ``table[pc]`` is None or ``(items, ops, next_pc, n_insns)``.
+        MiniLang's dispatch pc hash is the constant 0x100 and its target
+        depends only on the current opname, so — unlike TinyPy — no
+        previous-opcode check is needed and runs may start at pc 0.
+        """
+        from repro.interp.quicken import find_runs
+
+        llops = self.llops
+        b_frame = llops._b_frame
+        charges = {
+            name: tuple(b_frame for _ in blocks)
+            for name, blocks in self._FUSABLE_CHARGES.items()
+        }
+        ops = code.ops
+        n = len(ops)
+        jump_targets = set()
+        merge_targets = set()
+        for pc, (opname, arg) in enumerate(ops):
+            if opname in ("jump", "jump_if_false"):
+                jump_targets.add(arg)
+                if arg <= pc:
+                    merge_targets.add(arg)
+        table = [None] * n
+        b_dispatch = self._b_dispatch
+
+        def fusable(pc):
+            return ops[pc][0] in charges
+
+        for start, end in find_runs(n, fusable, jump_targets,
+                                    merge_targets, start_pc=0):
+            items = tuple(
+                (0x100, hash(ops[j][0]) & 0xFFFF, charges[ops[j][0]])
+                for j in range(start, end))
+            n_insns = sum(
+                2 + b_dispatch.n_insns + sum(b.n_insns for b in blocks)
+                for _pc, _target, blocks in items)
+            table[start] = (items, tuple(ops[start:end]), end, n_insns)
+        return table
 
     # -- handlers ----------------------------------------------------------------
 

@@ -1,0 +1,61 @@
+"""Quickening: per-code-object superinstruction discovery (host fast path).
+
+Real VMs rewrite hot bytecode at first execution — CPython 3.11's
+adaptive specializing interpreter, classic threaded-code
+superinstructions — to cut per-bytecode dispatch overhead.  We apply the
+same family of techniques one level down: the *simulated* instruction
+stream (the scientific output) is untouched, but the host-side Python
+loop that produces it collapses straight-line spans of machine-silent
+bytecodes into one :meth:`Machine.quick_run` call plus a batch of
+equally-silent semantic micro-handlers.
+
+This module holds the interpreter-independent piece: scanning a bytecode
+stream for fusable straight-line runs.  Each guest VM supplies its own
+notion of "fusable" (a handler whose entire machine footprint is a fixed
+sequence of block charges) and its own jump/merge-point analysis, then
+builds per-code run tables from the spans returned here.
+
+Safety rules (shared by every interpreter, enforced here):
+
+* a run never *crosses* a jump target — a jump into the middle of a
+  would-be fused region must land on an ordinary unfused dispatch, so
+  runs are recorded only at their first pc and interior pcs stay None in
+  the run table;
+* a run never *starts* at a JitDriver merge point (a backward-jump
+  target), where hot-loop counting, tracing, and compiled-loop entry
+  interpose between dispatches;
+* runs are only taken while ``ctx.tracer is None`` (callers check): the
+  meta-interpreter always sees the original un-fused bytecode stream,
+  so traces, jitlogs, and resume snapshots are unchanged.
+"""
+
+
+def find_runs(n_ops, fusable, jump_targets, merge_targets, min_run=2,
+              start_pc=1):
+    """Maximal straight-line fusable runs over a bytecode stream.
+
+    Returns a list of half-open pc ranges ``(start, end)`` such that
+
+    * ``start >= start_pc`` (interpreters whose dispatch correlates on
+      the previous opcode pass 1 so every run has a static predecessor),
+    * every pc in ``[start, end)`` satisfies ``fusable(pc)``,
+    * no pc strictly inside the run is in ``jump_targets`` (fusion never
+      crosses a branch target),
+    * ``start`` is not in ``merge_targets`` (no fusion at JitDriver
+      merge points),
+    * ``end - start >= min_run`` (shorter spans are not worth a table
+      entry).
+    """
+    runs = []
+    pc = start_pc
+    while pc < n_ops:
+        if not fusable(pc) or pc in merge_targets:
+            pc += 1
+            continue
+        end = pc + 1
+        while end < n_ops and fusable(end) and end not in jump_targets:
+            end += 1
+        if end - pc >= min_run:
+            runs.append((pc, end))
+        pc = end
+    return runs

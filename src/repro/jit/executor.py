@@ -350,6 +350,9 @@ class _CodeGen(object):
             "_mret": machine.ret,
             "_annot": machine.annot,
             "_annotn": machine.annot_run,
+            "_brba": machine.branch_block_annot_run,
+            "_lda": machine.load_annot_run,
+            "_sta": machine.store_annot_run,
             "_ctx": self.ctx,
             "_bc": self.trace._block_counts,
             "_OVF": LLOverflow,
@@ -369,7 +372,7 @@ class _CodeGen(object):
                 backend.lower_blocks(machine, self.block_mixes)):
             namespace["_B%d" % i] = descr
         namespace.update(self.consts)
-        source = "\n".join(_collapse_annots(self.lines))
+        source = "\n".join(_fuse_brb_annots(_collapse_annots(self.lines)))
         code = compile(source, "<trace-%d>" % self.trace.trace_id, "exec")
         exec(code, namespace)
         return namespace["_trace_fn"], source
@@ -402,6 +405,48 @@ def _collapse_annots(lines):
                 continue
         out.append(line)
         i += 1
+    return out
+
+
+#: Machine-call statements that fuse with a following ``_annotn(...)``
+#: line: call prefix -> (prefix length, fused call name).
+_ANNOT_FUSABLE = {
+    "_brb(": (len("_brb("), "_brba"),
+    "_ld(": (len("_ld("), "_lda"),
+    "_st(": (len("_st("), "_sta"),
+}
+
+
+def _fuse_brb_annots(lines):
+    """Fuse bare machine calls immediately followed by ``_annotn(...)``.
+
+    A guard's fall-through block call (``_brb``), a load, or a store
+    adjacent to a collapsed annotation run becomes one fused call
+    (``_brba``/``_lda``/``_sta`` — see
+    :meth:`Machine.branch_block_annot_run` and friends): the exact
+    concatenation of both event sequences, one Python call instead of
+    two.
+    """
+    out = []
+    for line in lines:
+        stripped = line.strip()
+        if stripped.startswith("_annotn(") and out:
+            prev = out[-1]
+            prev_stripped = prev.strip()
+            for prefix, (plen, fused) in _ANNOT_FUSABLE.items():
+                if (prev_stripped.startswith(prefix)
+                        and prev_stripped.endswith(")")
+                        and prev[:len(prev) - len(prev_stripped)]
+                        == line[:len(line) - len(stripped)]):
+                    indent = line[:len(line) - len(stripped)]
+                    out[-1] = "%s%s(%s, %s)" % (
+                        indent, fused, prev_stripped[plen:-1],
+                        stripped[8:-1])
+                    break
+            else:
+                out.append(line)
+            continue
+        out.append(line)
     return out
 
 

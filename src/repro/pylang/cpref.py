@@ -204,6 +204,10 @@ class CpRef(object):
         self._charge_ctx = _ChargeCtx(self.machine)
         self.output = []
         self._mix_carry = {}
+        # Host fast paths (fused dispatch + run fusion) are the
+        # quickening layer of this VM; with the knob off every bytecode
+        # goes through the reference dispatch_event + _precharged path.
+        self._quicken = config.quicken
         # Fused-run tables per code object: id(code) -> (code, table).
         # The code object is pinned in the value so its id can't be
         # recycled while the table is alive.
@@ -224,7 +228,7 @@ class CpRef(object):
         self._mxb = machine.exec_block
         # When no subclass customizes charging, shadow _xm with a
         # closure that skips the scale check and self lookups.
-        if type(self)._xm is CpRef._xm and self.mix_scale == 1.0:
+        if self._fast:
             sb_get = self._static_blocks.get
             exec_block = machine.exec_block
             exec_mix = machine.exec_mix
@@ -280,7 +284,8 @@ class CpRef(object):
     # -- the evaluation loop -----------------------------------------------------------
 
     def _build_handlers(self):
-        fast = type(self)._xm is CpRef._xm and self.mix_scale == 1.0
+        fast = (self._quicken and type(self)._xm is CpRef._xm
+                and self.mix_scale == 1.0)
         machine = self.machine
         table = [None] * bc.N_OPS
         blocks = [None] * bc.N_OPS

@@ -4,6 +4,7 @@ method lookup, and guest string conversion — as a VM mixin."""
 from repro.core.errors import GuestError
 from repro.interp.aot import aot
 from repro.isa import insns
+from repro.jit import ir
 from repro.pylang.objects import (
     W_BigInt,
     W_Bool,
@@ -27,6 +28,14 @@ from repro.pylang.ops import is_intish
 from repro.rlib import rbigint, rstr
 
 
+# Interned cost mixes (hoisted: building a mix per call showed up in
+# profiles; the interned block retires the identical mix).
+_SHAPE_MIX = insns.mix(load=2, alu=2)
+_VERSION_MIX = insns.mix(load=3, alu=3)
+_GLOBAL_SET_MIX = insns.mix(load=3, alu=3, store=1)
+_CLASS_WRITE_MIX = insns.mix(load=3, alu=4, store=2)
+
+
 def _class_lookup_raw(w_class, name):
     """Walk the MRO; elidable given (class, version, name)."""
     current = w_class
@@ -41,19 +50,76 @@ def _class_lookup_raw(w_class, name):
 class InstancesMixin(object):
     """Attribute access, class machinery and conversions."""
 
+    def _init_instance_caches(self, machine):
+        """Interned charge blocks + host inline caches.
+
+        The ICs (quicken fast path, direct mode only) skip the host-side
+        lookups while replaying the exact event sequence of the slow
+        path, so counters cannot drift.  FieldDescr offsets are assigned
+        by order of first use in a process-global registry; they are
+        resolved only at IC *fill* time — after the slow path's getfield
+        has registered the descriptor — so the assignment order matches
+        an unquickened run exactly.
+        """
+        self._b_shape_mix = machine.block(_SHAPE_MIX)
+        self._b_version_mix = machine.block(_VERSION_MIX)
+        self._b_global_set_mix = machine.block(_GLOBAL_SET_MIX)
+        self._b_class_write_mix = machine.block(_CLASS_WRITE_MIX)
+        # name -> (version, module, cell|None, builtin|None, ver_off,
+        # cell_off); valid while the module's version tag is unchanged
+        # (first stores and builtin shadowing bump it).
+        self._ic_global = {}
+        # (class, name) -> (version, result, ver_off); class_setattr
+        # bumps the version tag.
+        self._ic_class = {}
+        # (shape, name) -> slot; shapes are immutable (attribute adds
+        # transition to a fresh Shape), so entries never invalidate.
+        self._ic_attr = {}
+        self._ic_inst_offsets = None   # (shape_off, slots_off) once seen
+
     # -- attribute reads ---------------------------------------------------------
 
     def getattr_w(self, w_obj, name):
         """LOAD_ATTR: name is a green string."""
         llops = self.llops
+        direct = self._quicken and self.ctx.tracer is None
+        if direct and type(w_obj) is W_Instance:
+            offs = self._ic_inst_offsets
+            if offs is not None:
+                shape = w_obj.shape
+                slot = self._ic_attr.get((shape, name), -1)
+                if slot >= 0:
+                    # IC hit: replay cls_of + shape getfield/promote +
+                    # lookup mix + slots getfield + getarrayitem, with
+                    # addresses read from the live objects.
+                    machine = self.ctx.machine
+                    xb = llops._xb
+                    xb(llops._b_cls)
+                    xb(llops._b_field)
+                    machine.load(w_obj._addr + offs[0])
+                    xb(llops._b_misc)
+                    machine.exec_block(self._b_shape_mix)
+                    slots = w_obj.slots
+                    xb(llops._b_field)
+                    machine.load(w_obj._addr + offs[1])
+                    xb(llops._b_array)
+                    machine.load(slots._addr + 16 + 8 * slot)
+                    return slots.items[slot]
         cls = llops.cls_of(w_obj)
         if cls is W_Instance:
             shape = llops.promote(llops.getfield(w_obj, "shape"))
-            self.ctx.charge(insns.mix(load=2, alu=2))
+            self.ctx.machine.exec_block(self._b_shape_mix)
             slot = shape.lookup(name)
             if slot >= 0:
                 slots = llops.getfield(w_obj, "slots")
-                return llops.getarrayitem(slots, slot)
+                w_value = llops.getarrayitem(slots, slot)
+                if direct:
+                    self._ic_attr[(shape, name)] = slot
+                    if self._ic_inst_offsets is None:
+                        self._ic_inst_offsets = (
+                            ir.FieldDescr.get(W_Instance, "shape").offset,
+                            ir.FieldDescr.get(W_Instance, "slots").offset)
+                return w_value
             w_value = self.class_lookup(shape.w_class, name)
             if w_value is not None:
                 if isinstance(w_value, W_Function):
@@ -87,10 +153,26 @@ class InstancesMixin(object):
         PyPy's method-cache technique.
         """
         llops = self.llops
+        direct = self._quicken and self.ctx.tracer is None
+        if direct:
+            entry = self._ic_class.get((w_class, name))
+            if entry is not None and entry[0] is w_class.version:
+                machine = self.ctx.machine
+                xb = llops._xb
+                xb(llops._b_field)
+                machine.load(w_class._addr + entry[2])
+                xb(llops._b_misc)
+                machine.exec_block(self._b_version_mix)
+                return entry[1]
         version = llops.promote(llops.getfield(w_class, "version"))
-        self.ctx.charge(insns.mix(load=3, alu=3))
+        self.ctx.machine.exec_block(self._b_version_mix)
         assert isinstance(version, VersionTag)
-        return _class_lookup_raw(w_class, name)
+        result = _class_lookup_raw(w_class, name)
+        if direct:
+            self._ic_class[(w_class, name)] = (
+                version, result,
+                ir.FieldDescr.get(W_Class, "version").offset)
+        return result
 
     # -- attribute writes ----------------------------------------------------------
 
@@ -99,7 +181,7 @@ class InstancesMixin(object):
         cls = llops.cls_of(w_obj)
         if cls is W_Instance:
             shape = llops.promote(llops.getfield(w_obj, "shape"))
-            self.ctx.charge(insns.mix(load=2, alu=2))
+            self.ctx.machine.exec_block(self._b_shape_mix)
             slot = shape.lookup(name)
             if slot >= 0:
                 slots = llops.getfield(w_obj, "slots")
@@ -123,7 +205,7 @@ class InstancesMixin(object):
         from repro.interp.objects import concrete
 
         llops = self.llops
-        self.ctx.charge(insns.mix(load=3, alu=4, store=2))
+        self.ctx.machine.exec_block(self._b_class_write_mix)
         w_class.methods[name] = concrete(w_value)
         # Bump the version: invalidates promoted lookups.  The tag is a
         # fresh runtime object, so it comes from a residual call.
@@ -135,21 +217,53 @@ class InstancesMixin(object):
     def global_get(self, w_module, name):
         """Promoted-version global lookup; folds to a cell constant."""
         llops = self.llops
+        direct = self._quicken and self.ctx.tracer is None
+        if direct:
+            entry = self._ic_global.get(name)
+            if entry is not None and entry[1] is w_module \
+                    and entry[0] is w_module.version:
+                # IC hit: replay version getfield/promote + lookup mix +
+                # cell read.  Rebinding an existing global writes the
+                # cached cell in place (no version bump), so reading
+                # cell.w_value here stays exact; first stores and
+                # builtin shadowing bump the version and miss.
+                machine = self.ctx.machine
+                xb = llops._xb
+                xb(llops._b_field)
+                machine.load(w_module._addr + entry[4])
+                xb(llops._b_misc)
+                machine.exec_block(self._b_version_mix)
+                cell = entry[2]
+                if cell is None:
+                    return entry[3]
+                xb(llops._b_field)
+                machine.load(cell._addr + entry[5])
+                return cell.w_value
         version = llops.promote(llops.getfield(w_module, "version"))
         assert isinstance(version, VersionTag)
-        self.ctx.charge(insns.mix(load=3, alu=3))
+        self.ctx.machine.exec_block(self._b_version_mix)
         cell = w_module.cells.get(name)
         if cell is None:
             w_value = self.builtin_global(name)
             if w_value is not None:
+                if direct:
+                    self._ic_global[name] = (
+                        version, w_module, None, w_value,
+                        ir.FieldDescr.get(W_Module, "version").offset, 0)
                 return w_value
             raise GuestError("NameError: name %r is not defined" % name)
-        return llops.getfield(cell, "w_value")
+        w_value = llops.getfield(cell, "w_value")
+        if direct:
+            self._ic_global[name] = (
+                version, w_module, cell, None,
+                ir.FieldDescr.get(W_Module, "version").offset,
+                ir.FieldDescr.get(_CELL_CLS, "w_value").offset)
+        return w_value
 
     def global_set(self, w_module, name, w_value):
         llops = self.llops
         cell = w_module.cells.get(name)
-        self.ctx.charge(insns.mix(load=3, alu=3, store=1))
+        self.ctx.machine.exec_block(self._b_global_set_mix)
         if cell is not None:
             llops.setfield(cell, "w_value", w_value)
             return
@@ -178,7 +292,7 @@ class InstancesMixin(object):
             w_func = W_Function(code, w_module, defaults_w)
             w_func._addr = self.ctx.gc.allocate(W_Function._size_,
                                                 obj=w_func)
-            self.ctx.charge(insns.mix(load=3, alu=4, store=2))
+            self.ctx.machine.exec_block(self._b_class_write_mix)
             w_class.methods[method_name] = w_func
         return w_class
 

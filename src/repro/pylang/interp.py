@@ -35,6 +35,7 @@ from repro.pylang.objects import (
     wrap_bool,
 )
 from repro.pylang.ops import OpsMixin
+from repro.pylang.quicken import build_run_table, op_charges
 from repro.rlib.rbigint import BigInt
 
 _DISPATCH_MIX = insns.mix(load=8, alu=6, store=2, br_bulk=3)
@@ -84,6 +85,13 @@ class PyVM(OpsMixin, CollectionsMixin, InstancesMixin):
         self._b_builtin_call = machine.block(_BUILTIN_CALL_MIX)
         self._b_push_frame = machine.block(_PUSH_FRAME_MIX)
         self._b_return = machine.block(_RETURN_MIX)
+        # Quickening (host fast path; see pylang/quicken.py).  The charge
+        # map only references already-interned llops blocks, so building
+        # it touches no machine state even when quickening is off.
+        self._quicken = ctx.config.quicken
+        self._quicken_tables = {}
+        self._quicken_charges = op_charges(ctx.llops)
+        self._init_instance_caches(machine)
         self._build_handlers()
 
     # -- program entry ---------------------------------------------------------
@@ -142,11 +150,40 @@ class PyVM(OpsMixin, CollectionsMixin, InstancesMixin):
         retval = None
         prev_opcode = 0
         dispatch_event = machine.dispatch_event
+        quick_run = machine.quick_run
         b_dispatch = self._b_dispatch
         DISPATCH = tags.DISPATCH
+        quicken = self._quicken
+        tables = self._quicken_tables
+        last_code = None
+        runs = None
         while len(frames) > barrier:
             frame = frames[-1]
-            opcode = frame.code.ops[frame.pc]
+            pc = frame.pc
+            opcode = frame.code.ops[pc]
+            if quicken and ctx.tracer is None:
+                code = frame.code
+                if code is not last_code:
+                    runs = tables.get(code)
+                    if runs is None:
+                        runs = build_run_table(self, code)
+                        tables[code] = runs
+                    last_code = code
+                entry = runs[pc]
+                if entry is not None and entry[5] == prev_opcode:
+                    # Superinstruction: retire every DISPATCH event and
+                    # handler charge of the run in one batched call,
+                    # then execute the machine-silent micro-handlers.
+                    # The prev_opcode check keeps the dispatch pc hashes
+                    # exact; a deopt landing or call return arriving
+                    # with a different predecessor takes the slow path
+                    # below for one bytecode and re-synchronizes.
+                    quick_run(DISPATCH, b_dispatch, entry[0], entry[4])
+                    for fn, arg in entry[1]:
+                        fn(self, frame, arg)
+                    frame.pc = entry[2]
+                    prev_opcode = entry[3]
+                    continue
             # Fused DISPATCH annot + handler-prologue block + threaded
             # dispatch jump (as the RPython translator generates).
             dispatch_event(DISPATCH, b_dispatch,

@@ -1,0 +1,184 @@
+"""Quickened TinyPy superinstructions: run tables + silent micro-handlers.
+
+At first execution of a code object (per VM, direct mode only) we scan
+its bytecode for straight-line runs of *fusable* opcodes — ops whose
+handler's entire machine footprint is a fixed tuple of block charges and
+whose semantics touch nothing but the frame (no allocation, no branch
+events, no JitDriver hooks).  Each run becomes one table entry replayed
+by :meth:`Machine.quick_run` (all DISPATCH events and handler charges in
+one batched call) followed by the micro-handlers below, which perform
+the raw frame manipulation and charge nothing.
+
+Bit-identity is structural: ``quick_run`` retires, in original order,
+exactly the ``dispatch_event`` + ``exec_block`` sequence the unfused
+loop would issue, and a fallback path replays that sequence literally
+whenever listeners or an instruction limit need per-event visibility.
+The dispatch pc hash ``0x200 + (prev_opcode << 3)`` depends on the
+*previous* opcode, so every entry records the static predecessor op and
+the dispatch loop only takes the fast path when the dynamic
+``prev_opcode`` matches — a deopt landing, call return, or jump arriving
+with a different predecessor falls back to the ordinary dispatch for
+that bytecode and re-synchronizes.
+"""
+
+from repro.interp.objects import concrete
+from repro.interp.quicken import find_runs
+from repro.pylang import bytecode as bc
+from repro.pylang.objects import w_False, w_True
+
+# Opcodes whose ``arg`` is a branch-target pc.
+JUMP_OPS = frozenset((
+    bc.JUMP,
+    bc.POP_JUMP_IF_FALSE,
+    bc.POP_JUMP_IF_TRUE,
+    bc.JUMP_IF_FALSE_OR_POP,
+    bc.JUMP_IF_TRUE_OR_POP,
+    bc.FOR_ITER,
+))
+
+
+# -- machine-silent micro-handlers ------------------------------------------
+#
+# Each mirrors the op_* handler in interp.py with every llops charge
+# stripped (quick_run already retired them).  Raw values move untouched —
+# like the unquickened frame ops, these must tolerate stale trace boxes
+# (TBox left by an abandoned recording), so only COMPARE_IS/IS_NOT, which
+# *inspect* values, go through concrete().
+
+def _q_load_const(vm, frame, arg):
+    # consts_of() is called lazily at execution time so any first-touch
+    # wrap_const (gc.allocate_static) happens in the same program order
+    # as the unquickened handler.
+    frame.stack.append(vm.consts_of(frame.code)[arg])
+
+
+def _q_load_fast(vm, frame, arg):
+    frame.stack.append(frame.locals[arg])
+
+
+def _q_store_fast(vm, frame, arg):
+    frame.locals[arg] = frame.stack.pop()
+
+
+def _q_pop_top(vm, frame, arg):
+    frame.stack.pop()
+
+
+def _q_dup_top(vm, frame, arg):
+    frame.stack.append(frame.stack[-1])
+
+
+def _q_dup_top_two(vm, frame, arg):
+    stack = frame.stack
+    stack.extend(stack[-2:])
+
+
+def _q_rot_two(vm, frame, arg):
+    stack = frame.stack
+    stack[-1], stack[-2] = stack[-2], stack[-1]
+
+
+def _q_rot_three(vm, frame, arg):
+    stack = frame.stack
+    stack.insert(-2, stack.pop())
+
+
+def _q_compare_is(vm, frame, arg):
+    stack = frame.stack
+    w_b = stack.pop()
+    w_a = stack.pop()
+    stack.append(w_True if concrete(w_a) is concrete(w_b) else w_False)
+
+
+def _q_compare_is_not(vm, frame, arg):
+    stack = frame.stack
+    w_b = stack.pop()
+    w_a = stack.pop()
+    stack.append(w_False if concrete(w_a) is concrete(w_b) else w_True)
+
+
+_HANDLERS = {
+    bc.LOAD_CONST: _q_load_const,
+    bc.LOAD_FAST: _q_load_fast,
+    bc.STORE_FAST: _q_store_fast,
+    bc.POP_TOP: _q_pop_top,
+    bc.DUP_TOP: _q_dup_top,
+    bc.DUP_TOP_TWO: _q_dup_top_two,
+    bc.ROT_TWO: _q_rot_two,
+    bc.ROT_THREE: _q_rot_three,
+    bc.COMPARE_IS: _q_compare_is,
+    bc.COMPARE_IS_NOT: _q_compare_is_not,
+}
+
+
+def op_charges(llops):
+    """opcode -> tuple of BlockDescrs its unquickened handler charges.
+
+    Uses the already-interned llops blocks (no new machine state), in
+    the exact order the op_* handler issues them: every stack/local
+    touch is one ``_b_frame``; ptr_eq + is_true are one ``_b_misc``
+    each.
+    """
+    f = llops._b_frame
+    m = llops._b_misc
+    return {
+        bc.LOAD_CONST: (f,),
+        bc.LOAD_FAST: (f, f),
+        bc.STORE_FAST: (f, f),
+        bc.POP_TOP: (f,),
+        bc.DUP_TOP: (f, f),
+        bc.DUP_TOP_TWO: (f, f, f, f),
+        bc.ROT_TWO: (f, f, f, f),
+        bc.ROT_THREE: (f, f, f, f, f, f),
+        bc.COMPARE_IS: (f, f, m, m, f),
+        bc.COMPARE_IS_NOT: (f, f, m, m, f),
+    }
+
+
+def build_run_table(vm, code):
+    """Per-pc run table for one code object.
+
+    ``table[pc]`` is ``None`` (no run starts here — including every
+    interior pc of a run, so a jump into the middle of a fused region
+    lands on the ordinary dispatch) or a tuple
+
+        (items, pairs, next_pc, last_op, n_insns, expected_prev)
+
+    where ``items`` feeds ``Machine.quick_run`` — per bytecode the
+    dispatch pc hash, dispatch target, and handler charge blocks —
+    ``pairs`` are (micro-handler, arg), ``next_pc``/``last_op`` restore
+    the loop state after the run, ``n_insns`` is the total simulated
+    instructions the run retires (for the max_instructions gate), and
+    ``expected_prev`` is the static predecessor opcode the dynamic
+    ``prev_opcode`` must match.
+    """
+    ops = code.ops
+    args = code.args
+    n = len(ops)
+    charges = vm._quicken_charges
+    b_dispatch = vm._b_dispatch
+    jump_targets = set()
+    merge_targets = set()
+    for pc in range(n):
+        if ops[pc] in JUMP_OPS:
+            target = args[pc]
+            jump_targets.add(target)
+            if target <= pc:        # backward jump: JitDriver merge point
+                merge_targets.add(target)
+    table = [None] * n
+
+    def fusable(pc):
+        return ops[pc] in charges
+
+    for start, end in find_runs(n, fusable, jump_targets, merge_targets):
+        items = tuple(
+            (0x200 + (ops[j - 1] << 3), ops[j], charges[ops[j]])
+            for j in range(start, end))
+        pairs = tuple(
+            (_HANDLERS[ops[j]], args[j]) for j in range(start, end))
+        n_insns = sum(
+            2 + b_dispatch.n_insns + sum(blk.n_insns for blk in blocks)
+            for _hash, _op, blocks in items)
+        table[start] = (items, pairs, end, ops[end - 1], n_insns,
+                        ops[start - 1])
+    return table

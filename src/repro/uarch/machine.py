@@ -266,10 +266,31 @@ class Machine:
             self.instructions += n
             self.annotations += n
             counts[_NOP_ANNOT] += n
-            cycles = self.cycles
-            for _ in range(n):
-                cycles += inv_width
-            self.cycles = cycles
+            # Unrolled accumulation: the same left-to-right sequence of
+            # float additions as ``for _ in range(n)`` (so the rounding,
+            # and therefore the result, is bit-identical), with 8x fewer
+            # host loop iterations.  A single ``n * inv_width`` multiply
+            # would NOT be equivalent: the loop's intermediate sums round
+            # at binade crossings.  Small runs (the common collapsed
+            # merge-point case) skip the loop machinery entirely.
+            if n == 1:
+                self.cycles += inv_width
+            else:
+                cycles = self.cycles
+                i = n
+                while i >= 8:
+                    cycles += inv_width
+                    cycles += inv_width
+                    cycles += inv_width
+                    cycles += inv_width
+                    cycles += inv_width
+                    cycles += inv_width
+                    cycles += inv_width
+                    cycles += inv_width
+                    i -= 8
+                for _ in range(i):
+                    cycles += inv_width
+                self.cycles = cycles
             if runners:
                 for run in runners:
                     run(tag, payload, n)
@@ -375,26 +396,42 @@ class Machine:
         points.  The indirect jump still drives the real BTB, preserving
         the sequential-predictor-state invariant.
         """
-        # annot(tag) — counters flush before listeners run (they may
-        # snapshot); afterwards accumulation moves to locals.
+        # annot(tag) — per-primitive path when a listener may snapshot
+        # (no batched variant) or the event could cross the limit;
+        # otherwise counters accumulate in locals and runners (batched
+        # listener variants) are notified once after writeback, exactly
+        # like a one-item dispatch_run.
         inv_width = self._inv_width
         counts = self._class_counts
-        self.instructions += 1
-        self.annotations += 1
-        counts[_NOP_ANNOT] += 1
-        self.cycles += inv_width
         listeners = self._tag_listeners.get(tag)
+        runners = None
         if listeners is not None:
-            for listener in listeners:
-                listener(tag, None)
-        if self._annot_listeners:
+            runners = self._tag_runners.get(tag)
+        max_instructions = self.max_instructions
+        if (self._annot_listeners
+                or (listeners is not None and runners is None)
+                or (max_instructions
+                    and self.instructions + 2 + b.n_insns
+                    >= max_instructions)):
+            runners = None  # listeners notified per-primitive, here
+            self.instructions += 1
+            self.annotations += 1
+            counts[_NOP_ANNOT] += 1
+            self.cycles += inv_width
+            if listeners is not None:
+                for listener in listeners:
+                    listener(tag, None)
             for listener in self._annot_listeners:
                 listener(tag, None)
-        insns_total = self.instructions
-        cycles = self.cycles
-        max_instructions = self.max_instructions
-        if max_instructions and insns_total >= max_instructions:
-            raise SimulationLimitReached(insns_total)
+            insns_total = self.instructions
+            cycles = self.cycles
+            if max_instructions and insns_total >= max_instructions:
+                raise SimulationLimitReached(insns_total)
+        else:
+            self.annotations += 1
+            counts[_NOP_ANNOT] += 1
+            insns_total = self.instructions + 1
+            cycles = self.cycles + inv_width
         # exec_block(b) — the dispatch mix
         b.count += 1
         insns_total += b.n_insns
@@ -437,6 +474,9 @@ class Machine:
         self.cycles = cycles
         self.branches = branches
         self.branch_misses = branch_misses
+        if runners is not None:
+            for run in runners:
+                run(tag, None, 1)
 
     def dispatch_event2(self, tag, b, pc, target, b2):
         """Dispatch event with the handler's static mix fused in.
@@ -447,27 +487,42 @@ class Machine:
         the dispatch sequence.  Event order is unchanged: annot, dispatch
         mix, indirect jump, handler mix.
         """
-        # annot(tag) — counters flush before listeners run (they may
-        # snapshot); afterwards accumulation moves to locals and is
-        # written back once (or on a limit raise).
+        # annot(tag) — same two-path structure as dispatch_event: the
+        # per-primitive path flushes counters before listeners run (they
+        # may snapshot) and keeps every limit-check point; the batched
+        # path accumulates in locals and notifies runners once at the
+        # end, like a one-item dispatch_run.
         inv_width = self._inv_width
         counts = self._class_counts
-        self.instructions += 1
-        self.annotations += 1
-        counts[_NOP_ANNOT] += 1
-        self.cycles += inv_width
         listeners = self._tag_listeners.get(tag)
+        runners = None
         if listeners is not None:
-            for listener in listeners:
-                listener(tag, None)
-        if self._annot_listeners:
+            runners = self._tag_runners.get(tag)
+        max_instructions = self.max_instructions
+        if (self._annot_listeners
+                or (listeners is not None and runners is None)
+                or (max_instructions
+                    and self.instructions + 2 + b.n_insns + b2.n_insns
+                    >= max_instructions)):
+            runners = None  # listeners notified per-primitive, here
+            self.instructions += 1
+            self.annotations += 1
+            counts[_NOP_ANNOT] += 1
+            self.cycles += inv_width
+            if listeners is not None:
+                for listener in listeners:
+                    listener(tag, None)
             for listener in self._annot_listeners:
                 listener(tag, None)
-        insns_total = self.instructions
-        cycles = self.cycles
-        max_instructions = self.max_instructions
-        if max_instructions and insns_total >= max_instructions:
-            raise SimulationLimitReached(insns_total)
+            insns_total = self.instructions
+            cycles = self.cycles
+            if max_instructions and insns_total >= max_instructions:
+                raise SimulationLimitReached(insns_total)
+        else:
+            self.annotations += 1
+            counts[_NOP_ANNOT] += 1
+            insns_total = self.instructions + 1
+            cycles = self.cycles + inv_width
         # exec_block(b) — the dispatch mix
         b.count += 1
         insns_total += b.n_insns
@@ -529,6 +584,9 @@ class Machine:
         self._bulk_miss_carry = carry
         if max_instructions and insns_total >= max_instructions:
             raise SimulationLimitReached(insns_total)
+        if runners is not None:
+            for run in runners:
+                run(tag, None, 1)
 
     def dispatch_run(self, tag, b, items, n_insns):
         """Retire a straight-line run of fused dispatch events in one call.
@@ -561,46 +619,47 @@ class Machine:
             for pc, target, b2 in items:
                 dispatch_event2(tag, b, pc, target, b2)
             return
+        # Integer counters are associative, so instruction totals and the
+        # per-item BTB branch retires hoist out of the loop; only the
+        # float cycle adds and the bulk-miss carry must stay in per-event
+        # order to keep the accumulation bit-identical.
         n = len(items)
         counts = self._class_counts
         inv_width = self._inv_width
         penalty = self.mispredict_penalty
         bulk_rate = self.bulk_miss_rate
         carry = self._bulk_miss_carry
-        insns_total = self.instructions
         cycles = self.cycles
-        branches = self.branches
+        branches = self.branches + n
         branch_misses = self.branch_misses
         btb = self.btb
         history = btb.history
         mask = btb.mask
         targets = btb.targets
-        b_n = b.n_insns
         b_bulk = b.bulk_count
         b_flat = b.flat_cycles
         b.count += n
         counts[_NOP_ANNOT] += n
         counts[_BR_IND] += n
         self.annotations += n
+        self.instructions += n_insns
+        if b_bulk:
+            branches += b_bulk * n
+            b_base = b.insn_cycles
+            b_stall = b.stall_cycles
         for pc, target, b2 in items:
             # annot(tag)
-            insns_total += 1
             cycles += inv_width
             # exec_block(b) — the dispatch mix
-            insns_total += b_n
             if b_bulk:
-                branches += b_bulk
                 misses_exact = b_bulk * bulk_rate + carry
                 misses = int(misses_exact)
                 carry = misses_exact - misses
                 branch_misses += misses
-                cycles += b.insn_cycles + (
-                    b.stall_cycles + misses * penalty)
+                cycles += b_base + (b_stall + misses * penalty)
             else:
                 cycles += b_flat
             # indirect(pc, target) — inlined BTB
-            insns_total += 1
-            branches += 1
             cycles += inv_width
             index = (pc ^ history) & mask
             if targets[index] != target:
@@ -610,7 +669,6 @@ class Machine:
             history = ((history << 3) ^ (target & 0x3FF)) & mask
             # exec_block(b2) — the handler's static mix
             b2.count += 1
-            insns_total += b2.n_insns
             bulk = b2.bulk_count
             if bulk:
                 branches += bulk
@@ -623,7 +681,111 @@ class Machine:
             else:
                 cycles += b2.flat_cycles
         btb.history = history
-        self.instructions = insns_total
+        self.cycles = cycles
+        self.branches = branches
+        self.branch_misses = branch_misses
+        self._bulk_miss_carry = carry
+        if runners:
+            for run in runners:
+                run(tag, None, n)
+
+    def quick_run(self, tag, b, items, n_insns):
+        """Retire a quickened run of dispatch events + handler block charges.
+
+        Generalizes :meth:`dispatch_run` to handlers whose static cost is
+        a *sequence* of block charges rather than one fused block:
+        ``items`` is a static tuple of ``(pc, target, blocks)`` triples
+        where ``blocks`` is the tuple of :class:`BlockDescr` charges the
+        unquickened handler would have issued, in order.  The body
+        replays exactly ``dispatch_event(tag, b, pc, target)`` followed
+        by ``exec_block(blk)`` per block — same counter updates, same
+        float-operation order, same predictor state — so the result is
+        bit-identical; only the Python call boundaries disappear.
+
+        Same gating as :meth:`dispatch_run`: catch-all listeners, tag
+        listeners without batched ``run`` variants, or a possible
+        ``max_instructions`` crossing fall back to per-event calls,
+        which preserve exact listener and mid-run limit semantics.
+        """
+        tag_listeners = self._tag_listeners.get(tag)
+        runners = None
+        if tag_listeners is not None:
+            runners = self._tag_runners.get(tag)
+        max_instructions = self.max_instructions
+        if (self._annot_listeners
+                or (tag_listeners is not None and runners is None)
+                or (max_instructions
+                    and self.instructions + n_insns >= max_instructions)):
+            dispatch_event = self.dispatch_event
+            exec_block = self.exec_block
+            for pc, target, blocks in items:
+                dispatch_event(tag, b, pc, target)
+                for blk in blocks:
+                    exec_block(blk)
+            return
+        # As in dispatch_run: integer counters are associative, so the
+        # instruction total and per-item BTB branch retires hoist out of
+        # the loop; the float cycle adds and the bulk-miss carry keep
+        # their exact per-event order.
+        n = len(items)
+        counts = self._class_counts
+        inv_width = self._inv_width
+        penalty = self.mispredict_penalty
+        bulk_rate = self.bulk_miss_rate
+        carry = self._bulk_miss_carry
+        cycles = self.cycles
+        branches = self.branches + n
+        branch_misses = self.branch_misses
+        btb = self.btb
+        history = btb.history
+        mask = btb.mask
+        targets = btb.targets
+        b_bulk = b.bulk_count
+        b_flat = b.flat_cycles
+        b.count += n
+        counts[_NOP_ANNOT] += n
+        counts[_BR_IND] += n
+        self.annotations += n
+        self.instructions += n_insns
+        if b_bulk:
+            branches += b_bulk * n
+            b_base = b.insn_cycles
+            b_stall = b.stall_cycles
+        for pc, target, blocks in items:
+            # annot(tag)
+            cycles += inv_width
+            # exec_block(b) — the dispatch mix
+            if b_bulk:
+                misses_exact = b_bulk * bulk_rate + carry
+                misses = int(misses_exact)
+                carry = misses_exact - misses
+                branch_misses += misses
+                cycles += b_base + (b_stall + misses * penalty)
+            else:
+                cycles += b_flat
+            # indirect(pc, target) — inlined BTB
+            cycles += inv_width
+            index = (pc ^ history) & mask
+            if targets[index] != target:
+                branch_misses += 1
+                cycles += penalty
+            targets[index] = target
+            history = ((history << 3) ^ (target & 0x3FF)) & mask
+            # exec_block(blk) per handler charge, in handler order
+            for blk in blocks:
+                blk.count += 1
+                bulk = blk.bulk_count
+                if bulk:
+                    branches += bulk
+                    misses_exact = bulk * bulk_rate + carry
+                    misses = int(misses_exact)
+                    carry = misses_exact - misses
+                    branch_misses += misses
+                    cycles += blk.insn_cycles + (
+                        blk.stall_cycles + misses * penalty)
+                else:
+                    cycles += blk.flat_cycles
+        btb.history = history
         self.cycles = cycles
         self.branches = branches
         self.branch_misses = branch_misses
@@ -692,6 +854,99 @@ class Machine:
         self.cycles = cycles
         if self.max_instructions and insns_total >= self.max_instructions:
             raise SimulationLimitReached(insns_total)
+
+    def branch_block_annot_run(self, pc, b, tag, n):
+        """Fused guard fall-through + collapsed annotation run.
+
+        Compiled traces open a guard's not-taken block and — when every
+        trace op of the following bytecodes virtualized away — retire
+        their collapsed ``debug_merge_point`` annotations right after.
+        One call concatenates the exact ``branch_block(pc, b)`` and
+        ``annot_run(tag, n)`` event sequences: same float-add order,
+        same listener and limit-check points, bit-identical counters.
+        """
+        inv_width = self._inv_width
+        penalty = self.mispredict_penalty
+        counts = self._class_counts
+        # branch(pc, False) + exec_block(b), exactly as in branch_block
+        insns_total = self.instructions + 1
+        branches = self.branches + 1
+        branch_misses = self.branch_misses
+        counts[_BR_COND] += 1
+        cycles = self.cycles + inv_width
+        gshare = self._gshare
+        if gshare is not None:
+            # Inlined GsharePredictor.predict_and_update(pc, False).
+            gmask = gshare.mask
+            ghistory = gshare.history
+            gtable = gshare.table
+            gindex = (pc ^ ghistory) & gmask
+            counter = gtable[gindex]
+            if counter > 0:
+                gtable[gindex] = counter - 1
+            gshare.history = (ghistory << 1) & gmask
+            if counter >= 2:
+                branch_misses += 1
+                cycles += penalty
+        elif self._cond_predict(pc, False):
+            branch_misses += 1
+            cycles += penalty
+        b.count += 1
+        insns_total += b.n_insns
+        bulk = b.bulk_count
+        if bulk:
+            branches += bulk
+            misses_exact = bulk * self.bulk_miss_rate + self._bulk_miss_carry
+            misses = int(misses_exact)
+            self._bulk_miss_carry = misses_exact - misses
+            branch_misses += misses
+            cycles += b.insn_cycles + (
+                b.stall_cycles + misses * penalty)
+        else:
+            cycles += b.flat_cycles
+        self.instructions = insns_total
+        self.branches = branches
+        self.branch_misses = branch_misses
+        self.cycles = cycles
+        max_instructions = self.max_instructions
+        if max_instructions and insns_total >= max_instructions:
+            raise SimulationLimitReached(insns_total)
+        # annot_run(tag, n) — the batched fast path inlined; listener
+        # and limit corner cases delegate to the real method, which
+        # replays exact per-annotation semantics.
+        tag_listeners = self._tag_listeners.get(tag)
+        runners = None
+        if tag_listeners is not None:
+            runners = self._tag_runners.get(tag)
+        if (self._annot_listeners
+                or (tag_listeners is not None and runners is None)
+                or (max_instructions
+                    and insns_total + n >= max_instructions)):
+            self.annot_run(tag, n)
+            return
+        self.instructions = insns_total + n
+        self.annotations += n
+        counts[_NOP_ANNOT] += n
+        if n == 1:
+            cycles += inv_width
+        else:
+            i = n
+            while i >= 8:
+                cycles += inv_width
+                cycles += inv_width
+                cycles += inv_width
+                cycles += inv_width
+                cycles += inv_width
+                cycles += inv_width
+                cycles += inv_width
+                cycles += inv_width
+                i -= 8
+            for _ in range(i):
+                cycles += inv_width
+        self.cycles = cycles
+        if runners:
+            for run in runners:
+                run(tag, None, n)
 
     def indirect(self, pc, target):
         """Retire one indirect jump (e.g. interpreter dispatch)."""
@@ -773,6 +1028,116 @@ class Machine:
             self._l1.hits += 1  # MRU hit: zero penalty, LRU unchanged
         else:
             self.cycles += 0.3 * self._dc_access(addr)
+
+    def load_annot_run(self, addr, tag, n):
+        """Fused ``load(addr)`` + ``annot_run(tag, n)``.
+
+        Same pattern (and same equivalence argument) as
+        :meth:`branch_block_annot_run`: the exact concatenation of both
+        event sequences in one Python call.  ``load`` performs no limit
+        check, so the annotation-run precheck alone routes limit
+        crossings to the per-primitive path.
+        """
+        counts = self._class_counts
+        self.loads += 1
+        counts[_LOAD] += 1
+        cycles = self.cycles + self._load_cost
+        line = addr >> self._l1_shift
+        ways = self._l1_sets[line & self._l1_mask]
+        if ways and ways[0] == line:
+            self._l1.hits += 1  # MRU hit: zero penalty, LRU unchanged
+        else:
+            cycles += self._dc_access(addr)
+        insns_total = self.instructions + 1
+        tag_listeners = self._tag_listeners.get(tag)
+        runners = None
+        if tag_listeners is not None:
+            runners = self._tag_runners.get(tag)
+        max_instructions = self.max_instructions
+        if (self._annot_listeners
+                or (tag_listeners is not None and runners is None)
+                or (max_instructions
+                    and insns_total + n >= max_instructions)):
+            self.instructions = insns_total
+            self.cycles = cycles
+            self.annot_run(tag, n)
+            return
+        self.instructions = insns_total + n
+        self.annotations += n
+        counts[_NOP_ANNOT] += n
+        inv_width = self._inv_width
+        if n == 1:
+            cycles += inv_width
+        else:
+            i = n
+            while i >= 8:
+                cycles += inv_width
+                cycles += inv_width
+                cycles += inv_width
+                cycles += inv_width
+                cycles += inv_width
+                cycles += inv_width
+                cycles += inv_width
+                cycles += inv_width
+                i -= 8
+            for _ in range(i):
+                cycles += inv_width
+        self.cycles = cycles
+        if runners:
+            for run in runners:
+                run(tag, None, n)
+
+    def store_annot_run(self, addr, tag, n):
+        """Fused ``store(addr)`` + ``annot_run(tag, n)`` (see
+        :meth:`load_annot_run`)."""
+        counts = self._class_counts
+        self.stores += 1
+        counts[_STORE] += 1
+        cycles = self.cycles + self._store_cost
+        line = addr >> self._l1_shift
+        ways = self._l1_sets[line & self._l1_mask]
+        if ways and ways[0] == line:
+            self._l1.hits += 1  # MRU hit: zero penalty, LRU unchanged
+        else:
+            cycles += 0.3 * self._dc_access(addr)
+        insns_total = self.instructions + 1
+        tag_listeners = self._tag_listeners.get(tag)
+        runners = None
+        if tag_listeners is not None:
+            runners = self._tag_runners.get(tag)
+        max_instructions = self.max_instructions
+        if (self._annot_listeners
+                or (tag_listeners is not None and runners is None)
+                or (max_instructions
+                    and insns_total + n >= max_instructions)):
+            self.instructions = insns_total
+            self.cycles = cycles
+            self.annot_run(tag, n)
+            return
+        self.instructions = insns_total + n
+        self.annotations += n
+        counts[_NOP_ANNOT] += n
+        inv_width = self._inv_width
+        if n == 1:
+            cycles += inv_width
+        else:
+            i = n
+            while i >= 8:
+                cycles += inv_width
+                cycles += inv_width
+                cycles += inv_width
+                cycles += inv_width
+                cycles += inv_width
+                cycles += inv_width
+                cycles += inv_width
+                cycles += inv_width
+                i -= 8
+            for _ in range(i):
+                cycles += inv_width
+        self.cycles = cycles
+        if runners:
+            for run in runners:
+                run(tag, None, n)
 
     # -- PAPI-style counter access --------------------------------------------
 

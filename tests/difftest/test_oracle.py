@@ -26,14 +26,15 @@ class TestAgreement:
     def test_simple_program_all_engines_agree(self):
         report = check_program(AGREE_SRC, thresholds=(2, 39))
         assert report.ok, report.summary()
-        assert len(report.runs) == 4  # cpref, interp, jit@2, jit@39
+        # cpref, interp, quicken-off, jit@2, jit@39
+        assert len(report.runs) == 5
         outputs = {run.output for run in report.runs}
         assert outputs == {"328350\n"}
 
     def test_engine_names(self):
         report = check_program(AGREE_SRC, thresholds=(2,))
         assert [run.name for run in report.runs] == \
-            ["cpref", "interp", "jit@2"]
+            ["cpref", "interp", "quicken-off", "jit@2"]
 
     def test_guest_errors_compare_by_erroredness(self):
         # Both engines error at the same point; message wording differs

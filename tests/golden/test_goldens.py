@@ -29,13 +29,20 @@ def update_goldens(request):
     return request.config.getoption("--update-goldens")
 
 
+# Every artifact is regenerated twice — quickened interpreters on and
+# off — against the SAME pinned golden: the quickening layer (DESIGN.md
+# §11) must be invisible in every figure, not just in raw counters.
+@pytest.mark.parametrize("quicken", ["on", "off"])
 @pytest.mark.parametrize("name", sorted(specs.ARTIFACTS))
-def test_golden(name, update_goldens):
+def test_golden(name, quicken, update_goldens, monkeypatch):
+    monkeypatch.setenv("REPRO_QUICKEN", "1" if quicken == "on" else "0")
     fresh = specs.ARTIFACTS[name]()
     if not fresh.endswith("\n"):
         fresh += "\n"
     path = os.path.join(GOLDEN_DIR, name + ".txt")
     if update_goldens:
+        if quicken == "off":
+            return  # the quickened variant already refreshed this pin
         with open(path, "w") as handle:
             handle.write(fresh)
         return

@@ -1,0 +1,109 @@
+"""Quickening equivalence: bit-identical results with the layer on or off.
+
+The quickening layer — superinstruction runs batched through
+``Machine.quick_run``, host-side inline caches for globals, attributes
+and method lookup, and fused cost charging — must not change simulation
+results AT ALL.  Every counter (including the float ``cycles``
+accumulator, compared by ``==`` and by ``repr`` so not even the last
+mantissa bit may differ), every phase window, the jitlog event stream,
+and guest stdout have to match what the unquickened dispatch loops
+produce, on real benchmarks and on generated difftest programs alike.
+
+Style of ``tests/uarch/test_fused_equivalence.py``: run the same
+workload twice with only ``config.quicken`` flipped, then compare the
+full measurement set field by field.
+"""
+
+import pytest
+
+from repro.benchprogs import registry
+from repro.difftest import oracle
+from repro.difftest.generator import generate_program
+from repro.harness import runner
+from repro.uarch.machine import Machine
+
+
+def _measure(program_name, language, vm_kind, quicken):
+    # run_program pins the host cyclic collector around the simulation,
+    # so SimGC's weakref survivor sampling — and with it every counter —
+    # is a pure function of the guest workload, not of what the process
+    # allocated before this run.  Without that, a quickened and an
+    # unquickened run (which allocate different *host* objects) could
+    # see sampled guest objects die at different points.
+    program = (registry.py_program(program_name) if language == "python"
+               else registry.rkt_program(program_name))
+    result = runner.run_program(program, vm_kind, use_cache=False,
+                                quicken=quicken)
+    phases = tuple(
+        (w.instructions, w.cycles, w.branches, w.branch_misses)
+        for w in result.phase_windows) if result.phase_windows else None
+    jitlog = (repr(result.jitlog_obj.events)
+              if result.jitlog_obj is not None else None)
+    return {
+        "instructions": result.instructions,
+        "cycles": result.cycles,
+        "cycles_repr": repr(result.cycles),
+        "ipc": repr(result.ipc),
+        "mpki": repr(result.mpki),
+        "truncated": result.truncated,
+        "bytecodes": result.bytecodes,
+        "output": result.output,
+        "phase_windows": phases,
+        "phase_breakdown": tuple(sorted(result.phase_breakdown.items())),
+        "jitlog": jitlog,
+    }
+
+
+@pytest.mark.parametrize("program,language,vm_kind", [
+    ("richards", "python", "pypy"),
+    ("richards", "python", "pypy_nojit"),
+    ("crypto_pyaes", "python", "cpython"),
+    ("nbody", "python", "pypy"),
+    ("fannkuch", "racket", "pycket"),
+    ("fannkuch", "racket", "racket"),
+])
+def test_benchmarks_bit_identical(program, language, vm_kind):
+    on = _measure(program, language, vm_kind, quicken=True)
+    off = _measure(program, language, vm_kind, quicken=False)
+    for field in on:
+        assert on[field] == off[field], field
+
+
+def test_quickening_actually_engages(monkeypatch):
+    """The quickened run must retire real superinstruction batches —
+    otherwise the equivalence above is vacuous."""
+    calls = [0]
+    orig = Machine.quick_run
+
+    def counting(self, tag, b, items, n_insns):
+        calls[0] += 1
+        return orig(self, tag, b, items, n_insns)
+
+    monkeypatch.setattr(Machine, "quick_run", counting)
+    _measure("richards", "python", "pypy_nojit", quicken=True)
+    assert calls[0] > 100  # a real workload, not a stray call
+
+    calls[0] = 0
+    _measure("richards", "python", "pypy_nojit", quicken=False)
+    assert calls[0] == 0  # the knob really disables the layer
+
+
+@pytest.mark.parametrize("seed", range(9100, 9120))
+def test_generated_programs_bit_identical(seed):
+    """Difftest-generated TinyPy programs: direct-mode interp runs with
+    quickening on vs off must agree on every machine counter."""
+    source = generate_program(seed)
+    on = oracle.run_interp(source, jit=False, quicken=True)
+    off = oracle.run_interp(source, jit=False, quicken=False,
+                            name="quicken-off")
+    assert on.output == off.output
+    assert (on.error is None) == (off.error is None)
+    assert on.truncated == off.truncated
+    for field in ("instructions", "cycles", "branches", "branch_misses",
+                  "loads", "stores", "annotations"):
+        a = getattr(on.machine, field)
+        b = getattr(off.machine, field)
+        assert a == b, field
+        assert repr(a) == repr(b), field
+    assert tuple(on.machine.class_counts) == tuple(off.machine.class_counts)
+    assert on.tool.bcrate.bytecodes == off.tool.bcrate.bytecodes

@@ -1,0 +1,243 @@
+"""Quickening edge cases: fusion boundaries and inline-cache invalidation.
+
+Three hazards the quickening layer must survive without changing a
+single counter or output byte:
+
+* a jump *into the middle* of a would-be fused region — interior pcs of
+  a run carry no table entry, so control transfers land on the ordinary
+  unfused dispatch;
+* a JitDriver merge point (backward-jump target) — runs never start
+  there, because hot-loop counting and compiled-loop entry interpose
+  between dispatches;
+* inline-cache invalidation — rebinding a module global or mutating a
+  class bumps the version tag the ICs key on, so stale entries miss and
+  the slow path re-fills with the new value.
+"""
+
+from repro.core.config import SystemConfig
+from repro.interp.context import VMContext
+from repro.interp.minilang import Code, MiniInterp, W_Int
+from repro.interp.quicken import find_runs
+from repro.pylang import bytecode as bc
+from repro.pylang.compiler import compile_source
+from repro.pylang.interp import PyVM
+from repro.pylang.quicken import JUMP_OPS, build_run_table
+
+
+def _run_py(source, quicken):
+    cfg = SystemConfig()
+    cfg.jit.enabled = False
+    cfg.quicken = quicken
+    ctx = VMContext(cfg)
+    vm = PyVM(ctx)
+    vm.run_source(source)
+    return vm, ctx
+
+
+def _assert_bit_identical(source):
+    """Quickened on vs off: same stdout, bit-identical counters."""
+    vm_on, ctx_on = _run_py(source, quicken=True)
+    vm_off, ctx_off = _run_py(source, quicken=False)
+    assert vm_on.stdout() == vm_off.stdout()
+    on = ctx_on.machine.counters()
+    off = ctx_off.machine.counters()
+    for field, a, b in zip(on._fields, on, off):
+        assert a == b, field
+        assert repr(a) == repr(b), field
+    return vm_on, vm_off
+
+
+# -- find_runs boundary behaviour --------------------------------------------
+
+def test_find_runs_never_crosses_jump_target():
+    # pcs 1..6 all fusable, but pc 4 is a jump target: the span splits.
+    runs = find_runs(7, lambda pc: True, jump_targets={4},
+                     merge_targets=set())
+    assert runs == [(1, 4), (4, 7)]
+
+
+def test_find_runs_never_starts_at_merge_point():
+    # pc 1 is a backward-jump target: no run may start there, and the
+    # remaining span (2..5) still fuses.
+    runs = find_runs(5, lambda pc: True, jump_targets={1},
+                     merge_targets={1})
+    assert runs == [(2, 5)]
+
+
+def test_find_runs_respects_min_run_and_start_pc():
+    assert find_runs(3, lambda pc: True, set(), set()) == [(1, 3)]
+    # A single fusable pc is not worth a table entry.
+    assert find_runs(2, lambda pc: True, set(), set()) == []
+    # start_pc=0 (MiniLang: dispatch hash has no prev-op component).
+    assert find_runs(2, lambda pc: True, set(), set(),
+                     start_pc=0) == [(0, 2)]
+
+
+# -- TinyPy run tables --------------------------------------------------------
+
+_LOOP_SOURCE = '''
+i = 0
+total = 0
+while i < 50:
+    a = i
+    b = a
+    c = b
+    total = total + c
+    i = i + 1
+print(total)
+'''
+
+
+def test_run_table_interior_pcs_stay_unfused():
+    """table[pc] is None for every pc strictly inside a run, so a jump
+    into the middle of a fused region lands on ordinary dispatch."""
+    vm, _ = _run_py(_LOOP_SOURCE, quicken=True)
+    code = compile_source(_LOOP_SOURCE)
+    table = build_run_table(vm, code)
+    starts = [pc for pc, entry in enumerate(table) if entry is not None]
+    assert starts, "loop body should produce at least one run"
+    for pc in starts:
+        end = table[pc][2]
+        assert end - pc >= 2
+        for interior in range(pc + 1, end):
+            assert table[interior] is None
+    # No jump target is strictly inside any run.
+    jump_targets = {code.args[pc] for pc in range(len(code.ops))
+                    if code.ops[pc] in JUMP_OPS}
+    for pc in starts:
+        end = table[pc][2]
+        assert not any(pc < t < end for t in jump_targets)
+
+
+def test_run_table_skips_jit_merge_points():
+    """No run starts at a backward-jump target (JitDriver merge point)."""
+    vm, _ = _run_py(_LOOP_SOURCE, quicken=True)
+    code = compile_source(_LOOP_SOURCE)
+    table = build_run_table(vm, code)
+    merge_targets = {code.args[pc] for pc in range(len(code.ops))
+                     if code.ops[pc] in JUMP_OPS and code.args[pc] <= pc}
+    assert merge_targets, "the while loop must have a backward jump"
+    for target in merge_targets:
+        assert table[target] is None
+
+
+def test_jump_into_straightline_code_bit_identical():
+    """Loops whose bodies are fusable straight-line spans: every
+    iteration re-enters via the merge point and leaves mid-table, and
+    counters still match the unquickened run exactly."""
+    vm_on, _ = _assert_bit_identical(_LOOP_SOURCE)
+    assert "1225" in vm_on.stdout()
+
+
+# -- inline-cache invalidation ------------------------------------------------
+
+def test_global_rebinding_invalidates_ic():
+    source = '''
+x = 1
+
+def f():
+    return x
+
+print(f())
+x = 2
+print(f())
+x = x + 40
+print(f())
+'''
+    vm_on, vm_off = _assert_bit_identical(source)
+    assert vm_on.stdout() == "1\n2\n42\n"
+    # The quickened VM really used the global IC; the reference VM
+    # never touched it.
+    assert vm_on._ic_global
+    assert not vm_off._ic_global
+
+
+def test_class_mutation_invalidates_ic():
+    source = '''
+class C:
+    def m(self):
+        return 1
+
+def g(self):
+    return 2
+
+c = C()
+print(c.m())
+C.m = g
+print(c.m())
+'''
+    vm_on, vm_off = _assert_bit_identical(source)
+    assert vm_on.stdout() == "1\n2\n"
+    assert vm_on._ic_class
+    assert not vm_off._ic_class
+
+
+def test_attr_ic_survives_shape_transitions():
+    source = '''
+class P:
+    def __init__(self):
+        self.x = 1
+
+p = P()
+q = P()
+print(p.x + q.x)
+q.y = 10
+print(p.x + q.x + q.y)
+'''
+    vm_on, vm_off = _assert_bit_identical(source)
+    assert vm_on.stdout() == "2\n12\n"
+    assert vm_on._ic_attr
+    assert not vm_off._ic_attr
+
+
+# -- MiniLang ----------------------------------------------------------------
+
+def _mini_loop_code():
+    # total = 0; n = 5; while n: total += n; n -= 1  — the loop header
+    # (pc 4) is a backward-jump target, the body a fusable span.
+    ops = [
+        ("load_const", 0), ("store_local", 0),       # 0-1: total = 0
+        ("load_const", 5), ("store_local", 1),       # 2-3: n = 5
+        ("load_local", 1), ("jump_if_false", 14),    # 4-5: while n
+        ("load_local", 0), ("load_local", 1),        # 6-7
+        ("add", None), ("store_local", 0),           # 8-9: total += n
+        ("load_local", 1), ("load_const", 1),        # 10-11
+        ("sub", None), ("store_local", 1),           # 12-13: n -= 1
+        ("jump", 4),                                 # 14 is exit target
+        ("load_local", 0), ("return", None),         # 15-16
+    ]
+    # pc 14 is the jump, 15 the exit target
+    ops[5] = ("jump_if_false", 15)
+    return Code("loop", ops, 2)
+
+
+def _run_mini(quicken):
+    cfg = SystemConfig()
+    cfg.jit.enabled = False
+    cfg.quicken = quicken
+    ctx = VMContext(cfg)
+    interp = MiniInterp(ctx)
+    result = interp.run(_mini_loop_code())
+    return result, ctx, interp
+
+
+def test_minilang_loop_bit_identical():
+    res_on, ctx_on, interp_on = _run_mini(quicken=True)
+    res_off, ctx_off, _ = _run_mini(quicken=False)
+    assert isinstance(res_on, W_Int) and res_on.intval == 15
+    assert isinstance(res_off, W_Int) and res_off.intval == 15
+    on = ctx_on.machine.counters()
+    off = ctx_off.machine.counters()
+    for field, a, b in zip(on._fields, on, off):
+        assert a == b, field
+        assert repr(a) == repr(b), field
+    # The quickened interpreter really fused the body: its run table
+    # has entries, none at the merge point (pc 4), none interior.
+    table = interp_on._build_run_table(_mini_loop_code())
+    starts = [pc for pc, e in enumerate(table) if e is not None]
+    assert starts
+    assert table[4] is None
+    for pc in starts:
+        end = table[pc][2]
+        for interior in range(pc + 1, end):
+            assert table[interior] is None

@@ -60,9 +60,35 @@ def _ref_dispatch_run(self, tag, b, items, n_insns):
         self.dispatch_event2(tag, b, pc, target, b2)
 
 
+def _ref_quick_run(self, tag, b, items, n_insns):
+    for pc, target, blocks in items:
+        self.dispatch_event(tag, b, pc, target)
+        for blk in blocks:
+            self.exec_block(blk)
+
+
 def _ref_branch_block(self, pc, b):
     self.branch(pc, False)
     self.exec_mix(b.mix)
+
+
+def _ref_branch_block_annot_run(self, pc, b, tag, n):
+    self.branch(pc, False)
+    self.exec_mix(b.mix)
+    for _ in range(n):
+        self.annot(tag)
+
+
+def _ref_load_annot_run(self, addr, tag, n):
+    self.load(addr)
+    for _ in range(n):
+        self.annot(tag)
+
+
+def _ref_store_annot_run(self, addr, tag, n):
+    self.store(addr)
+    for _ in range(n):
+        self.annot(tag)
 
 
 def _ref_annot_run(self, tag, n, payload=None):
@@ -76,7 +102,11 @@ _REFERENCE = {
     "dispatch_event": _ref_dispatch_event,
     "dispatch_event2": _ref_dispatch_event2,
     "dispatch_run": _ref_dispatch_run,
+    "quick_run": _ref_quick_run,
     "branch_block": _ref_branch_block,
+    "branch_block_annot_run": _ref_branch_block_annot_run,
+    "load_annot_run": _ref_load_annot_run,
+    "store_annot_run": _ref_store_annot_run,
     "annot_run": _ref_annot_run,
 }
 

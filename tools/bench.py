@@ -2,24 +2,32 @@
 """Harness-speed benchmark: wall time to simulate the quick set.
 
 Times three representative simulations (one per VM family) and writes
-``BENCH_1.json`` with wall seconds and simulated-instructions-per-second
-for the current tree, next to the frozen seed-tree baseline measured on
-the same machine.  Run from the repo root:
+``BENCH_<n>.json`` — numbered one past the highest existing report —
+with wall seconds and simulated-instructions-per-second for the current
+tree.  Each report records three baselines: the frozen seed tree, the
+seed tree re-measured under the session's load, and the previous
+``BENCH_<n-1>.json`` report (the prior PR's tree), so per-PR speedups
+compose without re-running old code.  Run from the repo root:
 
     PYTHONPATH=src python tools/bench.py
+    PYTHONPATH=src python tools/bench.py --trials 5
+    PYTHONPATH=src python tools/bench.py --profile   # cProfile top-20
 """
 
+import argparse
+import glob
 import json
 import os
+import re
 import sys
 import time
 
 os.environ.setdefault("REPRO_STORE", "0")  # measure real simulations
 
-sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
-    os.path.abspath(__file__))), "src"))
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(_ROOT, "src"))
 
-from repro.benchprogs import registry  # noqa: E402
+from repro.benchprogs import registry  # noqa: E402,F401
 from repro.harness.runner import clear_cache, run_program  # noqa: E402
 
 # Wall seconds for the identical quick set on the seed tree (commit
@@ -48,13 +56,36 @@ QUICK_SET = (
     ("fannkuch", "racket", "pycket"),
 )
 
-TRIALS = 3  # report min-of-N to suppress scheduler noise
+DEFAULT_TRIALS = 3  # report min-of-N to suppress scheduler noise
 
 
-def time_one(name, language, vm_kind):
+def _find_reports():
+    """All existing BENCH_<n>.json reports as sorted (n, path) pairs."""
+    reports = []
+    for path in glob.glob(os.path.join(_ROOT, "BENCH_*.json")):
+        match = re.match(r"BENCH_(\d+)\.json$", os.path.basename(path))
+        if match:
+            reports.append((int(match.group(1)), path))
+    return sorted(reports)
+
+
+def _prior_walls():
+    """Per-benchmark wall seconds from the newest existing report."""
+    reports = _find_reports()
+    if not reports:
+        return None, None
+    number, path = reports[-1]
+    with open(path) as f:
+        report = json.load(f)
+    walls = {row["benchmark"]: row["wall_s"]
+             for row in report.get("benchmarks", ())}
+    return number, walls
+
+
+def time_one(name, language, vm_kind, trials):
     best = None
     instructions = 0
-    for _ in range(TRIALS):
+    for _ in range(trials):
         clear_cache()
         t0 = time.perf_counter()
         result = run_program(name, vm_kind, language=language,
@@ -66,16 +97,44 @@ def time_one(name, language, vm_kind):
     return best, instructions
 
 
-def main():
+def profile_quick_set():
+    """cProfile each quick-set benchmark; print the top 20 by tottime."""
+    import cProfile
+    import pstats
+
+    for name, language, vm_kind in QUICK_SET:
+        print("== %s/%s ==" % (name, vm_kind))
+        clear_cache()
+        profiler = cProfile.Profile()
+        profiler.enable()
+        run_program(name, vm_kind, language=language, use_cache=False)
+        profiler.disable()
+        pstats.Stats(profiler).sort_stats("tottime").print_stats(20)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trials", type=int, default=DEFAULT_TRIALS,
+                        help="min-of-N trials per benchmark")
+    parser.add_argument("--profile", action="store_true",
+                        help="cProfile the quick set instead of timing it")
+    args = parser.parse_args(argv)
+    if args.profile:
+        profile_quick_set()
+        return
+
+    prev_number, prev_walls = _prior_walls()
     rows = []
     total = 0.0
+    prev_total = 0.0
     seed_total = sum(SEED_SECONDS.values())
     seed_rem_total = sum(SEED_SECONDS_REMEASURED.values())
     for name, language, vm_kind in QUICK_SET:
         label = "%s/%s" % (name, vm_kind)
-        seconds, instructions = time_one(name, language, vm_kind)
+        seconds, instructions = time_one(name, language, vm_kind,
+                                         args.trials)
         total += seconds
-        rows.append({
+        row = {
             "benchmark": label,
             "wall_s": round(seconds, 3),
             "sim_instructions": instructions,
@@ -85,16 +144,22 @@ def main():
             "seed_remeasured_wall_s": SEED_SECONDS_REMEASURED[label],
             "speedup_vs_seed_remeasured": round(
                 SEED_SECONDS_REMEASURED[label] / seconds, 2),
-        })
-        print("%-22s %6.2fs  (seed %5.2fs, %0.2fx; same-session seed "
-              "%5.2fs, %0.2fx)  %.1fM insns/s"
-              % (label, seconds, SEED_SECONDS[label],
-                 SEED_SECONDS[label] / seconds,
-                 SEED_SECONDS_REMEASURED[label],
-                 SEED_SECONDS_REMEASURED[label] / seconds,
-                 instructions / seconds / 1e6))
+        }
+        line = ("%-22s %6.2fs  (seed %5.2fs, %0.2fx; same-session seed "
+                "%5.2fs, %0.2fx" % (label, seconds, SEED_SECONDS[label],
+                                    SEED_SECONDS[label] / seconds,
+                                    SEED_SECONDS_REMEASURED[label],
+                                    SEED_SECONDS_REMEASURED[label] / seconds))
+        if prev_walls and label in prev_walls:
+            prev_total += prev_walls[label]
+            row["prev_wall_s"] = prev_walls[label]
+            row["speedup_vs_prev"] = round(prev_walls[label] / seconds, 2)
+            line += "; prev %5.2fs, %0.2fx" % (prev_walls[label],
+                                               prev_walls[label] / seconds)
+        rows.append(row)
+        print(line + ")  %.1fM insns/s" % (instructions / seconds / 1e6))
     report = {
-        "trials": TRIALS,
+        "trials": args.trials,
         "benchmarks": rows,
         "total_wall_s": round(total, 3),
         "seed_total_wall_s": round(seed_total, 3),
@@ -102,13 +167,21 @@ def main():
         "seed_remeasured_total_wall_s": round(seed_rem_total, 3),
         "speedup_vs_seed_remeasured": round(seed_rem_total / total, 2),
     }
-    out_path = os.path.join(os.path.dirname(os.path.dirname(
-        os.path.abspath(__file__))), "BENCH_1.json")
+    if prev_walls and prev_total:
+        report["prev_report"] = "BENCH_%d.json" % prev_number
+        report["prev_total_wall_s"] = round(prev_total, 3)
+        report["speedup_vs_prev"] = round(prev_total / total, 2)
+    out_number = (prev_number or 0) + 1
+    out_path = os.path.join(_ROOT, "BENCH_%d.json" % out_number)
     with open(out_path, "w") as f:
         json.dump(report, f, indent=2)
         f.write("\n")
-    print("TOTAL %.2fs vs seed %.2fs -> %.2fx  (wrote %s)"
-          % (total, seed_total, seed_total / total, out_path))
+    summary = "TOTAL %.2fs vs seed %.2fs -> %.2fx" % (
+        total, seed_total, seed_total / total)
+    if prev_walls and prev_total:
+        summary += "  (vs prev %.2fs -> %.2fx)" % (prev_total,
+                                                   prev_total / total)
+    print(summary + "  (wrote %s)" % out_path)
 
 
 if __name__ == "__main__":
