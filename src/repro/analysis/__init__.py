@@ -1,0 +1,49 @@
+"""Cross-layer static verification (see DESIGN.md §12).
+
+Three passes over the artifacts the simulated VMs produce:
+
+* :mod:`repro.analysis.irverify` — JIT trace verifier (recorded,
+  optimized, backend stages; ``IR1xx``–``IR6xx``),
+* :mod:`repro.analysis.bcverify` — guest-bytecode abstract
+  interpreter and quickening run-table checker (``BC1xx``–``BC4xx``),
+* :mod:`repro.analysis.effects` — effect/purity declaration
+  cross-checker (``EFF0xx``),
+
+all reporting through the shared :mod:`repro.analysis.diagnostics`
+core.  Wired in as debug gates behind ``config.verify`` /
+``REPRO_VERIFY=1``, as a difftest-oracle invariant family, and as the
+standalone linter ``tools/lint.py``.
+"""
+
+from repro.analysis.bcverify import (
+    verify_minicode,
+    verify_mini_run_table,
+    verify_pycode,
+    verify_run_table,
+)
+from repro.analysis.diagnostics import ERROR, WARNING, Finding, Report
+from repro.analysis.effects import check_effects
+from repro.analysis.irverify import (
+    verify_backend,
+    verify_compilation,
+    verify_recorded,
+    verify_trace,
+)
+from repro.core.errors import VerificationError
+
+__all__ = [
+    "ERROR",
+    "WARNING",
+    "Finding",
+    "Report",
+    "VerificationError",
+    "check_effects",
+    "verify_backend",
+    "verify_compilation",
+    "verify_minicode",
+    "verify_mini_run_table",
+    "verify_pycode",
+    "verify_recorded",
+    "verify_run_table",
+    "verify_trace",
+]

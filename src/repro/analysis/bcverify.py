@@ -1,0 +1,605 @@
+"""Guest-bytecode abstract interpretation (TinyPy / TinyRkt / MiniLang).
+
+Verifies compiled guest code objects before execution:
+
+* structural checks — jump targets in range, operand indices valid,
+  every path ends in a terminator (``BC1xx``),
+* operand-stack simulation over the CFG — a worklist abstract
+  interpretation tracking stack depth and a tiny type lattice
+  (``funcspec``/``classspec`` constants must only flow into
+  ``MAKE_FUNCTION``), so underflow and merge-depth disagreements are
+  static errors (``BC2xx``),
+* dead-code detection — pcs no path reaches (``BC301``, warning),
+* quickening run-table invariants — fused superinstruction runs must
+  never cross a jump target, never start at a JitDriver merge point,
+  and must replay exactly the bytecodes they cover (``BC4xx``).
+
+TinyRkt compiles to TinyPy :class:`PyCode`, so :func:`verify_pycode`
+covers both front ends.
+"""
+
+from repro.analysis.diagnostics import Report
+from repro.pylang import bytecode as bc
+from repro.pylang import quicken as pyquicken
+
+_PASS = "bcverify"
+
+#: Abstract value tags.  ``funcspec`` marks a FunctionSpec/ClassSpec
+#: constant, which the interpreter leaves unwrapped on the stack; any
+#: consumer other than MAKE_FUNCTION would crash on it at runtime.
+_T_ANY = "any"
+_T_VALUE = "value"
+_T_SPEC = "funcspec"
+
+# opcode -> (pops, pushes) for straight-line ops; variadic and control
+# ops are handled explicitly in _abstract_step.
+_SIMPLE_EFFECTS = {
+    bc.LOAD_CONST: (0, 1),
+    bc.LOAD_FAST: (0, 1),
+    bc.LOAD_GLOBAL: (0, 1),
+    bc.STORE_FAST: (1, 0),
+    bc.STORE_GLOBAL: (1, 0),
+    bc.POP_TOP: (1, 0),
+    bc.LOAD_ATTR: (1, 1),
+    bc.STORE_ATTR: (2, 0),
+    bc.BINARY_SUBSCR: (2, 1),
+    bc.STORE_SUBSCR: (3, 0),
+    bc.DELETE_SUBSCR: (2, 0),
+    bc.UNARY_NEG: (1, 1),
+    bc.UNARY_NOT: (1, 1),
+    bc.UNARY_INVERT: (1, 1),
+    bc.GET_ITER: (1, 1),
+    bc.DUP_TOP: (1, 2),
+    bc.DUP_TOP_TWO: (2, 4),
+    bc.ROT_TWO: (2, 2),
+    bc.ROT_THREE: (3, 3),
+    bc.BUILD_SLICE: (2, 1),
+    bc.LIST_APPEND: (2, 0),
+    bc.MAKE_CLASS: (0, 1),
+    bc.RETURN_VALUE: (1, 0),
+}
+for _opnum in range(bc.BINARY_ADD, bc.BINARY_RSHIFT + 1):
+    _SIMPLE_EFFECTS[_opnum] = (2, 1)
+for _opnum in range(bc.COMPARE_LT, bc.COMPARE_NOT_IN + 1):
+    _SIMPLE_EFFECTS[_opnum] = (2, 1)
+del _opnum
+
+_TERMINATORS = frozenset((bc.JUMP, bc.RETURN_VALUE))
+
+
+def _merge(old, new):
+    """Element-wise tag join; returns (merged, changed) or None on
+    depth mismatch."""
+    if len(old) != len(new):
+        return None
+    changed = False
+    merged = list(old)
+    for i, (a, b) in enumerate(zip(old, new)):
+        if a != b and a != _T_ANY:
+            merged[i] = _T_ANY
+            changed = True
+    return tuple(merged), changed
+
+
+class _PyAbstract(object):
+    """Worklist abstract interpreter for one TinyPy code object."""
+
+    def __init__(self, code, report, subject):
+        self.code = code
+        self.report = report
+        self.subject = subject
+        self.states = {}       # pc -> abstract stack (tuple of tags)
+        self.poisoned = set()  # pcs with a reported merge conflict
+
+    def where(self, pc):
+        op = self.code.ops[pc] if 0 <= pc < len(self.code.ops) else -1
+        name = bc.OP_NAMES[op] if 0 <= op < bc.N_OPS else "op?%s" % op
+        return "%s pc %d (%s)" % (self.subject, pc, name)
+
+    def run(self):
+        code = self.code
+        n = len(code.ops)
+        if len(code.args) != n:
+            self.report.error(
+                "BC102", "ops/args lists disagree (%d vs %d entries)"
+                % (n, len(code.args)), where=self.subject,
+                pass_name=_PASS)
+            return
+        if n == 0:
+            self.report.error("BC102", "empty code object",
+                              where=self.subject, pass_name=_PASS)
+            return
+        worklist = [0]
+        self.states[0] = ()
+        while worklist:
+            pc = worklist.pop()
+            if pc in self.poisoned:
+                continue
+            for succ, stack in self._abstract_step(pc):
+                self._flow_to(pc, succ, stack, worklist)
+        # The compiler unconditionally appends a default-return epilogue
+        # (LOAD_CONST None; RETURN_VALUE); when every path already
+        # returns it is dead by construction, like CPython's, so it is
+        # not worth a diagnostic.
+        epilogue = set()
+        if (n >= 2 and code.ops[n - 2] == bc.LOAD_CONST
+                and code.ops[n - 1] == bc.RETURN_VALUE):
+            epilogue = {n - 2, n - 1}
+        for pc in range(n):
+            if pc in self.states or pc in epilogue:
+                continue
+            # A dead branch-join JUMP directly after a terminator is the
+            # other codegen artifact (both arms of a conditional end in
+            # jumps, leaving the join-skipping jump unreachable).
+            if (code.ops[pc] == bc.JUMP and pc > 0
+                    and code.ops[pc - 1] in _TERMINATORS):
+                continue
+            self.report.warning(
+                "BC301", "unreachable bytecode", where=self.where(pc),
+                pass_name=_PASS)
+
+    def _flow_to(self, pc, succ, stack, worklist):
+        n = len(self.code.ops)
+        if succ >= n or succ < 0:
+            self.report.error(
+                "BC102", "control flows to pc %d (past the last "
+                "bytecode — no terminator on this path)" % succ,
+                where=self.where(pc), pass_name=_PASS)
+            return
+        old = self.states.get(succ)
+        if old is None:
+            self.states[succ] = stack
+            worklist.append(succ)
+            return
+        merged = _merge(old, stack)
+        if merged is None:
+            if succ not in self.poisoned:
+                self.poisoned.add(succ)
+                self.report.error(
+                    "BC201", "operand stack depth disagrees across "
+                    "paths into pc %d (%d vs %d)"
+                    % (succ, len(old), len(stack)),
+                    where=self.where(succ), pass_name=_PASS)
+            return
+        merged_stack, changed = merged
+        if changed:
+            self.states[succ] = merged_stack
+            worklist.append(succ)
+
+    def _pop(self, pc, op, stack, pops):
+        """Pop ``pops`` tags, reporting underflow and stray specs."""
+        if len(stack) < pops:
+            self.report.error(
+                "BC202", "operand stack underflow (%s needs %d, depth "
+                "is %d)" % (bc.OP_NAMES[op], pops, len(stack)),
+                where=self.where(pc), pass_name=_PASS)
+            return None
+        popped = stack[len(stack) - pops:]
+        if op != bc.MAKE_FUNCTION and _T_SPEC in popped:
+            self.report.error(
+                "BC203", "%s consumes a FunctionSpec/ClassSpec constant "
+                "(only make_function may)" % bc.OP_NAMES[op],
+                where=self.where(pc), pass_name=_PASS)
+        return stack[:len(stack) - pops]
+
+    def _check_indices(self, pc, op, arg):
+        code = self.code
+        report = self.report
+        where = self.where(pc)
+        if op == bc.LOAD_CONST:
+            if not 0 <= arg < len(code.consts):
+                report.error("BC103", "const index %d out of range (%d "
+                             "consts)" % (arg, len(code.consts)),
+                             where=where, pass_name=_PASS)
+                return _T_ANY
+            const = code.consts[arg]
+            if isinstance(const, (bc.FunctionSpec, bc.ClassSpec)):
+                return _T_SPEC
+            return _T_VALUE
+        if op == bc.MAKE_CLASS:
+            if not 0 <= arg < len(code.consts):
+                report.error("BC103", "class-spec const index %d out of "
+                             "range" % arg, where=where, pass_name=_PASS)
+            elif not isinstance(code.consts[arg], bc.ClassSpec):
+                report.error("BC103", "make_class const %d is %r, not a "
+                             "ClassSpec" % (arg, code.consts[arg]),
+                             where=where, pass_name=_PASS)
+        elif op in (bc.LOAD_FAST, bc.STORE_FAST):
+            if not 0 <= arg < code.n_locals:
+                report.error("BC104", "local index %d out of range (%d "
+                             "locals)" % (arg, code.n_locals),
+                             where=where, pass_name=_PASS)
+        elif op in (bc.LOAD_GLOBAL, bc.STORE_GLOBAL, bc.LOAD_ATTR,
+                    bc.STORE_ATTR):
+            if not 0 <= arg < len(code.names):
+                report.error("BC104", "name index %d out of range (%d "
+                             "names)" % (arg, len(code.names)),
+                             where=where, pass_name=_PASS)
+        return _T_ANY
+
+    def _jump_target_ok(self, pc, arg):
+        if not 0 <= arg < len(self.code.ops):
+            self.report.error(
+                "BC101", "jump target %d out of range (%d bytecodes)"
+                % (arg, len(self.code.ops)),
+                where=self.where(pc), pass_name=_PASS)
+            return False
+        return True
+
+    def _abstract_step(self, pc):
+        """Execute pc abstractly; yields (successor_pc, stack_after)."""
+        code = self.code
+        op = code.ops[pc]
+        arg = code.args[pc]
+        stack = self.states[pc]
+        if not isinstance(op, int) or not 0 <= op < bc.N_OPS:
+            self.report.error("BC105", "unknown opcode %r" % (op,),
+                              where=self.where(pc), pass_name=_PASS)
+            return
+        pushed_tag = self._check_indices(pc, op, arg)
+        # Control flow first: asymmetric stack effects per edge.
+        if op == bc.JUMP:
+            if self._jump_target_ok(pc, arg):
+                yield arg, stack
+            return
+        if op in (bc.POP_JUMP_IF_FALSE, bc.POP_JUMP_IF_TRUE):
+            after = self._pop(pc, op, stack, 1)
+            if after is None:
+                return
+            yield pc + 1, after
+            if self._jump_target_ok(pc, arg):
+                yield arg, after
+            return
+        if op in (bc.JUMP_IF_FALSE_OR_POP, bc.JUMP_IF_TRUE_OR_POP):
+            after = self._pop(pc, op, stack, 1)
+            if after is None:
+                return
+            yield pc + 1, after                   # condition popped
+            if self._jump_target_ok(pc, arg):
+                yield arg, stack                  # condition kept
+            return
+        if op == bc.FOR_ITER:
+            if not stack:
+                self._pop(pc, op, stack, 1)
+                return
+            yield pc + 1, stack + (_T_ANY,)       # next item pushed
+            if self._jump_target_ok(pc, arg):
+                yield arg, stack[:-1]             # iterator popped
+            return
+        # Variadic stack effects.
+        if op == bc.CALL_FUNCTION:
+            pops, pushes = arg + 1, 1
+        elif op == bc.MAKE_FUNCTION:
+            pops, pushes = arg + 1, 1
+        elif op in (bc.BUILD_LIST, bc.BUILD_TUPLE, bc.BUILD_SET):
+            pops, pushes = arg, 1
+        elif op == bc.BUILD_MAP:
+            pops, pushes = 2 * arg, 1
+        elif op == bc.UNPACK_SEQUENCE:
+            pops, pushes = 1, arg
+        else:
+            pops, pushes = _SIMPLE_EFFECTS[op]
+        if op == bc.MAKE_FUNCTION and stack:
+            if stack[-1] == _T_VALUE:
+                self.report.error(
+                    "BC203", "make_function on a plain constant (top "
+                    "of stack is not a FunctionSpec)",
+                    where=self.where(pc), pass_name=_PASS)
+        after = self._pop(pc, op, stack, pops)
+        if after is None:
+            return
+        after = after + (pushed_tag,) * pushes
+        if op == bc.RETURN_VALUE:
+            return
+        yield pc + 1, after
+
+
+def _nested_codes(code):
+    """(label, PyCode) pairs for every code object reachable from the
+    constants of ``code`` (function defs and class methods)."""
+    out = []
+    for const in code.consts:
+        if isinstance(const, bc.FunctionSpec):
+            out.append((const.code.name, const.code))
+        elif isinstance(const, bc.ClassSpec):
+            for name, method_code, _defaults in const.methods:
+                out.append(("%s.%s" % (const.name, name), method_code))
+    return out
+
+
+def verify_pycode(code, subject=None, recurse=True):
+    """Verify a TinyPy/TinyRkt code object (and, by default, every
+    function/method code object reachable from its constants)."""
+    subject = subject or code.name
+    report = Report(subject)
+    seen = set()
+    pending = [(subject, code)]
+    while pending:
+        label, current = pending.pop(0)
+        if id(current) in seen:
+            continue
+        seen.add(id(current))
+        _PyAbstract(current, report, label).run()
+        if recurse:
+            pending.extend(_nested_codes(current))
+    return report
+
+
+# -- MiniLang -----------------------------------------------------------------
+
+_MINI_EFFECTS = {
+    "load_const": (0, 1),
+    "load_local": (0, 1),
+    "store_local": (1, 0),
+    "pop": (1, 0),
+    "add": (2, 1),
+    "sub": (2, 1),
+    "mul": (2, 1),
+    "lt": (2, 1),
+    "eq": (2, 1),
+    "call": (1, 1),     # pops the argument; the callee's return pushes
+    "return": (1, 0),
+}
+_MINI_JUMPS = ("jump", "jump_if_false")
+
+
+def verify_minicode(code, subject=None):
+    """Verify a MiniLang code object and every callee in ``code.codes``."""
+    subject = subject or code.name
+    report = Report(subject)
+    seen = set()
+    pending = [(subject, code)]
+    while pending:
+        label, current = pending.pop(0)
+        if id(current) in seen:
+            continue
+        seen.add(id(current))
+        _verify_one_minicode(current, report, label)
+        pending.extend(("%s>%s" % (label, name), callee)
+                       for name, callee in sorted(current.codes.items()))
+    return report
+
+
+def _verify_one_minicode(code, report, subject):
+    ops = code.ops
+    n = len(ops)
+
+    def where(pc):
+        name = ops[pc][0] if 0 <= pc < n else "?"
+        return "%s pc %d (%s)" % (subject, pc, name)
+
+    if n == 0:
+        report.error("BC102", "empty code object", where=subject,
+                     pass_name=_PASS)
+        return
+    states = {0: 0}
+    poisoned = set()
+    worklist = [0]
+
+    def flow(pc, succ, depth):
+        if not 0 <= succ < n:
+            report.error(
+                "BC102", "control flows to pc %d (past the last op)"
+                % succ, where=where(pc), pass_name=_PASS)
+            return
+        old = states.get(succ)
+        if old is None:
+            states[succ] = depth
+            worklist.append(succ)
+        elif old != depth and succ not in poisoned:
+            poisoned.add(succ)
+            report.error(
+                "BC201", "operand stack depth disagrees across paths "
+                "into pc %d (%d vs %d)" % (succ, old, depth),
+                where=where(succ), pass_name=_PASS)
+
+    while worklist:
+        pc = worklist.pop()
+        if pc in poisoned:
+            continue
+        opname, arg = ops[pc]
+        depth = states[pc]
+        if opname in _MINI_JUMPS:
+            if not 0 <= arg < n:
+                report.error("BC101", "jump target %d out of range"
+                             % arg, where=where(pc), pass_name=_PASS)
+                continue
+            if opname == "jump":
+                flow(pc, arg, depth)
+                continue
+            if depth < 1:
+                report.error("BC202", "operand stack underflow",
+                             where=where(pc), pass_name=_PASS)
+                continue
+            flow(pc, pc + 1, depth - 1)
+            flow(pc, arg, depth - 1)
+            continue
+        effect = _MINI_EFFECTS.get(opname)
+        if effect is None:
+            report.error("BC105", "unknown minilang op %r" % (opname,),
+                         where=where(pc), pass_name=_PASS)
+            continue
+        pops, pushes = effect
+        if opname in ("load_local", "store_local") and \
+                not 0 <= arg < code.n_locals:
+            report.error("BC104", "local index %d out of range (%d "
+                         "locals)" % (arg, code.n_locals),
+                         where=where(pc), pass_name=_PASS)
+        if opname == "call" and arg not in code.codes:
+            report.error("BC105", "call target %r not in code.codes"
+                         % (arg,), where=where(pc), pass_name=_PASS)
+        if depth < pops:
+            report.error("BC202", "operand stack underflow (%s needs "
+                         "%d, depth is %d)" % (opname, pops, depth),
+                         where=where(pc), pass_name=_PASS)
+            continue
+        if opname == "return":
+            continue
+        flow(pc, pc + 1, depth - pops + pushes)
+    for pc in range(n):
+        if pc not in states:
+            report.warning("BC301", "unreachable op", where=where(pc),
+                           pass_name=_PASS)
+
+
+# -- quickening run tables ----------------------------------------------------
+
+def _jump_sets_py(code):
+    jump_targets = set()
+    merge_targets = set()
+    for pc, op in enumerate(code.ops):
+        if op in pyquicken.JUMP_OPS:
+            target = code.args[pc]
+            jump_targets.add(target)
+            if target <= pc:
+                merge_targets.add(target)
+    return jump_targets, merge_targets
+
+
+def verify_run_table(code, table, subject=None):
+    """Verify a TinyPy quickening run table against its code object.
+
+    Statically re-derives the fusion safety conditions (see
+    :mod:`repro.interp.quicken`) and checks every entry against them:
+    fused runs must start after pc 0 with the recorded static
+    predecessor, must not start on a JitDriver merge point, must not
+    cross a jump target, and must cover only fusable opcodes.
+    """
+    subject = subject or ("%s run table" % code.name)
+    report = Report(subject)
+    ops = code.ops
+    n = len(ops)
+    if len(table) != n:
+        report.error("BC401", "run table has %d entries for %d "
+                     "bytecodes" % (len(table), n), where=subject,
+                     pass_name=_PASS)
+        return report
+    jump_targets, merge_targets = _jump_sets_py(code)
+    fusable = frozenset(pyquicken._HANDLERS)
+
+    def where(pc):
+        return "%s pc %d (%s)" % (subject, pc, bc.OP_NAMES[ops[pc]])
+
+    for pc, entry in enumerate(table):
+        if entry is None:
+            continue
+        items, pairs, next_pc, last_op, n_insns, expected_prev = entry
+        end = next_pc
+        if pc < 1:
+            report.error(
+                "BC402", "run starts at pc 0 (no static predecessor "
+                "for the dispatch hash)", where=where(pc),
+                pass_name=_PASS)
+            continue
+        if not pc < end <= n:
+            report.error("BC402", "run span [%d, %d) out of range"
+                         % (pc, end), where=where(pc), pass_name=_PASS)
+            continue
+        if pc in merge_targets:
+            report.error(
+                "BC403", "run starts at a JitDriver merge point "
+                "(hot-loop counting would be skipped)", where=where(pc),
+                pass_name=_PASS)
+        for interior in range(pc + 1, end):
+            if interior in jump_targets:
+                report.error(
+                    "BC404", "run crosses the jump target at pc %d (a "
+                    "branch would land mid-superinstruction)" % interior,
+                    where=where(pc), pass_name=_PASS)
+            if table[interior] is not None:
+                report.error(
+                    "BC404", "interior pc %d of the run has its own "
+                    "table entry" % interior, where=where(pc),
+                    pass_name=_PASS)
+        if len(items) != end - pc or len(pairs) != end - pc:
+            report.error(
+                "BC405", "entry covers %d bytecodes but carries "
+                "%d items / %d pairs" % (end - pc, len(items),
+                                         len(pairs)),
+                where=where(pc), pass_name=_PASS)
+            continue
+        for j in range(pc, end):
+            if ops[j] not in fusable:
+                report.error(
+                    "BC405", "non-fusable opcode %s inside the run"
+                    % bc.OP_NAMES[ops[j]], where=where(j),
+                    pass_name=_PASS)
+        if expected_prev != ops[pc - 1]:
+            report.error(
+                "BC405", "recorded static predecessor %r is not the "
+                "opcode at pc %d" % (expected_prev, pc - 1),
+                where=where(pc), pass_name=_PASS)
+        if last_op != ops[end - 1]:
+            report.error(
+                "BC405", "recorded last opcode %r is not the opcode "
+                "at pc %d" % (last_op, end - 1), where=where(pc),
+                pass_name=_PASS)
+        if not (isinstance(n_insns, int) and n_insns > 0):
+            report.error("BC405", "non-positive simulated instruction "
+                         "count %r" % (n_insns,), where=where(pc),
+                         pass_name=_PASS)
+    return report
+
+
+def verify_mini_run_table(code, table, subject=None):
+    """Verify a MiniLang quickening run table (4-tuple entries)."""
+    subject = subject or ("%s run table" % code.name)
+    report = Report(subject)
+    ops = code.ops
+    n = len(ops)
+    if len(table) != n:
+        report.error("BC401", "run table has %d entries for %d ops"
+                     % (len(table), n), where=subject, pass_name=_PASS)
+        return report
+    jump_targets = set()
+    merge_targets = set()
+    for pc, (opname, arg) in enumerate(ops):
+        if opname in _MINI_JUMPS:
+            jump_targets.add(arg)
+            if arg <= pc:
+                merge_targets.add(arg)
+    fusable = frozenset(("load_local", "store_local", "pop"))
+
+    def where(pc):
+        return "%s pc %d (%s)" % (subject, pc, ops[pc][0])
+
+    for pc, entry in enumerate(table):
+        if entry is None:
+            continue
+        items, run_ops, next_pc, n_insns = entry
+        end = next_pc
+        if not pc < end <= n:
+            report.error("BC402", "run span [%d, %d) out of range"
+                         % (pc, end), where=where(pc), pass_name=_PASS)
+            continue
+        if pc in merge_targets:
+            report.error("BC403", "run starts at a JitDriver merge "
+                         "point", where=where(pc), pass_name=_PASS)
+        for interior in range(pc + 1, end):
+            if interior in jump_targets:
+                report.error(
+                    "BC404", "run crosses the jump target at pc %d"
+                    % interior, where=where(pc), pass_name=_PASS)
+            if table[interior] is not None:
+                report.error(
+                    "BC404", "interior pc %d of the run has its own "
+                    "table entry" % interior, where=where(pc),
+                    pass_name=_PASS)
+        if tuple(run_ops) != tuple(ops[pc:end]):
+            report.error("BC405", "replayed ops do not match the "
+                         "bytecode span", where=where(pc),
+                         pass_name=_PASS)
+        for j in range(pc, end):
+            if ops[j][0] not in fusable:
+                report.error("BC405", "non-fusable op %r inside the "
+                             "run" % (ops[j][0],), where=where(j),
+                             pass_name=_PASS)
+        if len(items) != end - pc:
+            report.error("BC405", "entry covers %d ops but carries %d "
+                         "items" % (end - pc, len(items)),
+                         where=where(pc), pass_name=_PASS)
+        if not (isinstance(n_insns, int) and n_insns > 0):
+            report.error("BC405", "non-positive simulated instruction "
+                         "count %r" % (n_insns,), where=where(pc),
+                         pass_name=_PASS)
+    return report

@@ -1,0 +1,144 @@
+"""Shared diagnostics core for the static verification passes.
+
+Every pass (IR verifier, bytecode abstract interpreter, effect
+cross-checker) reports through a :class:`Report`: a list of
+:class:`Finding` records with a stable error code, a severity, a
+human-readable message, and a source location string.  Reports render
+as text (one finding per line, like a compiler) and as machine-readable
+JSON (``tools/lint.py --json``), and can be turned into a raised
+:class:`repro.core.errors.VerificationError` at the ``config.verify``
+debug gates.
+
+Error-code taxonomy (see DESIGN.md §12):
+
+* ``IR1xx`` — IR def-before-use / structural integrity
+* ``IR2xx`` — IR per-opnum arity, operand kinds, descriptors
+* ``IR3xx`` — guard / resume-snapshot consistency
+* ``IR4xx`` — loop, label and jump wiring (incl. peeling invariants)
+* ``IR5xx`` — effect discipline inside a trace
+* ``IR6xx`` — backend numbering / cost attachment
+* ``BC1xx`` — bytecode structure (jump targets, operand indices,
+  terminators)
+* ``BC2xx`` — operand-stack simulation (underflow, merge mismatch)
+* ``BC3xx`` — dead / unreachable code (warnings)
+* ``BC4xx`` — quickening run-table invariants
+* ``EFF0xx`` — effect/purity declarations vs. optimizer behaviour
+"""
+
+import json
+
+from repro.core.errors import VerificationError
+
+ERROR = "error"
+WARNING = "warning"
+
+SEVERITIES = (ERROR, WARNING)
+
+
+class Finding(object):
+    """One diagnostic: a coded, located, machine-readable message."""
+
+    __slots__ = ("code", "severity", "message", "where", "pass_name")
+
+    def __init__(self, code, severity, message, where="", pass_name=""):
+        assert severity in SEVERITIES, severity
+        self.code = code
+        self.severity = severity
+        self.message = message
+        self.where = where          # e.g. "trace #3 op 17" / "richards:f pc 4"
+        self.pass_name = pass_name  # "irverify" / "bcverify" / "effects"
+
+    def render(self):
+        location = "%s: " % self.where if self.where else ""
+        return "%s%s [%s] %s" % (location, self.severity, self.code,
+                                 self.message)
+
+    def to_dict(self):
+        return {
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+            "where": self.where,
+            "pass": self.pass_name,
+        }
+
+    def __repr__(self):
+        return "<Finding %s %s>" % (self.code, self.where)
+
+
+class Report(object):
+    """Findings collected by one or more verification passes."""
+
+    def __init__(self, subject=""):
+        self.subject = subject
+        self.findings = []
+
+    def add(self, code, severity, message, where="", pass_name=""):
+        finding = Finding(code, severity, message, where=where,
+                          pass_name=pass_name)
+        self.findings.append(finding)
+        return finding
+
+    def error(self, code, message, where="", pass_name=""):
+        return self.add(code, ERROR, message, where=where,
+                        pass_name=pass_name)
+
+    def warning(self, code, message, where="", pass_name=""):
+        return self.add(code, WARNING, message, where=where,
+                        pass_name=pass_name)
+
+    def extend(self, other):
+        self.findings.extend(other.findings)
+        return self
+
+    @property
+    def errors(self):
+        return [f for f in self.findings if f.severity == ERROR]
+
+    @property
+    def warnings(self):
+        return [f for f in self.findings if f.severity == WARNING]
+
+    @property
+    def ok(self):
+        return not self.errors
+
+    def codes(self):
+        """The set of finding codes (tests assert on these)."""
+        return frozenset(f.code for f in self.findings)
+
+    def has(self, code):
+        return any(f.code == code for f in self.findings)
+
+    def render(self):
+        lines = []
+        if self.subject:
+            lines.append("== %s ==" % self.subject)
+        lines.extend(f.render() for f in self.findings)
+        return "\n".join(lines)
+
+    def to_dict(self):
+        return {
+            "subject": self.subject,
+            "n_errors": len(self.errors),
+            "n_warnings": len(self.warnings),
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+    def to_json(self, indent=2):
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def raise_if_errors(self, context=""):
+        """Raise :class:`VerificationError` when any error was found."""
+        errors = self.errors
+        if not errors:
+            return
+        head = "; ".join(f.render() for f in errors[:4])
+        if len(errors) > 4:
+            head += "; ... (%d errors total)" % len(errors)
+        prefix = "%s: " % context if context else ""
+        raise VerificationError(prefix + head, report=self)
+
+    def __repr__(self):
+        return "<Report %s: %d errors, %d warnings>" % (
+            self.subject or "?", len(self.errors), len(self.warnings))

@@ -1,0 +1,165 @@
+"""Effect/purity cross-checker (``EFF0xx``).
+
+Statically reconciles the three places where an IR op's semantics are
+declared — the ``effects=`` annotations in :mod:`repro.jit.ir`, the
+concrete-semantics tables ``EVAL``/``FOLDABLE`` in
+:mod:`repro.jit.semantics`, and the optimizer's heap-invalidation
+behaviour — so a drive-by edit to one layer cannot silently disagree
+with the others.  The fold-safety rule (``EFF003``) is checked against
+a *probed* raising set (:func:`repro.analysis.opspec.compute_raising`)
+rather than a hand-maintained list: an op whose concrete semantics can
+raise on in-domain constants must not be const-folded at optimization
+time, because the fold would crash the compiler instead of deferring
+the error to execution where the guest-level handler lives.
+
+Every input is overridable by keyword so regression tests can replay a
+historical bug (e.g. the shipped ``FOLDABLE`` that included the raising
+shift/sqrt/cast ops) and assert the checker catches it.
+"""
+
+from repro.analysis import opspec
+from repro.analysis.diagnostics import Report
+from repro.jit import ir
+from repro.jit import semantics
+
+_PASS = "effects"
+
+
+def _names(opnums):
+    return ", ".join(sorted(ir.OP_NAMES[opnum] for opnum in opnums))
+
+
+def check_effects(report=None, *, op_effects=None, eval_map=None,
+                  foldable=None, pure_ops=None, effect_ops=None,
+                  ovf_ops=None, guards=None, categories=None,
+                  invalidation_ops=None, raising=None):
+    """Run every EFF rule; returns the :class:`Report`."""
+    if report is None:
+        report = Report("effect/purity declarations")
+    op_effects = op_effects if op_effects is not None else ir.OP_EFFECTS
+    eval_map = eval_map if eval_map is not None else semantics.EVAL
+    foldable = foldable if foldable is not None else semantics.FOLDABLE
+    pure_ops = pure_ops if pure_ops is not None else ir.PURE_OPS
+    effect_ops = effect_ops if effect_ops is not None else ir.EFFECT_OPS
+    ovf_ops = ovf_ops if ovf_ops is not None else ir.OVF_OPS
+    guards = guards if guards is not None else ir.GUARDS
+    categories = categories if categories is not None else ir.OP_CATEGORIES
+    if invalidation_ops is None:
+        invalidation_ops = opspec.OPT_INVALIDATION_OPS
+    if raising is None:
+        raising = (opspec.RAISING if eval_map is semantics.EVAL
+                   else opspec.compute_raising(eval_map))
+
+    def error(code, message):
+        report.error(code, message, where="jit.ir/jit.semantics",
+                     pass_name=_PASS)
+
+    # EFF001: an op with declared effects has no pure concrete
+    # semantics — it must appear in none of the purity tables.
+    for opnum in sorted(effect_ops):
+        tables = []
+        if opnum in eval_map:
+            tables.append("EVAL")
+        if opnum in foldable:
+            tables.append("FOLDABLE")
+        if opnum in pure_ops and opnum != ir.CALL_PURE:
+            tables.append("PURE_OPS")
+        if tables:
+            error("EFF001", "%s declares effects=%r but appears in %s"
+                  % (ir.OP_NAMES[opnum], op_effects[opnum],
+                     "/".join(tables)))
+
+    # EFF002: FOLDABLE must be a subset of EVAL (a fold needs concrete
+    # semantics) and disjoint from the effect ops.
+    orphans = foldable - set(eval_map)
+    if orphans:
+        error("EFF002", "FOLDABLE ops without EVAL semantics: %s"
+              % _names(orphans))
+    overlap = foldable & effect_ops
+    if overlap:
+        error("EFF002", "FOLDABLE contains effectful ops: %s"
+              % _names(overlap))
+
+    # EFF003: fold safety.  Probing EVAL with adversarial witnesses
+    # (zero divisors, negative shifts, inf/nan) yields the ops whose
+    # fold can raise; none may be in FOLDABLE.
+    for opnum in sorted(foldable & raising):
+        error("EFF003", "%s is in FOLDABLE but its concrete semantics "
+              "raise on in-domain constants (probed); a const-const "
+              "fold would crash the optimizer" % ir.OP_NAMES[opnum])
+
+    # EFF004: guards are control, not computation.
+    for opnum in sorted(guards):
+        if op_effects[opnum] != "none":
+            error("EFF004", "guard %s declares effects=%r"
+                  % (ir.OP_NAMES[opnum], op_effects[opnum]))
+        if opnum in eval_map or opnum in foldable or opnum in pure_ops:
+            error("EFF004", "guard %s appears in a purity table"
+                  % ir.OP_NAMES[opnum])
+
+    # EFF005: the optimizer's heap-invalidation points must be exactly
+    # the declared effect ops — a missing invalidation is unsound
+    # forwarding, an extra one is a lost optimization.
+    missing = effect_ops - invalidation_ops
+    if missing:
+        error("EFF005", "declared effect ops the optimizer does not "
+              "invalidate on: %s" % _names(missing))
+    extra = invalidation_ops - effect_ops
+    if extra:
+        error("EFF005", "optimizer invalidates on ops declared "
+              "effect-free: %s" % _names(extra))
+
+    # EFF006: overflow-checked arithmetic must have raising concrete
+    # semantics (that is its contract), stay out of FOLDABLE, and be
+    # integer-category.
+    for opnum in sorted(ovf_ops):
+        if opnum not in eval_map:
+            error("EFF006", "%s has no EVAL entry" % ir.OP_NAMES[opnum])
+        elif opnum not in raising:
+            error("EFF006", "%s never raised under probing — it is "
+                  "not overflow-checked" % ir.OP_NAMES[opnum])
+        if opnum in foldable:
+            error("EFF006", "overflow-checked %s is in FOLDABLE"
+                  % ir.OP_NAMES[opnum])
+        if categories[opnum] != ir.CAT_INT:
+            error("EFF006", "%s is overflow-checked but category %r"
+                  % (ir.OP_NAMES[opnum], categories[opnum]))
+
+    # EFF007: effects/category coherence.
+    for opnum in range(ir.N_OPS):
+        effects = op_effects[opnum]
+        category = categories[opnum]
+        if effects == "heap" and category != ir.CAT_MEMOP:
+            error("EFF007", "%s declares heap effects but category %r"
+                  % (ir.OP_NAMES[opnum], category))
+        if effects == "any" and category != ir.CAT_CALL:
+            error("EFF007", "%s declares arbitrary effects but "
+                  "category %r" % (ir.OP_NAMES[opnum], category))
+        if effects not in ("none", "heap", "any"):
+            error("EFF007", "%s declares unknown effects %r"
+                  % (ir.OP_NAMES[opnum], effects))
+
+    # EFF008: EVAL arity must match the verifier's operand specs (they
+    # are derived from EVAL for pure ops, so a mismatch means an
+    # explicit spec override drifted from the semantics).
+    for opnum in sorted(eval_map):
+        spec = opspec.OPSPEC.get(opnum)
+        if spec is None or spec.arity is None:
+            continue
+        arity = opspec.eval_arity(opnum, eval_map)
+        if arity != spec.arity:
+            error("EFF008", "%s: EVAL takes %d args but the op spec "
+                  "says %d" % (ir.OP_NAMES[opnum], arity, spec.arity))
+        if spec.kinds is not None and len(spec.kinds) != spec.arity:
+            error("EFF008", "%s: %d operand kinds for arity %d"
+                  % (ir.OP_NAMES[opnum], len(spec.kinds), spec.arity))
+
+    # EFF010: purity tables must not intersect effects or guards.
+    overlap = (pure_ops & effect_ops) - {ir.CALL_PURE}
+    if overlap:
+        error("EFF010", "PURE_OPS contains effectful ops: %s"
+              % _names(overlap))
+    overlap = pure_ops & guards
+    if overlap:
+        error("EFF010", "PURE_OPS contains guards: %s" % _names(overlap))
+    return report

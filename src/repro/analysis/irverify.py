@@ -1,0 +1,538 @@
+"""Static verification of JIT traces (recorded, optimized, backend).
+
+Checks, over the SSA-style :class:`repro.jit.ir.IROp` stream:
+
+* def-before-use — every ``IROp``/``InputArg`` argument must dominate
+  its use (``IR1xx``),
+* per-opnum arity, ``Const`` operand kinds and descriptor kinds, from
+  the derived :mod:`repro.analysis.opspec` table (``IR2xx``),
+* guard/resume-snapshot consistency — every guard carries a snapshot
+  whose values are dominating defs or constants, and every
+  :class:`VirtualSpec` field is rematerializable (``IR3xx``),
+* loop/label/jump wiring incl. the loop-peeling invariant that the
+  entry jump, the peeled label and the back jump agree on arity
+  (``IR4xx``),
+* effect discipline — no guard after a non-re-executable call in the
+  same merge region (the tracer's hazard rule, ``IR501``), and no
+  un-forwarded heap read while the optimizer's heap cache should have
+  held the value (``IR502``, warning),
+* backend numbering and cost attachment (``IR6xx``).
+
+All passes are pure host-side analysis: they never touch the simulated
+machine, so running them behind ``config.verify`` cannot perturb any
+counter the paper's figures are built from.
+"""
+
+from repro.analysis import opspec
+from repro.analysis.diagnostics import Report
+from repro.jit import ir
+from repro.jit.resume import VirtualSpec
+from repro.jit.trace import InputArg, Trace
+
+_PASS = "irverify"
+
+
+def _is_class(value):
+    return isinstance(value, type)
+
+
+def _const_kind_ok(kind, value):
+    if kind == opspec.KIND_INT:
+        return isinstance(value, int)
+    if kind == opspec.KIND_NUM:
+        return isinstance(value, (int, float))
+    if kind == opspec.KIND_STR:
+        return isinstance(value, str)
+    if kind == opspec.KIND_CLS:
+        return _is_class(value)
+    return True
+
+
+def _descr_ok(op):
+    """Check the descriptor kind; returns (ok, expected_description)."""
+    spec = opspec.OPSPEC[op.opnum]
+    descr = op.descr
+    kind = spec.descr
+    if kind == opspec.DESCR_NONE:
+        return descr is None, "no descr"
+    if kind == opspec.DESCR_FIELD:
+        return isinstance(descr, ir.FieldDescr), "a FieldDescr"
+    if kind == opspec.DESCR_CALL:
+        return isinstance(descr, ir.CallDescr), "a CallDescr"
+    if kind == opspec.DESCR_ARRAY:
+        return _is_class(descr), "an array storage class"
+    if kind == opspec.DESCR_CLASS:
+        return _is_class(descr), "the instance class"
+    if kind == opspec.DESCR_TOKEN:
+        return descr is not None, "a call_assembler token"
+    if kind == opspec.DESCR_JUMP:
+        return (descr is None or isinstance(descr, Trace)
+                or (isinstance(descr, ir.IROp)
+                    and descr.opnum == ir.LABEL)), \
+            "a LABEL op or a target Trace"
+    return True, "anything"
+
+
+def _call_effects(op):
+    """The declared effects of a call op's target, or None."""
+    descr = op.descr
+    if isinstance(descr, ir.CallDescr):
+        return getattr(descr.func, "effects", None)
+    return None
+
+
+class _OpStreamChecker(object):
+    """Shared single-pass walk: def-before-use, specs, snapshots,
+    the guard-after-unsafe-call hazard replay."""
+
+    def __init__(self, report, where_prefix, inputargs):
+        self.report = report
+        self.where_prefix = where_prefix
+        self.defined = set(inputargs or ())
+        self.seen_ops = set()
+        self.hazard = False
+        self.hazard_source = None
+
+    def where(self, i, op):
+        try:
+            name = op.name
+        except Exception:
+            name = "op#%d" % op.opnum
+        return "%s op %d (%s)" % (self.where_prefix, i, name)
+
+    def check(self, ops):
+        for i, op in enumerate(ops):
+            self.check_op(i, op)
+
+    def check_op(self, i, op):
+        report = self.report
+        where = self.where(i, op)
+        if not isinstance(op, ir.IROp):
+            report.error("IR102", "stream element is %r, not an IROp"
+                         % (op,), where=where, pass_name=_PASS)
+            return
+        if not 0 <= op.opnum < ir.N_OPS:
+            report.error("IR204", "opnum %d out of range" % op.opnum,
+                         where=where, pass_name=_PASS)
+            return
+        if op in self.seen_ops:
+            report.error("IR103", "op emitted twice (SSA result reused)",
+                         where=where, pass_name=_PASS)
+            return
+        self.seen_ops.add(op)
+        if op.opnum == ir.LABEL:
+            # Label arguments become definitions for the loop body.
+            for arg in op.args:
+                if isinstance(arg, (InputArg, ir.IROp)):
+                    self.defined.add(arg)
+        self._check_args(i, op)
+        self._check_descr(i, op)
+        self._check_snapshot(i, op)
+        self._check_hazard(i, op)
+        self.defined.add(op)
+
+    def _check_args(self, i, op):
+        report = self.report
+        where = self.where(i, op)
+        spec = opspec.OPSPEC[op.opnum]
+        if spec.arity is not None and len(op.args) != spec.arity:
+            report.error(
+                "IR201", "%s expects %d operands, got %d"
+                % (op.name, spec.arity, len(op.args)),
+                where=where, pass_name=_PASS)
+        for arg_i, arg in enumerate(op.args):
+            if isinstance(arg, ir.Const):
+                if spec.kinds is not None and arg_i < len(spec.kinds):
+                    kind = spec.kinds[arg_i]
+                    if not _const_kind_ok(kind, arg.value):
+                        report.error(
+                            "IR202",
+                            "operand %d of %s is Const(%r), expected %s"
+                            % (arg_i, op.name, arg.value, kind),
+                            where=where, pass_name=_PASS)
+            elif isinstance(arg, (ir.IROp, InputArg)):
+                if arg not in self.defined:
+                    report.error(
+                        "IR101",
+                        "operand %d of %s is used before definition"
+                        % (arg_i, op.name),
+                        where=where, pass_name=_PASS)
+            else:
+                report.error(
+                    "IR102", "operand %d of %s is %r (not IROp/Const/"
+                    "InputArg)" % (arg_i, op.name, arg),
+                    where=where, pass_name=_PASS)
+        # new_with_vtable's single operand must be the class constant,
+        # and it must agree with the descr (the executor reads both).
+        if op.opnum == ir.NEW_WITH_VTABLE and op.args:
+            arg = op.args[0]
+            if not isinstance(arg, ir.Const):
+                report.error(
+                    "IR202", "new_with_vtable operand must be a Const "
+                    "class, got %r" % (arg,),
+                    where=where, pass_name=_PASS)
+            elif _is_class(op.descr) and arg.value is not op.descr:
+                report.error(
+                    "IR203", "new_with_vtable descr %r does not match "
+                    "its class operand %r" % (op.descr, arg.value),
+                    where=where, pass_name=_PASS)
+        if op.opnum == ir.GUARD_CLASS and len(op.args) == 2:
+            if not isinstance(op.args[1], ir.Const):
+                report.error(
+                    "IR202", "guard_class expected-class operand must "
+                    "be a Const", where=where, pass_name=_PASS)
+
+    def _check_descr(self, i, op):
+        ok, expected = _descr_ok(op)
+        if not ok:
+            self.report.error(
+                "IR203", "%s carries descr %r, expected %s"
+                % (op.name, op.descr, expected),
+                where=self.where(i, op), pass_name=_PASS)
+
+    def _check_snapshot(self, i, op):
+        report = self.report
+        where = self.where(i, op)
+        needs_snapshot = (op.opnum in ir.GUARDS
+                          or op.opnum == ir.DEBUG_MERGE_POINT)
+        if not needs_snapshot:
+            return
+        snapshot = op.snapshot
+        if snapshot is None:
+            report.error(
+                "IR301", "%s has no resume snapshot" % op.name,
+                where=where, pass_name=_PASS)
+            return
+        for value in snapshot.iter_values():
+            self._check_resume_value(value, where, nested=False)
+
+    def _check_resume_value(self, value, where, nested):
+        report = self.report
+        if isinstance(value, ir.Const):
+            return
+        if isinstance(value, VirtualSpec):
+            for field_value in value.fields.values():
+                self._check_resume_value(field_value, where, nested=True)
+            return
+        if isinstance(value, (ir.IROp, InputArg)):
+            if value not in self.defined:
+                code = "IR303" if nested else "IR302"
+                what = ("VirtualSpec field" if nested
+                        else "snapshot value")
+                report.error(
+                    code, "%s %r is not a dominating definition or "
+                    "constant (rematerialization would read garbage)"
+                    % (what, value), where=where, pass_name=_PASS)
+            return
+        code = "IR303" if nested else "IR302"
+        report.error(code, "snapshot holds %r (not IROp/Const/InputArg/"
+                     "VirtualSpec)" % (value,), where=where,
+                     pass_name=_PASS)
+
+    def _check_hazard(self, i, op):
+        opnum = op.opnum
+        if opnum == ir.DEBUG_MERGE_POINT:
+            self.hazard = False
+            self.hazard_source = None
+            return
+        if opnum == ir.CALL and _call_effects(op) == "any":
+            self.hazard = True
+            self.hazard_source = repr(op.descr)
+            return
+        if opnum == ir.CALL_ASSEMBLER:
+            self.hazard = True
+            self.hazard_source = "call_assembler"
+            return
+        if opnum in ir.GUARDS and self.hazard:
+            self.report.error(
+                "IR501", "%s recorded after non-re-executable call %s "
+                "in the same merge region (deopt would replay the "
+                "call's effects)" % (op.name, self.hazard_source),
+                where=self.where(i, op), pass_name=_PASS)
+
+
+def verify_recorded(ops, inputargs, subject="recorded trace"):
+    """Verify a tracer-recorded op stream (before optimization)."""
+    report = Report(subject)
+    checker = _OpStreamChecker(report, subject, inputargs)
+    for i, op in enumerate(ops):
+        if isinstance(op, ir.IROp) and op.opnum in (ir.LABEL, ir.JUMP,
+                                                    ir.FINISH):
+            report.error(
+                "IR404", "%s in a recorded stream (control ops are "
+                "introduced by the optimizer)" % op.name,
+                where=checker.where(i, op), pass_name=_PASS)
+            continue
+        checker.check_op(i, op)
+    return report
+
+
+def _check_jump_against(report, op, i, where, target_args, what):
+    if len(op.args) != target_args:
+        report.error(
+            "IR401", "jump carries %d values but %s expects %d"
+            % (len(op.args), what, target_args),
+            where=where, pass_name=_PASS)
+
+
+def _verify_wiring(report, trace, subject):
+    """Label/jump structure: bridges end in a cross-trace jump; loops
+    close on their own label; peeled loops agree across the back edge."""
+    ops = trace.ops
+    if not ops:
+        report.error("IR402", "trace has no operations", where=subject,
+                     pass_name=_PASS)
+        return
+    label_index = trace.label_index
+    last = ops[-1]
+    jump_positions = [i for i, op in enumerate(ops)
+                      if isinstance(op, ir.IROp) and op.opnum == ir.JUMP]
+    label_positions = [i for i, op in enumerate(ops)
+                       if isinstance(op, ir.IROp)
+                       and op.opnum == ir.LABEL]
+    if not (isinstance(last, ir.IROp) and last.opnum in (ir.JUMP,
+                                                         ir.FINISH)):
+        report.error(
+            "IR404", "trace does not end in jump/finish (falls off "
+            "the compiled code)", where="%s op %d" % (subject,
+                                                      len(ops) - 1),
+            pass_name=_PASS)
+        return
+    if label_index < 0:
+        # Straight/bridge trace: exactly one jump, targeting a Trace.
+        if label_positions:
+            report.error(
+                "IR402", "label_index is -1 but trace holds a LABEL "
+                "at op %d" % label_positions[0], where=subject,
+                pass_name=_PASS)
+        if jump_positions != [len(ops) - 1]:
+            extra = [i for i in jump_positions if i != len(ops) - 1]
+            report.error(
+                "IR404", "unreachable ops after mid-trace jump at op "
+                "%d" % extra[0], where=subject, pass_name=_PASS)
+            return
+        target = last.descr
+        if not isinstance(target, Trace):
+            report.error(
+                "IR403", "bridge-closing jump descr is %r, expected a "
+                "target Trace" % (target,),
+                where="%s op %d" % (subject, len(ops) - 1),
+                pass_name=_PASS)
+            return
+        _check_jump_against(report, last, len(ops) - 1,
+                            "%s op %d" % (subject, len(ops) - 1),
+                            len(target.inputargs),
+                            "target trace #%d entry" % target.trace_id)
+        return
+    if label_index >= len(ops) or not (
+            isinstance(ops[label_index], ir.IROp)
+            and ops[label_index].opnum == ir.LABEL):
+        report.error(
+            "IR402", "label_index %d does not point at a LABEL op"
+            % label_index, where=subject, pass_name=_PASS)
+        return
+    label = ops[label_index]
+    if label_positions != [label_index]:
+        extra = [i for i in label_positions if i != label_index]
+        report.error(
+            "IR402", "stray LABEL at op %d (label_index is %d)"
+            % (extra[0], label_index), where=subject, pass_name=_PASS)
+    expected_jumps = [len(ops) - 1]
+    if label_index > 0:
+        # Peeled loop: the op before the label is the entry jump.
+        expected_jumps.insert(0, label_index - 1)
+        entry = ops[label_index - 1]
+        if not (isinstance(entry, ir.IROp) and entry.opnum == ir.JUMP):
+            report.error(
+                "IR403", "peeled loop has no entry jump immediately "
+                "before its label", where="%s op %d"
+                % (subject, label_index - 1), pass_name=_PASS)
+        else:
+            if entry.descr is not label:
+                report.error(
+                    "IR403", "entry jump targets %r, not the peeled "
+                    "label" % (entry.descr,),
+                    where="%s op %d" % (subject, label_index - 1),
+                    pass_name=_PASS)
+            _check_jump_against(
+                report, entry, label_index - 1,
+                "%s op %d" % (subject, label_index - 1),
+                len(label.args), "the peeled label")
+    if jump_positions != expected_jumps:
+        extra = [i for i in jump_positions if i not in expected_jumps]
+        if extra:
+            report.error(
+                "IR404", "unreachable ops after mid-trace jump at op "
+                "%d" % extra[0], where=subject, pass_name=_PASS)
+    back = last
+    if back.opnum == ir.JUMP:
+        if back.descr is not label and not isinstance(back.descr, Trace):
+            report.error(
+                "IR403", "loop-closing jump targets %r, not the "
+                "trace's own label" % (back.descr,),
+                where="%s op %d" % (subject, len(ops) - 1),
+                pass_name=_PASS)
+        elif back.descr is label:
+            _check_jump_against(
+                report, back, len(ops) - 1,
+                "%s op %d" % (subject, len(ops) - 1),
+                len(label.args), "the loop label")
+        else:
+            _check_jump_against(
+                report, back, len(ops) - 1,
+                "%s op %d" % (subject, len(ops) - 1),
+                len(back.descr.inputargs),
+                "target trace #%d entry" % back.descr.trace_id)
+
+
+def _verify_heap_discipline(report, trace, cfg, subject):
+    """IR502: a heap read the optimizer's caches should have forwarded.
+
+    Replays the optimizer's heap/array cache discipline (including its
+    invalidation points) over the *optimized* stream; any emitted read
+    whose key is live in the shadow cache means a ``effects="heap"`` op
+    did **not** intervene, so the read is redundant — either the heap
+    cache missed a forwarding opportunity or an invalidation is
+    misclassified.  Warning severity: redundant loads are a performance
+    bug, not a soundness bug.
+    """
+    if cfg is None or not cfg.opt_heap_cache:
+        return
+    heap = {}
+    array = {}
+
+    def index_key(value):
+        if isinstance(value, ir.Const):
+            return ("c", value.value)
+        return ("v", id(value))
+
+    for i, op in enumerate(trace.ops):
+        if not isinstance(op, ir.IROp):
+            continue
+        opnum = op.opnum
+        if opnum == ir.LABEL:
+            # The peeled body is optimized by a fresh pass with an
+            # empty heap cache; mirror that.
+            heap.clear()
+            array.clear()
+        elif opnum == ir.SETFIELD_GC:
+            descr = op.descr
+            stale = [k for k in heap if k[1] is descr]
+            for key in stale:
+                del heap[key]
+            heap[(id(op.args[0]), descr)] = True
+        elif opnum == ir.GETFIELD_GC:
+            key = (id(op.args[0]), op.descr)
+            if key in heap:
+                report.warning(
+                    "IR502", "redundant getfield_gc of %r: no heap "
+                    "effect since the previous access, the heap cache "
+                    "should have forwarded it" % (op.descr,),
+                    where="%s op %d" % (subject, i), pass_name=_PASS)
+            heap[key] = True
+        elif opnum == ir.SETARRAYITEM_GC:
+            array.clear()
+            array[(id(op.args[0]), index_key(op.args[1]))] = True
+        elif opnum == ir.GETARRAYITEM_GC:
+            key = (id(op.args[0]), index_key(op.args[1]))
+            if key in array:
+                report.warning(
+                    "IR502", "redundant getarrayitem_gc: no heap "
+                    "effect since the previous access",
+                    where="%s op %d" % (subject, i), pass_name=_PASS)
+            array[key] = True
+        elif opnum == ir.CALL:
+            descr = op.descr
+            if not isinstance(descr, ir.CallDescr) or \
+                    getattr(descr.func, "invalidates_heap", True):
+                heap.clear()
+                array.clear()
+        elif opnum == ir.CALL_ASSEMBLER:
+            heap.clear()
+            array.clear()
+
+
+def verify_trace(trace, cfg=None, subject=None):
+    """Verify one optimized trace (structure, wiring, effects)."""
+    subject = subject or ("trace #%d (%s)" % (trace.trace_id,
+                                              trace.kind))
+    report = Report(subject)
+    checker = _OpStreamChecker(report, subject, trace.inputargs)
+    checker.check(trace.ops)
+    _verify_wiring(report, trace, subject)
+    _verify_heap_discipline(report, trace, cfg, subject)
+    if trace.entry_layout is not None:
+        expected = sum(n_locals + n_stack for _code, _pc, n_locals,
+                       n_stack in trace.entry_layout)
+        if expected != len(trace.inputargs):
+            report.error(
+                "IR405", "entry layout describes %d values but the "
+                "trace has %d inputargs" % (expected,
+                                            len(trace.inputargs)),
+                where=subject, pass_name=_PASS)
+    return report
+
+
+def verify_backend(trace, subject=None):
+    """Verify backend numbering and cost attachment (post attach_costs)."""
+    subject = subject or ("trace #%d backend" % trace.trace_id)
+    report = Report(subject)
+    for i, arg in enumerate(trace.inputargs):
+        if arg.index != i:
+            report.error(
+                "IR601", "inputarg %d numbered %d" % (i, arg.index),
+                where=subject, pass_name=_PASS)
+            break
+    last_index = len(trace.inputargs) - 1
+    for i, op in enumerate(trace.ops):
+        if op.index <= last_index:
+            report.error(
+                "IR601", "op %d has index %d (not strictly increasing "
+                "after %d)" % (i, op.index, last_index),
+                where=subject, pass_name=_PASS)
+            break
+        if op.opnum == ir.LABEL:
+            for arg in op.args:
+                if isinstance(arg, InputArg) and arg.index < 0:
+                    report.error(
+                        "IR601", "label argument %r left unnumbered"
+                        % (arg,), where="%s op %d" % (subject, i),
+                        pass_name=_PASS)
+            last_index = max([last_index]
+                             + [arg.index for arg in op.args
+                                if isinstance(arg, InputArg)])
+        last_index = max(last_index, op.index)
+    if len(trace.op_asm_insns) != len(trace.ops):
+        report.error(
+            "IR602", "asm-size table has %d entries for %d ops"
+            % (len(trace.op_asm_insns), len(trace.ops)),
+            where=subject, pass_name=_PASS)
+    if len(trace.op_exec_counts) != len(trace.ops):
+        report.error(
+            "IR602", "exec-count table has %d entries for %d ops"
+            % (len(trace.op_exec_counts), len(trace.ops)),
+            where=subject, pass_name=_PASS)
+    if trace.ops and trace.n_env_slots != trace.ops[-1].index + 1:
+        report.error(
+            "IR603", "n_env_slots is %d but the last op is numbered %d"
+            % (trace.n_env_slots, trace.ops[-1].index),
+            where=subject, pass_name=_PASS)
+    return report
+
+
+def verify_compilation(cfg, trace, recorded_ops=None, inputargs=None):
+    """Full pipeline gate: recorded stream, optimized trace, backend.
+
+    This is what the tracer's ``config.verify`` debug gate calls once
+    per compiled trace; the three stages share one report so a single
+    raise carries everything.
+    """
+    subject = "trace #%d (%s)" % (trace.trace_id, trace.kind)
+    report = Report(subject)
+    if recorded_ops is not None:
+        report.extend(verify_recorded(
+            recorded_ops, inputargs if inputargs is not None
+            else trace.inputargs, subject="%s recorded" % subject))
+    report.extend(verify_trace(trace, cfg=cfg, subject=subject))
+    report.extend(verify_backend(trace, subject="%s backend" % subject))
+    return report

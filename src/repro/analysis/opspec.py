@@ -1,0 +1,183 @@
+"""Per-opnum specifications for the IR verifier and effect cross-checker.
+
+The table is *derived* from the single sources of truth — the op
+registry in :mod:`repro.jit.ir` and the concrete semantics in
+:mod:`repro.jit.semantics` — rather than hand-duplicated: arities come
+from the ``EVAL`` lambdas where Python exposes them, operand kinds from
+the op category, and the set of fold-unsafe ("raising") operations is
+discovered by probing each ``EVAL`` entry with adversarial witness
+inputs (negative shift counts, zero divisors, infinities, out-of-range
+indices).  Only the few ops with no ``EVAL`` entry (memory, guards,
+calls, control) carry explicit specs.
+"""
+
+from repro.jit import ir
+from repro.jit.semantics import EVAL, INT_MIN
+
+#: Operand kind tags.  Kind checks apply to ``Const`` operands only —
+#: variables have no static type here — so they are exact, not lattice.
+KIND_INT = "int"       # Python int (bool acceptable: it is an int)
+KIND_NUM = "num"       # int or float
+KIND_STR = "str"       # str
+KIND_CLS = "cls"       # a class object (guard_class / new_with_vtable)
+KIND_ANY = "any"
+
+#: Descriptor kind tags.
+DESCR_NONE = "none"        # descr must be None
+DESCR_FIELD = "field"      # ir.FieldDescr
+DESCR_CALL = "call"        # ir.CallDescr
+DESCR_ARRAY = "array"      # the array's storage class (e.g. LLArray)
+DESCR_CLASS = "class"      # new_with_vtable: the instance class
+DESCR_TOKEN = "token"      # call_assembler: any non-None token
+DESCR_JUMP = "jump"        # jump: a LABEL op or a target Trace
+DESCR_FREE = "free"        # anything (greenkeys, labels)
+
+
+class OpSpec(object):
+    """Arity, operand kinds and descriptor kind for one opnum."""
+
+    __slots__ = ("arity", "kinds", "descr")
+
+    def __init__(self, arity, kinds, descr):
+        self.arity = arity      # int, or None for variadic
+        self.kinds = kinds      # tuple of kind tags (len == arity) or None
+        self.descr = descr
+
+
+# EVAL entries implemented by builtins expose no __code__; their arities
+# are pinned here (cross-checked against OPSPEC by the effects pass).
+_BUILTIN_ARITY = {
+    ir.FLOAT_ABS: 1,
+    ir.FLOAT_SQRT: 1,
+    ir.CAST_INT_TO_FLOAT: 1,
+    ir.CAST_FLOAT_TO_INT: 1,
+    ir.STRLEN: 1,
+    ir.UNICODELEN: 1,
+}
+
+
+def eval_arity(opnum, eval_map=None):
+    """Arity of the concrete-semantics implementation of ``opnum``."""
+    fn = (eval_map or EVAL)[opnum]
+    code = getattr(fn, "__code__", None)
+    if code is not None:
+        return code.co_argcount
+    return _BUILTIN_ARITY[opnum]
+
+
+def _category_kind(opnum):
+    category = ir.OP_CATEGORIES[opnum]
+    if category == ir.CAT_INT:
+        return KIND_INT
+    if category == ir.CAT_FLOAT:
+        return KIND_NUM
+    if category in (ir.CAT_STR, ir.CAT_UNICODE):
+        return KIND_STR
+    return KIND_ANY
+
+
+def _build_opspec():
+    specs = {}
+    # Pure ops: arity from EVAL, kinds from the category.
+    for opnum in EVAL:
+        arity = eval_arity(opnum)
+        kind = _category_kind(opnum)
+        kinds = (kind,) * arity
+        specs[opnum] = OpSpec(arity, kinds, DESCR_NONE)
+    # Index operands of the get-item family are ints, not strings.
+    specs[ir.STRGETITEM] = OpSpec(2, (KIND_STR, KIND_INT), DESCR_NONE)
+    specs[ir.UNICODEGETITEM] = OpSpec(2, (KIND_STR, KIND_INT), DESCR_NONE)
+    # CAST_INT_TO_FLOAT takes an int (the category would say "num").
+    specs[ir.CAST_INT_TO_FLOAT] = OpSpec(1, (KIND_INT,), DESCR_NONE)
+    # Memory operations.
+    specs[ir.GETFIELD_GC] = OpSpec(1, (KIND_ANY,), DESCR_FIELD)
+    specs[ir.GETFIELD_GC_PURE] = OpSpec(1, (KIND_ANY,), DESCR_FIELD)
+    specs[ir.SETFIELD_GC] = OpSpec(2, (KIND_ANY, KIND_ANY), DESCR_FIELD)
+    specs[ir.GETARRAYITEM_GC] = OpSpec(2, (KIND_ANY, KIND_INT),
+                                       DESCR_ARRAY)
+    specs[ir.SETARRAYITEM_GC] = OpSpec(3, (KIND_ANY, KIND_INT, KIND_ANY),
+                                       DESCR_ARRAY)
+    specs[ir.ARRAYLEN_GC] = OpSpec(1, (KIND_ANY,), DESCR_ARRAY)
+    # Allocation.
+    specs[ir.NEW_WITH_VTABLE] = OpSpec(1, (KIND_CLS,), DESCR_CLASS)
+    specs[ir.NEW_ARRAY] = OpSpec(1, (KIND_INT,), DESCR_ARRAY)
+    # Guards.
+    for guard in ir.GUARDS:
+        specs[guard] = OpSpec(1, (KIND_ANY,), DESCR_NONE)
+    specs[ir.GUARD_VALUE] = OpSpec(2, (KIND_ANY, KIND_ANY), DESCR_NONE)
+    specs[ir.GUARD_CLASS] = OpSpec(2, (KIND_ANY, KIND_CLS), DESCR_NONE)
+    # Calls.
+    specs[ir.CALL] = OpSpec(None, None, DESCR_CALL)
+    specs[ir.CALL_PURE] = OpSpec(None, None, DESCR_CALL)
+    specs[ir.CALL_ASSEMBLER] = OpSpec(None, None, DESCR_TOKEN)
+    # Control.
+    specs[ir.LABEL] = OpSpec(None, None, DESCR_NONE)
+    specs[ir.JUMP] = OpSpec(None, None, DESCR_JUMP)
+    specs[ir.FINISH] = OpSpec(None, None, DESCR_FREE)
+    specs[ir.DEBUG_MERGE_POINT] = OpSpec(0, (), DESCR_FREE)
+    assert len(specs) == ir.N_OPS, "opnum without a spec"
+    return specs
+
+
+OPSPEC = _build_opspec()
+
+
+# -- fold-safety probing ------------------------------------------------------
+
+# Witness inputs per kind.  Shift counts stay <= 63 so probing never
+# materializes an astronomically large integer; INT_MIN as the *count*
+# still triggers Python's negative-shift ValueError.
+_WITNESSES = {
+    KIND_INT: (0, 1, -1, 7, 63, INT_MIN),
+    KIND_NUM: (0.0, 1.5, -1.0, float("inf"), float("nan")),
+    KIND_STR: ("", "a", "ab"),
+    KIND_ANY: (None, 1, "x"),
+}
+
+
+def _witness_tuples(kinds):
+    if not kinds:
+        return [()]
+    tuples = [()]
+    for kind in kinds:
+        tuples = [prefix + (value,)
+                  for prefix in tuples
+                  for value in _WITNESSES[kind]]
+    return tuples
+
+
+def compute_raising(eval_map=None):
+    """Opnums whose concrete semantics can raise on in-domain inputs.
+
+    Probes every ``EVAL`` entry with adversarial witnesses; any raise —
+    ZeroDivisionError, ValueError, OverflowError, LLOverflow, ... —
+    marks the op as unsafe to fold at optimization time (a const-const
+    fold would crash the compiler instead of deferring the error to
+    execution, where the guest-level handler lives).
+    """
+    eval_map = eval_map or EVAL
+    raising = set()
+    for opnum, fn in eval_map.items():
+        spec = OPSPEC[opnum]
+        kinds = spec.kinds or (KIND_ANY,) * eval_arity(opnum, eval_map)
+        for args in _witness_tuples(kinds):
+            try:
+                fn(*args)
+            except Exception:
+                raising.add(opnum)
+                break
+    return frozenset(raising)
+
+
+RAISING = compute_raising()
+
+#: The opnums the optimizer treats as heap-invalidation points
+#: (mirrors OptPass._handle_setfield/_handle_setarrayitem/_handle_call/
+#: CALL_ASSEMBLER); the effects pass cross-checks this against the
+#: declared ``ir.EFFECT_OPS``.
+OPT_INVALIDATION_OPS = frozenset((
+    ir.SETFIELD_GC,
+    ir.SETARRAYITEM_GC,
+    ir.CALL,
+    ir.CALL_ASSEMBLER,
+))

@@ -35,6 +35,20 @@ def _default_quicken():
     return True
 
 
+def _default_verify():
+    """Default for :attr:`SystemConfig.verify` (``REPRO_VERIFY`` override).
+
+    Static verification (see :mod:`repro.analysis`) re-checks every
+    compiled trace and executed code object, so it defaults to off; set
+    ``REPRO_VERIFY=1`` to turn the debug gates into hard failures (CI
+    runs the tier-1 suite this way).
+    """
+    value = os.environ.get("REPRO_VERIFY", "").strip().lower()
+    if value in ("1", "on", "true", "yes"):
+        return True
+    return False
+
+
 @dataclass
 class JitConfig:
     """Parameters of the meta-tracing JIT (mirrors RPython's jitparams)."""
@@ -152,6 +166,12 @@ class SystemConfig:
     # the equivalence suite pins quickened-on == quickened-off counters
     # bit for bit.  Env override: REPRO_QUICKEN=0/1.
     quicken: bool = field(default_factory=_default_quicken)
+    # Static verification debug gates (repro.analysis): verify guest
+    # bytecode at program entry, every compiled trace after each
+    # pipeline stage, and every quickening run table.  Off by default —
+    # the off path is one attribute check, like the telemetry bus.
+    # Env override: REPRO_VERIFY=1.
+    verify: bool = field(default_factory=_default_verify)
     seed: int = 0xC0FFEE
 
     def validate(self):

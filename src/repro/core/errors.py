@@ -33,6 +33,19 @@ class CompilationError(ReproError):
     """Raised when a guest program cannot be compiled to bytecode/AST."""
 
 
+class VerificationError(ReproError):
+    """A static verification pass found errors (see repro.analysis).
+
+    Carries the :class:`repro.analysis.diagnostics.Report` whose error
+    findings triggered the failure, so callers can inspect or serialize
+    the individual findings.
+    """
+
+    def __init__(self, message, report=None):
+        super().__init__(message)
+        self.report = report
+
+
 class GuestError(ReproError):
     """A guest-language runtime error (uncaught at the guest level)."""
 

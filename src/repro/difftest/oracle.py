@@ -261,6 +261,37 @@ def check_jitlog_invariants(run, report):
                 return
 
 
+def check_static_invariants(run, report):
+    """Every compiled trace must pass the static verifier.
+
+    A new invariant family (kind ``"verify"``): the fuzzer's generated
+    programs reach optimizer paths the benchmark suite never exercises,
+    so each JIT run's registry is re-checked by :mod:`repro.analysis`
+    after the fact.  Error findings become divergences; warnings (e.g.
+    a missed heap-cache forwarding) are advisory only.
+    """
+    ctx = run.ctx
+    if ctx is None:
+        return
+    from repro.analysis import verify_backend, verify_trace
+
+    for trace in ctx.registry.traces:
+        result = verify_trace(trace, cfg=ctx.config.jit)
+        result.extend(verify_backend(trace))
+        for finding in result.errors[:4]:
+            report.add("verify", [run.name], finding.render())
+
+
+def check_static_bytecode(source, report):
+    """The compiled program itself must pass the bytecode verifier."""
+    from repro.analysis import verify_pycode
+    from repro.pylang.compiler import compile_source
+
+    result = verify_pycode(compile_source(source, "difftest"))
+    for finding in result.errors[:4]:
+        report.add("verify", ["bytecode"], finding.render())
+
+
 def check_quicken_equivalence(report):
     """Quickened and unquickened direct runs must match bit-for-bit.
 
@@ -380,6 +411,8 @@ def check_program(source, thresholds=DEFAULT_THRESHOLDS,
     for run in runs:
         check_counter_invariants(run, report)
         check_jitlog_invariants(run, report)
+        check_static_invariants(run, report)
+    check_static_bytecode(source, report)
     check_quicken_equivalence(report)
     if check_store:
         check_store_roundtrip(runs[-1], report)

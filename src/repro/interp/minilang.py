@@ -92,12 +92,19 @@ class MiniInterp(object):
         self._b_dispatch = ctx.machine.block(_DISPATCH_MIX)
         self._quicken = ctx.config.quicken
         self._quicken_tables = {}
+        # Static verification debug gate (repro.analysis); one
+        # attribute read on the off path.
+        self._verify = ctx.config.verify
 
     def make_frame(self, code, pc, locals_values, stack_values, extra=None):
         return Frame(code, pc, list(locals_values), list(stack_values))
 
     def run(self, code, args=()):
         """Run a code object to completion; returns the guest result."""
+        if self._verify:
+            from repro.analysis import verify_minicode
+
+            verify_minicode(code).raise_if_errors("bytecode verification")
         llops = self.llops
         locals_values = [None] * code.n_locals
         for i, arg in enumerate(args):
@@ -124,6 +131,11 @@ class MiniInterp(object):
                 runs = tables.get(code)
                 if runs is None:
                     runs = self._build_run_table(code)
+                    if self._verify:
+                        from repro.analysis import verify_mini_run_table
+
+                        verify_mini_run_table(code, runs).raise_if_errors(
+                            "quickening verification")
                     tables[code] = runs
                 entry = runs[frame.pc]
                 if entry is not None:

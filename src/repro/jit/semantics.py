@@ -107,10 +107,17 @@ EVAL = {
 }
 
 # Ops safe to fold at trace-record/optimization time when args are const.
-# Overflow-checked and division ops are excluded (fold could raise).
+# Any op whose concrete semantics can raise on in-domain constants is
+# excluded (the fold would raise inside the optimizer instead of at
+# execution, where the guest-level handler lives): overflow-checked and
+# division ops, but also shifts (negative counts), float_sqrt (negative
+# operands) and cast_float_to_int (inf/nan).  Cross-checked against a
+# probed raising set by repro.analysis.effects (rule EFF003).
 FOLDABLE = frozenset(
     opnum for opnum in EVAL
     if opnum not in ir.OVF_OPS
-    and opnum not in (ir.INT_FLOORDIV, ir.INT_MOD, ir.FLOAT_TRUEDIV,
-                      ir.STRGETITEM, ir.UNICODEGETITEM)
+    and opnum not in (ir.INT_FLOORDIV, ir.INT_MOD, ir.INT_LSHIFT,
+                      ir.INT_RSHIFT, ir.FLOAT_TRUEDIV, ir.FLOAT_SQRT,
+                      ir.CAST_FLOAT_TO_INT, ir.STRGETITEM,
+                      ir.UNICODEGETITEM)
 )

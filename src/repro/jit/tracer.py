@@ -218,6 +218,13 @@ class MetaTracer(object):
                             costs.BACKEND_BRANCHES,
                             costs.BACKEND_BRANCH_MISS_RATE)
         ctx.annot(tags.BACKEND_STOP, trace_id)
+        if ctx.config.verify:
+            from repro.analysis import verify_compilation
+
+            verify_compilation(
+                ctx.config.jit, trace, recorded_ops=self.ops,
+                inputargs=self.inputargs,
+            ).raise_if_errors("jit pipeline")
         ctx.registry.register(trace)
         if self.parent_guard is not None:
             self.parent_guard.bridge = trace

@@ -208,6 +208,9 @@ class CpRef(object):
         # quickening layer of this VM; with the knob off every bytecode
         # goes through the reference dispatch_event + _precharged path.
         self._quicken = config.quicken
+        # Static verification debug gate (repro.analysis); one
+        # attribute read on the off path.
+        self._verify = config.verify
         # Fused-run tables per code object: id(code) -> (code, table).
         # The code object is pinned in the value so its id can't be
         # recycled while the table is alive.
@@ -270,6 +273,10 @@ class CpRef(object):
         return self.run_module_code(code)
 
     def run_module_code(self, code):
+        if self._verify:
+            from repro.analysis import verify_pycode
+
+            verify_pycode(code).raise_if_errors("bytecode verification")
         self.machine.annot(tags.VM_START)
         module = {}
         try:

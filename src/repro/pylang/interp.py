@@ -91,6 +91,10 @@ class PyVM(OpsMixin, CollectionsMixin, InstancesMixin):
         self._quicken = ctx.config.quicken
         self._quicken_tables = {}
         self._quicken_charges = op_charges(ctx.llops)
+        # Static verification debug gate (repro.analysis): check guest
+        # bytecode at program entry and every quickening run table.  The
+        # off path is this one attribute read per gate.
+        self._verify = ctx.config.verify
         self._init_instance_caches(machine)
         self._build_handlers()
 
@@ -101,6 +105,10 @@ class PyVM(OpsMixin, CollectionsMixin, InstancesMixin):
         return self.run_module_code(code, module_name)
 
     def run_module_code(self, code, module_name="__main__"):
+        if self._verify:
+            from repro.analysis import verify_pycode
+
+            verify_pycode(code).raise_if_errors("bytecode verification")
         self.ctx.vm_start()
         w_module = W_Module(module_name)
         w_module._addr = self.ctx.gc.allocate(W_Module._size_, obj=w_module)
@@ -167,6 +175,11 @@ class PyVM(OpsMixin, CollectionsMixin, InstancesMixin):
                     runs = tables.get(code)
                     if runs is None:
                         runs = build_run_table(self, code)
+                        if self._verify:
+                            from repro.analysis import verify_run_table
+
+                            verify_run_table(code, runs).raise_if_errors(
+                                "quickening verification")
                         tables[code] = runs
                     last_code = code
                 entry = runs[pc]

@@ -1,0 +1,345 @@
+"""Seeded-mutation tests for the guest-bytecode abstract interpreter
+and the quickening run-table checker (TinyPy and MiniLang)."""
+
+from repro.analysis import (
+    verify_mini_run_table,
+    verify_minicode,
+    verify_pycode,
+    verify_run_table,
+)
+from repro.core.config import SystemConfig
+from repro.interp.context import VMContext
+from repro.interp.minilang import Code as MiniCode
+from repro.interp.minilang import MiniInterp
+from repro.pylang import bytecode as bc
+from repro.pylang.compiler import compile_source
+from repro.pylang.interp import PyVM
+from repro.pylang.quicken import build_run_table
+
+FUNC_SRC = """
+def f(n):
+    i = 0
+    while i < n:
+        i = i + 1
+    return i
+f(8)
+"""
+
+RUN_SRC = """
+def h(a):
+    b = a
+    c = b
+    d = c
+    return d
+h(3)
+"""
+
+
+def make_code(pairs, consts=(None,), names=(), varnames=(), argcount=0):
+    ops = [p[0] for p in pairs]
+    args = [p[1] for p in pairs]
+    return bc.PyCode("mut", ops, args, list(consts), list(names),
+                     list(varnames), argcount)
+
+
+def inner_code(source):
+    outer = compile_source(source, "mut")
+    return next(c.code for c in outer.consts
+                if isinstance(c, bc.FunctionSpec))
+
+
+def find_op(code, opnums):
+    for pc, op in enumerate(code.ops):
+        if op in opnums:
+            return pc
+    raise AssertionError("opcode not found")
+
+
+# -- clean baselines ----------------------------------------------------------
+
+
+def test_compiled_source_is_clean():
+    report = verify_pycode(compile_source(FUNC_SRC, "mut"))
+    assert not report.findings, [f.render() for f in report.findings]
+
+
+def test_dead_default_return_epilogue_not_flagged():
+    # Every compiled function carries a LOAD_CONST None; RETURN_VALUE
+    # epilogue; when all paths return it is dead by construction.
+    report = verify_pycode(compile_source(
+        "def g():\n    return 1\ng()\n", "mut"))
+    assert not report.warnings
+
+
+# -- BC1xx: structure ---------------------------------------------------------
+
+
+def test_bc101_jump_target_out_of_range():
+    code = inner_code(FUNC_SRC)
+    pc = find_op(code, (bc.JUMP, bc.POP_JUMP_IF_FALSE,
+                        bc.POP_JUMP_IF_TRUE))
+    code.args[pc] = 999
+    assert verify_pycode(code, recurse=False).has("BC101")
+
+
+def test_bc102_falls_off_the_end():
+    code = make_code([(bc.LOAD_CONST, 0), (bc.POP_TOP, 0)])
+    assert verify_pycode(code).has("BC102")
+
+
+def test_bc102_ops_args_mismatch():
+    code = inner_code(FUNC_SRC)
+    code.args.pop()
+    assert verify_pycode(code, recurse=False).has("BC102")
+
+
+def test_bc102_empty_code():
+    assert verify_pycode(make_code([])).has("BC102")
+
+
+def test_bc103_const_index_out_of_range():
+    code = inner_code(FUNC_SRC)
+    code.args[find_op(code, (bc.LOAD_CONST,))] = 77
+    assert verify_pycode(code, recurse=False).has("BC103")
+
+
+def test_bc104_local_index_out_of_range():
+    code = inner_code(FUNC_SRC)
+    code.args[find_op(code, (bc.LOAD_FAST,))] = 55
+    assert verify_pycode(code, recurse=False).has("BC104")
+
+
+def test_bc105_unknown_opcode():
+    code = inner_code(FUNC_SRC)
+    code.ops[0] = 997
+    assert verify_pycode(code, recurse=False).has("BC105")
+
+
+# -- BC2xx: abstract stack ----------------------------------------------------
+
+
+def test_bc201_merge_depth_mismatch():
+    code = make_code([
+        (bc.LOAD_CONST, 0),
+        (bc.POP_JUMP_IF_FALSE, 4),
+        (bc.LOAD_CONST, 0),
+        (bc.JUMP, 4),
+        (bc.LOAD_CONST, 0),   # depth 0 from pc1, depth 1 from pc3
+        (bc.RETURN_VALUE, 0),
+    ])
+    assert verify_pycode(code).has("BC201")
+
+
+def test_bc202_stack_underflow():
+    code = make_code([(bc.POP_TOP, 0), (bc.LOAD_CONST, 0),
+                      (bc.RETURN_VALUE, 0)])
+    assert verify_pycode(code).has("BC202")
+
+
+def test_bc203_funcspec_consumed_by_wrong_op():
+    outer = compile_source(FUNC_SRC, "mut")
+    outer.ops[find_op(outer, (bc.MAKE_FUNCTION,))] = bc.POP_TOP
+    assert verify_pycode(outer, recurse=False).has("BC203")
+
+
+def test_bc203_make_function_on_plain_constant():
+    code = make_code([(bc.LOAD_CONST, 0), (bc.MAKE_FUNCTION, 0),
+                      (bc.RETURN_VALUE, 0)])
+    assert verify_pycode(code).has("BC203")
+
+
+def test_bc301_unreachable_bytecode_warns():
+    code = make_code([
+        (bc.LOAD_CONST, 0),
+        (bc.JUMP, 3),
+        (bc.LOAD_CONST, 0),   # dead, and not a codegen artifact
+        (bc.LOAD_CONST, 0),
+        (bc.RETURN_VALUE, 0),
+    ])
+    report = verify_pycode(code)
+    assert report.has("BC301")
+    assert not report.errors  # warning severity
+
+
+# -- BC4xx: TinyPy quickening run tables --------------------------------------
+
+
+def real_run_table():
+    code = inner_code(RUN_SRC)
+    vm = PyVM(VMContext(SystemConfig()))
+    table = build_run_table(vm, code)
+    pc = next(pc for pc, entry in enumerate(table) if entry is not None)
+    return code, list(table), pc
+
+
+def test_real_run_table_is_clean():
+    code, table, _pc = real_run_table()
+    report = verify_run_table(code, table)
+    assert not report.findings, [f.render() for f in report.findings]
+
+
+def test_bc401_table_length_mismatch():
+    code, table, _pc = real_run_table()
+    assert verify_run_table(code, table[:-1]).has("BC401")
+
+
+def test_bc402_run_span_out_of_range():
+    code, table, pc = real_run_table()
+    e = table[pc]
+    table[pc] = (e[0], e[1], len(code.ops) + 5, e[3], e[4], e[5])
+    assert verify_run_table(code, table).has("BC402")
+
+
+def test_bc405_wrong_static_predecessor():
+    code, table, pc = real_run_table()
+    e = table[pc]
+    assert code.ops[pc - 1] != bc.BINARY_ADD
+    table[pc] = e[:5] + (bc.BINARY_ADD,)
+    assert verify_run_table(code, table).has("BC405")
+
+
+def test_bc405_wrong_last_opcode():
+    code, table, pc = real_run_table()
+    e = table[pc]
+    table[pc] = (e[0], e[1], e[2], bc.MAKE_CLASS, e[4], e[5])
+    assert verify_run_table(code, table).has("BC405")
+
+
+def test_bc405_non_positive_insn_count():
+    code, table, pc = real_run_table()
+    e = table[pc]
+    table[pc] = (e[0], e[1], e[2], e[3], 0, e[5])
+    assert verify_run_table(code, table).has("BC405")
+
+
+def _fused_entry(code, pc, end):
+    span = tuple(zip(code.ops[pc:end], code.args[pc:end]))
+    return (span, span, end, code.ops[end - 1], 4, code.ops[pc - 1])
+
+
+def test_bc402_run_starts_at_pc_zero():
+    code, table, pc = real_run_table()
+    table[0] = table[pc]
+    table[pc] = None
+    assert verify_run_table(code, table).has("BC402")
+
+
+def test_bc403_run_starts_at_merge_point():
+    # pc 3 is the target of the backward jump at pc 4: a JitDriver
+    # merge point, where hot-loop counting must not be skipped.
+    code = make_code([
+        (bc.LOAD_CONST, 0),
+        (bc.STORE_FAST, 0),
+        (bc.LOAD_FAST, 0),
+        (bc.STORE_FAST, 0),
+        (bc.JUMP, 3),
+        (bc.LOAD_CONST, 0),
+        (bc.RETURN_VALUE, 0),
+    ], varnames=("x",))
+    table = [None] * len(code.ops)
+    table[3] = _fused_entry(code, 3, 4)
+    assert verify_run_table(code, table).has("BC403")
+
+
+def test_bc404_run_crosses_jump_target():
+    code = make_code([
+        (bc.LOAD_CONST, 0),
+        (bc.STORE_FAST, 0),
+        (bc.LOAD_FAST, 0),
+        (bc.STORE_FAST, 0),   # jump target inside the run below
+        (bc.JUMP, 3),
+        (bc.LOAD_CONST, 0),
+        (bc.RETURN_VALUE, 0),
+    ], varnames=("x",))
+    table = [None] * len(code.ops)
+    table[2] = _fused_entry(code, 2, 4)
+    assert verify_run_table(code, table).has("BC404")
+
+
+def test_bc404_interior_pc_has_own_entry():
+    code = make_code([
+        (bc.LOAD_CONST, 0),
+        (bc.STORE_FAST, 0),
+        (bc.LOAD_FAST, 0),
+        (bc.STORE_FAST, 0),
+        (bc.LOAD_CONST, 0),
+        (bc.RETURN_VALUE, 0),
+    ], varnames=("x",))
+    table = [None] * len(code.ops)
+    table[1] = _fused_entry(code, 1, 4)
+    table[2] = _fused_entry(code, 2, 4)
+    assert verify_run_table(code, table).has("BC404")
+
+
+# -- MiniLang -----------------------------------------------------------------
+
+
+def test_minicode_clean():
+    code = MiniCode("m", [("load_const", 1), ("store_local", 0),
+                          ("load_local", 0), ("return", 0)], 1)
+    assert not verify_minicode(code).findings
+
+
+def test_mini_bc101_jump_out_of_range():
+    code = MiniCode("m", [("load_const", 1), ("jump", 9),
+                          ("return", 0)], 0)
+    assert verify_minicode(code).has("BC101")
+
+
+def test_mini_bc104_local_out_of_range():
+    code = MiniCode("m", [("load_local", 3), ("return", 0)], 1)
+    assert verify_minicode(code).has("BC104")
+
+
+def test_mini_bc105_unknown_op():
+    code = MiniCode("m", [("frobnicate", 0), ("return", 0)], 0)
+    assert verify_minicode(code).has("BC105")
+
+
+def test_mini_bc105_missing_call_target():
+    code = MiniCode("m", [("load_const", 1), ("call", "nope"),
+                          ("return", 0)], 0)
+    assert verify_minicode(code).has("BC105")
+
+
+def test_mini_bc201_merge_depth_mismatch():
+    code = MiniCode("m", [("load_const", 0), ("load_const", 0),
+                          ("jump", 1)], 0)
+    assert verify_minicode(code).has("BC201")
+
+
+def test_mini_bc202_underflow():
+    code = MiniCode("m", [("pop", 0), ("return", 0)], 0)
+    assert verify_minicode(code).has("BC202")
+
+
+def mini_run_table():
+    code = MiniCode("m", [
+        ("load_const", 5),
+        ("store_local", 0),
+        ("load_local", 0),
+        ("load_local", 0),
+        ("add", 0),
+        ("return", 0),
+    ], 1)
+    interp = MiniInterp(VMContext(SystemConfig()))
+    table = interp._build_run_table(code)
+    pc = next(pc for pc, entry in enumerate(table) if entry is not None)
+    return code, list(table), pc
+
+
+def test_mini_run_table_clean():
+    code, table, _pc = mini_run_table()
+    assert not verify_mini_run_table(code, table).findings
+
+
+def test_mini_bc401_table_length():
+    code, table, _pc = mini_run_table()
+    assert verify_mini_run_table(code, table[:-1]).has("BC401")
+
+
+def test_mini_bc405_replay_mismatch():
+    code, table, pc = mini_run_table()
+    e = table[pc]
+    table[pc] = (e[0], tuple(reversed(e[1])), e[2], e[3])
+    assert verify_mini_run_table(code, table).has("BC405")

@@ -1,0 +1,75 @@
+"""Clean-pass acceptance: the shipped tree produces zero findings.
+
+Mirrors ``tools/lint.py`` inside tier-1: every benchmark program's
+bytecode and quickening run tables verify clean, and the compiled
+traces of a quick subset verify clean including warnings.
+"""
+
+from repro.analysis import (
+    verify_backend,
+    verify_pycode,
+    verify_run_table,
+    verify_trace,
+)
+from repro.benchprogs.registry import PY_PROGRAMS, RKT_PROGRAMS
+from repro.core.config import SystemConfig
+from repro.difftest.oracle import run_interp
+from repro.interp.context import VMContext
+from repro.pylang import bytecode as bc
+from repro.pylang.compiler import compile_source
+from repro.pylang.interp import PyVM
+from repro.pylang.quicken import build_run_table
+
+TRACE_SET = ("fannkuch", "chaos")
+
+
+def all_codes(code):
+    out, pending, seen = [], [code], set()
+    while pending:
+        current = pending.pop()
+        if id(current) in seen:
+            continue
+        seen.add(id(current))
+        out.append(current)
+        for const in current.consts:
+            if isinstance(const, bc.FunctionSpec):
+                pending.append(const.code)
+            elif isinstance(const, bc.ClassSpec):
+                pending.extend(m[1] for m in const.methods)
+    return out
+
+
+def test_every_benchmark_program_verifies_clean():
+    from repro.rktlang.compiler import compile_rkt
+
+    vm = PyVM(VMContext(SystemConfig()))
+    jobs = [(p, compile_source) for p in PY_PROGRAMS]
+    jobs += [(p, compile_rkt) for p in RKT_PROGRAMS]
+    assert jobs
+    for program, compiler in jobs:
+        code = compiler(program.source(program.small_n), program.name)
+        report = verify_pycode(code)
+        assert not report.findings, (
+            program.name, [f.render() for f in report.findings])
+        for sub in all_codes(code):
+            table = build_run_table(vm, sub)
+            table_report = verify_run_table(sub, table)
+            assert not table_report.findings, (
+                program.name, sub.name,
+                [f.render() for f in table_report.findings])
+
+
+def test_quickset_traces_verify_clean():
+    by_name = {p.name: p for p in PY_PROGRAMS}
+    for name in TRACE_SET:
+        program = by_name[name]
+        run = run_interp(program.source(program.small_n), jit=True,
+                         threshold=7, bridge_threshold=3)
+        assert run.error is None, (name, run.error)
+        assert run.ctx.registry.traces, name
+        for trace in run.ctx.registry.traces:
+            report = verify_trace(trace, cfg=run.ctx.config.jit)
+            report.extend(verify_backend(trace))
+            assert not report.findings, (
+                name, trace.trace_id,
+                [f.render() for f in report.findings])

@@ -1,0 +1,82 @@
+"""Effect/purity cross-checker tests, including the regression replay
+of the fold-safety bug the checker originally surfaced (EFF003)."""
+
+from repro.analysis import check_effects
+from repro.analysis.opspec import OPT_INVALIDATION_OPS
+from repro.jit import ir
+from repro.jit import semantics
+
+
+def test_shipped_declarations_are_clean():
+    report = check_effects()
+    assert not report.findings, [f.render() for f in report.findings]
+
+
+def test_eff003_replays_the_original_foldable_bug():
+    # The FOLDABLE set as shipped before the checker existed: it
+    # excluded the division ops and the getitem family but still
+    # contained int_lshift/int_rshift (negative counts raise),
+    # float_sqrt (negative operands) and cast_float_to_int (inf/nan).
+    # A const-const fold of any of them crashes the optimizer.
+    buggy = frozenset(
+        opnum for opnum in semantics.EVAL
+        if opnum not in ir.OVF_OPS
+        and opnum not in (ir.INT_FLOORDIV, ir.INT_MOD,
+                          ir.FLOAT_TRUEDIV, ir.STRGETITEM,
+                          ir.UNICODEGETITEM)
+    )
+    report = check_effects(foldable=buggy)
+    caught = [f.message for f in report.findings if f.code == "EFF003"]
+    for name in ("int_lshift", "int_rshift", "float_sqrt",
+                 "cast_float_to_int"):
+        assert any(name in message for message in caught), name
+
+
+def test_eff001_eff002_effectful_op_in_foldable():
+    report = check_effects(
+        foldable=semantics.FOLDABLE | {ir.SETFIELD_GC})
+    assert report.has("EFF001")
+    assert report.has("EFF002")
+
+
+def test_eff002_foldable_without_eval_semantics():
+    report = check_effects(foldable=semantics.FOLDABLE | {ir.LABEL})
+    assert report.has("EFF002")
+
+
+def test_eff004_guard_with_declared_effects():
+    effects = list(ir.OP_EFFECTS)
+    effects[ir.GUARD_TRUE] = "heap"
+    report = check_effects(op_effects=tuple(effects))
+    assert report.has("EFF004")
+
+
+def test_eff005_missing_invalidation_point():
+    report = check_effects(
+        invalidation_ops=OPT_INVALIDATION_OPS - {ir.SETFIELD_GC})
+    assert report.has("EFF005")
+
+
+def test_eff005_spurious_invalidation_point():
+    report = check_effects(
+        invalidation_ops=OPT_INVALIDATION_OPS | {ir.INT_ADD})
+    assert report.has("EFF005")
+
+
+def test_eff006_overflow_op_that_never_raises():
+    eval_map = dict(semantics.EVAL)
+    eval_map[ir.INT_ADD_OVF] = lambda a, b: a + b  # unchecked add
+    report = check_effects(eval_map=eval_map)
+    assert report.has("EFF006")
+
+
+def test_eff008_eval_arity_drift():
+    eval_map = dict(semantics.EVAL)
+    eval_map[ir.INT_NEG] = lambda a, b: -a  # spec says arity 1
+    report = check_effects(eval_map=eval_map)
+    assert report.has("EFF008")
+
+
+def test_eff010_pure_set_contaminated():
+    report = check_effects(pure_ops=ir.PURE_OPS | {ir.SETFIELD_GC})
+    assert report.has("EFF010")

@@ -1,0 +1,93 @@
+"""The config.verify / REPRO_VERIFY debug gates and the difftest
+oracle's "verify" invariant family."""
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.errors import VerificationError
+from repro.difftest.oracle import (
+    OracleReport,
+    check_static_bytecode,
+    check_static_invariants,
+    run_interp,
+)
+from repro.interp.context import VMContext
+from repro.interp.minilang import Code as MiniCode
+from repro.interp.minilang import MiniInterp
+from repro.jit import ir
+from repro.pylang import bytecode as bc
+from repro.pylang.interp import PyVM
+
+LOOP_SRC = """
+i = 0
+while i < 40:
+    i = i + 1
+print(i)
+"""
+
+
+def bad_pycode():
+    # Immediate operand-stack underflow (BC202).
+    return bc.PyCode("bad", [bc.POP_TOP, bc.LOAD_CONST,
+                             bc.RETURN_VALUE], [0, 0, 0], [None], [],
+                     [], 0)
+
+
+def test_repro_verify_env_controls_default(monkeypatch):
+    monkeypatch.delenv("REPRO_VERIFY", raising=False)
+    assert SystemConfig().verify is False
+    monkeypatch.setenv("REPRO_VERIFY", "1")
+    assert SystemConfig().verify is True
+    monkeypatch.setenv("REPRO_VERIFY", "0")
+    assert SystemConfig().verify is False
+
+
+def test_pyvm_gate_rejects_corrupt_bytecode():
+    config = SystemConfig()
+    config.verify = True
+    vm = PyVM(VMContext(config))
+    with pytest.raises(VerificationError) as excinfo:
+        vm.run_module_code(bad_pycode())
+    assert excinfo.value.report.has("BC202")
+
+
+def test_pyvm_gate_off_by_default(monkeypatch):
+    # Without the gate the same code object reaches the dispatch loop
+    # (and fails there at runtime instead) — the gate is opt-in.
+    monkeypatch.delenv("REPRO_VERIFY", raising=False)
+    vm = PyVM(VMContext(SystemConfig()))
+    assert vm._verify is False
+
+
+def test_minilang_gate_rejects_corrupt_code():
+    config = SystemConfig()
+    config.verify = True
+    interp = MiniInterp(VMContext(config))
+    bad = MiniCode("bad", [("pop", 0), ("return", 0)], 0)
+    with pytest.raises(VerificationError):
+        interp.run(bad)
+
+
+def test_jit_pipeline_runs_clean_with_gates_on(monkeypatch):
+    monkeypatch.setenv("REPRO_VERIFY", "1")
+    run = run_interp(LOOP_SRC, jit=True, threshold=7)
+    assert run.error is None
+    assert run.ctx.config.verify is True
+    assert run.ctx.registry.traces  # the gate saw real compilations
+
+
+def test_oracle_verify_family_flags_corrupt_trace():
+    run = run_interp(LOOP_SRC, jit=True, threshold=7)
+    trace = run.ctx.registry.traces[0]
+    trace.ops.append(ir.IROp(ir.SAME_AS, [ir.Const(0)]))
+    report = OracleReport(LOOP_SRC)
+    check_static_invariants(run, report)
+    assert any(d.kind == "verify" for d in report.divergences)
+
+
+def test_oracle_verify_family_clean_on_healthy_run():
+    run = run_interp(LOOP_SRC, jit=True, threshold=7)
+    report = OracleReport(LOOP_SRC)
+    check_static_invariants(run, report)
+    check_static_bytecode(LOOP_SRC, report)
+    assert not report.divergences

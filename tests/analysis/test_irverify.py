@@ -1,0 +1,308 @@
+"""Seeded-mutation tests for the IR trace verifier.
+
+Each test takes a *real* compiled trace (or a hand-built minimal one),
+applies one targeted corruption, and asserts the verifier reports the
+expected error code — so every rule is proven to catch the class of bug
+it was written for, not just to pass on clean input.
+"""
+
+import pytest
+
+from repro.analysis import (
+    verify_backend,
+    verify_compilation,
+    verify_recorded,
+    verify_trace,
+)
+from repro.core.config import SystemConfig
+from repro.core.errors import VerificationError
+from repro.difftest.oracle import run_interp
+from repro.interp.aot import AotFunction
+from repro.interp.objects import W_Root
+from repro.jit import ir
+from repro.jit.resume import FrameState, Snapshot, VirtualSpec
+from repro.jit.trace import LOOP, InputArg, Trace
+
+LOOP_SRC = """
+def work(n):
+    i = 0
+    acc = 0
+    while i < n:
+        acc = acc + i
+        i = i + 1
+    return acc
+print(work(60))
+"""
+
+
+class W_Box(W_Root):
+    _size_ = 16
+
+
+def compiled_loop():
+    """A freshly compiled loop trace plus its jit config (each test
+    mutates its own copy of the registry)."""
+    run = run_interp(LOOP_SRC, jit=True, threshold=7)
+    assert run.error is None
+    traces = [t for t in run.ctx.registry.traces
+              if t.kind == LOOP and t.label_index >= 0]
+    assert traces, "expected a compiled loop trace"
+    return traces[0], run.ctx.config.jit
+
+
+def rogue_op():
+    """An IROp that is never part of any stream (always undefined)."""
+    return ir.IROp(ir.INT_ADD, [ir.Const(1), ir.Const(2)])
+
+
+def body_ops(trace):
+    """(index, op) pairs strictly between the label and the back jump."""
+    return [(i, op) for i, op in enumerate(trace.ops)
+            if trace.label_index < i < len(trace.ops) - 1]
+
+
+def find_body(trace, pred):
+    for i, op in body_ops(trace):
+        if pred(op):
+            return i, op
+    raise AssertionError("no body op matches")
+
+
+def empty_snapshot():
+    return Snapshot((FrameState("code", 0, (), ()),))
+
+
+def make_call(effects="any"):
+    func = AotFunction("test.clobber", "I", effects, lambda ctx: None)
+    return ir.IROp(ir.CALL, [], ir.CallDescr(func))
+
+
+# -- clean baselines ----------------------------------------------------------
+
+
+def test_compiled_trace_is_clean():
+    trace, cfg = compiled_loop()
+    report = verify_trace(trace, cfg=cfg)
+    report.extend(verify_backend(trace))
+    assert not report.findings, [f.render() for f in report.findings]
+
+
+# -- IR1xx: def-before-use and stream shape -----------------------------------
+
+
+def test_ir101_use_before_definition():
+    trace, cfg = compiled_loop()
+    _, op = find_body(trace, lambda op: any(
+        isinstance(a, (ir.IROp, InputArg)) for a in op.args))
+    args = list(op.args)
+    for j, arg in enumerate(args):
+        if isinstance(arg, (ir.IROp, InputArg)):
+            args[j] = rogue_op()
+            break
+    op.args = args
+    assert verify_trace(trace, cfg=cfg).has("IR101")
+
+
+def test_ir102_non_ir_operand():
+    trace, cfg = compiled_loop()
+    _, op = find_body(trace, lambda op: op.args)
+    args = list(op.args)
+    args[0] = 42
+    op.args = args
+    assert verify_trace(trace, cfg=cfg).has("IR102")
+
+
+def test_ir103_ssa_result_reused():
+    trace, cfg = compiled_loop()
+    i, op = find_body(trace, lambda op: op.opnum not in (ir.LABEL,
+                                                         ir.JUMP))
+    trace.ops.insert(i + 1, op)
+    assert verify_trace(trace, cfg=cfg).has("IR103")
+
+
+# -- IR2xx: per-opnum specs ---------------------------------------------------
+
+
+def test_ir201_wrong_arity():
+    trace, cfg = compiled_loop()
+    _, op = find_body(trace, lambda op: op.category == ir.CAT_INT
+                      and len(op.args) == 2)
+    op.args = list(op.args)[:1]
+    assert verify_trace(trace, cfg=cfg).has("IR201")
+
+
+def test_ir202_wrong_const_kind():
+    trace, cfg = compiled_loop()
+    _, op = find_body(trace, lambda op: op.category == ir.CAT_INT
+                      and len(op.args) == 2)
+    args = list(op.args)
+    args[0] = ir.Const("not an int")
+    op.args = args
+    assert verify_trace(trace, cfg=cfg).has("IR202")
+
+
+def test_ir203_wrong_descr_kind():
+    trace, cfg = compiled_loop()
+    _, guard = find_body(trace, lambda op: op.is_guard())
+    guard.descr = 42  # guards carry no descr
+    assert verify_trace(trace, cfg=cfg).has("IR203")
+
+
+def test_ir204_opnum_out_of_range():
+    trace, cfg = compiled_loop()
+    _, op = find_body(trace, lambda op: op.opnum not in (ir.LABEL,
+                                                         ir.JUMP))
+    op.opnum = 999
+    assert verify_trace(trace, cfg=cfg).has("IR204")
+
+
+# -- IR3xx: resume snapshots --------------------------------------------------
+
+
+def test_ir301_guard_without_snapshot():
+    trace, cfg = compiled_loop()
+    _, guard = find_body(trace, lambda op: op.is_guard())
+    guard.snapshot = None
+    assert verify_trace(trace, cfg=cfg).has("IR301")
+
+
+def test_ir302_snapshot_value_not_dominating():
+    trace, cfg = compiled_loop()
+    _, guard = find_body(trace, lambda op: op.is_guard()
+                         and op.snapshot is not None)
+    assert any(True for _ in guard.snapshot.iter_values())
+    undefined = rogue_op()
+    guard.snapshot = guard.snapshot.map_values(lambda v: undefined)
+    assert verify_trace(trace, cfg=cfg).has("IR302")
+
+
+def test_ir303_virtualspec_field_not_rematerializable():
+    trace, cfg = compiled_loop()
+    _, guard = find_body(trace, lambda op: op.is_guard())
+    descr = ir.FieldDescr.get(W_Box, "val")
+    spec = VirtualSpec(W_Box, {descr: rogue_op()}, 16)
+    guard.snapshot = Snapshot((FrameState("code", 0, (spec,), ()),))
+    assert verify_trace(trace, cfg=cfg).has("IR303")
+
+
+# -- IR4xx: loop/label/jump wiring --------------------------------------------
+
+
+def test_ir401_jump_arity_mismatch():
+    trace, cfg = compiled_loop()
+    back = trace.ops[-1]
+    assert back.opnum == ir.JUMP
+    back.args = list(back.args) + [ir.Const(0)]
+    assert verify_trace(trace, cfg=cfg).has("IR401")
+
+
+def test_ir402_label_index_points_elsewhere():
+    trace, cfg = compiled_loop()
+    trace.label_index += 1  # now a non-LABEL op
+    assert verify_trace(trace, cfg=cfg).has("IR402")
+
+
+def test_ir403_loop_jump_targets_nothing():
+    trace, cfg = compiled_loop()
+    trace.ops[-1].descr = None
+    assert verify_trace(trace, cfg=cfg).has("IR403")
+
+
+def test_ir404_ops_after_final_jump():
+    trace, cfg = compiled_loop()
+    trace.ops.append(ir.IROp(ir.SAME_AS, [ir.Const(0)]))
+    assert verify_trace(trace, cfg=cfg).has("IR404")
+
+
+def test_ir404_control_op_in_recorded_stream():
+    report = verify_recorded([ir.IROp(ir.JUMP, [])], [])
+    assert report.has("IR404")
+
+
+def test_ir405_entry_layout_disagrees():
+    trace, cfg = compiled_loop()
+    trace.entry_layout = [("code", 0, len(trace.inputargs) + 1, 0)]
+    assert verify_trace(trace, cfg=cfg).has("IR405")
+
+
+# -- IR5xx: effect discipline -------------------------------------------------
+
+
+def test_ir501_guard_after_unsafe_call():
+    dmp = ir.IROp(ir.DEBUG_MERGE_POINT, [])
+    dmp.snapshot = empty_snapshot()
+    call = make_call("any")
+    guard = ir.IROp(ir.GUARD_TRUE, [call])
+    guard.snapshot = empty_snapshot()
+    report = verify_recorded([dmp, call, guard], [])
+    assert report.has("IR501")
+
+
+def test_ir501_merge_point_resets_hazard():
+    dmp1 = ir.IROp(ir.DEBUG_MERGE_POINT, [])
+    dmp1.snapshot = empty_snapshot()
+    call = make_call("any")
+    dmp2 = ir.IROp(ir.DEBUG_MERGE_POINT, [])
+    dmp2.snapshot = empty_snapshot()
+    guard = ir.IROp(ir.GUARD_TRUE, [call])
+    guard.snapshot = empty_snapshot()
+    report = verify_recorded([dmp1, call, dmp2, guard], [])
+    assert not report.has("IR501")
+    assert not report.errors
+
+
+def _heap_trace(middle):
+    a = InputArg()
+    descr = ir.FieldDescr.get(W_Box, "val")
+    label = ir.IROp(ir.LABEL, [a])
+    g1 = ir.IROp(ir.GETFIELD_GC, [a], descr)
+    g2 = ir.IROp(ir.GETFIELD_GC, [a], descr)
+    ops = [label, g1] + middle + [g2, ir.IROp(ir.JUMP, [a], label)]
+    trace = Trace(0, LOOP, ("c", 0), [a], ops, None)
+    trace.label_index = 0
+    return trace
+
+
+def test_ir502_redundant_heap_load_warns():
+    report = verify_trace(_heap_trace([]), cfg=SystemConfig().jit)
+    assert report.has("IR502")
+    assert not report.errors  # warning severity, not an error
+
+
+def test_ir502_call_invalidates_heap_cache():
+    report = verify_trace(_heap_trace([make_call("any")]),
+                          cfg=SystemConfig().jit)
+    assert not report.has("IR502")
+
+
+# -- IR6xx: backend numbering -------------------------------------------------
+
+
+def test_ir601_broken_index_numbering():
+    trace, _cfg = compiled_loop()
+    trace.ops[0].index = -5
+    assert verify_backend(trace).has("IR601")
+
+
+def test_ir602_cost_table_length_mismatch():
+    trace, _cfg = compiled_loop()
+    trace.op_asm_insns = trace.op_asm_insns[:-1]
+    assert verify_backend(trace).has("IR602")
+
+
+def test_ir603_wrong_env_slot_count():
+    trace, _cfg = compiled_loop()
+    trace.n_env_slots += 7
+    assert verify_backend(trace).has("IR603")
+
+
+# -- the pipeline gate --------------------------------------------------------
+
+
+def test_verify_compilation_raises_on_corruption():
+    trace, cfg = compiled_loop()
+    trace.ops.append(ir.IROp(ir.SAME_AS, [ir.Const(0)]))
+    report = verify_compilation(cfg, trace)
+    with pytest.raises(VerificationError) as excinfo:
+        report.raise_if_errors("jit pipeline")
+    assert excinfo.value.report is report

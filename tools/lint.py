@@ -1,0 +1,182 @@
+#!/usr/bin/env python
+"""Standalone static-verification linter (see DESIGN.md §12).
+
+Runs the three repro.analysis passes over the shipped tree:
+
+* ``--effects``  — effect/purity declaration cross-check (EFF0xx),
+* ``--programs`` — compile every TinyPy and TinyRkt benchmark program
+  and verify its bytecode (BC1xx-BC3xx) plus the quickening run table
+  of every reachable code object (BC4xx),
+* ``--traces``   — run the bench quick-set programs at a small size
+  with an eager JIT and verify every compiled trace, including backend
+  numbering (IR1xx-IR6xx),
+* ``--all``      — everything above (the default when no pass is named).
+
+Exit status is 0 iff no *errors* were found (warnings are advisory;
+``--strict`` promotes them).  ``--json PATH`` additionally writes every
+finding machine-readably for CI artifact collection.
+
+Usage::
+
+    PYTHONPATH=src python tools/lint.py --all
+    PYTHONPATH=src python tools/lint.py --programs --json findings.json
+"""
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.analysis import (  # noqa: E402
+    check_effects,
+    verify_backend,
+    verify_pycode,
+    verify_run_table,
+    verify_trace,
+)
+from repro.analysis.diagnostics import Report  # noqa: E402
+from repro.benchprogs.registry import (  # noqa: E402
+    PY_PROGRAMS,
+    RKT_PROGRAMS,
+)
+from repro.core.config import SystemConfig  # noqa: E402
+from repro.interp.context import VMContext  # noqa: E402
+from repro.pylang import bytecode as bc  # noqa: E402
+from repro.pylang.compiler import compile_source  # noqa: E402
+from repro.pylang.interp import PyVM  # noqa: E402
+from repro.pylang.quicken import build_run_table  # noqa: E402
+
+#: Programs whose traces the ``--traces`` pass verifies (mirrors the
+#: bench quick-set plus one bridge-heavy and one allocation-heavy
+#: program for optimizer-path coverage).
+TRACE_SET = ("richards", "crypto_pyaes", "fannkuch", "chaos",
+             "binarytrees")
+
+
+def _all_codes(code):
+    """Every code object reachable from ``code`` (incl. itself)."""
+    out = []
+    pending = [code]
+    seen = set()
+    while pending:
+        current = pending.pop()
+        if id(current) in seen:
+            continue
+        seen.add(id(current))
+        out.append(current)
+        for const in current.consts:
+            if isinstance(const, bc.FunctionSpec):
+                pending.append(const.code)
+            elif isinstance(const, bc.ClassSpec):
+                pending.extend(m[1] for m in const.methods)
+    return out
+
+
+def lint_effects(report):
+    check_effects(report)
+
+
+def lint_programs(report, verbose=False):
+    from repro.rktlang.compiler import compile_rkt
+
+    vm = PyVM(VMContext(SystemConfig()))
+    sources = [(p, compile_source) for p in PY_PROGRAMS]
+    sources += [(p, compile_rkt) for p in RKT_PROGRAMS]
+    for program, compiler in sources:
+        if verbose:
+            print("  %s/%s" % (program.language, program.name))
+        code = compiler(program.source(program.small_n), program.name)
+        report.extend(verify_pycode(code))
+        for sub in _all_codes(code):
+            table = build_run_table(vm, sub)
+            report.extend(verify_run_table(
+                sub, table,
+                subject="%s:%s run table" % (program.name, sub.name)))
+
+
+def lint_traces(report, verbose=False):
+    from repro.difftest.oracle import run_interp
+    from repro.rktlang.vm import run_rkt
+
+    for program in PY_PROGRAMS:
+        if program.name not in TRACE_SET:
+            continue
+        if verbose:
+            print("  traces: %s" % program.name)
+        run = run_interp(program.source(program.small_n), jit=True,
+                         threshold=7, bridge_threshold=3)
+        if run.error:
+            report.error("IR404", "guest error while building traces: "
+                         "%s" % run.error, where=program.name,
+                         pass_name="lint")
+            continue
+        _verify_registry(report, run.ctx, program.name)
+    for program in RKT_PROGRAMS:
+        if program.name not in TRACE_SET:
+            continue
+        if verbose:
+            print("  traces: rkt/%s" % program.name)
+        config = SystemConfig()
+        config.jit.hot_loop_threshold = 7
+        config.jit.bridge_threshold = 3
+        _vm, ctx = run_rkt(program.source(program.small_n), config)
+        _verify_registry(report, ctx, "rkt/%s" % program.name)
+
+
+def _verify_registry(report, ctx, label):
+    for trace in ctx.registry.traces:
+        subject = "%s trace #%d (%s)" % (label, trace.trace_id,
+                                         trace.kind)
+        result = verify_trace(trace, cfg=ctx.config.jit, subject=subject)
+        result.extend(verify_backend(trace,
+                                     subject="%s backend" % subject))
+        report.extend(result)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="static verification over the shipped tree")
+    parser.add_argument("--all", action="store_true",
+                        help="run every pass (default)")
+    parser.add_argument("--effects", action="store_true",
+                        help="effect/purity cross-check")
+    parser.add_argument("--programs", action="store_true",
+                        help="verify benchmark bytecode + run tables")
+    parser.add_argument("--traces", action="store_true",
+                        help="verify compiled traces of the quick set")
+    parser.add_argument("--json", metavar="PATH",
+                        help="write findings as JSON")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit nonzero on warnings too")
+    parser.add_argument("-v", "--verbose", action="store_true")
+    args = parser.parse_args(argv)
+
+    run_all = args.all or not (args.effects or args.programs
+                               or args.traces)
+    report = Report("lint")
+    if run_all or args.effects:
+        print("== effects cross-check ==")
+        lint_effects(report)
+    if run_all or args.programs:
+        print("== benchmark bytecode + run tables ==")
+        lint_programs(report, verbose=args.verbose)
+    if run_all or args.traces:
+        print("== compiled traces (quick set) ==")
+        lint_traces(report, verbose=args.verbose)
+
+    for finding in report.findings:
+        print(finding.render())
+    print("lint: %d errors, %d warnings"
+          % (len(report.errors), len(report.warnings)))
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+        print("findings written to %s" % args.json)
+    failed = report.errors or (args.strict and report.warnings)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
