@@ -1,0 +1,79 @@
+"""Host simulation backends: compiled kernels for the machine hot loop.
+
+Three interchangeable implementations of the :class:`~repro.uarch.
+machine.Machine` event interface, selected by ``config.sim_backend``
+(env override ``REPRO_BACKEND=python|fast|native``):
+
+``python``
+    The reference machine.  Its four fused dispatch kernels are
+    themselves generated from :mod:`repro.backend.kernelspec`, so the
+    reference path and the compiled backends share one source of truth
+    for the delicate fragments (bulk-miss carry, block charge, inlined
+    BTB).
+
+``fast``
+    :class:`repro.backend.fastmachine.FastMachine` — exec-compiled
+    specialized Python kernels, one closure set per machine instance.
+    Machine constants (issue width, penalties, predictor tables, the
+    class-count list) are bound as closure locals and the listener/limit
+    gating collapses to a cached per-tag check.  Always available.
+
+``native``
+    :class:`repro.backend.nativemachine.NativeMachine` — simulation
+    state lives in a C struct and the hot kernels run as cffi-compiled C
+    (built once per source digest, cached under the user cache dir).
+    Requires a C toolchain + cffi; silently falls back to ``fast`` when
+    unavailable (:func:`native_unavailable_reason` says why).
+
+Every backend is bit-identical to the reference: same counters (the
+float ``cycles`` compared by ``repr``), same phase windows, same jitlog
+— enforced by tests/backend/ and the difftest oracle's backend engines.
+
+This module stays import-light (no uarch imports at module level): the
+reference machine imports the kernel spec from here, so the resolvers
+import lazily.
+"""
+
+from repro.core.errors import ConfigError
+
+BACKENDS = ("python", "fast", "native")
+
+
+def machine_class(name):
+    """Resolve a backend name to its Machine implementation class.
+
+    ``native`` degrades to the ``fast`` class when no C toolchain or
+    cffi is available (the reason is recorded; see
+    :func:`native_unavailable_reason`) so ``REPRO_BACKEND=native`` is
+    safe to set unconditionally in CI matrices.
+    """
+    if name in (None, "", "python"):
+        from repro.uarch.machine import Machine
+        return Machine
+    if name == "fast":
+        from repro.backend.fastmachine import FastMachine
+        return FastMachine
+    if name == "native":
+        from repro.backend import native
+        cls = native.machine_class_or_none()
+        if cls is not None:
+            return cls
+        from repro.backend.fastmachine import FastMachine
+        return FastMachine
+    raise ConfigError("unknown sim backend %r (expected one of %s)"
+                      % (name, "/".join(BACKENDS)))
+
+
+def native_unavailable_reason():
+    """Why the native backend is degraded to fast, or None if it works."""
+    from repro.backend import native
+    native.machine_class_or_none()
+    return native.unavailable_reason()
+
+
+def available_backends():
+    """The backend names that resolve to distinct working classes here."""
+    names = ["python", "fast"]
+    if native_unavailable_reason() is None:
+        names.append("native")
+    return tuple(names)

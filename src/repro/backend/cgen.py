@@ -1,0 +1,525 @@
+"""C source for the native backend's simulation runtime.
+
+The entire mutable machine state lives in one C ``SimState`` struct
+(counters, predictor/BTB/RAS tables, two-level cache tags, per-block
+cost arrays) and every hot event kernel is a C function over it.  The
+Python side (:mod:`repro.backend.nativemachine`) keeps only the
+listener/limit gating and marshals block descriptors and quickened run
+tables into C arrays once.
+
+Bit-identity contract (mirrors :mod:`repro.backend.kernelspec`):
+
+* identical IEEE-754 double operations in the reference order — the
+  shared bulk-miss-carry fragment is the ``BULK_CHARGE`` macro, the
+  block charge is ``exec_block_inner``, the inlined BTB is
+  ``indirect_inner`` — compiled with ``-ffp-contract=off`` so no FMA
+  contraction can change rounding, and never with ``-ffast-math``;
+* ``(long long)x`` truncation-toward-zero matches Python ``int(x)`` for
+  the nonnegative miss counts involved;
+* integer counts convert to double exactly (all < 2**53);
+* cache penalties are exact small integers, so ``l1_penalty +
+  l2_penalty`` is the same double as Python's int sum, and the
+  ``cycles += 0.0`` on a zero-penalty access is a bitwise no-op for the
+  nonnegative cycle accumulator.
+
+Limit semantics: kernels whose reference counterpart checks
+``max_instructions`` return an ``int`` flag (1 = limit reached); the
+Python wrapper raises :class:`SimulationLimitReached` so exception
+semantics stay on the Python side.  Batched kernels (the ``rt_*_batch``
+and run loops) are only entered after the Python-side precheck proved
+the limit cannot be crossed, exactly like the reference batched paths,
+so they perform no checks.
+"""
+
+import hashlib
+
+from repro.isa import insns
+
+N_CLASSES = insns.N_CLASSES
+
+# cffi cdef: the subset of the source the Python side touches directly.
+CDEF = """
+typedef struct {
+    long long instructions;
+    double    cycles;
+    long long branches;
+    long long branch_misses;
+    long long loads;
+    long long stores;
+    long long annotations;
+    long long max_instructions;
+    double    bulk_miss_carry;
+    double    bulk_miss_rate;
+    double    inv_width;
+    double    load_cost;
+    double    store_cost;
+    double    mispredict_penalty;
+    double    stalls[%(n_classes)d];
+    long long class_counts[%(n_classes)d];
+    int       pred_kind;
+    long long g_mask;
+    long long g_history;
+    unsigned char *g_table;
+    long long btb_mask;
+    long long btb_history;
+    long long *btb_targets;
+    int       ras_entries;
+    int       ras_top;
+    long long *ras_stack;
+    int       line_shift;
+    int       l1_assoc;
+    int       l2_assoc;
+    long long l1_set_mask;
+    long long l2_set_mask;
+    long long *l1_tags;
+    long long *l2_tags;
+    long long l1_hits;
+    long long l1_misses;
+    long long l2_hits;
+    long long l2_misses;
+    double    l1_penalty;
+    double    l2_penalty;
+    int       n_blocks;
+    long long *b_n_insns;
+    double    *b_insn_cycles;
+    double    *b_stall_cycles;
+    double    *b_flat_cycles;
+    long long *b_bulk_count;
+    long long *b_count;
+    int       n_fused;
+    int       *f_block;
+    long long *f_branches;
+    double    *f_miss_rate;
+    double    *f_branch_cycles;
+    long long *f_count;
+} SimState;
+
+int  rt_annot(SimState *st);
+void rt_annot_batch(SimState *st, long long n);
+int  rt_exec_mix(SimState *st, int n, int *klasses, long long *counts);
+int  rt_exec_block(SimState *st, int bid);
+int  rt_exec_fused(SimState *st, int fid);
+void rt_dispatch_event(SimState *st, int bid, long long pc,
+                       long long target);
+void rt_dispatch_event2(SimState *st, int bid, int b2id, long long pc,
+                        long long target);
+void rt_dispatch_run(SimState *st, int bid, long long n, long long *pcs,
+                     long long *targets, int *b2ids);
+void rt_quick_run(SimState *st, int bid, long long n, long long *pcs,
+                  long long *targets, int *offs, int *blkids);
+void rt_branch(SimState *st, long long pc, int taken);
+int  rt_branch_block(SimState *st, long long pc, int bid);
+void rt_indirect(SimState *st, long long pc, long long target);
+void rt_call(SimState *st, long long pc);
+void rt_ret(SimState *st, long long pc);
+int  rt_exec_bulk_branches(SimState *st, long long count, double rate);
+void rt_load(SimState *st, long long addr);
+void rt_store(SimState *st, long long addr);
+void rt_reset(SimState *st);
+""" % {"n_classes": N_CLASSES}
+
+SOURCE = CDEF.replace("typedef struct {", "typedef struct SimState_ {") + r"""
+
+enum {
+    K_ALU = %(ALU)d, K_MUL = %(MUL)d, K_DIV = %(DIV)d, K_FPU = %(FPU)d,
+    K_LOAD = %(LOAD)d, K_STORE = %(STORE)d, K_BR_COND = %(BR_COND)d,
+    K_BR_IND = %(BR_IND)d, K_CALL = %(CALL)d, K_RET = %(RET)d,
+    K_NOP_ANNOT = %(NOP_ANNOT)d, K_BR_BULK = %(BR_BULK)d
+};
+
+/* The shared bulk-branch miss-carry fragment (Python mirror:
+ * repro.backend.kernelspec.emit_bulk_miss_carry): misses_exact =
+ * count * rate + carry; misses = int(misses_exact); carry =
+ * misses_exact - misses; branch_misses += misses.  Same double ops in
+ * the same order; the (long long) cast is Python's int() truncation
+ * for these nonnegative values. */
+#define BULK_CHARGE(st, countv, rate, misses_out) do {                  \
+    double misses_exact_ =                                              \
+        (double)(countv) * (rate) + (st)->bulk_miss_carry;              \
+    long long misses_ = (long long)misses_exact_;                       \
+    (st)->bulk_miss_carry = misses_exact_ - (double)misses_;            \
+    (st)->branch_misses += misses_;                                     \
+    (misses_out) = misses_;                                             \
+} while (0)
+
+static int limit_hit(SimState *st)
+{
+    return st->max_instructions && st->instructions >= st->max_instructions;
+}
+
+/* Block charge (kernelspec.emit_block_charge): count, instructions,
+ * then either the bulk-carry branch charge or the flat cycle cost. */
+static void exec_block_nolimit(SimState *st, int bid)
+{
+    long long bulk;
+    st->b_count[bid] += 1;
+    st->instructions += st->b_n_insns[bid];
+    bulk = st->b_bulk_count[bid];
+    if (bulk) {
+        long long misses;
+        st->branches += bulk;
+        BULK_CHARGE(st, bulk, st->bulk_miss_rate, misses);
+        st->cycles += st->b_insn_cycles[bid] + (
+            st->b_stall_cycles[bid] +
+            (double)misses * st->mispredict_penalty);
+    } else {
+        st->cycles += st->b_flat_cycles[bid];
+    }
+}
+
+/* Inlined BTB indirect jump (kernelspec.emit_btb_jump). */
+static void indirect_inner(SimState *st, long long pc, long long target)
+{
+    long long index;
+    st->instructions += 1;
+    st->branches += 1;
+    st->class_counts[K_BR_IND] += 1;
+    st->cycles += st->inv_width;
+    index = (pc ^ st->btb_history) & st->btb_mask;
+    if (st->btb_targets[index] != target) {
+        st->branch_misses += 1;
+        st->cycles += st->mispredict_penalty;
+    }
+    st->btb_targets[index] = target;
+    st->btb_history = ((st->btb_history << 3) ^ (target & 0x3FF))
+        & st->btb_mask;
+}
+
+/* Conditional predictor predict_and_update; kind 0 = gshare,
+ * 1 = bimodal, 2 = always-taken (uarch/branch.py mirrors). */
+static int cond_predict(SimState *st, long long pc, int taken)
+{
+    long long index;
+    int counter;
+    if (st->pred_kind == 2)
+        return !taken;
+    if (st->pred_kind == 0) {
+        index = (pc ^ st->g_history) & st->g_mask;
+        counter = st->g_table[index];
+        if (taken) {
+            if (counter < 3)
+                st->g_table[index] = (unsigned char)(counter + 1);
+            st->g_history = ((st->g_history << 1) | 1) & st->g_mask;
+        } else {
+            if (counter > 0)
+                st->g_table[index] = (unsigned char)(counter - 1);
+            st->g_history = (st->g_history << 1) & st->g_mask;
+        }
+        return (counter >= 2) != taken;
+    }
+    index = pc & st->g_mask;
+    counter = st->g_table[index];
+    if (taken) {
+        if (counter < 3)
+            st->g_table[index] = (unsigned char)(counter + 1);
+    } else {
+        if (counter > 0)
+            st->g_table[index] = (unsigned char)(counter - 1);
+    }
+    return (counter >= 2) != taken;
+}
+
+/* One level of the LRU set-associative cache (uarch/cache.py): tag
+ * lists in LRU order, -1 = empty way; move-to-front on hit, shift-in
+ * on miss.  The Python transient assoc+1 list length before pop() is
+ * unobservable, so the fixed-width shift is state-identical. */
+static int cache_access(long long *tags, int assoc, long long set_index,
+                        long long line)
+{
+    long long *ways = tags + set_index * assoc;
+    int i;
+    for (i = 0; i < assoc; i++) {
+        if (ways[i] == line) {
+            for (; i > 0; i--)
+                ways[i] = ways[i - 1];
+            ways[0] = line;
+            return 1;
+        }
+    }
+    for (i = assoc - 1; i > 0; i--)
+        ways[i] = ways[i - 1];
+    ways[0] = line;
+    return 0;
+}
+
+/* CacheHierarchy.access: returns the double penalty (exact small
+ * integers in the reference, so the sum is the same double). */
+static double dc_access(SimState *st, long long addr)
+{
+    long long line = addr >> st->line_shift;
+    if (cache_access(st->l1_tags, st->l1_assoc, line & st->l1_set_mask,
+                     line)) {
+        st->l1_hits += 1;
+        return 0.0;
+    }
+    st->l1_misses += 1;
+    if (cache_access(st->l2_tags, st->l2_assoc, line & st->l2_set_mask,
+                     line)) {
+        st->l2_hits += 1;
+        return st->l1_penalty;
+    }
+    st->l2_misses += 1;
+    return st->l1_penalty + st->l2_penalty;
+}
+
+int rt_annot(SimState *st)
+{
+    st->instructions += 1;
+    st->annotations += 1;
+    st->class_counts[K_NOP_ANNOT] += 1;
+    st->cycles += st->inv_width;
+    return limit_hit(st);
+}
+
+void rt_annot_batch(SimState *st, long long n)
+{
+    long long i;
+    st->instructions += n;
+    st->annotations += n;
+    st->class_counts[K_NOP_ANNOT] += n;
+    /* Per-annotation float adds in order (a single multiply would
+     * round differently at binade crossings). */
+    for (i = 0; i < n; i++)
+        st->cycles += st->inv_width;
+}
+
+int rt_exec_mix(SimState *st, int n, int *klasses, long long *counts)
+{
+    long long total = 0;
+    double extra = 0.0;
+    int i;
+    for (i = 0; i < n; i++) {
+        int klass = klasses[i];
+        long long count = counts[i];
+        total += count;
+        st->class_counts[klass] += count;
+        if (klass == K_BR_BULK) {
+            long long misses;
+            st->branches += count;
+            BULK_CHARGE(st, count, st->bulk_miss_rate, misses);
+            extra += (double)misses * st->mispredict_penalty;
+            continue;
+        }
+        if (st->stalls[klass] != 0.0)
+            extra += st->stalls[klass] * (double)count;
+    }
+    st->instructions += total;
+    st->cycles += (double)total * st->inv_width + extra;
+    return limit_hit(st);
+}
+
+int rt_exec_block(SimState *st, int bid)
+{
+    exec_block_nolimit(st, bid);
+    return limit_hit(st);
+}
+
+int rt_exec_fused(SimState *st, int fid)
+{
+    long long count, misses;
+    exec_block_nolimit(st, st->f_block[fid]);
+    if (limit_hit(st))
+        return 1;
+    count = st->f_branches[fid];
+    if (count <= 0)
+        return 0;
+    st->f_count[fid] += 1;
+    st->instructions += count;
+    st->branches += count;
+    BULK_CHARGE(st, count, st->f_miss_rate[fid], misses);
+    st->cycles += st->f_branch_cycles[fid]
+        + (double)misses * st->mispredict_penalty;
+    return limit_hit(st);
+}
+
+/* Batched dispatch event: annot + dispatch block + BTB jump in the
+ * reference float order.  No limit checks — the Python gate's
+ * precheck proved the event cannot cross (kernelspec drops the same
+ * unreachable checks in its batched paths). */
+void rt_dispatch_event(SimState *st, int bid, long long pc,
+                       long long target)
+{
+    st->instructions += 1;
+    st->annotations += 1;
+    st->class_counts[K_NOP_ANNOT] += 1;
+    st->cycles += st->inv_width;
+    exec_block_nolimit(st, bid);
+    indirect_inner(st, pc, target);
+}
+
+void rt_dispatch_event2(SimState *st, int bid, int b2id, long long pc,
+                        long long target)
+{
+    rt_dispatch_event(st, bid, pc, target);
+    exec_block_nolimit(st, b2id);
+}
+
+void rt_dispatch_run(SimState *st, int bid, long long n, long long *pcs,
+                     long long *targets, int *b2ids)
+{
+    long long i;
+    for (i = 0; i < n; i++)
+        rt_dispatch_event2(st, bid, b2ids[i], pcs[i], targets[i]);
+}
+
+/* Quickened run: per item, a dispatch event plus the handler's block
+ * charges blkids[offs[i] .. offs[i+1]) in order. */
+void rt_quick_run(SimState *st, int bid, long long n, long long *pcs,
+                  long long *targets, int *offs, int *blkids)
+{
+    long long i;
+    int j;
+    for (i = 0; i < n; i++) {
+        rt_dispatch_event(st, bid, pcs[i], targets[i]);
+        for (j = offs[i]; j < offs[i + 1]; j++)
+            exec_block_nolimit(st, blkids[j]);
+    }
+}
+
+void rt_branch(SimState *st, long long pc, int taken)
+{
+    st->instructions += 1;
+    st->branches += 1;
+    st->class_counts[K_BR_COND] += 1;
+    st->cycles += st->inv_width;
+    if (cond_predict(st, pc, taken)) {
+        st->branch_misses += 1;
+        st->cycles += st->mispredict_penalty;
+    }
+}
+
+int rt_branch_block(SimState *st, long long pc, int bid)
+{
+    st->instructions += 1;
+    st->branches += 1;
+    st->class_counts[K_BR_COND] += 1;
+    st->cycles += st->inv_width;
+    if (cond_predict(st, pc, 0)) {
+        st->branch_misses += 1;
+        st->cycles += st->mispredict_penalty;
+    }
+    exec_block_nolimit(st, bid);
+    return limit_hit(st);
+}
+
+void rt_indirect(SimState *st, long long pc, long long target)
+{
+    indirect_inner(st, pc, target);
+}
+
+void rt_call(SimState *st, long long pc)
+{
+    st->instructions += 1;
+    st->branches += 1;
+    st->class_counts[K_CALL] += 1;
+    st->cycles += st->inv_width;
+    st->ras_top = (st->ras_top + 1) %% st->ras_entries;
+    st->ras_stack[st->ras_top] = pc + 1;
+}
+
+void rt_ret(SimState *st, long long pc)
+{
+    long long predicted;
+    st->instructions += 1;
+    st->branches += 1;
+    st->class_counts[K_RET] += 1;
+    st->cycles += st->inv_width;
+    predicted = st->ras_stack[st->ras_top];
+    st->ras_top = (st->ras_top + st->ras_entries - 1) %% st->ras_entries;
+    if (predicted != pc + 1) {
+        st->branch_misses += 1;
+        st->cycles += st->mispredict_penalty;
+    }
+}
+
+int rt_exec_bulk_branches(SimState *st, long long count, double rate)
+{
+    long long misses;
+    if (count <= 0)
+        return 0;
+    st->instructions += count;
+    st->branches += count;
+    st->class_counts[K_BR_COND] += count;
+    BULK_CHARGE(st, count, rate, misses);
+    st->cycles += (double)count * st->inv_width
+        + (double)misses * st->mispredict_penalty;
+    return limit_hit(st);
+}
+
+/* load/store: the MRU-hit fast path of the reference adds no penalty;
+ * the generic path adds dc_access() which is 0.0 on any L1 hit, and
+ * x + 0.0 is a bitwise no-op for the nonnegative cycle accumulator,
+ * so one uniform dc_access call is bit-identical. */
+void rt_load(SimState *st, long long addr)
+{
+    st->instructions += 1;
+    st->loads += 1;
+    st->class_counts[K_LOAD] += 1;
+    st->cycles += st->load_cost;
+    st->cycles += dc_access(st, addr);
+}
+
+void rt_store(SimState *st, long long addr)
+{
+    st->instructions += 1;
+    st->stores += 1;
+    st->class_counts[K_STORE] += 1;
+    st->cycles += st->store_cost;
+    st->cycles += 0.3 * dc_access(st, addr);
+}
+
+void rt_reset(SimState *st)
+{
+    long long i;
+    st->instructions = 0;
+    st->cycles = 0.0;
+    st->branches = 0;
+    st->branch_misses = 0;
+    st->loads = 0;
+    st->stores = 0;
+    st->annotations = 0;
+    st->bulk_miss_carry = 0.0;
+    for (i = 0; i < %(n_classes)d; i++)
+        st->class_counts[i] = 0;
+    if (st->g_table)
+        for (i = 0; i <= st->g_mask; i++)
+            st->g_table[i] = 1;
+    st->g_history = 0;
+    for (i = 0; i <= st->btb_mask; i++)
+        st->btb_targets[i] = 0;
+    st->btb_history = 0;
+    for (i = 0; i < st->ras_entries; i++)
+        st->ras_stack[i] = 0;
+    st->ras_top = 0;
+    for (i = 0; i < (st->l1_set_mask + 1) * st->l1_assoc; i++)
+        st->l1_tags[i] = -1;
+    for (i = 0; i < (st->l2_set_mask + 1) * st->l2_assoc; i++)
+        st->l2_tags[i] = -1;
+    st->l1_hits = st->l1_misses = 0;
+    st->l2_hits = st->l2_misses = 0;
+    for (i = 0; i < st->n_blocks; i++)
+        st->b_count[i] = 0;
+    for (i = 0; i < st->n_fused; i++)
+        st->f_count[i] = 0;
+}
+""" % {
+    "ALU": insns.ALU, "MUL": insns.MUL, "DIV": insns.DIV,
+    "FPU": insns.FPU, "LOAD": insns.LOAD, "STORE": insns.STORE,
+    "BR_COND": insns.BR_COND, "BR_IND": insns.BR_IND,
+    "CALL": insns.CALL, "RET": insns.RET,
+    "NOP_ANNOT": insns.NOP_ANNOT, "BR_BULK": insns.BR_BULK,
+    "n_classes": N_CLASSES,
+}
+
+# No FMA contraction (would change double rounding vs the reference)
+# and certainly no -ffast-math; -O2 on strict IEEE semantics.
+COMPILE_ARGS = ["-O2", "-ffp-contract=off"]
+
+
+def digest():
+    """Content digest keying the compiled-module cache."""
+    h = hashlib.sha256()
+    h.update(CDEF.encode())
+    h.update(SOURCE.encode())
+    h.update(" ".join(COMPILE_ARGS).encode())
+    return h.hexdigest()[:16]

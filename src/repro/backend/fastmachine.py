@@ -1,0 +1,76 @@
+"""The ``fast`` backend: exec-specialized Python kernels per machine.
+
+A :class:`FastMachine` is a :class:`~repro.uarch.machine.Machine` whose
+hot event methods are replaced, per instance, by closures compiled from
+:mod:`repro.backend.kernelspec`.  The specialization wins come from
+three places:
+
+* **constant binding** — issue width, penalties, the bulk miss rate,
+  the class-count list, predictor tables and L1 internals are closure
+  locals instead of per-call ``self`` attribute loads;
+* **cached listener gating** — the reference kernels re-derive the
+  listener/runner routing from two dict lookups on every call; the
+  specialized kernels cache the decision per tag, keyed on the
+  machine's ``_listener_epoch`` (bumped by every listener add/remove);
+* **no bound-method dispatch** — the kernels are installed in instance
+  slots, so call sites reach the closure directly.
+
+Every corner case (catch-all listeners, tag listeners without batched
+``run`` variants, ``max_instructions`` proximity) delegates to the
+unbound reference method, which replays exact per-primitive semantics
+on the same machine state.  The batched paths are bit-identical by
+construction: they are generated from the same fragment emitters as the
+reference kernels.
+
+Constants are baked at specialization time; the only supported mid-life
+mutations are listener changes (epoch-gated) and :meth:`reset` (which
+re-specializes).  Nothing in the repo mutates ``mispredict_penalty`` or
+``bulk_miss_rate`` after construction; call :meth:`respecialize` if an
+experiment ever does.
+"""
+
+from repro.backend.kernelspec import fast_kernel_factory
+from repro.uarch.machine import Machine, SimulationLimitReached
+
+# Instance slots holding the specialized kernels.  Slot descriptors on
+# the subclass shadow the inherited methods, so every name listed here
+# MUST be assigned by respecialize() — an empty slot would not fall back
+# to the base method, it would raise AttributeError.
+_KERNEL_SLOTS = (
+    "dispatch_event", "dispatch_event2", "dispatch_run", "quick_run",
+    "exec_block", "annot_run", "load", "store",
+    "load_annot_run", "store_annot_run",
+    "branch_block", "branch_block_annot_run",
+)
+
+
+class FastMachine(Machine):
+    """Machine with exec-compiled specialized kernels (see module doc)."""
+
+    __slots__ = _KERNEL_SLOTS
+
+    backend = "fast"
+
+    def __init__(self, config, predictor="gshare"):
+        super().__init__(config, predictor)
+        self.respecialize()
+
+    def respecialize(self):
+        """(Re)build the specialized kernels against current constants."""
+        kernels = fast_kernel_factory()(self, Machine,
+                                        SimulationLimitReached)
+        for name in _KERNEL_SLOTS:
+            kernel = kernels.get(name)
+            if kernel is None:
+                # No specialization for this machine shape (e.g. the
+                # gshare-only kernels on a bimodal machine): bind the
+                # reference method so the slot never shadows it away.
+                kernel = getattr(Machine, name).__get__(self)
+            setattr(self, name, kernel)
+
+    def reset(self):
+        super().reset()
+        # Tables and the counts list are reset in place (identity
+        # preserved), so the old kernels would still be correct; a fresh
+        # specialization also clears the per-tag gate caches.
+        self.respecialize()

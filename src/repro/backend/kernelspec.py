@@ -1,0 +1,837 @@
+"""The kernel spec: one source of truth for the machine's fused kernels.
+
+The simulation hot loop is four fused dispatch kernels
+(``dispatch_event``, ``dispatch_event2``, ``dispatch_run``,
+``quick_run``) whose bodies share three delicate code fragments:
+
+* the **bulk-branch miss-carry** accounting (``misses_exact = count *
+  rate + carry; misses = int(misses_exact); carry = misses_exact -
+  misses`` — the fractional carry is machine-global float state),
+* the **block charge** (instruction/stall/cycle retire of one
+  :class:`~repro.uarch.blocks.BlockDescr`),
+* the **inlined BTB** indirect-jump predictor update.
+
+Historically each kernel carried its own hand-expanded copy; a fix to
+one could silently miss the others.  This module is the anti-drift
+mechanism: every fragment is emitted exactly once (as source text) and
+every kernel — the reference methods installed on
+:class:`repro.uarch.machine.Machine` *and* the exec-specialized kernels
+of the ``fast`` backend — is generated from those fragments.  The C
+runtime of the ``native`` backend mirrors the same fragments as C
+macros (see :mod:`repro.backend.cgen`); the backend equivalence suite
+pins all three bit-identical.
+
+Floating-point discipline (the bit-identity contract): generated code
+must perform the *same IEEE-754 double operations in the same order* as
+the seed's unfused event sequence.  Integer counters are associative
+and may be hoisted; the ``cycles`` accumulator and the bulk-miss carry
+may not.
+"""
+
+from repro.isa import insns
+
+_NOP_ANNOT = insns.NOP_ANNOT
+_BR_IND = insns.BR_IND
+_BR_COND = insns.BR_COND
+
+
+def _indent(text, pad):
+    return "\n".join(pad + line if line.strip() else line
+                     for line in text.splitlines())
+
+
+# -- shared fragments ------------------------------------------------------------
+
+
+def emit_bulk_miss_carry(count_expr, rate="bulk_rate"):
+    """The bulk-branch miss-carry accounting, emitted exactly once.
+
+    Expects/updates the locals ``carry`` and ``branch_misses``; leaves
+    ``misses`` (the integer miss count) defined for the caller's cycle
+    charge.  This is the fragment that used to be triplicated across
+    ``dispatch_event``/``dispatch_event2``/``dispatch_run``.
+    """
+    return (
+        "misses_exact = %s * %s + carry\n"
+        "misses = int(misses_exact)\n"
+        "carry = misses_exact - misses\n"
+        "branch_misses += misses" % (count_expr, rate)
+    )
+
+
+def emit_block_charge(bvar, insns_var=None, count_expr="1"):
+    """Retire one :class:`BlockDescr` into the shared locals.
+
+    Expects the locals ``cycles``, ``branches``, ``branch_misses``,
+    ``carry``, ``bulk_rate`` and ``penalty``; optionally accumulates the
+    instruction count into ``insns_var``.
+    """
+    lines = ["%s.count += %s" % (bvar, count_expr)]
+    if insns_var:
+        lines.append("%s += %s.n_insns" % (insns_var, bvar))
+    lines.append("bulk = %s.bulk_count" % bvar)
+    lines.append("if bulk:")
+    lines.append("    branches += bulk")
+    lines.append(_indent(emit_bulk_miss_carry("bulk"), "    "))
+    lines.append("    cycles += %s.insn_cycles + (" % bvar)
+    lines.append("        %s.stall_cycles + misses * penalty)" % bvar)
+    lines.append("else:")
+    lines.append("    cycles += %s.flat_cycles" % bvar)
+    return "\n".join(lines)
+
+
+def emit_hoisted_block_charge():
+    """The run-loop variant of the dispatch-mix charge.
+
+    The loop header precomputed ``b_bulk``/``b_base``/``b_stall``/
+    ``b_flat`` and bulk-hoisted ``b.count`` and the branch totals; only
+    the order-sensitive float work stays in the loop body.
+    """
+    return (
+        "if b_bulk:\n"
+        + _indent(emit_bulk_miss_carry("b_bulk"), "    ")
+        + "\n    cycles += b_base + (b_stall + misses * penalty)\n"
+        "else:\n"
+        "    cycles += b_flat"
+    )
+
+
+def emit_btb_jump(per_event=True):
+    """The inlined BTB indirect-jump predict-and-update.
+
+    Expects ``history``/``mask``/``targets`` hoisted from the Btb and
+    the shared ``cycles``/``branch_misses``/``penalty`` locals; run
+    kernels hoist the per-item instruction/branch/class increments.
+    """
+    lines = []
+    if per_event:
+        lines += ["insns_total += 1",
+                  "branches += 1",
+                  "counts[%d] += 1" % _BR_IND]
+    lines += [
+        "cycles += inv_width",
+        "index = (pc ^ history) & mask",
+        "if targets[index] != target:",
+        "    branch_misses += 1",
+        "    cycles += penalty",
+        "targets[index] = target",
+        "history = ((history << 3) ^ (target & 0x3FF)) & mask",
+    ]
+    return "\n".join(lines)
+
+
+def emit_annot_unroll(n="n"):
+    """The 8x-unrolled annotation-run cycle accumulation.
+
+    The same left-to-right sequence of float additions as ``for _ in
+    range(n): cycles += inv_width`` (a single multiply would round
+    differently at binade crossings), with 8x fewer host iterations.
+    """
+    add8 = "\n".join(["        cycles += inv_width"] * 8)
+    return (
+        "if %(n)s == 1:\n"
+        "    cycles += inv_width\n"
+        "else:\n"
+        "    i = %(n)s\n"
+        "    while i >= 8:\n"
+        "%(add8)s\n"
+        "        i -= 8\n"
+        "    for _ in range(i):\n"
+        "        cycles += inv_width" % {"n": n, "add8": add8}
+    )
+
+
+# -- reference kernels (installed on Machine) ------------------------------------
+
+
+_EVENT_DOC = {
+    False: '''\
+"""Fused interpreter-dispatch event: annot + block + indirect jump.
+
+One call replicating the seed's per-bytecode sequence
+``annot(tag); exec_mix(mix); indirect(pc, target)`` — same
+counter updates, same float-operation order, same limit-check
+points.  The indirect jump still drives the real BTB, preserving
+the sequential-predictor-state invariant.  [generated by
+repro.backend.kernelspec]
+"""''',
+    True: '''\
+"""Dispatch event with the handler's static mix fused in.
+
+Extends :meth:`dispatch_event` with the retire of ``b2`` — the
+opcode handler's fixed cost block, which in the unfused VM the
+handler charged as its first machine-visible action right after
+the dispatch sequence.  Event order is unchanged: annot, dispatch
+mix, indirect jump, handler mix.  [generated by
+repro.backend.kernelspec]
+"""''',
+}
+
+
+def _reference_event_source(two_blocks):
+    name = "dispatch_event2" if two_blocks else "dispatch_event"
+    args = "self, tag, b, pc, target, b2" if two_blocks \
+        else "self, tag, b, pc, target"
+    cost = "2 + b.n_insns + b2.n_insns" if two_blocks else "2 + b.n_insns"
+    body = [
+        "def %s(%s):" % (name, args),
+        _indent(_EVENT_DOC[two_blocks], "    "),
+        "    # annot(tag) — per-primitive path when a listener may snapshot",
+        "    # (no batched variant) or the event could cross the limit;",
+        "    # otherwise counters accumulate in locals and runners (batched",
+        "    # listener variants) are notified once after writeback, exactly",
+        "    # like a one-item dispatch_run.",
+        "    inv_width = self._inv_width",
+        "    counts = self._class_counts",
+        "    listeners = self._tag_listeners.get(tag)",
+        "    runners = None",
+        "    if listeners is not None:",
+        "        runners = self._tag_runners.get(tag)",
+        "    max_instructions = self.max_instructions",
+        "    if (self._annot_listeners",
+        "            or (listeners is not None and runners is None)",
+        "            or (max_instructions",
+        "                and self.instructions + %s" % cost,
+        "                >= max_instructions)):",
+        "        runners = None  # listeners notified per-primitive, here",
+        "        self.instructions += 1",
+        "        self.annotations += 1",
+        "        counts[%d] += 1" % _NOP_ANNOT,
+        "        self.cycles += inv_width",
+        "        if listeners is not None:",
+        "            for listener in listeners:",
+        "                listener(tag, None)",
+        "        for listener in self._annot_listeners:",
+        "            listener(tag, None)",
+        "        insns_total = self.instructions",
+        "        cycles = self.cycles",
+        "        if max_instructions and insns_total >= max_instructions:",
+        "            raise SimulationLimitReached(insns_total)",
+        "    else:",
+        "        self.annotations += 1",
+        "        counts[%d] += 1" % _NOP_ANNOT,
+        "        insns_total = self.instructions + 1",
+        "        cycles = self.cycles + inv_width",
+        "    penalty = self.mispredict_penalty",
+        "    bulk_rate = self.bulk_miss_rate",
+        "    carry = self._bulk_miss_carry",
+        "    branches = self.branches",
+        "    branch_misses = self.branch_misses",
+        "    # exec_block(b) — the dispatch mix",
+        _indent(emit_block_charge("b", insns_var="insns_total"), "    "),
+        "    if max_instructions and insns_total >= max_instructions:",
+        "        self.instructions = insns_total",
+        "        self.cycles = cycles",
+        "        self.branches = branches",
+        "        self.branch_misses = branch_misses",
+        "        self._bulk_miss_carry = carry",
+        "        raise SimulationLimitReached(insns_total)",
+        "    # indirect(pc, target) — BTB inlined (always a Btb instance)",
+        "    btb = self.btb",
+        "    history = btb.history",
+        "    mask = btb.mask",
+        "    targets = btb.targets",
+        _indent(emit_btb_jump(per_event=True), "    "),
+        "    btb.history = history",
+    ]
+    if two_blocks:
+        body += [
+            "    # exec_block(b2) — the handler's static mix",
+            _indent(emit_block_charge("b2", insns_var="insns_total"), "    "),
+        ]
+    body += [
+        "    self.instructions = insns_total",
+        "    self.cycles = cycles",
+        "    self.branches = branches",
+        "    self.branch_misses = branch_misses",
+        "    self._bulk_miss_carry = carry",
+    ]
+    if two_blocks:
+        body += [
+            "    if max_instructions and insns_total >= max_instructions:",
+            "        raise SimulationLimitReached(insns_total)",
+        ]
+    body += [
+        "    if runners is not None:",
+        "        for run in runners:",
+        "            run(tag, None, 1)",
+    ]
+    return "\n".join(body)
+
+
+_RUN_DOC = {
+    "run": '''\
+"""Retire a straight-line run of fused dispatch events in one call.
+
+``items`` is a static tuple of ``(pc, target, b2)`` triples — one
+per guest bytecode in a branch-free run whose handlers make no
+machine calls of their own — and ``n_insns`` is the precomputed
+total instruction count of the run (for the limit precheck).
+The loop body repeats the exact :meth:`dispatch_event2` sequence
+per item, so every counter and every predictor update retires in
+the same order with the same float arithmetic; only the Python
+call boundaries between items disappear.
+
+Like :meth:`annot_run`, the batched path requires every listener
+on ``tag`` to provide a batched ``run`` variant and no catch-all
+annotation listeners; otherwise — or when the run could cross
+``max_instructions`` — it falls back to per-event calls, which
+preserve exact listener and limit semantics.  [generated by
+repro.backend.kernelspec]
+"""''',
+    "quick": '''\
+"""Retire a quickened run of dispatch events + handler block charges.
+
+Generalizes :meth:`dispatch_run` to handlers whose static cost is
+a *sequence* of block charges rather than one fused block:
+``items`` is a static tuple of ``(pc, target, blocks)`` triples
+where ``blocks`` is the tuple of :class:`BlockDescr` charges the
+unquickened handler would have issued, in order.  The body
+replays exactly ``dispatch_event(tag, b, pc, target)`` followed
+by ``exec_block(blk)`` per block — same counter updates, same
+float-operation order, same predictor state — so the result is
+bit-identical; only the Python call boundaries disappear.
+
+Same gating as :meth:`dispatch_run`: catch-all listeners, tag
+listeners without batched ``run`` variants, or a possible
+``max_instructions`` crossing fall back to per-event calls,
+which preserve exact listener and mid-run limit semantics.
+[generated by repro.backend.kernelspec]
+"""''',
+}
+
+
+def _reference_run_source(kind):
+    quick = kind == "quick"
+    name = "quick_run" if quick else "dispatch_run"
+    item = "blocks" if quick else "b2"
+    body = [
+        "def %s(self, tag, b, items, n_insns):" % name,
+        _indent(_RUN_DOC[kind], "    "),
+        "    tag_listeners = self._tag_listeners.get(tag)",
+        "    runners = None",
+        "    if tag_listeners is not None:",
+        "        runners = self._tag_runners.get(tag)",
+        "    max_instructions = self.max_instructions",
+        "    if (self._annot_listeners",
+        "            or (tag_listeners is not None and runners is None)",
+        "            or (max_instructions",
+        "                and self.instructions + n_insns"
+        " >= max_instructions)):",
+    ]
+    if quick:
+        body += [
+            "        dispatch_event = self.dispatch_event",
+            "        exec_block = self.exec_block",
+            "        for pc, target, blocks in items:",
+            "            dispatch_event(tag, b, pc, target)",
+            "            for blk in blocks:",
+            "                exec_block(blk)",
+            "        return",
+        ]
+    else:
+        body += [
+            "        dispatch_event2 = self.dispatch_event2",
+            "        for pc, target, b2 in items:",
+            "            dispatch_event2(tag, b, pc, target, b2)",
+            "        return",
+        ]
+    body += [
+        "    # Integer counters are associative, so instruction totals and",
+        "    # the per-item BTB branch retires hoist out of the loop; only",
+        "    # the float cycle adds and the bulk-miss carry must stay in",
+        "    # per-event order to keep the accumulation bit-identical.",
+        "    n = len(items)",
+        "    counts = self._class_counts",
+        "    inv_width = self._inv_width",
+        "    penalty = self.mispredict_penalty",
+        "    bulk_rate = self.bulk_miss_rate",
+        "    carry = self._bulk_miss_carry",
+        "    cycles = self.cycles",
+        "    branches = self.branches + n",
+        "    branch_misses = self.branch_misses",
+        "    btb = self.btb",
+        "    history = btb.history",
+        "    mask = btb.mask",
+        "    targets = btb.targets",
+        "    b_bulk = b.bulk_count",
+        "    b_flat = b.flat_cycles",
+        "    b.count += n",
+        "    counts[%d] += n" % _NOP_ANNOT,
+        "    counts[%d] += n" % _BR_IND,
+        "    self.annotations += n",
+        "    self.instructions += n_insns",
+        "    if b_bulk:",
+        "        branches += b_bulk * n",
+        "        b_base = b.insn_cycles",
+        "        b_stall = b.stall_cycles",
+        "    for pc, target, %s in items:" % item,
+        "        # annot(tag)",
+        "        cycles += inv_width",
+        "        # exec_block(b) — the dispatch mix",
+        _indent(emit_hoisted_block_charge(), "        "),
+        "        # indirect(pc, target) — inlined BTB",
+        _indent(emit_btb_jump(per_event=False), "        "),
+    ]
+    if quick:
+        body += [
+            "        # exec_block(blk) per handler charge, in handler order",
+            "        for blk in blocks:",
+            _indent(emit_block_charge("blk"), "            "),
+        ]
+    else:
+        body += [
+            "        # exec_block(b2) — the handler's static mix",
+            _indent(emit_block_charge("b2"), "        "),
+        ]
+    body += [
+        "    btb.history = history",
+        "    self.cycles = cycles",
+        "    self.branches = branches",
+        "    self.branch_misses = branch_misses",
+        "    self._bulk_miss_carry = carry",
+        "    if runners:",
+        "        for run in runners:",
+        "            run(tag, None, n)",
+    ]
+    return "\n".join(body)
+
+
+def reference_source():
+    """Source text of the four generated reference kernels."""
+    return "\n\n\n".join([
+        _reference_event_source(False),
+        _reference_event_source(True),
+        _reference_run_source("run"),
+        _reference_run_source("quick"),
+    ]) + "\n"
+
+
+def build_reference_methods(limit_exc):
+    """Compile the reference dispatch kernels for installation on Machine.
+
+    Returns ``{name: function}`` for ``dispatch_event``,
+    ``dispatch_event2``, ``dispatch_run`` and ``quick_run``.
+    """
+    namespace = {"SimulationLimitReached": limit_exc}
+    code = compile(reference_source(), "<kernelspec:reference>", "exec")
+    exec(code, namespace)
+    return {name: namespace[name]
+            for name in ("dispatch_event", "dispatch_event2",
+                         "dispatch_run", "quick_run")}
+
+
+# -- fast-backend kernels (exec-specialized per machine instance) ----------------
+
+# The fast backend builds one closure per kernel per machine instance:
+# machine constants (issue width, penalties, predictor tables, the
+# class-count list) are bound as closure/default values, and the
+# listener/limit gating collapses to one tag-identity + epoch check
+# against a per-kernel cache; any per-primitive corner case (catch-all
+# listeners, tag listeners without batched variants, limit proximity)
+# delegates to the reference method, which replays exact semantics.
+
+
+def _fast_gate_helpers():
+    return (
+        "    def _gate(cache, tag):\n"
+        "        cache[0] = tag\n"
+        "        cache[1] = m._listener_epoch\n"
+        "        listeners = m._tag_listeners.get(tag)\n"
+        "        runners = None\n"
+        "        if listeners is not None:\n"
+        "            runners = m._tag_runners.get(tag)\n"
+        "        if m._annot_listeners or (listeners is not None\n"
+        "                                  and runners is None):\n"
+        "            cache[2] = _PRIM\n"
+        "        else:\n"
+        "            cache[2] = runners\n"
+        "        return cache[2]\n"
+    )
+
+
+def _fast_event_source(two_blocks):
+    name = "dispatch_event2" if two_blocks else "dispatch_event"
+    args = "tag, b, pc, target, b2" if two_blocks else "tag, b, pc, target"
+    cost = "2 + b.n_insns + b2.n_insns" if two_blocks else "2 + b.n_insns"
+    ref = "ref_%s" % name
+    lines = [
+        "    %s_gate = [None, -1, None]" % name,
+        "    def %s(%s, _gc=%s_gate):" % (name, args, name),
+        "        if _gc[0] is tag and _gc[1] == m._listener_epoch:",
+        "            runners = _gc[2]",
+        "        else:",
+        "            runners = _gate(_gc, tag)",
+        "        max_instructions = m.max_instructions",
+        "        if runners is _PRIM or (",
+        "                max_instructions",
+        "                and m.instructions + %s >= max_instructions):" % cost,
+        "            return %s(m, %s)" % (ref, args),
+        "        # batched path: the limit precheck makes every reference",
+        "        # mid-kernel limit test unreachable, so it is elided here.",
+        "        m.annotations += 1",
+        "        counts[%d] += 1" % _NOP_ANNOT,
+        "        insns_total = m.instructions + 1",
+        "        cycles = m.cycles + inv_width",
+        "        carry = m._bulk_miss_carry",
+        "        branches = m.branches",
+        "        branch_misses = m.branch_misses",
+        "        # exec_block(b) — the dispatch mix",
+        _indent(emit_block_charge("b", insns_var="insns_total"), "        "),
+        "        # indirect(pc, target) — inlined BTB",
+        "        history = btb.history",
+        _indent(emit_btb_jump(per_event=True), "        "),
+        "        btb.history = history",
+    ]
+    if two_blocks:
+        lines += [
+            "        # exec_block(b2) — the handler's static mix",
+            _indent(emit_block_charge("b2", insns_var="insns_total"),
+                    "        "),
+        ]
+    lines += [
+        "        m.instructions = insns_total",
+        "        m.cycles = cycles",
+        "        m.branches = branches",
+        "        m.branch_misses = branch_misses",
+        "        m._bulk_miss_carry = carry",
+        "        if runners is not None:",
+        "            for run in runners:",
+        "                run(tag, None, 1)",
+    ]
+    return "\n".join(lines)
+
+
+def _fast_run_source(kind):
+    quick = kind == "quick"
+    name = "quick_run" if quick else "dispatch_run"
+    item = "blocks" if quick else "b2"
+    lines = [
+        "    %s_gate = [None, -1, None]" % name,
+        "    def %s(tag, b, items, n_insns, _gc=%s_gate):" % (name, name),
+        "        if _gc[0] is tag and _gc[1] == m._listener_epoch:",
+        "            runners = _gc[2]",
+        "        else:",
+        "            runners = _gate(_gc, tag)",
+        "        max_instructions = m.max_instructions",
+        "        if runners is _PRIM or (",
+        "                max_instructions",
+        "                and m.instructions + n_insns >= max_instructions):",
+        "            return ref_%s(m, tag, b, items, n_insns)" % name,
+        "        n = len(items)",
+        "        carry = m._bulk_miss_carry",
+        "        cycles = m.cycles",
+        "        branches = m.branches + n",
+        "        branch_misses = m.branch_misses",
+        "        history = btb.history",
+        "        b_bulk = b.bulk_count",
+        "        b_flat = b.flat_cycles",
+        "        b.count += n",
+        "        counts[%d] += n" % _NOP_ANNOT,
+        "        counts[%d] += n" % _BR_IND,
+        "        m.annotations += n",
+        "        m.instructions += n_insns",
+        "        if b_bulk:",
+        "            branches += b_bulk * n",
+        "            b_base = b.insn_cycles",
+        "            b_stall = b.stall_cycles",
+        "        for pc, target, %s in items:" % item,
+        "            # annot(tag)",
+        "            cycles += inv_width",
+        "            # exec_block(b) — the dispatch mix",
+        _indent(emit_hoisted_block_charge(), "            "),
+        "            # indirect(pc, target) — inlined BTB",
+        _indent(emit_btb_jump(per_event=False), "            "),
+    ]
+    if quick:
+        lines += [
+            "            # exec_block(blk) per handler charge, in order",
+            "            for blk in blocks:",
+            _indent(emit_block_charge("blk"), "                "),
+        ]
+    else:
+        lines += [
+            "            # exec_block(b2) — the handler's static mix",
+            _indent(emit_block_charge("b2"), "            "),
+        ]
+    lines += [
+        "        btb.history = history",
+        "        m.cycles = cycles",
+        "        m.branches = branches",
+        "        m.branch_misses = branch_misses",
+        "        m._bulk_miss_carry = carry",
+        "        if runners:",
+        "            for run in runners:",
+        "                run(tag, None, n)",
+    ]
+    return "\n".join(lines)
+
+
+def _fast_exec_block_source():
+    # Unlike the shared block-charge fragment (which assumes its caller
+    # already holds the branch counters in locals), a standalone
+    # exec_block must not touch them at all on the common non-bulk
+    # path — that is what keeps it at reference speed.
+    return "\n".join([
+        "    def exec_block(b):",
+        "        insns_total = m.instructions + b.n_insns",
+        "        b.count += 1",
+        "        bulk = b.bulk_count",
+        "        if bulk:",
+        "            carry = m._bulk_miss_carry",
+        "            branch_misses = m.branch_misses",
+        "            cycles = m.cycles",
+        "            branches = m.branches + bulk",
+        _indent(emit_bulk_miss_carry("bulk"), "            "),
+        "            m.branches = branches",
+        "            m.branch_misses = branch_misses",
+        "            m._bulk_miss_carry = carry",
+        "            m.cycles = cycles + (b.insn_cycles + (",
+        "                b.stall_cycles + misses * penalty))",
+        "        else:",
+        "            m.cycles += b.flat_cycles",
+        "        m.instructions = insns_total",
+        "        if m.max_instructions and insns_total >= m.max_instructions:",
+        "            raise SimulationLimitReached(insns_total)",
+    ])
+
+
+def _fast_branch_block_source(with_annot_run):
+    # Only emitted for gshare machines (the predictor the JIT guard hot
+    # path inlines); other predictor kinds keep the reference method.
+    name = "branch_block_annot_run" if with_annot_run else "branch_block"
+    args = "pc, b, tag, n" if with_annot_run else "pc, b"
+    lines = [
+        "    def %s(%s):" % (name, args),
+        "        insns_total = m.instructions + 1",
+        "        branches = m.branches + 1",
+        "        branch_misses = m.branch_misses",
+        "        counts[%d] += 1" % _BR_COND,
+        "        cycles = m.cycles + inv_width",
+        "        # Inlined GsharePredictor.predict_and_update(pc, False).",
+        "        ghistory = gshare.history",
+        "        gindex = (pc ^ ghistory) & gmask",
+        "        counter = gtable[gindex]",
+        "        if counter > 0:",
+        "            gtable[gindex] = counter - 1",
+        "        gshare.history = (ghistory << 1) & gmask",
+        "        if counter >= 2:",
+        "            branch_misses += 1",
+        "            cycles += penalty",
+        "        carry = m._bulk_miss_carry",
+        _indent(emit_block_charge("b", insns_var="insns_total"), "        "),
+        "        m.instructions = insns_total",
+        "        m.branches = branches",
+        "        m.branch_misses = branch_misses",
+        "        m.cycles = cycles",
+        "        m._bulk_miss_carry = carry",
+        "        max_instructions = m.max_instructions",
+        "        if max_instructions and insns_total >= max_instructions:",
+        "            raise SimulationLimitReached(insns_total)",
+    ]
+    if with_annot_run:
+        lines += [
+            "        # annot_run(tag, n) — batched fast path; corner cases",
+            "        # delegate to the real method (exact per-annotation",
+            "        # listener and limit semantics).",
+            "        _gc = bba_gate",
+            "        if _gc[0] is tag and _gc[1] == m._listener_epoch:",
+            "            runners = _gc[2]",
+            "        else:",
+            "            runners = _gate(_gc, tag)",
+            "        if runners is _PRIM or (",
+            "                max_instructions",
+            "                and insns_total + n >= max_instructions):",
+            "            m.annot_run(tag, n)",
+            "            return",
+            "        m.instructions = insns_total + n",
+            "        m.annotations += n",
+            "        counts[%d] += n" % _NOP_ANNOT,
+            _indent(emit_annot_unroll(), "        "),
+            "        m.cycles = cycles",
+            "        if runners:",
+            "            for run in runners:",
+            "                run(tag, None, n)",
+        ]
+    return "\n".join(lines)
+
+
+def _fast_annot_run_source():
+    return "\n".join([
+        "    annot_run_gate = [None, -1, None]",
+        "    def annot_run(tag, n, payload=None, _gc=annot_run_gate):",
+        "        if _gc[0] is tag and _gc[1] == m._listener_epoch:",
+        "            runners = _gc[2]",
+        "        else:",
+        "            runners = _gate(_gc, tag)",
+        "        max_instructions = m.max_instructions",
+        "        if runners is _PRIM or (",
+        "                max_instructions",
+        "                and m.instructions + n >= max_instructions):",
+        "            return ref_annot_run(m, tag, n, payload)",
+        "        m.instructions += n",
+        "        m.annotations += n",
+        "        counts[%d] += n" % _NOP_ANNOT,
+        "        cycles = m.cycles",
+        _indent(emit_annot_unroll(), "        "),
+        "        m.cycles = cycles",
+        "        if runners:",
+        "            for run in runners:",
+        "                run(tag, payload, n)",
+    ])
+
+
+def _fast_mem_source(store, with_annot_run):
+    kind = "store" if store else "load"
+    name = kind + ("_annot_run" if with_annot_run else "")
+    cost = "store_cost" if store else "load_cost"
+    counter = "stores" if store else "loads"
+    miss = ("cycles += 0.3 * dc_access(addr)" if store
+            else "cycles += dc_access(addr)")
+    lines = [
+        "    def %s(%s):" % (name, "addr, tag, n" if with_annot_run
+                             else "addr"),
+        "        m.%s += 1" % counter,
+        "        counts[%d] += 1" % (insns.STORE if store else insns.LOAD),
+        "        cycles = m.cycles + %s" % cost,
+        "        line = addr >> l1_shift",
+        "        ways = l1_sets[line & l1_mask]",
+        "        if ways and ways[0] == line:",
+        "            l1.hits += 1  # MRU hit: zero penalty, LRU unchanged",
+        "        else:",
+        "            %s" % miss,
+    ]
+    if not with_annot_run:
+        lines += [
+            "        m.instructions += 1",
+            "        m.cycles = cycles",
+        ]
+        return "\n".join(lines)
+    lines += [
+        "        insns_total = m.instructions + 1",
+        "        _gc = %s_gate" % name,
+        "        if _gc[0] is tag and _gc[1] == m._listener_epoch:",
+        "            runners = _gc[2]",
+        "        else:",
+        "            runners = _gate(_gc, tag)",
+        "        max_instructions = m.max_instructions",
+        "        if runners is _PRIM or (",
+        "                max_instructions",
+        "                and insns_total + n >= max_instructions):",
+        "            m.instructions = insns_total",
+        "            m.cycles = cycles",
+        "            m.annot_run(tag, n)",
+        "            return",
+        "        m.instructions = insns_total + n",
+        "        m.annotations += n",
+        "        counts[%d] += n" % _NOP_ANNOT,
+        _indent(emit_annot_unroll(), "        "),
+        "        m.cycles = cycles",
+        "        if runners:",
+        "            for run in runners:",
+        "                run(tag, None, n)",
+    ]
+    return "\n".join(lines)
+
+
+_FAST_KERNELS = (
+    "dispatch_event", "dispatch_event2", "dispatch_run", "quick_run",
+    "exec_block", "annot_run", "load", "store",
+    "load_annot_run", "store_annot_run",
+)
+_FAST_GSHARE_KERNELS = ("branch_block", "branch_block_annot_run")
+
+
+def fast_factory_source():
+    """Source of ``make_kernels(m, Machine, SimulationLimitReached)``.
+
+    The factory binds one machine instance's constants and returns a
+    dict of specialized kernels; gshare-only kernels are included only
+    when the machine's conditional predictor is a gshare (other
+    predictor kinds keep the reference methods).
+    """
+    parts = [
+        "def make_kernels(m, Machine, SimulationLimitReached):",
+        "    counts = m._class_counts",
+        "    inv_width = m._inv_width",
+        "    penalty = m.mispredict_penalty",
+        "    bulk_rate = m.bulk_miss_rate",
+        "    btb = m.btb",
+        "    targets = btb.targets",
+        "    mask = btb.mask",
+        "    gshare = m._gshare",
+        "    l1 = m._l1",
+        "    l1_shift = m._l1_shift",
+        "    l1_mask = m._l1_mask",
+        "    l1_sets = m._l1_sets",
+        "    dc_access = m._dc_access",
+        "    load_cost = m._load_cost",
+        "    store_cost = m._store_cost",
+        "    ref_dispatch_event = Machine.dispatch_event",
+        "    ref_dispatch_event2 = Machine.dispatch_event2",
+        "    ref_dispatch_run = Machine.dispatch_run",
+        "    ref_quick_run = Machine.quick_run",
+        "    ref_annot_run = Machine.annot_run",
+        "    _PRIM = _PRIMITIVE",
+        _fast_gate_helpers(),
+        "    bba_gate = [None, -1, None]",
+        "    load_annot_run_gate = [None, -1, None]",
+        "    store_annot_run_gate = [None, -1, None]",
+        _fast_event_source(False),
+        _fast_event_source(True),
+        _fast_run_source("run"),
+        _fast_run_source("quick"),
+        _fast_exec_block_source(),
+        _fast_annot_run_source(),
+        _fast_mem_source(False, False),
+        _fast_mem_source(True, False),
+        _fast_mem_source(False, True),
+        _fast_mem_source(True, True),
+        "    kernels = {",
+    ]
+    for name in _FAST_KERNELS:
+        parts.append("        %r: %s," % (name, name))
+    parts += [
+        "    }",
+        "    if gshare is not None:",
+        "        gmask = gshare.mask",
+        "        gtable = gshare.table",
+        _indent(_fast_branch_block_source(False), "    "),
+        _indent(_fast_branch_block_source(True), "    "),
+    ]
+    for name in _FAST_GSHARE_KERNELS:
+        parts.append("        kernels[%r] = %s" % (name, name))
+    parts += [
+        "    return kernels",
+    ]
+    return "\n".join(parts) + "\n"
+
+
+class _Primitive(object):
+    """Gate-cache sentinel: this tag needs the per-primitive path."""
+
+    __slots__ = ()
+
+    def __repr__(self):
+        return "<PRIMITIVE>"
+
+
+_PRIMITIVE = _Primitive()
+
+_FAST_FACTORY = None
+
+
+def fast_kernel_factory():
+    """The compiled ``make_kernels`` factory (built once per process)."""
+    global _FAST_FACTORY
+    if _FAST_FACTORY is None:
+        namespace = {"_PRIMITIVE": _PRIMITIVE}
+        code = compile(fast_factory_source(), "<kernelspec:fast>", "exec")
+        exec(code, namespace)
+        _FAST_FACTORY = namespace["make_kernels"]
+    return _FAST_FACTORY
+
+
+def fast_kernel_names(gshare):
+    names = _FAST_KERNELS + (_FAST_GSHARE_KERNELS if gshare else ())
+    return names

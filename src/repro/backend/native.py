@@ -1,0 +1,96 @@
+"""Build, cache and load the native backend's compiled C runtime.
+
+The C source (:mod:`repro.backend.cgen`) is compiled once per content
+digest with cffi in out-of-line API mode and cached as a shared object
+under the user cache directory (override with ``REPRO_NATIVE_CACHE``),
+so every later process — including ``run_many`` worker processes — just
+dlopens it.  Concurrent first builds race benignly: each builds into a
+private temp dir and installs with an atomic :func:`os.replace`.
+
+Any failure (no cffi, no C compiler, unwritable cache, import error)
+is recorded and the backend degrades to ``fast`` — selection happens in
+:func:`repro.backend.machine_class`, which consults
+:func:`machine_class_or_none` / :func:`unavailable_reason`.
+"""
+
+import importlib.machinery
+import importlib.util
+import os
+import shutil
+import tempfile
+
+_EXT = importlib.machinery.EXTENSION_SUFFIXES[0]
+
+_loaded = None        # (ffi, lib) once the runtime is up
+_machine_class = None
+_probed = False
+_reason = None
+
+
+def cache_dir():
+    base = os.environ.get("REPRO_NATIVE_CACHE")
+    if base:
+        return base
+    xdg = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache")
+    return os.path.join(xdg, "repro-native")
+
+
+def _import_ext(modname, path):
+    spec = importlib.util.spec_from_file_location(modname, path)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod.ffi, mod.lib
+
+
+def load():
+    """Return ``(ffi, lib)`` for the compiled runtime, building if needed."""
+    global _loaded
+    if _loaded is not None:
+        return _loaded
+    from repro.backend import cgen
+    modname = "_repro_native_" + cgen.digest()
+    target = os.path.join(cache_dir(), modname + _EXT)
+    if not os.path.exists(target):
+        _build(modname, target)
+    _loaded = _import_ext(modname, target)
+    return _loaded
+
+
+def _build(modname, target):
+    import cffi
+
+    from repro.backend import cgen
+    builder = cffi.FFI()
+    builder.cdef(cgen.CDEF)
+    builder.set_source(modname, cgen.SOURCE,
+                       extra_compile_args=cgen.COMPILE_ARGS)
+    directory = os.path.dirname(target)
+    os.makedirs(directory, exist_ok=True)
+    tmpdir = tempfile.mkdtemp(prefix=modname + "-build-", dir=directory)
+    try:
+        sofile = builder.compile(tmpdir=tmpdir, verbose=False)
+        os.replace(sofile, target)
+    finally:
+        shutil.rmtree(tmpdir, ignore_errors=True)
+
+
+def machine_class_or_none():
+    """NativeMachine if the runtime builds and loads here, else None."""
+    global _probed, _machine_class, _reason
+    if _probed:
+        return _machine_class
+    _probed = True
+    try:
+        # Importing the module builds/loads the C runtime via load().
+        from repro.backend.nativemachine import NativeMachine
+        _machine_class = NativeMachine
+    except Exception as exc:  # degrade to fast, keep the reason
+        _reason = "%s: %s" % (type(exc).__name__, exc)
+        _machine_class = None
+    return _machine_class
+
+
+def unavailable_reason():
+    """Why the last probe failed, or None if native is available."""
+    return _reason

@@ -1,0 +1,837 @@
+"""The ``native`` backend: machine state and hot kernels in compiled C.
+
+A :class:`NativeMachine` keeps every piece of mutable simulation state —
+counters, the gshare/bimodal table, BTB, RAS, both cache levels' tag
+arrays and the per-block cost/count arrays — in one C ``SimState``
+struct, and retires events by calling the cffi-compiled ``rt_*``
+kernels of :mod:`repro.backend.cgen`.  Python keeps exactly the parts
+that must stay Python:
+
+* **listener and limit gating** — each event wrapper replicates the
+  reference kernel's gating, calls listeners between the C primitives
+  at the reference notification points, and raises
+  :class:`SimulationLimitReached` from the C limit flags;
+* **marshaling** — block descriptors are registered into the C cost
+  arrays once (``descr.bid`` / ``descr.fid`` index them) and static
+  dispatch/quicken run tables are flattened into C arrays once per
+  table (identity-keyed; the cache entry pins the tuple so its ``id``
+  cannot be recycled);
+* **counter access** — the public counter attributes become properties
+  over the struct fields, so every external reader (harness, PinTool,
+  telemetry, difftest) sees the C state transparently.
+
+Two layers: :class:`NativeMachineBase` holds the straightforward
+wrappers (the reference for gating semantics), and :class:`NativeMachine`
+shadows the hot ones with per-instance closures — the FastMachine trick
+— that bind the struct, the C functions, the listener-gate cache
+(keyed on ``_listener_epoch``) and ``max_instructions`` as closure
+locals.  Listener mutations are epoch-gated; :meth:`reset`
+re-specializes; mutating ``max_instructions`` mid-life requires
+``_specialize()`` (nothing in the repo does — the harness and the
+oracle set it on the config before construction).
+
+The base class still builds its Python predictor/cache objects, but on
+a native machine they are dead weight after construction: their state
+stays frozen at reset values while the C tables evolve.  White-box
+tests that introspect ``machine.cond_predictor`` etc. therefore run
+under the ``python``/``fast`` backends; black-box equivalence over the
+public counters is what tests/backend/ pins, bit for bit.
+"""
+
+from repro.backend import native
+from repro.isa import insns
+from repro.uarch.blocks import fold_class_counts
+from repro.uarch.machine import (
+    CounterSnapshot,
+    Machine,
+    SimulationLimitReached,
+)
+
+ffi, lib = native.load()
+
+_PRED_KINDS = {"gshare": 0, "bimodal": 1, "always_taken": 2}
+_LLONG = ffi.sizeof("long long")
+
+
+class _Primitive(object):
+    """Gate-cache sentinel: route this tag through the reference path."""
+
+    __slots__ = ()
+
+
+_PRIMITIVE = _Primitive()
+
+
+def _st_prop(name):
+    """Property redirecting a Machine slot to the SimState field."""
+    def fget(self):
+        return getattr(self._st, name)
+
+    def fset(self, value):
+        setattr(self._st, name, value)
+
+    return property(fget, fset)
+
+
+class NativeMachineBase(Machine):
+    """Machine whose hot loop runs in compiled C (see module doc)."""
+
+    __slots__ = (
+        "_st", "_keep", "_blk_cap", "_fus_cap", "_ndescrs", "_nfused",
+        "_drun_cache", "_qrun_cache", "_mix_cache", "_gates",
+    )
+
+    backend = "native"
+
+    # Counter slots of the base class redirected into the C struct.
+    # Machine.__init__ / reset() write through these like any other
+    # attribute; external readers never see Python-side shadows.
+    instructions = _st_prop("instructions")
+    cycles = _st_prop("cycles")
+    branches = _st_prop("branches")
+    branch_misses = _st_prop("branch_misses")
+    loads = _st_prop("loads")
+    stores = _st_prop("stores")
+    annotations = _st_prop("annotations")
+    max_instructions = _st_prop("max_instructions")
+    bulk_miss_rate = _st_prop("bulk_miss_rate")
+    _bulk_miss_carry = _st_prop("bulk_miss_carry")
+
+    def __init__(self, config, predictor="gshare"):
+        self._init_native(config, predictor)
+        super().__init__(config, predictor)
+
+    def _init_native(self, config, predictor):
+        """Allocate and populate the C state (before Machine.__init__,
+        whose counter writes already go through the struct)."""
+        config.validate()
+        ucfg = config.uarch
+        st = ffi.new("SimState *")
+        keep = {}
+        self._st = st
+        self._keep = keep
+
+        st.inv_width = 1.0 / ucfg.issue_width
+        st.mispredict_penalty = float(ucfg.mispredict_penalty)
+        stalls = [0.0] * insns.N_CLASSES
+        stalls[insns.MUL] = ucfg.stall_mul
+        stalls[insns.DIV] = ucfg.stall_div
+        stalls[insns.FPU] = ucfg.stall_fpu
+        stalls[insns.LOAD] = ucfg.stall_load
+        stalls[insns.STORE] = ucfg.stall_store
+        for i, stall in enumerate(stalls):
+            st.stalls[i] = stall
+        st.load_cost = st.inv_width + stalls[insns.LOAD]
+        st.store_cost = st.inv_width + stalls[insns.STORE]
+
+        # Conditional predictor (unknown kinds fall through: the base
+        # constructor raises before any event can run).
+        st.pred_kind = _PRED_KINDS.get(predictor, 2)
+        if predictor in ("gshare", "bimodal"):
+            size = 1 << ucfg.gshare_bits
+            st.g_mask = size - 1
+            table = ffi.new("unsigned char[]", size)
+            ffi.memmove(table, b"\x01" * size, size)  # weakly not-taken
+            st.g_table = keep["g_table"] = table
+        else:
+            st.g_mask = 0
+            st.g_table = ffi.NULL
+        st.g_history = 0
+
+        st.btb_mask = ucfg.btb_entries - 1
+        st.btb_targets = keep["btb_targets"] = ffi.new(
+            "long long[]", ucfg.btb_entries)
+        st.btb_history = 0
+
+        st.ras_entries = ucfg.ras_entries
+        st.ras_stack = keep["ras_stack"] = ffi.new(
+            "long long[]", ucfg.ras_entries)
+        st.ras_top = 0
+
+        # Two-level cache: same geometry derivation as SetAssocCache;
+        # tag -1 marks an empty way (heap addresses are nonnegative).
+        st.line_shift = ucfg.l1d_line.bit_length() - 1
+        for prefix, kib, assoc in (("l1", ucfg.l1d_kib, ucfg.l1d_assoc),
+                                   ("l2", ucfg.l2_kib, ucfg.l2_assoc)):
+            n_sets = max(1, (kib * 1024 // ucfg.l1d_line) // assoc)
+            n_ways = n_sets * assoc
+            tags = ffi.new("long long[]", n_ways)
+            ffi.memmove(tags, b"\xff" * (n_ways * _LLONG), n_ways * _LLONG)
+            setattr(st, prefix + "_assoc", assoc)
+            setattr(st, prefix + "_set_mask", n_sets - 1)
+            setattr(st, prefix + "_tags", tags)
+            keep[prefix + "_tags"] = tags
+        st.l1_penalty = float(ucfg.l1d_miss_penalty)
+        st.l2_penalty = float(ucfg.l2_miss_penalty)
+
+        # Block/fused descriptor cost arrays (grown on demand).
+        self._ndescrs = []
+        self._nfused = []
+        self._blk_cap = 0
+        self._fus_cap = 0
+        self._grow_blocks(64)
+        self._grow_fused(16)
+        self._drun_cache = {}
+        self._qrun_cache = {}
+        self._mix_cache = {}
+        # Per-tag listener-gate decisions for the specialized kernels;
+        # invalidated eagerly by the listener mutators below (cheaper
+        # than an epoch compare on every gated call).
+        self._gates = {}
+
+    # -- listener management (adds gate invalidation) -------------------------
+
+    def add_annot_listener(self, listener):
+        Machine.add_annot_listener(self, listener)
+        self._gates.clear()
+
+    def remove_annot_listener(self, listener):
+        Machine.remove_annot_listener(self, listener)
+        self._gates.clear()
+
+    def add_tag_listener(self, tag, listener, run=None):
+        Machine.add_tag_listener(self, tag, listener, run)
+        self._gates.clear()
+
+    def remove_tag_listener(self, tag, listener):
+        Machine.remove_tag_listener(self, tag, listener)
+        self._gates.clear()
+
+    _BLOCK_ARRAYS = (
+        ("b_n_insns", "long long[]"), ("b_insn_cycles", "double[]"),
+        ("b_stall_cycles", "double[]"), ("b_flat_cycles", "double[]"),
+        ("b_bulk_count", "long long[]"), ("b_count", "long long[]"),
+    )
+    _FUSED_ARRAYS = (
+        ("f_block", "int[]"), ("f_branches", "long long[]"),
+        ("f_miss_rate", "double[]"), ("f_branch_cycles", "double[]"),
+        ("f_count", "long long[]"),
+    )
+
+    def _grow(self, arrays, old_cap, new_cap):
+        st = self._st
+        keep = self._keep
+        for name, ctype in arrays:
+            new = ffi.new(ctype, new_cap)
+            if old_cap:
+                ffi.memmove(new, getattr(st, name),
+                            old_cap * ffi.sizeof(ctype[:-2]))
+            setattr(st, name, new)
+            keep[name] = new  # old array freed once unreferenced
+
+    def _grow_blocks(self, new_cap=None):
+        new_cap = new_cap or self._blk_cap * 2
+        self._grow(self._BLOCK_ARRAYS, self._blk_cap, new_cap)
+        self._blk_cap = new_cap
+
+    def _grow_fused(self, new_cap=None):
+        new_cap = new_cap or self._fus_cap * 2
+        self._grow(self._FUSED_ARRAYS, self._fus_cap, new_cap)
+        self._fus_cap = new_cap
+
+    def _register_block(self, descr):
+        st = self._st
+        bid = st.n_blocks
+        if bid >= self._blk_cap:
+            self._grow_blocks()
+        st.b_n_insns[bid] = descr.n_insns
+        st.b_insn_cycles[bid] = descr.insn_cycles
+        st.b_stall_cycles[bid] = descr.stall_cycles
+        st.b_flat_cycles[bid] = descr.flat_cycles
+        st.b_bulk_count[bid] = descr.bulk_count
+        st.b_count[bid] = descr.count
+        descr.bid = bid
+        st.n_blocks = bid + 1
+        self._ndescrs.append(descr)
+        return bid
+
+    def _register_fused(self, descr):
+        st = self._st
+        fid = st.n_fused
+        if fid >= self._fus_cap:
+            self._grow_fused()
+        st.f_block[fid] = self._bid(descr.block)
+        st.f_branches[fid] = descr.branches
+        st.f_miss_rate[fid] = descr.miss_rate
+        st.f_branch_cycles[fid] = descr.branch_cycles
+        st.f_count[fid] = descr.count
+        descr.fid = fid
+        st.n_fused = fid + 1
+        self._nfused.append(descr)
+        return fid
+
+    def _bid(self, descr):
+        bid = descr.bid
+        if bid is None:
+            bid = self._register_block(descr)
+        return bid
+
+    def block(self, mix):
+        descr = self._block_cache.get(mix)
+        if descr is None:
+            descr = Machine.block(self, mix)
+            self._register_block(descr)
+        return descr
+
+    def fused_block(self, mix, branches, miss_rate):
+        descr = Machine.fused_block(self, mix, branches, miss_rate)
+        if descr.fid is None:
+            self._register_fused(descr)
+        return descr
+
+    # -- marshaling ---------------------------------------------------------
+
+    def _marshal_mix(self, mix):
+        entry = (len(mix),
+                 ffi.new("int[]", [klass for klass, _ in mix]),
+                 ffi.new("long long[]", [count for _, count in mix]))
+        self._mix_cache[mix] = entry
+        return entry
+
+    def _marshal_dispatch_run(self, items):
+        # The entry pins the tuple, so its id cannot be recycled while
+        # the marshaled arrays are alive.
+        entry = (
+            items, len(items),
+            ffi.new("long long[]", [it[0] for it in items]),
+            ffi.new("long long[]", [it[1] for it in items]),
+            ffi.new("int[]", [self._bid(it[2]) for it in items]),
+        )
+        self._drun_cache[id(items)] = entry
+        return entry
+
+    def _marshal_quick_run(self, items):
+        offs = [0]
+        blkids = []
+        for _, _, blocks in items:
+            blkids.extend(self._bid(blk) for blk in blocks)
+            offs.append(len(blkids))
+        entry = (
+            items, len(items),
+            ffi.new("long long[]", [it[0] for it in items]),
+            ffi.new("long long[]", [it[1] for it in items]),
+            ffi.new("int[]", offs),
+            ffi.new("int[]", blkids),
+        )
+        self._qrun_cache[id(items)] = entry
+        return entry
+
+    def _sync_descr_counts(self):
+        """Copy C execution counters back into the Python descriptors."""
+        b_count = self._st.b_count
+        for descr in self._ndescrs:
+            descr.count = b_count[descr.bid]
+        f_count = self._st.f_count
+        for descr in self._nfused:
+            descr.count = f_count[descr.fid]
+
+    @property
+    def class_counts(self):
+        self._sync_descr_counts()
+        return fold_class_counts(list(self._st.class_counts),
+                                 self._blocks, self._fused)
+
+    def reset(self):
+        Machine.reset(self)  # descr.count, dead Python model state
+        lib.rt_reset(self._st)
+        # Marshaled run tables and registered bids stay valid: reset
+        # clears state, not the (config-pure) lowering.
+
+    # -- instruction-stream events ------------------------------------------
+
+    def annot(self, tag, payload=None):
+        st = self._st
+        limit = lib.rt_annot(st)
+        listeners = self._tag_listeners.get(tag)
+        if listeners is not None:
+            for listener in listeners:
+                listener(tag, payload)
+        if self._annot_listeners:
+            for listener in self._annot_listeners:
+                listener(tag, payload)
+        if listeners is not None or self._annot_listeners:
+            # A listener may itself retire events; re-derive the flag at
+            # the reference check point (after all notifications).
+            limit = (st.max_instructions
+                     and st.instructions >= st.max_instructions)
+        if limit:
+            raise SimulationLimitReached(st.instructions)
+
+    def annot_run(self, tag, n, payload=None):
+        st = self._st
+        tag_listeners = self._tag_listeners.get(tag)
+        catch_all = self._annot_listeners
+        max_instructions = st.max_instructions
+        runners = None
+        if tag_listeners is not None:
+            runners = self._tag_runners.get(tag)
+        if (not catch_all
+                and (tag_listeners is None or runners is not None)
+                and not (max_instructions
+                         and st.instructions + n >= max_instructions)):
+            lib.rt_annot_batch(st, n)
+            if runners:
+                for run in runners:
+                    run(tag, payload, n)
+            return
+        for _ in range(n):
+            limit = lib.rt_annot(st)
+            if tag_listeners is not None:
+                for listener in tag_listeners:
+                    listener(tag, payload)
+            if catch_all:
+                for listener in catch_all:
+                    listener(tag, payload)
+                limit = (max_instructions
+                         and st.instructions >= max_instructions)
+            if limit:
+                raise SimulationLimitReached(st.instructions)
+
+    def exec_mix(self, mix):
+        entry = self._mix_cache.get(mix) or self._marshal_mix(mix)
+        if lib.rt_exec_mix(self._st, entry[0], entry[1], entry[2]):
+            raise SimulationLimitReached(self._st.instructions)
+
+    def exec_block(self, b):
+        if lib.rt_exec_block(self._st, self._bid(b)):
+            raise SimulationLimitReached(self._st.instructions)
+
+    def exec_fused(self, f):
+        fid = f.fid
+        if fid is None:
+            fid = self._register_fused(f)
+        if lib.rt_exec_fused(self._st, fid):
+            raise SimulationLimitReached(self._st.instructions)
+
+    def branch(self, pc, taken):
+        lib.rt_branch(self._st, pc, 1 if taken else 0)
+
+    def branch_block(self, pc, b):
+        if lib.rt_branch_block(self._st, pc, self._bid(b)):
+            raise SimulationLimitReached(self._st.instructions)
+
+    def branch_block_annot_run(self, pc, b, tag, n):
+        if lib.rt_branch_block(self._st, pc, self._bid(b)):
+            raise SimulationLimitReached(self._st.instructions)
+        self.annot_run(tag, n)
+
+    def indirect(self, pc, target):
+        lib.rt_indirect(self._st, pc, target)
+
+    def call(self, pc):
+        lib.rt_call(self._st, pc)
+
+    def ret(self, pc):
+        lib.rt_ret(self._st, pc)
+
+    def exec_bulk_branches(self, count, miss_rate):
+        if lib.rt_exec_bulk_branches(self._st, count, miss_rate):
+            raise SimulationLimitReached(self._st.instructions)
+
+    def load(self, addr):
+        lib.rt_load(self._st, addr)
+
+    def store(self, addr):
+        lib.rt_store(self._st, addr)
+
+    def load_annot_run(self, addr, tag, n):
+        lib.rt_load(self._st, addr)
+        self.annot_run(tag, n)
+
+    def store_annot_run(self, addr, tag, n):
+        lib.rt_store(self._st, addr)
+        self.annot_run(tag, n)
+
+    # -- fused dispatch kernels ---------------------------------------------
+    #
+    # Gating mirrors the generated reference kernels: the batched C path
+    # requires batched listener variants (or no listeners) and a proven
+    # in-limit event; otherwise the event is composed from C primitives
+    # with listener calls and limit raises at the reference points.
+
+    def dispatch_event(self, tag, b, pc, target):
+        st = self._st
+        listeners = self._tag_listeners.get(tag)
+        runners = None
+        if listeners is not None:
+            runners = self._tag_runners.get(tag)
+        max_instructions = st.max_instructions
+        if (self._annot_listeners
+                or (listeners is not None and runners is None)
+                or (max_instructions
+                    and st.instructions + 2 + b.n_insns
+                    >= max_instructions)):
+            self._dispatch_primitive(tag, b, pc, target, listeners,
+                                     max_instructions)
+            return
+        lib.rt_dispatch_event(st, self._bid(b), pc, target)
+        if runners is not None:
+            for run in runners:
+                run(tag, None, 1)
+
+    def _dispatch_primitive(self, tag, b, pc, target, listeners,
+                            max_instructions):
+        """annot + listeners + block + indirect, with per-primitive
+        limit checks (the reference kernels' fallback sequence)."""
+        st = self._st
+        lib.rt_annot(st)
+        if listeners is not None:
+            for listener in listeners:
+                listener(tag, None)
+        for listener in self._annot_listeners:
+            listener(tag, None)
+        if max_instructions and st.instructions >= max_instructions:
+            raise SimulationLimitReached(st.instructions)
+        if lib.rt_exec_block(st, self._bid(b)):
+            raise SimulationLimitReached(st.instructions)
+        lib.rt_indirect(st, pc, target)
+
+    def dispatch_event2(self, tag, b, pc, target, b2):
+        st = self._st
+        listeners = self._tag_listeners.get(tag)
+        runners = None
+        if listeners is not None:
+            runners = self._tag_runners.get(tag)
+        max_instructions = st.max_instructions
+        if (self._annot_listeners
+                or (listeners is not None and runners is None)
+                or (max_instructions
+                    and st.instructions + 2 + b.n_insns + b2.n_insns
+                    >= max_instructions)):
+            self._dispatch_primitive(tag, b, pc, target, listeners,
+                                     max_instructions)
+            if lib.rt_exec_block(st, self._bid(b2)):
+                raise SimulationLimitReached(st.instructions)
+            return
+        lib.rt_dispatch_event2(st, self._bid(b), self._bid(b2), pc, target)
+        if runners is not None:
+            for run in runners:
+                run(tag, None, 1)
+
+    def dispatch_run(self, tag, b, items, n_insns):
+        st = self._st
+        tag_listeners = self._tag_listeners.get(tag)
+        runners = None
+        if tag_listeners is not None:
+            runners = self._tag_runners.get(tag)
+        max_instructions = st.max_instructions
+        if (self._annot_listeners
+                or (tag_listeners is not None and runners is None)
+                or (max_instructions
+                    and st.instructions + n_insns >= max_instructions)):
+            dispatch_event2 = self.dispatch_event2
+            for pc, target, b2 in items:
+                dispatch_event2(tag, b, pc, target, b2)
+            return
+        entry = (self._drun_cache.get(id(items))
+                 or self._marshal_dispatch_run(items))
+        lib.rt_dispatch_run(st, self._bid(b), entry[1], entry[2],
+                            entry[3], entry[4])
+        if runners:
+            for run in runners:
+                run(tag, None, entry[1])
+
+    def quick_run(self, tag, b, items, n_insns):
+        st = self._st
+        tag_listeners = self._tag_listeners.get(tag)
+        runners = None
+        if tag_listeners is not None:
+            runners = self._tag_runners.get(tag)
+        max_instructions = st.max_instructions
+        if (self._annot_listeners
+                or (tag_listeners is not None and runners is None)
+                or (max_instructions
+                    and st.instructions + n_insns >= max_instructions)):
+            dispatch_event = self.dispatch_event
+            exec_block = self.exec_block
+            for pc, target, blocks in items:
+                dispatch_event(tag, b, pc, target)
+                for blk in blocks:
+                    exec_block(blk)
+            return
+        entry = (self._qrun_cache.get(id(items))
+                 or self._marshal_quick_run(items))
+        lib.rt_quick_run(st, self._bid(b), entry[1], entry[2], entry[3],
+                         entry[4], entry[5])
+        if runners:
+            for run in runners:
+                run(tag, None, entry[1])
+
+    # -- counter access -------------------------------------------------------
+
+    def counters(self):
+        st = self._st
+        return CounterSnapshot(
+            instructions=st.instructions,
+            cycles=st.cycles,
+            branches=st.branches,
+            branch_misses=st.branch_misses,
+            loads=st.loads,
+            stores=st.stores,
+            l1d_misses=st.l1_misses,
+            annotations=st.annotations,
+        )
+
+
+# Kernels shadowed by per-instance closures on NativeMachine.  Slot
+# descriptors shadow the inherited base methods, so _specialize() MUST
+# assign every name (an empty slot raises AttributeError rather than
+# falling back).
+_KERNEL_SLOTS = (
+    "annot", "annot_run", "exec_mix", "exec_block", "exec_fused",
+    "branch", "branch_block", "branch_block_annot_run",
+    "indirect", "call", "ret", "exec_bulk_branches",
+    "load", "store", "load_annot_run", "store_annot_run",
+    "dispatch_event", "dispatch_event2", "dispatch_run", "quick_run",
+)
+
+
+def _make_kernels(m):
+    """Build the specialized closure kernels for machine ``m``.
+
+    Everything hot is a closure local: the C struct, the C functions,
+    ``max_instructions`` (stable after construction — see module doc),
+    the listener dicts, and a per-tag gate cache keyed on the
+    listener epoch.  Gating outcomes mirror the base methods exactly;
+    every corner case (listeners without batched variants, catch-all
+    listeners, limit proximity) delegates to the unbound base method,
+    which replays full reference semantics on the same C state.
+    """
+    st = m._st
+    base = NativeMachineBase
+    limit_exc = SimulationLimitReached
+    max_instructions = st.max_instructions
+    tag_listeners_map = m._tag_listeners
+    tag_runners_map = m._tag_runners
+    catch_all = m._annot_listeners
+    drun_cache = m._drun_cache
+    qrun_cache = m._qrun_cache
+    mix_cache = m._mix_cache
+    register_block = m._register_block
+    gates = m._gates
+    PRIM = _PRIMITIVE
+
+    rt_annot = lib.rt_annot
+    rt_annot_batch = lib.rt_annot_batch
+    rt_exec_mix = lib.rt_exec_mix
+    rt_exec_block = lib.rt_exec_block
+    rt_exec_fused = lib.rt_exec_fused
+    rt_dispatch_event = lib.rt_dispatch_event
+    rt_dispatch_event2 = lib.rt_dispatch_event2
+    rt_dispatch_run = lib.rt_dispatch_run
+    rt_quick_run = lib.rt_quick_run
+    rt_branch = lib.rt_branch
+    rt_branch_block = lib.rt_branch_block
+    rt_indirect = lib.rt_indirect
+    rt_call = lib.rt_call
+    rt_ret = lib.rt_ret
+    rt_exec_bulk_branches = lib.rt_exec_bulk_branches
+    rt_load = lib.rt_load
+    rt_store = lib.rt_store
+
+    def gate(tag):
+        """Batched-path decision for ``tag``: a (possibly empty) tuple
+        of batched listener runners, or _PRIMITIVE for the reference
+        path.  Cached per tag; the listener mutators clear the cache."""
+        listeners = tag_listeners_map.get(tag)
+        if catch_all or (listeners is not None
+                         and tag_runners_map.get(tag) is None):
+            value = PRIM
+        elif listeners is None:
+            value = ()
+        else:
+            value = tuple(tag_runners_map[tag])
+        gates[tag] = value
+        return value
+
+    def annot(tag, payload=None):
+        runners = gates.get(tag)
+        if runners is None:
+            runners = gate(tag)
+        # () means no listeners of any kind on this tag; tags with
+        # listeners — batched or not — take the per-event base path.
+        if runners == ():
+            if rt_annot(st):
+                raise limit_exc(st.instructions)
+            return
+        base.annot(m, tag, payload)
+
+    def annot_run(tag, n, payload=None):
+        if max_instructions and st.instructions + n >= max_instructions:
+            base.annot_run(m, tag, n, payload)
+            return
+        runners = gates.get(tag)
+        if runners is None:
+            runners = gate(tag)
+        if runners is PRIM:
+            base.annot_run(m, tag, n, payload)
+            return
+        rt_annot_batch(st, n)
+        for run in runners:
+            run(tag, payload, n)
+
+    def exec_mix(mix):
+        entry = mix_cache.get(mix) or m._marshal_mix(mix)
+        if rt_exec_mix(st, entry[0], entry[1], entry[2]):
+            raise limit_exc(st.instructions)
+
+    def exec_block(b):
+        bid = b.bid
+        if bid is None:
+            bid = register_block(b)
+        if rt_exec_block(st, bid):
+            raise limit_exc(st.instructions)
+
+    def exec_fused(f):
+        fid = f.fid
+        if fid is None:
+            fid = m._register_fused(f)
+        if rt_exec_fused(st, fid):
+            raise limit_exc(st.instructions)
+
+    def branch(pc, taken):
+        rt_branch(st, pc, 1 if taken else 0)
+
+    def branch_block(pc, b):
+        bid = b.bid
+        if bid is None:
+            bid = register_block(b)
+        if rt_branch_block(st, pc, bid):
+            raise limit_exc(st.instructions)
+
+    def branch_block_annot_run(pc, b, tag, n):
+        bid = b.bid
+        if bid is None:
+            bid = register_block(b)
+        if rt_branch_block(st, pc, bid):
+            raise limit_exc(st.instructions)
+        annot_run(tag, n)
+
+    def indirect(pc, target):
+        rt_indirect(st, pc, target)
+
+    def call(pc):
+        rt_call(st, pc)
+
+    def ret(pc):
+        rt_ret(st, pc)
+
+    def exec_bulk_branches(count, miss_rate):
+        if rt_exec_bulk_branches(st, count, miss_rate):
+            raise limit_exc(st.instructions)
+
+    def load(addr):
+        rt_load(st, addr)
+
+    def store(addr):
+        rt_store(st, addr)
+
+    def load_annot_run(addr, tag, n):
+        rt_load(st, addr)
+        annot_run(tag, n)
+
+    def store_annot_run(addr, tag, n):
+        rt_store(st, addr)
+        annot_run(tag, n)
+
+    def dispatch_event(tag, b, pc, target):
+        if (max_instructions
+                and st.instructions + 2 + b.n_insns >= max_instructions):
+            base.dispatch_event(m, tag, b, pc, target)
+            return
+        runners = gates.get(tag)
+        if runners is None:
+            runners = gate(tag)
+        if runners is PRIM:
+            base.dispatch_event(m, tag, b, pc, target)
+            return
+        bid = b.bid
+        if bid is None:
+            bid = register_block(b)
+        rt_dispatch_event(st, bid, pc, target)
+        for run in runners:
+            run(tag, None, 1)
+
+    def dispatch_event2(tag, b, pc, target, b2):
+        if (max_instructions
+                and st.instructions + 2 + b.n_insns + b2.n_insns
+                >= max_instructions):
+            base.dispatch_event2(m, tag, b, pc, target, b2)
+            return
+        runners = gates.get(tag)
+        if runners is None:
+            runners = gate(tag)
+        if runners is PRIM:
+            base.dispatch_event2(m, tag, b, pc, target, b2)
+            return
+        bid = b.bid
+        if bid is None:
+            bid = register_block(b)
+        b2id = b2.bid
+        if b2id is None:
+            b2id = register_block(b2)
+        rt_dispatch_event2(st, bid, b2id, pc, target)
+        for run in runners:
+            run(tag, None, 1)
+
+    def dispatch_run(tag, b, items, n_insns):
+        if (max_instructions
+                and st.instructions + n_insns >= max_instructions):
+            base.dispatch_run(m, tag, b, items, n_insns)
+            return
+        runners = gates.get(tag)
+        if runners is None:
+            runners = gate(tag)
+        if runners is PRIM:
+            base.dispatch_run(m, tag, b, items, n_insns)
+            return
+        entry = drun_cache.get(id(items)) or m._marshal_dispatch_run(items)
+        bid = b.bid
+        if bid is None:
+            bid = register_block(b)
+        rt_dispatch_run(st, bid, entry[1], entry[2], entry[3], entry[4])
+        for run in runners:
+            run(tag, None, entry[1])
+
+    def quick_run(tag, b, items, n_insns):
+        if (max_instructions
+                and st.instructions + n_insns >= max_instructions):
+            base.quick_run(m, tag, b, items, n_insns)
+            return
+        runners = gates.get(tag)
+        if runners is None:
+            runners = gate(tag)
+        if runners is PRIM:
+            base.quick_run(m, tag, b, items, n_insns)
+            return
+        entry = qrun_cache.get(id(items)) or m._marshal_quick_run(items)
+        bid = b.bid
+        if bid is None:
+            bid = register_block(b)
+        rt_quick_run(st, bid, entry[1], entry[2], entry[3], entry[4],
+                     entry[5])
+        for run in runners:
+            run(tag, None, entry[1])
+
+    return locals()
+
+
+class NativeMachine(NativeMachineBase):
+    """NativeMachineBase with the hot wrappers specialized per instance."""
+
+    __slots__ = _KERNEL_SLOTS
+
+    def __init__(self, config, predictor="gshare"):
+        super().__init__(config, predictor)
+        self._specialize()
+
+    def _specialize(self):
+        kernels = _make_kernels(self)
+        for name in _KERNEL_SLOTS:
+            setattr(self, name, kernels[name])
+
+    def reset(self):
+        super().reset()
+        # The C state reset in place keeps the closures correct; a
+        # fresh specialization also clears the per-tag gate caches.
+        self._specialize()

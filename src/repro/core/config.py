@@ -35,6 +35,22 @@ def _default_quicken():
     return True
 
 
+def _default_backend():
+    """Default for :attr:`SystemConfig.sim_backend` (``REPRO_BACKEND``).
+
+    Selects the host implementation of the machine hot loop (see
+    :mod:`repro.backend`): ``python`` is the reference, ``fast`` the
+    exec-specialized kernels, ``native`` the cffi-compiled C runtime
+    (degrading to ``fast`` without a toolchain).  All three are proven
+    bit-identical by tests/backend/; the default stays the reference
+    until the equivalence gate runs in CI.
+    """
+    value = os.environ.get("REPRO_BACKEND", "").strip().lower()
+    if value in ("python", "fast", "native"):
+        return value
+    return "python"
+
+
 def _default_verify():
     """Default for :attr:`SystemConfig.verify` (``REPRO_VERIFY`` override).
 
@@ -172,12 +188,20 @@ class SystemConfig:
     # the off path is one attribute check, like the telemetry bus.
     # Env override: REPRO_VERIFY=1.
     verify: bool = field(default_factory=_default_verify)
+    # Host backend for the machine hot loop: "python" (reference),
+    # "fast" (exec-specialized kernels) or "native" (cffi-compiled C;
+    # degrades to fast without a toolchain).  Changes only host
+    # wall-clock, never simulated results — tests/backend/ pins all
+    # backends bit-identical.  Env override: REPRO_BACKEND=...
+    sim_backend: str = field(default_factory=_default_backend)
     seed: int = 0xC0FFEE
 
     def validate(self):
         self.jit.validate()
         self.gc.validate()
         self.uarch.validate()
+        if self.sim_backend not in ("python", "fast", "native"):
+            raise ConfigError("sim_backend must be python, fast or native")
 
     @classmethod
     def interpreter_only(cls, **kwargs):

@@ -3,15 +3,19 @@
 Runs one TinyPy program under every execution mode the repo models —
 the CPython-reference interpreter (``cpref``), the RPython-style
 interpreter with the JIT disabled (``interp``), the same interpreter
-with the quickening layer off (``quicken-off``), and the meta-tracing
-JIT at several hot-loop thresholds (``jit@N``) — and checks:
+with the quickening layer off (``quicken-off``), the compiled
+simulation backends (``backend-fast``, and ``backend-native`` when a C
+toolchain built the runtime), and the meta-tracing JIT at several
+hot-loop thresholds (``jit@N``) — and checks:
 
 * **Agreement**: every engine prints the same stdout, and either all
   engines finish cleanly or all raise a guest-level error at the same
   point (engines word error messages differently, so only the
   output-so-far and the erroredness are compared).  The ``interp`` and
   ``quicken-off`` runs are additionally held to *bit-identical* machine
-  counters — quickening must be invisible to the simulation.
+  counters — quickening must be invisible to the simulation — and the
+  ``backend-*`` runs are held to the same standard against ``interp``:
+  a compiled backend that drifts by one mantissa bit is a bug.
 * **Counter invariants** per engine run: the PinTool's per-phase
   instruction/cycle/branch windows must sum to the machine totals, and
   on JIT runs the jitlog's compile events must match the trace registry
@@ -169,7 +173,7 @@ def run_cpref(source, max_instructions=DEFAULT_MAX_INSTRUCTIONS):
 
 def run_interp(source, jit=False, threshold=39, bridge_threshold=3,
                max_instructions=DEFAULT_MAX_INSTRUCTIONS, quicken=None,
-               name=None):
+               backend=None, name=None):
     """Run a program on the RPython-style VM (JIT on or off)."""
     run = EngineRun(name or ("jit@%d" % threshold if jit else "interp"))
     config = _base_config(max_instructions)
@@ -178,6 +182,8 @@ def run_interp(source, jit=False, threshold=39, bridge_threshold=3,
     config.jit.bridge_threshold = bridge_threshold
     if quicken is not None:
         config.quicken = quicken
+    if backend is not None:
+        config.sim_backend = backend
     ctx = VMContext(config)
     tool = PinTool(ctx.machine)
     vm = PyVM(ctx)
@@ -324,6 +330,45 @@ def check_quicken_equivalence(report):
                       plain.tool.bcrate.bytecodes))
 
 
+def check_backend_equivalence(report):
+    """The compiled simulation backends must match the reference
+    machine bit-for-bit.
+
+    ``backend-fast`` (exec-specialized Python kernels) and
+    ``backend-native`` (the cffi-compiled C runtime) re-run the direct
+    interpreter with only ``config.sim_backend`` flipped; every machine
+    counter — including the float ``cycles`` accumulator, compared by
+    ``==`` and ``repr`` — must equal the reference run's value.
+    """
+    reference = report.run_named("interp")
+    if reference is None:
+        return
+    rm = reference.machine
+    for engine in ("backend-fast", "backend-native"):
+        run = report.run_named(engine)
+        if run is None:
+            continue
+        bm = run.machine
+        for field in ("instructions", "cycles", "branches",
+                      "branch_misses", "loads", "stores", "annotations"):
+            a = getattr(rm, field)
+            b = getattr(bm, field)
+            if a != b or repr(a) != repr(b):
+                report.add("backend", ["interp", engine],
+                           "%s differs on the %s backend: %r vs %r"
+                           % (field, type(bm).backend, a, b))
+        if tuple(rm.class_counts) != tuple(bm.class_counts):
+            report.add("backend", ["interp", engine],
+                       "per-class instruction histogram differs on the "
+                       "%s backend" % type(bm).backend)
+        if reference.tool.bcrate.bytecodes != run.tool.bcrate.bytecodes:
+            report.add("backend", ["interp", engine],
+                       "bytecode count differs on the %s backend: "
+                       "%d vs %d" % (type(bm).backend,
+                                     reference.tool.bcrate.bytecodes,
+                                     run.tool.bcrate.bytecodes))
+
+
 def check_store_roundtrip(run, report):
     """Serializing, restoring, and re-serializing must be bit-identical."""
     from repro.harness import runner
@@ -388,6 +433,16 @@ def check_program(source, thresholds=DEFAULT_THRESHOLDS,
                        name="quicken-off",
                        max_instructions=max_instructions)):
         return report
+    if _add(run_interp(source, jit=False, backend="fast",
+                       name="backend-fast",
+                       max_instructions=max_instructions)):
+        return report
+    from repro.backend import native as _native_backend
+    if _native_backend.machine_class_or_none() is not None:
+        if _add(run_interp(source, jit=False, backend="native",
+                           name="backend-native",
+                           max_instructions=max_instructions)):
+            return report
     for threshold in thresholds:
         if _add(run_interp(
                 source, jit=True, threshold=threshold,
@@ -414,6 +469,7 @@ def check_program(source, thresholds=DEFAULT_THRESHOLDS,
         check_static_invariants(run, report)
     check_static_bytecode(source, report)
     check_quicken_equivalence(report)
+    check_backend_equivalence(report)
     if check_store:
         check_store_roundtrip(runs[-1], report)
     return report
@@ -495,7 +551,7 @@ def check_run_many_agreement(jobs=None, workers=2, report=None):
                 max_instructions=spec["max_instructions"],
                 jit_overrides=spec["jit_overrides"],
                 predictor=spec["predictor"], language=spec["language"],
-                use_cache=False)
+                backend=spec.get("backend"), use_cache=False)
             direct_payloads.append(runner._result_to_payload(result))
         pooled = [runner._run_job(dict(spec)) for spec in jobs] \
             if workers <= 1 else _pool_payloads(jobs, workers)

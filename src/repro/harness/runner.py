@@ -22,7 +22,8 @@ from concurrent.futures import ProcessPoolExecutor
 
 from repro import telemetry
 from repro.benchprogs import registry
-from repro.core.config import CLOCK_HZ, SystemConfig, _default_quicken
+from repro.core.config import (CLOCK_HZ, SystemConfig, _default_backend,
+                               _default_quicken)
 from repro.harness import store
 from repro.interp.context import VMContext
 from repro.jit import executor, jitlog
@@ -48,6 +49,9 @@ class RunResult(object):
         self.program = program
         self.vm_kind = vm_kind
         self.n = n
+        # Which simulation backend actually ran (the machine class's
+        # ``backend`` attribute, so a native->fast degrade is visible).
+        self.backend = None
         self.output = ""
         self.cycles = 0.0
         self.instructions = 0
@@ -118,12 +122,15 @@ def _resolve_program(program, language=None):
         return registry.rkt_program(program)
 
 
-def _base_config(max_instructions, jit_enabled, overrides, quicken=None):
+def _base_config(max_instructions, jit_enabled, overrides, quicken=None,
+                 backend=None):
     config = SystemConfig()
     config.max_instructions = max_instructions
     config.jit.enabled = jit_enabled
     if quicken is not None:
         config.quicken = bool(quicken)
+    if backend is not None:
+        config.sim_backend = backend
     if overrides:
         for key, value in overrides.items():
             if hasattr(config.jit, key):
@@ -138,21 +145,26 @@ def _base_config(max_instructions, jit_enabled, overrides, quicken=None):
 
 
 def _result_key(program, vm_kind, n, timeline, max_instructions,
-                jit_overrides, predictor, quicken=None):
+                jit_overrides, predictor, quicken=None, backend=None):
     overrides_key = tuple(sorted((jit_overrides or {}).items()))
     # Quickening is proven counter-neutral, but on/off runs must not
     # share cache entries: the equivalence suite relies on both actually
-    # simulating.
+    # simulating.  Same story for the backend: the compiled backends are
+    # proven bit-identical, but the equivalence suite compares real runs.
     if quicken is None:
         quicken = _default_quicken()
+    if backend is None:
+        backend = _default_backend()
     return (program.language, program.name, vm_kind, n, timeline,
-            max_instructions, overrides_key, predictor, bool(quicken))
+            max_instructions, overrides_key, predictor, bool(quicken),
+            backend)
 
 
 # -- result serialization (store payloads and worker IPC) -----------------------
 
 _PLAIN_FIELDS = (
-    "program", "vm_kind", "n", "output", "cycles", "instructions", "ipc",
+    "program", "vm_kind", "n", "backend", "output", "cycles",
+    "instructions", "ipc",
     "mpki", "truncated", "phase_windows", "phase_breakdown",
     "timeline_segments", "bytecodes", "bc_timeline", "aot_rows", "gc_stats",
     "telemetry_events",
@@ -209,21 +221,21 @@ def _store_probe(key):
 
 
 def _simulate(result, program, vm_kind, n, source, timeline,
-              max_instructions, jit_overrides, predictor, quicken, label,
-              bus):
+              max_instructions, jit_overrides, predictor, quicken,
+              backend, label, bus):
     """Run one simulation, filling ``result``; returns the telemetry
     session (or None).  Callers hold the host GC pinned."""
     session = None
     if vm_kind == "native":
         config = _base_config(max_instructions, False, jit_overrides,
-                              quicken=quicken)
+                              quicken=quicken, backend=backend)
         native = run_native(program.name, n, config, predictor=predictor)
         result.truncated = native.truncated
         result.output = native.stdout()
         _fill_machine(result, native.machine)
     elif vm_kind in _REF_VMS:
         config = _base_config(max_instructions, False, jit_overrides,
-                              quicken=quicken)
+                              quicken=quicken, backend=backend)
         vm = _REF_VMS[vm_kind](config, predictor=predictor)
         if bus is not None:
             from repro.telemetry.vmhook import VMTelemetry
@@ -243,7 +255,7 @@ def _simulate(result, program, vm_kind, n, source, timeline,
     else:
         jit_enabled = not vm_kind.endswith("_nojit")
         config = _base_config(max_instructions, jit_enabled, jit_overrides,
-                              quicken=quicken)
+                              quicken=quicken, backend=backend)
         ctx = VMContext(config, predictor=predictor, telemetry_label=label)
         session = ctx.telemetry
         tool = PinTool(ctx.machine, record_timeline=timeline,
@@ -270,11 +282,16 @@ def _simulate(result, program, vm_kind, n, source, timeline,
 def run_program(program, vm_kind, n=None, timeline=False,
                 max_instructions=0, jit_overrides=None,
                 predictor="gshare", use_cache=True, language=None,
-                quicken=None):
+                quicken=None, backend=None):
     """Run ``program`` (a BenchProgram or name) on one VM configuration.
 
     ``quicken`` forces the host quickening fast path on/off for this run
     (None: the config default, i.e. on unless REPRO_QUICKEN=0).
+    ``backend`` selects the simulation backend — "python", "fast" or
+    "native" (None: the config default, i.e. REPRO_BACKEND or
+    "python").  The backend is a host-side implementation detail proven
+    counter-neutral; it still keys the result caches so equivalence
+    suites compare real runs.
     """
     global _SIM_COUNT
     program = _resolve_program(program, language)
@@ -287,7 +304,7 @@ def run_program(program, vm_kind, n=None, timeline=False,
         # payloads carry no event streams.
         use_cache = False
     key = _result_key(program, vm_kind, n, timeline, max_instructions,
-                      jit_overrides, predictor, quicken)
+                      jit_overrides, predictor, quicken, backend)
     if use_cache:
         if key in _CACHE:
             return _CACHE[key]
@@ -314,12 +331,13 @@ def run_program(program, vm_kind, n=None, timeline=False,
     gc.disable()
     if bus is not None:
         bus.begin("run_program", "harness.runner",
-                  {"program": program.name, "vm": vm_kind, "n": n})
+                  {"program": program.name, "vm": vm_kind, "n": n,
+                   "backend": backend or _default_backend()})
 
     try:
         session = _simulate(result, program, vm_kind, n, source, timeline,
                             max_instructions, jit_overrides, predictor,
-                            quicken, label, bus)
+                            quicken, backend, label, bus)
     finally:
         if gc_was_enabled:
             gc.enable()
@@ -348,7 +366,7 @@ def run_program(program, vm_kind, n=None, timeline=False,
 
 def job(program, vm_kind, n=None, timeline=False, max_instructions=0,
         jit_overrides=None, predictor="gshare", language=None,
-        quicken=None):
+        quicken=None, backend=None):
     """Build a picklable job spec for :func:`run_many`."""
     program = _resolve_program(program, language)
     return {
@@ -361,6 +379,7 @@ def job(program, vm_kind, n=None, timeline=False, max_instructions=0,
         "jit_overrides": dict(jit_overrides or {}),
         "predictor": predictor,
         "quicken": quicken,
+        "backend": backend,
     }
 
 
@@ -369,11 +388,17 @@ def _job_key(spec):
     return _result_key(program, spec["vm_kind"], spec["n"],
                        spec["timeline"], spec["max_instructions"],
                        spec["jit_overrides"], spec["predictor"],
-                       spec.get("quicken"))
+                       spec.get("quicken"), spec.get("backend"))
 
 
 def _run_job(spec):
-    """Worker-process entry: simulate one job, return its payload."""
+    """Worker-process entry: simulate one job, return its payload.
+
+    The backend travels in the spec, not the environment: a worker
+    process re-probes native availability itself (the compiled runtime
+    is dlopened from the digest-keyed cache, so only the very first
+    build ever pays the compiler).
+    """
     if spec.pop("telemetry", False):
         # The parent is recording: re-enable telemetry in this worker so
         # the payload ships an event stream back for merging.
@@ -384,7 +409,7 @@ def _run_job(spec):
         max_instructions=spec["max_instructions"],
         jit_overrides=spec["jit_overrides"],
         predictor=spec["predictor"], language=spec["language"],
-        quicken=spec.get("quicken"))
+        quicken=spec.get("quicken"), backend=spec.get("backend"))
     return _result_to_payload(result)
 
 
@@ -436,7 +461,8 @@ def run_many(jobs, workers=None):
                     jit_overrides=spec["jit_overrides"],
                     predictor=spec["predictor"],
                     language=spec["language"],
-                    quicken=spec.get("quicken"))
+                    quicken=spec.get("quicken"),
+                    backend=spec.get("backend"))
         else:
             job_specs = [dict(spec) for _, spec in items]
             if recording:
@@ -477,6 +503,7 @@ def merged_timeline(results, include_harness=True):
 
 
 def _fill_machine(result, machine):
+    result.backend = type(machine).backend
     result.cycles = machine.cycles
     result.instructions = machine.instructions
     result.ipc = machine.ipc

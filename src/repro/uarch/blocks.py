@@ -41,7 +41,7 @@ class BlockDescr(object):
     """
 
     __slots__ = ("mix", "pairs", "n_insns", "insn_cycles", "stall_cycles",
-                 "flat_cycles", "bulk_count", "count")
+                 "flat_cycles", "bulk_count", "count", "bid")
 
     def __init__(self, mix, stalls, inv_width):
         total = 0
@@ -70,6 +70,9 @@ class BlockDescr(object):
         self.flat_cycles = self.insn_cycles + extra
         self.bulk_count = bulk
         self.count = 0
+        # Backend block id: index of this descriptor in the native
+        # backend's C cost arrays (assigned at registration time).
+        self.bid = None
 
     def __repr__(self):
         return "<BlockDescr %d insns %r>" % (self.n_insns, self.mix)
@@ -84,7 +87,8 @@ class FusedDescr(object):
     of float operations, so counters stay bit-identical.
     """
 
-    __slots__ = ("block", "branches", "miss_rate", "branch_cycles", "count")
+    __slots__ = ("block", "branches", "miss_rate", "branch_cycles", "count",
+                 "fid")
 
     def __init__(self, block, branches, miss_rate, inv_width):
         self.block = block
@@ -92,6 +96,8 @@ class FusedDescr(object):
         self.miss_rate = miss_rate
         self.branch_cycles = branches * inv_width
         self.count = 0
+        # Backend fused id (see BlockDescr.bid).
+        self.fid = None
 
     def __repr__(self):
         return "<FusedDescr %r +%d br @%.3f>" % (

@@ -16,6 +16,10 @@ class BimodalPredictor:
         self.mask = (1 << bits) - 1
         self.table = bytearray(b"\x01" * (1 << bits))  # weakly not-taken
 
+    def reset(self):
+        """Reinitialize in place (the table object identity is stable)."""
+        self.table[:] = b"\x01" * len(self.table)
+
     def predict_and_update(self, pc, taken):
         """Return True if the prediction was wrong."""
         index = pc & self.mask
@@ -41,6 +45,11 @@ class GsharePredictor:
         self.table = bytearray(b"\x01" * (1 << bits))
         self.history = 0
 
+    def reset(self):
+        """Reinitialize in place (the table object identity is stable)."""
+        self.table[:] = b"\x01" * len(self.table)
+        self.history = 0
+
     def predict_and_update(self, pc, taken):
         mask = self.mask
         history = self.history
@@ -62,6 +71,9 @@ class AlwaysTakenPredictor:
     """Degenerate baseline used by ablation benches."""
 
     __slots__ = ()
+
+    def reset(self):
+        pass
 
     def predict_and_update(self, pc, taken):
         return not taken
@@ -86,6 +98,13 @@ class Btb:
         self.targets = [0] * entries
         self.history = 0
 
+    def reset(self):
+        """Reinitialize in place (the target list identity is stable)."""
+        targets = self.targets
+        for i in range(len(targets)):
+            targets[i] = 0
+        self.history = 0
+
     def predict_and_update(self, pc, target):
         history = self.history
         mask = self.mask
@@ -105,6 +124,12 @@ class ReturnAddressStack:
     def __init__(self, entries=16):
         self.entries = entries
         self.stack = [0] * entries
+        self.top = 0
+
+    def reset(self):
+        stack = self.stack
+        for i in range(len(stack)):
+            stack[i] = 0
         self.top = 0
 
     def push(self, return_pc):

@@ -27,6 +27,13 @@ class SetAssocCache:
         self.hits = 0
         self.misses = 0
 
+    def reset(self):
+        """Empty every set in place (set-list identities are stable)."""
+        for ways in self.sets:
+            del ways[:]
+        self.hits = 0
+        self.misses = 0
+
     def access(self, addr):
         """Return True on hit; update LRU state either way."""
         line = addr >> self.line_shift
@@ -59,6 +66,10 @@ class CacheHierarchy:
         self.l2 = SetAssocCache(cfg.l2_kib, cfg.l2_assoc, cfg.l1d_line)
         self.l1_penalty = cfg.l1d_miss_penalty
         self.l2_penalty = cfg.l2_miss_penalty
+
+    def reset(self):
+        self.l1.reset()
+        self.l2.reset()
 
     def access(self, addr):
         if self.l1.access(addr):

@@ -18,6 +18,7 @@ model, "PAPI" is :meth:`counters`, and "Pin" is the listener interface.
 
 from collections import namedtuple
 
+from repro.backend import kernelspec as _kernelspec
 from repro.core.errors import ReproError
 from repro.isa import insns
 from repro.uarch.blocks import BlockDescr, FusedDescr, fold_class_counts
@@ -81,10 +82,29 @@ class Machine:
         "instructions", "cycles", "branches", "branch_misses",
         "loads", "stores", "annotations", "_class_counts",
         "max_instructions", "_annot_listeners", "_tag_listeners",
-        "_listener_runs", "_tag_runners", "_bulk_miss_carry",
+        "_listener_runs", "_tag_runners", "_listener_epoch",
+        "_bulk_miss_carry",
         "bulk_miss_rate", "_block_cache", "_fused_cache",
         "_blocks", "_fused",
     )
+
+    # Which simulation backend this class implements; the compiled
+    # backends (repro.backend) override it with "fast" / "native".
+    backend = "python"
+
+    def __new__(cls, config=None, predictor="gshare"):
+        # Backend factory: ``Machine(config)`` returns an instance of the
+        # implementation class ``config.sim_backend`` selects (reference
+        # Python, exec-specialized "fast", or cffi-compiled "native" —
+        # see repro.backend).  Subclass constructors pass through.
+        if cls is Machine and config is not None:
+            backend_name = getattr(config, "sim_backend", "python")
+            if backend_name != "python":
+                from repro.backend import machine_class
+                impl = machine_class(backend_name)
+                if impl is not Machine:
+                    return impl.__new__(impl, config, predictor)
+        return object.__new__(cls)
 
     def __init__(self, config, predictor="gshare"):
         config.validate()
@@ -141,6 +161,9 @@ class Machine:
         self._tag_listeners = {}
         self._listener_runs = {}
         self._tag_runners = {}
+        # Bumped on every listener add/remove; compiled backends key
+        # their cached listener-gate decisions on it.
+        self._listener_epoch = 0
         self._bulk_miss_carry = 0.0
         # Miss rate for br_bulk mix entries (interpreter/runtime code).
         self.bulk_miss_rate = 0.045
@@ -150,14 +173,49 @@ class Machine:
         self._blocks = []
         self._fused = []
 
+    def reset(self):
+        """Reset all mutable simulation state in place, keeping config.
+
+        Predictor, BTB, RAS and cache tables and the class-count list
+        are cleared *in place* — identity-preserving, because compiled
+        backend kernels close over these exact objects — counters and
+        the bulk-miss fractional carry return to zero, and per-block
+        execution counts are cleared.  Listener registrations are
+        measurement configuration, not simulation state, and survive;
+        so do memoized block descriptors (their lowering is a pure
+        function of the config).  After a reset, a run retires exactly
+        the counters a fresh machine would.
+        """
+        self.cond_predictor.reset()
+        self.btb.reset()
+        self.ras.reset()
+        self.dcache.reset()
+        self.instructions = 0
+        self.cycles = 0.0
+        self.branches = 0
+        self.branch_misses = 0
+        self.loads = 0
+        self.stores = 0
+        self.annotations = 0
+        counts = self._class_counts
+        for i in range(len(counts)):
+            counts[i] = 0
+        self._bulk_miss_carry = 0.0
+        for descr in self._blocks:
+            descr.count = 0
+        for descr in self._fused:
+            descr.count = 0
+
     # -- listener management ------------------------------------------------
 
     def add_annot_listener(self, listener):
         """Register a catch-all callable ``listener(tag, payload)``."""
         self._annot_listeners.append(listener)
+        self._listener_epoch += 1
 
     def remove_annot_listener(self, listener):
         self._annot_listeners.remove(listener)
+        self._listener_epoch += 1
 
     def add_tag_listener(self, tag, listener, run=None):
         """Register ``listener(tag, payload)`` for one annotation tag.
@@ -175,6 +233,7 @@ class Machine:
         if run is not None:
             self._listener_runs[(tag, listener)] = run
         self._recompute_runners(tag)
+        self._listener_epoch += 1
 
     def remove_tag_listener(self, tag, listener):
         listeners = self._tag_listeners.get(tag)
@@ -184,6 +243,7 @@ class Machine:
                 del self._tag_listeners[tag]
         self._listener_runs.pop((tag, listener), None)
         self._recompute_runners(tag)
+        self._listener_epoch += 1
 
     def _recompute_runners(self, tag):
         listeners = self._tag_listeners.get(tag)
@@ -387,412 +447,14 @@ class Machine:
         if self.max_instructions and self.instructions >= self.max_instructions:
             raise SimulationLimitReached(self.instructions)
 
-    def dispatch_event(self, tag, b, pc, target):
-        """Fused interpreter-dispatch event: annot + block + indirect jump.
-
-        One call replicating the seed's per-bytecode sequence
-        ``annot(tag); exec_mix(mix); indirect(pc, target)`` — same
-        counter updates, same float-operation order, same limit-check
-        points.  The indirect jump still drives the real BTB, preserving
-        the sequential-predictor-state invariant.
-        """
-        # annot(tag) — per-primitive path when a listener may snapshot
-        # (no batched variant) or the event could cross the limit;
-        # otherwise counters accumulate in locals and runners (batched
-        # listener variants) are notified once after writeback, exactly
-        # like a one-item dispatch_run.
-        inv_width = self._inv_width
-        counts = self._class_counts
-        listeners = self._tag_listeners.get(tag)
-        runners = None
-        if listeners is not None:
-            runners = self._tag_runners.get(tag)
-        max_instructions = self.max_instructions
-        if (self._annot_listeners
-                or (listeners is not None and runners is None)
-                or (max_instructions
-                    and self.instructions + 2 + b.n_insns
-                    >= max_instructions)):
-            runners = None  # listeners notified per-primitive, here
-            self.instructions += 1
-            self.annotations += 1
-            counts[_NOP_ANNOT] += 1
-            self.cycles += inv_width
-            if listeners is not None:
-                for listener in listeners:
-                    listener(tag, None)
-            for listener in self._annot_listeners:
-                listener(tag, None)
-            insns_total = self.instructions
-            cycles = self.cycles
-            if max_instructions and insns_total >= max_instructions:
-                raise SimulationLimitReached(insns_total)
-        else:
-            self.annotations += 1
-            counts[_NOP_ANNOT] += 1
-            insns_total = self.instructions + 1
-            cycles = self.cycles + inv_width
-        # exec_block(b) — the dispatch mix
-        b.count += 1
-        insns_total += b.n_insns
-        branches = self.branches
-        branch_misses = self.branch_misses
-        penalty = self.mispredict_penalty
-        bulk = b.bulk_count
-        if bulk:
-            branches += bulk
-            misses_exact = bulk * self.bulk_miss_rate + self._bulk_miss_carry
-            misses = int(misses_exact)
-            self._bulk_miss_carry = misses_exact - misses
-            branch_misses += misses
-            cycles += b.insn_cycles + (
-                b.stall_cycles + misses * penalty)
-        else:
-            cycles += b.flat_cycles
-        if max_instructions and insns_total >= max_instructions:
-            self.instructions = insns_total
-            self.cycles = cycles
-            self.branches = branches
-            self.branch_misses = branch_misses
-            raise SimulationLimitReached(insns_total)
-        # indirect(pc, target) — BTB inlined (always a Btb instance)
-        insns_total += 1
-        branches += 1
-        counts[_BR_IND] += 1
-        cycles += inv_width
-        btb = self.btb
-        history = btb.history
-        mask = btb.mask
-        targets = btb.targets
-        index = (pc ^ history) & mask
-        if targets[index] != target:
-            branch_misses += 1
-            cycles += penalty
-        targets[index] = target
-        btb.history = ((history << 3) ^ (target & 0x3FF)) & mask
-        self.instructions = insns_total
-        self.cycles = cycles
-        self.branches = branches
-        self.branch_misses = branch_misses
-        if runners is not None:
-            for run in runners:
-                run(tag, None, 1)
-
-    def dispatch_event2(self, tag, b, pc, target, b2):
-        """Dispatch event with the handler's static mix fused in.
-
-        Extends :meth:`dispatch_event` with the retire of ``b2`` — the
-        opcode handler's fixed cost block, which in the unfused VM the
-        handler charged as its first machine-visible action right after
-        the dispatch sequence.  Event order is unchanged: annot, dispatch
-        mix, indirect jump, handler mix.
-        """
-        # annot(tag) — same two-path structure as dispatch_event: the
-        # per-primitive path flushes counters before listeners run (they
-        # may snapshot) and keeps every limit-check point; the batched
-        # path accumulates in locals and notifies runners once at the
-        # end, like a one-item dispatch_run.
-        inv_width = self._inv_width
-        counts = self._class_counts
-        listeners = self._tag_listeners.get(tag)
-        runners = None
-        if listeners is not None:
-            runners = self._tag_runners.get(tag)
-        max_instructions = self.max_instructions
-        if (self._annot_listeners
-                or (listeners is not None and runners is None)
-                or (max_instructions
-                    and self.instructions + 2 + b.n_insns + b2.n_insns
-                    >= max_instructions)):
-            runners = None  # listeners notified per-primitive, here
-            self.instructions += 1
-            self.annotations += 1
-            counts[_NOP_ANNOT] += 1
-            self.cycles += inv_width
-            if listeners is not None:
-                for listener in listeners:
-                    listener(tag, None)
-            for listener in self._annot_listeners:
-                listener(tag, None)
-            insns_total = self.instructions
-            cycles = self.cycles
-            if max_instructions and insns_total >= max_instructions:
-                raise SimulationLimitReached(insns_total)
-        else:
-            self.annotations += 1
-            counts[_NOP_ANNOT] += 1
-            insns_total = self.instructions + 1
-            cycles = self.cycles + inv_width
-        # exec_block(b) — the dispatch mix
-        b.count += 1
-        insns_total += b.n_insns
-        branches = self.branches
-        branch_misses = self.branch_misses
-        penalty = self.mispredict_penalty
-        carry = self._bulk_miss_carry
-        bulk = b.bulk_count
-        if bulk:
-            branches += bulk
-            misses_exact = bulk * self.bulk_miss_rate + carry
-            misses = int(misses_exact)
-            carry = misses_exact - misses
-            branch_misses += misses
-            cycles += b.insn_cycles + (
-                b.stall_cycles + misses * penalty)
-        else:
-            cycles += b.flat_cycles
-        if max_instructions and insns_total >= max_instructions:
-            self.instructions = insns_total
-            self.cycles = cycles
-            self.branches = branches
-            self.branch_misses = branch_misses
-            self._bulk_miss_carry = carry
-            raise SimulationLimitReached(insns_total)
-        # indirect(pc, target) — BTB inlined (always a Btb instance)
-        insns_total += 1
-        branches += 1
-        counts[_BR_IND] += 1
-        cycles += inv_width
-        btb = self.btb
-        history = btb.history
-        mask = btb.mask
-        targets = btb.targets
-        index = (pc ^ history) & mask
-        if targets[index] != target:
-            branch_misses += 1
-            cycles += penalty
-        targets[index] = target
-        btb.history = ((history << 3) ^ (target & 0x3FF)) & mask
-        # exec_block(b2) — the handler's static mix
-        b2.count += 1
-        insns_total += b2.n_insns
-        bulk = b2.bulk_count
-        if bulk:
-            branches += bulk
-            misses_exact = bulk * self.bulk_miss_rate + carry
-            misses = int(misses_exact)
-            carry = misses_exact - misses
-            branch_misses += misses
-            cycles += b2.insn_cycles + (
-                b2.stall_cycles + misses * penalty)
-        else:
-            cycles += b2.flat_cycles
-        self.instructions = insns_total
-        self.cycles = cycles
-        self.branches = branches
-        self.branch_misses = branch_misses
-        self._bulk_miss_carry = carry
-        if max_instructions and insns_total >= max_instructions:
-            raise SimulationLimitReached(insns_total)
-        if runners is not None:
-            for run in runners:
-                run(tag, None, 1)
-
-    def dispatch_run(self, tag, b, items, n_insns):
-        """Retire a straight-line run of fused dispatch events in one call.
-
-        ``items`` is a static tuple of ``(pc, target, b2)`` triples — one
-        per guest bytecode in a branch-free run whose handlers make no
-        machine calls of their own — and ``n_insns`` is the precomputed
-        total instruction count of the run (for the limit precheck).
-        The loop body repeats the exact :meth:`dispatch_event2` sequence
-        per item, so every counter and every predictor update retires in
-        the same order with the same float arithmetic; only the Python
-        call boundaries between items disappear.
-
-        Like :meth:`annot_run`, the batched path requires every listener
-        on ``tag`` to provide a batched ``run`` variant and no catch-all
-        annotation listeners; otherwise — or when the run could cross
-        ``max_instructions`` — it falls back to per-event calls, which
-        preserve exact listener and limit semantics.
-        """
-        tag_listeners = self._tag_listeners.get(tag)
-        runners = None
-        if tag_listeners is not None:
-            runners = self._tag_runners.get(tag)
-        max_instructions = self.max_instructions
-        if (self._annot_listeners
-                or (tag_listeners is not None and runners is None)
-                or (max_instructions
-                    and self.instructions + n_insns >= max_instructions)):
-            dispatch_event2 = self.dispatch_event2
-            for pc, target, b2 in items:
-                dispatch_event2(tag, b, pc, target, b2)
-            return
-        # Integer counters are associative, so instruction totals and the
-        # per-item BTB branch retires hoist out of the loop; only the
-        # float cycle adds and the bulk-miss carry must stay in per-event
-        # order to keep the accumulation bit-identical.
-        n = len(items)
-        counts = self._class_counts
-        inv_width = self._inv_width
-        penalty = self.mispredict_penalty
-        bulk_rate = self.bulk_miss_rate
-        carry = self._bulk_miss_carry
-        cycles = self.cycles
-        branches = self.branches + n
-        branch_misses = self.branch_misses
-        btb = self.btb
-        history = btb.history
-        mask = btb.mask
-        targets = btb.targets
-        b_bulk = b.bulk_count
-        b_flat = b.flat_cycles
-        b.count += n
-        counts[_NOP_ANNOT] += n
-        counts[_BR_IND] += n
-        self.annotations += n
-        self.instructions += n_insns
-        if b_bulk:
-            branches += b_bulk * n
-            b_base = b.insn_cycles
-            b_stall = b.stall_cycles
-        for pc, target, b2 in items:
-            # annot(tag)
-            cycles += inv_width
-            # exec_block(b) — the dispatch mix
-            if b_bulk:
-                misses_exact = b_bulk * bulk_rate + carry
-                misses = int(misses_exact)
-                carry = misses_exact - misses
-                branch_misses += misses
-                cycles += b_base + (b_stall + misses * penalty)
-            else:
-                cycles += b_flat
-            # indirect(pc, target) — inlined BTB
-            cycles += inv_width
-            index = (pc ^ history) & mask
-            if targets[index] != target:
-                branch_misses += 1
-                cycles += penalty
-            targets[index] = target
-            history = ((history << 3) ^ (target & 0x3FF)) & mask
-            # exec_block(b2) — the handler's static mix
-            b2.count += 1
-            bulk = b2.bulk_count
-            if bulk:
-                branches += bulk
-                misses_exact = bulk * bulk_rate + carry
-                misses = int(misses_exact)
-                carry = misses_exact - misses
-                branch_misses += misses
-                cycles += b2.insn_cycles + (
-                    b2.stall_cycles + misses * penalty)
-            else:
-                cycles += b2.flat_cycles
-        btb.history = history
-        self.cycles = cycles
-        self.branches = branches
-        self.branch_misses = branch_misses
-        self._bulk_miss_carry = carry
-        if runners:
-            for run in runners:
-                run(tag, None, n)
-
-    def quick_run(self, tag, b, items, n_insns):
-        """Retire a quickened run of dispatch events + handler block charges.
-
-        Generalizes :meth:`dispatch_run` to handlers whose static cost is
-        a *sequence* of block charges rather than one fused block:
-        ``items`` is a static tuple of ``(pc, target, blocks)`` triples
-        where ``blocks`` is the tuple of :class:`BlockDescr` charges the
-        unquickened handler would have issued, in order.  The body
-        replays exactly ``dispatch_event(tag, b, pc, target)`` followed
-        by ``exec_block(blk)`` per block — same counter updates, same
-        float-operation order, same predictor state — so the result is
-        bit-identical; only the Python call boundaries disappear.
-
-        Same gating as :meth:`dispatch_run`: catch-all listeners, tag
-        listeners without batched ``run`` variants, or a possible
-        ``max_instructions`` crossing fall back to per-event calls,
-        which preserve exact listener and mid-run limit semantics.
-        """
-        tag_listeners = self._tag_listeners.get(tag)
-        runners = None
-        if tag_listeners is not None:
-            runners = self._tag_runners.get(tag)
-        max_instructions = self.max_instructions
-        if (self._annot_listeners
-                or (tag_listeners is not None and runners is None)
-                or (max_instructions
-                    and self.instructions + n_insns >= max_instructions)):
-            dispatch_event = self.dispatch_event
-            exec_block = self.exec_block
-            for pc, target, blocks in items:
-                dispatch_event(tag, b, pc, target)
-                for blk in blocks:
-                    exec_block(blk)
-            return
-        # As in dispatch_run: integer counters are associative, so the
-        # instruction total and per-item BTB branch retires hoist out of
-        # the loop; the float cycle adds and the bulk-miss carry keep
-        # their exact per-event order.
-        n = len(items)
-        counts = self._class_counts
-        inv_width = self._inv_width
-        penalty = self.mispredict_penalty
-        bulk_rate = self.bulk_miss_rate
-        carry = self._bulk_miss_carry
-        cycles = self.cycles
-        branches = self.branches + n
-        branch_misses = self.branch_misses
-        btb = self.btb
-        history = btb.history
-        mask = btb.mask
-        targets = btb.targets
-        b_bulk = b.bulk_count
-        b_flat = b.flat_cycles
-        b.count += n
-        counts[_NOP_ANNOT] += n
-        counts[_BR_IND] += n
-        self.annotations += n
-        self.instructions += n_insns
-        if b_bulk:
-            branches += b_bulk * n
-            b_base = b.insn_cycles
-            b_stall = b.stall_cycles
-        for pc, target, blocks in items:
-            # annot(tag)
-            cycles += inv_width
-            # exec_block(b) — the dispatch mix
-            if b_bulk:
-                misses_exact = b_bulk * bulk_rate + carry
-                misses = int(misses_exact)
-                carry = misses_exact - misses
-                branch_misses += misses
-                cycles += b_base + (b_stall + misses * penalty)
-            else:
-                cycles += b_flat
-            # indirect(pc, target) — inlined BTB
-            cycles += inv_width
-            index = (pc ^ history) & mask
-            if targets[index] != target:
-                branch_misses += 1
-                cycles += penalty
-            targets[index] = target
-            history = ((history << 3) ^ (target & 0x3FF)) & mask
-            # exec_block(blk) per handler charge, in handler order
-            for blk in blocks:
-                blk.count += 1
-                bulk = blk.bulk_count
-                if bulk:
-                    branches += bulk
-                    misses_exact = bulk * bulk_rate + carry
-                    misses = int(misses_exact)
-                    carry = misses_exact - misses
-                    branch_misses += misses
-                    cycles += blk.insn_cycles + (
-                        blk.stall_cycles + misses * penalty)
-                else:
-                    cycles += blk.flat_cycles
-        btb.history = history
-        self.cycles = cycles
-        self.branches = branches
-        self.branch_misses = branch_misses
-        self._bulk_miss_carry = carry
-        if runners:
-            for run in runners:
-                run(tag, None, n)
+    # -- fused dispatch kernels ------------------------------------------------
+    #
+    # dispatch_event / dispatch_event2 / dispatch_run / quick_run are
+    # generated from the kernel spec (repro.backend.kernelspec) and
+    # installed on the class right after its definition below.  The spec
+    # emits the shared bulk-miss-carry, block-charge and inlined-BTB
+    # fragments exactly once, so these reference kernels and the compiled
+    # backend kernels cannot drift apart.
 
     def branch(self, pc, taken):
         """Retire one conditional branch with a real outcome."""
@@ -1167,6 +829,16 @@ class Machine:
         if self.instructions == 0:
             return 0.0
         return 1000.0 * self.branch_misses / self.instructions
+
+
+# Install the generated reference dispatch kernels.  They are compiled
+# from the same fragment emitters that build the fast backend's
+# specialized kernels and that the native backend mirrors as C macros,
+# so the three implementations share one source of truth.
+for _name, _fn in _kernelspec.build_reference_methods(
+        SimulationLimitReached).items():
+    setattr(Machine, _name, _fn)
+del _name, _fn
 
 
 def delta(after, before):

@@ -1,0 +1,132 @@
+"""Backend equivalence: every compiled backend is bit-identical.
+
+The compiled simulation backends — exec-specialized Python (``fast``)
+and the cffi-compiled C runtime (``native``) — reimplement the machine
+hot loop but must not change simulation results AT ALL.  Every counter
+(including the float ``cycles`` accumulator, compared by ``==`` and by
+``repr`` so not even the last mantissa bit may differ), every phase
+window, the jitlog event stream, and guest stdout have to match the
+reference machine, on real benchmarks and on generated difftest
+programs alike — and independently of whether the quickening layer is
+on, since quickening routes through different (batched) kernels.
+
+Style of ``tests/interp/test_quicken_equivalence.py``: run the same
+workload once per backend with only ``config.sim_backend`` flipped,
+then compare the full measurement set field by field.  When no C
+toolchain (or cffi) is present the native runs are skipped with the
+recorded degradation reason; the fast backend has no dependencies and
+always runs.
+"""
+
+import pytest
+
+from repro import backend as backend_pkg
+from repro.benchprogs import registry
+from repro.difftest import oracle
+from repro.difftest.generator import generate_program
+from repro.harness import runner
+
+NATIVE_REASON = backend_pkg.native_unavailable_reason()
+
+COMPILED = ["fast"] + (
+    ["native"] if NATIVE_REASON is None else
+    [pytest.param("native",
+                  marks=pytest.mark.skip(reason="native backend "
+                                         "unavailable: " + NATIVE_REASON))])
+
+
+def _measure(program_name, language, vm_kind, backend, quicken):
+    program = (registry.py_program(program_name) if language == "python"
+               else registry.rkt_program(program_name))
+    result = runner.run_program(program, vm_kind, use_cache=False,
+                                quicken=quicken, backend=backend)
+    phases = tuple(
+        (w.instructions, w.cycles, w.branches, w.branch_misses)
+        for w in result.phase_windows) if result.phase_windows else None
+    jitlog = (repr(result.jitlog_obj.events)
+              if result.jitlog_obj is not None else None)
+    return {
+        "instructions": result.instructions,
+        "cycles": result.cycles,
+        "cycles_repr": repr(result.cycles),
+        "ipc": repr(result.ipc),
+        "mpki": repr(result.mpki),
+        "truncated": result.truncated,
+        "bytecodes": result.bytecodes,
+        "output": result.output,
+        "phase_windows": phases,
+        "phase_breakdown": tuple(sorted(result.phase_breakdown.items())),
+        "jitlog": jitlog,
+    }
+
+
+@pytest.mark.parametrize("quicken", [True, False],
+                         ids=["quicken", "noquicken"])
+@pytest.mark.parametrize("program,language,vm_kind", [
+    ("richards", "python", "pypy"),
+    ("richards", "python", "pypy_nojit"),
+    ("crypto_pyaes", "python", "cpython"),
+    ("nbody", "python", "pypy"),
+    ("fannkuch", "racket", "pycket"),
+    ("fannkuch", "racket", "racket"),
+])
+def test_benchmarks_bit_identical(program, language, vm_kind, quicken):
+    reference = _measure(program, language, vm_kind, "python", quicken)
+    for backend in ("fast",) + (("native",) if NATIVE_REASON is None
+                                else ()):
+        compiled = _measure(program, language, vm_kind, backend, quicken)
+        for field in reference:
+            assert compiled[field] == reference[field], \
+                "%s differs on the %s backend" % (field, backend)
+
+
+@pytest.mark.parametrize("backend", COMPILED)
+@pytest.mark.parametrize("seed", range(9100, 9120))
+def test_generated_programs_bit_identical(seed, backend):
+    """Difftest-generated TinyPy programs: direct-mode interp runs on a
+    compiled backend must agree with the reference on every machine
+    counter, with quickening both on and off."""
+    source = generate_program(seed)
+    for quicken in (True, False):
+        ref = oracle.run_interp(source, jit=False, quicken=quicken,
+                                backend="python")
+        run = oracle.run_interp(source, jit=False, quicken=quicken,
+                                backend=backend,
+                                name="backend-" + backend)
+        assert run.output == ref.output
+        assert (run.error is None) == (ref.error is None)
+        assert run.truncated == ref.truncated
+        for field in ("instructions", "cycles", "branches",
+                      "branch_misses", "loads", "stores", "annotations"):
+            a = getattr(ref.machine, field)
+            b = getattr(run.machine, field)
+            assert a == b, (field, quicken)
+            assert repr(a) == repr(b), (field, quicken)
+        assert tuple(ref.machine.class_counts) == \
+            tuple(run.machine.class_counts)
+        assert ref.tool.bcrate.bytecodes == run.tool.bcrate.bytecodes
+
+
+def test_backends_actually_distinct():
+    """The equivalence above must compare distinct implementations —
+    guard against a silent fallback making it vacuous."""
+    python_cls = backend_pkg.machine_class("python")
+    fast_cls = backend_pkg.machine_class("fast")
+    assert fast_cls is not python_cls
+    assert fast_cls.backend == "fast"
+    if NATIVE_REASON is None:
+        native_cls = backend_pkg.machine_class("native")
+        assert native_cls is not fast_cls
+        assert native_cls.backend == "native"
+
+
+def test_run_result_records_backend():
+    """RunResult.backend reports the class that actually simulated, so
+    a native->fast degradation is visible in stored measurements."""
+    result = runner.run_program("fannkuch", "cpython",
+                                n=registry.py_program("fannkuch").small_n,
+                                use_cache=False, backend="fast")
+    assert result.backend == "fast"
+    payload = runner._result_to_payload(result)
+    assert payload["backend"] == "fast"
+    assert runner._result_from_payload(payload).backend == "fast"

@@ -1,0 +1,184 @@
+"""Machine reset/reinit: counters are a pure function of the workload.
+
+Satellite of the backend work: every backend's ``reset()`` must return
+the machine to its exact post-construction state — predictor tables,
+BTB, return-address stack, cache tag arrays, the bulk-miss carry, the
+per-class histogram and every counter — so that a reused machine
+produces bit-identical results to a fresh one, regardless of what ran
+on it before (including a run that died on the instruction limit).
+
+The drive below exercises every event kind the machine exposes
+(annotations, mixes, blocks, fused blocks, conditional/indirect
+branches, call/ret, bulk branches, loads/stores, and the batched
+dispatch/quicken kernels) with a seeded RNG, so "same seed" means
+"same workload" and any state leaking across ``reset()`` shows up as a
+counter or ``repr(cycles)`` mismatch.
+"""
+
+import random
+
+import pytest
+
+from repro import backend as backend_pkg
+from repro.core.config import SystemConfig
+from repro.isa import insns
+from repro.uarch.machine import Machine, SimulationLimitReached
+
+NATIVE_REASON = backend_pkg.native_unavailable_reason()
+
+BACKENDS = ["python", "fast"] + (
+    ["native"] if NATIVE_REASON is None else
+    [pytest.param("native",
+                  marks=pytest.mark.skip(reason="native backend "
+                                         "unavailable: " + NATIVE_REASON))])
+
+
+def _machine(backend, limit=0):
+    config = SystemConfig()
+    config.sim_backend = backend
+    config.max_instructions = limit
+    return Machine(config, "gshare")
+
+
+def _drive(m, seed, steps=1200):
+    """Run a seeded synthetic workload; return the full counter state."""
+    rng = random.Random(seed)
+    tags = [3, 5, 9]
+    mixes = [insns.mix(alu=3, load=2, br_bulk=4), insns.mix(alu=1),
+             insns.mix(mul=2, div=1, fpu=3, store=2),
+             insns.mix(alu=5, br_bulk=1)]
+    blocks = [m.block(mx) for mx in mixes]
+    fused = m.fused_block(mixes[0], 7, 0.031)
+    items_d = tuple((rng.randrange(4096), rng.randrange(4096),
+                     blocks[rng.randrange(4)]) for _ in range(9))
+    items_q = tuple((rng.randrange(4096), rng.randrange(4096),
+                     tuple(blocks[rng.randrange(4)]
+                           for _ in range(rng.randrange(4))))
+                    for _ in range(7))
+    nd = sum(2 + blocks[0].n_insns + b2.n_insns for _, _, b2 in items_d)
+    nq = sum(2 + blocks[0].n_insns + sum(b.n_insns for b in bs)
+             for _, _, bs in items_q)
+    hit = None
+    try:
+        for step in range(steps):
+            op = rng.randrange(16)
+            if op == 0:
+                m.annot(rng.choice(tags), payload=step)
+            elif op == 1:
+                m.annot_run(rng.choice(tags), rng.randrange(1, 20))
+            elif op == 2:
+                m.exec_mix(mixes[rng.randrange(4)])
+            elif op == 3:
+                m.exec_block(blocks[rng.randrange(4)])
+            elif op == 4:
+                m.exec_fused(fused)
+            elif op == 5:
+                m.branch(rng.randrange(8192), rng.random() < 0.6)
+            elif op == 6:
+                m.branch_block(rng.randrange(8192),
+                               blocks[rng.randrange(4)])
+            elif op == 7:
+                m.branch_block_annot_run(rng.randrange(8192),
+                                         blocks[rng.randrange(4)],
+                                         rng.choice(tags),
+                                         rng.randrange(1, 9))
+            elif op == 8:
+                m.indirect(rng.randrange(8192), rng.randrange(64))
+            elif op == 9:
+                m.call(rng.randrange(8192))
+                if rng.random() < 0.8:
+                    m.ret(rng.randrange(8192))
+            elif op == 10:
+                m.exec_bulk_branches(rng.randrange(1, 50), 0.05)
+            elif op == 11:
+                m.load(rng.randrange(1 << 20))
+            elif op == 12:
+                m.store(rng.randrange(1 << 20))
+            elif op == 13:
+                m.load_annot_run(rng.randrange(1 << 20), rng.choice(tags),
+                                 rng.randrange(1, 7))
+            elif op == 14:
+                k = rng.randrange(3)
+                if k == 0:
+                    m.dispatch_event(rng.choice(tags), blocks[0],
+                                     rng.randrange(4096),
+                                     rng.randrange(64))
+                elif k == 1:
+                    m.dispatch_event2(rng.choice(tags), blocks[0],
+                                      rng.randrange(4096),
+                                      rng.randrange(64),
+                                      blocks[rng.randrange(4)])
+                else:
+                    m.store_annot_run(rng.randrange(1 << 20),
+                                      rng.choice(tags),
+                                      rng.randrange(1, 7))
+            else:
+                if rng.random() < 0.5:
+                    m.dispatch_run(rng.choice(tags), blocks[0], items_d,
+                                   nd)
+                else:
+                    m.quick_run(rng.choice(tags), blocks[0], items_q, nq)
+    except SimulationLimitReached as exc:
+        hit = exc.args[0]
+    return {
+        "instructions": m.instructions,
+        "cycles_repr": repr(m.cycles),
+        "branches": m.branches,
+        "branch_misses": m.branch_misses,
+        "loads": m.loads,
+        "stores": m.stores,
+        "annotations": m.annotations,
+        "carry_repr": repr(m._bulk_miss_carry),
+        "class_counts": tuple(m.class_counts),
+        "counters": m.counters(),
+        "ipc": repr(m.ipc),
+        "mpki": repr(m.branch_mpki),
+        "limit": hit,
+    }
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_reset_restores_construction_state(backend):
+    """run A, reset, run B  ==  fresh machine running B."""
+    reused = _machine(backend)
+    _drive(reused, seed=1)
+    reused.reset()
+    warm = _drive(reused, seed=2)
+    fresh = _drive(_machine(backend), seed=2)
+    assert warm == fresh
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_reset_after_limit_hit(backend):
+    """A machine that died on the instruction limit resets cleanly, and
+    the limit fires at the same point on the reused machine."""
+    limited = _machine(backend, limit=12_000)
+    first = _drive(limited, seed=3)
+    assert first["limit"] is not None  # the cap really fired
+    limited.reset()
+    again = _drive(limited, seed=3)
+    assert again == first
+    assert _drive(_machine(backend, limit=12_000), seed=3) == first
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_run_order_independence(backend):
+    """Counters depend only on the workload, not on which workloads ran
+    before it on other machine instances (no class-level or module
+    state leaks: block descriptors are per-machine, predictor tables
+    are per-instance)."""
+    alone = _drive(_machine(backend), seed=7)
+    _drive(_machine(backend), seed=8)
+    _drive(_machine(backend), seed=9)
+    after_others = _drive(_machine(backend), seed=7)
+    assert after_others == alone
+
+
+def test_backends_agree_on_the_drive():
+    """The same synthetic workload lands on bit-identical counters
+    across every available backend (a machine-level complement to the
+    benchmark-level suite in test_backend_equivalence)."""
+    reference = _drive(_machine("python"), seed=11)
+    for backend in ("fast",) + (("native",) if NATIVE_REASON is None
+                                else ()):
+        assert _drive(_machine(backend), seed=11) == reference, backend

@@ -22,19 +22,29 @@ ERROR_SRC = (
 )
 
 
+def _natives():
+    """1 when the native backend engine joins the oracle's lineup."""
+    from repro.backend import native_unavailable_reason
+    return 0 if native_unavailable_reason() else 1
+
+
 class TestAgreement:
     def test_simple_program_all_engines_agree(self):
         report = check_program(AGREE_SRC, thresholds=(2, 39))
         assert report.ok, report.summary()
-        # cpref, interp, quicken-off, jit@2, jit@39
-        assert len(report.runs) == 5
+        # cpref, interp, quicken-off, backend-fast, jit@2, jit@39 —
+        # plus backend-native when a C toolchain built the runtime.
+        assert len(report.runs) == 6 + _natives()
         outputs = {run.output for run in report.runs}
         assert outputs == {"328350\n"}
 
     def test_engine_names(self):
         report = check_program(AGREE_SRC, thresholds=(2,))
-        assert [run.name for run in report.runs] == \
-            ["cpref", "interp", "quicken-off", "jit@2"]
+        expected = ["cpref", "interp", "quicken-off", "backend-fast"]
+        if _natives():
+            expected.append("backend-native")
+        expected.append("jit@2")
+        assert [run.name for run in report.runs] == expected
 
     def test_guest_errors_compare_by_erroredness(self):
         # Both engines error at the same point; message wording differs

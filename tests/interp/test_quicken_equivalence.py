@@ -72,6 +72,10 @@ def test_benchmarks_bit_identical(program, language, vm_kind):
 def test_quickening_actually_engages(monkeypatch):
     """The quickened run must retire real superinstruction batches —
     otherwise the equivalence above is vacuous."""
+    # Pin the reference backend: the compiled backends install quick_run
+    # as a per-instance kernel, which would bypass the class-level
+    # monkeypatch this test counts with.
+    monkeypatch.setenv("REPRO_BACKEND", "python")
     calls = [0]
     orig = Machine.quick_run
 

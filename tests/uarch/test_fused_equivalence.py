@@ -141,6 +141,11 @@ def _simulate(program_name, vm_kind, n):
 ])
 def test_counters_bit_identical_to_unbatched(monkeypatch, program,
                                              vm_kind, n):
+    # Pin the reference backend: this test patches Machine methods at
+    # the class level and reads descriptor counts white-box, neither of
+    # which reaches the compiled backends' per-instance kernels (their
+    # own bit-identity is proven by tests/backend/).
+    monkeypatch.setenv("REPRO_BACKEND", "python")
     fused_counters, fused_classes, fused_bc, fused_retires = _simulate(
         program, vm_kind, n)
     for name, ref in _REFERENCE.items():

@@ -11,7 +11,16 @@ compose without re-running old code.  Run from the repo root:
 
     PYTHONPATH=src python tools/bench.py
     PYTHONPATH=src python tools/bench.py --trials 5
+    PYTHONPATH=src python tools/bench.py --backend native  # one backend
     PYTHONPATH=src python tools/bench.py --profile   # cProfile top-20
+
+``--backend all`` (the default) times every available simulation
+backend — the reference machine (``python``), the exec-specialized
+kernels (``fast``) and the cffi-compiled C runtime (``native``, when a
+C toolchain is present) — and reports each compiled backend's speedup
+over the reference rows.  Seed/previous-report comparisons are only
+attached to the ``python`` rows, which measure the same default path
+every earlier report measured.
 """
 
 import argparse
@@ -70,7 +79,12 @@ def _find_reports():
 
 
 def _prior_walls():
-    """Per-benchmark wall seconds from the newest existing report."""
+    """Per-benchmark wall seconds from the newest existing report.
+
+    Only ``python``-backend rows compare across reports: they measure
+    the same default simulation path every earlier report measured
+    (reports written before the backend column existed are all-python).
+    """
     reports = _find_reports()
     if not reports:
         return None, None
@@ -78,18 +92,37 @@ def _prior_walls():
     with open(path) as f:
         report = json.load(f)
     walls = {row["benchmark"]: row["wall_s"]
-             for row in report.get("benchmarks", ())}
+             for row in report.get("benchmarks", ())
+             if row.get("backend", "python") == "python"}
     return number, walls
 
 
-def time_one(name, language, vm_kind, trials):
+def _resolve_backends(requested):
+    """The backend names to time, warning when native is degraded."""
+    from repro.backend import native_unavailable_reason
+
+    if requested != "all":
+        if requested == "native" and native_unavailable_reason():
+            print("warning: native backend unavailable (%s); timing the "
+                  "fast fallback" % native_unavailable_reason())
+        return [requested]
+    backends = ["python", "fast"]
+    reason = native_unavailable_reason()
+    if reason is None:
+        backends.append("native")
+    else:
+        print("skipping native backend: %s" % reason)
+    return backends
+
+
+def time_one(name, language, vm_kind, trials, backend=None):
     best = None
     instructions = 0
     for _ in range(trials):
         clear_cache()
         t0 = time.perf_counter()
         result = run_program(name, vm_kind, language=language,
-                             use_cache=False)
+                             use_cache=False, backend=backend)
         elapsed = time.perf_counter() - t0
         instructions = result.instructions
         if best is None or elapsed < best:
@@ -118,55 +151,79 @@ def main(argv=None):
                         help="min-of-N trials per benchmark")
     parser.add_argument("--profile", action="store_true",
                         help="cProfile the quick set instead of timing it")
+    parser.add_argument("--backend", default="all",
+                        choices=("python", "fast", "native", "all"),
+                        help="simulation backend(s) to time "
+                             "(default: every available backend)")
     args = parser.parse_args(argv)
     if args.profile:
         profile_quick_set()
         return
 
+    backends = _resolve_backends(args.backend)
     prev_number, prev_walls = _prior_walls()
     rows = []
     total = 0.0
     prev_total = 0.0
+    python_walls = {}
     seed_total = sum(SEED_SECONDS.values())
     seed_rem_total = sum(SEED_SECONDS_REMEASURED.values())
     for name, language, vm_kind in QUICK_SET:
         label = "%s/%s" % (name, vm_kind)
-        seconds, instructions = time_one(name, language, vm_kind,
-                                         args.trials)
-        total += seconds
-        row = {
-            "benchmark": label,
-            "wall_s": round(seconds, 3),
-            "sim_instructions": instructions,
-            "sim_insns_per_sec": round(instructions / seconds),
-            "seed_wall_s": SEED_SECONDS[label],
-            "speedup_vs_seed": round(SEED_SECONDS[label] / seconds, 2),
-            "seed_remeasured_wall_s": SEED_SECONDS_REMEASURED[label],
-            "speedup_vs_seed_remeasured": round(
-                SEED_SECONDS_REMEASURED[label] / seconds, 2),
-        }
-        line = ("%-22s %6.2fs  (seed %5.2fs, %0.2fx; same-session seed "
-                "%5.2fs, %0.2fx" % (label, seconds, SEED_SECONDS[label],
-                                    SEED_SECONDS[label] / seconds,
-                                    SEED_SECONDS_REMEASURED[label],
-                                    SEED_SECONDS_REMEASURED[label] / seconds))
-        if prev_walls and label in prev_walls:
-            prev_total += prev_walls[label]
-            row["prev_wall_s"] = prev_walls[label]
-            row["speedup_vs_prev"] = round(prev_walls[label] / seconds, 2)
-            line += "; prev %5.2fs, %0.2fx" % (prev_walls[label],
-                                               prev_walls[label] / seconds)
-        rows.append(row)
-        print(line + ")  %.1fM insns/s" % (instructions / seconds / 1e6))
+        for backend in backends:
+            seconds, instructions = time_one(name, language, vm_kind,
+                                             args.trials, backend=backend)
+            row = {
+                "benchmark": label,
+                "backend": backend,
+                "wall_s": round(seconds, 3),
+                "sim_instructions": instructions,
+                "sim_insns_per_sec": round(instructions / seconds),
+            }
+            line = "%-22s %-7s %6.2fs" % (label, backend, seconds)
+            if backend == "python":
+                # Seed/previous-report baselines all measured the
+                # reference path, so only python rows compare to them.
+                total += seconds
+                python_walls[label] = seconds
+                row["seed_wall_s"] = SEED_SECONDS[label]
+                row["speedup_vs_seed"] = round(
+                    SEED_SECONDS[label] / seconds, 2)
+                row["seed_remeasured_wall_s"] = \
+                    SEED_SECONDS_REMEASURED[label]
+                row["speedup_vs_seed_remeasured"] = round(
+                    SEED_SECONDS_REMEASURED[label] / seconds, 2)
+                line += "  (seed %5.2fs, %0.2fx" % (
+                    SEED_SECONDS[label], SEED_SECONDS[label] / seconds)
+                if prev_walls and label in prev_walls:
+                    prev_total += prev_walls[label]
+                    row["prev_wall_s"] = prev_walls[label]
+                    row["speedup_vs_prev"] = round(
+                        prev_walls[label] / seconds, 2)
+                    line += "; prev %5.2fs, %0.2fx" % (
+                        prev_walls[label], prev_walls[label] / seconds)
+                line += ")"
+            elif label in python_walls:
+                row["python_wall_s"] = round(python_walls[label], 3)
+                row["speedup_vs_python_backend"] = round(
+                    python_walls[label] / seconds, 2)
+                line += "  (python %5.2fs, %0.2fx)" % (
+                    python_walls[label], python_walls[label] / seconds)
+            rows.append(row)
+            print(line + "  %.1fM insns/s" % (instructions / seconds / 1e6))
     report = {
         "trials": args.trials,
+        "backends": backends,
         "benchmarks": rows,
-        "total_wall_s": round(total, 3),
-        "seed_total_wall_s": round(seed_total, 3),
-        "speedup_vs_seed": round(seed_total / total, 2),
-        "seed_remeasured_total_wall_s": round(seed_rem_total, 3),
-        "speedup_vs_seed_remeasured": round(seed_rem_total / total, 2),
     }
+    if python_walls:
+        report.update({
+            "total_wall_s": round(total, 3),
+            "seed_total_wall_s": round(seed_total, 3),
+            "speedup_vs_seed": round(seed_total / total, 2),
+            "seed_remeasured_total_wall_s": round(seed_rem_total, 3),
+            "speedup_vs_seed_remeasured": round(seed_rem_total / total, 2),
+        })
     if prev_walls and prev_total:
         report["prev_report"] = "BENCH_%d.json" % prev_number
         report["prev_total_wall_s"] = round(prev_total, 3)
@@ -176,11 +233,14 @@ def main(argv=None):
     with open(out_path, "w") as f:
         json.dump(report, f, indent=2)
         f.write("\n")
-    summary = "TOTAL %.2fs vs seed %.2fs -> %.2fx" % (
-        total, seed_total, seed_total / total)
-    if prev_walls and prev_total:
-        summary += "  (vs prev %.2fs -> %.2fx)" % (prev_total,
-                                                   prev_total / total)
+    if python_walls:
+        summary = "TOTAL (python rows) %.2fs vs seed %.2fs -> %.2fx" % (
+            total, seed_total, seed_total / total)
+        if prev_walls and prev_total:
+            summary += "  (vs prev %.2fs -> %.2fx)" % (
+                prev_total, prev_total / total)
+    else:
+        summary = "TOTAL %.2fs" % sum(r["wall_s"] for r in rows)
     print(summary + "  (wrote %s)" % out_path)
 
 
