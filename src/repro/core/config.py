@@ -51,6 +51,22 @@ def _default_backend():
     return "python"
 
 
+def _default_tier1():
+    """Default for :attr:`SystemConfig.tier1` (``REPRO_TIER1`` override).
+
+    The baseline threaded-code tier (see :mod:`repro.interp.tier1`)
+    changes *simulated* results when on — cheaper dispatch blocks and
+    site-keyed indirect-branch hashes are exactly the effect being
+    characterized — so unlike quickening it defaults to off: the
+    default simulation stays bit-identical to the two-mode system the
+    paper measures.  Set ``REPRO_TIER1=1`` to enable the tier.
+    """
+    value = os.environ.get("REPRO_TIER1", "").strip().lower()
+    if value in ("1", "on", "true", "yes"):
+        return True
+    return False
+
+
 def _default_verify():
     """Default for :attr:`SystemConfig.verify` (``REPRO_VERIFY`` override).
 
@@ -81,6 +97,12 @@ class JitConfig:
     trace_limit: int = 6000
     # After this many aborted attempts a loop header is blacklisted.
     max_aborts: int = 4
+    # Tier-1 promotion: a code object whose loop headers (or, for
+    # entry-profiled guests, frame entries) have been seen this many
+    # times is compiled to threaded code — strictly between 1 and the
+    # hot-loop threshold, so the baseline tier engages well before
+    # tracing does (only acted on when ``SystemConfig.tier1`` is set).
+    tier1_threshold: int = 13
     # Maximum virtual-frame depth the tracer will inline through.
     max_inline_depth: int = 12
     # Optimizer passes (ablations flip these).
@@ -101,6 +123,8 @@ class JitConfig:
             raise ConfigError("bridge_threshold must be >= 1")
         if self.trace_limit < 10:
             raise ConfigError("trace_limit must be >= 10")
+        if self.tier1_threshold < 1:
+            raise ConfigError("tier1_threshold must be >= 1")
 
 
 @dataclass
@@ -182,6 +206,14 @@ class SystemConfig:
     # the equivalence suite pins quickened-on == quickened-off counters
     # bit for bit.  Env override: REPRO_QUICKEN=0/1.
     quicken: bool = field(default_factory=_default_quicken)
+    # Baseline threaded-code tier (tier-1 JIT, repro.interp.tier1): hot
+    # code objects are compiled to subroutine-threaded handler sequences
+    # with a cheaper dispatch block and site-keyed indirect-branch
+    # hashes.  Unlike ``quicken`` this is a *simulated* optimization —
+    # cycles/IPC/MPKI change when it is on — so it defaults to off and
+    # the default results stay bit-identical to the paper's two-mode
+    # system.  Env override: REPRO_TIER1=1.
+    tier1: bool = field(default_factory=_default_tier1)
     # Static verification debug gates (repro.analysis): verify guest
     # bytecode at program entry, every compiled trace after each
     # pipeline stage, and every quickening run table.  Off by default —

@@ -34,6 +34,8 @@ GC_MAJOR_STOP = 0x123
 DISPATCH = 0x200           # one iteration of the dispatch loop (one bytecode)
 FRAME_ENTER = 0x201        # a guest frame was pushed
 FRAME_LEAVE = 0x202
+TIER1_COMPILE_START = 0x210  # tier-1 threaded-code compilation begins
+TIER1_COMPILE_STOP = 0x211   # (interpreter-layer work: not a phase tag)
 
 # --- JIT-IR layer --------------------------------------------------------
 IR_NODE = 0x300            # payload: (opnum, trace_id) for the node being run

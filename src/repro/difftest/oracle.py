@@ -5,8 +5,11 @@ the CPython-reference interpreter (``cpref``), the RPython-style
 interpreter with the JIT disabled (``interp``), the same interpreter
 with the quickening layer off (``quicken-off``), the compiled
 simulation backends (``backend-fast``, and ``backend-native`` when a C
-toolchain built the runtime), and the meta-tracing JIT at several
-hot-loop thresholds (``jit@N``) — and checks:
+toolchain built the runtime), the meta-tracing JIT at several
+hot-loop thresholds (``jit@N``), and the baseline threaded-code tier
+(``tier1`` in direct mode, ``tier1-jit@7`` under the JIT, checked for
+behavior- and trace-IR-equivalence by ``check_tier_invariants``) — and
+checks:
 
 * **Agreement**: every engine prints the same stdout, and either all
   engines finish cleanly or all raise a guest-level error at the same
@@ -32,6 +35,7 @@ programs.
 
 import gc
 import pickle
+import re
 
 from repro.core.config import SystemConfig
 from repro.core.errors import GuestError, ReproError
@@ -74,7 +78,7 @@ class EngineRun(object):
     """Output and measurement state of one engine execution."""
 
     __slots__ = ("name", "output", "error", "truncated", "machine",
-                 "tool", "ctx")
+                 "tool", "ctx", "tier_stats")
 
     def __init__(self, name):
         self.name = name
@@ -84,6 +88,8 @@ class EngineRun(object):
         self.machine = None
         self.tool = None
         self.ctx = None
+        # TierManager.stats() when the run had the tier-1 engine on.
+        self.tier_stats = None
 
     @property
     def outcome(self):
@@ -173,7 +179,7 @@ def run_cpref(source, max_instructions=DEFAULT_MAX_INSTRUCTIONS):
 
 def run_interp(source, jit=False, threshold=39, bridge_threshold=3,
                max_instructions=DEFAULT_MAX_INSTRUCTIONS, quicken=None,
-               backend=None, name=None):
+               backend=None, tier1=None, name=None):
     """Run a program on the RPython-style VM (JIT on or off)."""
     run = EngineRun(name or ("jit@%d" % threshold if jit else "interp"))
     config = _base_config(max_instructions)
@@ -184,6 +190,8 @@ def run_interp(source, jit=False, threshold=39, bridge_threshold=3,
         config.quicken = quicken
     if backend is not None:
         config.sim_backend = backend
+    if tier1 is not None:
+        config.tier1 = tier1
     ctx = VMContext(config)
     tool = PinTool(ctx.machine)
     vm = PyVM(ctx)
@@ -201,6 +209,8 @@ def run_interp(source, jit=False, threshold=39, bridge_threshold=3,
     run.machine = ctx.machine
     run.tool = tool
     run.ctx = ctx
+    if vm.driver.tier is not None:
+        run.tier_stats = vm.driver.tier.stats()
     return run
 
 
@@ -369,6 +379,85 @@ def check_backend_equivalence(report):
                                      run.tool.bcrate.bytecodes))
 
 
+def check_tier_invariants(report):
+    """The threaded-code tier must change cost, never behavior.
+
+    Two engine pairs feed this check:
+
+    * ``interp`` vs ``tier1`` (direct mode): the tier swaps dispatch
+      blocks and BTB site hashes, so cycles legitimately differ — but
+      the guest-visible event stream must not: same bytecode count and
+      (already checked globally) same stdout.
+    * ``jit@7`` vs ``tier1-jit@7``: tracing from threaded code must
+      yield exactly the IR tracing from the interpreter yields — the
+      meta-interpreter always sees the unfused bytecode stream.  The
+      jitlog carries no timestamps and trace/greenkey reprs are stable,
+      so the whole compile/abort event stream and every recorded op are
+      compared by repr.
+    """
+    base = report.run_named("interp")
+    tiered = report.run_named("tier1")
+    if base is not None and tiered is not None:
+        if tiered.tier_stats is None:
+            report.add("tier1", ["tier1"],
+                       "tier-1 engine ran without a TierManager")
+        # (When either run hits the instruction cap the cheaper one
+        # simply gets further — not a behavior divergence.)
+        if not base.truncated and not tiered.truncated \
+                and base.tool.bcrate.bytecodes != tiered.tool.bcrate.bytecodes:
+            report.add("tier1", ["interp", "tier1"],
+                       "bytecode count differs with the tier on: %d vs %d"
+                       % (base.tool.bcrate.bytecodes,
+                          tiered.tool.bcrate.bytecodes))
+    base_jit = report.run_named("jit@7")
+    tier_jit = report.run_named("tier1-jit@7")
+    if base_jit is None or tier_jit is None:
+        return
+    if base_jit.ctx is None or tier_jit.ctx is None:
+        return
+    if base_jit.truncated or tier_jit.truncated:
+        return
+    a_log = repr(base_jit.ctx.jitlog.events)
+    b_log = repr(tier_jit.ctx.jitlog.events)
+    if a_log != b_log:
+        report.add("tier1_trace", ["jit@7", "tier1-jit@7"],
+                   "jitlog event stream differs with the tier on")
+    a_ops = [(repr(t.greenkey), [_stable_repr(op) for op in t.ops])
+             for t in base_jit.ctx.registry.traces]
+    b_ops = [(repr(t.greenkey), [_stable_repr(op) for op in t.ops])
+             for t in tier_jit.ctx.registry.traces]
+    if a_ops != b_ops:
+        for (a_key, a_trace), (b_key, b_trace) in zip(a_ops, b_ops):
+            if a_key != b_key:
+                report.add("tier1_trace", ["jit@7", "tier1-jit@7"],
+                           "trace greenkeys differ: %s vs %s"
+                           % (a_key, b_key))
+                return
+            if a_trace != b_trace:
+                report.add("tier1_trace", ["jit@7", "tier1-jit@7"],
+                           "recorded IR differs for %s: %s"
+                           % (a_key, _first_diff("\n".join(a_trace),
+                                                 "\n".join(b_trace))))
+                return
+        report.add("tier1_trace", ["jit@7", "tier1-jit@7"],
+                   "trace counts differ: %d vs %d"
+                   % (len(a_ops), len(b_ops)))
+
+
+_ADDR_RE = re.compile(r"0x[0-9a-f]+")
+
+
+def _stable_repr(op):
+    """repr with host object addresses masked.
+
+    Most recorded values repr stably (W_Int(3), PyCode names), but
+    guard descriptors can hold identity-only objects (shape version
+    tags) whose default repr embeds the host address; two equivalent
+    runs allocate different hosts objects, so addresses are noise.
+    """
+    return _ADDR_RE.sub("0xADDR", repr(op))
+
+
 def check_store_roundtrip(run, report):
     """Serializing, restoring, and re-serializing must be bit-identical."""
     from repro.harness import runner
@@ -443,11 +532,22 @@ def check_program(source, thresholds=DEFAULT_THRESHOLDS,
                            name="backend-native",
                            max_instructions=max_instructions)):
             return report
+    if _add(run_interp(source, jit=False, tier1=True, name="tier1",
+                       max_instructions=max_instructions)):
+        return report
     for threshold in thresholds:
         if _add(run_interp(
                 source, jit=True, threshold=threshold,
                 bridge_threshold=max(2, threshold // 3),
                 max_instructions=max_instructions)):
+            return report
+    if 7 in thresholds:
+        # Paired with jit@7 by check_tier_invariants: tracing from
+        # threaded code must record exactly the interpreter's IR.
+        if _add(run_interp(source, jit=True, threshold=7,
+                           bridge_threshold=max(2, 7 // 3), tier1=True,
+                           name="tier1-jit@7",
+                           max_instructions=max_instructions)):
             return report
 
     reference = runs[0]
@@ -470,6 +570,7 @@ def check_program(source, thresholds=DEFAULT_THRESHOLDS,
     check_static_bytecode(source, report)
     check_quicken_equivalence(report)
     check_backend_equivalence(report)
+    check_tier_invariants(report)
     if check_store:
         check_store_roundtrip(runs[-1], report)
     return report

@@ -111,6 +111,62 @@ def bridge_threshold_sweep(quick=True, program_name="richards",
     return rows, text
 
 
+# The execution-tier axis: one tier (interpreter only), two tiers
+# (+ threaded code), three tiers (+ the tracing JIT on top).
+TIER_DIMS = (("off", "pypy_nojit", False),
+             ("tier1", "pypy_nojit", True),
+             ("full", "pypy", True))
+
+
+def tier_ablation(quick=True, programs=DEFAULT_PROGRAMS):
+    """Speedup from each execution tier (off | tier1 | full).
+
+    ``off`` is the plain interpreter, ``tier1`` adds the baseline
+    threaded-code tier, ``full`` runs all three tiers with the tracing
+    JIT on top — the multi-tier progression of Izawa & Bolz-Tereick
+    measured on our workloads.
+    """
+    jobs = []
+    for name in programs:
+        program = registry.py_program(name)
+        n = program.small_n if quick else program.default_n
+        for _label, vm_kind, tier1 in TIER_DIMS:
+            jobs.append(job(program, vm_kind, n=n, tier1=tier1))
+    run_many(jobs)
+    rows = []
+    for name in programs:
+        program = registry.py_program(name)
+        n = program.small_n if quick else program.default_n
+        base = None
+        for label, vm_kind, tier1 in TIER_DIMS:
+            result = run_program(program, vm_kind, n=n, tier1=tier1)
+            if base is None:
+                base = result
+            else:
+                assert result.output == base.output, (name, label)
+            stats = result.tier_stats or {}
+            rows.append({
+                "benchmark": name, "tier": label,
+                "seconds": result.seconds,
+                "speedup_vs_off": base.seconds / result.seconds,
+                "ipc": result.ipc, "mpki": result.mpki,
+                "promotions": stats.get("promotions", 0),
+                "demotions": stats.get("demotions", 0),
+            })
+    table_rows = [
+        (r["benchmark"], r["tier"], "%.4f" % r["seconds"],
+         "%.2fx" % r["speedup_vs_off"], "%.2f" % r["ipc"],
+         "%.1f" % r["mpki"], r["promotions"], r["demotions"])
+        for r in rows
+    ]
+    text = report.render_table(
+        ["benchmark", "tier", "t(s)", "vs off", "ipc", "mpki",
+         "promoted", "demoted"],
+        table_rows,
+        title="Ablation: execution tiers (off | tier1 | full)")
+    return rows, text
+
+
 def predictor_ablation(quick=True, programs=("richards", "crypto_pyaes")):
     """Branch-predictor sensitivity (Rohou et al. discussion)."""
     jobs = []

@@ -315,6 +315,117 @@ def fig5(quick=False, programs=None, max_instructions=4_000_000):
     return rows, "\n\n".join(blocks)
 
 
+# -- Figure 5, tier dimension: break-even with the threaded-code tier ---------------------
+
+
+@_traced
+def fig5_tier(quick=False, programs=None, max_instructions=4_000_000):
+    """Fig 5's break-even analysis under tier ``off`` vs ``tier1``.
+
+    The tier targets exactly the window Fig 5 measures: before traces
+    are hot, every bytecode still pays interpreter dispatch.  With the
+    baseline threaded-code tier on, warming code dispatches through
+    cheap site-keyed threaded sequences, so the cumulative bytecode
+    rate crosses the CPython reference earlier — fewer instructions to
+    break even.  Reference rates (CPython, PyPy-no-JIT) are measured
+    once, tier off, so both tier rows chase the same target.
+    """
+    programs = programs or registry.pypy_suite()
+    jobs = []
+    for program in programs:
+        n = _n(program, quick)
+        for tier1 in (False, True):
+            jobs.append(job(program, "pypy", n=n, timeline=True,
+                            max_instructions=max_instructions,
+                            tier1=tier1))
+        jobs.append(job(program, "cpython", n=n,
+                        max_instructions=max_instructions, tier1=False))
+        jobs.append(job(program, "pypy_nojit", n=n,
+                        max_instructions=max_instructions, tier1=False))
+    run_many(jobs)
+    rows = []
+    for program in programs:
+        n = _n(program, quick)
+        cpy = run_program(program, "cpython", n=n,
+                          max_instructions=max_instructions, tier1=False)
+        nojit = run_program(program, "pypy_nojit", n=n,
+                            max_instructions=max_instructions,
+                            tier1=False)
+        cpy_rate = cpy.bytecodes_per_insn
+        nojit_rate = nojit.bytecodes_per_insn
+        row = {"benchmark": program.name}
+        for tier1, label in ((False, "off"), (True, "tier1")):
+            result = run_program(program, "pypy", n=n, timeline=True,
+                                 max_instructions=max_instructions,
+                                 tier1=tier1)
+            timeline = result.bc_timeline or []
+            row["break_even_vs_cpython_%s" % label] = \
+                break_even_instructions(timeline, cpy_rate)
+            row["break_even_vs_nojit_%s" % label] = \
+                break_even_instructions(timeline, nojit_rate)
+            row["rate_ratio_%s" % label] = (
+                result.bytecodes_per_insn / cpy_rate if cpy_rate else 0.0)
+            if tier1:
+                row["tier_stats"] = result.tier_stats
+        off = row["break_even_vs_cpython_off"]
+        tier = row["break_even_vs_cpython_tier1"]
+        if off is not None and tier is not None and off > 0:
+            row["break_even_reduction"] = 1.0 - tier / off
+        else:
+            row["break_even_reduction"] = None
+        rows.append(row)
+
+    def fmt(value):
+        return str(value) if value is not None else "-"
+
+    table_rows = [
+        (r["benchmark"],
+         fmt(r["break_even_vs_cpython_off"]),
+         fmt(r["break_even_vs_cpython_tier1"]),
+         "%.1f%%" % (100.0 * r["break_even_reduction"])
+         if r["break_even_reduction"] is not None else "-",
+         "%.2f" % r["rate_ratio_off"],
+         "%.2f" % r["rate_ratio_tier1"],
+         (r.get("tier_stats") or {}).get("promotions", 0))
+        for r in rows
+    ]
+    text = report.render_table(
+        ["benchmark", "break-even off", "break-even tier1", "reduction",
+         "rate off", "rate tier1", "promotions"],
+        table_rows,
+        title="Figure 5 (tier dimension): instructions to break even vs "
+              "CPython, threaded-code tier off vs on")
+    return rows, text
+
+
+# -- Figure 2, tier dimension: phase breakdown with the tier ------------------------------
+
+
+@_traced
+def fig2_tier(quick=False, programs=None):
+    """Fig 2's phase breakdown under tier ``off`` vs ``tier1``.
+
+    The tier shifts time *within* the interp phase (cheaper dispatch),
+    so its effect shows as the interpreter fraction shrinking relative
+    to GC and JIT phases — paired rows make the shift legible.
+    """
+    programs = programs or registry.pypy_suite()
+    run_many([job(p, "pypy", n=_n(p, quick), tier1=tier1)
+              for p in programs for tier1 in (False, True)])
+    rows = []
+    for program in programs:
+        n = _n(program, quick)
+        for tier1, label in ((False, "off"), (True, "tier1")):
+            result = run_program(program, "pypy", n=n, tier1=tier1)
+            rows.append(("%s/%s" % (program.name, label),
+                         result.phase_breakdown))
+    text = report.render_stacked(
+        rows, PHASE_NAMES,
+        title="Figure 2 (tier dimension): phase breakdown, tier off vs "
+              "tier1")
+    return rows, text
+
+
 # -- Figure 6: JIT IR compilation/usage statistics -------------------------------------------
 
 

@@ -23,7 +23,7 @@ from concurrent.futures import ProcessPoolExecutor
 from repro import telemetry
 from repro.benchprogs import registry
 from repro.core.config import (CLOCK_HZ, SystemConfig, _default_backend,
-                               _default_quicken)
+                               _default_quicken, _default_tier1)
 from repro.harness import store
 from repro.interp.context import VMContext
 from repro.jit import executor, jitlog
@@ -64,6 +64,9 @@ class RunResult(object):
         self.bytecodes = 0
         self.bc_timeline = None
         self.aot_rows = []
+        # Tier-1 promotion summary (TierManager.stats()) or None when
+        # the baseline threaded-code tier was off for this run.
+        self.tier_stats = None
         self.registry = None
         self.jitlog_obj = None
         self.gc_stats = None
@@ -123,7 +126,7 @@ def _resolve_program(program, language=None):
 
 
 def _base_config(max_instructions, jit_enabled, overrides, quicken=None,
-                 backend=None):
+                 backend=None, tier1=None):
     config = SystemConfig()
     config.max_instructions = max_instructions
     config.jit.enabled = jit_enabled
@@ -131,6 +134,8 @@ def _base_config(max_instructions, jit_enabled, overrides, quicken=None,
         config.quicken = bool(quicken)
     if backend is not None:
         config.sim_backend = backend
+    if tier1 is not None:
+        config.tier1 = bool(tier1)
     if overrides:
         for key, value in overrides.items():
             if hasattr(config.jit, key):
@@ -145,19 +150,24 @@ def _base_config(max_instructions, jit_enabled, overrides, quicken=None,
 
 
 def _result_key(program, vm_kind, n, timeline, max_instructions,
-                jit_overrides, predictor, quicken=None, backend=None):
+                jit_overrides, predictor, quicken=None, backend=None,
+                tier1=None):
     overrides_key = tuple(sorted((jit_overrides or {}).items()))
     # Quickening is proven counter-neutral, but on/off runs must not
     # share cache entries: the equivalence suite relies on both actually
     # simulating.  Same story for the backend: the compiled backends are
     # proven bit-identical, but the equivalence suite compares real runs.
+    # The tier, by contrast, *changes* simulated results, so it keys the
+    # caches for correctness, not just hygiene.
     if quicken is None:
         quicken = _default_quicken()
     if backend is None:
         backend = _default_backend()
+    if tier1 is None:
+        tier1 = _default_tier1()
     return (program.language, program.name, vm_kind, n, timeline,
             max_instructions, overrides_key, predictor, bool(quicken),
-            backend)
+            backend, bool(tier1))
 
 
 # -- result serialization (store payloads and worker IPC) -----------------------
@@ -167,7 +177,7 @@ _PLAIN_FIELDS = (
     "instructions", "ipc",
     "mpki", "truncated", "phase_windows", "phase_breakdown",
     "timeline_segments", "bytecodes", "bc_timeline", "aot_rows", "gc_stats",
-    "telemetry_events",
+    "tier_stats", "telemetry_events",
 )
 
 _SUMMARY_FIELDS = (
@@ -222,11 +232,13 @@ def _store_probe(key):
 
 def _simulate(result, program, vm_kind, n, source, timeline,
               max_instructions, jit_overrides, predictor, quicken,
-              backend, label, bus):
+              backend, tier1, label, bus):
     """Run one simulation, filling ``result``; returns the telemetry
     session (or None).  Callers hold the host GC pinned."""
     session = None
     if vm_kind == "native":
+        # The reference VMs have no dispatch loop to thread: tier1 is a
+        # meta-tracing-framework knob and is ignored here.
         config = _base_config(max_instructions, False, jit_overrides,
                               quicken=quicken, backend=backend)
         native = run_native(program.name, n, config, predictor=predictor)
@@ -255,7 +267,8 @@ def _simulate(result, program, vm_kind, n, source, timeline,
     else:
         jit_enabled = not vm_kind.endswith("_nojit")
         config = _base_config(max_instructions, jit_enabled, jit_overrides,
-                              quicken=quicken, backend=backend)
+                              quicken=quicken, backend=backend,
+                              tier1=tier1)
         ctx = VMContext(config, predictor=predictor, telemetry_label=label)
         session = ctx.telemetry
         tool = PinTool(ctx.machine, record_timeline=timeline,
@@ -275,6 +288,8 @@ def _simulate(result, program, vm_kind, n, source, timeline,
         result.registry = ctx.registry
         result.jitlog_obj = ctx.jitlog
         result.gc_stats = ctx.gc.stats()
+        if vm.driver.tier is not None:
+            result.tier_stats = vm.driver.tier.stats()
         result.aot_rows = tool.aotcalls.all_rows(ctx.machine.cycles)
     return session
 
@@ -282,7 +297,7 @@ def _simulate(result, program, vm_kind, n, source, timeline,
 def run_program(program, vm_kind, n=None, timeline=False,
                 max_instructions=0, jit_overrides=None,
                 predictor="gshare", use_cache=True, language=None,
-                quicken=None, backend=None):
+                quicken=None, backend=None, tier1=None):
     """Run ``program`` (a BenchProgram or name) on one VM configuration.
 
     ``quicken`` forces the host quickening fast path on/off for this run
@@ -292,6 +307,10 @@ def run_program(program, vm_kind, n=None, timeline=False,
     "python").  The backend is a host-side implementation detail proven
     counter-neutral; it still keys the result caches so equivalence
     suites compare real runs.
+    ``tier1`` forces the baseline threaded-code tier on/off (None: the
+    config default, i.e. off unless REPRO_TIER1=1).  Unlike the two
+    knobs above the tier changes *simulated* results — that is the
+    measurement.
     """
     global _SIM_COUNT
     program = _resolve_program(program, language)
@@ -304,7 +323,7 @@ def run_program(program, vm_kind, n=None, timeline=False,
         # payloads carry no event streams.
         use_cache = False
     key = _result_key(program, vm_kind, n, timeline, max_instructions,
-                      jit_overrides, predictor, quicken, backend)
+                      jit_overrides, predictor, quicken, backend, tier1)
     if use_cache:
         if key in _CACHE:
             return _CACHE[key]
@@ -332,12 +351,14 @@ def run_program(program, vm_kind, n=None, timeline=False,
     if bus is not None:
         bus.begin("run_program", "harness.runner",
                   {"program": program.name, "vm": vm_kind, "n": n,
-                   "backend": backend or _default_backend()})
+                   "backend": backend or _default_backend(),
+                   "tier": "tier1" if (tier1 if tier1 is not None
+                                      else _default_tier1()) else "off"})
 
     try:
         session = _simulate(result, program, vm_kind, n, source, timeline,
                             max_instructions, jit_overrides, predictor,
-                            quicken, backend, label, bus)
+                            quicken, backend, tier1, label, bus)
     finally:
         if gc_was_enabled:
             gc.enable()
@@ -366,7 +387,7 @@ def run_program(program, vm_kind, n=None, timeline=False,
 
 def job(program, vm_kind, n=None, timeline=False, max_instructions=0,
         jit_overrides=None, predictor="gshare", language=None,
-        quicken=None, backend=None):
+        quicken=None, backend=None, tier1=None):
     """Build a picklable job spec for :func:`run_many`."""
     program = _resolve_program(program, language)
     return {
@@ -380,6 +401,7 @@ def job(program, vm_kind, n=None, timeline=False, max_instructions=0,
         "predictor": predictor,
         "quicken": quicken,
         "backend": backend,
+        "tier1": tier1,
     }
 
 
@@ -388,7 +410,8 @@ def _job_key(spec):
     return _result_key(program, spec["vm_kind"], spec["n"],
                        spec["timeline"], spec["max_instructions"],
                        spec["jit_overrides"], spec["predictor"],
-                       spec.get("quicken"), spec.get("backend"))
+                       spec.get("quicken"), spec.get("backend"),
+                       spec.get("tier1"))
 
 
 def _run_job(spec):
@@ -409,7 +432,8 @@ def _run_job(spec):
         max_instructions=spec["max_instructions"],
         jit_overrides=spec["jit_overrides"],
         predictor=spec["predictor"], language=spec["language"],
-        quicken=spec.get("quicken"), backend=spec.get("backend"))
+        quicken=spec.get("quicken"), backend=spec.get("backend"),
+        tier1=spec.get("tier1"))
     return _result_to_payload(result)
 
 
@@ -462,7 +486,8 @@ def run_many(jobs, workers=None):
                     predictor=spec["predictor"],
                     language=spec["language"],
                     quicken=spec.get("quicken"),
-                    backend=spec.get("backend"))
+                    backend=spec.get("backend"),
+                    tier1=spec.get("tier1"))
         else:
             job_specs = [dict(spec) for _, spec in items]
             if recording:

@@ -40,6 +40,11 @@ class JitDriver(object):
         self.telemetry = ctx.telemetry
         self.hot_counters = {}
         self.abort_counts = {}
+        # Baseline threaded-code tier (repro.interp.tier1), or None when
+        # config.tier1 is off.  Installed by the guest VM constructor;
+        # kept on the driver because the promotion events are the same
+        # profiling events the hot counters use.
+        self.tier = None
         # True while a tracer is suspended for a call_assembler body:
         # no new trace/bridge recording may start (it would unwrap the
         # suspended tracer's boxed frames).
@@ -49,6 +54,12 @@ class JitDriver(object):
 
     def loop_header(self, interp, frame):
         """Called at each guest backward jump (``can_enter_jit``)."""
+        tier = self.tier
+        if tier is not None and self.ctx.tracer is None \
+                and frame.code not in tier.compiled:
+            # Tier-1 promotion counting runs below the JIT (and with the
+            # JIT disabled): the same profiling event, a lower threshold.
+            tier.bump(interp, frame.code)
         if not self.cfg.enabled or self.ctx.tracer is not None:
             return CONTINUE
         if self.paused_tracing:
@@ -165,6 +176,11 @@ class JitDriver(object):
                 t = self.telemetry
                 if t is not None:
                     t.count("interp.jitdriver.blacklisted_loops")
+                if self.tier is not None:
+                    # Control flow irregular enough to defeat the tracer
+                    # also defeats threaded code's monomorphic-dispatch
+                    # assumption: demote the code object and re-profile.
+                    self.tier.invalidate(key[0])
         else:
             guard = tracer.parent_guard
             if guard is not None and guard.bridge is None:

@@ -1,0 +1,191 @@
+"""The baseline threaded-code tier (tier-1 JIT).
+
+Meta-tracing VMs are two-mode systems: a (slow) interpreter and a
+(fast, but warmup-heavy) tracing JIT.  Izawa & Bolz-Tereick's
+multi-tier work derives a cheap middle tier from the same interpreter
+definition: hot code objects are compiled — per bytecode, no profiling
+of values — into *subroutine-threaded* handler sequences, so cold and
+warming code pays neither the full dispatch-loop overhead nor the cost
+of tracing.  This module is the guest-independent half of that tier:
+
+* :class:`TierManager` — the promotion state machine.  Guest hooks
+  (``JitDriver.loop_header`` at backward jumps and, for entry-profiled
+  guests, frame pushes) bump a per-code-object counter; at
+  ``config.jit.tier1_threshold`` (strictly below the hot-loop
+  threshold) the code object is compiled by the guest's
+  :class:`TierSpec` and execution switches to the threaded sequence.
+  Demotion (:meth:`TierManager.invalidate`) drops the threaded code and
+  restarts the counter in a new *generation*; the JitDriver demotes a
+  code object when the tracing tier blacklists one of its loops —
+  control flow irregular enough to defeat the tracer also defeats the
+  monomorphic-dispatch assumption threaded code is built on.
+
+* :class:`ThreadedCode` — the compiled artifact: per-pc site-keyed
+  dispatch hashes plus fused straight-line runs derived from the same
+  :func:`repro.interp.quicken.find_runs` analysis the quickening layer
+  uses, charged through the existing fused ``Machine`` entry points
+  (``dispatch_event`` / ``quick_run``), so every counter stays exact on
+  every simulation backend.
+
+What the tier changes — and what it must not change
+---------------------------------------------------
+
+Threaded code executes the *same* guest handlers in the same order: the
+guest-visible event sequence (stdout, DISPATCH/bytecode counts,
+conditional branches, allocations, GC collections, hot-loop counting,
+trace entries and the recorded trace IR) is identical with the tier on
+or off.  What changes is the *cost* of dispatch: the per-bytecode
+dispatch block shrinks from the interpreter's full fetch/decode
+sequence to a load of the next handler address plus the indirect jump,
+and the indirect-branch pc hash becomes a per-site constant (each
+threaded call site jumps to one handler) instead of the interpreter's
+shared, previous-opcode-correlated dispatch site — the classic
+threaded-code win on the BTB.  With ``config.tier1`` off nothing here
+is constructed and the dispatch loop is bit-identical to the two-mode
+system.
+
+Tracing always wins over the tier: while ``ctx.tracer`` is active the
+dispatch loop takes its ordinary unfused path, so the meta-interpreter
+records exactly the IR it would record from the plain interpreter
+(tier-1 code remains traceable), and compiled traces are entered from
+threaded code through the same ``loop_header`` hook.
+"""
+
+from repro.core import tags
+
+
+class ThreadedCode(object):
+    """Tier-1 compiled form of one guest code object.
+
+    * ``sites`` — per-pc dispatch pc hashes for the BTB: every threaded
+      call site is its own (near-monomorphic) indirect-branch site.
+    * ``runs`` — per-pc fused straight-line entries, same shape as the
+      quickening run table minus the predecessor-opcode guard (threaded
+      sites do not hash on the previous opcode):
+      ``(items, pairs, next_pc, last_op, n_insns)`` or ``None``.
+    * ``generation`` — the promotion generation this artifact belongs
+      to (diagnostics; a demoted-then-repromoted code object gets a
+      fresh artifact with the next generation number).
+    """
+
+    __slots__ = ("code", "sites", "runs", "generation")
+
+    def __init__(self, code, sites, runs, generation):
+        self.code = code
+        self.sites = sites
+        self.runs = runs
+        self.generation = generation
+
+    def __repr__(self):
+        fused = sum(1 for entry in self.runs if entry is not None)
+        return "<ThreadedCode %s gen=%d pcs=%d runs=%d>" % (
+            getattr(self.code, "name", self.code), self.generation,
+            len(self.sites), fused)
+
+
+class TierManager(object):
+    """Promotion state machine + threaded-code cache for one VM.
+
+    The manager is only constructed when ``config.tier1`` is set; every
+    hot-path hook first checks ``driver.tier is not None``, so the
+    disabled system is untouched.  ``epoch`` increments on every
+    promotion and demotion; dispatch loops cache the per-code lookup
+    and re-probe when the epoch moves, so a demotion mid-run takes
+    effect at the next bytecode boundary.
+    """
+
+    def __init__(self, ctx, spec):
+        self.ctx = ctx
+        self.spec = spec
+        self.threshold = ctx.config.jit.tier1_threshold
+        self.telemetry = ctx.telemetry
+        # code -> promotion counter (reset on promotion and demotion).
+        self.counters = {}
+        # code -> ThreadedCode for currently-promoted code objects.
+        self.compiled = {}
+        # code -> demotion count; the next promotion's generation.
+        self.generations = {}
+        # Monotonic; bumped by promote/invalidate for cache busting.
+        self.epoch = 0
+        self.promotions = 0
+        self.demotions = 0
+        self.compiled_ops = 0
+        # Whether the guest also bumps at frame entry (recursion-heavy
+        # guests promote through calls, not just backward jumps).
+        self.entry_profiling = spec.entry_profiling
+
+    # -- promotion -----------------------------------------------------------
+
+    def bump(self, interp, code):
+        """One profiling event for ``code``; promotes at the threshold.
+
+        Callers guarantee ``code not in self.compiled`` (the dispatch
+        loop only reaches the hooks for unpromoted code) and
+        ``ctx.tracer is None`` (no machine charges mid-recording).
+        """
+        count = self.counters.get(code, 0) + 1
+        if count >= self.threshold:
+            self.counters[code] = 0
+            self.promote(interp, code)
+        else:
+            self.counters[code] = count
+
+    def promote(self, interp, code):
+        """Compile ``code`` to threaded code, charging the machine.
+
+        The compile cost is bracketed by TIER1_COMPILE annotations
+        (interpreter-layer tags: the work is accounted to the interp
+        phase, like quickening would be in a real VM) and charged per
+        bytecode through ``exec_block``, so it lands at the exact
+        simulated point the promotion happens.
+        """
+        machine = self.ctx.machine
+        machine.annot(tags.TIER1_COMPILE_START,
+                      getattr(code, "name", None))
+        tcode = self.spec.compile(interp, code,
+                                  self.generations.get(code, 0))
+        machine.annot(tags.TIER1_COMPILE_STOP,
+                      getattr(code, "name", None))
+        self.compiled[code] = tcode
+        self.epoch += 1
+        self.promotions += 1
+        self.compiled_ops += len(tcode.sites)
+        t = self.telemetry
+        if t is not None:
+            t.count("interp.tier1.promotions")
+            t.count("interp.tier1.compiled_ops", len(tcode.sites))
+        return tcode
+
+    # -- demotion ------------------------------------------------------------
+
+    def invalidate(self, code):
+        """Demote ``code``: drop its threaded code, restart profiling.
+
+        Returns True when the code object was actually promoted.  The
+        counter resets and the generation advances whether or not a
+        compiled artifact existed, so a blacklisted-before-promotion
+        code object also starts a fresh generation.
+        """
+        was_promoted = self.compiled.pop(code, None) is not None
+        self.counters[code] = 0
+        self.generations[code] = self.generations.get(code, 0) + 1
+        self.epoch += 1
+        if was_promoted:
+            self.demotions += 1
+            t = self.telemetry
+            if t is not None:
+                t.count("interp.tier1.demotions")
+        return was_promoted
+
+    # -- reporting -----------------------------------------------------------
+
+    def stats(self):
+        """Plain-dict summary for RunResult / store payloads."""
+        return {
+            "promotions": self.promotions,
+            "demotions": self.demotions,
+            "promoted_now": len(self.compiled),
+            "compiled_ops": self.compiled_ops,
+            "threshold": self.threshold,
+            "entry_profiling": self.entry_profiling,
+        }

@@ -34,8 +34,10 @@ from repro.pylang.objects import (
     w_True,
     wrap_bool,
 )
+from repro.interp.tier1 import TierManager
 from repro.pylang.ops import OpsMixin
 from repro.pylang.quicken import build_run_table, op_charges
+from repro.pylang.tier1 import PY_TIER
 from repro.rlib.rbigint import BigInt
 
 _DISPATCH_MIX = insns.mix(load=8, alu=6, store=2, br_bulk=3)
@@ -70,6 +72,9 @@ class PyFrame(object):
 class PyVM(OpsMixin, CollectionsMixin, InstancesMixin):
     """One TinyPy virtual machine bound to a VM context."""
 
+    # Tier-1 policy (subclasses override; see pylang/tier1.py).
+    _tier1_spec = PY_TIER
+
     def __init__(self, ctx):
         self.ctx = ctx
         self.llops = ctx.llops
@@ -95,6 +100,13 @@ class PyVM(OpsMixin, CollectionsMixin, InstancesMixin):
         # bytecode at program entry and every quickening run table.  The
         # off path is this one attribute read per gate.
         self._verify = ctx.config.verify
+        # Baseline threaded-code tier (tier-1 JIT; repro.interp.tier1).
+        # Off by default: no blocks are interned, driver.tier stays
+        # None, and the dispatch loop below is bit-identical to the
+        # two-mode system.
+        if ctx.config.tier1:
+            self._tier1_spec.install_blocks(self)
+            self.driver.tier = TierManager(ctx, self._tier1_spec)
         self._init_instance_caches(machine)
         self._build_handlers()
 
@@ -165,10 +177,43 @@ class PyVM(OpsMixin, CollectionsMixin, InstancesMixin):
         tables = self._quicken_tables
         last_code = None
         runs = None
+        tier = self.driver.tier
+        b_tier = self._b_tier1_dispatch if tier is not None else None
+        tier_code = None
+        tier_epoch = -1
+        tcode = None
         while len(frames) > barrier:
             frame = frames[-1]
             pc = frame.pc
             opcode = frame.code.ops[pc]
+            if tier is not None and ctx.tracer is None:
+                code = frame.code
+                if code is not tier_code or tier.epoch != tier_epoch:
+                    # Promotions and demotions bump tier.epoch, so the
+                    # cached lookup revalidates at the next bytecode.
+                    tier_code = code
+                    tier_epoch = tier.epoch
+                    tcode = tier.compiled.get(code)
+                if tcode is not None:
+                    entry = tcode.runs[pc]
+                    if entry is not None:
+                        # Fused straight-line span of threaded code:
+                        # batch the site-keyed dispatches and handler
+                        # charges, then run the silent micro-handlers.
+                        quick_run(DISPATCH, b_tier, entry[0], entry[4])
+                        for fn, arg in entry[1]:
+                            fn(self, frame, arg)
+                        frame.pc = entry[2]
+                        prev_opcode = entry[3]
+                        continue
+                    # Threaded dispatch: same DISPATCH event and the
+                    # same handler, but a slim dispatch block and a
+                    # per-site (near-monomorphic) indirect-branch hash.
+                    dispatch_event(DISPATCH, b_tier, tcode.sites[pc],
+                                   opcode)
+                    prev_opcode = opcode
+                    retval = handlers[opcode](frame, frame.code.args[pc])
+                    continue
             if quicken and ctx.tracer is None:
                 code = frame.code
                 if code is not last_code:
@@ -699,6 +744,12 @@ class PyVM(OpsMixin, CollectionsMixin, InstancesMixin):
         new_frame = PyFrame(code, 0, locals_values, [], w_func.module,
                             discard_return)
         self.frames.append(new_frame)
+        tier = self.driver.tier
+        if tier is not None and tier.entry_profiling \
+                and self.ctx.tracer is None and code not in tier.compiled:
+            # Entry-profiled guests (TinyScheme) promote through calls:
+            # their loops are tail-recursive, not backward jumps.
+            tier.bump(self, code)
 
     def op_return_value(self, frame, arg):
         llops = self.llops

@@ -1,0 +1,126 @@
+"""TinyPy threaded-code compiler for the baseline tier (tier-1 JIT).
+
+The tier compiles a whole code object — no value profiling, no IR —
+into *subroutine-threaded* form: per bytecode, a call through a handler
+table replaces the interpreter's full fetch/decode dispatch sequence.
+On the virtual ISA that means two things:
+
+* the per-bytecode dispatch block shrinks from the interpreter's
+  ``_DISPATCH_MIX`` (19 insns of fetch, decode, bounds checks and bulk
+  branching) to :data:`_TIER1_DISPATCH_MIX` — load the next threaded
+  entry, advance, and take the indirect jump ``dispatch_event`` already
+  charges;
+* the indirect-branch pc hash becomes a *per-site* constant derived
+  from the code object and pc (every threaded call site jumps to one
+  handler) instead of the interpreter's shared, previous-opcode-keyed
+  dispatch site — each site is near-monomorphic in the BTB, the classic
+  threaded-code effect the two-mode system cannot show.
+
+Handler *bodies* are untouched: threaded code calls the exact op_*
+handlers the interpreter calls, in the same order, so the guest-visible
+event stream (stdout, DISPATCH counts, conditional branches,
+allocations, JitDriver hooks) is identical with the tier on or off.
+
+The unit of fusion is shared with quickening: straight-line runs of
+machine-silent bytecodes (:func:`repro.interp.quicken.find_runs` over
+the same fusable set) are batched through ``Machine.quick_run``, with
+the tier's dispatch block and site hashes in the items.  Unlike
+quickening, tier runs need no predecessor-opcode guard — threaded sites
+do not hash on the previous opcode — so runs may start at pc 0 and stay
+valid however control arrives.
+"""
+
+from repro.interp.quicken import find_runs
+from repro.interp.tier1 import ThreadedCode
+from repro.isa import insns
+from repro.pylang.quicken import _HANDLERS, JUMP_OPS
+
+# Threaded dispatch: load the next entry from the threaded table, bump
+# the thread pointer, and fall into the indirect jump (charged by
+# dispatch_event / quick_run on top of this block).
+_TIER1_DISPATCH_MIX = insns.mix(load=2, alu=1)
+
+# Per-bytecode translation cost, charged once at promotion: read the
+# bytecode, look up the handler address, emit the threaded entry.  At
+# the default tier1_threshold this amortizes within roughly one further
+# pass over the code object.
+_TIER1_COMPILE_MIX = insns.mix(load=4, alu=7, store=4)
+
+
+def _site_hash(seed, pc):
+    """BTB pc hash for one threaded call site.
+
+    A per-(code, pc) constant well away from the interpreter's shared
+    dispatch-site range (``0x200 + (prev_opcode << 3)``) and the guest
+    conditional-branch range, so threaded sites claim their own BTB
+    entries.
+    """
+    return 0x40000 + (((seed >> 3) ^ (pc * 0x9E37)) & 0x7FFFF)
+
+
+class TierSpec(object):
+    """Per-guest tier policy + threaded-code compiler.
+
+    TinyPy and TinyScheme share the bytecode format (RktVM inherits the
+    whole dispatch loop), so they share this compiler; what differs is
+    the *promotion policy*: ``entry_profiling`` guests also count frame
+    entries, because idiomatic Scheme loops are tail-recursive calls and
+    a backward-jump-only counter would never see them.
+    """
+
+    def __init__(self, name, entry_profiling):
+        self.name = name
+        self.entry_profiling = entry_profiling
+
+    def install_blocks(self, vm):
+        """Intern the tier's blocks on the VM's machine (no charges)."""
+        machine = vm.ctx.machine
+        vm._b_tier1_dispatch = machine.block(_TIER1_DISPATCH_MIX)
+        vm._b_tier1_compile = machine.block(_TIER1_COMPILE_MIX)
+
+    def compile(self, vm, code, generation):
+        """Compile ``code`` to a :class:`ThreadedCode`, charging the
+        per-bytecode translation cost at the current simulated point."""
+        machine = vm.ctx.machine
+        b_compile = vm._b_tier1_compile
+        b_dispatch = vm._b_tier1_dispatch
+        exec_block = machine.exec_block
+        ops = code.ops
+        args = code.args
+        n = len(ops)
+        for _ in range(n):
+            exec_block(b_compile)
+        seed = code.pc_seed
+        sites = tuple(_site_hash(seed, pc) for pc in range(n))
+        charges = vm._quicken_charges
+        jump_targets = set()
+        merge_targets = set()
+        for pc in range(n):
+            if ops[pc] in JUMP_OPS:
+                target = args[pc]
+                jump_targets.add(target)
+                if target <= pc:    # backward jump: JitDriver merge point
+                    merge_targets.add(target)
+        runs = [None] * n
+
+        def fusable(pc):
+            return ops[pc] in charges
+
+        for start, end in find_runs(n, fusable, jump_targets,
+                                    merge_targets, start_pc=0):
+            items = tuple(
+                (sites[j], ops[j], charges[ops[j]])
+                for j in range(start, end))
+            pairs = tuple(
+                (_HANDLERS[ops[j]], args[j]) for j in range(start, end))
+            n_insns = sum(
+                2 + b_dispatch.n_insns + sum(blk.n_insns for blk in blocks)
+                for _hash, _op, blocks in items)
+            runs[start] = (items, pairs, end, ops[end - 1], n_insns)
+        return ThreadedCode(code, sites, runs, generation)
+
+
+# TinyPy promotes on loop headers only: Python loops are backward jumps,
+# and counting at call sites as well would promote straight-line glue
+# code that never re-executes.
+PY_TIER = TierSpec("tinypy", entry_profiling=False)

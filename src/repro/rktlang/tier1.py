@@ -1,0 +1,18 @@
+"""TinyScheme tier-1 policy: entry-profiled promotion.
+
+TinyScheme compiles to the shared bytecode format (RktVM inherits the
+TinyPy dispatch loop wholesale, the Pycket-on-RPython story), so the
+threaded-code *compiler* is the shared one in :mod:`repro.pylang.tier1`.
+What is guest-specific is the promotion policy: idiomatic Scheme loops
+are tail-recursive named lets and helper functions, which the
+backward-jump-only counter TinyPy uses would never see — a ``(let loop
+...)`` body re-enters through ``push_call_frame``, not through a
+backward ``JUMP``.  The Scheme tier therefore also counts frame entries
+(``entry_profiling``), the same reason Pycket gives RPython's JitDriver
+a ``should_unroll_one_iteration`` hint keyed on application rather than
+loop back-edges.
+"""
+
+from repro.pylang.tier1 import TierSpec
+
+RKT_TIER = TierSpec("tinyscheme", entry_profiling=True)

@@ -25,6 +25,7 @@ from repro.pylang.objects import (
 )
 from repro.pylang.ops import is_intish
 from repro.rktlang.compiler import compile_rkt
+from repro.rktlang.tier1 import RKT_TIER
 
 
 def _nary_arith(method_name):
@@ -313,6 +314,10 @@ RKT_BUILTINS = {
 
 class RktVM(PyVM):
     """TinyRkt on the meta-tracing framework (the Pycket analogue)."""
+
+    # Scheme loops are tail calls: the tier also profiles frame entries
+    # (see rktlang/tier1.py).
+    _tier1_spec = RKT_TIER
 
     def run_source(self, source, module_name="<rkt>"):
         code = compile_rkt(source, module_name)

@@ -20,9 +20,12 @@ import json
 # Span name -> pintool phase (see repro.pintool.phases.PHASE_NAMES).
 # Optimizer/backend work happens while the tracer phase is open, which
 # is exactly how PhaseTracker attributes it (OPT/BACKEND tags are not
-# phase tags), so both map to "tracing" here.
+# phase tags), so both map to "tracing" here.  Tier-1 compilation runs
+# inside the interpreter phase the same way (TIER1_COMPILE tags are
+# not phase tags), so its span folds back into "interp".
 SPAN_PHASES = {
     "run": "interp",
+    "tier1_compile": "interp",
     "trace": "tracing",
     "bridge": "tracing",
     "optimize": "tracing",

@@ -36,6 +36,7 @@ _OPEN = {
     tags.BLACKHOLE_START: ("blackhole", "jit.blackhole"),
     tags.GC_MINOR_START: ("gc_minor", "gc.heap"),
     tags.GC_MAJOR_START: ("gc_major", "gc.heap"),
+    tags.TIER1_COMPILE_START: ("tier1_compile", "interp.tier1"),
 }
 
 _CLOSE = {
@@ -48,6 +49,7 @@ _CLOSE = {
     tags.BLACKHOLE_STOP: "blackhole",
     tags.GC_MINOR_STOP: "gc_minor",
     tags.GC_MAJOR_STOP: "gc_major",
+    tags.TIER1_COMPILE_STOP: "tier1_compile",
 }
 
 

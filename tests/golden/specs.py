@@ -87,6 +87,17 @@ ARTIFACTS = {
         experiments.fig9(quick=True, programs=_py(PY_SHORT))),
     "fig9_full": lambda: _text(
         experiments.fig9(quick=True, programs=_py(PY_FULL))),
+    # Tier-dimension artifacts: every job pins ``tier1`` explicitly, so
+    # these are independent of the REPRO_TIER1 env default (asserted by
+    # test_tier_artifacts_ignore_env).
+    "fig5_tier": lambda: _text(
+        experiments.fig5_tier(quick=True,
+                              programs=_py(("richards", "crypto_pyaes",
+                                            "float")))),
+    "fig2_tier": lambda: _text(
+        experiments.fig2_tier(quick=True, programs=_py(PY_SHORT))),
+    "ablation_tier": lambda: _text(
+        ablations.tier_ablation(quick=True)),
     "ablation_optimizer": lambda: _text(
         ablations.optimizer_ablation(quick=True)),
     "ablation_threshold": lambda: _text(

@@ -29,6 +29,11 @@ def update_goldens(request):
     return request.config.getoption("--update-goldens")
 
 
+# Artifacts whose jobs pin the tier explicitly (see specs.py); the
+# classic artifacts instead inherit the REPRO_TIER1 env default.
+TIER_ARTIFACTS = ("fig5_tier", "fig2_tier", "ablation_tier")
+
+
 # Every artifact is regenerated twice — quickened interpreters on and
 # off — against the SAME pinned golden: the quickening layer (DESIGN.md
 # §11) must be invisible in every figure, not just in raw counters.
@@ -36,6 +41,12 @@ def update_goldens(request):
 @pytest.mark.parametrize("name", sorted(specs.ARTIFACTS))
 def test_golden(name, quicken, update_goldens, monkeypatch):
     monkeypatch.setenv("REPRO_QUICKEN", "1" if quicken == "on" else "0")
+    # The classic figures pin the paper's two-mode system: the
+    # threaded-code tier stays off regardless of the ambient env, so
+    # running this suite under REPRO_TIER1=1 (the CI tier job) cannot
+    # drift them.  The tier-dimension artifacts carry the knob in
+    # their job specs instead.
+    monkeypatch.setenv("REPRO_TIER1", "0")
     fresh = specs.ARTIFACTS[name]()
     if not fresh.endswith("\n"):
         fresh += "\n"
@@ -55,6 +66,26 @@ def test_golden(name, quicken, update_goldens, monkeypatch):
         "golden %r drifted (%d mismatch(es)); rerun with --update-goldens "
         "if intentional:\n%s" % (name, len(mismatches),
                                  "\n".join(mismatches)))
+
+
+@pytest.mark.parametrize("name", TIER_ARTIFACTS)
+def test_tier_artifacts_ignore_env(name, monkeypatch):
+    """The tier artifacts must render identically under REPRO_TIER1=1:
+    every job in their generators pins ``tier1`` explicitly, so the env
+    default has nothing left to decide."""
+    monkeypatch.setenv("REPRO_TIER1", "1")
+    fresh = specs.ARTIFACTS[name]()
+    if not fresh.endswith("\n"):
+        fresh += "\n"
+    path = os.path.join(GOLDEN_DIR, name + ".txt")
+    assert os.path.exists(path), (
+        "no golden for %r — run with --update-goldens first" % name)
+    with open(path) as handle:
+        golden = handle.read()
+    mismatches = compare_text(golden, fresh)
+    assert not mismatches, (
+        "tier artifact %r depends on the REPRO_TIER1 env:\n%s"
+        % (name, "\n".join(mismatches)))
 
 
 def test_goldens_cover_every_results_artifact():

@@ -74,8 +74,11 @@ def test_quickening_actually_engages(monkeypatch):
     otherwise the equivalence above is vacuous."""
     # Pin the reference backend: the compiled backends install quick_run
     # as a per-instance kernel, which would bypass the class-level
-    # monkeypatch this test counts with.
+    # monkeypatch this test counts with.  Pin the threaded-code tier
+    # off too — tier-1 dispatch batches through quick_run as well,
+    # which would break the quicken-off == 0 claim below.
     monkeypatch.setenv("REPRO_BACKEND", "python")
+    monkeypatch.setenv("REPRO_TIER1", "0")
     calls = [0]
     orig = Machine.quick_run
 

@@ -1,0 +1,189 @@
+"""Tier-1 equivalence battery: the threaded-code tier changes cost,
+never behavior — and off means bit-for-bit off.
+
+Three claims, mirroring tests/interp/test_quicken_equivalence.py:
+
+* **Off is really off**: with ``tier1=False`` the tier constructs
+  nothing (``driver.tier is None``, no blocks interned) and every
+  counter is bit-identical to a run where the knob was never mentioned
+  — the default simulation stays the paper's two-mode system.  (The
+  golden suite separately pins that the classic artifacts are unchanged
+  under ``REPRO_TIER1=0``.)
+
+* **On changes cost only**: tier1-on vs tier1-off agree exactly on
+  guest stdout, bytecode (DISPATCH) counts, truncation, and the jitlog
+  event stream (hot-loop counting and trace recording are tier-blind);
+  cycles *differ* — that is the measurement — and on dispatch-dominated
+  no-JIT runs they must drop.  On the reference VMs (cpython/racket),
+  which have no dispatch loop to thread, the knob is inert and
+  everything is bit-identical.
+
+* **On is deterministic across the host matrix**: with the tier on,
+  every counter — cycles by ``==`` and ``repr``, phase windows, jitlog
+  — is identical across quicken on/off and across every simulation
+  backend.  The tier charges through the same fused ``Machine`` entry
+  points, so host-side fast paths still cannot drift.
+"""
+
+import pytest
+
+from repro.benchprogs import registry
+from repro.difftest import oracle
+from repro.difftest.generator import generate_program
+from repro.harness import runner
+from repro.uarch.machine import Machine
+
+BENCH_CONFIGS = [
+    ("richards", "python", "pypy"),
+    ("richards", "python", "pypy_nojit"),
+    ("crypto_pyaes", "python", "cpython"),
+    ("nbody", "python", "pypy"),
+    ("fannkuch", "racket", "pycket"),
+    ("fannkuch", "racket", "racket"),
+]
+
+# VM kinds whose dispatch loop the tier actually threads.
+TIERED_VMS = ("pypy", "pypy_nojit", "pycket", "pycket_nojit")
+
+
+def _backends():
+    from repro.backend import native as native_backend
+
+    backends = ["python", "fast"]
+    if native_backend.machine_class_or_none() is not None:
+        backends.append("native")
+    return backends
+
+
+def _measure(program_name, language, vm_kind, tier1, quicken=None,
+             backend=None):
+    program = (registry.py_program(program_name) if language == "python"
+               else registry.rkt_program(program_name))
+    result = runner.run_program(program, vm_kind, use_cache=False,
+                                tier1=tier1, quicken=quicken,
+                                backend=backend)
+    phases = tuple(
+        (w.instructions, w.cycles, w.branches, w.branch_misses)
+        for w in result.phase_windows) if result.phase_windows else None
+    jitlog = (repr(result.jitlog_obj.events)
+              if result.jitlog_obj is not None else None)
+    return {
+        "instructions": result.instructions,
+        "cycles": result.cycles,
+        "cycles_repr": repr(result.cycles),
+        "ipc": repr(result.ipc),
+        "mpki": repr(result.mpki),
+        "truncated": result.truncated,
+        "bytecodes": result.bytecodes,
+        "output": result.output,
+        "phase_windows": phases,
+        "phase_breakdown": tuple(sorted(result.phase_breakdown.items())),
+        "jitlog": jitlog,
+        "tier_stats": result.tier_stats,
+    }
+
+
+# What must agree between tier-on and tier-off runs: the guest-visible
+# event stream, not the costs.
+BEHAVIOR_FIELDS = ("output", "truncated", "bytecodes", "jitlog")
+
+
+@pytest.mark.parametrize("program,language,vm_kind", BENCH_CONFIGS)
+def test_benchmarks_behavior_identical(program, language, vm_kind):
+    on = _measure(program, language, vm_kind, tier1=True)
+    off = _measure(program, language, vm_kind, tier1=False)
+    for field in BEHAVIOR_FIELDS:
+        assert on[field] == off[field], field
+    assert off["tier_stats"] is None
+    if vm_kind in TIERED_VMS:
+        # The tier must have engaged (these benchmarks all have hot
+        # code objects) and changed simulated cost.
+        assert on["tier_stats"]["promotions"] > 0
+        assert on["cycles"] != off["cycles"]
+        if vm_kind.endswith("_nojit"):
+            # Dispatch-dominated: threading the dispatch must pay even
+            # after the per-bytecode compile charges.
+            assert on["cycles"] < off["cycles"]
+    else:
+        # Reference VMs have no dispatch loop to thread: the knob is
+        # inert and everything — cycles to the last bit — matches.
+        assert on == off
+
+
+@pytest.mark.parametrize("program,language,vm_kind", BENCH_CONFIGS)
+def test_tier_on_bit_identical_across_host_matrix(program, language,
+                                                  vm_kind):
+    """quicken x backend must not perturb a tier-on run by one bit."""
+    baseline = _measure(program, language, vm_kind, tier1=True,
+                        quicken=True, backend="python")
+    for backend in _backends():
+        for quicken in (True, False):
+            if quicken and backend == "python":
+                continue
+            other = _measure(program, language, vm_kind, tier1=True,
+                             quicken=quicken, backend=backend)
+            for field in baseline:
+                assert baseline[field] == other[field], (
+                    field, quicken, backend)
+
+
+def test_tier_actually_engages(monkeypatch):
+    """The tier-on run must dispatch through the threaded path —
+    otherwise the equivalence above is vacuous."""
+    monkeypatch.setenv("REPRO_BACKEND", "python")
+    # Count batched quick_run calls issued with the tier's slim dispatch
+    # block (3 insns) rather than the interpreter's (19 insns).
+    tier_batches = [0]
+    orig = Machine.quick_run
+
+    def counting(self, tag, b, items, n_insns):
+        if b.n_insns == 3:
+            tier_batches[0] += 1
+        return orig(self, tag, b, items, n_insns)
+
+    monkeypatch.setattr(Machine, "quick_run", counting)
+    on = _measure("richards", "python", "pypy_nojit", tier1=True)
+    assert on["tier_stats"]["promotions"] > 0
+    assert tier_batches[0] > 100  # real threaded execution, not strays
+
+    tier_batches[0] = 0
+    off = _measure("richards", "python", "pypy_nojit", tier1=False)
+    assert off["tier_stats"] is None
+    assert tier_batches[0] == 0  # the knob really disables the layer
+
+
+@pytest.mark.parametrize("seed", range(9400, 9420))
+def test_generated_programs_behavior_identical(seed):
+    """Difftest-generated TinyPy programs: direct-mode runs with the
+    tier on vs off agree on the guest-visible event stream, and the
+    tier-on run is itself bit-stable under quickening."""
+    source = generate_program(seed)
+    cap = 60_000_000
+    on = oracle.run_interp(source, jit=False, tier1=True,
+                           max_instructions=cap, name="tier1")
+    off = oracle.run_interp(source, jit=False, tier1=False,
+                            max_instructions=cap)
+    if on.truncated or off.truncated:
+        # The instruction cap bites at different simulated costs, so
+        # the cheaper run gets further; behavior agreement degrades to
+        # the shared prefix of the event stream.
+        shorter, longer = sorted((on.output, off.output), key=len)
+        assert longer.startswith(shorter)
+    else:
+        assert on.output == off.output
+        assert (on.error is None) == (off.error is None)
+        assert on.tool.bcrate.bytecodes == off.tool.bcrate.bytecodes
+
+    # Bit-identity within the tier: quickening must stay invisible even
+    # when the tier rewrote the hot code objects.
+    on_noquicken = oracle.run_interp(source, jit=False, tier1=True,
+                                     max_instructions=cap,
+                                     quicken=False, name="tier1-nq")
+    for field in ("instructions", "cycles", "branches", "branch_misses",
+                  "loads", "stores", "annotations"):
+        a = getattr(on.machine, field)
+        b = getattr(on_noquicken.machine, field)
+        assert a == b, field
+        assert repr(a) == repr(b), field
+    assert tuple(on.machine.class_counts) == \
+        tuple(on_noquicken.machine.class_counts)

@@ -1,0 +1,110 @@
+"""Property tests for the tier-1 promotion state machine.
+
+Three invariants the threaded-code tier must hold for *any* workload:
+
+* **Monotonic promotion** — a code object is promoted exactly when its
+  loop-header count reaches ``tier1_threshold``, never before, and the
+  counter resets on promotion.
+* **Demotion on invalidation** — invalidating a promoted code object
+  demotes it (new generation, bumped epoch, counter reset) and the next
+  promotion compiles a fresh :class:`ThreadedCode`; invalidating a cold
+  code object is a no-op.
+* **Tracing supremacy** — the meta-tracer always sees the unfused
+  interpreter stream, so tracing out of threaded code records exactly
+  the IR tracing out of the interpreter records.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import SystemConfig
+from repro.difftest import oracle
+from repro.interp.context import VMContext
+from repro.pylang.compiler import compile_source
+from repro.pylang.interp import PyVM
+
+
+def _fresh_vm(threshold):
+    cfg = SystemConfig()
+    cfg.tier1 = True
+    cfg.jit.tier1_threshold = threshold
+    return PyVM(VMContext(cfg))
+
+
+@given(st.integers(1, 50), st.integers(0, 120))
+@settings(max_examples=60, deadline=None)
+def test_promotion_is_monotonic_at_threshold(threshold, visits):
+    vm = _fresh_vm(threshold)
+    tier = vm.driver.tier
+    code = compile_source("x = 1\n")
+    # Replay the jitdriver's loop-header protocol: bump until promoted,
+    # then stop profiling (the driver skips compiled code objects).
+    for _ in range(visits):
+        if code not in tier.compiled:
+            tier.bump(vm, code)
+    promoted = code in tier.compiled
+    assert promoted == (visits >= threshold)
+    assert tier.promotions == (1 if promoted else 0)
+    if promoted:
+        assert tier.counters[code] == 0
+        assert tier.compiled[code].generation == 0
+    else:
+        assert tier.counters.get(code, 0) == visits
+
+
+@given(st.integers(1, 30))
+@settings(max_examples=30, deadline=None)
+def test_invalidation_demotes_and_recompiles(threshold):
+    vm = _fresh_vm(threshold)
+    tier = vm.driver.tier
+    code = compile_source("y = 2\n")
+
+    # Cold invalidation is a no-op.
+    assert tier.invalidate(code) is False
+    assert tier.demotions == 0
+
+    for _ in range(threshold):
+        tier.bump(vm, code)
+    first = tier.compiled[code]
+    epoch_before = tier.epoch
+
+    assert tier.invalidate(code) is True
+    assert code not in tier.compiled
+    assert tier.demotions == 1
+    assert tier.epoch > epoch_before  # busts interpreter-local caches
+    assert tier.counters[code] == 0   # must re-earn its heat
+
+    for _ in range(threshold):
+        tier.bump(vm, code)
+    second = tier.compiled[code]
+    assert second is not first
+    assert second.generation == first.generation + 1
+    assert tier.promotions == 2
+
+
+_trace_programs = st.builds(
+    lambda iters, mult, bias: (
+        "acc = 0\n"
+        "for i in range(%d):\n"
+        "    acc = acc + i * %d - (acc >> 2) + %d\n"
+        "print(acc)\n" % (iters, mult, bias)),
+    st.integers(30, 120), st.integers(1, 9), st.integers(-5, 5))
+
+
+@given(_trace_programs)
+@settings(max_examples=12, deadline=None)
+def test_trace_from_tier1_matches_trace_from_interp(source):
+    # Threshold 7 with the tier's default promotion threshold (13)
+    # interleaves both orders: sometimes tracing starts from threaded
+    # code, sometimes the tier promotes code the tracer already owns.
+    on = oracle.run_interp(source, jit=True, threshold=7,
+                           bridge_threshold=2, tier1=True, name="t1jit")
+    off = oracle.run_interp(source, jit=True, threshold=7,
+                            bridge_threshold=2, tier1=False)
+    assert on.output == off.output
+    assert on.error is None and off.error is None
+    assert repr(on.ctx.jitlog.events) == repr(off.ctx.jitlog.events)
+    a_ops = [(repr(t.greenkey), [oracle._stable_repr(op) for op in t.ops])
+             for t in on.ctx.registry.traces]
+    b_ops = [(repr(t.greenkey), [oracle._stable_repr(op) for op in t.ops])
+             for t in off.ctx.registry.traces]
+    assert a_ops == b_ops

@@ -67,6 +67,12 @@ QUICK_SET = (
 
 DEFAULT_TRIALS = 3  # report min-of-N to suppress scheduler noise
 
+# Short-running workloads for the tier-1 break-even section: programs
+# where warmup is a visible fraction of the run, so the threaded-code
+# tier has a window to shrink.
+TIER_SET = ("richards", "crypto_pyaes", "float", "chaos", "spitfire",
+            "telco")
+
 
 def _find_reports():
     """All existing BENCH_<n>.json reports as sorted (n, path) pairs."""
@@ -128,6 +134,36 @@ def time_one(name, language, vm_kind, trials, backend=None):
         if best is None or elapsed < best:
             best = elapsed
     return best, instructions
+
+
+def tier_break_even():
+    """Per-tier warmup rows: instructions to break even vs CPython with
+    the threaded-code tier off and on (see experiments.fig5_tier)."""
+    from repro.harness import experiments
+
+    programs = [registry.py_program(name) for name in TIER_SET]
+    rows, _text = experiments.fig5_tier(quick=True, programs=programs)
+    out = []
+    for row in rows:
+        stats = row.get("tier_stats") or {}
+        out.append({
+            "benchmark": row["benchmark"],
+            "break_even_off": row["break_even_vs_cpython_off"],
+            "break_even_tier1": row["break_even_vs_cpython_tier1"],
+            "break_even_reduction": (
+                round(row["break_even_reduction"], 4)
+                if row["break_even_reduction"] is not None else None),
+            "rate_ratio_off": round(row["rate_ratio_off"], 3),
+            "rate_ratio_tier1": round(row["rate_ratio_tier1"], 3),
+            "promotions": stats.get("promotions", 0),
+        })
+        print("tier %-14s break-even off %-9s tier1 %-9s reduction %s"
+              % (row["benchmark"],
+                 row["break_even_vs_cpython_off"] or "-",
+                 row["break_even_vs_cpython_tier1"] or "-",
+                 "%.1f%%" % (100.0 * row["break_even_reduction"])
+                 if row["break_even_reduction"] is not None else "-"))
+    return out
 
 
 def profile_quick_set():
@@ -215,6 +251,7 @@ def main(argv=None):
         "trials": args.trials,
         "backends": backends,
         "benchmarks": rows,
+        "tier_break_even": tier_break_even(),
     }
     if python_walls:
         report.update({

@@ -180,11 +180,19 @@ def main(argv=None):
     with open(BASELINE_PATH) as handle:
         baseline = json.load(handle)
     floor = baseline["line_percent"] - args.margin
-    print("baseline %.2f%% (recorded with %s), floor %.2f%%"
-          % (baseline["line_percent"], baseline.get("backend", "?"), floor))
+    delta = percent - baseline["line_percent"]
+    print("baseline %.2f%% (recorded with %s), floor %.2f%%, "
+          "delta %+.2f points"
+          % (baseline["line_percent"], baseline.get("backend", "?"),
+             floor, delta))
     if percent < floor:
-        print("COVERAGE REGRESSION: %.2f%% < %.2f%%" % (percent, floor))
+        print("COVERAGE REGRESSION: %.2f%% < %.2f%% (%+.2f points vs "
+              "baseline; if the drop is intentional, re-record with "
+              "--record)" % (percent, floor, delta))
         return 1
+    if delta > args.margin:
+        print("note: coverage is %+.2f points above baseline — "
+              "consider re-recording so the gate stays tight" % delta)
     print("coverage gate passed")
     return 0
 
