@@ -115,6 +115,8 @@ void rt_ret(SimState *st, long long pc);
 int  rt_exec_bulk_branches(SimState *st, long long count, double rate);
 void rt_load(SimState *st, long long addr);
 void rt_store(SimState *st, long long addr);
+void rt_exec_program(SimState *st, long long n, const long long *words,
+                     const long long *operands);
 void rt_reset(SimState *st);
 """ % {"n_classes": N_CLASSES}
 
@@ -466,6 +468,94 @@ void rt_store(SimState *st, long long addr)
     st->class_counts[K_STORE] += 1;
     st->cycles += st->store_cost;
     st->cycles += 0.3 * dc_access(st, addr);
+}
+
+/* Event-program replayer (repro.backend.eventprog): a flat word array
+ * encoding an ordered event sequence, retired in one FFI call.  Word
+ * opcodes mirror eventprog.W_*; fused Python-side events were lowered
+ * to their primitive concatenation before marshaling.  No limit checks
+ * — the Python gate's program-level precheck proved the whole program
+ * cannot cross, and instructions only grows, so every intermediate
+ * batched precheck would pass too (same argument as the run loops
+ * above).  Dynamic load/store addresses are read from operands[slot],
+ * written by the generated driver immediately before the call.  The
+ * bulk rate travels as its IEEE-754 bit pattern so it round-trips
+ * exactly. */
+void rt_exec_program(SimState *st, long long n, const long long *words,
+                     const long long *operands)
+{
+    long long i = 0;
+    while (i < n) {
+        switch ((int)words[i]) {
+        case 1:  /* W_EXEC_BLOCK bid */
+            exec_block_nolimit(st, (int)words[i + 1]);
+            i += 2;
+            break;
+        case 2:  /* W_BRANCH_BLOCK pc bid */
+            st->instructions += 1;
+            st->branches += 1;
+            st->class_counts[K_BR_COND] += 1;
+            st->cycles += st->inv_width;
+            if (cond_predict(st, words[i + 1], 0)) {
+                st->branch_misses += 1;
+                st->cycles += st->mispredict_penalty;
+            }
+            exec_block_nolimit(st, (int)words[i + 2]);
+            i += 3;
+            break;
+        case 3:  /* W_BRANCH pc taken */
+            rt_branch(st, words[i + 1], (int)words[i + 2]);
+            i += 3;
+            break;
+        case 4:  /* W_ANNOT n */
+            rt_annot_batch(st, words[i + 1]);
+            i += 2;
+            break;
+        case 5:  /* W_LOAD slot */
+            rt_load(st, operands[words[i + 1]]);
+            i += 2;
+            break;
+        case 6:  /* W_STORE slot */
+            rt_store(st, operands[words[i + 1]]);
+            i += 2;
+            break;
+        case 7:  /* W_CALL pc */
+            rt_call(st, words[i + 1]);
+            i += 2;
+            break;
+        case 8:  /* W_RET pc */
+            rt_ret(st, words[i + 1]);
+            i += 2;
+            break;
+        case 9:  /* W_DISPATCH bid pc target */
+            rt_dispatch_event(st, (int)words[i + 1], words[i + 2],
+                              words[i + 3]);
+            i += 4;
+            break;
+        case 10:  /* W_DISPATCH2 bid b2id pc target */
+            rt_dispatch_event2(st, (int)words[i + 1], (int)words[i + 2],
+                               words[i + 3], words[i + 4]);
+            i += 5;
+            break;
+        case 11: {  /* W_BULK count rate_bits */
+            union { long long bits; double rate; } pun;
+            pun.bits = words[i + 2];
+            st->instructions += words[i + 1];
+            st->branches += words[i + 1];
+            st->class_counts[K_BR_COND] += words[i + 1];
+            {
+                long long misses;
+                BULK_CHARGE(st, words[i + 1], pun.rate, misses);
+                st->cycles += (double)words[i + 1] * st->inv_width
+                    + (double)misses * st->mispredict_penalty;
+            }
+            i += 3;
+            break;
+        }
+        default:
+            return;  /* unreachable for well-formed programs */
+        }
+    }
 }
 
 void rt_reset(SimState *st)

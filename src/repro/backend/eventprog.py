@@ -1,0 +1,579 @@
+"""Event programs: pre-compiled machine-event sequences replayed in one call.
+
+The compiled backends (DESIGN.md SS13) made the individual Machine kernels
+cheap, but every hot driver loop -- a JIT trace iteration, a tier-1
+threaded block, a quickened interpreter run -- still crosses from Python
+into the kernels dozens of times per pass, so the crossings themselves
+became the wall (ROADMAP "Amdahl wall" item).  An *event program* closes
+that gap: it encodes an ordered sequence of already-shipped kernel
+operations as a compact bytecode built once per hot site, then replays
+the whole sequence with a single ``machine.exec_program`` call.  On the
+native backend that is one FFI crossing per program (``rt_exec_program``
+walks a flat word array inside C); on the fast backend one pre-bound
+thunk list; on the reference backend the program is replayed through the
+ordinary public kernel methods, so python-backend semantics stay the
+single source of truth.
+
+Bit-identity is by construction: a program stores the *same* events, in
+the *same* order, with the *same* arguments as the direct calls it
+replaces, and every replayer retires them through kernels already proven
+bit-identical (tests/backend/).  The only behavioral latitude -- batching
+runner notifications after the charges instead of interleaved -- is
+exactly the latitude the batched kernels of DESIGN.md SS11/SS13 already
+took, and is guarded by the same gates: a program whose tags face
+non-batched listeners, or whose total ``n_insns`` could cross
+``max_instructions``, is replayed through the reference path instead
+(with the fallback recorded in :data:`STATS`).
+
+Event tuples are ``(kind, ...)`` with the kinds below; ``ProgramBuilder``
+is the one place that knows each event's instruction cost and runner
+notification, so encoders cannot drift from the replayers.
+"""
+
+import json
+import os
+import struct
+
+# ---------------------------------------------------------------------------
+# Event kinds.  Tuple layouts (descr = BlockDescr):
+#
+#   (EV_EXEC_BLOCK, descr)
+#   (EV_BRANCH_BLOCK, pc, descr)
+#   (EV_BRANCH, pc, taken)
+#   (EV_ANNOT_RUN, tag, n)
+#   (EV_LOAD, slot)                      operand address in operands[slot]
+#   (EV_STORE, slot)
+#   (EV_CALL, pc)
+#   (EV_RET, pc)
+#   (EV_DISPATCH, tag, descr, pc, target)
+#   (EV_DISPATCH2, tag, descr, pc, target, descr2)
+#   (EV_BULK, count, rate)
+#   (EV_BRBA, pc, descr, tag, n)         branch_block_annot_run
+#   (EV_LOAD_ANNOT, slot, tag, n)
+#   (EV_STORE_ANNOT, slot, tag, n)
+#   (EV_QUICK_RUN, tag, descr, items, n_insns)
+#   (EV_DISPATCH_RUN, tag, descr, items, n_insns)
+#   (EV_BC, counts_list, index)          zero-cost host-side counter bump
+# ---------------------------------------------------------------------------
+
+(EV_EXEC_BLOCK,
+ EV_BRANCH_BLOCK,
+ EV_BRANCH,
+ EV_ANNOT_RUN,
+ EV_LOAD,
+ EV_STORE,
+ EV_CALL,
+ EV_RET,
+ EV_DISPATCH,
+ EV_DISPATCH2,
+ EV_BULK,
+ EV_BRBA,
+ EV_LOAD_ANNOT,
+ EV_STORE_ANNOT,
+ EV_QUICK_RUN,
+ EV_DISPATCH_RUN,
+ EV_BC) = range(17)
+
+
+# Native word opcodes (cgen.py rt_exec_program's switch).  Fused events
+# lower to the concatenation of their primitive words -- the batched
+# kernels are documented (kernelspec) as exactly that concatenation, so
+# the word stream retires bit-identically.
+W_EXEC_BLOCK = 1
+W_BRANCH_BLOCK = 2
+W_BRANCH = 3
+W_ANNOT = 4
+W_LOAD = 5
+W_STORE = 6
+W_CALL = 7
+W_RET = 8
+W_DISPATCH = 9
+W_DISPATCH2 = 10
+W_BULK = 11
+
+
+STATS = {
+    "programs": 0,           # EventPrograms built this process
+    "events": 0,             # events across built programs
+    "native_fallback_limit": 0,     # native replays: limit could cross
+    "native_fallback_listener": 0,  # native replays: per-primitive listener
+    "cache_hits": 0,         # trace-program disk cache
+    "cache_misses": 0,
+    "cache_errors": 0,       # unreadable/stale cache entries (recounted as miss)
+    "trace_calls_before": 0,  # per-line machine calls a trace body made
+    "trace_calls_after": 0,   # calls left after segmenting (flushes + kept)
+    "trace_segments": 0,      # segments converted to programs
+}
+
+
+def reset_stats():
+    for key in STATS:
+        STATS[key] = 0
+
+
+def stats_snapshot():
+    return dict(STATS)
+
+
+class EventProgram(object):
+    """An immutable ordered sequence of machine events.
+
+    ``n_insns`` is the exact total instruction count the program retires,
+    ``notes`` the ordered ``(tag, n)`` runner notifications the reference
+    replay would emit, ``tags`` every annotation tag the program touches
+    (the listener gate checks these), and ``n_slots`` how many operand
+    slots (dynamic load/store addresses) the caller must supply.
+    """
+
+    __slots__ = ("events", "n_insns", "notes", "tags", "n_slots",
+                 "bc_list", "bc_totals", "label")
+
+    def __init__(self, events, n_insns, notes, tags, n_slots,
+                 bc_list=None, bc_totals=(), label=None):
+        self.events = tuple(events)
+        self.n_insns = n_insns
+        self.notes = tuple(notes)
+        self.tags = frozenset(tags)
+        self.n_slots = n_slots
+        # EV_BC bookkeeping: the host-side counter list the program bumps
+        # (the trace's per-block exec counts) and the aggregated
+        # (index, count) totals the native path applies after the C call
+        # — ordering vs charges only matters across a limit raise, and
+        # the native path is only taken when no raise is possible.
+        self.bc_list = bc_list
+        self.bc_totals = tuple(bc_totals)
+        self.label = label
+
+    def __len__(self):
+        return len(self.events)
+
+    def __repr__(self):
+        return "<EventProgram %s: %d events, %d insns, %d slots>" % (
+            self.label or "?", len(self.events), self.n_insns, self.n_slots)
+
+
+class ProgramBuilder(object):
+    """Accumulates events; the single authority on per-event costs/notes."""
+
+    def __init__(self, label=None):
+        self.label = label
+        self._events = []
+        self._n_insns = 0
+        self._notes = []
+        self._tags = set()
+        self._n_slots = 0
+        self._bc_list = None
+        self._bc_counts = {}
+
+    def __len__(self):
+        return len(self._events)
+
+    # -- primitive events ---------------------------------------------------
+
+    def exec_block(self, descr):
+        self._events.append((EV_EXEC_BLOCK, descr))
+        self._n_insns += descr.n_insns
+
+    def branch_block(self, pc, descr):
+        self._events.append((EV_BRANCH_BLOCK, pc, descr))
+        self._n_insns += 1 + descr.n_insns
+
+    def branch(self, pc, taken):
+        self._events.append((EV_BRANCH, pc, taken))
+        self._n_insns += 1
+
+    def annot(self, tag):
+        # annot(tag) == annot_run(tag, 1) in every gate case (the batched
+        # kernel's per-primitive path loops over annot), so bare annots
+        # encode as one-element runs.
+        self.annot_run(tag, 1)
+
+    def annot_run(self, tag, n):
+        self._events.append((EV_ANNOT_RUN, tag, n))
+        self._n_insns += n
+        self._notes.append((tag, n))
+        self._tags.add(tag)
+
+    def load(self, slot):
+        self._events.append((EV_LOAD, slot))
+        self._n_insns += 1
+        self._track_slot(slot)
+
+    def store(self, slot):
+        self._events.append((EV_STORE, slot))
+        self._n_insns += 1
+        self._track_slot(slot)
+
+    def call(self, pc):
+        self._events.append((EV_CALL, pc))
+        self._n_insns += 1
+
+    def ret(self, pc):
+        self._events.append((EV_RET, pc))
+        self._n_insns += 1
+
+    def dispatch_event(self, tag, descr, pc, target):
+        self._events.append((EV_DISPATCH, tag, descr, pc, target))
+        self._n_insns += 2 + descr.n_insns
+        self._notes.append((tag, 1))
+        self._tags.add(tag)
+
+    def dispatch_event2(self, tag, descr, pc, target, descr2):
+        self._events.append((EV_DISPATCH2, tag, descr, pc, target, descr2))
+        self._n_insns += 2 + descr.n_insns + descr2.n_insns
+        self._notes.append((tag, 1))
+        self._tags.add(tag)
+
+    def exec_bulk_branches(self, count, rate):
+        if count <= 0:
+            return  # the reference kernel is a no-op for empty bulks
+        self._events.append((EV_BULK, count, rate))
+        self._n_insns += count
+
+    # -- fused events -------------------------------------------------------
+
+    def branch_block_annot_run(self, pc, descr, tag, n):
+        self._events.append((EV_BRBA, pc, descr, tag, n))
+        self._n_insns += 1 + descr.n_insns + n
+        self._notes.append((tag, n))
+        self._tags.add(tag)
+
+    def load_annot_run(self, slot, tag, n):
+        self._events.append((EV_LOAD_ANNOT, slot, tag, n))
+        self._n_insns += 1 + n
+        self._notes.append((tag, n))
+        self._tags.add(tag)
+        self._track_slot(slot)
+
+    def store_annot_run(self, slot, tag, n):
+        self._events.append((EV_STORE_ANNOT, slot, tag, n))
+        self._n_insns += 1 + n
+        self._notes.append((tag, n))
+        self._tags.add(tag)
+        self._track_slot(slot)
+
+    def quick_run(self, tag, descr, items, n_insns):
+        self._events.append((EV_QUICK_RUN, tag, descr, tuple(items), n_insns))
+        self._n_insns += n_insns
+        self._notes.append((tag, len(items)))
+        self._tags.add(tag)
+
+    def dispatch_run(self, tag, descr, items, n_insns):
+        self._events.append((EV_DISPATCH_RUN, tag, descr, tuple(items),
+                             n_insns))
+        self._n_insns += n_insns
+        self._notes.append((tag, len(items)))
+        self._tags.add(tag)
+
+    def bc(self, counts_list, index):
+        """Zero-cost bump of a host-side counter (trace block counts),
+        kept ordered with the charges so a mid-replay limit raise leaves
+        the counters exactly where the per-call path would."""
+        self._events.append((EV_BC, counts_list, index))
+        self._bc_list = counts_list
+        self._bc_counts[index] = self._bc_counts.get(index, 0) + 1
+
+    def _track_slot(self, slot):
+        if slot >= self._n_slots:
+            self._n_slots = slot + 1
+
+    def build(self, label=None):
+        """Snapshot the accumulated events as an immutable program.
+
+        Does not reset the builder: calling mid-accumulation yields a
+        prefix program sharing the event tuples built so far (the
+        executor's guard-exit flushes)."""
+        if not self._events:
+            return None
+        STATS["programs"] += 1
+        STATS["events"] += len(self._events)
+        return EventProgram(self._events, self._n_insns, self._notes,
+                            self._tags, self._n_slots, self._bc_list,
+                            sorted(self._bc_counts.items()),
+                            label or self.label)
+
+
+def quick_run_program(tag, descr, items, n_insns, label=None):
+    """One-event program wrapping a quickened/tier-1 superinstruction run."""
+    builder = ProgramBuilder(label)
+    builder.quick_run(tag, descr, items, n_insns)
+    return builder.build()
+
+
+# ---------------------------------------------------------------------------
+# Reference replayer: the python-backend semantics of a program, and the
+# fallback every other backend gates to.  Calls only public Machine
+# kernels, so listener notification, limit raises, and float order are
+# the reference ones by construction.
+# ---------------------------------------------------------------------------
+
+def replay(machine, prog, operands=None):
+    for ev in prog.events:
+        kind = ev[0]
+        if kind == EV_BC:
+            ev[1][ev[2]] += 1
+        elif kind == EV_BRBA:
+            machine.branch_block_annot_run(ev[1], ev[2], ev[3], ev[4])
+        elif kind == EV_LOAD:
+            machine.load(operands[ev[1]])
+        elif kind == EV_BRANCH_BLOCK:
+            machine.branch_block(ev[1], ev[2])
+        elif kind == EV_EXEC_BLOCK:
+            machine.exec_block(ev[1])
+        elif kind == EV_LOAD_ANNOT:
+            machine.load_annot_run(operands[ev[1]], ev[2], ev[3])
+        elif kind == EV_STORE_ANNOT:
+            machine.store_annot_run(operands[ev[1]], ev[2], ev[3])
+        elif kind == EV_STORE:
+            machine.store(operands[ev[1]])
+        elif kind == EV_ANNOT_RUN:
+            machine.annot_run(ev[1], ev[2])
+        elif kind == EV_BRANCH:
+            machine.branch(ev[1], ev[2])
+        elif kind == EV_CALL:
+            machine.call(ev[1])
+        elif kind == EV_RET:
+            machine.ret(ev[1])
+        elif kind == EV_QUICK_RUN:
+            machine.quick_run(ev[1], ev[2], ev[3], ev[4])
+        elif kind == EV_DISPATCH_RUN:
+            machine.dispatch_run(ev[1], ev[2], ev[3], ev[4])
+        elif kind == EV_DISPATCH:
+            machine.dispatch_event(ev[1], ev[2], ev[3], ev[4])
+        elif kind == EV_DISPATCH2:
+            machine.dispatch_event2(ev[1], ev[2], ev[3], ev[4], ev[5])
+        elif kind == EV_BULK:
+            machine.exec_bulk_branches(ev[1], ev[2])
+        else:
+            raise ValueError("unknown event kind %r" % (kind,))
+
+
+def _bc_inc(counts_list, index):
+    counts_list[index] += 1
+
+
+def compile_thunks(machine, prog):
+    """Interpreted twin for the fast backend: pre-bind each event to its
+    (already exec-specialized) kernel once, so replay is a flat loop of
+    ``fn(*args)`` calls with no per-event decoding.
+
+    Returns ``[(fn, args, slot)]`` where ``slot`` is None for events with
+    static arguments, or the operand slot whose runtime value must be
+    passed (load/store family; args then holds the trailing arguments).
+    """
+    thunks = []
+    for ev in prog.events:
+        kind = ev[0]
+        if kind == EV_EXEC_BLOCK:
+            thunks.append((machine.exec_block, (ev[1],), None))
+        elif kind == EV_BRANCH_BLOCK:
+            thunks.append((machine.branch_block, (ev[1], ev[2]), None))
+        elif kind == EV_BRANCH:
+            thunks.append((machine.branch, (ev[1], ev[2]), None))
+        elif kind == EV_ANNOT_RUN:
+            thunks.append((machine.annot_run, (ev[1], ev[2]), None))
+        elif kind == EV_LOAD:
+            thunks.append((machine.load, (), ev[1]))
+        elif kind == EV_STORE:
+            thunks.append((machine.store, (), ev[1]))
+        elif kind == EV_CALL:
+            thunks.append((machine.call, (ev[1],), None))
+        elif kind == EV_RET:
+            thunks.append((machine.ret, (ev[1],), None))
+        elif kind == EV_DISPATCH:
+            thunks.append((machine.dispatch_event, ev[1:], None))
+        elif kind == EV_DISPATCH2:
+            thunks.append((machine.dispatch_event2, ev[1:], None))
+        elif kind == EV_BULK:
+            thunks.append((machine.exec_bulk_branches, (ev[1], ev[2]), None))
+        elif kind == EV_BRBA:
+            thunks.append((machine.branch_block_annot_run, ev[1:], None))
+        elif kind == EV_LOAD_ANNOT:
+            thunks.append((machine.load_annot_run, (ev[2], ev[3]), ev[1]))
+        elif kind == EV_STORE_ANNOT:
+            thunks.append((machine.store_annot_run, (ev[2], ev[3]), ev[1]))
+        elif kind == EV_QUICK_RUN:
+            thunks.append((machine.quick_run, ev[1:], None))
+        elif kind == EV_DISPATCH_RUN:
+            thunks.append((machine.dispatch_run, ev[1:], None))
+        elif kind == EV_BC:
+            thunks.append((_bc_inc, (ev[1], ev[2]), None))
+        else:
+            raise ValueError("unknown event kind %r" % (kind,))
+    return thunks
+
+
+# ---------------------------------------------------------------------------
+# Native lowering: flatten a program to the rt_exec_program word ISA.
+# ``bid_of`` maps a BlockDescr to its registered native block id.
+# ---------------------------------------------------------------------------
+
+def _rate_bits(rate):
+    """IEEE-754 bit pattern of a double, as a signed 64-bit int (the C
+    side type-puns it back, so the bulk-miss rate round-trips exactly)."""
+    return struct.unpack("<q", struct.pack("<d", rate))[0]
+
+
+def lower_words(prog, bid_of):
+    words = []
+    append = words.extend
+    for ev in prog.events:
+        kind = ev[0]
+        if kind == EV_EXEC_BLOCK:
+            append((W_EXEC_BLOCK, bid_of(ev[1])))
+        elif kind == EV_BRANCH_BLOCK:
+            append((W_BRANCH_BLOCK, ev[1], bid_of(ev[2])))
+        elif kind == EV_BRANCH:
+            append((W_BRANCH, ev[1], 1 if ev[2] else 0))
+        elif kind == EV_ANNOT_RUN:
+            append((W_ANNOT, ev[2]))
+        elif kind == EV_LOAD:
+            append((W_LOAD, ev[1]))
+        elif kind == EV_STORE:
+            append((W_STORE, ev[1]))
+        elif kind == EV_CALL:
+            append((W_CALL, ev[1]))
+        elif kind == EV_RET:
+            append((W_RET, ev[1]))
+        elif kind == EV_DISPATCH:
+            append((W_DISPATCH, bid_of(ev[2]), ev[3], ev[4]))
+        elif kind == EV_DISPATCH2:
+            append((W_DISPATCH2, bid_of(ev[2]), bid_of(ev[5]), ev[3], ev[4]))
+        elif kind == EV_BULK:
+            append((W_BULK, ev[1], _rate_bits(ev[2])))
+        elif kind == EV_BRBA:
+            append((W_BRANCH_BLOCK, ev[1], bid_of(ev[2]), W_ANNOT, ev[4]))
+        elif kind == EV_LOAD_ANNOT:
+            append((W_LOAD, ev[1], W_ANNOT, ev[3]))
+        elif kind == EV_STORE_ANNOT:
+            append((W_STORE, ev[1], W_ANNOT, ev[3]))
+        elif kind == EV_QUICK_RUN:
+            # quick_run == per item dispatch_event(tag, b, pc, target)
+            # then exec_block per handler charge (kernelspec docstring);
+            # the batched form only hoists the associative integer adds,
+            # so the expanded word stream retires bit-identically.
+            bid = bid_of(ev[2])
+            for pc, target, blocks in ev[3]:
+                append((W_DISPATCH, bid, pc, target))
+                for blk in blocks:
+                    append((W_EXEC_BLOCK, bid_of(blk)))
+        elif kind == EV_DISPATCH_RUN:
+            # dispatch_run == per item dispatch_event2(tag, b, pc, target, b2).
+            bid = bid_of(ev[2])
+            for pc, target, b2 in ev[3]:
+                append((W_DISPATCH2, bid, bid_of(b2), pc, target))
+        elif kind == EV_BC:
+            pass  # host-side; the caller applies prog.bc_totals
+        else:
+            raise ValueError("unknown event kind %r" % (kind,))
+    return words
+
+
+# ---------------------------------------------------------------------------
+# Serialization + digest-keyed disk cache (trace programs).
+#
+# Events referencing BlockDescrs store the descr's frozen mix; loading
+# rebuilds the descr through machine.block(mix), which memoizes, so a
+# cached program shares descriptors (and their exec counts) with the
+# rest of the run exactly as a freshly encoded one would.  Only the
+# executor's event subset is serializable -- run-table programs are
+# rebuilt in-memory (a single tuple; a disk round-trip costs more than
+# re-encoding them).
+# ---------------------------------------------------------------------------
+
+_CACHE_VERSION = 1
+
+# event kind -> positions holding a BlockDescr
+_DESCR_SLOTS = {
+    EV_EXEC_BLOCK: (1,),
+    EV_BRANCH_BLOCK: (2,),
+    EV_BRBA: (2,),
+    EV_DISPATCH: (2,),
+    EV_DISPATCH2: (2, 5),
+}
+
+_SERIALIZABLE = frozenset([
+    EV_EXEC_BLOCK, EV_BRANCH_BLOCK, EV_BRANCH, EV_ANNOT_RUN, EV_LOAD,
+    EV_STORE, EV_CALL, EV_RET, EV_DISPATCH, EV_DISPATCH2, EV_BULK,
+    EV_BRBA, EV_LOAD_ANNOT, EV_STORE_ANNOT, EV_BC,
+])
+
+
+def program_to_jsonable(prog):
+    events = []
+    for ev in prog.events:
+        kind = ev[0]
+        if kind not in _SERIALIZABLE:
+            raise ValueError("event kind %r is in-memory only" % (kind,))
+        ev = list(ev)
+        if kind == EV_BC:
+            ev[1] = 0  # the counts list is reattached on load
+        for pos in _DESCR_SLOTS.get(kind, ()):
+            ev[pos] = [list(pair) for pair in ev[pos].mix]
+        events.append(ev)
+    return {
+        "events": events,
+        "n_insns": prog.n_insns,
+        "notes": [list(pair) for pair in prog.notes],
+        "tags": sorted(prog.tags),
+        "n_slots": prog.n_slots,
+        "bc_totals": [list(pair) for pair in prog.bc_totals],
+        "label": prog.label,
+    }
+
+
+def program_from_jsonable(obj, machine, bc_list=None):
+    events = []
+    for ev in obj["events"]:
+        ev = list(ev)
+        if ev[0] == EV_BC:
+            ev[1] = bc_list
+        for pos in _DESCR_SLOTS.get(ev[0], ()):
+            mix = tuple((pair[0], pair[1]) for pair in ev[pos])
+            ev[pos] = machine.block(mix)
+        events.append(tuple(ev))
+    return EventProgram(events, obj["n_insns"],
+                        [tuple(pair) for pair in obj["notes"]],
+                        obj["tags"], obj["n_slots"], bc_list,
+                        [tuple(pair) for pair in obj.get("bc_totals", ())],
+                        obj.get("label"))
+
+
+def _cache_path(digest):
+    from repro.backend import native
+    return os.path.join(native.cache_dir(), "eventprog-%s.json" % digest)
+
+
+def load_cached_trace(digest):
+    """Return the cached ``{"lines", "programs", "n_slots", "meta"}``
+    payload for a transformed trace, or None (counting hit/miss)."""
+    path = _cache_path(digest)
+    try:
+        with open(path, "r") as handle:
+            payload = json.load(handle)
+    except (OSError, IOError, ValueError):
+        if os.path.exists(path):
+            STATS["cache_errors"] += 1
+        STATS["cache_misses"] += 1
+        return None
+    if payload.get("version") != _CACHE_VERSION:
+        STATS["cache_errors"] += 1
+        STATS["cache_misses"] += 1
+        return None
+    STATS["cache_hits"] += 1
+    return payload
+
+
+def store_cached_trace(digest, payload):
+    path = _cache_path(digest)
+    payload = dict(payload, version=_CACHE_VERSION)
+    try:
+        directory = os.path.dirname(path)
+        if not os.path.isdir(directory):
+            os.makedirs(directory)
+        tmp = "%s.tmp.%d" % (path, os.getpid())
+        with open(tmp, "w") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp, path)
+    except (OSError, IOError):
+        STATS["cache_errors"] += 1

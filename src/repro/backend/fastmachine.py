@@ -29,6 +29,7 @@ re-specializes).  Nothing in the repo mutates ``mispredict_penalty`` or
 experiment ever does.
 """
 
+from repro.backend import eventprog as _eventprog
 from repro.backend.kernelspec import fast_kernel_factory
 from repro.uarch.machine import Machine, SimulationLimitReached
 
@@ -43,17 +44,53 @@ _KERNEL_SLOTS = (
     "branch_block", "branch_block_annot_run",
 )
 
+# Kernels where the reference method measures faster than the
+# specialized closure, so respecialize() binds the reference instead.
+# exec_block has no constants worth baking (flat_cycles and n_insns
+# live on the block descriptor) and no listener gate to cache, so the
+# closure only trades the bound method's LOAD_FAST self for LOAD_DEREF
+# cell loads; the memory kernels' baked L1 internals do not offset
+# their per-call epoch check on workloads with stable listeners.
+# Measured by interleaved min-of-N runs of the quick set (ratio vs the
+# python backend, full specialization -> this set): richards 1.030 ->
+# 1.034, crypto_pyaes 1.042 -> 1.073, fannkuch 0.979 -> 0.999.  The
+# dispatch/run/branch kernels stay specialized — dropping gshare
+# branch_block costs 7% on fannkuch.  Re-derive by measurement before
+# editing; the factory still emits every kernel so the microbenchmark
+# tooling can compare both variants.
+_REFERENCE_PREFERRED = frozenset({
+    "exec_block", "load", "store", "load_annot_run", "store_annot_run",
+})
+
 
 class FastMachine(Machine):
     """Machine with exec-compiled specialized kernels (see module doc)."""
 
-    __slots__ = _KERNEL_SLOTS
+    __slots__ = _KERNEL_SLOTS + ("_eprog_thunks",)
 
     backend = "fast"
 
     def __init__(self, config, predictor="gshare"):
         super().__init__(config, predictor)
+        self._eprog_thunks = {}
         self.respecialize()
+
+    def exec_program(self, prog, operands=None):
+        """Interpreted twin of the native rt_exec_program: each event is
+        pre-bound to its specialized kernel once (eventprog.compile_thunks,
+        identity-keyed; the entry pins the program), so replay is a flat
+        loop with no per-event decoding.  Events still run through the
+        gated kernels, so listener/limit corner cases keep reference
+        semantics without a separate precheck here."""
+        entry = self._eprog_thunks.get(id(prog))
+        if entry is None:
+            entry = (prog, _eventprog.compile_thunks(self, prog))
+            self._eprog_thunks[id(prog)] = entry
+        for fn, args, slot in entry[1]:
+            if slot is None:
+                fn(*args)
+            else:
+                fn(operands[slot], *args)
 
     def respecialize(self):
         """(Re)build the specialized kernels against current constants."""
@@ -61,10 +98,12 @@ class FastMachine(Machine):
                                         SimulationLimitReached)
         for name in _KERNEL_SLOTS:
             kernel = kernels.get(name)
-            if kernel is None:
+            if kernel is None or name in _REFERENCE_PREFERRED:
                 # No specialization for this machine shape (e.g. the
-                # gshare-only kernels on a bimodal machine): bind the
-                # reference method so the slot never shadows it away.
+                # gshare-only kernels on a bimodal machine), or one the
+                # reference method beats (_REFERENCE_PREFERRED): bind
+                # the reference method so the slot never shadows it
+                # away.
                 kernel = getattr(Machine, name).__get__(self)
             setattr(self, name, kernel)
 

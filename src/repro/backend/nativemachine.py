@@ -38,6 +38,7 @@ under the ``python``/``fast`` backends; black-box equivalence over the
 public counters is what tests/backend/ pins, bit for bit.
 """
 
+from repro.backend import eventprog as _eventprog
 from repro.backend import native
 from repro.isa import insns
 from repro.uarch.blocks import fold_class_counts
@@ -78,7 +79,8 @@ class NativeMachineBase(Machine):
 
     __slots__ = (
         "_st", "_keep", "_blk_cap", "_fus_cap", "_ndescrs", "_nfused",
-        "_drun_cache", "_qrun_cache", "_mix_cache", "_gates",
+        "_drun_cache", "_qrun_cache", "_mix_cache", "_eprog_cache",
+        "_gates",
     )
 
     backend = "native"
@@ -174,6 +176,7 @@ class NativeMachineBase(Machine):
         self._drun_cache = {}
         self._qrun_cache = {}
         self._mix_cache = {}
+        self._eprog_cache = {}
         # Per-tag listener-gate decisions for the specialized kernels;
         # invalidated eagerly by the listener mutators below (cheaper
         # than an epoch compare on every gated call).
@@ -314,6 +317,17 @@ class NativeMachineBase(Machine):
             ffi.new("int[]", blkids),
         )
         self._qrun_cache[id(items)] = entry
+        return entry
+
+    def _marshal_program(self, prog):
+        """Lower an EventProgram to its flat rt_exec_program word array.
+
+        Identity-keyed like the run-table marshals; the entry pins the
+        program so its id cannot be recycled.  Survives reset (the
+        lowering is config-pure, like the registered bids)."""
+        words = _eventprog.lower_words(prog, self._bid)
+        entry = (prog, len(words), ffi.new("long long[]", words))
+        self._eprog_cache[id(prog)] = entry
         return entry
 
     def _sync_descr_counts(self):
@@ -557,6 +571,55 @@ class NativeMachineBase(Machine):
             for run in runners:
                 run(tag, None, entry[1])
 
+    # -- event programs -------------------------------------------------------
+
+    def eventprog_operands(self, n_slots):
+        # A cffi array rt_exec_program indexes directly.  Callers must
+        # pass buffers from here (or another cffi long long[]); the
+        # base wrapper converts plain sequences, the specialized kernel
+        # does not.
+        return ffi.new("long long[]", max(n_slots, 1))
+
+    def exec_program(self, prog, operands=None):
+        st = self._st
+        max_instructions = st.max_instructions
+        if (max_instructions
+                and st.instructions + prog.n_insns >= max_instructions):
+            # The program could cross the limit: replay per event so the
+            # raise lands at the exact reference point.
+            _eventprog.STATS["native_fallback_limit"] += 1
+            _eventprog.replay(self, prog, operands)
+            return
+        runner_map = {}
+        for tag in prog.tags:
+            listeners = self._tag_listeners.get(tag)
+            runners = None
+            if listeners is not None:
+                runners = self._tag_runners.get(tag)
+            if self._annot_listeners or (listeners is not None
+                                         and runners is None):
+                # Some listener needs per-primitive notification.
+                _eventprog.STATS["native_fallback_listener"] += 1
+                _eventprog.replay(self, prog, operands)
+                return
+            runner_map[tag] = runners or ()
+        entry = self._eprog_cache.get(id(prog)) or self._marshal_program(prog)
+        if operands is None:
+            operands = ffi.NULL
+        elif not isinstance(operands, ffi.CData):
+            operands = ffi.new("long long[]", list(operands))
+        lib.rt_exec_program(st, entry[1], entry[2], operands)
+        if prog.bc_totals:
+            # Host-side counter bumps (EV_BC) are skipped by lower_words;
+            # the precheck guaranteed no raise, so applying the totals
+            # after the C call is order-equivalent.
+            bc_list = prog.bc_list
+            for index, count in prog.bc_totals:
+                bc_list[index] += count
+        for tag, n in prog.notes:
+            for run in runner_map[tag]:
+                run(tag, None, n)
+
     # -- counter access -------------------------------------------------------
 
     def counters(self):
@@ -583,6 +646,7 @@ _KERNEL_SLOTS = (
     "indirect", "call", "ret", "exec_bulk_branches",
     "load", "store", "load_annot_run", "store_annot_run",
     "dispatch_event", "dispatch_event2", "dispatch_run", "quick_run",
+    "exec_program",
 )
 
 
@@ -812,6 +876,38 @@ def _make_kernels(m):
                      entry[5])
         for run in runners:
             run(tag, None, entry[1])
+
+    eprog_cache = m._eprog_cache
+    rt_exec_program = lib.rt_exec_program
+    NULL = ffi.NULL
+    ep_replay = _eventprog.replay
+    ep_stats = _eventprog.STATS
+
+    def exec_program(prog, operands=None):
+        if (max_instructions
+                and st.instructions + prog.n_insns >= max_instructions):
+            ep_stats["native_fallback_limit"] += 1
+            ep_replay(m, prog, operands)
+            return
+        for tag in prog.tags:
+            runners = gates.get(tag)
+            if runners is None:
+                runners = gate(tag)
+            if runners is PRIM:
+                ep_stats["native_fallback_listener"] += 1
+                ep_replay(m, prog, operands)
+                return
+        entry = eprog_cache.get(id(prog)) or m._marshal_program(prog)
+        rt_exec_program(st, entry[1], entry[2],
+                        NULL if operands is None else operands)
+        bc_totals = prog.bc_totals
+        if bc_totals:
+            bc_list = prog.bc_list
+            for index, count in bc_totals:
+                bc_list[index] += count
+        for tag, n in prog.notes:
+            for run in gates.get(tag, ()):
+                run(tag, None, n)
 
     return locals()
 

@@ -67,6 +67,23 @@ def _default_tier1():
     return False
 
 
+def _default_eventprog():
+    """Default for :attr:`SystemConfig.eventprog` (``REPRO_EVENTPROG``).
+
+    Event programs (see :mod:`repro.backend.eventprog`) batch the hot
+    drivers' machine-event sequences into single ``exec_program`` calls
+    — one FFI crossing per trace segment on the native backend.  Like
+    ``quicken``/``sim_backend`` this changes only host wall-clock, never
+    simulated results (tests/backend/ pins eventprog on == off bit for
+    bit), but it defaults to off until the equivalence gate runs in CI.
+    Set ``REPRO_EVENTPROG=1`` to enable.
+    """
+    value = os.environ.get("REPRO_EVENTPROG", "").strip().lower()
+    if value in ("1", "on", "true", "yes"):
+        return True
+    return False
+
+
 def _default_verify():
     """Default for :attr:`SystemConfig.verify` (``REPRO_VERIFY`` override).
 
@@ -226,6 +243,13 @@ class SystemConfig:
     # wall-clock, never simulated results — tests/backend/ pins all
     # backends bit-identical.  Env override: REPRO_BACKEND=...
     sim_backend: str = field(default_factory=_default_backend)
+    # Resident event programs (repro.backend.eventprog): trace segments,
+    # tier-1 blocks and quickened runs charge the machine through one
+    # pre-compiled event sequence per hot site instead of per-op calls.
+    # Changes only host wall-clock, never simulated results — the
+    # eventprog equivalence suite pins on == off bit for bit on every
+    # backend.  Env override: REPRO_EVENTPROG=1.
+    eventprog: bool = field(default_factory=_default_eventprog)
     seed: int = 0xC0FFEE
 
     def validate(self):

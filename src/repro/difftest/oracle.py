@@ -6,10 +6,12 @@ interpreter with the JIT disabled (``interp``), the same interpreter
 with the quickening layer off (``quicken-off``), the compiled
 simulation backends (``backend-fast``, and ``backend-native`` when a C
 toolchain built the runtime), the meta-tracing JIT at several
-hot-loop thresholds (``jit@N``), and the baseline threaded-code tier
+hot-loop thresholds (``jit@N``), the baseline threaded-code tier
 (``tier1`` in direct mode, ``tier1-jit@7`` under the JIT, checked for
-behavior- and trace-IR-equivalence by ``check_tier_invariants``) — and
-checks:
+behavior- and trace-IR-equivalence by ``check_tier_invariants``), and
+the resident event-program layer (``eventprog`` in direct mode,
+``eventprog-jit@7`` under the JIT, held to bit-identical counters and
+trace registries by ``check_eventprog_equivalence``) — and checks:
 
 * **Agreement**: every engine prints the same stdout, and either all
   engines finish cleanly or all raise a guest-level error at the same
@@ -179,7 +181,7 @@ def run_cpref(source, max_instructions=DEFAULT_MAX_INSTRUCTIONS):
 
 def run_interp(source, jit=False, threshold=39, bridge_threshold=3,
                max_instructions=DEFAULT_MAX_INSTRUCTIONS, quicken=None,
-               backend=None, tier1=None, name=None):
+               backend=None, tier1=None, eventprog=None, name=None):
     """Run a program on the RPython-style VM (JIT on or off)."""
     run = EngineRun(name or ("jit@%d" % threshold if jit else "interp"))
     config = _base_config(max_instructions)
@@ -192,6 +194,8 @@ def run_interp(source, jit=False, threshold=39, bridge_threshold=3,
         config.sim_backend = backend
     if tier1 is not None:
         config.tier1 = tier1
+    if eventprog is not None:
+        config.eventprog = eventprog
     ctx = VMContext(config)
     tool = PinTool(ctx.machine)
     vm = PyVM(ctx)
@@ -379,6 +383,70 @@ def check_backend_equivalence(report):
                                      run.tool.bcrate.bytecodes))
 
 
+def check_eventprog_equivalence(report):
+    """Resident event-programs must be invisible to the simulation.
+
+    The event-program layer batches already-fused dispatch/trace event
+    sequences into replayable programs (``config.eventprog``), retiring
+    the exact charge sequence the per-call path issues — so, like
+    quickening and the compiled backends, it is held to *bit-identical*
+    machine counters, not just behavioral agreement:
+
+    * ``eventprog`` vs ``interp`` (direct mode): quickened runs and
+      tier-adjacent dispatch go through resident programs; every
+      counter, the per-class histogram and the bytecode count must be
+      exactly the reference values.
+    * ``eventprog-jit@7`` vs ``jit@7``: compiled traces replay their
+      machine events through per-segment programs; on top of the
+      counters, the whole jitlog event stream and every recorded trace
+      op (greenkeys, IR, exec counts) are compared by repr — a program
+      that drops, reorders or double-retires one trace event shows up
+      here.
+    """
+    pairs = [("eventprog", "interp"), ("eventprog-jit@7", "jit@7")]
+    for ep_name, ref_name in pairs:
+        run = report.run_named(ep_name)
+        reference = report.run_named(ref_name)
+        if run is None or reference is None:
+            continue
+        rm, em = reference.machine, run.machine
+        for field in ("instructions", "cycles", "branches",
+                      "branch_misses", "loads", "stores", "annotations"):
+            a = getattr(rm, field)
+            b = getattr(em, field)
+            if a != b or repr(a) != repr(b):
+                report.add("eventprog", [ref_name, ep_name],
+                           "%s differs with event-programs on: %r vs %r"
+                           % (field, a, b))
+        if tuple(rm.class_counts) != tuple(em.class_counts):
+            report.add("eventprog", [ref_name, ep_name],
+                       "per-class instruction histogram differs with "
+                       "event-programs on")
+        if reference.tool.bcrate.bytecodes != run.tool.bcrate.bytecodes:
+            report.add("eventprog", [ref_name, ep_name],
+                       "bytecode count differs with event-programs on: "
+                       "%d vs %d" % (reference.tool.bcrate.bytecodes,
+                                     run.tool.bcrate.bytecodes))
+        if reference.ctx is None or run.ctx is None:
+            continue
+        if reference.ctx.jitlog is not None and run.ctx.jitlog is not None:
+            if repr(reference.ctx.jitlog.events) != \
+                    repr(run.ctx.jitlog.events):
+                report.add("eventprog", [ref_name, ep_name],
+                           "jitlog event stream differs with "
+                           "event-programs on")
+        a_ops = [(repr(t.greenkey), list(t.op_exec_counts),
+                  [_stable_repr(op) for op in t.ops])
+                 for t in reference.ctx.registry.traces]
+        b_ops = [(repr(t.greenkey), list(t.op_exec_counts),
+                  [_stable_repr(op) for op in t.ops])
+                 for t in run.ctx.registry.traces]
+        if a_ops != b_ops:
+            report.add("eventprog", [ref_name, ep_name],
+                       "trace registry differs with event-programs on "
+                       "(%d vs %d traces)" % (len(a_ops), len(b_ops)))
+
+
 def check_tier_invariants(report):
     """The threaded-code tier must change cost, never behavior.
 
@@ -535,6 +603,10 @@ def check_program(source, thresholds=DEFAULT_THRESHOLDS,
     if _add(run_interp(source, jit=False, tier1=True, name="tier1",
                        max_instructions=max_instructions)):
         return report
+    if _add(run_interp(source, jit=False, eventprog=True,
+                       name="eventprog",
+                       max_instructions=max_instructions)):
+        return report
     for threshold in thresholds:
         if _add(run_interp(
                 source, jit=True, threshold=threshold,
@@ -547,6 +619,14 @@ def check_program(source, thresholds=DEFAULT_THRESHOLDS,
         if _add(run_interp(source, jit=True, threshold=7,
                            bridge_threshold=max(2, 7 // 3), tier1=True,
                            name="tier1-jit@7",
+                           max_instructions=max_instructions)):
+            return report
+        # Paired with jit@7 by check_eventprog_equivalence: resident
+        # event-programs must leave every counter and the whole trace
+        # registry bit-identical.
+        if _add(run_interp(source, jit=True, threshold=7,
+                           bridge_threshold=max(2, 7 // 3),
+                           eventprog=True, name="eventprog-jit@7",
                            max_instructions=max_instructions)):
             return report
 
@@ -570,6 +650,7 @@ def check_program(source, thresholds=DEFAULT_THRESHOLDS,
     check_static_bytecode(source, report)
     check_quicken_equivalence(report)
     check_backend_equivalence(report)
+    check_eventprog_equivalence(report)
     check_tier_invariants(report)
     if check_store:
         check_store_roundtrip(runs[-1], report)

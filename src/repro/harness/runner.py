@@ -22,8 +22,10 @@ from concurrent.futures import ProcessPoolExecutor
 
 from repro import telemetry
 from repro.benchprogs import registry
+from repro.backend import eventprog as eventprog_mod
 from repro.core.config import (CLOCK_HZ, SystemConfig, _default_backend,
-                               _default_quicken, _default_tier1)
+                               _default_eventprog, _default_quicken,
+                               _default_tier1)
 from repro.harness import store
 from repro.interp.context import VMContext
 from repro.jit import executor, jitlog
@@ -67,6 +69,10 @@ class RunResult(object):
         # Tier-1 promotion summary (TierManager.stats()) or None when
         # the baseline threaded-code tier was off for this run.
         self.tier_stats = None
+        # Event-program subsystem deltas for this run (programs built,
+        # events encoded, native fallbacks, trace-transform cache
+        # hits/misses) or None when config.eventprog was off.
+        self.eventprog_stats = None
         self.registry = None
         self.jitlog_obj = None
         self.gc_stats = None
@@ -126,7 +132,7 @@ def _resolve_program(program, language=None):
 
 
 def _base_config(max_instructions, jit_enabled, overrides, quicken=None,
-                 backend=None, tier1=None):
+                 backend=None, tier1=None, eventprog=None):
     config = SystemConfig()
     config.max_instructions = max_instructions
     config.jit.enabled = jit_enabled
@@ -136,6 +142,8 @@ def _base_config(max_instructions, jit_enabled, overrides, quicken=None,
         config.sim_backend = backend
     if tier1 is not None:
         config.tier1 = bool(tier1)
+    if eventprog is not None:
+        config.eventprog = bool(eventprog)
     if overrides:
         for key, value in overrides.items():
             if hasattr(config.jit, key):
@@ -151,13 +159,15 @@ def _base_config(max_instructions, jit_enabled, overrides, quicken=None,
 
 def _result_key(program, vm_kind, n, timeline, max_instructions,
                 jit_overrides, predictor, quicken=None, backend=None,
-                tier1=None):
+                tier1=None, eventprog=None):
     overrides_key = tuple(sorted((jit_overrides or {}).items()))
     # Quickening is proven counter-neutral, but on/off runs must not
     # share cache entries: the equivalence suite relies on both actually
     # simulating.  Same story for the backend: the compiled backends are
     # proven bit-identical, but the equivalence suite compares real runs.
-    # The tier, by contrast, *changes* simulated results, so it keys the
+    # Event-programs are in the same family (counter-neutral by
+    # construction, cache-keyed so equivalence runs are real).  The
+    # tier, by contrast, *changes* simulated results, so it keys the
     # caches for correctness, not just hygiene.
     if quicken is None:
         quicken = _default_quicken()
@@ -165,9 +175,11 @@ def _result_key(program, vm_kind, n, timeline, max_instructions,
         backend = _default_backend()
     if tier1 is None:
         tier1 = _default_tier1()
+    if eventprog is None:
+        eventprog = _default_eventprog()
     return (program.language, program.name, vm_kind, n, timeline,
             max_instructions, overrides_key, predictor, bool(quicken),
-            backend, bool(tier1))
+            backend, bool(tier1), bool(eventprog))
 
 
 # -- result serialization (store payloads and worker IPC) -----------------------
@@ -177,7 +189,7 @@ _PLAIN_FIELDS = (
     "instructions", "ipc",
     "mpki", "truncated", "phase_windows", "phase_breakdown",
     "timeline_segments", "bytecodes", "bc_timeline", "aot_rows", "gc_stats",
-    "tier_stats", "telemetry_events",
+    "tier_stats", "eventprog_stats", "telemetry_events",
 )
 
 _SUMMARY_FIELDS = (
@@ -232,7 +244,7 @@ def _store_probe(key):
 
 def _simulate(result, program, vm_kind, n, source, timeline,
               max_instructions, jit_overrides, predictor, quicken,
-              backend, tier1, label, bus):
+              backend, tier1, eventprog, label, bus):
     """Run one simulation, filling ``result``; returns the telemetry
     session (or None).  Callers hold the host GC pinned."""
     session = None
@@ -268,7 +280,9 @@ def _simulate(result, program, vm_kind, n, source, timeline,
         jit_enabled = not vm_kind.endswith("_nojit")
         config = _base_config(max_instructions, jit_enabled, jit_overrides,
                               quicken=quicken, backend=backend,
-                              tier1=tier1)
+                              tier1=tier1, eventprog=eventprog)
+        eventprog_before = (eventprog_mod.stats_snapshot()
+                            if config.eventprog else None)
         ctx = VMContext(config, predictor=predictor, telemetry_label=label)
         session = ctx.telemetry
         tool = PinTool(ctx.machine, record_timeline=timeline,
@@ -290,6 +304,11 @@ def _simulate(result, program, vm_kind, n, source, timeline,
         result.gc_stats = ctx.gc.stats()
         if vm.driver.tier is not None:
             result.tier_stats = vm.driver.tier.stats()
+        if eventprog_before is not None:
+            after = eventprog_mod.stats_snapshot()
+            result.eventprog_stats = {
+                key: after[key] - eventprog_before[key]
+                for key in after}
         result.aot_rows = tool.aotcalls.all_rows(ctx.machine.cycles)
     return session
 
@@ -297,7 +316,7 @@ def _simulate(result, program, vm_kind, n, source, timeline,
 def run_program(program, vm_kind, n=None, timeline=False,
                 max_instructions=0, jit_overrides=None,
                 predictor="gshare", use_cache=True, language=None,
-                quicken=None, backend=None, tier1=None):
+                quicken=None, backend=None, tier1=None, eventprog=None):
     """Run ``program`` (a BenchProgram or name) on one VM configuration.
 
     ``quicken`` forces the host quickening fast path on/off for this run
@@ -311,6 +330,10 @@ def run_program(program, vm_kind, n=None, timeline=False,
     config default, i.e. off unless REPRO_TIER1=1).  Unlike the two
     knobs above the tier changes *simulated* results — that is the
     measurement.
+    ``eventprog`` forces resident event-programs on/off (None: the
+    config default, i.e. off unless REPRO_EVENTPROG=1).  Like the
+    backend it is a host-side detail proven counter-neutral, and like
+    the backend it keys the result caches.
     """
     global _SIM_COUNT
     program = _resolve_program(program, language)
@@ -323,7 +346,8 @@ def run_program(program, vm_kind, n=None, timeline=False,
         # payloads carry no event streams.
         use_cache = False
     key = _result_key(program, vm_kind, n, timeline, max_instructions,
-                      jit_overrides, predictor, quicken, backend, tier1)
+                      jit_overrides, predictor, quicken, backend, tier1,
+                      eventprog)
     if use_cache:
         if key in _CACHE:
             return _CACHE[key]
@@ -353,12 +377,14 @@ def run_program(program, vm_kind, n=None, timeline=False,
                   {"program": program.name, "vm": vm_kind, "n": n,
                    "backend": backend or _default_backend(),
                    "tier": "tier1" if (tier1 if tier1 is not None
-                                      else _default_tier1()) else "off"})
+                                      else _default_tier1()) else "off",
+                   "eventprog": bool(eventprog if eventprog is not None
+                                     else _default_eventprog())})
 
     try:
         session = _simulate(result, program, vm_kind, n, source, timeline,
                             max_instructions, jit_overrides, predictor,
-                            quicken, backend, tier1, label, bus)
+                            quicken, backend, tier1, eventprog, label, bus)
     finally:
         if gc_was_enabled:
             gc.enable()
@@ -387,7 +413,7 @@ def run_program(program, vm_kind, n=None, timeline=False,
 
 def job(program, vm_kind, n=None, timeline=False, max_instructions=0,
         jit_overrides=None, predictor="gshare", language=None,
-        quicken=None, backend=None, tier1=None):
+        quicken=None, backend=None, tier1=None, eventprog=None):
     """Build a picklable job spec for :func:`run_many`."""
     program = _resolve_program(program, language)
     return {
@@ -402,6 +428,7 @@ def job(program, vm_kind, n=None, timeline=False, max_instructions=0,
         "quicken": quicken,
         "backend": backend,
         "tier1": tier1,
+        "eventprog": eventprog,
     }
 
 
@@ -411,7 +438,7 @@ def _job_key(spec):
                        spec["timeline"], spec["max_instructions"],
                        spec["jit_overrides"], spec["predictor"],
                        spec.get("quicken"), spec.get("backend"),
-                       spec.get("tier1"))
+                       spec.get("tier1"), spec.get("eventprog"))
 
 
 def _run_job(spec):
@@ -433,7 +460,7 @@ def _run_job(spec):
         jit_overrides=spec["jit_overrides"],
         predictor=spec["predictor"], language=spec["language"],
         quicken=spec.get("quicken"), backend=spec.get("backend"),
-        tier1=spec.get("tier1"))
+        tier1=spec.get("tier1"), eventprog=spec.get("eventprog"))
     return _result_to_payload(result)
 
 
@@ -487,7 +514,8 @@ def run_many(jobs, workers=None):
                     language=spec["language"],
                     quicken=spec.get("quicken"),
                     backend=spec.get("backend"),
-                    tier1=spec.get("tier1"))
+                    tier1=spec.get("tier1"),
+                    eventprog=spec.get("eventprog"))
         else:
             job_specs = [dict(spec) for _, spec in items]
             if recording:

@@ -63,17 +63,21 @@ class ThreadedCode(object):
       quickening run table minus the predecessor-opcode guard (threaded
       sites do not hash on the previous opcode):
       ``(items, pairs, next_pc, last_op, n_insns)`` or ``None``.
+    * ``progs`` — per-pc resident event-programs wrapping each run's
+      ``quick_run`` call (``config.eventprog``; None when off), parallel
+      to ``runs`` so the dispatch loop indexes both with the run pc.
     * ``generation`` — the promotion generation this artifact belongs
       to (diagnostics; a demoted-then-repromoted code object gets a
       fresh artifact with the next generation number).
     """
 
-    __slots__ = ("code", "sites", "runs", "generation")
+    __slots__ = ("code", "sites", "runs", "progs", "generation")
 
-    def __init__(self, code, sites, runs, generation):
+    def __init__(self, code, sites, runs, generation, progs=None):
         self.code = code
         self.sites = sites
         self.runs = runs
+        self.progs = progs
         self.generation = generation
 
     def __repr__(self):

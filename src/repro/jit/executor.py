@@ -20,8 +20,11 @@ deopt cost, materializes :class:`VirtualSpec` objects and hands a
 :class:`DeoptState` back to the interpreter driver.
 """
 
+import hashlib
 import math
+import re
 
+from repro.backend import eventprog
 from repro.core import tags
 from repro.interp.objects import LLArray
 from repro.isa import insns
@@ -372,10 +375,54 @@ class _CodeGen(object):
                 backend.lower_blocks(machine, self.block_mixes)):
             namespace["_B%d" % i] = descr
         namespace.update(self.consts)
-        source = "\n".join(_fuse_brb_annots(_collapse_annots(self.lines)))
+        lines = _fuse_brb_annots(_collapse_annots(self.lines))
+        if self.ctx.config.eventprog:
+            lines = self._bind_eventprog(lines, namespace, machine)
+        source = "\n".join(lines)
         code = compile(source, "<trace-%d>" % self.trace.trace_id, "exec")
         exec(code, namespace)
         return namespace["_trace_fn"], source
+
+    def _bind_eventprog(self, lines, namespace, machine):
+        """Rewrite the fused lines into resident event-programs and bind
+        the programs, the flush entry point and the operand buffer into
+        the trace namespace.  Transforms are digest-cached on disk (the
+        fused source plus the block mixes fully determine the result)."""
+        bc_list = self.trace._block_counts
+        hasher = hashlib.sha256()
+        hasher.update("\n".join(lines).encode("utf-8"))
+        hasher.update(repr([tuple(sorted(m.items()))
+                            for m in self.block_mixes]).encode("utf-8"))
+        digest = hasher.hexdigest()[:32]
+        cached = eventprog.load_cached_trace(digest)
+        if cached is not None:
+            new_lines = cached["lines"]
+            programs = [eventprog.program_from_jsonable(obj, machine, bc_list)
+                        for obj in cached["programs"]]
+            n_slots = cached["n_slots"]
+            meta = cached["meta"]
+        else:
+            new_lines, programs, n_slots, meta = _transform_eventprog(
+                lines, namespace.__getitem__, bc_list)
+            try:
+                eventprog.store_cached_trace(digest, {
+                    "lines": new_lines,
+                    "programs": [eventprog.program_to_jsonable(p)
+                                 for p in programs],
+                    "n_slots": n_slots,
+                    "meta": meta,
+                })
+            except ValueError:
+                pass  # an in-memory-only event kind: keep it RAM-resident
+        stats = eventprog.STATS
+        stats["trace_calls_before"] += meta["calls_before"]
+        stats["trace_calls_after"] += meta["calls_after"]
+        stats["trace_segments"] += meta["segments"]
+        namespace["_ep"] = machine.exec_program
+        namespace["_o"] = machine.eventprog_operands(n_slots)
+        for i, prog in enumerate(programs):
+            namespace["_P%d" % i] = prog
+        return new_lines
 
 
 def _collapse_annots(lines):
@@ -448,6 +495,194 @@ def _fuse_brb_annots(lines):
             continue
         out.append(line)
     return out
+
+
+#: Minimum deferrable machine calls a segment must contain before it is
+#: worth replacing them with one ``_ep(...)`` flush.
+_MIN_PROGRAM_EVENTS = 2
+
+#: Pooled-constant invocations (``K3(...)``, ``K1.call(...)``): residual
+#: calls, allocation helpers and CALL_ASSEMBLER targets.  They can
+#: re-enter the machine (or this very trace function), so they always
+#: end a segment — the flush-before-host-call invariant is what makes
+#: the shared ``_o`` operand buffer safe under recursion.
+_HOST_CALL_RE = re.compile(r"\bK\d+\s*[(.]")
+
+
+def _count_machine_calls(lines):
+    n = 0
+    for line in lines:
+        stripped = line.lstrip()
+        if (stripped.startswith("_")
+                and not stripped.startswith(("_bc[", "_o["))):
+            n += 1
+    return n
+
+
+def _transform_eventprog(lines, resolve, bc_list):
+    """Rewrite generated trace lines into resident event-programs.
+
+    Machine-call statements are deferred into per-segment
+    :class:`~repro.backend.eventprog.EventProgram` objects: the common
+    path of a loop iteration retires all of its charge events with ONE
+    ``_ep(_P<i>, _o)`` call at the segment's end (native backend: one
+    FFI crossing), with cache operand addresses spilled into the shared
+    ``_o`` buffer at their original positions.  Guards do not end a
+    segment — their fail path flushes a *prefix* program (the events
+    accumulated so far) before the taken-branch event, so machine state
+    at every exit is bit-identical to the per-call code.  Block exec
+    counters ride along as zero-cost EV_BC events, keeping the jitlog
+    exact even when a replayed program hits the instruction limit
+    mid-segment.  Segments end at anything that can observe or re-enter
+    the machine: residual/host calls, non-DISPATCH annotations, returns
+    and the loop back-edge.
+
+    Returns ``(new_lines, programs, n_slots, meta)`` where programs[i]
+    binds to ``_P<i>``.
+    """
+    dispatch = tags.DISPATCH
+    out = []
+    programs = []
+    # Buffered segment entries, replayed by flush():
+    #   ("raw", line)            kept on both paths
+    #   ("event", line)          dropped on convert, restored on revert
+    #   ("op", new, line)        operand spill on convert, original call
+    #                            on revert
+    #   ("prefix", line)         guard-exit flush; dropped on revert
+    pending = []
+    state = {"builder": None, "slot": 0, "events": 0, "segments": 0}
+    seg_indent = [4]
+
+    def builder():
+        b = state["builder"]
+        if b is None:
+            b = state["builder"] = eventprog.ProgramBuilder()
+        return b
+
+    def snapshot():
+        programs.append(state["builder"].build())
+        return "_P%d" % (len(programs) - 1)
+
+    def flush():
+        if state["builder"] is not None:
+            if state["events"] >= _MIN_PROGRAM_EVENTS:
+                name = snapshot()
+                for entry in pending:
+                    if entry[0] == "event":
+                        continue
+                    out.append(entry[1])
+                out.append("%s_ep(%s, _o)" % (" " * seg_indent[0], name))
+                state["segments"] += 1
+            else:
+                for entry in pending:
+                    if entry[0] == "prefix":
+                        continue
+                    out.append(entry[-1])
+        del pending[:]
+        state["builder"] = None
+        state["slot"] = 0
+        state["events"] = 0
+
+    def emit(line):
+        if state["builder"] is not None:
+            pending.append(("raw", line))
+        else:
+            out.append(line)
+
+    def defer(line, parse):
+        parse()
+        pending.append(("event", line))
+        state["events"] += 1
+
+    for line in lines:
+        stripped = line.lstrip()
+        indent = len(line) - len(stripped)
+        if indent > seg_indent[0]:
+            # Guard and overflow bodies stay verbatim, in place; their
+            # direct machine calls are the rare taken path, preceded by
+            # the prefix flush injected at the owning "if".
+            emit(line)
+            continue
+        if stripped == "while True:":
+            flush()
+            out.append(line)
+            seg_indent[0] = 8
+            continue
+        if stripped.startswith("if "):
+            emit(line)
+            if state["builder"] is not None and len(state["builder"]):
+                pending.append(("prefix", "%s_ep(%s, _o)"
+                                % (" " * (indent + 4), snapshot())))
+            continue
+        if stripped.startswith("_bc["):
+            builder().bc(bc_list, int(stripped[4:stripped.index("]")]))
+            pending.append(("event", line))
+            continue
+        if stripped.startswith("_xb("):
+            defer(line, lambda: builder().exec_block(
+                resolve(stripped[4:-1])))
+            continue
+        if stripped.startswith("_brb("):
+            pc_s, descr = stripped[5:-1].split(",")
+            defer(line, lambda: builder().branch_block(
+                int(pc_s), resolve(descr.strip())))
+            continue
+        if stripped.startswith("_brba("):
+            parts = stripped[6:-1].split(",")
+            if int(parts[2]) == dispatch:
+                defer(line, lambda: builder().branch_block_annot_run(
+                    int(parts[0]), resolve(parts[1].strip()),
+                    int(parts[2]), int(parts[3])))
+                continue
+        if stripped.startswith("_annotn("):
+            tag_s, n_s = stripped[8:-1].split(",")
+            if int(tag_s) == dispatch:
+                defer(line, lambda: builder().annot_run(
+                    int(tag_s), int(n_s)))
+                continue
+        if stripped.startswith("_annot(") and "," not in stripped:
+            if int(stripped[7:-1]) == dispatch:
+                defer(line, lambda: builder().annot_run(dispatch, 1))
+                continue
+        if stripped.startswith(("_ld(", "_st(")):
+            slot = state["slot"]
+            state["slot"] = slot + 1
+            fn = builder().load if stripped[1] == "l" else builder().store
+            fn(slot)
+            pending.append(("op", "%s_o[%d] = %s"
+                            % (" " * indent, slot, stripped[4:-1]), line))
+            state["events"] += 1
+            continue
+        if stripped.startswith(("_lda(", "_sta(")):
+            expr, tag_s, n_s = stripped[5:-1].rsplit(",", 2)
+            if int(tag_s) == dispatch:
+                slot = state["slot"]
+                state["slot"] = slot + 1
+                b = builder()
+                fn = b.load_annot_run if stripped[1] == "l" \
+                    else b.store_annot_run
+                fn(slot, int(tag_s), int(n_s))
+                pending.append(("op", "%s_o[%d] = %s"
+                                % (" " * indent, slot, expr), line))
+                state["events"] += 1
+                continue
+        if (stripped.startswith(("_", "return", "continue", "def "))
+                or _HOST_CALL_RE.search(stripped)):
+            flush()
+            out.append(line)
+            continue
+        emit(line)
+    flush()
+    n_slots = 0
+    for prog in programs:
+        if prog.n_slots > n_slots:
+            n_slots = prog.n_slots
+    meta = {
+        "calls_before": _count_machine_calls(lines),
+        "calls_after": _count_machine_calls(out),
+        "segments": state["segments"],
+    }
+    return out, programs, n_slots, meta
 
 
 def _exit_plan(snapshot):

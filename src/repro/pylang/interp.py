@@ -36,7 +36,8 @@ from repro.pylang.objects import (
 )
 from repro.interp.tier1 import TierManager
 from repro.pylang.ops import OpsMixin
-from repro.pylang.quicken import build_run_table, op_charges
+from repro.pylang.quicken import (build_run_programs, build_run_table,
+                                  op_charges)
 from repro.pylang.tier1 import PY_TIER
 from repro.rlib.rbigint import BigInt
 
@@ -96,6 +97,13 @@ class PyVM(OpsMixin, CollectionsMixin, InstancesMixin):
         self._quicken = ctx.config.quicken
         self._quicken_tables = {}
         self._quicken_charges = op_charges(ctx.llops)
+        # Resident event-programs (config.eventprog): each quickened run
+        # (and each tier-1 run) is wrapped once in an EventProgram so
+        # the dispatch loop retires it with a single machine call —
+        # one FFI crossing on the native backend.  Programs are built
+        # lazily per code object, parallel to the run tables.
+        self._eventprog = ctx.config.eventprog
+        self._quicken_programs = {}
         # Static verification debug gate (repro.analysis): check guest
         # bytecode at program entry and every quickening run table.  The
         # off path is this one attribute read per gate.
@@ -171,12 +179,16 @@ class PyVM(OpsMixin, CollectionsMixin, InstancesMixin):
         prev_opcode = 0
         dispatch_event = machine.dispatch_event
         quick_run = machine.quick_run
+        exec_program = machine.exec_program
         b_dispatch = self._b_dispatch
         DISPATCH = tags.DISPATCH
         quicken = self._quicken
         tables = self._quicken_tables
+        use_programs = self._eventprog
+        program_tables = self._quicken_programs
         last_code = None
         runs = None
+        run_programs = None
         tier = self.driver.tier
         b_tier = self._b_tier1_dispatch if tier is not None else None
         tier_code = None
@@ -200,7 +212,11 @@ class PyVM(OpsMixin, CollectionsMixin, InstancesMixin):
                         # Fused straight-line span of threaded code:
                         # batch the site-keyed dispatches and handler
                         # charges, then run the silent micro-handlers.
-                        quick_run(DISPATCH, b_tier, entry[0], entry[4])
+                        if tcode.progs is not None:
+                            exec_program(tcode.progs[pc])
+                        else:
+                            quick_run(DISPATCH, b_tier, entry[0],
+                                      entry[4])
                         for fn, arg in entry[1]:
                             fn(self, frame, arg)
                         frame.pc = entry[2]
@@ -226,6 +242,11 @@ class PyVM(OpsMixin, CollectionsMixin, InstancesMixin):
                             verify_run_table(code, runs).raise_if_errors(
                                 "quickening verification")
                         tables[code] = runs
+                    if use_programs:
+                        run_programs = program_tables.get(code)
+                        if run_programs is None:
+                            run_programs = build_run_programs(self, runs)
+                            program_tables[code] = run_programs
                     last_code = code
                 entry = runs[pc]
                 if entry is not None and entry[5] == prev_opcode:
@@ -236,7 +257,11 @@ class PyVM(OpsMixin, CollectionsMixin, InstancesMixin):
                     # exact; a deopt landing or call return arriving
                     # with a different predecessor takes the slow path
                     # below for one bytecode and re-synchronizes.
-                    quick_run(DISPATCH, b_dispatch, entry[0], entry[4])
+                    if run_programs is not None:
+                        exec_program(run_programs[pc])
+                    else:
+                        quick_run(DISPATCH, b_dispatch, entry[0],
+                                  entry[4])
                     for fn, arg in entry[1]:
                         fn(self, frame, arg)
                     frame.pc = entry[2]

@@ -182,3 +182,23 @@ def build_run_table(vm, code):
         table[start] = (items, pairs, end, ops[end - 1], n_insns,
                         ops[start - 1])
     return table
+
+
+def build_run_programs(vm, table):
+    """Per-pc event programs wrapping the run table's ``quick_run``
+    calls (``config.eventprog``): same tag, dispatch block, items and
+    ``n_insns`` as the direct call each replaces, so replay is
+    bit-identical on every backend.  Parallel to ``table`` (None where
+    no run starts) so the dispatch loop indexes both with the run pc.
+    """
+    from repro.backend.eventprog import quick_run_program
+    from repro.core import tags
+
+    b_dispatch = vm._b_dispatch
+    programs = [None] * len(table)
+    for pc, entry in enumerate(table):
+        if entry is not None:
+            programs[pc] = quick_run_program(tags.DISPATCH, b_dispatch,
+                                             entry[0], entry[4],
+                                             label="quicken-run")
+    return programs

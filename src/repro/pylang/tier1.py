@@ -117,7 +117,20 @@ class TierSpec(object):
                 2 + b_dispatch.n_insns + sum(blk.n_insns for blk in blocks)
                 for _hash, _op, blocks in items)
             runs[start] = (items, pairs, end, ops[end - 1], n_insns)
-        return ThreadedCode(code, sites, runs, generation)
+        progs = None
+        if vm.ctx.config.eventprog:
+            # One resident event-program per fused run: same tag, block,
+            # items and n_insns as the quick_run call it replaces.
+            from repro.backend.eventprog import quick_run_program
+            from repro.core import tags
+
+            progs = [None] * n
+            for pc, entry in enumerate(runs):
+                if entry is not None:
+                    progs[pc] = quick_run_program(
+                        tags.DISPATCH, b_dispatch, entry[0], entry[4],
+                        label="tier1-run")
+        return ThreadedCode(code, sites, runs, generation, progs)
 
 
 # TinyPy promotes on loop headers only: Python loops are backward jumps,

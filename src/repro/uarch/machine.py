@@ -18,6 +18,7 @@ model, "PAPI" is :meth:`counters`, and "Pin" is the listener interface.
 
 from collections import namedtuple
 
+from repro.backend import eventprog as _eventprog
 from repro.backend import kernelspec as _kernelspec
 from repro.core.errors import ReproError
 from repro.isa import insns
@@ -637,6 +638,29 @@ class Machine:
         if self._ras_pop(pc + 1):
             self.branch_misses += 1
             self.cycles += self.mispredict_penalty
+
+    def exec_program(self, prog, operands=None):
+        """Replay a pre-compiled :class:`~repro.backend.eventprog.EventProgram`.
+
+        The reference implementation simply replays the program's events
+        through this machine's public kernels, one by one — so limit
+        raises, listener notification, and float accumulation order are
+        the per-call semantics by definition.  The compiled backends
+        override this with resident replayers (thunk lists on ``fast``,
+        one ``rt_exec_program`` FFI call on ``native``) that the
+        eventprog equivalence suite pins bit-identical to this path.
+        """
+        _eventprog.replay(self, prog, operands)
+
+    def eventprog_operands(self, n_slots):
+        """Allocate an operand buffer for :meth:`exec_program` callers.
+
+        Dynamic load/store addresses are written into this buffer by
+        the generated driver code before each ``exec_program`` call.
+        The native backend overrides this with a cffi ``long long[]``
+        that ``rt_exec_program`` indexes directly.
+        """
+        return [0] * n_slots
 
     def exec_bulk_branches(self, count, miss_rate):
         """Retire ``count`` loop-style branches with a calibrated miss rate.

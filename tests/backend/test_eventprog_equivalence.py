@@ -1,0 +1,185 @@
+"""Event-program equivalence: resident programs are bit-identical.
+
+The event-program layer (``config.eventprog``) batches already-fused
+machine event sequences — quickened dispatch runs, tier-1 threaded
+runs, and compiled-trace replay — into resident programs executed by
+one ``Machine.exec_program`` call each.  Like quickening and the
+compiled backends, the layer must not change simulation results AT
+ALL: every counter (the float ``cycles`` accumulator compared by
+``==`` and ``repr``), every phase window, the jitlog event stream and
+guest stdout have to match the eventprog-off run bit for bit — on real
+benchmarks and generated difftest programs, on every backend, with
+quickening and the tier both on and off.
+
+Style of ``tests/backend/test_backend_equivalence.py``: run the same
+workload twice with only ``config.eventprog`` flipped and compare the
+full measurement set field by field.
+"""
+
+import pytest
+
+from repro import backend as backend_pkg
+from repro.backend import eventprog as eventprog_mod
+from repro.benchprogs import registry
+from repro.difftest import oracle
+from repro.difftest.generator import generate_program
+from repro.harness import runner
+
+NATIVE_REASON = backend_pkg.native_unavailable_reason()
+
+BACKENDS = ["python", "fast"] + (
+    ["native"] if NATIVE_REASON is None else
+    [pytest.param("native",
+                  marks=pytest.mark.skip(reason="native backend "
+                                         "unavailable: " + NATIVE_REASON))])
+
+
+def _measure(program_name, language, vm_kind, backend, eventprog,
+             tier1=None):
+    program = (registry.py_program(program_name) if language == "python"
+               else registry.rkt_program(program_name))
+    result = runner.run_program(program, vm_kind, use_cache=False,
+                                backend=backend, tier1=tier1,
+                                eventprog=eventprog)
+    phases = tuple(
+        (w.instructions, w.cycles, w.branches, w.branch_misses)
+        for w in result.phase_windows) if result.phase_windows else None
+    jitlog = (repr(result.jitlog_obj.events)
+              if result.jitlog_obj is not None else None)
+    return {
+        "instructions": result.instructions,
+        "cycles": result.cycles,
+        "cycles_repr": repr(result.cycles),
+        "ipc": repr(result.ipc),
+        "mpki": repr(result.mpki),
+        "truncated": result.truncated,
+        "bytecodes": result.bytecodes,
+        "output": result.output,
+        "phase_windows": phases,
+        "phase_breakdown": tuple(sorted(result.phase_breakdown.items())),
+        "jitlog": jitlog,
+    }
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("program,language,vm_kind,tier1", [
+    ("richards", "python", "pypy", None),
+    ("richards", "python", "pypy_nojit", None),
+    ("crypto_pyaes", "python", "cpython", None),
+    ("nbody", "python", "pypy", True),
+    ("fannkuch", "racket", "pycket", None),
+    ("fannkuch", "racket", "racket", True),
+])
+def test_benchmarks_bit_identical(program, language, vm_kind, tier1,
+                                  backend):
+    reference = _measure(program, language, vm_kind, backend,
+                         eventprog=False, tier1=tier1)
+    resident = _measure(program, language, vm_kind, backend,
+                        eventprog=True, tier1=tier1)
+    for field in reference:
+        assert resident[field] == reference[field], \
+            "%s differs with event-programs on (%s backend)" \
+            % (field, backend)
+
+
+@pytest.mark.parametrize("quicken", [True, False],
+                         ids=["quicken", "noquicken"])
+@pytest.mark.parametrize("seed", range(9200, 9220))
+def test_generated_programs_bit_identical(seed, quicken):
+    """Difftest-generated TinyPy programs: JIT runs (the trace-codegen
+    transform plus the quickened interpreter glue) with event-programs
+    on must agree with the off run on every machine counter."""
+    source = generate_program(seed)
+    ref = oracle.run_interp(source, jit=True, threshold=7,
+                            bridge_threshold=2, quicken=quicken,
+                            eventprog=False)
+    run = oracle.run_interp(source, jit=True, threshold=7,
+                            bridge_threshold=2, quicken=quicken,
+                            eventprog=True, name="eventprog")
+    assert run.output == ref.output
+    assert (run.error is None) == (ref.error is None)
+    assert run.truncated == ref.truncated
+    for field in ("instructions", "cycles", "branches", "branch_misses",
+                  "loads", "stores", "annotations"):
+        a = getattr(ref.machine, field)
+        b = getattr(run.machine, field)
+        assert a == b, (field, quicken)
+        assert repr(a) == repr(b), (field, quicken)
+    assert tuple(ref.machine.class_counts) == \
+        tuple(run.machine.class_counts)
+    assert ref.tool.bcrate.bytecodes == run.tool.bcrate.bytecodes
+    if ref.ctx is not None and run.ctx is not None:
+        assert repr(ref.ctx.jitlog.events) == repr(run.ctx.jitlog.events)
+        a_traces = [(repr(t.greenkey), list(t.op_exec_counts))
+                    for t in ref.ctx.registry.traces]
+        b_traces = [(repr(t.greenkey), list(t.op_exec_counts))
+                    for t in run.ctx.registry.traces]
+        assert a_traces == b_traces
+
+
+@pytest.mark.parametrize("backend,tier1", [
+    ("python", None), ("fast", True),
+] + ([("native", None), ("native", True)] if NATIVE_REASON is None
+     else []))
+def test_generated_tiered_runs_bit_identical(backend, tier1):
+    """Direct-mode sweep over backend x tier1: the quickened-run and
+    threaded-run program paths must be invisible on every backend."""
+    for seed in range(9230, 9235):
+        source = generate_program(seed)
+        ref = oracle.run_interp(source, jit=False, backend=backend,
+                                tier1=tier1, eventprog=False)
+        run = oracle.run_interp(source, jit=False, backend=backend,
+                                tier1=tier1, eventprog=True,
+                                name="eventprog")
+        assert run.output == ref.output, seed
+        for field in ("instructions", "cycles", "branches",
+                      "branch_misses", "loads", "stores", "annotations"):
+            a = getattr(ref.machine, field)
+            b = getattr(run.machine, field)
+            assert a == b, (field, seed)
+            assert repr(a) == repr(b), (field, seed)
+        assert tuple(ref.machine.class_counts) == \
+            tuple(run.machine.class_counts), seed
+
+
+def test_eventprog_actually_engaged():
+    """The equivalence above must compare distinct execution paths —
+    guard against a silent gate making it vacuous."""
+    eventprog_mod.reset_stats()
+    result = runner.run_program("richards", "pypy", use_cache=False,
+                                eventprog=True)
+    stats = result.eventprog_stats
+    assert stats is not None
+    assert stats.get("programs", 0) > 0
+    assert stats.get("events", 0) > 0
+    # The trace transform collapsed per-event kernel calls into
+    # resident program calls.
+    assert stats.get("trace_segments", 0) > 0
+    assert stats.get("trace_calls_after", 0) < \
+        stats.get("trace_calls_before", 0)
+    off = runner.run_program("richards", "pypy", use_cache=False,
+                             eventprog=False)
+    assert off.eventprog_stats is None
+    assert off.instructions == result.instructions
+    assert repr(off.cycles) == repr(result.cycles)
+
+
+def test_oracle_runs_eventprog_engines():
+    """check_program exercises the eventprog engines and the paired
+    equivalence check end to end on a small program."""
+    source = (
+        "def spin(n):\n"
+        "    total = 0\n"
+        "    i = 0\n"
+        "    while i < n:\n"
+        "        total = total + i\n"
+        "        i = i + 1\n"
+        "    return total\n"
+        "print(spin(300))\n"
+    )
+    report = oracle.check_program(source, thresholds=(7,),
+                                  check_store=False)
+    names = [run.name for run in report.runs]
+    assert "eventprog" in names
+    assert "eventprog-jit@7" in names
+    assert report.ok, report.summary()

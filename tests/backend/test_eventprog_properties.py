@@ -1,0 +1,405 @@
+"""Property tests: event programs replay bit-identically on every backend.
+
+Hypothesis generates random event sequences over the full event
+vocabulary of :mod:`repro.backend.eventprog` and checks, on every
+available backend, that
+
+* encoding the sequence into an :class:`EventProgram` and replaying it
+  with one ``machine.exec_program`` call lands on exactly the counters
+  the direct per-call kernel sequence produces (cycles compared by
+  ``repr`` — not even the last mantissa bit may differ);
+* a ``max_instructions`` limit placed mid-program raises at the same
+  event with the same final state on both paths (the native precheck
+  falls back to reference replay whenever the limit could cross);
+* ``Machine.reset()`` returns a program-driven machine to construction
+  state (a reused machine replays bit-identically to a fresh one); and
+* the disk-cache serialization round-trips programs without changing
+  replay results.
+
+The suite complements ``test_eventprog_equivalence.py`` the way
+``test_reset_determinism.py`` complements the benchmark suite: machine
+level, synthetic workloads, every event kind — including interleavings
+no current driver emits.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import backend as backend_pkg
+from repro.backend import eventprog
+from repro.core.config import SystemConfig
+from repro.isa import insns
+from repro.uarch.machine import Machine, SimulationLimitReached
+
+NATIVE_REASON = backend_pkg.native_unavailable_reason()
+
+BACKENDS = ["python", "fast"] + (
+    ["native"] if NATIVE_REASON is None else
+    [pytest.param("native",
+                  marks=pytest.mark.skip(reason="native backend "
+                                         "unavailable: " + NATIVE_REASON))])
+
+MIXES = (
+    insns.mix(alu=3, load=2, br_bulk=4),
+    insns.mix(alu=1),
+    insns.mix(mul=2, div=1, fpu=3, store=2),
+    insns.mix(alu=5, br_bulk=1),
+)
+
+TAGS = (3, 5, 9)
+
+_SETTINGS = settings(max_examples=25, deadline=None,
+                     suppress_health_check=[HealthCheck.too_slow])
+
+# Number of host-side counters EV_BC events may bump.
+_N_BC = 4
+
+
+def _machine(backend, limit=0):
+    config = SystemConfig()
+    config.sim_backend = backend
+    config.max_instructions = limit
+    return Machine(config, "gshare")
+
+
+# -- event-sequence strategy ------------------------------------------------
+
+_pcs = st.integers(0, 8191)
+_targets = st.integers(0, 63)
+_addrs = st.integers(0, (1 << 20) - 1)
+_tags = st.sampled_from(TAGS)
+_bi = st.integers(0, len(MIXES) - 1)
+_runs = st.integers(1, 9)
+
+_run_items = st.lists(
+    st.tuples(_pcs, _targets, st.lists(_bi, max_size=3).map(tuple)),
+    min_size=1, max_size=5).map(tuple)
+_dispatch_items = st.lists(st.tuples(_pcs, _targets, _bi),
+                           min_size=1, max_size=5).map(tuple)
+
+_event = st.one_of(
+    st.tuples(st.just("exec_block"), _bi),
+    st.tuples(st.just("branch_block"), _pcs, _bi),
+    st.tuples(st.just("branch"), _pcs, st.booleans()),
+    st.tuples(st.just("annot_run"), _tags, _runs),
+    st.tuples(st.just("load"), _addrs),
+    st.tuples(st.just("store"), _addrs),
+    st.tuples(st.just("call"), _pcs),
+    st.tuples(st.just("ret"), _pcs),
+    st.tuples(st.just("dispatch"), _tags, _bi, _pcs, _targets),
+    st.tuples(st.just("dispatch2"), _tags, _bi, _pcs, _targets, _bi),
+    st.tuples(st.just("bulk"), st.integers(1, 40),
+              st.floats(0.0, 0.5, allow_nan=False)),
+    st.tuples(st.just("brba"), _pcs, _bi, _tags, _runs),
+    st.tuples(st.just("load_annot"), _addrs, _tags, _runs),
+    st.tuples(st.just("store_annot"), _addrs, _tags, _runs),
+    st.tuples(st.just("quick_run"), _tags, _bi, _run_items),
+    st.tuples(st.just("dispatch_run"), _tags, _bi, _dispatch_items),
+    st.tuples(st.just("bc"), st.integers(0, _N_BC - 1)),
+)
+
+_events = st.lists(_event, min_size=1, max_size=40)
+
+# The disk cache only serializes the executor's event subset.
+_SERIALIZABLE_KINDS = frozenset((
+    "exec_block", "branch_block", "branch", "annot_run", "load", "store",
+    "call", "ret", "dispatch", "dispatch2", "bulk", "brba", "load_annot",
+    "store_annot", "bc"))
+
+
+def _run_n_insns(blocks, dispatch_bi, items):
+    return sum(2 + blocks[dispatch_bi].n_insns +
+               sum(blocks[j].n_insns for j in bis)
+               for _pc, _target, bis in items)
+
+
+def _dispatch_n_insns(blocks, dispatch_bi, items):
+    return sum(2 + blocks[dispatch_bi].n_insns + blocks[j].n_insns
+               for _pc, _target, j in items)
+
+
+def _apply_direct(m, blocks, events, bc_counts):
+    """The per-call kernel sequence a driver would issue without the
+    event-program layer — the reference the program replay must match."""
+    for ev in events:
+        kind = ev[0]
+        if kind == "exec_block":
+            m.exec_block(blocks[ev[1]])
+        elif kind == "branch_block":
+            m.branch_block(ev[1], blocks[ev[2]])
+        elif kind == "branch":
+            m.branch(ev[1], ev[2])
+        elif kind == "annot_run":
+            m.annot_run(ev[1], ev[2])
+        elif kind == "load":
+            m.load(ev[1])
+        elif kind == "store":
+            m.store(ev[1])
+        elif kind == "call":
+            m.call(ev[1])
+        elif kind == "ret":
+            m.ret(ev[1])
+        elif kind == "dispatch":
+            m.dispatch_event(ev[1], blocks[ev[2]], ev[3], ev[4])
+        elif kind == "dispatch2":
+            m.dispatch_event2(ev[1], blocks[ev[2]], ev[3], ev[4],
+                              blocks[ev[5]])
+        elif kind == "bulk":
+            m.exec_bulk_branches(ev[1], ev[2])
+        elif kind == "brba":
+            m.branch_block_annot_run(ev[1], blocks[ev[2]], ev[3], ev[4])
+        elif kind == "load_annot":
+            m.load_annot_run(ev[1], ev[2], ev[3])
+        elif kind == "store_annot":
+            m.store_annot_run(ev[1], ev[2], ev[3])
+        elif kind == "quick_run":
+            items = tuple((pc, t, tuple(blocks[j] for j in bis))
+                          for pc, t, bis in ev[3])
+            m.quick_run(ev[1], blocks[ev[2]], items,
+                        _run_n_insns(blocks, ev[2], ev[3]))
+        elif kind == "dispatch_run":
+            items = tuple((pc, t, blocks[j]) for pc, t, j in ev[3])
+            m.dispatch_run(ev[1], blocks[ev[2]], items,
+                           _dispatch_n_insns(blocks, ev[2], ev[3]))
+        elif kind == "bc":
+            bc_counts[ev[1]] += 1
+        else:
+            raise AssertionError(kind)
+
+
+def _encode(blocks, events, bc_counts):
+    """Encode the same sequence as an EventProgram; returns
+    ``(program, operand_addresses)``."""
+    builder = eventprog.ProgramBuilder("property-fuzz")
+    addrs = []
+    for ev in events:
+        kind = ev[0]
+        if kind == "exec_block":
+            builder.exec_block(blocks[ev[1]])
+        elif kind == "branch_block":
+            builder.branch_block(ev[1], blocks[ev[2]])
+        elif kind == "branch":
+            builder.branch(ev[1], ev[2])
+        elif kind == "annot_run":
+            builder.annot_run(ev[1], ev[2])
+        elif kind == "load":
+            builder.load(len(addrs))
+            addrs.append(ev[1])
+        elif kind == "store":
+            builder.store(len(addrs))
+            addrs.append(ev[1])
+        elif kind == "call":
+            builder.call(ev[1])
+        elif kind == "ret":
+            builder.ret(ev[1])
+        elif kind == "dispatch":
+            builder.dispatch_event(ev[1], blocks[ev[2]], ev[3], ev[4])
+        elif kind == "dispatch2":
+            builder.dispatch_event2(ev[1], blocks[ev[2]], ev[3], ev[4],
+                                    blocks[ev[5]])
+        elif kind == "bulk":
+            builder.exec_bulk_branches(ev[1], ev[2])
+        elif kind == "brba":
+            builder.branch_block_annot_run(ev[1], blocks[ev[2]], ev[3],
+                                           ev[4])
+        elif kind == "load_annot":
+            builder.load_annot_run(len(addrs), ev[2], ev[3])
+            addrs.append(ev[1])
+        elif kind == "store_annot":
+            builder.store_annot_run(len(addrs), ev[2], ev[3])
+            addrs.append(ev[1])
+        elif kind == "quick_run":
+            items = tuple((pc, t, tuple(blocks[j] for j in bis))
+                          for pc, t, bis in ev[3])
+            builder.quick_run(ev[1], blocks[ev[2]], items,
+                              _run_n_insns(blocks, ev[2], ev[3]))
+        elif kind == "dispatch_run":
+            items = tuple((pc, t, blocks[j]) for pc, t, j in ev[3])
+            builder.dispatch_run(ev[1], blocks[ev[2]], items,
+                                 _dispatch_n_insns(blocks, ev[2], ev[3]))
+        elif kind == "bc":
+            builder.bc(bc_counts, ev[1])
+        else:
+            raise AssertionError(kind)
+    return builder.build(), addrs
+
+
+def _exec_program(m, prog, addrs):
+    operands = m.eventprog_operands(max(prog.n_slots, 1))
+    for i, addr in enumerate(addrs):
+        operands[i] = addr
+    m.exec_program(prog, operands)
+
+
+def _snapshot(m, bc_counts, limit_hit):
+    return {
+        "instructions": m.instructions,
+        "cycles_repr": repr(m.cycles),
+        "branches": m.branches,
+        "branch_misses": m.branch_misses,
+        "loads": m.loads,
+        "stores": m.stores,
+        "annotations": m.annotations,
+        "class_counts": tuple(m.class_counts),
+        "counters": m.counters(),
+        "ipc": repr(m.ipc),
+        "mpki": repr(m.branch_mpki),
+        "bc_counts": tuple(bc_counts),
+        "limit": limit_hit,
+    }
+
+
+def _drive_direct(backend, events, limit=0):
+    m = _machine(backend, limit)
+    blocks = [m.block(mx) for mx in MIXES]
+    bc_counts = [0] * _N_BC
+    hit = None
+    try:
+        _apply_direct(m, blocks, events, bc_counts)
+    except SimulationLimitReached as exc:
+        hit = exc.args[0]
+    return _snapshot(m, bc_counts, hit)
+
+
+def _drive_program(backend, events, limit=0, roundtrip=False):
+    m = _machine(backend, limit)
+    blocks = [m.block(mx) for mx in MIXES]
+    bc_counts = [0] * _N_BC
+    prog, addrs = _encode(blocks, events, bc_counts)
+    if roundtrip:
+        obj = eventprog.program_to_jsonable(prog)
+        prog = eventprog.program_from_jsonable(obj, m, bc_list=bc_counts)
+    hit = None
+    try:
+        _exec_program(m, prog, addrs)
+    except SimulationLimitReached as exc:
+        hit = exc.args[0]
+    return _snapshot(m, bc_counts, hit)
+
+
+# -- the properties ---------------------------------------------------------
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@_SETTINGS
+@given(events=_events)
+def test_replay_matches_direct_calls(backend, events):
+    """One exec_program call == the direct kernel sequence, bit for bit."""
+    assert _drive_program(backend, events) == \
+        _drive_direct(backend, events)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@_SETTINGS
+@given(events=_events, split=st.integers(1, 99))
+def test_truncation_matches_direct_calls(backend, events, split):
+    """An instruction limit landing mid-program raises at the same event
+    with the same final counters (including EV_BC bumps issued before
+    the raise) as the per-call path."""
+    reference = _drive_direct(backend, events)
+    limit = max(1, reference["instructions"] * split // 100)
+    direct = _drive_direct(backend, events, limit=limit)
+    program = _drive_program(backend, events, limit=limit)
+    assert program == direct
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@_SETTINGS
+@given(events=_events)
+def test_reset_restores_program_state(backend, events):
+    """run program, reset, run again == fresh machine running it once."""
+    m = _machine(backend)
+    blocks = [m.block(mx) for mx in MIXES]
+    bc_counts = [0] * _N_BC
+    prog, addrs = _encode(blocks, events, bc_counts)
+    _exec_program(m, prog, addrs)
+    first = _snapshot(m, bc_counts, None)
+    m.reset()
+    bc_counts[:] = [0] * _N_BC
+    _exec_program(m, prog, addrs)
+    assert _snapshot(m, bc_counts, None) == first
+    assert _drive_program(backend, events) == first
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@_SETTINGS
+@given(events=_events.map(
+    lambda evs: [ev for ev in evs if ev[0] in _SERIALIZABLE_KINDS]))
+def test_serialization_roundtrip(backend, events):
+    """A program rebuilt from its jsonable form replays identically."""
+    if not events:
+        return
+    assert _drive_program(backend, events, roundtrip=True) == \
+        _drive_direct(backend, events)
+
+
+def test_backends_agree_on_programs():
+    """The same generated program lands on bit-identical counters across
+    every available backend (seeded, not Hypothesis-driven, so the
+    cross-backend comparison is on one fixed corpus)."""
+    import random
+
+    rng = random.Random(20260808)
+    corpus = []
+    for _ in range(10):
+        events = []
+        for _ in range(rng.randrange(5, 30)):
+            events.append(_sample_event(rng))
+        corpus.append(events)
+    for events in corpus:
+        reference = _drive_program("python", events)
+        assert _drive_direct("python", events) == reference
+        for backend in ("fast",) + (("native",) if NATIVE_REASON is None
+                                    else ()):
+            assert _drive_program(backend, events) == reference, backend
+
+
+def _sample_event(rng):
+    kind = rng.choice((
+        "exec_block", "branch_block", "branch", "annot_run", "load",
+        "store", "call", "ret", "dispatch", "dispatch2", "bulk", "brba",
+        "load_annot", "store_annot", "quick_run", "dispatch_run", "bc"))
+    bi = rng.randrange(len(MIXES))
+    pc = rng.randrange(8192)
+    tag = rng.choice(TAGS)
+    if kind == "exec_block":
+        return (kind, bi)
+    if kind == "branch_block":
+        return (kind, pc, bi)
+    if kind == "branch":
+        return (kind, pc, rng.random() < 0.6)
+    if kind == "annot_run":
+        return (kind, tag, rng.randrange(1, 9))
+    if kind in ("load", "store"):
+        return (kind, rng.randrange(1 << 20))
+    if kind in ("call", "ret"):
+        return (kind, pc)
+    if kind == "dispatch":
+        return (kind, tag, bi, pc, rng.randrange(64))
+    if kind == "dispatch2":
+        return (kind, tag, bi, pc, rng.randrange(64),
+                rng.randrange(len(MIXES)))
+    if kind == "bulk":
+        return (kind, rng.randrange(1, 40), rng.random() * 0.5)
+    if kind == "brba":
+        return (kind, pc, bi, tag, rng.randrange(1, 9))
+    if kind in ("load_annot", "store_annot"):
+        return (kind, rng.randrange(1 << 20), tag, rng.randrange(1, 7))
+    if kind == "quick_run":
+        items = tuple(
+            (rng.randrange(4096), rng.randrange(64),
+             tuple(rng.randrange(len(MIXES))
+                   for _ in range(rng.randrange(3))))
+            for _ in range(rng.randrange(1, 5)))
+        return (kind, tag, bi, items)
+    if kind == "dispatch_run":
+        items = tuple(
+            (rng.randrange(4096), rng.randrange(64),
+             rng.randrange(len(MIXES)))
+            for _ in range(rng.randrange(1, 5)))
+        return (kind, tag, bi, items)
+    return ("bc", rng.randrange(_N_BC))

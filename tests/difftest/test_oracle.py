@@ -32,10 +32,10 @@ class TestAgreement:
     def test_simple_program_all_engines_agree(self):
         report = check_program(AGREE_SRC, thresholds=(2, 39))
         assert report.ok, report.summary()
-        # cpref, interp, quicken-off, backend-fast, tier1, jit@2,
-        # jit@39 — plus backend-native when a C toolchain built the
-        # runtime.
-        assert len(report.runs) == 7 + _natives()
+        # cpref, interp, quicken-off, backend-fast, tier1, eventprog,
+        # jit@2, jit@39 — plus backend-native when a C toolchain built
+        # the runtime.
+        assert len(report.runs) == 8 + _natives()
         outputs = {run.output for run in report.runs}
         assert outputs == {"328350\n"}
 
@@ -44,7 +44,7 @@ class TestAgreement:
         expected = ["cpref", "interp", "quicken-off", "backend-fast"]
         if _natives():
             expected.append("backend-native")
-        expected += ["tier1", "jit@2"]
+        expected += ["tier1", "eventprog", "jit@2"]
         assert [run.name for run in report.runs] == expected
 
     def test_guest_errors_compare_by_erroredness(self):

@@ -12,7 +12,14 @@ compose without re-running old code.  Run from the repo root:
     PYTHONPATH=src python tools/bench.py
     PYTHONPATH=src python tools/bench.py --trials 5
     PYTHONPATH=src python tools/bench.py --backend native  # one backend
+    PYTHONPATH=src python tools/bench.py --eventprog both  # on/off axis
     PYTHONPATH=src python tools/bench.py --profile   # cProfile top-20
+
+``--eventprog on|both`` times the resident event-program layer
+(``config.eventprog``); its rows carry the per-iteration FFI-crossings
+estimate from the trace transform (static machine calls per trace body
+before/after segmenting) alongside the wall-time speedup over the
+matching eventprog-off row.
 
 ``--backend all`` (the default) times every available simulation
 backend — the reference machine (``python``), the exec-specialized
@@ -121,19 +128,31 @@ def _resolve_backends(requested):
     return backends
 
 
-def time_one(name, language, vm_kind, trials, backend=None):
-    best = None
-    instructions = 0
+def time_grid(name, language, vm_kind, cells, trials):
+    """Min-of-N walls for every (backend, eventprog) cell of one
+    benchmark, with trials *interleaved* round-robin across the cells.
+
+    The report's headline columns are ratios between cells of the same
+    benchmark (fast vs python, eventprog on vs off); timing each cell's
+    trials back-to-back lets minutes of scheduler drift between cell
+    groups masquerade as backend speedups or regressions.  Round-robin
+    keeps every ratio's numerator and denominator seconds apart, so the
+    min-of-N cells see the same machine.
+    """
+    best = {cell: (None, 0, None) for cell in cells}
     for _ in range(trials):
-        clear_cache()
-        t0 = time.perf_counter()
-        result = run_program(name, vm_kind, language=language,
-                             use_cache=False, backend=backend)
-        elapsed = time.perf_counter() - t0
-        instructions = result.instructions
-        if best is None or elapsed < best:
-            best = elapsed
-    return best, instructions
+        for backend, eventprog in cells:
+            clear_cache()
+            t0 = time.perf_counter()
+            result = run_program(name, vm_kind, language=language,
+                                 use_cache=False, backend=backend,
+                                 eventprog=eventprog)
+            elapsed = time.perf_counter() - t0
+            prior = best[(backend, eventprog)][0]
+            if prior is None or elapsed < prior:
+                best[(backend, eventprog)] = (
+                    elapsed, result.instructions, result.eventprog_stats)
+    return best
 
 
 def tier_break_even():
@@ -191,33 +210,65 @@ def main(argv=None):
                         choices=("python", "fast", "native", "all"),
                         help="simulation backend(s) to time "
                              "(default: every available backend)")
+    parser.add_argument("--eventprog", default="off",
+                        choices=("off", "on", "both"),
+                        help="also time with resident event-programs on "
+                             "(rows gain an FFI-crossings-per-iteration "
+                             "estimate from the trace transform)")
     args = parser.parse_args(argv)
     if args.profile:
         profile_quick_set()
         return
 
     backends = _resolve_backends(args.backend)
+    ep_modes = {"off": (False,), "on": (True,),
+                "both": (False, True)}[args.eventprog]
     prev_number, prev_walls = _prior_walls()
     rows = []
     total = 0.0
     prev_total = 0.0
     python_walls = {}
+    off_walls = {}
     seed_total = sum(SEED_SECONDS.values())
     seed_rem_total = sum(SEED_SECONDS_REMEASURED.values())
     for name, language, vm_kind in QUICK_SET:
         label = "%s/%s" % (name, vm_kind)
-        for backend in backends:
-            seconds, instructions = time_one(name, language, vm_kind,
-                                             args.trials, backend=backend)
+        cells = [(b, e) for b in backends for e in ep_modes]
+        grid = time_grid(name, language, vm_kind, cells, args.trials)
+        for backend, eventprog in cells:
+            seconds, instructions, ep_stats = grid[(backend, eventprog)]
             row = {
                 "benchmark": label,
                 "backend": backend,
+                "eventprog": eventprog,
                 "wall_s": round(seconds, 3),
                 "sim_instructions": instructions,
                 "sim_insns_per_sec": round(instructions / seconds),
             }
-            line = "%-22s %-7s %6.2fs" % (label, backend, seconds)
-            if backend == "python":
+            line = "%-22s %-10s %6.2fs" % (
+                label, backend + ("+ep" if eventprog else ""), seconds)
+            if eventprog:
+                off_wall = off_walls.get((label, backend))
+                if off_wall is not None:
+                    row["speedup_vs_eventprog_off"] = round(
+                        off_wall / seconds, 2)
+                if ep_stats:
+                    # Static machine-call counts of the transformed trace
+                    # bodies: each executes once per loop iteration, so
+                    # before/after is the per-iteration FFI-crossings
+                    # estimate the event-program layer removes.
+                    before = ep_stats.get("trace_calls_before", 0)
+                    after = ep_stats.get("trace_calls_after", 0)
+                    row["trace_ffi_per_iter_before"] = before
+                    row["trace_ffi_per_iter_after"] = after
+                    row["eventprog_programs"] = ep_stats.get("programs", 0)
+                    if before:
+                        row["trace_ffi_reduction"] = round(
+                            1.0 - after / float(before), 3)
+                        line += "  ffi/iter %d->%d" % (before, after)
+            else:
+                off_walls[(label, backend)] = seconds
+            if backend == "python" and not eventprog:
                 # Seed/previous-report baselines all measured the
                 # reference path, so only python rows compare to them.
                 total += seconds
@@ -250,6 +301,7 @@ def main(argv=None):
     report = {
         "trials": args.trials,
         "backends": backends,
+        "eventprog": args.eventprog,
         "benchmarks": rows,
         "tier_break_even": tier_break_even(),
     }

@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Bench regression gate: fail CI when a bench-smoke row got slower.
+
+Reads the newest ``BENCH_<n>.json`` (the report the preceding
+``tools/bench.py`` step just wrote) and checks one benchmark/backend
+row's ``sim_insns_per_sec`` against a baseline:
+
+* with ``--eventprog`` (the default for the eventprog CI job), the
+  baseline is the eventprog-*off* row of the same report — both rows
+  were timed on the same runner seconds apart, so the comparison is
+  machine-independent: the resident-program layer must never cost more
+  than ``--max-regression`` (default 10%) of the plain backend's
+  simulation rate;
+* without it, the baseline is the same row in the previous (committed)
+  report — a tree-over-tree gate for rows the repo tracks.
+
+Exit status 1 on regression, 0 otherwise (missing rows are an error:
+a gate that silently skips is no gate).
+
+    python tools/bench_gate.py --benchmark richards/pypy --backend native
+"""
+
+import argparse
+import glob
+import json
+import os
+import re
+import sys
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _reports():
+    found = []
+    for path in glob.glob(os.path.join(_ROOT, "BENCH_*.json")):
+        match = re.match(r"BENCH_(\d+)\.json$", os.path.basename(path))
+        if match:
+            found.append((int(match.group(1)), path))
+    return sorted(found)
+
+
+def _row(report, benchmark, backend, eventprog):
+    for row in report.get("benchmarks", ()):
+        if (row.get("benchmark") == benchmark
+                and row.get("backend", "python") == backend
+                and bool(row.get("eventprog")) == eventprog):
+            return row
+    return None
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--benchmark", default="richards/pypy")
+    parser.add_argument("--backend", default="native")
+    parser.add_argument("--eventprog", action="store_true",
+                        help="gate the eventprog-on row against the "
+                             "eventprog-off row of the same report")
+    parser.add_argument("--max-regression", type=float, default=0.10,
+                        help="largest tolerated fractional drop in "
+                             "sim_insns_per_sec (default 0.10)")
+    args = parser.parse_args(argv)
+
+    reports = _reports()
+    if not reports:
+        print("bench gate: no BENCH_*.json reports found")
+        return 1
+    newest_number, newest_path = reports[-1]
+    with open(newest_path) as handle:
+        newest = json.load(handle)
+
+    if args.eventprog:
+        row = _row(newest, args.benchmark, args.backend, True)
+        base = _row(newest, args.benchmark, args.backend, False)
+        base_desc = "%s eventprog-off row" % os.path.basename(newest_path)
+    else:
+        row = _row(newest, args.benchmark, args.backend, False)
+        base, base_desc = None, None
+        if len(reports) >= 2:
+            _, prev_path = reports[-2]
+            with open(prev_path) as handle:
+                base = _row(json.load(handle), args.benchmark,
+                            args.backend, False)
+            base_desc = os.path.basename(prev_path)
+    if row is None:
+        print("bench gate: %s/%s%s row missing from %s"
+              % (args.benchmark, args.backend,
+                 "+eventprog" if args.eventprog else "",
+                 os.path.basename(newest_path)))
+        return 1
+    if base is None:
+        print("bench gate: no baseline row for %s/%s (%s)"
+              % (args.benchmark, args.backend, base_desc or "no report"))
+        return 1
+
+    rate = row["sim_insns_per_sec"]
+    base_rate = base["sim_insns_per_sec"]
+    drop = 1.0 - rate / float(base_rate)
+    verdict = "FAIL" if drop > args.max_regression else "ok"
+    print("bench gate [%s]: %s/%s%s %d insns/s vs %d (%s) -> %+.1f%%"
+          % (verdict, args.benchmark, args.backend,
+             "+eventprog" if args.eventprog else "", rate, base_rate,
+             base_desc, -100.0 * drop))
+    return 1 if drop > args.max_regression else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
