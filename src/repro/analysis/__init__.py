@@ -8,6 +8,9 @@ Three passes over the artifacts the simulated VMs produce:
   interpreter and quickening run-table checker (``BC1xx``–``BC4xx``),
 * :mod:`repro.analysis.effects` — effect/purity declaration
   cross-checker (``EFF0xx``),
+* :mod:`repro.analysis.transval` — cross-layer translation validation
+  (optimizer ``TV1xx``, tier-1 ``TV2xx``, eventprog ``TV3xx``; see
+  DESIGN.md §16),
 
 all reporting through the shared :mod:`repro.analysis.diagnostics`
 core.  Wired in as debug gates behind ``config.verify`` /
@@ -29,6 +32,12 @@ from repro.analysis.irverify import (
     verify_recorded,
     verify_trace,
 )
+from repro.analysis.transval import (
+    validate_optimization,
+    validate_program,
+    validate_run_programs,
+    validate_threaded_code,
+)
 from repro.core.errors import VerificationError
 
 __all__ = [
@@ -38,6 +47,10 @@ __all__ = [
     "Report",
     "VerificationError",
     "check_effects",
+    "validate_optimization",
+    "validate_program",
+    "validate_run_programs",
+    "validate_threaded_code",
     "verify_backend",
     "verify_compilation",
     "verify_minicode",

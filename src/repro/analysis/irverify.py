@@ -249,6 +249,38 @@ class _OpStreamChecker(object):
                 "in the same merge region (deopt would replay the "
                 "call's effects)" % (op.name, self.hazard_source),
                 where=self.where(i, op), pass_name=_PASS)
+            bridge = getattr(op, "bridge", None)
+            if bridge is not None:
+                self._walk_bridge_hazard(bridge)
+
+    def _walk_bridge_hazard(self, bridge):
+        """Seed the hazard walk into an attached bridge's op stream.
+
+        A bridge continues execution from its guard's deopt point, so
+        its leading ops still sit in the parent's merge region: any
+        guard there is as unreplayable as one in the parent.  The walk
+        stops at the bridge's first merge point (hazard reset) or its
+        first own unsafe call (from there the bridge's own verification
+        reports).
+        """
+        prefix = "%s -> bridge #%d" % (self.where_prefix, bridge.trace_id)
+        for j, bop in enumerate(bridge.ops):
+            if not isinstance(bop, ir.IROp):
+                continue
+            opnum = bop.opnum
+            if opnum == ir.DEBUG_MERGE_POINT:
+                return
+            if ((opnum == ir.CALL and _call_effects(bop) == "any")
+                    or opnum == ir.CALL_ASSEMBLER):
+                return
+            if opnum in ir.GUARDS:
+                self.report.error(
+                    "IR501", "%s inherits non-re-executable call %s "
+                    "from the parent trace's merge region (deopt would "
+                    "replay the call's effects)"
+                    % (bop.name, self.hazard_source),
+                    where="%s op %d (%s)" % (prefix, j, bop.name),
+                    pass_name=_PASS)
 
 
 def verify_recorded(ops, inputargs, subject="recorded trace"):

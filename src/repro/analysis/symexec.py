@@ -1,0 +1,580 @@
+"""Symbolic execution domain for translation validation (DESIGN.md §16).
+
+Runs an IR op stream — recorded *or* optimized, the grammar is the
+same — over a small symbolic-value domain and reduces it to the things
+a trace optimizer is *not* allowed to change:
+
+* an ordered list of **observable entries**: residual calls, heap and
+  array stores, allocations that escape, merge points, guards and the
+  loop-closing jump, each carrying symbolic operand terms;
+* a **symbolic heap** with version facts (field reads havoc a fresh
+  term keyed by the store/call epoch, so two streams agree on a read
+  exactly when the writes they both performed agree);
+* **virtual-object environments**: every ``new_with_vtable`` starts
+  life as an unescaped :class:`SymObj` whose stores stay silent until
+  the object escapes (call argument, store into an escaped object,
+  jump).  At the escape point the evaluator synthesizes the allocation
+  and its field stores in canonical (descr offset) order — the same
+  normal form the optimizer's ``force`` produces — so allocation
+  sinking cancels out between the two streams;
+* **guard-condition facts**: guards constify their subject exactly as
+  the optimizer's ``VInfo.const`` does, so downstream terms on the two
+  sides canonicalize identically.
+
+Constant folding mirrors :data:`repro.jit.semantics.FOLDABLE` and is
+applied uniformly to both streams, which makes the comparison
+insensitive to whether the optimizer actually folded (a residual op on
+constants evaluates to the same constant here).
+
+The comparison itself —the entry walk, guard entailment and the term
+:class:`Unifier` — lives in :mod:`repro.analysis.transval`.
+"""
+
+from repro.jit import ir
+from repro.jit.resume import VirtualSpec
+from repro.jit.semantics import EVAL, FOLDABLE
+
+
+class SymConst(object):
+    """A compile-time constant (wraps the host value)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+    def __repr__(self):
+        return "Const(%r)" % (self.value,)
+
+
+class SymVar(object):
+    """A free input: a trace/label input argument."""
+
+    __slots__ = ("origin",)
+
+    def __init__(self, origin):
+        self.origin = origin
+
+    def __repr__(self):
+        return "Var(%s)" % (id(self.origin) & 0xFFFF,)
+
+
+class SymObj(object):
+    """A trace-local allocation; unescaped objects track their fields."""
+
+    __slots__ = ("cls", "fields", "escaped", "serial")
+
+    def __init__(self, cls, serial):
+        self.cls = cls
+        self.fields = {}        # descr -> term
+        self.escaped = False
+        self.serial = serial
+
+    def __repr__(self):
+        return "Obj(%s#%d%s)" % (self.cls.__name__, self.serial,
+                                 "!" if self.escaped else "")
+
+
+class SymOp(object):
+    """An uninterpreted application: pure op, heap read, call result.
+
+    ``tag`` is an IR opnum or a ``"@..."`` string for evaluator-internal
+    families (``@field``/``@aitem`` reads carry the heap version in
+    ``extra``; ``@call`` carries the call sequence number, ``@callpure``
+    the callee).  Terms are compared structurally by the unifier.
+    """
+
+    __slots__ = ("tag", "args", "descr", "extra")
+
+    def __init__(self, tag, args, descr=None, extra=None):
+        self.tag = tag
+        self.args = args
+        self.descr = descr
+        self.extra = extra
+
+    def __repr__(self):
+        name = self.tag if isinstance(self.tag, str) else ir.OP_NAMES[self.tag]
+        return "%s(%s)" % (name, ", ".join(repr(a) for a in self.args))
+
+
+def render_term(term):
+    """A short human-readable rendering for diagnostics."""
+    text = repr(term)
+    if len(text) > 60:
+        text = text[:57] + "..."
+    return text
+
+
+class World(object):
+    """Shared var table: the same input argument on the recorded and the
+    optimized side must resolve to the *same* :class:`SymVar`."""
+
+    def __init__(self):
+        self._vars = {}
+
+    def var_of(self, value):
+        var = self._vars.get(value)
+        if var is None:
+            var = SymVar(value)
+            self._vars[value] = var
+        return var
+
+
+class SymEval(object):
+    """One symbolic pass over an IR op stream (recorded or optimized)."""
+
+    def __init__(self, world, cfg, side="rec"):
+        self.world = world
+        self.cfg = cfg
+        self.side = side
+        self.env = {}            # IR value -> term
+        self.const_facts = {}    # id(term) -> (term, SymConst)
+        self.heap = {}           # (id(obj_term), descr) -> (obj_term, term)
+        self.array = {}          # (id(arr_term), index_key) -> (arr, term)
+        self.fver = {}           # descr -> write version
+        self.aver = 0            # array write version
+        self.epoch = 0           # heap-invalidation (call) epoch
+        self.entries = []        # observable entries, in order
+        self.errors = []         # evaluator-internal failures (-> TV109)
+        self.n_call = 0
+        self.n_arr = 0
+        self.n_obj = 0
+        self._consts = {}        # intern table: host value -> SymConst
+        self._terms = {}         # intern table: structural key -> SymOp
+
+    # -- infrastructure --------------------------------------------------
+
+    def const(self, value):
+        """Intern a constant so identical constants are one term (the
+        optimizer CSEs by value; identity-keyed facts need this)."""
+        try:
+            key = (value.__class__,
+                   repr(value) if isinstance(value, float) else value)
+            hash(key)
+        except TypeError:
+            key = ("~id", id(value))
+        term = self._consts.get(key)
+        if term is None:
+            term = SymConst(value)
+            self._consts[key] = term
+        return term
+
+    def _mk(self, tag, args, descr=None, extra=None):
+        """Intern an application term: re-evaluating the same pure op on
+        the same arguments yields the *identical* term, mirroring the
+        optimizer's CSE (guard dedup facts are identity-keyed)."""
+        key = (tag, tuple(id(a) for a in args), id(descr), extra)
+        term = self._terms.get(key)
+        if term is None:
+            term = SymOp(tag, tuple(args), descr, extra)
+            self._terms[key] = term
+        return term
+
+    def seed(self, value, term):
+        self.env[value] = term
+
+    def resolve(self, value):
+        if isinstance(value, ir.Const):
+            return self.const(value.value)
+        term = self.env.get(value)
+        if term is None:
+            self.errors.append(
+                "use of value %r with no definition in this stream" % (value,))
+            term = self.world.var_of(value)
+            self.env[value] = term
+        return self._subst_const(term)
+
+    def _subst_const(self, term):
+        fact = self.const_facts.get(id(term))
+        if fact is not None:
+            return fact[1]
+        return term
+
+    def set_fact(self, term, const):
+        if not isinstance(term, (SymConst,)):
+            self.const_facts[id(term)] = (term, const)
+
+    def force(self, term):
+        """Escape point: synthesize the allocation + stores of an
+        unescaped object, in the optimizer's canonical (offset) order."""
+        if isinstance(term, SymObj) and not term.escaped:
+            term.escaped = True
+            self.entries.append(("new", term))
+            for descr in sorted(term.fields, key=lambda d: d.offset):
+                val = self._subst_const(term.fields[descr])
+                self.force(val)
+                self.entries.append(("setfield", term, descr, val))
+                self.heap[(id(term), descr)] = (term, val)
+        return term
+
+    def _invalidate_heap(self):
+        self.heap.clear()
+        self.array.clear()
+        self.epoch += 1
+
+    def _index_key(self, term):
+        if isinstance(term, SymConst):
+            try:
+                hash(term.value)
+            except TypeError:
+                return ("v", id(term))
+            return ("c", term.value)
+        return ("v", id(term))
+
+    # -- the pass --------------------------------------------------------
+
+    def run(self, ops):
+        for op in ops:
+            self.run_op(op)
+
+    def run_op(self, op):
+        opnum = op.opnum
+        if opnum == ir.LABEL:
+            for arg in op.args:
+                if arg not in self.env:
+                    self.env[arg] = self.world.var_of(arg)
+            return
+        if opnum == ir.DEBUG_MERGE_POINT:
+            snap = (self.eval_snapshot(op.snapshot)
+                    if op.snapshot is not None else None)
+            self.entries.append(("merge", op.descr, snap))
+            return
+        if opnum in ir.GUARDS:
+            self._run_guard(op)
+            return
+        if opnum == ir.NEW_WITH_VTABLE:
+            self.n_obj += 1
+            self.env[op] = SymObj(op.args[0].value, self.n_obj)
+            return
+        if opnum == ir.SETFIELD_GC:
+            self._run_setfield(op)
+            return
+        if opnum in (ir.GETFIELD_GC, ir.GETFIELD_GC_PURE):
+            self._run_getfield(op)
+            return
+        if opnum == ir.NEW_ARRAY:
+            length = self.resolve(op.args[0])
+            self.n_arr += 1
+            self.entries.append(("new_array", length, op.descr))
+            self.env[op] = self._mk("@newarr", (length,), op.descr,
+                                    self.n_arr)
+            return
+        if opnum == ir.SETARRAYITEM_GC:
+            arr = self.resolve(op.args[0])
+            index = self.resolve(op.args[1])
+            value = self.force(self.resolve(op.args[2]))
+            self.entries.append(
+                ("setarrayitem", arr, index, value, op.descr))
+            self.array.clear()     # conservative aliasing, like the opt
+            self.aver += 1
+            self.array[(id(arr), self._index_key(index))] = (arr, value)
+            self.env[op] = value
+            return
+        if opnum == ir.GETARRAYITEM_GC:
+            arr = self.resolve(op.args[0])
+            index = self.resolve(op.args[1])
+            key = (id(arr), self._index_key(index))
+            cached = self.array.get(key)
+            if cached is not None:
+                self.env[op] = cached[1]
+                return
+            term = self._mk("@aitem", (arr, index), op.descr,
+                            (self.epoch, self.aver))
+            self.array[key] = (arr, term)
+            self.env[op] = term
+            return
+        if opnum in (ir.CALL, ir.CALL_PURE):
+            args = tuple(self.force(self.resolve(a)) for a in op.args)
+            func = op.descr.func
+            if opnum == ir.CALL_PURE:
+                self.env[op] = self._mk("@callpure", args, None, func)
+                return
+            self.n_call += 1
+            self.entries.append(("call", func, args, op.descr))
+            self.env[op] = self._mk("@call", (), None, self.n_call)
+            if func.invalidates_heap:
+                self._invalidate_heap()
+            return
+        if opnum == ir.CALL_ASSEMBLER:
+            args = tuple(self.force(self.resolve(a)) for a in op.args)
+            self.n_call += 1
+            self.entries.append(("call_asm", args, op.descr))
+            self.env[op] = self._mk("@call", (), None, self.n_call)
+            self._invalidate_heap()
+            return
+        if opnum in (ir.PTR_EQ, ir.PTR_NE):
+            a = self.resolve(op.args[0])
+            b = self.resolve(op.args[1])
+            virtual = ((isinstance(a, SymObj) and not a.escaped)
+                       or (isinstance(b, SymObj) and not b.escaped))
+            if self.cfg.opt_virtuals and virtual:
+                # A virtual is a fresh allocation: identity is decidable.
+                same = a is b
+                self.env[op] = self.const(
+                    same if opnum == ir.PTR_EQ else not same)
+                return
+            self._run_pure(op, [a, b])
+            return
+        if opnum == ir.FINISH:
+            args = tuple(self.force(self.resolve(a)) for a in op.args)
+            self.entries.append(("finish", args))
+            return
+        self._run_pure(op)
+
+    def _run_pure(self, op, args=None):
+        if args is None:
+            args = [self.resolve(a) for a in op.args]
+        opnum = op.opnum
+        if (opnum in FOLDABLE
+                and all(isinstance(a, SymConst) for a in args)):
+            try:
+                result = EVAL[opnum](*[a.value for a in args])
+            except Exception:
+                pass
+            else:
+                self.env[op] = self.const(result)
+                return
+        self.env[op] = self._mk(opnum, args, op.descr)
+
+    def _run_setfield(self, op):
+        obj = self.resolve(op.args[0])
+        value = self.resolve(op.args[1])
+        descr = op.descr
+        if isinstance(obj, SymObj) and not obj.escaped:
+            obj.fields[descr] = value
+            self.env[op] = value
+            return
+        value = self.force(value)
+        self.entries.append(("setfield", obj, descr, value))
+        self.fver[descr] = self.fver.get(descr, 0) + 1
+        stale = [k for k in self.heap if k[1] is descr]
+        for key in stale:
+            del self.heap[key]
+        self.heap[(id(obj), descr)] = (obj, value)
+        self.env[op] = value
+
+    def _run_getfield(self, op):
+        obj = self.resolve(op.args[0])
+        descr = op.descr
+        if isinstance(obj, SymObj) and (not obj.escaped or descr.immutable):
+            # Virtual-field forwarding; for escaped (forced) objects an
+            # immutable field can never change, so the tracked value
+            # stays valid — the optimizer forwards both the same way.
+            value = obj.fields.get(descr)
+            if value is not None:
+                self.env[op] = self._subst_const(value)
+                return
+            if not obj.escaped:
+                self.errors.append(
+                    "read of unset virtual field %s.%s"
+                    % (render_term(obj), descr.field))
+                self.env[op] = self._mk("@uninit", (obj,), descr)
+                return
+        if descr.immutable and isinstance(obj, SymConst):
+            try:
+                self.env[op] = self.const(getattr(obj.value, descr.field))
+            except AttributeError:
+                self.errors.append(
+                    "constant %s has no field %r"
+                    % (render_term(obj), descr.field))
+                self.env[op] = self._mk("@field", (obj,), descr, (0, 0))
+            return
+        if descr.immutable:
+            # Immutable reads are version-free: like the optimizer's
+            # GETFIELD_GC_PURE CSE they survive calls and stores.
+            self.env[op] = self._mk("@ifield", (obj,), descr)
+            return
+        key = (id(obj), descr)
+        cached = self.heap.get(key)
+        if cached is not None:
+            self.env[op] = self._subst_const(cached[1])
+            return
+        term = self._mk("@field", (obj,), descr,
+                        (self.epoch, self.fver.get(descr, 0)))
+        self.heap[key] = (obj, term)
+        self.env[op] = term
+
+    def _run_guard(self, op):
+        opnum = op.opnum
+        args = [self.resolve(a) for a in op.args]
+        value = args[0]
+        if opnum == ir.GUARD_VALUE:
+            value = self.force(value)
+            args[0] = value
+        snap = (self.eval_snapshot(op.snapshot)
+                if op.snapshot is not None else None)
+        self.entries.append(("guard", opnum, tuple(args), snap, op))
+        if opnum == ir.GUARD_VALUE and isinstance(args[1], SymConst):
+            self.set_fact(value, args[1])
+        elif opnum in (ir.GUARD_TRUE, ir.GUARD_FALSE):
+            self.set_fact(value, self.const(opnum == ir.GUARD_TRUE))
+
+    # -- snapshots -------------------------------------------------------
+
+    def eval_snapshot(self, snapshot):
+        """Freeze a snapshot into a comparable structure.
+
+        Unescaped objects (and artifact :class:`VirtualSpec` values)
+        freeze to ``("vobj", cls, ((descr, frozen), ...))`` — both
+        sides must agree that the slot is rematerializable with the
+        same shape.  Cycles freeze to ``("cyc", i)`` markers.
+        """
+        memo = {}
+
+        def frozen(value):
+            return self._freeze_snapshot_value(value, memo)
+
+        frames = tuple(
+            ("frame", frame.code, frame.pc,
+             tuple(frozen(v) for v in frame.locals),
+             tuple(frozen(v) for v in frame.stack))
+            for frame in snapshot.frames)
+        return ("snap", frames)
+
+    def _freeze_snapshot_value(self, value, memo):
+        if isinstance(value, VirtualSpec):
+            key = id(value)
+            if key in memo:
+                return ("cyc", memo[key])
+            memo[key] = len(memo)
+            fields = tuple(
+                (descr, self._freeze_snapshot_value(value.fields[descr],
+                                                    memo))
+                for descr in sorted(value.fields, key=lambda d: d.offset))
+            return ("vobj", value.cls, fields)
+        term = self.resolve(value)
+        return self._freeze_term(term, memo)
+
+    def _freeze_term(self, term, memo):
+        if isinstance(term, SymObj) and not term.escaped:
+            key = id(term)
+            if key in memo:
+                return ("cyc", memo[key])
+            memo[key] = len(memo)
+            fields = tuple(
+                (descr,
+                 self._freeze_term(self._subst_const(term.fields[descr]),
+                                   memo))
+                for descr in sorted(term.fields, key=lambda d: d.offset))
+            return ("vobj", term.cls, fields)
+        return term
+
+
+class Unifier(object):
+    """Structural term equality with a growing allocation bijection.
+
+    Two streams name their allocations independently; the unifier pairs
+    them up as it compares observable entries, and rejects any pairing
+    that is not a bijection.  Failed speculative matches roll back via
+    the journal (:meth:`mark` / :meth:`rollback`).
+    """
+
+    def __init__(self):
+        self.fwd = {}    # id(a-side SymObj) -> (a, b)
+        self.bwd = {}    # id(b-side SymObj) -> (b, a)
+        self._journal = []
+
+    def mark(self):
+        return len(self._journal)
+
+    def rollback(self, mark):
+        while len(self._journal) > mark:
+            ka, kb = self._journal.pop()
+            del self.fwd[ka]
+            del self.bwd[kb]
+
+    def unify(self, a, b):
+        if a is b:
+            return True
+        if type(a) is not type(b):
+            return False
+        if isinstance(a, SymConst):
+            return const_values_equal(a.value, b.value)
+        if isinstance(a, SymObj):
+            paired = self.fwd.get(id(a))
+            if paired is not None:
+                return paired[1] is b
+            if id(b) in self.bwd:
+                return False
+            if a.cls is not b.cls:
+                return False
+            self.fwd[id(a)] = (a, b)
+            self.bwd[id(b)] = (b, a)
+            self._journal.append((id(a), id(b)))
+            return True
+        if isinstance(a, SymOp):
+            if a.tag != b.tag or a.extra != b.extra:
+                return False
+            if not descr_match(a.descr, b.descr):
+                return False
+            if len(a.args) != len(b.args):
+                return False
+            for x, y in zip(a.args, b.args):
+                if not self.unify(x, y):
+                    return False
+            return True
+        return False    # distinct SymVars never unify
+
+    def unify_frozen(self, a, b):
+        """Compare two frozen snapshot structures."""
+        a_tuple = isinstance(a, tuple)
+        if a_tuple != isinstance(b, tuple):
+            return False
+        if not a_tuple:
+            return self.unify(a, b)
+        if not a or not b or a[0] != b[0] or len(a) != len(b):
+            return False
+        tag = a[0]
+        if tag == "cyc":
+            return a[1] == b[1]
+        if tag == "vobj":
+            if a[1] is not b[1]:
+                return False
+            if len(a[2]) != len(b[2]):
+                return False
+            for (da, va), (db, vb) in zip(a[2], b[2]):
+                if not descr_match(da, db):
+                    return False
+                if not self.unify_frozen(va, vb):
+                    return False
+            return True
+        if tag == "frame":
+            if a[1] is not b[1] or a[2] != b[2]:
+                return False
+            return (self._unify_seq(a[3], b[3])
+                    and self._unify_seq(a[4], b[4]))
+        if tag == "snap":
+            return self._unify_seq(a[1], b[1])
+        return False
+
+    def _unify_seq(self, seq_a, seq_b):
+        if len(seq_a) != len(seq_b):
+            return False
+        for x, y in zip(seq_a, seq_b):
+            if not self.unify_frozen(x, y):
+                return False
+        return True
+
+
+def const_values_equal(a, b):
+    """Bit-faithful constant comparison (floats by repr, bool != int)."""
+    if a is b:
+        return True
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, float):
+        return repr(a) == repr(b)
+    try:
+        return bool(a == b)
+    except Exception:
+        return False
+
+
+def descr_match(a, b):
+    if a is b:
+        return True
+    if a is None or b is None:
+        return False
+    if isinstance(a, tuple) and isinstance(b, tuple):
+        return a == b
+    return False

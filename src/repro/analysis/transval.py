@@ -1,0 +1,973 @@
+"""Cross-layer translation validation (DESIGN.md §16).
+
+Three validators, one per unverified translation step, all reporting
+through :mod:`repro.analysis.diagnostics`:
+
+* ``TV1xx`` — :func:`validate_optimization`: symbolically executes a
+  recorded trace and its optimized counterpart (over the
+  :mod:`repro.analysis.symexec` domain) and proves them equivalent
+  modulo the optimizer's legal moves: guard strengthening/dedup,
+  constant folding per ``FOLDABLE``, heap-cache forwarding, CSE,
+  virtual removal with rematerializable snapshots, and loop peeling.
+* ``TV2xx`` — :func:`validate_threaded_code`: replays a tier-1
+  :class:`ThreadedCode` and the interpreter's quickening analysis
+  through the shared charge summaries (``op_charges``/``find_runs``)
+  and proves the threaded segments charge a provably equal event
+  sequence — without running either.
+* ``TV3xx`` — :func:`validate_program`: statically decodes an
+  :class:`EventProgram` back to the kernel-op sequence it encodes,
+  recomputes its cost/note metadata from an independent per-kind
+  table, and range-checks every operand against the ``cgen`` word
+  layouts.
+
+Code table:
+
+===== ==============================================================
+TV101 observable event missing / extra / out of order
+TV102 recorded guard dropped without entailment
+TV103 observable event operand mismatch
+TV104 guard snapshot not equivalent / virtual not rematerializable
+TV105 jump (loop-carried) value mismatch
+TV106 loop-peeling virtual-state layout mismatch
+TV107 optimized stream structure invalid for its kind
+TV108 optimized guard with no recorded counterpart
+TV109 symbolic evaluation failed (internal/unsupported)
+TV201 tier-1 site table wrong (length / hash values)
+TV202 tier-1 run charges diverge from the interpreter summaries
+TV203 tier-1 run placement violates fusion safety / run set wrong
+TV204 tier-1 run bookkeeping wrong (next_pc / last_op / n_insns)
+TV205 tier-1 micro-handler pair mismatch
+TV206 tier-1 resident program differs from its quick_run twin
+TV301 event program: malformed event (kind / arity / types)
+TV302 event program: cost or note metadata mismatch
+TV303 event program: lowering does not decode to its event sequence
+TV304 event program: operand out of range for the native layouts
+TV305 event program: operand-slot bookkeeping wrong
+TV306 event program: host-side bytecode-counter totals wrong
+===== ==============================================================
+"""
+
+from repro.analysis.diagnostics import Report
+from repro.analysis.symexec import (
+    SymConst,
+    SymEval,
+    SymObj,
+    Unifier,
+    World,
+    render_term,
+)
+from repro.jit import ir
+
+_PASS = "transval"
+_MAX_FINDINGS = 12
+
+_FACT_GUARDS = (ir.GUARD_TRUE, ir.GUARD_FALSE, ir.GUARD_NONNULL,
+                ir.GUARD_ISNULL)
+
+
+# ---------------------------------------------------------------------------
+# TV1: recorded trace vs optimized trace.
+# ---------------------------------------------------------------------------
+
+
+class _OptValidator(object):
+    """One trace's translation-validation state (TV1xx)."""
+
+    def __init__(self, cfg, report, where):
+        self.cfg = cfg
+        self.report = report
+        self.where = where
+        self.world = World()
+        self.uni = Unifier()
+        self.n_findings = 0
+
+    # -- reporting -------------------------------------------------------
+
+    def _error(self, code, message, phase):
+        if self.n_findings >= _MAX_FINDINGS:
+            return
+        self.n_findings += 1
+        self.report.error(code, message,
+                          where="%s %s" % (self.where, phase),
+                          pass_name=_PASS)
+
+    # -- evaluation ------------------------------------------------------
+
+    def _run(self, stream, seeds, side):
+        ev = SymEval(self.world, self.cfg, side)
+        for value, term in seeds.items():
+            ev.seed(value, term)
+        ev.run(stream)
+        return ev
+
+    def _jump_terms(self, ev, jump_args):
+        return [ev.force(ev.resolve(a)) for a in jump_args]
+
+    def _flush_errors(self, ev, phase):
+        for message in ev.errors[:4]:
+            self._error("TV109", "%s stream: %s" % (ev.side, message),
+                        phase)
+
+    # -- the entry walk --------------------------------------------------
+
+    def compare(self, rec_ev, opt_ev, phase, known_class=None):
+        """Walk both observable-entry lists in order.
+
+        Events must align 1:1; recorded guards either match the next
+        optimized guard or must be entailed by accumulated facts; an
+        optimized guard with no recorded counterpart (and a non-constant
+        condition) is an illegal strengthening.
+        """
+        facts = set()                  # (opnum, id(rec term))
+        keep = []                      # keepalive for id()-keyed facts
+        known_class = dict(known_class or {})   # id(term) -> (term, cls)
+        rec_entries = rec_ev.entries
+        opt_entries = opt_ev.entries
+        oi = 0
+        for r in rec_entries:
+            if self.n_findings >= _MAX_FINDINGS:
+                return known_class
+            if r[0] == "guard":
+                oi = self._walk_guard(r, opt_entries, oi, facts, keep,
+                                      known_class, phase)
+                continue
+            oi = self._walk_event(r, opt_entries, oi, phase)
+        while oi < len(opt_entries):
+            o = opt_entries[oi]
+            oi += 1
+            if o[0] == "guard":
+                if not isinstance(o[2][0], SymConst):
+                    self._error(
+                        "TV108",
+                        "optimized stream emits %s with no recorded "
+                        "counterpart" % ir.OP_NAMES[o[1]], phase)
+            else:
+                self._error(
+                    "TV101",
+                    "optimized stream emits extra %s event" % o[0], phase)
+        return known_class
+
+    def _walk_event(self, r, opt_entries, oi, phase):
+        while oi < len(opt_entries):
+            o = opt_entries[oi]
+            if o[0] != "guard":
+                break
+            if isinstance(o[2][0], SymConst):
+                oi += 1     # a guard our domain folded away: harmless
+                continue
+            self._error(
+                "TV108",
+                "optimized stream emits %s with no recorded counterpart"
+                % ir.OP_NAMES[o[1]], phase)
+            oi += 1
+        if oi >= len(opt_entries):
+            self._error(
+                "TV101",
+                "recorded %s event missing from optimized stream" % r[0],
+                phase)
+            return oi
+        o = opt_entries[oi]
+        if o[0] != r[0]:
+            self._error(
+                "TV101",
+                "event order mismatch: recorded %s vs optimized %s"
+                % (r[0], o[0]), phase)
+            return oi + 1
+        self._match_event_payload(r, o, phase)
+        return oi + 1
+
+    def _match_event_payload(self, r, o, phase):
+        kind = r[0]
+        uni = self.uni
+        if kind == "new":
+            if not uni.unify(r[1], o[1]):
+                self._error(
+                    "TV103",
+                    "escaping allocation mismatch: %s vs %s"
+                    % (render_term(r[1]), render_term(o[1])), phase)
+            return
+        if kind == "setfield":
+            if r[2] is not o[2]:
+                self._error("TV103", "store descr mismatch: %s vs %s"
+                            % (r[2], o[2]), phase)
+                return
+            if not uni.unify(r[1], o[1]) or not uni.unify(r[3], o[3]):
+                self._error(
+                    "TV103",
+                    "setfield %s operand mismatch: (%s, %s) vs (%s, %s)"
+                    % (r[2], render_term(r[1]), render_term(r[3]),
+                       render_term(o[1]), render_term(o[3])), phase)
+            return
+        if kind == "new_array":
+            if r[2] is not o[2] or not uni.unify(r[1], o[1]):
+                self._error("TV103", "new_array mismatch", phase)
+            return
+        if kind == "setarrayitem":
+            if (r[4] is not o[4] or not uni.unify(r[1], o[1])
+                    or not uni.unify(r[2], o[2])
+                    or not uni.unify(r[3], o[3])):
+                self._error("TV103", "setarrayitem operand mismatch",
+                            phase)
+            return
+        if kind in ("call", "call_asm"):
+            if kind == "call" and r[1] is not o[1]:
+                self._error(
+                    "TV103", "residual call target mismatch: %s vs %s"
+                    % (r[1], o[1]), phase)
+                return
+            r_args, o_args = (r[2], o[2]) if kind == "call" else (r[1], o[1])
+            if len(r_args) != len(o_args):
+                self._error("TV103", "%s arity mismatch" % kind, phase)
+                return
+            for i, (x, y) in enumerate(zip(r_args, o_args)):
+                if not uni.unify(x, y):
+                    self._error(
+                        "TV103",
+                        "%s argument %d mismatch: %s vs %s"
+                        % (kind, i, render_term(x), render_term(y)), phase)
+                    return
+            return
+        if kind == "merge":
+            if r[1] != o[1]:
+                self._error("TV101", "merge-point greenkey mismatch",
+                            phase)
+                return
+            if r[2] is not None and o[2] is not None:
+                mark = self.uni.mark()
+                if not uni.unify_frozen(r[2], o[2]):
+                    self.uni.rollback(mark)
+                    self._error(
+                        "TV104",
+                        "merge-point snapshot not equivalent", phase)
+            return
+        if kind == "finish":
+            if len(r[1]) != len(o[1]) or not all(
+                    uni.unify(x, y) for x, y in zip(r[1], o[1])):
+                self._error("TV103", "finish operand mismatch", phase)
+            return
+        self._error("TV109", "unknown entry kind %r" % (kind,), phase)
+
+    def _walk_guard(self, r, opt_entries, oi, facts, keep, known_class,
+                    phase):
+        opnum, args = r[1], r[2]
+        matched = False
+        if oi < len(opt_entries):
+            o = opt_entries[oi]
+            if o[0] == "guard" and o[1] == opnum and len(o[2]) == len(args):
+                mark = self.uni.mark()
+                if all(self.uni.unify(x, y) for x, y in zip(args, o[2])):
+                    matched = True
+                    oi += 1
+                    if r[3] is not None and o[3] is not None:
+                        snap_mark = self.uni.mark()
+                        if not self.uni.unify_frozen(r[3], o[3]):
+                            self.uni.rollback(snap_mark)
+                            self._error(
+                                "TV104",
+                                "%s resume snapshot not equivalent (or "
+                                "virtual not rematerializable)"
+                                % ir.OP_NAMES[opnum], phase)
+                else:
+                    self.uni.rollback(mark)
+        if not matched and not self._entailed(opnum, args, facts,
+                                              known_class):
+            self._error(
+                "TV102",
+                "recorded %s on %s dropped without entailment"
+                % (ir.OP_NAMES[opnum], render_term(args[0])), phase)
+        # The guard holds downstream either way; accumulate its facts.
+        value = args[0]
+        if opnum in _FACT_GUARDS:
+            facts.add((opnum, id(value)))
+            keep.append(value)
+        elif opnum == ir.GUARD_CLASS and len(args) > 1 \
+                and isinstance(args[1], SymConst):
+            known_class[id(value)] = (value, args[1].value)
+        return oi
+
+    def _entailed(self, opnum, args, facts, known_class):
+        value = args[0]
+        if (opnum, id(value)) in facts:
+            return True
+        if opnum == ir.GUARD_TRUE:
+            return isinstance(value, SymConst) and bool(value.value)
+        if opnum == ir.GUARD_FALSE:
+            return isinstance(value, SymConst) and not value.value
+        if opnum == ir.GUARD_VALUE:
+            expected = args[1] if len(args) > 1 else None
+            return (isinstance(value, SymConst)
+                    and isinstance(expected, SymConst)
+                    and self.uni.unify(value, expected))
+        if opnum == ir.GUARD_CLASS:
+            cls = args[1].value if len(args) > 1 \
+                and isinstance(args[1], SymConst) else None
+            if isinstance(value, SymObj):
+                return value.cls is cls
+            if isinstance(value, SymConst):
+                return value.value.__class__ is cls
+            fact = known_class.get(id(value))
+            return fact is not None and fact[1] is cls
+        if opnum == ir.GUARD_NONNULL:
+            if isinstance(value, SymObj):
+                return True     # a fresh allocation is never null
+            return isinstance(value, SymConst) and value.value is not None
+        if opnum == ir.GUARD_ISNULL:
+            return isinstance(value, SymConst) and value.value is None
+        if opnum == ir.GUARD_NO_OVERFLOW:
+            # The checked op folded to a constant: no overflow possible.
+            return isinstance(value, SymConst)
+        return False
+
+    # -- jump comparison -------------------------------------------------
+
+    def compare_jump(self, rec_terms, opt_terms, phase, code="TV105"):
+        if len(rec_terms) != len(opt_terms):
+            self._error(
+                code,
+                "jump arity mismatch: recorded %d vs optimized %d"
+                % (len(rec_terms), len(opt_terms)), phase)
+            return
+        for i, (x, y) in enumerate(zip(rec_terms, opt_terms)):
+            if not self.uni.unify(x, y):
+                self._error(
+                    code,
+                    "jump value %d mismatch: %s vs %s"
+                    % (i, render_term(x), render_term(y)), phase)
+                return
+
+    # -- loop peeling ----------------------------------------------------
+
+    def derive_state(self, terms):
+        """The validator's own virtual-state layout of a jump: a slot is
+        virtual iff its recorded-side term is an unescaped allocation."""
+        state = []
+        for term in terms:
+            if isinstance(term, SymObj) and not term.escaped:
+                descrs = tuple(
+                    sorted(term.fields, key=lambda d: d.offset))
+                state.append(("v", term.cls, descrs))
+            else:
+                state.append(("p", term))
+        return state
+
+    def flatten(self, ev, terms, state, phase):
+        """Expand jump terms per a virtual-state spec (forcing escapes),
+        mirroring the optimizer's ``_flatten`` normal form."""
+        flat = []
+        for term, slot in zip(terms, state):
+            if slot[0] != "v":
+                flat.append(ev.force(term))
+                continue
+            if not (isinstance(term, SymObj) and not term.escaped):
+                self._error(
+                    "TV106",
+                    "virtual loop slot carries non-virtual %s"
+                    % render_term(term), phase)
+                flat.append(ev.force(term))
+                continue
+            if term.cls is not slot[1] or tuple(
+                    sorted(term.fields, key=lambda d: d.offset)) != slot[2]:
+                self._error(
+                    "TV106",
+                    "virtual loop slot shape mismatch for %s"
+                    % render_term(term), phase)
+            for descr in slot[2]:
+                field = term.fields.get(descr)
+                if field is None:
+                    self._error(
+                        "TV106",
+                        "virtual loop slot lost field %s" % (descr,),
+                        phase)
+                    continue
+                flat.append(ev.force(ev._subst_const(field)))
+        return flat
+
+
+def validate_optimization(cfg, trace, recorded_ops=None, recorded_jump=None,
+                          subject=None):
+    """TV1: prove ``trace.ops`` equivalent to its recorded op stream."""
+    report = Report(subject or "transval")
+    if recorded_ops is None:
+        recorded_ops = getattr(trace, "recorded_ops", None)
+    if recorded_jump is None:
+        recorded_jump = getattr(trace, "recorded_jump", None)
+    if recorded_ops is None or recorded_jump is None:
+        return report   # nothing recorded to validate against
+    where = "trace #%d" % trace.trace_id
+    ops = trace.ops
+    tv = _OptValidator(cfg, report, where)
+    if not ops or ops[-1].opnum != ir.JUMP:
+        report.error("TV107", "optimized stream does not end in a jump",
+                     where=where, pass_name=_PASS)
+        return report
+    label_index = trace.label_index
+    input_seeds = {arg: tv.world.var_of(arg) for arg in trace.inputargs}
+    if label_index <= 0:
+        # Straight trace (bridge) or non-peeled self-loop: one pass.
+        start = 1 if label_index == 0 else 0
+        rec_ev = tv._run(recorded_ops, input_seeds, "recorded")
+        rec_terms = tv._jump_terms(rec_ev, recorded_jump.args)
+        opt_ev = tv._run(ops[start:-1], input_seeds, "optimized")
+        opt_terms = tv._jump_terms(opt_ev, ops[-1].args)
+        tv.compare(rec_ev, opt_ev, "(body)")
+        tv.compare_jump(rec_terms, opt_terms, "(jump)")
+        tv._flush_errors(rec_ev, "(body)")
+        tv._flush_errors(opt_ev, "(body)")
+        return report
+    # Peeled loop: preamble pass, then the body re-validated with the
+    # validator's own virtual-state layout seeded at the label.
+    if label_index >= len(ops) - 1 \
+            or ops[label_index].opnum != ir.LABEL \
+            or ops[label_index - 1].opnum != ir.JUMP:
+        report.error("TV107", "peeled loop wiring invalid", where=where,
+                     pass_name=_PASS)
+        return report
+    entry_jump = ops[label_index - 1]
+    label = ops[label_index]
+    rec_a = tv._run(recorded_ops, input_seeds, "recorded")
+    rec_jump_terms = [rec_a.resolve(a) for a in recorded_jump.args]
+    state = tv.derive_state(rec_jump_terms)
+    n_flat = sum(len(slot[2]) if slot[0] == "v" else 1 for slot in state)
+    if n_flat != len(label.args) or len(entry_jump.args) != len(label.args):
+        report.error(
+            "TV106",
+            "peeling layout mismatch: %d derived slots vs %d label args"
+            % (n_flat, len(label.args)), where="%s (entry)" % where,
+            pass_name=_PASS)
+        return report
+    rec_flat = tv.flatten(rec_a, rec_jump_terms, state, "(entry)")
+    opt_a = tv._run(ops[:label_index - 1], input_seeds, "optimized")
+    opt_entry_terms = tv._jump_terms(opt_a, entry_jump.args)
+    kc = tv.compare(rec_a, opt_a, "(preamble)")
+    tv.compare_jump(rec_flat, opt_entry_terms, "(entry)", code="TV106")
+    tv._flush_errors(rec_a, "(preamble)")
+    tv._flush_errors(opt_a, "(preamble)")
+    # Pass B: replay the recorded ops with label-seeded state against
+    # the peeled body.
+    seeds_b = {}
+    kc_b = {}
+    label_vars = [tv.world.var_of(a) for a in label.args]
+    li = 0
+    serial = 0
+    for arg, slot, term_a in zip(trace.inputargs, state, rec_jump_terms):
+        if slot[0] == "v":
+            serial -= 1
+            obj = SymObj(slot[1], serial)
+            for descr in slot[2]:
+                obj.fields[descr] = label_vars[li]
+                li += 1
+            seeds_b[arg] = obj
+        else:
+            var = label_vars[li]
+            li += 1
+            seeds_b[arg] = var
+            cls = None
+            if isinstance(term_a, SymObj):
+                cls = term_a.cls   # a forced virtual still knows its class
+            else:
+                fact = kc.get(id(term_a))
+                cls = fact[1] if fact is not None else None
+            if cls is not None:
+                kc_b[id(var)] = (var, cls)
+    rec_b = tv._run(recorded_ops, seeds_b, "recorded")
+    rec_terms_b = [rec_b.resolve(a) for a in recorded_jump.args]
+    rec_flat_b = tv.flatten(rec_b, rec_terms_b, state, "(back edge)")
+    opt_b = tv._run(ops[label_index:-1], {}, "optimized")
+    opt_back_terms = tv._jump_terms(opt_b, ops[-1].args)
+    tv.compare(rec_b, opt_b, "(peeled body)", known_class=kc_b)
+    tv.compare_jump(rec_flat_b, opt_back_terms, "(back edge)")
+    tv._flush_errors(rec_b, "(peeled body)")
+    tv._flush_errors(opt_b, "(peeled body)")
+    return report
+
+
+# ---------------------------------------------------------------------------
+# TV2: tier-1 threaded code vs the interpreter's charge summaries.
+# ---------------------------------------------------------------------------
+
+
+def validate_threaded_code(vm, code, tcode, subject=None):
+    """TV2: prove one ThreadedCode charges the interpreter's event
+    sequence for the same quicken run analysis, by replaying both
+    through the shared charge summaries (never by running them)."""
+    from repro.interp.quicken import find_runs
+    from repro.pylang.quicken import _HANDLERS, JUMP_OPS, op_charges
+    from repro.pylang.tier1 import _site_hash
+
+    report = Report(subject or "transval")
+    name = getattr(code, "name", None) or repr(code)
+    where = "tier1 %s gen=%d" % (name, tcode.generation)
+    ops = code.ops
+    args = code.args
+    n = len(ops)
+    sites = tcode.sites
+    if tcode.code is not code or len(sites) != n:
+        report.error(
+            "TV201",
+            "site table shape wrong: %d sites for %d bytecodes"
+            % (len(sites), n), where=where, pass_name=_PASS)
+        return report
+    seed = code.pc_seed
+    for pc in range(n):
+        if sites[pc] != _site_hash(seed, pc):
+            report.error(
+                "TV201",
+                "site hash at pc %d is %r, expected %r"
+                % (pc, sites[pc], _site_hash(seed, pc)),
+                where=where, pass_name=_PASS)
+            break
+    charges = op_charges(vm.ctx.llops)
+    b_dispatch = vm._b_tier1_dispatch
+    jump_targets = set()
+    merge_targets = set()
+    for pc in range(n):
+        if ops[pc] in JUMP_OPS:
+            target = args[pc]
+            jump_targets.add(target)
+            if target <= pc:
+                merge_targets.add(target)
+    expected = dict(find_runs(n, lambda pc: ops[pc] in charges,
+                              jump_targets, merge_targets, start_pc=0))
+    runs = tcode.runs
+    if len(runs) != n:
+        report.error("TV201", "run table length %d != %d bytecodes"
+                     % (len(runs), n), where=where, pass_name=_PASS)
+        return report
+    for pc in range(n):
+        entry = runs[pc]
+        exp_end = expected.get(pc)
+        loc = "%s pc %d" % (where, pc)
+        if entry is None:
+            if exp_end is not None:
+                report.error(
+                    "TV203",
+                    "fusable run [%d, %d) not compiled" % (pc, exp_end),
+                    where=loc, pass_name=_PASS)
+            continue
+        if exp_end is None:
+            report.error(
+                "TV203",
+                "run at pc %d has no derivable fusion-safe placement"
+                % pc, where=loc, pass_name=_PASS)
+            continue
+        if len(entry) != 5:
+            report.error("TV204", "malformed run entry", where=loc,
+                         pass_name=_PASS)
+            continue
+        items, pairs, end, last_op, n_insns = entry
+        if end != exp_end:
+            report.error(
+                "TV203",
+                "run ends at %d, fusion analysis says %d" % (end, exp_end),
+                where=loc, pass_name=_PASS)
+            continue
+        span = range(pc, exp_end)
+        exp_items = tuple(
+            (sites[j], ops[j], charges[ops[j]]) for j in span)
+        if items != exp_items:
+            report.error(
+                "TV202",
+                "run charges diverge from the interpreter summaries",
+                where=loc, pass_name=_PASS)
+        exp_pairs = tuple((_HANDLERS[ops[j]], args[j]) for j in span)
+        if pairs != exp_pairs:
+            report.error(
+                "TV205",
+                "micro-handler pairs diverge from the handler table",
+                where=loc, pass_name=_PASS)
+        if last_op != ops[exp_end - 1]:
+            report.error("TV204", "run last_op is %r, expected %r"
+                         % (last_op, ops[exp_end - 1]), where=loc,
+                         pass_name=_PASS)
+        exp_insns = sum(
+            2 + b_dispatch.n_insns + sum(blk.n_insns for blk in blocks)
+            for _hash, _op, blocks in exp_items)
+        if n_insns != exp_insns:
+            report.error(
+                "TV204",
+                "run n_insns is %d, charge replay totals %d"
+                % (n_insns, exp_insns), where=loc, pass_name=_PASS)
+    _validate_tier_programs(vm, tcode, runs, b_dispatch, where, report)
+    return report
+
+
+def _validate_tier_programs(vm, tcode, runs, b_dispatch, where, report):
+    if tcode.progs is not None:
+        _validate_quickrun_programs(b_dispatch, runs, tcode.progs, where,
+                                    report)
+
+
+def _validate_quickrun_programs(b_dispatch, table, programs, where, report):
+    """Shared TV206 check: each resident program must be the exact
+    EV_QUICK_RUN twin of the run-table entry it replaces, and must
+    itself decode cleanly (TV3xx)."""
+    from repro.backend.eventprog import EV_QUICK_RUN
+    from repro.core import tags
+
+    if len(programs) != len(table):
+        report.error("TV206", "program table length != run table length",
+                     where=where, pass_name=_PASS)
+        return
+    for pc, entry in enumerate(table):
+        prog = programs[pc]
+        loc = "%s pc %d" % (where, pc)
+        if entry is None:
+            if prog is not None:
+                report.error("TV206", "resident program with no run",
+                             where=loc, pass_name=_PASS)
+            continue
+        if prog is None:
+            report.error("TV206", "run has no resident program",
+                         where=loc, pass_name=_PASS)
+            continue
+        expected = (EV_QUICK_RUN, tags.DISPATCH, b_dispatch,
+                    entry[0], entry[4])
+        if len(prog.events) != 1 or prog.events[0] != expected:
+            report.error(
+                "TV206",
+                "resident program does not encode its quick_run call",
+                where=loc, pass_name=_PASS)
+            continue
+        report.extend(validate_program(prog, subject=loc))
+
+
+def validate_run_programs(vm, table, programs, subject=None):
+    """TV2/TV3 for the interpreter's quickening layer: the per-pc event
+    programs must be exact twins of the run table's quick_run calls."""
+    report = Report(subject or "transval")
+    where = subject or "quicken run programs"
+    _validate_quickrun_programs(vm._b_dispatch, table, programs, where,
+                                report)
+    return report
+
+
+# ---------------------------------------------------------------------------
+# TV3: event programs vs the kernel-op sequence they encode.
+# ---------------------------------------------------------------------------
+
+_INT64_MAX = 2 ** 63
+
+
+def _is_index(value):
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def _is_pc(value):
+    return (isinstance(value, int) and not isinstance(value, bool)
+            and -_INT64_MAX <= value < _INT64_MAX)
+
+
+def _is_descr(value):
+    return isinstance(getattr(value, "n_insns", None), int)
+
+
+def validate_program(prog, subject=None):
+    """TV3: statically decode one EventProgram.
+
+    Recomputes ``n_insns``/``notes``/``tags``/``n_slots``/``bc_totals``
+    from the event sequence with an independent per-kind cost table,
+    lowers the program to the native word ISA and decodes the words
+    back through the ``cgen`` switch grammar, and range-checks every
+    operand against the C struct layouts.
+    """
+    from repro.backend import eventprog as ep
+
+    report = Report(subject or "transval")
+    where = subject or ("program %s" % (prog.label or "?"))
+    n_insns = 0
+    notes = []
+    tags_seen = set()
+    max_slot = -1
+    bc_counts = {}
+    bc_lists = []
+    expected = []    # primitive word-op expansion: (W_*, operands...)
+    bids = {}
+
+    def bid_of(descr):
+        key = id(descr)
+        got = bids.get(key)
+        if got is None:
+            got = (len(bids) + 1, descr)
+            bids[key] = got
+        return got[0]
+
+    def bad(index, detail, code="TV301"):
+        report.error(code, "event %d: %s" % (index, detail), where=where,
+                     pass_name=_PASS)
+
+    for index, event in enumerate(prog.events):
+        if not isinstance(event, tuple) or not event:
+            bad(index, "not a non-empty tuple")
+            continue
+        kind = event[0]
+        if kind == ep.EV_EXEC_BLOCK:
+            if len(event) != 2 or not _is_descr(event[1]):
+                bad(index, "malformed exec_block")
+                continue
+            n_insns += event[1].n_insns
+            expected.append((ep.W_EXEC_BLOCK, bid_of(event[1])))
+        elif kind == ep.EV_BRANCH_BLOCK:
+            if len(event) != 3 or not _is_pc(event[1]) \
+                    or not _is_descr(event[2]):
+                bad(index, "malformed branch_block")
+                continue
+            n_insns += 1 + event[2].n_insns
+            expected.append((ep.W_BRANCH_BLOCK, event[1], bid_of(event[2])))
+        elif kind == ep.EV_BRANCH:
+            if len(event) != 3 or not _is_pc(event[1]):
+                bad(index, "malformed branch")
+                continue
+            n_insns += 1
+            expected.append((ep.W_BRANCH, event[1], 1 if event[2] else 0))
+        elif kind == ep.EV_ANNOT_RUN:
+            if len(event) != 3 or not _is_index(event[2]):
+                bad(index, "malformed annot_run")
+                continue
+            if event[2] < 1:
+                bad(index, "annot run length %d < 1" % event[2], "TV304")
+                continue
+            n_insns += event[2]
+            notes.append((event[1], event[2]))
+            tags_seen.add(event[1])
+            expected.append((ep.W_ANNOT, event[2]))
+        elif kind in (ep.EV_LOAD, ep.EV_STORE):
+            if len(event) != 2 or not _is_index(event[1]):
+                bad(index, "malformed load/store")
+                continue
+            if event[1] < 0:
+                bad(index, "negative operand slot", "TV304")
+                continue
+            n_insns += 1
+            max_slot = max(max_slot, event[1])
+            word = ep.W_LOAD if kind == ep.EV_LOAD else ep.W_STORE
+            expected.append((word, event[1]))
+        elif kind in (ep.EV_CALL, ep.EV_RET):
+            if len(event) != 2 or not _is_pc(event[1]):
+                bad(index, "malformed call/ret")
+                continue
+            n_insns += 1
+            word = ep.W_CALL if kind == ep.EV_CALL else ep.W_RET
+            expected.append((word, event[1]))
+        elif kind == ep.EV_DISPATCH:
+            if len(event) != 5 or not _is_descr(event[2]) \
+                    or not _is_pc(event[3]) or not _is_pc(event[4]):
+                bad(index, "malformed dispatch_event")
+                continue
+            n_insns += 2 + event[2].n_insns
+            notes.append((event[1], 1))
+            tags_seen.add(event[1])
+            expected.append((ep.W_DISPATCH, bid_of(event[2]), event[3],
+                             event[4]))
+        elif kind == ep.EV_DISPATCH2:
+            if len(event) != 6 or not _is_descr(event[2]) \
+                    or not _is_pc(event[3]) or not _is_pc(event[4]) \
+                    or not _is_descr(event[5]):
+                bad(index, "malformed dispatch_event2")
+                continue
+            n_insns += 2 + event[2].n_insns + event[5].n_insns
+            notes.append((event[1], 1))
+            tags_seen.add(event[1])
+            expected.append((ep.W_DISPATCH2, bid_of(event[2]),
+                             bid_of(event[5]), event[3], event[4]))
+        elif kind == ep.EV_BULK:
+            if len(event) != 3 or not _is_index(event[1]) \
+                    or not isinstance(event[2], (int, float)):
+                bad(index, "malformed bulk branches")
+                continue
+            if event[1] < 1:
+                bad(index, "bulk count %d < 1" % event[1], "TV304")
+                continue
+            if not (0.0 <= event[2] <= 1.0):
+                bad(index, "bulk miss rate %r out of [0, 1]" % (event[2],),
+                    "TV304")
+                continue
+            n_insns += event[1]
+            expected.append((ep.W_BULK, event[1],
+                             ep._rate_bits(event[2])))
+        elif kind == ep.EV_BRBA:
+            if len(event) != 5 or not _is_pc(event[1]) \
+                    or not _is_descr(event[2]) or not _is_index(event[4]):
+                bad(index, "malformed branch_block_annot_run")
+                continue
+            n_insns += 1 + event[2].n_insns + event[4]
+            notes.append((event[3], event[4]))
+            tags_seen.add(event[3])
+            expected.append((ep.W_BRANCH_BLOCK, event[1], bid_of(event[2])))
+            expected.append((ep.W_ANNOT, event[4]))
+        elif kind in (ep.EV_LOAD_ANNOT, ep.EV_STORE_ANNOT):
+            if len(event) != 4 or not _is_index(event[1]) \
+                    or not _is_index(event[3]):
+                bad(index, "malformed load/store_annot_run")
+                continue
+            if event[1] < 0:
+                bad(index, "negative operand slot", "TV304")
+                continue
+            n_insns += 1 + event[3]
+            notes.append((event[2], event[3]))
+            tags_seen.add(event[2])
+            max_slot = max(max_slot, event[1])
+            word = ep.W_LOAD if kind == ep.EV_LOAD_ANNOT else ep.W_STORE
+            expected.append((word, event[1]))
+            expected.append((ep.W_ANNOT, event[3]))
+        elif kind == ep.EV_QUICK_RUN:
+            total = _check_quick_run(event, index, bad, bid_of, expected)
+            if total is None:
+                continue
+            if event[4] != total:
+                bad(index,
+                    "quick_run declares %d insns, items replay to %d"
+                    % (event[4], total), "TV302")
+            n_insns += event[4]
+            notes.append((event[1], len(event[3])))
+            tags_seen.add(event[1])
+        elif kind == ep.EV_DISPATCH_RUN:
+            total = _check_dispatch_run(event, index, bad, bid_of, expected)
+            if total is None:
+                continue
+            if event[4] != total:
+                bad(index,
+                    "dispatch_run declares %d insns, items replay to %d"
+                    % (event[4], total), "TV302")
+            n_insns += event[4]
+            notes.append((event[1], len(event[3])))
+            tags_seen.add(event[1])
+        elif kind == ep.EV_BC:
+            if len(event) != 3 or not _is_index(event[2]) or event[2] < 0:
+                bad(index, "malformed bc counter bump")
+                continue
+            bc_counts[event[2]] = bc_counts.get(event[2], 0) + 1
+            bc_lists.append(event[1])
+        else:
+            bad(index, "unknown event kind %r" % (kind,))
+    if prog.n_insns != n_insns:
+        report.error(
+            "TV302",
+            "program declares %d insns, events recompute to %d"
+            % (prog.n_insns, n_insns), where=where, pass_name=_PASS)
+    if tuple(prog.notes) != tuple(notes):
+        report.error("TV302", "program notes diverge from its events",
+                     where=where, pass_name=_PASS)
+    if frozenset(prog.tags) != frozenset(tags_seen):
+        report.error("TV302", "program tag set diverges from its events",
+                     where=where, pass_name=_PASS)
+    n_slots = max_slot + 1
+    if prog.n_slots != n_slots:
+        report.error(
+            "TV305",
+            "program declares %d operand slots, events use %d"
+            % (prog.n_slots, n_slots), where=where, pass_name=_PASS)
+    elif max_slot >= prog.n_slots:
+        report.error(
+            "TV304",
+            "operand slot %d out of range for %d slots"
+            % (max_slot, prog.n_slots), where=where, pass_name=_PASS)
+    if tuple(sorted(bc_counts.items())) != tuple(prog.bc_totals):
+        report.error(
+            "TV306", "bc totals diverge from the program's EV_BC events",
+            where=where, pass_name=_PASS)
+    if any(lst is not prog.bc_list for lst in bc_lists):
+        report.error(
+            "TV306", "EV_BC events bump a list that is not prog.bc_list",
+            where=where, pass_name=_PASS)
+    _check_lowering(prog, expected, bid_of, report, where)
+    return report
+
+
+def _check_quick_run(event, index, bad, bid_of, expected):
+    if len(event) != 5 or not _is_descr(event[2]) \
+            or not isinstance(event[3], tuple) or not _is_index(event[4]):
+        bad(index, "malformed quick_run")
+        return None
+    base = event[2].n_insns
+    bid = bid_of(event[2])
+    total = 0
+    for item in event[3]:
+        if len(item) != 3 or not _is_pc(item[0]) or not _is_pc(item[1]) \
+                or not isinstance(item[2], tuple) \
+                or not all(_is_descr(blk) for blk in item[2]):
+            bad(index, "malformed quick_run item %r" % (item,))
+            return None
+        total += 2 + base + sum(blk.n_insns for blk in item[2])
+        expected.append((9, bid, item[0], item[1]))     # W_DISPATCH
+        for blk in item[2]:
+            expected.append((1, bid_of(blk)))            # W_EXEC_BLOCK
+    return total
+
+
+def _check_dispatch_run(event, index, bad, bid_of, expected):
+    if len(event) != 5 or not _is_descr(event[2]) \
+            or not isinstance(event[3], tuple) or not _is_index(event[4]):
+        bad(index, "malformed dispatch_run")
+        return None
+    base = event[2].n_insns
+    bid = bid_of(event[2])
+    total = 0
+    for item in event[3]:
+        if len(item) != 3 or not _is_pc(item[0]) or not _is_pc(item[1]) \
+                or not _is_descr(item[2]):
+            bad(index, "malformed dispatch_run item %r" % (item,))
+            return None
+        total += 2 + base + item[2].n_insns
+        expected.append((10, bid, bid_of(item[2]), item[0], item[1]))
+    return total
+
+
+# Word widths of the rt_exec_program switch (cgen.py): opcode + operands.
+_WORD_WIDTH = {1: 2, 2: 3, 3: 3, 4: 2, 5: 2, 6: 2, 7: 2, 8: 2,
+               9: 4, 10: 5, 11: 3}
+
+
+def _check_lowering(prog, expected, bid_of, report, where):
+    from repro.backend.eventprog import lower_words
+
+    try:
+        words = lower_words(prog, bid_of)
+    except Exception as exc:
+        report.error("TV303", "native lowering failed: %s" % (exc,),
+                     where=where, pass_name=_PASS)
+        return
+    decoded = []
+    i = 0
+    n = len(words)
+    while i < n:
+        opcode = words[i]
+        width = _WORD_WIDTH.get(opcode)
+        if width is None or i + width > n:
+            report.error(
+                "TV303",
+                "word stream desynchronizes at %d (opcode %r)"
+                % (i, opcode), where=where, pass_name=_PASS)
+            return
+        decoded.append(tuple(words[i:i + width]))
+        i += width
+    if decoded != expected:
+        report.error(
+            "TV303",
+            "lowered words decode to %d ops, events expand to %d "
+            "(first divergence at %d)"
+            % (len(decoded), len(expected),
+               _first_divergence(decoded, expected)),
+            where=where, pass_name=_PASS)
+        return
+    for word_op in decoded:
+        for operand in word_op:
+            if not _is_pc(operand):
+                report.error(
+                    "TV304",
+                    "word operand %r does not fit the C int64 layout"
+                    % (operand,), where=where, pass_name=_PASS)
+                return
+        opcode = word_op[0]
+        if opcode in (5, 6) and not (0 <= word_op[1] < max(prog.n_slots, 1)):
+            report.error(
+                "TV304",
+                "operand slot %d out of range for %d slots"
+                % (word_op[1], prog.n_slots), where=where, pass_name=_PASS)
+            return
+
+
+def _first_divergence(decoded, expected):
+    for i, (a, b) in enumerate(zip(decoded, expected)):
+        if a != b:
+            return i
+    return min(len(decoded), len(expected))

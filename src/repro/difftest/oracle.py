@@ -80,7 +80,7 @@ class EngineRun(object):
     """Output and measurement state of one engine execution."""
 
     __slots__ = ("name", "output", "error", "truncated", "machine",
-                 "tool", "ctx", "tier_stats")
+                 "tool", "ctx", "tier_stats", "vm")
 
     def __init__(self, name):
         self.name = name
@@ -92,6 +92,8 @@ class EngineRun(object):
         self.ctx = None
         # TierManager.stats() when the run had the tier-1 engine on.
         self.tier_stats = None
+        # The guest VM (kept for post-hoc translation validation).
+        self.vm = None
 
     @property
     def outcome(self):
@@ -213,6 +215,7 @@ def run_interp(source, jit=False, threshold=39, bridge_threshold=3,
     run.machine = ctx.machine
     run.tool = tool
     run.ctx = ctx
+    run.vm = vm
     if vm.driver.tier is not None:
         run.tier_stats = vm.driver.tier.stats()
     return run
@@ -300,6 +303,41 @@ def check_static_invariants(run, report):
         result.extend(verify_backend(trace))
         for finding in result.errors[:4]:
             report.add("verify", [run.name], finding.render())
+
+
+def check_transval_invariants(run, report):
+    """Translation validation over every compiled artifact of one run.
+
+    A second static family (kind ``"transval"``, see DESIGN.md §16):
+    each trace's optimized stream is re-proven equivalent to the
+    recorded stream the tracer retained on it, each resident
+    event-program is statically decoded back to the call sequence it
+    replaced, and — when the tier-1 engine ran — each ThreadedCode is
+    replayed against the interpreter's charge summaries.
+    """
+    ctx = run.ctx
+    if ctx is None:
+        return
+    from repro.analysis import (
+        validate_optimization,
+        validate_program,
+        validate_threaded_code,
+    )
+
+    for trace in ctx.registry.traces:
+        result = validate_optimization(ctx.config.jit, trace)
+        for prog in getattr(trace, "_programs", None) or ():
+            result.extend(validate_program(
+                prog, subject="trace #%d" % trace.trace_id))
+        for finding in result.errors[:4]:
+            report.add("transval", [run.name], finding.render())
+    vm = run.vm
+    tier = getattr(vm, "driver", None) and vm.driver.tier
+    if tier is not None:
+        for code, tcode in tier.compiled.items():
+            result = validate_threaded_code(vm, code, tcode)
+            for finding in result.errors[:4]:
+                report.add("transval", [run.name], finding.render())
 
 
 def check_static_bytecode(source, report):
@@ -647,6 +685,7 @@ def check_program(source, thresholds=DEFAULT_THRESHOLDS,
         check_counter_invariants(run, report)
         check_jitlog_invariants(run, report)
         check_static_invariants(run, report)
+        check_transval_invariants(run, report)
     check_static_bytecode(source, report)
     check_quicken_equivalence(report)
     check_backend_equivalence(report)

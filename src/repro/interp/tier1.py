@@ -150,6 +150,11 @@ class TierManager(object):
                                   self.generations.get(code, 0))
         machine.annot(tags.TIER1_COMPILE_STOP,
                       getattr(code, "name", None))
+        if self.ctx.config.verify:
+            from repro.analysis import validate_threaded_code
+
+            validate_threaded_code(interp, code, tcode).raise_if_errors(
+                "tier1 translation validation")
         self.compiled[code] = tcode
         self.epoch += 1
         self.promotions += 1

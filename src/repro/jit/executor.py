@@ -414,6 +414,17 @@ class _CodeGen(object):
                 })
             except ValueError:
                 pass  # an in-memory-only event kind: keep it RAM-resident
+        # Retained for translation validation (lint --transval) and
+        # validated eagerly under config.verify: each resident program
+        # must statically decode back to the call sequence it replaced.
+        self.trace._programs = programs
+        if self.ctx.config.verify:
+            from repro.analysis import validate_program
+
+            subject = "trace #%d" % self.trace.trace_id
+            for prog in programs:
+                validate_program(prog, subject=subject).raise_if_errors(
+                    "eventprog translation validation")
         stats = eventprog.STATS
         stats["trace_calls_before"] += meta["calls_before"]
         stats["trace_calls_after"] += meta["calls_after"]

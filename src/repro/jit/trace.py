@@ -48,6 +48,10 @@ class Trace(object):
         self.executions = 0
         self.iterations = 0
         self.n_env_slots = 0
+        # Pre-optimization stream, retained for translation validation
+        # (analysis/transval.py); None for hand-built traces.
+        self.recorded_ops = None
+        self.recorded_jump = None
 
     @property
     def n_ops(self):

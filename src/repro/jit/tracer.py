@@ -204,6 +204,8 @@ class MetaTracer(object):
             trace_id, self.kind, self.greenkey, self.inputargs,
             [], self.entry_layout,
         )
+        trace.recorded_ops = self.ops
+        trace.recorded_jump = jump
         ctx.annot(tags.OPT_START, trace_id)
         self._charge_per_op(len(self.ops), costs.OPT_MIX,
                             costs.OPT_BRANCHES, costs.OPT_BRANCH_MISS_RATE)
@@ -219,12 +221,15 @@ class MetaTracer(object):
                             costs.BACKEND_BRANCH_MISS_RATE)
         ctx.annot(tags.BACKEND_STOP, trace_id)
         if ctx.config.verify:
-            from repro.analysis import verify_compilation
+            from repro.analysis import validate_optimization, verify_compilation
 
             verify_compilation(
                 ctx.config.jit, trace, recorded_ops=self.ops,
                 inputargs=self.inputargs,
             ).raise_if_errors("jit pipeline")
+            validate_optimization(
+                ctx.config.jit, trace,
+            ).raise_if_errors("jit translation validation")
         ctx.registry.register(trace)
         if self.parent_guard is not None:
             self.parent_guard.bridge = trace

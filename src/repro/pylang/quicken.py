@@ -201,4 +201,9 @@ def build_run_programs(vm, table):
             programs[pc] = quick_run_program(tags.DISPATCH, b_dispatch,
                                              entry[0], entry[4],
                                              label="quicken-run")
+    if vm.ctx.config.verify:
+        from repro.analysis import validate_run_programs
+
+        validate_run_programs(vm, table, programs).raise_if_errors(
+            "quicken translation validation")
     return programs

@@ -251,6 +251,53 @@ def test_ir501_merge_point_resets_hazard():
     assert not report.errors
 
 
+def _hazard_bridge(bridge_ops):
+    """A recorded stream whose hazardous guard carries a bridge."""
+    from repro.jit.trace import BRIDGE
+
+    dmp = ir.IROp(ir.DEBUG_MERGE_POINT, [])
+    dmp.snapshot = empty_snapshot()
+    call = make_call("any")
+    guard = ir.IROp(ir.GUARD_TRUE, [call])
+    guard.snapshot = empty_snapshot()
+    guard.bridge = Trace(7, BRIDGE, ("c", 0), [], bridge_ops, None)
+    return [dmp, call, guard]
+
+
+def test_ir501_hazard_walk_enters_bridge():
+    # A guard in the bridge prefix still sits in the parent's merge
+    # region: deopt through it would replay the parent's unsafe call.
+    bguard = ir.IROp(ir.GUARD_FALSE, [ir.Const(0)])
+    bguard.snapshot = empty_snapshot()
+    report = verify_recorded(_hazard_bridge([bguard]), [])
+    findings = [f for f in report.findings if f.code == "IR501"]
+    assert len(findings) == 2  # parent guard + inherited bridge guard
+    assert any("bridge #7" in f.where for f in findings)
+
+
+def test_ir501_bridge_merge_point_resets_inherited_hazard():
+    dmp = ir.IROp(ir.DEBUG_MERGE_POINT, [])
+    dmp.snapshot = empty_snapshot()
+    bguard = ir.IROp(ir.GUARD_FALSE, [ir.Const(0)])
+    bguard.snapshot = empty_snapshot()
+    report = verify_recorded(_hazard_bridge([dmp, bguard]), [])
+    findings = [f for f in report.findings if f.code == "IR501"]
+    assert len(findings) == 1  # only the parent guard; bridge is clean
+    assert not any("bridge" in f.where for f in findings)
+
+
+def test_ir501_bridge_own_call_ends_inherited_walk():
+    # Past the bridge's own unsafe call the bridge's own verification
+    # owns the hazard; the inherited walk must not double-report.
+    bcall = make_call("any")
+    bguard = ir.IROp(ir.GUARD_TRUE, [bcall])
+    bguard.snapshot = empty_snapshot()
+    report = verify_recorded(_hazard_bridge([bcall, bguard]), [])
+    findings = [f for f in report.findings if f.code == "IR501"]
+    assert len(findings) == 1
+    assert not any("bridge" in f.where for f in findings)
+
+
 def _heap_trace(middle):
     a = InputArg()
     descr = ir.FieldDescr.get(W_Box, "val")

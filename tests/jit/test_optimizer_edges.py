@@ -1,0 +1,139 @@
+"""Optimizer edge-case regressions, cross-checked by translation
+validation.
+
+Three corners that earlier refactors nearly broke and that the generic
+unit tests in test_optimizer.py do not pin down:
+
+* guard strengthening on *bridge entry* — dedup facts must be
+  established from scratch on the straight (no-label) path,
+* a virtual escaping through a *residual AOT call* — the call's
+  arguments force the allocation, fields-before-escape,
+* snapshot rematerialization of a *nested* VirtualSpec — a removed
+  allocation whose field holds another removed allocation.
+
+Each test also runs :func:`repro.analysis.validate_optimization` over
+the (recorded, optimized) pair, so the scenarios double as clean-pass
+fixtures for the translation validator.
+"""
+
+from repro.analysis import validate_optimization
+from repro.core.config import JitConfig
+from repro.interp.aot import AotFunction
+from repro.interp.objects import W_Root
+from repro.jit import ir
+from repro.jit.optimizer import optimize_trace
+from repro.jit.resume import FrameState, Snapshot, VirtualSpec
+from repro.jit.trace import LOOP, InputArg, Trace
+
+
+class W_Box(W_Root):
+    _immutable_fields_ = ("pure_field",)
+    _size_ = 16
+
+
+def make_trace(inputargs):
+    return Trace(0, LOOP, ("code", 0), inputargs, [], [("code", 0, 1, 0)])
+
+
+def snap(values):
+    return Snapshot((FrameState("code", 0, tuple(values), ()),))
+
+
+def opt(ops, inputargs, jump_args=None, cfg=None, target=None):
+    """Optimize and return (trace, recorded_ops, recorded_jump) so the
+    result can be fed to the translation validator."""
+    cfg = cfg or JitConfig()
+    trace = make_trace(inputargs)
+    jump = ir.IROp(ir.JUMP, jump_args if jump_args is not None
+                   else list(inputargs), None)
+    optimize_trace(cfg, trace, ops, jump, target)
+    return trace, ops, jump, cfg
+
+
+def names(trace):
+    return [op.name for op in trace.ops]
+
+
+def assert_validates(trace, recorded, jump, cfg):
+    report = validate_optimization(cfg, trace, recorded_ops=recorded,
+                                   recorded_jump=jump)
+    assert not report.findings, [f.render() for f in report.findings]
+
+
+def test_guard_strengthening_on_bridge_entry():
+    # A bridge optimizes straight-line against a pre-existing target:
+    # its entry carries re-checked guards the parent already
+    # established, and dedup must collapse them from an *empty* fact
+    # set (no label, no peeled preamble to inherit from).
+    i0 = InputArg()
+    target_trace = make_trace([InputArg()])
+    g_null1 = ir.IROp(ir.GUARD_NONNULL, [i0], None)
+    g_null1.snapshot = snap([i0])
+    g_cls1 = ir.IROp(ir.GUARD_CLASS, [i0, ir.Const(W_Box)], None)
+    g_cls1.snapshot = snap([i0])
+    # ... bridge body re-checks both (e.g. after an inlined helper) ...
+    g_null2 = ir.IROp(ir.GUARD_NONNULL, [i0], None)
+    g_null2.snapshot = snap([i0])
+    g_cls2 = ir.IROp(ir.GUARD_CLASS, [i0, ir.Const(W_Box)], None)
+    g_cls2.snapshot = snap([i0])
+    trace, recorded, jump, cfg = opt(
+        [g_null1, g_cls1, g_null2, g_cls2], [i0], jump_args=[i0],
+        target=target_trace)
+    assert trace.label_index == -1  # straight bridge shape
+    ops = names(trace)
+    assert ops.count("guard_nonnull") == 1
+    assert ops.count("guard_class") == 1
+    assert_validates(trace, recorded, jump, cfg)
+
+
+def test_virtual_escape_via_residual_aot_call():
+    # A virtual passed to a residual (non-inlined) AOT call escapes:
+    # the optimizer must force it, writing its fields *before* the
+    # call, and must not forward mutable reads across the call.
+    func = AotFunction("test.sink", "R", "any", lambda ctx: None)
+    i0 = InputArg()
+    descr = ir.FieldDescr.get(W_Box, "edge_payload")
+    new = ir.IROp(ir.NEW_WITH_VTABLE, [ir.Const(W_Box)], W_Box)
+    setfield = ir.IROp(ir.SETFIELD_GC, [new, i0], descr)
+    call = ir.IROp(ir.CALL, [new], ir.CallDescr(func))
+    # Re-read after the call: the callee may have mutated the field.
+    getfield = ir.IROp(ir.GETFIELD_GC, [new], descr)
+    guard = ir.IROp(ir.GUARD_TRUE, [getfield], None)
+    guard.snapshot = snap([i0])
+    trace, recorded, jump, cfg = opt(
+        [new, setfield, call, getfield, guard], [i0], jump_args=[i0])
+    ops = names(trace)
+    assert "new_with_vtable" in ops
+    assert ops.index("new_with_vtable") < ops.index("call")
+    assert ops.index("setfield_gc") < ops.index("call")
+    # The post-call read must survive: the call clobbers the heap.
+    assert ops.index("call") < ops.index("getfield_gc")
+    assert_validates(trace, recorded, jump, cfg)
+
+
+def test_nested_virtualspec_rematerializes():
+    # outer.field -> inner (both virtual): the guard snapshot must
+    # capture a VirtualSpec whose field value is itself a VirtualSpec,
+    # bottoming out at a live IR value.
+    i0 = InputArg()
+    outer = ir.IROp(ir.NEW_WITH_VTABLE, [ir.Const(W_Box)], W_Box)
+    inner = ir.IROp(ir.NEW_WITH_VTABLE, [ir.Const(W_Box)], W_Box)
+    d_link = ir.FieldDescr.get(W_Box, "edge_link")
+    d_leaf = ir.FieldDescr.get(W_Box, "edge_leaf")
+    set_leaf = ir.IROp(ir.SETFIELD_GC, [inner, i0], d_leaf)
+    set_link = ir.IROp(ir.SETFIELD_GC, [outer, inner], d_link)
+    guard = ir.IROp(ir.GUARD_TRUE, [i0], None)
+    guard.snapshot = snap([outer])
+    trace, recorded, jump, cfg = opt(
+        [outer, inner, set_leaf, set_link, guard], [i0], jump_args=[i0])
+    assert "new_with_vtable" not in names(trace)
+    out_guard = next(op for op in trace.ops if op.is_guard())
+    spec = out_guard.snapshot.frames[0].locals[0]
+    assert isinstance(spec, VirtualSpec)
+    assert spec.cls is W_Box
+    nested = spec.fields[d_link]
+    assert isinstance(nested, VirtualSpec)
+    assert nested.cls is W_Box
+    # The nested spec bottoms out at the live input value.
+    assert nested.fields[d_leaf] is i0
+    assert_validates(trace, recorded, jump, cfg)
